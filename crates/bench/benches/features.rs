@@ -1,0 +1,33 @@
+//! Feature-extraction cost: paths vs trees vs cycles, and the Fig. 18
+//! configuration knob (max path length 4 vs 5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use igq_features::{
+    enumerate_cycles, enumerate_paths, enumerate_trees, CycleConfig, PathConfig, TreeConfig,
+};
+use igq_workload::DatasetKind;
+use std::hint::black_box;
+
+fn features(c: &mut Criterion) {
+    let aids = DatasetKind::Aids.generate(20, 3);
+    let graph = aids.get(igq_graph::GraphId::new(0)).clone();
+
+    let mut group = c.benchmark_group("features");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    for max_len in [3usize, 4, 5] {
+        group.bench_with_input(BenchmarkId::new("paths", max_len), &max_len, |b, &l| {
+            b.iter(|| black_box(enumerate_paths(&graph, &PathConfig::with_max_len(l))))
+        });
+    }
+    group.bench_function("trees<=6", |b| {
+        b.iter(|| black_box(enumerate_trees(&graph, &TreeConfig::default())))
+    });
+    group.bench_function("cycles<=8", |b| {
+        b.iter(|| black_box(enumerate_cycles(&graph, &CycleConfig::default())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, features);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Per-query iGQ overhead: raw method filter vs the full engine's probe +
+//! prune + bookkeeping path on a warmed cache, sequential vs the paper's
+//! three-thread pipeline (Fig. 6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use igq_core::{IgqConfig, IgqEngine};
+use igq_methods::{Ggsx, GgsxConfig, SubgraphMethod};
+use igq_workload::{DatasetKind, Distribution, QueryGenerator};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn igq_overhead(c: &mut Criterion) {
+    let store = Arc::new(DatasetKind::Aids.generate(1_000, 13));
+    let queries = QueryGenerator::new(&store, Distribution::Zipf(1.4), Distribution::Zipf(1.4), 3)
+        .take(300);
+
+    let method = Ggsx::build(&store, GgsxConfig::default());
+    c.bench_function("filter_only", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(method.filter(q).candidates.len())
+        })
+    });
+
+    for parallel in [false, true] {
+        let name = if parallel { "engine_query/parallel_probes" } else { "engine_query/sequential" };
+        let method = Ggsx::build(&store, GgsxConfig::default());
+        let mut engine = IgqEngine::new(
+            method,
+            IgqConfig {
+                cache_capacity: 100,
+                window: 20,
+                parallel_probes: parallel,
+                ..Default::default()
+            },
+        );
+        // Warm the cache.
+        for q in queries.iter().take(100) {
+            let _ = engine.query(q);
+        }
+        engine.flush_window();
+        c.bench_function(name, |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(engine.query(q).db_iso_tests)
+            })
+        });
+    }
+
+    // Exact-repeat resolution: canonical-code fast path vs probe path.
+    // The workload is a single repeated query on a warmed cache, so every
+    // measured iteration is an ExactHit through one of the two mechanisms.
+    for fastpath in [true, false] {
+        let name = if fastpath { "exact_repeat/canonical_fastpath" } else { "exact_repeat/probe_path" };
+        let method = Ggsx::build(&store, GgsxConfig::default());
+        let mut engine = IgqEngine::new(
+            method,
+            IgqConfig {
+                cache_capacity: 100,
+                window: 1,
+                exact_fastpath: fastpath,
+                ..Default::default()
+            },
+        );
+        let repeat = &queries[0];
+        let _ = engine.query(repeat);
+        engine.flush_window();
+        c.bench_function(name, |b| {
+            b.iter(|| black_box(engine.query(repeat).answers.len()))
+        });
+    }
+}
+
+criterion_group!(benches, igq_overhead);
+criterion_main!(benches);

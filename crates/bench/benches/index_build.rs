@@ -1,0 +1,38 @@
+//! Index construction cost: GGSX vs Grapes(1) vs Grapes(6) vs CT-Index vs
+//! gCode, on an AIDS-shaped dataset slice.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use igq_methods::{
+    CtIndex, CtIndexConfig, GCode, GCodeConfig, Ggsx, GgsxConfig, Grapes, GrapesConfig,
+    SubgraphMethod,
+};
+use igq_workload::DatasetKind;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn index_build(c: &mut Criterion) {
+    let store = Arc::new(DatasetKind::Aids.generate(300, 5));
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    group.bench_function("ggsx", |b| {
+        b.iter(|| black_box(Ggsx::build(&store, GgsxConfig::default()).index_size_bytes()))
+    });
+    group.bench_function("grapes1", |b| {
+        b.iter(|| black_box(Grapes::build(&store, GrapesConfig::default()).index_size_bytes()))
+    });
+    group.bench_function("grapes6", |b| {
+        b.iter(|| {
+            black_box(Grapes::build(&store, GrapesConfig::six_threads()).index_size_bytes())
+        })
+    });
+    group.bench_function("ctindex", |b| {
+        b.iter(|| black_box(CtIndex::build(&store, CtIndexConfig::default()).index_size_bytes()))
+    });
+    group.bench_function("gcode", |b| {
+        b.iter(|| black_box(GCode::build(&store, GCodeConfig::default()).index_size_bytes()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, index_build);
+criterion_main!(benches);

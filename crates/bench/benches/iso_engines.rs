@@ -1,0 +1,45 @@
+//! VF2 vs Ullmann across pattern/target size sweeps — the ablation behind
+//! the paper's (and the field's) standardization on VF2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use igq_iso::{ullmann, vf2, MatchConfig};
+use igq_workload::{bfs_extract, DatasetKind};
+use std::hint::black_box;
+
+fn engines(c: &mut Criterion) {
+    let store = DatasetKind::Aids.generate(50, 7);
+    let dense = DatasetKind::Synthetic.generate(1, 7);
+    let target_small = store.get(igq_graph::GraphId::new(0)).clone();
+    let target_dense = dense.get(igq_graph::GraphId::new(0)).clone();
+    let config = MatchConfig::default();
+
+    let mut group = c.benchmark_group("iso_engines");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    for pattern_edges in [4usize, 8, 12] {
+        let pattern = bfs_extract(&target_small, igq_graph::VertexId::new(0), pattern_edges);
+        group.bench_with_input(
+            BenchmarkId::new("vf2/aids", pattern_edges),
+            &pattern,
+            |b, p| b.iter(|| black_box(vf2::find_one(p, &target_small, &config))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ullmann/aids", pattern_edges),
+            &pattern,
+            |b, p| b.iter(|| black_box(ullmann::find_one(p, &target_small, &config))),
+        );
+    }
+    // Dense target: VF2's connectivity-first ordering matters most here.
+    for pattern_edges in [4usize, 8] {
+        let pattern = bfs_extract(&target_dense, igq_graph::VertexId::new(0), pattern_edges);
+        group.bench_with_input(
+            BenchmarkId::new("vf2/dense", pattern_edges),
+            &pattern,
+            |b, p| b.iter(|| black_box(vf2::find_one(p, &target_dense, &config))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engines);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Replacement-policy ablation: the paper's utility policy (Section 5.1)
+//! vs LRU / FIFO / LFU / random eviction, on the same skewed query stream
+//! with a cache small enough to force churn. The figure of merit is the
+//! total number of DB iso tests — lower is better.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use igq_core::{IgqConfig, IgqEngine, ReplacementPolicy};
+use igq_methods::{Ggsx, GgsxConfig};
+use igq_workload::{DatasetKind, Distribution, QueryGenerator};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn replacement(c: &mut Criterion) {
+    let store = Arc::new(DatasetKind::Aids.generate(500, 29));
+    let queries = QueryGenerator::new(&store, Distribution::Zipf(2.0), Distribution::Zipf(1.4), 17)
+        .take(200);
+
+    let mut group = c.benchmark_group("replacement_policy");
+    group.sample_size(10);
+    for policy in [
+        ReplacementPolicy::Utility,
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Fifo,
+        ReplacementPolicy::Lfu,
+        ReplacementPolicy::Random,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(policy.name()), &policy, |b, &p| {
+            b.iter(|| {
+                let method = Ggsx::build(&store, GgsxConfig::default());
+                let mut engine = IgqEngine::new(
+                    method,
+                    IgqConfig { cache_capacity: 12, window: 4, policy: p, ..Default::default() },
+                );
+                let mut tests = 0u64;
+                for q in &queries {
+                    tests += engine.query(q).db_iso_tests;
+                }
+                black_box(tests)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, replacement);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Feature-trie insert/lookup throughput — the backbone of GGSX, Grapes,
+//! and iGQ's `Isuper`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use igq_features::{FeatureTrie, LabelSeq};
+use igq_graph::{GraphId, LabelId};
+use std::hint::black_box;
+
+fn seqs(n: usize) -> Vec<LabelSeq> {
+    (0..n)
+        .map(|i| {
+            let labels: Vec<LabelId> = (0..=(i % 4) + 1)
+                .map(|j| LabelId::new(((i * 31 + j * 7) % 62) as u32))
+                .collect();
+            LabelSeq::canonical(&labels)
+        })
+        .collect()
+}
+
+fn trie_ops(c: &mut Criterion) {
+    let keys = seqs(10_000);
+    c.bench_function("trie/insert_10k", |b| {
+        b.iter(|| {
+            let mut t = FeatureTrie::new();
+            for (i, s) in keys.iter().enumerate() {
+                t.insert(s, GraphId::new((i % 64) as u32), 1);
+            }
+            black_box(t.node_count())
+        })
+    });
+
+    let mut t = FeatureTrie::new();
+    for (i, s) in keys.iter().enumerate() {
+        t.insert(s, GraphId::new((i % 64) as u32), 1);
+    }
+    c.bench_function("trie/lookup_10k", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for s in &keys {
+                hits += t.get(black_box(s)).len();
+            }
+            black_box(hits)
+        })
+    });
+    c.bench_function("trie/count_in", |b| {
+        b.iter(|| {
+            let mut total = 0u32;
+            for s in keys.iter().take(1000) {
+                total += t.count_in(s, GraphId::new(3));
+            }
+            black_box(total)
+        })
+    });
+}
+
+criterion_group!(benches, trie_ops);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Ablation: utility replacement policy vs classic baselines.
+fn main() {
+    let opts = igq_bench::ExpOptions::from_env();
+    igq_bench::experiments::policy_ablation::run(&opts).emit();
+}

@@ -1,0 +1,6 @@
+//! Extension experiments: gCode in the lineup + edge-label impact.
+fn main() {
+    let opts = igq_bench::ExpOptions::from_env();
+    igq_bench::experiments::extensions::gcode_lineup(&opts).emit();
+    igq_bench::experiments::extensions::edge_label_impact(&opts).emit();
+}

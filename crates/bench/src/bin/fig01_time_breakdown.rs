@@ -1,0 +1,5 @@
+//! Fig. 1: filtering vs verification time share.
+fn main() {
+    let opts = igq_bench::ExpOptions::from_env();
+    igq_bench::experiments::breakdown::time_breakdown(&opts).emit();
+}

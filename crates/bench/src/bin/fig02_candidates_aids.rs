@@ -1,0 +1,5 @@
+//! Fig. 2: candidates / answers / false positives on AIDS.
+fn main() {
+    let opts = igq_bench::ExpOptions::from_env();
+    igq_bench::experiments::breakdown::filtering_power(igq_workload::DatasetKind::Aids, &opts).emit();
+}

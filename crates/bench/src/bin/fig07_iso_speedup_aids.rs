@@ -1,0 +1,5 @@
+//! Fig. 7: iso-test speedup on AIDS.
+fn main() {
+    let opts = igq_bench::ExpOptions::from_env();
+    igq_bench::experiments::speedups::iso_speedup(igq_workload::DatasetKind::Aids, &opts).emit();
+}

@@ -1,0 +1,5 @@
+//! Fig. 8: iso-test speedup on PDBS.
+fn main() {
+    let opts = igq_bench::ExpOptions::from_env();
+    igq_bench::experiments::speedups::iso_speedup(igq_workload::DatasetKind::Pdbs, &opts).emit();
+}

@@ -1,0 +1,5 @@
+//! Fig. 10: iso-test speedup by query group (PPI).
+fn main() {
+    let opts = igq_bench::ExpOptions::from_env();
+    igq_bench::experiments::groups::render(igq_workload::DatasetKind::Ppi, &opts, false).emit();
+}

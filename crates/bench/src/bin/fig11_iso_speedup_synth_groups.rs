@@ -1,0 +1,5 @@
+//! Fig. 11: iso-test speedup by query group (Synthetic).
+fn main() {
+    let opts = igq_bench::ExpOptions::from_env();
+    igq_bench::experiments::groups::render(igq_workload::DatasetKind::Synthetic, &opts, false).emit();
+}

@@ -1,0 +1,5 @@
+//! Fig. 12: query-time speedup on AIDS.
+fn main() {
+    let opts = igq_bench::ExpOptions::from_env();
+    igq_bench::experiments::speedups::time_speedup(igq_workload::DatasetKind::Aids, &opts).emit();
+}

@@ -1,0 +1,5 @@
+//! Fig. 13: query-time speedup on PDBS.
+fn main() {
+    let opts = igq_bench::ExpOptions::from_env();
+    igq_bench::experiments::speedups::time_speedup(igq_workload::DatasetKind::Pdbs, &opts).emit();
+}

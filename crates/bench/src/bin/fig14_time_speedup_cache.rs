@@ -1,0 +1,5 @@
+//! Fig. 14: query-time speedup vs cache size (PDBS, Grapes(6)).
+fn main() {
+    let opts = igq_bench::ExpOptions::from_env();
+    igq_bench::experiments::cache_sweep::render(&opts).emit();
+}

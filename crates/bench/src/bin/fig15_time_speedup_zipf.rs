@@ -1,0 +1,5 @@
+//! Fig. 15: query-time speedup vs Zipf alpha (PDBS, Grapes(6)).
+fn main() {
+    let opts = igq_bench::ExpOptions::from_env();
+    igq_bench::experiments::zipf_sweep::render(&opts, true).emit();
+}

@@ -1,0 +1,5 @@
+//! Fig. 16: query-time speedup by query group (PPI).
+fn main() {
+    let opts = igq_bench::ExpOptions::from_env();
+    igq_bench::experiments::groups::render(igq_workload::DatasetKind::Ppi, &opts, true).emit();
+}

@@ -1,0 +1,5 @@
+//! Fig. 17: query-time speedup by query group (Synthetic).
+fn main() {
+    let opts = igq_bench::ExpOptions::from_env();
+    igq_bench::experiments::groups::render(igq_workload::DatasetKind::Synthetic, &opts, true).emit();
+}

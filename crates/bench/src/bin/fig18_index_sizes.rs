@@ -1,0 +1,5 @@
+//! Fig. 18: absolute index sizes on AIDS.
+fn main() {
+    let opts = igq_bench::ExpOptions::from_env();
+    igq_bench::experiments::index_sizes::run(&opts).emit();
+}

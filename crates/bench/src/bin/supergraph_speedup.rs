@@ -1,0 +1,5 @@
+//! Extension: supergraph-query speedup (Section 4.4 engine).
+fn main() {
+    let opts = igq_bench::ExpOptions::from_env();
+    igq_bench::experiments::supergraph_demo::run(&opts).emit();
+}

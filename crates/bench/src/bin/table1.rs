@@ -1,0 +1,5 @@
+//! Table 1: dataset characteristics.
+fn main() {
+    let opts = igq_bench::ExpOptions::from_env();
+    igq_bench::experiments::table1::run(&opts).emit();
+}

@@ -1,0 +1,142 @@
+//! Figures 1–3: baseline-method profiles.
+//!
+//! * **Fig. 1** — share of query time spent in filtering vs verification,
+//!   per method, on AIDS and PDBS;
+//! * **Fig. 2** — average candidates / answers / false positives on AIDS;
+//! * **Fig. 3** — the same on PDBS.
+//!
+//! All three views come from one baseline profiling pass per dataset, so
+//! the binaries share [`baseline_profile`].
+
+use crate::cli::ExpOptions;
+use crate::harness::{run_baseline, AggStats, MethodKind};
+use crate::report::{Report, Table};
+use igq_workload::{DatasetKind, QueryWorkloadSpec, DEFAULT_ALPHA};
+
+/// Baseline profile of every lineup method on `kind`'s uni–uni workload.
+pub fn baseline_profile(kind: DatasetKind, opts: &ExpOptions) -> Vec<(String, AggStats)> {
+    let paper_queries = match kind {
+        DatasetKind::Aids | DatasetKind::Pdbs => 3_000,
+        _ => 500,
+    };
+    let spec = QueryWorkloadSpec::named(false, false, DEFAULT_ALPHA, paper_queries, opts.seed);
+    let s = super::setup(kind, opts, &spec, 500, 100);
+    MethodKind::paper_lineup(opts.threads)
+        .into_iter()
+        .map(|mk| {
+            let method = mk.build(&s.store);
+            let agg = run_baseline(method.as_ref(), &s.queries, 0);
+            (mk.name(), agg)
+        })
+        .collect()
+}
+
+/// Fig. 1: verification-time dominance.
+pub fn time_breakdown(opts: &ExpOptions) -> Report {
+    let mut report = Report::new(
+        "fig01_time_breakdown",
+        "Fig. 1: Dominance of Verification Time (filtering% vs verification%)",
+    );
+    report.line(format!("scale={} seed={:#x} (uni-uni workload)", opts.scale, opts.seed));
+    let mut table = Table::new(["dataset", "method", "filter %", "verify %", "avg query time"]);
+    let mut json = Vec::new();
+    for kind in [DatasetKind::Aids, DatasetKind::Pdbs] {
+        for (name, agg) in baseline_profile(kind, opts) {
+            let total = agg.filter_time.as_secs_f64() + agg.verify_time.as_secs_f64();
+            let (f, v) = if total > 0.0 {
+                (
+                    100.0 * agg.filter_time.as_secs_f64() / total,
+                    100.0 * agg.verify_time.as_secs_f64() / total,
+                )
+            } else {
+                (0.0, 0.0)
+            };
+            table.row([
+                kind.name().to_owned(),
+                name.clone(),
+                format!("{f:.1}"),
+                format!("{v:.1}"),
+                crate::report::fmt_duration(agg.avg_time()),
+            ]);
+            json.push(serde_json::json!({
+                "dataset": kind.name(), "method": name,
+                "filter_pct": f, "verify_pct": v,
+            }));
+        }
+    }
+    for l in table.render() {
+        report.line(l);
+    }
+    report.line("");
+    report.line("shape check: verification should dominate (>50%) everywhere, and grow with graph size (PDBS > AIDS).");
+    report.json = serde_json::Value::Array(json);
+    report
+}
+
+/// Figs. 2/3: candidates, answers, false positives.
+pub fn filtering_power(kind: DatasetKind, opts: &ExpOptions) -> Report {
+    let fig = match kind {
+        DatasetKind::Aids => ("fig02_candidates_aids", "Fig. 2: Avg Candidates / Answers / False Positives (AIDS)"),
+        DatasetKind::Pdbs => ("fig03_candidates_pdbs", "Fig. 3: Avg Candidates / Answers / False Positives (PDBS)"),
+        _ => ("figXX_candidates", "Avg Candidates / Answers / False Positives"),
+    };
+    let mut report = Report::new(fig.0, fig.1);
+    report.line(format!("scale={} seed={:#x} (uni-uni workload)", opts.scale, opts.seed));
+    let mut table =
+        Table::new(["method", "avg candidates", "avg answers", "avg false positives", "FP ratio %"]);
+    let mut json = Vec::new();
+    for (name, agg) in baseline_profile(kind, opts) {
+        let fp_ratio = if agg.avg_candidates() > 0.0 {
+            100.0 * agg.avg_false_positives() / agg.avg_candidates()
+        } else {
+            0.0
+        };
+        table.row([
+            name.clone(),
+            format!("{:.1}", agg.avg_candidates()),
+            format!("{:.1}", agg.avg_answers()),
+            format!("{:.1}", agg.avg_false_positives()),
+            format!("{fp_ratio:.1}"),
+        ]);
+        json.push(serde_json::json!({
+            "method": name,
+            "avg_candidates": agg.avg_candidates(),
+            "avg_answers": agg.avg_answers(),
+            "avg_false_positives": agg.avg_false_positives(),
+        }));
+    }
+    for l in table.render() {
+        report.line(l);
+    }
+    report.line("");
+    report.line("shape check: all methods share the same answer column; false positives differ by method and dataset.");
+    report.json = serde_json::Value::Array(json);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpOptions {
+        ExpOptions { scale: 0.004, threads: 2, ..Default::default() }
+    }
+
+    #[test]
+    fn breakdown_runs() {
+        let r = time_breakdown(&tiny());
+        assert!(r.lines.iter().any(|l| l.contains("GGSX")));
+        assert!(r.lines.iter().any(|l| l.contains("PDBS")));
+    }
+
+    #[test]
+    fn filtering_power_answers_are_method_independent() {
+        let profiles = baseline_profile(DatasetKind::Aids, &tiny());
+        let answers: Vec<u64> = profiles.iter().map(|(_, a)| a.answers).collect();
+        assert!(answers.windows(2).all(|w| w[0] == w[1]), "answers {answers:?}");
+        // Candidates always at least answers (no false negatives).
+        for (name, agg) in &profiles {
+            assert!(agg.candidates >= agg.answers, "{name}");
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Figure 14: query-time speedup vs cache size on PDBS with Grapes(6) —
+//! C ∈ {500, 1000, 1500} with W ∈ {100, 200, 300} and a 5,000-query
+//! workload.
+
+use crate::cli::ExpOptions;
+use crate::harness::{run_paired, MethodKind, PairedRun};
+use crate::report::{fmt_speedup, Report, Table};
+use igq_workload::{DatasetKind, QueryWorkloadSpec, DEFAULT_ALPHA};
+
+/// The paper's `(C, W)` pairs.
+pub const CACHE_WINDOWS: [(usize, usize); 3] = [(500, 100), (1_000, 200), (1_500, 300)];
+
+/// Runs the sweep: each `(C, W)` across the four workloads.
+pub fn sweep(opts: &ExpOptions) -> Vec<(usize, Vec<(String, PairedRun)>)> {
+    CACHE_WINDOWS
+        .iter()
+        .map(|&(paper_c, paper_w)| {
+            let runs = QueryWorkloadSpec::all_four(DEFAULT_ALPHA, 5_000, opts.seed)
+                .into_iter()
+                .map(|(label, spec)| {
+                    let s = super::setup(DatasetKind::Pdbs, opts, &spec, paper_c, paper_w);
+                    let config = super::igq_config(&s);
+                    let run = run_paired(
+                        &s.store,
+                        MethodKind::GrapesN(opts.threads),
+                        &s.queries,
+                        config,
+                        s.warmup,
+                    );
+                    (label, run)
+                })
+                .collect();
+            (paper_c, runs)
+        })
+        .collect()
+}
+
+/// Renders Fig. 14.
+pub fn render(opts: &ExpOptions) -> Report {
+    let mut report = Report::new(
+        "fig14_time_speedup_cache",
+        "Fig. 14: Query-Time Speedup vs Cache Size (PDBS, Grapes(6), 5000 queries)",
+    );
+    report.line(format!("scale={} seed={:#x}", opts.scale, opts.seed));
+    let mut table = Table::new(["cache C", "uni-uni", "uni-zipf", "zipf-uni", "zipf-zipf"]);
+    let mut json = Vec::new();
+    for (paper_c, runs) in sweep(opts) {
+        let mut row = vec![paper_c.to_string()];
+        for (label, run) in &runs {
+            row.push(fmt_speedup(run.time_speedup()));
+            json.push(serde_json::json!({
+                "cache": paper_c, "workload": label,
+                "time_speedup": run.time_speedup(),
+                "iso_speedup": run.iso_speedup(),
+            }));
+        }
+        table.row(row);
+    }
+    for l in table.render() {
+        report.line(l);
+    }
+    report.line("");
+    report.line("shape check: larger caches prune more of the expensive large-graph tests, so speedups grow with C.");
+    report.json = serde_json::Value::Array(json);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igq_workload::DEFAULT_ALPHA;
+
+    #[test]
+    fn cache_window_pairs_match_paper() {
+        assert_eq!(CACHE_WINDOWS, [(500, 100), (1_000, 200), (1_500, 300)]);
+    }
+
+    #[test]
+    fn single_cell_runs_soundly() {
+        // One (C, W) cell at minimal scale — the full sweep runs via the
+        // fig14 binary and run_all.
+        let opts = ExpOptions { scale: 0.004, threads: 2, ..Default::default() };
+        let spec = QueryWorkloadSpec::named(true, true, DEFAULT_ALPHA, 300, opts.seed);
+        let s = crate::experiments::setup(DatasetKind::Pdbs, &opts, &spec, 500, 100);
+        let config = crate::experiments::igq_config(&s);
+        let run = run_paired(&s.store, MethodKind::GrapesN(2), &s.queries, config, s.warmup);
+        assert_eq!(run.baseline.answers, run.igq.answers);
+        assert!(run.igq.iso_tests <= run.baseline.iso_tests);
+    }
+}

@@ -1,0 +1,144 @@
+//! Figures 7/8 (iso-test speedup) and 12/13 (query-time speedup):
+//! 4 workloads × 4 methods on AIDS and PDBS.
+
+use crate::cli::ExpOptions;
+use crate::harness::{run_paired, MethodKind, PairedRun};
+use crate::report::{fmt_speedup, Report, Table};
+use igq_core::IgqConfig;
+use igq_workload::{DatasetKind, QueryWorkloadSpec, DEFAULT_ALPHA};
+
+/// The full 4×4 paired-run matrix for one dataset.
+pub fn speedup_matrix(kind: DatasetKind, opts: &ExpOptions) -> Vec<(String, Vec<PairedRun>)> {
+    let paper_queries = match kind {
+        DatasetKind::Aids | DatasetKind::Pdbs => 3_000,
+        _ => 500,
+    };
+    QueryWorkloadSpec::all_four(DEFAULT_ALPHA, paper_queries, opts.seed)
+        .into_iter()
+        .map(|(label, spec)| {
+            let s = super::setup(kind, opts, &spec, 500, 100);
+            let config: IgqConfig = super::igq_config(&s);
+            let runs = MethodKind::paper_lineup(opts.threads)
+                .into_iter()
+                .map(|mk| run_paired(&s.store, mk, &s.queries, config, s.warmup))
+                .collect();
+            (label, runs)
+        })
+        .collect()
+}
+
+/// Renders one matrix into the iso-test (Figs. 7/8) or time (Figs. 12/13)
+/// view.
+pub fn render(
+    id: &str,
+    title: &str,
+    kind: DatasetKind,
+    opts: &ExpOptions,
+    matrix: &[(String, Vec<PairedRun>)],
+    time_view: bool,
+) -> Report {
+    let mut report = Report::new(id, title);
+    report.line(format!(
+        "scale={} seed={:#x} dataset={} (C=500·scale, W=100·scale)",
+        opts.scale,
+        opts.seed,
+        kind.name()
+    ));
+    let mut header = vec!["workload".to_owned()];
+    if let Some((_, runs)) = matrix.first() {
+        header.extend(runs.iter().map(|r| r.method.clone()));
+    }
+    let mut table = Table::new(header);
+    let mut json = Vec::new();
+    for (label, runs) in matrix {
+        let mut row = vec![label.clone()];
+        for run in runs {
+            let speedup = if time_view { run.time_speedup() } else { run.iso_speedup() };
+            row.push(fmt_speedup(speedup));
+            json.push(serde_json::json!({
+                "workload": label,
+                "method": run.method,
+                "iso_speedup": run.iso_speedup(),
+                "time_speedup": run.time_speedup(),
+                "baseline_avg_iso_tests": run.baseline.avg_iso_tests(),
+                "igq_avg_iso_tests": run.igq.avg_iso_tests(),
+                "exact_hits": run.extras.exact_hits,
+                "empty_shortcuts": run.extras.empty_shortcuts,
+            }));
+        }
+        table.row(row);
+    }
+    for l in table.render() {
+        report.line(l);
+    }
+    report.line("");
+    if time_view {
+        report.line("shape check: >1x everywhere; smaller than the iso-test speedups (Figs. 7/8) because unpruned large graphs dominate cost.");
+    } else {
+        report.line("shape check: paper reports 5x-11x at full scale; skewed workloads (zipf graph pick) should beat uni-uni.");
+    }
+    report.json = serde_json::Value::Array(json);
+    report
+}
+
+/// Fig. 7 / Fig. 8 entry point.
+pub fn iso_speedup(kind: DatasetKind, opts: &ExpOptions) -> Report {
+    let matrix = speedup_matrix(kind, opts);
+    let (id, title) = match kind {
+        DatasetKind::Aids => ("fig07_iso_speedup_aids", "Fig. 7: Speedup in #Subgraph Isomorphism Tests (AIDS)"),
+        _ => ("fig08_iso_speedup_pdbs", "Fig. 8: Speedup in #Subgraph Isomorphism Tests (PDBS)"),
+    };
+    render(id, title, kind, opts, &matrix, false)
+}
+
+/// Fig. 12 / Fig. 13 entry point.
+pub fn time_speedup(kind: DatasetKind, opts: &ExpOptions) -> Report {
+    let matrix = speedup_matrix(kind, opts);
+    let (id, title) = match kind {
+        DatasetKind::Aids => ("fig12_time_speedup_aids", "Fig. 12: Speedup in Query Processing Time (AIDS)"),
+        _ => ("fig13_time_speedup_pdbs", "Fig. 13: Speedup in Query Processing Time (PDBS)"),
+    };
+    render(id, title, kind, opts, &matrix, true)
+}
+
+/// Renders both views from one matrix (used by `run_all`).
+pub fn both_views(kind: DatasetKind, opts: &ExpOptions) -> (Report, Report) {
+    let matrix = speedup_matrix(kind, opts);
+    let (iso_id, iso_title, t_id, t_title) = match kind {
+        DatasetKind::Aids => (
+            "fig07_iso_speedup_aids",
+            "Fig. 7: Speedup in #Subgraph Isomorphism Tests (AIDS)",
+            "fig12_time_speedup_aids",
+            "Fig. 12: Speedup in Query Processing Time (AIDS)",
+        ),
+        _ => (
+            "fig08_iso_speedup_pdbs",
+            "Fig. 8: Speedup in #Subgraph Isomorphism Tests (PDBS)",
+            "fig13_time_speedup_pdbs",
+            "Fig. 13: Speedup in Query Processing Time (PDBS)",
+        ),
+    };
+    (
+        render(iso_id, iso_title, kind, opts, &matrix, false),
+        render(t_id, t_title, kind, opts, &matrix, true),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_matrix_is_complete_and_sound() {
+        let opts = ExpOptions { scale: 0.004, threads: 2, ..Default::default() };
+        let matrix = speedup_matrix(DatasetKind::Aids, &opts);
+        assert_eq!(matrix.len(), 4);
+        for (label, runs) in &matrix {
+            assert_eq!(runs.len(), 4, "{label}");
+            for run in runs {
+                assert!(run.iso_speedup() >= 1.0, "{label}/{} {}", run.method, run.iso_speedup());
+                assert_eq!(run.baseline.answers, run.igq.answers, "{label}/{}", run.method);
+            }
+        }
+    }
+}

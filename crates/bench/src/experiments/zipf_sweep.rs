@@ -1,0 +1,85 @@
+//! Figures 9 and 15: effect of the Zipf skew α on PDBS with Grapes(6).
+
+use crate::cli::ExpOptions;
+use crate::harness::{run_paired, MethodKind, PairedRun};
+use crate::report::{fmt_speedup, Report, Table};
+use igq_workload::{DatasetKind, QueryWorkloadSpec};
+
+/// The paper's α sweep.
+pub const ALPHAS: [f64; 3] = [1.1, 1.4, 2.0];
+
+/// Zipf-involving workload shapes: (graph_zipf, node_zipf, label).
+const SHAPES: [(bool, bool, &str); 3] =
+    [(false, true, "uni-zipf"), (true, false, "zipf-uni"), (true, true, "zipf-zipf")];
+
+/// Runs the α sweep: one paired run per (α, zipf workload).
+pub fn sweep(opts: &ExpOptions) -> Vec<(f64, Vec<(String, PairedRun)>)> {
+    ALPHAS
+        .iter()
+        .map(|&alpha| {
+            let runs = SHAPES
+                .iter()
+                .map(|&(g, n, label)| {
+                    let spec = QueryWorkloadSpec::named(g, n, alpha, 3_000, opts.seed);
+                    let s = super::setup(DatasetKind::Pdbs, opts, &spec, 500, 100);
+                    let config = super::igq_config(&s);
+                    let run = run_paired(
+                        &s.store,
+                        MethodKind::GrapesN(opts.threads),
+                        &s.queries,
+                        config,
+                        s.warmup,
+                    );
+                    (label.to_owned(), run)
+                })
+                .collect();
+            (alpha, runs)
+        })
+        .collect()
+}
+
+/// Renders the sweep in the iso (Fig. 9) or time (Fig. 15) view.
+pub fn render(opts: &ExpOptions, time_view: bool) -> Report {
+    let (id, title) = if time_view {
+        ("fig15_time_speedup_zipf", "Fig. 15: Query-Time Speedup vs Zipf Skew α (PDBS, Grapes(6))")
+    } else {
+        ("fig09_iso_speedup_zipf", "Fig. 9: Iso-Test Speedup vs Zipf Skew α (PDBS, Grapes(6))")
+    };
+    let mut report = Report::new(id, title);
+    report.line(format!("scale={} seed={:#x}", opts.scale, opts.seed));
+    let mut table = Table::new(["alpha", "uni-zipf", "zipf-uni", "zipf-zipf"]);
+    let mut json = Vec::new();
+    for (alpha, runs) in sweep(opts) {
+        let mut row = vec![format!("{alpha}")];
+        for (label, run) in &runs {
+            let speedup = if time_view { run.time_speedup() } else { run.iso_speedup() };
+            row.push(fmt_speedup(speedup));
+            json.push(serde_json::json!({
+                "alpha": alpha, "workload": label,
+                "iso_speedup": run.iso_speedup(),
+                "time_speedup": run.time_speedup(),
+            }));
+        }
+        table.row(row);
+    }
+    for l in table.render() {
+        report.line(l);
+    }
+    report.line("");
+    report.line("shape check: speedups rise with α (more skew = more sub/supergraph reuse).");
+    report.json = serde_json::Value::Array(json);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_shape() {
+        let opts = ExpOptions { scale: 0.01, threads: 2, ..Default::default() };
+        let s = sweep(&opts);
+        assert_eq!(s.len(), 3);
+        assert!(s.iter().all(|(_, runs)| runs.len() == 3));
+    }
+}

@@ -1,0 +1,400 @@
+//! The paired baseline-vs-iGQ experiment harness.
+//!
+//! Every speedup figure in the paper compares a base method `M` against
+//! `iGQ M` on the *same* dataset and query stream, reporting the ratio of
+//! average per-query iso tests (Figs. 7–11) or wall-clock (Figs. 12–17).
+//! [`run_paired`] reproduces that protocol: the first `W` queries warm the
+//! iGQ index and are excluded from measurement on both sides, exactly as in
+//! Section 7.1.
+
+use igq_core::{IgqConfig, IgqEngine, Resolution};
+use igq_graph::{Graph, GraphStore};
+use igq_iso::MatchConfig;
+use igq_methods::{
+    CtIndex, CtIndexConfig, GCode, GCodeConfig, Ggsx, GgsxConfig, Grapes, GrapesConfig,
+    SubgraphMethod,
+};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which base method to wrap — the paper's four method columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MethodKind {
+    /// GraphGrepSX.
+    Ggsx,
+    /// Grapes with 1 thread.
+    Grapes1,
+    /// Grapes with `threads` threads (6 in the paper).
+    GrapesN(usize),
+    /// CT-Index.
+    CtIndex,
+    /// gCode-style vertex-signature method (extension; [53] in the paper's
+    /// related work, not part of the paper's own lineup).
+    GCode,
+}
+
+impl MethodKind {
+    /// The figures' method order.
+    pub fn paper_lineup(threads: usize) -> Vec<MethodKind> {
+        vec![MethodKind::Ggsx, MethodKind::Grapes1, MethodKind::GrapesN(threads), MethodKind::CtIndex]
+    }
+
+    /// The paper lineup plus the extension methods this library adds.
+    pub fn extended_lineup(threads: usize) -> Vec<MethodKind> {
+        let mut lineup = Self::paper_lineup(threads);
+        lineup.push(MethodKind::GCode);
+        lineup
+    }
+
+    /// Display name.
+    pub fn name(&self) -> String {
+        match self {
+            MethodKind::Ggsx => "GGSX".to_owned(),
+            MethodKind::Grapes1 => "Grapes".to_owned(),
+            MethodKind::GrapesN(t) => format!("Grapes({t})"),
+            MethodKind::CtIndex => "CT-Index".to_owned(),
+            MethodKind::GCode => "gCode".to_owned(),
+        }
+    }
+
+    /// Builds the method over `store`. A generous state budget guards
+    /// against pathological iso tests without affecting realistic ones.
+    pub fn build(&self, store: &Arc<GraphStore>) -> Box<dyn SubgraphMethod> {
+        let match_config = MatchConfig::with_budget(200_000_000);
+        match self {
+            MethodKind::Ggsx => {
+                Box::new(Ggsx::build(store, GgsxConfig { match_config, ..Default::default() }))
+            }
+            MethodKind::Grapes1 => Box::new(Grapes::build(
+                store,
+                GrapesConfig { threads: 1, match_config, ..Default::default() },
+            )),
+            MethodKind::GrapesN(t) => Box::new(Grapes::build(
+                store,
+                GrapesConfig { threads: *t, match_config, ..Default::default() },
+            )),
+            MethodKind::CtIndex => Box::new(CtIndex::build(
+                store,
+                CtIndexConfig { match_config, ..Default::default() },
+            )),
+            MethodKind::GCode => Box::new(GCode::build(
+                store,
+                GCodeConfig { match_config, ..Default::default() },
+            )),
+        }
+    }
+}
+
+/// Per-query-size aggregation bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GroupAgg {
+    /// Queries in this bucket.
+    pub queries: u64,
+    /// DB iso tests.
+    pub iso_tests: u64,
+    /// Total wall-clock.
+    pub time: Duration,
+}
+
+/// Aggregates of one (baseline or iGQ) run over the measured queries.
+#[derive(Debug, Clone, Default)]
+pub struct AggStats {
+    /// Measured queries.
+    pub queries: u64,
+    /// Total DB iso tests.
+    pub iso_tests: u64,
+    /// Total filter time.
+    pub filter_time: Duration,
+    /// Total verify time.
+    pub verify_time: Duration,
+    /// Total end-to-end time.
+    pub total_time: Duration,
+    /// Sum of candidate-set sizes.
+    pub candidates: u64,
+    /// Sum of answer-set sizes.
+    pub answers: u64,
+    /// Per query-size buckets (keyed by target edge count).
+    pub groups: BTreeMap<usize, GroupAgg>,
+}
+
+impl AggStats {
+    /// Average iso tests per query.
+    pub fn avg_iso_tests(&self) -> f64 {
+        if self.queries == 0 { 0.0 } else { self.iso_tests as f64 / self.queries as f64 }
+    }
+
+    /// Average wall-clock per query.
+    pub fn avg_time(&self) -> Duration {
+        if self.queries == 0 { Duration::ZERO } else { self.total_time / self.queries as u32 }
+    }
+
+    /// Average candidate-set size.
+    pub fn avg_candidates(&self) -> f64 {
+        if self.queries == 0 { 0.0 } else { self.candidates as f64 / self.queries as f64 }
+    }
+
+    /// Average answer-set size.
+    pub fn avg_answers(&self) -> f64 {
+        if self.queries == 0 { 0.0 } else { self.answers as f64 / self.queries as f64 }
+    }
+
+    /// Average false positives per query (candidates − answers).
+    pub fn avg_false_positives(&self) -> f64 {
+        self.avg_candidates() - self.avg_answers()
+    }
+
+    fn bucket(&mut self, size: usize) -> &mut GroupAgg {
+        self.groups.entry(size).or_default()
+    }
+}
+
+/// Extra iGQ-side counters.
+#[derive(Debug, Clone, Default)]
+pub struct IgqExtras {
+    /// Optimal case 1 resolutions.
+    pub exact_hits: u64,
+    /// Optimal case 2 resolutions.
+    pub empty_shortcuts: u64,
+    /// iGQ-internal iso tests.
+    pub igq_iso_tests: u64,
+    /// Cached queries at the end of the run.
+    pub cached_queries: usize,
+    /// iGQ index footprint at the end of the run.
+    pub index_bytes: u64,
+}
+
+/// A paired comparison result.
+#[derive(Debug, Clone)]
+pub struct PairedRun {
+    /// Method display name.
+    pub method: String,
+    /// Baseline aggregates.
+    pub baseline: AggStats,
+    /// iGQ aggregates.
+    pub igq: AggStats,
+    /// iGQ-side extras.
+    pub extras: IgqExtras,
+}
+
+impl PairedRun {
+    /// Speedup in the number of iso tests (baseline / iGQ).
+    pub fn iso_speedup(&self) -> f64 {
+        ratio(self.baseline.avg_iso_tests(), self.igq.avg_iso_tests())
+    }
+
+    /// Speedup in query processing time (baseline / iGQ).
+    pub fn time_speedup(&self) -> f64 {
+        ratio(
+            self.baseline.avg_time().as_secs_f64(),
+            self.igq.avg_time().as_secs_f64(),
+        )
+    }
+
+    /// Per-group iso speedup, keyed by query size.
+    pub fn group_iso_speedups(&self) -> BTreeMap<usize, f64> {
+        self.group_speedups(|g| g.iso_tests as f64)
+    }
+
+    /// Per-group time speedup, keyed by query size.
+    pub fn group_time_speedups(&self) -> BTreeMap<usize, f64> {
+        self.group_speedups(|g| g.time.as_secs_f64())
+    }
+
+    fn group_speedups<F: Fn(&GroupAgg) -> f64>(&self, f: F) -> BTreeMap<usize, f64> {
+        let mut out = BTreeMap::new();
+        for (&size, base) in &self.baseline.groups {
+            if let Some(igq) = self.igq.groups.get(&size) {
+                let b = f(base) / base.queries.max(1) as f64;
+                let i = f(igq) / igq.queries.max(1) as f64;
+                out.insert(size, ratio(b, i));
+            }
+        }
+        out
+    }
+}
+
+/// `a / b` with divide-by-zero mapped to "∞-ish": when iGQ needs zero
+/// tests/time and the baseline needed some, report the baseline count
+/// itself as the speedup floor (a common convention for bar charts).
+pub fn ratio(a: f64, b: f64) -> f64 {
+    if b <= f64::EPSILON {
+        if a <= f64::EPSILON { 1.0 } else { a.max(1.0) }
+    } else {
+        a / b
+    }
+}
+
+/// Runs the baseline (method alone) over `queries[warmup..]`.
+pub fn run_baseline(
+    method: &dyn SubgraphMethod,
+    queries: &[Graph],
+    warmup: usize,
+) -> AggStats {
+    let mut agg = AggStats::default();
+    for (i, q) in queries.iter().enumerate() {
+        let t0 = Instant::now();
+        let filtered = method.filter(q);
+        let filter_time = t0.elapsed();
+        let t1 = Instant::now();
+        let outcomes = method.verify_batch(q, &filtered.context, &filtered.candidates);
+        let verify_time = t1.elapsed();
+        let answers = outcomes.iter().filter(|o| o.contains).count() as u64;
+        if i < warmup {
+            continue;
+        }
+        agg.queries += 1;
+        agg.iso_tests += filtered.candidates.len() as u64;
+        agg.filter_time += filter_time;
+        agg.verify_time += verify_time;
+        agg.total_time += filter_time + verify_time;
+        agg.candidates += filtered.candidates.len() as u64;
+        agg.answers += answers;
+        let b = agg.bucket(bucket_of(q));
+        b.queries += 1;
+        b.iso_tests += filtered.candidates.len() as u64;
+        b.time += filter_time + verify_time;
+    }
+    agg
+}
+
+/// Runs iGQ∘method over the same stream, measuring `queries[warmup..]`.
+/// Consumes the method (the engine owns it).
+pub fn run_igq<M: SubgraphMethod>(
+    method: M,
+    queries: &[Graph],
+    config: IgqConfig,
+    warmup: usize,
+) -> (AggStats, IgqExtras) {
+    let mut engine = IgqEngine::new(method, config);
+    let mut agg = AggStats::default();
+    let mut extras = IgqExtras::default();
+    for (i, q) in queries.iter().enumerate() {
+        let out = engine.query(q);
+        if i + 1 == warmup {
+            // Make the warm-up queries visible to the index immediately,
+            // mirroring the paper's warm-up protocol.
+            engine.flush_window();
+        }
+        if i < warmup {
+            continue;
+        }
+        agg.queries += 1;
+        agg.iso_tests += out.db_iso_tests;
+        agg.filter_time += out.filter_time;
+        agg.verify_time += out.verify_time;
+        agg.total_time += out.total_time();
+        agg.candidates += out.candidates_before as u64;
+        agg.answers += out.answers.len() as u64;
+        let b = agg.bucket(bucket_of(q));
+        b.queries += 1;
+        b.iso_tests += out.db_iso_tests;
+        b.time += out.total_time();
+        extras.igq_iso_tests += out.igq_iso_tests;
+        match out.resolution {
+            Resolution::ExactHit => extras.exact_hits += 1,
+            Resolution::EmptyAnswerShortcut => extras.empty_shortcuts += 1,
+            Resolution::Verified => {}
+        }
+    }
+    extras.cached_queries = engine.cached_queries();
+    extras.index_bytes = engine.igq_index_size_bytes();
+    (agg, extras)
+}
+
+/// Runs the full paired comparison for one method kind.
+pub fn run_paired(
+    store: &Arc<GraphStore>,
+    kind: MethodKind,
+    queries: &[Graph],
+    config: IgqConfig,
+    warmup: usize,
+) -> PairedRun {
+    let method = kind.build(store);
+    let baseline = run_baseline(method.as_ref(), queries, warmup);
+    let (igq, extras) = run_igq(method, queries, config, warmup);
+    PairedRun { method: kind.name(), baseline, igq, extras }
+}
+
+/// Buckets a query by its size: the nearest paper size {4, 8, 12, 16, 20},
+/// ties broken toward the larger bucket.
+pub fn bucket_of(q: &Graph) -> usize {
+    let e = q.edge_count();
+    *igq_workload::PAPER_QUERY_SIZES
+        .iter()
+        .min_by_key(|&&s| ((s as i64 - e as i64).abs(), usize::MAX - s))
+        .expect("nonempty sizes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igq_workload::{DatasetKind, Distribution, QueryGenerator};
+
+    fn tiny_setup() -> (Arc<GraphStore>, Vec<Graph>) {
+        let store = Arc::new(DatasetKind::Aids.generate(60, 3));
+        let queries = QueryGenerator::new(
+            &store,
+            Distribution::Zipf(1.4),
+            Distribution::Zipf(1.4),
+            11,
+        )
+        .take(40);
+        (store, queries)
+    }
+
+    #[test]
+    fn paired_run_has_equal_answers_and_fewer_tests() {
+        let (store, queries) = tiny_setup();
+        let run = run_paired(
+            &store,
+            MethodKind::Ggsx,
+            &queries,
+            IgqConfig { cache_capacity: 30, window: 5, ..Default::default() },
+            10,
+        );
+        assert_eq!(run.baseline.queries, run.igq.queries);
+        // iGQ must never answer differently...
+        assert_eq!(run.baseline.answers, run.igq.answers);
+        // ...and never test more than the baseline.
+        assert!(run.igq.iso_tests <= run.baseline.iso_tests);
+        assert!(run.iso_speedup() >= 1.0);
+    }
+
+    #[test]
+    fn ratio_edge_cases() {
+        assert_eq!(ratio(0.0, 0.0), 1.0);
+        assert_eq!(ratio(10.0, 0.0), 10.0);
+        assert!((ratio(10.0, 5.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_mapping() {
+        use igq_graph::graph_from;
+        let q3 = graph_from(&[0; 4], &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(bucket_of(&q3), 4);
+        let q18 = graph_from(
+            &[0; 19],
+            &(0..18).map(|i| (i, i + 1)).collect::<Vec<_>>(),
+        );
+        assert_eq!(bucket_of(&q18), 20);
+    }
+
+    #[test]
+    fn method_kinds_build_and_answer_identically() {
+        let (store, queries) = tiny_setup();
+        let mut answer_sets: Vec<Vec<u64>> = Vec::new();
+        for kind in [MethodKind::Ggsx, MethodKind::Grapes1, MethodKind::CtIndex, MethodKind::GCode] {
+            let m = kind.build(&store);
+            let answers: Vec<u64> = queries
+                .iter()
+                .take(5)
+                .map(|q| m.query(q).0.len() as u64)
+                .collect();
+            answer_sets.push(answers);
+        }
+        for other in &answer_sets[1..] {
+            assert_eq!(&answer_sets[0], other);
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Subcommand implementations for the `igq` CLI.
+
+use igq_core::{IgqConfig, IgqEngine, IgqSuperEngine};
+use igq_features::PathConfig;
+use igq_graph::stats::DatasetStats;
+use igq_graph::{io, GraphStore};
+use igq_iso::MatchConfig;
+use igq_methods::{
+    CtIndex, CtIndexConfig, GCode, GCodeConfig, Ggsx, GgsxConfig, Grapes, GrapesConfig,
+    SubgraphMethod, TrieSupergraphMethod,
+};
+use igq_workload::DatasetKind;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::sync::Arc;
+use std::time::Instant;
+
+type CmdResult = Result<(), String>;
+
+/// Parses `--flag value` pairs plus positional arguments.
+fn parse_flags(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
+    let mut flags = HashMap::new();
+    let mut positional = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let takes_value = it.peek().map(|v| !v.starts_with("--")).unwrap_or(false);
+            if takes_value {
+                flags.insert(name.to_owned(), it.next().expect("peeked").clone());
+            } else {
+                flags.insert(name.to_owned(), String::from("true"));
+            }
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    (flags, positional)
+}
+
+fn load_store(path: &str) -> Result<GraphStore, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    io::read_store(BufReader::new(file)).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+/// `igq generate`: synthesize a dataset and write it as GFU text.
+pub fn generate(args: &[String]) -> CmdResult {
+    let (flags, _) = parse_flags(args);
+    let kind = match flags.get("kind").map(String::as_str) {
+        Some("aids") => DatasetKind::Aids,
+        Some("pdbs") => DatasetKind::Pdbs,
+        Some("ppi") => DatasetKind::Ppi,
+        Some("synthetic") => DatasetKind::Synthetic,
+        other => return Err(format!("--kind must be aids|pdbs|ppi|synthetic, got {other:?}")),
+    };
+    let count: usize = flags
+        .get("count")
+        .ok_or("--count is required")?
+        .parse()
+        .map_err(|_| "--count expects an integer")?;
+    let seed: u64 = flags.get("seed").map(|s| s.parse()).transpose().map_err(|_| "--seed expects a u64")?.unwrap_or(42);
+    let out = flags.get("out").ok_or("--out is required")?;
+
+    let t = Instant::now();
+    let store = kind.generate(count, seed);
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    io::write_store(&mut w, &store).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} {} graphs ({} vertices, {} edges) to {out} in {:.2?}",
+        store.len(),
+        kind.name(),
+        store.total_vertices(),
+        store.total_edges(),
+        t.elapsed()
+    );
+    Ok(())
+}
+
+/// `igq stats`: Table 1-style dataset summary.
+pub fn stats(args: &[String]) -> CmdResult {
+    let (_, positional) = parse_flags(args);
+    let path = positional.first().ok_or("usage: igq stats <dataset.gfu>")?;
+    let store = load_store(path)?;
+    let s = DatasetStats::of(&store);
+    println!("{}", s.table_row(path));
+    Ok(())
+}
+
+fn build_method(
+    name: &str,
+    store: &Arc<GraphStore>,
+) -> Result<Box<dyn SubgraphMethod>, String> {
+    let match_config = MatchConfig::with_budget(200_000_000);
+    Ok(match name {
+        "ggsx" => Box::new(Ggsx::build(store, GgsxConfig { match_config, ..Default::default() })),
+        "grapes" => Box::new(Grapes::build(
+            store,
+            GrapesConfig { threads: 1, match_config, ..Default::default() },
+        )),
+        "grapes6" => Box::new(Grapes::build(
+            store,
+            GrapesConfig { threads: 6, match_config, ..Default::default() },
+        )),
+        "ctindex" => {
+            Box::new(CtIndex::build(store, CtIndexConfig { match_config, ..Default::default() }))
+        }
+        "gcode" => {
+            Box::new(GCode::build(store, GCodeConfig { match_config, ..Default::default() }))
+        }
+        other => return Err(format!("unknown method {other:?}")),
+    })
+}
+
+/// `igq query`: run a query file against a dataset.
+pub fn query(args: &[String]) -> CmdResult {
+    let (flags, _) = parse_flags(args);
+    let dataset_path = flags.get("dataset").ok_or("--dataset is required")?;
+    let queries_path = flags.get("queries").ok_or("--queries is required")?;
+    let method_name = flags.get("method").map(String::as_str).unwrap_or("ggsx");
+    let use_igq = !flags.contains_key("no-igq");
+    let verbose = flags.contains_key("verbose");
+    let cache: usize = flags.get("cache").map(|s| s.parse()).transpose().map_err(|_| "--cache expects an integer")?.unwrap_or(500);
+    let window: usize = flags.get("window").map(|s| s.parse()).transpose().map_err(|_| "--window expects an integer")?.unwrap_or(100);
+    let supergraph = flags.contains_key("supergraph");
+
+    let store = Arc::new(load_store(dataset_path)?);
+    let queries = load_store(queries_path)?;
+    println!(
+        "dataset: {} graphs; queries: {}; method: {method_name}; iGQ: {}",
+        store.len(),
+        queries.len(),
+        if use_igq { "on" } else { "off" }
+    );
+
+    let t_index = Instant::now();
+    let config = IgqConfig { cache_capacity: cache, window, ..Default::default() }.normalized();
+    let mut total_answers = 0usize;
+    let mut total_tests = 0u64;
+    let t_queries;
+
+    if supergraph {
+        let method =
+            TrieSupergraphMethod::build(&store, PathConfig::default(), MatchConfig::default());
+        println!("index built in {:.2?}", t_index.elapsed());
+        t_queries = Instant::now();
+        if use_igq {
+            let mut engine = IgqSuperEngine::new(method, config);
+            for (qid, q) in queries.iter() {
+                let out = engine.query(q);
+                total_answers += out.answers.len();
+                total_tests += out.db_iso_tests;
+                if verbose {
+                    println!("q{qid}: {} contained graphs, {} tests", out.answers.len(), out.db_iso_tests);
+                }
+            }
+        } else {
+            for (qid, q) in queries.iter() {
+                let (answers, tests) = method.query_super(q);
+                total_answers += answers.len();
+                total_tests += tests;
+                if verbose {
+                    println!("q{qid}: {} contained graphs, {tests} tests", answers.len());
+                }
+            }
+        }
+    } else {
+        let method = build_method(method_name, &store)?;
+        println!(
+            "index built in {:.2?} ({:.2} MB)",
+            t_index.elapsed(),
+            method.index_size_bytes() as f64 / 1048576.0
+        );
+        t_queries = Instant::now();
+        if use_igq {
+            let mut engine = IgqEngine::new(method, config);
+            for (qid, q) in queries.iter() {
+                let out = engine.query(q);
+                total_answers += out.answers.len();
+                total_tests += out.db_iso_tests;
+                if verbose {
+                    println!(
+                        "q{qid}: {} answers, {} tests ({:?})",
+                        out.answers.len(),
+                        out.db_iso_tests,
+                        out.resolution
+                    );
+                }
+            }
+            let s = engine.stats();
+            println!(
+                "iGQ: {} exact hits, {} empty shortcuts, {} cached, pruned {}+{}",
+                s.exact_hits,
+                s.empty_shortcuts,
+                engine.cached_queries(),
+                s.pruned_by_isub,
+                s.pruned_by_isuper
+            );
+        } else {
+            for (qid, q) in queries.iter() {
+                let (answers, tests) = method.query(q);
+                total_answers += answers.len();
+                total_tests += tests;
+                if verbose {
+                    println!("q{qid}: {} answers, {tests} tests", answers.len());
+                }
+            }
+        }
+    }
+
+    println!(
+        "{} queries in {:.2?}: {} total answers, {} iso tests",
+        queries.len(),
+        t_queries.elapsed(),
+        total_answers,
+        total_tests
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let (flags, pos) = parse_flags(&s(&["--kind", "aids", "file.gfu", "--verbose"]));
+        assert_eq!(flags.get("kind").unwrap(), "aids");
+        assert_eq!(flags.get("verbose").unwrap(), "true");
+        assert_eq!(pos, vec!["file.gfu"]);
+    }
+
+    #[test]
+    fn generate_stats_query_roundtrip() {
+        let dir = std::env::temp_dir().join("igq_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let db = dir.join("db.gfu");
+        let qf = dir.join("q.gfu");
+        generate(&s(&["--kind", "aids", "--count", "30", "--seed", "7", "--out", db.to_str().unwrap()]))
+            .unwrap();
+        // Queries: reuse a few dataset graphs' fragments via generate again.
+        generate(&s(&["--kind", "aids", "--count", "3", "--seed", "7", "--out", qf.to_str().unwrap()]))
+            .unwrap();
+        stats(&s(&[db.to_str().unwrap()])).unwrap();
+        query(&s(&[
+            "--dataset", db.to_str().unwrap(),
+            "--queries", qf.to_str().unwrap(),
+            "--method", "ggsx",
+            "--cache", "10",
+            "--window", "2",
+        ]))
+        .unwrap();
+        query(&s(&[
+            "--dataset", db.to_str().unwrap(),
+            "--queries", qf.to_str().unwrap(),
+            "--no-igq",
+        ]))
+        .unwrap();
+        query(&s(&[
+            "--dataset", db.to_str().unwrap(),
+            "--queries", qf.to_str().unwrap(),
+            "--supergraph",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn unknown_method_errors() {
+        let store = Arc::new(DatasetKind::Aids.generate(2, 1));
+        assert!(build_method("nope", &store).is_err());
+    }
+}

@@ -1,0 +1,56 @@
+//! `igq` — command-line front end for the iGQ graph query engine.
+//!
+//! Subcommands:
+//!
+//! ```text
+//! igq generate --kind aids --count 1000 --seed 42 --out db.gfu
+//! igq stats    db.gfu
+//! igq query    --dataset db.gfu --queries q.gfu [--method ggsx|grapes|grapes6|ctindex|gcode]
+//!              [--no-igq] [--cache 500] [--window 100] [--supergraph]
+//! ```
+//!
+//! Datasets and queries are exchanged in the GFU-like text format of
+//! `igq_graph::io` (the format the GraphGrepSX/Grapes distributions use).
+
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => commands::generate(&args[1..]),
+        Some("stats") => commands::stats(&args[1..]),
+        Some("query") => commands::query(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            print_usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "igq — graph query processing with query-graph indexing (EDBT 2016)\n\
+         \n\
+         usage:\n\
+           igq generate --kind <aids|pdbs|ppi|synthetic> --count <n> [--seed <u64>] --out <file>\n\
+           igq stats <dataset.gfu>\n\
+           igq query --dataset <db.gfu> --queries <q.gfu>\n\
+                     [--method <ggsx|grapes|grapes6|ctindex|gcode>] (default ggsx)\n\
+                     [--no-igq]          run the base method alone\n\
+                     [--cache <C>]       iGQ cache size (default 500)\n\
+                     [--window <W>]      iGQ window size (default 100)\n\
+                     [--supergraph]      supergraph semantics (contained graphs)\n\
+                     [--verbose]         per-query output"
+    );
+}

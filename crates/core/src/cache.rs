@@ -1,0 +1,257 @@
+//! The query cache: cached query graphs, their answers, and metadata.
+//!
+//! `Igraphs` in the paper's terminology (Section 5.2): the actual query
+//! graphs live here together with their stored answer sets and the
+//! replacement-policy metadata; `Isub`/`Isuper` are (re)built over this
+//! store during window maintenance.
+
+use crate::metadata::GraphMeta;
+use crate::policy::ReplacementPolicy;
+use igq_graph::canon::{canonical_code, CanonicalCode, GraphSignature};
+use igq_graph::fxhash::FxHashMap;
+use igq_graph::{Graph, GraphId};
+
+/// One cached query.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// The query graph itself.
+    pub graph: Graph,
+    /// WL signature for cheap exact-repeat prefiltering.
+    pub signature: GraphSignature,
+    /// Canonical code when the graph fits the canonicalization budget —
+    /// the exact-repeat fast path key.
+    pub code: Option<CanonicalCode>,
+    /// The stored answer set (sorted dataset graph ids).
+    pub answers: Vec<GraphId>,
+    /// Replacement-policy counters.
+    pub meta: GraphMeta,
+}
+
+impl CacheEntry {
+    fn new(graph: Graph, mut answers: Vec<GraphId>) -> CacheEntry {
+        answers.sort_unstable();
+        answers.dedup();
+        let signature = GraphSignature::of(&graph);
+        let code = canonical_code(&graph);
+        CacheEntry { graph, signature, code, answers, meta: GraphMeta::new() }
+    }
+}
+
+/// Bounded store of cached queries with utility-based replacement.
+#[derive(Debug, Clone, Default)]
+pub struct QueryCache {
+    entries: Vec<CacheEntry>,
+    capacity: usize,
+    policy: ReplacementPolicy,
+    maintenance_round: u64,
+    /// Canonical code → slot, for O(1) exact-repeat lookups. Rebuilt at
+    /// every window maintenance (slots move under `swap_remove`).
+    code_index: FxHashMap<CanonicalCode, usize>,
+}
+
+impl QueryCache {
+    /// An empty cache bounded at `capacity` graphs, using the paper's
+    /// utility replacement policy.
+    pub fn new(capacity: usize) -> QueryCache {
+        Self::with_policy(capacity, ReplacementPolicy::Utility)
+    }
+
+    /// An empty cache with an explicit replacement policy (ablations).
+    pub fn with_policy(capacity: usize, policy: ReplacementPolicy) -> QueryCache {
+        QueryCache {
+            entries: Vec::new(),
+            capacity,
+            policy,
+            maintenance_round: 0,
+            code_index: FxHashMap::default(),
+        }
+    }
+
+    /// The active replacement policy.
+    pub fn policy(&self) -> ReplacementPolicy {
+        self.policy
+    }
+
+    /// Number of cached queries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity `C`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entry at `slot`.
+    pub fn entry(&self, slot: usize) -> &CacheEntry {
+        &self.entries[slot]
+    }
+
+    /// Mutable entry at `slot`.
+    pub fn entry_mut(&mut self, slot: usize) -> &mut CacheEntry {
+        &mut self.entries[slot]
+    }
+
+    /// All entries, slot-ordered.
+    pub fn entries(&self) -> &[CacheEntry] {
+        &self.entries
+    }
+
+    /// Advances every entry's query clock (`M(g) += 1`).
+    pub fn tick_all(&mut self) {
+        for e in &mut self.entries {
+            e.meta.tick();
+        }
+    }
+
+    /// Slots whose signature matches `sig` (exact-repeat candidates; the
+    /// caller confirms with an isomorphism test).
+    pub fn slots_with_signature(&self, sig: &GraphSignature) -> Vec<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.signature == *sig)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The slot caching a graph with this exact canonical code, if any —
+    /// no confirmation test needed (equal codes ⇔ isomorphic).
+    pub fn slot_with_code(&self, code: &CanonicalCode) -> Option<usize> {
+        self.code_index.get(code).copied()
+    }
+
+    /// Window maintenance (Section 5.2): admit `incoming` `(graph, answers)`
+    /// pairs, evicting the lowest-utility residents when over capacity.
+    /// Returns `true` when the contents changed (indexes must be rebuilt).
+    pub fn apply_window(&mut self, incoming: Vec<(Graph, Vec<GraphId>)>) -> bool {
+        if incoming.is_empty() {
+            return false;
+        }
+        self.maintenance_round += 1;
+        let incoming_len = incoming.len().min(self.capacity);
+        let overflow = (self.entries.len() + incoming_len).saturating_sub(self.capacity);
+        if overflow > 0 {
+            let metas: Vec<GraphMeta> = self.entries.iter().map(|e| e.meta).collect();
+            let victims = self.policy.victims(&metas, overflow, self.maintenance_round);
+            // Remove back-to-front so earlier indexes stay valid.
+            for &slot in victims.iter().rev() {
+                self.entries.swap_remove(slot);
+            }
+        }
+        for (graph, answers) in incoming.into_iter().take(incoming_len) {
+            self.entries.push(CacheEntry::new(graph, answers));
+        }
+        debug_assert!(self.entries.len() <= self.capacity);
+        self.code_index = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.code.clone().map(|c| (c, i)))
+            .collect();
+        true
+    }
+
+    /// Approximate heap footprint (the iGQ index-size share of Fig. 18 that
+    /// comes from stored query graphs and answers).
+    pub fn heap_size_bytes(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|e| e.graph.heap_size_bytes() + (e.answers.len() * 4) as u64 + 64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igq_graph::graph_from;
+    use igq_iso::LogValue;
+
+    fn g(seed: u32) -> Graph {
+        graph_from(&[seed, seed + 1], &[(0, 1)])
+    }
+
+    fn ids(raw: &[u32]) -> Vec<GraphId> {
+        raw.iter().map(|&r| GraphId::new(r)).collect()
+    }
+
+    #[test]
+    fn fills_until_capacity_without_eviction() {
+        let mut c = QueryCache::new(3);
+        assert!(c.apply_window(vec![(g(0), ids(&[1])), (g(1), ids(&[2]))]));
+        assert_eq!(c.len(), 2);
+        assert!(c.apply_window(vec![(g(2), ids(&[3]))]));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn evicts_lowest_utility_on_overflow() {
+        let mut c = QueryCache::new(2);
+        c.apply_window(vec![(g(0), ids(&[1])), (g(1), ids(&[2]))]);
+        // Give slot 1 (graph g(1)) high utility.
+        c.entry_mut(1).meta.tick();
+        c.entry_mut(1).meta.record_hit(5, LogValue::from_linear(1e9));
+        c.apply_window(vec![(g(2), ids(&[3]))]);
+        assert_eq!(c.len(), 2);
+        // g(0) (zero utility) must be gone; g(1) survives.
+        let sigs: Vec<_> = c.entries().iter().map(|e| e.signature).collect();
+        assert!(sigs.contains(&GraphSignature::of(&g(1))));
+        assert!(sigs.contains(&GraphSignature::of(&g(2))));
+        assert!(!sigs.contains(&GraphSignature::of(&g(0))));
+    }
+
+    #[test]
+    fn answers_are_sorted_and_deduped() {
+        let mut c = QueryCache::new(1);
+        c.apply_window(vec![(g(0), ids(&[3, 1, 3, 2]))]);
+        assert_eq!(c.entry(0).answers, ids(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn empty_window_is_a_noop() {
+        let mut c = QueryCache::new(2);
+        assert!(!c.apply_window(vec![]));
+    }
+
+    #[test]
+    fn oversized_window_is_truncated_to_capacity() {
+        let mut c = QueryCache::new(2);
+        c.apply_window(vec![
+            (g(0), ids(&[1])),
+            (g(1), ids(&[2])),
+            (g(2), ids(&[3])),
+        ]);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn signature_lookup() {
+        let mut c = QueryCache::new(4);
+        c.apply_window(vec![(g(0), ids(&[1])), (g(5), ids(&[2]))]);
+        let slots = c.slots_with_signature(&GraphSignature::of(&g(5)));
+        assert_eq!(slots.len(), 1);
+        assert_eq!(c.entry(slots[0]).answers, ids(&[2]));
+    }
+
+    #[test]
+    fn tick_all_advances_clocks() {
+        let mut c = QueryCache::new(2);
+        c.apply_window(vec![(g(0), ids(&[1]))]);
+        c.tick_all();
+        c.tick_all();
+        assert_eq!(c.entry(0).meta.queries_seen, 2);
+    }
+
+    #[test]
+    fn heap_size_positive() {
+        let mut c = QueryCache::new(2);
+        c.apply_window(vec![(g(0), ids(&[1]))]);
+        assert!(c.heap_size_bytes() > 0);
+    }
+}

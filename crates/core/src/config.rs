@@ -1,0 +1,97 @@
+//! iGQ engine configuration.
+
+use crate::policy::ReplacementPolicy;
+use igq_features::PathConfig;
+
+/// Tunables of the iGQ engine (paper Sections 5 and 7.1).
+#[derive(Debug, Clone, Copy)]
+pub struct IgqConfig {
+    /// Cache size `C`: maximum number of cached query graphs (paper default
+    /// for AIDS/PDBS experiments: 500).
+    pub cache_capacity: usize,
+    /// Query window size `W ≤ C`: maintenance batch size (paper default:
+    /// 100).
+    pub window: usize,
+    /// Path-feature configuration for the query indexes (`Isub`/`Isuper`).
+    /// Matches the dataset methods' default (≤ 4 edges).
+    pub path_config: PathConfig,
+    /// Label-universe size `L` for the replacement policy's cost model.
+    /// `0` = derive from the dataset at engine construction.
+    pub label_universe: usize,
+    /// Run the two query-index probes on separate threads, as in the
+    /// paper's three-thread pipeline (Fig. 6). With `false` the probes run
+    /// inline, which is usually faster for query-sized graphs but is kept
+    /// switchable for the `igq_overhead` ablation bench.
+    pub parallel_probes: bool,
+    /// Cache-replacement policy (default: the paper's utility policy;
+    /// alternatives exist for the `replacement` ablation bench).
+    pub policy: ReplacementPolicy,
+    /// Detect exact repeats (optimal case 1) via a canonical-code hash map
+    /// before any filtering or index probing. An engineering fast path on
+    /// top of the paper's design: repeats cost one canonicalization instead
+    /// of two index probes with isomorphism tests. Soundness is unaffected
+    /// (equal canonical codes ⇔ isomorphic); symmetric graphs whose
+    /// canonicalization exceeds its budget simply fall back to the probe
+    /// path.
+    pub exact_fastpath: bool,
+}
+
+impl Default for IgqConfig {
+    fn default() -> Self {
+        IgqConfig {
+            cache_capacity: 500,
+            window: 100,
+            path_config: PathConfig::default(),
+            label_universe: 0,
+            parallel_probes: false,
+            policy: ReplacementPolicy::Utility,
+            exact_fastpath: true,
+        }
+    }
+}
+
+impl IgqConfig {
+    /// The paper's dense-dataset configuration (PPI/Synthetic experiments):
+    /// `W = 20`, with the cache size chosen per figure (100/200/300).
+    pub fn dense(cache_capacity: usize) -> Self {
+        IgqConfig { cache_capacity, window: 20, ..Default::default() }
+    }
+
+    /// Validates the `W ≤ C` invariant, clamping the window if needed.
+    pub fn normalized(mut self) -> Self {
+        if self.window == 0 {
+            self.window = 1;
+        }
+        if self.window > self.cache_capacity {
+            self.window = self.cache_capacity.max(1);
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = IgqConfig::default();
+        assert_eq!(c.cache_capacity, 500);
+        assert_eq!(c.window, 100);
+    }
+
+    #[test]
+    fn dense_preset() {
+        let c = IgqConfig::dense(200);
+        assert_eq!(c.cache_capacity, 200);
+        assert_eq!(c.window, 20);
+    }
+
+    #[test]
+    fn normalization_clamps_window() {
+        let c = IgqConfig { cache_capacity: 10, window: 50, ..Default::default() }.normalized();
+        assert_eq!(c.window, 10);
+        let c = IgqConfig { window: 0, ..Default::default() }.normalized();
+        assert_eq!(c.window, 1);
+    }
+}

@@ -1,0 +1,726 @@
+//! The iGQ subgraph-query engine (paper Sections 4.2, 4.3, 5, and Fig. 6).
+//!
+//! [`IgqEngine`] wraps any [`SubgraphMethod`] `M` and runs the full iGQ
+//! pipeline per query `g`:
+//!
+//! 1. `M.filter(g)` produces the candidate set `CS(g)` (no false negatives);
+//! 2. the query indexes are probed: `Isub` yields cached supergraphs of `g`
+//!    (their answers are *known answers*), `Isuper` yields cached subgraphs
+//!    (their answers *bound* the candidates);
+//! 3. optimal cases (Section 4.3): an exact repeat returns the stored
+//!    answer outright; a cached subgraph with an empty answer proves the
+//!    answer empty;
+//! 4. pruning: `CS_igq = (CS \ ∪ Answer(G_sub)) ∩ (∩ Answer(G_super))`
+//!    (formulas (3) and (5));
+//! 5. verification of the survivors via `M.verify_batch`;
+//! 6. the final answer adds back the known answers (formula (4));
+//! 7. bookkeeping: metadata updates (Section 5.1) and window maintenance
+//!    with shadow index rebuild (Section 5.2).
+//!
+//! Correctness (Theorems 1 and 2) is exercised end-to-end by the
+//! integration suite: the engine's answers are compared against the naive
+//! oracle on randomized workloads.
+
+use crate::cache::QueryCache;
+use crate::config::IgqConfig;
+use crate::isub::IsubIndex;
+use crate::isuper::IsuperIndex;
+use crate::outcome::{QueryOutcome, Resolution};
+use crate::stats::EngineStats;
+use igq_graph::canon::{canonical_code, GraphSignature};
+use igq_graph::stats::DatasetStats;
+use igq_graph::{Graph, GraphId};
+use igq_iso::{CostModel, IsoStats, LogValue};
+use igq_methods::{intersect_sorted, subtract_sorted, SubgraphMethod};
+use std::time::Instant;
+
+/// The iGQ engine for subgraph queries.
+pub struct IgqEngine<M: SubgraphMethod> {
+    method: M,
+    config: IgqConfig,
+    cache: QueryCache,
+    isub: IsubIndex,
+    isuper: IsuperIndex,
+    /// `Itemp`: processed-but-not-yet-indexed queries.
+    window: Vec<(Graph, Vec<GraphId>)>,
+    window_signatures: Vec<GraphSignature>,
+    cost_model: CostModel,
+    stats: EngineStats,
+}
+
+impl<M: SubgraphMethod> IgqEngine<M> {
+    /// Wraps `method` with an (initially empty) iGQ cache.
+    pub fn new(method: M, config: IgqConfig) -> IgqEngine<M> {
+        let config = config.normalized();
+        let labels = if config.label_universe > 0 {
+            config.label_universe
+        } else {
+            DatasetStats::of(method.store()).vertex_labels.max(1)
+        };
+        let cache = QueryCache::with_policy(config.cache_capacity, config.policy);
+        let isub = IsubIndex::build(cache.entries(), config.path_config);
+        let isuper = IsuperIndex::build(cache.entries(), config.path_config);
+        IgqEngine {
+            method,
+            config,
+            cache,
+            isub,
+            isuper,
+            window: Vec::new(),
+            window_signatures: Vec::new(),
+            cost_model: CostModel::new(labels),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The wrapped method.
+    pub fn method(&self) -> &M {
+        &self.method
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &IgqConfig {
+        &self.config
+    }
+
+    /// Number of currently cached queries.
+    pub fn cached_queries(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Approximate footprint of iGQ's own structures (query graphs, answer
+    /// sets, and both query indexes) — the iGQ bar of Figure 18.
+    pub fn igq_index_size_bytes(&self) -> u64 {
+        self.cache.heap_size_bytes() + self.isub.heap_size_bytes() + self.isuper.heap_size_bytes()
+    }
+
+    /// Estimated cost (log space) of iso-testing `q` against each graph in
+    /// `ids`.
+    fn cost_of(&mut self, q: &Graph, ids: &[GraphId]) -> LogValue {
+        let n = q.vertex_count();
+        let mut total = LogValue::ZERO;
+        for &id in ids {
+            let ni = self.method.store().get(id).vertex_count();
+            total = total.add(self.cost_model.cost_ln(n, ni));
+        }
+        total
+    }
+
+    /// Processes a subgraph query, returning the exact answer set plus
+    /// accounting (Theorem 1: no false positives, no false negatives).
+    pub fn query(&mut self, q: &Graph) -> QueryOutcome {
+        let wall_start = Instant::now();
+        let mut outcome = QueryOutcome::default();
+
+        // Optimal case 1 fast path: a canonical-code hash lookup detects
+        // exact repeats before any filtering or probing (see
+        // [`IgqConfig::exact_fastpath`]). The probe path below still
+        // catches repeats whose canonicalization exceeded its budget.
+        if self.config.exact_fastpath {
+            if let Some(code) = canonical_code(q) {
+                if let Some(slot) = self.cache.slot_with_code(&code) {
+                    self.cache.tick_all();
+                    let answers = self.cache.entry(slot).answers.clone();
+                    // Credit: without running M's filter the alleviated
+                    // candidate set is unknown; the stored answers are a
+                    // conservative lower bound on it.
+                    let credit = self.cost_of(q, &answers);
+                    self.cache
+                        .entry_mut(slot)
+                        .meta
+                        .record_hit(answers.len() as u64, credit);
+                    outcome.answers = answers;
+                    outcome.resolution = Resolution::ExactHit;
+                    outcome.igq_time = wall_start.elapsed();
+                    outcome.wall_time = wall_start.elapsed();
+                    self.stats.absorb(&outcome);
+                    return outcome;
+                }
+            }
+        }
+
+        // Stage 1+2: base-method filtering and query-index probes —
+        // parallel threads as in Fig. 6 when configured.
+        let t = Instant::now();
+        let (filtered, probes) = if self.config.parallel_probes {
+            self.filter_and_probe_parallel(q)
+        } else {
+            let f_start = Instant::now();
+            let filtered = self.method.filter(q);
+            let filter_time = f_start.elapsed();
+            let p_start = Instant::now();
+            let probes = ProbeResult {
+                sub: self.isub.supergraphs_of(q),
+                sup: self.isuper.subgraphs_of(q),
+                filter_time,
+                probe_time: Instant::now().duration_since(p_start),
+            };
+            (filtered, probes)
+        };
+        let _stage12 = t.elapsed();
+
+        let (sub_slots, sub_stats) = probes.sub;
+        let (super_slots, super_stats) = probes.sup;
+        outcome.filter_time = probes.filter_time;
+        let mut igq_stats = IsoStats::new();
+        igq_stats.merge(&sub_stats);
+        igq_stats.merge(&super_stats);
+        outcome.igq_iso_tests = igq_stats.tests;
+        outcome.isub_hits = sub_slots.len();
+        outcome.isuper_hits = super_slots.len();
+        outcome.candidates_before = filtered.candidates.len();
+
+        let bookkeeping_start = Instant::now();
+        // Every cached entry has now seen one more query.
+        self.cache.tick_all();
+
+        let cs = &filtered.candidates;
+
+        // Optimal case 1: exact repeat — g isomorphic to a cached query.
+        // g ⊆ G (or G ⊆ g) at equal vertex/edge counts is an isomorphism.
+        let exact_slot = sub_slots
+            .iter()
+            .chain(super_slots.iter())
+            .copied()
+            .find(|&s| {
+                let g = &self.cache.entry(s).graph;
+                g.vertex_count() == q.vertex_count() && g.edge_count() == q.edge_count()
+            });
+        if let Some(slot) = exact_slot {
+            outcome.answers = self.cache.entry(slot).answers.clone();
+            outcome.resolution = Resolution::ExactHit;
+            outcome.candidates_after = 0;
+            outcome.pruned_by_isub = cs.len();
+            let credit = self.cost_of(q, cs);
+            self.credit_hits(q, cs, &sub_slots, &super_slots, Some((slot, credit)));
+            outcome.igq_time = probes.probe_time + bookkeeping_start.elapsed();
+            outcome.wall_time = wall_start.elapsed();
+            self.stats.absorb(&outcome);
+            return outcome;
+        }
+
+        // Optimal case 2: a cached subgraph with an empty answer set proves
+        // Answer(g) = ∅ (Section 4.3).
+        if let Some(&slot) = super_slots.iter().find(|&&s| self.cache.entry(s).answers.is_empty()) {
+            outcome.answers = Vec::new();
+            outcome.resolution = Resolution::EmptyAnswerShortcut;
+            outcome.candidates_after = 0;
+            outcome.pruned_by_isuper = cs.len();
+            let credit = self.cost_of(q, cs);
+            self.credit_hits(q, cs, &sub_slots, &super_slots, Some((slot, credit)));
+            // An empty-answer query is prime cache material.
+            self.enqueue(q, &[]);
+            outcome.igq_time = probes.probe_time + bookkeeping_start.elapsed();
+            let maintained = self.maybe_maintain();
+            if maintained {
+                outcome.igq_time += bookkeeping_start.elapsed();
+            }
+            outcome.wall_time = wall_start.elapsed();
+            self.stats.absorb(&outcome);
+            return outcome;
+        }
+
+        // Formula (3): known answers via the subgraph path.
+        let mut known_answers: Vec<GraphId> = Vec::new();
+        for &s in &sub_slots {
+            known_answers.extend_from_slice(&self.cache.entry(s).answers);
+        }
+        known_answers.sort_unstable();
+        known_answers.dedup();
+        let known_in_cs = intersect_sorted(cs, &known_answers);
+        let mut pruned = subtract_sorted(cs, &known_answers);
+        outcome.pruned_by_isub = cs.len() - pruned.len();
+
+        // Formula (5): candidates must appear in every Isuper hit's answers.
+        let before_super = pruned.len();
+        for &s in &super_slots {
+            pruned = intersect_sorted(&pruned, &self.cache.entry(s).answers);
+            if pruned.is_empty() {
+                break;
+            }
+        }
+        outcome.pruned_by_isuper = before_super - pruned.len();
+        outcome.candidates_after = pruned.len();
+
+        // Metadata credit for every hit.
+        self.credit_hits(q, cs, &sub_slots, &super_slots, None);
+        outcome.igq_time = probes.probe_time + bookkeeping_start.elapsed();
+
+        // Verification of the surviving candidates.
+        let verify_start = Instant::now();
+        let results = self.method.verify_batch(q, &filtered.context, &pruned);
+        outcome.db_iso_tests = pruned.len() as u64;
+        outcome.aborted_tests = results.iter().filter(|r| r.aborted).count() as u64;
+        let mut answers: Vec<GraphId> = pruned
+            .iter()
+            .zip(results.iter())
+            .filter(|(_, r)| r.contains)
+            .map(|(&id, _)| id)
+            .collect();
+        outcome.verify_time = verify_start.elapsed();
+
+        // Formula (4): add back the known answers.
+        answers.extend_from_slice(&known_in_cs);
+        answers.sort_unstable();
+        answers.dedup();
+        outcome.answers = answers;
+
+        // Window admission and maintenance. A query whose verification hit
+        // the abort budget has a possibly-incomplete answer set: caching it
+        // would let formulas (3)–(5) turn one bounded verification into
+        // wrong answers for *future* queries, so it is never admitted.
+        let maint_start = Instant::now();
+        if outcome.aborted_tests == 0 {
+            self.enqueue(q, &outcome.answers);
+        }
+        self.maybe_maintain();
+        outcome.igq_time += maint_start.elapsed();
+
+        outcome.wall_time = wall_start.elapsed();
+        self.stats.absorb(&outcome);
+        outcome
+    }
+
+    /// Records hit metadata. `bonus` optionally awards one slot the full
+    /// candidate-set prune credit (optimal-case resolutions).
+    fn credit_hits(
+        &mut self,
+        q: &Graph,
+        cs: &[GraphId],
+        sub_slots: &[usize],
+        super_slots: &[usize],
+        bonus: Option<(usize, LogValue)>,
+    ) {
+        for &s in sub_slots {
+            let prunes = intersect_sorted(cs, &self.cache.entry(s).answers);
+            let cost = self.cost_of(q, &prunes);
+            self.cache.entry_mut(s).meta.record_hit(prunes.len() as u64, cost);
+        }
+        for &s in super_slots {
+            let prunes = subtract_sorted(cs, &self.cache.entry(s).answers);
+            let cost = self.cost_of(q, &prunes);
+            self.cache.entry_mut(s).meta.record_hit(prunes.len() as u64, cost);
+        }
+        if let Some((slot, credit)) = bonus {
+            self.cache.entry_mut(slot).meta.record_hit(cs.len() as u64, credit);
+        }
+    }
+
+    /// Adds `(q, answers)` to the window unless `q` is an exact duplicate
+    /// of a pending window entry (cache duplicates were already handled by
+    /// the exact-hit path).
+    fn enqueue(&mut self, q: &Graph, answers: &[GraphId]) {
+        let sig = GraphSignature::of(q);
+        let dup = self
+            .window_signatures
+            .iter()
+            .zip(self.window.iter())
+            .any(|(s, (g, _))| *s == sig && igq_iso::are_isomorphic(q, g));
+        if dup {
+            return;
+        }
+        self.window.push((q.clone(), answers.to_vec()));
+        self.window_signatures.push(sig);
+    }
+
+    /// Runs window maintenance when `W` queries have accumulated: evict,
+    /// admit, rebuild both query indexes (shadow rebuild + swap).
+    fn maybe_maintain(&mut self) -> bool {
+        if self.window.len() < self.config.window {
+            return false;
+        }
+        let incoming = std::mem::take(&mut self.window);
+        self.window_signatures.clear();
+        if self.cache.apply_window(incoming) {
+            self.isub = IsubIndex::build(self.cache.entries(), self.config.path_config);
+            self.isuper = IsuperIndex::build(self.cache.entries(), self.config.path_config);
+            self.stats.maintenances += 1;
+        }
+        true
+    }
+
+    /// Forces maintenance regardless of window fill (used by harnesses at
+    /// warm-up boundaries).
+    pub fn flush_window(&mut self) {
+        if !self.window.is_empty() {
+            let incoming = std::mem::take(&mut self.window);
+            self.window_signatures.clear();
+            if self.cache.apply_window(incoming) {
+                self.isub = IsubIndex::build(self.cache.entries(), self.config.path_config);
+                self.isuper = IsuperIndex::build(self.cache.entries(), self.config.path_config);
+                self.stats.maintenances += 1;
+            }
+        }
+    }
+
+    /// Exports the cached queries and their answer sets, e.g. to persist a
+    /// warm cache across sessions. Window contents are flushed first so
+    /// the export is complete.
+    pub fn export_cache(&mut self) -> Vec<(Graph, Vec<GraphId>)> {
+        self.flush_window();
+        self.cache
+            .entries()
+            .iter()
+            .map(|e| (e.graph.clone(), e.answers.clone()))
+            .collect()
+    }
+
+    /// Seeds the cache with previously exported `(query, answers)` pairs
+    /// and rebuilds the query indexes. Intended for warm starts; the
+    /// caller is responsible for the answers matching this engine's
+    /// dataset (a mismatched import would violate the correctness
+    /// guarantees, so entries whose answer ids exceed the dataset are
+    /// rejected).
+    ///
+    /// Returns the number of entries admitted.
+    pub fn import_cache(&mut self, entries: Vec<(Graph, Vec<GraphId>)>) -> usize {
+        let n = self.method.store().len() as u32;
+        let admissible: Vec<(Graph, Vec<GraphId>)> = entries
+            .into_iter()
+            .filter(|(_, answers)| answers.iter().all(|id| id.raw() < n))
+            .collect();
+        let admitted = admissible.len().min(self.config.cache_capacity);
+        if self.cache.apply_window(admissible) {
+            self.isub = IsubIndex::build(self.cache.entries(), self.config.path_config);
+            self.isuper = IsuperIndex::build(self.cache.entries(), self.config.path_config);
+        }
+        admitted
+    }
+
+    /// Debug/production sanity check: verifies the engine's internal
+    /// invariants (cache within capacity, sorted answer sets, index
+    /// cardinalities matching the cache). Cheap; intended for assertions
+    /// in long-running deployments.
+    pub fn self_check(&self) -> Result<(), String> {
+        if self.cache.len() > self.config.cache_capacity {
+            return Err(format!(
+                "cache over capacity: {} > {}",
+                self.cache.len(),
+                self.config.cache_capacity
+            ));
+        }
+        for (slot, e) in self.cache.entries().iter().enumerate() {
+            if !e.answers.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("slot {slot}: answers not sorted/unique"));
+            }
+            let n = self.method.store().len() as u32;
+            if e.answers.iter().any(|id| id.raw() >= n) {
+                return Err(format!("slot {slot}: answer id out of dataset range"));
+            }
+        }
+        if self.window.len() != self.window_signatures.len() {
+            return Err("window/signature length mismatch".into());
+        }
+        Ok(())
+    }
+
+    fn filter_and_probe_parallel(&self, q: &Graph) -> (igq_methods::Filtered, ProbeResult) {
+        // Three-thread pipeline of Fig. 6: M's filter, Isub, Isuper.
+        let mut filtered = None;
+        let mut sub = None;
+        let mut sup = None;
+        let mut filter_time = std::time::Duration::ZERO;
+        let mut probe_time = std::time::Duration::ZERO;
+        crossbeam::scope(|scope| {
+            let filter_handle = scope.spawn(|_| {
+                let t = Instant::now();
+                let f = self.method.filter(q);
+                (f, t.elapsed())
+            });
+            let sub_handle = scope.spawn(|_| {
+                let t = Instant::now();
+                let r = self.isub.supergraphs_of(q);
+                (r, t.elapsed())
+            });
+            let sup_handle = scope.spawn(|_| {
+                let t = Instant::now();
+                let r = self.isuper.subgraphs_of(q);
+                (r, t.elapsed())
+            });
+            let (f, ft) = filter_handle.join().expect("filter thread");
+            let (s, st) = sub_handle.join().expect("isub thread");
+            let (p, pt) = sup_handle.join().expect("isuper thread");
+            filter_time = ft;
+            probe_time = st.max(pt);
+            filtered = Some(f);
+            sub = Some(s);
+            sup = Some(p);
+        })
+        .expect("probe scope");
+        (
+            filtered.expect("filter result"),
+            ProbeResult {
+                sub: sub.expect("isub result"),
+                sup: sup.expect("isuper result"),
+                filter_time,
+                probe_time,
+            },
+        )
+    }
+}
+
+struct ProbeResult {
+    sub: (Vec<usize>, IsoStats),
+    sup: (Vec<usize>, IsoStats),
+    filter_time: std::time::Duration,
+    probe_time: std::time::Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igq_graph::{graph_from, GraphStore};
+    use igq_methods::{Ggsx, GgsxConfig, NaiveMethod};
+    use std::sync::Arc;
+
+    fn store() -> Arc<GraphStore> {
+        Arc::new(
+            vec![
+                graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]),            // g0
+                graph_from(&[0, 1], &[(0, 1)]),                       // g1
+                graph_from(&[2, 2, 2], &[(0, 1), (1, 2), (0, 2)]),    // g2
+                graph_from(&[0, 1, 2, 0], &[(0, 1), (1, 2), (2, 3)]), // g3
+            ]
+            .into_iter()
+            .collect(),
+        )
+    }
+
+    fn engine() -> IgqEngine<Ggsx> {
+        let s = store();
+        let method = Ggsx::build(&s, GgsxConfig::default());
+        IgqEngine::new(method, IgqConfig { cache_capacity: 8, window: 2, ..Default::default() })
+    }
+
+    fn ids(raw: &[u32]) -> Vec<GraphId> {
+        raw.iter().map(|&r| GraphId::new(r)).collect()
+    }
+
+    #[test]
+    fn answers_match_method_and_oracle() {
+        let s = store();
+        let naive = NaiveMethod::build(&s);
+        let mut e = engine();
+        for q in [
+            graph_from(&[0, 1], &[(0, 1)]),
+            graph_from(&[2, 2], &[(0, 1)]),
+            graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]),
+            graph_from(&[0, 1], &[(0, 1)]), // repeat
+            graph_from(&[9], &[]),
+        ] {
+            let out = e.query(&q);
+            let (truth, _) = naive.query(&q);
+            assert_eq!(out.answers, truth, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn exact_repeat_hits_after_maintenance() {
+        let mut e = engine();
+        let q = graph_from(&[0, 1], &[(0, 1)]);
+        let first = e.query(&q);
+        assert_eq!(first.resolution, Resolution::Verified);
+        // Window = 2: a second distinct query flushes the window.
+        let _ = e.query(&graph_from(&[2, 2], &[(0, 1)]));
+        let repeat = e.query(&q);
+        assert_eq!(repeat.resolution, Resolution::ExactHit);
+        assert_eq!(repeat.db_iso_tests, 0);
+        assert_eq!(repeat.answers, first.answers);
+        assert_eq!(e.stats().exact_hits, 1);
+    }
+
+    #[test]
+    fn exact_fastpath_skips_probe_iso_tests() {
+        let s = store();
+        let mk = |fastpath| {
+            let method = Ggsx::build(&s, GgsxConfig::default());
+            IgqEngine::new(
+                method,
+                IgqConfig {
+                    cache_capacity: 8,
+                    window: 1,
+                    exact_fastpath: fastpath,
+                    ..Default::default()
+                },
+            )
+        };
+        let q = graph_from(&[0, 1], &[(0, 1)]);
+        for fastpath in [true, false] {
+            let mut e = mk(fastpath);
+            let first = e.query(&q);
+            let repeat = e.query(&q);
+            assert_eq!(repeat.resolution, Resolution::ExactHit, "fastpath={fastpath}");
+            assert_eq!(repeat.answers, first.answers);
+            assert_eq!(repeat.db_iso_tests, 0);
+            if fastpath {
+                // The fast path resolves repeats without probing the query
+                // indexes at all.
+                assert_eq!(repeat.igq_iso_tests, 0, "no probe tests on the fast path");
+            } else {
+                assert!(repeat.igq_iso_tests > 0, "probe path pays iso tests");
+            }
+        }
+    }
+
+    #[test]
+    fn isomorphic_not_identical_repeat_also_hits() {
+        let mut e = engine();
+        let q1 = graph_from(&[0, 1], &[(0, 1)]);
+        let q2 = graph_from(&[1, 0], &[(0, 1)]); // same graph, relabeled
+        let first = e.query(&q1);
+        let _ = e.query(&graph_from(&[2, 2], &[(0, 1)]));
+        let repeat = e.query(&q2);
+        assert_eq!(repeat.resolution, Resolution::ExactHit);
+        assert_eq!(repeat.answers, first.answers);
+    }
+
+    #[test]
+    fn empty_answer_shortcut_fires() {
+        let mut e = engine();
+        // 9-9 edge: no dataset graph contains it → empty answer cached.
+        let empty_q = graph_from(&[9, 9], &[(0, 1)]);
+        let first = e.query(&empty_q);
+        assert!(first.answers.is_empty());
+        let _ = e.query(&graph_from(&[0, 1], &[(0, 1)]));
+        // A supergraph of the cached empty-answer query.
+        let bigger = graph_from(&[9, 9, 9], &[(0, 1), (1, 2)]);
+        let out = e.query(&bigger);
+        assert_eq!(out.resolution, Resolution::EmptyAnswerShortcut);
+        assert!(out.answers.is_empty());
+        assert_eq!(out.db_iso_tests, 0);
+    }
+
+    #[test]
+    fn subgraph_case_prunes_and_restores_answers() {
+        let mut e = engine();
+        // Cache the big query first: 0-1-0 path answered by {g0}.
+        let big = graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]);
+        let big_out = e.query(&big);
+        assert_eq!(big_out.answers, ids(&[0]));
+        let _ = e.query(&graph_from(&[2, 2], &[(0, 1)]));
+        // Now the smaller query 0-1: g ⊆ big, so Answer(big) = {g0} must be
+        // skipped during verification yet appear in the final answer.
+        let small = graph_from(&[0, 1], &[(0, 1)]);
+        let out = e.query(&small);
+        assert!(out.isub_hits >= 1);
+        assert!(out.pruned_by_isub >= 1);
+        assert_eq!(out.answers, ids(&[0, 1, 3]));
+        assert!(out.db_iso_tests < out.candidates_before as u64);
+    }
+
+    #[test]
+    fn supergraph_case_prunes_non_answers() {
+        let mut e = engine();
+        // Cache the small query: 0-1 edge → answers {g0, g1, g3}.
+        let small = graph_from(&[0, 1], &[(0, 1)]);
+        let small_out = e.query(&small);
+        assert_eq!(small_out.answers, ids(&[0, 1, 3]));
+        let _ = e.query(&graph_from(&[2, 2], &[(0, 1)]));
+        // Bigger query containing the cached one: candidates outside
+        // Answer(small) are pruned by formula (5).
+        let big = graph_from(&[0, 1, 2], &[(0, 1), (1, 2)]);
+        let out = e.query(&big);
+        assert!(out.isuper_hits >= 1);
+        assert_eq!(out.answers, ids(&[3]));
+    }
+
+    #[test]
+    fn window_and_cache_mechanics() {
+        let mut e = engine();
+        assert_eq!(e.cached_queries(), 0);
+        let _ = e.query(&graph_from(&[0, 1], &[(0, 1)]));
+        assert_eq!(e.cached_queries(), 0); // still in window
+        let _ = e.query(&graph_from(&[2, 2], &[(0, 1)]));
+        assert_eq!(e.cached_queries(), 2); // window flushed at W=2
+        assert_eq!(e.stats().maintenances, 1);
+    }
+
+    #[test]
+    fn duplicate_window_entries_are_not_double_cached() {
+        let mut e = engine();
+        let q = graph_from(&[0, 1], &[(0, 1)]);
+        let _ = e.query(&q);
+        let _ = e.query(&q); // same query again, still in window
+        e.flush_window();
+        assert_eq!(e.cached_queries(), 1);
+    }
+
+    #[test]
+    fn parallel_probes_agree_with_sequential() {
+        let s = store();
+        let mk = |parallel| {
+            let method = Ggsx::build(&s, GgsxConfig::default());
+            IgqEngine::new(
+                method,
+                IgqConfig {
+                    cache_capacity: 8,
+                    window: 2,
+                    parallel_probes: parallel,
+                    ..Default::default()
+                },
+            )
+        };
+        let mut seq = mk(false);
+        let mut par = mk(true);
+        for q in [
+            graph_from(&[0, 1], &[(0, 1)]),
+            graph_from(&[2, 2], &[(0, 1)]),
+            graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]),
+            graph_from(&[0, 1], &[(0, 1)]),
+        ] {
+            assert_eq!(seq.query(&q).answers, par.query(&q).answers);
+        }
+    }
+
+    #[test]
+    fn igq_index_size_grows_with_cache() {
+        let mut e = engine();
+        let empty = e.igq_index_size_bytes();
+        let _ = e.query(&graph_from(&[0, 1], &[(0, 1)]));
+        let _ = e.query(&graph_from(&[2, 2], &[(0, 1)]));
+        assert!(e.igq_index_size_bytes() > empty);
+    }
+
+    #[test]
+    fn export_import_warm_start() {
+        let mut warm = engine();
+        let q = graph_from(&[0, 1], &[(0, 1)]);
+        let first = warm.query(&q);
+        let exported = warm.export_cache();
+        assert_eq!(exported.len(), 1);
+
+        let mut cold = engine();
+        assert_eq!(cold.import_cache(exported), 1);
+        let out = cold.query(&q);
+        assert_eq!(out.resolution, Resolution::ExactHit);
+        assert_eq!(out.answers, first.answers);
+        cold.self_check().expect("invariants hold after import");
+    }
+
+    #[test]
+    fn import_rejects_out_of_range_answers() {
+        let mut e = engine();
+        let alien = vec![(graph_from(&[0, 1], &[(0, 1)]), vec![GraphId::new(999)])];
+        assert_eq!(e.import_cache(alien), 0);
+        assert_eq!(e.cached_queries(), 0);
+    }
+
+    #[test]
+    fn self_check_passes_through_lifecycle() {
+        let mut e = engine();
+        e.self_check().expect("fresh engine");
+        for q in [
+            graph_from(&[0, 1], &[(0, 1)]),
+            graph_from(&[2, 2], &[(0, 1)]),
+            graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]),
+        ] {
+            let _ = e.query(&q);
+            e.self_check().expect("mid-stream");
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! `Isub` — the subgraph component of the iGQ query index (Section 6.1).
+//!
+//! Given a new query `g`, `Isub` finds cached queries `G` with `g ⊆ G`
+//! (whose stored answers are then *known answers* of `g`, formula (4)).
+//! This is "a microcosm of our original problem": any subgraph query
+//! processing method over the cached query graphs works. As the paper
+//! suggests, we reuse the method family itself — a GGSX path-trie over the
+//! cache — and verify candidates with VF2, which trivially satisfies
+//! formula (1): every returned `G` really is a supergraph of `g`.
+//!
+//! The index is immutable; window maintenance rebuilds it ("shadow
+//! indexing", Section 5.2) via [`IsubIndex::build`].
+
+use crate::cache::CacheEntry;
+use igq_features::PathConfig;
+use igq_graph::{Graph, GraphStore};
+use igq_iso::{vf2, IsoStats, MatchConfig};
+use igq_methods::{Ggsx, GgsxConfig, SubgraphMethod};
+use std::sync::Arc;
+
+/// Subgraph index over the cached queries.
+pub struct IsubIndex {
+    ggsx: Ggsx,
+}
+
+impl IsubIndex {
+    /// Builds the index over the cache's current entries (slot order is
+    /// preserved: member `i` of the index is cache slot `i`).
+    pub fn build(entries: &[CacheEntry], path_config: PathConfig) -> IsubIndex {
+        let store: Arc<GraphStore> =
+            Arc::new(entries.iter().map(|e| e.graph.clone()).collect());
+        let config = GgsxConfig {
+            max_path_len: path_config.max_len,
+            path_budget: path_config.budget,
+            match_config: MatchConfig::default(),
+        };
+        IsubIndex { ggsx: Ggsx::build(&store, config) }
+    }
+
+    /// Cache slots whose graph is a (verified) supergraph of `q`, plus the
+    /// iGQ-internal iso work performed.
+    pub fn supergraphs_of(&self, q: &Graph) -> (Vec<usize>, IsoStats) {
+        let mut stats = IsoStats::new();
+        let filtered = self.ggsx.filter(q);
+        let mut slots = Vec::new();
+        for &id in &filtered.candidates {
+            let r = vf2::find_one(q, self.ggsx.store().get(id), &MatchConfig::default());
+            stats.record(&r);
+            if r.outcome.is_found() {
+                slots.push(id.index());
+            }
+        }
+        (slots, stats)
+    }
+
+    /// Approximate heap footprint (Fig. 18 accounting).
+    pub fn heap_size_bytes(&self) -> u64 {
+        self.ggsx.index_size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igq_graph::{graph_from, GraphId};
+
+    fn entry(labels: &[u32], edges: &[(u32, u32)]) -> CacheEntry {
+        let graph = graph_from(labels, edges);
+        let signature = igq_graph::canon::GraphSignature::of(&graph);
+        let code = igq_graph::canon::canonical_code(&graph);
+        CacheEntry { graph, signature, code, answers: vec![GraphId::new(0)], meta: Default::default() }
+    }
+
+    #[test]
+    fn finds_supergraphs_among_cache() {
+        let entries = vec![
+            entry(&[0, 1, 0], &[(0, 1), (1, 2)]),          // slot 0: 0-1-0 path
+            entry(&[2, 2], &[(0, 1)]),                     // slot 1: 2-2 edge
+            entry(&[0, 1, 0, 3], &[(0, 1), (1, 2), (2, 3)]), // slot 2: longer path
+        ];
+        let idx = IsubIndex::build(&entries, PathConfig::default());
+        let q = graph_from(&[0, 1], &[(0, 1)]);
+        let (slots, stats) = idx.supergraphs_of(&q);
+        assert_eq!(slots, vec![0, 2]);
+        assert!(stats.tests >= 2);
+    }
+
+    #[test]
+    fn returns_only_true_supergraphs_formula_1() {
+        let entries = vec![
+            entry(&[0, 0], &[(0, 1)]),
+            entry(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]),
+        ];
+        let idx = IsubIndex::build(&entries, PathConfig::default());
+        // C4 query: neither cached entry contains it.
+        let q = graph_from(&[0; 4], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let (slots, _) = idx.supergraphs_of(&q);
+        assert!(slots.is_empty());
+    }
+
+    #[test]
+    fn empty_cache() {
+        let idx = IsubIndex::build(&[], PathConfig::default());
+        let q = graph_from(&[0], &[]);
+        let (slots, stats) = idx.supergraphs_of(&q);
+        assert!(slots.is_empty());
+        assert_eq!(stats.tests, 0);
+    }
+
+    #[test]
+    fn exact_same_graph_is_its_own_supergraph() {
+        let entries = vec![entry(&[4, 5], &[(0, 1)])];
+        let idx = IsubIndex::build(&entries, PathConfig::default());
+        let q = graph_from(&[4, 5], &[(0, 1)]);
+        let (slots, _) = idx.supergraphs_of(&q);
+        assert_eq!(slots, vec![0]);
+    }
+}

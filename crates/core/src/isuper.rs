@@ -1,0 +1,120 @@
+//! `Isuper` — the supergraph component of the iGQ query index
+//! (Section 6.2, Algorithms 1 & 2).
+//!
+//! Given a new query `g`, `Isuper` finds cached queries `G` with `G ⊆ g`
+//! (whose stored answers then bound `g`'s answers from above, formula (5)).
+//! It wraps the occurrence-counting [`ContainmentIndex`] and verifies each
+//! Algorithm-2 candidate with VF2, satisfying formula (2): every returned
+//! `G` really is a subgraph of `g`.
+//!
+//! Rebuilt wholesale during window maintenance, like [`crate::isub`].
+
+use crate::cache::CacheEntry;
+use igq_features::PathConfig;
+use igq_graph::Graph;
+use igq_iso::{vf2, IsoStats, MatchConfig};
+use igq_methods::ContainmentIndex;
+
+/// Supergraph index over the cached queries.
+pub struct IsuperIndex {
+    index: ContainmentIndex,
+    graphs: Vec<Graph>,
+}
+
+impl IsuperIndex {
+    /// Builds the index over the cache's current entries (member `i` =
+    /// cache slot `i`).
+    pub fn build(entries: &[CacheEntry], path_config: PathConfig) -> IsuperIndex {
+        let graphs: Vec<Graph> = entries.iter().map(|e| e.graph.clone()).collect();
+        let index = ContainmentIndex::build(graphs.iter(), path_config);
+        IsuperIndex { index, graphs }
+    }
+
+    /// Cache slots whose graph is a (verified) subgraph of `q`, plus the
+    /// iGQ-internal iso work performed.
+    pub fn subgraphs_of(&self, q: &Graph) -> (Vec<usize>, IsoStats) {
+        let mut stats = IsoStats::new();
+        let mut slots = Vec::new();
+        for member in self.index.candidates_for(q) {
+            let cached = &self.graphs[member];
+            if cached.vertex_count() > q.vertex_count() || cached.edge_count() > q.edge_count() {
+                continue;
+            }
+            let r = vf2::find_one(cached, q, &MatchConfig::default());
+            stats.record(&r);
+            if r.outcome.is_found() {
+                slots.push(member);
+            }
+        }
+        (slots, stats)
+    }
+
+    /// Approximate heap footprint (Fig. 18 accounting).
+    pub fn heap_size_bytes(&self) -> u64 {
+        self.index.heap_size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igq_graph::{graph_from, GraphId};
+
+    fn entry(labels: &[u32], edges: &[(u32, u32)]) -> CacheEntry {
+        let graph = graph_from(labels, edges);
+        let signature = igq_graph::canon::GraphSignature::of(&graph);
+        let code = igq_graph::canon::canonical_code(&graph);
+        CacheEntry { graph, signature, code, answers: vec![GraphId::new(0)], meta: Default::default() }
+    }
+
+    #[test]
+    fn finds_subgraphs_among_cache() {
+        let entries = vec![
+            entry(&[0, 1], &[(0, 1)]),                       // slot 0: 0-1 edge
+            entry(&[0, 1, 0], &[(0, 1), (1, 2)]),            // slot 1: 0-1-0 path
+            entry(&[7, 7], &[(0, 1)]),                       // slot 2: unrelated
+        ];
+        let idx = IsuperIndex::build(&entries, PathConfig::default());
+        let q = graph_from(&[0, 1, 0, 2], &[(0, 1), (1, 2), (2, 3)]);
+        let (slots, stats) = idx.subgraphs_of(&q);
+        assert_eq!(slots, vec![0, 1]);
+        assert!(stats.tests >= 2);
+    }
+
+    #[test]
+    fn returns_only_true_subgraphs_formula_2() {
+        let entries = vec![entry(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)])]; // triangle
+        let idx = IsuperIndex::build(&entries, PathConfig::default());
+        let q = graph_from(&[0, 0, 0, 0], &[(0, 1), (1, 2), (2, 3)]); // P4: no triangle
+        let (slots, _) = idx.subgraphs_of(&q);
+        assert!(slots.is_empty());
+    }
+
+    #[test]
+    fn occurrence_counting_prunes_before_verification() {
+        // Cached graph needs two 0-labels; query has one: Algorithm 2 must
+        // prune it without an iso test.
+        let entries = vec![entry(&[0, 0], &[(0, 1)])];
+        let idx = IsuperIndex::build(&entries, PathConfig::default());
+        let q = graph_from(&[0, 1], &[(0, 1)]);
+        let (slots, stats) = idx.subgraphs_of(&q);
+        assert!(slots.is_empty());
+        assert_eq!(stats.tests, 0, "count filter should preempt iso tests");
+    }
+
+    #[test]
+    fn empty_cache() {
+        let idx = IsuperIndex::build(&[], PathConfig::default());
+        let (slots, stats) = idx.subgraphs_of(&graph_from(&[0], &[]));
+        assert!(slots.is_empty());
+        assert_eq!(stats.tests, 0);
+    }
+
+    #[test]
+    fn exact_same_graph_is_its_own_subgraph() {
+        let entries = vec![entry(&[4, 5], &[(0, 1)])];
+        let idx = IsuperIndex::build(&entries, PathConfig::default());
+        let (slots, _) = idx.subgraphs_of(&graph_from(&[4, 5], &[(0, 1)]));
+        assert_eq!(slots, vec![0]);
+    }
+}

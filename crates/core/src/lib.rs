@@ -1,0 +1,48 @@
+//! # igq-core
+//!
+//! The paper's primary contribution: **iGQ**, a query-graph indexing and
+//! result-caching layer that accelerates subgraph *and* supergraph query
+//! processing on top of any filter-then-verify method.
+//!
+//! The system (paper Fig. 6) comprises:
+//!
+//! * [`IsubIndex`] — finds cached queries that are **supergraphs** of a new
+//!   query; their stored answers are known answers (Section 4.2.1);
+//! * [`IsuperIndex`] — finds cached queries that are **subgraphs** of a new
+//!   query via the occurrence-counting trie of Algorithms 1 & 2; their
+//!   stored answers bound the candidates (Section 4.2.2);
+//! * [`QueryCache`] — the stored query graphs, answer sets, and
+//!   replacement metadata (`Igraphs` + `Stat(iGQ Graph)`, Section 5);
+//! * the utility-based replacement policy `U(g) = C(g)/M(g)` with costs in
+//!   log space (Section 5.1, [`metadata`]);
+//! * windowed maintenance with shadow index rebuilds (Section 5.2);
+//! * [`IgqEngine`] — the subgraph-query pipeline implementing formulas
+//!   (3)–(5) and the optimal cases of Section 4.3;
+//! * [`IgqSuperEngine`] — the supergraph-query pipeline with the inverse
+//!   algebra of Section 4.4.
+//!
+//! Correctness follows the paper's Theorems 1–2; the workspace integration
+//! tests re-establish them empirically against a naive oracle on randomized
+//! workloads.
+
+pub mod cache;
+pub mod config;
+pub mod engine;
+pub mod isub;
+pub mod isuper;
+pub mod metadata;
+pub mod outcome;
+pub mod policy;
+pub mod stats;
+pub mod super_engine;
+
+pub use cache::{CacheEntry, QueryCache};
+pub use config::IgqConfig;
+pub use engine::IgqEngine;
+pub use isub::IsubIndex;
+pub use isuper::IsuperIndex;
+pub use metadata::GraphMeta;
+pub use outcome::{QueryOutcome, Resolution};
+pub use policy::ReplacementPolicy;
+pub use stats::EngineStats;
+pub use super_engine::IgqSuperEngine;

@@ -1,0 +1,102 @@
+//! Per-query outcome: answers plus all the accounting the harness needs.
+
+use igq_graph::GraphId;
+use std::time::Duration;
+
+/// How a query was resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Resolution {
+    /// Normal path: filtering, iGQ pruning, verification.
+    #[default]
+    Verified,
+    /// Optimal case 1 (Section 4.3): the query is isomorphic to a cached
+    /// query; the stored answer was returned with zero DB iso tests.
+    ExactHit,
+    /// Optimal case 2: a cached subgraph of the query has an empty answer
+    /// set, so the query's answer is provably empty — zero DB iso tests.
+    /// (For supergraph queries the roles invert; see Section 4.4.)
+    EmptyAnswerShortcut,
+}
+
+/// The result of one query through the iGQ engine.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOutcome {
+    /// Final answer set (sorted ids). Exact — Theorems 1 and 2.
+    pub answers: Vec<GraphId>,
+    /// How the query was resolved.
+    pub resolution: Resolution,
+    /// Candidates produced by the base method `M` before iGQ pruning.
+    pub candidates_before: usize,
+    /// Candidates remaining after formulas (3) and (5).
+    pub candidates_after: usize,
+    /// Candidates removed via the subgraph path (known answers).
+    pub pruned_by_isub: usize,
+    /// Candidates removed via the supergraph path (known non-answers).
+    pub pruned_by_isuper: usize,
+    /// Subgraph-isomorphism tests executed against dataset graphs — the
+    /// paper's headline metric.
+    pub db_iso_tests: u64,
+    /// Verifications that hit the engine's state budget and were aborted
+    /// undecided. When non-zero, `answers` may be missing those candidates;
+    /// such queries are **never admitted to the query cache** (a cached
+    /// incomplete answer set would poison formulas (3)–(5) for future
+    /// queries). Always zero under the default unlimited budget.
+    pub aborted_tests: u64,
+    /// Iso tests executed inside the query indexes (query-vs-cached-query);
+    /// iGQ overhead, reported separately.
+    pub igq_iso_tests: u64,
+    /// Wall-clock spent in the base method's filtering stage.
+    pub filter_time: Duration,
+    /// Wall-clock spent probing/updating iGQ's query indexes.
+    pub igq_time: Duration,
+    /// Wall-clock spent in verification (DB iso tests).
+    pub verify_time: Duration,
+    /// End-to-end wall-clock for the query. With parallel probes this is
+    /// less than the sum of the per-stage durations.
+    pub wall_time: Duration,
+    /// Cached queries found to be supergraphs of this query (`Isub` hits).
+    pub isub_hits: usize,
+    /// Cached queries found to be subgraphs of this query (`Isuper` hits).
+    pub isuper_hits: usize,
+}
+
+impl QueryOutcome {
+    /// Total wall-clock. Prefers the measured end-to-end duration; falls
+    /// back to the stage sum when `wall_time` was not set.
+    pub fn total_time(&self) -> Duration {
+        if self.wall_time.is_zero() {
+            self.filter_time + self.igq_time + self.verify_time
+        } else {
+            self.wall_time
+        }
+    }
+
+    /// Candidates removed by iGQ overall.
+    pub fn pruned_total(&self) -> usize {
+        self.candidates_before - self.candidates_after
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let o = QueryOutcome {
+            candidates_before: 10,
+            candidates_after: 4,
+            filter_time: Duration::from_millis(1),
+            igq_time: Duration::from_millis(2),
+            verify_time: Duration::from_millis(3),
+            ..Default::default()
+        };
+        assert_eq!(o.pruned_total(), 6);
+        assert_eq!(o.total_time(), Duration::from_millis(6));
+    }
+
+    #[test]
+    fn default_resolution_is_verified() {
+        assert_eq!(QueryOutcome::default().resolution, Resolution::Verified);
+    }
+}

@@ -1,0 +1,108 @@
+//! Engine-lifetime aggregate statistics.
+
+use crate::outcome::{QueryOutcome, Resolution};
+use std::time::Duration;
+
+/// Totals across every query an engine has processed.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Queries processed.
+    pub queries: u64,
+    /// DB-side subgraph isomorphism tests (the paper's headline metric).
+    pub db_iso_tests: u64,
+    /// iGQ-internal iso tests (query-vs-cached-query overhead).
+    pub igq_iso_tests: u64,
+    /// Budget-aborted verifications (see [`QueryOutcome::aborted_tests`]).
+    pub aborted_tests: u64,
+    /// Candidates produced by the base method, summed.
+    pub candidates_before: u64,
+    /// Candidates surviving iGQ pruning, summed.
+    pub candidates_after: u64,
+    /// Candidates removed via the subgraph path.
+    pub pruned_by_isub: u64,
+    /// Candidates removed via the supergraph path.
+    pub pruned_by_isuper: u64,
+    /// Optimal case 1 resolutions (exact repeats).
+    pub exact_hits: u64,
+    /// Optimal case 2 resolutions (empty-answer shortcuts).
+    pub empty_shortcuts: u64,
+    /// Window maintenances performed (index rebuilds).
+    pub maintenances: u64,
+    /// Wall-clock in the base method's filter stage.
+    pub filter_time: Duration,
+    /// Wall-clock in iGQ probes and bookkeeping.
+    pub igq_time: Duration,
+    /// Wall-clock in verification.
+    pub verify_time: Duration,
+    /// End-to-end wall-clock.
+    pub wall_time: Duration,
+}
+
+impl EngineStats {
+    /// Folds one query outcome into the totals.
+    pub fn absorb(&mut self, o: &QueryOutcome) {
+        self.queries += 1;
+        self.db_iso_tests += o.db_iso_tests;
+        self.igq_iso_tests += o.igq_iso_tests;
+        self.aborted_tests += o.aborted_tests;
+        self.candidates_before += o.candidates_before as u64;
+        self.candidates_after += o.candidates_after as u64;
+        self.pruned_by_isub += o.pruned_by_isub as u64;
+        self.pruned_by_isuper += o.pruned_by_isuper as u64;
+        match o.resolution {
+            Resolution::ExactHit => self.exact_hits += 1,
+            Resolution::EmptyAnswerShortcut => self.empty_shortcuts += 1,
+            Resolution::Verified => {}
+        }
+        self.filter_time += o.filter_time;
+        self.igq_time += o.igq_time;
+        self.verify_time += o.verify_time;
+        self.wall_time += o.total_time();
+    }
+
+    /// Average DB iso tests per query.
+    pub fn avg_db_iso_tests(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.db_iso_tests as f64 / self.queries as f64
+        }
+    }
+
+    /// Average end-to-end wall-clock per query.
+    pub fn avg_wall_time(&self) -> Duration {
+        if self.queries == 0 {
+            Duration::ZERO
+        } else {
+            self.wall_time / self.queries as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut s = EngineStats::default();
+        let mut o = QueryOutcome::default();
+        o.db_iso_tests = 5;
+        o.candidates_before = 10;
+        o.candidates_after = 5;
+        o.resolution = Resolution::ExactHit;
+        s.absorb(&o);
+        s.absorb(&o);
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.db_iso_tests, 10);
+        assert_eq!(s.exact_hits, 2);
+        assert_eq!(s.avg_db_iso_tests(), 5.0);
+    }
+
+    #[test]
+    fn empty_stats_averages() {
+        let s = EngineStats::default();
+        assert_eq!(s.avg_db_iso_tests(), 0.0);
+        assert_eq!(s.avg_wall_time(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,386 @@
+//! The iGQ supergraph-query engine (paper Section 4.4).
+//!
+//! For supergraph queries (`Answer(g) = {Gi ∈ D : Gi ⊆ g}`) the iGQ
+//! components stay exactly the same — `Isub` and `Isuper` over cached
+//! queries — but the answer-set algebra inverts:
+//!
+//! * a cached **subgraph** `G ⊆ g` contributes *known answers*: every
+//!   `a ∈ Answer(G)` satisfies `a ⊆ G ⊆ g` (the union path, mirroring
+//!   formula (4));
+//! * a cached **supergraph** `G ⊇ g` bounds the candidates: `a ⊆ g` implies
+//!   `a ⊆ G`, so candidates outside `Answer(G)` are pruned (the
+//!   intersection path, mirroring formula (5));
+//! * optimal case 1 (exact repeat) is unchanged; optimal case 2 inverts —
+//!   a cached **supergraph** with an empty answer proves the answer empty.
+//!
+//! "The elegance afforded by the double use of iGQ is unique."
+
+use crate::cache::QueryCache;
+use crate::config::IgqConfig;
+use crate::isub::IsubIndex;
+use crate::isuper::IsuperIndex;
+use crate::outcome::{QueryOutcome, Resolution};
+use crate::stats::EngineStats;
+use igq_graph::canon::{canonical_code, GraphSignature};
+use igq_graph::stats::DatasetStats;
+use igq_graph::{Graph, GraphId};
+use igq_iso::{CostModel, IsoStats, LogValue};
+use igq_methods::{intersect_sorted, subtract_sorted, TrieSupergraphMethod};
+use std::time::Instant;
+
+/// The iGQ engine for supergraph queries, wrapping the trie-based
+/// supergraph method of Section 6.2.
+pub struct IgqSuperEngine {
+    method: TrieSupergraphMethod,
+    config: IgqConfig,
+    cache: QueryCache,
+    isub: IsubIndex,
+    isuper: IsuperIndex,
+    window: Vec<(Graph, Vec<GraphId>)>,
+    window_signatures: Vec<GraphSignature>,
+    cost_model: CostModel,
+    stats: EngineStats,
+}
+
+impl IgqSuperEngine {
+    /// Wraps `method` with an empty iGQ cache.
+    pub fn new(method: TrieSupergraphMethod, config: IgqConfig) -> IgqSuperEngine {
+        let config = config.normalized();
+        let labels = if config.label_universe > 0 {
+            config.label_universe
+        } else {
+            DatasetStats::of(method.store()).vertex_labels.max(1)
+        };
+        let cache = QueryCache::with_policy(config.cache_capacity, config.policy);
+        let isub = IsubIndex::build(cache.entries(), config.path_config);
+        let isuper = IsuperIndex::build(cache.entries(), config.path_config);
+        IgqSuperEngine {
+            method,
+            config,
+            cache,
+            isub,
+            isuper,
+            window: Vec::new(),
+            window_signatures: Vec::new(),
+            cost_model: CostModel::new(labels),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Number of cached queries.
+    pub fn cached_queries(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// For supergraph verification the *candidate* is the pattern; cost of
+    /// testing candidate `Gi` inside query `g` is `c(Gi, g)`.
+    fn cost_of(&mut self, q: &Graph, ids: &[GraphId]) -> LogValue {
+        let target = q.vertex_count();
+        let mut total = LogValue::ZERO;
+        for &id in ids {
+            let n = self.method.store().get(id).vertex_count();
+            total = total.add(self.cost_model.cost_ln(n, target));
+        }
+        total
+    }
+
+    /// Processes a supergraph query: all dataset graphs contained in `q`.
+    pub fn query(&mut self, q: &Graph) -> QueryOutcome {
+        let wall_start = Instant::now();
+        let mut outcome = QueryOutcome::default();
+
+        // Optimal case 1 fast path (shared with the subgraph engine): a
+        // canonical-code lookup resolves exact repeats with no filtering
+        // and no index probes.
+        if self.config.exact_fastpath {
+            if let Some(code) = canonical_code(q) {
+                if let Some(slot) = self.cache.slot_with_code(&code) {
+                    self.cache.tick_all();
+                    let answers = self.cache.entry(slot).answers.clone();
+                    let credit = self.cost_of(q, &answers);
+                    self.cache
+                        .entry_mut(slot)
+                        .meta
+                        .record_hit(answers.len() as u64, credit);
+                    outcome.answers = answers;
+                    outcome.resolution = Resolution::ExactHit;
+                    outcome.igq_time = wall_start.elapsed();
+                    outcome.wall_time = wall_start.elapsed();
+                    self.stats.absorb(&outcome);
+                    return outcome;
+                }
+            }
+        }
+
+        let f_start = Instant::now();
+        let cs: Vec<GraphId> = self.method.filter_super(q);
+        outcome.filter_time = f_start.elapsed();
+        outcome.candidates_before = cs.len();
+
+        let igq_start = Instant::now();
+        self.cache.tick_all();
+        let (sub_slots, sub_stats) = self.isub.supergraphs_of(q); // g ⊆ G
+        let (super_slots, super_stats) = self.isuper.subgraphs_of(q); // G ⊆ g
+        let mut igq_stats = IsoStats::new();
+        igq_stats.merge(&sub_stats);
+        igq_stats.merge(&super_stats);
+        outcome.igq_iso_tests = igq_stats.tests;
+        outcome.isub_hits = sub_slots.len();
+        outcome.isuper_hits = super_slots.len();
+
+        // Optimal case 1: exact repeat.
+        let exact_slot = sub_slots
+            .iter()
+            .chain(super_slots.iter())
+            .copied()
+            .find(|&s| {
+                let g = &self.cache.entry(s).graph;
+                g.vertex_count() == q.vertex_count() && g.edge_count() == q.edge_count()
+            });
+        if let Some(slot) = exact_slot {
+            outcome.answers = self.cache.entry(slot).answers.clone();
+            outcome.resolution = Resolution::ExactHit;
+            outcome.pruned_by_isub = cs.len();
+            let credit = self.cost_of(q, &cs);
+            self.cache.entry_mut(slot).meta.record_hit(cs.len() as u64, credit);
+            outcome.igq_time = igq_start.elapsed();
+            outcome.wall_time = wall_start.elapsed();
+            self.stats.absorb(&outcome);
+            return outcome;
+        }
+
+        // Inverted optimal case 2: a cached supergraph of g with an empty
+        // answer set proves Answer(g) = ∅.
+        if let Some(&slot) = sub_slots.iter().find(|&&s| self.cache.entry(s).answers.is_empty()) {
+            outcome.answers = Vec::new();
+            outcome.resolution = Resolution::EmptyAnswerShortcut;
+            outcome.pruned_by_isub = cs.len();
+            let credit = self.cost_of(q, &cs);
+            self.cache.entry_mut(slot).meta.record_hit(cs.len() as u64, credit);
+            self.enqueue(q, &[]);
+            self.maybe_maintain();
+            outcome.igq_time = igq_start.elapsed();
+            outcome.wall_time = wall_start.elapsed();
+            self.stats.absorb(&outcome);
+            return outcome;
+        }
+
+        // Union path (inverse of formula (3)): answers of cached subgraphs
+        // are known answers of g.
+        let mut known_answers: Vec<GraphId> = Vec::new();
+        for &s in &super_slots {
+            known_answers.extend_from_slice(&self.cache.entry(s).answers);
+        }
+        known_answers.sort_unstable();
+        known_answers.dedup();
+        let known_in_cs = intersect_sorted(&cs, &known_answers);
+        let mut pruned = subtract_sorted(&cs, &known_answers);
+        outcome.pruned_by_isuper = cs.len() - pruned.len();
+
+        // Intersection path (inverse of formula (5)): candidates must lie
+        // inside every cached supergraph's answer set.
+        let before_sub = pruned.len();
+        for &s in &sub_slots {
+            pruned = intersect_sorted(&pruned, &self.cache.entry(s).answers);
+            if pruned.is_empty() {
+                break;
+            }
+        }
+        outcome.pruned_by_isub = before_sub - pruned.len();
+        outcome.candidates_after = pruned.len();
+
+        // Metadata credit, with the roles of the two paths swapped.
+        for &s in &super_slots {
+            let prunes = intersect_sorted(&cs, &self.cache.entry(s).answers);
+            let cost = self.cost_of(q, &prunes);
+            self.cache.entry_mut(s).meta.record_hit(prunes.len() as u64, cost);
+        }
+        for &s in &sub_slots {
+            let prunes = subtract_sorted(&cs, &self.cache.entry(s).answers);
+            let cost = self.cost_of(q, &prunes);
+            self.cache.entry_mut(s).meta.record_hit(prunes.len() as u64, cost);
+        }
+        outcome.igq_time = igq_start.elapsed();
+
+        // Verification.
+        let verify_start = Instant::now();
+        let mut answers: Vec<GraphId> = Vec::new();
+        for &id in &pruned {
+            outcome.db_iso_tests += 1;
+            let verdict = self.method.verify_super(q, id);
+            if verdict.aborted {
+                outcome.aborted_tests += 1;
+            }
+            if verdict.contains {
+                answers.push(id);
+            }
+        }
+        outcome.verify_time = verify_start.elapsed();
+
+        answers.extend_from_slice(&known_in_cs);
+        answers.sort_unstable();
+        answers.dedup();
+        outcome.answers = answers;
+
+        // As in the subgraph engine, budget-aborted queries are never
+        // cached: their answer sets may be incomplete.
+        let maint_start = Instant::now();
+        if outcome.aborted_tests == 0 {
+            self.enqueue(q, &outcome.answers);
+        }
+        self.maybe_maintain();
+        outcome.igq_time += maint_start.elapsed();
+        outcome.wall_time = wall_start.elapsed();
+        self.stats.absorb(&outcome);
+        outcome
+    }
+
+    fn enqueue(&mut self, q: &Graph, answers: &[GraphId]) {
+        let sig = GraphSignature::of(q);
+        let dup = self
+            .window_signatures
+            .iter()
+            .zip(self.window.iter())
+            .any(|(s, (g, _))| *s == sig && igq_iso::are_isomorphic(q, g));
+        if dup {
+            return;
+        }
+        self.window.push((q.clone(), answers.to_vec()));
+        self.window_signatures.push(sig);
+    }
+
+    fn maybe_maintain(&mut self) {
+        if self.window.len() < self.config.window {
+            return;
+        }
+        self.flush_window();
+    }
+
+    /// Forces maintenance regardless of window fill.
+    pub fn flush_window(&mut self) {
+        if self.window.is_empty() {
+            return;
+        }
+        let incoming = std::mem::take(&mut self.window);
+        self.window_signatures.clear();
+        if self.cache.apply_window(incoming) {
+            self.isub = IsubIndex::build(self.cache.entries(), self.config.path_config);
+            self.isuper = IsuperIndex::build(self.cache.entries(), self.config.path_config);
+            self.stats.maintenances += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igq_features::PathConfig;
+    use igq_graph::{graph_from, GraphStore};
+    use igq_iso::MatchConfig;
+    use std::sync::Arc;
+
+    fn store() -> Arc<GraphStore> {
+        Arc::new(
+            vec![
+                graph_from(&[0, 1], &[(0, 1)]),                    // g0
+                graph_from(&[2, 2, 2], &[(0, 1), (1, 2), (0, 2)]), // g1
+                graph_from(&[0], &[]),                             // g2
+                graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]),         // g3
+            ]
+            .into_iter()
+            .collect(),
+        )
+    }
+
+    fn engine() -> IgqSuperEngine {
+        let s = store();
+        let m = TrieSupergraphMethod::build(&s, PathConfig::default(), MatchConfig::default());
+        IgqSuperEngine::new(m, IgqConfig { cache_capacity: 8, window: 2, ..Default::default() })
+    }
+
+    fn naive_super(q: &Graph) -> Vec<GraphId> {
+        store()
+            .iter()
+            .filter(|(_, g)| igq_iso::is_subgraph(g, q))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    fn ids(raw: &[u32]) -> Vec<GraphId> {
+        raw.iter().map(|&r| GraphId::new(r)).collect()
+    }
+
+    #[test]
+    fn answers_match_brute_force() {
+        let mut e = engine();
+        for q in [
+            graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]),
+            graph_from(&[2, 2, 2, 0], &[(0, 1), (1, 2), (0, 2)]),
+            graph_from(&[0, 1], &[(0, 1)]),
+            graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]), // repeat
+        ] {
+            let out = e.query(&q);
+            assert_eq!(out.answers, naive_super(&q), "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn exact_repeat_short_circuits() {
+        let mut e = engine();
+        let q = graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]);
+        let first = e.query(&q);
+        let _ = e.query(&graph_from(&[2, 2, 2], &[(0, 1), (1, 2), (0, 2)]));
+        let repeat = e.query(&q);
+        assert_eq!(repeat.resolution, Resolution::ExactHit);
+        assert_eq!(repeat.db_iso_tests, 0);
+        assert_eq!(repeat.answers, first.answers);
+    }
+
+    #[test]
+    fn known_answers_flow_from_cached_subqueries() {
+        let mut e = engine();
+        // Cache a small supergraph query first.
+        let small = graph_from(&[0, 1], &[(0, 1)]);
+        let small_out = e.query(&small);
+        assert_eq!(small_out.answers, ids(&[0, 2]));
+        let _ = e.query(&graph_from(&[2, 2, 2], &[(0, 1), (1, 2), (0, 2)]));
+        // A bigger query containing the cached one: its cached answers are
+        // reused without verification.
+        let big = graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]);
+        let out = e.query(&big);
+        assert!(out.isuper_hits >= 1);
+        assert!(out.pruned_by_isuper >= 1);
+        assert_eq!(out.answers, naive_super(&big));
+    }
+
+    #[test]
+    fn inverted_empty_shortcut() {
+        let mut e = engine();
+        // Query with labels nothing in D matches... careful: g2 = single 0
+        // is contained in anything with a 0 label. Use label 9 only.
+        let q9 = graph_from(&[9, 9], &[(0, 1)]);
+        let first = e.query(&q9);
+        assert!(first.answers.is_empty());
+        let _ = e.query(&graph_from(&[2, 2, 2], &[(0, 1), (1, 2), (0, 2)]));
+        // A *subgraph* of the cached empty-answer query.
+        let sub = graph_from(&[9], &[]);
+        let out = e.query(&sub);
+        assert_eq!(out.resolution, Resolution::EmptyAnswerShortcut);
+        assert!(out.answers.is_empty());
+        assert_eq!(out.db_iso_tests, 0);
+    }
+
+    #[test]
+    fn cache_population() {
+        let mut e = engine();
+        let _ = e.query(&graph_from(&[0, 1], &[(0, 1)]));
+        let _ = e.query(&graph_from(&[2, 2], &[(0, 1)]));
+        assert_eq!(e.cached_queries(), 2);
+        assert!(e.stats().maintenances >= 1);
+    }
+}

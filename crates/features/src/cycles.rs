@@ -1,0 +1,261 @@
+//! Simple-cycle feature enumeration with canonical forms (CT-Index).
+//!
+//! CT-Index complements its tree features with simple cycles up to a
+//! maximum length (8 edges in the paper's experiments). Like trees, cycles
+//! admit linear-time canonical strings: the lexicographic minimum over all
+//! rotations of the label sequence, in both traversal directions.
+//!
+//! Enumeration uses the classic smallest-vertex-root DFS: a cycle is
+//! discovered exactly once by requiring (a) the start vertex to be the
+//! cycle's minimum vertex and (b) the second vertex on the path to be
+//! smaller than the last (killing the reversed traversal).
+
+use igq_graph::fxhash::FxHashSet;
+use igq_graph::{Graph, VertexId};
+
+/// Configuration for cycle enumeration.
+#[derive(Debug, Clone, Copy)]
+pub struct CycleConfig {
+    /// Maximum cycle length in edges (paper/CT-Index default: 8).
+    pub max_len: usize,
+    /// Budget on DFS edge visits per graph.
+    pub budget: u64,
+}
+
+impl Default for CycleConfig {
+    fn default() -> Self {
+        CycleConfig { max_len: 8, budget: 4_000_000 }
+    }
+}
+
+/// Canonical cycle features of one graph, bucketed by length.
+#[derive(Debug, Clone, Default)]
+pub struct CycleFeatures {
+    /// `by_len[k]` = distinct canonical strings of simple cycles with `k`
+    /// edges (indexes 0..3 stay empty: the shortest simple cycle is C3).
+    pub by_len: Vec<FxHashSet<Vec<u8>>>,
+    /// Lengths ≤ `complete_len` are exhaustively enumerated.
+    pub complete_len: usize,
+}
+
+impl CycleFeatures {
+    /// Total distinct features across lengths.
+    pub fn distinct(&self) -> usize {
+        self.by_len.iter().map(|s| s.len()).sum()
+    }
+
+    /// Approximate heap footprint.
+    pub fn heap_size_bytes(&self) -> u64 {
+        self.by_len
+            .iter()
+            .flat_map(|s| s.iter())
+            .map(|v| v.len() as u64 + 16)
+            .sum()
+    }
+}
+
+/// Canonical byte string of a labeled cycle: the lexicographically smallest
+/// rotation over both directions, labels big-endian encoded.
+pub fn cycle_canonical(labels: &[u32]) -> Vec<u8> {
+    let k = labels.len();
+    debug_assert!(k >= 3, "simple cycles have length >= 3");
+    let mut best: Option<Vec<u32>> = None;
+    let mut consider = |seq: Vec<u32>| match &best {
+        Some(b) if *b <= seq => {}
+        _ => best = Some(seq),
+    };
+    for start in 0..k {
+        let fwd: Vec<u32> = (0..k).map(|i| labels[(start + i) % k]).collect();
+        let bwd: Vec<u32> = (0..k).map(|i| labels[(start + k - i) % k]).collect();
+        consider(fwd);
+        consider(bwd);
+    }
+    best.expect("nonempty")
+        .into_iter()
+        .flat_map(|l| l.to_be_bytes())
+        .collect()
+}
+
+struct CycleSearch<'a> {
+    graph: &'a Graph,
+    level: usize,
+    budget: u64,
+    visits: &'a mut u64,
+    tripped: bool,
+    path: Vec<VertexId>,
+    on_path: Vec<bool>,
+    found: FxHashSet<Vec<u8>>,
+}
+
+impl<'a> CycleSearch<'a> {
+    fn dfs(&mut self, start: VertexId, v: VertexId) {
+        if self.tripped {
+            return;
+        }
+        let depth = self.path.len();
+        for &w in self.graph.neighbors(v) {
+            if *self.visits >= self.budget {
+                self.tripped = true;
+                return;
+            }
+            *self.visits += 1;
+            if w == start && depth == self.level {
+                // Closing edge. Dedup direction: second vertex < last vertex.
+                if self.path[1] < self.path[depth - 1] {
+                    let labels: Vec<u32> =
+                        self.path.iter().map(|&x| self.graph.label(x).raw()).collect();
+                    self.found.insert(cycle_canonical(&labels));
+                }
+                continue;
+            }
+            if depth < self.level && w > start && !self.on_path[w.index()] {
+                self.path.push(w);
+                self.on_path[w.index()] = true;
+                self.dfs(start, w);
+                self.on_path[w.index()] = false;
+                self.path.pop();
+            }
+        }
+    }
+}
+
+/// Enumerates canonical simple-cycle features of `g`.
+pub fn enumerate_cycles(g: &Graph, config: &CycleConfig) -> CycleFeatures {
+    let mut by_len: Vec<FxHashSet<Vec<u8>>> = vec![FxHashSet::default(); config.max_len + 1];
+    let mut complete_len = 0usize;
+    let mut visits = 0u64;
+
+    for len in 3..=config.max_len {
+        let mut level_found: FxHashSet<Vec<u8>> = FxHashSet::default();
+        let mut tripped = false;
+        for start in g.vertices() {
+            let mut s = CycleSearch {
+                graph: g,
+                level: len,
+                budget: config.budget,
+                visits: &mut visits,
+                tripped: false,
+                path: vec![start],
+                on_path: {
+                    let mut v = vec![false; g.vertex_count()];
+                    v[start.index()] = true;
+                    v
+                },
+                found: std::mem::take(&mut level_found),
+            };
+            s.dfs(start, start);
+            level_found = s.found;
+            if s.tripped {
+                tripped = true;
+                break;
+            }
+        }
+        if tripped {
+            break;
+        }
+        by_len[len] = level_found;
+        complete_len = len;
+    }
+    // Lengths < 3 are vacuously complete.
+    if complete_len == 0 {
+        complete_len = 2.min(config.max_len);
+    }
+
+    CycleFeatures { by_len, complete_len }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igq_graph::graph_from;
+
+    #[test]
+    fn canonical_rotation_invariance() {
+        let a = cycle_canonical(&[1, 2, 3]);
+        let b = cycle_canonical(&[2, 3, 1]);
+        let c = cycle_canonical(&[3, 1, 2]);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn canonical_reflection_invariance() {
+        let a = cycle_canonical(&[1, 2, 3, 4]);
+        let b = cycle_canonical(&[4, 3, 2, 1]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn canonical_distinguishes_label_multisets_and_orders() {
+        assert_ne!(cycle_canonical(&[1, 2, 3, 4]), cycle_canonical(&[1, 3, 2, 4]));
+        assert_ne!(cycle_canonical(&[1, 1, 2]), cycle_canonical(&[1, 2, 2]));
+    }
+
+    #[test]
+    fn triangle_found_once() {
+        let g = graph_from(&[5, 6, 7], &[(0, 1), (1, 2), (0, 2)]);
+        let f = enumerate_cycles(&g, &CycleConfig { max_len: 4, budget: u64::MAX });
+        assert_eq!(f.by_len[3].len(), 1);
+        assert_eq!(f.by_len[4].len(), 0);
+        assert_eq!(f.complete_len, 4);
+    }
+
+    #[test]
+    fn k4_cycle_census() {
+        // K4 with uniform labels: cycles of length 3 (4 of them, 1 canonical
+        // form) and length 4 (3 of them, 1 canonical form).
+        let g = graph_from(&[0; 4], &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let f = enumerate_cycles(&g, &CycleConfig { max_len: 4, budget: u64::MAX });
+        assert_eq!(f.by_len[3].len(), 1);
+        assert_eq!(f.by_len[4].len(), 1);
+    }
+
+    #[test]
+    fn distinct_labelings_of_c4_separate() {
+        // Two C4s with different label arrangements around the ring.
+        let a = graph_from(&[1, 2, 1, 2], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let b = graph_from(&[1, 1, 2, 2], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let fa = enumerate_cycles(&a, &CycleConfig::default());
+        let fb = enumerate_cycles(&b, &CycleConfig::default());
+        assert_ne!(fa.by_len[4], fb.by_len[4]);
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_cycles() {
+        let g = graph_from(&[0, 1, 2, 3], &[(0, 1), (1, 2), (1, 3)]);
+        let f = enumerate_cycles(&g, &CycleConfig::default());
+        assert_eq!(f.distinct(), 0);
+        assert_eq!(f.complete_len, 8);
+    }
+
+    #[test]
+    fn budget_truncation() {
+        // Dense graph, tiny budget.
+        let mut edges = Vec::new();
+        for i in 0..8u32 {
+            for j in (i + 1)..8u32 {
+                edges.push((i, j));
+            }
+        }
+        let g = graph_from(&[0; 8], &edges);
+        let f = enumerate_cycles(&g, &CycleConfig { max_len: 8, budget: 16 });
+        assert!(f.complete_len < 8);
+        let full = enumerate_cycles(&g, &CycleConfig { max_len: 8, budget: u64::MAX });
+        for len in 3..=f.complete_len {
+            assert_eq!(f.by_len[len], full.by_len[len], "len {len}");
+        }
+    }
+
+    #[test]
+    fn c6_and_double_triangle_differ_in_cycle_features() {
+        // The canon.rs WL test couldn't separate these; cycle features can.
+        let c6 = graph_from(&[0; 6], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let c3x2 = graph_from(&[0; 6], &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let f6 = enumerate_cycles(&c6, &CycleConfig::default());
+        let f33 = enumerate_cycles(&c3x2, &CycleConfig::default());
+        assert_eq!(f6.by_len[3].len(), 0);
+        assert_eq!(f33.by_len[3].len(), 1);
+        assert_eq!(f6.by_len[6].len(), 1);
+        assert_eq!(f33.by_len[6].len(), 0);
+    }
+}

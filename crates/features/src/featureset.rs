@@ -1,0 +1,132 @@
+//! Query-side feature multisets and containment predicates.
+//!
+//! Both directions of iGQ need the same primitive: compare the path-feature
+//! multiset of a query against that of another graph.
+//!
+//! * `Isub` candidate condition (`g ⊆ G?`): every feature of `g` must occur
+//!   in `G` at least as often — [`FeatureSet::count_subset_of`];
+//! * `Isuper` / Algorithm 2 condition (`gi ⊆ g?`): every feature of `gi`
+//!   must occur in `g` at least as often (the trie-side check `o ≤ O[f,g]`
+//!   plus the `count(gi) == NF[gi]` completeness test).
+
+use crate::label_seq::LabelSeq;
+use crate::paths::{enumerate_paths, PathConfig, PathFeatures};
+use igq_graph::fxhash::FxHashMap;
+use igq_graph::Graph;
+
+/// A path-feature multiset of one graph.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureSet {
+    counts: FxHashMap<LabelSeq, u32>,
+    complete_len: usize,
+}
+
+impl FeatureSet {
+    /// Extracts the feature set of `g` under `config`.
+    pub fn of(g: &Graph, config: &PathConfig) -> FeatureSet {
+        FeatureSet::from_paths(enumerate_paths(g, config))
+    }
+
+    /// Wraps already-enumerated path features.
+    pub fn from_paths(paths: PathFeatures) -> FeatureSet {
+        FeatureSet { counts: paths.counts, complete_len: paths.complete_len }
+    }
+
+    /// Occurrences of `seq` (0 when absent).
+    pub fn count(&self, seq: &LabelSeq) -> u32 {
+        self.counts.get(seq).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct features (`NF[g]` in Algorithm 1).
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Deepest exhaustively enumerated feature length.
+    pub fn complete_len(&self) -> usize {
+        self.complete_len
+    }
+
+    /// Iterates `(feature, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&LabelSeq, u32)> {
+        self.counts.iter().map(|(s, &c)| (s, c))
+    }
+
+    /// True when every feature of `self` occurs in `other` with at least
+    /// the same multiplicity — the necessary condition for `self`'s graph
+    /// to be a subgraph of `other`'s graph.
+    ///
+    /// Comparison is restricted to lengths both sides enumerated
+    /// exhaustively, so truncated enumerations weaken filtering instead of
+    /// corrupting it.
+    pub fn count_subset_of(&self, other: &FeatureSet) -> bool {
+        let limit = self.complete_len.min(other.complete_len);
+        self.counts
+            .iter()
+            .filter(|(seq, _)| seq.edge_len() <= limit)
+            .all(|(seq, &c)| other.count(seq) >= c)
+    }
+
+    /// Approximate heap footprint.
+    pub fn heap_size_bytes(&self) -> u64 {
+        self.counts
+            .keys()
+            .map(|k| k.heap_size_bytes() + 4 + 16)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igq_graph::graph_from;
+
+    fn fs(labels: &[u32], edges: &[(u32, u32)]) -> FeatureSet {
+        FeatureSet::of(&graph_from(labels, edges), &PathConfig::default())
+    }
+
+    #[test]
+    fn subgraph_implies_count_subset() {
+        let path = fs(&[0, 1], &[(0, 1)]);
+        let tri = fs(&[0, 1, 2], &[(0, 1), (1, 2), (0, 2)]);
+        assert!(path.count_subset_of(&tri));
+        assert!(!tri.count_subset_of(&path));
+    }
+
+    #[test]
+    fn multiplicity_matters() {
+        // Two disjoint 0-1 edges vs a single 0-1 edge.
+        let two = fs(&[0, 1, 0, 1], &[(0, 1), (2, 3)]);
+        let one = fs(&[0, 1], &[(0, 1)]);
+        assert!(one.count_subset_of(&two));
+        assert!(!two.count_subset_of(&one));
+    }
+
+    #[test]
+    fn identical_graphs_are_mutual_subsets() {
+        let a = fs(&[3, 4, 3], &[(0, 1), (1, 2)]);
+        let b = fs(&[3, 4, 3], &[(0, 1), (1, 2)]);
+        assert!(a.count_subset_of(&b));
+        assert!(b.count_subset_of(&a));
+    }
+
+    #[test]
+    fn truncation_only_weakens() {
+        // A set whose enumeration stopped at length 1 must still accept a
+        // superset relationship decided at the common depth.
+        let g = graph_from(&[0, 0, 0, 0], &[(0, 1), (1, 2), (2, 3)]);
+        let full = FeatureSet::of(&g, &PathConfig::default());
+        let shallow = FeatureSet::of(&g, &PathConfig::with_max_len(1));
+        assert!(shallow.count_subset_of(&full));
+        assert!(full.count_subset_of(&shallow)); // long features ignored
+    }
+
+    #[test]
+    fn count_and_distinct() {
+        let f = fs(&[0, 0], &[(0, 1)]);
+        let single = LabelSeq::single(igq_graph::LabelId::new(0));
+        assert_eq!(f.count(&single), 2);
+        assert!(f.distinct() >= 2);
+        assert!(f.heap_size_bytes() > 0);
+    }
+}

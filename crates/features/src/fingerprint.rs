@@ -1,0 +1,152 @@
+//! Fixed-width bitmap fingerprints (CT-Index).
+//!
+//! CT-Index hashes the canonical strings of a graph's tree and cycle
+//! features into a per-graph bitmap (4096 bits in the paper's default
+//! configuration, 8192 in the "next larger" configuration of Figure 18).
+//! Subgraph filtering is then a superset test: if `q ⊆ G` every feature of
+//! `q` appears in `G`, so `bits(q) & bits(G) == bits(q)` — bitmap
+//! containment never produces false negatives, only (hash-collision
+//! weakened) false positives.
+//!
+//! Each feature sets `PROBES` positions derived from an Fx hash of its
+//! canonical bytes, Bloom-filter style.
+
+use igq_graph::fxhash::hash_bytes;
+
+/// Number of bit positions set per feature.
+const PROBES: u32 = 2;
+
+/// A fixed-width bitmap fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fingerprint {
+    bits: Box<[u64]>,
+    width: u32,
+}
+
+impl Fingerprint {
+    /// An all-zero fingerprint of `width` bits (must be a power of two).
+    pub fn new(width: u32) -> Fingerprint {
+        assert!(width.is_power_of_two() && width >= 64, "width must be a power of two >= 64");
+        Fingerprint { bits: vec![0u64; (width / 64) as usize].into_boxed_slice(), width }
+    }
+
+    /// Width in bits.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Folds a feature (by its canonical byte string) into the bitmap.
+    pub fn add_feature(&mut self, canonical: &[u8]) {
+        let h = hash_bytes(canonical);
+        let mask = (self.width - 1) as u64;
+        for probe in 0..PROBES {
+            // Derive independent positions by re-mixing with the probe index.
+            let pos = (igq_graph::fxhash::hash_u64(h ^ (0x9e37_79b9 * probe as u64 + probe as u64)) & mask) as usize;
+            self.bits[pos / 64] |= 1 << (pos % 64);
+        }
+    }
+
+    /// True when every set bit of `self` is also set in `other`
+    /// (the CT-Index candidate condition with `self` = query fingerprint).
+    pub fn is_subset_of(&self, other: &Fingerprint) -> bool {
+        debug_assert_eq!(self.width, other.width);
+        self.bits.iter().zip(other.bits.iter()).all(|(&q, &g)| q & !g == 0)
+    }
+
+    /// Number of set bits.
+    pub fn popcount(&self) -> u32 {
+        self.bits.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Bitwise OR-in of another fingerprint (same width).
+    pub fn union_with(&mut self, other: &Fingerprint) {
+        debug_assert_eq!(self.width, other.width);
+        for (a, b) in self.bits.iter_mut().zip(other.bits.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// Heap footprint in bytes.
+    pub fn heap_size_bytes(&self) -> u64 {
+        (self.bits.len() * 8) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_subset_of_everything() {
+        let e = Fingerprint::new(256);
+        let mut f = Fingerprint::new(256);
+        f.add_feature(b"x");
+        assert!(e.is_subset_of(&f));
+        assert!(e.is_subset_of(&e));
+        assert!(!f.is_subset_of(&e));
+    }
+
+    #[test]
+    fn added_features_make_subsets() {
+        let mut q = Fingerprint::new(4096);
+        let mut g = Fingerprint::new(4096);
+        for feat in [b"a".as_slice(), b"bb", b"ccc"] {
+            g.add_feature(feat);
+        }
+        q.add_feature(b"bb");
+        assert!(q.is_subset_of(&g));
+    }
+
+    #[test]
+    fn missing_feature_usually_breaks_subset() {
+        let mut q = Fingerprint::new(4096);
+        let mut g = Fingerprint::new(4096);
+        g.add_feature(b"present");
+        q.add_feature(b"absent-from-g");
+        // With 4096 bits and 2 probes the collision probability is tiny.
+        assert!(!q.is_subset_of(&g));
+    }
+
+    #[test]
+    fn popcount_counts_probes() {
+        let mut f = Fingerprint::new(4096);
+        assert_eq!(f.popcount(), 0);
+        f.add_feature(b"one");
+        assert!(f.popcount() <= 2 && f.popcount() >= 1);
+    }
+
+    #[test]
+    fn union() {
+        let mut a = Fingerprint::new(128);
+        let mut b = Fingerprint::new(128);
+        a.add_feature(b"x");
+        b.add_feature(b"y");
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert!(a.is_subset_of(&u));
+        assert!(b.is_subset_of(&u));
+    }
+
+    #[test]
+    fn width_accounting() {
+        let f = Fingerprint::new(8192);
+        assert_eq!(f.width(), 8192);
+        assert_eq!(f.heap_size_bytes(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = Fingerprint::new(100);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = Fingerprint::new(512);
+        let mut b = Fingerprint::new(512);
+        a.add_feature(b"feature");
+        b.add_feature(b"feature");
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,158 @@
+//! Canonical label sequences — the key type for path features.
+//!
+//! A path feature is the sequence of vertex labels along a simple path. An
+//! undirected path reads the same forwards and backwards, so the canonical
+//! form is the lexicographically smaller of the sequence and its reverse.
+
+use igq_graph::LabelId;
+use std::fmt;
+
+/// A canonical (direction-normalized) label sequence.
+///
+/// Construct with [`LabelSeq::canonical`]; the `Ord`/`Hash` impls operate on
+/// the canonical form, so a path and its reverse are one key.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LabelSeq(Box<[LabelId]>);
+
+impl LabelSeq {
+    /// Canonicalizes `labels` (picks `min(labels, reverse(labels))`).
+    pub fn canonical(labels: &[LabelId]) -> LabelSeq {
+        let forward = labels;
+        let is_reversed_smaller = {
+            let mut rev = labels.iter().rev();
+            let mut fwd = labels.iter();
+            loop {
+                match (fwd.next(), rev.next()) {
+                    (Some(f), Some(r)) if f == r => continue,
+                    (Some(f), Some(r)) => break r < f,
+                    _ => break false,
+                }
+            }
+        };
+        if is_reversed_smaller {
+            LabelSeq(labels.iter().rev().copied().collect())
+        } else {
+            LabelSeq(forward.to_vec().into_boxed_slice())
+        }
+    }
+
+    /// A single-label sequence (length-0 path).
+    pub fn single(label: LabelId) -> LabelSeq {
+        LabelSeq(vec![label].into_boxed_slice())
+    }
+
+    /// The canonical labels.
+    #[inline]
+    pub fn labels(&self) -> &[LabelId] {
+        &self.0
+    }
+
+    /// Number of labels (= path length in edges + 1).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the empty sequence (never produced by enumeration).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Path length in edges.
+    #[inline]
+    pub fn edge_len(&self) -> usize {
+        self.0.len().saturating_sub(1)
+    }
+
+    /// True when the sequence equals its reverse.
+    pub fn is_palindrome(&self) -> bool {
+        self.0.iter().eq(self.0.iter().rev())
+    }
+
+    /// Compact byte encoding (little-endian u32 per label), for hashing into
+    /// fingerprints.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.0.len() * 4);
+        for l in self.0.iter() {
+            out.extend_from_slice(&l.raw().to_le_bytes());
+        }
+        out
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_size_bytes(&self) -> u64 {
+        (self.0.len() * std::mem::size_of::<LabelId>()) as u64
+    }
+}
+
+impl fmt::Debug for LabelSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seq[")?;
+        for (i, l) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "-")?;
+            }
+            write!(f, "{}", l.raw())?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(raws: &[u32]) -> Vec<LabelId> {
+        raws.iter().map(|&r| LabelId::new(r)).collect()
+    }
+
+    #[test]
+    fn forward_already_canonical() {
+        let s = LabelSeq::canonical(&l(&[1, 2, 3]));
+        assert_eq!(s.labels(), &l(&[1, 2, 3])[..]);
+    }
+
+    #[test]
+    fn reverses_when_smaller() {
+        let s = LabelSeq::canonical(&l(&[3, 2, 1]));
+        assert_eq!(s.labels(), &l(&[1, 2, 3])[..]);
+    }
+
+    #[test]
+    fn path_and_reverse_are_one_key() {
+        let a = LabelSeq::canonical(&l(&[5, 0, 7]));
+        let b = LabelSeq::canonical(&l(&[7, 0, 5]));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn palindromes() {
+        assert!(LabelSeq::canonical(&l(&[1, 2, 1])).is_palindrome());
+        assert!(!LabelSeq::canonical(&l(&[1, 2, 2])).is_palindrome());
+        assert!(LabelSeq::single(LabelId::new(4)).is_palindrome());
+    }
+
+    #[test]
+    fn tie_break_on_interior_labels() {
+        // 1-9-0-1: reverse is 1-0-9-1; reverse is smaller at position 1.
+        let s = LabelSeq::canonical(&l(&[1, 9, 0, 1]));
+        assert_eq!(s.labels(), &l(&[1, 0, 9, 1])[..]);
+    }
+
+    #[test]
+    fn lengths() {
+        let s = LabelSeq::canonical(&l(&[1, 2, 3]));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.edge_len(), 2);
+        assert_eq!(LabelSeq::single(LabelId::new(0)).edge_len(), 0);
+    }
+
+    #[test]
+    fn byte_encoding_is_injective_on_labels() {
+        let a = LabelSeq::canonical(&l(&[1, 2]));
+        let b = LabelSeq::canonical(&l(&[1, 3]));
+        assert_ne!(a.to_bytes(), b.to_bytes());
+        assert_eq!(a.to_bytes().len(), 8);
+    }
+}

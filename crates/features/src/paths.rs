@@ -1,0 +1,329 @@
+//! Exhaustive enumeration of simple-path features.
+//!
+//! GGSX and Grapes index *all* labeled simple paths up to a small maximum
+//! length (4 edges in the paper's experiments); iGQ's own query indexes use
+//! the same feature family. This module enumerates them with per-feature
+//! occurrence counts and (optionally, for Grapes) endpoint locations.
+//!
+//! Counting convention (documented in DESIGN.md): a path *occurrence* is a
+//! simple vertex path; a path and its reverse are the same occurrence. We
+//! enumerate directed simple paths from every start vertex — each undirected
+//! occurrence of length ≥ 1 is visited exactly twice — and halve the counts
+//! at the end. Length-0 paths (single labeled vertices) are counted once per
+//! vertex.
+//!
+//! Dense graphs can hold astronomically many paths, so enumeration takes a
+//! *budget*. Enumeration proceeds level by level (iterative deepening): a
+//! level either completes within budget and is committed, or is discarded
+//! wholesale. The result's `complete_len` reports the deepest fully
+//! enumerated length, letting filter code stay sound (no false negatives)
+//! for graphs whose deep features were not exhaustively enumerated.
+
+use crate::label_seq::LabelSeq;
+use igq_graph::fxhash::FxHashMap;
+use igq_graph::{Graph, LabelId, VertexId};
+
+/// Configuration for path enumeration.
+#[derive(Debug, Clone, Copy)]
+pub struct PathConfig {
+    /// Maximum path length in edges (paper default: 4).
+    pub max_len: usize,
+    /// Include length-0 (single-vertex) features.
+    pub include_vertices: bool,
+    /// Budget on *directed* DFS edge visits per graph; `u64::MAX` = unlimited.
+    pub budget: u64,
+}
+
+impl Default for PathConfig {
+    fn default() -> Self {
+        PathConfig { max_len: 4, include_vertices: true, budget: 40_000_000 }
+    }
+}
+
+impl PathConfig {
+    /// Paper-default configuration with a custom max length.
+    pub fn with_max_len(max_len: usize) -> Self {
+        PathConfig { max_len, ..Default::default() }
+    }
+}
+
+/// Path features of one graph.
+#[derive(Debug, Clone, Default)]
+pub struct PathFeatures {
+    /// Canonical label sequence → occurrence count.
+    pub counts: FxHashMap<LabelSeq, u32>,
+    /// Canonical label sequence → sorted, deduplicated endpoint vertices
+    /// (present only when requested; Grapes' "location information").
+    pub locations: FxHashMap<LabelSeq, Vec<VertexId>>,
+    /// Features of length ≤ `complete_len` are exhaustively counted.
+    pub complete_len: usize,
+}
+
+impl PathFeatures {
+    /// Number of distinct features.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total occurrences across features.
+    pub fn total_occurrences(&self) -> u64 {
+        self.counts.values().map(|&c| c as u64).sum()
+    }
+
+    /// Approximate heap footprint (for index-size accounting).
+    pub fn heap_size_bytes(&self) -> u64 {
+        let counts: u64 = self
+            .counts
+            .keys()
+            .map(|k| k.heap_size_bytes() + std::mem::size_of::<u32>() as u64 + 16)
+            .sum();
+        let locs: u64 = self
+            .locations
+            .iter()
+            .map(|(k, v)| k.heap_size_bytes() + (v.len() * 4) as u64 + 16)
+            .sum();
+        counts + locs
+    }
+}
+
+/// One iterative-deepening level: enumerate directed simple paths of length
+/// exactly `level`, recording counts/locations into level-local maps.
+struct LevelRun<'a> {
+    graph: &'a Graph,
+    level: usize,
+    want_locations: bool,
+    budget: u64,
+    visits: &'a mut u64,
+    tripped: bool,
+    directed: FxHashMap<LabelSeq, u32>,
+    loc_pairs: FxHashMap<LabelSeq, Vec<VertexId>>,
+    on_path: Vec<bool>,
+    label_stack: Vec<LabelId>,
+}
+
+impl<'a> LevelRun<'a> {
+    fn dfs(&mut self, start: VertexId, v: VertexId, depth: usize) {
+        if self.tripped {
+            return;
+        }
+        if depth == self.level {
+            let seq = LabelSeq::canonical(&self.label_stack);
+            if self.want_locations {
+                let entry = self.loc_pairs.entry(seq.clone()).or_default();
+                entry.push(start);
+                entry.push(v);
+            }
+            *self.directed.entry(seq).or_insert(0) += 1;
+            return;
+        }
+        for &w in self.graph.neighbors(v) {
+            if self.on_path[w.index()] {
+                continue;
+            }
+            if *self.visits >= self.budget {
+                self.tripped = true;
+                return;
+            }
+            *self.visits += 1;
+            self.on_path[w.index()] = true;
+            self.label_stack.push(self.graph.label(w));
+            self.dfs(start, w, depth + 1);
+            self.label_stack.pop();
+            self.on_path[w.index()] = false;
+        }
+    }
+}
+
+/// Enumerates path features of `g` under `config`.
+pub fn enumerate_paths(g: &Graph, config: &PathConfig) -> PathFeatures {
+    enumerate_paths_impl(g, config, false)
+}
+
+/// Enumerates path features with endpoint locations (Grapes).
+pub fn enumerate_paths_with_locations(g: &Graph, config: &PathConfig) -> PathFeatures {
+    enumerate_paths_impl(g, config, true)
+}
+
+fn enumerate_paths_impl(g: &Graph, config: &PathConfig, want_locations: bool) -> PathFeatures {
+    let mut counts: FxHashMap<LabelSeq, u32> = FxHashMap::default();
+    let mut locations: FxHashMap<LabelSeq, Vec<VertexId>> = FxHashMap::default();
+    let mut complete_len = 0usize;
+    let mut visits = 0u64;
+
+    if config.include_vertices {
+        for v in g.vertices() {
+            let seq = LabelSeq::single(g.label(v));
+            *counts.entry(seq.clone()).or_insert(0) += 1;
+            if want_locations {
+                locations.entry(seq).or_default().push(v);
+            }
+        }
+    }
+
+    for level in 1..=config.max_len {
+        let mut run = LevelRun {
+            graph: g,
+            level,
+            want_locations,
+            budget: config.budget,
+            visits: &mut visits,
+            tripped: false,
+            directed: FxHashMap::default(),
+            loc_pairs: FxHashMap::default(),
+            on_path: vec![false; g.vertex_count()],
+            label_stack: Vec::with_capacity(level + 1),
+        };
+        for v in g.vertices() {
+            run.on_path[v.index()] = true;
+            run.label_stack.push(g.label(v));
+            run.dfs(v, v, 0);
+            run.label_stack.pop();
+            run.on_path[v.index()] = false;
+            if run.tripped {
+                break;
+            }
+        }
+        if run.tripped {
+            // Discard the partial level: shorter levels stay exhaustive.
+            break;
+        }
+        for (seq, directed) in run.directed {
+            debug_assert!(directed % 2 == 0, "each undirected path is seen twice");
+            counts.insert(seq, directed / 2);
+        }
+        for (seq, pairs) in run.loc_pairs {
+            locations.entry(seq).or_default().extend(pairs);
+        }
+        complete_len = level;
+    }
+
+    for locs in locations.values_mut() {
+        locs.sort_unstable();
+        locs.dedup();
+    }
+
+    PathFeatures { counts, locations, complete_len }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igq_graph::graph_from;
+
+    fn seq(raws: &[u32]) -> LabelSeq {
+        let ls: Vec<LabelId> = raws.iter().map(|&r| LabelId::new(r)).collect();
+        LabelSeq::canonical(&ls)
+    }
+
+    #[test]
+    fn triangle_path_counts() {
+        // Triangle, all labels 0. Length-1 paths: 3 edges. Length-2: each of
+        // the 3 vertices is the middle of exactly one simple path → 3.
+        let g = graph_from(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
+        let f = enumerate_paths(&g, &PathConfig { max_len: 2, include_vertices: true, budget: u64::MAX });
+        assert_eq!(f.counts[&seq(&[0])], 3);
+        assert_eq!(f.counts[&seq(&[0, 0])], 3);
+        assert_eq!(f.counts[&seq(&[0, 0, 0])], 3);
+        assert_eq!(f.complete_len, 2);
+    }
+
+    #[test]
+    fn labeled_path_counts_respect_direction_normalization() {
+        // Path 1-2-3: one length-2 occurrence; canonical seq is [1,2,3].
+        let g = graph_from(&[1, 2, 3], &[(0, 1), (1, 2)]);
+        let f = enumerate_paths(&g, &PathConfig::with_max_len(2));
+        assert_eq!(f.counts[&seq(&[1, 2, 3])], 1);
+        assert_eq!(f.counts[&seq(&[1, 2])], 1);
+        assert_eq!(f.counts[&seq(&[2, 3])], 1);
+        assert!(!f.counts.contains_key(&seq(&[1, 3])));
+    }
+
+    #[test]
+    fn star_counts() {
+        // Star center 0 (label 9), leaves labeled 1,1,1.
+        let g = graph_from(&[9, 1, 1, 1], &[(0, 1), (0, 2), (0, 3)]);
+        let f = enumerate_paths(&g, &PathConfig::with_max_len(2));
+        assert_eq!(f.counts[&seq(&[1, 9])], 3);
+        // Length-2 paths leaf-center-leaf: C(3,2) = 3 occurrences.
+        assert_eq!(f.counts[&seq(&[1, 9, 1])], 3);
+    }
+
+    #[test]
+    fn max_len_zero_yields_only_vertices() {
+        let g = graph_from(&[0, 1], &[(0, 1)]);
+        let f = enumerate_paths(&g, &PathConfig { max_len: 0, include_vertices: true, budget: u64::MAX });
+        assert_eq!(f.distinct(), 2);
+        assert_eq!(f.total_occurrences(), 2);
+        assert_eq!(f.complete_len, 0);
+    }
+
+    #[test]
+    fn locations_are_path_endpoints() {
+        let g = graph_from(&[1, 2, 3], &[(0, 1), (1, 2)]);
+        let f = enumerate_paths_with_locations(&g, &PathConfig::with_max_len(2));
+        let locs = &f.locations[&seq(&[1, 2, 3])];
+        assert_eq!(locs, &vec![VertexId::new(0), VertexId::new(2)]);
+        let locs1 = &f.locations[&seq(&[1, 2])];
+        assert_eq!(locs1, &vec![VertexId::new(0), VertexId::new(1)]);
+    }
+
+    #[test]
+    fn budget_trip_keeps_committed_levels_exhaustive() {
+        // Dense-ish graph with tiny budget.
+        let g = graph_from(
+            &[0; 6],
+            &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (1, 2), (2, 3), (3, 4), (4, 5), (5, 1)],
+        );
+        let f = enumerate_paths(&g, &PathConfig { max_len: 4, include_vertices: true, budget: 30 });
+        assert!(f.complete_len < 4);
+        let full = enumerate_paths(&g, &PathConfig { max_len: 4, include_vertices: true, budget: u64::MAX });
+        // Every committed level must match the unbudgeted run exactly.
+        for (s, &c) in &full.counts {
+            if s.edge_len() <= f.complete_len {
+                assert_eq!(f.counts.get(s), Some(&c), "mismatch at {s:?}");
+            }
+        }
+        // And no features beyond the committed depth leak out.
+        assert!(f.counts.keys().all(|s| s.edge_len() <= f.complete_len));
+    }
+
+    #[test]
+    fn counts_match_on_disconnected_graph() {
+        let g = graph_from(&[1, 1, 2, 2], &[(0, 1), (2, 3)]);
+        let f = enumerate_paths(&g, &PathConfig::with_max_len(3));
+        assert_eq!(f.counts[&seq(&[1, 1])], 1);
+        assert_eq!(f.counts[&seq(&[2, 2])], 1);
+        assert_eq!(f.counts.len(), 4); // [1],[2],[1,1],[2,2]
+    }
+
+    #[test]
+    fn no_vertex_features_when_disabled() {
+        let g = graph_from(&[0, 1], &[(0, 1)]);
+        let f = enumerate_paths(&g, &PathConfig { max_len: 1, include_vertices: false, budget: u64::MAX });
+        assert_eq!(f.distinct(), 1);
+        assert_eq!(f.counts[&seq(&[0, 1])], 1);
+    }
+
+    #[test]
+    fn long_path_enumeration_on_cycle() {
+        // C5, labels 0..4: exactly 5 simple paths of each length 1..=4.
+        let g = graph_from(&[0, 1, 2, 3, 4], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let f = enumerate_paths(&g, &PathConfig::with_max_len(4));
+        for len in 1..=4usize {
+            let total: u32 = f
+                .counts
+                .iter()
+                .filter(|(s, _)| s.edge_len() == len)
+                .map(|(_, &c)| c)
+                .sum();
+            assert_eq!(total, 5, "length {len}");
+        }
+    }
+
+    #[test]
+    fn heap_size_accounts_something() {
+        let g = graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]);
+        let f = enumerate_paths_with_locations(&g, &PathConfig::default());
+        assert!(f.heap_size_bytes() > 0);
+    }
+}

@@ -1,0 +1,341 @@
+//! Subtree feature enumeration with AHU canonical forms (CT-Index).
+//!
+//! CT-Index (Klein, Kriege, Mutzel, ICDE 2011) fingerprints a graph by the
+//! canonical string forms of its subtrees up to a maximum size (6 edges in
+//! the paper's experiments). Trees admit linear-time canonical strings via
+//! the classic AHU encoding — that is precisely why CT-Index restricts
+//! itself to tree (and cycle) features.
+//!
+//! Enumeration: for every root vertex `r`, we grow connected acyclic edge
+//! sets whose minimum vertex is `r` (deduplicating growth orders with a
+//! per-root seen-set), and record each subtree's canonical form. A *budget*
+//! bounds the number of subtree expansions; like path enumeration, the
+//! enumeration is level-complete: sizes `≤ complete_edges` are exhaustive,
+//! so bitmap filters can stay sound on graphs where enumeration was
+//! truncated.
+
+use igq_graph::fxhash::{FxHashMap, FxHashSet};
+use igq_graph::{Graph, VertexId};
+
+/// Configuration for subtree enumeration.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum subtree size in edges (paper/CT-Index default: 6).
+    pub max_edges: usize,
+    /// Budget on subtree expansions per graph.
+    pub budget: u64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig { max_edges: 6, budget: 4_000_000 }
+    }
+}
+
+/// Canonical subtree features of one graph, bucketed by edge count.
+#[derive(Debug, Clone, Default)]
+pub struct TreeFeatures {
+    /// `by_size[k]` = distinct canonical strings of subtrees with `k` edges
+    /// (index 0 = single labeled vertices).
+    pub by_size: Vec<FxHashSet<Vec<u8>>>,
+    /// Sizes `≤ complete_edges` are exhaustively enumerated.
+    pub complete_edges: usize,
+}
+
+impl TreeFeatures {
+    /// Total distinct features across all sizes.
+    pub fn distinct(&self) -> usize {
+        self.by_size.iter().map(|s| s.len()).sum()
+    }
+
+    /// Approximate heap footprint.
+    pub fn heap_size_bytes(&self) -> u64 {
+        self.by_size
+            .iter()
+            .flat_map(|s| s.iter())
+            .map(|v| v.len() as u64 + 16)
+            .sum()
+    }
+}
+
+/// AHU canonical string of a labeled free tree given as an edge list.
+///
+/// The tree is rooted at its center (or the lexicographically smaller
+/// encoding of the two centers for even-diameter trees), and encoded as
+/// nested byte strings `( label children... )` with children sorted.
+pub fn tree_canonical(labels: &[u32], edges: &[(u32, u32)]) -> Vec<u8> {
+    let n = labels.len();
+    debug_assert_eq!(edges.len() + 1, n, "input must be a tree");
+    if n == 1 {
+        return encode_rooted(labels, &vec![Vec::new(); 1], 0);
+    }
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &(u, v) in edges {
+        adj[u as usize].push(v);
+        adj[v as usize].push(u);
+    }
+    let centers = tree_centers(&adj);
+    let adj_children = |root: u32| -> Vec<Vec<u32>> {
+        // BFS orientation away from the root.
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[root as usize] = true;
+        queue.push_back(root);
+        while let Some(v) = queue.pop_front() {
+            for &w in &adj[v as usize] {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    children[v as usize].push(w);
+                    queue.push_back(w);
+                }
+            }
+        }
+        children
+    };
+    centers
+        .into_iter()
+        .map(|c| encode_rooted(labels, &adj_children(c), c))
+        .min()
+        .expect("tree has 1 or 2 centers")
+}
+
+/// The 1 or 2 centers of a tree (iterative leaf stripping).
+fn tree_centers(adj: &[Vec<u32>]) -> Vec<u32> {
+    let n = adj.len();
+    if n == 1 {
+        return vec![0];
+    }
+    let mut degree: Vec<usize> = adj.iter().map(|a| a.len()).collect();
+    let mut layer: Vec<u32> = (0..n as u32).filter(|&v| degree[v as usize] <= 1).collect();
+    let mut removed = layer.len();
+    while removed < n {
+        let mut next = Vec::new();
+        for &v in &layer {
+            for &w in &adj[v as usize] {
+                if degree[w as usize] > 1 {
+                    degree[w as usize] -= 1;
+                    if degree[w as usize] == 1 {
+                        next.push(w);
+                    }
+                }
+            }
+        }
+        removed += next.len();
+        layer = next;
+    }
+    layer
+}
+
+fn encode_rooted(labels: &[u32], children: &[Vec<u32>], root: u32) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_node(labels, children, root, &mut out);
+    out
+}
+
+fn encode_node(labels: &[u32], children: &[Vec<u32>], v: u32, out: &mut Vec<u8>) {
+    out.push(b'(');
+    out.extend_from_slice(&labels[v as usize].to_be_bytes());
+    let mut encs: Vec<Vec<u8>> = children[v as usize]
+        .iter()
+        .map(|&c| {
+            let mut e = Vec::new();
+            encode_node(labels, children, c, &mut e);
+            e
+        })
+        .collect();
+    encs.sort();
+    for e in encs {
+        out.extend_from_slice(&e);
+    }
+    out.push(b')');
+}
+
+/// Enumerates canonical subtree features of `g`.
+pub fn enumerate_trees(g: &Graph, config: &TreeConfig) -> TreeFeatures {
+    let mut by_size: Vec<FxHashSet<Vec<u8>>> = vec![FxHashSet::default(); config.max_edges + 1];
+    // Size 0: single labeled vertices.
+    for v in g.vertices() {
+        by_size[0].insert(g.label(v).raw().to_be_bytes().to_vec());
+    }
+    let mut expansions = 0u64;
+    let mut complete_edges = 0usize;
+
+    // Level-by-level growth over *edge-set* subtrees. Each subtree is keyed
+    // by its sorted edge list for dedup; growth adds one frontier edge that
+    // introduces a new vertex (preserving acyclicity) with the min-vertex
+    // rule anchoring each subtree at its smallest vertex.
+    //
+    // Frontier representation: (sorted edge list, vertex set).
+    type EdgeList = Vec<(VertexId, VertexId)>;
+    let mut current: Vec<(EdgeList, Vec<VertexId>)> = Vec::new();
+    // Seed: every edge, anchored at its min endpoint.
+    for &(u, v) in g.edges() {
+        current.push((vec![(u, v)], vec![u, v]));
+    }
+
+    for size in 1..=config.max_edges {
+        let mut seen: FxHashSet<EdgeList> = FxHashSet::default();
+        let mut next: Vec<(EdgeList, Vec<VertexId>)> = Vec::new();
+        let mut tripped = false;
+        'level: for (edges, vertices) in &current {
+            // Record the canonical form of this subtree.
+            expansions += 1;
+            if expansions > config.budget {
+                tripped = true;
+                break 'level;
+            }
+            record_tree(g, edges, &mut by_size[size]);
+            if size == config.max_edges {
+                continue;
+            }
+            let anchor = vertices.iter().copied().min().expect("nonempty");
+            for &v in vertices {
+                for &w in g.neighbors(v) {
+                    if w < anchor || vertices.contains(&w) {
+                        continue; // min-vertex rule / acyclicity
+                    }
+                    let mut e2 = edges.clone();
+                    let edge = if v < w { (v, w) } else { (w, v) };
+                    // Insert keeping the list sorted for canonical dedup.
+                    let pos = e2.binary_search(&edge).unwrap_or_else(|p| p);
+                    e2.insert(pos, edge);
+                    if seen.insert(e2.clone()) {
+                        let mut v2 = vertices.clone();
+                        v2.push(w);
+                        next.push((e2, v2));
+                    }
+                }
+            }
+        }
+        if tripped {
+            // Discard the partial level so no bucket can ever be compared
+            // against an incomplete feature set.
+            by_size[size].clear();
+            break;
+        }
+        complete_edges = size;
+        current = next;
+    }
+
+    TreeFeatures { by_size, complete_edges }
+}
+
+fn record_tree(g: &Graph, edges: &[(VertexId, VertexId)], out: &mut FxHashSet<Vec<u8>>) {
+    // Remap to dense local ids.
+    let mut remap: FxHashMap<VertexId, u32> = FxHashMap::default();
+    let mut labels: Vec<u32> = Vec::with_capacity(edges.len() + 1);
+    let mut local_edges: Vec<(u32, u32)> = Vec::with_capacity(edges.len());
+    for &(u, v) in edges {
+        for x in [u, v] {
+            if !remap.contains_key(&x) {
+                remap.insert(x, labels.len() as u32);
+                labels.push(g.label(x).raw());
+            }
+        }
+        local_edges.push((remap[&u], remap[&v]));
+    }
+    out.insert(tree_canonical(&labels, &local_edges));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igq_graph::graph_from;
+
+    #[test]
+    fn canonical_is_invariant_under_relabeling() {
+        // Same star, two vertex orders.
+        let a = tree_canonical(&[9, 1, 2, 3], &[(0, 1), (0, 2), (0, 3)]);
+        let b = tree_canonical(&[3, 9, 1, 2], &[(1, 0), (1, 2), (1, 3)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn canonical_distinguishes_shapes() {
+        let path = tree_canonical(&[0, 0, 0, 0], &[(0, 1), (1, 2), (2, 3)]);
+        let star = tree_canonical(&[0, 0, 0, 0], &[(0, 1), (0, 2), (0, 3)]);
+        assert_ne!(path, star);
+    }
+
+    #[test]
+    fn canonical_distinguishes_labels() {
+        let a = tree_canonical(&[0, 1], &[(0, 1)]);
+        let b = tree_canonical(&[0, 2], &[(0, 1)]);
+        assert_ne!(a, b);
+        // ... but edge direction does not matter.
+        let c = tree_canonical(&[1, 0], &[(0, 1)]);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn even_diameter_tree_has_two_centers_handled() {
+        // P4: centers are the two middle vertices; asymmetric labels force
+        // the min() choice to be deterministic.
+        let a = tree_canonical(&[5, 1, 2, 7], &[(0, 1), (1, 2), (2, 3)]);
+        let b = tree_canonical(&[7, 2, 1, 5], &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn triangle_yields_paths_but_no_3edge_tree_through_cycle() {
+        // K3: subtrees with 2 edges are the 3 paths; no 3-edge subtree
+        // exists (would need 4 vertices).
+        let g = graph_from(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
+        let f = enumerate_trees(&g, &TreeConfig { max_edges: 3, budget: u64::MAX });
+        assert_eq!(f.by_size[0].len(), 1); // single label
+        assert_eq!(f.by_size[1].len(), 1); // 0-0 edge
+        assert_eq!(f.by_size[2].len(), 1); // 0-0-0 path
+        assert_eq!(f.by_size[3].len(), 0);
+        assert_eq!(f.complete_edges, 3);
+    }
+
+    #[test]
+    fn star_subtrees() {
+        // Star with center 9, leaves 1,2,3: distinct 2-edge subtrees are
+        // the pairs {1,2},{1,3},{2,3} → 3 canonical forms; the single
+        // 3-edge subtree is the full star.
+        let g = graph_from(&[9, 1, 2, 3], &[(0, 1), (0, 2), (0, 3)]);
+        let f = enumerate_trees(&g, &TreeConfig { max_edges: 3, budget: u64::MAX });
+        assert_eq!(f.by_size[1].len(), 3);
+        assert_eq!(f.by_size[2].len(), 3);
+        assert_eq!(f.by_size[3].len(), 1);
+    }
+
+    #[test]
+    fn budget_truncation_reports_complete_level() {
+        let g = graph_from(
+            &[0; 8],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0), (0, 4), (1, 5)],
+        );
+        let f = enumerate_trees(&g, &TreeConfig { max_edges: 5, budget: 20 });
+        assert!(f.complete_edges < 5);
+        let full = enumerate_trees(&g, &TreeConfig { max_edges: 5, budget: u64::MAX });
+        for size in 0..=f.complete_edges {
+            assert_eq!(f.by_size[size], full.by_size[size], "size {size}");
+        }
+    }
+
+    #[test]
+    fn subtree_features_subsume_query_containment() {
+        // If q ⊆ G then every subtree feature of q is a subtree feature of
+        // G — spot-check on a fixed pair.
+        let q = graph_from(&[1, 2], &[(0, 1)]);
+        let g = graph_from(&[1, 2, 3], &[(0, 1), (1, 2)]);
+        let fq = enumerate_trees(&q, &TreeConfig::default());
+        let fg = enumerate_trees(&g, &TreeConfig::default());
+        for size in 0..fq.by_size.len() {
+            for feat in &fq.by_size[size] {
+                assert!(fg.by_size[size].contains(feat));
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_and_heap_size() {
+        let g = graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]);
+        let f = enumerate_trees(&g, &TreeConfig::default());
+        assert!(f.distinct() >= 4);
+        assert!(f.heap_size_bytes() > 0);
+    }
+}

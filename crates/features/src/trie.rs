@@ -1,0 +1,249 @@
+//! A feature trie with per-graph posting lists.
+//!
+//! This single structure backs three systems from the paper:
+//! GraphGrepSX's suffix-tree-of-paths dataset index, Grapes' per-graph path
+//! tries (post-merge), and iGQ's `Isuper` supergraph index (Algorithm 1
+//! stores `{gi, o}` pairs per feature — exactly a posting list).
+//!
+//! Nodes are arena-allocated (`Vec<TrieNode>`); children are label→node
+//! maps. Posting lists are kept sorted by graph id so filtering can merge
+//! them with two-pointer intersections.
+
+use crate::label_seq::LabelSeq;
+use igq_graph::fxhash::FxHashMap;
+use igq_graph::{GraphId, LabelId};
+
+/// One `(graph, occurrence-count)` posting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    pub graph: GraphId,
+    pub count: u32,
+}
+
+#[derive(Debug, Default, Clone)]
+struct TrieNode {
+    children: FxHashMap<LabelId, u32>,
+    postings: Vec<Posting>,
+}
+
+/// Trie over canonical label sequences with per-graph counts.
+#[derive(Debug, Clone)]
+pub struct FeatureTrie {
+    nodes: Vec<TrieNode>,
+    features: u64,
+    postings: u64,
+}
+
+impl Default for FeatureTrie {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FeatureTrie {
+    /// An empty trie (single root node).
+    pub fn new() -> FeatureTrie {
+        FeatureTrie { nodes: vec![TrieNode::default()], features: 0, postings: 0 }
+    }
+
+    fn walk_or_create(&mut self, seq: &LabelSeq) -> u32 {
+        let mut node = 0u32;
+        for &label in seq.labels() {
+            let next_free = self.nodes.len() as u32;
+            let entry = self.nodes[node as usize].children.entry(label).or_insert(next_free);
+            let child = *entry;
+            if child == next_free {
+                self.nodes.push(TrieNode::default());
+            }
+            node = child;
+        }
+        node
+    }
+
+    fn walk(&self, seq: &LabelSeq) -> Option<u32> {
+        let mut node = 0u32;
+        for &label in seq.labels() {
+            node = *self.nodes[node as usize].children.get(&label)?;
+        }
+        Some(node)
+    }
+
+    /// Records that `graph` contains `count` occurrences of `seq`.
+    ///
+    /// Postings for a given feature must be inserted in nondecreasing graph
+    /// order (the natural order when indexing a store); repeated inserts for
+    /// the same graph accumulate.
+    pub fn insert(&mut self, seq: &LabelSeq, graph: GraphId, count: u32) {
+        let node = self.walk_or_create(seq);
+        let n = &mut self.nodes[node as usize];
+        if n.postings.is_empty() {
+            self.features += 1;
+        }
+        match n.postings.last_mut() {
+            Some(last) if last.graph == graph => last.count += count,
+            Some(last) => {
+                debug_assert!(last.graph < graph, "insert graphs in nondecreasing id order");
+                n.postings.push(Posting { graph, count });
+                self.postings += 1;
+            }
+            None => {
+                n.postings.push(Posting { graph, count });
+                self.postings += 1;
+            }
+        }
+    }
+
+    /// The posting list of `seq` (empty slice when the feature is absent).
+    pub fn get(&self, seq: &LabelSeq) -> &[Posting] {
+        match self.walk(seq) {
+            Some(node) => &self.nodes[node as usize].postings,
+            None => &[],
+        }
+    }
+
+    /// True when the feature occurs in at least one graph.
+    pub fn contains(&self, seq: &LabelSeq) -> bool {
+        !self.get(seq).is_empty()
+    }
+
+    /// The occurrence count of `seq` in `graph` (0 when absent).
+    pub fn count_in(&self, seq: &LabelSeq, graph: GraphId) -> u32 {
+        let postings = self.get(seq);
+        postings
+            .binary_search_by_key(&graph, |p| p.graph)
+            .map(|i| postings[i].count)
+            .unwrap_or(0)
+    }
+
+    /// Number of distinct features stored.
+    pub fn feature_count(&self) -> u64 {
+        self.features
+    }
+
+    /// Number of postings (graph × feature pairs) stored.
+    pub fn posting_count(&self) -> u64 {
+        self.postings
+    }
+
+    /// Number of trie nodes (including the root).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Approximate heap footprint for index-size accounting (Fig. 18).
+    pub fn heap_size_bytes(&self) -> u64 {
+        let mut bytes = (self.nodes.len() * std::mem::size_of::<TrieNode>()) as u64;
+        for n in &self.nodes {
+            bytes += (n.children.len() * (std::mem::size_of::<LabelId>() + 4 + 8)) as u64;
+            bytes += (n.postings.len() * std::mem::size_of::<Posting>()) as u64;
+        }
+        bytes
+    }
+
+    /// Visits every `(feature, postings)` pair. Sequences are rebuilt during
+    /// the walk, so this is for maintenance/debug paths, not hot loops.
+    pub fn for_each_feature<F: FnMut(&LabelSeq, &[Posting])>(&self, mut f: F) {
+        let mut stack: Vec<LabelId> = Vec::new();
+        self.visit(0, &mut stack, &mut f);
+    }
+
+    fn visit<F: FnMut(&LabelSeq, &[Posting])>(&self, node: u32, stack: &mut Vec<LabelId>, f: &mut F) {
+        let n = &self.nodes[node as usize];
+        if !n.postings.is_empty() {
+            // Stored sequences are canonical already; rebuilding from the
+            // root preserves them.
+            let seq = LabelSeq::canonical(stack);
+            f(&seq, &n.postings);
+        }
+        for (&label, &child) in &n.children {
+            stack.push(label);
+            self.visit(child, stack, f);
+            stack.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(raws: &[u32]) -> LabelSeq {
+        let ls: Vec<LabelId> = raws.iter().map(|&r| LabelId::new(r)).collect();
+        LabelSeq::canonical(&ls)
+    }
+
+    fn g(i: u32) -> GraphId {
+        GraphId::new(i)
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut t = FeatureTrie::new();
+        t.insert(&seq(&[1, 2]), g(0), 3);
+        t.insert(&seq(&[1, 2]), g(2), 1);
+        assert_eq!(t.get(&seq(&[1, 2])), &[Posting { graph: g(0), count: 3 }, Posting { graph: g(2), count: 1 }]);
+        assert_eq!(t.count_in(&seq(&[1, 2]), g(0)), 3);
+        assert_eq!(t.count_in(&seq(&[1, 2]), g(1)), 0);
+        assert!(t.get(&seq(&[9])).is_empty());
+    }
+
+    #[test]
+    fn repeated_inserts_accumulate() {
+        let mut t = FeatureTrie::new();
+        t.insert(&seq(&[4]), g(1), 2);
+        t.insert(&seq(&[4]), g(1), 5);
+        assert_eq!(t.count_in(&seq(&[4]), g(1)), 7);
+        assert_eq!(t.posting_count(), 1);
+    }
+
+    #[test]
+    fn shares_prefixes() {
+        let mut t = FeatureTrie::new();
+        t.insert(&seq(&[1, 2, 3]), g(0), 1);
+        t.insert(&seq(&[1, 2, 4]), g(0), 1);
+        // root + 1 + 2 + {3,4} = 5 nodes
+        assert_eq!(t.node_count(), 5);
+        assert_eq!(t.feature_count(), 2);
+    }
+
+    #[test]
+    fn canonical_sequences_collide_correctly() {
+        let mut t = FeatureTrie::new();
+        // [3,2,1] canonicalizes to [1,2,3]; both writes hit one feature.
+        t.insert(&seq(&[1, 2, 3]), g(0), 1);
+        t.insert(&seq(&[3, 2, 1]), g(0), 1);
+        assert_eq!(t.count_in(&seq(&[1, 2, 3]), g(0)), 2);
+        assert_eq!(t.feature_count(), 1);
+    }
+
+    #[test]
+    fn for_each_feature_visits_everything() {
+        let mut t = FeatureTrie::new();
+        t.insert(&seq(&[1]), g(0), 1);
+        t.insert(&seq(&[1, 2]), g(1), 2);
+        t.insert(&seq(&[5]), g(2), 1);
+        let mut seen = Vec::new();
+        t.for_each_feature(|s, p| seen.push((s.clone(), p.len())));
+        seen.sort_by_key(|(s, _)| s.clone());
+        assert_eq!(seen.len(), 3);
+        assert!(seen.iter().all(|(_, l)| *l == 1));
+    }
+
+    #[test]
+    fn heap_size_grows_with_content() {
+        let mut t = FeatureTrie::new();
+        let empty = t.heap_size_bytes();
+        for i in 0..50 {
+            t.insert(&seq(&[i, i + 1, i + 2]), g(0), 1);
+        }
+        assert!(t.heap_size_bytes() > empty);
+    }
+
+    #[test]
+    fn empty_trie() {
+        let t = FeatureTrie::new();
+        assert_eq!(t.feature_count(), 0);
+        assert_eq!(t.posting_count(), 0);
+        assert!(!t.contains(&seq(&[1])));
+    }
+}

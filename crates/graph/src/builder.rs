@@ -1,0 +1,207 @@
+//! Mutable construction API for [`Graph`].
+
+use crate::error::{GraphError, Result};
+use crate::{Graph, LabelId, VertexId};
+
+/// Incrementally builds a [`Graph`].
+///
+/// Duplicate edges are accepted and deduplicated at [`build`](Self::build);
+/// self-loops and references to unknown vertices are rejected eagerly so the
+/// error points at the offending call site.
+///
+/// ```
+/// use igq_graph::{GraphBuilder, LabelId, VertexId};
+/// let mut b = GraphBuilder::new();
+/// let a = b.add_vertex(LabelId::new(0));
+/// let c = b.add_vertex(LabelId::new(1));
+/// b.add_edge(a, c).unwrap();
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    labels: Vec<LabelId>,
+    edges: Vec<(VertexId, VertexId, LabelId)>,
+}
+
+impl GraphBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty builder with reserved capacity.
+    pub fn with_capacity(vertices: usize, edges: usize) -> Self {
+        GraphBuilder { labels: Vec::with_capacity(vertices), edges: Vec::with_capacity(edges) }
+    }
+
+    /// Adds a vertex with `label`, returning its id (dense, insertion order).
+    pub fn add_vertex(&mut self, label: LabelId) -> VertexId {
+        let id = VertexId::from_index(self.labels.len());
+        self.labels.push(label);
+        id
+    }
+
+    /// Adds `n` vertices all carrying `label`; returns the first new id.
+    pub fn add_vertices(&mut self, n: usize, label: LabelId) -> VertexId {
+        let first = VertexId::from_index(self.labels.len());
+        self.labels.extend(std::iter::repeat(label).take(n));
+        first
+    }
+
+    /// Adds an undirected edge `{u, v}` with the default edge label `0`.
+    ///
+    /// # Errors
+    /// [`GraphError::SelfLoop`] when `u == v`;
+    /// [`GraphError::UnknownVertex`] when either endpoint was never added.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> Result<()> {
+        self.add_edge_labeled(u, v, LabelId::new(0))
+    }
+
+    /// Adds an undirected edge `{u, v}` carrying `label`. Adding the same
+    /// edge twice with different labels is reported by [`try_build`]
+    /// ([`GraphError::EdgeLabelConflict`]).
+    ///
+    /// [`try_build`]: Self::try_build
+    ///
+    /// # Errors
+    /// [`GraphError::SelfLoop`] when `u == v`;
+    /// [`GraphError::UnknownVertex`] when either endpoint was never added.
+    pub fn add_edge_labeled(&mut self, u: VertexId, v: VertexId, label: LabelId) -> Result<()> {
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        let n = self.labels.len();
+        for w in [u, v] {
+            if w.index() >= n {
+                return Err(GraphError::UnknownVertex(w));
+            }
+        }
+        let (u, v) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push((u, v, label));
+        Ok(())
+    }
+
+    /// True if the (possibly duplicated) edge has been recorded, regardless
+    /// of its label.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.edges.iter().any(|&(a, b, _)| (a, b) == key)
+    }
+
+    /// Number of vertices added so far.
+    pub fn vertex_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of edge insertions so far (before deduplication).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes into an immutable [`Graph`].
+    ///
+    /// # Panics
+    /// Panics if the same edge was added with two different edge labels —
+    /// a programming error; use [`try_build`](Self::try_build) to handle it.
+    pub fn build(self) -> Graph {
+        self.try_build().expect("conflicting edge labels")
+    }
+
+    /// Finalizes into an immutable [`Graph`], reporting label conflicts.
+    ///
+    /// # Errors
+    /// [`GraphError::EdgeLabelConflict`] when the same edge carries two
+    /// different labels.
+    pub fn try_build(self) -> Result<Graph> {
+        Graph::from_parts_labeled(self.labels, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_vertex(LabelId::new(0));
+        assert_eq!(b.add_edge(a, a), Err(GraphError::SelfLoop(a)));
+    }
+
+    #[test]
+    fn rejects_unknown_vertex() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_vertex(LabelId::new(0));
+        let ghost = VertexId::new(9);
+        assert_eq!(b.add_edge(a, ghost), Err(GraphError::UnknownVertex(ghost)));
+    }
+
+    #[test]
+    fn normalizes_edge_direction() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_vertex(LabelId::new(0));
+        let c = b.add_vertex(LabelId::new(0));
+        b.add_edge(c, a).unwrap();
+        assert!(b.has_edge(a, c));
+        assert!(b.has_edge(c, a));
+    }
+
+    #[test]
+    fn bulk_vertices() {
+        let mut b = GraphBuilder::new();
+        let first = b.add_vertices(5, LabelId::new(3));
+        assert_eq!(first, VertexId::new(0));
+        assert_eq!(b.vertex_count(), 5);
+        let g = b.build();
+        assert!(g.vertices().all(|v| g.label(v) == LabelId::new(3)));
+    }
+
+    #[test]
+    fn build_dedups() {
+        let mut b = GraphBuilder::with_capacity(2, 3);
+        let a = b.add_vertex(LabelId::new(0));
+        let c = b.add_vertex(LabelId::new(0));
+        for _ in 0..3 {
+            b.add_edge(a, c).unwrap();
+        }
+        assert_eq!(b.edge_count(), 3);
+        assert_eq!(b.build().edge_count(), 1);
+    }
+
+    #[test]
+    fn labeled_duplicate_with_same_label_dedups() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_vertex(LabelId::new(0));
+        let c = b.add_vertex(LabelId::new(0));
+        b.add_edge_labeled(a, c, LabelId::new(4)).unwrap();
+        b.add_edge_labeled(c, a, LabelId::new(4)).unwrap(); // reversed, same label
+        let g = b.try_build().unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edge_label(a, c), Some(LabelId::new(4)));
+    }
+
+    #[test]
+    fn conflicting_edge_labels_error() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_vertex(LabelId::new(0));
+        let c = b.add_vertex(LabelId::new(0));
+        b.add_edge_labeled(a, c, LabelId::new(1)).unwrap();
+        b.add_edge_labeled(a, c, LabelId::new(2)).unwrap();
+        assert_eq!(b.try_build(), Err(GraphError::EdgeLabelConflict(a, c)));
+    }
+
+    #[test]
+    fn mixed_default_and_labeled_edges_coexist() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_vertex(LabelId::new(0));
+        let y = b.add_vertex(LabelId::new(1));
+        let z = b.add_vertex(LabelId::new(2));
+        b.add_edge(x, y).unwrap(); // default label 0
+        b.add_edge_labeled(y, z, LabelId::new(3)).unwrap();
+        let g = b.build();
+        assert!(g.has_edge_labels());
+        assert_eq!(g.edge_label(x, y), Some(LabelId::new(0)));
+        assert_eq!(g.edge_label(y, z), Some(LabelId::new(3)));
+    }
+}

@@ -1,0 +1,414 @@
+//! Isomorphism-invariant hashing for query graphs.
+//!
+//! iGQ's optimal case 1 (Section 4.3) detects an *exact repeat*: a new query
+//! that is isomorphic to a cached one. We detect repeats in two steps:
+//!
+//! 1. a cheap **invariant hash** (this module) — a Weisfeiler–Lehman color
+//!    refinement folded into a single `u64`. Isomorphic graphs always hash
+//!    equal; non-isomorphic graphs collide only when WL cannot separate them
+//!    (rare for labeled query-sized graphs, and harmless: callers confirm
+//!    with an exact isomorphism test before using a match);
+//! 2. an exact check in `igq-core` (same vertex/edge counts + a subgraph
+//!    isomorphism test, which at equal sizes is full isomorphism).
+//!
+//! The hash is also used to deduplicate window inserts.
+
+use crate::fxhash::{hash_u64, FxHasher};
+use crate::Graph;
+use std::hash::Hasher;
+
+/// Number of WL refinement rounds. Query graphs have ≤ ~21 vertices; three
+/// rounds propagate information across diameter-6 neighborhoods which, with
+/// vertex labels in the seed coloring, separates all structures we have
+/// encountered in testing.
+const WL_ROUNDS: usize = 3;
+
+/// Computes a Weisfeiler–Lehman invariant hash of the graph.
+///
+/// Guarantee: isomorphic graphs produce identical values. The converse is
+/// *not* guaranteed (WL-equivalent non-isomorphic graphs collide), so use
+/// this as a prefilter, never as an equality oracle.
+pub fn invariant_hash(g: &Graph) -> u64 {
+    let n = g.vertex_count();
+    if n == 0 {
+        return 0x9e37_79b9_7f4a_7c15;
+    }
+    // Seed colors: vertex label and degree.
+    let mut colors: Vec<u64> = g
+        .vertices()
+        .map(|v| hash_u64(((g.label(v).raw() as u64) << 32) | g.degree(v) as u64))
+        .collect();
+    let mut next = vec![0u64; n];
+    let mut neigh_buf: Vec<u64> = Vec::new();
+
+    // Edge labels (when present) are mixed into the propagated colors so
+    // that graphs differing only in edge labels hash apart; for unlabeled
+    // graphs this degenerates to the plain neighbor color (keeping hashes
+    // stable for the common case).
+    let edge_labeled = g.has_edge_labels();
+    for _ in 0..WL_ROUNDS {
+        for v in g.vertices() {
+            neigh_buf.clear();
+            neigh_buf.extend(g.neighbors(v).iter().map(|&w| {
+                if edge_labeled {
+                    hash_u64(
+                        colors[w.index()]
+                            ^ hash_u64(0x5bd1_e995 ^ g.edge_label_unchecked(v, w).raw() as u64),
+                    )
+                } else {
+                    colors[w.index()]
+                }
+            }));
+            // Multiset hash: sort then fold, so neighbor order is irrelevant.
+            neigh_buf.sort_unstable();
+            let mut h = FxHasher::default();
+            h.write_u64(colors[v.index()]);
+            for &c in &neigh_buf {
+                h.write_u64(c);
+            }
+            next[v.index()] = h.finish();
+        }
+        std::mem::swap(&mut colors, &mut next);
+    }
+
+    // Graph hash = hash of the sorted multiset of final colors plus sizes.
+    colors.sort_unstable();
+    let mut h = FxHasher::default();
+    h.write_u64(n as u64);
+    h.write_u64(g.edge_count() as u64);
+    for c in colors {
+        h.write_u64(c);
+    }
+    h.finish()
+}
+
+/// A compact, order-insensitive *signature* (sizes + invariant hash) used as
+/// a hash-map key for cached queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GraphSignature {
+    pub vertices: u32,
+    pub edges: u32,
+    pub wl_hash: u64,
+}
+
+impl GraphSignature {
+    /// Signature of a graph.
+    pub fn of(g: &Graph) -> GraphSignature {
+        GraphSignature {
+            vertices: g.vertex_count() as u32,
+            edges: g.edge_count() as u32,
+            wl_hash: invariant_hash(g),
+        }
+    }
+}
+
+/// Vertex-count cap for [`canonical_code`]; beyond it the search space is
+/// not worth exploring for a cache fast path (queries are ≤ ~25 vertices).
+const MAX_CANON_VERTICES: usize = 128;
+
+/// Leaf budget for the individualization search: highly symmetric graphs
+/// (near-cliques of one label) explode combinatorially, so the search gives
+/// up — soundly — rather than stall the query path.
+const MAX_CANON_LEAVES: u64 = 4096;
+
+/// A canonical form: two graphs have equal codes **iff** they are
+/// isomorphic (vertex labels, edges, and edge labels all respected).
+///
+/// Unlike [`invariant_hash`], which only guarantees the forward direction,
+/// a `CanonicalCode` is an equality oracle — iGQ's exact-repeat detection
+/// (optimal case 1, Section 4.3) uses it as an O(1) hash-map fast path,
+/// skipping the query-index probes entirely for repeats.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CanonicalCode(Box<[u64]>);
+
+impl CanonicalCode {
+    /// The underlying word sequence (for size accounting).
+    pub fn words(&self) -> &[u64] {
+        &self.0
+    }
+}
+
+/// Computes the canonical code of `g` by color refinement with
+/// individualization backtracking (a small-scale version of the canonical
+/// labeling at the heart of nauty-family tools).
+///
+/// Returns `None` when `g` exceeds [`MAX_CANON_VERTICES`] or the search
+/// exceeds its leaf budget — callers fall back to the signature + exact
+/// isomorphism-test path, so a `None` is a missed optimization, never an
+/// error.
+pub fn canonical_code(g: &Graph) -> Option<CanonicalCode> {
+    let n = g.vertex_count();
+    if n > MAX_CANON_VERTICES {
+        return None;
+    }
+    if n == 0 {
+        return Some(CanonicalCode(vec![0, 0].into_boxed_slice()));
+    }
+    // Seed colors: dense ids of the sorted (label, degree) pairs.
+    let mut seed_keys: Vec<(u32, u32)> = g
+        .vertices()
+        .map(|v| (g.label(v).raw(), g.degree(v) as u32))
+        .collect();
+    let mut sorted = seed_keys.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut colors: Vec<u32> = seed_keys
+        .drain(..)
+        .map(|k| sorted.binary_search(&k).expect("own key") as u32)
+        .collect();
+    refine(g, &mut colors);
+
+    let mut leaves = 0u64;
+    let mut best: Option<Vec<u64>> = None;
+    if search(g, colors, &mut leaves, &mut best) {
+        return None; // budget exhausted
+    }
+    best.map(|words| CanonicalCode(words.into_boxed_slice()))
+}
+
+/// Refines `colors` to the coarsest stable (equitable) partition. Color
+/// ids are dense and isomorphism-invariant: they are ranks of sorted
+/// (old color, sorted neighborhood profile) keys.
+fn refine(g: &Graph, colors: &mut Vec<u32>) {
+    let n = g.vertex_count();
+    loop {
+        let mut keys: Vec<(u32, Vec<(u32, u32)>)> = Vec::with_capacity(n);
+        for v in g.vertices() {
+            let mut profile: Vec<(u32, u32)> = g
+                .neighbors(v)
+                .iter()
+                .map(|&w| (g.edge_label_unchecked(v, w).raw(), colors[w.index()]))
+                .collect();
+            profile.sort_unstable();
+            keys.push((colors[v.index()], profile));
+        }
+        let mut sorted: Vec<&(u32, Vec<(u32, u32)>)> = keys.iter().collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let next: Vec<u32> = keys
+            .iter()
+            .map(|k| sorted.binary_search(&k).expect("own key") as u32)
+            .collect();
+        if next == *colors {
+            return;
+        }
+        *colors = next;
+    }
+}
+
+/// Depth-first individualization. Returns `true` when the leaf budget was
+/// exhausted (the caller must discard `best`).
+fn search(g: &Graph, colors: Vec<u32>, leaves: &mut u64, best: &mut Option<Vec<u64>>) -> bool {
+    // Locate the smallest-id color class with more than one member.
+    let n = g.vertex_count();
+    let mut class_size = vec![0u32; n];
+    for &c in &colors {
+        class_size[c as usize] += 1;
+    }
+    let target = (0..n).find(|&c| class_size[c] > 1);
+    let Some(target) = target else {
+        // Discrete partition: colors form a bijection vertex -> position.
+        *leaves += 1;
+        if *leaves > MAX_CANON_LEAVES {
+            return true;
+        }
+        let code = leaf_code(g, &colors);
+        match best {
+            Some(b) if *b <= code => {}
+            _ => *best = Some(code),
+        }
+        return false;
+    };
+
+    for v in g.vertices() {
+        if colors[v.index()] as usize != target {
+            continue;
+        }
+        // Individualize v ahead of its classmates: double every color
+        // (order-preserving), then put v strictly first within its class.
+        let mut child: Vec<u32> = colors.iter().map(|&c| c * 2 + 1).collect();
+        child[v.index()] -= 1;
+        refine(g, &mut child);
+        if search(g, child, leaves, best) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Serializes the graph under the discrete coloring (color = position).
+fn leaf_code(g: &Graph, colors: &[u32]) -> Vec<u64> {
+    let n = g.vertex_count();
+    let mut code = Vec::with_capacity(2 + n + g.edge_count());
+    code.push(n as u64);
+    code.push(g.edge_count() as u64);
+    // Vertex labels by canonical position.
+    let mut labels = vec![0u64; n];
+    for v in g.vertices() {
+        labels[colors[v.index()] as usize] = g.label(v).raw() as u64;
+    }
+    code.extend_from_slice(&labels);
+    // Edges as (min position, max position, edge label), sorted.
+    let mut edges: Vec<(u32, u32, u32)> = g
+        .labeled_edges()
+        .map(|((u, v), l)| {
+            let (a, b) = (colors[u.index()], colors[v.index()]);
+            let (a, b) = if a < b { (a, b) } else { (b, a) };
+            (a, b, l.raw())
+        })
+        .collect();
+    edges.sort_unstable();
+    // Pack (a, b, label): positions need ≤ 8 bits (n ≤ 128), labels 32.
+    code.extend(
+        edges
+            .into_iter()
+            .map(|(a, b, l)| ((a as u64) << 44) | ((b as u64) << 32) | l as u64),
+    );
+    code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph_from;
+
+    #[test]
+    fn isomorphic_relabelings_hash_equal() {
+        // Same triangle with pendant, two different vertex orders.
+        let a = graph_from(&[1, 2, 3, 4], &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let b = graph_from(&[4, 3, 1, 2], &[(1, 2), (2, 3), (1, 3), (1, 0)]);
+        assert_eq!(invariant_hash(&a), invariant_hash(&b));
+        assert_eq!(GraphSignature::of(&a), GraphSignature::of(&b));
+    }
+
+    #[test]
+    fn label_change_changes_hash() {
+        let a = graph_from(&[0, 0], &[(0, 1)]);
+        let b = graph_from(&[0, 1], &[(0, 1)]);
+        assert_ne!(invariant_hash(&a), invariant_hash(&b));
+    }
+
+    #[test]
+    fn structure_change_changes_hash() {
+        let path = graph_from(&[0, 0, 0, 0], &[(0, 1), (1, 2), (2, 3)]);
+        let star = graph_from(&[0, 0, 0, 0], &[(0, 1), (0, 2), (0, 3)]);
+        assert_ne!(invariant_hash(&path), invariant_hash(&star));
+    }
+
+    #[test]
+    fn wl_separates_c6_from_two_triangles_with_labels_even_when_sizes_match() {
+        // C6 vs 2xC3: the classic 1-WL-indistinguishable pair when unlabeled
+        // and regular. Our signature still differs because... it actually
+        // does NOT differ under pure 1-WL. We assert only that the signature
+        // treats them as *candidates* (equal hash is permitted) and that the
+        // documented contract (prefilter, not oracle) holds: sizes match.
+        let c6 = graph_from(&[0; 6], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let c3x2 = graph_from(&[0; 6], &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let s1 = GraphSignature::of(&c6);
+        let s2 = GraphSignature::of(&c3x2);
+        assert_eq!(s1.vertices, s2.vertices);
+        assert_eq!(s1.edges, s2.edges);
+        // (No assertion on wl_hash: 1-WL cannot separate these; the engine's
+        // exact verification step is what guarantees correctness.)
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty = graph_from(&[], &[]);
+        let single = graph_from(&[0], &[]);
+        assert_ne!(invariant_hash(&empty), invariant_hash(&single));
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let g = graph_from(&[0, 1, 2], &[(0, 1), (1, 2)]);
+        assert_eq!(invariant_hash(&g), invariant_hash(&g));
+    }
+
+    #[test]
+    fn edge_label_change_changes_hash() {
+        let a = crate::graph_from_el(&[0, 1], &[(0, 1, 1)]);
+        let b = crate::graph_from_el(&[0, 1], &[(0, 1, 2)]);
+        let plain = graph_from(&[0, 1], &[(0, 1)]);
+        assert_ne!(invariant_hash(&a), invariant_hash(&b));
+        assert_ne!(invariant_hash(&a), invariant_hash(&plain));
+    }
+
+    #[test]
+    fn isomorphic_edge_labeled_graphs_hash_equal() {
+        // Same labeled path under two vertex orders: a-5-b-9-c.
+        let a = crate::graph_from_el(&[0, 1, 2], &[(0, 1, 5), (1, 2, 9)]);
+        let b = crate::graph_from_el(&[2, 1, 0], &[(1, 2, 5), (0, 1, 9)]);
+        assert_eq!(invariant_hash(&a), invariant_hash(&b));
+        assert_eq!(GraphSignature::of(&a), GraphSignature::of(&b));
+    }
+
+    #[test]
+    fn canonical_code_equal_for_relabelings() {
+        let a = graph_from(&[1, 2, 3, 4], &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let b = graph_from(&[4, 3, 1, 2], &[(1, 2), (2, 3), (1, 3), (1, 0)]);
+        assert_eq!(canonical_code(&a), canonical_code(&b));
+        assert!(canonical_code(&a).is_some());
+    }
+
+    #[test]
+    fn canonical_code_separates_wl_indistinguishable_pair() {
+        // C6 vs 2×C3: equal under 1-WL (same invariant_hash is permitted),
+        // but the canonical code is an exact oracle and must differ.
+        let c6 = graph_from(&[0; 6], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let c3x2 = graph_from(&[0; 6], &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let a = canonical_code(&c6).expect("c6 in budget");
+        let b = canonical_code(&c3x2).expect("c3x2 in budget");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn canonical_code_respects_vertex_and_edge_labels() {
+        let base = graph_from(&[0, 1], &[(0, 1)]);
+        let vdiff = graph_from(&[0, 2], &[(0, 1)]);
+        let ediff = crate::graph_from_el(&[0, 1], &[(0, 1, 7)]);
+        let c = |g: &Graph| canonical_code(g).unwrap();
+        assert_ne!(c(&base), c(&vdiff));
+        assert_ne!(c(&base), c(&ediff));
+        // And the edge-labeled graph under another order matches itself.
+        let ediff2 = crate::graph_from_el(&[1, 0], &[(0, 1, 7)]);
+        assert_eq!(c(&ediff), c(&ediff2));
+    }
+
+    #[test]
+    fn canonical_code_small_cases() {
+        assert!(canonical_code(&graph_from(&[], &[])).is_some());
+        assert!(canonical_code(&graph_from(&[9], &[])).is_some());
+        assert_ne!(
+            canonical_code(&graph_from(&[], &[])),
+            canonical_code(&graph_from(&[0], &[]))
+        );
+    }
+
+    #[test]
+    fn canonical_code_gives_up_on_symmetric_blowups() {
+        // K6 (6! = 720 leaves) fits the budget; K8 (40320) does not.
+        let clique = |n: u32| {
+            let mut edges = Vec::new();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    edges.push((i, j));
+                }
+            }
+            graph_from(&vec![0; n as usize], &edges)
+        };
+        assert!(canonical_code(&clique(6)).is_some());
+        assert!(canonical_code(&clique(8)).is_none());
+        // Equal-size cliques with equal labels agree when in budget.
+        assert_eq!(canonical_code(&clique(5)), canonical_code(&clique(5)));
+    }
+
+    #[test]
+    fn canonical_code_handles_disconnected_graphs() {
+        let a = graph_from(&[0, 1, 0, 1], &[(0, 1), (2, 3)]);
+        let b = graph_from(&[1, 0, 1, 0], &[(0, 1), (2, 3)]);
+        assert_eq!(canonical_code(&a), canonical_code(&b));
+        let c = graph_from(&[0, 1, 0, 1], &[(0, 1), (0, 3)]);
+        assert_ne!(canonical_code(&a), canonical_code(&c));
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type shared across the graph crate.
+
+use crate::{LabelId, VertexId};
+use std::fmt;
+
+/// Errors produced while constructing or parsing graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint referenced a vertex that has not been added.
+    UnknownVertex(VertexId),
+    /// Self-loops are not representable (the paper's graphs are simple).
+    SelfLoop(VertexId),
+    /// A parsed label was outside the declared label universe.
+    LabelOutOfRange { label: LabelId, universe: u32 },
+    /// The same edge was added with two different edge labels.
+    EdgeLabelConflict(VertexId, VertexId),
+    /// Text-format parse failure with 1-based line number.
+    Parse { line: usize, message: String },
+    /// Underlying I/O failure (message-only so the error stays `Clone + Eq`).
+    Io(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownVertex(v) => write!(f, "unknown vertex {v:?}"),
+            GraphError::SelfLoop(v) => write!(f, "self-loop on vertex {v:?} is not allowed"),
+            GraphError::LabelOutOfRange { label, universe } => {
+                write!(f, "label {label:?} outside universe of size {universe}")
+            }
+            GraphError::EdgeLabelConflict(u, v) => {
+                write!(f, "edge {{{u:?}, {v:?}}} added with conflicting edge labels")
+            }
+            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e.to_string())
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::SelfLoop(VertexId::new(3));
+        assert!(e.to_string().contains("self-loop"));
+        let e = GraphError::Parse { line: 12, message: "bad token".into() };
+        assert!(e.to_string().contains("line 12"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: GraphError = io.into();
+        assert!(matches!(e, GraphError::Io(_)));
+    }
+}

@@ -1,0 +1,129 @@
+//! Strongly-typed identifiers for vertices, labels, and dataset graphs.
+//!
+//! All three are `u32` newtypes: datasets in the paper top out at 40,000
+//! graphs, 16,431 vertices per graph and 62 labels, so 32 bits leave ample
+//! headroom while keeping hot arrays half the size of `usize` indexes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+        )]
+        #[serde(transparent)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Wraps a raw `u32`.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw `u32` value.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// Returns the id as a `usize`, for indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a `usize` index.
+            ///
+            /// # Panics
+            /// Panics if `idx` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(idx: usize) -> Self {
+                debug_assert!(idx <= u32::MAX as usize, "id overflow");
+                Self(idx as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u32 {
+            #[inline]
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A vertex within a single [`crate::Graph`]; dense in `0..vertex_count`.
+    VertexId,
+    "v"
+);
+id_type!(
+    /// A vertex label drawn from the dataset's label universe `U`.
+    LabelId,
+    "l"
+);
+id_type!(
+    /// A graph within a [`crate::GraphStore`]; dense in `0..len`.
+    GraphId,
+    "g"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_raw() {
+        let v = VertexId::new(7);
+        assert_eq!(v.raw(), 7);
+        assert_eq!(v.index(), 7);
+        assert_eq!(VertexId::from_index(7), v);
+    }
+
+    #[test]
+    fn ordering_follows_raw_values() {
+        assert!(GraphId::new(1) < GraphId::new(2));
+        assert!(LabelId::new(0) < LabelId::new(10));
+    }
+
+    #[test]
+    fn debug_format_carries_prefix() {
+        assert_eq!(format!("{:?}", VertexId::new(3)), "v3");
+        assert_eq!(format!("{:?}", LabelId::new(3)), "l3");
+        assert_eq!(format!("{:?}", GraphId::new(3)), "g3");
+    }
+
+    #[test]
+    fn display_is_bare_number() {
+        assert_eq!(GraphId::new(42).to_string(), "42");
+    }
+
+    #[test]
+    fn conversions() {
+        let l: LabelId = 9u32.into();
+        let raw: u32 = l.into();
+        assert_eq!(raw, 9);
+    }
+}

@@ -1,0 +1,277 @@
+//! Text (de)serialization in a GFU-like format.
+//!
+//! The GraphGrepSX and Grapes distributions exchange datasets in the "GFU"
+//! plain-text format; we mirror it so synthesized datasets can be dumped,
+//! diffed, and reloaded:
+//!
+//! ```text
+//! #graph_name
+//! <num_vertices>
+//! <label of vertex 0>
+//! ...
+//! <label of vertex n-1>
+//! <num_edges>
+//! <u> <v>
+//! ...
+//! ```
+//!
+//! Labels are written as bare `u32`s (the in-memory representation); a
+//! higher layer may maintain a string↔id dictionary if symbolic labels are
+//! wanted.
+
+use crate::error::{GraphError, Result};
+use crate::{Graph, GraphBuilder, GraphStore, LabelId, VertexId};
+use std::io::{BufRead, Write};
+
+/// Writes one graph in GFU form. Edge-labeled graphs write a third token
+/// per edge line (`u v label`); unlabeled graphs keep the classic 2-token
+/// form so files stay byte-compatible with GFU tooling.
+pub fn write_graph<W: Write>(w: &mut W, name: &str, g: &Graph) -> Result<()> {
+    writeln!(w, "#{name}")?;
+    writeln!(w, "{}", g.vertex_count())?;
+    for v in g.vertices() {
+        writeln!(w, "{}", g.label(v).raw())?;
+    }
+    writeln!(w, "{}", g.edge_count())?;
+    if g.has_edge_labels() {
+        for ((u, v), l) in g.labeled_edges() {
+            writeln!(w, "{} {} {}", u.raw(), v.raw(), l.raw())?;
+        }
+    } else {
+        for &(u, v) in g.edges() {
+            writeln!(w, "{} {}", u.raw(), v.raw())?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes every graph of a store; names are `g<id>`.
+pub fn write_store<W: Write>(w: &mut W, store: &GraphStore) -> Result<()> {
+    for (id, g) in store.iter() {
+        write_graph(w, &format!("g{}", id.raw()), g)?;
+    }
+    Ok(())
+}
+
+/// Streaming GFU parser over any `BufRead`.
+struct Parser<R: BufRead> {
+    reader: R,
+    line_no: usize,
+    buf: String,
+}
+
+impl<R: BufRead> Parser<R> {
+    fn new(reader: R) -> Self {
+        Parser { reader, line_no: 0, buf: String::new() }
+    }
+
+    /// Next non-empty line, trimmed; `None` at EOF.
+    fn next_line(&mut self) -> Result<Option<&str>> {
+        loop {
+            self.buf.clear();
+            let n = self.reader.read_line(&mut self.buf)?;
+            if n == 0 {
+                return Ok(None);
+            }
+            self.line_no += 1;
+            if !self.buf.trim().is_empty() {
+                // Borrow dance: return the trimmed slice of the owned buffer.
+                let start = self.buf.find(|c: char| !c.is_whitespace()).unwrap_or(0);
+                let end = self.buf.trim_end().len();
+                return Ok(Some(&self.buf[start..end]));
+            }
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> GraphError {
+        GraphError::Parse { line: self.line_no, message: message.into() }
+    }
+
+    fn parse_count(&mut self, what: &str) -> Result<usize> {
+        let line_no = self.line_no + 1;
+        match self.next_line()? {
+            Some(l) => l
+                .parse::<usize>()
+                .map_err(|_| GraphError::Parse { line: line_no, message: format!("expected {what} count, got {l:?}") }),
+            None => Err(GraphError::Parse { line: line_no, message: format!("eof while reading {what} count") }),
+        }
+    }
+
+    /// Parses one `#name`-headed graph; `None` at clean EOF.
+    fn parse_graph(&mut self) -> Result<Option<(String, Graph)>> {
+        let header = match self.next_line()? {
+            None => return Ok(None),
+            Some(l) => l.to_owned(),
+        };
+        let name = header
+            .strip_prefix('#')
+            .ok_or_else(|| self.err(format!("expected '#name' header, got {header:?}")))?
+            .to_owned();
+
+        let n = self.parse_count("vertex")?;
+        let mut b = GraphBuilder::with_capacity(n, 0);
+        for _ in 0..n {
+            let line_no = self.line_no + 1;
+            let l = self
+                .next_line()?
+                .ok_or(GraphError::Parse { line: line_no, message: "eof while reading labels".into() })?;
+            let label: u32 = l
+                .parse()
+                .map_err(|_| GraphError::Parse { line: line_no, message: format!("bad label {l:?}") })?;
+            b.add_vertex(LabelId::new(label));
+        }
+
+        let m = self.parse_count("edge")?;
+        for _ in 0..m {
+            let line_no = self.line_no + 1;
+            let l = self
+                .next_line()?
+                .ok_or(GraphError::Parse { line: line_no, message: "eof while reading edges".into() })?;
+            let mut it = l.split_whitespace();
+            let (us, vs) = match (it.next(), it.next()) {
+                (Some(u), Some(v)) => (u, v),
+                _ => return Err(GraphError::Parse { line: line_no, message: format!("bad edge line {l:?}") }),
+            };
+            let u: u32 = us
+                .parse()
+                .map_err(|_| GraphError::Parse { line: line_no, message: format!("bad endpoint {us:?}") })?;
+            let v: u32 = vs
+                .parse()
+                .map_err(|_| GraphError::Parse { line: line_no, message: format!("bad endpoint {vs:?}") })?;
+            // Optional third token: edge label (the extended GFU form).
+            let label = match it.next() {
+                None => LabelId::new(0),
+                Some(ls) => LabelId::new(ls.parse::<u32>().map_err(|_| GraphError::Parse {
+                    line: line_no,
+                    message: format!("bad edge label {ls:?}"),
+                })?),
+            };
+            b.add_edge_labeled(VertexId::new(u), VertexId::new(v), label)
+                .map_err(|e| GraphError::Parse { line: line_no, message: e.to_string() })?;
+        }
+        b.try_build()
+            .map(|g| Some((name, g)))
+            .map_err(|e| GraphError::Parse { line: self.line_no, message: e.to_string() })
+    }
+}
+
+/// Reads a single graph (the first in the stream).
+pub fn read_graph<R: BufRead>(r: R) -> Result<(String, Graph)> {
+    Parser::new(r)
+        .parse_graph()?
+        .ok_or(GraphError::Parse { line: 0, message: "empty input".into() })
+}
+
+/// Reads every graph in the stream into a store (names are dropped; ids
+/// follow stream order).
+pub fn read_store<R: BufRead>(r: R) -> Result<GraphStore> {
+    let mut parser = Parser::new(r);
+    let mut store = GraphStore::new();
+    while let Some((_, g)) = parser.parse_graph()? {
+        store.push(g);
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph_from;
+
+    fn roundtrip(store: &GraphStore) -> GraphStore {
+        let mut buf = Vec::new();
+        write_store(&mut buf, store).unwrap();
+        read_store(&buf[..]).unwrap()
+    }
+
+    #[test]
+    fn roundtrips_store() {
+        let store: GraphStore = vec![
+            graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]),
+            graph_from(&[7], &[]),
+            graph_from(&[2, 2, 2, 2], &[(0, 1), (1, 2), (2, 3), (0, 3)]),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(roundtrip(&store), store);
+    }
+
+    #[test]
+    fn parses_with_blank_lines_and_whitespace() {
+        let text = "\n#g0\n 2 \n5\n6\n\n1\n0 1\n";
+        let (name, g) = read_graph(text.as_bytes()).unwrap();
+        assert_eq!(name, "g0");
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.label(VertexId::new(0)), LabelId::new(5));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let text = "2\n0\n0\n0\n";
+        let err = read_graph(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("header"));
+    }
+
+    #[test]
+    fn rejects_bad_edge_endpoint() {
+        let text = "#g\n2\n0\n0\n1\n0 9\n";
+        let err = read_graph(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("unknown vertex"));
+    }
+
+    #[test]
+    fn rejects_truncated_labels() {
+        let text = "#g\n3\n0\n0\n";
+        assert!(read_graph(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage_count() {
+        let text = "#g\nxyz\n";
+        let err = read_graph(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("vertex count"));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_store() {
+        assert!(read_store("".as_bytes()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn roundtrips_edge_labeled_graphs() {
+        let store: GraphStore = vec![
+            crate::graph_from_el(&[0, 1, 0], &[(0, 1, 3), (1, 2, 0)]),
+            graph_from(&[5, 5], &[(0, 1)]), // unlabeled stays 2-token
+        ]
+        .into_iter()
+        .collect();
+        let mut buf = Vec::new();
+        write_store(&mut buf, &store).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.contains("0 1 3"), "labeled edge written with 3 tokens:\n{text}");
+        assert_eq!(read_store(&buf[..]).unwrap(), store);
+    }
+
+    #[test]
+    fn parses_three_token_edges() {
+        let text = "#g\n2\n7\n8\n1\n0 1 9\n";
+        let (_, g) = read_graph(text.as_bytes()).unwrap();
+        assert!(g.has_edge_labels());
+        assert_eq!(g.edge_label(VertexId::new(0), VertexId::new(1)), Some(LabelId::new(9)));
+    }
+
+    #[test]
+    fn rejects_bad_edge_label_token() {
+        let text = "#g\n2\n0\n0\n1\n0 1 xx\n";
+        let err = read_graph(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("edge label"));
+    }
+
+    #[test]
+    fn rejects_conflicting_edge_labels_in_file() {
+        let text = "#g\n2\n0\n0\n2\n0 1 1\n0 1 2\n";
+        let err = read_graph(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("conflicting"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Dataset statistics — the columns of the paper's Table 1.
+
+use crate::fxhash::FxHashSet;
+use crate::{Graph, GraphStore, LabelId};
+use serde::{Deserialize, Serialize};
+
+/// Mean / standard deviation / maximum triple for a per-graph quantity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Moments {
+    pub avg: f64,
+    pub std_dev: f64,
+    pub max: f64,
+}
+
+impl Moments {
+    /// Computes moments of a sample (population standard deviation, matching
+    /// how dataset tables in this literature are usually reported).
+    pub fn of(samples: impl IntoIterator<Item = f64>) -> Moments {
+        let xs: Vec<f64> = samples.into_iter().collect();
+        if xs.is_empty() {
+            return Moments::default();
+        }
+        let n = xs.len() as f64;
+        let avg = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - avg) * (x - avg)).sum::<f64>() / n;
+        let max = xs.iter().copied().fold(f64::MIN, f64::max);
+        Moments { avg, std_dev: var.sqrt(), max }
+    }
+}
+
+/// Per-dataset statistics mirroring Table 1 of the paper: label-universe
+/// size, number of graphs, average vertex degree, and node/edge moments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Distinct vertex labels appearing anywhere in the dataset.
+    pub vertex_labels: usize,
+    /// Number of graphs in the dataset.
+    pub graph_count: usize,
+    /// Average vertex degree over all vertices of all graphs.
+    pub avg_degree: f64,
+    /// Moments of per-graph vertex counts.
+    pub nodes: Moments,
+    /// Moments of per-graph edge counts.
+    pub edges: Moments,
+}
+
+impl DatasetStats {
+    /// Computes the Table 1 row for a dataset.
+    pub fn of(store: &GraphStore) -> DatasetStats {
+        let mut labels: FxHashSet<LabelId> = FxHashSet::default();
+        let mut total_deg = 0usize;
+        let mut total_vertices = 0usize;
+        let mut node_counts = Vec::with_capacity(store.len());
+        let mut edge_counts = Vec::with_capacity(store.len());
+        for (_, g) in store.iter() {
+            labels.extend(g.labels().iter().copied());
+            total_deg += 2 * g.edge_count();
+            total_vertices += g.vertex_count();
+            node_counts.push(g.vertex_count() as f64);
+            edge_counts.push(g.edge_count() as f64);
+        }
+        DatasetStats {
+            vertex_labels: labels.len(),
+            graph_count: store.len(),
+            avg_degree: if total_vertices == 0 { 0.0 } else { total_deg as f64 / total_vertices as f64 },
+            nodes: Moments::of(node_counts),
+            edges: Moments::of(edge_counts),
+        }
+    }
+
+    /// Renders the stats as a Table 1-style row.
+    pub fn table_row(&self, name: &str) -> String {
+        format!(
+            "{name:<10} {:>7} {:>9} {:>7.2} | nodes avg {:>8.1} sd {:>8.1} max {:>8.0} | edges avg {:>8.1} sd {:>8.1} max {:>8.0}",
+            self.vertex_labels,
+            self.graph_count,
+            self.avg_degree,
+            self.nodes.avg,
+            self.nodes.std_dev,
+            self.nodes.max,
+            self.edges.avg,
+            self.edges.std_dev,
+            self.edges.max,
+        )
+    }
+}
+
+/// Per-graph summary used in reports and examples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GraphSummary {
+    pub vertices: usize,
+    pub edges: usize,
+    pub distinct_labels: usize,
+    pub max_degree: usize,
+    pub connected: bool,
+}
+
+impl GraphSummary {
+    /// Summarizes a single graph.
+    pub fn of(g: &Graph) -> GraphSummary {
+        GraphSummary {
+            vertices: g.vertex_count(),
+            edges: g.edge_count(),
+            distinct_labels: g.distinct_label_count(),
+            max_degree: g.max_degree(),
+            connected: g.is_connected(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph_from;
+
+    #[test]
+    fn moments_of_constant_sample() {
+        let m = Moments::of([5.0, 5.0, 5.0]);
+        assert_eq!(m.avg, 5.0);
+        assert_eq!(m.std_dev, 0.0);
+        assert_eq!(m.max, 5.0);
+    }
+
+    #[test]
+    fn moments_of_simple_sample() {
+        let m = Moments::of([1.0, 3.0]);
+        assert_eq!(m.avg, 2.0);
+        assert!((m.std_dev - 1.0).abs() < 1e-12);
+        assert_eq!(m.max, 3.0);
+    }
+
+    #[test]
+    fn moments_empty() {
+        assert_eq!(Moments::of([]), Moments::default());
+    }
+
+    #[test]
+    fn dataset_stats_counts_labels_across_graphs() {
+        let store: GraphStore = vec![
+            graph_from(&[0, 1], &[(0, 1)]),
+            graph_from(&[2, 1, 2], &[(0, 1), (1, 2)]),
+        ]
+        .into_iter()
+        .collect();
+        let s = DatasetStats::of(&store);
+        assert_eq!(s.vertex_labels, 3);
+        assert_eq!(s.graph_count, 2);
+        assert_eq!(s.nodes.max, 3.0);
+        assert_eq!(s.edges.avg, 1.5);
+        // total degree = 2*1 + 2*2 = 6 over 5 vertices
+        assert!((s.avg_degree - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn graph_summary() {
+        let g = graph_from(&[0, 0, 1], &[(0, 1), (1, 2)]);
+        let s = GraphSummary::of(&g);
+        assert_eq!(s.vertices, 3);
+        assert_eq!(s.edges, 2);
+        assert_eq!(s.distinct_labels, 2);
+        assert_eq!(s.max_degree, 2);
+        assert!(s.connected);
+    }
+
+    #[test]
+    fn table_row_formats() {
+        let store: GraphStore = vec![graph_from(&[0, 1], &[(0, 1)])].into_iter().collect();
+        let row = DatasetStats::of(&store).table_row("TEST");
+        assert!(row.starts_with("TEST"));
+        assert!(row.contains("nodes avg"));
+    }
+}

@@ -1,0 +1,161 @@
+//! The dataset: a `GraphStore` holds `D = {G1, ..., Gn}`.
+
+use crate::{Graph, GraphId};
+use serde::{Deserialize, Serialize};
+
+/// An append-only collection of dataset graphs with stable, dense
+/// [`GraphId`]s.
+///
+/// The subgraph querying problem (paper Definition 3) asks, for a query `g`,
+/// which `Gi` in the store satisfy `g ⊆ Gi`; the supergraph problem
+/// (Definition 4) asks for `g ⊇ Gi`. Every index method in `igq-methods`
+/// and iGQ itself are built over a `GraphStore`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct GraphStore {
+    graphs: Vec<Graph>,
+}
+
+impl GraphStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a store from a vector of graphs (ids follow vector order).
+    pub fn from_graphs(graphs: Vec<Graph>) -> Self {
+        GraphStore { graphs }
+    }
+
+    /// Appends a graph, returning its id.
+    pub fn push(&mut self, g: Graph) -> GraphId {
+        let id = GraphId::from_index(self.graphs.len());
+        self.graphs.push(g);
+        id
+    }
+
+    /// The graph with the given id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range (ids are only minted by this store).
+    #[inline]
+    pub fn get(&self, id: GraphId) -> &Graph {
+        &self.graphs[id.index()]
+    }
+
+    /// Checked lookup.
+    #[inline]
+    pub fn try_get(&self, id: GraphId) -> Option<&Graph> {
+        self.graphs.get(id.index())
+    }
+
+    /// Number of graphs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// True when the store holds no graphs.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// Iterates `(id, graph)` pairs in id order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (GraphId, &Graph)> {
+        self.graphs
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (GraphId::from_index(i), g))
+    }
+
+    /// All ids, in order.
+    pub fn ids(&self) -> impl ExactSizeIterator<Item = GraphId> + Clone {
+        (0..self.graphs.len() as u32).map(GraphId::new)
+    }
+
+    /// Sum of vertex counts across the dataset.
+    pub fn total_vertices(&self) -> usize {
+        self.graphs.iter().map(|g| g.vertex_count()).sum()
+    }
+
+    /// Sum of edge counts across the dataset.
+    pub fn total_edges(&self) -> usize {
+        self.graphs.iter().map(|g| g.edge_count()).sum()
+    }
+
+    /// Approximate heap footprint of the stored graphs, in bytes.
+    pub fn heap_size_bytes(&self) -> u64 {
+        self.graphs.iter().map(|g| g.heap_size_bytes()).sum()
+    }
+}
+
+impl std::ops::Index<GraphId> for GraphStore {
+    type Output = Graph;
+    #[inline]
+    fn index(&self, id: GraphId) -> &Graph {
+        self.get(id)
+    }
+}
+
+impl FromIterator<Graph> for GraphStore {
+    fn from_iter<T: IntoIterator<Item = Graph>>(iter: T) -> Self {
+        GraphStore { graphs: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph_from;
+
+    fn store3() -> GraphStore {
+        vec![
+            graph_from(&[0], &[]),
+            graph_from(&[0, 1], &[(0, 1)]),
+            graph_from(&[0, 1, 2], &[(0, 1), (1, 2)]),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut s = GraphStore::new();
+        let a = s.push(graph_from(&[0], &[]));
+        let b = s.push(graph_from(&[1], &[]));
+        assert_eq!(a, GraphId::new(0));
+        assert_eq!(b, GraphId::new(1));
+        assert_eq!(s.get(a).label(crate::VertexId::new(0)), crate::LabelId::new(0));
+    }
+
+    #[test]
+    fn totals() {
+        let s = store3();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.total_vertices(), 6);
+        assert_eq!(s.total_edges(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let s = store3();
+        let sizes: Vec<usize> = s.iter().map(|(_, g)| g.vertex_count()).collect();
+        assert_eq!(sizes, vec![1, 2, 3]);
+        let ids: Vec<u32> = s.ids().map(|i| i.raw()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn try_get_bounds() {
+        let s = store3();
+        assert!(s.try_get(GraphId::new(2)).is_some());
+        assert!(s.try_get(GraphId::new(3)).is_none());
+    }
+
+    #[test]
+    fn index_operator() {
+        let s = store3();
+        assert_eq!(s[GraphId::new(2)].vertex_count(), 3);
+    }
+}

@@ -1,0 +1,68 @@
+//! Search-state budgets.
+//!
+//! Subgraph isomorphism is NP-complete; on the dense synthetic datasets a
+//! single adversarial test could stall an entire experiment. A [`Budget`]
+//! lets harness code bound the number of explored states. Exhaustion is
+//! surfaced as [`crate::Outcome::Aborted`] — engines never turn an unknown
+//! into a "no", which is what keeps iGQ's no-false-negative guarantees
+//! intact (aborted candidates are retained, conservatively, by callers).
+
+/// A (possibly unlimited) cap on search states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    max_states: u64,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
+
+impl Budget {
+    /// No cap.
+    pub const fn unlimited() -> Self {
+        Budget { max_states: u64::MAX }
+    }
+
+    /// Cap at `max_states` explored states.
+    pub const fn limited(max_states: u64) -> Self {
+        Budget { max_states }
+    }
+
+    /// The raw cap.
+    pub const fn max_states(&self) -> u64 {
+        self.max_states
+    }
+
+    /// True when `states` has reached the cap.
+    #[inline]
+    pub fn exhausted(&self, states: u64) -> bool {
+        states >= self.max_states
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let b = Budget::unlimited();
+        assert!(!b.exhausted(0));
+        assert!(!b.exhausted(u64::MAX - 1));
+    }
+
+    #[test]
+    fn limited_exhausts_at_cap() {
+        let b = Budget::limited(10);
+        assert!(!b.exhausted(9));
+        assert!(b.exhausted(10));
+        assert!(b.exhausted(11));
+    }
+
+    #[test]
+    fn default_is_unlimited() {
+        assert_eq!(Budget::default(), Budget::unlimited());
+    }
+}

@@ -1,0 +1,81 @@
+//! # igq-iso
+//!
+//! Subgraph-isomorphism engines and the iGQ cost model.
+//!
+//! The verification stage of every filter-then-verify method — and therefore
+//! the quantity iGQ exists to minimize — is the NP-complete subgraph
+//! isomorphism test (paper Definition 2: an injective, label- and
+//! edge-preserving map; i.e. *monomorphism*). This crate provides:
+//!
+//! * [`vf2`] — the VF2 algorithm (Cordella et al., TPAMI 2004), the matcher
+//!   used by GGSX and CT-Index and "arguably the most widely used" per the
+//!   paper;
+//! * [`ullmann`] — Ullmann's 1976 algorithm, the classic baseline ([39] in
+//!   the paper), kept for ablation benchmarks;
+//! * [`budget`] — optional search-state budgets so harness code can bound
+//!   pathological instances *without* silently changing answers (exhausting
+//!   a budget yields [`Outcome::Aborted`], never a fabricated no);
+//! * [`cost`] — the asymptotic iso-test cost model of Section 5.1,
+//!   `c(g′,Gi) = Ni·Ni! / (L^{n+1}·(Ni−n)!)`, evaluated in log space because
+//!   the factorials overflow `f64` for every PDBS-sized graph;
+//! * [`stats`] — mergeable counters for tests run and states explored.
+
+pub mod budget;
+pub mod cost;
+pub mod logmath;
+pub mod semantics;
+pub mod stats;
+pub mod ullmann;
+pub mod vf2;
+
+pub use budget::Budget;
+pub use cost::{iso_cost_ln, CostModel};
+pub use logmath::LogValue;
+pub use semantics::{MatchConfig, MatchSemantics, Outcome};
+pub use stats::IsoStats;
+
+use igq_graph::Graph;
+
+/// Which engine to use — lets harness code switch matchers uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// VF2 (default everywhere, as in the paper).
+    #[default]
+    Vf2,
+    /// Ullmann's algorithm (ablation baseline).
+    Ullmann,
+}
+
+/// Runs a single subgraph-isomorphism test with the chosen engine.
+pub fn find_embedding(
+    engine: Engine,
+    pattern: &Graph,
+    target: &Graph,
+    config: &MatchConfig,
+) -> semantics::MatchResult {
+    match engine {
+        Engine::Vf2 => vf2::find_one(pattern, target, config),
+        Engine::Ullmann => ullmann::find_one(pattern, target, config),
+    }
+}
+
+/// Convenience: unlimited-budget monomorphism test with VF2.
+///
+/// ```
+/// use igq_graph::graph_from;
+/// let path = graph_from(&[0, 1], &[(0, 1)]);
+/// let tri = graph_from(&[0, 1, 2], &[(0, 1), (1, 2), (0, 2)]);
+/// assert!(igq_iso::is_subgraph(&path, &tri));
+/// assert!(!igq_iso::is_subgraph(&tri, &path));
+/// ```
+pub fn is_subgraph(pattern: &Graph, target: &Graph) -> bool {
+    vf2::find_one(pattern, target, &MatchConfig::default())
+        .outcome
+        .is_found()
+}
+
+/// True when `a` and `b` are isomorphic (at equal vertex and edge counts a
+/// monomorphism is necessarily an isomorphism).
+pub fn are_isomorphic(a: &Graph, b: &Graph) -> bool {
+    a.vertex_count() == b.vertex_count() && a.edge_count() == b.edge_count() && is_subgraph(a, b)
+}

@@ -1,0 +1,218 @@
+//! Log-space arithmetic for astronomically large cost values.
+//!
+//! The paper's iso-cost estimate involves `Ni!` for target graphs with up to
+//! ~16k vertices; `f64` overflows past `170!`. All cost bookkeeping therefore
+//! lives in natural-log space: a [`LogValue`] stores `ln x` and sums are
+//! combined with log-sum-exp.
+
+use std::cmp::Ordering;
+
+/// Natural log of the gamma function, via the Lanczos approximation
+/// (g = 7, n = 9 coefficients; |relative error| < 1e-13 for x > 0).
+pub fn ln_gamma(x: f64) -> f64 {
+    // Coefficients for g=7, as published by Godfrey/Pugh and used by
+    // numerous numeric libraries.
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    debug_assert!(x > 0.0, "ln_gamma domain is x > 0, got {x}");
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1−x) = π / sin(πx)
+        let pi = std::f64::consts::PI;
+        return pi.ln() - (pi * x).sin().ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// `ln(n!)` for integer `n ≥ 0`.
+pub fn ln_factorial(n: u64) -> f64 {
+    // Exact table for small n avoids approximation error where it is
+    // cheapest to be exact.
+    const TABLE: [f64; 10] = [
+        0.0, // 0!
+        0.0, // 1!
+        std::f64::consts::LN_2, // 2!
+        1.791_759_469_228_055,
+        3.178_053_830_347_946,
+        4.787_491_742_782_046,
+        6.579_251_212_010_101,
+        8.525_161_361_065_415,
+        10.604_602_902_745_25,
+        12.801_827_480_081_469,
+    ];
+    if (n as usize) < TABLE.len() {
+        TABLE[n as usize]
+    } else {
+        ln_gamma(n as f64 + 1.0)
+    }
+}
+
+/// A non-negative quantity stored as its natural log.
+///
+/// `LogValue::ZERO` represents exact 0 (`ln 0 = -inf`). Addition is
+/// log-sum-exp; comparison is plain `f64` ordering of the exponents.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogValue(f64);
+
+impl LogValue {
+    /// Exact zero.
+    pub const ZERO: LogValue = LogValue(f64::NEG_INFINITY);
+
+    /// Exact one (`ln 1 = 0`).
+    pub const ONE: LogValue = LogValue(0.0);
+
+    /// From a natural-log exponent.
+    #[inline]
+    pub fn from_ln(ln: f64) -> LogValue {
+        LogValue(ln)
+    }
+
+    /// From a linear value (`x ≥ 0`).
+    #[inline]
+    pub fn from_linear(x: f64) -> LogValue {
+        debug_assert!(x >= 0.0);
+        LogValue(x.ln())
+    }
+
+    /// The stored exponent `ln x`.
+    #[inline]
+    pub fn ln(self) -> f64 {
+        self.0
+    }
+
+    /// Back to linear space (may overflow to `inf` — callers beware).
+    #[inline]
+    pub fn linear(self) -> f64 {
+        self.0.exp()
+    }
+
+    /// True for the exact-zero value.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == f64::NEG_INFINITY
+    }
+
+    /// log-sum-exp addition: `ln(e^a + e^b)` computed stably.
+    #[inline]
+    pub fn add(self, other: LogValue) -> LogValue {
+        let (hi, lo) = if self.0 >= other.0 { (self.0, other.0) } else { (other.0, self.0) };
+        if hi == f64::NEG_INFINITY {
+            return LogValue::ZERO;
+        }
+        LogValue(hi + (lo - hi).exp().ln_1p())
+    }
+
+    /// Multiplication is exponent addition.
+    #[inline]
+    pub fn mul(self, other: LogValue) -> LogValue {
+        LogValue(self.0 + other.0)
+    }
+
+    /// Division by a positive linear scalar.
+    #[inline]
+    pub fn div_linear(self, x: f64) -> LogValue {
+        debug_assert!(x > 0.0);
+        LogValue(self.0 - x.ln())
+    }
+}
+
+impl Default for LogValue {
+    fn default() -> Self {
+        LogValue::ZERO
+    }
+}
+
+impl PartialOrd for LogValue {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.0.partial_cmp(&other.0)
+    }
+}
+
+impl std::iter::Sum for LogValue {
+    fn sum<I: Iterator<Item = LogValue>>(iter: I) -> LogValue {
+        iter.fold(LogValue::ZERO, LogValue::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        // Γ(0.5) = sqrt(pi)
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_factorial_small_and_large() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+        assert!((ln_factorial(5) - 120f64.ln()).abs() < 1e-10);
+        assert!((ln_factorial(20) - 2_432_902_008_176_640_000f64.ln()).abs() < 1e-8);
+        // Stirling sanity at n = 10_000: ln(n!) ≈ n ln n − n + O(ln n)
+        let n = 10_000f64;
+        let approx = n * n.ln() - n;
+        assert!((ln_factorial(10_000) - approx).abs() / approx < 1e-3);
+    }
+
+    #[test]
+    fn log_sum_exp_addition() {
+        let a = LogValue::from_linear(3.0);
+        let b = LogValue::from_linear(4.0);
+        assert!((a.add(b).linear() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_behaves_as_identity() {
+        let a = LogValue::from_linear(5.0);
+        assert!((a.add(LogValue::ZERO).linear() - 5.0).abs() < 1e-12);
+        assert!(LogValue::ZERO.add(LogValue::ZERO).is_zero());
+    }
+
+    #[test]
+    fn addition_is_stable_for_huge_exponents() {
+        let a = LogValue::from_ln(50_000.0);
+        let b = LogValue::from_ln(50_001.0);
+        let s = a.add(b);
+        assert!(s.ln() > 50_001.0 && s.ln() < 50_002.0);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(LogValue::from_linear(2.0) < LogValue::from_linear(3.0));
+        assert!(LogValue::ZERO < LogValue::ONE);
+    }
+
+    #[test]
+    fn mul_and_div() {
+        let a = LogValue::from_linear(6.0);
+        assert!((a.mul(LogValue::from_linear(2.0)).linear() - 12.0).abs() < 1e-9);
+        assert!((a.div_linear(3.0).linear() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: LogValue = (1..=4).map(|x| LogValue::from_linear(x as f64)).sum();
+        assert!((total.linear() - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,458 @@
+//! VF2 subgraph-isomorphism engine (Cordella, Foggia, Sansone, Vento,
+//! IEEE TPAMI 2004), specialized for undirected vertex-labeled graphs.
+//!
+//! The search interleaves a *static matching order* over pattern vertices
+//! (rarest-label, highest-degree seed; then connectivity-first expansion,
+//! which keeps the partial mapping connected and candidate sets small) with
+//! the classic VF2 feasibility rules:
+//!
+//! * label equality;
+//! * consistency — every already-mapped pattern neighbor must map to a
+//!   target neighbor of the candidate (and, under induced semantics,
+//!   non-adjacency must be preserved too);
+//! * degree and 1-lookahead pruning — a candidate target vertex must have
+//!   at least as many unmapped neighbors as the pattern vertex has
+//!   not-yet-ordered neighbors.
+//!
+//! The engine finds the *first* embedding and stops (the experiments, like
+//! the altered Grapes build the paper used, only need a containment
+//! verdict), but [`count_embeddings`] is provided for tests and analysis.
+
+use crate::semantics::{MatchConfig, MatchResult, MatchSemantics, Outcome};
+use igq_graph::{Graph, VertexId};
+
+const UNMAPPED: u32 = u32::MAX;
+
+/// Static per-pattern-vertex matching plan.
+struct PlanEntry {
+    /// Pattern vertex matched at this depth.
+    vertex: VertexId,
+    /// Already-ordered pattern neighbors (checked for edge consistency).
+    backward: Vec<VertexId>,
+    /// Number of pattern neighbors ordered *after* this depth (lookahead).
+    forward_degree: u32,
+}
+
+/// Builds the matching order. Seeds each connected component at its
+/// (rarest target label, then max degree) vertex and grows
+/// connectivity-first, preferring vertices with many already-ordered
+/// neighbors (most constrained first).
+fn build_plan(pattern: &Graph, target: &Graph) -> Vec<PlanEntry> {
+    let n = pattern.vertex_count();
+    let mut ordered = vec![false; n];
+    let mut order: Vec<VertexId> = Vec::with_capacity(n);
+
+    // Rarity of each pattern vertex's label in the *target*.
+    let rarity = |v: VertexId| target.vertices_with_label(pattern.label(v)).len();
+
+    while order.len() < n {
+        // Seed: unordered vertex with rarest label, tie-break max degree.
+        let seed = pattern
+            .vertices()
+            .filter(|&v| !ordered[v.index()])
+            .min_by_key(|&v| (rarity(v), usize::MAX - pattern.degree(v)))
+            .expect("unordered vertex must exist");
+        ordered[seed.index()] = true;
+        order.push(seed);
+
+        // Grow the component: most already-ordered neighbors first, then
+        // rarest label, then max degree.
+        loop {
+            let next = pattern
+                .vertices()
+                .filter(|&v| !ordered[v.index()])
+                .filter(|&v| pattern.neighbors(v).iter().any(|&w| ordered[w.index()]))
+                .max_by_key(|&v| {
+                    let back = pattern.neighbors(v).iter().filter(|&&w| ordered[w.index()]).count();
+                    (back, usize::MAX - rarity(v), pattern.degree(v))
+                });
+            match next {
+                Some(v) => {
+                    ordered[v.index()] = true;
+                    order.push(v);
+                }
+                None => break, // component exhausted; outer loop reseeds
+            }
+        }
+    }
+
+    let mut position = vec![0usize; n];
+    for (pos, &v) in order.iter().enumerate() {
+        position[v.index()] = pos;
+    }
+    order
+        .iter()
+        .enumerate()
+        .map(|(pos, &v)| {
+            let backward: Vec<VertexId> = pattern
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&w| position[w.index()] < pos)
+                .collect();
+            let forward_degree = (pattern.degree(v) - backward.len()) as u32;
+            PlanEntry { vertex: v, backward, forward_degree }
+        })
+        .collect()
+}
+
+struct Searcher<'a> {
+    pattern: &'a Graph,
+    target: &'a Graph,
+    plan: Vec<PlanEntry>,
+    config: MatchConfig,
+    /// pattern vertex index -> target vertex raw id (UNMAPPED sentinel).
+    mapping: Vec<u32>,
+    used: Vec<bool>,
+    states: u64,
+    budget_hit: bool,
+    /// When counting, the number of embeddings found so far and the cap.
+    found_count: u64,
+    count_limit: u64,
+    /// Edge labels participate in feasibility only when either side carries
+    /// them (unlabeled graphs stay on the cheap adjacency-only path).
+    check_edge_labels: bool,
+}
+
+impl<'a> Searcher<'a> {
+    fn new(pattern: &'a Graph, target: &'a Graph, config: MatchConfig) -> Self {
+        Searcher {
+            plan: build_plan(pattern, target),
+            mapping: vec![UNMAPPED; pattern.vertex_count()],
+            used: vec![false; target.vertex_count()],
+            states: 0,
+            budget_hit: false,
+            found_count: 0,
+            count_limit: 1,
+            check_edge_labels: pattern.has_edge_labels() || target.has_edge_labels(),
+            pattern,
+            target,
+            config,
+        }
+    }
+
+    /// Number of `t`'s neighbors not yet used by the mapping.
+    #[inline]
+    fn free_degree(&self, t: VertexId) -> u32 {
+        self.target.neighbors(t).iter().filter(|&&w| !self.used[w.index()]).count() as u32
+    }
+
+    /// VF2 feasibility of extending the mapping with `p -> t`.
+    fn feasible(&self, depth: usize, t: VertexId) -> bool {
+        let entry = &self.plan[depth];
+        let p = entry.vertex;
+        if self.used[t.index()] || self.pattern.label(p) != self.target.label(t) {
+            return false;
+        }
+        if self.target.degree(t) < self.pattern.degree(p) {
+            return false;
+        }
+        // Consistency over already-mapped neighbors (edge labels must agree
+        // when present; unlabeled sides report the default label 0).
+        for &bp in &entry.backward {
+            let bt = VertexId::new(self.mapping[bp.index()]);
+            if !self.target.has_edge(bt, t) {
+                return false;
+            }
+            if self.check_edge_labels
+                && self.pattern.edge_label_unchecked(bp, p)
+                    != self.target.edge_label_unchecked(bt, t)
+            {
+                return false;
+            }
+        }
+        if self.config.semantics == MatchSemantics::Induced {
+            // Mapped pattern *non*-neighbors must land on non-neighbors.
+            for d in 0..depth {
+                let q = self.plan[d].vertex;
+                if self.pattern.has_edge(q, p) {
+                    continue; // covered by backward check
+                }
+                let qt = VertexId::new(self.mapping[q.index()]);
+                if self.target.has_edge(qt, t) {
+                    return false;
+                }
+            }
+        }
+        // 1-lookahead: enough free target neighbors for the pattern's
+        // still-unordered neighbors.
+        if self.free_degree(t) < entry.forward_degree {
+            return false;
+        }
+        true
+    }
+
+    /// Recursive extension. Returns `true` to stop the search (embedding
+    /// found and limit reached, or budget exhausted).
+    fn extend(&mut self, depth: usize) -> bool {
+        if depth == self.plan.len() {
+            self.found_count += 1;
+            return self.found_count >= self.count_limit;
+        }
+        let entry = &self.plan[depth];
+        let p = entry.vertex;
+
+        // Candidate generation: prefer the neighbor slice of an
+        // already-mapped pattern neighbor (smallest image neighborhood);
+        // fall back to the label class for component seeds.
+        let candidates: Vec<VertexId> = if let Some(&bp) = entry
+            .backward
+            .iter()
+            .min_by_key(|&&bp| self.target.degree(VertexId::new(self.mapping[bp.index()])))
+        {
+            let bt = VertexId::new(self.mapping[bp.index()]);
+            self.target.neighbors(bt).to_vec()
+        } else {
+            self.target.vertices_with_label(self.pattern.label(p)).to_vec()
+        };
+
+        for t in candidates {
+            if self.config.budget.exhausted(self.states) {
+                self.budget_hit = true;
+                return true;
+            }
+            self.states += 1;
+            if !self.feasible(depth, t) {
+                continue;
+            }
+            self.mapping[p.index()] = t.raw();
+            self.used[t.index()] = true;
+            if self.extend(depth + 1) {
+                return true;
+            }
+            self.mapping[p.index()] = UNMAPPED;
+            self.used[t.index()] = false;
+        }
+        false
+    }
+
+    fn into_result(self) -> MatchResult {
+        if self.budget_hit {
+            return MatchResult::new(Outcome::Aborted, self.states);
+        }
+        if self.found_count > 0 {
+            let mapping = self.mapping.iter().map(|&r| VertexId::new(r)).collect();
+            MatchResult::new(Outcome::Found(mapping), self.states)
+        } else {
+            MatchResult::new(Outcome::NotFound, self.states)
+        }
+    }
+}
+
+/// Finds one embedding of `pattern` in `target` (or proves none exists, or
+/// aborts on budget exhaustion).
+pub fn find_one(pattern: &Graph, target: &Graph, config: &MatchConfig) -> MatchResult {
+    if pattern.is_empty() {
+        return MatchResult::new(Outcome::Found(Vec::new()), 0);
+    }
+    if pattern.vertex_count() > target.vertex_count()
+        || pattern.edge_count() > target.edge_count()
+    {
+        return MatchResult::new(Outcome::NotFound, 0);
+    }
+    let mut s = Searcher::new(pattern, target, *config);
+    s.extend(0);
+    s.into_result()
+}
+
+/// Counts embeddings up to `limit` (each distinct injective mapping counts
+/// once). Returns `(count, states, aborted)`.
+pub fn count_embeddings(
+    pattern: &Graph,
+    target: &Graph,
+    limit: u64,
+    config: &MatchConfig,
+) -> (u64, u64, bool) {
+    if pattern.is_empty() {
+        return (1, 0, false);
+    }
+    if pattern.vertex_count() > target.vertex_count() {
+        return (0, 0, false);
+    }
+    let mut s = Searcher::new(pattern, target, *config);
+    s.count_limit = limit;
+    s.extend(0);
+    // The final embedding leaves the mapping populated but we only need the
+    // count here; budget status still matters.
+    let aborted = s.budget_hit;
+    (s.found_count, s.states, aborted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::verify_embedding;
+    use igq_graph::graph_from;
+
+    fn cfg() -> MatchConfig {
+        MatchConfig::default()
+    }
+
+    #[test]
+    fn empty_pattern_matches_anything() {
+        let t = graph_from(&[0, 1], &[(0, 1)]);
+        let r = find_one(&graph_from(&[], &[]), &t, &cfg());
+        assert!(r.outcome.is_found());
+    }
+
+    #[test]
+    fn single_vertex_label_match() {
+        let t = graph_from(&[3, 5], &[(0, 1)]);
+        assert!(find_one(&graph_from(&[5], &[]), &t, &cfg()).outcome.is_found());
+        assert!(find_one(&graph_from(&[9], &[]), &t, &cfg()).outcome.is_not_found());
+    }
+
+    #[test]
+    fn path_in_triangle_mono() {
+        let p = graph_from(&[0, 0, 0], &[(0, 1), (1, 2)]);
+        let tri = graph_from(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
+        let r = find_one(&p, &tri, &cfg());
+        let m = r.outcome.mapping().expect("path embeds in triangle").to_vec();
+        assert!(verify_embedding(&p, &tri, &m, MatchSemantics::Monomorphism));
+    }
+
+    #[test]
+    fn path_in_triangle_induced_fails() {
+        // Induced P3 needs the endpoints non-adjacent: impossible in K3.
+        let p = graph_from(&[0, 0, 0], &[(0, 1), (1, 2)]);
+        let tri = graph_from(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
+        assert!(find_one(&p, &tri, &MatchConfig::induced()).outcome.is_not_found());
+    }
+
+    #[test]
+    fn labels_constrain_matching() {
+        let p = graph_from(&[1, 2], &[(0, 1)]);
+        let yes = graph_from(&[2, 1, 0], &[(0, 1), (1, 2)]);
+        let no = graph_from(&[1, 1, 2], &[(0, 1)]); // 2 is isolated
+        assert!(find_one(&p, &yes, &cfg()).outcome.is_found());
+        assert!(find_one(&p, &no, &cfg()).outcome.is_not_found());
+    }
+
+    #[test]
+    fn pattern_larger_than_target_short_circuits() {
+        let p = graph_from(&[0, 0, 0], &[(0, 1), (1, 2)]);
+        let t = graph_from(&[0, 0], &[(0, 1)]);
+        let r = find_one(&p, &t, &cfg());
+        assert!(r.outcome.is_not_found());
+        assert_eq!(r.states, 0);
+    }
+
+    #[test]
+    fn disconnected_pattern() {
+        // Two independent labeled edges; target must host both disjointly.
+        let p = graph_from(&[0, 1, 0, 1], &[(0, 1), (2, 3)]);
+        let yes = graph_from(&[0, 1, 0, 1, 9], &[(0, 1), (2, 3)]);
+        let no = graph_from(&[0, 1, 9], &[(0, 1)]); // only one 0-1 edge
+        let r = find_one(&p, &yes, &cfg());
+        let m = r.outcome.mapping().expect("two disjoint edges exist").to_vec();
+        assert!(verify_embedding(&p, &yes, &m, MatchSemantics::Monomorphism));
+        assert!(find_one(&p, &no, &cfg()).outcome.is_not_found());
+    }
+
+    #[test]
+    fn cycle_needs_cycle() {
+        let c4 = graph_from(&[0; 4], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let p4 = graph_from(&[0; 4], &[(0, 1), (1, 2), (2, 3)]);
+        assert!(find_one(&p4, &c4, &cfg()).outcome.is_found());
+        assert!(find_one(&c4, &p4, &cfg()).outcome.is_not_found());
+    }
+
+    #[test]
+    fn budget_aborts_and_reports() {
+        // A moderately hard unlabeled instance with a tiny budget.
+        let clique = |n: u32| {
+            let mut edges = Vec::new();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    edges.push((i, j));
+                }
+            }
+            graph_from(&vec![0; n as usize], &edges)
+        };
+        let p = clique(6);
+        // Target: 12-vertex graph that is *not* a 6-clique superset: ring of
+        // overlapping 5-cliques forces deep search before failure.
+        let mut edges = Vec::new();
+        for i in 0..12u32 {
+            for d in 1..=4u32 {
+                edges.push((i, (i + d) % 12));
+            }
+        }
+        let t = graph_from(&[0; 12], &edges.into_iter().map(|(a, b)| if a < b { (a, b) } else { (b, a) }).collect::<Vec<_>>());
+        let r = find_one(&p, &t, &MatchConfig::with_budget(10));
+        assert_eq!(r.outcome, Outcome::Aborted);
+        assert!(r.states <= 11);
+    }
+
+    #[test]
+    fn count_embeddings_on_triangle() {
+        // Labeled edge 0-0 in a triangle of zeros: 3 edges x 2 orientations.
+        let p = graph_from(&[0, 0], &[(0, 1)]);
+        let tri = graph_from(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
+        let (count, _, aborted) = count_embeddings(&p, &tri, u64::MAX, &cfg());
+        assert_eq!(count, 6);
+        assert!(!aborted);
+    }
+
+    #[test]
+    fn count_respects_limit() {
+        let p = graph_from(&[0], &[]);
+        let t = graph_from(&[0; 10], &[]);
+        let (count, _, _) = count_embeddings(&p, &t, 4, &cfg());
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn edge_labels_constrain_matching() {
+        use igq_graph::graph_from_el;
+        // Target: path with a single(1) and a double(2) bond.
+        let t = graph_from_el(&[0, 0, 0], &[(0, 1, 1), (1, 2, 2)]);
+        let single = graph_from_el(&[0, 0], &[(0, 1, 1)]);
+        let double = graph_from_el(&[0, 0], &[(0, 1, 2)]);
+        let triple = graph_from_el(&[0, 0], &[(0, 1, 3)]);
+        assert!(find_one(&single, &t, &cfg()).outcome.is_found());
+        assert!(find_one(&double, &t, &cfg()).outcome.is_found());
+        assert!(find_one(&triple, &t, &cfg()).outcome.is_not_found());
+        // A double-double path needs two label-2 edges; the target has one.
+        let dd = graph_from_el(&[0, 0, 0], &[(0, 1, 2), (1, 2, 2)]);
+        assert!(find_one(&dd, &t, &cfg()).outcome.is_not_found());
+    }
+
+    #[test]
+    fn unlabeled_pattern_defaults_to_label_zero() {
+        use igq_graph::graph_from_el;
+        // An unlabeled pattern edge means "label 0": it must not match a
+        // target edge labeled 5, but matches a target edge labeled 0.
+        let p = graph_from(&[0, 0], &[(0, 1)]);
+        let t5 = graph_from_el(&[0, 0], &[(0, 1, 5)]);
+        let t0 = graph_from(&[0, 0], &[(0, 1)]);
+        assert!(find_one(&p, &t5, &cfg()).outcome.is_not_found());
+        assert!(find_one(&p, &t0, &cfg()).outcome.is_found());
+    }
+
+    #[test]
+    fn edge_labeled_mapping_is_verified() {
+        use crate::semantics::verify_embedding;
+        use igq_graph::graph_from_el;
+        let p = graph_from_el(&[1, 2], &[(0, 1, 4)]);
+        let t = graph_from_el(&[2, 1, 2], &[(0, 1, 3), (1, 2, 4)]);
+        let r = find_one(&p, &t, &cfg());
+        let m = r.outcome.mapping().expect("label-4 edge exists").to_vec();
+        assert!(verify_embedding(&p, &t, &m, MatchSemantics::Monomorphism));
+        assert_eq!(m[1].index(), 2, "pattern's 2 must map to the 4-labeled edge's end");
+    }
+
+    #[test]
+    fn found_mapping_is_always_valid() {
+        // Query-sized random-ish fixed case with mixed labels.
+        let p = graph_from(&[1, 2, 1, 3], &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let t = graph_from(
+            &[3, 1, 2, 1, 2, 3],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4), (0, 3)],
+        );
+        let r = find_one(&p, &t, &cfg());
+        if let Some(m) = r.outcome.mapping() {
+            assert!(verify_embedding(&p, &t, m, MatchSemantics::Monomorphism));
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! GraphGrepSX (Bonnici et al., PRIB 2010) — path-trie indexing.
+//!
+//! GGSX exhaustively enumerates all labeled simple paths of every dataset
+//! graph up to a maximum length (4 in the paper's experiments) and stores
+//! them, with occurrence counts, in a suffix-tree-like trie. A query is
+//! decomposed the same way; a graph survives filtering only if it contains
+//! every query path feature at least as often as the query does. VF2 decides
+//! the survivors.
+//!
+//! Budget-truncated graphs (possible on adversarially dense inputs) are
+//! tracked per graph: a feature longer than a graph's exhaustively
+//! enumerated depth never excludes that graph, preserving the no-false-
+//! negative contract at the price of filtering power.
+
+use crate::method::{intersect_sorted, Filtered, QueryContext, SubgraphMethod, VerifyOutcome};
+use igq_features::{enumerate_paths, FeatureTrie, LabelSeq, PathConfig};
+use igq_graph::{Graph, GraphId, GraphStore};
+use igq_iso::{vf2, MatchConfig};
+use std::sync::Arc;
+
+/// GGSX configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GgsxConfig {
+    /// Maximum indexed path length in edges (paper default: 4).
+    pub max_path_len: usize,
+    /// Per-graph enumeration budget (see [`PathConfig::budget`]).
+    pub path_budget: u64,
+    /// Verification engine configuration.
+    pub match_config: MatchConfig,
+}
+
+impl Default for GgsxConfig {
+    fn default() -> Self {
+        let p = PathConfig::default();
+        GgsxConfig { max_path_len: p.max_len, path_budget: p.budget, match_config: MatchConfig::default() }
+    }
+}
+
+impl GgsxConfig {
+    fn path_config(&self) -> PathConfig {
+        PathConfig { max_len: self.max_path_len, include_vertices: true, budget: self.path_budget }
+    }
+}
+
+/// The GGSX index.
+pub struct Ggsx {
+    store: Arc<GraphStore>,
+    config: GgsxConfig,
+    trie: FeatureTrie,
+    /// Per-graph deepest exhaustively enumerated path length.
+    complete_len: Vec<u8>,
+    /// Graphs whose enumeration was truncated below `max_path_len`.
+    shallow: Vec<GraphId>,
+}
+
+impl Ggsx {
+    /// Builds the index over `store`.
+    pub fn build(store: &Arc<GraphStore>, config: GgsxConfig) -> Ggsx {
+        let path_config = config.path_config();
+        let mut trie = FeatureTrie::new();
+        let mut complete_len = Vec::with_capacity(store.len());
+        let mut shallow = Vec::new();
+        for (id, g) in store.iter() {
+            let features = enumerate_paths(g, &path_config);
+            for (seq, count) in &features.counts {
+                trie.insert(seq, id, *count);
+            }
+            complete_len.push(features.complete_len as u8);
+            if features.complete_len < config.max_path_len {
+                shallow.push(id);
+            }
+        }
+        Ggsx { store: Arc::clone(store), config, trie, complete_len, shallow }
+    }
+
+    fn size_screen(&self, q: &Graph, id: GraphId) -> bool {
+        let g = self.store.get(id);
+        g.vertex_count() >= q.vertex_count() && g.edge_count() >= q.edge_count()
+    }
+
+    /// Candidate computation shared with Grapes (which layers location-aware
+    /// verification on the same trie filter).
+    pub(crate) fn trie_filter(
+        store: &GraphStore,
+        trie: &FeatureTrie,
+        complete_len: &[u8],
+        shallow: &[GraphId],
+        max_path_len: usize,
+        q: &Graph,
+        query_features: &[(LabelSeq, u32)],
+    ) -> Vec<GraphId> {
+        if query_features.is_empty() {
+            return store
+                .ids()
+                .filter(|&id| {
+                    let g = store.get(id);
+                    g.vertex_count() >= q.vertex_count() && g.edge_count() >= q.edge_count()
+                })
+                .collect();
+        }
+
+        // Fully-indexed graphs: posting-list intersection, most selective
+        // feature first.
+        let mut order: Vec<usize> = (0..query_features.len()).collect();
+        order.sort_by_key(|&i| trie.get(&query_features[i].0).len());
+
+        let mut full: Option<Vec<GraphId>> = None;
+        for &i in &order {
+            let (seq, count) = &query_features[i];
+            let qualifying: Vec<GraphId> = trie
+                .get(seq)
+                .iter()
+                .filter(|p| p.count >= *count && complete_len[p.graph.index()] as usize == max_path_len)
+                .map(|p| p.graph)
+                .collect();
+            full = Some(match full {
+                None => qualifying,
+                Some(acc) => intersect_sorted(&acc, &qualifying),
+            });
+            if full.as_ref().is_some_and(|f| f.is_empty()) {
+                break;
+            }
+        }
+        let mut candidates = full.unwrap_or_default();
+
+        // Truncated graphs: only features within each graph's exhaustive
+        // depth may exclude it.
+        for &id in shallow {
+            let depth = complete_len[id.index()] as usize;
+            let ok = query_features
+                .iter()
+                .filter(|(seq, _)| seq.edge_len() <= depth)
+                .all(|(seq, count)| trie.count_in(seq, id) >= *count);
+            if ok {
+                candidates.push(id);
+            }
+        }
+        candidates.sort_unstable();
+
+        // Final size screen.
+        candidates.retain(|&id| {
+            let g = store.get(id);
+            g.vertex_count() >= q.vertex_count() && g.edge_count() >= q.edge_count()
+        });
+        candidates
+    }
+}
+
+impl SubgraphMethod for Ggsx {
+    fn name(&self) -> String {
+        "GGSX".to_owned()
+    }
+
+    fn store(&self) -> &GraphStore {
+        &self.store
+    }
+
+    fn filter(&self, q: &Graph) -> Filtered {
+        let qf = enumerate_paths(q, &self.config.path_config());
+        let features: Vec<(LabelSeq, u32)> =
+            qf.counts.iter().map(|(s, &c)| (s.clone(), c)).collect();
+        let candidates = Ggsx::trie_filter(
+            &self.store,
+            &self.trie,
+            &self.complete_len,
+            &self.shallow,
+            self.config.max_path_len,
+            q,
+            &features,
+        );
+        debug_assert!(candidates.iter().all(|&id| self.size_screen(q, id)));
+        Filtered { candidates, context: QueryContext { path_features: Some(features) } }
+    }
+
+    fn verify(&self, q: &Graph, _context: &QueryContext, candidate: GraphId) -> VerifyOutcome {
+        let r = vf2::find_one(q, self.store.get(candidate), &self.config.match_config);
+        VerifyOutcome::from_match(&r)
+    }
+
+    fn index_size_bytes(&self) -> u64 {
+        self.trie.heap_size_bytes() + self.complete_len.len() as u64
+    }
+
+    fn match_config(&self) -> MatchConfig {
+        self.config.match_config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igq_graph::graph_from;
+
+    fn store() -> Arc<GraphStore> {
+        Arc::new(
+            vec![
+                graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]),         // g0: 0-1-0 path
+                graph_from(&[0, 1], &[(0, 1)]),                    // g1: 0-1 edge
+                graph_from(&[2, 2, 2], &[(0, 1), (1, 2), (0, 2)]), // g2: triangle of 2s
+                graph_from(&[0, 1, 2, 0], &[(0, 1), (1, 2), (2, 3)]), // g3: 0-1-2-0 path
+            ]
+            .into_iter()
+            .collect(),
+        )
+    }
+
+    #[test]
+    fn filter_uses_path_features() {
+        let m = Ggsx::build(&store(), GgsxConfig::default());
+        let q = graph_from(&[0, 1], &[(0, 1)]);
+        let f = m.filter(&q);
+        // g2 has no 0 or 1 labels; all others contain the 0-1 edge feature.
+        assert_eq!(f.candidates, vec![GraphId::new(0), GraphId::new(1), GraphId::new(3)]);
+    }
+
+    #[test]
+    fn multiplicity_filtering() {
+        // Query needs two 0-labeled vertices: g1 has only one.
+        let m = Ggsx::build(&store(), GgsxConfig::default());
+        let q = graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]);
+        let f = m.filter(&q);
+        assert_eq!(f.candidates, vec![GraphId::new(0)]);
+    }
+
+    #[test]
+    fn query_answers_match_naive() {
+        let s = store();
+        let ggsx = Ggsx::build(&s, GgsxConfig::default());
+        let naive = crate::naive::NaiveMethod::build(&s);
+        for q in [
+            graph_from(&[0, 1], &[(0, 1)]),
+            graph_from(&[2, 2], &[(0, 1)]),
+            graph_from(&[0, 1, 2], &[(0, 1), (1, 2)]),
+            graph_from(&[9], &[]),
+        ] {
+            let (a, ta) = ggsx.query(&q);
+            let (b, tb) = naive.query(&q);
+            assert_eq!(a, b, "answers differ for {q:?}");
+            assert!(ta <= tb, "ggsx must never verify more than naive");
+        }
+    }
+
+    #[test]
+    fn filtering_never_loses_answers() {
+        let s = store();
+        let ggsx = Ggsx::build(&s, GgsxConfig::default());
+        let naive = crate::naive::NaiveMethod::build(&s);
+        let q = graph_from(&[0, 1, 2], &[(0, 1), (1, 2)]);
+        let (truth, _) = naive.query(&q);
+        let f = ggsx.filter(&q);
+        for id in truth {
+            assert!(f.candidates.contains(&id));
+        }
+    }
+
+    #[test]
+    fn empty_query_matches_every_graph() {
+        let m = Ggsx::build(&store(), GgsxConfig::default());
+        let q = graph_from(&[], &[]);
+        let f = m.filter(&q);
+        assert_eq!(f.candidates.len(), 4);
+    }
+
+    #[test]
+    fn index_size_is_positive() {
+        let m = Ggsx::build(&store(), GgsxConfig::default());
+        assert!(m.index_size_bytes() > 0);
+    }
+
+    #[test]
+    fn shallow_graphs_survive_long_feature_filtering() {
+        // Force truncation on a dense graph with a tiny budget; the dense
+        // graph must still be a candidate for long-path queries.
+        let mut edges = Vec::new();
+        for i in 0..10u32 {
+            for j in (i + 1)..10u32 {
+                edges.push((i, j));
+            }
+        }
+        let dense = graph_from(&[0; 10], &edges); // K10, all label 0
+        let s: Arc<GraphStore> = Arc::new(vec![dense].into_iter().collect());
+        let config = GgsxConfig { path_budget: 50, ..Default::default() };
+        let m = Ggsx::build(&s, config);
+        let q = graph_from(&[0; 5], &[(0, 1), (1, 2), (2, 3), (3, 4)]); // P5 of 0s
+        let f = m.filter(&q);
+        assert_eq!(f.candidates, vec![GraphId::new(0)]);
+        let (answers, _) = m.query(&q);
+        assert_eq!(answers, vec![GraphId::new(0)]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Connected components restricted to a vertex subset.
+//!
+//! Grapes verifies candidates only against the connected components induced
+//! by feature-hosting vertices. This helper computes those components
+//! without materializing the induced subgraph (the subgraph is built later,
+//! only for components that pass the size screen).
+
+use igq_graph::{Graph, VertexId};
+
+/// Connected components of the subgraph of `g` induced by `vertices`
+/// (which must be sorted and deduplicated). Components are returned as
+/// sorted vertex lists, largest first.
+pub fn components_within(g: &Graph, vertices: &[VertexId]) -> Vec<Vec<VertexId>> {
+    debug_assert!(vertices.windows(2).all(|w| w[0] < w[1]), "vertices must be sorted+dedup");
+    let member = |v: VertexId| vertices.binary_search(&v).is_ok();
+    let mut seen = vec![false; g.vertex_count()];
+    let mut out = Vec::new();
+    let mut stack = Vec::new();
+    for &start in vertices {
+        if seen[start.index()] {
+            continue;
+        }
+        seen[start.index()] = true;
+        stack.push(start);
+        let mut comp = Vec::new();
+        while let Some(v) = stack.pop() {
+            comp.push(v);
+            for &w in g.neighbors(v) {
+                if !seen[w.index()] && member(w) {
+                    seen[w.index()] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        comp.sort_unstable();
+        out.push(comp);
+    }
+    out.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igq_graph::graph_from;
+
+    fn v(i: u32) -> VertexId {
+        VertexId::new(i)
+    }
+
+    #[test]
+    fn subset_splits_a_connected_graph() {
+        // Path 0-1-2-3-4; dropping vertex 2 splits {0,1} and {3,4}.
+        let g = graph_from(&[0; 5], &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let comps = components_within(&g, &[v(0), v(1), v(3), v(4)]);
+        assert_eq!(comps.len(), 2);
+        assert!(comps.contains(&vec![v(0), v(1)]));
+        assert!(comps.contains(&vec![v(3), v(4)]));
+    }
+
+    #[test]
+    fn full_subset_equals_graph_components() {
+        let g = graph_from(&[0; 4], &[(0, 1), (2, 3)]);
+        let all: Vec<VertexId> = g.vertices().collect();
+        let comps = components_within(&g, &all);
+        assert_eq!(comps, g.connected_components());
+    }
+
+    #[test]
+    fn empty_subset() {
+        let g = graph_from(&[0, 0], &[(0, 1)]);
+        assert!(components_within(&g, &[]).is_empty());
+    }
+
+    #[test]
+    fn singleton_subset() {
+        let g = graph_from(&[0, 0], &[(0, 1)]);
+        let comps = components_within(&g, &[v(1)]);
+        assert_eq!(comps, vec![vec![v(1)]]);
+    }
+
+    #[test]
+    fn largest_first_ordering() {
+        let g = graph_from(&[0; 6], &[(0, 1), (1, 2), (4, 5)]);
+        let comps = components_within(&g, &[v(0), v(1), v(2), v(4), v(5)]);
+        assert_eq!(comps[0].len(), 3);
+        assert_eq!(comps[1].len(), 2);
+    }
+}

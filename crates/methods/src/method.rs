@@ -1,0 +1,217 @@
+//! The filter-then-verify method abstraction.
+//!
+//! iGQ "can be incorporated into any sub/supergraph query processing
+//! method" (paper abstract); [`SubgraphMethod`] is that plug point. A method
+//! owns its dataset index, produces a *candidate set* with no false
+//! negatives ([`SubgraphMethod::filter`]), and decides individual candidates
+//! with a subgraph-isomorphism test ([`SubgraphMethod::verify`]).
+
+use igq_features::LabelSeq;
+use igq_graph::{Graph, GraphId, GraphStore};
+use igq_iso::MatchConfig;
+
+/// Query-scoped data computed during filtering and reused during
+/// verification (e.g. Grapes needs the query's path features to look up
+/// location info per candidate).
+#[derive(Debug, Clone, Default)]
+pub struct QueryContext {
+    /// The query's canonical path features with occurrence counts.
+    pub path_features: Option<Vec<(LabelSeq, u32)>>,
+}
+
+/// Output of the filtering stage.
+#[derive(Debug, Clone)]
+pub struct Filtered {
+    /// Candidate graph ids, sorted ascending, no duplicates, and —
+    /// critically — containing every true answer (no false negatives).
+    pub candidates: Vec<GraphId>,
+    /// Reusable query-scoped context.
+    pub context: QueryContext,
+}
+
+impl Filtered {
+    /// A candidate set with no context.
+    pub fn new(candidates: Vec<GraphId>) -> Filtered {
+        debug_assert!(candidates.windows(2).all(|w| w[0] < w[1]));
+        Filtered { candidates, context: QueryContext::default() }
+    }
+}
+
+/// Verdict of verifying one candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyOutcome {
+    /// True when the candidate contains the query.
+    pub contains: bool,
+    /// True when the engine aborted on budget (then `contains` is `false`
+    /// but the candidate must be treated as *undecided* by callers that
+    /// care about exactness).
+    pub aborted: bool,
+    /// Search states explored.
+    pub states: u64,
+}
+
+impl VerifyOutcome {
+    pub(crate) fn from_match(r: &igq_iso::semantics::MatchResult) -> VerifyOutcome {
+        VerifyOutcome {
+            contains: r.outcome.is_found(),
+            aborted: matches!(r.outcome, igq_iso::Outcome::Aborted),
+            states: r.states,
+        }
+    }
+}
+
+/// A filter-then-verify subgraph query processing method.
+///
+/// # Contract
+///
+/// * `filter` never excludes a true answer (`g ⊆ Gi ⇒ Gi ∈ candidates`);
+/// * `verify(q, ctx, id)` decides `q ⊆ store()[id]` exactly (up to an
+///   explicitly configured abort budget);
+/// * `candidates` are sorted ascending.
+pub trait SubgraphMethod: Send + Sync {
+    /// Short human-readable name ("GGSX", "Grapes(6)", ...).
+    fn name(&self) -> String;
+
+    /// The dataset this method indexes.
+    fn store(&self) -> &GraphStore;
+
+    /// The filtering stage: produce candidates for query `q`.
+    fn filter(&self, q: &Graph) -> Filtered;
+
+    /// The verification stage for a single candidate.
+    fn verify(&self, q: &Graph, context: &QueryContext, candidate: GraphId) -> VerifyOutcome;
+
+    /// Approximate index footprint in bytes (Figure 18).
+    fn index_size_bytes(&self) -> u64;
+
+    /// The iso-engine configuration used in verification.
+    fn match_config(&self) -> MatchConfig {
+        MatchConfig::default()
+    }
+
+    /// Verifies many candidates. The default walks them sequentially;
+    /// multi-threaded methods (Grapes(k)) override this to exploit
+    /// parallelism, as the original system does for its verification stage.
+    /// The output is index-aligned with `candidates`.
+    fn verify_batch(
+        &self,
+        q: &Graph,
+        context: &QueryContext,
+        candidates: &[GraphId],
+    ) -> Vec<VerifyOutcome> {
+        candidates.iter().map(|&id| self.verify(q, context, id)).collect()
+    }
+
+    /// Convenience: full query = filter + verify-all. Returns the answer ids
+    /// (sorted) and the number of verification tests performed.
+    fn query(&self, q: &Graph) -> (Vec<GraphId>, u64) {
+        let filtered = self.filter(q);
+        let mut answers = Vec::new();
+        let mut tests = 0u64;
+        for &id in &filtered.candidates {
+            tests += 1;
+            if self.verify(q, &filtered.context, id).contains {
+                answers.push(id);
+            }
+        }
+        (answers, tests)
+    }
+}
+
+/// Forwarding impl so harness code can treat `Box<dyn SubgraphMethod>`
+/// uniformly (e.g. hand it to the iGQ engine).
+impl SubgraphMethod for Box<dyn SubgraphMethod> {
+    fn name(&self) -> String {
+        self.as_ref().name()
+    }
+    fn store(&self) -> &GraphStore {
+        self.as_ref().store()
+    }
+    fn filter(&self, q: &Graph) -> Filtered {
+        self.as_ref().filter(q)
+    }
+    fn verify(&self, q: &Graph, context: &QueryContext, candidate: GraphId) -> VerifyOutcome {
+        self.as_ref().verify(q, context, candidate)
+    }
+    fn verify_batch(
+        &self,
+        q: &Graph,
+        context: &QueryContext,
+        candidates: &[GraphId],
+    ) -> Vec<VerifyOutcome> {
+        self.as_ref().verify_batch(q, context, candidates)
+    }
+    fn index_size_bytes(&self) -> u64 {
+        self.as_ref().index_size_bytes()
+    }
+    fn match_config(&self) -> MatchConfig {
+        self.as_ref().match_config()
+    }
+}
+
+/// Computes the sorted intersection of `a` (sorted) and `b` (sorted).
+pub fn intersect_sorted(a: &[GraphId], b: &[GraphId]) -> Vec<GraphId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Computes the sorted difference `a \ b` (both sorted).
+pub fn subtract_sorted(a: &[GraphId], b: &[GraphId]) -> Vec<GraphId> {
+    let mut out = Vec::with_capacity(a.len());
+    let mut j = 0;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != x {
+            out.push(x);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(raw: &[u32]) -> Vec<GraphId> {
+        raw.iter().map(|&r| GraphId::new(r)).collect()
+    }
+
+    #[test]
+    fn intersect() {
+        assert_eq!(intersect_sorted(&ids(&[1, 3, 5, 7]), &ids(&[2, 3, 5, 8])), ids(&[3, 5]));
+        assert_eq!(intersect_sorted(&ids(&[]), &ids(&[1])), ids(&[]));
+        assert_eq!(intersect_sorted(&ids(&[1, 2]), &ids(&[1, 2])), ids(&[1, 2]));
+    }
+
+    #[test]
+    fn subtract() {
+        assert_eq!(subtract_sorted(&ids(&[1, 2, 3, 4]), &ids(&[2, 4])), ids(&[1, 3]));
+        assert_eq!(subtract_sorted(&ids(&[1, 2]), &ids(&[])), ids(&[1, 2]));
+        assert_eq!(subtract_sorted(&ids(&[1, 2]), &ids(&[0, 1, 2, 9])), ids(&[]));
+    }
+
+    #[test]
+    fn verify_outcome_from_match() {
+        use igq_iso::semantics::MatchResult;
+        let found = MatchResult { outcome: igq_iso::Outcome::Found(vec![]), states: 3 };
+        let o = VerifyOutcome::from_match(&found);
+        assert!(o.contains && !o.aborted && o.states == 3);
+        let aborted = MatchResult { outcome: igq_iso::Outcome::Aborted, states: 9 };
+        let o = VerifyOutcome::from_match(&aborted);
+        assert!(!o.contains && o.aborted);
+    }
+}

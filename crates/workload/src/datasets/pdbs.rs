@@ -1,0 +1,71 @@
+//! PDBS-like synthesizer.
+//!
+//! Table 1 targets: 10 vertex labels, 600 graphs, average degree 2.13,
+//! nodes avg 2,939 / sd 3,217 / max 16,431, edges avg 3,064 / sd 3,264 /
+//! max 16,781.
+//!
+//! DNA/RNA/protein backbone graphs: few large sparse graphs whose sizes
+//! span two orders of magnitude — a log-normal size distribution — with a
+//! tiny label alphabet (10), which is what makes PDBS hard for bitmap
+//! filters (CT-Index's ~50% false-positive ratio in Fig. 3).
+
+use super::{graph_rng, random_graph, sample_lognormal_clamped, GraphShape, LabelModel};
+use igq_graph::GraphStore;
+
+/// Number of distinct vertex labels in PDBS.
+pub const PDBS_LABELS: u32 = 10;
+
+/// Label-skew α. Macromolecule graphs are backbone-dominated (carbon is
+/// ~60% of heavy atoms, then N/O/P); Zipf(1.8) over the 10-label universe
+/// reproduces that composition (0.59 / 0.17 / 0.08).
+pub const PDBS_LABEL_ALPHA: f64 = 1.8;
+
+/// Generates a PDBS-like dataset of `graph_count` macromolecule graphs.
+pub fn pdbs_like(graph_count: usize, seed: u64) -> GraphStore {
+    (0..graph_count)
+        .map(|i| {
+            let mut rng = graph_rng(seed, i);
+            let nodes = sample_lognormal_clamped(&mut rng, 2_939.0, 3_217.0, 60, 16_431);
+            // Average degree 2.13 ⇒ m ≈ 1.065·n.
+            let edges = ((nodes as f64) * 1.065).round() as usize;
+            random_graph(
+                &mut rng,
+                &GraphShape {
+                    nodes,
+                    edges,
+                    labels: LabelModel::Skewed { universe: PDBS_LABELS, alpha: PDBS_LABEL_ALPHA },
+                    preferential: false,
+                    edge_label_universe: 0,
+                },
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igq_graph::stats::DatasetStats;
+
+    #[test]
+    fn shape_matches_table1() {
+        let store = pdbs_like(120, 23);
+        let s = DatasetStats::of(&store);
+        assert_eq!(s.graph_count, 120);
+        assert_eq!(s.vertex_labels, PDBS_LABELS as usize);
+        assert!((s.avg_degree - 2.13).abs() < 0.1, "avg degree {}", s.avg_degree);
+        // Log-normal: mean in the low thousands, heavy right tail.
+        assert!(s.nodes.avg > 1_200.0 && s.nodes.avg < 5_500.0, "node avg {}", s.nodes.avg);
+        assert!(s.nodes.std_dev > 1_000.0, "node sd {}", s.nodes.std_dev);
+        assert!(s.nodes.max <= 16_431.0);
+    }
+
+    #[test]
+    fn sizes_span_orders_of_magnitude() {
+        let store = pdbs_like(80, 5);
+        let sizes: Vec<usize> = store.iter().map(|(_, g)| g.vertex_count()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max as f64 / min as f64 > 8.0, "min {min} max {max}");
+    }
+}

@@ -1,0 +1,181 @@
+//! Workload specifications — the four named workloads of Section 7.1.
+
+use crate::datasets::DatasetKind;
+use crate::querygen::{QueryGenerator, PAPER_QUERY_SIZES};
+use igq_graph::{Graph, GraphStore};
+use std::fmt;
+
+/// A popularity distribution for graph or node selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Uniform selection.
+    Uniform,
+    /// Zipf with skew `α` (paper default 1.4; also 1.1, 2.0, 2.4).
+    Zipf(f64),
+}
+
+impl fmt::Display for Distribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Distribution::Uniform => write!(f, "uni"),
+            Distribution::Zipf(a) => write!(f, "zipf({a})"),
+        }
+    }
+}
+
+/// The paper's default Zipf skew.
+pub const DEFAULT_ALPHA: f64 = 1.4;
+
+/// A full query-workload specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryWorkloadSpec {
+    /// Graph-pick distribution.
+    pub graph_dist: Distribution,
+    /// Node-pick distribution.
+    pub node_dist: Distribution,
+    /// Query sizes in edges.
+    pub sizes: Vec<usize>,
+    /// Number of queries.
+    pub count: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl QueryWorkloadSpec {
+    /// One of the four named workloads (`uni-uni`, `uni-zipf`, `zipf-uni`,
+    /// `zipf-zipf`) with the paper's query sizes.
+    pub fn named(graph_zipf: bool, node_zipf: bool, alpha: f64, count: usize, seed: u64) -> Self {
+        let pick = |z: bool| if z { Distribution::Zipf(alpha) } else { Distribution::Uniform };
+        QueryWorkloadSpec {
+            graph_dist: pick(graph_zipf),
+            node_dist: pick(node_zipf),
+            sizes: PAPER_QUERY_SIZES.to_vec(),
+            count,
+            seed,
+        }
+    }
+
+    /// All four named workloads in the paper's order.
+    pub fn all_four(alpha: f64, count: usize, seed: u64) -> Vec<(String, QueryWorkloadSpec)> {
+        [(false, false), (false, true), (true, false), (true, true)]
+            .into_iter()
+            .map(|(g, n)| {
+                let spec = QueryWorkloadSpec::named(g, n, alpha, count, seed);
+                (spec.label(), spec)
+            })
+            .collect()
+    }
+
+    /// The `uni−uni`-style label.
+    pub fn label(&self) -> String {
+        let short = |d: &Distribution| match d {
+            Distribution::Uniform => "uni".to_owned(),
+            Distribution::Zipf(_) => "zipf".to_owned(),
+        };
+        format!("{}-{}", short(&self.graph_dist), short(&self.node_dist))
+    }
+
+    /// Materializes the queries against `store`.
+    pub fn generate(&self, store: &GraphStore) -> Vec<Graph> {
+        QueryGenerator::with_sizes(
+            store,
+            self.graph_dist,
+            self.node_dist,
+            self.sizes.clone(),
+            self.seed,
+        )
+        .take(self.count)
+    }
+}
+
+/// Builder producing a dataset and a workload together — the harness entry
+/// point.
+#[derive(Debug, Clone)]
+pub struct WorkloadBuilder {
+    /// Which dataset to synthesize.
+    pub dataset: DatasetKind,
+    /// Scale relative to the paper's graph counts.
+    pub scale: f64,
+    /// Dataset seed.
+    pub dataset_seed: u64,
+    /// The query workload.
+    pub queries: QueryWorkloadSpec,
+}
+
+impl WorkloadBuilder {
+    /// A builder with paper-faithful defaults for `dataset`.
+    pub fn new(dataset: DatasetKind) -> WorkloadBuilder {
+        let count = match dataset {
+            DatasetKind::Aids | DatasetKind::Pdbs => 3_000,
+            DatasetKind::Ppi | DatasetKind::Synthetic => 500,
+        };
+        WorkloadBuilder {
+            dataset,
+            scale: 1.0,
+            dataset_seed: 0x1609_2016,
+            queries: QueryWorkloadSpec::named(false, false, DEFAULT_ALPHA, count, 0xE0B7),
+        }
+    }
+
+    /// Scales both the dataset and the query count.
+    pub fn scaled(mut self, scale: f64) -> WorkloadBuilder {
+        self.scale = scale;
+        self.queries.count = ((self.queries.count as f64 * scale).round() as usize).max(10);
+        self
+    }
+
+    /// Replaces the query spec.
+    pub fn with_queries(mut self, queries: QueryWorkloadSpec) -> WorkloadBuilder {
+        self.queries = queries;
+        self
+    }
+
+    /// Materializes `(dataset, queries)`.
+    pub fn build(&self) -> (GraphStore, Vec<Graph>) {
+        let store = self.dataset.generate_scaled(self.scale, self.dataset_seed);
+        let queries = self.queries.generate(&store);
+        (store, queries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(QueryWorkloadSpec::named(false, false, 1.4, 10, 0).label(), "uni-uni");
+        assert_eq!(QueryWorkloadSpec::named(true, false, 1.4, 10, 0).label(), "zipf-uni");
+        assert_eq!(QueryWorkloadSpec::named(false, true, 1.4, 10, 0).label(), "uni-zipf");
+        assert_eq!(QueryWorkloadSpec::named(true, true, 1.4, 10, 0).label(), "zipf-zipf");
+    }
+
+    #[test]
+    fn all_four_are_distinct() {
+        let four = QueryWorkloadSpec::all_four(1.4, 10, 0);
+        assert_eq!(four.len(), 4);
+        let labels: Vec<&str> = four.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, vec!["uni-uni", "uni-zipf", "zipf-uni", "zipf-zipf"]);
+    }
+
+    #[test]
+    fn builder_generates_consistent_pairs() {
+        let wb = WorkloadBuilder::new(DatasetKind::Aids).scaled(0.002);
+        let (store, queries) = wb.build();
+        assert_eq!(store.len(), 80);
+        assert_eq!(queries.len(), 10); // floor at 10
+        assert!(queries.iter().all(|q| q.edge_count() >= 1));
+    }
+
+    #[test]
+    fn distribution_display() {
+        assert_eq!(Distribution::Uniform.to_string(), "uni");
+        assert_eq!(Distribution::Zipf(1.4).to_string(), "zipf(1.4)");
+    }
+
+    #[test]
+    fn paper_counts() {
+        assert_eq!(WorkloadBuilder::new(DatasetKind::Aids).queries.count, 3000);
+        assert_eq!(WorkloadBuilder::new(DatasetKind::Ppi).queries.count, 500);
+    }
+}

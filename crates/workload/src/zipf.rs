@@ -1,0 +1,136 @@
+//! Finite-support Zipf sampler.
+//!
+//! The paper's workloads draw graph and node popularity from a Zipf
+//! distribution with pdf `p(x) = x^(−α) / ζ(α)` (Section 7.1). Over a
+//! finite support of `n` ranks we normalize by the generalized harmonic
+//! number instead of the Riemann zeta; sampling inverts the CDF with a
+//! binary search over a precomputed table.
+
+use rand::Rng;
+
+/// A Zipf distribution over ranks `0..n` (rank 0 is the most popular).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    alpha: f64,
+}
+
+impl Zipf {
+    /// A Zipf distribution with skew `alpha` over `n` ranks.
+    ///
+    /// # Panics
+    /// Panics when `n == 0` or `alpha` is not finite and positive.
+    pub fn new(n: usize, alpha: f64) -> Zipf {
+        assert!(n > 0, "zipf support must be nonempty");
+        assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += (k as f64).powf(-alpha);
+            cdf.push(acc);
+        }
+        let norm = acc;
+        for c in &mut cdf {
+            *c /= norm;
+        }
+        Zipf { cdf, alpha }
+    }
+
+    /// The skew parameter.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Support size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the support is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Probability of rank `k` (0-based).
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+
+    /// Samples a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first rank whose cdf >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.4);
+        let total: f64 = (0..100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_zero_is_most_popular() {
+        let z = Zipf::new(50, 1.4);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(10));
+    }
+
+    #[test]
+    fn higher_alpha_is_more_skewed() {
+        let mild = Zipf::new(100, 1.1);
+        let strong = Zipf::new(100, 2.4);
+        assert!(strong.pmf(0) > mild.pmf(0));
+        assert!(strong.pmf(99) < mild.pmf(99));
+    }
+
+    #[test]
+    fn samples_follow_the_skew() {
+        let z = Zipf::new(10, 2.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u32; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[5]);
+        // Empirical frequency of rank 0 ≈ pmf(0) within 2%.
+        let freq = counts[0] as f64 / 20_000.0;
+        assert!((freq - z.pmf(0)).abs() < 0.02, "freq {freq} vs pmf {}", z.pmf(0));
+    }
+
+    #[test]
+    fn sample_is_always_in_range() {
+        let z = Zipf::new(3, 1.4);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    fn singleton_support() {
+        let z = Zipf::new(1, 1.4);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert!((z.pmf(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "support")]
+    fn empty_support_panics() {
+        let _ = Zipf::new(0, 1.4);
+    }
+}

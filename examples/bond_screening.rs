@@ -1,0 +1,87 @@
+//! Bond-aware chemical substructure screening (edge-label extension).
+//!
+//! The paper notes (Section 3) that its results "straightforwardly
+//! generalize to graphs with edge labels". This example exercises that
+//! generalization end to end: molecules whose edges carry bond types
+//! (single/double/triple/aromatic), queries that distinguish C=O from C–O,
+//! and the iGQ engine caching bond-exact answers.
+//!
+//! ```text
+//! cargo run --release --example bond_screening
+//! ```
+
+use igq::prelude::*;
+use igq::workload::datasets::aids_like_bonds;
+use std::sync::Arc;
+
+fn main() {
+    // 1. An AIDS-shaped dataset with Zipf-skewed bond labels on every edge.
+    let store: Arc<GraphStore> = Arc::new(aids_like_bonds(400, 2024));
+    let labeled = store.iter().filter(|(_, g)| g.has_edge_labels()).count();
+    println!(
+        "dataset: {} molecule graphs ({} with explicit bond labels)",
+        store.len(),
+        labeled
+    );
+
+    // 2. Two queries with identical topology but different bonds:
+    //    a carbonyl-like double bond vs. an ether-like single bond.
+    //    (Labels here are synthesized ids, not real elements; what matters
+    //    is that the only difference is the *edge* label.)
+    let single_bond = graph_from_el(&[0, 1], &[(0, 1, 0)]);
+    let double_bond = graph_from_el(&[0, 1], &[(0, 1, 1)]);
+
+    let method = Ggsx::build(&store, GgsxConfig::default());
+    let (with_single, _) = method.query(&single_bond);
+    let (with_double, _) = method.query(&double_bond);
+    println!(
+        "0–1 edge: {} molecules match with a single bond, {} with a double bond",
+        with_single.len(),
+        with_double.len()
+    );
+
+    // 3. The filter works on vertex labels, so both queries share one
+    //    candidate set; the bond labels decide at verification. Show the
+    //    split explicitly.
+    let filtered = method.filter(&single_bond);
+    println!(
+        "shared candidate set: {} graphs (bond labels split it {} / {})",
+        filtered.candidates.len(),
+        with_single.len(),
+        with_double.len()
+    );
+
+    // 4. iGQ on top: bond variants are cached as *distinct* queries —
+    //    repeating either one is an exact hit with the right answers.
+    let mut engine = IgqEngine::new(
+        method,
+        IgqConfig { cache_capacity: 32, window: 2, ..Default::default() },
+    );
+    for q in [&single_bond, &double_bond, &single_bond, &double_bond] {
+        let out = engine.query(q);
+        println!(
+            "engine: |answers|={:<3} db-iso-tests={:<4} resolution {:?}",
+            out.answers.len(),
+            out.db_iso_tests,
+            out.resolution
+        );
+    }
+
+    // 5. A realistic bond-aware workload with repetition.
+    let queries = QueryGenerator::new(
+        &store,
+        Distribution::Zipf(1.6),
+        Distribution::Uniform,
+        7,
+    )
+    .take(150);
+    for q in &queries {
+        let _ = engine.query(q);
+    }
+    let s = engine.stats();
+    println!("\nafter {} workload queries:", s.queries);
+    println!("  db iso tests:           {}", s.db_iso_tests);
+    println!("  pruned by Isub/Isuper:  {} / {}", s.pruned_by_isub, s.pruned_by_isuper);
+    println!("  exact-repeat hits:      {}", s.exact_hits);
+    println!("  cached queries:         {}", engine.cached_queries());
+}

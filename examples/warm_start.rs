@@ -1,0 +1,75 @@
+//! Persisting a warm iGQ cache across sessions.
+//!
+//! iGQ's value comes from accumulated query knowledge; a process restart
+//! should not throw it away. This example runs an evening session, exports
+//! the cache (serde-serializable), "restarts", imports it, and shows the
+//! morning session resolving repeats instantly from query one.
+//!
+//! ```text
+//! cargo run --release --example warm_start
+//! ```
+
+use igq::prelude::*;
+use std::sync::Arc;
+
+fn engine(store: &Arc<GraphStore>) -> IgqEngine<Ggsx> {
+    let method = Ggsx::build(store, GgsxConfig::default());
+    IgqEngine::new(
+        method,
+        IgqConfig { cache_capacity: 64, window: 8, ..Default::default() },
+    )
+}
+
+fn main() {
+    let store: Arc<GraphStore> = Arc::new(DatasetKind::Aids.generate(800, 99));
+    let mut generator =
+        QueryGenerator::new(&store, Distribution::Zipf(1.6), Distribution::Zipf(1.4), 4);
+    let evening: Vec<Graph> = generator.take(80);
+
+    // ---- evening session ----
+    let mut session1 = engine(&store);
+    for q in &evening {
+        let _ = session1.query(q);
+    }
+    let exported = session1.export_cache();
+    println!(
+        "evening: {} queries, {} db iso tests, {} cached queries exported",
+        session1.stats().queries,
+        session1.stats().db_iso_tests,
+        exported.len()
+    );
+
+    // The export round-trips through serde (e.g. a JSON file on disk).
+    let serialized = serde_json::to_string(&exported).expect("serialize cache");
+    println!("serialized cache: {:.1} KiB", serialized.len() as f64 / 1024.0);
+    let restored: Vec<(Graph, Vec<GraphId>)> =
+        serde_json::from_str(&serialized).expect("deserialize cache");
+
+    // ---- morning session: cold vs warm ----
+    let morning: Vec<Graph> = evening.iter().take(40).cloned().collect(); // repeats!
+
+    let mut cold = engine(&store);
+    for q in &morning {
+        let _ = cold.query(q);
+    }
+
+    let mut warm = engine(&store);
+    let admitted = warm.import_cache(restored);
+    for q in &morning {
+        let _ = warm.query(q);
+    }
+    warm.self_check().expect("engine invariants");
+
+    println!("\nmorning session (40 repeat queries):");
+    println!(
+        "  cold start: {:>5} db iso tests, {} exact hits",
+        cold.stats().db_iso_tests,
+        cold.stats().exact_hits
+    );
+    println!(
+        "  warm start: {:>5} db iso tests, {} exact hits ({} entries imported)",
+        warm.stats().db_iso_tests,
+        warm.stats().exact_hits,
+        admitted
+    );
+}

@@ -1,0 +1,72 @@
+//! Shared helpers for the cross-crate integration tests.
+#![allow(dead_code)] // each test binary uses a different helper subset
+
+use igq::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A proptest strategy producing small arbitrary labeled graphs: up to
+/// `max_n` vertices with labels in `0..labels`, and an arbitrary subset of
+/// the possible edges.
+pub fn arb_graph(max_n: usize, labels: u32) -> impl Strategy<Value = Graph> {
+    (1..=max_n).prop_flat_map(move |n| {
+        let pairs: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|i| ((i + 1)..n as u32).map(move |j| (i, j)))
+            .collect();
+        let edge_mask = proptest::collection::vec(any::<bool>(), pairs.len());
+        let label_vec = proptest::collection::vec(0..labels, n);
+        (label_vec, edge_mask).prop_map(move |(ls, mask)| {
+            let edges: Vec<(u32, u32)> = pairs
+                .iter()
+                .zip(mask.iter())
+                .filter(|(_, &m)| m)
+                .map(|(&e, _)| e)
+                .collect();
+            graph_from(&ls, &edges)
+        })
+    })
+}
+
+/// A proptest strategy producing a small dataset store.
+pub fn arb_store(max_graphs: usize, max_n: usize, labels: u32) -> impl Strategy<Value = Arc<GraphStore>> {
+    proptest::collection::vec(arb_graph(max_n, labels), 1..=max_graphs)
+        .prop_map(|graphs| Arc::new(graphs.into_iter().collect()))
+}
+
+/// A proptest strategy for small *edge-labeled* graphs: each potential
+/// edge is either absent or present with a label in `0..elabels`.
+pub fn arb_graph_el(max_n: usize, vlabels: u32, elabels: u32) -> impl Strategy<Value = Graph> {
+    (1..=max_n).prop_flat_map(move |n| {
+        let pairs: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|i| ((i + 1)..n as u32).map(move |j| (i, j)))
+            .collect();
+        let edge_picks = proptest::collection::vec(proptest::option::of(0..elabels), pairs.len());
+        let label_vec = proptest::collection::vec(0..vlabels, n);
+        (label_vec, edge_picks).prop_map(move |(ls, picks)| {
+            let edges: Vec<(u32, u32, u32)> = pairs
+                .iter()
+                .zip(picks.iter())
+                .filter_map(|(&(u, v), pick)| pick.map(|l| (u, v, l)))
+                .collect();
+            graph_from_el(&ls, &edges)
+        })
+    })
+}
+
+/// Ground-truth subgraph answers via the naive oracle.
+pub fn oracle_answers(store: &GraphStore, q: &Graph) -> Vec<GraphId> {
+    store
+        .iter()
+        .filter(|(_, g)| igq::iso::is_subgraph(q, g))
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// Ground-truth supergraph answers.
+pub fn oracle_super_answers(store: &GraphStore, q: &Graph) -> Vec<GraphId> {
+    store
+        .iter()
+        .filter(|(_, g)| igq::iso::is_subgraph(g, q))
+        .map(|(id, _)| id)
+        .collect()
+}

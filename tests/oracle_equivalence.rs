@@ -1,0 +1,113 @@
+//! End-to-end correctness: every method, and the iGQ engine wrapped around
+//! every method, must produce exactly the naive oracle's answers on
+//! realistic synthesized workloads (paper Theorems 1 & 2, empirically).
+
+mod common;
+
+use common::oracle_answers;
+use igq::prelude::*;
+use std::sync::Arc;
+
+fn workload(kind: DatasetKind, graphs: usize, queries: usize, seed: u64) -> (Arc<GraphStore>, Vec<Graph>) {
+    let store = Arc::new(kind.generate(graphs, seed));
+    let qs = QueryGenerator::new(&store, Distribution::Zipf(1.4), Distribution::Zipf(1.4), seed ^ 1)
+        .take(queries);
+    (store, qs)
+}
+
+fn methods(store: &Arc<GraphStore>) -> Vec<Box<dyn SubgraphMethod>> {
+    vec![
+        Box::new(Ggsx::build(store, GgsxConfig::default())),
+        Box::new(Grapes::build(store, GrapesConfig::default())),
+        Box::new(Grapes::build(store, GrapesConfig { threads: 3, ..Default::default() })),
+        Box::new(CtIndex::build(store, CtIndexConfig::default())),
+    ]
+}
+
+#[test]
+fn all_methods_match_oracle_on_aids_workload() {
+    let (store, queries) = workload(DatasetKind::Aids, 120, 25, 11);
+    for method in methods(&store) {
+        for q in &queries {
+            let (answers, tests) = method.query(q);
+            let truth = oracle_answers(&store, q);
+            assert_eq!(answers, truth, "{} on {q:?}", method.name());
+            assert!(tests as usize >= truth.len(), "tests must cover answers");
+        }
+    }
+}
+
+#[test]
+fn igq_engine_matches_oracle_for_every_method_kind() {
+    let (store, queries) = workload(DatasetKind::Aids, 100, 60, 23);
+    for method in methods(&store) {
+        let name = method.name();
+        let mut engine = IgqEngine::new(
+            method,
+            IgqConfig { cache_capacity: 24, window: 6, ..Default::default() },
+        );
+        for q in &queries {
+            let out = engine.query(q);
+            let truth = oracle_answers(&store, q);
+            assert_eq!(out.answers, truth, "iGQ∘{name} on {q:?}");
+        }
+        // The cache must have been exercised, not bypassed.
+        assert!(engine.cached_queries() > 0, "iGQ∘{name} cached nothing");
+    }
+}
+
+#[test]
+fn igq_engine_matches_oracle_on_dense_graphs() {
+    let (store, queries) = workload(DatasetKind::Synthetic, 6, 20, 31);
+    let method = Grapes::build(&store, GrapesConfig { threads: 2, ..Default::default() });
+    let mut engine = IgqEngine::new(
+        method,
+        IgqConfig { cache_capacity: 10, window: 4, ..Default::default() },
+    );
+    for q in &queries {
+        let out = engine.query(q);
+        assert_eq!(out.answers, oracle_answers(&store, q), "on {q:?}");
+    }
+}
+
+#[test]
+fn igq_never_increases_iso_tests() {
+    let (store, queries) = workload(DatasetKind::Aids, 150, 80, 47);
+    let method = Ggsx::build(&store, GgsxConfig::default());
+    let baseline_tests: u64 = queries
+        .iter()
+        .map(|q| method.query(q).1)
+        .sum();
+    let method = Ggsx::build(&store, GgsxConfig::default());
+    let mut engine = IgqEngine::new(
+        method,
+        IgqConfig { cache_capacity: 40, window: 8, ..Default::default() },
+    );
+    let igq_tests: u64 = queries.iter().map(|q| engine.query(q).db_iso_tests).sum();
+    assert!(
+        igq_tests <= baseline_tests,
+        "iGQ ({igq_tests}) must not exceed the baseline ({baseline_tests})"
+    );
+    // On a zipf workload with repeats, it should strictly save work.
+    assert!(igq_tests < baseline_tests, "expected strict savings on a skewed workload");
+}
+
+#[test]
+fn repeated_identical_queries_cost_nothing_after_caching() {
+    let (store, _) = workload(DatasetKind::Aids, 80, 0, 3);
+    let method = Ggsx::build(&store, GgsxConfig::default());
+    let mut engine = IgqEngine::new(
+        method,
+        IgqConfig { cache_capacity: 8, window: 1, ..Default::default() },
+    );
+    let q = QueryGenerator::new(&store, Distribution::Uniform, Distribution::Uniform, 5)
+        .next_query_of_size(8);
+    let first = engine.query(&q);
+    let mut repeat_tests = 0;
+    for _ in 0..5 {
+        let out = engine.query(&q);
+        assert_eq!(out.answers, first.answers);
+        repeat_tests += out.db_iso_tests;
+    }
+    assert_eq!(repeat_tests, 0, "exact repeats must be free (optimal case 1)");
+}

@@ -1,0 +1,135 @@
+//! Property tests over the isomorphism engines.
+
+mod common;
+
+use common::{arb_graph, arb_graph_el};
+use igq::graph::canon::invariant_hash;
+use igq::iso::semantics::verify_embedding;
+use igq::iso::{ullmann, vf2, MatchConfig, MatchSemantics};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every graph embeds in itself (identity is a monomorphism).
+    #[test]
+    fn graph_embeds_in_itself(g in arb_graph(8, 3)) {
+        prop_assert!(igq::iso::is_subgraph(&g, &g));
+    }
+
+    /// VF2 and Ullmann always agree on the containment verdict.
+    #[test]
+    fn vf2_and_ullmann_agree(p in arb_graph(5, 3), t in arb_graph(8, 3)) {
+        let cfg = MatchConfig::default();
+        let v = vf2::find_one(&p, &t, &cfg).outcome.is_found();
+        let u = ullmann::find_one(&p, &t, &cfg).outcome.is_found();
+        prop_assert_eq!(v, u, "pattern {:?} target {:?}", p, t);
+    }
+
+    /// The two engines also agree under induced semantics.
+    #[test]
+    fn engines_agree_induced(p in arb_graph(4, 2), t in arb_graph(7, 2)) {
+        let cfg = MatchConfig::induced();
+        let v = vf2::find_one(&p, &t, &cfg).outcome.is_found();
+        let u = ullmann::find_one(&p, &t, &cfg).outcome.is_found();
+        prop_assert_eq!(v, u);
+    }
+
+    /// Any mapping VF2 returns is a valid embedding.
+    #[test]
+    fn vf2_mappings_are_valid(p in arb_graph(6, 3), t in arb_graph(9, 3)) {
+        let r = vf2::find_one(&p, &t, &MatchConfig::default());
+        if let Some(m) = r.outcome.mapping() {
+            prop_assert!(verify_embedding(&p, &t, m, MatchSemantics::Monomorphism));
+        }
+    }
+
+    /// Containment is transitive: a ⊆ b and b ⊆ c implies a ⊆ c.
+    #[test]
+    fn containment_is_transitive(a in arb_graph(4, 2), b in arb_graph(6, 2), c in arb_graph(8, 2)) {
+        if igq::iso::is_subgraph(&a, &b) && igq::iso::is_subgraph(&b, &c) {
+            prop_assert!(igq::iso::is_subgraph(&a, &c));
+        }
+    }
+
+    /// WL hashes are isomorphism invariants: relabeling vertices preserves
+    /// the hash (tested by round-tripping through a random permutation).
+    #[test]
+    fn wl_hash_is_permutation_invariant(g in arb_graph(8, 3), seed in any::<u64>()) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = g.vertex_count();
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.shuffle(&mut rng);
+        let labels: Vec<u32> = (0..n).map(|i| {
+            let orig = perm.iter().position(|&p| p as usize == i).unwrap();
+            g.label(igq::graph::VertexId::from_index(orig)).raw()
+        }).collect();
+        let edges: Vec<(u32, u32)> = g.edges().iter()
+            .map(|&(u, v)| (perm[u.index()], perm[v.index()]))
+            .collect();
+        let h = igq::graph::graph_from(&labels, &edges);
+        prop_assert_eq!(invariant_hash(&g), invariant_hash(&h));
+        // And the permuted graph is mutually contained with the original.
+        prop_assert!(igq::iso::are_isomorphic(&g, &h));
+    }
+
+    /// A pattern with more vertices/edges than the target never matches.
+    #[test]
+    fn size_monotonicity(p in arb_graph(8, 3), t in arb_graph(8, 3)) {
+        if p.vertex_count() > t.vertex_count() || p.edge_count() > t.edge_count() {
+            prop_assert!(!igq::iso::is_subgraph(&p, &t));
+        }
+    }
+
+    /// VF2 and Ullmann agree on edge-labeled instances too.
+    #[test]
+    fn engines_agree_with_edge_labels(p in arb_graph_el(4, 2, 2), t in arb_graph_el(7, 2, 2)) {
+        let cfg = MatchConfig::default();
+        let v = vf2::find_one(&p, &t, &cfg).outcome.is_found();
+        let u = ullmann::find_one(&p, &t, &cfg).outcome.is_found();
+        prop_assert_eq!(v, u, "pattern {:?} target {:?}", p, t);
+    }
+
+    /// Edge-labeled containment implies vertex-only containment: erasing
+    /// edge labels can only *add* matches (the soundness fact that lets
+    /// vertex-label-based filters serve edge-labeled data).
+    #[test]
+    fn erasing_edge_labels_is_monotone(p in arb_graph_el(4, 2, 2), t in arb_graph_el(7, 2, 2)) {
+        if igq::iso::is_subgraph(&p, &t) {
+            let erase = |g: &igq::graph::Graph| {
+                let labels: Vec<u32> = g.labels().iter().map(|l| l.raw()).collect();
+                let edges: Vec<(u32, u32)> =
+                    g.edges().iter().map(|&(u, v)| (u.raw(), v.raw())).collect();
+                igq::graph::graph_from(&labels, &edges)
+            };
+            prop_assert!(igq::iso::is_subgraph(&erase(&p), &erase(&t)));
+        }
+    }
+
+    /// Every edge-labeled mapping VF2 returns is a valid embedding under
+    /// the edge-label-aware checker.
+    #[test]
+    fn vf2_edge_labeled_mappings_are_valid(p in arb_graph_el(5, 2, 3), t in arb_graph_el(8, 2, 3)) {
+        let r = vf2::find_one(&p, &t, &MatchConfig::default());
+        if let Some(m) = r.outcome.mapping() {
+            prop_assert!(verify_embedding(&p, &t, m, MatchSemantics::Monomorphism));
+        }
+    }
+
+    /// Removing an edge from the pattern preserves containment.
+    #[test]
+    fn pattern_edge_removal_preserves_containment(p in arb_graph(6, 3), t in arb_graph(9, 3)) {
+        if p.edge_count() == 0 || !igq::iso::is_subgraph(&p, &t) {
+            return Ok(());
+        }
+        // Drop the first edge.
+        let labels: Vec<u32> = p.labels().iter().map(|l| l.raw()).collect();
+        let edges: Vec<(u32, u32)> = p.edges().iter().skip(1)
+            .map(|&(u, v)| (u.raw(), v.raw()))
+            .collect();
+        let weaker = igq::graph::graph_from(&labels, &edges);
+        prop_assert!(igq::iso::is_subgraph(&weaker, &t));
+    }
+}

@@ -1,0 +1,126 @@
+//! Integration tests of the Section 5 machinery: windowed maintenance,
+//! capacity enforcement, and utility-driven retention, observed through
+//! the public engine API.
+
+mod common;
+
+use igq::prelude::*;
+use igq::workload::bfs_extract;
+use std::sync::Arc;
+
+fn store() -> Arc<GraphStore> {
+    Arc::new(DatasetKind::Aids.generate(300, 9))
+}
+
+#[test]
+fn cache_never_exceeds_capacity() {
+    let s = store();
+    let method = Ggsx::build(&s, GgsxConfig::default());
+    let mut engine = IgqEngine::new(
+        method,
+        IgqConfig { cache_capacity: 12, window: 4, ..Default::default() },
+    );
+    let mut generator = QueryGenerator::new(&s, Distribution::Uniform, Distribution::Uniform, 3);
+    for q in generator.take(120) {
+        let _ = engine.query(&q);
+        assert!(engine.cached_queries() <= 12);
+    }
+    assert!(engine.cached_queries() > 0);
+    assert!(engine.stats().maintenances >= 10);
+}
+
+#[test]
+fn popular_queries_survive_replacement() {
+    let s = store();
+    let method = Ggsx::build(&s, GgsxConfig::default());
+    let mut engine = IgqEngine::new(
+        method,
+        IgqConfig { cache_capacity: 4, window: 2, ..Default::default() },
+    );
+
+    // The "hot" query: asked again and again (as a subgraph of variants, so
+    // it accrues hits + prune credit, not just exact repeats).
+    let base = s.get(GraphId::new(7)).clone();
+    let hot = bfs_extract(&base, VertexId::new(0), 6);
+    let hot_variant = bfs_extract(&base, VertexId::new(0), 10); // supergraph of hot
+
+    let mut generator = QueryGenerator::new(&s, Distribution::Uniform, Distribution::Uniform, 5);
+    let _ = engine.query(&hot);
+    let _ = engine.query(&hot_variant);
+    for i in 0..40 {
+        // Interleave cold one-off queries with hot re-asks.
+        let cold = generator.next_query();
+        let _ = engine.query(&cold);
+        if i % 2 == 0 {
+            let out = engine.query(&hot);
+            // Once cached, the hot query must keep resolving optimally:
+            // its utility should protect it from eviction.
+            if i > 8 {
+                assert_eq!(
+                    out.resolution,
+                    igq::core::Resolution::ExactHit,
+                    "hot query evicted at round {i}"
+                );
+            }
+        }
+    }
+    assert!(engine.stats().exact_hits >= 15);
+}
+
+#[test]
+fn window_size_one_maintains_every_query() {
+    let s = store();
+    let method = Ggsx::build(&s, GgsxConfig::default());
+    let mut engine = IgqEngine::new(
+        method,
+        IgqConfig { cache_capacity: 6, window: 1, ..Default::default() },
+    );
+    let mut generator = QueryGenerator::new(&s, Distribution::Uniform, Distribution::Uniform, 8);
+    let queries = generator.take(10);
+    for q in &queries {
+        let _ = engine.query(q);
+    }
+    // Every distinct query triggers one maintenance at W=1.
+    assert!(engine.stats().maintenances >= 8);
+    assert!(engine.cached_queries() <= 6);
+}
+
+#[test]
+fn engine_runs_are_deterministic() {
+    let s = store();
+    let run = || {
+        let method = Ggsx::build(&s, GgsxConfig::default());
+        let mut engine = IgqEngine::new(
+            method,
+            IgqConfig { cache_capacity: 10, window: 3, ..Default::default() },
+        );
+        let mut generator =
+            QueryGenerator::new(&s, Distribution::Zipf(1.4), Distribution::Zipf(1.4), 21);
+        let mut tests = 0u64;
+        let mut answer_sizes = Vec::new();
+        for q in generator.take(60) {
+            let out = engine.query(&q);
+            tests += out.db_iso_tests;
+            answer_sizes.push(out.answers.len());
+        }
+        (tests, answer_sizes, engine.stats().exact_hits, engine.stats().empty_shortcuts)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn flush_window_makes_cache_visible_immediately() {
+    let s = store();
+    let method = Ggsx::build(&s, GgsxConfig::default());
+    let mut engine = IgqEngine::new(
+        method,
+        IgqConfig { cache_capacity: 50, window: 40, ..Default::default() },
+    );
+    let q = bfs_extract(s.get(GraphId::new(3)), VertexId::new(1), 8);
+    let _ = engine.query(&q);
+    assert_eq!(engine.cached_queries(), 0); // sits in the window
+    engine.flush_window();
+    assert_eq!(engine.cached_queries(), 1);
+    let repeat = engine.query(&q);
+    assert_eq!(repeat.resolution, igq::core::Resolution::ExactHit);
+}
