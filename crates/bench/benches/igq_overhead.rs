@@ -11,8 +11,8 @@ use std::sync::Arc;
 
 fn igq_overhead(c: &mut Criterion) {
     let store = Arc::new(DatasetKind::Aids.generate(1_000, 13));
-    let queries = QueryGenerator::new(&store, Distribution::Zipf(1.4), Distribution::Zipf(1.4), 3)
-        .take(300);
+    let queries =
+        QueryGenerator::new(&store, Distribution::Zipf(1.4), Distribution::Zipf(1.4), 3).take(300);
 
     let method = Ggsx::build(&store, GgsxConfig::default());
     c.bench_function("filter_only", |b| {
@@ -25,7 +25,11 @@ fn igq_overhead(c: &mut Criterion) {
     });
 
     for parallel in [false, true] {
-        let name = if parallel { "engine_query/parallel_probes" } else { "engine_query/sequential" };
+        let name = if parallel {
+            "engine_query/parallel_probes"
+        } else {
+            "engine_query/sequential"
+        };
         let method = Ggsx::build(&store, GgsxConfig::default());
         let mut engine = IgqEngine::new(
             method,
@@ -55,7 +59,11 @@ fn igq_overhead(c: &mut Criterion) {
     // The workload is a single repeated query on a warmed cache, so every
     // measured iteration is an ExactHit through one of the two mechanisms.
     for fastpath in [true, false] {
-        let name = if fastpath { "exact_repeat/canonical_fastpath" } else { "exact_repeat/probe_path" };
+        let name = if fastpath {
+            "exact_repeat/canonical_fastpath"
+        } else {
+            "exact_repeat/probe_path"
+        };
         let method = Ggsx::build(&store, GgsxConfig::default());
         let mut engine = IgqEngine::new(
             method,

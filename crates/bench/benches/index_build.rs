@@ -21,9 +21,7 @@ fn index_build(c: &mut Criterion) {
         b.iter(|| black_box(Grapes::build(&store, GrapesConfig::default()).index_size_bytes()))
     });
     group.bench_function("grapes6", |b| {
-        b.iter(|| {
-            black_box(Grapes::build(&store, GrapesConfig::six_threads()).index_size_bytes())
-        })
+        b.iter(|| black_box(Grapes::build(&store, GrapesConfig::six_threads()).index_size_bytes()))
     });
     group.bench_function("ctindex", |b| {
         b.iter(|| black_box(CtIndex::build(&store, CtIndexConfig::default()).index_size_bytes()))

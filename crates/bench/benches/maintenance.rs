@@ -1,0 +1,63 @@
+//! Per-window index-maintenance time, Incremental vs ShadowRebuild, at
+//! cache sizes 64/256/1024 (the acceptance gate for the incremental
+//! maintenance work: ≥ 5× lower per-window cost at cache ≥ 256).
+//!
+//! Drives the engines' actual maintenance machinery
+//! (`igq_core::maintain::apply_delta`) through the
+//! [`igq_bench::experiments::maintenance::MaintenanceSim`] harness on a
+//! warmed, always-evicting cache. Window entries are prebuilt outside the
+//! timed region, mirroring the engines (signature and canonical code are
+//! computed on the query path, not during maintenance).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use igq_bench::experiments::maintenance::MaintenanceSim;
+use igq_core::cache::WindowEntry;
+use igq_core::MaintenanceMode;
+use igq_graph::{Graph, GraphStore};
+use igq_workload::{DatasetKind, Distribution, QueryGenerator};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn window_maintenance(c: &mut Criterion) {
+    let store: Arc<GraphStore> = Arc::new(DatasetKind::Aids.generate(1_000, 13));
+    let pool: Vec<Graph> =
+        QueryGenerator::new(&store, Distribution::Uniform, Distribution::Uniform, 4).take(4_000);
+    let window = 20usize;
+    // A ring of prebuilt admission-ready window batches.
+    let batches: Vec<Vec<WindowEntry>> = pool
+        .chunks(window)
+        .map(MaintenanceSim::window_entries)
+        .collect();
+
+    let mut group = c.benchmark_group("window_maintenance");
+    group.sample_size(10);
+    for capacity in [64usize, 256, 1024] {
+        for (name, mode) in [
+            ("incremental", MaintenanceMode::Incremental),
+            ("shadow_rebuild", MaintenanceMode::ShadowRebuild),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, capacity),
+                &capacity,
+                |b, &capacity| {
+                    let mut sim = MaintenanceSim::new(mode, capacity, window);
+                    let mut next = 0usize;
+                    // Warm to capacity so every measured window evicts.
+                    while sim.cached() < capacity {
+                        sim.apply_entries(batches[next % batches.len()].clone());
+                        next += 1;
+                    }
+                    b.iter(|| {
+                        let batch = batches[next % batches.len()].clone();
+                        next += 1;
+                        black_box(sim.apply_entries(batch))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, window_maintenance);
+criterion_main!(benches);

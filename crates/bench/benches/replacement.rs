@@ -12,8 +12,8 @@ use std::sync::Arc;
 
 fn replacement(c: &mut Criterion) {
     let store = Arc::new(DatasetKind::Aids.generate(500, 29));
-    let queries = QueryGenerator::new(&store, Distribution::Zipf(2.0), Distribution::Zipf(1.4), 17)
-        .take(200);
+    let queries =
+        QueryGenerator::new(&store, Distribution::Zipf(2.0), Distribution::Zipf(1.4), 17).take(200);
 
     let mut group = c.benchmark_group("replacement_policy");
     group.sample_size(10);
@@ -24,20 +24,29 @@ fn replacement(c: &mut Criterion) {
         ReplacementPolicy::Lfu,
         ReplacementPolicy::Random,
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(policy.name()), &policy, |b, &p| {
-            b.iter(|| {
-                let method = Ggsx::build(&store, GgsxConfig::default());
-                let mut engine = IgqEngine::new(
-                    method,
-                    IgqConfig { cache_capacity: 12, window: 4, policy: p, ..Default::default() },
-                );
-                let mut tests = 0u64;
-                for q in &queries {
-                    tests += engine.query(q).db_iso_tests;
-                }
-                black_box(tests)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &policy,
+            |b, &p| {
+                b.iter(|| {
+                    let method = Ggsx::build(&store, GgsxConfig::default());
+                    let mut engine = IgqEngine::new(
+                        method,
+                        IgqConfig {
+                            cache_capacity: 12,
+                            window: 4,
+                            policy: p,
+                            ..Default::default()
+                        },
+                    );
+                    let mut tests = 0u64;
+                    for q in &queries {
+                        tests += engine.query(q).db_iso_tests;
+                    }
+                    black_box(tests)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,6 @@
+//! Maintenance ablation: per-window incremental vs shadow-rebuild cost
+//! (archives `BENCH_maintenance.json`).
+fn main() {
+    let opts = igq_bench::ExpOptions::from_env();
+    igq_bench::experiments::maintenance::run(&opts).emit();
+}

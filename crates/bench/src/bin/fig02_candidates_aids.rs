@@ -1,5 +1,6 @@
 //! Fig. 2: candidates / answers / false positives on AIDS.
 fn main() {
     let opts = igq_bench::ExpOptions::from_env();
-    igq_bench::experiments::breakdown::filtering_power(igq_workload::DatasetKind::Aids, &opts).emit();
+    igq_bench::experiments::breakdown::filtering_power(igq_workload::DatasetKind::Aids, &opts)
+        .emit();
 }

@@ -1,5 +1,6 @@
 //! Fig. 3: candidates / answers / false positives on PDBS.
 fn main() {
     let opts = igq_bench::ExpOptions::from_env();
-    igq_bench::experiments::breakdown::filtering_power(igq_workload::DatasetKind::Pdbs, &opts).emit();
+    igq_bench::experiments::breakdown::filtering_power(igq_workload::DatasetKind::Pdbs, &opts)
+        .emit();
 }

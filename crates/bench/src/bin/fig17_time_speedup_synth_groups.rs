@@ -1,5 +1,6 @@
 //! Fig. 17: query-time speedup by query group (Synthetic).
 fn main() {
     let opts = igq_bench::ExpOptions::from_env();
-    igq_bench::experiments::groups::render(igq_workload::DatasetKind::Synthetic, &opts, true).emit();
+    igq_bench::experiments::groups::render(igq_workload::DatasetKind::Synthetic, &opts, true)
+        .emit();
 }

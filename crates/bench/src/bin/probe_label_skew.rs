@@ -20,7 +20,10 @@ fn main() {
     let window = ((100.0 * opts.scale) as usize).max(5);
 
     println!("graphs={graphs} queries={n_queries} C={cache} W={window}");
-    println!("{:>6} {:>10} {:>10} {:>12} {:>12}", "alpha", "uni-uni", "zipf-zipf", "hits(u-u)", "hits(z-z)");
+    println!(
+        "{:>6} {:>10} {:>10} {:>12} {:>12}",
+        "alpha", "uni-uni", "zipf-zipf", "hits(u-u)", "hits(z-z)"
+    );
     for alpha in [1.6f64, 2.0, 2.4] {
         let store = Arc::new(igq_workload::datasets::aids_like_skewed(
             graphs, opts.seed, alpha,
@@ -30,7 +33,11 @@ fn main() {
         for zipf in [false, true] {
             let spec = QueryWorkloadSpec::named(zipf, zipf, DEFAULT_ALPHA, n_queries, opts.seed);
             let queries = spec.generate(&store);
-            let config = IgqConfig { cache_capacity: cache, window, ..Default::default() };
+            let config = IgqConfig {
+                cache_capacity: cache,
+                window,
+                ..Default::default()
+            };
             let run = run_paired(&store, MethodKind::Ggsx, &queries, config, window);
             row.push_str(&format!(" {:>9.2}x", run.iso_speedup()));
             hits.push(format!(

@@ -22,7 +22,11 @@ pub struct ExpOptions {
 
 impl Default for ExpOptions {
     fn default() -> Self {
-        ExpOptions { scale: 0.1, seed: 0x1609_2016, threads: 6 }
+        ExpOptions {
+            scale: 0.1,
+            seed: 0x1609_2016,
+            threads: 6,
+        }
     }
 }
 
@@ -36,7 +40,9 @@ impl ExpOptions {
             match arg.as_str() {
                 "--scale" => {
                     let v = it.next().unwrap_or_else(|| usage("--scale needs a value"));
-                    opts.scale = v.parse().unwrap_or_else(|_| usage("--scale expects a float"));
+                    opts.scale = v
+                        .parse()
+                        .unwrap_or_else(|_| usage("--scale expects a float"));
                 }
                 "--full" => opts.scale = 1.0,
                 "--seed" => {
@@ -44,14 +50,18 @@ impl ExpOptions {
                     opts.seed = v.parse().unwrap_or_else(|_| usage("--seed expects a u64"));
                 }
                 "--threads" => {
-                    let v = it.next().unwrap_or_else(|| usage("--threads needs a value"));
-                    opts.threads = v.parse().unwrap_or_else(|_| usage("--threads expects a usize"));
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| usage("--threads needs a value"));
+                    opts.threads = v
+                        .parse()
+                        .unwrap_or_else(|_| usage("--threads expects a usize"));
                 }
-                "--help" | "-h" => usage("") ,
+                "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other:?}")),
             }
         }
-        if !(opts.scale > 0.0) || !opts.scale.is_finite() {
+        if opts.scale <= 0.0 || opts.scale.is_nan() || !opts.scale.is_finite() {
             usage("--scale must be positive");
         }
         opts

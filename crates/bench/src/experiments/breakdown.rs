@@ -37,8 +37,17 @@ pub fn time_breakdown(opts: &ExpOptions) -> Report {
         "fig01_time_breakdown",
         "Fig. 1: Dominance of Verification Time (filtering% vs verification%)",
     );
-    report.line(format!("scale={} seed={:#x} (uni-uni workload)", opts.scale, opts.seed));
-    let mut table = Table::new(["dataset", "method", "filter %", "verify %", "avg query time"]);
+    report.line(format!(
+        "scale={} seed={:#x} (uni-uni workload)",
+        opts.scale, opts.seed
+    ));
+    let mut table = Table::new([
+        "dataset",
+        "method",
+        "filter %",
+        "verify %",
+        "avg query time",
+    ]);
     let mut json = Vec::new();
     for kind in [DatasetKind::Aids, DatasetKind::Pdbs] {
         for (name, agg) in baseline_profile(kind, opts) {
@@ -76,14 +85,31 @@ pub fn time_breakdown(opts: &ExpOptions) -> Report {
 /// Figs. 2/3: candidates, answers, false positives.
 pub fn filtering_power(kind: DatasetKind, opts: &ExpOptions) -> Report {
     let fig = match kind {
-        DatasetKind::Aids => ("fig02_candidates_aids", "Fig. 2: Avg Candidates / Answers / False Positives (AIDS)"),
-        DatasetKind::Pdbs => ("fig03_candidates_pdbs", "Fig. 3: Avg Candidates / Answers / False Positives (PDBS)"),
-        _ => ("figXX_candidates", "Avg Candidates / Answers / False Positives"),
+        DatasetKind::Aids => (
+            "fig02_candidates_aids",
+            "Fig. 2: Avg Candidates / Answers / False Positives (AIDS)",
+        ),
+        DatasetKind::Pdbs => (
+            "fig03_candidates_pdbs",
+            "Fig. 3: Avg Candidates / Answers / False Positives (PDBS)",
+        ),
+        _ => (
+            "figXX_candidates",
+            "Avg Candidates / Answers / False Positives",
+        ),
     };
     let mut report = Report::new(fig.0, fig.1);
-    report.line(format!("scale={} seed={:#x} (uni-uni workload)", opts.scale, opts.seed));
-    let mut table =
-        Table::new(["method", "avg candidates", "avg answers", "avg false positives", "FP ratio %"]);
+    report.line(format!(
+        "scale={} seed={:#x} (uni-uni workload)",
+        opts.scale, opts.seed
+    ));
+    let mut table = Table::new([
+        "method",
+        "avg candidates",
+        "avg answers",
+        "avg false positives",
+        "FP ratio %",
+    ]);
     let mut json = Vec::new();
     for (name, agg) in baseline_profile(kind, opts) {
         let fp_ratio = if agg.avg_candidates() > 0.0 {
@@ -119,7 +145,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExpOptions {
-        ExpOptions { scale: 0.004, threads: 2, ..Default::default() }
+        ExpOptions {
+            scale: 0.004,
+            threads: 2,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -133,7 +163,10 @@ mod tests {
     fn filtering_power_answers_are_method_independent() {
         let profiles = baseline_profile(DatasetKind::Aids, &tiny());
         let answers: Vec<u64> = profiles.iter().map(|(_, a)| a.answers).collect();
-        assert!(answers.windows(2).all(|w| w[0] == w[1]), "answers {answers:?}");
+        assert!(
+            answers.windows(2).all(|w| w[0] == w[1]),
+            "answers {answers:?}"
+        );
         // Candidates always at least answers (no false negatives).
         for (name, agg) in &profiles {
             assert!(agg.candidates >= agg.answers, "{name}");

@@ -79,11 +79,21 @@ mod tests {
     fn single_cell_runs_soundly() {
         // One (C, W) cell at minimal scale — the full sweep runs via the
         // fig14 binary and run_all.
-        let opts = ExpOptions { scale: 0.004, threads: 2, ..Default::default() };
+        let opts = ExpOptions {
+            scale: 0.004,
+            threads: 2,
+            ..Default::default()
+        };
         let spec = QueryWorkloadSpec::named(true, true, DEFAULT_ALPHA, 300, opts.seed);
         let s = crate::experiments::setup(DatasetKind::Pdbs, &opts, &spec, 500, 100);
         let config = crate::experiments::igq_config(&s);
-        let run = run_paired(&s.store, MethodKind::GrapesN(2), &s.queries, config, s.warmup);
+        let run = run_paired(
+            &s.store,
+            MethodKind::GrapesN(2),
+            &s.queries,
+            config,
+            s.warmup,
+        );
         assert_eq!(run.baseline.answers, run.igq.answers);
         assert!(run.igq.iso_tests <= run.baseline.iso_tests);
     }

@@ -55,19 +55,35 @@ pub fn render(kind: DatasetKind, opts: &ExpOptions, time_view: bool) -> Report {
         ),
     };
     let mut report = Report::new(id, title);
-    report.line(format!("scale={} seed={:#x} (W=20·scale)", opts.scale, opts.seed));
+    report.line(format!(
+        "scale={} seed={:#x} (W=20·scale)",
+        opts.scale, opts.seed
+    ));
     let mut header: Vec<String> = vec!["cache C".to_owned()];
     header.extend(PAPER_QUERY_SIZES.iter().map(|s| format!("Q{s}")));
     header.push("overall".to_owned());
     let mut table = Table::new(header);
     let mut json = Vec::new();
     for (paper_c, run) in sweep(kind, opts) {
-        let groups = if time_view { run.group_time_speedups() } else { run.group_iso_speedups() };
+        let groups = if time_view {
+            run.group_time_speedups()
+        } else {
+            run.group_iso_speedups()
+        };
         let mut row = vec![paper_c.to_string()];
         for size in PAPER_QUERY_SIZES {
-            row.push(groups.get(&size).map(|&x| fmt_speedup(x)).unwrap_or_else(|| "-".into()));
+            row.push(
+                groups
+                    .get(&size)
+                    .map(|&x| fmt_speedup(x))
+                    .unwrap_or_else(|| "-".into()),
+            );
         }
-        let overall = if time_view { run.time_speedup() } else { run.iso_speedup() };
+        let overall = if time_view {
+            run.time_speedup()
+        } else {
+            run.iso_speedup()
+        };
         row.push(fmt_speedup(overall));
         table.row(row);
         json.push(serde_json::json!({
@@ -103,8 +119,12 @@ mod tests {
         let store = std::sync::Arc::new(DatasetKind::Ppi.generate(1, 5));
         let spec = QueryWorkloadSpec::named(true, true, 1.4, 15, 9);
         let queries = spec.generate(&store);
-        let config =
-            IgqConfig { cache_capacity: 10, window: 3, ..Default::default() }.normalized();
+        let config = IgqConfig {
+            cache_capacity: 10,
+            window: 3,
+            ..Default::default()
+        }
+        .normalized();
         let run = run_paired(&store, MethodKind::GrapesN(2), &queries, config, 3);
         assert_eq!(run.baseline.answers, run.igq.answers);
         let groups = run.group_iso_speedups();

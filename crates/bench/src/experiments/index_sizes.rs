@@ -9,16 +9,16 @@ use crate::cli::ExpOptions;
 use crate::harness::run_igq;
 use crate::report::{fmt_mb, Report, Table};
 use igq_iso::MatchConfig;
-use igq_methods::{
-    CtIndex, CtIndexConfig, Ggsx, GgsxConfig, Grapes, GrapesConfig, SubgraphMethod,
-};
+use igq_methods::{CtIndex, CtIndexConfig, Ggsx, GgsxConfig, Grapes, GrapesConfig, SubgraphMethod};
 use igq_workload::{DatasetKind, QueryWorkloadSpec, DEFAULT_ALPHA};
 use std::sync::Arc;
 
 /// Runs the index-size comparison.
 pub fn run(opts: &ExpOptions) -> Report {
-    let mut report =
-        Report::new("fig18_index_sizes", "Fig. 18: Absolute Index Sizes in MB (AIDS)");
+    let mut report = Report::new(
+        "fig18_index_sizes",
+        "Fig. 18: Absolute Index Sizes in MB (AIDS)",
+    );
     report.line(format!("scale={} seed={:#x}", opts.scale, opts.seed));
 
     let spec = QueryWorkloadSpec::named(true, true, DEFAULT_ALPHA, 3_000, opts.seed);
@@ -33,25 +33,70 @@ pub fn run(opts: &ExpOptions) -> Report {
     };
 
     let ggsx4 = Ggsx::build(&store, GgsxConfig::default());
-    add("GGSX", "paths<=4 (default)", ggsx4.index_size_bytes(), &mut json);
-    let ggsx5 = Ggsx::build(&store, GgsxConfig { max_path_len: 5, ..Default::default() });
-    add("GGSX", "paths<=5 (larger)", ggsx5.index_size_bytes(), &mut json);
+    add(
+        "GGSX",
+        "paths<=4 (default)",
+        ggsx4.index_size_bytes(),
+        &mut json,
+    );
+    let ggsx5 = Ggsx::build(
+        &store,
+        GgsxConfig {
+            max_path_len: 5,
+            ..Default::default()
+        },
+    );
+    add(
+        "GGSX",
+        "paths<=5 (larger)",
+        ggsx5.index_size_bytes(),
+        &mut json,
+    );
 
     let grapes4 = Grapes::build(&store, GrapesConfig::default());
-    add("Grapes", "paths<=4 (default)", grapes4.index_size_bytes(), &mut json);
-    let grapes5 = Grapes::build(&store, GrapesConfig { max_path_len: 5, ..Default::default() });
-    add("Grapes", "paths<=5 (larger)", grapes5.index_size_bytes(), &mut json);
+    add(
+        "Grapes",
+        "paths<=4 (default)",
+        grapes4.index_size_bytes(),
+        &mut json,
+    );
+    let grapes5 = Grapes::build(
+        &store,
+        GrapesConfig {
+            max_path_len: 5,
+            ..Default::default()
+        },
+    );
+    add(
+        "Grapes",
+        "paths<=5 (larger)",
+        grapes5.index_size_bytes(),
+        &mut json,
+    );
 
     let ct = CtIndex::build(&store, CtIndexConfig::default());
-    add("CT-Index", "t6/c8 (default)", ct.index_size_bytes(), &mut json);
+    add(
+        "CT-Index",
+        "t6/c8 (default)",
+        ct.index_size_bytes(),
+        &mut json,
+    );
     let ct_l = CtIndex::build(&store, CtIndexConfig::larger());
-    add("CT-Index", "t7/c9 x2 bits (larger)", ct_l.index_size_bytes(), &mut json);
+    add(
+        "CT-Index",
+        "t7/c9 x2 bits (larger)",
+        ct_l.index_size_bytes(),
+        &mut json,
+    );
 
     // iGQ: fill the cache by running the workload through a GGSX-backed
     // engine, then measure the query-index footprint.
     let engine_method = Ggsx::build(
         &store,
-        GgsxConfig { match_config: MatchConfig::with_budget(200_000_000), ..Default::default() },
+        GgsxConfig {
+            match_config: MatchConfig::with_budget(200_000_000),
+            ..Default::default()
+        },
     );
     let config = super::igq_config(&s);
     let (_agg, extras) = run_igq(engine_method, &s.queries, config, 0);
@@ -77,7 +122,11 @@ mod tests {
 
     #[test]
     fn sizes_report_runs_and_orders_sanely() {
-        let opts = ExpOptions { scale: 0.003, threads: 2, ..Default::default() };
+        let opts = ExpOptions {
+            scale: 0.003,
+            threads: 2,
+            ..Default::default()
+        };
         let r = run(&opts);
         let data = r.json.as_array().expect("array");
         let get = |name: &str, cfg_frag: &str| {

@@ -6,6 +6,7 @@ pub mod cache_sweep;
 pub mod extensions;
 pub mod groups;
 pub mod index_sizes;
+pub mod maintenance;
 pub mod policy_ablation;
 pub mod speedups;
 pub mod supergraph_demo;
@@ -55,7 +56,13 @@ pub fn setup(
     let queries = spec.generate(&store);
     let window = scaled(paper_window, opts.scale, 5);
     let cache_capacity = scaled(paper_cache, opts.scale, window.max(10));
-    Setup { store, queries, warmup: window, cache_capacity, window }
+    Setup {
+        store,
+        queries,
+        warmup: window,
+        cache_capacity,
+        window,
+    }
 }
 
 /// Standard iGQ config for a [`Setup`].
@@ -81,7 +88,10 @@ mod tests {
 
     #[test]
     fn setup_produces_consistent_sizes() {
-        let opts = ExpOptions { scale: 0.01, ..Default::default() };
+        let opts = ExpOptions {
+            scale: 0.01,
+            ..Default::default()
+        };
         let spec = QueryWorkloadSpec::named(true, true, DEFAULT_ALPHA, 3000, 1);
         let s = setup(DatasetKind::Aids, &opts, &spec, 500, 100);
         assert_eq!(s.store.len(), 400);

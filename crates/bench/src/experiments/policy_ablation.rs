@@ -47,14 +47,24 @@ pub fn run(opts: &ExpOptions) -> Report {
     let baseline_tests: u64 = queries.iter().map(|q| method.query(q).1).sum();
 
     let mut table = Table::new([
-        "policy", "iso tests", "vs baseline", "exact hits", "empty shortcuts", "maintenances",
+        "policy",
+        "iso tests",
+        "vs baseline",
+        "exact hits",
+        "empty shortcuts",
+        "maintenances",
     ]);
     let mut json = Vec::new();
     for policy in POLICIES {
         let method = Ggsx::build(&store, GgsxConfig::default());
         let mut engine = IgqEngine::new(
             method,
-            IgqConfig { cache_capacity: capacity, window, policy, ..Default::default() },
+            IgqConfig {
+                cache_capacity: capacity,
+                window,
+                policy,
+                ..Default::default()
+            },
         );
         let mut tests = 0u64;
         for q in &queries {
@@ -94,7 +104,11 @@ mod tests {
 
     #[test]
     fn ablation_runs_and_every_policy_beats_or_ties_baseline() {
-        let opts = ExpOptions { scale: 0.02, threads: 2, ..Default::default() };
+        let opts = ExpOptions {
+            scale: 0.02,
+            threads: 2,
+            ..Default::default()
+        };
         let r = run(&opts);
         let data = r.json.as_array().expect("array");
         assert_eq!(data.len(), POLICIES.len());

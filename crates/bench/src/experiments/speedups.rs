@@ -53,7 +53,11 @@ pub fn render(
     for (label, runs) in matrix {
         let mut row = vec![label.clone()];
         for run in runs {
-            let speedup = if time_view { run.time_speedup() } else { run.iso_speedup() };
+            let speedup = if time_view {
+                run.time_speedup()
+            } else {
+                run.iso_speedup()
+            };
             row.push(fmt_speedup(speedup));
             json.push(serde_json::json!({
                 "workload": label,
@@ -85,8 +89,14 @@ pub fn render(
 pub fn iso_speedup(kind: DatasetKind, opts: &ExpOptions) -> Report {
     let matrix = speedup_matrix(kind, opts);
     let (id, title) = match kind {
-        DatasetKind::Aids => ("fig07_iso_speedup_aids", "Fig. 7: Speedup in #Subgraph Isomorphism Tests (AIDS)"),
-        _ => ("fig08_iso_speedup_pdbs", "Fig. 8: Speedup in #Subgraph Isomorphism Tests (PDBS)"),
+        DatasetKind::Aids => (
+            "fig07_iso_speedup_aids",
+            "Fig. 7: Speedup in #Subgraph Isomorphism Tests (AIDS)",
+        ),
+        _ => (
+            "fig08_iso_speedup_pdbs",
+            "Fig. 8: Speedup in #Subgraph Isomorphism Tests (PDBS)",
+        ),
     };
     render(id, title, kind, opts, &matrix, false)
 }
@@ -95,8 +105,14 @@ pub fn iso_speedup(kind: DatasetKind, opts: &ExpOptions) -> Report {
 pub fn time_speedup(kind: DatasetKind, opts: &ExpOptions) -> Report {
     let matrix = speedup_matrix(kind, opts);
     let (id, title) = match kind {
-        DatasetKind::Aids => ("fig12_time_speedup_aids", "Fig. 12: Speedup in Query Processing Time (AIDS)"),
-        _ => ("fig13_time_speedup_pdbs", "Fig. 13: Speedup in Query Processing Time (PDBS)"),
+        DatasetKind::Aids => (
+            "fig12_time_speedup_aids",
+            "Fig. 12: Speedup in Query Processing Time (AIDS)",
+        ),
+        _ => (
+            "fig13_time_speedup_pdbs",
+            "Fig. 13: Speedup in Query Processing Time (PDBS)",
+        ),
     };
     render(id, title, kind, opts, &matrix, true)
 }
@@ -130,14 +146,27 @@ mod tests {
 
     #[test]
     fn tiny_matrix_is_complete_and_sound() {
-        let opts = ExpOptions { scale: 0.004, threads: 2, ..Default::default() };
+        let opts = ExpOptions {
+            scale: 0.004,
+            threads: 2,
+            ..Default::default()
+        };
         let matrix = speedup_matrix(DatasetKind::Aids, &opts);
         assert_eq!(matrix.len(), 4);
         for (label, runs) in &matrix {
             assert_eq!(runs.len(), 4, "{label}");
             for run in runs {
-                assert!(run.iso_speedup() >= 1.0, "{label}/{} {}", run.method, run.iso_speedup());
-                assert_eq!(run.baseline.answers, run.igq.answers, "{label}/{}", run.method);
+                assert!(
+                    run.iso_speedup() >= 1.0,
+                    "{label}/{} {}",
+                    run.method,
+                    run.iso_speedup()
+                );
+                assert_eq!(
+                    run.baseline.answers, run.igq.answers,
+                    "{label}/{}",
+                    run.method
+                );
             }
         }
     }

@@ -12,7 +12,7 @@ use igq_features::PathConfig;
 use igq_graph::Graph;
 use igq_iso::MatchConfig;
 use igq_methods::TrieSupergraphMethod;
-use igq_workload::{DatasetKind, QueryGenerator, Distribution};
+use igq_workload::{DatasetKind, Distribution, QueryGenerator};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -57,7 +57,8 @@ pub fn run(opts: &ExpOptions) -> Report {
     }
 
     // iGQ-wrapped.
-    let method2 = TrieSupergraphMethod::build(&store, PathConfig::default(), MatchConfig::default());
+    let method2 =
+        TrieSupergraphMethod::build(&store, PathConfig::default(), MatchConfig::default());
     let config = IgqConfig {
         cache_capacity: super::scaled(500, opts.scale, 20),
         window: warmup.max(5),
@@ -94,7 +95,10 @@ pub fn run(opts: &ExpOptions) -> Report {
         "avg query time".to_owned(),
         crate::report::fmt_duration(base_time.div_f64(measured)),
         crate::report::fmt_duration(igq_time.div_f64(measured)),
-        fmt_speedup(crate::harness::ratio(base_time.as_secs_f64(), igq_time.as_secs_f64())),
+        fmt_speedup(crate::harness::ratio(
+            base_time.as_secs_f64(),
+            igq_time.as_secs_f64(),
+        )),
     ]);
     for l in table.render() {
         report.line(l);
@@ -119,7 +123,11 @@ mod tests {
 
     #[test]
     fn supergraph_demo_runs_and_answers_match() {
-        let opts = ExpOptions { scale: 0.002, threads: 2, ..Default::default() };
+        let opts = ExpOptions {
+            scale: 0.002,
+            threads: 2,
+            ..Default::default()
+        };
         let r = run(&opts); // the internal assert_eq checks Theorem 2
         assert!(r.lines.iter().any(|l| l.contains("avg iso tests")));
     }

@@ -8,11 +8,22 @@ use igq_workload::DatasetKind;
 /// Generates all four datasets at the requested scale and reports their
 /// Table 1 rows.
 pub fn run(opts: &ExpOptions) -> Report {
-    let mut report = Report::new("table1", "Table 1: Characteristics of Datasets (synthesized)");
+    let mut report = Report::new(
+        "table1",
+        "Table 1: Characteristics of Datasets (synthesized)",
+    );
     report.line(format!("scale={} seed={:#x}", opts.scale, opts.seed));
     let mut table = Table::new([
-        "dataset", "labels", "graphs", "avg deg", "nodes avg", "nodes sd", "nodes max",
-        "edges avg", "edges sd", "edges max",
+        "dataset",
+        "labels",
+        "graphs",
+        "avg deg",
+        "nodes avg",
+        "nodes sd",
+        "nodes max",
+        "edges avg",
+        "edges sd",
+        "edges max",
     ]);
     let mut json = serde_json::Map::new();
     for kind in DatasetKind::ALL {
@@ -30,15 +41,16 @@ pub fn run(opts: &ExpOptions) -> Report {
             format!("{:.0}", s.edges.std_dev),
             format!("{:.0}", s.edges.max),
         ]);
-        json.insert(kind.name().to_owned(), serde_json::to_value(&s).expect("stats serialize"));
+        json.insert(
+            kind.name().to_owned(),
+            serde_json::to_value(&s).expect("stats serialize"),
+        );
     }
     for l in table.render() {
         report.line(l);
     }
     report.line("");
-    report.line(format!(
-        "paper (full scale): AIDS 62/40000/2.09, PDBS 10/600/2.13, PPI 46/20/9.23, Synthetic 20/1000/19.52"
-    ));
+    report.line("paper (full scale): AIDS 62/40000/2.09, PDBS 10/600/2.13, PPI 46/20/9.23, Synthetic 20/1000/19.52".to_string());
     report.json = serde_json::Value::Object(json);
     report
 }
@@ -49,7 +61,10 @@ mod tests {
 
     #[test]
     fn table1_runs_at_tiny_scale() {
-        let opts = ExpOptions { scale: 0.002, ..Default::default() };
+        let opts = ExpOptions {
+            scale: 0.002,
+            ..Default::default()
+        };
         let r = run(&opts);
         assert_eq!(r.id, "table1");
         assert!(r.lines.iter().any(|l| l.contains("AIDS")));

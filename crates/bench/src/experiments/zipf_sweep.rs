@@ -9,8 +9,11 @@ use igq_workload::{DatasetKind, QueryWorkloadSpec};
 pub const ALPHAS: [f64; 3] = [1.1, 1.4, 2.0];
 
 /// Zipf-involving workload shapes: (graph_zipf, node_zipf, label).
-const SHAPES: [(bool, bool, &str); 3] =
-    [(false, true, "uni-zipf"), (true, false, "zipf-uni"), (true, true, "zipf-zipf")];
+const SHAPES: [(bool, bool, &str); 3] = [
+    (false, true, "uni-zipf"),
+    (true, false, "zipf-uni"),
+    (true, true, "zipf-zipf"),
+];
 
 /// Runs the α sweep: one paired run per (α, zipf workload).
 pub fn sweep(opts: &ExpOptions) -> Vec<(f64, Vec<(String, PairedRun)>)> {
@@ -41,9 +44,15 @@ pub fn sweep(opts: &ExpOptions) -> Vec<(f64, Vec<(String, PairedRun)>)> {
 /// Renders the sweep in the iso (Fig. 9) or time (Fig. 15) view.
 pub fn render(opts: &ExpOptions, time_view: bool) -> Report {
     let (id, title) = if time_view {
-        ("fig15_time_speedup_zipf", "Fig. 15: Query-Time Speedup vs Zipf Skew α (PDBS, Grapes(6))")
+        (
+            "fig15_time_speedup_zipf",
+            "Fig. 15: Query-Time Speedup vs Zipf Skew α (PDBS, Grapes(6))",
+        )
     } else {
-        ("fig09_iso_speedup_zipf", "Fig. 9: Iso-Test Speedup vs Zipf Skew α (PDBS, Grapes(6))")
+        (
+            "fig09_iso_speedup_zipf",
+            "Fig. 9: Iso-Test Speedup vs Zipf Skew α (PDBS, Grapes(6))",
+        )
     };
     let mut report = Report::new(id, title);
     report.line(format!("scale={} seed={:#x}", opts.scale, opts.seed));
@@ -52,7 +61,11 @@ pub fn render(opts: &ExpOptions, time_view: bool) -> Report {
     for (alpha, runs) in sweep(opts) {
         let mut row = vec![format!("{alpha}")];
         for (label, run) in &runs {
-            let speedup = if time_view { run.time_speedup() } else { run.iso_speedup() };
+            let speedup = if time_view {
+                run.time_speedup()
+            } else {
+                run.iso_speedup()
+            };
             row.push(fmt_speedup(speedup));
             json.push(serde_json::json!({
                 "alpha": alpha, "workload": label,
@@ -77,7 +90,11 @@ mod tests {
 
     #[test]
     fn sweep_shape() {
-        let opts = ExpOptions { scale: 0.01, threads: 2, ..Default::default() };
+        let opts = ExpOptions {
+            scale: 0.01,
+            threads: 2,
+            ..Default::default()
+        };
         let s = sweep(&opts);
         assert_eq!(s.len(), 3);
         assert!(s.iter().all(|(_, runs)| runs.len() == 3));

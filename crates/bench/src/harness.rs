@@ -37,7 +37,12 @@ pub enum MethodKind {
 impl MethodKind {
     /// The figures' method order.
     pub fn paper_lineup(threads: usize) -> Vec<MethodKind> {
-        vec![MethodKind::Ggsx, MethodKind::Grapes1, MethodKind::GrapesN(threads), MethodKind::CtIndex]
+        vec![
+            MethodKind::Ggsx,
+            MethodKind::Grapes1,
+            MethodKind::GrapesN(threads),
+            MethodKind::CtIndex,
+        ]
     }
 
     /// The paper lineup plus the extension methods this library adds.
@@ -63,24 +68,42 @@ impl MethodKind {
     pub fn build(&self, store: &Arc<GraphStore>) -> Box<dyn SubgraphMethod> {
         let match_config = MatchConfig::with_budget(200_000_000);
         match self {
-            MethodKind::Ggsx => {
-                Box::new(Ggsx::build(store, GgsxConfig { match_config, ..Default::default() }))
-            }
+            MethodKind::Ggsx => Box::new(Ggsx::build(
+                store,
+                GgsxConfig {
+                    match_config,
+                    ..Default::default()
+                },
+            )),
             MethodKind::Grapes1 => Box::new(Grapes::build(
                 store,
-                GrapesConfig { threads: 1, match_config, ..Default::default() },
+                GrapesConfig {
+                    threads: 1,
+                    match_config,
+                    ..Default::default()
+                },
             )),
             MethodKind::GrapesN(t) => Box::new(Grapes::build(
                 store,
-                GrapesConfig { threads: *t, match_config, ..Default::default() },
+                GrapesConfig {
+                    threads: *t,
+                    match_config,
+                    ..Default::default()
+                },
             )),
             MethodKind::CtIndex => Box::new(CtIndex::build(
                 store,
-                CtIndexConfig { match_config, ..Default::default() },
+                CtIndexConfig {
+                    match_config,
+                    ..Default::default()
+                },
             )),
             MethodKind::GCode => Box::new(GCode::build(
                 store,
-                GCodeConfig { match_config, ..Default::default() },
+                GCodeConfig {
+                    match_config,
+                    ..Default::default()
+                },
             )),
         }
     }
@@ -121,22 +144,38 @@ pub struct AggStats {
 impl AggStats {
     /// Average iso tests per query.
     pub fn avg_iso_tests(&self) -> f64 {
-        if self.queries == 0 { 0.0 } else { self.iso_tests as f64 / self.queries as f64 }
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.iso_tests as f64 / self.queries as f64
+        }
     }
 
     /// Average wall-clock per query.
     pub fn avg_time(&self) -> Duration {
-        if self.queries == 0 { Duration::ZERO } else { self.total_time / self.queries as u32 }
+        if self.queries == 0 {
+            Duration::ZERO
+        } else {
+            self.total_time / self.queries as u32
+        }
     }
 
     /// Average candidate-set size.
     pub fn avg_candidates(&self) -> f64 {
-        if self.queries == 0 { 0.0 } else { self.candidates as f64 / self.queries as f64 }
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.candidates as f64 / self.queries as f64
+        }
     }
 
     /// Average answer-set size.
     pub fn avg_answers(&self) -> f64 {
-        if self.queries == 0 { 0.0 } else { self.answers as f64 / self.queries as f64 }
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.answers as f64 / self.queries as f64
+        }
     }
 
     /// Average false positives per query (candidates − answers).
@@ -219,18 +258,18 @@ impl PairedRun {
 /// itself as the speedup floor (a common convention for bar charts).
 pub fn ratio(a: f64, b: f64) -> f64 {
     if b <= f64::EPSILON {
-        if a <= f64::EPSILON { 1.0 } else { a.max(1.0) }
+        if a <= f64::EPSILON {
+            1.0
+        } else {
+            a.max(1.0)
+        }
     } else {
         a / b
     }
 }
 
 /// Runs the baseline (method alone) over `queries[warmup..]`.
-pub fn run_baseline(
-    method: &dyn SubgraphMethod,
-    queries: &[Graph],
-    warmup: usize,
-) -> AggStats {
+pub fn run_baseline(method: &dyn SubgraphMethod, queries: &[Graph], warmup: usize) -> AggStats {
     let mut agg = AggStats::default();
     for (i, q) in queries.iter().enumerate() {
         let t0 = Instant::now();
@@ -313,7 +352,12 @@ pub fn run_paired(
     let method = kind.build(store);
     let baseline = run_baseline(method.as_ref(), queries, warmup);
     let (igq, extras) = run_igq(method, queries, config, warmup);
-    PairedRun { method: kind.name(), baseline, igq, extras }
+    PairedRun {
+        method: kind.name(),
+        baseline,
+        igq,
+        extras,
+    }
 }
 
 /// Buckets a query by its size: the nearest paper size {4, 8, 12, 16, 20},
@@ -333,13 +377,9 @@ mod tests {
 
     fn tiny_setup() -> (Arc<GraphStore>, Vec<Graph>) {
         let store = Arc::new(DatasetKind::Aids.generate(60, 3));
-        let queries = QueryGenerator::new(
-            &store,
-            Distribution::Zipf(1.4),
-            Distribution::Zipf(1.4),
-            11,
-        )
-        .take(40);
+        let queries =
+            QueryGenerator::new(&store, Distribution::Zipf(1.4), Distribution::Zipf(1.4), 11)
+                .take(40);
         (store, queries)
     }
 
@@ -350,7 +390,11 @@ mod tests {
             &store,
             MethodKind::Ggsx,
             &queries,
-            IgqConfig { cache_capacity: 30, window: 5, ..Default::default() },
+            IgqConfig {
+                cache_capacity: 30,
+                window: 5,
+                ..Default::default()
+            },
             10,
         );
         assert_eq!(run.baseline.queries, run.igq.queries);
@@ -373,10 +417,7 @@ mod tests {
         use igq_graph::graph_from;
         let q3 = graph_from(&[0; 4], &[(0, 1), (1, 2), (2, 3)]);
         assert_eq!(bucket_of(&q3), 4);
-        let q18 = graph_from(
-            &[0; 19],
-            &(0..18).map(|i| (i, i + 1)).collect::<Vec<_>>(),
-        );
+        let q18 = graph_from(&[0; 19], &(0..18).map(|i| (i, i + 1)).collect::<Vec<_>>());
         assert_eq!(bucket_of(&q18), 20);
     }
 
@@ -384,7 +425,12 @@ mod tests {
     fn method_kinds_build_and_answer_identically() {
         let (store, queries) = tiny_setup();
         let mut answer_sets: Vec<Vec<u64>> = Vec::new();
-        for kind in [MethodKind::Ggsx, MethodKind::Grapes1, MethodKind::CtIndex, MethodKind::GCode] {
+        for kind in [
+            MethodKind::Ggsx,
+            MethodKind::Grapes1,
+            MethodKind::CtIndex,
+            MethodKind::GCode,
+        ] {
             let m = kind.build(&store);
             let answers: Vec<u64> = queries
                 .iter()

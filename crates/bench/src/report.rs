@@ -25,7 +25,12 @@ pub struct Report {
 impl Report {
     /// A new report.
     pub fn new(id: impl Into<String>, title: impl Into<String>) -> Report {
-        Report { id: id.into(), title: title.into(), lines: Vec::new(), json: Value::Null }
+        Report {
+            id: id.into(),
+            title: title.into(),
+            lines: Vec::new(),
+            json: Value::Null,
+        }
     }
 
     /// Appends a console line.
@@ -65,7 +70,10 @@ impl Report {
             "title": self.title,
             "data": self.json,
         });
-        fs::write(dir.join(format!("{}.json", self.id)), serde_json::to_string_pretty(&payload)?)
+        fs::write(
+            dir.join(format!("{}.json", self.id)),
+            serde_json::to_string_pretty(&payload)?,
+        )
     }
 }
 
@@ -79,7 +87,10 @@ pub struct Table {
 impl Table {
     /// A table with the given column headers.
     pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Table {
-        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header arity).
@@ -111,7 +122,13 @@ impl Table {
         };
         let mut out = Vec::with_capacity(self.rows.len() + 2);
         out.push(fmt_row(&self.header));
-        out.push(widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        out.push(
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  "),
+        );
         for row in &self.rows {
             out.push(fmt_row(row));
         }

@@ -51,14 +51,23 @@ pub fn generate(args: &[String]) -> CmdResult {
         Some("pdbs") => DatasetKind::Pdbs,
         Some("ppi") => DatasetKind::Ppi,
         Some("synthetic") => DatasetKind::Synthetic,
-        other => return Err(format!("--kind must be aids|pdbs|ppi|synthetic, got {other:?}")),
+        other => {
+            return Err(format!(
+                "--kind must be aids|pdbs|ppi|synthetic, got {other:?}"
+            ))
+        }
     };
     let count: usize = flags
         .get("count")
         .ok_or("--count is required")?
         .parse()
         .map_err(|_| "--count expects an integer")?;
-    let seed: u64 = flags.get("seed").map(|s| s.parse()).transpose().map_err(|_| "--seed expects a u64")?.unwrap_or(42);
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--seed expects a u64")?
+        .unwrap_or(42);
     let out = flags.get("out").ok_or("--out is required")?;
 
     let t = Instant::now();
@@ -87,27 +96,46 @@ pub fn stats(args: &[String]) -> CmdResult {
     Ok(())
 }
 
-fn build_method(
-    name: &str,
-    store: &Arc<GraphStore>,
-) -> Result<Box<dyn SubgraphMethod>, String> {
+fn build_method(name: &str, store: &Arc<GraphStore>) -> Result<Box<dyn SubgraphMethod>, String> {
     let match_config = MatchConfig::with_budget(200_000_000);
     Ok(match name {
-        "ggsx" => Box::new(Ggsx::build(store, GgsxConfig { match_config, ..Default::default() })),
+        "ggsx" => Box::new(Ggsx::build(
+            store,
+            GgsxConfig {
+                match_config,
+                ..Default::default()
+            },
+        )),
         "grapes" => Box::new(Grapes::build(
             store,
-            GrapesConfig { threads: 1, match_config, ..Default::default() },
+            GrapesConfig {
+                threads: 1,
+                match_config,
+                ..Default::default()
+            },
         )),
         "grapes6" => Box::new(Grapes::build(
             store,
-            GrapesConfig { threads: 6, match_config, ..Default::default() },
+            GrapesConfig {
+                threads: 6,
+                match_config,
+                ..Default::default()
+            },
         )),
-        "ctindex" => {
-            Box::new(CtIndex::build(store, CtIndexConfig { match_config, ..Default::default() }))
-        }
-        "gcode" => {
-            Box::new(GCode::build(store, GCodeConfig { match_config, ..Default::default() }))
-        }
+        "ctindex" => Box::new(CtIndex::build(
+            store,
+            CtIndexConfig {
+                match_config,
+                ..Default::default()
+            },
+        )),
+        "gcode" => Box::new(GCode::build(
+            store,
+            GCodeConfig {
+                match_config,
+                ..Default::default()
+            },
+        )),
         other => return Err(format!("unknown method {other:?}")),
     })
 }
@@ -120,8 +148,18 @@ pub fn query(args: &[String]) -> CmdResult {
     let method_name = flags.get("method").map(String::as_str).unwrap_or("ggsx");
     let use_igq = !flags.contains_key("no-igq");
     let verbose = flags.contains_key("verbose");
-    let cache: usize = flags.get("cache").map(|s| s.parse()).transpose().map_err(|_| "--cache expects an integer")?.unwrap_or(500);
-    let window: usize = flags.get("window").map(|s| s.parse()).transpose().map_err(|_| "--window expects an integer")?.unwrap_or(100);
+    let cache: usize = flags
+        .get("cache")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--cache expects an integer")?
+        .unwrap_or(500);
+    let window: usize = flags
+        .get("window")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--window expects an integer")?
+        .unwrap_or(100);
     let supergraph = flags.contains_key("supergraph");
 
     let store = Arc::new(load_store(dataset_path)?);
@@ -134,7 +172,12 @@ pub fn query(args: &[String]) -> CmdResult {
     );
 
     let t_index = Instant::now();
-    let config = IgqConfig { cache_capacity: cache, window, ..Default::default() }.normalized();
+    let config = IgqConfig {
+        cache_capacity: cache,
+        window,
+        ..Default::default()
+    }
+    .normalized();
     let mut total_answers = 0usize;
     let mut total_tests = 0u64;
     let t_queries;
@@ -151,7 +194,11 @@ pub fn query(args: &[String]) -> CmdResult {
                 total_answers += out.answers.len();
                 total_tests += out.db_iso_tests;
                 if verbose {
-                    println!("q{qid}: {} contained graphs, {} tests", out.answers.len(), out.db_iso_tests);
+                    println!(
+                        "q{qid}: {} contained graphs, {} tests",
+                        out.answers.len(),
+                        out.db_iso_tests
+                    );
                 }
             }
         } else {
@@ -240,29 +287,56 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let db = dir.join("db.gfu");
         let qf = dir.join("q.gfu");
-        generate(&s(&["--kind", "aids", "--count", "30", "--seed", "7", "--out", db.to_str().unwrap()]))
-            .unwrap();
+        generate(&s(&[
+            "--kind",
+            "aids",
+            "--count",
+            "30",
+            "--seed",
+            "7",
+            "--out",
+            db.to_str().unwrap(),
+        ]))
+        .unwrap();
         // Queries: reuse a few dataset graphs' fragments via generate again.
-        generate(&s(&["--kind", "aids", "--count", "3", "--seed", "7", "--out", qf.to_str().unwrap()]))
-            .unwrap();
+        generate(&s(&[
+            "--kind",
+            "aids",
+            "--count",
+            "3",
+            "--seed",
+            "7",
+            "--out",
+            qf.to_str().unwrap(),
+        ]))
+        .unwrap();
         stats(&s(&[db.to_str().unwrap()])).unwrap();
         query(&s(&[
-            "--dataset", db.to_str().unwrap(),
-            "--queries", qf.to_str().unwrap(),
-            "--method", "ggsx",
-            "--cache", "10",
-            "--window", "2",
+            "--dataset",
+            db.to_str().unwrap(),
+            "--queries",
+            qf.to_str().unwrap(),
+            "--method",
+            "ggsx",
+            "--cache",
+            "10",
+            "--window",
+            "2",
         ]))
         .unwrap();
         query(&s(&[
-            "--dataset", db.to_str().unwrap(),
-            "--queries", qf.to_str().unwrap(),
+            "--dataset",
+            db.to_str().unwrap(),
+            "--queries",
+            qf.to_str().unwrap(),
             "--no-igq",
         ]))
         .unwrap();
         query(&s(&[
-            "--dataset", db.to_str().unwrap(),
-            "--queries", qf.to_str().unwrap(),
+            "--dataset",
+            db.to_str().unwrap(),
+            "--queries",
+            qf.to_str().unwrap(),
             "--supergraph",
         ]))
         .unwrap();

@@ -2,20 +2,29 @@
 //!
 //! `Igraphs` in the paper's terminology (Section 5.2): the actual query
 //! graphs live here together with their stored answer sets and the
-//! replacement-policy metadata; `Isub`/`Isuper` are (re)built over this
-//! store during window maintenance.
+//! replacement-policy metadata.
+//!
+//! Slots are **stable**: an entry keeps its slot index for its whole
+//! residency, evicted slots go onto a free list, and admissions reuse freed
+//! slots before growing the slot table. This is what lets `Isub`/`Isuper`
+//! maintain themselves incrementally — their posting lists are keyed by
+//! slot, and [`QueryCache::apply_window`] reports exactly which slots were
+//! evicted and admitted (the [`WindowDelta`]) instead of forcing a rebuild.
+//! Graphs are held behind `Arc` so the query indexes share them with the
+//! cache instead of cloning.
 
 use crate::metadata::GraphMeta;
 use crate::policy::ReplacementPolicy;
 use igq_graph::canon::{canonical_code, CanonicalCode, GraphSignature};
 use igq_graph::fxhash::FxHashMap;
 use igq_graph::{Graph, GraphId};
+use std::sync::Arc;
 
 /// One cached query.
 #[derive(Debug, Clone)]
 pub struct CacheEntry {
-    /// The query graph itself.
-    pub graph: Graph,
+    /// The query graph itself, shared with the query indexes.
+    pub graph: Arc<Graph>,
     /// WL signature for cheap exact-repeat prefiltering.
     pub signature: GraphSignature,
     /// Canonical code when the graph fits the canonicalization budget —
@@ -28,24 +37,93 @@ pub struct CacheEntry {
 }
 
 impl CacheEntry {
-    fn new(graph: Graph, mut answers: Vec<GraphId>) -> CacheEntry {
+    fn new(entry: WindowEntry) -> CacheEntry {
+        let WindowEntry {
+            graph,
+            mut answers,
+            signature,
+            code,
+        } = entry;
         answers.sort_unstable();
         answers.dedup();
-        let signature = GraphSignature::of(&graph);
-        let code = canonical_code(&graph);
-        CacheEntry { graph, signature, code, answers, meta: GraphMeta::new() }
+        // Reuse whatever the engine already computed during query
+        // processing; canonicalization in particular is the expensive part
+        // of admission, and the exact-repeat fast path computed it anyway.
+        let signature = signature.unwrap_or_else(|| GraphSignature::of(&graph));
+        let code = match code {
+            Some(code) => code,
+            None => canonical_code(&graph),
+        };
+        CacheEntry {
+            graph,
+            signature,
+            code,
+            answers,
+            meta: GraphMeta::new(),
+        }
+    }
+}
+
+/// One query pending admission (`Itemp` member). `signature`/`code` carry
+/// values the engine already computed on the query path so admission does
+/// not recompute them; `None` means "not computed yet" (the outer `Option`
+/// of `code` — the inner one is [`canonical_code`]'s own budget miss).
+#[derive(Debug, Clone)]
+pub struct WindowEntry {
+    /// The query graph.
+    pub graph: Arc<Graph>,
+    /// Its answer set (sorted on admission).
+    pub answers: Vec<GraphId>,
+    /// Precomputed WL signature, if available.
+    pub signature: Option<GraphSignature>,
+    /// Precomputed canonicalization outcome, if one was attempted.
+    pub code: Option<Option<CanonicalCode>>,
+}
+
+impl WindowEntry {
+    /// An entry with nothing precomputed (import paths, tests).
+    pub fn bare(graph: Arc<Graph>, answers: Vec<GraphId>) -> WindowEntry {
+        WindowEntry {
+            graph,
+            answers,
+            signature: None,
+            code: None,
+        }
+    }
+}
+
+/// The slot-level outcome of one window maintenance: which slots lost
+/// their entry and which gained one. A slot may appear in both lists
+/// (evicted, then immediately reused for an admission).
+#[derive(Debug, Clone, Default)]
+pub struct WindowDelta {
+    /// Slots whose previous occupant was evicted, in eviction order.
+    pub evicted: Vec<usize>,
+    /// Slots that received a new entry, in admission order.
+    pub admitted: Vec<usize>,
+}
+
+impl WindowDelta {
+    /// True when the maintenance changed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.evicted.is_empty() && self.admitted.is_empty()
     }
 }
 
 /// Bounded store of cached queries with utility-based replacement.
 #[derive(Debug, Clone, Default)]
 pub struct QueryCache {
-    entries: Vec<CacheEntry>,
+    /// Slot table; `None` = free slot (also listed in `free`).
+    slots: Vec<Option<CacheEntry>>,
+    /// Freed slot indexes available for reuse.
+    free: Vec<usize>,
+    /// Occupied-slot count (`slots.len() - free.len()`).
+    len: usize,
     capacity: usize,
     policy: ReplacementPolicy,
     maintenance_round: u64,
-    /// Canonical code → slot, for O(1) exact-repeat lookups. Rebuilt at
-    /// every window maintenance (slots move under `swap_remove`).
+    /// Canonical code → slot, for O(1) exact-repeat lookups. Maintained
+    /// incrementally: admissions insert, evictions remove.
     code_index: FxHashMap<CanonicalCode, usize>,
 }
 
@@ -59,7 +137,9 @@ impl QueryCache {
     /// An empty cache with an explicit replacement policy (ablations).
     pub fn with_policy(capacity: usize, policy: ReplacementPolicy) -> QueryCache {
         QueryCache {
-            entries: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
             capacity,
             policy,
             maintenance_round: 0,
@@ -74,12 +154,12 @@ impl QueryCache {
 
     /// Number of cached queries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// The configured capacity `C`.
@@ -87,24 +167,42 @@ impl QueryCache {
         self.capacity
     }
 
+    /// Size of the slot table (occupied + free slots). Slot indexes are
+    /// always `< slot_count()`.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
     /// Entry at `slot`.
+    ///
+    /// # Panics
+    /// Panics if the slot is free (slots are only published via
+    /// [`WindowDelta::admitted`] and [`QueryCache::iter`]).
     pub fn entry(&self, slot: usize) -> &CacheEntry {
-        &self.entries[slot]
+        self.slots[slot].as_ref().expect("entry at free slot")
     }
 
     /// Mutable entry at `slot`.
     pub fn entry_mut(&mut self, slot: usize) -> &mut CacheEntry {
-        &mut self.entries[slot]
+        self.slots[slot].as_mut().expect("entry at free slot")
     }
 
-    /// All entries, slot-ordered.
-    pub fn entries(&self) -> &[CacheEntry] {
-        &self.entries
+    /// Entry at `slot`, or `None` when the slot is free.
+    pub fn get(&self, slot: usize) -> Option<&CacheEntry> {
+        self.slots.get(slot).and_then(Option::as_ref)
+    }
+
+    /// Iterates `(slot, entry)` over occupied slots, in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &CacheEntry)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|e| (i, e)))
     }
 
     /// Advances every entry's query clock (`M(g) += 1`).
     pub fn tick_all(&mut self) {
-        for e in &mut self.entries {
+        for e in self.slots.iter_mut().flatten() {
             e.meta.tick();
         }
     }
@@ -112,9 +210,7 @@ impl QueryCache {
     /// Slots whose signature matches `sig` (exact-repeat candidates; the
     /// caller confirms with an isomorphism test).
     pub fn slots_with_signature(&self, sig: &GraphSignature) -> Vec<usize> {
-        self.entries
-            .iter()
-            .enumerate()
+        self.iter()
             .filter(|(_, e)| e.signature == *sig)
             .map(|(i, _)| i)
             .collect()
@@ -126,44 +222,99 @@ impl QueryCache {
         self.code_index.get(code).copied()
     }
 
-    /// Window maintenance (Section 5.2): admit `incoming` `(graph, answers)`
-    /// pairs, evicting the lowest-utility residents when over capacity.
-    /// Returns `true` when the contents changed (indexes must be rebuilt).
-    pub fn apply_window(&mut self, incoming: Vec<(Graph, Vec<GraphId>)>) -> bool {
-        if incoming.is_empty() {
-            return false;
+    /// Window maintenance (Section 5.2): admit the `incoming` window
+    /// entries, evicting the lowest-utility residents when over capacity.
+    ///
+    /// Returns the [`WindowDelta`] — exactly which slots were evicted and
+    /// which admitted — so callers can update the query indexes
+    /// incrementally instead of rebuilding them.
+    pub fn apply_window(&mut self, incoming: Vec<WindowEntry>) -> WindowDelta {
+        let mut delta = WindowDelta::default();
+        if incoming.is_empty() || self.capacity == 0 {
+            return delta;
         }
         self.maintenance_round += 1;
         let incoming_len = incoming.len().min(self.capacity);
-        let overflow = (self.entries.len() + incoming_len).saturating_sub(self.capacity);
+        let overflow = (self.len + incoming_len).saturating_sub(self.capacity);
         if overflow > 0 {
-            let metas: Vec<GraphMeta> = self.entries.iter().map(|e| e.meta).collect();
-            let victims = self.policy.victims(&metas, overflow, self.maintenance_round);
-            // Remove back-to-front so earlier indexes stay valid.
-            for &slot in victims.iter().rev() {
-                self.entries.swap_remove(slot);
+            // The policy ranks a dense meta list; map dense indexes back to
+            // their (possibly sparse) slots.
+            let occupied: Vec<usize> = self.iter().map(|(i, _)| i).collect();
+            let metas: Vec<GraphMeta> = occupied.iter().map(|&s| self.entry(s).meta).collect();
+            let victims = self
+                .policy
+                .victims(&metas, overflow, self.maintenance_round);
+            for dense in victims {
+                let slot = occupied[dense];
+                self.evict(slot);
+                delta.evicted.push(slot);
             }
         }
-        for (graph, answers) in incoming.into_iter().take(incoming_len) {
-            self.entries.push(CacheEntry::new(graph, answers));
+        for entry in incoming.into_iter().take(incoming_len) {
+            let slot = self.admit(CacheEntry::new(entry));
+            delta.admitted.push(slot);
         }
-        debug_assert!(self.entries.len() <= self.capacity);
-        self.code_index = self
-            .entries
-            .iter()
-            .enumerate()
-            .filter_map(|(i, e)| e.code.clone().map(|c| (c, i)))
-            .collect();
-        true
+        debug_assert!(self.len <= self.capacity);
+        delta
+    }
+
+    fn evict(&mut self, slot: usize) {
+        let entry = self.slots[slot].take().expect("evicting a free slot");
+        if let Some(code) = entry.code {
+            // Two residents can share a canonical code (imports are not
+            // deduplicated); only drop the mapping if it points here, or
+            // the surviving duplicate would lose its fast-path entry.
+            if self.code_index.get(&code) == Some(&slot) {
+                self.code_index.remove(&code);
+            }
+        }
+        self.free.push(slot);
+        self.len -= 1;
+    }
+
+    fn admit(&mut self, entry: CacheEntry) -> usize {
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(None);
+                self.slots.len() - 1
+            }
+        };
+        if let Some(code) = entry.code.clone() {
+            self.code_index.insert(code, slot);
+        }
+        debug_assert!(
+            self.slots[slot].is_none(),
+            "admitting into an occupied slot"
+        );
+        self.slots[slot] = Some(entry);
+        self.len += 1;
+        slot
     }
 
     /// Approximate heap footprint (the iGQ index-size share of Fig. 18 that
     /// comes from stored query graphs and answers).
+    ///
+    /// Accounts the slot table and code index by *capacity* and each entry
+    /// by its real constituents (graph heap, answer-vector capacity, the
+    /// canonical code's words) instead of the flat per-entry constant this
+    /// method originally used.
     pub fn heap_size_bytes(&self) -> u64 {
-        self.entries
-            .iter()
-            .map(|e| e.graph.heap_size_bytes() + (e.answers.len() * 4) as u64 + 64)
-            .sum()
+        let mut bytes = (self.slots.capacity() * std::mem::size_of::<Option<CacheEntry>>()) as u64;
+        bytes += (self.free.capacity() * std::mem::size_of::<usize>()) as u64;
+        for (_, e) in self.iter() {
+            bytes += e.graph.heap_size_bytes();
+            bytes += (e.answers.capacity() * std::mem::size_of::<GraphId>()) as u64;
+            if let Some(code) = &e.code {
+                bytes += std::mem::size_of_val(code.words()) as u64;
+            }
+        }
+        // Code index: SwissTable buckets of (key, slot) pairs plus one
+        // control byte each, at the 7/8 load factor.
+        let entry =
+            (std::mem::size_of::<CanonicalCode>() + std::mem::size_of::<usize>() + 1) as u64;
+        bytes += (self.code_index.capacity() as u64) * 8 / 7 * entry;
+        bytes
     }
 }
 
@@ -173,8 +324,8 @@ mod tests {
     use igq_graph::graph_from;
     use igq_iso::LogValue;
 
-    fn g(seed: u32) -> Graph {
-        graph_from(&[seed, seed + 1], &[(0, 1)])
+    fn g(seed: u32) -> Arc<Graph> {
+        Arc::new(graph_from(&[seed, seed + 1], &[(0, 1)]))
     }
 
     fn ids(raw: &[u32]) -> Vec<GraphId> {
@@ -184,74 +335,166 @@ mod tests {
     #[test]
     fn fills_until_capacity_without_eviction() {
         let mut c = QueryCache::new(3);
-        assert!(c.apply_window(vec![(g(0), ids(&[1])), (g(1), ids(&[2]))]));
+        let d = c.apply_window(vec![
+            WindowEntry::bare(g(0), ids(&[1])),
+            WindowEntry::bare(g(1), ids(&[2])),
+        ]);
+        assert_eq!(d.admitted, vec![0, 1]);
+        assert!(d.evicted.is_empty());
         assert_eq!(c.len(), 2);
-        assert!(c.apply_window(vec![(g(2), ids(&[3]))]));
+        let d = c.apply_window(vec![WindowEntry::bare(g(2), ids(&[3]))]);
+        assert_eq!(d.admitted, vec![2]);
         assert_eq!(c.len(), 3);
     }
 
     #[test]
-    fn evicts_lowest_utility_on_overflow() {
+    fn evicts_lowest_utility_on_overflow_and_reuses_slot() {
         let mut c = QueryCache::new(2);
-        c.apply_window(vec![(g(0), ids(&[1])), (g(1), ids(&[2]))]);
+        c.apply_window(vec![
+            WindowEntry::bare(g(0), ids(&[1])),
+            WindowEntry::bare(g(1), ids(&[2])),
+        ]);
         // Give slot 1 (graph g(1)) high utility.
         c.entry_mut(1).meta.tick();
-        c.entry_mut(1).meta.record_hit(5, LogValue::from_linear(1e9));
-        c.apply_window(vec![(g(2), ids(&[3]))]);
+        c.entry_mut(1)
+            .meta
+            .record_hit(5, LogValue::from_linear(1e9));
+        let d = c.apply_window(vec![WindowEntry::bare(g(2), ids(&[3]))]);
+        // g(0) (zero utility) is evicted from slot 0, which is then reused.
+        assert_eq!(d.evicted, vec![0]);
+        assert_eq!(d.admitted, vec![0]);
         assert_eq!(c.len(), 2);
-        // g(0) (zero utility) must be gone; g(1) survives.
-        let sigs: Vec<_> = c.entries().iter().map(|e| e.signature).collect();
+        let sigs: Vec<_> = c.iter().map(|(_, e)| e.signature).collect();
         assert!(sigs.contains(&GraphSignature::of(&g(1))));
         assert!(sigs.contains(&GraphSignature::of(&g(2))));
         assert!(!sigs.contains(&GraphSignature::of(&g(0))));
+        // Surviving slot 1 kept its entry untouched.
+        assert_eq!(c.entry(1).signature, GraphSignature::of(&g(1)));
     }
 
     #[test]
     fn answers_are_sorted_and_deduped() {
         let mut c = QueryCache::new(1);
-        c.apply_window(vec![(g(0), ids(&[3, 1, 3, 2]))]);
+        c.apply_window(vec![WindowEntry::bare(g(0), ids(&[3, 1, 3, 2]))]);
         assert_eq!(c.entry(0).answers, ids(&[1, 2, 3]));
     }
 
     #[test]
     fn empty_window_is_a_noop() {
         let mut c = QueryCache::new(2);
-        assert!(!c.apply_window(vec![]));
+        assert!(c.apply_window(vec![]).is_empty());
     }
 
     #[test]
     fn oversized_window_is_truncated_to_capacity() {
         let mut c = QueryCache::new(2);
-        c.apply_window(vec![
-            (g(0), ids(&[1])),
-            (g(1), ids(&[2])),
-            (g(2), ids(&[3])),
+        let d = c.apply_window(vec![
+            WindowEntry::bare(g(0), ids(&[1])),
+            WindowEntry::bare(g(1), ids(&[2])),
+            WindowEntry::bare(g(2), ids(&[3])),
         ]);
         assert_eq!(c.len(), 2);
+        assert_eq!(d.admitted.len(), 2);
     }
 
     #[test]
     fn signature_lookup() {
         let mut c = QueryCache::new(4);
-        c.apply_window(vec![(g(0), ids(&[1])), (g(5), ids(&[2]))]);
+        c.apply_window(vec![
+            WindowEntry::bare(g(0), ids(&[1])),
+            WindowEntry::bare(g(5), ids(&[2])),
+        ]);
         let slots = c.slots_with_signature(&GraphSignature::of(&g(5)));
         assert_eq!(slots.len(), 1);
         assert_eq!(c.entry(slots[0]).answers, ids(&[2]));
     }
 
     #[test]
+    fn code_index_follows_evictions() {
+        let mut c = QueryCache::new(1);
+        c.apply_window(vec![WindowEntry::bare(g(0), ids(&[1]))]);
+        let code0 = canonical_code(&g(0)).expect("small graph canonicalizes");
+        assert_eq!(c.slot_with_code(&code0), Some(0));
+        c.apply_window(vec![WindowEntry::bare(g(5), ids(&[2]))]);
+        assert_eq!(c.slot_with_code(&code0), None, "evicted code unindexed");
+        let code5 = canonical_code(&g(5)).expect("small graph canonicalizes");
+        assert_eq!(c.slot_with_code(&code5), Some(0), "reused slot indexed");
+    }
+
+    #[test]
+    fn duplicate_codes_survive_partial_eviction() {
+        // Imports are not deduplicated, so two residents can share one
+        // canonical code. Evicting one must not strip the survivor's
+        // fast-path mapping.
+        let mut c = QueryCache::new(3);
+        c.apply_window(vec![
+            WindowEntry::bare(g(0), ids(&[1])), // slot 0
+            WindowEntry::bare(g(0), ids(&[2])), // slot 1: isomorphic duplicate
+            WindowEntry::bare(g(7), ids(&[3])), // slot 2
+        ]);
+        let code = canonical_code(&g(0)).expect("small graph canonicalizes");
+        // The duplicate's admission left the mapping at slot 1.
+        assert_eq!(c.slot_with_code(&code), Some(1));
+        // Protect slots 1 and 2; churn out slot 0 (the non-mapped twin).
+        for keep in [1, 2] {
+            c.entry_mut(keep).meta.tick();
+            c.entry_mut(keep)
+                .meta
+                .record_hit(9, LogValue::from_linear(1e9));
+        }
+        let d = c.apply_window(vec![WindowEntry::bare(g(8), ids(&[4]))]);
+        assert_eq!(d.evicted, vec![0]);
+        assert_eq!(
+            c.slot_with_code(&code),
+            Some(1),
+            "survivor keeps its exact-repeat mapping"
+        );
+    }
+
+    #[test]
     fn tick_all_advances_clocks() {
         let mut c = QueryCache::new(2);
-        c.apply_window(vec![(g(0), ids(&[1]))]);
+        c.apply_window(vec![WindowEntry::bare(g(0), ids(&[1]))]);
         c.tick_all();
         c.tick_all();
         assert_eq!(c.entry(0).meta.queries_seen, 2);
     }
 
     #[test]
-    fn heap_size_positive() {
+    fn heap_size_positive_and_capacity_aware() {
         let mut c = QueryCache::new(2);
-        c.apply_window(vec![(g(0), ids(&[1]))]);
-        assert!(c.heap_size_bytes() > 0);
+        c.apply_window(vec![WindowEntry::bare(g(0), ids(&[1]))]);
+        let one = c.heap_size_bytes();
+        assert!(one > 0);
+        c.apply_window(vec![WindowEntry::bare(g(1), ids(&[1, 2, 3, 4]))]);
+        assert!(c.heap_size_bytes() > one);
+    }
+
+    #[test]
+    fn stable_slots_under_churn() {
+        let mut c = QueryCache::new(3);
+        c.apply_window(vec![
+            WindowEntry::bare(g(0), ids(&[1])),
+            WindowEntry::bare(g(1), ids(&[2])),
+            WindowEntry::bare(g(2), ids(&[3])),
+        ]);
+        // Pin slot 2 with utility; churn the rest repeatedly.
+        c.entry_mut(2).meta.tick();
+        c.entry_mut(2)
+            .meta
+            .record_hit(9, LogValue::from_linear(1e12));
+        let pinned = c.entry(2).signature;
+        for round in 3..10u32 {
+            c.entry_mut(2).meta.tick();
+            c.entry_mut(2)
+                .meta
+                .record_hit(9, LogValue::from_linear(1e12));
+            let d = c.apply_window(vec![WindowEntry::bare(g(round), ids(&[round]))]);
+            assert_eq!(d.evicted.len(), 1);
+            assert_eq!(d.admitted.len(), 1);
+            assert!(!d.evicted.contains(&2), "high-utility slot survives");
+            assert_eq!(c.entry(2).signature, pinned, "slot 2 never moves");
+            assert!(c.slot_count() <= 3, "free slots are reused, not grown");
+        }
     }
 }

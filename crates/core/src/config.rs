@@ -3,6 +3,29 @@
 use crate::policy::ReplacementPolicy;
 use igq_features::PathConfig;
 
+/// How the query indexes are maintained at window boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MaintenanceMode {
+    /// Delta maintenance: evicted slots are removed from `Isub`/`Isuper`
+    /// and admitted slots inserted, costing O(window delta) postings.
+    #[default]
+    Incremental,
+    /// The paper's Section 5.2 "shadow indexing": rebuild both query
+    /// indexes from scratch over the whole cache every window. Kept for
+    /// ablation; costs O(cache) per window.
+    ShadowRebuild,
+}
+
+impl MaintenanceMode {
+    /// Human-readable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MaintenanceMode::Incremental => "incremental",
+            MaintenanceMode::ShadowRebuild => "shadow-rebuild",
+        }
+    }
+}
+
 /// Tunables of the iGQ engine (paper Sections 5 and 7.1).
 #[derive(Debug, Clone, Copy)]
 pub struct IgqConfig {
@@ -26,6 +49,10 @@ pub struct IgqConfig {
     /// Cache-replacement policy (default: the paper's utility policy;
     /// alternatives exist for the `replacement` ablation bench).
     pub policy: ReplacementPolicy,
+    /// Window-maintenance strategy for the query indexes (default:
+    /// incremental delta maintenance; `ShadowRebuild` reproduces the
+    /// paper's rebuild-every-window behavior for ablation).
+    pub maintenance: MaintenanceMode,
     /// Detect exact repeats (optimal case 1) via a canonical-code hash map
     /// before any filtering or index probing. An engineering fast path on
     /// top of the paper's design: repeats cost one canonicalization instead
@@ -45,6 +72,7 @@ impl Default for IgqConfig {
             label_universe: 0,
             parallel_probes: false,
             policy: ReplacementPolicy::Utility,
+            maintenance: MaintenanceMode::Incremental,
             exact_fastpath: true,
         }
     }
@@ -54,7 +82,11 @@ impl IgqConfig {
     /// The paper's dense-dataset configuration (PPI/Synthetic experiments):
     /// `W = 20`, with the cache size chosen per figure (100/200/300).
     pub fn dense(cache_capacity: usize) -> Self {
-        IgqConfig { cache_capacity, window: 20, ..Default::default() }
+        IgqConfig {
+            cache_capacity,
+            window: 20,
+            ..Default::default()
+        }
     }
 
     /// Validates the `W ≤ C` invariant, clamping the window if needed.
@@ -89,9 +121,18 @@ mod tests {
 
     #[test]
     fn normalization_clamps_window() {
-        let c = IgqConfig { cache_capacity: 10, window: 50, ..Default::default() }.normalized();
+        let c = IgqConfig {
+            cache_capacity: 10,
+            window: 50,
+            ..Default::default()
+        }
+        .normalized();
         assert_eq!(c.window, 10);
-        let c = IgqConfig { window: 0, ..Default::default() }.normalized();
+        let c = IgqConfig {
+            window: 0,
+            ..Default::default()
+        }
+        .normalized();
         assert_eq!(c.window, 1);
     }
 }

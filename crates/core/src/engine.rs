@@ -15,23 +15,32 @@
 //! 5. verification of the survivors via `M.verify_batch`;
 //! 6. the final answer adds back the known answers (formula (4));
 //! 7. bookkeeping: metadata updates (Section 5.1) and window maintenance
-//!    with shadow index rebuild (Section 5.2).
+//!    (Section 5.2) — by default an **incremental delta update** of both
+//!    query indexes (evicted slots removed, admitted slots inserted, cost
+//!    O(window delta)); the paper's shadow rebuild survives behind
+//!    [`MaintenanceMode::ShadowRebuild`] for ablation.
+//!
+//! The query's path features are extracted **once** per query and shared
+//! by the base method's filter and both index probes (the seed extracted
+//! them three times); [`EngineStats::feature_extractions`] counts them.
 //!
 //! Correctness (Theorems 1 and 2) is exercised end-to-end by the
 //! integration suite: the engine's answers are compared against the naive
-//! oracle on randomized workloads.
+//! oracle on randomized workloads, in both maintenance modes.
 
-use crate::cache::QueryCache;
+use crate::cache::{QueryCache, WindowEntry};
 use crate::config::IgqConfig;
 use crate::isub::IsubIndex;
 use crate::isuper::IsuperIndex;
 use crate::outcome::{QueryOutcome, Resolution};
 use crate::stats::EngineStats;
-use igq_graph::canon::{canonical_code, GraphSignature};
+use igq_features::{enumerate_paths, PathFeatures};
+use igq_graph::canon::{canonical_code, CanonicalCode, GraphSignature};
 use igq_graph::stats::DatasetStats;
 use igq_graph::{Graph, GraphId};
 use igq_iso::{CostModel, IsoStats, LogValue};
 use igq_methods::{intersect_sorted, subtract_sorted, SubgraphMethod};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The iGQ engine for subgraph queries.
@@ -42,7 +51,7 @@ pub struct IgqEngine<M: SubgraphMethod> {
     isub: IsubIndex,
     isuper: IsuperIndex,
     /// `Itemp`: processed-but-not-yet-indexed queries.
-    window: Vec<(Graph, Vec<GraphId>)>,
+    window: Vec<WindowEntry>,
     window_signatures: Vec<GraphSignature>,
     cost_model: CostModel,
     stats: EngineStats,
@@ -58,8 +67,8 @@ impl<M: SubgraphMethod> IgqEngine<M> {
             DatasetStats::of(method.store()).vertex_labels.max(1)
         };
         let cache = QueryCache::with_policy(config.cache_capacity, config.policy);
-        let isub = IsubIndex::build(cache.entries(), config.path_config);
-        let isuper = IsuperIndex::build(cache.entries(), config.path_config);
+        let isub = IsubIndex::new(config.path_config);
+        let isuper = IsuperIndex::new(config.path_config);
         IgqEngine {
             method,
             config,
@@ -120,49 +129,61 @@ impl<M: SubgraphMethod> IgqEngine<M> {
         // Optimal case 1 fast path: a canonical-code hash lookup detects
         // exact repeats before any filtering or probing (see
         // [`IgqConfig::exact_fastpath`]). The probe path below still
-        // catches repeats whose canonicalization exceeded its budget.
-        if self.config.exact_fastpath {
-            if let Some(code) = canonical_code(q) {
-                if let Some(slot) = self.cache.slot_with_code(&code) {
-                    self.cache.tick_all();
-                    let answers = self.cache.entry(slot).answers.clone();
-                    // Credit: without running M's filter the alleviated
-                    // candidate set is unknown; the stored answers are a
-                    // conservative lower bound on it.
-                    let credit = self.cost_of(q, &answers);
-                    self.cache
-                        .entry_mut(slot)
-                        .meta
-                        .record_hit(answers.len() as u64, credit);
-                    outcome.answers = answers;
-                    outcome.resolution = Resolution::ExactHit;
-                    outcome.igq_time = wall_start.elapsed();
-                    outcome.wall_time = wall_start.elapsed();
-                    self.stats.absorb(&outcome);
-                    return outcome;
-                }
+        // catches repeats whose canonicalization exceeded its budget. The
+        // canonicalization outcome is kept and threaded through to window
+        // admission so maintenance never recomputes it.
+        let code: Option<Option<CanonicalCode>> = if self.config.exact_fastpath {
+            Some(canonical_code(q))
+        } else {
+            None
+        };
+        if let Some(Some(code)) = &code {
+            if let Some(slot) = self.cache.slot_with_code(code) {
+                self.cache.tick_all();
+                let answers = self.cache.entry(slot).answers.clone();
+                // Credit: without running M's filter the alleviated
+                // candidate set is unknown; the stored answers are a
+                // conservative lower bound on it.
+                let credit = self.cost_of(q, &answers);
+                self.cache
+                    .entry_mut(slot)
+                    .meta
+                    .record_hit(answers.len() as u64, credit);
+                outcome.answers = answers;
+                outcome.resolution = Resolution::ExactHit;
+                outcome.igq_time = wall_start.elapsed();
+                outcome.wall_time = wall_start.elapsed();
+                self.stats.absorb(&outcome);
+                return outcome;
             }
         }
 
+        // Single-pass feature extraction: the query's paths are enumerated
+        // once here and shared by the base filter and both index probes
+        // (the probes and a path-trie method like GGSX would otherwise each
+        // enumerate them again).
+        let extract_start = Instant::now();
+        let qf = enumerate_paths(q, &self.config.path_config);
+        let extract_time = extract_start.elapsed();
+        self.stats.feature_extractions += 1;
+
         // Stage 1+2: base-method filtering and query-index probes —
         // parallel threads as in Fig. 6 when configured.
-        let t = Instant::now();
         let (filtered, probes) = if self.config.parallel_probes {
-            self.filter_and_probe_parallel(q)
+            self.filter_and_probe_parallel(q, &qf)
         } else {
             let f_start = Instant::now();
-            let filtered = self.method.filter(q);
+            let filtered = self.method.filter_with_features(q, Some(&qf));
             let filter_time = f_start.elapsed();
             let p_start = Instant::now();
             let probes = ProbeResult {
-                sub: self.isub.supergraphs_of(q),
-                sup: self.isuper.subgraphs_of(q),
+                sub: self.isub.supergraphs_of(q, &qf),
+                sup: self.isuper.subgraphs_of(q, &qf),
                 filter_time,
                 probe_time: Instant::now().duration_since(p_start),
             };
             (filtered, probes)
         };
-        let _stage12 = t.elapsed();
 
         let (sub_slots, sub_stats) = probes.sub;
         let (super_slots, super_stats) = probes.sup;
@@ -198,7 +219,7 @@ impl<M: SubgraphMethod> IgqEngine<M> {
             outcome.pruned_by_isub = cs.len();
             let credit = self.cost_of(q, cs);
             self.credit_hits(q, cs, &sub_slots, &super_slots, Some((slot, credit)));
-            outcome.igq_time = probes.probe_time + bookkeeping_start.elapsed();
+            outcome.igq_time = extract_time + probes.probe_time + bookkeeping_start.elapsed();
             outcome.wall_time = wall_start.elapsed();
             self.stats.absorb(&outcome);
             return outcome;
@@ -206,7 +227,10 @@ impl<M: SubgraphMethod> IgqEngine<M> {
 
         // Optimal case 2: a cached subgraph with an empty answer set proves
         // Answer(g) = ∅ (Section 4.3).
-        if let Some(&slot) = super_slots.iter().find(|&&s| self.cache.entry(s).answers.is_empty()) {
+        if let Some(&slot) = super_slots
+            .iter()
+            .find(|&&s| self.cache.entry(s).answers.is_empty())
+        {
             outcome.answers = Vec::new();
             outcome.resolution = Resolution::EmptyAnswerShortcut;
             outcome.candidates_after = 0;
@@ -214,11 +238,11 @@ impl<M: SubgraphMethod> IgqEngine<M> {
             let credit = self.cost_of(q, cs);
             self.credit_hits(q, cs, &sub_slots, &super_slots, Some((slot, credit)));
             // An empty-answer query is prime cache material.
-            self.enqueue(q, &[]);
-            outcome.igq_time = probes.probe_time + bookkeeping_start.elapsed();
-            let maintained = self.maybe_maintain();
-            if maintained {
-                outcome.igq_time += bookkeeping_start.elapsed();
+            self.enqueue(q, &[], code.clone());
+            outcome.igq_time = extract_time + probes.probe_time + bookkeeping_start.elapsed();
+            let maint_start = Instant::now();
+            if self.maybe_maintain() {
+                outcome.igq_time += maint_start.elapsed();
             }
             outcome.wall_time = wall_start.elapsed();
             self.stats.absorb(&outcome);
@@ -249,7 +273,7 @@ impl<M: SubgraphMethod> IgqEngine<M> {
 
         // Metadata credit for every hit.
         self.credit_hits(q, cs, &sub_slots, &super_slots, None);
-        outcome.igq_time = probes.probe_time + bookkeeping_start.elapsed();
+        outcome.igq_time = extract_time + probes.probe_time + bookkeeping_start.elapsed();
 
         // Verification of the surviving candidates.
         let verify_start = Instant::now();
@@ -276,7 +300,7 @@ impl<M: SubgraphMethod> IgqEngine<M> {
         // wrong answers for *future* queries, so it is never admitted.
         let maint_start = Instant::now();
         if outcome.aborted_tests == 0 {
-            self.enqueue(q, &outcome.answers);
+            self.enqueue(q, &outcome.answers, code);
         }
         self.maybe_maintain();
         outcome.igq_time += maint_start.elapsed();
@@ -299,63 +323,94 @@ impl<M: SubgraphMethod> IgqEngine<M> {
         for &s in sub_slots {
             let prunes = intersect_sorted(cs, &self.cache.entry(s).answers);
             let cost = self.cost_of(q, &prunes);
-            self.cache.entry_mut(s).meta.record_hit(prunes.len() as u64, cost);
+            self.cache
+                .entry_mut(s)
+                .meta
+                .record_hit(prunes.len() as u64, cost);
         }
         for &s in super_slots {
             let prunes = subtract_sorted(cs, &self.cache.entry(s).answers);
             let cost = self.cost_of(q, &prunes);
-            self.cache.entry_mut(s).meta.record_hit(prunes.len() as u64, cost);
+            self.cache
+                .entry_mut(s)
+                .meta
+                .record_hit(prunes.len() as u64, cost);
         }
         if let Some((slot, credit)) = bonus {
-            self.cache.entry_mut(slot).meta.record_hit(cs.len() as u64, credit);
+            self.cache
+                .entry_mut(slot)
+                .meta
+                .record_hit(cs.len() as u64, credit);
         }
     }
 
     /// Adds `(q, answers)` to the window unless `q` is an exact duplicate
     /// of a pending window entry (cache duplicates were already handled by
-    /// the exact-hit path).
-    fn enqueue(&mut self, q: &Graph, answers: &[GraphId]) {
+    /// the exact-hit path). `code` is the query-path canonicalization
+    /// outcome, reused at admission.
+    fn enqueue(&mut self, q: &Graph, answers: &[GraphId], code: Option<Option<CanonicalCode>>) {
         let sig = GraphSignature::of(q);
         let dup = self
             .window_signatures
             .iter()
             .zip(self.window.iter())
-            .any(|(s, (g, _))| *s == sig && igq_iso::are_isomorphic(q, g));
+            .any(|(s, e)| *s == sig && igq_iso::are_isomorphic(q, &e.graph));
         if dup {
             return;
         }
-        self.window.push((q.clone(), answers.to_vec()));
+        self.window.push(WindowEntry {
+            graph: Arc::new(q.clone()),
+            answers: answers.to_vec(),
+            signature: Some(sig),
+            code,
+        });
         self.window_signatures.push(sig);
     }
 
     /// Runs window maintenance when `W` queries have accumulated: evict,
-    /// admit, rebuild both query indexes (shadow rebuild + swap).
+    /// admit, and bring both query indexes up to date.
     fn maybe_maintain(&mut self) -> bool {
         if self.window.len() < self.config.window {
             return false;
         }
+        self.run_maintenance();
+        true
+    }
+
+    /// Evicts/admits the pending window and applies the resulting slot
+    /// delta to `Isub`/`Isuper` — incrementally (remove evicted slots,
+    /// insert admitted ones; O(window delta)) or, under
+    /// [`MaintenanceMode::ShadowRebuild`], by rebuilding both indexes over
+    /// the whole cache as the paper's Section 5.2 prescribes.
+    fn run_maintenance(&mut self) {
+        if self.window.is_empty() {
+            return;
+        }
         let incoming = std::mem::take(&mut self.window);
         self.window_signatures.clear();
-        if self.cache.apply_window(incoming) {
-            self.isub = IsubIndex::build(self.cache.entries(), self.config.path_config);
-            self.isuper = IsuperIndex::build(self.cache.entries(), self.config.path_config);
-            self.stats.maintenances += 1;
+        let maint_start = Instant::now();
+        let delta = self.cache.apply_window(incoming);
+        if delta.is_empty() {
+            return;
         }
-        true
+        let outcome = crate::maintain::apply_delta(
+            self.config.maintenance,
+            self.config.path_config,
+            &self.cache,
+            &delta,
+            &mut self.isub,
+            &mut self.isuper,
+        );
+        self.stats.maintenance_postings_touched += outcome.postings_touched;
+        self.stats.full_rebuilds += outcome.rebuilt as u64;
+        self.stats.maintenances += 1;
+        self.stats.maintenance_time += maint_start.elapsed();
     }
 
     /// Forces maintenance regardless of window fill (used by harnesses at
     /// warm-up boundaries).
     pub fn flush_window(&mut self) {
-        if !self.window.is_empty() {
-            let incoming = std::mem::take(&mut self.window);
-            self.window_signatures.clear();
-            if self.cache.apply_window(incoming) {
-                self.isub = IsubIndex::build(self.cache.entries(), self.config.path_config);
-                self.isuper = IsuperIndex::build(self.cache.entries(), self.config.path_config);
-                self.stats.maintenances += 1;
-            }
-        }
+        self.run_maintenance();
     }
 
     /// Exports the cached queries and their answer sets, e.g. to persist a
@@ -364,14 +419,13 @@ impl<M: SubgraphMethod> IgqEngine<M> {
     pub fn export_cache(&mut self) -> Vec<(Graph, Vec<GraphId>)> {
         self.flush_window();
         self.cache
-            .entries()
             .iter()
-            .map(|e| (e.graph.clone(), e.answers.clone()))
+            .map(|(_, e)| (e.graph.as_ref().clone(), e.answers.clone()))
             .collect()
     }
 
     /// Seeds the cache with previously exported `(query, answers)` pairs
-    /// and rebuilds the query indexes. Intended for warm starts; the
+    /// and updates the query indexes. Intended for warm starts; the
     /// caller is responsible for the answers matching this engine's
     /// dataset (a mismatched import would violate the correctness
     /// guarantees, so entries whose answer ids exceed the dataset are
@@ -380,22 +434,31 @@ impl<M: SubgraphMethod> IgqEngine<M> {
     /// Returns the number of entries admitted.
     pub fn import_cache(&mut self, entries: Vec<(Graph, Vec<GraphId>)>) -> usize {
         let n = self.method.store().len() as u32;
-        let admissible: Vec<(Graph, Vec<GraphId>)> = entries
+        let admissible: Vec<WindowEntry> = entries
             .into_iter()
             .filter(|(_, answers)| answers.iter().all(|id| id.raw() < n))
+            .map(|(g, answers)| WindowEntry::bare(Arc::new(g), answers))
             .collect();
         let admitted = admissible.len().min(self.config.cache_capacity);
-        if self.cache.apply_window(admissible) {
-            self.isub = IsubIndex::build(self.cache.entries(), self.config.path_config);
-            self.isuper = IsuperIndex::build(self.cache.entries(), self.config.path_config);
-        }
+        let delta = self.cache.apply_window(admissible);
+        crate::maintain::apply_delta(
+            self.config.maintenance,
+            self.config.path_config,
+            &self.cache,
+            &delta,
+            &mut self.isub,
+            &mut self.isuper,
+        );
         admitted
     }
 
     /// Debug/production sanity check: verifies the engine's internal
-    /// invariants (cache within capacity, sorted answer sets, index
-    /// cardinalities matching the cache). Cheap; intended for assertions
-    /// in long-running deployments.
+    /// invariants (cache within capacity, sorted answer sets), then diffs
+    /// the incrementally maintained query indexes against a fresh shadow
+    /// rebuild over the cache — any drift between delta maintenance and
+    /// the ground-truth rebuild is reported. The invariant part is cheap;
+    /// the index diff re-enumerates every cached graph, so call this at
+    /// checkpoints rather than per query in large deployments.
     pub fn self_check(&self) -> Result<(), String> {
         if self.cache.len() > self.config.cache_capacity {
             return Err(format!(
@@ -404,7 +467,7 @@ impl<M: SubgraphMethod> IgqEngine<M> {
                 self.config.cache_capacity
             ));
         }
-        for (slot, e) in self.cache.entries().iter().enumerate() {
+        for (slot, e) in self.cache.iter() {
             if !e.answers.windows(2).all(|w| w[0] < w[1]) {
                 return Err(format!("slot {slot}: answers not sorted/unique"));
             }
@@ -416,11 +479,33 @@ impl<M: SubgraphMethod> IgqEngine<M> {
         if self.window.len() != self.window_signatures.len() {
             return Err("window/signature length mismatch".into());
         }
+        // Index ≡ cache: both indexes must hold exactly the cached slots,
+        // with postings identical to a from-scratch rebuild.
+        let graphs = || {
+            self.cache
+                .iter()
+                .map(|(slot, e)| (slot, Arc::clone(&e.graph)))
+        };
+        let fresh_isub = IsubIndex::build(graphs(), self.config.path_config);
+        self.isub
+            .snapshot()
+            .diff(&fresh_isub.snapshot())
+            .map_err(|e| format!("Isub drifted from shadow rebuild: {e}"))?;
+        let fresh_isuper = IsuperIndex::build(graphs(), self.config.path_config);
+        self.isuper
+            .snapshot()
+            .diff(&fresh_isuper.snapshot())
+            .map_err(|e| format!("Isuper drifted from shadow rebuild: {e}"))?;
         Ok(())
     }
 
-    fn filter_and_probe_parallel(&self, q: &Graph) -> (igq_methods::Filtered, ProbeResult) {
-        // Three-thread pipeline of Fig. 6: M's filter, Isub, Isuper.
+    fn filter_and_probe_parallel(
+        &self,
+        q: &Graph,
+        qf: &PathFeatures,
+    ) -> (igq_methods::Filtered, ProbeResult) {
+        // Three-thread pipeline of Fig. 6: M's filter, Isub, Isuper — all
+        // three sharing the one extracted feature set.
         let mut filtered = None;
         let mut sub = None;
         let mut sup = None;
@@ -429,17 +514,17 @@ impl<M: SubgraphMethod> IgqEngine<M> {
         crossbeam::scope(|scope| {
             let filter_handle = scope.spawn(|_| {
                 let t = Instant::now();
-                let f = self.method.filter(q);
+                let f = self.method.filter_with_features(q, Some(qf));
                 (f, t.elapsed())
             });
             let sub_handle = scope.spawn(|_| {
                 let t = Instant::now();
-                let r = self.isub.supergraphs_of(q);
+                let r = self.isub.supergraphs_of(q, qf);
                 (r, t.elapsed())
             });
             let sup_handle = scope.spawn(|_| {
                 let t = Instant::now();
-                let r = self.isuper.subgraphs_of(q);
+                let r = self.isuper.subgraphs_of(q, qf);
                 (r, t.elapsed())
             });
             let (f, ft) = filter_handle.join().expect("filter thread");
@@ -474,6 +559,7 @@ struct ProbeResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::MaintenanceMode;
     use igq_graph::{graph_from, GraphStore};
     use igq_methods::{Ggsx, GgsxConfig, NaiveMethod};
     use std::sync::Arc;
@@ -494,7 +580,14 @@ mod tests {
     fn engine() -> IgqEngine<Ggsx> {
         let s = store();
         let method = Ggsx::build(&s, GgsxConfig::default());
-        IgqEngine::new(method, IgqConfig { cache_capacity: 8, window: 2, ..Default::default() })
+        IgqEngine::new(
+            method,
+            IgqConfig {
+                cache_capacity: 8,
+                window: 2,
+                ..Default::default()
+            },
+        )
     }
 
     fn ids(raw: &[u32]) -> Vec<GraphId> {
@@ -554,7 +647,11 @@ mod tests {
             let mut e = mk(fastpath);
             let first = e.query(&q);
             let repeat = e.query(&q);
-            assert_eq!(repeat.resolution, Resolution::ExactHit, "fastpath={fastpath}");
+            assert_eq!(
+                repeat.resolution,
+                Resolution::ExactHit,
+                "fastpath={fastpath}"
+            );
             assert_eq!(repeat.answers, first.answers);
             assert_eq!(repeat.db_iso_tests, 0);
             if fastpath {
@@ -708,6 +805,128 @@ mod tests {
         let alien = vec![(graph_from(&[0, 1], &[(0, 1)]), vec![GraphId::new(999)])];
         assert_eq!(e.import_cache(alien), 0);
         assert_eq!(e.cached_queries(), 0);
+    }
+
+    fn workload() -> Vec<Graph> {
+        vec![
+            graph_from(&[0, 1], &[(0, 1)]),
+            graph_from(&[2, 2], &[(0, 1)]),
+            graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]),
+            graph_from(&[0, 1, 2], &[(0, 1), (1, 2)]),
+            graph_from(&[9, 9], &[(0, 1)]),
+            graph_from(&[0, 1], &[(0, 1)]), // repeat
+            graph_from(&[2, 2, 2], &[(0, 1), (1, 2), (0, 2)]),
+            graph_from(&[1, 0], &[(0, 1)]), // isomorphic repeat
+            graph_from(&[0], &[]),
+            graph_from(&[2], &[]),
+        ]
+    }
+
+    fn engine_with_mode(mode: MaintenanceMode, capacity: usize, window: usize) -> IgqEngine<Ggsx> {
+        let s = store();
+        let method = Ggsx::build(&s, GgsxConfig::default());
+        IgqEngine::new(
+            method,
+            IgqConfig {
+                cache_capacity: capacity,
+                window,
+                maintenance: mode,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn incremental_mode_performs_no_full_rebuild() {
+        // Tiny capacity + window force heavy churn: every window must
+        // evict. Steady-state maintenance still never rebuilds.
+        let mut e = engine_with_mode(MaintenanceMode::Incremental, 2, 1);
+        for q in workload() {
+            let _ = e.query(&q);
+        }
+        assert!(
+            e.stats().maintenances >= 5,
+            "windows of 1 maintain almost every query"
+        );
+        assert_eq!(
+            e.stats().full_rebuilds,
+            0,
+            "incremental mode never rebuilds"
+        );
+        assert!(e.stats().maintenance_postings_touched > 0);
+        e.self_check()
+            .expect("incremental indexes match a fresh rebuild");
+    }
+
+    #[test]
+    fn shadow_mode_rebuilds_every_maintenance() {
+        let mut e = engine_with_mode(MaintenanceMode::ShadowRebuild, 2, 1);
+        for q in workload() {
+            let _ = e.query(&q);
+        }
+        assert!(e.stats().maintenances >= 5);
+        assert_eq!(e.stats().full_rebuilds, e.stats().maintenances);
+        assert_eq!(e.stats().maintenance_postings_touched, 0);
+        e.self_check()
+            .expect("rebuilt indexes are trivially consistent");
+    }
+
+    #[test]
+    fn maintenance_modes_agree_on_answers_and_hits() {
+        let mut inc = engine_with_mode(MaintenanceMode::Incremental, 3, 2);
+        let mut shadow = engine_with_mode(MaintenanceMode::ShadowRebuild, 3, 2);
+        for q in workload() {
+            let a = inc.query(&q);
+            let b = shadow.query(&q);
+            assert_eq!(a.answers, b.answers, "answers diverge for {q:?}");
+            assert_eq!(a.resolution, b.resolution, "resolution diverges for {q:?}");
+            assert_eq!(a.isub_hits, b.isub_hits, "isub hits diverge for {q:?}");
+            assert_eq!(
+                a.isuper_hits, b.isuper_hits,
+                "isuper hits diverge for {q:?}"
+            );
+        }
+        assert_eq!(inc.cached_queries(), shadow.cached_queries());
+    }
+
+    #[test]
+    fn query_features_are_extracted_exactly_once() {
+        // Window larger than the workload so no maintenance (whose
+        // admissions legitimately re-enumerate) runs mid-measurement.
+        let mut e = engine_with_mode(MaintenanceMode::Incremental, 8, 8);
+        let warm = graph_from(&[0, 1], &[(0, 1)]);
+        let _ = e.query(&warm);
+        for q in [
+            graph_from(&[0, 1, 2], &[(0, 1), (1, 2)]),
+            graph_from(&[2, 2], &[(0, 1)]),
+        ] {
+            let before = igq_features::thread_enumeration_count();
+            let queries_before = e.stats().queries;
+            let extractions_before = e.stats().feature_extractions;
+            let _ = e.query(&q);
+            let enumerations = igq_features::thread_enumeration_count() - before;
+            assert_eq!(
+                enumerations, 1,
+                "filter + both probes must share one path enumeration for {q:?}"
+            );
+            assert_eq!(e.stats().queries - queries_before, 1);
+            assert_eq!(e.stats().feature_extractions - extractions_before, 1);
+        }
+    }
+
+    #[test]
+    fn exact_fastpath_skips_extraction_entirely() {
+        let mut e = engine_with_mode(MaintenanceMode::Incremental, 8, 1);
+        let q = graph_from(&[0, 1], &[(0, 1)]);
+        let _ = e.query(&q);
+        let before = igq_features::thread_enumeration_count();
+        let repeat = e.query(&q);
+        assert_eq!(repeat.resolution, Resolution::ExactHit);
+        assert_eq!(
+            igq_features::thread_enumeration_count() - before,
+            0,
+            "canonical-code repeats resolve with zero enumerations"
+        );
     }
 
     #[test]

@@ -3,90 +3,272 @@
 //!
 //! Given a new query `g`, `Isuper` finds cached queries `G` with `G ⊆ g`
 //! (whose stored answers then bound `g`'s answers from above, formula (5)).
-//! It wraps the occurrence-counting [`ContainmentIndex`] and verifies each
-//! Algorithm-2 candidate with VF2, satisfying formula (2): every returned
-//! `G` really is a subgraph of `g`.
+//! It implements the paper's occurrence-counting trie directly over the
+//! cache's stable slots and verifies each Algorithm-2 candidate with VF2,
+//! satisfying formula (2): every returned `G` really is a subgraph of `g`.
 //!
-//! Rebuilt wholesale during window maintenance, like [`crate::isub`].
+//! Like [`crate::isub`], the index is **incrementally maintained**:
+//! [`IsuperIndex::insert`]/[`IsuperIndex::remove`] touch only the affected
+//! slot's postings, so steady-state window maintenance is O(window delta);
+//! the wholesale shadow rebuild of Section 5.2 survives as the
+//! [`IsuperIndex::build`] cold-start path and the `ShadowRebuild` ablation
+//! mode. Graphs are shared with the cache via `Arc`, not cloned.
 
-use crate::cache::CacheEntry;
-use igq_features::PathConfig;
-use igq_graph::Graph;
+use crate::isub::IndexSnapshot;
+use igq_features::{enumerate_paths, FeatureTrie, LabelSeq, PathConfig, PathFeatures};
+use igq_graph::fxhash::FxHashMap;
+use igq_graph::{Graph, GraphId};
 use igq_iso::{vf2, IsoStats, MatchConfig};
-use igq_methods::ContainmentIndex;
+use std::sync::Arc;
 
-/// Supergraph index over the cached queries.
+/// One indexed cache slot.
+#[derive(Debug, Clone)]
+struct SlotEntry {
+    graph: Arc<Graph>,
+    /// Distinct path features inserted for this slot (for removal);
+    /// shared with the sibling `IsubIndex` entry when both were fed by
+    /// one extraction.
+    features: Arc<[LabelSeq]>,
+    /// Cumulative distinct-feature counts by feature length
+    /// (`nf_by_len[l]` = #distinct features with `edge_len ≤ l`).
+    /// `NF[gi]` of Algorithm 1 is the last entry.
+    nf_by_len: Vec<u32>,
+}
+
+/// Supergraph index over the cached queries, maintained incrementally.
 pub struct IsuperIndex {
-    index: ContainmentIndex,
-    graphs: Vec<Graph>,
+    path_config: PathConfig,
+    trie: FeatureTrie,
+    slots: Vec<Option<SlotEntry>>,
 }
 
 impl IsuperIndex {
-    /// Builds the index over the cache's current entries (member `i` =
-    /// cache slot `i`).
-    pub fn build(entries: &[CacheEntry], path_config: PathConfig) -> IsuperIndex {
-        let graphs: Vec<Graph> = entries.iter().map(|e| e.graph.clone()).collect();
-        let index = ContainmentIndex::build(graphs.iter(), path_config);
-        IsuperIndex { index, graphs }
+    /// An empty index.
+    pub fn new(path_config: PathConfig) -> IsuperIndex {
+        IsuperIndex {
+            path_config,
+            trie: FeatureTrie::new(),
+            slots: Vec::new(),
+        }
+    }
+
+    /// Cold-start build over `(slot, graph)` pairs (engine construction,
+    /// import, and the shadow-rebuild ablation path).
+    pub fn build(
+        entries: impl IntoIterator<Item = (usize, Arc<Graph>)>,
+        path_config: PathConfig,
+    ) -> IsuperIndex {
+        let mut index = IsuperIndex::new(path_config);
+        for (slot, graph) in entries {
+            index.insert(slot, graph);
+        }
+        index
+    }
+
+    /// Indexes `graph` under `slot` (Algorithm 1 for one member),
+    /// returning the number of postings touched.
+    pub fn insert(&mut self, slot: usize, graph: Arc<Graph>) -> u64 {
+        let features = enumerate_paths(&graph, &self.path_config);
+        let keys: Arc<[LabelSeq]> = features.counts.keys().cloned().collect();
+        self.insert_features(slot, graph, &features, keys)
+    }
+
+    /// [`IsuperIndex::insert`] with the path features already extracted —
+    /// window maintenance enumerates each admitted graph once and feeds
+    /// the same `features`/`keys` to both indexes. `keys` must be the
+    /// distinct feature sequences of `features`.
+    pub fn insert_features(
+        &mut self,
+        slot: usize,
+        graph: Arc<Graph>,
+        features: &PathFeatures,
+        keys: Arc<[LabelSeq]>,
+    ) -> u64 {
+        if self.slots.len() <= slot {
+            self.slots.resize_with(slot + 1, || None);
+        }
+        debug_assert!(
+            self.slots[slot].is_none(),
+            "insert into occupied Isuper slot"
+        );
+        debug_assert_eq!(keys.len(), features.counts.len());
+        let id = GraphId::from_index(slot);
+        let mut by_len = vec![0u32; self.path_config.max_len + 1];
+        for (seq, count) in &features.counts {
+            self.trie.insert(seq, id, *count);
+            by_len[seq.edge_len()] += 1;
+        }
+        for l in 1..by_len.len() {
+            by_len[l] += by_len[l - 1];
+        }
+        let touched = keys.len() as u64;
+        self.slots[slot] = Some(SlotEntry {
+            graph,
+            features: keys,
+            nf_by_len: by_len,
+        });
+        touched
+    }
+
+    /// Unindexes `slot`, returning the number of postings touched.
+    pub fn remove(&mut self, slot: usize) -> u64 {
+        let Some(entry) = self.slots.get_mut(slot).and_then(Option::take) else {
+            return 0;
+        };
+        let id = GraphId::from_index(slot);
+        let mut touched = 0u64;
+        for seq in entry.features.iter() {
+            if self.trie.remove(seq, id) {
+                touched += 1;
+            }
+        }
+        touched
+    }
+
+    /// Number of indexed cache slots.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(Option::is_none)
     }
 
     /// Cache slots whose graph is a (verified) subgraph of `q`, plus the
-    /// iGQ-internal iso work performed.
-    pub fn subgraphs_of(&self, q: &Graph) -> (Vec<usize>, IsoStats) {
+    /// iGQ-internal iso work performed. `qf` is the query's path-feature
+    /// set, extracted once by the engine and shared with the other probe
+    /// and the base filter.
+    pub fn subgraphs_of(&self, q: &Graph, qf: &PathFeatures) -> (Vec<usize>, IsoStats) {
         let mut stats = IsoStats::new();
         let mut slots = Vec::new();
-        for member in self.index.candidates_for(q) {
-            let cached = &self.graphs[member];
+        for slot in self.candidates(qf) {
+            let cached = &self.slots[slot]
+                .as_ref()
+                .expect("candidate slot occupied")
+                .graph;
             if cached.vertex_count() > q.vertex_count() || cached.edge_count() > q.edge_count() {
                 continue;
             }
             let r = vf2::find_one(cached, q, &MatchConfig::default());
             stats.record(&r);
             if r.outcome.is_found() {
-                slots.push(member);
+                slots.push(slot);
             }
         }
         (slots, stats)
     }
 
+    /// Algorithm 2: slots that *may* be subgraphs of a query with feature
+    /// counts `qf`. No false negatives.
+    fn candidates(&self, qf: &PathFeatures) -> Vec<usize> {
+        let ql = qf.complete_len;
+        let mut covered: FxHashMap<usize, u32> = FxHashMap::default();
+        for (seq, &qcount) in &qf.counts {
+            for posting in self.trie.get(seq) {
+                // Skip tombstones: a zero count is an absent posting, not a
+                // feature the query trivially covers.
+                if posting.count > 0 && posting.count <= qcount {
+                    *covered.entry(posting.graph.index()).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut out: Vec<usize> = Vec::new();
+        for (slot, entry) in self.slots.iter().enumerate() {
+            let Some(entry) = entry else { continue };
+            let limit = ql.min(entry.nf_by_len.len() - 1);
+            let required = entry.nf_by_len[limit];
+            if required == 0 {
+                // Featureless member (empty graph): vacuous candidate.
+                out.push(slot);
+            } else if covered.get(&slot).copied().unwrap_or(0) == required {
+                out.push(slot);
+            }
+        }
+        out
+    }
+
     /// Approximate heap footprint (Fig. 18 accounting).
     pub fn heap_size_bytes(&self) -> u64 {
-        self.index.heap_size_bytes()
+        let mut bytes = self.trie.heap_size_bytes();
+        bytes += (self.slots.capacity() * std::mem::size_of::<Option<SlotEntry>>()) as u64;
+        for entry in self.slots.iter().flatten() {
+            // The feature-key list is shared with IsubIndex, which accounts
+            // its contents; this side pays only the pointer plus its own
+            // cumulative-count table.
+            bytes += std::mem::size_of::<Arc<[LabelSeq]>>() as u64;
+            bytes += (entry.nf_by_len.capacity() * std::mem::size_of::<u32>()) as u64;
+        }
+        bytes
+    }
+
+    /// Canonical contents summary for `self_check` equivalence diffs (same
+    /// shape as [`crate::isub::IsubIndex::snapshot`]).
+    pub fn snapshot(&self) -> IndexSnapshot {
+        let mut postings: Vec<(LabelSeq, Vec<(usize, u32)>)> = Vec::new();
+        self.trie.for_each_feature(|seq, ps| {
+            let live: Vec<(usize, u32)> = ps
+                .iter()
+                .filter(|p| p.count > 0)
+                .map(|p| (p.graph.index(), p.count))
+                .collect();
+            if !live.is_empty() {
+                postings.push((seq.clone(), live));
+            }
+        });
+        postings.sort_by(|a, b| a.0.cmp(&b.0));
+        let slots = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_some())
+            .map(|(i, _)| i)
+            .collect();
+        IndexSnapshot { slots, postings }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use igq_graph::{graph_from, GraphId};
+    use igq_graph::graph_from;
 
-    fn entry(labels: &[u32], edges: &[(u32, u32)]) -> CacheEntry {
-        let graph = graph_from(labels, edges);
-        let signature = igq_graph::canon::GraphSignature::of(&graph);
-        let code = igq_graph::canon::canonical_code(&graph);
-        CacheEntry { graph, signature, code, answers: vec![GraphId::new(0)], meta: Default::default() }
+    fn probe(idx: &IsuperIndex, q: &Graph) -> (Vec<usize>, IsoStats) {
+        let qf = enumerate_paths(q, &PathConfig::default());
+        idx.subgraphs_of(q, &qf)
+    }
+
+    /// `(labels, edges)` shorthand for building test graphs.
+    type GraphSpec<'a> = (&'a [u32], &'a [(u32, u32)]);
+
+    fn slots_of(labels_edges: &[GraphSpec]) -> IsuperIndex {
+        IsuperIndex::build(
+            labels_edges
+                .iter()
+                .enumerate()
+                .map(|(i, (ls, es))| (i, Arc::new(graph_from(ls, es)))),
+            PathConfig::default(),
+        )
     }
 
     #[test]
     fn finds_subgraphs_among_cache() {
-        let entries = vec![
-            entry(&[0, 1], &[(0, 1)]),                       // slot 0: 0-1 edge
-            entry(&[0, 1, 0], &[(0, 1), (1, 2)]),            // slot 1: 0-1-0 path
-            entry(&[7, 7], &[(0, 1)]),                       // slot 2: unrelated
-        ];
-        let idx = IsuperIndex::build(&entries, PathConfig::default());
+        let idx = slots_of(&[
+            (&[0, 1], &[(0, 1)]),            // slot 0: 0-1 edge
+            (&[0, 1, 0], &[(0, 1), (1, 2)]), // slot 1: 0-1-0 path
+            (&[7, 7], &[(0, 1)]),            // slot 2: unrelated
+        ]);
         let q = graph_from(&[0, 1, 0, 2], &[(0, 1), (1, 2), (2, 3)]);
-        let (slots, stats) = idx.subgraphs_of(&q);
+        let (slots, stats) = probe(&idx, &q);
         assert_eq!(slots, vec![0, 1]);
         assert!(stats.tests >= 2);
     }
 
     #[test]
     fn returns_only_true_subgraphs_formula_2() {
-        let entries = vec![entry(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)])]; // triangle
-        let idx = IsuperIndex::build(&entries, PathConfig::default());
+        let idx = slots_of(&[(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)])]); // triangle
         let q = graph_from(&[0, 0, 0, 0], &[(0, 1), (1, 2), (2, 3)]); // P4: no triangle
-        let (slots, _) = idx.subgraphs_of(&q);
+        let (slots, _) = probe(&idx, &q);
         assert!(slots.is_empty());
     }
 
@@ -94,27 +276,60 @@ mod tests {
     fn occurrence_counting_prunes_before_verification() {
         // Cached graph needs two 0-labels; query has one: Algorithm 2 must
         // prune it without an iso test.
-        let entries = vec![entry(&[0, 0], &[(0, 1)])];
-        let idx = IsuperIndex::build(&entries, PathConfig::default());
+        let idx = slots_of(&[(&[0, 0], &[(0, 1)])]);
         let q = graph_from(&[0, 1], &[(0, 1)]);
-        let (slots, stats) = idx.subgraphs_of(&q);
+        let (slots, stats) = probe(&idx, &q);
         assert!(slots.is_empty());
         assert_eq!(stats.tests, 0, "count filter should preempt iso tests");
     }
 
     #[test]
     fn empty_cache() {
-        let idx = IsuperIndex::build(&[], PathConfig::default());
-        let (slots, stats) = idx.subgraphs_of(&graph_from(&[0], &[]));
+        let idx = IsuperIndex::new(PathConfig::default());
+        let (slots, stats) = probe(&idx, &graph_from(&[0], &[]));
         assert!(slots.is_empty());
         assert_eq!(stats.tests, 0);
     }
 
     #[test]
     fn exact_same_graph_is_its_own_subgraph() {
-        let entries = vec![entry(&[4, 5], &[(0, 1)])];
-        let idx = IsuperIndex::build(&entries, PathConfig::default());
-        let (slots, _) = idx.subgraphs_of(&graph_from(&[4, 5], &[(0, 1)]));
+        let idx = slots_of(&[(&[4, 5], &[(0, 1)])]);
+        let (slots, _) = probe(&idx, &graph_from(&[4, 5], &[(0, 1)]));
         assert_eq!(slots, vec![0]);
+    }
+
+    #[test]
+    fn remove_then_reinsert_matches_fresh_build() {
+        let mut idx = slots_of(&[(&[0, 1], &[(0, 1)]), (&[0, 1, 0], &[(0, 1), (1, 2)])]);
+        idx.remove(0);
+        let newcomer = Arc::new(graph_from(&[9], &[]));
+        idx.insert(0, Arc::clone(&newcomer));
+
+        let fresh = IsuperIndex::build(
+            [
+                (0, newcomer),
+                (1, Arc::new(graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]))),
+            ],
+            PathConfig::default(),
+        );
+        idx.snapshot()
+            .diff(&fresh.snapshot())
+            .expect("incremental == rebuild");
+
+        // The removed 0-1 edge graph no longer reports as a subgraph...
+        let q = graph_from(&[0, 1, 9], &[(0, 1)]);
+        let (slots, _) = probe(&idx, &q);
+        // ...but the newcomer single-9 graph does.
+        assert_eq!(slots, vec![0]);
+    }
+
+    #[test]
+    fn tombstoned_slot_is_not_a_candidate() {
+        let mut idx = slots_of(&[(&[3, 4], &[(0, 1)])]);
+        idx.remove(0);
+        let q = graph_from(&[3, 4, 5], &[(0, 1), (1, 2)]);
+        let (slots, stats) = probe(&idx, &q);
+        assert!(slots.is_empty());
+        assert_eq!(stats.tests, 0);
     }
 }

@@ -15,7 +15,11 @@
 //!   replacement metadata (`Igraphs` + `Stat(iGQ Graph)`, Section 5);
 //! * the utility-based replacement policy `U(g) = C(g)/M(g)` with costs in
 //!   log space (Section 5.1, [`metadata`]);
-//! * windowed maintenance with shadow index rebuilds (Section 5.2);
+//! * windowed maintenance (Section 5.2) with **incremental delta updates**
+//!   of both query indexes — evicted cache slots are removed from the
+//!   posting lists and admitted slots inserted, O(window delta) per window;
+//!   the paper's wholesale shadow rebuild survives as
+//!   [`config::MaintenanceMode::ShadowRebuild`] for ablation;
 //! * [`IgqEngine`] — the subgraph-query pipeline implementing formulas
 //!   (3)–(5) and the optimal cases of Section 4.3;
 //! * [`IgqSuperEngine`] — the supergraph-query pipeline with the inverse
@@ -30,16 +34,17 @@ pub mod config;
 pub mod engine;
 pub mod isub;
 pub mod isuper;
+pub mod maintain;
 pub mod metadata;
 pub mod outcome;
 pub mod policy;
 pub mod stats;
 pub mod super_engine;
 
-pub use cache::{CacheEntry, QueryCache};
-pub use config::IgqConfig;
+pub use cache::{CacheEntry, QueryCache, WindowDelta};
+pub use config::{IgqConfig, MaintenanceMode};
 pub use engine::IgqEngine;
-pub use isub::IsubIndex;
+pub use isub::{IndexSnapshot, IsubIndex};
 pub use isuper::IsuperIndex;
 pub use metadata::GraphMeta;
 pub use outcome::{QueryOutcome, Resolution};

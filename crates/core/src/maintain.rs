@@ -1,0 +1,65 @@
+//! Shared window-maintenance machinery for [`crate::engine::IgqEngine`]
+//! and [`crate::super_engine::IgqSuperEngine`].
+//!
+//! Both engines own the same trio — a [`QueryCache`] plus the
+//! [`IsubIndex`]/[`IsuperIndex`] pair — and apply the same slot delta after
+//! every window: remove evicted slots, insert admitted ones (or rebuild
+//! wholesale under [`MaintenanceMode::ShadowRebuild`]).
+
+use crate::cache::{QueryCache, WindowDelta};
+use crate::config::MaintenanceMode;
+use crate::isub::IsubIndex;
+use crate::isuper::IsuperIndex;
+use igq_features::{enumerate_paths, LabelSeq, PathConfig};
+use std::sync::Arc;
+
+/// What one maintenance did to the indexes, for [`crate::EngineStats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaintenanceOutcome {
+    /// Postings inserted or removed (incremental mode only).
+    pub postings_touched: u64,
+    /// True when the indexes were rebuilt from scratch.
+    pub rebuilt: bool,
+}
+
+/// Brings `isub`/`isuper` in line with `cache` after `delta` was applied
+/// to it. Public so the maintenance ablation bench can drive the exact
+/// machinery the engines use.
+pub fn apply_delta(
+    mode: MaintenanceMode,
+    path_config: PathConfig,
+    cache: &QueryCache,
+    delta: &WindowDelta,
+    isub: &mut IsubIndex,
+    isuper: &mut IsuperIndex,
+) -> MaintenanceOutcome {
+    let mut outcome = MaintenanceOutcome::default();
+    if delta.is_empty() {
+        return outcome;
+    }
+    match mode {
+        MaintenanceMode::Incremental => {
+            for &slot in &delta.evicted {
+                outcome.postings_touched += isub.remove(slot);
+                outcome.postings_touched += isuper.remove(slot);
+            }
+            for &slot in &delta.admitted {
+                // One enumeration feeds both indexes; the feature-key
+                // list is shared between their slot entries.
+                let graph = Arc::clone(&cache.entry(slot).graph);
+                let features = enumerate_paths(&graph, &path_config);
+                let keys: Arc<[LabelSeq]> = features.counts.keys().cloned().collect();
+                outcome.postings_touched +=
+                    isub.insert_features(slot, Arc::clone(&graph), &features, Arc::clone(&keys));
+                outcome.postings_touched += isuper.insert_features(slot, graph, &features, keys);
+            }
+        }
+        MaintenanceMode::ShadowRebuild => {
+            let graphs = || cache.iter().map(|(slot, e)| (slot, Arc::clone(&e.graph)));
+            *isub = IsubIndex::build(graphs(), path_config);
+            *isuper = IsuperIndex::build(graphs(), path_config);
+            outcome.rebuilt = true;
+        }
+    }
+    outcome
+}

@@ -143,7 +143,7 @@ mod tests {
         }
         metas[0].record_hit(3, LogValue::from_linear(1e9)); // high utility
         metas[2].record_hit(1, LogValue::from_linear(10.0)); // low utility
-        // metas[1] never hit: lowest.
+                                                             // metas[1] never hit: lowest.
         assert_eq!(lowest_utility_slots(&metas, 2), vec![1, 2]);
         assert_eq!(lowest_utility_slots(&metas, 0), Vec::<usize>::new());
     }

@@ -63,7 +63,10 @@ impl ReplacementPolicy {
             }
             ReplacementPolicy::Fifo => {
                 order.sort_by(|&a, &b| {
-                    metas[b].queries_seen.cmp(&metas[a].queries_seen).then(a.cmp(&b))
+                    metas[b]
+                        .queries_seen
+                        .cmp(&metas[a].queries_seen)
+                        .then(a.cmp(&b))
                 });
             }
             ReplacementPolicy::Lfu => {
@@ -146,8 +149,9 @@ mod tests {
         let a = ReplacementPolicy::Random.victims(&m, 2, 1);
         let b = ReplacementPolicy::Random.victims(&m, 2, 1);
         assert_eq!(a, b);
-        let seen: std::collections::HashSet<Vec<usize>> =
-            (0..16).map(|r| ReplacementPolicy::Random.victims(&m, 2, r)).collect();
+        let seen: std::collections::HashSet<Vec<usize>> = (0..16)
+            .map(|r| ReplacementPolicy::Random.victims(&m, 2, r))
+            .collect();
         assert!(seen.len() > 1, "rounds should vary victims");
     }
 

@@ -26,8 +26,22 @@ pub struct EngineStats {
     pub exact_hits: u64,
     /// Optimal case 2 resolutions (empty-answer shortcuts).
     pub empty_shortcuts: u64,
-    /// Window maintenances performed (index rebuilds).
+    /// Window maintenances performed (incremental deltas or rebuilds).
     pub maintenances: u64,
+    /// Full shadow rebuilds of the query indexes. Zero in steady state
+    /// under `MaintenanceMode::Incremental`; equals `maintenances` under
+    /// `ShadowRebuild`.
+    pub full_rebuilds: u64,
+    /// Index postings inserted or removed during incremental maintenance.
+    pub maintenance_postings_touched: u64,
+    /// Wall-clock spent in window maintenance (eviction, admission, and
+    /// index updates), also included in `igq_time`.
+    pub maintenance_time: Duration,
+    /// Query path-feature extractions performed by the engine. On the
+    /// filter+probe path this is exactly one per query: the same
+    /// `PathFeatures` is shared by the base method's filter and both
+    /// query-index probes.
+    pub feature_extractions: u64,
     /// Wall-clock in the base method's filter stage.
     pub filter_time: Duration,
     /// Wall-clock in iGQ probes and bookkeeping.
@@ -86,11 +100,13 @@ mod tests {
     #[test]
     fn absorb_accumulates() {
         let mut s = EngineStats::default();
-        let mut o = QueryOutcome::default();
-        o.db_iso_tests = 5;
-        o.candidates_before = 10;
-        o.candidates_after = 5;
-        o.resolution = Resolution::ExactHit;
+        let o = QueryOutcome {
+            db_iso_tests: 5,
+            candidates_before: 10,
+            candidates_after: 5,
+            resolution: Resolution::ExactHit,
+            ..Default::default()
+        };
         s.absorb(&o);
         s.absorb(&o);
         assert_eq!(s.queries, 2);

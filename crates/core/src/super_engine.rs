@@ -15,17 +15,19 @@
 //!
 //! "The elegance afforded by the double use of iGQ is unique."
 
-use crate::cache::QueryCache;
+use crate::cache::{QueryCache, WindowEntry};
 use crate::config::IgqConfig;
 use crate::isub::IsubIndex;
 use crate::isuper::IsuperIndex;
 use crate::outcome::{QueryOutcome, Resolution};
 use crate::stats::EngineStats;
-use igq_graph::canon::{canonical_code, GraphSignature};
+use igq_features::enumerate_paths;
+use igq_graph::canon::{canonical_code, CanonicalCode, GraphSignature};
 use igq_graph::stats::DatasetStats;
 use igq_graph::{Graph, GraphId};
 use igq_iso::{CostModel, IsoStats, LogValue};
 use igq_methods::{intersect_sorted, subtract_sorted, TrieSupergraphMethod};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The iGQ engine for supergraph queries, wrapping the trie-based
@@ -36,7 +38,7 @@ pub struct IgqSuperEngine {
     cache: QueryCache,
     isub: IsubIndex,
     isuper: IsuperIndex,
-    window: Vec<(Graph, Vec<GraphId>)>,
+    window: Vec<WindowEntry>,
     window_signatures: Vec<GraphSignature>,
     cost_model: CostModel,
     stats: EngineStats,
@@ -52,8 +54,8 @@ impl IgqSuperEngine {
             DatasetStats::of(method.store()).vertex_labels.max(1)
         };
         let cache = QueryCache::with_policy(config.cache_capacity, config.policy);
-        let isub = IsubIndex::build(cache.entries(), config.path_config);
-        let isuper = IsuperIndex::build(cache.entries(), config.path_config);
+        let isub = IsubIndex::new(config.path_config);
+        let isuper = IsuperIndex::new(config.path_config);
         IgqSuperEngine {
             method,
             config,
@@ -96,10 +98,16 @@ impl IgqSuperEngine {
 
         // Optimal case 1 fast path (shared with the subgraph engine): a
         // canonical-code lookup resolves exact repeats with no filtering
-        // and no index probes.
-        if self.config.exact_fastpath {
-            if let Some(code) = canonical_code(q) {
-                if let Some(slot) = self.cache.slot_with_code(&code) {
+        // and no index probes. The canonicalization outcome is kept and
+        // reused at window admission.
+        let code: Option<Option<CanonicalCode>> = if self.config.exact_fastpath {
+            Some(canonical_code(q))
+        } else {
+            None
+        };
+        {
+            if let Some(Some(code)) = &code {
+                if let Some(slot) = self.cache.slot_with_code(code) {
                     self.cache.tick_all();
                     let answers = self.cache.entry(slot).answers.clone();
                     let credit = self.cost_of(q, &answers);
@@ -117,15 +125,22 @@ impl IgqSuperEngine {
             }
         }
 
+        // Single-pass feature extraction, shared by the supergraph filter
+        // and both index probes.
+        let extract_start = Instant::now();
+        let qf = enumerate_paths(q, &self.config.path_config);
+        let extract_time = extract_start.elapsed();
+        self.stats.feature_extractions += 1;
+
         let f_start = Instant::now();
-        let cs: Vec<GraphId> = self.method.filter_super(q);
+        let cs: Vec<GraphId> = self.method.filter_super_with_features(q, &qf);
         outcome.filter_time = f_start.elapsed();
         outcome.candidates_before = cs.len();
 
         let igq_start = Instant::now();
         self.cache.tick_all();
-        let (sub_slots, sub_stats) = self.isub.supergraphs_of(q); // g ⊆ G
-        let (super_slots, super_stats) = self.isuper.subgraphs_of(q); // G ⊆ g
+        let (sub_slots, sub_stats) = self.isub.supergraphs_of(q, &qf); // g ⊆ G
+        let (super_slots, super_stats) = self.isuper.subgraphs_of(q, &qf); // G ⊆ g
         let mut igq_stats = IsoStats::new();
         igq_stats.merge(&sub_stats);
         igq_stats.merge(&super_stats);
@@ -147,8 +162,11 @@ impl IgqSuperEngine {
             outcome.resolution = Resolution::ExactHit;
             outcome.pruned_by_isub = cs.len();
             let credit = self.cost_of(q, &cs);
-            self.cache.entry_mut(slot).meta.record_hit(cs.len() as u64, credit);
-            outcome.igq_time = igq_start.elapsed();
+            self.cache
+                .entry_mut(slot)
+                .meta
+                .record_hit(cs.len() as u64, credit);
+            outcome.igq_time = extract_time + igq_start.elapsed();
             outcome.wall_time = wall_start.elapsed();
             self.stats.absorb(&outcome);
             return outcome;
@@ -156,15 +174,21 @@ impl IgqSuperEngine {
 
         // Inverted optimal case 2: a cached supergraph of g with an empty
         // answer set proves Answer(g) = ∅.
-        if let Some(&slot) = sub_slots.iter().find(|&&s| self.cache.entry(s).answers.is_empty()) {
+        if let Some(&slot) = sub_slots
+            .iter()
+            .find(|&&s| self.cache.entry(s).answers.is_empty())
+        {
             outcome.answers = Vec::new();
             outcome.resolution = Resolution::EmptyAnswerShortcut;
             outcome.pruned_by_isub = cs.len();
             let credit = self.cost_of(q, &cs);
-            self.cache.entry_mut(slot).meta.record_hit(cs.len() as u64, credit);
-            self.enqueue(q, &[]);
+            self.cache
+                .entry_mut(slot)
+                .meta
+                .record_hit(cs.len() as u64, credit);
+            self.enqueue(q, &[], code.clone());
             self.maybe_maintain();
-            outcome.igq_time = igq_start.elapsed();
+            outcome.igq_time = extract_time + igq_start.elapsed();
             outcome.wall_time = wall_start.elapsed();
             self.stats.absorb(&outcome);
             return outcome;
@@ -198,14 +222,20 @@ impl IgqSuperEngine {
         for &s in &super_slots {
             let prunes = intersect_sorted(&cs, &self.cache.entry(s).answers);
             let cost = self.cost_of(q, &prunes);
-            self.cache.entry_mut(s).meta.record_hit(prunes.len() as u64, cost);
+            self.cache
+                .entry_mut(s)
+                .meta
+                .record_hit(prunes.len() as u64, cost);
         }
         for &s in &sub_slots {
             let prunes = subtract_sorted(&cs, &self.cache.entry(s).answers);
             let cost = self.cost_of(q, &prunes);
-            self.cache.entry_mut(s).meta.record_hit(prunes.len() as u64, cost);
+            self.cache
+                .entry_mut(s)
+                .meta
+                .record_hit(prunes.len() as u64, cost);
         }
-        outcome.igq_time = igq_start.elapsed();
+        outcome.igq_time = extract_time + igq_start.elapsed();
 
         // Verification.
         let verify_start = Instant::now();
@@ -231,7 +261,7 @@ impl IgqSuperEngine {
         // cached: their answer sets may be incomplete.
         let maint_start = Instant::now();
         if outcome.aborted_tests == 0 {
-            self.enqueue(q, &outcome.answers);
+            self.enqueue(q, &outcome.answers, code);
         }
         self.maybe_maintain();
         outcome.igq_time += maint_start.elapsed();
@@ -240,17 +270,22 @@ impl IgqSuperEngine {
         outcome
     }
 
-    fn enqueue(&mut self, q: &Graph, answers: &[GraphId]) {
+    fn enqueue(&mut self, q: &Graph, answers: &[GraphId], code: Option<Option<CanonicalCode>>) {
         let sig = GraphSignature::of(q);
         let dup = self
             .window_signatures
             .iter()
             .zip(self.window.iter())
-            .any(|(s, (g, _))| *s == sig && igq_iso::are_isomorphic(q, g));
+            .any(|(s, e)| *s == sig && igq_iso::are_isomorphic(q, &e.graph));
         if dup {
             return;
         }
-        self.window.push((q.clone(), answers.to_vec()));
+        self.window.push(WindowEntry {
+            graph: Arc::new(q.clone()),
+            answers: answers.to_vec(),
+            signature: Some(sig),
+            code,
+        });
         self.window_signatures.push(sig);
     }
 
@@ -261,18 +296,32 @@ impl IgqSuperEngine {
         self.flush_window();
     }
 
-    /// Forces maintenance regardless of window fill.
+    /// Forces maintenance regardless of window fill. Applies the window's
+    /// eviction/admission delta to the query indexes incrementally (or
+    /// rebuilds them under `MaintenanceMode::ShadowRebuild`).
     pub fn flush_window(&mut self) {
         if self.window.is_empty() {
             return;
         }
         let incoming = std::mem::take(&mut self.window);
         self.window_signatures.clear();
-        if self.cache.apply_window(incoming) {
-            self.isub = IsubIndex::build(self.cache.entries(), self.config.path_config);
-            self.isuper = IsuperIndex::build(self.cache.entries(), self.config.path_config);
-            self.stats.maintenances += 1;
+        let maint_start = Instant::now();
+        let delta = self.cache.apply_window(incoming);
+        if delta.is_empty() {
+            return;
         }
+        let outcome = crate::maintain::apply_delta(
+            self.config.maintenance,
+            self.config.path_config,
+            &self.cache,
+            &delta,
+            &mut self.isub,
+            &mut self.isuper,
+        );
+        self.stats.maintenance_postings_touched += outcome.postings_touched;
+        self.stats.full_rebuilds += outcome.rebuilt as u64;
+        self.stats.maintenances += 1;
+        self.stats.maintenance_time += maint_start.elapsed();
     }
 }
 
@@ -300,7 +349,14 @@ mod tests {
     fn engine() -> IgqSuperEngine {
         let s = store();
         let m = TrieSupergraphMethod::build(&s, PathConfig::default(), MatchConfig::default());
-        IgqSuperEngine::new(m, IgqConfig { cache_capacity: 8, window: 2, ..Default::default() })
+        IgqSuperEngine::new(
+            m,
+            IgqConfig {
+                cache_capacity: 8,
+                window: 2,
+                ..Default::default()
+            },
+        )
     }
 
     fn naive_super(q: &Graph) -> Vec<GraphId> {

@@ -24,7 +24,10 @@ pub struct CycleConfig {
 
 impl Default for CycleConfig {
     fn default() -> Self {
-        CycleConfig { max_len: 8, budget: 4_000_000 }
+        CycleConfig {
+            max_len: 8,
+            budget: 4_000_000,
+        }
     }
 }
 
@@ -102,8 +105,11 @@ impl<'a> CycleSearch<'a> {
             if w == start && depth == self.level {
                 // Closing edge. Dedup direction: second vertex < last vertex.
                 if self.path[1] < self.path[depth - 1] {
-                    let labels: Vec<u32> =
-                        self.path.iter().map(|&x| self.graph.label(x).raw()).collect();
+                    let labels: Vec<u32> = self
+                        .path
+                        .iter()
+                        .map(|&x| self.graph.label(x).raw())
+                        .collect();
                     self.found.insert(cycle_canonical(&labels));
                 }
                 continue;
@@ -125,6 +131,7 @@ pub fn enumerate_cycles(g: &Graph, config: &CycleConfig) -> CycleFeatures {
     let mut complete_len = 0usize;
     let mut visits = 0u64;
 
+    #[allow(clippy::needless_range_loop)] // `len` is the semantic cycle length
     for len in 3..=config.max_len {
         let mut level_found: FxHashSet<Vec<u8>> = FxHashSet::default();
         let mut tripped = false;
@@ -161,7 +168,10 @@ pub fn enumerate_cycles(g: &Graph, config: &CycleConfig) -> CycleFeatures {
         complete_len = 2.min(config.max_len);
     }
 
-    CycleFeatures { by_len, complete_len }
+    CycleFeatures {
+        by_len,
+        complete_len,
+    }
 }
 
 #[cfg(test)]
@@ -187,14 +197,23 @@ mod tests {
 
     #[test]
     fn canonical_distinguishes_label_multisets_and_orders() {
-        assert_ne!(cycle_canonical(&[1, 2, 3, 4]), cycle_canonical(&[1, 3, 2, 4]));
+        assert_ne!(
+            cycle_canonical(&[1, 2, 3, 4]),
+            cycle_canonical(&[1, 3, 2, 4])
+        );
         assert_ne!(cycle_canonical(&[1, 1, 2]), cycle_canonical(&[1, 2, 2]));
     }
 
     #[test]
     fn triangle_found_once() {
         let g = graph_from(&[5, 6, 7], &[(0, 1), (1, 2), (0, 2)]);
-        let f = enumerate_cycles(&g, &CycleConfig { max_len: 4, budget: u64::MAX });
+        let f = enumerate_cycles(
+            &g,
+            &CycleConfig {
+                max_len: 4,
+                budget: u64::MAX,
+            },
+        );
         assert_eq!(f.by_len[3].len(), 1);
         assert_eq!(f.by_len[4].len(), 0);
         assert_eq!(f.complete_len, 4);
@@ -205,7 +224,13 @@ mod tests {
         // K4 with uniform labels: cycles of length 3 (4 of them, 1 canonical
         // form) and length 4 (3 of them, 1 canonical form).
         let g = graph_from(&[0; 4], &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
-        let f = enumerate_cycles(&g, &CycleConfig { max_len: 4, budget: u64::MAX });
+        let f = enumerate_cycles(
+            &g,
+            &CycleConfig {
+                max_len: 4,
+                budget: u64::MAX,
+            },
+        );
         assert_eq!(f.by_len[3].len(), 1);
         assert_eq!(f.by_len[4].len(), 1);
     }
@@ -238,9 +263,21 @@ mod tests {
             }
         }
         let g = graph_from(&[0; 8], &edges);
-        let f = enumerate_cycles(&g, &CycleConfig { max_len: 8, budget: 16 });
+        let f = enumerate_cycles(
+            &g,
+            &CycleConfig {
+                max_len: 8,
+                budget: 16,
+            },
+        );
         assert!(f.complete_len < 8);
-        let full = enumerate_cycles(&g, &CycleConfig { max_len: 8, budget: u64::MAX });
+        let full = enumerate_cycles(
+            &g,
+            &CycleConfig {
+                max_len: 8,
+                budget: u64::MAX,
+            },
+        );
         for len in 3..=f.complete_len {
             assert_eq!(f.by_len[len], full.by_len[len], "len {len}");
         }

@@ -29,7 +29,10 @@ impl FeatureSet {
 
     /// Wraps already-enumerated path features.
     pub fn from_paths(paths: PathFeatures) -> FeatureSet {
-        FeatureSet { counts: paths.counts, complete_len: paths.complete_len }
+        FeatureSet {
+            counts: paths.counts,
+            complete_len: paths.complete_len,
+        }
     }
 
     /// Occurrences of `seq` (0 when absent).

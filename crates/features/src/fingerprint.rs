@@ -26,8 +26,14 @@ pub struct Fingerprint {
 impl Fingerprint {
     /// An all-zero fingerprint of `width` bits (must be a power of two).
     pub fn new(width: u32) -> Fingerprint {
-        assert!(width.is_power_of_two() && width >= 64, "width must be a power of two >= 64");
-        Fingerprint { bits: vec![0u64; (width / 64) as usize].into_boxed_slice(), width }
+        assert!(
+            width.is_power_of_two() && width >= 64,
+            "width must be a power of two >= 64"
+        );
+        Fingerprint {
+            bits: vec![0u64; (width / 64) as usize].into_boxed_slice(),
+            width,
+        }
     }
 
     /// Width in bits.
@@ -42,7 +48,8 @@ impl Fingerprint {
         let mask = (self.width - 1) as u64;
         for probe in 0..PROBES {
             // Derive independent positions by re-mixing with the probe index.
-            let pos = (igq_graph::fxhash::hash_u64(h ^ (0x9e37_79b9 * probe as u64 + probe as u64)) & mask) as usize;
+            let pos = (igq_graph::fxhash::hash_u64(h ^ (0x9e37_79b9 * probe as u64 + probe as u64))
+                & mask) as usize;
             self.bits[pos / 64] |= 1 << (pos % 64);
         }
     }
@@ -51,7 +58,10 @@ impl Fingerprint {
     /// (the CT-Index candidate condition with `self` = query fingerprint).
     pub fn is_subset_of(&self, other: &Fingerprint) -> bool {
         debug_assert_eq!(self.width, other.width);
-        self.bits.iter().zip(other.bits.iter()).all(|(&q, &g)| q & !g == 0)
+        self.bits
+            .iter()
+            .zip(other.bits.iter())
+            .all(|(&q, &g)| q & !g == 0)
     }
 
     /// Number of set bits.

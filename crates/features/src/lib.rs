@@ -39,7 +39,8 @@ pub use featureset::FeatureSet;
 pub use fingerprint::Fingerprint;
 pub use label_seq::LabelSeq;
 pub use paths::{
-    enumerate_paths, enumerate_paths_with_locations, PathConfig, PathFeatures,
+    enumerate_paths, enumerate_paths_with_locations, thread_enumeration_count, PathConfig,
+    PathFeatures,
 };
 pub use trees::{enumerate_trees, tree_canonical, TreeConfig, TreeFeatures};
 pub use trie::{FeatureTrie, Posting};

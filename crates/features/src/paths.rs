@@ -22,6 +22,19 @@
 use crate::label_seq::LabelSeq;
 use igq_graph::fxhash::FxHashMap;
 use igq_graph::{Graph, LabelId, VertexId};
+use std::cell::Cell;
+
+thread_local! {
+    static ENUMERATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of [`enumerate_paths`] calls performed by the current thread so
+/// far. Tests use deltas of this counter to assert that hot paths extract a
+/// query's features exactly once (the iGQ engine shares one extraction
+/// between the base filter and both query-index probes).
+pub fn thread_enumeration_count() -> u64 {
+    ENUMERATIONS.with(|c| c.get())
+}
 
 /// Configuration for path enumeration.
 #[derive(Debug, Clone, Copy)]
@@ -36,14 +49,21 @@ pub struct PathConfig {
 
 impl Default for PathConfig {
     fn default() -> Self {
-        PathConfig { max_len: 4, include_vertices: true, budget: 40_000_000 }
+        PathConfig {
+            max_len: 4,
+            include_vertices: true,
+            budget: 40_000_000,
+        }
     }
 }
 
 impl PathConfig {
     /// Paper-default configuration with a custom max length.
     pub fn with_max_len(max_len: usize) -> Self {
-        PathConfig { max_len, ..Default::default() }
+        PathConfig {
+            max_len,
+            ..Default::default()
+        }
     }
 }
 
@@ -145,6 +165,7 @@ pub fn enumerate_paths_with_locations(g: &Graph, config: &PathConfig) -> PathFea
 }
 
 fn enumerate_paths_impl(g: &Graph, config: &PathConfig, want_locations: bool) -> PathFeatures {
+    ENUMERATIONS.with(|c| c.set(c.get() + 1));
     let mut counts: FxHashMap<LabelSeq, u32> = FxHashMap::default();
     let mut locations: FxHashMap<LabelSeq, Vec<VertexId>> = FxHashMap::default();
     let mut complete_len = 0usize;
@@ -202,7 +223,11 @@ fn enumerate_paths_impl(g: &Graph, config: &PathConfig, want_locations: bool) ->
         locs.dedup();
     }
 
-    PathFeatures { counts, locations, complete_len }
+    PathFeatures {
+        counts,
+        locations,
+        complete_len,
+    }
 }
 
 #[cfg(test)]
@@ -220,7 +245,14 @@ mod tests {
         // Triangle, all labels 0. Length-1 paths: 3 edges. Length-2: each of
         // the 3 vertices is the middle of exactly one simple path → 3.
         let g = graph_from(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
-        let f = enumerate_paths(&g, &PathConfig { max_len: 2, include_vertices: true, budget: u64::MAX });
+        let f = enumerate_paths(
+            &g,
+            &PathConfig {
+                max_len: 2,
+                include_vertices: true,
+                budget: u64::MAX,
+            },
+        );
         assert_eq!(f.counts[&seq(&[0])], 3);
         assert_eq!(f.counts[&seq(&[0, 0])], 3);
         assert_eq!(f.counts[&seq(&[0, 0, 0])], 3);
@@ -251,7 +283,14 @@ mod tests {
     #[test]
     fn max_len_zero_yields_only_vertices() {
         let g = graph_from(&[0, 1], &[(0, 1)]);
-        let f = enumerate_paths(&g, &PathConfig { max_len: 0, include_vertices: true, budget: u64::MAX });
+        let f = enumerate_paths(
+            &g,
+            &PathConfig {
+                max_len: 0,
+                include_vertices: true,
+                budget: u64::MAX,
+            },
+        );
         assert_eq!(f.distinct(), 2);
         assert_eq!(f.total_occurrences(), 2);
         assert_eq!(f.complete_len, 0);
@@ -272,11 +311,36 @@ mod tests {
         // Dense-ish graph with tiny budget.
         let g = graph_from(
             &[0; 6],
-            &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (1, 2), (2, 3), (3, 4), (4, 5), (5, 1)],
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 1),
+            ],
         );
-        let f = enumerate_paths(&g, &PathConfig { max_len: 4, include_vertices: true, budget: 30 });
+        let f = enumerate_paths(
+            &g,
+            &PathConfig {
+                max_len: 4,
+                include_vertices: true,
+                budget: 30,
+            },
+        );
         assert!(f.complete_len < 4);
-        let full = enumerate_paths(&g, &PathConfig { max_len: 4, include_vertices: true, budget: u64::MAX });
+        let full = enumerate_paths(
+            &g,
+            &PathConfig {
+                max_len: 4,
+                include_vertices: true,
+                budget: u64::MAX,
+            },
+        );
         // Every committed level must match the unbudgeted run exactly.
         for (s, &c) in &full.counts {
             if s.edge_len() <= f.complete_len {
@@ -299,7 +363,14 @@ mod tests {
     #[test]
     fn no_vertex_features_when_disabled() {
         let g = graph_from(&[0, 1], &[(0, 1)]);
-        let f = enumerate_paths(&g, &PathConfig { max_len: 1, include_vertices: false, budget: u64::MAX });
+        let f = enumerate_paths(
+            &g,
+            &PathConfig {
+                max_len: 1,
+                include_vertices: false,
+                budget: u64::MAX,
+            },
+        );
         assert_eq!(f.distinct(), 1);
         assert_eq!(f.counts[&seq(&[0, 1])], 1);
     }

@@ -28,7 +28,10 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        TreeConfig { max_edges: 6, budget: 4_000_000 }
+        TreeConfig {
+            max_edges: 6,
+            budget: 4_000_000,
+        }
     }
 }
 
@@ -174,6 +177,7 @@ pub fn enumerate_trees(g: &Graph, config: &TreeConfig) -> TreeFeatures {
         current.push((vec![(u, v)], vec![u, v]));
     }
 
+    #[allow(clippy::needless_range_loop)] // `size` is the semantic subtree size
     for size in 1..=config.max_edges {
         let mut seen: FxHashSet<EdgeList> = FxHashSet::default();
         let mut next: Vec<(EdgeList, Vec<VertexId>)> = Vec::new();
@@ -218,7 +222,10 @@ pub fn enumerate_trees(g: &Graph, config: &TreeConfig) -> TreeFeatures {
         current = next;
     }
 
-    TreeFeatures { by_size, complete_edges }
+    TreeFeatures {
+        by_size,
+        complete_edges,
+    }
 }
 
 fn record_tree(g: &Graph, edges: &[(VertexId, VertexId)], out: &mut FxHashSet<Vec<u8>>) {
@@ -228,8 +235,8 @@ fn record_tree(g: &Graph, edges: &[(VertexId, VertexId)], out: &mut FxHashSet<Ve
     let mut local_edges: Vec<(u32, u32)> = Vec::with_capacity(edges.len());
     for &(u, v) in edges {
         for x in [u, v] {
-            if !remap.contains_key(&x) {
-                remap.insert(x, labels.len() as u32);
+            if let std::collections::hash_map::Entry::Vacant(e) = remap.entry(x) {
+                e.insert(labels.len() as u32);
                 labels.push(g.label(x).raw());
             }
         }
@@ -282,7 +289,13 @@ mod tests {
         // K3: subtrees with 2 edges are the 3 paths; no 3-edge subtree
         // exists (would need 4 vertices).
         let g = graph_from(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
-        let f = enumerate_trees(&g, &TreeConfig { max_edges: 3, budget: u64::MAX });
+        let f = enumerate_trees(
+            &g,
+            &TreeConfig {
+                max_edges: 3,
+                budget: u64::MAX,
+            },
+        );
         assert_eq!(f.by_size[0].len(), 1); // single label
         assert_eq!(f.by_size[1].len(), 1); // 0-0 edge
         assert_eq!(f.by_size[2].len(), 1); // 0-0-0 path
@@ -296,7 +309,13 @@ mod tests {
         // the pairs {1,2},{1,3},{2,3} → 3 canonical forms; the single
         // 3-edge subtree is the full star.
         let g = graph_from(&[9, 1, 2, 3], &[(0, 1), (0, 2), (0, 3)]);
-        let f = enumerate_trees(&g, &TreeConfig { max_edges: 3, budget: u64::MAX });
+        let f = enumerate_trees(
+            &g,
+            &TreeConfig {
+                max_edges: 3,
+                budget: u64::MAX,
+            },
+        );
         assert_eq!(f.by_size[1].len(), 3);
         assert_eq!(f.by_size[2].len(), 3);
         assert_eq!(f.by_size[3].len(), 1);
@@ -306,11 +325,34 @@ mod tests {
     fn budget_truncation_reports_complete_level() {
         let g = graph_from(
             &[0; 8],
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0), (0, 4), (1, 5)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 0),
+                (0, 4),
+                (1, 5),
+            ],
         );
-        let f = enumerate_trees(&g, &TreeConfig { max_edges: 5, budget: 20 });
+        let f = enumerate_trees(
+            &g,
+            &TreeConfig {
+                max_edges: 5,
+                budget: 20,
+            },
+        );
         assert!(f.complete_edges < 5);
-        let full = enumerate_trees(&g, &TreeConfig { max_edges: 5, budget: u64::MAX });
+        let full = enumerate_trees(
+            &g,
+            &TreeConfig {
+                max_edges: 5,
+                budget: u64::MAX,
+            },
+        );
         for size in 0..=f.complete_edges {
             assert_eq!(f.by_size[size], full.by_size[size], "size {size}");
         }

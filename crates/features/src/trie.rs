@@ -2,18 +2,28 @@
 //!
 //! This single structure backs three systems from the paper:
 //! GraphGrepSX's suffix-tree-of-paths dataset index, Grapes' per-graph path
-//! tries (post-merge), and iGQ's `Isuper` supergraph index (Algorithm 1
+//! tries (post-merge), and iGQ's `Isub`/`Isuper` query indexes (Algorithm 1
 //! stores `{gi, o}` pairs per feature — exactly a posting list).
 //!
 //! Nodes are arena-allocated (`Vec<TrieNode>`); children are label→node
 //! maps. Posting lists are kept sorted by graph id so filtering can merge
 //! them with two-pointer intersections.
+//!
+//! Postings are **mutable**: ids may be inserted in any order (the query
+//! indexes key postings by reusable cache *slots*, not by monotonically
+//! growing dataset ids), and [`FeatureTrie::remove`] deletes a posting by
+//! tombstoning it in place (`count = 0`). Tombstones keep removal O(log
+//! |postings|) without shifting sibling entries; a node whose list becomes
+//! mostly tombstones is compacted on the spot, and [`FeatureTrie::compact`]
+//! sweeps the whole trie. Readers must treat `count == 0` postings as
+//! absent — every counting helper here already does.
 
 use crate::label_seq::LabelSeq;
 use igq_graph::fxhash::FxHashMap;
 use igq_graph::{GraphId, LabelId};
 
-/// One `(graph, occurrence-count)` posting.
+/// One `(graph, occurrence-count)` posting. `count == 0` is a tombstone:
+/// the posting was removed and awaits compaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Posting {
     pub graph: GraphId,
@@ -24,6 +34,18 @@ pub struct Posting {
 struct TrieNode {
     children: FxHashMap<LabelId, u32>,
     postings: Vec<Posting>,
+    /// Live (non-tombstone) postings in `postings`.
+    live: u32,
+}
+
+impl TrieNode {
+    /// Drops tombstones, preserving order of the live postings.
+    fn compact(&mut self) -> u64 {
+        let before = self.postings.len();
+        self.postings.retain(|p| p.count > 0);
+        debug_assert_eq!(self.postings.len(), self.live as usize);
+        (before - self.postings.len()) as u64
+    }
 }
 
 /// Trie over canonical label sequences with per-graph counts.
@@ -32,6 +54,7 @@ pub struct FeatureTrie {
     nodes: Vec<TrieNode>,
     features: u64,
     postings: u64,
+    tombstones: u64,
 }
 
 impl Default for FeatureTrie {
@@ -43,14 +66,22 @@ impl Default for FeatureTrie {
 impl FeatureTrie {
     /// An empty trie (single root node).
     pub fn new() -> FeatureTrie {
-        FeatureTrie { nodes: vec![TrieNode::default()], features: 0, postings: 0 }
+        FeatureTrie {
+            nodes: vec![TrieNode::default()],
+            features: 0,
+            postings: 0,
+            tombstones: 0,
+        }
     }
 
     fn walk_or_create(&mut self, seq: &LabelSeq) -> u32 {
         let mut node = 0u32;
         for &label in seq.labels() {
             let next_free = self.nodes.len() as u32;
-            let entry = self.nodes[node as usize].children.entry(label).or_insert(next_free);
+            let entry = self.nodes[node as usize]
+                .children
+                .entry(label)
+                .or_insert(next_free);
             let child = *entry;
             if child == next_free {
                 self.nodes.push(TrieNode::default());
@@ -70,30 +101,99 @@ impl FeatureTrie {
 
     /// Records that `graph` contains `count` occurrences of `seq`.
     ///
-    /// Postings for a given feature must be inserted in nondecreasing graph
-    /// order (the natural order when indexing a store); repeated inserts for
-    /// the same graph accumulate.
+    /// Ids may arrive in any order (appends stay O(1); out-of-order inserts
+    /// pay a binary search plus shift). Repeated inserts for the same graph
+    /// accumulate; inserting over a tombstone revives it in place.
     pub fn insert(&mut self, seq: &LabelSeq, graph: GraphId, count: u32) {
+        debug_assert!(count > 0, "a zero-count insert would create a tombstone");
         let node = self.walk_or_create(seq);
         let n = &mut self.nodes[node as usize];
-        if n.postings.is_empty() {
-            self.features += 1;
-        }
+        let was_dead = n.live == 0;
         match n.postings.last_mut() {
-            Some(last) if last.graph == graph => last.count += count,
-            Some(last) => {
-                debug_assert!(last.graph < graph, "insert graphs in nondecreasing id order");
+            Some(last) if last.graph == graph => {
+                if last.count == 0 {
+                    n.live += 1;
+                    self.postings += 1;
+                    self.tombstones -= 1;
+                }
+                last.count += count;
+            }
+            Some(last) if last.graph < graph => {
                 n.postings.push(Posting { graph, count });
+                n.live += 1;
                 self.postings += 1;
             }
             None => {
                 n.postings.push(Posting { graph, count });
+                n.live += 1;
                 self.postings += 1;
             }
+            Some(_) => match n.postings.binary_search_by_key(&graph, |p| p.graph) {
+                Ok(i) => {
+                    let p = &mut n.postings[i];
+                    if p.count == 0 {
+                        n.live += 1;
+                        self.postings += 1;
+                        self.tombstones -= 1;
+                    }
+                    p.count += count;
+                }
+                Err(i) => {
+                    n.postings.insert(i, Posting { graph, count });
+                    n.live += 1;
+                    self.postings += 1;
+                }
+            },
+        }
+        if was_dead && n.live > 0 {
+            self.features += 1;
         }
     }
 
+    /// Removes the posting of `graph` under `seq`, returning `true` when a
+    /// live posting existed. The entry is tombstoned in place; a node whose
+    /// list becomes mostly tombstones is compacted immediately.
+    pub fn remove(&mut self, seq: &LabelSeq, graph: GraphId) -> bool {
+        let Some(node) = self.walk(seq) else {
+            return false;
+        };
+        let n = &mut self.nodes[node as usize];
+        let Ok(i) = n.postings.binary_search_by_key(&graph, |p| p.graph) else {
+            return false;
+        };
+        if n.postings[i].count == 0 {
+            return false;
+        }
+        n.postings[i].count = 0;
+        n.live -= 1;
+        self.postings -= 1;
+        self.tombstones += 1;
+        if n.live == 0 {
+            self.features -= 1;
+        }
+        // Local compaction: once at least 8 entries and over half dead.
+        if n.postings.len() >= 8 && (n.live as usize) * 2 < n.postings.len() {
+            self.tombstones -= n.compact();
+        }
+        true
+    }
+
+    /// Sweeps every node's tombstones (e.g. before a long read-only phase).
+    pub fn compact(&mut self) {
+        for node in &mut self.nodes {
+            self.tombstones -= node.compact();
+        }
+        debug_assert_eq!(self.tombstones, 0);
+    }
+
+    /// Number of tombstoned postings awaiting compaction.
+    pub fn tombstone_count(&self) -> u64 {
+        self.tombstones
+    }
+
     /// The posting list of `seq` (empty slice when the feature is absent).
+    /// May contain tombstones (`count == 0`); readers that treat postings
+    /// as membership must skip them.
     pub fn get(&self, seq: &LabelSeq) -> &[Posting] {
         match self.walk(seq) {
             Some(node) => &self.nodes[node as usize].postings,
@@ -103,7 +203,8 @@ impl FeatureTrie {
 
     /// True when the feature occurs in at least one graph.
     pub fn contains(&self, seq: &LabelSeq) -> bool {
-        !self.get(seq).is_empty()
+        self.walk(seq)
+            .is_some_and(|node| self.nodes[node as usize].live > 0)
     }
 
     /// The occurrence count of `seq` in `graph` (0 when absent).
@@ -120,7 +221,7 @@ impl FeatureTrie {
         self.features
     }
 
-    /// Number of postings (graph × feature pairs) stored.
+    /// Number of live postings (graph × feature pairs) stored.
     pub fn posting_count(&self) -> u64 {
         self.postings
     }
@@ -131,11 +232,19 @@ impl FeatureTrie {
     }
 
     /// Approximate heap footprint for index-size accounting (Fig. 18).
+    ///
+    /// Counts *allocated* capacity, not just occupied length, and includes
+    /// the hash maps' load-factor slack: a SwissTable-style map allocates
+    /// `ceil(cap · 8/7)` buckets of one `(key, value)` pair plus one
+    /// control byte each. Sizing by `len()` (as this method originally did)
+    /// undercounted the trie by the growth slack of every `Vec` and map.
     pub fn heap_size_bytes(&self) -> u64 {
-        let mut bytes = (self.nodes.len() * std::mem::size_of::<TrieNode>()) as u64;
+        let mut bytes = (self.nodes.capacity() * std::mem::size_of::<TrieNode>()) as u64;
+        let child_entry = (std::mem::size_of::<LabelId>() + std::mem::size_of::<u32>() + 1) as u64;
         for n in &self.nodes {
-            bytes += (n.children.len() * (std::mem::size_of::<LabelId>() + 4 + 8)) as u64;
-            bytes += (n.postings.len() * std::mem::size_of::<Posting>()) as u64;
+            let buckets = (n.children.capacity() as u64) * 8 / 7;
+            bytes += buckets * child_entry;
+            bytes += (n.postings.capacity() * std::mem::size_of::<Posting>()) as u64;
         }
         bytes
     }
@@ -147,11 +256,16 @@ impl FeatureTrie {
         self.visit(0, &mut stack, &mut f);
     }
 
-    fn visit<F: FnMut(&LabelSeq, &[Posting])>(&self, node: u32, stack: &mut Vec<LabelId>, f: &mut F) {
+    fn visit<F: FnMut(&LabelSeq, &[Posting])>(
+        &self,
+        node: u32,
+        stack: &mut Vec<LabelId>,
+        f: &mut F,
+    ) {
         let n = &self.nodes[node as usize];
-        if !n.postings.is_empty() {
+        if n.live > 0 {
             // Stored sequences are canonical already; rebuilding from the
-            // root preserves them.
+            // root preserves them. The slice may include tombstones.
             let seq = LabelSeq::canonical(stack);
             f(&seq, &n.postings);
         }
@@ -181,7 +295,19 @@ mod tests {
         let mut t = FeatureTrie::new();
         t.insert(&seq(&[1, 2]), g(0), 3);
         t.insert(&seq(&[1, 2]), g(2), 1);
-        assert_eq!(t.get(&seq(&[1, 2])), &[Posting { graph: g(0), count: 3 }, Posting { graph: g(2), count: 1 }]);
+        assert_eq!(
+            t.get(&seq(&[1, 2])),
+            &[
+                Posting {
+                    graph: g(0),
+                    count: 3
+                },
+                Posting {
+                    graph: g(2),
+                    count: 1
+                }
+            ]
+        );
         assert_eq!(t.count_in(&seq(&[1, 2]), g(0)), 3);
         assert_eq!(t.count_in(&seq(&[1, 2]), g(1)), 0);
         assert!(t.get(&seq(&[9])).is_empty());
@@ -245,5 +371,102 @@ mod tests {
         assert_eq!(t.feature_count(), 0);
         assert_eq!(t.posting_count(), 0);
         assert!(!t.contains(&seq(&[1])));
+    }
+
+    #[test]
+    fn out_of_order_inserts_stay_sorted() {
+        let mut t = FeatureTrie::new();
+        for id in [5u32, 1, 3, 0, 4, 2] {
+            t.insert(&seq(&[7, 8]), g(id), id + 1);
+        }
+        let graphs: Vec<u32> = t.get(&seq(&[7, 8])).iter().map(|p| p.graph.raw()).collect();
+        assert_eq!(graphs, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(t.count_in(&seq(&[7, 8]), g(3)), 4);
+        assert_eq!(t.posting_count(), 6);
+    }
+
+    #[test]
+    fn remove_tombstones_and_counters() {
+        let mut t = FeatureTrie::new();
+        t.insert(&seq(&[1]), g(0), 2);
+        t.insert(&seq(&[1]), g(1), 3);
+        t.insert(&seq(&[2]), g(0), 1);
+        assert!(t.remove(&seq(&[1]), g(0)));
+        assert!(!t.remove(&seq(&[1]), g(0)), "double remove is a no-op");
+        assert!(!t.remove(&seq(&[9]), g(0)), "absent feature");
+        assert_eq!(t.posting_count(), 2);
+        assert_eq!(t.feature_count(), 2);
+        assert_eq!(t.tombstone_count(), 1);
+        assert_eq!(t.count_in(&seq(&[1]), g(0)), 0, "tombstone reads as absent");
+        assert_eq!(t.count_in(&seq(&[1]), g(1)), 3);
+        // Removing the last live posting of a feature drops the feature.
+        assert!(t.remove(&seq(&[2]), g(0)));
+        assert_eq!(t.feature_count(), 1);
+        assert!(!t.contains(&seq(&[2])));
+    }
+
+    #[test]
+    fn insert_revives_tombstone_in_place() {
+        let mut t = FeatureTrie::new();
+        t.insert(&seq(&[4, 4]), g(2), 5);
+        t.insert(&seq(&[4, 4]), g(7), 1);
+        t.remove(&seq(&[4, 4]), g(2));
+        t.insert(&seq(&[4, 4]), g(2), 9);
+        assert_eq!(t.count_in(&seq(&[4, 4]), g(2)), 9);
+        assert_eq!(t.tombstone_count(), 0);
+        assert_eq!(t.posting_count(), 2);
+        assert_eq!(
+            t.get(&seq(&[4, 4])).len(),
+            2,
+            "revived in place, no duplicate"
+        );
+    }
+
+    #[test]
+    fn heavy_removal_triggers_local_compaction() {
+        let mut t = FeatureTrie::new();
+        for id in 0..16u32 {
+            t.insert(&seq(&[3]), g(id), 1);
+        }
+        for id in 0..9u32 {
+            t.remove(&seq(&[3]), g(id));
+        }
+        assert_eq!(t.posting_count(), 7);
+        assert_eq!(t.tombstone_count(), 0, "node compacted once mostly dead");
+        assert_eq!(t.get(&seq(&[3])).len(), 7);
+    }
+
+    #[test]
+    fn explicit_compact_sweeps_all_tombstones() {
+        let mut t = FeatureTrie::new();
+        for id in 0..4u32 {
+            t.insert(&seq(&[6, 6, 6]), g(id), 1);
+        }
+        t.remove(&seq(&[6, 6, 6]), g(1));
+        assert_eq!(t.tombstone_count(), 1);
+        t.compact();
+        assert_eq!(t.tombstone_count(), 0);
+        let graphs: Vec<u32> = t
+            .get(&seq(&[6, 6, 6]))
+            .iter()
+            .map(|p| p.graph.raw())
+            .collect();
+        assert_eq!(graphs, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn heap_size_counts_capacity_not_len() {
+        let mut t = FeatureTrie::new();
+        for i in 0..50 {
+            t.insert(&seq(&[i, i + 1, i + 2]), g(0), 1);
+        }
+        let mut cap_bytes = 0u64;
+        for i in 0..50 {
+            cap_bytes += t.get(&seq(&[i, i + 1, i + 2])).len() as u64;
+        }
+        assert!(cap_bytes > 0);
+        // The capacity-aware estimate must be at least the len-based one.
+        let len_based: u64 = (t.node_count() * std::mem::size_of::<TrieNode>()) as u64;
+        assert!(t.heap_size_bytes() >= len_based);
     }
 }

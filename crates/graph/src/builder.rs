@@ -32,7 +32,10 @@ impl GraphBuilder {
 
     /// An empty builder with reserved capacity.
     pub fn with_capacity(vertices: usize, edges: usize) -> Self {
-        GraphBuilder { labels: Vec::with_capacity(vertices), edges: Vec::with_capacity(edges) }
+        GraphBuilder {
+            labels: Vec::with_capacity(vertices),
+            edges: Vec::with_capacity(edges),
+        }
     }
 
     /// Adds a vertex with `label`, returning its id (dense, insertion order).
@@ -45,7 +48,7 @@ impl GraphBuilder {
     /// Adds `n` vertices all carrying `label`; returns the first new id.
     pub fn add_vertices(&mut self, n: usize, label: LabelId) -> VertexId {
         let first = VertexId::from_index(self.labels.len());
-        self.labels.extend(std::iter::repeat(label).take(n));
+        self.labels.extend(std::iter::repeat_n(label, n));
         first
     }
 

@@ -29,9 +29,14 @@ impl fmt::Display for GraphError {
                 write!(f, "label {label:?} outside universe of size {universe}")
             }
             GraphError::EdgeLabelConflict(u, v) => {
-                write!(f, "edge {{{u:?}, {v:?}}} added with conflicting edge labels")
+                write!(
+                    f,
+                    "edge {{{u:?}, {v:?}}} added with conflicting edge labels"
+                )
             }
-            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
@@ -56,7 +61,10 @@ mod tests {
     fn display_messages_are_informative() {
         let e = GraphError::SelfLoop(VertexId::new(3));
         assert!(e.to_string().contains("self-loop"));
-        let e = GraphError::Parse { line: 12, message: "bad token".into() };
+        let e = GraphError::Parse {
+            line: 12,
+            message: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 12"));
     }
 

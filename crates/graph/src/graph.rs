@@ -8,7 +8,7 @@
 
 use crate::fxhash::FxHashMap;
 use crate::{LabelId, VertexId};
-use serde::{Deserialize, Serialize};
+use serde_json::FromJson;
 use std::fmt;
 
 /// An immutable, vertex-labeled, undirected simple graph, with optional
@@ -41,8 +41,7 @@ impl Graph {
             .into_iter()
             .map(|(u, v)| (u, v, LabelId::new(0)))
             .collect();
-        Self::from_parts_labeled(labels, labeled)
-            .expect("unlabeled edges cannot conflict")
+        Self::from_parts_labeled(labels, labeled).expect("unlabeled edges cannot conflict")
     }
 
     /// Builds from vertex labels and a labeled edge list. Edges are
@@ -103,7 +102,10 @@ impl Graph {
 
         let mut label_groups: FxHashMap<LabelId, Vec<VertexId>> = FxHashMap::default();
         for (i, &l) in labels.iter().enumerate() {
-            label_groups.entry(l).or_default().push(VertexId::from_index(i));
+            label_groups
+                .entry(l)
+                .or_default()
+                .push(VertexId::from_index(i));
         }
         let label_index = label_groups
             .into_iter()
@@ -168,7 +170,11 @@ impl Graph {
     #[inline]
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
         // Search the smaller adjacency list.
-        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.neighbors(a).binary_search(&b).is_ok()
     }
 
@@ -324,7 +330,10 @@ impl Graph {
     /// Returns the subgraph and the mapping `new VertexId -> old VertexId`
     /// (that is, `mapping[new.index()] == old`).
     pub fn induced_subgraph(&self, keep: &[VertexId]) -> (Graph, Vec<VertexId>) {
-        debug_assert!(keep.windows(2).all(|w| w[0] < w[1]), "keep must be sorted+dedup");
+        debug_assert!(
+            keep.windows(2).all(|w| w[0] < w[1]),
+            "keep must be sorted+dedup"
+        );
         let mut remap: FxHashMap<VertexId, VertexId> = FxHashMap::default();
         remap.reserve(keep.len());
         for (new_idx, &old) in keep.iter().enumerate() {
@@ -342,8 +351,8 @@ impl Graph {
                 }
             }
         }
-        let g = Graph::from_parts_labeled(labels, edges)
-            .expect("induced edges inherit unique labels");
+        let g =
+            Graph::from_parts_labeled(labels, edges).expect("induced edges inherit unique labels");
         (g, keep.to_vec())
     }
 
@@ -379,54 +388,59 @@ impl fmt::Debug for Graph {
     }
 }
 
-/// Serde support uses the compact `(labels, edges[, edge_labels])`
+/// JSON support uses the compact `{labels, edges[, edge_labels]}`
 /// representation; CSR and the label index are rebuilt on deserialize.
 /// `edge_labels` is omitted for unlabeled graphs, so files written before
 /// edge-label support parse unchanged.
-#[derive(Serialize, Deserialize)]
-struct GraphRepr {
-    labels: Vec<LabelId>,
-    edges: Vec<(VertexId, VertexId)>,
-    #[serde(default, skip_serializing_if = "Option::is_none")]
-    edge_labels: Option<Vec<LabelId>>,
-}
-
-impl Serialize for Graph {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> std::result::Result<S::Ok, S::Error> {
-        GraphRepr {
-            labels: self.labels.to_vec(),
-            edges: self.edges.to_vec(),
-            edge_labels: self.edge_labels.as_ref().map(|ls| ls.to_vec()),
+impl serde_json::ToJson for Graph {
+    fn to_json(&self) -> serde_json::Value {
+        let mut m = serde_json::Map::new();
+        m.insert("labels".to_owned(), self.labels.to_vec().to_json());
+        m.insert("edges".to_owned(), self.edges.to_vec().to_json());
+        if let Some(ls) = self.edge_labels.as_ref() {
+            m.insert("edge_labels".to_owned(), ls.to_vec().to_json());
         }
-        .serialize(s)
+        serde_json::Value::Object(m)
     }
 }
 
-impl<'de> Deserialize<'de> for Graph {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> std::result::Result<Self, D::Error> {
-        let repr = GraphRepr::deserialize(d)?;
-        let n = repr.labels.len() as u32;
-        for &(u, v) in &repr.edges {
+impl serde_json::FromJson for Graph {
+    fn from_json(v: &serde_json::Value) -> std::result::Result<Self, serde_json::Error> {
+        let labels: Vec<LabelId> = FromJson::from_json(
+            v.get("labels")
+                .ok_or_else(|| serde_json::Error::custom("missing labels"))?,
+        )?;
+        let edges: Vec<(VertexId, VertexId)> = FromJson::from_json(
+            v.get("edges")
+                .ok_or_else(|| serde_json::Error::custom("missing edges"))?,
+        )?;
+        let edge_labels: Option<Vec<LabelId>> = match v.get("edge_labels") {
+            None => None,
+            Some(el) => FromJson::from_json(el)?,
+        };
+        let n = labels.len() as u32;
+        for &(u, v) in &edges {
             if u.raw() >= n || v.raw() >= n || u == v {
-                return Err(serde::de::Error::custom("invalid edge in serialized graph"));
+                return Err(serde_json::Error::custom(
+                    "invalid edge in serialized graph",
+                ));
             }
         }
-        match repr.edge_labels {
-            None => Ok(Graph::from_parts(repr.labels, repr.edges)),
+        match edge_labels {
+            None => Ok(Graph::from_parts(labels, edges)),
             Some(ls) => {
-                if ls.len() != repr.edges.len() {
-                    return Err(serde::de::Error::custom(
+                if ls.len() != edges.len() {
+                    return Err(serde_json::Error::custom(
                         "edge_labels length does not match edges",
                     ));
                 }
-                let triples = repr
-                    .edges
+                let triples = edges
                     .into_iter()
                     .zip(ls)
                     .map(|((u, v), l)| (u, v, l))
                     .collect();
-                Graph::from_parts_labeled(repr.labels, triples)
-                    .map_err(|e| serde::de::Error::custom(e.to_string()))
+                Graph::from_parts_labeled(labels, triples)
+                    .map_err(|e| serde_json::Error::custom(e.to_string()))
             }
         }
     }
@@ -534,7 +548,11 @@ mod tests {
         let g = crate::graph_from_el(&[0, 1, 2], &[(0, 1, 5), (1, 2, 9)]);
         assert!(g.has_edge_labels());
         assert_eq!(g.edge_label(v(0), v(1)), Some(LabelId::new(5)));
-        assert_eq!(g.edge_label(v(1), v(0)), Some(LabelId::new(5)), "order-insensitive");
+        assert_eq!(
+            g.edge_label(v(1), v(0)),
+            Some(LabelId::new(5)),
+            "order-insensitive"
+        );
         assert_eq!(g.edge_label(v(1), v(2)), Some(LabelId::new(9)));
         assert_eq!(g.edge_label(v(0), v(2)), None, "absent edge");
         assert_eq!(g.edge_label_unchecked(v(2), v(1)), LabelId::new(9));
@@ -596,7 +614,10 @@ mod tests {
         let all: Vec<_> = g.labeled_edges().collect();
         assert_eq!(
             all,
-            vec![((v(0), v(1)), LabelId::new(5)), ((v(1), v(2)), LabelId::new(9))]
+            vec![
+                ((v(0), v(1)), LabelId::new(5)),
+                ((v(1), v(2)), LabelId::new(9))
+            ]
         );
     }
 

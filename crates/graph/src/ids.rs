@@ -4,17 +4,26 @@
 //! graphs, 16,431 vertices per graph and 62 labels, so 32 bits leave ample
 //! headroom while keeping hot arrays half the size of `usize` indexes.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! id_type {
     ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
         $(#[$doc])*
-        #[derive(
-            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-        )]
-        #[serde(transparent)]
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
         pub struct $name(u32);
+
+        // Transparent JSON representation: an id serializes as its raw u32.
+        impl serde_json::ToJson for $name {
+            fn to_json(&self) -> serde_json::Value {
+                serde_json::ToJson::to_json(&self.0)
+            }
+        }
+
+        impl serde_json::FromJson for $name {
+            fn from_json(v: &serde_json::Value) -> Result<Self, serde_json::Error> {
+                <u32 as serde_json::FromJson>::from_json(v).map(Self)
+            }
+        }
 
         impl $name {
             /// Wraps a raw `u32`.

@@ -62,7 +62,11 @@ struct Parser<R: BufRead> {
 
 impl<R: BufRead> Parser<R> {
     fn new(reader: R) -> Self {
-        Parser { reader, line_no: 0, buf: String::new() }
+        Parser {
+            reader,
+            line_no: 0,
+            buf: String::new(),
+        }
     }
 
     /// Next non-empty line, trimmed; `None` at EOF.
@@ -84,16 +88,23 @@ impl<R: BufRead> Parser<R> {
     }
 
     fn err(&self, message: impl Into<String>) -> GraphError {
-        GraphError::Parse { line: self.line_no, message: message.into() }
+        GraphError::Parse {
+            line: self.line_no,
+            message: message.into(),
+        }
     }
 
     fn parse_count(&mut self, what: &str) -> Result<usize> {
         let line_no = self.line_no + 1;
         match self.next_line()? {
-            Some(l) => l
-                .parse::<usize>()
-                .map_err(|_| GraphError::Parse { line: line_no, message: format!("expected {what} count, got {l:?}") }),
-            None => Err(GraphError::Parse { line: line_no, message: format!("eof while reading {what} count") }),
+            Some(l) => l.parse::<usize>().map_err(|_| GraphError::Parse {
+                line: line_no,
+                message: format!("expected {what} count, got {l:?}"),
+            }),
+            None => Err(GraphError::Parse {
+                line: line_no,
+                message: format!("eof while reading {what} count"),
+            }),
         }
     }
 
@@ -112,32 +123,42 @@ impl<R: BufRead> Parser<R> {
         let mut b = GraphBuilder::with_capacity(n, 0);
         for _ in 0..n {
             let line_no = self.line_no + 1;
-            let l = self
-                .next_line()?
-                .ok_or(GraphError::Parse { line: line_no, message: "eof while reading labels".into() })?;
-            let label: u32 = l
-                .parse()
-                .map_err(|_| GraphError::Parse { line: line_no, message: format!("bad label {l:?}") })?;
+            let l = self.next_line()?.ok_or(GraphError::Parse {
+                line: line_no,
+                message: "eof while reading labels".into(),
+            })?;
+            let label: u32 = l.parse().map_err(|_| GraphError::Parse {
+                line: line_no,
+                message: format!("bad label {l:?}"),
+            })?;
             b.add_vertex(LabelId::new(label));
         }
 
         let m = self.parse_count("edge")?;
         for _ in 0..m {
             let line_no = self.line_no + 1;
-            let l = self
-                .next_line()?
-                .ok_or(GraphError::Parse { line: line_no, message: "eof while reading edges".into() })?;
+            let l = self.next_line()?.ok_or(GraphError::Parse {
+                line: line_no,
+                message: "eof while reading edges".into(),
+            })?;
             let mut it = l.split_whitespace();
             let (us, vs) = match (it.next(), it.next()) {
                 (Some(u), Some(v)) => (u, v),
-                _ => return Err(GraphError::Parse { line: line_no, message: format!("bad edge line {l:?}") }),
+                _ => {
+                    return Err(GraphError::Parse {
+                        line: line_no,
+                        message: format!("bad edge line {l:?}"),
+                    })
+                }
             };
-            let u: u32 = us
-                .parse()
-                .map_err(|_| GraphError::Parse { line: line_no, message: format!("bad endpoint {us:?}") })?;
-            let v: u32 = vs
-                .parse()
-                .map_err(|_| GraphError::Parse { line: line_no, message: format!("bad endpoint {vs:?}") })?;
+            let u: u32 = us.parse().map_err(|_| GraphError::Parse {
+                line: line_no,
+                message: format!("bad endpoint {us:?}"),
+            })?;
+            let v: u32 = vs.parse().map_err(|_| GraphError::Parse {
+                line: line_no,
+                message: format!("bad endpoint {vs:?}"),
+            })?;
             // Optional third token: edge label (the extended GFU form).
             let label = match it.next() {
                 None => LabelId::new(0),
@@ -147,19 +168,26 @@ impl<R: BufRead> Parser<R> {
                 })?),
             };
             b.add_edge_labeled(VertexId::new(u), VertexId::new(v), label)
-                .map_err(|e| GraphError::Parse { line: line_no, message: e.to_string() })?;
+                .map_err(|e| GraphError::Parse {
+                    line: line_no,
+                    message: e.to_string(),
+                })?;
         }
         b.try_build()
             .map(|g| Some((name, g)))
-            .map_err(|e| GraphError::Parse { line: self.line_no, message: e.to_string() })
+            .map_err(|e| GraphError::Parse {
+                line: self.line_no,
+                message: e.to_string(),
+            })
     }
 }
 
 /// Reads a single graph (the first in the stream).
 pub fn read_graph<R: BufRead>(r: R) -> Result<(String, Graph)> {
-    Parser::new(r)
-        .parse_graph()?
-        .ok_or(GraphError::Parse { line: 0, message: "empty input".into() })
+    Parser::new(r).parse_graph()?.ok_or(GraphError::Parse {
+        line: 0,
+        message: "empty input".into(),
+    })
 }
 
 /// Reads every graph in the stream into a store (names are dropped; ids
@@ -249,7 +277,10 @@ mod tests {
         let mut buf = Vec::new();
         write_store(&mut buf, &store).unwrap();
         let text = String::from_utf8(buf.clone()).unwrap();
-        assert!(text.contains("0 1 3"), "labeled edge written with 3 tokens:\n{text}");
+        assert!(
+            text.contains("0 1 3"),
+            "labeled edge written with 3 tokens:\n{text}"
+        );
         assert_eq!(read_store(&buf[..]).unwrap(), store);
     }
 
@@ -258,7 +289,10 @@ mod tests {
         let text = "#g\n2\n7\n8\n1\n0 1 9\n";
         let (_, g) = read_graph(text.as_bytes()).unwrap();
         assert!(g.has_edge_labels());
-        assert_eq!(g.edge_label(VertexId::new(0), VertexId::new(1)), Some(LabelId::new(9)));
+        assert_eq!(
+            g.edge_label(VertexId::new(0), VertexId::new(1)),
+            Some(LabelId::new(9))
+        );
     }
 
     #[test]

@@ -2,10 +2,10 @@
 
 use crate::fxhash::FxHashSet;
 use crate::{Graph, GraphStore, LabelId};
-use serde::{Deserialize, Serialize};
+use serde_json::{json, FromJson, ToJson};
 
 /// Mean / standard deviation / maximum triple for a per-graph quantity.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Moments {
     pub avg: f64,
     pub std_dev: f64,
@@ -24,13 +24,38 @@ impl Moments {
         let avg = xs.iter().sum::<f64>() / n;
         let var = xs.iter().map(|x| (x - avg) * (x - avg)).sum::<f64>() / n;
         let max = xs.iter().copied().fold(f64::MIN, f64::max);
-        Moments { avg, std_dev: var.sqrt(), max }
+        Moments {
+            avg,
+            std_dev: var.sqrt(),
+            max,
+        }
+    }
+}
+
+impl ToJson for Moments {
+    fn to_json(&self) -> serde_json::Value {
+        json!({ "avg": self.avg, "std_dev": self.std_dev, "max": self.max })
+    }
+}
+
+impl FromJson for Moments {
+    fn from_json(v: &serde_json::Value) -> Result<Self, serde_json::Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde_json::Error::custom(format!("missing {name}")))
+                .and_then(f64::from_json)
+        };
+        Ok(Moments {
+            avg: field("avg")?,
+            std_dev: field("std_dev")?,
+            max: field("max")?,
+        })
     }
 }
 
 /// Per-dataset statistics mirroring Table 1 of the paper: label-universe
 /// size, number of graphs, average vertex degree, and node/edge moments.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetStats {
     /// Distinct vertex labels appearing anywhere in the dataset.
     pub vertex_labels: usize,
@@ -62,7 +87,11 @@ impl DatasetStats {
         DatasetStats {
             vertex_labels: labels.len(),
             graph_count: store.len(),
-            avg_degree: if total_vertices == 0 { 0.0 } else { total_deg as f64 / total_vertices as f64 },
+            avg_degree: if total_vertices == 0 {
+                0.0
+            } else {
+                total_deg as f64 / total_vertices as f64
+            },
             nodes: Moments::of(node_counts),
             edges: Moments::of(edge_counts),
         }
@@ -85,14 +114,72 @@ impl DatasetStats {
     }
 }
 
+impl ToJson for DatasetStats {
+    fn to_json(&self) -> serde_json::Value {
+        json!({
+            "vertex_labels": self.vertex_labels,
+            "graph_count": self.graph_count,
+            "avg_degree": self.avg_degree,
+            "nodes": self.nodes.to_json(),
+            "edges": self.edges.to_json(),
+        })
+    }
+}
+
+impl FromJson for DatasetStats {
+    fn from_json(v: &serde_json::Value) -> Result<Self, serde_json::Error> {
+        fn field<T: FromJson>(v: &serde_json::Value, name: &str) -> Result<T, serde_json::Error> {
+            v.get(name)
+                .ok_or_else(|| serde_json::Error::custom(format!("missing {name}")))
+                .and_then(T::from_json)
+        }
+        Ok(DatasetStats {
+            vertex_labels: field(v, "vertex_labels")?,
+            graph_count: field(v, "graph_count")?,
+            avg_degree: field(v, "avg_degree")?,
+            nodes: field(v, "nodes")?,
+            edges: field(v, "edges")?,
+        })
+    }
+}
+
 /// Per-graph summary used in reports and examples.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GraphSummary {
     pub vertices: usize,
     pub edges: usize,
     pub distinct_labels: usize,
     pub max_degree: usize,
     pub connected: bool,
+}
+
+impl ToJson for GraphSummary {
+    fn to_json(&self) -> serde_json::Value {
+        json!({
+            "vertices": self.vertices,
+            "edges": self.edges,
+            "distinct_labels": self.distinct_labels,
+            "max_degree": self.max_degree,
+            "connected": self.connected,
+        })
+    }
+}
+
+impl FromJson for GraphSummary {
+    fn from_json(v: &serde_json::Value) -> Result<Self, serde_json::Error> {
+        fn field<T: FromJson>(v: &serde_json::Value, name: &str) -> Result<T, serde_json::Error> {
+            v.get(name)
+                .ok_or_else(|| serde_json::Error::custom(format!("missing {name}")))
+                .and_then(T::from_json)
+        }
+        Ok(GraphSummary {
+            vertices: field(v, "vertices")?,
+            edges: field(v, "edges")?,
+            distinct_labels: field(v, "distinct_labels")?,
+            max_degree: field(v, "max_degree")?,
+            connected: field(v, "connected")?,
+        })
+    }
 }
 
 impl GraphSummary {

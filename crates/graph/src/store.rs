@@ -1,7 +1,6 @@
 //! The dataset: a `GraphStore` holds `D = {G1, ..., Gn}`.
 
 use crate::{Graph, GraphId};
-use serde::{Deserialize, Serialize};
 
 /// An append-only collection of dataset graphs with stable, dense
 /// [`GraphId`]s.
@@ -10,9 +9,31 @@ use serde::{Deserialize, Serialize};
 /// which `Gi` in the store satisfy `g ⊆ Gi`; the supergraph problem
 /// (Definition 4) asks for `g ⊇ Gi`. Every index method in `igq-methods`
 /// and iGQ itself are built over a `GraphStore`.
-#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct GraphStore {
     graphs: Vec<Graph>,
+}
+
+impl serde_json::ToJson for GraphStore {
+    fn to_json(&self) -> serde_json::Value {
+        let mut m = serde_json::Map::new();
+        m.insert(
+            "graphs".to_owned(),
+            serde_json::ToJson::to_json(&self.graphs),
+        );
+        serde_json::Value::Object(m)
+    }
+}
+
+impl serde_json::FromJson for GraphStore {
+    fn from_json(v: &serde_json::Value) -> Result<Self, serde_json::Error> {
+        let graphs = v
+            .get("graphs")
+            .ok_or_else(|| serde_json::Error::custom("missing graphs"))?;
+        Ok(GraphStore {
+            graphs: serde_json::FromJson::from_json(graphs)?,
+        })
+    }
 }
 
 impl GraphStore {
@@ -99,7 +120,9 @@ impl std::ops::Index<GraphId> for GraphStore {
 
 impl FromIterator<Graph> for GraphStore {
     fn from_iter<T: IntoIterator<Item = Graph>>(iter: T) -> Self {
-        GraphStore { graphs: iter.into_iter().collect() }
+        GraphStore {
+            graphs: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -125,7 +148,10 @@ mod tests {
         let b = s.push(graph_from(&[1], &[]));
         assert_eq!(a, GraphId::new(0));
         assert_eq!(b, GraphId::new(1));
-        assert_eq!(s.get(a).label(crate::VertexId::new(0)), crate::LabelId::new(0));
+        assert_eq!(
+            s.get(a).label(crate::VertexId::new(0)),
+            crate::LabelId::new(0)
+        );
     }
 
     #[test]

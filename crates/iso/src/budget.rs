@@ -22,7 +22,9 @@ impl Default for Budget {
 impl Budget {
     /// No cap.
     pub const fn unlimited() -> Self {
-        Budget { max_states: u64::MAX }
+        Budget {
+            max_states: u64::MAX,
+        }
     }
 
     /// Cap at `max_states` explored states.

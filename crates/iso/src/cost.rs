@@ -28,7 +28,8 @@ pub fn iso_cost_ln(n: usize, ni: usize, labels: usize) -> LogValue {
         return LogValue::ZERO;
     }
     let l = labels.max(1) as f64;
-    let ln = (ni as f64).ln() + ln_factorial(ni as u64) - ln_factorial((ni - n) as u64)
+    let ln = (ni as f64).ln() + ln_factorial(ni as u64)
+        - ln_factorial((ni - n) as u64)
         - (n as f64 + 1.0) * l.ln();
     LogValue::from_ln(ln)
 }
@@ -46,7 +47,10 @@ pub struct CostModel {
 impl CostModel {
     /// A model for a dataset whose label universe has `labels` members.
     pub fn new(labels: usize) -> CostModel {
-        CostModel { labels: labels.max(1), cache: Default::default() }
+        CostModel {
+            labels: labels.max(1),
+            cache: Default::default(),
+        }
     }
 
     /// The label-universe size the model was built with.

@@ -14,14 +14,14 @@ pub fn ln_gamma(x: f64) -> f64 {
     // numerous numeric libraries.
     const G: f64 = 7.0;
     const COEF: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
-        9.984_369_578_019_571_6e-6,
+        9.984_369_578_019_572e-6,
         1.505_632_735_149_311_6e-7,
     ];
     debug_assert!(x > 0.0, "ln_gamma domain is x > 0, got {x}");
@@ -44,8 +44,8 @@ pub fn ln_factorial(n: u64) -> f64 {
     // Exact table for small n avoids approximation error where it is
     // cheapest to be exact.
     const TABLE: [f64; 10] = [
-        0.0, // 0!
-        0.0, // 1!
+        0.0,                    // 0!
+        0.0,                    // 1!
         std::f64::consts::LN_2, // 2!
         1.791_759_469_228_055,
         3.178_053_830_347_946,
@@ -109,8 +109,13 @@ impl LogValue {
 
     /// log-sum-exp addition: `ln(e^a + e^b)` computed stably.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // log-space sum, not ops::Add
     pub fn add(self, other: LogValue) -> LogValue {
-        let (hi, lo) = if self.0 >= other.0 { (self.0, other.0) } else { (other.0, self.0) };
+        let (hi, lo) = if self.0 >= other.0 {
+            (self.0, other.0)
+        } else {
+            (other.0, self.0)
+        };
         if hi == f64::NEG_INFINITY {
             return LogValue::ZERO;
         }
@@ -119,6 +124,7 @@ impl LogValue {
 
     /// Multiplication is exponent addition.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // log-space product, not ops::Mul
     pub fn mul(self, other: LogValue) -> LogValue {
         LogValue(self.0 + other.0)
     }

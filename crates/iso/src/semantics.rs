@@ -30,12 +30,18 @@ pub struct MatchConfig {
 impl MatchConfig {
     /// Monomorphism with a state budget.
     pub fn with_budget(max_states: u64) -> Self {
-        MatchConfig { semantics: MatchSemantics::Monomorphism, budget: Budget::limited(max_states) }
+        MatchConfig {
+            semantics: MatchSemantics::Monomorphism,
+            budget: Budget::limited(max_states),
+        }
     }
 
     /// Induced semantics, unlimited budget.
     pub fn induced() -> Self {
-        MatchConfig { semantics: MatchSemantics::Induced, budget: Budget::unlimited() }
+        MatchConfig {
+            semantics: MatchSemantics::Induced,
+            budget: Budget::unlimited(),
+        }
     }
 }
 
@@ -173,7 +179,12 @@ mod tests {
     fn verify_embedding_rejects_label_mismatch() {
         let p = graph_from(&[0], &[]);
         let t = graph_from(&[1], &[]);
-        assert!(!verify_embedding(&p, &t, &[VertexId::new(0)], MatchSemantics::Monomorphism));
+        assert!(!verify_embedding(
+            &p,
+            &t,
+            &[VertexId::new(0)],
+            MatchSemantics::Monomorphism
+        ));
     }
 
     #[test]

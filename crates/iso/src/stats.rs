@@ -60,9 +60,18 @@ mod tests {
     #[test]
     fn record_classifies_outcomes() {
         let mut s = IsoStats::new();
-        s.record(&MatchResult { outcome: Outcome::Found(vec![]), states: 5 });
-        s.record(&MatchResult { outcome: Outcome::NotFound, states: 3 });
-        s.record(&MatchResult { outcome: Outcome::Aborted, states: 100 });
+        s.record(&MatchResult {
+            outcome: Outcome::Found(vec![]),
+            states: 5,
+        });
+        s.record(&MatchResult {
+            outcome: Outcome::NotFound,
+            states: 3,
+        });
+        s.record(&MatchResult {
+            outcome: Outcome::Aborted,
+            states: 100,
+        });
         assert_eq!(s.tests, 3);
         assert_eq!(s.matches, 1);
         assert_eq!(s.aborted, 1);
@@ -71,15 +80,38 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let mut a = IsoStats { tests: 1, matches: 1, aborted: 0, states: 10 };
-        let b = IsoStats { tests: 2, matches: 0, aborted: 1, states: 20 };
+        let mut a = IsoStats {
+            tests: 1,
+            matches: 1,
+            aborted: 0,
+            states: 10,
+        };
+        let b = IsoStats {
+            tests: 2,
+            matches: 0,
+            aborted: 1,
+            states: 20,
+        };
         a.merge(&b);
-        assert_eq!(a, IsoStats { tests: 3, matches: 1, aborted: 1, states: 30 });
+        assert_eq!(
+            a,
+            IsoStats {
+                tests: 3,
+                matches: 1,
+                aborted: 1,
+                states: 30
+            }
+        );
     }
 
     #[test]
     fn avg_states() {
-        let s = IsoStats { tests: 4, matches: 0, aborted: 0, states: 10 };
+        let s = IsoStats {
+            tests: 4,
+            matches: 0,
+            aborted: 0,
+            states: 10,
+        };
         assert_eq!(s.avg_states(), 2.5);
         assert_eq!(IsoStats::new().avg_states(), 0.0);
     }

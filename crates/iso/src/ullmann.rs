@@ -26,7 +26,10 @@ struct BitMatrix {
 impl BitMatrix {
     fn new(rows: usize, cols: usize) -> Self {
         let words_per_row = cols.div_ceil(64);
-        BitMatrix { words_per_row, bits: vec![0; rows * words_per_row] }
+        BitMatrix {
+            words_per_row,
+            bits: vec![0; rows * words_per_row],
+        }
     }
 
     #[inline]
@@ -221,8 +224,7 @@ pub fn find_one(pattern: &Graph, target: &Graph, config: &MatchConfig) -> MatchR
     if pattern.is_empty() {
         return MatchResult::new(Outcome::Found(Vec::new()), 0);
     }
-    if pattern.vertex_count() > target.vertex_count()
-        || pattern.edge_count() > target.edge_count()
+    if pattern.vertex_count() > target.vertex_count() || pattern.edge_count() > target.edge_count()
     {
         return MatchResult::new(Outcome::NotFound, 0);
     }
@@ -265,7 +267,10 @@ mod tests {
     fn agrees_with_vf2_on_fixed_cases() {
         let cases = vec![
             // (pattern, target)
-            (graph_from(&[0, 1], &[(0, 1)]), graph_from(&[1, 0, 1], &[(0, 1), (1, 2)])),
+            (
+                graph_from(&[0, 1], &[(0, 1)]),
+                graph_from(&[1, 0, 1], &[(0, 1), (1, 2)]),
+            ),
             (
                 graph_from(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]),
                 graph_from(&[0, 0, 0, 0], &[(0, 1), (1, 2), (2, 3)]),
@@ -274,7 +279,10 @@ mod tests {
                 graph_from(&[2, 2, 3], &[(0, 1), (1, 2)]),
                 graph_from(&[2, 2, 3, 3], &[(0, 1), (1, 2), (2, 3), (0, 3)]),
             ),
-            (graph_from(&[0; 4], &[(0, 1), (1, 2), (2, 3), (3, 0)]), graph_from(&[0; 5], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])),
+            (
+                graph_from(&[0; 4], &[(0, 1), (1, 2), (2, 3), (3, 0)]),
+                graph_from(&[0; 5], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]),
+            ),
         ];
         for (p, t) in cases {
             let v = vf2::find_one(&p, &t, &cfg()).outcome.is_found();
@@ -307,7 +315,9 @@ mod tests {
         let p2 = graph_from(&[0, 0], &[]); // two isolated vertices
         let k2 = graph_from(&[0, 0], &[(0, 1)]);
         assert!(find_one(&p2, &k2, &cfg()).outcome.is_found());
-        assert!(find_one(&p2, &k2, &MatchConfig::induced()).outcome.is_not_found());
+        assert!(find_one(&p2, &k2, &MatchConfig::induced())
+            .outcome
+            .is_not_found());
     }
 
     #[test]
@@ -320,14 +330,23 @@ mod tests {
             }
         }
         let t = graph_from(&[0; 10], &edges);
-        let r = find_one(&p, &t, &MatchConfig { semantics: MatchSemantics::Induced, budget: crate::Budget::limited(3) });
+        let r = find_one(
+            &p,
+            &t,
+            &MatchConfig {
+                semantics: MatchSemantics::Induced,
+                budget: crate::Budget::limited(3),
+            },
+        );
         assert_eq!(r.outcome, Outcome::Aborted);
     }
 
     #[test]
     fn empty_pattern() {
         let t = graph_from(&[0], &[]);
-        assert!(find_one(&graph_from(&[], &[]), &t, &cfg()).outcome.is_found());
+        assert!(find_one(&graph_from(&[], &[]), &t, &cfg())
+            .outcome
+            .is_found());
     }
 
     #[test]

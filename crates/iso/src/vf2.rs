@@ -63,7 +63,11 @@ fn build_plan(pattern: &Graph, target: &Graph) -> Vec<PlanEntry> {
                 .filter(|&v| !ordered[v.index()])
                 .filter(|&v| pattern.neighbors(v).iter().any(|&w| ordered[w.index()]))
                 .max_by_key(|&v| {
-                    let back = pattern.neighbors(v).iter().filter(|&&w| ordered[w.index()]).count();
+                    let back = pattern
+                        .neighbors(v)
+                        .iter()
+                        .filter(|&&w| ordered[w.index()])
+                        .count();
                     (back, usize::MAX - rarity(v), pattern.degree(v))
                 });
             match next {
@@ -91,7 +95,11 @@ fn build_plan(pattern: &Graph, target: &Graph) -> Vec<PlanEntry> {
                 .filter(|&w| position[w.index()] < pos)
                 .collect();
             let forward_degree = (pattern.degree(v) - backward.len()) as u32;
-            PlanEntry { vertex: v, backward, forward_degree }
+            PlanEntry {
+                vertex: v,
+                backward,
+                forward_degree,
+            }
         })
         .collect()
 }
@@ -134,7 +142,11 @@ impl<'a> Searcher<'a> {
     /// Number of `t`'s neighbors not yet used by the mapping.
     #[inline]
     fn free_degree(&self, t: VertexId) -> u32 {
-        self.target.neighbors(t).iter().filter(|&&w| !self.used[w.index()]).count() as u32
+        self.target
+            .neighbors(t)
+            .iter()
+            .filter(|&&w| !self.used[w.index()])
+            .count() as u32
     }
 
     /// VF2 feasibility of extending the mapping with `p -> t`.
@@ -203,7 +215,9 @@ impl<'a> Searcher<'a> {
             let bt = VertexId::new(self.mapping[bp.index()]);
             self.target.neighbors(bt).to_vec()
         } else {
-            self.target.vertices_with_label(self.pattern.label(p)).to_vec()
+            self.target
+                .vertices_with_label(self.pattern.label(p))
+                .to_vec()
         };
 
         for t in candidates {
@@ -245,8 +259,7 @@ pub fn find_one(pattern: &Graph, target: &Graph, config: &MatchConfig) -> MatchR
     if pattern.is_empty() {
         return MatchResult::new(Outcome::Found(Vec::new()), 0);
     }
-    if pattern.vertex_count() > target.vertex_count()
-        || pattern.edge_count() > target.edge_count()
+    if pattern.vertex_count() > target.vertex_count() || pattern.edge_count() > target.edge_count()
     {
         return MatchResult::new(Outcome::NotFound, 0);
     }
@@ -298,8 +311,12 @@ mod tests {
     #[test]
     fn single_vertex_label_match() {
         let t = graph_from(&[3, 5], &[(0, 1)]);
-        assert!(find_one(&graph_from(&[5], &[]), &t, &cfg()).outcome.is_found());
-        assert!(find_one(&graph_from(&[9], &[]), &t, &cfg()).outcome.is_not_found());
+        assert!(find_one(&graph_from(&[5], &[]), &t, &cfg())
+            .outcome
+            .is_found());
+        assert!(find_one(&graph_from(&[9], &[]), &t, &cfg())
+            .outcome
+            .is_not_found());
     }
 
     #[test]
@@ -307,7 +324,11 @@ mod tests {
         let p = graph_from(&[0, 0, 0], &[(0, 1), (1, 2)]);
         let tri = graph_from(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
         let r = find_one(&p, &tri, &cfg());
-        let m = r.outcome.mapping().expect("path embeds in triangle").to_vec();
+        let m = r
+            .outcome
+            .mapping()
+            .expect("path embeds in triangle")
+            .to_vec();
         assert!(verify_embedding(&p, &tri, &m, MatchSemantics::Monomorphism));
     }
 
@@ -316,7 +337,9 @@ mod tests {
         // Induced P3 needs the endpoints non-adjacent: impossible in K3.
         let p = graph_from(&[0, 0, 0], &[(0, 1), (1, 2)]);
         let tri = graph_from(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
-        assert!(find_one(&p, &tri, &MatchConfig::induced()).outcome.is_not_found());
+        assert!(find_one(&p, &tri, &MatchConfig::induced())
+            .outcome
+            .is_not_found());
     }
 
     #[test]
@@ -344,7 +367,11 @@ mod tests {
         let yes = graph_from(&[0, 1, 0, 1, 9], &[(0, 1), (2, 3)]);
         let no = graph_from(&[0, 1, 9], &[(0, 1)]); // only one 0-1 edge
         let r = find_one(&p, &yes, &cfg());
-        let m = r.outcome.mapping().expect("two disjoint edges exist").to_vec();
+        let m = r
+            .outcome
+            .mapping()
+            .expect("two disjoint edges exist")
+            .to_vec();
         assert!(verify_embedding(&p, &yes, &m, MatchSemantics::Monomorphism));
         assert!(find_one(&p, &no, &cfg()).outcome.is_not_found());
     }
@@ -378,7 +405,13 @@ mod tests {
                 edges.push((i, (i + d) % 12));
             }
         }
-        let t = graph_from(&[0; 12], &edges.into_iter().map(|(a, b)| if a < b { (a, b) } else { (b, a) }).collect::<Vec<_>>());
+        let t = graph_from(
+            &[0; 12],
+            &edges
+                .into_iter()
+                .map(|(a, b)| if a < b { (a, b) } else { (b, a) })
+                .collect::<Vec<_>>(),
+        );
         let r = find_one(&p, &t, &MatchConfig::with_budget(10));
         assert_eq!(r.outcome, Outcome::Aborted);
         assert!(r.states <= 11);
@@ -439,7 +472,11 @@ mod tests {
         let r = find_one(&p, &t, &cfg());
         let m = r.outcome.mapping().expect("label-4 edge exists").to_vec();
         assert!(verify_embedding(&p, &t, &m, MatchSemantics::Monomorphism));
-        assert_eq!(m[1].index(), 2, "pattern's 2 must map to the 4-labeled edge's end");
+        assert_eq!(
+            m[1].index(),
+            2,
+            "pattern's 2 must map to the 4-labeled edge's end"
+        );
     }
 
     #[test]
@@ -448,7 +485,16 @@ mod tests {
         let p = graph_from(&[1, 2, 1, 3], &[(0, 1), (1, 2), (2, 3), (0, 3)]);
         let t = graph_from(
             &[3, 1, 2, 1, 2, 3],
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4), (0, 3)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 0),
+                (1, 4),
+                (0, 3),
+            ],
         );
         let r = find_one(&p, &t, &cfg());
         if let Some(m) = r.outcome.mapping() {

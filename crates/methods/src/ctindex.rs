@@ -68,11 +68,17 @@ impl CtIndexConfig {
     }
 
     fn tree_config(&self) -> TreeConfig {
-        TreeConfig { max_edges: self.max_tree_edges, budget: self.tree_budget }
+        TreeConfig {
+            max_edges: self.max_tree_edges,
+            budget: self.tree_budget,
+        }
     }
 
     fn cycle_config(&self) -> CycleConfig {
-        CycleConfig { max_len: self.max_cycle_len, budget: self.cycle_budget }
+        CycleConfig {
+            max_len: self.max_cycle_len,
+            budget: self.cycle_budget,
+        }
     }
 }
 
@@ -102,10 +108,18 @@ impl CtIndex {
                 Self::make_print(&config, &trees, &cycles)
             })
             .collect();
-        CtIndex { store: Arc::clone(store), config, prints }
+        CtIndex {
+            store: Arc::clone(store),
+            config,
+            prints,
+        }
     }
 
-    fn make_print(config: &CtIndexConfig, trees: &TreeFeatures, cycles: &CycleFeatures) -> GraphPrint {
+    fn make_print(
+        config: &CtIndexConfig,
+        trees: &TreeFeatures,
+        cycles: &CycleFeatures,
+    ) -> GraphPrint {
         let mut tree_fps = Vec::with_capacity(config.max_tree_edges + 1);
         for bucket in &trees.by_size {
             let mut fp = Fingerprint::new(config.bits_per_bucket);
@@ -284,7 +298,11 @@ mod tests {
             }
         }
         let s: Arc<GraphStore> = Arc::new(vec![graph_from(&[0; 8], &edges)].into_iter().collect());
-        let config = CtIndexConfig { tree_budget: 30, cycle_budget: 30, ..Default::default() };
+        let config = CtIndexConfig {
+            tree_budget: 30,
+            cycle_budget: 30,
+            ..Default::default()
+        };
         let ct = CtIndex::build(&s, config);
         let q = graph_from(&[0; 4], &[(0, 1), (1, 2), (2, 3), (3, 0)]); // C4
         let (answers, _) = ct.query(&q);

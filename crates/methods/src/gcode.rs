@@ -57,7 +57,11 @@ pub struct GCodeConfig {
 
 impl Default for GCodeConfig {
     fn default() -> Self {
-        GCodeConfig { label_buckets: 8, matching: true, match_config: MatchConfig::default() }
+        GCodeConfig {
+            label_buckets: 8,
+            matching: true,
+            match_config: MatchConfig::default(),
+        }
     }
 }
 
@@ -115,7 +119,11 @@ impl GCode {
                 sigs: vertex_signatures(g, config.label_buckets),
             })
             .collect();
-        GCode { store: Arc::clone(store), config, codes }
+        GCode {
+            store: Arc::clone(store),
+            config,
+            codes,
+        }
     }
 
     /// The configuration this index was built with.
@@ -130,7 +138,9 @@ impl GCode {
             return false;
         }
         let hist = &self.codes[id.index()].label_hist;
-        q_hist.iter().all(|(l, &c)| hist.get(l).copied().unwrap_or(0) >= c)
+        q_hist
+            .iter()
+            .all(|(l, &c)| hist.get(l).copied().unwrap_or(0) >= c)
     }
 
     /// Stages 2 and 3 for one graph: per-vertex compatibility lists, then
@@ -241,8 +251,7 @@ impl SubgraphMethod for GCode {
         self.codes
             .iter()
             .map(|c| {
-                (c.sigs.len() * std::mem::size_of::<u16>()) as u64
-                    + c.label_hist.len() as u64 * 12
+                (c.sigs.len() * std::mem::size_of::<u16>()) as u64 + c.label_hist.len() as u64 * 12
             })
             .sum()
     }
@@ -305,10 +314,23 @@ mod tests {
         let s: Arc<GraphStore> = Arc::new(vec![data].into_iter().collect());
 
         let with = GCode::build(&s, GCodeConfig::default());
-        assert!(with.filter(&query).candidates.is_empty(), "matching must prune");
+        assert!(
+            with.filter(&query).candidates.is_empty(),
+            "matching must prune"
+        );
 
-        let without = GCode::build(&s, GCodeConfig { matching: false, ..Default::default() });
-        assert_eq!(without.filter(&query).candidates, ids(&[0]), "dominance alone passes");
+        let without = GCode::build(
+            &s,
+            GCodeConfig {
+                matching: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            without.filter(&query).candidates,
+            ids(&[0]),
+            "dominance alone passes"
+        );
 
         // And the ground truth agrees with the matching variant here.
         let naive = NaiveMethod::build(&s);
@@ -319,7 +341,13 @@ mod tests {
     fn no_matching_candidates_are_superset() {
         let s = store();
         let strict = GCode::build(&s, GCodeConfig::default());
-        let loose = GCode::build(&s, GCodeConfig { matching: false, ..Default::default() });
+        let loose = GCode::build(
+            &s,
+            GCodeConfig {
+                matching: false,
+                ..Default::default()
+            },
+        );
         for q in [
             graph_from(&[0, 1], &[(0, 1)]),
             graph_from(&[2, 2], &[(0, 1)]),
@@ -414,7 +442,7 @@ mod tests {
         // negative).
         let side = 300u32;
         let mut labels = vec![0u32; side as usize];
-        labels.extend(std::iter::repeat(1).take(side as usize));
+        labels.extend(std::iter::repeat_n(1, side as usize));
         let mut edges = Vec::with_capacity((side * side) as usize);
         for l in 0..side {
             for r in 0..side {
@@ -427,7 +455,7 @@ mod tests {
         let b = GCodeConfig::default().label_buckets;
         let sigs = vertex_signatures(&data, b);
         assert!(
-            sigs[b..2 * b].iter().any(|&x| x == u16::MAX),
+            sigs[b..2 * b].contains(&u16::MAX),
             "left vertex walk-2 bucket should saturate"
         );
 
@@ -450,7 +478,13 @@ mod tests {
         let s = store();
         let naive = NaiveMethod::build(&s);
         for buckets in [1, 2, 4, 16, 64] {
-            let m = GCode::build(&s, GCodeConfig { label_buckets: buckets, ..Default::default() });
+            let m = GCode::build(
+                &s,
+                GCodeConfig {
+                    label_buckets: buckets,
+                    ..Default::default()
+                },
+            );
             for q in [
                 graph_from(&[0, 1], &[(0, 1)]),
                 graph_from(&[0, 1, 2], &[(0, 1), (1, 2)]),
@@ -463,8 +497,20 @@ mod tests {
     #[test]
     fn index_size_scales_with_buckets() {
         let s = store();
-        let small = GCode::build(&s, GCodeConfig { label_buckets: 4, ..Default::default() });
-        let big = GCode::build(&s, GCodeConfig { label_buckets: 32, ..Default::default() });
+        let small = GCode::build(
+            &s,
+            GCodeConfig {
+                label_buckets: 4,
+                ..Default::default()
+            },
+        );
+        let big = GCode::build(
+            &s,
+            GCodeConfig {
+                label_buckets: 32,
+                ..Default::default()
+            },
+        );
         assert!(big.index_size_bytes() > small.index_size_bytes());
     }
 

@@ -13,7 +13,7 @@
 //! negative contract at the price of filtering power.
 
 use crate::method::{intersect_sorted, Filtered, QueryContext, SubgraphMethod, VerifyOutcome};
-use igq_features::{enumerate_paths, FeatureTrie, LabelSeq, PathConfig};
+use igq_features::{enumerate_paths, FeatureTrie, LabelSeq, PathConfig, PathFeatures};
 use igq_graph::{Graph, GraphId, GraphStore};
 use igq_iso::{vf2, MatchConfig};
 use std::sync::Arc;
@@ -32,13 +32,21 @@ pub struct GgsxConfig {
 impl Default for GgsxConfig {
     fn default() -> Self {
         let p = PathConfig::default();
-        GgsxConfig { max_path_len: p.max_len, path_budget: p.budget, match_config: MatchConfig::default() }
+        GgsxConfig {
+            max_path_len: p.max_len,
+            path_budget: p.budget,
+            match_config: MatchConfig::default(),
+        }
     }
 }
 
 impl GgsxConfig {
     fn path_config(&self) -> PathConfig {
-        PathConfig { max_len: self.max_path_len, include_vertices: true, budget: self.path_budget }
+        PathConfig {
+            max_len: self.max_path_len,
+            include_vertices: true,
+            budget: self.path_budget,
+        }
     }
 }
 
@@ -70,12 +78,45 @@ impl Ggsx {
                 shallow.push(id);
             }
         }
-        Ggsx { store: Arc::clone(store), config, trie, complete_len, shallow }
+        Ggsx {
+            store: Arc::clone(store),
+            config,
+            trie,
+            complete_len,
+            shallow,
+        }
     }
 
     fn size_screen(&self, q: &Graph, id: GraphId) -> bool {
         let g = self.store.get(id);
         g.vertex_count() >= q.vertex_count() && g.edge_count() >= q.edge_count()
+    }
+
+    /// Shared body of `filter`/`filter_with_features`: trie filtering from
+    /// an already-extracted query feature set.
+    fn filter_from(&self, q: &Graph, qf: &PathFeatures) -> Filtered {
+        let features: Vec<(LabelSeq, u32)> = qf
+            .counts
+            .iter()
+            .filter(|(s, _)| s.edge_len() <= self.config.max_path_len)
+            .map(|(s, &c)| (s.clone(), c))
+            .collect();
+        let candidates = Ggsx::trie_filter(
+            &self.store,
+            &self.trie,
+            &self.complete_len,
+            &self.shallow,
+            self.config.max_path_len,
+            q,
+            &features,
+        );
+        debug_assert!(candidates.iter().all(|&id| self.size_screen(q, id)));
+        Filtered {
+            candidates,
+            context: QueryContext {
+                path_features: Some(features),
+            },
+        }
     }
 
     /// Candidate computation shared with Grapes (which layers location-aware
@@ -110,7 +151,9 @@ impl Ggsx {
             let qualifying: Vec<GraphId> = trie
                 .get(seq)
                 .iter()
-                .filter(|p| p.count >= *count && complete_len[p.graph.index()] as usize == max_path_len)
+                .filter(|p| {
+                    p.count >= *count && complete_len[p.graph.index()] as usize == max_path_len
+                })
                 .map(|p| p.graph)
                 .collect();
             full = Some(match full {
@@ -157,19 +200,19 @@ impl SubgraphMethod for Ggsx {
 
     fn filter(&self, q: &Graph) -> Filtered {
         let qf = enumerate_paths(q, &self.config.path_config());
-        let features: Vec<(LabelSeq, u32)> =
-            qf.counts.iter().map(|(s, &c)| (s.clone(), c)).collect();
-        let candidates = Ggsx::trie_filter(
-            &self.store,
-            &self.trie,
-            &self.complete_len,
-            &self.shallow,
-            self.config.max_path_len,
-            q,
-            &features,
-        );
-        debug_assert!(candidates.iter().all(|&id| self.size_screen(q, id)));
-        Filtered { candidates, context: QueryContext { path_features: Some(features) } }
+        self.filter_from(q, &qf)
+    }
+
+    /// Reuses externally extracted path features (the iGQ engine's
+    /// single-pass extraction) instead of enumerating again. Features
+    /// longer than this index's depth are ignored — the extraction config
+    /// may differ from the index config, and over-long features have no
+    /// postings here, so keeping them would filter unsoundly.
+    fn filter_with_features(&self, q: &Graph, features: Option<&PathFeatures>) -> Filtered {
+        match features {
+            Some(qf) => self.filter_from(q, qf),
+            None => self.filter(q),
+        }
     }
 
     fn verify(&self, q: &Graph, _context: &QueryContext, candidate: GraphId) -> VerifyOutcome {
@@ -194,8 +237,8 @@ mod tests {
     fn store() -> Arc<GraphStore> {
         Arc::new(
             vec![
-                graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]),         // g0: 0-1-0 path
-                graph_from(&[0, 1], &[(0, 1)]),                    // g1: 0-1 edge
+                graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]), // g0: 0-1-0 path
+                graph_from(&[0, 1], &[(0, 1)]),            // g1: 0-1 edge
                 graph_from(&[2, 2, 2], &[(0, 1), (1, 2), (0, 2)]), // g2: triangle of 2s
                 graph_from(&[0, 1, 2, 0], &[(0, 1), (1, 2), (2, 3)]), // g3: 0-1-2-0 path
             ]
@@ -210,7 +253,10 @@ mod tests {
         let q = graph_from(&[0, 1], &[(0, 1)]);
         let f = m.filter(&q);
         // g2 has no 0 or 1 labels; all others contain the 0-1 edge feature.
-        assert_eq!(f.candidates, vec![GraphId::new(0), GraphId::new(1), GraphId::new(3)]);
+        assert_eq!(
+            f.candidates,
+            vec![GraphId::new(0), GraphId::new(1), GraphId::new(3)]
+        );
     }
 
     #[test]
@@ -279,7 +325,10 @@ mod tests {
         }
         let dense = graph_from(&[0; 10], &edges); // K10, all label 0
         let s: Arc<GraphStore> = Arc::new(vec![dense].into_iter().collect());
-        let config = GgsxConfig { path_budget: 50, ..Default::default() };
+        let config = GgsxConfig {
+            path_budget: 50,
+            ..Default::default()
+        };
         let m = Ggsx::build(&s, config);
         let q = graph_from(&[0; 5], &[(0, 1), (1, 2), (2, 3), (3, 4)]); // P5 of 0s
         let f = m.filter(&q);

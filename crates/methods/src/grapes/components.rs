@@ -11,7 +11,10 @@ use igq_graph::{Graph, VertexId};
 /// (which must be sorted and deduplicated). Components are returned as
 /// sorted vertex lists, largest first.
 pub fn components_within(g: &Graph, vertices: &[VertexId]) -> Vec<Vec<VertexId>> {
-    debug_assert!(vertices.windows(2).all(|w| w[0] < w[1]), "vertices must be sorted+dedup");
+    debug_assert!(
+        vertices.windows(2).all(|w| w[0] < w[1]),
+        "vertices must be sorted+dedup"
+    );
     let member = |v: VertexId| vertices.binary_search(&v).is_ok();
     let mut seen = vec![false; g.vertex_count()];
     let mut out = Vec::new();

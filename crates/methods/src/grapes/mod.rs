@@ -60,11 +60,18 @@ impl Default for GrapesConfig {
 impl GrapesConfig {
     /// The paper's `Grapes(6)` configuration.
     pub fn six_threads() -> Self {
-        GrapesConfig { threads: 6, ..Default::default() }
+        GrapesConfig {
+            threads: 6,
+            ..Default::default()
+        }
     }
 
     fn path_config(&self) -> PathConfig {
-        PathConfig { max_len: self.max_path_len, include_vertices: true, budget: self.path_budget }
+        PathConfig {
+            max_len: self.max_path_len,
+            include_vertices: true,
+            budget: self.path_budget,
+        }
     }
 }
 
@@ -98,12 +105,23 @@ impl Grapes {
             }
             locations.push(f.locations);
         }
-        Grapes { store: Arc::clone(store), config, trie, complete_len, shallow, locations }
+        Grapes {
+            store: Arc::clone(store),
+            config,
+            trie,
+            complete_len,
+            shallow,
+            locations,
+        }
     }
 
     /// Vertices of `candidate` hosting any of the query's features
     /// (sorted, deduplicated).
-    fn candidate_vertices(&self, features: &[(LabelSeq, u32)], candidate: GraphId) -> Vec<VertexId> {
+    fn candidate_vertices(
+        &self,
+        features: &[(LabelSeq, u32)],
+        candidate: GraphId,
+    ) -> Vec<VertexId> {
         let locs = &self.locations[candidate.index()];
         let mut vertices: Vec<VertexId> = Vec::new();
         for (seq, _) in features {
@@ -133,7 +151,11 @@ impl Grapes {
         }
         let vertices = self.candidate_vertices(features, candidate);
         if vertices.len() < q.vertex_count() {
-            return VerifyOutcome { contains: false, aborted: false, states: 0 };
+            return VerifyOutcome {
+                contains: false,
+                aborted: false,
+                states: 0,
+            };
         }
         let mut states = 0u64;
         let mut aborted = false;
@@ -149,13 +171,47 @@ impl Grapes {
             states += r.states;
             match r.outcome {
                 igq_iso::Outcome::Found(_) => {
-                    return VerifyOutcome { contains: true, aborted: false, states };
+                    return VerifyOutcome {
+                        contains: true,
+                        aborted: false,
+                        states,
+                    };
                 }
                 igq_iso::Outcome::Aborted => aborted = true,
                 igq_iso::Outcome::NotFound => {}
             }
         }
-        VerifyOutcome { contains: false, aborted, states }
+        VerifyOutcome {
+            contains: false,
+            aborted,
+            states,
+        }
+    }
+
+    /// Shared body of `filter`/`filter_with_features`: trie filtering from
+    /// an already-extracted query feature set.
+    fn filter_from(&self, q: &Graph, qf: &igq_features::PathFeatures) -> Filtered {
+        let features: Vec<(LabelSeq, u32)> = qf
+            .counts
+            .iter()
+            .filter(|(s, _)| s.edge_len() <= self.config.max_path_len)
+            .map(|(s, &c)| (s.clone(), c))
+            .collect();
+        let candidates = Ggsx::trie_filter(
+            &self.store,
+            &self.trie,
+            &self.complete_len,
+            &self.shallow,
+            self.config.max_path_len,
+            q,
+            &features,
+        );
+        Filtered {
+            candidates,
+            context: QueryContext {
+                path_features: Some(features),
+            },
+        }
     }
 }
 
@@ -170,18 +226,21 @@ impl SubgraphMethod for Grapes {
 
     fn filter(&self, q: &Graph) -> Filtered {
         let qf = igq_features::enumerate_paths(q, &self.config.path_config());
-        let features: Vec<(LabelSeq, u32)> =
-            qf.counts.iter().map(|(s, &c)| (s.clone(), c)).collect();
-        let candidates = Ggsx::trie_filter(
-            &self.store,
-            &self.trie,
-            &self.complete_len,
-            &self.shallow,
-            self.config.max_path_len,
-            q,
-            &features,
-        );
-        Filtered { candidates, context: QueryContext { path_features: Some(features) } }
+        self.filter_from(q, &qf)
+    }
+
+    /// Reuses an externally extracted feature set (the iGQ engine's
+    /// single-pass extraction); features beyond this index's depth are
+    /// dropped, as in [`Ggsx::filter_with_features`].
+    fn filter_with_features(
+        &self,
+        q: &Graph,
+        features: Option<&igq_features::PathFeatures>,
+    ) -> Filtered {
+        match features {
+            Some(qf) => self.filter_from(q, qf),
+            None => self.filter(q),
+        }
     }
 
     fn verify(&self, q: &Graph, context: &QueryContext, candidate: GraphId) -> VerifyOutcome {
@@ -205,13 +264,17 @@ impl SubgraphMethod for Grapes {
         candidates: &[GraphId],
     ) -> Vec<VerifyOutcome> {
         if self.config.threads <= 1 || candidates.len() < 2 {
-            return candidates.iter().map(|&id| self.verify(q, context, id)).collect();
+            return candidates
+                .iter()
+                .map(|&id| self.verify(q, context, id))
+                .collect();
         }
         // Shared work queue over candidate indexes, as in the original's
         // parallel verification stage.
         let next = AtomicUsize::new(0);
-        let results: Vec<parking_lot::Mutex<Option<VerifyOutcome>>> =
-            (0..candidates.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+        let results: Vec<parking_lot::Mutex<Option<VerifyOutcome>>> = (0..candidates.len())
+            .map(|_| parking_lot::Mutex::new(None))
+            .collect();
         crossbeam::scope(|scope| {
             for _ in 0..self.config.threads.min(candidates.len()) {
                 scope.spawn(|_| loop {
@@ -307,10 +370,16 @@ mod tests {
         let f1 = g1.filter(&q);
         let f6 = g6.filter(&q);
         assert_eq!(f1.candidates, f6.candidates);
-        let r1: Vec<bool> =
-            g1.verify_batch(&q, &f1.context, &f1.candidates).iter().map(|o| o.contains).collect();
-        let r6: Vec<bool> =
-            g6.verify_batch(&q, &f6.context, &f6.candidates).iter().map(|o| o.contains).collect();
+        let r1: Vec<bool> = g1
+            .verify_batch(&q, &f1.context, &f1.candidates)
+            .iter()
+            .map(|o| o.contains)
+            .collect();
+        let r6: Vec<bool> = g6
+            .verify_batch(&q, &f6.context, &f6.candidates)
+            .iter()
+            .map(|o| o.contains)
+            .collect();
         assert_eq!(r1, r6);
     }
 

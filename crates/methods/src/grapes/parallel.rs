@@ -21,7 +21,10 @@ pub fn parallel_enumerate(
         return Vec::new();
     }
     if threads <= 1 || n == 1 {
-        return store.iter().map(|(_, g)| enumerate_paths_with_locations(g, config)).collect();
+        return store
+            .iter()
+            .map(|(_, g)| enumerate_paths_with_locations(g, config))
+            .collect();
     }
 
     let slots: Vec<parking_lot::Mutex<Option<PathFeatures>>> =

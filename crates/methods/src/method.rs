@@ -6,7 +6,7 @@
 //! negatives ([`SubgraphMethod::filter`]), and decides individual candidates
 //! with a subgraph-isomorphism test ([`SubgraphMethod::verify`]).
 
-use igq_features::LabelSeq;
+use igq_features::{LabelSeq, PathFeatures};
 use igq_graph::{Graph, GraphId, GraphStore};
 use igq_iso::MatchConfig;
 
@@ -33,7 +33,10 @@ impl Filtered {
     /// A candidate set with no context.
     pub fn new(candidates: Vec<GraphId>) -> Filtered {
         debug_assert!(candidates.windows(2).all(|w| w[0] < w[1]));
-        Filtered { candidates, context: QueryContext::default() }
+        Filtered {
+            candidates,
+            context: QueryContext::default(),
+        }
     }
 }
 
@@ -78,6 +81,22 @@ pub trait SubgraphMethod: Send + Sync {
     /// The filtering stage: produce candidates for query `q`.
     fn filter(&self, q: &Graph) -> Filtered;
 
+    /// Filtering with the query's path features already extracted (the iGQ
+    /// engine enumerates them once and shares them with its index probes).
+    /// Path-feature methods override this to skip their own enumeration;
+    /// the default ignores the hint and delegates to [`Self::filter`].
+    ///
+    /// `features` may have been extracted under a different [`PathConfig`]
+    /// than the method's own index: implementations must stay sound (no
+    /// false negatives) for any exhaustively enumerated feature set, e.g.
+    /// by ignoring features longer than their indexed depth.
+    ///
+    /// [`PathConfig`]: igq_features::PathConfig
+    fn filter_with_features(&self, q: &Graph, features: Option<&PathFeatures>) -> Filtered {
+        let _ = features;
+        self.filter(q)
+    }
+
     /// The verification stage for a single candidate.
     fn verify(&self, q: &Graph, context: &QueryContext, candidate: GraphId) -> VerifyOutcome;
 
@@ -99,7 +118,10 @@ pub trait SubgraphMethod: Send + Sync {
         context: &QueryContext,
         candidates: &[GraphId],
     ) -> Vec<VerifyOutcome> {
-        candidates.iter().map(|&id| self.verify(q, context, id)).collect()
+        candidates
+            .iter()
+            .map(|&id| self.verify(q, context, id))
+            .collect()
     }
 
     /// Convenience: full query = filter + verify-all. Returns the answer ids
@@ -129,6 +151,9 @@ impl SubgraphMethod for Box<dyn SubgraphMethod> {
     }
     fn filter(&self, q: &Graph) -> Filtered {
         self.as_ref().filter(q)
+    }
+    fn filter_with_features(&self, q: &Graph, features: Option<&PathFeatures>) -> Filtered {
+        self.as_ref().filter_with_features(q, features)
     }
     fn verify(&self, q: &Graph, context: &QueryContext, candidate: GraphId) -> VerifyOutcome {
         self.as_ref().verify(q, context, candidate)
@@ -192,25 +217,40 @@ mod tests {
 
     #[test]
     fn intersect() {
-        assert_eq!(intersect_sorted(&ids(&[1, 3, 5, 7]), &ids(&[2, 3, 5, 8])), ids(&[3, 5]));
+        assert_eq!(
+            intersect_sorted(&ids(&[1, 3, 5, 7]), &ids(&[2, 3, 5, 8])),
+            ids(&[3, 5])
+        );
         assert_eq!(intersect_sorted(&ids(&[]), &ids(&[1])), ids(&[]));
         assert_eq!(intersect_sorted(&ids(&[1, 2]), &ids(&[1, 2])), ids(&[1, 2]));
     }
 
     #[test]
     fn subtract() {
-        assert_eq!(subtract_sorted(&ids(&[1, 2, 3, 4]), &ids(&[2, 4])), ids(&[1, 3]));
+        assert_eq!(
+            subtract_sorted(&ids(&[1, 2, 3, 4]), &ids(&[2, 4])),
+            ids(&[1, 3])
+        );
         assert_eq!(subtract_sorted(&ids(&[1, 2]), &ids(&[])), ids(&[1, 2]));
-        assert_eq!(subtract_sorted(&ids(&[1, 2]), &ids(&[0, 1, 2, 9])), ids(&[]));
+        assert_eq!(
+            subtract_sorted(&ids(&[1, 2]), &ids(&[0, 1, 2, 9])),
+            ids(&[])
+        );
     }
 
     #[test]
     fn verify_outcome_from_match() {
         use igq_iso::semantics::MatchResult;
-        let found = MatchResult { outcome: igq_iso::Outcome::Found(vec![]), states: 3 };
+        let found = MatchResult {
+            outcome: igq_iso::Outcome::Found(vec![]),
+            states: 3,
+        };
         let o = VerifyOutcome::from_match(&found);
         assert!(o.contains && !o.aborted && o.states == 3);
-        let aborted = MatchResult { outcome: igq_iso::Outcome::Aborted, states: 9 };
+        let aborted = MatchResult {
+            outcome: igq_iso::Outcome::Aborted,
+            states: 9,
+        };
         let o = VerifyOutcome::from_match(&aborted);
         assert!(!o.contains && o.aborted);
     }

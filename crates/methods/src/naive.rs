@@ -21,7 +21,10 @@ pub struct NaiveMethod {
 impl NaiveMethod {
     /// Wraps a dataset with no index build cost.
     pub fn build(store: &Arc<GraphStore>) -> NaiveMethod {
-        NaiveMethod { store: Arc::clone(store), match_config: MatchConfig::default() }
+        NaiveMethod {
+            store: Arc::clone(store),
+            match_config: MatchConfig::default(),
+        }
     }
 
     /// Overrides the verification engine configuration.
@@ -74,9 +77,9 @@ mod tests {
     fn store() -> Arc<GraphStore> {
         Arc::new(
             vec![
-                graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]),          // g0: path 0-1-0
-                graph_from(&[0, 1], &[(0, 1)]),                     // g1: edge 0-1
-                graph_from(&[2, 2, 2], &[(0, 1), (1, 2), (0, 2)]),  // g2: triangle of 2s
+                graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]), // g0: path 0-1-0
+                graph_from(&[0, 1], &[(0, 1)]),            // g1: edge 0-1
+                graph_from(&[2, 2, 2], &[(0, 1), (1, 2), (0, 2)]), // g2: triangle of 2s
             ]
             .into_iter()
             .collect(),

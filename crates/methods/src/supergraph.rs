@@ -118,7 +118,11 @@ impl ContainmentIndex {
 
     /// Approximate heap footprint.
     pub fn heap_size_bytes(&self) -> u64 {
-        let nf: u64 = self.nf_by_len.iter().map(|v| (v.len() * 4 + 24) as u64).sum();
+        let nf: u64 = self
+            .nf_by_len
+            .iter()
+            .map(|v| (v.len() * 4 + 24) as u64)
+            .sum();
         self.trie.heap_size_bytes() + nf
     }
 }
@@ -133,9 +137,17 @@ pub struct TrieSupergraphMethod {
 
 impl TrieSupergraphMethod {
     /// Builds the supergraph index over `store`.
-    pub fn build(store: &Arc<GraphStore>, path_config: PathConfig, match_config: MatchConfig) -> Self {
+    pub fn build(
+        store: &Arc<GraphStore>,
+        path_config: PathConfig,
+        match_config: MatchConfig,
+    ) -> Self {
         let index = ContainmentIndex::build(store.iter().map(|(_, g)| g), path_config);
-        TrieSupergraphMethod { store: Arc::clone(store), index, match_config }
+        TrieSupergraphMethod {
+            store: Arc::clone(store),
+            index,
+            match_config,
+        }
     }
 
     /// Method name for reports.
@@ -150,8 +162,17 @@ impl TrieSupergraphMethod {
 
     /// Filtering stage: graphs that may be contained in `q`.
     pub fn filter_super(&self, q: &Graph) -> Vec<GraphId> {
+        let features = enumerate_paths(q, self.index.path_config());
+        self.filter_super_with_features(q, &features)
+    }
+
+    /// Filtering with the query's path features already extracted (the iGQ
+    /// supergraph engine enumerates once and shares the set with its index
+    /// probes). Sound for any exhaustively enumerated feature set:
+    /// Algorithm 2 compares at the common exhaustive depth.
+    pub fn filter_super_with_features(&self, q: &Graph, features: &PathFeatures) -> Vec<GraphId> {
         self.index
-            .candidates_for(q)
+            .candidates(features)
             .into_iter()
             .map(GraphId::from_index)
             .filter(|&id| {
@@ -163,7 +184,13 @@ impl TrieSupergraphMethod {
 
     /// Verification stage: does `q` contain `candidate`?
     pub fn verify_super(&self, q: &Graph, candidate: GraphId) -> VerifyOutcome {
-        let r = vf2::find_one(self.store.get(candidate), q, &MatchConfig { ..self.match_config });
+        let r = vf2::find_one(
+            self.store.get(candidate),
+            q,
+            &MatchConfig {
+                ..self.match_config
+            },
+        );
         VerifyOutcome::from_match(&r)
     }
 
@@ -194,10 +221,10 @@ mod tests {
     fn store() -> Arc<GraphStore> {
         Arc::new(
             vec![
-                graph_from(&[0, 1], &[(0, 1)]),                     // g0: 0-1 edge
-                graph_from(&[2, 2, 2], &[(0, 1), (1, 2), (0, 2)]),  // g1: 2-triangle
-                graph_from(&[0], &[]),                              // g2: single 0
-                graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]),          // g3: 0-1-0 path
+                graph_from(&[0, 1], &[(0, 1)]),                    // g0: 0-1 edge
+                graph_from(&[2, 2, 2], &[(0, 1), (1, 2), (0, 2)]), // g1: 2-triangle
+                graph_from(&[0], &[]),                             // g2: single 0
+                graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]),         // g3: 0-1-0 path
             ]
             .into_iter()
             .collect(),
@@ -253,8 +280,7 @@ mod tests {
 
     #[test]
     fn featureless_members_are_vacuous_candidates() {
-        let s: Arc<GraphStore> =
-            Arc::new(vec![graph_from(&[], &[])].into_iter().collect());
+        let s: Arc<GraphStore> = Arc::new(vec![graph_from(&[], &[])].into_iter().collect());
         let m = TrieSupergraphMethod::build(&s, PathConfig::default(), MatchConfig::default());
         let q = graph_from(&[5], &[]);
         assert_eq!(m.query_super(&q).0, vec![GraphId::new(0)]);

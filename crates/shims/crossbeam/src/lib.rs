@@ -1,0 +1,80 @@
+//! Offline shim for the `crossbeam` API surface this workspace uses.
+//!
+//! The container this repository builds in has no crates.io access, so the
+//! workspace vendors minimal stand-ins for its few external dependencies.
+//! Only `crossbeam::scope` (scoped threads) is provided, implemented on top
+//! of `std::thread::scope` (stable since Rust 1.63). The API mirrors
+//! crossbeam-utils 0.8: `scope` returns a `Result` and spawned closures
+//! receive a `&Scope` argument so nested spawns are possible.
+
+use std::thread;
+
+/// A scope handle mirroring `crossbeam_utils::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+/// A handle to a scoped thread, mirroring `ScopedJoinHandle`.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish, returning its result (or the panic
+    /// payload, as `std::thread::Result` does).
+    pub fn join(self) -> thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. As in crossbeam, the closure receives the
+    /// scope itself so it can spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Creates a scope for spawning scoped threads, mirroring
+/// `crossbeam::scope`. All threads are joined before this returns. Unlike
+/// crossbeam (which collects child panics), a panicking child propagates
+/// through `std::thread::scope`; the `Result` wrapper exists for drop-in
+/// call-site compatibility (`.expect(...)` in callers).
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_return() {
+        let data = [1u64, 2, 3];
+        let total = super::scope(|s| {
+            let h1 = s.spawn(|_| data.iter().sum::<u64>());
+            let h2 = s.spawn(|_| data.len() as u64);
+            h1.join().expect("h1") + h2.join().expect("h2")
+        })
+        .expect("scope");
+        assert_eq!(total, 9);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let r = super::scope(|s| {
+            let h = s.spawn(|inner| inner.spawn(|_| 21u32).join().expect("nested") * 2);
+            h.join().expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(r, 42);
+    }
+}

@@ -1,0 +1,62 @@
+//! Offline shim for the `parking_lot` API subset this workspace uses.
+//!
+//! Provides `Mutex` with parking_lot's non-poisoning signatures (`lock`
+//! returns the guard directly; `into_inner` returns the value directly),
+//! implemented over `std::sync::Mutex`. A poisoned std mutex — only
+//! possible if a holder panicked — propagates the panic, which matches
+//! parking_lot's effective behavior for this workspace (panics in scoped
+//! worker threads already abort the computation).
+
+use std::sync::MutexGuard;
+
+/// A non-poisoning mutual-exclusion lock.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// A new mutex holding `value`.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, returning the guard directly.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().expect("mutex poisoned")
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().expect("mutex poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(Some(5u32));
+        *m.lock() = Some(7);
+        assert_eq!(m.into_inner(), Some(7));
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let m = Mutex::new(0u64);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(m.into_inner(), 4000);
+    }
+}

@@ -40,7 +40,10 @@ pub fn aids_like_skewed(graph_count: usize, seed: u64, alpha: f64) -> GraphStore
                 &GraphShape {
                     nodes,
                     edges,
-                    labels: LabelModel::Skewed { universe: AIDS_LABELS, alpha },
+                    labels: LabelModel::Skewed {
+                        universe: AIDS_LABELS,
+                        alpha,
+                    },
                     preferential: false,
                     edge_label_universe: 0,
                 },
@@ -68,7 +71,10 @@ pub fn aids_like_bonds(graph_count: usize, seed: u64) -> GraphStore {
                 &GraphShape {
                     nodes,
                     edges,
-                    labels: LabelModel::Skewed { universe: AIDS_LABELS, alpha: AIDS_LABEL_ALPHA },
+                    labels: LabelModel::Skewed {
+                        universe: AIDS_LABELS,
+                        alpha: AIDS_LABEL_ALPHA,
+                    },
                     preferential: false,
                     edge_label_universe: AIDS_BOND_TYPES,
                 },
@@ -88,7 +94,11 @@ mod tests {
         let s = DatasetStats::of(&store);
         assert_eq!(s.graph_count, 300);
         assert!((s.nodes.avg - 45.0).abs() < 5.0, "node avg {}", s.nodes.avg);
-        assert!((s.avg_degree - 2.09).abs() < 0.15, "avg degree {}", s.avg_degree);
+        assert!(
+            (s.avg_degree - 2.09).abs() < 0.15,
+            "avg degree {}",
+            s.avg_degree
+        );
         assert!(s.nodes.max <= 245.0);
         assert!(s.vertex_labels <= AIDS_LABELS as usize);
         // The skewed model should still exercise a good part of the universe.
@@ -108,7 +118,10 @@ mod tests {
     fn bond_variant_labels_edges() {
         let store = aids_like_bonds(30, 3);
         let labeled = store.iter().filter(|(_, g)| g.has_edge_labels()).count();
-        assert!(labeled > 20, "most molecule graphs should carry bond labels");
+        assert!(
+            labeled > 20,
+            "most molecule graphs should carry bond labels"
+        );
         // Bond labels stay inside the declared universe, skewed toward 0.
         let mut hist = std::collections::BTreeMap::new();
         for (_, g) in store.iter() {

@@ -39,8 +39,12 @@ pub enum DatasetKind {
 
 impl DatasetKind {
     /// All four datasets in the paper's order.
-    pub const ALL: [DatasetKind; 4] =
-        [DatasetKind::Aids, DatasetKind::Pdbs, DatasetKind::Ppi, DatasetKind::Synthetic];
+    pub const ALL: [DatasetKind; 4] = [
+        DatasetKind::Aids,
+        DatasetKind::Pdbs,
+        DatasetKind::Ppi,
+        DatasetKind::Synthetic,
+    ];
 
     /// The paper's graph count for this dataset.
     pub fn paper_graph_count(self) -> usize {
@@ -162,8 +166,8 @@ pub(crate) fn random_graph(rng: &mut StdRng, shape: &GraphShape) -> Graph {
     // variant keeps byte-identical topology to its unlabeled twin (same
     // seed ⇒ same structure, labels layered on top).
     let mut label_rng = StdRng::seed_from_u64(rng.gen());
-    let edge_zipf = (shape.edge_label_universe > 0)
-        .then(|| Zipf::new(shape.edge_label_universe as usize, 1.8));
+    let edge_zipf =
+        (shape.edge_label_universe > 0).then(|| Zipf::new(shape.edge_label_universe as usize, 1.8));
     let mut b = GraphBuilder::with_capacity(n, shape.edges);
     for _ in 0..n {
         let l = shape.labels.sample(rng, &zipf);
@@ -205,7 +209,10 @@ pub(crate) fn random_graph(rng: &mut StdRng, shape: &GraphShape) -> Graph {
     while added < target && attempts < attempt_cap {
         attempts += 1;
         let (u, v) = if shape.preferential {
-            (pool[rng.gen_range(0..pool.len())], pool[rng.gen_range(0..pool.len())])
+            (
+                pool[rng.gen_range(0..pool.len())],
+                pool[rng.gen_range(0..pool.len())],
+            )
         } else {
             (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32))
         };
@@ -266,7 +273,10 @@ mod tests {
         let small = DatasetKind::Pdbs.generate(3, 11);
         let large = DatasetKind::Pdbs.generate(6, 11);
         for i in 0..3 {
-            assert_eq!(small.get(igq_graph::GraphId::new(i)), large.get(igq_graph::GraphId::new(i)));
+            assert_eq!(
+                small.get(igq_graph::GraphId::new(i)),
+                large.get(igq_graph::GraphId::new(i))
+            );
         }
     }
 
@@ -309,7 +319,12 @@ mod tests {
         let pa = random_graph(&mut rng, &shape(true));
         let mut rng = graph_rng(5, 0);
         let er = random_graph(&mut rng, &shape(false));
-        assert!(pa.max_degree() > er.max_degree(), "pa {} vs er {}", pa.max_degree(), er.max_degree());
+        assert!(
+            pa.max_degree() > er.max_degree(),
+            "pa {} vs er {}",
+            pa.max_degree(),
+            er.max_degree()
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ pub fn pdbs_like(graph_count: usize, seed: u64) -> GraphStore {
                 &GraphShape {
                     nodes,
                     edges,
-                    labels: LabelModel::Skewed { universe: PDBS_LABELS, alpha: PDBS_LABEL_ALPHA },
+                    labels: LabelModel::Skewed {
+                        universe: PDBS_LABELS,
+                        alpha: PDBS_LABEL_ALPHA,
+                    },
                     preferential: false,
                     edge_label_universe: 0,
                 },
@@ -53,9 +56,17 @@ mod tests {
         let s = DatasetStats::of(&store);
         assert_eq!(s.graph_count, 120);
         assert_eq!(s.vertex_labels, PDBS_LABELS as usize);
-        assert!((s.avg_degree - 2.13).abs() < 0.1, "avg degree {}", s.avg_degree);
+        assert!(
+            (s.avg_degree - 2.13).abs() < 0.1,
+            "avg degree {}",
+            s.avg_degree
+        );
         // Log-normal: mean in the low thousands, heavy right tail.
-        assert!(s.nodes.avg > 1_200.0 && s.nodes.avg < 5_500.0, "node avg {}", s.nodes.avg);
+        assert!(
+            s.nodes.avg > 1_200.0 && s.nodes.avg < 5_500.0,
+            "node avg {}",
+            s.nodes.avg
+        );
         assert!(s.nodes.std_dev > 1_000.0, "node sd {}", s.nodes.std_dev);
         assert!(s.nodes.max <= 16_431.0);
     }

@@ -29,7 +29,9 @@ pub fn ppi_like(graph_count: usize, seed: u64) -> GraphStore {
                 &GraphShape {
                     nodes,
                     edges,
-                    labels: LabelModel::Uniform { universe: PPI_LABELS },
+                    labels: LabelModel::Uniform {
+                        universe: PPI_LABELS,
+                    },
                     preferential: true,
                     edge_label_universe: 0,
                 },
@@ -49,8 +51,16 @@ mod tests {
         let s = DatasetStats::of(&store);
         assert_eq!(s.graph_count, 10);
         assert_eq!(s.vertex_labels, PPI_LABELS as usize);
-        assert!((s.avg_degree - 9.23).abs() < 0.6, "avg degree {}", s.avg_degree);
-        assert!(s.nodes.avg > 2_500.0 && s.nodes.avg < 7_500.0, "node avg {}", s.nodes.avg);
+        assert!(
+            (s.avg_degree - 9.23).abs() < 0.6,
+            "avg degree {}",
+            s.avg_degree
+        );
+        assert!(
+            s.nodes.avg > 2_500.0 && s.nodes.avg < 7_500.0,
+            "node avg {}",
+            s.nodes.avg
+        );
     }
 
     #[test]

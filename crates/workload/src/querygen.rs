@@ -43,7 +43,13 @@ impl<'a> QueryGenerator<'a> {
         node_dist: Distribution,
         seed: u64,
     ) -> QueryGenerator<'a> {
-        Self::with_sizes(store, graph_dist, node_dist, PAPER_QUERY_SIZES.to_vec(), seed)
+        Self::with_sizes(
+            store,
+            graph_dist,
+            node_dist,
+            PAPER_QUERY_SIZES.to_vec(),
+            seed,
+        )
     }
 
     /// A generator with custom query sizes (in edges).
@@ -54,7 +60,10 @@ impl<'a> QueryGenerator<'a> {
         sizes: Vec<usize>,
         seed: u64,
     ) -> QueryGenerator<'a> {
-        assert!(!store.is_empty(), "cannot generate queries from an empty store");
+        assert!(
+            !store.is_empty(),
+            "cannot generate queries from an empty store"
+        );
         assert!(!sizes.is_empty(), "need at least one query size");
         let graph_zipf = match graph_dist {
             Distribution::Zipf(alpha) => Some(Zipf::new(store.len(), alpha)),
@@ -73,9 +82,11 @@ impl<'a> QueryGenerator<'a> {
     fn pick_graph(&mut self) -> &'a Graph {
         let idx = match self.graph_dist {
             Distribution::Uniform => self.rng.gen_range(0..self.store.len()),
-            Distribution::Zipf(_) => {
-                self.graph_zipf.as_ref().expect("zipf table").sample(&mut self.rng)
-            }
+            Distribution::Zipf(_) => self
+                .graph_zipf
+                .as_ref()
+                .expect("zipf table")
+                .sample(&mut self.rng),
         };
         self.store.get(igq_graph::GraphId::from_index(idx))
     }
@@ -111,7 +122,11 @@ impl<'a> QueryGenerator<'a> {
             }
         }
         // Deterministic fallback: grow from vertex 0 of graph 0.
-        bfs_extract(self.store.get(igq_graph::GraphId::new(0)), VertexId::new(0), target_edges)
+        bfs_extract(
+            self.store.get(igq_graph::GraphId::new(0)),
+            VertexId::new(0),
+            target_edges,
+        )
     }
 
     /// Generates `count` queries.
@@ -128,7 +143,9 @@ pub fn bfs_extract(g: &Graph, start: VertexId, target_edges: usize) -> Graph {
     let mut remap: FxHashMap<VertexId, VertexId> = FxHashMap::default();
     let mut b = GraphBuilder::new();
     let map = |old: VertexId, b: &mut GraphBuilder, remap: &mut FxHashMap<VertexId, VertexId>| {
-        *remap.entry(old).or_insert_with(|| b.add_vertex(g.label(old)))
+        *remap
+            .entry(old)
+            .or_insert_with(|| b.add_vertex(g.label(old)))
     };
     let mut edges_added = 0usize;
     let mut visited = vec![false; g.vertex_count()];
@@ -166,7 +183,10 @@ mod tests {
     #[test]
     fn bfs_extract_collects_target_edges() {
         // A 5-cycle with a chord.
-        let g = graph_from(&[0, 1, 2, 3, 4], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]);
+        let g = graph_from(
+            &[0, 1, 2, 3, 4],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)],
+        );
         let q = bfs_extract(&g, VertexId::new(0), 3);
         assert_eq!(q.edge_count(), 3);
         assert!(q.is_connected());
@@ -197,8 +217,7 @@ mod tests {
     #[test]
     fn queries_are_subgraphs_of_the_dataset() {
         let store = DatasetKind::Aids.generate(30, 5);
-        let mut gen =
-            QueryGenerator::new(&store, Distribution::Uniform, Distribution::Uniform, 99);
+        let mut gen = QueryGenerator::new(&store, Distribution::Uniform, Distribution::Uniform, 99);
         for _ in 0..20 {
             let q = gen.next_query();
             assert!(q.edge_count() > 0);
@@ -212,12 +231,8 @@ mod tests {
     #[test]
     fn zipf_graph_picks_concentrate() {
         let store = DatasetKind::Aids.generate(50, 5);
-        let mut gen = QueryGenerator::new(
-            &store,
-            Distribution::Zipf(2.0),
-            Distribution::Uniform,
-            123,
-        );
+        let mut gen =
+            QueryGenerator::new(&store, Distribution::Zipf(2.0), Distribution::Uniform, 123);
         // With α=2.0 over 50 graphs, most queries come from a few graphs —
         // detect via the rate of repeated query signatures being high-ish.
         let queries = gen.take(60);
@@ -225,7 +240,10 @@ mod tests {
         for q in &queries {
             sigs.insert(igq_graph::canon::GraphSignature::of(q));
         }
-        assert!(sigs.len() < queries.len(), "zipf workload should repeat queries");
+        assert!(
+            sigs.len() < queries.len(),
+            "zipf workload should repeat queries"
+        );
     }
 
     #[test]
@@ -241,8 +259,7 @@ mod tests {
     #[test]
     fn fixed_size_generation() {
         let store = DatasetKind::Aids.generate(10, 5);
-        let mut gen =
-            QueryGenerator::new(&store, Distribution::Uniform, Distribution::Uniform, 7);
+        let mut gen = QueryGenerator::new(&store, Distribution::Uniform, Distribution::Uniform, 7);
         for _ in 0..10 {
             let q = gen.next_query_of_size(8);
             assert!(q.edge_count() <= 8);

@@ -45,7 +45,13 @@ impl QueryWorkloadSpec {
     /// One of the four named workloads (`uni-uni`, `uni-zipf`, `zipf-uni`,
     /// `zipf-zipf`) with the paper's query sizes.
     pub fn named(graph_zipf: bool, node_zipf: bool, alpha: f64, count: usize, seed: u64) -> Self {
-        let pick = |z: bool| if z { Distribution::Zipf(alpha) } else { Distribution::Uniform };
+        let pick = |z: bool| {
+            if z {
+                Distribution::Zipf(alpha)
+            } else {
+                Distribution::Uniform
+            }
+        };
         QueryWorkloadSpec {
             graph_dist: pick(graph_zipf),
             node_dist: pick(node_zipf),
@@ -144,10 +150,22 @@ mod tests {
 
     #[test]
     fn labels() {
-        assert_eq!(QueryWorkloadSpec::named(false, false, 1.4, 10, 0).label(), "uni-uni");
-        assert_eq!(QueryWorkloadSpec::named(true, false, 1.4, 10, 0).label(), "zipf-uni");
-        assert_eq!(QueryWorkloadSpec::named(false, true, 1.4, 10, 0).label(), "uni-zipf");
-        assert_eq!(QueryWorkloadSpec::named(true, true, 1.4, 10, 0).label(), "zipf-zipf");
+        assert_eq!(
+            QueryWorkloadSpec::named(false, false, 1.4, 10, 0).label(),
+            "uni-uni"
+        );
+        assert_eq!(
+            QueryWorkloadSpec::named(true, false, 1.4, 10, 0).label(),
+            "zipf-uni"
+        );
+        assert_eq!(
+            QueryWorkloadSpec::named(false, true, 1.4, 10, 0).label(),
+            "uni-zipf"
+        );
+        assert_eq!(
+            QueryWorkloadSpec::named(true, true, 1.4, 10, 0).label(),
+            "zipf-zipf"
+        );
     }
 
     #[test]

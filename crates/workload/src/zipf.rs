@@ -108,7 +108,11 @@ mod tests {
         assert!(counts[1] > counts[5]);
         // Empirical frequency of rank 0 ≈ pmf(0) within 2%.
         let freq = counts[0] as f64 / 20_000.0;
-        assert!((freq - z.pmf(0)).abs() < 0.02, "freq {freq} vs pmf {}", z.pmf(0));
+        assert!(
+            (freq - z.pmf(0)).abs() < 0.02,
+            "freq {freq} vs pmf {}",
+            z.pmf(0)
+        );
     }
 
     #[test]

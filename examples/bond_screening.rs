@@ -55,7 +55,11 @@ fn main() {
     //    repeating either one is an exact hit with the right answers.
     let mut engine = IgqEngine::new(
         method,
-        IgqConfig { cache_capacity: 32, window: 2, ..Default::default() },
+        IgqConfig {
+            cache_capacity: 32,
+            window: 2,
+            ..Default::default()
+        },
     );
     for q in [&single_bond, &double_bond, &single_bond, &double_bond] {
         let out = engine.query(q);
@@ -68,20 +72,18 @@ fn main() {
     }
 
     // 5. A realistic bond-aware workload with repetition.
-    let queries = QueryGenerator::new(
-        &store,
-        Distribution::Zipf(1.6),
-        Distribution::Uniform,
-        7,
-    )
-    .take(150);
+    let queries =
+        QueryGenerator::new(&store, Distribution::Zipf(1.6), Distribution::Uniform, 7).take(150);
     for q in &queries {
         let _ = engine.query(q);
     }
     let s = engine.stats();
     println!("\nafter {} workload queries:", s.queries);
     println!("  db iso tests:           {}", s.db_iso_tests);
-    println!("  pruned by Isub/Isuper:  {} / {}", s.pruned_by_isub, s.pruned_by_isuper);
+    println!(
+        "  pruned by Isub/Isuper:  {} / {}",
+        s.pruned_by_isub, s.pruned_by_isuper
+    );
     println!("  exact-repeat hits:      {}", s.exact_hits);
     println!("  cached queries:         {}", engine.cached_queries());
 }

@@ -26,7 +26,11 @@ fn main() {
     let method = CtIndex::build(&store, CtIndexConfig::default());
     let mut engine = IgqEngine::new(
         method,
-        IgqConfig { cache_capacity: 128, window: 8, ..Default::default() },
+        IgqConfig {
+            cache_capacity: 128,
+            window: 8,
+            ..Default::default()
+        },
     );
 
     // Build a drill-down session: pick scaffold molecules, query a broad
@@ -36,7 +40,7 @@ fn main() {
     let mut session: Vec<(String, Graph)> = Vec::new();
     for &sid in &scaffold_ids {
         let molecule = store.get(GraphId::new(sid));
-        let seed = VertexId::new((sid % molecule.vertex_count() as u32).max(0));
+        let seed = VertexId::new(sid % molecule.vertex_count() as u32);
         let broad = bfs_extract(molecule, seed, 6);
         let refine1 = bfs_extract(molecule, seed, 10);
         let refine2 = bfs_extract(molecule, seed, 14);

@@ -19,21 +19,24 @@ fn main() {
 
     // 2. Index it with GraphGrepSX (any SubgraphMethod works here).
     let method = Ggsx::build(&store, GgsxConfig::default());
-    println!("GGSX index: {:.2} KiB", method.index_size_bytes() as f64 / 1024.0);
+    println!(
+        "GGSX index: {:.2} KiB",
+        method.index_size_bytes() as f64 / 1024.0
+    );
 
     // 3. Wrap the method with the iGQ engine: a 64-query cache, windows of 8.
     let mut engine = IgqEngine::new(
         method,
-        IgqConfig { cache_capacity: 64, window: 8, ..Default::default() },
+        IgqConfig {
+            cache_capacity: 64,
+            window: 8,
+            ..Default::default()
+        },
     );
 
     // 4. Fire a workload with repetition (Zipf picks), as real query logs have.
-    let mut generator = QueryGenerator::new(
-        &store,
-        Distribution::Zipf(1.6),
-        Distribution::Uniform,
-        7,
-    );
+    let mut generator =
+        QueryGenerator::new(&store, Distribution::Zipf(1.6), Distribution::Uniform, 7);
     let queries = generator.take(200);
 
     for (i, q) in queries.iter().enumerate() {
@@ -54,13 +57,22 @@ fn main() {
     // 5. The numbers the paper is about.
     let s = engine.stats();
     println!("\nafter {} queries:", s.queries);
-    println!("  avg candidates (method M):   {:.1}", s.candidates_before as f64 / s.queries as f64);
-    println!("  avg candidates (iGQ pruned): {:.1}", s.candidates_after as f64 / s.queries as f64);
+    println!(
+        "  avg candidates (method M):   {:.1}",
+        s.candidates_before as f64 / s.queries as f64
+    );
+    println!(
+        "  avg candidates (iGQ pruned): {:.1}",
+        s.candidates_after as f64 / s.queries as f64
+    );
     println!("  db iso tests:                {}", s.db_iso_tests);
     println!("  pruned by Isub:              {}", s.pruned_by_isub);
     println!("  pruned by Isuper:            {}", s.pruned_by_isuper);
     println!("  exact-repeat hits:           {}", s.exact_hits);
     println!("  empty-answer shortcuts:      {}", s.empty_shortcuts);
     println!("  cached queries:              {}", engine.cached_queries());
-    println!("  iGQ index size:              {:.2} KiB", engine.igq_index_size_bytes() as f64 / 1024.0);
+    println!(
+        "  iGQ index size:              {:.2} KiB",
+        engine.igq_index_size_bytes() as f64 / 1024.0
+    );
 }

@@ -36,7 +36,13 @@ fn main() {
     let queries = generator.take(150);
 
     // Baseline: Grapes(4) alone.
-    let grapes = Grapes::build(&store, GrapesConfig { threads: 4, ..Default::default() });
+    let grapes = Grapes::build(
+        &store,
+        GrapesConfig {
+            threads: 4,
+            ..Default::default()
+        },
+    );
     let t = Instant::now();
     let mut baseline_tests = 0u64;
     let mut baseline_answers = Vec::new();
@@ -48,10 +54,20 @@ fn main() {
     let baseline_time = t.elapsed();
 
     // iGQ-wrapped Grapes on the same stream.
-    let grapes2 = Grapes::build(&store, GrapesConfig { threads: 4, ..Default::default() });
+    let grapes2 = Grapes::build(
+        &store,
+        GrapesConfig {
+            threads: 4,
+            ..Default::default()
+        },
+    );
     let mut engine = IgqEngine::new(
         grapes2,
-        IgqConfig { cache_capacity: 60, window: 10, ..Default::default() },
+        IgqConfig {
+            cache_capacity: 60,
+            window: 10,
+            ..Default::default()
+        },
     );
     let t = Instant::now();
     let mut igq_tests = 0u64;
@@ -62,7 +78,10 @@ fn main() {
     }
     let igq_time = t.elapsed();
 
-    println!("\nsame {} queries, identical answers on both paths:", queries.len());
+    println!(
+        "\nsame {} queries, identical answers on both paths:",
+        queries.len()
+    );
     println!("  Grapes alone : {baseline_tests:>6} iso tests   {baseline_time:>10.2?}");
     println!("  iGQ ∘ Grapes : {igq_tests:>6} iso tests   {igq_time:>10.2?}");
     println!(

@@ -34,12 +34,20 @@ fn main() {
     );
     println!("motif library: {} patterns", motifs.len());
 
-    let method = TrieSupergraphMethod::build(&motifs, PathConfig::default(), MatchConfig::default());
-    println!("containment index: {:.2} KiB", method.index_size_bytes() as f64 / 1024.0);
+    let method =
+        TrieSupergraphMethod::build(&motifs, PathConfig::default(), MatchConfig::default());
+    println!(
+        "containment index: {:.2} KiB",
+        method.index_size_bytes() as f64 / 1024.0
+    );
 
     let mut engine = IgqSuperEngine::new(
         method,
-        IgqConfig { cache_capacity: 40, window: 5, ..Default::default() },
+        IgqConfig {
+            cache_capacity: 40,
+            window: 5,
+            ..Default::default()
+        },
     );
 
     // Observed structures: whole molecules (supergraph queries). Repeats

@@ -16,7 +16,11 @@ fn engine(store: &Arc<GraphStore>) -> IgqEngine<Ggsx> {
     let method = Ggsx::build(store, GgsxConfig::default());
     IgqEngine::new(
         method,
-        IgqConfig { cache_capacity: 64, window: 8, ..Default::default() },
+        IgqConfig {
+            cache_capacity: 64,
+            window: 8,
+            ..Default::default()
+        },
     )
 }
 
@@ -41,7 +45,10 @@ fn main() {
 
     // The export round-trips through serde (e.g. a JSON file on disk).
     let serialized = serde_json::to_string(&exported).expect("serialize cache");
-    println!("serialized cache: {:.1} KiB", serialized.len() as f64 / 1024.0);
+    println!(
+        "serialized cache: {:.1} KiB",
+        serialized.len() as f64 / 1024.0
+    );
     let restored: Vec<(Graph, Vec<GraphId>)> =
         serde_json::from_str(&serialized).expect("deserialize cache");
 

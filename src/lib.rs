@@ -48,7 +48,7 @@ pub use igq_workload as workload;
 /// One-stop imports for examples and tests.
 pub mod prelude {
     pub use igq_core::{
-        IgqConfig, IgqEngine, IgqSuperEngine, QueryOutcome, ReplacementPolicy,
+        IgqConfig, IgqEngine, IgqSuperEngine, MaintenanceMode, QueryOutcome, ReplacementPolicy,
     };
     pub use igq_features::PathConfig;
     pub use igq_graph::{

@@ -28,7 +28,11 @@ pub fn arb_graph(max_n: usize, labels: u32) -> impl Strategy<Value = Graph> {
 }
 
 /// A proptest strategy producing a small dataset store.
-pub fn arb_store(max_graphs: usize, max_n: usize, labels: u32) -> impl Strategy<Value = Arc<GraphStore>> {
+pub fn arb_store(
+    max_graphs: usize,
+    max_n: usize,
+    labels: u32,
+) -> impl Strategy<Value = Arc<GraphStore>> {
     proptest::collection::vec(arb_graph(max_n, labels), 1..=max_graphs)
         .prop_map(|graphs| Arc::new(graphs.into_iter().collect()))
 }

@@ -15,8 +15,13 @@ use std::sync::Arc;
 
 fn bond_workload(graphs: usize, queries: usize, seed: u64) -> (Arc<GraphStore>, Vec<Graph>) {
     let store = Arc::new(aids_like_bonds(graphs, seed));
-    let qs = QueryGenerator::new(&store, Distribution::Zipf(1.4), Distribution::Zipf(1.4), seed ^ 1)
-        .take(queries);
+    let qs = QueryGenerator::new(
+        &store,
+        Distribution::Zipf(1.4),
+        Distribution::Zipf(1.4),
+        seed ^ 1,
+    )
+    .take(queries);
     (store, qs)
 }
 
@@ -33,7 +38,11 @@ fn methods(store: &Arc<GraphStore>) -> Vec<Box<dyn SubgraphMethod>> {
 fn queries_carved_from_bond_graphs_carry_bond_labels() {
     let (_, queries) = bond_workload(40, 30, 5);
     let labeled = queries.iter().filter(|q| q.has_edge_labels()).count();
-    assert!(labeled > queries.len() / 2, "{labeled}/{} labeled", queries.len());
+    assert!(
+        labeled > queries.len() / 2,
+        "{labeled}/{} labeled",
+        queries.len()
+    );
 }
 
 #[test]
@@ -42,7 +51,12 @@ fn all_methods_match_oracle_on_bond_workload() {
     for method in methods(&store) {
         for q in &queries {
             let (answers, _) = method.query(q);
-            assert_eq!(answers, oracle_answers(&store, q), "{} on {q:?}", method.name());
+            assert_eq!(
+                answers,
+                oracle_answers(&store, q),
+                "{} on {q:?}",
+                method.name()
+            );
         }
     }
 }
@@ -54,11 +68,19 @@ fn igq_engine_matches_oracle_on_bond_workload() {
         let name = method.name();
         let mut engine = IgqEngine::new(
             method,
-            IgqConfig { cache_capacity: 20, window: 5, ..Default::default() },
+            IgqConfig {
+                cache_capacity: 20,
+                window: 5,
+                ..Default::default()
+            },
         );
         for q in &queries {
             let out = engine.query(q);
-            assert_eq!(out.answers, oracle_answers(&store, q), "iGQ∘{name} on {q:?}");
+            assert_eq!(
+                out.answers,
+                oracle_answers(&store, q),
+                "iGQ∘{name} on {q:?}"
+            );
         }
         engine.self_check().expect("invariants hold");
     }
@@ -93,8 +115,14 @@ fn cache_never_conflates_edge_label_variants() {
         .collect(),
     );
     let method = Ggsx::build(&store, GgsxConfig::default());
-    let mut engine =
-        IgqEngine::new(method, IgqConfig { cache_capacity: 8, window: 1, ..Default::default() });
+    let mut engine = IgqEngine::new(
+        method,
+        IgqConfig {
+            cache_capacity: 8,
+            window: 1,
+            ..Default::default()
+        },
+    );
 
     let q_single = graph_from_el(&[0, 1], &[(0, 1, 0)]);
     let q_double = graph_from_el(&[0, 1], &[(0, 1, 1)]);
@@ -111,8 +139,8 @@ fn cache_never_conflates_edge_label_variants() {
 fn supergraph_engine_is_exact_on_bond_data() {
     use igq::methods::TrieSupergraphMethod;
     let store = Arc::new(aids_like_bonds(30, 21));
-    let queries = QueryGenerator::new(&store, Distribution::Uniform, Distribution::Uniform, 3)
-        .take(10);
+    let queries =
+        QueryGenerator::new(&store, Distribution::Uniform, Distribution::Uniform, 3).take(10);
     let method = TrieSupergraphMethod::build(
         &store,
         PathConfig::default(),
@@ -120,7 +148,11 @@ fn supergraph_engine_is_exact_on_bond_data() {
     );
     let mut engine = IgqSuperEngine::new(
         method,
-        IgqConfig { cache_capacity: 8, window: 2, ..Default::default() },
+        IgqConfig {
+            cache_capacity: 8,
+            window: 2,
+            ..Default::default()
+        },
     );
     for q in &queries {
         let out = engine.query(q);
@@ -136,7 +168,7 @@ fn supergraph_engine_is_exact_on_bond_data() {
 use common::arb_graph_el;
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
     fn prop_methods_exact_on_edge_labeled_stores(

@@ -59,14 +59,27 @@ fn aborted_verifications_are_counted_and_not_cached() {
     let store = mixed_store();
     let method = Ggsx::build(
         &store,
-        GgsxConfig { match_config: MatchConfig::with_budget(5), ..Default::default() },
+        GgsxConfig {
+            match_config: MatchConfig::with_budget(5),
+            ..Default::default()
+        },
     );
-    let mut engine =
-        IgqEngine::new(method, IgqConfig { cache_capacity: 8, window: 1, ..Default::default() });
+    let mut engine = IgqEngine::new(
+        method,
+        IgqConfig {
+            cache_capacity: 8,
+            window: 1,
+            ..Default::default()
+        },
+    );
 
     let out = engine.query(&hard_query());
     assert!(out.aborted_tests > 0, "tiny budget must abort: {out:?}");
-    assert_eq!(engine.cached_queries(), 0, "aborted query must not be cached");
+    assert_eq!(
+        engine.cached_queries(),
+        0,
+        "aborted query must not be cached"
+    );
     assert_eq!(engine.stats().aborted_tests, out.aborted_tests);
 
     // An easy query on the same engine is unaffected and does get cached.
@@ -81,8 +94,14 @@ fn aborted_verifications_are_counted_and_not_cached() {
 fn unlimited_budget_never_aborts() {
     let store = mixed_store();
     let method = Ggsx::build(&store, GgsxConfig::default());
-    let mut engine =
-        IgqEngine::new(method, IgqConfig { cache_capacity: 8, window: 2, ..Default::default() });
+    let mut engine = IgqEngine::new(
+        method,
+        IgqConfig {
+            cache_capacity: 8,
+            window: 2,
+            ..Default::default()
+        },
+    );
     let out = engine.query(&hard_query());
     assert_eq!(out.aborted_tests, 0);
     assert_eq!(out.answers, oracle_answers(&store, &hard_query()));
@@ -94,20 +113,24 @@ fn non_aborted_queries_stay_exact_in_budget_limited_streams() {
     // queries may abort, but every query that did NOT abort must be exact —
     // i.e., bounded verification cannot poison later answers via the cache.
     let store = Arc::new(DatasetKind::Aids.generate(60, 31));
-    let queries = QueryGenerator::new(
-        &store,
-        Distribution::Zipf(1.4),
-        Distribution::Zipf(1.4),
-        5,
-    )
-    .take(60);
+    let queries =
+        QueryGenerator::new(&store, Distribution::Zipf(1.4), Distribution::Zipf(1.4), 5).take(60);
 
     let method = Ggsx::build(
         &store,
-        GgsxConfig { match_config: MatchConfig::with_budget(12), ..Default::default() },
+        GgsxConfig {
+            match_config: MatchConfig::with_budget(12),
+            ..Default::default()
+        },
     );
-    let mut engine =
-        IgqEngine::new(method, IgqConfig { cache_capacity: 16, window: 4, ..Default::default() });
+    let mut engine = IgqEngine::new(
+        method,
+        IgqConfig {
+            cache_capacity: 16,
+            window: 4,
+            ..Default::default()
+        },
+    );
 
     let mut aborted = 0u64;
     for q in &queries {
@@ -128,14 +151,15 @@ fn non_aborted_queries_stay_exact_in_budget_limited_streams() {
 fn super_engine_aborts_are_not_cached_either() {
     use igq::methods::TrieSupergraphMethod;
     let store = mixed_store();
-    let method = TrieSupergraphMethod::build(
-        &store,
-        PathConfig::default(),
-        MatchConfig::with_budget(3),
-    );
+    let method =
+        TrieSupergraphMethod::build(&store, PathConfig::default(), MatchConfig::with_budget(3));
     let mut engine = IgqSuperEngine::new(
         method,
-        IgqConfig { cache_capacity: 8, window: 1, ..Default::default() },
+        IgqConfig {
+            cache_capacity: 8,
+            window: 1,
+            ..Default::default()
+        },
     );
     // A big query that contains the circulant graph: verifying the hard
     // member inside it blows the 3-state budget.
@@ -148,6 +172,9 @@ fn super_engine_aborts_are_not_cached_either() {
     }
     let big = graph_from(&[0; 14], &edges);
     let out = engine.query(&big);
-    assert!(out.aborted_tests > 0, "super verification should abort: {out:?}");
+    assert!(
+        out.aborted_tests > 0,
+        "super verification should abort: {out:?}"
+    );
     assert_eq!(engine.cached_queries(), 0);
 }

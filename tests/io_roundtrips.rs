@@ -32,10 +32,14 @@ fn exported_cache_roundtrips_through_serde() {
     let method = Ggsx::build(&store, GgsxConfig::default());
     let mut engine = IgqEngine::new(
         method,
-        IgqConfig { cache_capacity: 16, window: 4, ..Default::default() },
+        IgqConfig {
+            cache_capacity: 16,
+            window: 4,
+            ..Default::default()
+        },
     );
-    let queries = QueryGenerator::new(&store, Distribution::Uniform, Distribution::Uniform, 7)
-        .take(12);
+    let queries =
+        QueryGenerator::new(&store, Distribution::Uniform, Distribution::Uniform, 7).take(12);
     for q in &queries {
         let _ = engine.query(q);
     }
@@ -50,7 +54,11 @@ fn exported_cache_roundtrips_through_serde() {
     let method = Ggsx::build(&store, GgsxConfig::default());
     let mut warm = IgqEngine::new(
         method,
-        IgqConfig { cache_capacity: 16, window: 4, ..Default::default() },
+        IgqConfig {
+            cache_capacity: 16,
+            window: 4,
+            ..Default::default()
+        },
     );
     assert!(warm.import_cache(restored) > 0);
     let out = warm.query(&queries[0]);
@@ -62,15 +70,11 @@ fn gfu_queries_equal_in_memory_queries() {
     // Writing queries to GFU and reading them back must not change any
     // answer (vertex order inside the file is the graph's own order).
     let store: Arc<GraphStore> = Arc::new(DatasetKind::Aids.generate(40, 21));
-    let queries: GraphStore = QueryGenerator::new(
-        &store,
-        Distribution::Uniform,
-        Distribution::Uniform,
-        3,
-    )
-    .take(8)
-    .into_iter()
-    .collect();
+    let queries: GraphStore =
+        QueryGenerator::new(&store, Distribution::Uniform, Distribution::Uniform, 3)
+            .take(8)
+            .into_iter()
+            .collect();
     let mut buf = Vec::new();
     io::write_store(&mut buf, &queries).expect("write");
     let back = io::read_store(&buf[..]).expect("read");

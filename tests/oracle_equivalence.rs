@@ -8,10 +8,20 @@ use common::oracle_answers;
 use igq::prelude::*;
 use std::sync::Arc;
 
-fn workload(kind: DatasetKind, graphs: usize, queries: usize, seed: u64) -> (Arc<GraphStore>, Vec<Graph>) {
+fn workload(
+    kind: DatasetKind,
+    graphs: usize,
+    queries: usize,
+    seed: u64,
+) -> (Arc<GraphStore>, Vec<Graph>) {
     let store = Arc::new(kind.generate(graphs, seed));
-    let qs = QueryGenerator::new(&store, Distribution::Zipf(1.4), Distribution::Zipf(1.4), seed ^ 1)
-        .take(queries);
+    let qs = QueryGenerator::new(
+        &store,
+        Distribution::Zipf(1.4),
+        Distribution::Zipf(1.4),
+        seed ^ 1,
+    )
+    .take(queries);
     (store, qs)
 }
 
@@ -19,7 +29,13 @@ fn methods(store: &Arc<GraphStore>) -> Vec<Box<dyn SubgraphMethod>> {
     vec![
         Box::new(Ggsx::build(store, GgsxConfig::default())),
         Box::new(Grapes::build(store, GrapesConfig::default())),
-        Box::new(Grapes::build(store, GrapesConfig { threads: 3, ..Default::default() })),
+        Box::new(Grapes::build(
+            store,
+            GrapesConfig {
+                threads: 3,
+                ..Default::default()
+            },
+        )),
         Box::new(CtIndex::build(store, CtIndexConfig::default())),
     ]
 }
@@ -44,7 +60,11 @@ fn igq_engine_matches_oracle_for_every_method_kind() {
         let name = method.name();
         let mut engine = IgqEngine::new(
             method,
-            IgqConfig { cache_capacity: 24, window: 6, ..Default::default() },
+            IgqConfig {
+                cache_capacity: 24,
+                window: 6,
+                ..Default::default()
+            },
         );
         for q in &queries {
             let out = engine.query(q);
@@ -59,10 +79,20 @@ fn igq_engine_matches_oracle_for_every_method_kind() {
 #[test]
 fn igq_engine_matches_oracle_on_dense_graphs() {
     let (store, queries) = workload(DatasetKind::Synthetic, 6, 20, 31);
-    let method = Grapes::build(&store, GrapesConfig { threads: 2, ..Default::default() });
+    let method = Grapes::build(
+        &store,
+        GrapesConfig {
+            threads: 2,
+            ..Default::default()
+        },
+    );
     let mut engine = IgqEngine::new(
         method,
-        IgqConfig { cache_capacity: 10, window: 4, ..Default::default() },
+        IgqConfig {
+            cache_capacity: 10,
+            window: 4,
+            ..Default::default()
+        },
     );
     for q in &queries {
         let out = engine.query(q);
@@ -74,14 +104,15 @@ fn igq_engine_matches_oracle_on_dense_graphs() {
 fn igq_never_increases_iso_tests() {
     let (store, queries) = workload(DatasetKind::Aids, 150, 80, 47);
     let method = Ggsx::build(&store, GgsxConfig::default());
-    let baseline_tests: u64 = queries
-        .iter()
-        .map(|q| method.query(q).1)
-        .sum();
+    let baseline_tests: u64 = queries.iter().map(|q| method.query(q).1).sum();
     let method = Ggsx::build(&store, GgsxConfig::default());
     let mut engine = IgqEngine::new(
         method,
-        IgqConfig { cache_capacity: 40, window: 8, ..Default::default() },
+        IgqConfig {
+            cache_capacity: 40,
+            window: 8,
+            ..Default::default()
+        },
     );
     let igq_tests: u64 = queries.iter().map(|q| engine.query(q).db_iso_tests).sum();
     assert!(
@@ -89,7 +120,10 @@ fn igq_never_increases_iso_tests() {
         "iGQ ({igq_tests}) must not exceed the baseline ({baseline_tests})"
     );
     // On a zipf workload with repeats, it should strictly save work.
-    assert!(igq_tests < baseline_tests, "expected strict savings on a skewed workload");
+    assert!(
+        igq_tests < baseline_tests,
+        "expected strict savings on a skewed workload"
+    );
 }
 
 #[test]
@@ -98,7 +132,11 @@ fn repeated_identical_queries_cost_nothing_after_caching() {
     let method = Ggsx::build(&store, GgsxConfig::default());
     let mut engine = IgqEngine::new(
         method,
-        IgqConfig { cache_capacity: 8, window: 1, ..Default::default() },
+        IgqConfig {
+            cache_capacity: 8,
+            window: 1,
+            ..Default::default()
+        },
     );
     let q = QueryGenerator::new(&store, Distribution::Uniform, Distribution::Uniform, 5)
         .next_query_of_size(8);
@@ -109,5 +147,8 @@ fn repeated_identical_queries_cost_nothing_after_caching() {
         assert_eq!(out.answers, first.answers);
         repeat_tests += out.db_iso_tests;
     }
-    assert_eq!(repeat_tests, 0, "exact repeats must be free (optimal case 1)");
+    assert_eq!(
+        repeat_tests, 0,
+        "exact repeats must be free (optimal case 1)"
+    );
 }

@@ -11,8 +11,7 @@ use std::sync::Arc;
 fn setup() -> (Arc<GraphStore>, Vec<Graph>) {
     let store = Arc::new(DatasetKind::Aids.generate(250, 77));
     let queries =
-        QueryGenerator::new(&store, Distribution::Zipf(1.8), Distribution::Zipf(1.4), 13)
-            .take(120);
+        QueryGenerator::new(&store, Distribution::Zipf(1.8), Distribution::Zipf(1.4), 13).take(120);
     (store, queries)
 }
 
@@ -20,7 +19,12 @@ fn run_with(policy: ReplacementPolicy, store: &Arc<GraphStore>, queries: &[Graph
     let method = Ggsx::build(store, GgsxConfig::default());
     let mut engine = IgqEngine::new(
         method,
-        IgqConfig { cache_capacity: 10, window: 3, policy, ..Default::default() },
+        IgqConfig {
+            cache_capacity: 10,
+            window: 3,
+            policy,
+            ..Default::default()
+        },
     );
     let mut tests = 0;
     for q in queries {
@@ -50,8 +54,7 @@ fn hot_set_stream(store: &Arc<GraphStore>) -> Vec<Graph> {
     let mut hot_gen =
         QueryGenerator::new(store, Distribution::Zipf(1.4), Distribution::Uniform, 99);
     let hot: Vec<Graph> = hot_gen.take(5);
-    let mut tail_gen =
-        QueryGenerator::new(store, Distribution::Uniform, Distribution::Uniform, 7);
+    let mut tail_gen = QueryGenerator::new(store, Distribution::Uniform, Distribution::Uniform, 7);
     let mut stream = Vec::new();
     for i in 0..160 {
         if i % 2 == 0 {

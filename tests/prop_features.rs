@@ -4,9 +4,13 @@
 mod common;
 
 use common::{arb_graph, arb_store, oracle_answers, oracle_super_answers};
-use igq::features::{enumerate_cycles, enumerate_trees, CycleConfig, FeatureSet, PathConfig, TreeConfig};
-use igq::methods::{ContainmentIndex, CtIndex, CtIndexConfig, Ggsx, GgsxConfig, Grapes, GrapesConfig, SubgraphMethod};
-use igq::prelude::*;
+use igq::features::{
+    enumerate_cycles, enumerate_trees, CycleConfig, FeatureSet, PathConfig, TreeConfig,
+};
+use igq::methods::{
+    ContainmentIndex, CtIndex, CtIndexConfig, Ggsx, GgsxConfig, Grapes, GrapesConfig,
+    SubgraphMethod,
+};
 use proptest::prelude::*;
 
 proptest! {

@@ -18,7 +18,11 @@ fn cache_never_exceeds_capacity() {
     let method = Ggsx::build(&s, GgsxConfig::default());
     let mut engine = IgqEngine::new(
         method,
-        IgqConfig { cache_capacity: 12, window: 4, ..Default::default() },
+        IgqConfig {
+            cache_capacity: 12,
+            window: 4,
+            ..Default::default()
+        },
     );
     let mut generator = QueryGenerator::new(&s, Distribution::Uniform, Distribution::Uniform, 3);
     for q in generator.take(120) {
@@ -35,7 +39,11 @@ fn popular_queries_survive_replacement() {
     let method = Ggsx::build(&s, GgsxConfig::default());
     let mut engine = IgqEngine::new(
         method,
-        IgqConfig { cache_capacity: 4, window: 2, ..Default::default() },
+        IgqConfig {
+            cache_capacity: 4,
+            window: 2,
+            ..Default::default()
+        },
     );
 
     // The "hot" query: asked again and again (as a subgraph of variants, so
@@ -73,7 +81,11 @@ fn window_size_one_maintains_every_query() {
     let method = Ggsx::build(&s, GgsxConfig::default());
     let mut engine = IgqEngine::new(
         method,
-        IgqConfig { cache_capacity: 6, window: 1, ..Default::default() },
+        IgqConfig {
+            cache_capacity: 6,
+            window: 1,
+            ..Default::default()
+        },
     );
     let mut generator = QueryGenerator::new(&s, Distribution::Uniform, Distribution::Uniform, 8);
     let queries = generator.take(10);
@@ -92,7 +104,11 @@ fn engine_runs_are_deterministic() {
         let method = Ggsx::build(&s, GgsxConfig::default());
         let mut engine = IgqEngine::new(
             method,
-            IgqConfig { cache_capacity: 10, window: 3, ..Default::default() },
+            IgqConfig {
+                cache_capacity: 10,
+                window: 3,
+                ..Default::default()
+            },
         );
         let mut generator =
             QueryGenerator::new(&s, Distribution::Zipf(1.4), Distribution::Zipf(1.4), 21);
@@ -103,7 +119,12 @@ fn engine_runs_are_deterministic() {
             tests += out.db_iso_tests;
             answer_sizes.push(out.answers.len());
         }
-        (tests, answer_sizes, engine.stats().exact_hits, engine.stats().empty_shortcuts)
+        (
+            tests,
+            answer_sizes,
+            engine.stats().exact_hits,
+            engine.stats().empty_shortcuts,
+        )
     };
     assert_eq!(run(), run());
 }
@@ -114,7 +135,11 @@ fn flush_window_makes_cache_visible_immediately() {
     let method = Ggsx::build(&s, GgsxConfig::default());
     let mut engine = IgqEngine::new(
         method,
-        IgqConfig { cache_capacity: 50, window: 40, ..Default::default() },
+        IgqConfig {
+            cache_capacity: 50,
+            window: 40,
+            ..Default::default()
+        },
     );
     let q = bfs_extract(s.get(GraphId::new(3)), VertexId::new(1), 8);
     let _ = engine.query(&q);
