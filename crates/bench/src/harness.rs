@@ -29,8 +29,8 @@ pub enum MethodKind {
     GrapesN(usize),
     /// CT-Index.
     CtIndex,
-    /// gCode-style vertex-signature method (extension; [53] in the paper's
-    /// related work, not part of the paper's own lineup).
+    /// gCode-style vertex-signature method (extension; \[53\] in the
+    /// paper's related work, not part of the paper's own lineup).
     GCode,
 }
 

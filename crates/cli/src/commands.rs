@@ -1,6 +1,6 @@
 //! Subcommand implementations for the `igq` CLI.
 
-use igq_core::{IgqConfig, IgqEngine, IgqSuperEngine};
+use igq_core::{IgqConfig, IgqEngine, IgqSuperEngine, MaintenanceMode};
 use igq_features::PathConfig;
 use igq_graph::stats::DatasetStats;
 use igq_graph::{io, GraphStore};
@@ -160,6 +160,23 @@ pub fn query(args: &[String]) -> CmdResult {
         .transpose()
         .map_err(|_| "--window expects an integer")?
         .unwrap_or(100);
+    let maintenance = match flags.get("maintenance").map(String::as_str) {
+        None | Some("incremental") => MaintenanceMode::Incremental,
+        Some("shadow") | Some("shadow-rebuild") => MaintenanceMode::ShadowRebuild,
+        Some("background") => MaintenanceMode::Background,
+        Some(other) => {
+            return Err(format!(
+                "--maintenance must be incremental|shadow|background, got {other:?}"
+            ))
+        }
+    };
+    let max_lag_windows: usize = match flags.get("max-lag") {
+        None => 2,
+        Some(s) => match s.parse() {
+            Ok(k) if k >= 1 => k,
+            _ => return Err("--max-lag expects an integer ≥ 1".into()),
+        },
+    };
     let supergraph = flags.contains_key("supergraph");
 
     let store = Arc::new(load_store(dataset_path)?);
@@ -175,6 +192,8 @@ pub fn query(args: &[String]) -> CmdResult {
     let config = IgqConfig {
         cache_capacity: cache,
         window,
+        maintenance,
+        max_lag_windows,
         ..Default::default()
     }
     .normalized();
@@ -234,6 +253,7 @@ pub fn query(args: &[String]) -> CmdResult {
                     );
                 }
             }
+            engine.sync_maintenance();
             let s = engine.stats();
             println!(
                 "iGQ: {} exact hits, {} empty shortcuts, {} cached, pruned {}+{}",
@@ -243,6 +263,17 @@ pub fn query(args: &[String]) -> CmdResult {
                 s.pruned_by_isub,
                 s.pruned_by_isuper
             );
+            if maintenance == MaintenanceMode::Background {
+                println!(
+                    "maintenance ({}): {} windows, {} snapshot publishes, peak lag {} \
+                     window(s), {:.2?} off-thread",
+                    maintenance.name(),
+                    s.maintenances,
+                    s.snapshot_publishes,
+                    s.maintenance_lag_windows,
+                    s.maintenance_time
+                );
+            }
         } else {
             for (qid, q) in queries.iter() {
                 let (answers, tests) = method.query(q);
@@ -332,6 +363,42 @@ mod tests {
             "--no-igq",
         ]))
         .unwrap();
+        query(&s(&[
+            "--dataset",
+            db.to_str().unwrap(),
+            "--queries",
+            qf.to_str().unwrap(),
+            "--maintenance",
+            "background",
+            "--max-lag",
+            "1",
+            "--cache",
+            "10",
+            "--window",
+            "2",
+        ]))
+        .unwrap();
+        assert!(query(&s(&[
+            "--dataset",
+            db.to_str().unwrap(),
+            "--queries",
+            qf.to_str().unwrap(),
+            "--maintenance",
+            "bogus",
+        ]))
+        .is_err());
+        assert!(
+            query(&s(&[
+                "--dataset",
+                db.to_str().unwrap(),
+                "--queries",
+                qf.to_str().unwrap(),
+                "--max-lag",
+                "0",
+            ]))
+            .is_err(),
+            "--max-lag 0 must be rejected, not silently clamped"
+        );
         query(&s(&[
             "--dataset",
             db.to_str().unwrap(),

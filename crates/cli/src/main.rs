@@ -7,6 +7,7 @@
 //! igq stats    db.gfu
 //! igq query    --dataset db.gfu --queries q.gfu [--method ggsx|grapes|grapes6|ctindex|gcode]
 //!              [--no-igq] [--cache 500] [--window 100] [--supergraph]
+//!              [--maintenance incremental|shadow|background] [--max-lag 2]
 //! ```
 //!
 //! Datasets and queries are exchanged in the GFU-like text format of
@@ -50,6 +51,11 @@ fn print_usage() {
                      [--no-igq]          run the base method alone\n\
                      [--cache <C>]       iGQ cache size (default 500)\n\
                      [--window <W>]      iGQ window size (default 100)\n\
+                     [--maintenance <m>] index maintenance: incremental (default),\n\
+                                         shadow (rebuild per window), or background\n\
+                                         (off-thread, snapshot reads)\n\
+                     [--max-lag <K>]     background mode: max unapplied windows\n\
+                                         before a query blocks (default 2)\n\
                      [--supergraph]      supergraph semantics (contained graphs)\n\
                      [--verbose]         per-query output"
     );

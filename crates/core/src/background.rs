@@ -1,0 +1,527 @@
+//! Off-thread window maintenance with atomically published index
+//! snapshots ([`MaintenanceMode::Background`]).
+//!
+//! # Why
+//!
+//! Incremental maintenance (PR 1) made each window flip cost O(window
+//! delta) instead of O(cache), but that delta application still ran on the
+//! query thread: the unlucky query that fills the window pays for path
+//! re-enumeration of every admitted graph before its caller gets an
+//! answer. This module moves the index work onto a dedicated maintenance
+//! thread so the query-thread share of a window flip shrinks to cache
+//! eviction/admission plus one channel send.
+//!
+//! # How: double-buffered snapshots
+//!
+//! The maintainer owns two full copies of the `Isub`/`Isuper` pair in a
+//! classic double-buffer arrangement:
+//!
+//! * the **published** buffer lives behind an [`arc_swap::ArcSwap`]; query
+//!   threads grab an `Arc` of it ([`BackgroundMaintainer::snapshot`]) and
+//!   probe it immutably, entirely lock-free with respect to maintenance;
+//! * the **shadow** buffer is private to the maintenance thread, which
+//!   applies incoming [`MaintenanceJob`]s to it and then publishes it with
+//!   one atomic swap.
+//!
+//! The buffer retired by a publish is recycled into the next writable
+//! buffer **one batch later**: by then the short-lived probe readers have
+//! dropped their snapshot `Arc`s, the buffer is uniquely owned again, and
+//! the backlog of deltas it missed is replayed onto it (O(delta)). Only a
+//! reader that pins a snapshot for longer than a whole window forces the
+//! fallback deep copy, and even that O(cache) cost lands on the
+//! maintenance thread, never on a query. The maintainer *polls* its delta
+//! channel rather than blocking in `recv` — see `POLL_FLOOR` in this
+//! module's source for why that keeps the window-flipping query's `send`
+//! a pure enqueue.
+//!
+//! # Staleness bound and backpressure
+//!
+//! [`BackgroundMaintainer::submit`] gates on the *actual* number of
+//! submitted-but-unapplied window deltas: while it is at least
+//! [`IgqConfig::max_lag_windows`](crate::IgqConfig::max_lag_windows), the
+//! window-flipping query waits before enqueueing, so the published
+//! snapshot never trails the cache by more than `max_lag_windows`
+//! windows — exactly, for every `K ≥ 1` (with `K = 1`, every flip waits
+//! for full catch-up: maximum freshness, synchronous-like flip latency).
+//! The queue itself is unbounded; the gate, not channel capacity, is the
+//! backpressure. Staleness never corrupts answers: the engines revalidate
+//! every probe hit against the live cache (slot occupied and graph
+//! `Arc`-identical to the one indexed), so a stale hit degrades to a
+//! missed pruning opportunity, not a wrong result.
+//!
+//! # Shutdown
+//!
+//! Dropping the maintainer closes the channel; the worker drains every
+//! queued job (the channel guarantees messages sent before disconnection
+//! are delivered), publishes the final state, and exits; the drop then
+//! joins the thread. No delta is ever lost — see
+//! `drop_joins_and_loses_no_deltas` in this module's tests.
+//!
+//! [`MaintenanceMode::Background`]: crate::config::MaintenanceMode::Background
+
+use crate::isub::IsubIndex;
+use crate::isuper::IsuperIndex;
+use crate::maintain::{apply_job, MaintenanceJob};
+use arc_swap::ArcSwap;
+use crossbeam::channel::{self, Receiver, Sender};
+use igq_features::PathConfig;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The immutable `Isub`/`Isuper` pair queries probe under
+/// [`MaintenanceMode::Background`](crate::MaintenanceMode::Background).
+#[derive(Clone)]
+pub struct IndexPair {
+    /// Subgraph side of the query index (cached supergraphs of a query).
+    pub isub: IsubIndex,
+    /// Supergraph side of the query index (cached subgraphs of a query).
+    pub isuper: IsuperIndex,
+}
+
+impl IndexPair {
+    /// An empty pair configured like the engine's indexes.
+    pub fn empty(path_config: PathConfig) -> IndexPair {
+        IndexPair {
+            isub: IsubIndex::new(path_config),
+            isuper: IsuperIndex::new(path_config),
+        }
+    }
+}
+
+/// Counters the maintenance thread publishes for
+/// [`EngineStats`](crate::EngineStats) folding.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaintainerStats {
+    /// Jobs applied (== windows maintained off-thread so far).
+    pub applied: u64,
+    /// Peak observed lag, in unapplied windows.
+    pub peak_lag_windows: u64,
+    /// Snapshot publications (atomic swaps of the probe buffer).
+    pub snapshot_publishes: u64,
+    /// Postings inserted/removed while applying job deltas.
+    pub postings_touched: u64,
+    /// Wall-clock the maintenance thread spent applying and publishing.
+    pub maintenance_time: Duration,
+}
+
+/// Shared state between the engine (submitter/reader) and the worker.
+struct Shared {
+    published: ArcSwap<IndexPair>,
+    submitted: AtomicU64,
+    applied: AtomicU64,
+    peak_lag: AtomicU64,
+    publishes: AtomicU64,
+    postings: AtomicU64,
+    nanos: AtomicU64,
+}
+
+#[derive(Debug)]
+enum Msg {
+    Apply(MaintenanceJob),
+    /// Barrier: acked only after everything submitted earlier has been
+    /// applied *and* published.
+    Sync(Sender<()>),
+}
+
+/// Handle to the dedicated maintenance thread: submit window deltas, read
+/// the latest published snapshot, and synchronize or shut down (on drop).
+pub struct BackgroundMaintainer {
+    tx: Option<Sender<Msg>>,
+    handle: Option<JoinHandle<()>>,
+    shared: Arc<Shared>,
+    max_lag_windows: u64,
+}
+
+impl BackgroundMaintainer {
+    /// Spawns a maintainer iff `config` selects
+    /// [`MaintenanceMode::Background`](crate::MaintenanceMode::Background)
+    /// — the engines' shared construction path.
+    pub fn for_config(config: &crate::IgqConfig) -> Option<BackgroundMaintainer> {
+        match config.maintenance {
+            crate::MaintenanceMode::Background => Some(BackgroundMaintainer::spawn(
+                config.path_config,
+                config.max_lag_windows,
+            )),
+            _ => None,
+        }
+    }
+
+    /// Spawns the maintenance thread with an empty published snapshot.
+    /// `max_lag_windows` (≥ 1) bounds how many submitted-but-unapplied
+    /// window deltas [`submit`](Self::submit) tolerates before blocking.
+    pub fn spawn(path_config: PathConfig, max_lag_windows: usize) -> BackgroundMaintainer {
+        let shared = Arc::new(Shared {
+            published: ArcSwap::from_pointee(IndexPair::empty(path_config)),
+            submitted: AtomicU64::new(0),
+            applied: AtomicU64::new(0),
+            peak_lag: AtomicU64::new(0),
+            publishes: AtomicU64::new(0),
+            postings: AtomicU64::new(0),
+            nanos: AtomicU64::new(0),
+        });
+        // The queue is unbounded; the lag gate in `submit` (not channel
+        // capacity) enforces the staleness bound, so the bound stays
+        // exact regardless of how many queued jobs the worker coalesces
+        // into one batch.
+        let (tx, rx) = channel::unbounded();
+        let worker_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("igq-maintainer".into())
+            .spawn(move || worker(rx, worker_shared, path_config))
+            .expect("spawn igq maintenance thread");
+        BackgroundMaintainer {
+            tx: Some(tx),
+            handle: Some(handle),
+            shared,
+            max_lag_windows: max_lag_windows.max(1) as u64,
+        }
+    }
+
+    /// Queues one window delta. Blocks while `max_lag_windows` deltas are
+    /// already unapplied (the bounded-lag backpressure policy), so the
+    /// observed lag never exceeds the bound.
+    pub fn submit(&self, job: MaintenanceJob) {
+        if job.is_empty() {
+            return;
+        }
+        // The gate: wait until fewer than K windows are unapplied. A dead
+        // worker (panicked) can never catch up — bail out to the send
+        // below, whose failure reports it.
+        while self.lag_windows() >= self.max_lag_windows {
+            if self.handle.as_ref().is_none_or(JoinHandle::is_finished) {
+                break;
+            }
+            std::thread::sleep(SUBMIT_GATE_TICK);
+        }
+        self.tx
+            .as_ref()
+            .expect("maintainer alive")
+            .send(Msg::Apply(job))
+            .expect("maintenance thread lost");
+        let submitted = self.shared.submitted.fetch_add(1, Ordering::Relaxed) + 1;
+        let applied = self.shared.applied.load(Ordering::Relaxed);
+        self.shared
+            .peak_lag
+            .fetch_max(submitted.saturating_sub(applied), Ordering::Relaxed);
+    }
+
+    /// The latest published index snapshot. Probe it immutably; it may
+    /// trail the cache by up to the configured lag bound.
+    pub fn snapshot(&self) -> Arc<IndexPair> {
+        self.shared.published.load_full()
+    }
+
+    /// Blocks until every previously submitted job has been applied and
+    /// published, so the next [`snapshot`](Self::snapshot) reflects them
+    /// all.
+    pub fn sync(&self) {
+        let (ack_tx, ack_rx) = channel::bounded(1);
+        self.tx
+            .as_ref()
+            .expect("maintainer alive")
+            .send(Msg::Sync(ack_tx))
+            .expect("maintenance thread lost");
+        ack_rx.recv().expect("maintenance thread lost");
+    }
+
+    /// Windows currently submitted but not yet applied.
+    pub fn lag_windows(&self) -> u64 {
+        self.shared
+            .submitted
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.shared.applied.load(Ordering::Relaxed))
+    }
+
+    /// A snapshot of the maintenance thread's counters.
+    pub fn stats(&self) -> MaintainerStats {
+        MaintainerStats {
+            applied: self.shared.applied.load(Ordering::Relaxed),
+            peak_lag_windows: self.shared.peak_lag.load(Ordering::Relaxed),
+            snapshot_publishes: self.shared.publishes.load(Ordering::Relaxed),
+            postings_touched: self.shared.postings.load(Ordering::Relaxed),
+            maintenance_time: Duration::from_nanos(self.shared.nanos.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl Drop for BackgroundMaintainer {
+    /// Drain-and-join shutdown: closing the channel lets the worker
+    /// consume every queued job before it observes disconnection, so no
+    /// delta is lost; the join makes the drain visible to the dropper.
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Drops probe hits whose slot the cache no longer backs with the graph
+/// the snapshot verified: the slot must be occupied and its graph must be
+/// the *same allocation* (`Arc::ptr_eq`) the snapshot indexed. The
+/// snapshot keeps its graph `Arc`s alive, so pointer identity cannot alias
+/// a recycled allocation. Stale hits thus degrade to missed pruning, never
+/// to answers read from the wrong entry.
+pub(crate) fn retain_current_slots<'a>(
+    cache: &crate::cache::QueryCache,
+    slots: &mut Vec<usize>,
+    slot_graph: impl Fn(usize) -> Option<&'a Arc<igq_graph::Graph>>,
+) {
+    slots.retain(|&slot| {
+        cache
+            .get(slot)
+            .is_some_and(|e| slot_graph(slot).is_some_and(|g| Arc::ptr_eq(g, &e.graph)))
+    });
+}
+
+/// How long the worker sleeps between queue polls while idle, from the
+/// eager floor (fresh work likely) to the drowsy ceiling. Polling — rather
+/// than blocking in `recv` — is deliberate: a blocking receiver is woken
+/// *by the sender's own `send`*, and on a machine where both threads share
+/// a core the kernel's wake-preemption then runs the maintainer on the
+/// query thread's timeslice, handing the window-flip stall right back to
+/// the query that queued the delta. With polling, `send` is a pure
+/// enqueue; the maintainer picks the job up on its next tick (bounded by
+/// `POLL_CEILING`, far below any realistic window cadence) and the
+/// flipping query returns immediately.
+const POLL_FLOOR: Duration = Duration::from_micros(50);
+/// See [`POLL_FLOOR`]. Caps both the idle wake-up rate (~500/s) and the
+/// extra pickup latency a just-submitted job can see.
+const POLL_CEILING: Duration = Duration::from_millis(2);
+/// How often a lag-gated [`BackgroundMaintainer::submit`] rechecks the
+/// unapplied-window count while waiting for the maintainer to catch up.
+const SUBMIT_GATE_TICK: Duration = Duration::from_micros(20);
+
+/// The maintenance thread: poll for queued jobs, apply them to a writable
+/// buffer, publish it atomically, and recycle the previously published
+/// buffer one batch later (by which time the short-lived probe readers
+/// have released it).
+fn worker(rx: Receiver<Msg>, shared: Arc<Shared>, path_config: PathConfig) {
+    // The writable buffer for the very first batch; after the first
+    // publish the writable buffer is always reclaimed from `retired`.
+    let mut initial = Some(IndexPair::empty(path_config));
+    // The buffer retired by the last publish. Deliberately NOT recycled
+    // right away: a probe that loaded it microseconds before the swap is
+    // usually still running, and recycling now would hit the clone
+    // fallback almost every window. By the next batch — a full window of
+    // queries later — it is all but guaranteed to be unpinned.
+    let mut retired: Option<Arc<IndexPair>> = None;
+    // Jobs applied to the published lineage that `retired` has not seen.
+    let mut backlog: Vec<MaintenanceJob> = Vec::new();
+    let mut idle = POLL_FLOOR;
+    loop {
+        let first = match rx.try_recv() {
+            Ok(msg) => {
+                idle = POLL_FLOOR;
+                msg
+            }
+            Err(channel::TryRecvError::Disconnected) => break,
+            Err(channel::TryRecvError::Empty) => {
+                std::thread::sleep(idle);
+                idle = (idle * 2).min(POLL_CEILING);
+                continue;
+            }
+        };
+        // Coalesce whatever else is already queued into one publish, but
+        // stop at a Sync barrier so its ack stays ordered after exactly
+        // the jobs submitted before it.
+        let mut batch = vec![first];
+        while !matches!(batch.last(), Some(Msg::Sync(_))) {
+            match rx.try_recv() {
+                Ok(msg) => batch.push(msg),
+                Err(_) => break,
+            }
+        }
+        let start = Instant::now();
+        let mut jobs: Vec<MaintenanceJob> = Vec::new();
+        let mut acks: Vec<Sender<()>> = Vec::new();
+        for msg in batch {
+            match msg {
+                Msg::Apply(job) => jobs.push(job),
+                Msg::Sync(ack) => acks.push(ack),
+            }
+        }
+        let mut reclaim_wait = Duration::ZERO;
+        if !jobs.is_empty() {
+            let mut buf = match initial.take() {
+                Some(b) => b,
+                None => reclaim(
+                    retired.take().expect("retired buffer after first publish"),
+                    &mut backlog,
+                    &shared,
+                    path_config,
+                    &mut reclaim_wait,
+                ),
+            };
+            let applied = jobs.len() as u64;
+            for job in jobs {
+                let outcome = apply_job(path_config, &job, &mut buf.isub, &mut buf.isuper);
+                shared
+                    .postings
+                    .fetch_add(outcome.postings_touched, Ordering::Relaxed);
+                backlog.push(job);
+            }
+            retired = Some(shared.published.swap(Arc::new(buf)));
+            shared.publishes.fetch_add(1, Ordering::Relaxed);
+            shared.applied.fetch_add(applied, Ordering::Relaxed);
+        }
+        // `maintenance_time` counts work (apply, replay, publish), not the
+        // time spent waiting for a straggling reader to release a buffer.
+        let worked = start.elapsed().saturating_sub(reclaim_wait);
+        shared
+            .nanos
+            .fetch_add(worked.as_nanos() as u64, Ordering::Relaxed);
+        // Acks go out only after the batch's jobs are applied *and*
+        // published (channel FIFO covers earlier batches).
+        for ack in acks {
+            let _ = ack.send(());
+        }
+    }
+}
+
+/// Turns the retired buffer back into a writable, fully caught-up one:
+/// waits briefly for straggling readers to release it (the wait — not
+/// work — is accumulated into `waited` so it can be excluded from
+/// `maintenance_time`), replays the backlog of deltas it missed
+/// (O(backlog)), and only as a last resort deep-copies the currently
+/// published buffer (O(cache), still off the query thread).
+fn reclaim(
+    retired: Arc<IndexPair>,
+    backlog: &mut Vec<MaintenanceJob>,
+    shared: &Shared,
+    path_config: PathConfig,
+    waited: &mut Duration,
+) -> IndexPair {
+    let mut arc = retired;
+    for attempt in 0..RECLAIM_ATTEMPTS {
+        match Arc::try_unwrap(arc) {
+            Ok(mut pair) => {
+                for job in backlog.drain(..) {
+                    apply_job(path_config, &job, &mut pair.isub, &mut pair.isuper);
+                }
+                return pair;
+            }
+            Err(still_shared) => {
+                arc = still_shared;
+                // Readers hold snapshots for one probe; yield first, then
+                // back off a little harder.
+                let wait_start = Instant::now();
+                if attempt < RECLAIM_ATTEMPTS / 2 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(20));
+                }
+                *waited += wait_start.elapsed();
+            }
+        }
+    }
+    // A reader pinned this buffer for an entire window-and-a-half; give
+    // it up and copy the published state instead.
+    backlog.clear();
+    (*shared.published.load_full()).clone()
+}
+
+/// How many release checks `reclaim` makes before falling back to a deep
+/// copy (half cheap yields, half 20 µs sleeps ≈ 1 ms of patience).
+const RECLAIM_ATTEMPTS: usize = 100;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igq_graph::{graph_from, Graph};
+
+    fn job(evicted: Vec<usize>, admitted: Vec<(usize, Graph)>) -> MaintenanceJob {
+        MaintenanceJob {
+            evicted,
+            admitted: admitted
+                .into_iter()
+                .map(|(s, g)| (s, Arc::new(g)))
+                .collect(),
+        }
+    }
+
+    fn graphs(n: usize) -> Vec<(usize, Graph)> {
+        (0..n)
+            .map(|i| {
+                let l = i as u32;
+                (i, graph_from(&[l, l + 1, l], &[(0, 1), (1, 2)]))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn snapshot_converges_after_sync() {
+        let m = BackgroundMaintainer::spawn(PathConfig::default(), 2);
+        assert!(m.snapshot().isub.is_empty());
+        let admitted = graphs(5);
+        m.submit(job(vec![], admitted.clone()));
+        m.sync();
+        let snap = m.snapshot();
+        assert_eq!(snap.isub.len(), 5);
+        assert_eq!(snap.isuper.len(), 5);
+        // Equivalent to a fresh build over the same slots.
+        let fresh = IsubIndex::build(
+            admitted.iter().map(|(s, g)| (*s, Arc::new(g.clone()))),
+            PathConfig::default(),
+        );
+        snap.isub
+            .snapshot()
+            .diff(&fresh.snapshot())
+            .expect("published == rebuild");
+        assert_eq!(m.lag_windows(), 0);
+        assert!(m.stats().snapshot_publishes >= 1);
+        assert!(m.stats().postings_touched > 0);
+    }
+
+    #[test]
+    fn eviction_jobs_unindex_slots() {
+        let m = BackgroundMaintainer::spawn(PathConfig::default(), 2);
+        m.submit(job(vec![], graphs(3)));
+        m.submit(job(vec![1], vec![]));
+        m.sync();
+        let snap = m.snapshot();
+        assert_eq!(snap.isub.len(), 2);
+        assert_eq!(snap.isuper.len(), 2);
+    }
+
+    #[test]
+    fn drop_joins_and_loses_no_deltas() {
+        // Submit a burst of windows and drop immediately: the worker must
+        // drain and apply every one of them before the join returns.
+        let m = BackgroundMaintainer::spawn(PathConfig::default(), 8);
+        let total = 6u64;
+        for i in 0..total as usize {
+            m.submit(job(vec![], vec![(i, graph_from(&[i as u32], &[]))]));
+        }
+        let shared = Arc::clone(&m.shared);
+        drop(m);
+        assert_eq!(
+            shared.applied.load(Ordering::Relaxed),
+            total,
+            "every submitted delta applied before shutdown"
+        );
+        assert_eq!(shared.published.load_full().isub.len(), total as usize);
+    }
+
+    #[test]
+    fn reader_pinning_a_snapshot_does_not_block_progress() {
+        let m = BackgroundMaintainer::spawn(PathConfig::default(), 4);
+        m.submit(job(vec![], graphs(2)));
+        m.sync();
+        let pinned = m.snapshot(); // force the clone fallback on recycle
+        m.submit(job(vec![0], vec![]));
+        m.sync();
+        assert_eq!(pinned.isub.len(), 2, "old snapshot immutable");
+        assert_eq!(m.snapshot().isub.len(), 1, "new snapshot advanced");
+    }
+
+    #[test]
+    fn empty_jobs_are_not_submitted() {
+        let m = BackgroundMaintainer::spawn(PathConfig::default(), 1);
+        m.submit(job(vec![], vec![]));
+        assert_eq!(m.lag_windows(), 0);
+        assert_eq!(m.stats().applied, 0);
+    }
+}

@@ -14,6 +14,17 @@ pub enum MaintenanceMode {
     /// indexes from scratch over the whole cache every window. Kept for
     /// ablation; costs O(cache) per window.
     ShadowRebuild,
+    /// Off-thread delta maintenance: window deltas are queued to a
+    /// dedicated maintenance thread which applies them to a shadow copy of
+    /// the query indexes and atomically publishes immutable snapshots;
+    /// queries probe the latest published snapshot. The query thread's
+    /// window-boundary cost drops to eviction/admission plus one channel
+    /// send. Snapshots may lag the cache by up to
+    /// [`IgqConfig::max_lag_windows`] windows (a query blocks rather than
+    /// exceed that bound); staleness only weakens pruning — answers stay
+    /// exact because stale probe hits are revalidated against the live
+    /// cache.
+    Background,
 }
 
 impl MaintenanceMode {
@@ -22,6 +33,7 @@ impl MaintenanceMode {
         match self {
             MaintenanceMode::Incremental => "incremental",
             MaintenanceMode::ShadowRebuild => "shadow-rebuild",
+            MaintenanceMode::Background => "background",
         }
     }
 }
@@ -51,8 +63,17 @@ pub struct IgqConfig {
     pub policy: ReplacementPolicy,
     /// Window-maintenance strategy for the query indexes (default:
     /// incremental delta maintenance; `ShadowRebuild` reproduces the
-    /// paper's rebuild-every-window behavior for ablation).
+    /// paper's rebuild-every-window behavior for ablation;
+    /// [`MaintenanceMode::Background`] moves delta application onto a
+    /// dedicated thread behind published snapshots).
     pub maintenance: MaintenanceMode,
+    /// Bounded-lag backpressure for [`MaintenanceMode::Background`]: the
+    /// maximum number of window deltas that may be queued-or-in-flight
+    /// before a window-flipping query blocks on the maintenance thread.
+    /// Probed snapshots therefore never trail the cache by more than this
+    /// many windows. Clamped to ≥ 1 by [`IgqConfig::normalized`]; ignored
+    /// by the synchronous modes.
+    pub max_lag_windows: usize,
     /// Detect exact repeats (optimal case 1) via a canonical-code hash map
     /// before any filtering or index probing. An engineering fast path on
     /// top of the paper's design: repeats cost one canonicalization instead
@@ -73,6 +94,7 @@ impl Default for IgqConfig {
             parallel_probes: false,
             policy: ReplacementPolicy::Utility,
             maintenance: MaintenanceMode::Incremental,
+            max_lag_windows: 2,
             exact_fastpath: true,
         }
     }
@@ -89,13 +111,17 @@ impl IgqConfig {
         }
     }
 
-    /// Validates the `W ≤ C` invariant, clamping the window if needed.
+    /// Validates the `W ≤ C` invariant (clamping the window if needed) and
+    /// the `max_lag_windows ≥ 1` invariant of the background maintainer.
     pub fn normalized(mut self) -> Self {
         if self.window == 0 {
             self.window = 1;
         }
         if self.window > self.cache_capacity {
             self.window = self.cache_capacity.max(1);
+        }
+        if self.max_lag_windows == 0 {
+            self.max_lag_windows = 1;
         }
         self
     }
@@ -134,5 +160,22 @@ mod tests {
         }
         .normalized();
         assert_eq!(c.window, 1);
+    }
+
+    #[test]
+    fn normalization_clamps_lag_bound() {
+        let c = IgqConfig {
+            max_lag_windows: 0,
+            ..Default::default()
+        }
+        .normalized();
+        assert_eq!(c.max_lag_windows, 1);
+    }
+
+    #[test]
+    fn mode_names() {
+        assert_eq!(MaintenanceMode::Incremental.name(), "incremental");
+        assert_eq!(MaintenanceMode::ShadowRebuild.name(), "shadow-rebuild");
+        assert_eq!(MaintenanceMode::Background.name(), "background");
     }
 }

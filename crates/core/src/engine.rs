@@ -18,7 +18,16 @@
 //!    (Section 5.2) — by default an **incremental delta update** of both
 //!    query indexes (evicted slots removed, admitted slots inserted, cost
 //!    O(window delta)); the paper's shadow rebuild survives behind
-//!    [`MaintenanceMode::ShadowRebuild`] for ablation.
+//!    [`MaintenanceMode::ShadowRebuild`] for ablation, and
+//!    [`MaintenanceMode::Background`] queues the delta to a dedicated
+//!    maintenance thread instead (see [`crate::background`]) so the window
+//!    flip never stalls a query.
+//!
+//! Under background maintenance the probes of step 2 read an immutable
+//! published snapshot of the indexes, which may trail the cache by a
+//! bounded number of windows; every probe hit is revalidated against the
+//! live cache (slot occupied, graph `Arc`-identical), so staleness only
+//! costs pruning power — answers remain exact.
 //!
 //! The query's path features are extracted **once** per query and shared
 //! by the base method's filter and both index probes (the seed extracted
@@ -26,12 +35,17 @@
 //!
 //! Correctness (Theorems 1 and 2) is exercised end-to-end by the
 //! integration suite: the engine's answers are compared against the naive
-//! oracle on randomized workloads, in both maintenance modes.
+//! oracle on randomized workloads, in all maintenance modes.
+//!
+//! [`MaintenanceMode::ShadowRebuild`]: crate::config::MaintenanceMode::ShadowRebuild
+//! [`MaintenanceMode::Background`]: crate::config::MaintenanceMode::Background
 
+use crate::background::{retain_current_slots, BackgroundMaintainer};
 use crate::cache::{QueryCache, WindowEntry};
 use crate::config::IgqConfig;
 use crate::isub::IsubIndex;
 use crate::isuper::IsuperIndex;
+use crate::maintain::MaintenanceJob;
 use crate::outcome::{QueryOutcome, Resolution};
 use crate::stats::EngineStats;
 use igq_features::{enumerate_paths, PathFeatures};
@@ -48,8 +62,15 @@ pub struct IgqEngine<M: SubgraphMethod> {
     method: M,
     config: IgqConfig,
     cache: QueryCache,
+    /// Live indexes for the synchronous maintenance modes; stay empty
+    /// under [`MaintenanceMode::Background`], where the maintainer owns
+    /// the authoritative copies and queries probe published snapshots.
     isub: IsubIndex,
     isuper: IsuperIndex,
+    /// The maintenance thread handle (`Some` iff the mode is
+    /// [`MaintenanceMode::Background`]). Dropped last-ish on engine drop:
+    /// its own `Drop` drains the delta queue and joins the thread.
+    maintainer: Option<BackgroundMaintainer>,
     /// `Itemp`: processed-but-not-yet-indexed queries.
     window: Vec<WindowEntry>,
     window_signatures: Vec<GraphSignature>,
@@ -69,12 +90,14 @@ impl<M: SubgraphMethod> IgqEngine<M> {
         let cache = QueryCache::with_policy(config.cache_capacity, config.policy);
         let isub = IsubIndex::new(config.path_config);
         let isuper = IsuperIndex::new(config.path_config);
+        let maintainer = BackgroundMaintainer::for_config(&config);
         IgqEngine {
             method,
             config,
             cache,
             isub,
             isuper,
+            maintainer,
             window: Vec::new(),
             window_signatures: Vec::new(),
             cost_model: CostModel::new(labels),
@@ -87,9 +110,27 @@ impl<M: SubgraphMethod> IgqEngine<M> {
         &self.method
     }
 
-    /// Aggregate statistics so far.
-    pub fn stats(&self) -> &EngineStats {
-        &self.stats
+    /// Aggregate statistics so far (an owned snapshot). Under background
+    /// maintenance the off-thread counters (`maintenance_time`,
+    /// `maintenance_postings_touched`, `maintenance_lag_windows`,
+    /// `snapshot_publishes`) are read from the maintenance thread at call
+    /// time; call [`IgqEngine::sync_maintenance`] first for fully settled
+    /// numbers.
+    pub fn stats(&self) -> EngineStats {
+        let mut stats = self.stats.clone();
+        if let Some(m) = &self.maintainer {
+            stats.fold_maintainer(&m.stats());
+        }
+        stats
+    }
+
+    /// Blocks until the background maintainer has applied and published
+    /// every submitted window delta, so the next probe sees a snapshot in
+    /// lockstep with the cache. No-op in the synchronous modes.
+    pub fn sync_maintenance(&self) {
+        if let Some(m) = &self.maintainer {
+            m.sync();
+        }
     }
 
     /// Engine configuration.
@@ -103,9 +144,19 @@ impl<M: SubgraphMethod> IgqEngine<M> {
     }
 
     /// Approximate footprint of iGQ's own structures (query graphs, answer
-    /// sets, and both query indexes) — the iGQ bar of Figure 18.
+    /// sets, and both query indexes) — the iGQ bar of Figure 18. Under
+    /// background maintenance the engine-owned indexes are empty, so the
+    /// index share is read from the latest published snapshot (which may
+    /// trail the cache by the lag bound).
     pub fn igq_index_size_bytes(&self) -> u64 {
-        self.cache.heap_size_bytes() + self.isub.heap_size_bytes() + self.isuper.heap_size_bytes()
+        let index_bytes = match &self.maintainer {
+            Some(m) => {
+                let pair = m.snapshot();
+                pair.isub.heap_size_bytes() + pair.isuper.heap_size_bytes()
+            }
+            None => self.isub.heap_size_bytes() + self.isuper.heap_size_bytes(),
+        };
+        self.cache.heap_size_bytes() + index_bytes
     }
 
     /// Estimated cost (log space) of iso-testing `q` against each graph in
@@ -168,25 +219,42 @@ impl<M: SubgraphMethod> IgqEngine<M> {
         self.stats.feature_extractions += 1;
 
         // Stage 1+2: base-method filtering and query-index probes —
-        // parallel threads as in Fig. 6 when configured.
-        let (filtered, probes) = if self.config.parallel_probes {
-            self.filter_and_probe_parallel(q, &qf)
-        } else {
-            let f_start = Instant::now();
-            let filtered = self.method.filter_with_features(q, Some(&qf));
-            let filter_time = f_start.elapsed();
-            let p_start = Instant::now();
-            let probes = ProbeResult {
-                sub: self.isub.supergraphs_of(q, &qf),
-                sup: self.isuper.subgraphs_of(q, &qf),
-                filter_time,
-                probe_time: Instant::now().duration_since(p_start),
+        // parallel threads as in Fig. 6 when configured. Under background
+        // maintenance the probes read the latest published snapshot
+        // instead of engine-owned indexes.
+        let snap = self.maintainer.as_ref().map(|m| m.snapshot());
+        let (filtered, probes) = {
+            let (isub, isuper) = match &snap {
+                Some(pair) => (&pair.isub, &pair.isuper),
+                None => (&self.isub, &self.isuper),
             };
-            (filtered, probes)
+            if self.config.parallel_probes {
+                self.filter_and_probe_parallel(isub, isuper, q, &qf)
+            } else {
+                let f_start = Instant::now();
+                let filtered = self.method.filter_with_features(q, Some(&qf));
+                let filter_time = f_start.elapsed();
+                let p_start = Instant::now();
+                let probes = ProbeResult {
+                    sub: isub.supergraphs_of(q, &qf),
+                    sup: isuper.subgraphs_of(q, &qf),
+                    filter_time,
+                    probe_time: Instant::now().duration_since(p_start),
+                };
+                (filtered, probes)
+            }
         };
 
-        let (sub_slots, sub_stats) = probes.sub;
-        let (super_slots, super_stats) = probes.sup;
+        let (mut sub_slots, sub_stats) = probes.sub;
+        let (mut super_slots, super_stats) = probes.sup;
+        if let Some(pair) = &snap {
+            // The snapshot may trail the cache: discard hits whose slot
+            // the cache has since evicted or reused, so every surviving
+            // slot's stored answers really belong to the verified graph.
+            retain_current_slots(&self.cache, &mut sub_slots, |s| pair.isub.slot_graph(s));
+            retain_current_slots(&self.cache, &mut super_slots, |s| pair.isuper.slot_graph(s));
+        }
+        drop(snap);
         outcome.filter_time = probes.filter_time;
         let mut igq_stats = IsoStats::new();
         igq_stats.merge(&sub_stats);
@@ -377,34 +445,37 @@ impl<M: SubgraphMethod> IgqEngine<M> {
         true
     }
 
-    /// Evicts/admits the pending window and applies the resulting slot
-    /// delta to `Isub`/`Isuper` — incrementally (remove evicted slots,
-    /// insert admitted ones; O(window delta)) or, under
-    /// [`MaintenanceMode::ShadowRebuild`], by rebuilding both indexes over
-    /// the whole cache as the paper's Section 5.2 prescribes.
+    /// Evicts/admits the pending window and brings `Isub`/`Isuper` in line
+    /// with the resulting slot delta — incrementally on this thread
+    /// (remove evicted slots, insert admitted ones; O(window delta)), by
+    /// rebuilding both indexes over the whole cache under
+    /// [`MaintenanceMode::ShadowRebuild`] as the paper's Section 5.2
+    /// prescribes, or by queueing the delta to the maintenance thread
+    /// under [`MaintenanceMode::Background`] (blocking only when the
+    /// maintainer is `max_lag_windows` behind).
+    ///
+    /// `EngineStats::maintenance_time` is measured around the index work
+    /// only, on whichever thread runs it; the cache eviction/admission
+    /// stays on this thread and is charged to the caller's `igq_time`.
     fn run_maintenance(&mut self) {
         if self.window.is_empty() {
             return;
         }
         let incoming = std::mem::take(&mut self.window);
         self.window_signatures.clear();
-        let maint_start = Instant::now();
         let delta = self.cache.apply_window(incoming);
         if delta.is_empty() {
             return;
         }
-        let outcome = crate::maintain::apply_delta(
-            self.config.maintenance,
-            self.config.path_config,
+        crate::maintain::dispatch_delta(
+            self.maintainer.as_ref(),
+            &self.config,
             &self.cache,
             &delta,
             &mut self.isub,
             &mut self.isuper,
+            &mut self.stats,
         );
-        self.stats.maintenance_postings_touched += outcome.postings_touched;
-        self.stats.full_rebuilds += outcome.rebuilt as u64;
-        self.stats.maintenances += 1;
-        self.stats.maintenance_time += maint_start.elapsed();
     }
 
     /// Forces maintenance regardless of window fill (used by harnesses at
@@ -441,14 +512,23 @@ impl<M: SubgraphMethod> IgqEngine<M> {
             .collect();
         let admitted = admissible.len().min(self.config.cache_capacity);
         let delta = self.cache.apply_window(admissible);
-        crate::maintain::apply_delta(
-            self.config.maintenance,
-            self.config.path_config,
-            &self.cache,
-            &delta,
-            &mut self.isub,
-            &mut self.isuper,
-        );
+        match &self.maintainer {
+            Some(m) => {
+                // Synchronize so a warm start is immediately probe-visible.
+                m.submit(MaintenanceJob::capture(&self.cache, &delta));
+                m.sync();
+            }
+            None => {
+                crate::maintain::apply_delta(
+                    self.config.maintenance,
+                    self.config.path_config,
+                    &self.cache,
+                    &delta,
+                    &mut self.isub,
+                    &mut self.isuper,
+                );
+            }
+        }
         admitted
     }
 
@@ -456,9 +536,11 @@ impl<M: SubgraphMethod> IgqEngine<M> {
     /// invariants (cache within capacity, sorted answer sets), then diffs
     /// the incrementally maintained query indexes against a fresh shadow
     /// rebuild over the cache — any drift between delta maintenance and
-    /// the ground-truth rebuild is reported. The invariant part is cheap;
-    /// the index diff re-enumerates every cached graph, so call this at
-    /// checkpoints rather than per query in large deployments.
+    /// the ground-truth rebuild is reported. Under background maintenance
+    /// the maintainer is synchronized first and its published snapshot is
+    /// diffed. The invariant part is cheap; the index diff re-enumerates
+    /// every cached graph, so call this at checkpoints rather than per
+    /// query in large deployments.
     pub fn self_check(&self) -> Result<(), String> {
         if self.cache.len() > self.config.cache_capacity {
             return Err(format!(
@@ -481,19 +563,25 @@ impl<M: SubgraphMethod> IgqEngine<M> {
         }
         // Index ≡ cache: both indexes must hold exactly the cached slots,
         // with postings identical to a from-scratch rebuild.
+        let (isub_snapshot, isuper_snapshot) = match &self.maintainer {
+            Some(m) => {
+                m.sync();
+                let pair = m.snapshot();
+                (pair.isub.snapshot(), pair.isuper.snapshot())
+            }
+            None => (self.isub.snapshot(), self.isuper.snapshot()),
+        };
         let graphs = || {
             self.cache
                 .iter()
                 .map(|(slot, e)| (slot, Arc::clone(&e.graph)))
         };
         let fresh_isub = IsubIndex::build(graphs(), self.config.path_config);
-        self.isub
-            .snapshot()
+        isub_snapshot
             .diff(&fresh_isub.snapshot())
             .map_err(|e| format!("Isub drifted from shadow rebuild: {e}"))?;
         let fresh_isuper = IsuperIndex::build(graphs(), self.config.path_config);
-        self.isuper
-            .snapshot()
+        isuper_snapshot
             .diff(&fresh_isuper.snapshot())
             .map_err(|e| format!("Isuper drifted from shadow rebuild: {e}"))?;
         Ok(())
@@ -501,11 +589,15 @@ impl<M: SubgraphMethod> IgqEngine<M> {
 
     fn filter_and_probe_parallel(
         &self,
+        isub: &IsubIndex,
+        isuper: &IsuperIndex,
         q: &Graph,
         qf: &PathFeatures,
     ) -> (igq_methods::Filtered, ProbeResult) {
         // Three-thread pipeline of Fig. 6: M's filter, Isub, Isuper — all
-        // three sharing the one extracted feature set.
+        // three sharing the one extracted feature set. The index refs are
+        // either the engine's own (synchronous modes) or a published
+        // snapshot's (background maintenance).
         let mut filtered = None;
         let mut sub = None;
         let mut sup = None;
@@ -519,12 +611,12 @@ impl<M: SubgraphMethod> IgqEngine<M> {
             });
             let sub_handle = scope.spawn(|_| {
                 let t = Instant::now();
-                let r = self.isub.supergraphs_of(q, qf);
+                let r = isub.supergraphs_of(q, qf);
                 (r, t.elapsed())
             });
             let sup_handle = scope.spawn(|_| {
                 let t = Instant::now();
-                let r = self.isuper.subgraphs_of(q, qf);
+                let r = isuper.subgraphs_of(q, qf);
                 (r, t.elapsed())
             });
             let (f, ft) = filter_handle.join().expect("filter thread");
@@ -941,5 +1033,135 @@ mod tests {
             let _ = e.query(&q);
             e.self_check().expect("mid-stream");
         }
+    }
+
+    #[test]
+    fn background_mode_answers_match_oracle() {
+        let s = store();
+        let naive = NaiveMethod::build(&s);
+        let mut e = engine_with_mode(MaintenanceMode::Background, 3, 1);
+        for q in workload() {
+            let out = e.query(&q);
+            let (truth, _) = naive.query(&q);
+            assert_eq!(out.answers, truth, "query {q:?}");
+        }
+        let st = e.stats();
+        assert!(st.maintenances >= 5, "windows of 1 maintain frequently");
+        assert_eq!(st.full_rebuilds, 0, "background mode never rebuilds");
+        e.self_check()
+            .expect("published snapshot matches a fresh rebuild after sync");
+        let st = e.stats();
+        assert!(st.snapshot_publishes >= 1, "snapshots were published");
+        assert!(st.maintenance_postings_touched > 0);
+        assert!(
+            st.maintenance_lag_windows <= e.config().max_lag_windows as u64,
+            "peak lag {} exceeded the configured bound {}",
+            st.maintenance_lag_windows,
+            e.config().max_lag_windows
+        );
+    }
+
+    #[test]
+    fn background_exact_repeat_still_hits_via_cache_code_index() {
+        // The exact-repeat fast path reads the cache's code index, which
+        // lives on the query thread and is always current — repeats hit
+        // even while the index snapshot lags.
+        let mut e = engine_with_mode(MaintenanceMode::Background, 8, 2);
+        let q = graph_from(&[0, 1], &[(0, 1)]);
+        let first = e.query(&q);
+        let _ = e.query(&graph_from(&[2, 2], &[(0, 1)]));
+        let repeat = e.query(&q);
+        assert_eq!(repeat.resolution, Resolution::ExactHit);
+        assert_eq!(repeat.answers, first.answers);
+    }
+
+    #[test]
+    fn background_probes_hit_after_sync() {
+        let mut e = engine_with_mode(MaintenanceMode::Background, 8, 2);
+        let big = graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]);
+        let _ = e.query(&big);
+        let _ = e.query(&graph_from(&[2, 2], &[(0, 1)])); // flush W=2
+        e.sync_maintenance();
+        // With the snapshot caught up, the cached supergraph prunes the
+        // smaller query exactly as Incremental would.
+        let small = graph_from(&[0, 1], &[(0, 1)]);
+        let out = e.query(&small);
+        assert!(out.isub_hits >= 1, "synced snapshot serves probe hits");
+        assert_eq!(out.answers, ids(&[0, 1, 3]));
+    }
+
+    #[test]
+    fn background_parallel_probes_agree_with_sequential() {
+        let s = store();
+        let mk = |parallel| {
+            let method = Ggsx::build(&s, GgsxConfig::default());
+            IgqEngine::new(
+                method,
+                IgqConfig {
+                    cache_capacity: 8,
+                    window: 2,
+                    parallel_probes: parallel,
+                    maintenance: MaintenanceMode::Background,
+                    ..Default::default()
+                },
+            )
+        };
+        let mut seq = mk(false);
+        let mut par = mk(true);
+        for q in workload() {
+            assert_eq!(seq.query(&q).answers, par.query(&q).answers);
+        }
+    }
+
+    #[test]
+    fn background_export_import_warm_start() {
+        let mut warm = engine_with_mode(MaintenanceMode::Background, 8, 2);
+        let q = graph_from(&[0, 1], &[(0, 1)]);
+        let first = warm.query(&q);
+        let exported = warm.export_cache();
+        assert_eq!(exported.len(), 1);
+
+        let mut cold = engine_with_mode(MaintenanceMode::Background, 8, 2);
+        assert_eq!(cold.import_cache(exported), 1);
+        // import_cache syncs, so the warm entries are immediately
+        // probe-visible even with the exact fast path disabled.
+        let out = cold.query(&q);
+        assert_eq!(out.resolution, Resolution::ExactHit);
+        assert_eq!(out.answers, first.answers);
+        cold.self_check().expect("invariants hold after import");
+    }
+
+    #[test]
+    fn background_index_size_reads_published_snapshot() {
+        // The engine-owned indexes stay empty under background
+        // maintenance; the footprint must come from the published
+        // snapshot, matching what the synchronous mode reports.
+        let queries = [
+            graph_from(&[0, 1], &[(0, 1)]),
+            graph_from(&[2, 2], &[(0, 1)]),
+        ];
+        let mut bg = engine_with_mode(MaintenanceMode::Background, 8, 2);
+        let mut inc = engine_with_mode(MaintenanceMode::Incremental, 8, 2);
+        let empty = bg.igq_index_size_bytes();
+        for q in &queries {
+            let _ = bg.query(q);
+            let _ = inc.query(q);
+        }
+        bg.sync_maintenance();
+        assert!(bg.igq_index_size_bytes() > empty);
+        assert_eq!(
+            bg.igq_index_size_bytes(),
+            inc.igq_index_size_bytes(),
+            "same cache contents must report the same iGQ footprint"
+        );
+    }
+
+    #[test]
+    fn background_engine_drop_joins_cleanly_with_pending_work() {
+        let mut e = engine_with_mode(MaintenanceMode::Background, 4, 1);
+        for q in workload() {
+            let _ = e.query(&q);
+        }
+        drop(e); // must drain the delta queue and join without panicking
     }
 }

@@ -28,7 +28,48 @@
 //! Correctness follows the paper's Theorems 1–2; the workspace integration
 //! tests re-establish them empirically against a naive oracle on randomized
 //! workloads.
+//!
+//! # Example
+//!
+//! Wrap a filter-then-verify method (here GGSX) in the iGQ engine and let
+//! the query cache accelerate repeats and related queries:
+//!
+//! ```
+//! use igq_core::{IgqConfig, IgqEngine, MaintenanceMode};
+//! use igq_graph::{graph_from, GraphStore};
+//! use igq_methods::{Ggsx, GgsxConfig};
+//! use std::sync::Arc;
+//!
+//! let store: Arc<GraphStore> = Arc::new(
+//!     vec![
+//!         graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]),
+//!         graph_from(&[0, 1], &[(0, 1)]),
+//!     ]
+//!     .into_iter()
+//!     .collect(),
+//! );
+//! let method = Ggsx::build(&store, GgsxConfig::default());
+//! let mut engine = IgqEngine::new(
+//!     method,
+//!     IgqConfig {
+//!         cache_capacity: 100,
+//!         window: 10,
+//!         // `Background` moves index maintenance off the query thread;
+//!         // `Incremental` (the default) applies it synchronously.
+//!         maintenance: MaintenanceMode::Background,
+//!         ..Default::default()
+//!     },
+//! );
+//! let q = graph_from(&[0, 1], &[(0, 1)]);
+//! let first = engine.query(&q);
+//! let repeat = engine.query(&q); // resolved from the cache
+//! assert_eq!(first.answers, repeat.answers);
+//! assert_eq!(engine.stats().queries, 2);
+//! ```
 
+#![warn(missing_docs)]
+
+pub mod background;
 pub mod cache;
 pub mod config;
 pub mod engine;
@@ -41,6 +82,7 @@ pub mod policy;
 pub mod stats;
 pub mod super_engine;
 
+pub use background::{BackgroundMaintainer, IndexPair, MaintainerStats};
 pub use cache::{CacheEntry, QueryCache, WindowDelta};
 pub use config::{IgqConfig, MaintenanceMode};
 pub use engine::IgqEngine;

@@ -5,26 +5,142 @@
 //! [`IsubIndex`]/[`IsuperIndex`] pair — and apply the same slot delta after
 //! every window: remove evicted slots, insert admitted ones (or rebuild
 //! wholesale under [`MaintenanceMode::ShadowRebuild`]).
+//!
+//! A delta can be applied in two shapes:
+//!
+//! * [`apply_delta`] — synchronous, on the query thread, reading admitted
+//!   graphs straight out of the live cache ([`MaintenanceMode::Incremental`]
+//!   and [`MaintenanceMode::ShadowRebuild`]);
+//! * [`MaintenanceJob`] + [`apply_job`] — the delta plus `Arc` clones of
+//!   the admitted graphs, self-contained so it can cross a channel to the
+//!   background maintenance thread ([`MaintenanceMode::Background`], see
+//!   [`crate::background`]). The job form never rebuilds: it is always the
+//!   incremental O(window delta) application.
 
+use crate::background::BackgroundMaintainer;
 use crate::cache::{QueryCache, WindowDelta};
-use crate::config::MaintenanceMode;
+use crate::config::{IgqConfig, MaintenanceMode};
 use crate::isub::IsubIndex;
 use crate::isuper::IsuperIndex;
+use crate::stats::EngineStats;
 use igq_features::{enumerate_paths, LabelSeq, PathConfig};
+use igq_graph::Graph;
 use std::sync::Arc;
 
 /// What one maintenance did to the indexes, for [`crate::EngineStats`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MaintenanceOutcome {
-    /// Postings inserted or removed (incremental mode only).
+    /// Postings inserted or removed (incremental application only).
     pub postings_touched: u64,
     /// True when the indexes were rebuilt from scratch.
     pub rebuilt: bool,
 }
 
+/// One window's index work, detached from the cache: the evicted slots
+/// plus `(slot, graph)` pairs for the admissions. Self-contained (graphs
+/// are `Arc`-shared, not referenced), so the job can be queued to the
+/// background maintainer after the cache has already moved on.
+#[derive(Debug, Clone)]
+pub struct MaintenanceJob {
+    /// Slots whose previous occupant was evicted, in eviction order.
+    pub evicted: Vec<usize>,
+    /// Admitted `(slot, graph)` pairs, in admission order.
+    pub admitted: Vec<(usize, Arc<Graph>)>,
+}
+
+impl MaintenanceJob {
+    /// Captures `delta` as a self-contained job by cloning the admitted
+    /// slots' graph `Arc`s out of `cache`. Must be called before the cache
+    /// changes again (slots are only meaningful against the cache state
+    /// that produced the delta).
+    pub fn capture(cache: &QueryCache, delta: &WindowDelta) -> MaintenanceJob {
+        MaintenanceJob {
+            evicted: delta.evicted.clone(),
+            admitted: delta
+                .admitted
+                .iter()
+                .map(|&slot| (slot, Arc::clone(&cache.entry(slot).graph)))
+                .collect(),
+        }
+    }
+
+    /// True when the job changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.evicted.is_empty() && self.admitted.is_empty()
+    }
+}
+
+/// Applies one self-contained job to the index pair — always incrementally
+/// (remove evicted slots, insert admitted ones). This is the inner loop of
+/// the background maintenance thread, and the Incremental arm of
+/// [`apply_delta`] routes through it too.
+pub fn apply_job(
+    path_config: PathConfig,
+    job: &MaintenanceJob,
+    isub: &mut IsubIndex,
+    isuper: &mut IsuperIndex,
+) -> MaintenanceOutcome {
+    let mut outcome = MaintenanceOutcome::default();
+    for &slot in &job.evicted {
+        outcome.postings_touched += isub.remove(slot);
+        outcome.postings_touched += isuper.remove(slot);
+    }
+    for (slot, graph) in &job.admitted {
+        // One enumeration feeds both indexes; the feature-key list is
+        // shared between their slot entries.
+        let features = enumerate_paths(graph, &path_config);
+        let keys: Arc<[LabelSeq]> = features.counts.keys().cloned().collect();
+        outcome.postings_touched +=
+            isub.insert_features(*slot, Arc::clone(graph), &features, Arc::clone(&keys));
+        outcome.postings_touched +=
+            isuper.insert_features(*slot, Arc::clone(graph), &features, keys);
+    }
+    outcome
+}
+
+/// The engines' shared window-flip dispatch: counts the maintenance and
+/// either queues the delta to the background maintainer (one submit,
+/// lag-gated) or applies it synchronously on this thread via
+/// [`apply_delta`], timing only the index work into
+/// `EngineStats::maintenance_time`.
+pub(crate) fn dispatch_delta(
+    maintainer: Option<&BackgroundMaintainer>,
+    config: &IgqConfig,
+    cache: &QueryCache,
+    delta: &WindowDelta,
+    isub: &mut IsubIndex,
+    isuper: &mut IsuperIndex,
+    stats: &mut EngineStats,
+) {
+    stats.maintenances += 1;
+    match maintainer {
+        Some(m) => m.submit(MaintenanceJob::capture(cache, delta)),
+        None => {
+            let maint_start = std::time::Instant::now();
+            let outcome = apply_delta(
+                config.maintenance,
+                config.path_config,
+                cache,
+                delta,
+                isub,
+                isuper,
+            );
+            stats.maintenance_postings_touched += outcome.postings_touched;
+            stats.full_rebuilds += outcome.rebuilt as u64;
+            stats.maintenance_time += maint_start.elapsed();
+        }
+    }
+}
+
 /// Brings `isub`/`isuper` in line with `cache` after `delta` was applied
-/// to it. Public so the maintenance ablation bench can drive the exact
-/// machinery the engines use.
+/// to it, synchronously on the calling thread. Public so the maintenance
+/// ablation bench can drive the exact machinery the engines use.
+///
+/// Under [`MaintenanceMode::Background`] the engines do **not** call this —
+/// they queue a [`MaintenanceJob`] to the maintainer instead; if called
+/// with that mode anyway (e.g. by a harness measuring the background
+/// thread's share of work) it applies the delta incrementally, which is
+/// exactly what the background thread would do.
 pub fn apply_delta(
     mode: MaintenanceMode,
     path_config: PathConfig,
@@ -33,12 +149,15 @@ pub fn apply_delta(
     isub: &mut IsubIndex,
     isuper: &mut IsuperIndex,
 ) -> MaintenanceOutcome {
-    let mut outcome = MaintenanceOutcome::default();
     if delta.is_empty() {
-        return outcome;
+        return MaintenanceOutcome::default();
     }
     match mode {
-        MaintenanceMode::Incremental => {
+        // In place, straight out of the live cache — no MaintenanceJob is
+        // materialized on this (query-thread) path; the job form is only
+        // built when a delta actually crosses to the maintenance thread.
+        MaintenanceMode::Incremental | MaintenanceMode::Background => {
+            let mut outcome = MaintenanceOutcome::default();
             for &slot in &delta.evicted {
                 outcome.postings_touched += isub.remove(slot);
                 outcome.postings_touched += isuper.remove(slot);
@@ -53,13 +172,16 @@ pub fn apply_delta(
                     isub.insert_features(slot, Arc::clone(&graph), &features, Arc::clone(&keys));
                 outcome.postings_touched += isuper.insert_features(slot, graph, &features, keys);
             }
+            outcome
         }
         MaintenanceMode::ShadowRebuild => {
             let graphs = || cache.iter().map(|(slot, e)| (slot, Arc::clone(&e.graph)));
             *isub = IsubIndex::build(graphs(), path_config);
             *isuper = IsuperIndex::build(graphs(), path_config);
-            outcome.rebuilt = true;
+            MaintenanceOutcome {
+                postings_touched: 0,
+                rebuilt: true,
+            }
         }
     }
-    outcome
 }

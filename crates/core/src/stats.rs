@@ -26,17 +26,33 @@ pub struct EngineStats {
     pub exact_hits: u64,
     /// Optimal case 2 resolutions (empty-answer shortcuts).
     pub empty_shortcuts: u64,
-    /// Window maintenances performed (incremental deltas or rebuilds).
+    /// Window maintenances performed: index delta applications or rebuilds
+    /// in the synchronous modes, window deltas *submitted* to the
+    /// maintenance thread under `MaintenanceMode::Background`.
     pub maintenances: u64,
     /// Full shadow rebuilds of the query indexes. Zero in steady state
-    /// under `MaintenanceMode::Incremental`; equals `maintenances` under
-    /// `ShadowRebuild`.
+    /// under `MaintenanceMode::Incremental` and `Background`; equals
+    /// `maintenances` under `ShadowRebuild`.
     pub full_rebuilds: u64,
-    /// Index postings inserted or removed during incremental maintenance.
+    /// Index postings inserted or removed during incremental delta
+    /// application — on the query thread (`Incremental`) or the
+    /// maintenance thread (`Background`). Zero under `ShadowRebuild`.
     pub maintenance_postings_touched: u64,
-    /// Wall-clock spent in window maintenance (eviction, admission, and
-    /// index updates), also included in `igq_time`.
+    /// Wall-clock spent applying index updates, **reported from the thread
+    /// that did the work**: the query thread in the synchronous modes
+    /// (where it is also part of `igq_time`), the maintenance thread under
+    /// `MaintenanceMode::Background` (where it overlaps query processing
+    /// and is *not* part of any query's wall-clock). Cache
+    /// eviction/admission stays on the query thread in every mode and is
+    /// accounted under `igq_time`, not here.
     pub maintenance_time: Duration,
+    /// Peak lag of the background maintainer, in submitted-but-unapplied
+    /// windows. Bounded by `IgqConfig::max_lag_windows`; zero in the
+    /// synchronous modes.
+    pub maintenance_lag_windows: u64,
+    /// Index snapshots atomically published by the background maintainer.
+    /// Zero in the synchronous modes.
+    pub snapshot_publishes: u64,
     /// Query path-feature extractions performed by the engine. On the
     /// filter+probe path this is exactly one per query: the same
     /// `PathFeatures` is shared by the base method's filter and both
@@ -53,6 +69,17 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
+    /// Overlays the background maintainer's off-thread counters. In
+    /// `MaintenanceMode::Background` these four fields are owned entirely
+    /// by the maintenance thread (the query thread never touches them),
+    /// so a straight assignment is the merge.
+    pub fn fold_maintainer(&mut self, ms: &crate::background::MaintainerStats) {
+        self.maintenance_postings_touched = ms.postings_touched;
+        self.maintenance_time = ms.maintenance_time;
+        self.maintenance_lag_windows = ms.peak_lag_windows;
+        self.snapshot_publishes = ms.snapshot_publishes;
+    }
+
     /// Folds one query outcome into the totals.
     pub fn absorb(&mut self, o: &QueryOutcome) {
         self.queries += 1;

@@ -15,6 +15,7 @@
 //!
 //! "The elegance afforded by the double use of iGQ is unique."
 
+use crate::background::{retain_current_slots, BackgroundMaintainer};
 use crate::cache::{QueryCache, WindowEntry};
 use crate::config::IgqConfig;
 use crate::isub::IsubIndex;
@@ -36,8 +37,12 @@ pub struct IgqSuperEngine {
     method: TrieSupergraphMethod,
     config: IgqConfig,
     cache: QueryCache,
+    /// Live indexes for the synchronous maintenance modes; stay empty
+    /// under background maintenance (the maintainer owns the masters).
     isub: IsubIndex,
     isuper: IsuperIndex,
+    /// `Some` iff `config.maintenance == MaintenanceMode::Background`.
+    maintainer: Option<BackgroundMaintainer>,
     window: Vec<WindowEntry>,
     window_signatures: Vec<GraphSignature>,
     cost_model: CostModel,
@@ -56,12 +61,14 @@ impl IgqSuperEngine {
         let cache = QueryCache::with_policy(config.cache_capacity, config.policy);
         let isub = IsubIndex::new(config.path_config);
         let isuper = IsuperIndex::new(config.path_config);
+        let maintainer = BackgroundMaintainer::for_config(&config);
         IgqSuperEngine {
             method,
             config,
             cache,
             isub,
             isuper,
+            maintainer,
             window: Vec::new(),
             window_signatures: Vec::new(),
             cost_model: CostModel::new(labels),
@@ -69,9 +76,23 @@ impl IgqSuperEngine {
         }
     }
 
-    /// Aggregate statistics so far.
-    pub fn stats(&self) -> &EngineStats {
-        &self.stats
+    /// Aggregate statistics so far (an owned snapshot; see
+    /// [`crate::IgqEngine::stats`] for the background-maintenance
+    /// semantics).
+    pub fn stats(&self) -> EngineStats {
+        let mut stats = self.stats.clone();
+        if let Some(m) = &self.maintainer {
+            stats.fold_maintainer(&m.stats());
+        }
+        stats
+    }
+
+    /// Blocks until the background maintainer has caught up with the
+    /// cache. No-op in the synchronous modes.
+    pub fn sync_maintenance(&self) {
+        if let Some(m) = &self.maintainer {
+            m.sync();
+        }
     }
 
     /// Number of cached queries.
@@ -139,8 +160,20 @@ impl IgqSuperEngine {
 
         let igq_start = Instant::now();
         self.cache.tick_all();
-        let (sub_slots, sub_stats) = self.isub.supergraphs_of(q, &qf); // g ⊆ G
-        let (super_slots, super_stats) = self.isuper.subgraphs_of(q, &qf); // G ⊆ g
+        // Probe the engine-owned indexes, or the latest published snapshot
+        // under background maintenance (stale hits revalidated below).
+        let snap = self.maintainer.as_ref().map(|m| m.snapshot());
+        let (isub, isuper) = match &snap {
+            Some(pair) => (&pair.isub, &pair.isuper),
+            None => (&self.isub, &self.isuper),
+        };
+        let (mut sub_slots, sub_stats) = isub.supergraphs_of(q, &qf); // g ⊆ G
+        let (mut super_slots, super_stats) = isuper.subgraphs_of(q, &qf); // G ⊆ g
+        if let Some(pair) = &snap {
+            retain_current_slots(&self.cache, &mut sub_slots, |s| pair.isub.slot_graph(s));
+            retain_current_slots(&self.cache, &mut super_slots, |s| pair.isuper.slot_graph(s));
+        }
+        drop(snap);
         let mut igq_stats = IsoStats::new();
         igq_stats.merge(&sub_stats);
         igq_stats.merge(&super_stats);
@@ -297,31 +330,28 @@ impl IgqSuperEngine {
     }
 
     /// Forces maintenance regardless of window fill. Applies the window's
-    /// eviction/admission delta to the query indexes incrementally (or
-    /// rebuilds them under `MaintenanceMode::ShadowRebuild`).
+    /// eviction/admission delta to the query indexes incrementally,
+    /// rebuilds them under `MaintenanceMode::ShadowRebuild`, or queues the
+    /// delta to the maintenance thread under `MaintenanceMode::Background`.
     pub fn flush_window(&mut self) {
         if self.window.is_empty() {
             return;
         }
         let incoming = std::mem::take(&mut self.window);
         self.window_signatures.clear();
-        let maint_start = Instant::now();
         let delta = self.cache.apply_window(incoming);
         if delta.is_empty() {
             return;
         }
-        let outcome = crate::maintain::apply_delta(
-            self.config.maintenance,
-            self.config.path_config,
+        crate::maintain::dispatch_delta(
+            self.maintainer.as_ref(),
+            &self.config,
             &self.cache,
             &delta,
             &mut self.isub,
             &mut self.isuper,
+            &mut self.stats,
         );
-        self.stats.maintenance_postings_touched += outcome.postings_touched;
-        self.stats.full_rebuilds += outcome.rebuilt as u64;
-        self.stats.maintenances += 1;
-        self.stats.maintenance_time += maint_start.elapsed();
     }
 }
 
@@ -438,5 +468,35 @@ mod tests {
         let _ = e.query(&graph_from(&[2, 2], &[(0, 1)]));
         assert_eq!(e.cached_queries(), 2);
         assert!(e.stats().maintenances >= 1);
+    }
+
+    #[test]
+    fn background_mode_matches_brute_force_and_publishes() {
+        let s = store();
+        let m = TrieSupergraphMethod::build(&s, PathConfig::default(), MatchConfig::default());
+        let mut e = IgqSuperEngine::new(
+            m,
+            IgqConfig {
+                cache_capacity: 4,
+                window: 1,
+                maintenance: crate::MaintenanceMode::Background,
+                ..Default::default()
+            },
+        );
+        for q in [
+            graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]),
+            graph_from(&[2, 2, 2, 0], &[(0, 1), (1, 2), (0, 2)]),
+            graph_from(&[0, 1], &[(0, 1)]),
+            graph_from(&[9, 9], &[(0, 1)]),
+            graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]), // repeat
+        ] {
+            let out = e.query(&q);
+            assert_eq!(out.answers, naive_super(&q), "query {q:?}");
+        }
+        e.sync_maintenance();
+        let st = e.stats();
+        assert!(st.maintenances >= 3);
+        assert!(st.snapshot_publishes >= 1);
+        assert_eq!(st.full_rebuilds, 0);
     }
 }

@@ -132,7 +132,7 @@ impl CanonicalCode {
 /// individualization backtracking (a small-scale version of the canonical
 /// labeling at the heart of nauty-family tools).
 ///
-/// Returns `None` when `g` exceeds [`MAX_CANON_VERTICES`] or the search
+/// Returns `None` when `g` exceeds `MAX_CANON_VERTICES` (128) or the search
 /// exceeds its leaf budget — callers fall back to the signature + exact
 /// isomorphism-test path, so a `None` is a missed optimization, never an
 /// error.

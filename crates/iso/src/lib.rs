@@ -10,7 +10,7 @@
 //! * [`vf2`] — the VF2 algorithm (Cordella et al., TPAMI 2004), the matcher
 //!   used by GGSX and CT-Index and "arguably the most widely used" per the
 //!   paper;
-//! * [`ullmann`] — Ullmann's 1976 algorithm, the classic baseline ([39] in
+//! * [`ullmann`] — Ullmann's 1976 algorithm, the classic baseline (\[39\] in
 //!   the paper), kept for ablation benchmarks;
 //! * [`budget`] — optional search-state budgets so harness code can bound
 //!   pathological instances *without* silently changing answers (exhausting

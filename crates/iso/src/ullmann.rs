@@ -1,4 +1,4 @@
-//! Ullmann's subgraph-isomorphism algorithm (J. ACM 1976) — reference [39]
+//! Ullmann's subgraph-isomorphism algorithm (J. ACM 1976) — reference \[39\]
 //! of the paper and the ancestor of most practical matchers.
 //!
 //! The algorithm maintains a boolean candidate matrix `M[i][j]` ("pattern

@@ -1,6 +1,6 @@
 //! gCode-style vertex-signature filtering (clean-room analogue of Zou et
 //! al., "A novel spectral coding in a large graph database", EDBT 2008 —
-//! [53] in the paper's related work).
+//! \[53\] in the paper's related work).
 //!
 //! Unlike the feature-indexing methods (GGSX, Grapes, CT-Index), gCode does
 //! not enumerate substructures. It computes a *signature per vertex*

@@ -12,7 +12,7 @@
 //!   (`Grapes(1)`/`Grapes(6)` in the experiments);
 //! * [`CtIndex`] — CT-Index: canonical tree (≤ 6 edges) and cycle
 //!   (≤ 8 edges) features hashed into per-graph bitmaps; bitwise filtering;
-//! * [`GCode`] — a gCode-style vertex-signature method ([53] in the paper's
+//! * [`GCode`] — a gCode-style vertex-signature method (\[53\] in the paper's
 //!   related work): bucketed neighborhood label spectra with dominance
 //!   filtering plus an optional bipartite-matching injectivity stage;
 //! * [`NaiveMethod`] — no index; the lower bound and the test suite's

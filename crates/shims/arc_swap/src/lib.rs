@@ -1,0 +1,111 @@
+//! Offline shim for the `arc-swap` API subset this workspace uses.
+//!
+//! The real crate provides a lock-free atomic `Arc<T>` cell; this shim
+//! reproduces the same call surface ([`ArcSwap::load_full`],
+//! [`ArcSwap::store`], [`ArcSwap::swap`], [`ArcSwap::from_pointee`]) over a
+//! `std::sync::RwLock<Arc<T>>`. Readers only clone an `Arc` under the read
+//! lock (two refcount operations, no contention with each other), which is
+//! plenty for this workspace's use — a query thread loading the currently
+//! published index snapshot while one background maintainer occasionally
+//! swaps in a fresh one. If networked builds become available the real
+//! `arc-swap` is a drop-in replacement.
+
+use std::sync::{Arc, RwLock};
+
+/// An atomically swappable `Arc<T>`: readers [`load_full`](Self::load_full)
+/// the current value, a writer [`store`](Self::store)s or
+/// [`swap`](Self::swap)s in a replacement.
+#[derive(Debug)]
+pub struct ArcSwap<T> {
+    inner: RwLock<Arc<T>>,
+}
+
+impl<T> ArcSwap<T> {
+    /// A cell initially holding `value`.
+    pub fn new(value: Arc<T>) -> ArcSwap<T> {
+        ArcSwap {
+            inner: RwLock::new(value),
+        }
+    }
+
+    /// A cell holding `Arc::new(value)` (arc-swap's convenience name).
+    pub fn from_pointee(value: T) -> ArcSwap<T> {
+        ArcSwap::new(Arc::new(value))
+    }
+
+    /// Returns a clone of the currently stored `Arc`.
+    pub fn load_full(&self) -> Arc<T> {
+        Arc::clone(&self.inner.read().expect("ArcSwap lock poisoned"))
+    }
+
+    /// Replaces the stored `Arc` with `value`.
+    pub fn store(&self, value: Arc<T>) {
+        *self.inner.write().expect("ArcSwap lock poisoned") = value;
+    }
+
+    /// Replaces the stored `Arc` with `value`, returning the previous one.
+    pub fn swap(&self, value: Arc<T>) -> Arc<T> {
+        std::mem::replace(
+            &mut *self.inner.write().expect("ArcSwap lock poisoned"),
+            value,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_store_swap() {
+        let cell = ArcSwap::from_pointee(1u32);
+        assert_eq!(*cell.load_full(), 1);
+        cell.store(Arc::new(2));
+        assert_eq!(*cell.load_full(), 2);
+        let old = cell.swap(Arc::new(3));
+        assert_eq!(*old, 2);
+        assert_eq!(*cell.load_full(), 3);
+    }
+
+    #[test]
+    fn old_snapshot_survives_swap() {
+        let cell = ArcSwap::from_pointee(vec![1, 2, 3]);
+        let held = cell.load_full();
+        cell.store(Arc::new(vec![9]));
+        assert_eq!(*held, vec![1, 2, 3], "reader keeps its snapshot");
+        assert_eq!(*cell.load_full(), vec![9]);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        let cell = Arc::new(ArcSwap::from_pointee(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let cell = Arc::clone(&cell);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        let v = cell.load_full();
+                        assert!(*v <= 1000);
+                    }
+                });
+            }
+            let writer = Arc::clone(&cell);
+            s.spawn(move || {
+                for i in 1..=1000 {
+                    writer.store(Arc::new(i));
+                }
+            });
+        });
+        assert_eq!(*cell.load_full(), 1000);
+    }
+
+    #[test]
+    fn swap_returns_unique_arc_when_readers_dropped() {
+        // The background maintainer's buffer-recycling path relies on the
+        // swapped-out Arc becoming unique once readers let go.
+        let cell = ArcSwap::from_pointee(String::from("a"));
+        let old = cell.swap(Arc::new(String::from("b")));
+        let inner = Arc::try_unwrap(old).expect("no readers -> unique");
+        assert_eq!(inner, "a");
+    }
+}

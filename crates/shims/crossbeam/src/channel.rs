@@ -1,0 +1,191 @@
+//! Offline shim for the `crossbeam-channel` API subset this workspace
+//! uses, backed by `std::sync::mpsc`.
+//!
+//! Provided surface (crossbeam-channel 0.5 names and semantics):
+//!
+//! * [`bounded(cap)`](bounded) — a channel holding at most `cap` queued
+//!   messages; `send` blocks while the channel is full. `cap == 0` is a
+//!   rendezvous channel: every `send` blocks until a receiver takes the
+//!   message (std's `sync_channel(0)` has the same meaning).
+//! * [`unbounded()`](unbounded) — a channel that never blocks senders.
+//! * [`Sender`] is cloneable; [`Receiver`] supports `recv` (blocking) and
+//!   `try_recv`. Receivers are single-consumer here (the real crate's
+//!   `Receiver: Clone` multi-consumer mode is not reproduced — nothing in
+//!   this workspace needs it).
+//!
+//! `recv` returns `Err(RecvError)` only when the channel is empty *and*
+//! every sender has been dropped, so a draining consumer loop
+//! (`while let Ok(x) = rx.recv()`) observes all messages sent before
+//! disconnection — the property the background index maintainer relies on
+//! for loss-free shutdown.
+
+use std::sync::mpsc;
+
+/// Error returned by [`Sender::send`] when the receiver has been dropped.
+/// Carries the unsent message back to the caller, as crossbeam's does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] once the channel is empty and all
+/// senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`]: nothing queued right now
+/// (`Empty`), or never again (`Disconnected`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty but senders remain.
+    Empty,
+    /// The channel is empty and every sender has been dropped.
+    Disconnected,
+}
+
+/// The sending half of a channel. Clone freely; the channel disconnects
+/// when the last clone is dropped.
+pub struct Sender<T> {
+    inner: SenderKind<T>,
+}
+
+enum SenderKind<T> {
+    Bounded(mpsc::SyncSender<T>),
+    Unbounded(mpsc::Sender<T>),
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        Sender {
+            inner: match &self.inner {
+                SenderKind::Bounded(s) => SenderKind::Bounded(s.clone()),
+                SenderKind::Unbounded(s) => SenderKind::Unbounded(s.clone()),
+            },
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends `msg`, blocking while a bounded channel is full. Fails only
+    /// when the receiver has been dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        match &self.inner {
+            SenderKind::Bounded(s) => s.send(msg).map_err(|e| SendError(e.0)),
+            SenderKind::Unbounded(s) => s.send(msg).map_err(|e| SendError(e.0)),
+        }
+    }
+}
+
+/// The receiving half of a channel (single consumer).
+pub struct Receiver<T> {
+    inner: mpsc::Receiver<T>,
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives. Returns `Err` only when the channel
+    /// is empty and every sender has been dropped — messages sent before
+    /// disconnection are always delivered first.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.inner.recv().map_err(|_| RecvError)
+    }
+
+    /// Takes a queued message without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.inner.try_recv().map_err(|e| match e {
+            mpsc::TryRecvError::Empty => TryRecvError::Empty,
+            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
+    }
+}
+
+/// A channel buffering at most `cap` messages; `send` blocks while full
+/// (`cap == 0` = rendezvous).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap);
+    (
+        Sender {
+            inner: SenderKind::Bounded(tx),
+        },
+        Receiver { inner: rx },
+    )
+}
+
+/// A channel with an unbounded buffer; `send` never blocks.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (
+        Sender {
+            inner: SenderKind::Unbounded(tx),
+        },
+        Receiver { inner: rx },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_roundtrip_and_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(1u32).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError), "disconnected after drain");
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_capacity_frees() {
+        let (tx, rx) = bounded(1);
+        tx.send(1u32).unwrap();
+        let t = std::thread::spawn(move || {
+            // Second send must wait until the consumer drains one slot.
+            tx.send(2).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_from_disconnected() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv(), Ok(7));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn cloned_senders_disconnect_only_when_all_dropped() {
+        let (tx, rx) = bounded::<u32>(4);
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(9).unwrap();
+        drop(tx2);
+        assert_eq!(rx.recv(), Ok(9));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_when_receiver_gone() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(3), Err(SendError(3)));
+    }
+}

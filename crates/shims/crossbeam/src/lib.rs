@@ -2,10 +2,19 @@
 //!
 //! The container this repository builds in has no crates.io access, so the
 //! workspace vendors minimal stand-ins for its few external dependencies.
-//! Only `crossbeam::scope` (scoped threads) is provided, implemented on top
-//! of `std::thread::scope` (stable since Rust 1.63). The API mirrors
-//! crossbeam-utils 0.8: `scope` returns a `Result` and spawned closures
-//! receive a `&Scope` argument so nested spawns are possible.
+//! Two pieces are provided:
+//!
+//! * [`scope`] (scoped threads), implemented on top of `std::thread::scope`
+//!   (stable since Rust 1.63). The API mirrors crossbeam-utils 0.8: `scope`
+//!   returns a `Result` and spawned closures receive a `&Scope` argument so
+//!   nested spawns are possible.
+//! * [`channel`] (mpsc channels), implemented over `std::sync::mpsc` with
+//!   crossbeam-channel 0.5's names: [`channel::bounded`] /
+//!   [`channel::unbounded`] constructors, cloneable senders, and
+//!   `recv`/`try_recv` receivers. Only the single-consumer subset this
+//!   workspace uses is reproduced (no `select!`, no `Receiver: Clone`).
+
+pub mod channel;
 
 use std::thread;
 
