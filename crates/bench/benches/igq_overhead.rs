@@ -31,7 +31,7 @@ fn igq_overhead(c: &mut Criterion) {
             "engine_query/sequential"
         };
         let method = Ggsx::build(&store, GgsxConfig::default());
-        let mut engine = IgqEngine::new(
+        let engine = IgqEngine::new(
             method,
             IgqConfig {
                 cache_capacity: 100,
@@ -39,7 +39,8 @@ fn igq_overhead(c: &mut Criterion) {
                 parallel_probes: parallel,
                 ..Default::default()
             },
-        );
+        )
+        .expect("valid engine");
         // Warm the cache.
         for q in queries.iter().take(100) {
             let _ = engine.query(q);
@@ -65,7 +66,7 @@ fn igq_overhead(c: &mut Criterion) {
             "exact_repeat/probe_path"
         };
         let method = Ggsx::build(&store, GgsxConfig::default());
-        let mut engine = IgqEngine::new(
+        let engine = IgqEngine::new(
             method,
             IgqConfig {
                 cache_capacity: 100,
@@ -73,7 +74,8 @@ fn igq_overhead(c: &mut Criterion) {
                 exact_fastpath: fastpath,
                 ..Default::default()
             },
-        );
+        )
+        .expect("valid engine");
         let repeat = &queries[0];
         let _ = engine.query(repeat);
         engine.flush_window();

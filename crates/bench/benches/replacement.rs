@@ -30,7 +30,7 @@ fn replacement(c: &mut Criterion) {
             |b, &p| {
                 b.iter(|| {
                     let method = Ggsx::build(&store, GgsxConfig::default());
-                    let mut engine = IgqEngine::new(
+                    let engine = IgqEngine::new(
                         method,
                         IgqConfig {
                             cache_capacity: 12,
@@ -38,7 +38,8 @@ fn replacement(c: &mut Criterion) {
                             policy: p,
                             ..Default::default()
                         },
-                    );
+                    )
+                    .expect("valid engine");
                     let mut tests = 0u64;
                     for q in &queries {
                         tests += engine.query(q).db_iso_tests;

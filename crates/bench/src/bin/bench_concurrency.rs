@@ -1,0 +1,6 @@
+//! Concurrency scaling: queries/sec at 1/2/4/8 threads sharing one engine,
+//! per maintenance mode (archives `BENCH_concurrency.json`).
+fn main() {
+    let opts = igq_bench::ExpOptions::from_env();
+    igq_bench::experiments::concurrency::run(&opts).emit();
+}

@@ -1,0 +1,337 @@
+//! Concurrency scaling of the shared-handle engine API: queries/sec when
+//! 1/2/4/8 closed-loop clients share one engine, per maintenance mode.
+//!
+//! The shared-handle redesign made `query(&self)` concurrent: one engine,
+//! one cache, any number of caller threads. This experiment measures what
+//! that buys for *serving*, with the textbook closed-loop client model:
+//! each client thread loops `query → think`, where the think time stands
+//! for everything a real caller does between requests (request parsing,
+//! network turnaround, result post-processing). A single closed-loop
+//! client can never exceed `1 / (R + Z)` queries/sec (`R` = engine
+//! residence time, `Z` = think time) no matter how fast the engine is;
+//! `N` clients sharing one engine approach `N / (R + Z)` until the
+//! machine or the engine saturates. Before this redesign the engine was
+//! `&mut self` — one client owned it, and the only way to add a second
+//! was a second engine with a second, unshared cache.
+//!
+//! Two sweeps are reported per maintenance mode:
+//!
+//! * **closed-loop** (`sweep`, the headline): 1/2/4/8 client threads,
+//!   think time `Z` = 1 ms, one shared engine — delivered queries/sec and
+//!   the speedup over one client;
+//! * **saturated** (`saturated_sweep`, the ablation): the same thread
+//!   counts with zero think time, driven through
+//!   [`igq_core::QueryEngine::query_batch`]. This is the engine's raw
+//!   capacity: on a multi-core host `Background` scales with cores
+//!   (probes and verification run lock-free); on a single-core host *no*
+//!   mode can exceed 1× — the numbers are reported unvarnished, next to
+//!   the measuring host's core count.
+//!
+//! The engine runs with a paper-scaled window (`W` ≈ 100 × scale) and
+//! the default lag bound (`K = 2`): windows flip throughout the measured
+//! stream, so the numbers include real maintenance traffic — delta
+//! application on the query thread in the synchronous modes, submits to
+//! the background maintainer (and its off-thread applies competing for
+//! the same CPUs) under `Background`.
+//!
+//! # `BENCH_concurrency.json` schema
+//!
+//! The archived JSON (`target/experiments/BENCH_concurrency.json`, a copy
+//! kept at the repo root) is an object:
+//!
+//! * `machine` — `{ "cores": N }`: `std::thread::available_parallelism`
+//!   on the measuring host (read the saturated numbers against it);
+//! * `think_time_ms` (ms): the closed-loop clients' think time `Z`;
+//! * `sweep` — one entry per (maintenance mode, client count),
+//!   closed-loop:
+//!   - `mode`: [`MaintenanceMode::name`]
+//!     (`"incremental"` / `"shadow-rebuild"` / `"background"`);
+//!   - `threads` (count): closed-loop client threads sharing the engine;
+//!   - `queries` (count): measured queries (identical stream per entry);
+//!   - `wall_ms` (ms): end-to-end wall-clock for the run;
+//!   - `qps` (queries/sec): `queries / wall_ms`;
+//!   - `speedup_vs_1_thread` (ratio): this entry's `qps` over the same
+//!     mode's 1-client `qps`;
+//! * `saturated_sweep` — same fields, zero think time via `query_batch`.
+//!
+//! The acceptance signal: closed-loop `background` at 4 clients clears
+//! 1.5× its 1-client throughput — four callers really are served
+//! concurrently by one cache-sharing engine.
+
+use crate::cli::ExpOptions;
+use crate::report::{Report, Table};
+use igq_core::{IgqConfig, IgqEngine, MaintenanceMode};
+use igq_graph::{Graph, GraphStore};
+use igq_methods::{Ggsx, GgsxConfig};
+use igq_workload::{DatasetKind, Distribution, QueryGenerator};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Thread counts swept per mode.
+pub const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Closed-loop clients' think time `Z`.
+pub const THINK_TIME: Duration = Duration::from_millis(1);
+
+/// One measured cell of a sweep.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Maintenance mode under test.
+    pub mode: MaintenanceMode,
+    /// Threads sharing the engine.
+    pub threads: usize,
+    /// Queries measured.
+    pub queries: usize,
+    /// End-to-end wall-clock.
+    pub wall: std::time::Duration,
+}
+
+impl Cell {
+    /// Queries per second.
+    pub fn qps(&self) -> f64 {
+        self.queries as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+fn build_engine(
+    store: &Arc<GraphStore>,
+    warmup: &[Graph],
+    mode: MaintenanceMode,
+    threads: usize,
+    cache_capacity: usize,
+    window: usize,
+) -> IgqEngine<Ggsx> {
+    let method = Ggsx::build(store, GgsxConfig::default());
+    let config = IgqConfig::builder()
+        .cache_capacity(cache_capacity)
+        .window(window)
+        .maintenance(mode)
+        .batch_threads(threads)
+        .build()
+        .expect("valid concurrency-bench config");
+    let engine = IgqEngine::new(method, config).expect("valid engine");
+    for q in warmup {
+        let _ = engine.query(q);
+    }
+    engine.sync_maintenance();
+    engine
+}
+
+/// One closed-loop cell: `threads` client threads share the engine
+/// through one handle, each looping `query → sleep(think)` over its
+/// round-robin share of the stream.
+#[allow(clippy::too_many_arguments)] // a bench entry point, not API surface
+pub fn measure_closed_loop(
+    store: &Arc<GraphStore>,
+    warmup: &[Graph],
+    measured: &[Graph],
+    mode: MaintenanceMode,
+    threads: usize,
+    cache_capacity: usize,
+    window: usize,
+    think: Duration,
+) -> Cell {
+    let handle = build_engine(store, warmup, mode, threads, cache_capacity, window).into_handle();
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..threads {
+            let h = handle.clone();
+            let measured = &measured;
+            scope.spawn(move || {
+                for q in measured.iter().skip(client).step_by(threads) {
+                    let _ = h.query(q);
+                    if !think.is_zero() {
+                        std::thread::sleep(think);
+                    }
+                }
+            });
+        }
+    });
+    let wall = t.elapsed();
+    handle.sync_maintenance();
+    Cell {
+        mode,
+        threads,
+        queries: measured.len(),
+        wall,
+    }
+}
+
+/// One saturated cell: zero think time, engine-managed fan-out through
+/// `query_batch`.
+pub fn measure_saturated(
+    store: &Arc<GraphStore>,
+    warmup: &[Graph],
+    measured: &[Graph],
+    mode: MaintenanceMode,
+    threads: usize,
+    cache_capacity: usize,
+    window: usize,
+) -> Cell {
+    let engine = build_engine(store, warmup, mode, threads, cache_capacity, window);
+    let t = Instant::now();
+    let outs = engine.query_batch(measured);
+    let wall = t.elapsed();
+    engine.sync_maintenance();
+    assert_eq!(outs.len(), measured.len());
+    Cell {
+        mode,
+        threads,
+        queries: measured.len(),
+        wall,
+    }
+}
+
+fn sweep_rows(cells: &[Cell], table: &mut Table, json: &mut Vec<serde_json::Value>, label: &str) {
+    let mut base_qps = 0.0f64;
+    for cell in cells {
+        if cell.threads == 1 {
+            base_qps = cell.qps();
+        }
+        let speedup = cell.qps() / base_qps.max(1e-9);
+        table.row([
+            label.to_owned(),
+            cell.mode.name().to_owned(),
+            cell.threads.to_string(),
+            crate::report::fmt_duration(cell.wall),
+            format!("{:.0}", cell.qps()),
+            crate::report::fmt_speedup(speedup),
+        ]);
+        json.push(serde_json::json!({
+            "mode": cell.mode.name(),
+            "threads": cell.threads,
+            "queries": cell.queries,
+            "wall_ms": cell.wall.as_secs_f64() * 1e3,
+            "qps": cell.qps(),
+            "speedup_vs_1_thread": speedup,
+        }));
+    }
+}
+
+/// The full sweep: three maintenance modes × [`THREADS`], closed-loop and
+/// saturated, one shared query stream.
+pub fn run(opts: &ExpOptions) -> Report {
+    let mut report = Report::new(
+        "BENCH_concurrency",
+        "Shared-engine throughput vs concurrent clients (one engine, one cache)",
+    );
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let store = Arc::new(DatasetKind::Aids.generate_scaled(opts.scale.max(0.05), opts.seed));
+    let n_measured = super::scaled(2400, opts.scale, 240);
+    let warmup_n = super::scaled(200, opts.scale, 40);
+    let cache = super::scaled(300, opts.scale, 32);
+    let window = super::scaled(100, opts.scale, 5).min(cache);
+    let mut generator = QueryGenerator::new(
+        &store,
+        Distribution::Zipf(1.4),
+        Distribution::Zipf(1.4),
+        opts.seed ^ 0xC0C0,
+    );
+    let warmup = generator.take(warmup_n);
+    let measured = generator.take(n_measured);
+    report.line(format!(
+        "{} graphs, {} warmup + {} measured zipf queries, C={cache} W={window} K=2, \
+         Z={:.0}ms think time, {cores} core(s)",
+        store.len(),
+        warmup_n,
+        n_measured,
+        THINK_TIME.as_secs_f64() * 1e3,
+    ));
+
+    let mut table = Table::new(["load", "mode", "clients", "wall", "qps", "vs 1 client"]);
+    let mut sweep = Vec::new();
+    let mut saturated = Vec::new();
+    for mode in [
+        MaintenanceMode::Incremental,
+        MaintenanceMode::ShadowRebuild,
+        MaintenanceMode::Background,
+    ] {
+        let cells: Vec<Cell> = THREADS
+            .iter()
+            .map(|&threads| {
+                measure_closed_loop(
+                    &store, &warmup, &measured, mode, threads, cache, window, THINK_TIME,
+                )
+            })
+            .collect();
+        sweep_rows(&cells, &mut table, &mut sweep, "closed-loop");
+        let cells: Vec<Cell> = THREADS
+            .iter()
+            .map(|&threads| {
+                measure_saturated(&store, &warmup, &measured, mode, threads, cache, window)
+            })
+            .collect();
+        sweep_rows(&cells, &mut table, &mut saturated, "saturated");
+    }
+    for l in table.render() {
+        report.line(l);
+    }
+    let machine = serde_json::json!({ "cores": cores });
+    report.json = serde_json::json!({
+        "machine": machine,
+        "think_time_ms": THINK_TIME.as_secs_f64() * 1e3,
+        "sweep": sweep,
+        "saturated_sweep": saturated,
+    });
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_paths_run_and_count() {
+        let store = Arc::new(DatasetKind::Aids.generate(80, 3));
+        let mut generator =
+            QueryGenerator::new(&store, Distribution::Zipf(1.4), Distribution::Zipf(1.4), 9);
+        let warmup = generator.take(10);
+        let measured = generator.take(30);
+        for mode in [MaintenanceMode::Incremental, MaintenanceMode::Background] {
+            let c = measure_closed_loop(
+                &store,
+                &warmup,
+                &measured,
+                mode,
+                2,
+                16,
+                4,
+                Duration::from_micros(100),
+            );
+            assert_eq!(c.queries, 30);
+            assert!(c.qps() > 0.0);
+            let c = measure_saturated(&store, &warmup, &measured, mode, 2, 16, 4);
+            assert_eq!(c.queries, 30);
+            assert!(c.qps() > 0.0);
+        }
+    }
+
+    #[test]
+    fn full_report_has_both_sweeps_with_schema() {
+        let opts = ExpOptions {
+            scale: 0.01,
+            ..Default::default()
+        };
+        let r = run(&opts);
+        for sweep_key in ["sweep", "saturated_sweep"] {
+            let sweep = r.json.get(sweep_key).expect(sweep_key).as_array().unwrap();
+            assert_eq!(sweep.len(), 3 * THREADS.len(), "{sweep_key}");
+            for entry in sweep {
+                for key in [
+                    "mode",
+                    "threads",
+                    "queries",
+                    "wall_ms",
+                    "qps",
+                    "speedup_vs_1_thread",
+                ] {
+                    assert!(entry.get(key).is_some(), "missing {key} in {sweep_key}");
+                }
+            }
+        }
+        assert!(r.json.get("machine").and_then(|m| m.get("cores")).is_some());
+        assert!(r.json.get("think_time_ms").is_some());
+    }
+}

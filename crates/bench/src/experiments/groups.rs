@@ -123,8 +123,7 @@ mod tests {
             cache_capacity: 10,
             window: 3,
             ..Default::default()
-        }
-        .normalized();
+        };
         let run = run_paired(&store, MethodKind::GrapesN(2), &queries, config, 3);
         assert_eq!(run.baseline.answers, run.igq.answers);
         let groups = run.group_iso_speedups();

@@ -85,8 +85,7 @@ impl MaintenanceSim {
             window,
             maintenance: mode,
             ..Default::default()
-        }
-        .normalized();
+        };
         MaintenanceSim {
             mode,
             cache: QueryCache::new(capacity),
@@ -201,7 +200,7 @@ fn boundary_run(
     window: usize,
 ) -> BoundarySamples {
     let method = Ggsx::build(store, GgsxConfig::default());
-    let mut engine = IgqEngine::new(
+    let engine = IgqEngine::new(
         method,
         IgqConfig {
             cache_capacity: capacity,
@@ -210,7 +209,8 @@ fn boundary_run(
             max_lag_windows: 2,
             ..Default::default()
         },
-    );
+    )
+    .expect("valid boundary-run config");
     let mut samples = BoundarySamples {
         boundary: Vec::new(),
         steady: Vec::new(),

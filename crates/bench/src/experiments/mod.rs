@@ -3,6 +3,7 @@
 
 pub mod breakdown;
 pub mod cache_sweep;
+pub mod concurrency;
 pub mod extensions;
 pub mod groups;
 pub mod index_sizes;
@@ -67,12 +68,11 @@ pub fn setup(
 
 /// Standard iGQ config for a [`Setup`].
 pub fn igq_config(s: &Setup) -> igq_core::IgqConfig {
-    igq_core::IgqConfig {
-        cache_capacity: s.cache_capacity,
-        window: s.window,
-        ..Default::default()
-    }
-    .normalized()
+    igq_core::IgqConfig::builder()
+        .cache_capacity(s.cache_capacity)
+        .window(s.window)
+        .build()
+        .expect("setup scales W <= C")
 }
 
 #[cfg(test)]

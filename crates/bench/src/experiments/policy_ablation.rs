@@ -57,7 +57,7 @@ pub fn run(opts: &ExpOptions) -> Report {
     let mut json = Vec::new();
     for policy in POLICIES {
         let method = Ggsx::build(&store, GgsxConfig::default());
-        let mut engine = IgqEngine::new(
+        let engine = IgqEngine::new(
             method,
             IgqConfig {
                 cache_capacity: capacity,
@@ -65,7 +65,8 @@ pub fn run(opts: &ExpOptions) -> Report {
                 policy,
                 ..Default::default()
             },
-        );
+        )
+        .expect("valid ablation config");
         let mut tests = 0u64;
         for q in &queries {
             tests += engine.query(q).db_iso_tests;

@@ -63,9 +63,8 @@ pub fn run(opts: &ExpOptions) -> Report {
         cache_capacity: super::scaled(500, opts.scale, 20),
         window: warmup.max(5),
         ..Default::default()
-    }
-    .normalized();
-    let mut engine = IgqSuperEngine::new(method2, config);
+    };
+    let engine = IgqSuperEngine::new(method2, config).expect("valid supergraph-demo config");
     let mut igq_tests = 0u64;
     let mut igq_time = std::time::Duration::ZERO;
     let mut igq_answers = 0u64;

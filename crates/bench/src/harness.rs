@@ -305,7 +305,7 @@ pub fn run_igq<M: SubgraphMethod>(
     config: IgqConfig,
     warmup: usize,
 ) -> (AggStats, IgqExtras) {
-    let mut engine = IgqEngine::new(method, config);
+    let engine = IgqEngine::new(method, config).expect("valid bench config");
     let mut agg = AggStats::default();
     let mut extras = IgqExtras::default();
     for (i, q) in queries.iter().enumerate() {

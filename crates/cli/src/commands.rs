@@ -189,14 +189,13 @@ pub fn query(args: &[String]) -> CmdResult {
     );
 
     let t_index = Instant::now();
-    let config = IgqConfig {
-        cache_capacity: cache,
-        window,
-        maintenance,
-        max_lag_windows,
-        ..Default::default()
-    }
-    .normalized();
+    let config = IgqConfig::builder()
+        .cache_capacity(cache)
+        .window(window)
+        .maintenance(maintenance)
+        .max_lag_windows(max_lag_windows)
+        .build()
+        .map_err(|e| format!("invalid iGQ configuration: {e}"))?;
     let mut total_answers = 0usize;
     let mut total_tests = 0u64;
     let t_queries;
@@ -207,7 +206,8 @@ pub fn query(args: &[String]) -> CmdResult {
         println!("index built in {:.2?}", t_index.elapsed());
         t_queries = Instant::now();
         if use_igq {
-            let mut engine = IgqSuperEngine::new(method, config);
+            let engine = IgqSuperEngine::new(method, config)
+                .map_err(|e| format!("invalid iGQ configuration: {e}"))?;
             for (qid, q) in queries.iter() {
                 let out = engine.query(q);
                 total_answers += out.answers.len();
@@ -239,7 +239,8 @@ pub fn query(args: &[String]) -> CmdResult {
         );
         t_queries = Instant::now();
         if use_igq {
-            let mut engine = IgqEngine::new(method, config);
+            let engine = IgqEngine::new(method, config)
+                .map_err(|e| format!("invalid iGQ configuration: {e}"))?;
             for (qid, q) in queries.iter() {
                 let out = engine.query(q);
                 total_answers += out.answers.len();

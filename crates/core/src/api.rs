@@ -1,0 +1,264 @@
+//! The shared-service query API: the [`QueryEngine`] trait both engine
+//! directions implement, typed [`QueryRequest`]/[`QueryResponse`]
+//! wrappers, and the cheap cloneable [`EngineHandle`] for fanning one
+//! engine out across threads.
+//!
+//! # Serving model
+//!
+//! An iGQ engine is a shared, concurrently queryable service:
+//! [`QueryEngine::query`] takes `&self` and every implementor is
+//! `Send + Sync`, so N threads can drive one engine through clones of an
+//! [`EngineHandle`] (or plain `Arc`/scoped borrows). For whole batches,
+//! [`QueryEngine::query_batch`] does the fan-out internally across
+//! [`IgqConfig::batch_threads`](crate::IgqConfig::batch_threads) workers.
+//!
+//! ```
+//! use igq_core::{IgqConfig, IgqEngine, MaintenanceMode, QueryEngine};
+//! use igq_graph::{graph_from, GraphStore};
+//! use igq_methods::{Ggsx, GgsxConfig};
+//! use std::sync::Arc;
+//!
+//! let store: Arc<GraphStore> = Arc::new(
+//!     vec![graph_from(&[0, 1], &[(0, 1)])].into_iter().collect(),
+//! );
+//! let method = Ggsx::build(&store, GgsxConfig::default());
+//! let config = IgqConfig::builder()
+//!     .cache_capacity(100)
+//!     .window(10)
+//!     .maintenance(MaintenanceMode::Background)
+//!     .build()
+//!     .expect("valid config");
+//! let handle = IgqEngine::new(method, config).expect("valid engine").into_handle();
+//!
+//! // Fan the same engine out across threads; answers stay exact.
+//! std::thread::scope(|s| {
+//!     for _ in 0..4 {
+//!         let h = handle.clone();
+//!         s.spawn(move || {
+//!             let out = h.query(&graph_from(&[0, 1], &[(0, 1)]));
+//!             assert_eq!(out.answers.len(), 1);
+//!         });
+//!     }
+//! });
+//! assert_eq!(handle.stats().queries, 4);
+//! ```
+
+use crate::config::IgqConfig;
+use crate::engine::Engine;
+use crate::outcome::QueryOutcome;
+use crate::stats::EngineStats;
+use igq_graph::{Graph, GraphId};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-query options carried by a [`QueryRequest`] — the growth point for
+/// request-scoped behavior that plain [`QueryEngine::query`] has no room
+/// for.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOptions {
+    /// Do not consider this query for window admission: it is answered
+    /// exactly but leaves no trace in the cache. For one-off exploratory
+    /// queries that should not displace residents serving the steady
+    /// workload.
+    pub skip_admission: bool,
+    /// Soft latency target. Exceeding it is *reported*
+    /// ([`QueryResponse::deadline_exceeded`]), never enforced by
+    /// truncating work: iGQ's contract is exact answers, and a cached
+    /// partial answer would poison future queries. Callers that want to
+    /// shed load can combine the report with `skip_admission` or their own
+    /// admission control.
+    pub deadline: Option<Duration>,
+}
+
+/// A typed query: the pattern graph plus per-query [`QueryOptions`].
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// The query graph.
+    pub graph: Graph,
+    /// Request-scoped options.
+    pub options: QueryOptions,
+}
+
+impl QueryRequest {
+    /// A request for `graph` with default options — equivalent to
+    /// [`QueryEngine::query`].
+    pub fn new(graph: Graph) -> QueryRequest {
+        QueryRequest {
+            graph,
+            options: QueryOptions::default(),
+        }
+    }
+
+    /// Excludes this query from window admission (see
+    /// [`QueryOptions::skip_admission`]).
+    pub fn skip_admission(mut self) -> QueryRequest {
+        self.options.skip_admission = true;
+        self
+    }
+
+    /// Sets the soft deadline (see [`QueryOptions::deadline`]).
+    pub fn deadline(mut self, deadline: Duration) -> QueryRequest {
+        self.options.deadline = Some(deadline);
+        self
+    }
+}
+
+/// The outcome of a [`QueryRequest`]: the full [`QueryOutcome`] plus
+/// request-level verdicts.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The exact answers and per-stage accounting.
+    pub outcome: QueryOutcome,
+    /// True when the request carried a [`QueryOptions::deadline`] and the
+    /// query's wall-clock exceeded it. The answers are exact either way.
+    pub deadline_exceeded: bool,
+}
+
+impl QueryResponse {
+    /// The answer set (sorted dataset graph ids).
+    pub fn answers(&self) -> &[GraphId] {
+        &self.outcome.answers
+    }
+}
+
+/// The unified engine interface implemented by both query directions
+/// ([`crate::IgqEngine`] and [`crate::IgqSuperEngine`] — both aliases of
+/// [`crate::Engine`]).
+///
+/// Every implementor is a shared-handle concurrent service: all methods
+/// take `&self`, and the `Send + Sync` supertrait bound means a reference
+/// (or [`EngineHandle`] clone) can cross threads freely. Generic clients —
+/// harnesses, servers, benches — can drive either direction through this
+/// trait without caring which algebra runs underneath.
+pub trait QueryEngine: Send + Sync {
+    /// Processes one query, returning the exact answer set plus
+    /// accounting.
+    fn query(&self, q: &Graph) -> QueryOutcome;
+
+    /// Processes a typed request with per-query options.
+    fn execute(&self, request: &QueryRequest) -> QueryResponse;
+
+    /// Fans a batch of queries across worker threads sharing this engine;
+    /// output index-aligned with the input.
+    fn query_batch(&self, queries: &[Graph]) -> Vec<QueryOutcome>;
+
+    /// Aggregate statistics so far (owned snapshot; lock-free).
+    fn stats(&self) -> EngineStats;
+
+    /// The engine configuration.
+    fn config(&self) -> &IgqConfig;
+
+    /// Number of currently cached queries.
+    fn cached_queries(&self) -> usize;
+
+    /// Forces window maintenance regardless of window fill.
+    fn flush_window(&self);
+
+    /// Blocks until background maintenance has caught up with the cache
+    /// (no-op in the synchronous modes).
+    fn sync_maintenance(&self);
+
+    /// Verifies internal invariants and index/cache agreement.
+    fn self_check(&self) -> Result<(), String>;
+}
+
+impl<D: crate::direction::QueryDirection> QueryEngine for crate::engine::Engine<D> {
+    fn query(&self, q: &Graph) -> QueryOutcome {
+        Engine::query(self, q)
+    }
+
+    fn execute(&self, request: &QueryRequest) -> QueryResponse {
+        Engine::execute(self, request)
+    }
+
+    fn query_batch(&self, queries: &[Graph]) -> Vec<QueryOutcome> {
+        Engine::query_batch(self, queries)
+    }
+
+    fn stats(&self) -> EngineStats {
+        Engine::stats(self)
+    }
+
+    fn config(&self) -> &IgqConfig {
+        Engine::config(self)
+    }
+
+    fn cached_queries(&self) -> usize {
+        Engine::cached_queries(self)
+    }
+
+    fn flush_window(&self) {
+        Engine::flush_window(self)
+    }
+
+    fn sync_maintenance(&self) {
+        Engine::sync_maintenance(self)
+    }
+
+    fn self_check(&self) -> Result<(), String> {
+        Engine::self_check(self)
+    }
+}
+
+/// A cheap cloneable handle to a shared [`QueryEngine`]: an `Arc` under
+/// the hood, `Deref`ing to the engine. Clone one per worker thread; the
+/// engine (and its background maintainer, if any) shuts down when the
+/// last clone drops.
+#[derive(Debug)]
+pub struct EngineHandle<E: QueryEngine> {
+    inner: Arc<E>,
+}
+
+impl<E: QueryEngine> EngineHandle<E> {
+    /// Wraps `engine` for shared fan-out.
+    pub fn new(engine: E) -> EngineHandle<E> {
+        EngineHandle {
+            inner: Arc::new(engine),
+        }
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &E {
+        &self.inner
+    }
+}
+
+impl<E: QueryEngine> Clone for EngineHandle<E> {
+    fn clone(&self) -> EngineHandle<E> {
+        EngineHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<E: QueryEngine> std::ops::Deref for EngineHandle<E> {
+    type Target = E;
+
+    fn deref(&self) -> &E {
+        &self.inner
+    }
+}
+
+/// Handle to a shared subgraph-query engine.
+pub type IgqHandle<M> = EngineHandle<crate::IgqEngine<M>>;
+
+/// Handle to a shared supergraph-query engine.
+pub type IgqSuperHandle = EngineHandle<crate::IgqSuperEngine>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_builders_set_options() {
+        let g = igq_graph::graph_from(&[0], &[]);
+        let r = QueryRequest::new(g.clone());
+        assert!(!r.options.skip_admission);
+        assert!(r.options.deadline.is_none());
+        let r = QueryRequest::new(g)
+            .skip_admission()
+            .deadline(Duration::from_millis(5));
+        assert!(r.options.skip_admission);
+        assert_eq!(r.options.deadline, Some(Duration::from_millis(5)));
+    }
+}

@@ -1,4 +1,12 @@
-//! iGQ engine configuration.
+//! iGQ engine configuration: the [`IgqConfig`] tunables, the validating
+//! [`IgqConfigBuilder`], and the typed [`ConfigError`] the builder (and
+//! engine construction) reports.
+//!
+//! Invalid combinations — a zero window, a window larger than the cache,
+//! a zero lag bound — used to be clamped silently; they are now rejected
+//! with a [`ConfigError`] at [`IgqConfigBuilder::build`] time and again at
+//! engine construction, so a misconfigured deployment fails loudly instead
+//! of misbehaving.
 
 use crate::policy::ReplacementPolicy;
 use igq_features::PathConfig;
@@ -38,7 +46,57 @@ impl MaintenanceMode {
     }
 }
 
+/// A rejected [`IgqConfig`] combination. Returned by
+/// [`IgqConfigBuilder::build`], [`IgqConfig::validate`], and engine
+/// construction ([`crate::IgqEngine::new`] / [`crate::IgqSuperEngine::new`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `window == 0`: maintenance would never run and nothing would ever
+    /// be cached.
+    ZeroWindow,
+    /// `window > cache_capacity`: a window of admissions could never fit,
+    /// violating the paper's `W ≤ C` invariant.
+    WindowExceedsCapacity {
+        /// The configured window `W`.
+        window: usize,
+        /// The configured cache capacity `C`.
+        cache_capacity: usize,
+    },
+    /// `max_lag_windows == 0` would deadlock the background maintainer's
+    /// submit gate (it waits for lag `< max_lag_windows`, which can never
+    /// hold). The synchronous modes ignore the field but the bound is
+    /// validated uniformly so a later mode switch cannot trip on it.
+    ZeroLagBound,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroWindow => {
+                write!(f, "window must be >= 1 (0 would never trigger maintenance)")
+            }
+            ConfigError::WindowExceedsCapacity {
+                window,
+                cache_capacity,
+            } => write!(
+                f,
+                "window ({window}) must not exceed cache_capacity ({cache_capacity})"
+            ),
+            ConfigError::ZeroLagBound => {
+                write!(f, "max_lag_windows must be >= 1 (0 would gate forever)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Tunables of the iGQ engine (paper Sections 5 and 7.1).
+///
+/// Construct one with [`IgqConfig::builder`] (validating) or a struct
+/// literal over [`IgqConfig::default`]; either way the engines re-validate
+/// at construction, so an invalid combination cannot reach a running
+/// engine.
 #[derive(Debug, Clone, Copy)]
 pub struct IgqConfig {
     /// Cache size `C`: maximum number of cached query graphs (paper default
@@ -57,6 +115,14 @@ pub struct IgqConfig {
     /// paper's three-thread pipeline (Fig. 6). With `false` the probes run
     /// inline, which is usually faster for query-sized graphs but is kept
     /// switchable for the `igq_overhead` ablation bench.
+    ///
+    /// Concurrency caveat: in the synchronous maintenance modes the
+    /// three-thread pipeline runs while holding the engine's state lock
+    /// (the probe threads borrow the live indexes from its guard), so the
+    /// base filter — otherwise lock-free — serializes concurrent callers.
+    /// On a shared handle prefer `false`, or pair `true` with
+    /// [`MaintenanceMode::Background`], whose probes read lock-free
+    /// snapshots.
     pub parallel_probes: bool,
     /// Cache-replacement policy (default: the paper's utility policy;
     /// alternatives exist for the `replacement` ablation bench).
@@ -68,11 +134,18 @@ pub struct IgqConfig {
     /// dedicated thread behind published snapshots).
     pub maintenance: MaintenanceMode,
     /// Bounded-lag backpressure for [`MaintenanceMode::Background`]: the
-    /// maximum number of window deltas that may be queued-or-in-flight
+    /// maximum number of *submitted* window deltas that may be unapplied
     /// before a window-flipping query blocks on the maintenance thread.
-    /// Probed snapshots therefore never trail the cache by more than this
-    /// many windows. Clamped to ≥ 1 by [`IgqConfig::normalized`]; ignored
-    /// by the synchronous modes.
+    /// With a single query thread, probed snapshots therefore never trail
+    /// the cache by more than this many windows. Under concurrent
+    /// submitters the bound covers submitted jobs only: up to one
+    /// captured-but-unsubmitted delta per concurrently flipping thread
+    /// can additionally be parked in the engine's outbox, so the cache
+    /// may transiently lead the snapshot by `max_lag_windows` plus the
+    /// number of in-flight flippers. Staleness in either form only costs
+    /// pruning power, never exactness (probe hits are revalidated against
+    /// the live cache). Must be ≥ 1 ([`ConfigError::ZeroLagBound`]);
+    /// ignored by the synchronous modes.
     pub max_lag_windows: usize,
     /// Detect exact repeats (optimal case 1) via a canonical-code hash map
     /// before any filtering or index probing. An engineering fast path on
@@ -82,6 +155,11 @@ pub struct IgqConfig {
     /// canonicalization exceeds its budget simply fall back to the probe
     /// path.
     pub exact_fastpath: bool,
+    /// Worker threads used by [`crate::QueryEngine::query_batch`] to fan a
+    /// batch of queries across one shared engine. `0` (the default) means
+    /// "use the machine's available parallelism"; `1` degenerates to a
+    /// sequential loop.
+    pub batch_threads: usize,
 }
 
 impl Default for IgqConfig {
@@ -96,11 +174,19 @@ impl Default for IgqConfig {
             maintenance: MaintenanceMode::Incremental,
             max_lag_windows: 2,
             exact_fastpath: true,
+            batch_threads: 0,
         }
     }
 }
 
 impl IgqConfig {
+    /// A validating builder initialized with the paper defaults.
+    pub fn builder() -> IgqConfigBuilder {
+        IgqConfigBuilder {
+            config: IgqConfig::default(),
+        }
+    }
+
     /// The paper's dense-dataset configuration (PPI/Synthetic experiments):
     /// `W = 20`, with the cache size chosen per figure (100/200/300).
     pub fn dense(cache_capacity: usize) -> Self {
@@ -111,19 +197,115 @@ impl IgqConfig {
         }
     }
 
-    /// Validates the `W ≤ C` invariant (clamping the window if needed) and
-    /// the `max_lag_windows ≥ 1` invariant of the background maintainer.
-    pub fn normalized(mut self) -> Self {
+    /// Checks the `1 ≤ W ≤ C` and `max_lag_windows ≥ 1` invariants,
+    /// reporting the first violation. Engine construction calls this, so a
+    /// hand-built struct literal gets the same scrutiny as a
+    /// [`builder`](IgqConfig::builder) config.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.window == 0 {
-            self.window = 1;
+            return Err(ConfigError::ZeroWindow);
         }
         if self.window > self.cache_capacity {
-            self.window = self.cache_capacity.max(1);
+            return Err(ConfigError::WindowExceedsCapacity {
+                window: self.window,
+                cache_capacity: self.cache_capacity,
+            });
         }
         if self.max_lag_windows == 0 {
-            self.max_lag_windows = 1;
+            return Err(ConfigError::ZeroLagBound);
         }
+        Ok(())
+    }
+}
+
+/// Builder for [`IgqConfig`] whose [`build`](IgqConfigBuilder::build)
+/// validates the result — the supported way to construct an engine config:
+///
+/// ```
+/// use igq_core::{IgqConfig, MaintenanceMode};
+///
+/// let config = IgqConfig::builder()
+///     .cache_capacity(100)
+///     .window(10)
+///     .maintenance(MaintenanceMode::Background)
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(config.window, 10);
+/// assert!(IgqConfig::builder().window(0).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct IgqConfigBuilder {
+    config: IgqConfig,
+}
+
+impl IgqConfigBuilder {
+    /// Sets the cache size `C` (see [`IgqConfig::cache_capacity`]).
+    pub fn cache_capacity(mut self, cache_capacity: usize) -> Self {
+        self.config.cache_capacity = cache_capacity;
         self
+    }
+
+    /// Sets the window size `W` (see [`IgqConfig::window`]).
+    pub fn window(mut self, window: usize) -> Self {
+        self.config.window = window;
+        self
+    }
+
+    /// Sets the path-feature configuration (see [`IgqConfig::path_config`]).
+    pub fn path_config(mut self, path_config: PathConfig) -> Self {
+        self.config.path_config = path_config;
+        self
+    }
+
+    /// Sets the label-universe size (see [`IgqConfig::label_universe`]).
+    pub fn label_universe(mut self, label_universe: usize) -> Self {
+        self.config.label_universe = label_universe;
+        self
+    }
+
+    /// Enables/disables threaded index probes (see
+    /// [`IgqConfig::parallel_probes`]).
+    pub fn parallel_probes(mut self, parallel_probes: bool) -> Self {
+        self.config.parallel_probes = parallel_probes;
+        self
+    }
+
+    /// Sets the cache-replacement policy (see [`IgqConfig::policy`]).
+    pub fn policy(mut self, policy: ReplacementPolicy) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Sets the maintenance strategy (see [`IgqConfig::maintenance`]).
+    pub fn maintenance(mut self, maintenance: MaintenanceMode) -> Self {
+        self.config.maintenance = maintenance;
+        self
+    }
+
+    /// Sets the background-maintenance lag bound (see
+    /// [`IgqConfig::max_lag_windows`]).
+    pub fn max_lag_windows(mut self, max_lag_windows: usize) -> Self {
+        self.config.max_lag_windows = max_lag_windows;
+        self
+    }
+
+    /// Enables/disables the exact-repeat fast path (see
+    /// [`IgqConfig::exact_fastpath`]).
+    pub fn exact_fastpath(mut self, exact_fastpath: bool) -> Self {
+        self.config.exact_fastpath = exact_fastpath;
+        self
+    }
+
+    /// Sets the batch fan-out width (see [`IgqConfig::batch_threads`]).
+    pub fn batch_threads(mut self, batch_threads: usize) -> Self {
+        self.config.batch_threads = batch_threads;
+        self
+    }
+
+    /// Validates and returns the config.
+    pub fn build(self) -> Result<IgqConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -136,6 +318,7 @@ mod tests {
         let c = IgqConfig::default();
         assert_eq!(c.cache_capacity, 500);
         assert_eq!(c.window, 100);
+        c.validate().expect("paper defaults are valid");
     }
 
     #[test]
@@ -146,30 +329,75 @@ mod tests {
     }
 
     #[test]
-    fn normalization_clamps_window() {
-        let c = IgqConfig {
-            cache_capacity: 10,
-            window: 50,
-            ..Default::default()
-        }
-        .normalized();
-        assert_eq!(c.window, 10);
-        let c = IgqConfig {
-            window: 0,
-            ..Default::default()
-        }
-        .normalized();
-        assert_eq!(c.window, 1);
+    fn builder_round_trips_every_field() {
+        let c = IgqConfig::builder()
+            .cache_capacity(64)
+            .window(8)
+            .label_universe(7)
+            .parallel_probes(true)
+            .policy(ReplacementPolicy::Lru)
+            .maintenance(MaintenanceMode::Background)
+            .max_lag_windows(3)
+            .exact_fastpath(false)
+            .batch_threads(4)
+            .build()
+            .expect("valid");
+        assert_eq!(c.cache_capacity, 64);
+        assert_eq!(c.window, 8);
+        assert_eq!(c.label_universe, 7);
+        assert!(c.parallel_probes);
+        assert_eq!(c.policy, ReplacementPolicy::Lru);
+        assert_eq!(c.maintenance, MaintenanceMode::Background);
+        assert_eq!(c.max_lag_windows, 3);
+        assert!(!c.exact_fastpath);
+        assert_eq!(c.batch_threads, 4);
     }
 
     #[test]
-    fn normalization_clamps_lag_bound() {
-        let c = IgqConfig {
-            max_lag_windows: 0,
-            ..Default::default()
-        }
-        .normalized();
-        assert_eq!(c.max_lag_windows, 1);
+    fn zero_window_is_rejected() {
+        assert_eq!(
+            IgqConfig::builder().window(0).build().unwrap_err(),
+            ConfigError::ZeroWindow
+        );
+    }
+
+    #[test]
+    fn oversized_window_is_rejected() {
+        assert_eq!(
+            IgqConfig::builder()
+                .cache_capacity(10)
+                .window(50)
+                .build()
+                .unwrap_err(),
+            ConfigError::WindowExceedsCapacity {
+                window: 50,
+                cache_capacity: 10
+            }
+        );
+    }
+
+    #[test]
+    fn zero_lag_bound_is_rejected_in_every_mode() {
+        // Validated uniformly so switching a stored config to Background
+        // later cannot introduce a latent deadlock.
+        assert_eq!(
+            IgqConfig::builder().max_lag_windows(0).build().unwrap_err(),
+            ConfigError::ZeroLagBound
+        );
+    }
+
+    #[test]
+    fn errors_render_helpfully() {
+        let e = ConfigError::WindowExceedsCapacity {
+            window: 50,
+            cache_capacity: 10,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("50") && msg.contains("10"), "{msg}");
+        assert!(ConfigError::ZeroWindow.to_string().contains("window"));
+        assert!(ConfigError::ZeroLagBound
+            .to_string()
+            .contains("max_lag_windows"));
     }
 
     #[test]

@@ -1,123 +1,188 @@
-//! The iGQ subgraph-query engine (paper Sections 4.2, 4.3, 5, and Fig. 6).
+//! The unified iGQ query engine (paper Sections 4.2–4.4, 5, and Fig. 6):
+//! one concurrently shareable pipeline, generic over the query
+//! [`QueryDirection`].
 //!
-//! [`IgqEngine`] wraps any [`SubgraphMethod`] `M` and runs the full iGQ
-//! pipeline per query `g`:
+//! [`Engine<D>`] wraps a dataset method and runs the full iGQ pipeline per
+//! query `g`:
 //!
-//! 1. `M.filter(g)` produces the candidate set `CS(g)` (no false negatives);
-//! 2. the query indexes are probed: `Isub` yields cached supergraphs of `g`
-//!    (their answers are *known answers*), `Isuper` yields cached subgraphs
-//!    (their answers *bound* the candidates);
+//! 1. the direction's filter produces the candidate set `CS(g)` (no false
+//!    negatives);
+//! 2. the query indexes are probed: one side yields cached queries whose
+//!    stored answers are *known answers*, the other cached queries whose
+//!    answers *bound* the candidates (which side is which is the
+//!    direction's [`KNOWN_IS_ISUB`](QueryDirection::KNOWN_IS_ISUB));
 //! 3. optimal cases (Section 4.3): an exact repeat returns the stored
-//!    answer outright; a cached subgraph with an empty answer proves the
-//!    answer empty;
-//! 4. pruning: `CS_igq = (CS \ ∪ Answer(G_sub)) ∩ (∩ Answer(G_super))`
-//!    (formulas (3) and (5));
-//! 5. verification of the survivors via `M.verify_batch`;
+//!    answer outright; a cached bounding query with an empty answer proves
+//!    the answer empty;
+//! 4. pruning: `CS_igq = (CS \ ∪ known) ∩ (∩ bounds)` (formulas (3) and
+//!    (5), inverted per Section 4.4 for supergraph queries);
+//! 5. verification of the survivors;
 //! 6. the final answer adds back the known answers (formula (4));
 //! 7. bookkeeping: metadata updates (Section 5.1) and window maintenance
-//!    (Section 5.2) — by default an **incremental delta update** of both
-//!    query indexes (evicted slots removed, admitted slots inserted, cost
-//!    O(window delta)); the paper's shadow rebuild survives behind
-//!    [`MaintenanceMode::ShadowRebuild`] for ablation, and
-//!    [`MaintenanceMode::Background`] queues the delta to a dedicated
-//!    maintenance thread instead (see [`crate::background`]) so the window
-//!    flip never stalls a query.
+//!    (Section 5.2) in the configured [`MaintenanceMode`].
 //!
-//! Under background maintenance the probes of step 2 read an immutable
-//! published snapshot of the indexes, which may trail the cache by a
-//! bounded number of windows; every probe hit is revalidated against the
-//! live cache (slot occupied, graph `Arc`-identical), so staleness only
-//! costs pruning power — answers remain exact.
+//! # Concurrency model
 //!
-//! The query's path features are extracted **once** per query and shared
-//! by the base method's filter and both index probes (the seed extracted
-//! them three times); [`EngineStats::feature_extractions`] counts them.
+//! `query` takes `&self`: the engine is a shared service, `Send + Sync`,
+//! fanned out across threads through a cheap [`crate::EngineHandle`]
+//! clone. Internally the mutable trio — [`QueryCache`], the live
+//! `Isub`/`Isuper` pair, and the admission window — lives behind one
+//! [`parking_lot::RwLock`]; lifetime counters are lock-free atomics
+//! ([`crate::EngineStats`]). The expensive stages (feature extraction,
+//! the base filter, verification) run outside the lock (one exception:
+//! with [`IgqConfig::parallel_probes`] in a synchronous maintenance mode
+//! the Fig. 6 filter thread runs inside the lock window, since the probe
+//! threads borrow the live indexes from the same guard);
+//! under [`MaintenanceMode::Background`] the index probes also run
+//! lock-free against a published snapshot, and every snapshot hit is
+//! revalidated against the live cache (slot occupied, graph
+//! `Arc`-identical) before its stored answers are trusted — staleness, or
+//! a concurrent eviction between probe and bookkeeping, only costs
+//! pruning power, never exactness. See `ARCHITECTURE.md` for the lock
+//! layout.
+//!
+//! The concrete engines are type aliases over the two directions:
+//! [`IgqEngine`] (subgraph queries over any [`SubgraphMethod`]) and
+//! [`crate::IgqSuperEngine`] (supergraph queries); the seed's duplicated
+//! per-direction pipelines are gone.
 //!
 //! Correctness (Theorems 1 and 2) is exercised end-to-end by the
 //! integration suite: the engine's answers are compared against the naive
-//! oracle on randomized workloads, in all maintenance modes.
+//! oracle on randomized workloads, in all maintenance modes, sequentially
+//! and from concurrent threads sharing one engine.
 //!
-//! [`MaintenanceMode::ShadowRebuild`]: crate::config::MaintenanceMode::ShadowRebuild
+//! [`MaintenanceMode`]: crate::config::MaintenanceMode
 //! [`MaintenanceMode::Background`]: crate::config::MaintenanceMode::Background
+//! [`SubgraphMethod`]: igq_methods::SubgraphMethod
 
+use crate::api::{QueryOptions, QueryRequest, QueryResponse};
 use crate::background::{retain_current_slots, BackgroundMaintainer};
 use crate::cache::{QueryCache, WindowEntry};
-use crate::config::IgqConfig;
+use crate::config::{ConfigError, IgqConfig};
+use crate::direction::{QueryDirection, SubgraphQueries};
 use crate::isub::IsubIndex;
 use crate::isuper::IsuperIndex;
 use crate::maintain::MaintenanceJob;
 use crate::outcome::{QueryOutcome, Resolution};
-use crate::stats::EngineStats;
+use crate::stats::{AtomicEngineStats, EngineStats};
 use igq_features::{enumerate_paths, PathFeatures};
 use igq_graph::canon::{canonical_code, CanonicalCode, GraphSignature};
 use igq_graph::stats::DatasetStats;
 use igq_graph::{Graph, GraphId};
 use igq_iso::{CostModel, IsoStats, LogValue};
-use igq_methods::{intersect_sorted, subtract_sorted, SubgraphMethod};
+use igq_methods::{intersect_sorted, subtract_sorted, Filtered};
+use parking_lot::{Mutex, RwLock};
+use std::collections::VecDeque;
+use std::marker::PhantomData;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// The iGQ engine for subgraph queries.
-pub struct IgqEngine<M: SubgraphMethod> {
-    method: M,
-    config: IgqConfig,
+/// The iGQ engine for subgraph queries: [`Engine`] in the
+/// [`SubgraphQueries`] direction, wrapping any
+/// [`SubgraphMethod`](igq_methods::SubgraphMethod) `M`.
+pub type IgqEngine<M> = Engine<SubgraphQueries<M>>;
+
+/// The engine's lock-protected mutable state: the query cache, the live
+/// query indexes (empty under background maintenance, where the maintainer
+/// owns the authoritative copies), the admission window (`Itemp`), and the
+/// memoizing cost model.
+struct LiveState {
     cache: QueryCache,
-    /// Live indexes for the synchronous maintenance modes; stay empty
-    /// under [`MaintenanceMode::Background`], where the maintainer owns
-    /// the authoritative copies and queries probe published snapshots.
     isub: IsubIndex,
     isuper: IsuperIndex,
-    /// The maintenance thread handle (`Some` iff the mode is
-    /// [`MaintenanceMode::Background`]). Dropped last-ish on engine drop:
-    /// its own `Drop` drains the delta queue and joins the thread.
-    maintainer: Option<BackgroundMaintainer>,
     /// `Itemp`: processed-but-not-yet-indexed queries.
     window: Vec<WindowEntry>,
     window_signatures: Vec<GraphSignature>,
     cost_model: CostModel,
-    stats: EngineStats,
 }
 
-impl<M: SubgraphMethod> IgqEngine<M> {
+/// The unified, concurrently shareable iGQ engine; see the module docs.
+/// Use the [`IgqEngine`] / [`crate::IgqSuperEngine`] aliases.
+pub struct Engine<D: QueryDirection> {
+    method: D::Method,
+    config: IgqConfig,
+    state: RwLock<LiveState>,
+    /// The maintenance thread handle (`Some` iff the mode is
+    /// [`MaintenanceMode::Background`](crate::MaintenanceMode::Background)).
+    /// Its own `Drop` drains the delta queue and joins the thread.
+    maintainer: Option<BackgroundMaintainer>,
+    /// Captured-but-not-yet-submitted window deltas, in cache order.
+    /// Jobs are pushed under the state write lock (so their order is the
+    /// order the cache changed in) but *submitted* outside it via
+    /// [`Engine::drain_outbox`] — the bounded-lag gate can sleep without
+    /// stalling every other caller's bookkeeping. Empty in the
+    /// synchronous modes and whenever no flip is in flight. This lock is
+    /// only ever held for a push or a pop, never across a gated submit
+    /// (that is [`Engine::submit_lock`]'s job), so a pusher holding the
+    /// state write lock never waits behind a sleeping gate.
+    outbox: Mutex<VecDeque<MaintenanceJob>>,
+    /// Serializes [`Engine::drain_outbox`] callers so jobs are submitted
+    /// in exactly their outbox (= cache) order. Held across the gated
+    /// submits; never acquired while holding the state *write* lock or
+    /// the outbox lock (a state *read* guard is fine — see
+    /// [`Engine::self_check`] — because the gate clears without any
+    /// engine lock).
+    submit_lock: Mutex<()>,
+    stats: AtomicEngineStats,
+    _direction: PhantomData<fn() -> D>,
+}
+
+impl<D: QueryDirection> Engine<D> {
     /// Wraps `method` with an (initially empty) iGQ cache.
-    pub fn new(method: M, config: IgqConfig) -> IgqEngine<M> {
-        let config = config.normalized();
+    ///
+    /// `config` is validated ([`IgqConfig::validate`]); an invalid
+    /// combination — built by hand rather than through
+    /// [`IgqConfig::builder`] — is rejected with the same [`ConfigError`]
+    /// the builder would have raised.
+    pub fn new(method: D::Method, config: IgqConfig) -> Result<Engine<D>, ConfigError> {
+        config.validate()?;
         let labels = if config.label_universe > 0 {
             config.label_universe
         } else {
-            DatasetStats::of(method.store()).vertex_labels.max(1)
+            DatasetStats::of(D::store(&method)).vertex_labels.max(1)
         };
-        let cache = QueryCache::with_policy(config.cache_capacity, config.policy);
-        let isub = IsubIndex::new(config.path_config);
-        let isuper = IsuperIndex::new(config.path_config);
-        let maintainer = BackgroundMaintainer::for_config(&config);
-        IgqEngine {
-            method,
-            config,
-            cache,
-            isub,
-            isuper,
-            maintainer,
+        let state = LiveState {
+            cache: QueryCache::with_policy(config.cache_capacity, config.policy),
+            isub: IsubIndex::new(config.path_config),
+            isuper: IsuperIndex::new(config.path_config),
             window: Vec::new(),
             window_signatures: Vec::new(),
             cost_model: CostModel::new(labels),
-            stats: EngineStats::default(),
-        }
+        };
+        let maintainer = BackgroundMaintainer::for_config(&config);
+        Ok(Engine {
+            method,
+            config,
+            state: RwLock::new(state),
+            maintainer,
+            outbox: Mutex::new(VecDeque::new()),
+            submit_lock: Mutex::new(()),
+            stats: AtomicEngineStats::default(),
+            _direction: PhantomData,
+        })
+    }
+
+    /// Moves the engine behind a cheap cloneable [`crate::EngineHandle`]
+    /// for fan-out across threads.
+    pub fn into_handle(self) -> crate::EngineHandle<Engine<D>> {
+        crate::EngineHandle::new(self)
     }
 
     /// The wrapped method.
-    pub fn method(&self) -> &M {
+    pub fn method(&self) -> &D::Method {
         &self.method
     }
 
-    /// Aggregate statistics so far (an owned snapshot). Under background
-    /// maintenance the off-thread counters (`maintenance_time`,
-    /// `maintenance_postings_touched`, `maintenance_lag_windows`,
-    /// `snapshot_publishes`) are read from the maintenance thread at call
-    /// time; call [`IgqEngine::sync_maintenance`] first for fully settled
-    /// numbers.
+    /// Aggregate statistics so far (an owned snapshot, assembled from
+    /// lock-free atomics — safe to call from any thread at any time).
+    /// Under background maintenance the off-thread counters
+    /// (`maintenance_time`, `maintenance_postings_touched`,
+    /// `maintenance_lag_windows`, `snapshot_publishes`) are read from the
+    /// maintenance thread at call time; call
+    /// [`sync_maintenance`](Engine::sync_maintenance) first for fully
+    /// settled numbers.
     pub fn stats(&self) -> EngineStats {
-        let mut stats = self.stats.clone();
+        let mut stats = self.stats.snapshot();
         if let Some(m) = &self.maintainer {
             stats.fold_maintainer(&m.stats());
         }
@@ -140,7 +205,7 @@ impl<M: SubgraphMethod> IgqEngine<M> {
 
     /// Number of currently cached queries.
     pub fn cached_queries(&self) -> usize {
-        self.cache.len()
+        self.state.read().cache.len()
     }
 
     /// Approximate footprint of iGQ's own structures (query graphs, answer
@@ -149,31 +214,104 @@ impl<M: SubgraphMethod> IgqEngine<M> {
     /// index share is read from the latest published snapshot (which may
     /// trail the cache by the lag bound).
     pub fn igq_index_size_bytes(&self) -> u64 {
+        let st = self.state.read();
         let index_bytes = match &self.maintainer {
             Some(m) => {
                 let pair = m.snapshot();
                 pair.isub.heap_size_bytes() + pair.isuper.heap_size_bytes()
             }
-            None => self.isub.heap_size_bytes() + self.isuper.heap_size_bytes(),
+            None => st.isub.heap_size_bytes() + st.isuper.heap_size_bytes(),
         };
-        self.cache.heap_size_bytes() + index_bytes
+        st.cache.heap_size_bytes() + index_bytes
     }
 
     /// Estimated cost (log space) of iso-testing `q` against each graph in
-    /// `ids`.
-    fn cost_of(&mut self, q: &Graph, ids: &[GraphId]) -> LogValue {
+    /// `ids`, with the pattern/target roles ordered by the direction.
+    fn cost_of(&self, model: &mut CostModel, q: &Graph, ids: &[GraphId]) -> LogValue {
         let n = q.vertex_count();
         let mut total = LogValue::ZERO;
         for &id in ids {
-            let ni = self.method.store().get(id).vertex_count();
-            total = total.add(self.cost_model.cost_ln(n, ni));
+            let ni = D::store(&self.method).get(id).vertex_count();
+            total = total.add(D::cost_ln(model, n, ni));
         }
         total
     }
 
-    /// Processes a subgraph query, returning the exact answer set plus
-    /// accounting (Theorem 1: no false positives, no false negatives).
-    pub fn query(&mut self, q: &Graph) -> QueryOutcome {
+    /// Processes one query, returning the exact answer set plus accounting
+    /// (Theorems 1 and 2: no false positives, no false negatives).
+    ///
+    /// Takes `&self`: any number of threads may call this concurrently on
+    /// one shared engine. Each call's answers are exact against the
+    /// dataset regardless of interleaving; what concurrency can change is
+    /// only the *accounting* (which caller's query flips a window, which
+    /// cache entry serves a hit).
+    pub fn query(&self, q: &Graph) -> QueryOutcome {
+        self.run(q, &QueryOptions::default())
+    }
+
+    /// Processes a typed [`QueryRequest`] (per-query options: admission
+    /// control, deadline observability).
+    pub fn execute(&self, request: &QueryRequest) -> QueryResponse {
+        let outcome = self.run(&request.graph, &request.options);
+        let deadline_exceeded = request
+            .options
+            .deadline
+            .is_some_and(|d| outcome.total_time() > d);
+        QueryResponse {
+            outcome,
+            deadline_exceeded,
+        }
+    }
+
+    /// Fans `queries` across worker threads sharing this engine
+    /// ([`IgqConfig::batch_threads`]; `0` = available parallelism). The
+    /// output is index-aligned with the input. Equivalent to calling
+    /// [`query`](Engine::query) for each element — just concurrent.
+    pub fn query_batch(&self, queries: &[Graph]) -> Vec<QueryOutcome> {
+        let threads = match self.config.batch_threads {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
+        }
+        .min(queries.len().max(1));
+        if threads <= 1 {
+            return queries.iter().map(|q| self.query(q)).collect();
+        }
+        let cursor = std::sync::atomic::AtomicUsize::new(0);
+        let mut results: Vec<Option<QueryOutcome>> = queries.iter().map(|_| None).collect();
+        let chunks = crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|_| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some(q) = queries.get(i) else { break };
+                            local.push((i, self.query(q)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("batch worker"))
+                .collect::<Vec<_>>()
+        })
+        .expect("batch scope");
+        for (i, out) in chunks.into_iter().flatten() {
+            results[i] = Some(out);
+        }
+        results
+            .into_iter()
+            .map(|o| o.expect("every index claimed exactly once"))
+            .collect()
+    }
+
+    /// The shared pipeline behind [`query`](Engine::query) and
+    /// [`execute`](Engine::execute).
+    fn run(&self, q: &Graph, opts: &QueryOptions) -> QueryOutcome {
         let wall_start = Instant::now();
         let mut outcome = QueryOutcome::default();
 
@@ -182,79 +320,90 @@ impl<M: SubgraphMethod> IgqEngine<M> {
         // [`IgqConfig::exact_fastpath`]). The probe path below still
         // catches repeats whose canonicalization exceeded its budget. The
         // canonicalization outcome is kept and threaded through to window
-        // admission so maintenance never recomputes it.
+        // admission so maintenance never recomputes it. The common miss
+        // pays only a read lock; a hit re-checks under the write lock (the
+        // slot may have been evicted in between).
         let code: Option<Option<CanonicalCode>> = if self.config.exact_fastpath {
             Some(canonical_code(q))
         } else {
             None
         };
-        if let Some(Some(code)) = &code {
-            if let Some(slot) = self.cache.slot_with_code(code) {
-                self.cache.tick_all();
-                let answers = self.cache.entry(slot).answers.clone();
-                // Credit: without running M's filter the alleviated
-                // candidate set is unknown; the stored answers are a
-                // conservative lower bound on it.
-                let credit = self.cost_of(q, &answers);
-                self.cache
-                    .entry_mut(slot)
-                    .meta
-                    .record_hit(answers.len() as u64, credit);
-                outcome.answers = answers;
-                outcome.resolution = Resolution::ExactHit;
-                outcome.igq_time = wall_start.elapsed();
-                outcome.wall_time = wall_start.elapsed();
-                self.stats.absorb(&outcome);
-                return outcome;
+        if let Some(Some(c)) = &code {
+            let probable_hit = self.state.read().cache.slot_with_code(c).is_some();
+            if probable_hit {
+                let mut guard = self.state.write();
+                let st = &mut *guard;
+                if let Some(slot) = st.cache.slot_with_code(c) {
+                    st.cache.tick_all();
+                    let answers = st.cache.entry(slot).answers.clone();
+                    // Credit: without running the filter the alleviated
+                    // candidate set is unknown; the stored answers are a
+                    // conservative lower bound on it.
+                    let credit = self.cost_of(&mut st.cost_model, q, &answers);
+                    st.cache
+                        .entry_mut(slot)
+                        .meta
+                        .record_hit(answers.len() as u64, credit);
+                    outcome.answers = answers;
+                    outcome.resolution = Resolution::ExactHit;
+                    outcome.igq_time = wall_start.elapsed();
+                    outcome.wall_time = wall_start.elapsed();
+                    self.stats.absorb(&outcome);
+                    return outcome;
+                }
             }
         }
 
         // Single-pass feature extraction: the query's paths are enumerated
-        // once here and shared by the base filter and both index probes
-        // (the probes and a path-trie method like GGSX would otherwise each
-        // enumerate them again).
+        // once here and shared by the base filter and both index probes.
         let extract_start = Instant::now();
         let qf = enumerate_paths(q, &self.config.path_config);
         let extract_time = extract_start.elapsed();
-        self.stats.feature_extractions += 1;
+        self.stats.count_feature_extraction();
 
-        // Stage 1+2: base-method filtering and query-index probes —
-        // parallel threads as in Fig. 6 when configured. Under background
-        // maintenance the probes read the latest published snapshot
-        // instead of engine-owned indexes.
+        // Stage 1+2: filtering and query-index probes — parallel threads
+        // as in Fig. 6 when configured. Under background maintenance the
+        // probes read the latest published snapshot lock-free; in the
+        // synchronous modes they run under the state lock so the returned
+        // slots stay valid through the answer algebra below.
         let snap = self.maintainer.as_ref().map(|m| m.snapshot());
-        let (filtered, probes) = {
-            let (isub, isuper) = match &snap {
-                Some(pair) => (&pair.isub, &pair.isuper),
-                None => (&self.isub, &self.isuper),
-            };
-            if self.config.parallel_probes {
-                self.filter_and_probe_parallel(isub, isuper, q, &qf)
-            } else {
+        let (filtered, probes, mut guard) = match &snap {
+            Some(pair) => {
+                // Background: filter and probes both run lock-free.
+                let (f, p) = self.filter_and_probe(&pair.isub, &pair.isuper, q, &qf);
+                (f, p, self.state.write())
+            }
+            None if !self.config.parallel_probes => {
+                // Synchronous modes: the expensive filter still runs
+                // outside the lock; only the probes need the live indexes.
                 let f_start = Instant::now();
-                let filtered = self.method.filter_with_features(q, Some(&qf));
+                let filtered = D::filter(&self.method, q, &qf);
                 let filter_time = f_start.elapsed();
-                let p_start = Instant::now();
-                let probes = ProbeResult {
-                    sub: isub.supergraphs_of(q, &qf),
-                    sup: isuper.subgraphs_of(q, &qf),
-                    filter_time,
-                    probe_time: Instant::now().duration_since(p_start),
-                };
-                (filtered, probes)
+                let guard = self.state.write();
+                let probes = probe_both(&guard.isub, &guard.isuper, q, &qf, filter_time);
+                (filtered, probes, guard)
+            }
+            None => {
+                // Fig. 6 three-thread pipeline over the live indexes: the
+                // guard lends the index refs to the probe threads, so the
+                // filter thread runs inside the lock window here.
+                let guard = self.state.write();
+                let (f, p) = self.filter_and_probe(&guard.isub, &guard.isuper, q, &qf);
+                (f, p, guard)
             }
         };
-
+        let st = &mut *guard;
         let (mut sub_slots, sub_stats) = probes.sub;
         let (mut super_slots, super_stats) = probes.sup;
         if let Some(pair) = &snap {
-            // The snapshot may trail the cache: discard hits whose slot
-            // the cache has since evicted or reused, so every surviving
+            // The snapshot may trail the cache — and under concurrency the
+            // cache may even have moved between the lock-free probe and
+            // this lock acquisition. Discard hits whose slot the cache no
+            // longer backs with the probed graph, so every surviving
             // slot's stored answers really belong to the verified graph.
-            retain_current_slots(&self.cache, &mut sub_slots, |s| pair.isub.slot_graph(s));
-            retain_current_slots(&self.cache, &mut super_slots, |s| pair.isuper.slot_graph(s));
+            retain_current_slots(&st.cache, &mut sub_slots, |s| pair.isub.slot_graph(s));
+            retain_current_slots(&st.cache, &mut super_slots, |s| pair.isuper.slot_graph(s));
         }
-        drop(snap);
         outcome.filter_time = probes.filter_time;
         let mut igq_stats = IsoStats::new();
         igq_stats.merge(&sub_stats);
@@ -266,9 +415,17 @@ impl<M: SubgraphMethod> IgqEngine<M> {
 
         let bookkeeping_start = Instant::now();
         // Every cached entry has now seen one more query.
-        self.cache.tick_all();
+        st.cache.tick_all();
 
         let cs = &filtered.candidates;
+
+        // The direction decides which probe feeds the *known answers*
+        // path and which the *bounding* path (Section 4.4 inversion).
+        let (known_slots, bound_slots) = if D::KNOWN_IS_ISUB {
+            (&sub_slots, &super_slots)
+        } else {
+            (&super_slots, &sub_slots)
+        };
 
         // Optimal case 1: exact repeat — g isomorphic to a cached query.
         // g ⊆ G (or G ⊆ g) at equal vertex/edge counts is an isomorphism.
@@ -277,39 +434,65 @@ impl<M: SubgraphMethod> IgqEngine<M> {
             .chain(super_slots.iter())
             .copied()
             .find(|&s| {
-                let g = &self.cache.entry(s).graph;
+                let g = &st.cache.entry(s).graph;
                 g.vertex_count() == q.vertex_count() && g.edge_count() == q.edge_count()
             });
         if let Some(slot) = exact_slot {
-            outcome.answers = self.cache.entry(slot).answers.clone();
+            outcome.answers = st.cache.entry(slot).answers.clone();
             outcome.resolution = Resolution::ExactHit;
             outcome.candidates_after = 0;
             outcome.pruned_by_isub = cs.len();
-            let credit = self.cost_of(q, cs);
-            self.credit_hits(q, cs, &sub_slots, &super_slots, Some((slot, credit)));
+            let credit = self.cost_of(&mut st.cost_model, q, cs);
+            credit_hits::<D>(
+                self,
+                st,
+                q,
+                cs,
+                known_slots,
+                bound_slots,
+                Some((slot, credit)),
+            );
             outcome.igq_time = extract_time + probes.probe_time + bookkeeping_start.elapsed();
             outcome.wall_time = wall_start.elapsed();
             self.stats.absorb(&outcome);
             return outcome;
         }
 
-        // Optimal case 2: a cached subgraph with an empty answer set proves
-        // Answer(g) = ∅ (Section 4.3).
-        if let Some(&slot) = super_slots
+        // Optimal case 2: a cached bounding query with an empty answer set
+        // proves Answer(g) = ∅ (Section 4.3; roles inverted in the
+        // supergraph direction, Section 4.4).
+        if let Some(&slot) = bound_slots
             .iter()
-            .find(|&&s| self.cache.entry(s).answers.is_empty())
+            .find(|&&s| st.cache.entry(s).answers.is_empty())
         {
             outcome.answers = Vec::new();
             outcome.resolution = Resolution::EmptyAnswerShortcut;
             outcome.candidates_after = 0;
-            outcome.pruned_by_isuper = cs.len();
-            let credit = self.cost_of(q, cs);
-            self.credit_hits(q, cs, &sub_slots, &super_slots, Some((slot, credit)));
+            if D::KNOWN_IS_ISUB {
+                outcome.pruned_by_isuper = cs.len();
+            } else {
+                outcome.pruned_by_isub = cs.len();
+            }
+            let credit = self.cost_of(&mut st.cost_model, q, cs);
+            credit_hits::<D>(
+                self,
+                st,
+                q,
+                cs,
+                known_slots,
+                bound_slots,
+                Some((slot, credit)),
+            );
             // An empty-answer query is prime cache material.
-            self.enqueue(q, &[], code.clone());
+            if !opts.skip_admission {
+                self.enqueue(st, q, &[], code.clone());
+            }
             outcome.igq_time = extract_time + probes.probe_time + bookkeeping_start.elapsed();
             let maint_start = Instant::now();
-            if self.maybe_maintain() {
+            let maintained = self.maybe_maintain(st);
+            drop(guard);
+            if maintained {
+                self.drain_outbox();
                 outcome.igq_time += maint_start.elapsed();
             }
             outcome.wall_time = wall_start.elapsed();
@@ -317,35 +500,43 @@ impl<M: SubgraphMethod> IgqEngine<M> {
             return outcome;
         }
 
-        // Formula (3): known answers via the subgraph path.
+        // Formula (3) (or its Section 4.4 inverse): known answers.
         let mut known_answers: Vec<GraphId> = Vec::new();
-        for &s in &sub_slots {
-            known_answers.extend_from_slice(&self.cache.entry(s).answers);
+        for &s in known_slots {
+            known_answers.extend_from_slice(&st.cache.entry(s).answers);
         }
         known_answers.sort_unstable();
         known_answers.dedup();
         let known_in_cs = intersect_sorted(cs, &known_answers);
         let mut pruned = subtract_sorted(cs, &known_answers);
-        outcome.pruned_by_isub = cs.len() - pruned.len();
+        let known_pruned = cs.len() - pruned.len();
 
-        // Formula (5): candidates must appear in every Isuper hit's answers.
-        let before_super = pruned.len();
-        for &s in &super_slots {
-            pruned = intersect_sorted(&pruned, &self.cache.entry(s).answers);
+        // Formula (5): candidates must appear in every bounding answer set.
+        let before_bound = pruned.len();
+        for &s in bound_slots {
+            pruned = intersect_sorted(&pruned, &st.cache.entry(s).answers);
             if pruned.is_empty() {
                 break;
             }
         }
-        outcome.pruned_by_isuper = before_super - pruned.len();
+        let bound_pruned = before_bound - pruned.len();
+        if D::KNOWN_IS_ISUB {
+            outcome.pruned_by_isub = known_pruned;
+            outcome.pruned_by_isuper = bound_pruned;
+        } else {
+            outcome.pruned_by_isuper = known_pruned;
+            outcome.pruned_by_isub = bound_pruned;
+        }
         outcome.candidates_after = pruned.len();
 
         // Metadata credit for every hit.
-        self.credit_hits(q, cs, &sub_slots, &super_slots, None);
+        credit_hits::<D>(self, st, q, cs, known_slots, bound_slots, None);
         outcome.igq_time = extract_time + probes.probe_time + bookkeeping_start.elapsed();
+        drop(guard); // verification runs outside the lock
 
         // Verification of the surviving candidates.
         let verify_start = Instant::now();
-        let results = self.method.verify_batch(q, &filtered.context, &pruned);
+        let results = D::verify(&self.method, q, &filtered.context, &pruned);
         outcome.db_iso_tests = pruned.len() as u64;
         outcome.aborted_tests = results.iter().filter(|r| r.aborted).count() as u64;
         let mut answers: Vec<GraphId> = pruned
@@ -362,15 +553,23 @@ impl<M: SubgraphMethod> IgqEngine<M> {
         answers.dedup();
         outcome.answers = answers;
 
-        // Window admission and maintenance. A query whose verification hit
-        // the abort budget has a possibly-incomplete answer set: caching it
-        // would let formulas (3)–(5) turn one bounded verification into
-        // wrong answers for *future* queries, so it is never admitted.
+        // Window admission and maintenance, under a fresh write lock. A
+        // query whose verification hit the abort budget has a
+        // possibly-incomplete answer set: caching it would let formulas
+        // (3)–(5) turn one bounded verification into wrong answers for
+        // *future* queries, so it is never admitted.
         let maint_start = Instant::now();
-        if outcome.aborted_tests == 0 {
-            self.enqueue(q, &outcome.answers, code);
+        let maintained = {
+            let mut guard = self.state.write();
+            let st = &mut *guard;
+            if outcome.aborted_tests == 0 && !opts.skip_admission {
+                self.enqueue(st, q, &outcome.answers, code);
+            }
+            self.maybe_maintain(st)
+        };
+        if maintained {
+            self.drain_outbox();
         }
-        self.maybe_maintain();
         outcome.igq_time += maint_start.elapsed();
 
         outcome.wall_time = wall_start.elapsed();
@@ -378,70 +577,44 @@ impl<M: SubgraphMethod> IgqEngine<M> {
         outcome
     }
 
-    /// Records hit metadata. `bonus` optionally awards one slot the full
-    /// candidate-set prune credit (optimal-case resolutions).
-    fn credit_hits(
-        &mut self,
-        q: &Graph,
-        cs: &[GraphId],
-        sub_slots: &[usize],
-        super_slots: &[usize],
-        bonus: Option<(usize, LogValue)>,
-    ) {
-        for &s in sub_slots {
-            let prunes = intersect_sorted(cs, &self.cache.entry(s).answers);
-            let cost = self.cost_of(q, &prunes);
-            self.cache
-                .entry_mut(s)
-                .meta
-                .record_hit(prunes.len() as u64, cost);
-        }
-        for &s in super_slots {
-            let prunes = subtract_sorted(cs, &self.cache.entry(s).answers);
-            let cost = self.cost_of(q, &prunes);
-            self.cache
-                .entry_mut(s)
-                .meta
-                .record_hit(prunes.len() as u64, cost);
-        }
-        if let Some((slot, credit)) = bonus {
-            self.cache
-                .entry_mut(slot)
-                .meta
-                .record_hit(cs.len() as u64, credit);
-        }
-    }
-
     /// Adds `(q, answers)` to the window unless `q` is an exact duplicate
     /// of a pending window entry (cache duplicates were already handled by
-    /// the exact-hit path). `code` is the query-path canonicalization
-    /// outcome, reused at admission.
-    fn enqueue(&mut self, q: &Graph, answers: &[GraphId], code: Option<Option<CanonicalCode>>) {
+    /// the exact-hit path; two concurrent first-time callers of the same
+    /// query can still both admit — duplicate residents are tolerated by
+    /// the cache, see `duplicate_codes_survive_partial_eviction`). `code`
+    /// is the query-path canonicalization outcome, reused at admission.
+    fn enqueue(
+        &self,
+        st: &mut LiveState,
+        q: &Graph,
+        answers: &[GraphId],
+        code: Option<Option<CanonicalCode>>,
+    ) {
         let sig = GraphSignature::of(q);
-        let dup = self
+        let dup = st
             .window_signatures
             .iter()
-            .zip(self.window.iter())
+            .zip(st.window.iter())
             .any(|(s, e)| *s == sig && igq_iso::are_isomorphic(q, &e.graph));
         if dup {
             return;
         }
-        self.window.push(WindowEntry {
+        st.window.push(WindowEntry {
             graph: Arc::new(q.clone()),
             answers: answers.to_vec(),
             signature: Some(sig),
             code,
         });
-        self.window_signatures.push(sig);
+        st.window_signatures.push(sig);
     }
 
     /// Runs window maintenance when `W` queries have accumulated: evict,
     /// admit, and bring both query indexes up to date.
-    fn maybe_maintain(&mut self) -> bool {
-        if self.window.len() < self.config.window {
+    fn maybe_maintain(&self, st: &mut LiveState) -> bool {
+        if st.window.len() < self.config.window {
             return false;
         }
-        self.run_maintenance();
+        self.run_maintenance(st);
         true
     }
 
@@ -450,49 +623,96 @@ impl<M: SubgraphMethod> IgqEngine<M> {
     /// (remove evicted slots, insert admitted ones; O(window delta)), by
     /// rebuilding both indexes over the whole cache under
     /// [`MaintenanceMode::ShadowRebuild`] as the paper's Section 5.2
-    /// prescribes, or by queueing the delta to the maintenance thread
-    /// under [`MaintenanceMode::Background`] (blocking only when the
-    /// maintainer is `max_lag_windows` behind).
+    /// prescribes, or — under [`MaintenanceMode::Background`] — by
+    /// capturing the delta into the outbox for a post-lock
+    /// [`drain_outbox`](Engine::drain_outbox) to submit.
     ///
-    /// `EngineStats::maintenance_time` is measured around the index work
-    /// only, on whichever thread runs it; the cache eviction/admission
-    /// stays on this thread and is charged to the caller's `igq_time`.
-    fn run_maintenance(&mut self) {
-        if self.window.is_empty() {
+    /// [`MaintenanceMode::ShadowRebuild`]: crate::MaintenanceMode::ShadowRebuild
+    /// [`MaintenanceMode::Background`]: crate::MaintenanceMode::Background
+    fn run_maintenance(&self, st: &mut LiveState) {
+        if st.window.is_empty() {
             return;
         }
-        let incoming = std::mem::take(&mut self.window);
-        self.window_signatures.clear();
-        let delta = self.cache.apply_window(incoming);
+        let incoming = std::mem::take(&mut st.window);
+        st.window_signatures.clear();
+        let delta = st.cache.apply_window(incoming);
         if delta.is_empty() {
             return;
         }
-        crate::maintain::dispatch_delta(
-            self.maintainer.as_ref(),
-            &self.config,
-            &self.cache,
-            &delta,
-            &mut self.isub,
-            &mut self.isuper,
-            &mut self.stats,
-        );
+        self.stats.count_maintenance();
+        match &self.maintainer {
+            Some(_) => {
+                // Capture under the state lock (job order = cache order);
+                // the possibly lag-gated submit happens in drain_outbox,
+                // after the caller releases the lock.
+                self.outbox
+                    .lock()
+                    .push_back(MaintenanceJob::capture(&st.cache, &delta));
+            }
+            None => {
+                let maint_start = Instant::now();
+                let outcome = crate::maintain::apply_delta(
+                    self.config.maintenance,
+                    self.config.path_config,
+                    &st.cache,
+                    &delta,
+                    &mut st.isub,
+                    &mut st.isuper,
+                );
+                self.stats.record_maintenance_work(
+                    outcome.postings_touched,
+                    outcome.rebuilt,
+                    maint_start.elapsed(),
+                );
+            }
+        }
+    }
+
+    /// Submits every outbox job to the background maintainer, in capture
+    /// order. Runs *without* the state lock: the bounded-lag gate inside
+    /// [`BackgroundMaintainer::submit`] may sleep until the maintainer
+    /// catches up, and during that sleep other threads' queries keep
+    /// probing, verifying, and bookkeeping freely — only fellow window
+    /// flippers queue here (on the submit lock), which is exactly the
+    /// intended backpressure population. The outbox mutex itself is held
+    /// only per pop, so even a flipper pushing a new job under the state
+    /// write lock never waits behind a sleeping gate. Safe to call while
+    /// holding the state *read* lock (the gate clears independently: the
+    /// maintainer takes no engine lock). No-op in the synchronous modes.
+    fn drain_outbox(&self) {
+        let Some(m) = &self.maintainer else { return };
+        // One drainer at a time: pops happen only under this lock, in
+        // FIFO order, so the submission order is the capture order.
+        let _submitting = self.submit_lock.lock();
+        loop {
+            let job = self.outbox.lock().pop_front();
+            let Some(job) = job else { break };
+            m.submit(job);
+        }
     }
 
     /// Forces maintenance regardless of window fill (used by harnesses at
     /// warm-up boundaries).
-    pub fn flush_window(&mut self) {
-        self.run_maintenance();
+    pub fn flush_window(&self) {
+        self.run_maintenance(&mut self.state.write());
+        self.drain_outbox();
     }
 
     /// Exports the cached queries and their answer sets, e.g. to persist a
     /// warm cache across sessions. Window contents are flushed first so
     /// the export is complete.
-    pub fn export_cache(&mut self) -> Vec<(Graph, Vec<GraphId>)> {
-        self.flush_window();
-        self.cache
-            .iter()
-            .map(|(_, e)| (e.graph.as_ref().clone(), e.answers.clone()))
-            .collect()
+    pub fn export_cache(&self) -> Vec<(Graph, Vec<GraphId>)> {
+        let entries = {
+            let mut guard = self.state.write();
+            self.run_maintenance(&mut guard);
+            guard
+                .cache
+                .iter()
+                .map(|(_, e)| (e.graph.as_ref().clone(), e.answers.clone()))
+                .collect()
+        };
+        self.drain_outbox();
+        entries
     }
 
     /// Seeds the cache with previously exported `(query, answers)` pairs
@@ -503,32 +723,42 @@ impl<M: SubgraphMethod> IgqEngine<M> {
     /// rejected).
     ///
     /// Returns the number of entries admitted.
-    pub fn import_cache(&mut self, entries: Vec<(Graph, Vec<GraphId>)>) -> usize {
-        let n = self.method.store().len() as u32;
+    pub fn import_cache(&self, entries: Vec<(Graph, Vec<GraphId>)>) -> usize {
+        let n = D::store(&self.method).len() as u32;
         let admissible: Vec<WindowEntry> = entries
             .into_iter()
             .filter(|(_, answers)| answers.iter().all(|id| id.raw() < n))
             .map(|(g, answers)| WindowEntry::bare(Arc::new(g), answers))
             .collect();
         let admitted = admissible.len().min(self.config.cache_capacity);
-        let delta = self.cache.apply_window(admissible);
-        match &self.maintainer {
-            Some(m) => {
-                // Synchronize so a warm start is immediately probe-visible.
-                m.submit(MaintenanceJob::capture(&self.cache, &delta));
-                m.sync();
-            }
-            None => {
-                crate::maintain::apply_delta(
-                    self.config.maintenance,
-                    self.config.path_config,
-                    &self.cache,
-                    &delta,
-                    &mut self.isub,
-                    &mut self.isuper,
-                );
+        {
+            let mut guard = self.state.write();
+            let st = &mut *guard;
+            let delta = st.cache.apply_window(admissible);
+            match &self.maintainer {
+                Some(_) => {
+                    if !delta.is_empty() {
+                        self.outbox
+                            .lock()
+                            .push_back(MaintenanceJob::capture(&st.cache, &delta));
+                    }
+                }
+                None => {
+                    crate::maintain::apply_delta(
+                        self.config.maintenance,
+                        self.config.path_config,
+                        &st.cache,
+                        &delta,
+                        &mut st.isub,
+                        &mut st.isuper,
+                    );
+                }
             }
         }
+        // Submit and synchronize so a warm start is immediately
+        // probe-visible.
+        self.drain_outbox();
+        self.sync_maintenance();
         admitted
     }
 
@@ -542,37 +772,47 @@ impl<M: SubgraphMethod> IgqEngine<M> {
     /// every cached graph, so call this at checkpoints rather than per
     /// query in large deployments.
     pub fn self_check(&self) -> Result<(), String> {
-        if self.cache.len() > self.config.cache_capacity {
+        // Take the read guard FIRST: every cache change visible under it
+        // already has its maintenance job in the outbox (pushes happen
+        // under the same write lock as the cache change), and no new
+        // change can land while we hold it. Draining and syncing now —
+        // both safe under the read guard, since the maintainer takes no
+        // engine lock — brings the published snapshot to *exactly* this
+        // cache state; a concurrent flipper's captured-but-undrained job
+        // can no longer make a healthy engine look diverged.
+        let st = self.state.read();
+        self.drain_outbox();
+        self.sync_maintenance();
+        if st.cache.len() > self.config.cache_capacity {
             return Err(format!(
                 "cache over capacity: {} > {}",
-                self.cache.len(),
+                st.cache.len(),
                 self.config.cache_capacity
             ));
         }
-        for (slot, e) in self.cache.iter() {
+        for (slot, e) in st.cache.iter() {
             if !e.answers.windows(2).all(|w| w[0] < w[1]) {
                 return Err(format!("slot {slot}: answers not sorted/unique"));
             }
-            let n = self.method.store().len() as u32;
+            let n = D::store(&self.method).len() as u32;
             if e.answers.iter().any(|id| id.raw() >= n) {
                 return Err(format!("slot {slot}: answer id out of dataset range"));
             }
         }
-        if self.window.len() != self.window_signatures.len() {
+        if st.window.len() != st.window_signatures.len() {
             return Err("window/signature length mismatch".into());
         }
         // Index ≡ cache: both indexes must hold exactly the cached slots,
         // with postings identical to a from-scratch rebuild.
         let (isub_snapshot, isuper_snapshot) = match &self.maintainer {
             Some(m) => {
-                m.sync();
                 let pair = m.snapshot();
                 (pair.isub.snapshot(), pair.isuper.snapshot())
             }
-            None => (self.isub.snapshot(), self.isuper.snapshot()),
+            None => (st.isub.snapshot(), st.isuper.snapshot()),
         };
         let graphs = || {
-            self.cache
+            st.cache
                 .iter()
                 .map(|(slot, e)| (slot, Arc::clone(&e.graph)))
         };
@@ -587,17 +827,25 @@ impl<M: SubgraphMethod> IgqEngine<M> {
         Ok(())
     }
 
-    fn filter_and_probe_parallel(
+    /// The filter + probe stage: the three-thread pipeline of Fig. 6 when
+    /// [`IgqConfig::parallel_probes`] is set, inline otherwise. The index
+    /// refs are either a published snapshot's (background maintenance —
+    /// caller holds no lock) or the engine's own (synchronous modes —
+    /// caller holds the state lock, whose guard lends the refs to the
+    /// probe threads).
+    fn filter_and_probe(
         &self,
         isub: &IsubIndex,
         isuper: &IsuperIndex,
         q: &Graph,
         qf: &PathFeatures,
-    ) -> (igq_methods::Filtered, ProbeResult) {
-        // Three-thread pipeline of Fig. 6: M's filter, Isub, Isuper — all
-        // three sharing the one extracted feature set. The index refs are
-        // either the engine's own (synchronous modes) or a published
-        // snapshot's (background maintenance).
+    ) -> (Filtered, ProbeResult) {
+        if !self.config.parallel_probes {
+            let f_start = Instant::now();
+            let filtered = D::filter(&self.method, q, qf);
+            let filter_time = f_start.elapsed();
+            return (filtered, probe_both(isub, isuper, q, qf, filter_time));
+        }
         let mut filtered = None;
         let mut sub = None;
         let mut sup = None;
@@ -606,7 +854,7 @@ impl<M: SubgraphMethod> IgqEngine<M> {
         crossbeam::scope(|scope| {
             let filter_handle = scope.spawn(|_| {
                 let t = Instant::now();
-                let f = self.method.filter_with_features(q, Some(qf));
+                let f = D::filter(&self.method, q, qf);
                 (f, t.elapsed())
             });
             let sub_handle = scope.spawn(|_| {
@@ -641,6 +889,45 @@ impl<M: SubgraphMethod> IgqEngine<M> {
     }
 }
 
+/// Records hit metadata: known-path hits are credited with the candidates
+/// their answers *cover* (`CS ∩ Answer`), bounding hits with the
+/// candidates their answers *exclude* (`CS \ Answer`). `bonus` optionally
+/// awards one slot the full candidate-set prune credit (optimal-case
+/// resolutions). A free function (not a method) so the disjoint borrows of
+/// `LiveState` fields stay obvious.
+fn credit_hits<D: QueryDirection>(
+    engine: &Engine<D>,
+    st: &mut LiveState,
+    q: &Graph,
+    cs: &[GraphId],
+    known_slots: &[usize],
+    bound_slots: &[usize],
+    bonus: Option<(usize, LogValue)>,
+) {
+    for &s in known_slots {
+        let prunes = intersect_sorted(cs, &st.cache.entry(s).answers);
+        let cost = engine.cost_of(&mut st.cost_model, q, &prunes);
+        st.cache
+            .entry_mut(s)
+            .meta
+            .record_hit(prunes.len() as u64, cost);
+    }
+    for &s in bound_slots {
+        let prunes = subtract_sorted(cs, &st.cache.entry(s).answers);
+        let cost = engine.cost_of(&mut st.cost_model, q, &prunes);
+        st.cache
+            .entry_mut(s)
+            .meta
+            .record_hit(prunes.len() as u64, cost);
+    }
+    if let Some((slot, credit)) = bonus {
+        st.cache
+            .entry_mut(slot)
+            .meta
+            .record_hit(cs.len() as u64, credit);
+    }
+}
+
 struct ProbeResult {
     sub: (Vec<usize>, IsoStats),
     sup: (Vec<usize>, IsoStats),
@@ -648,12 +935,32 @@ struct ProbeResult {
     probe_time: std::time::Duration,
 }
 
+/// Sequentially probes both query indexes — the shared body of the
+/// non-parallel stage-2, whether the indexes come from a published
+/// snapshot (background mode, lock-free) or the live state (synchronous
+/// modes, caller holds the state lock).
+fn probe_both(
+    isub: &IsubIndex,
+    isuper: &IsuperIndex,
+    q: &Graph,
+    qf: &PathFeatures,
+    filter_time: std::time::Duration,
+) -> ProbeResult {
+    let p_start = Instant::now();
+    ProbeResult {
+        sub: isub.supergraphs_of(q, qf),
+        sup: isuper.subgraphs_of(q, qf),
+        filter_time,
+        probe_time: Instant::now().duration_since(p_start),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::MaintenanceMode;
     use igq_graph::{graph_from, GraphStore};
-    use igq_methods::{Ggsx, GgsxConfig, NaiveMethod};
+    use igq_methods::{Ggsx, GgsxConfig, NaiveMethod, SubgraphMethod};
     use std::sync::Arc;
 
     fn store() -> Arc<GraphStore> {
@@ -674,12 +981,13 @@ mod tests {
         let method = Ggsx::build(&s, GgsxConfig::default());
         IgqEngine::new(
             method,
-            IgqConfig {
-                cache_capacity: 8,
-                window: 2,
-                ..Default::default()
-            },
+            IgqConfig::builder()
+                .cache_capacity(8)
+                .window(2)
+                .build()
+                .expect("valid config"),
         )
+        .expect("valid engine")
     }
 
     fn ids(raw: &[u32]) -> Vec<GraphId> {
@@ -690,7 +998,7 @@ mod tests {
     fn answers_match_method_and_oracle() {
         let s = store();
         let naive = NaiveMethod::build(&s);
-        let mut e = engine();
+        let e = engine();
         for q in [
             graph_from(&[0, 1], &[(0, 1)]),
             graph_from(&[2, 2], &[(0, 1)]),
@@ -705,8 +1013,26 @@ mod tests {
     }
 
     #[test]
+    fn invalid_config_is_rejected_at_construction() {
+        let s = store();
+        let method = Ggsx::build(&s, GgsxConfig::default());
+        let bad = IgqConfig {
+            cache_capacity: 4,
+            window: 9,
+            ..Default::default()
+        };
+        assert_eq!(
+            IgqEngine::new(method, bad).err(),
+            Some(ConfigError::WindowExceedsCapacity {
+                window: 9,
+                cache_capacity: 4
+            })
+        );
+    }
+
+    #[test]
     fn exact_repeat_hits_after_maintenance() {
-        let mut e = engine();
+        let e = engine();
         let q = graph_from(&[0, 1], &[(0, 1)]);
         let first = e.query(&q);
         assert_eq!(first.resolution, Resolution::Verified);
@@ -733,10 +1059,11 @@ mod tests {
                     ..Default::default()
                 },
             )
+            .expect("valid engine")
         };
         let q = graph_from(&[0, 1], &[(0, 1)]);
         for fastpath in [true, false] {
-            let mut e = mk(fastpath);
+            let e = mk(fastpath);
             let first = e.query(&q);
             let repeat = e.query(&q);
             assert_eq!(
@@ -758,7 +1085,7 @@ mod tests {
 
     #[test]
     fn isomorphic_not_identical_repeat_also_hits() {
-        let mut e = engine();
+        let e = engine();
         let q1 = graph_from(&[0, 1], &[(0, 1)]);
         let q2 = graph_from(&[1, 0], &[(0, 1)]); // same graph, relabeled
         let first = e.query(&q1);
@@ -770,7 +1097,7 @@ mod tests {
 
     #[test]
     fn empty_answer_shortcut_fires() {
-        let mut e = engine();
+        let e = engine();
         // 9-9 edge: no dataset graph contains it → empty answer cached.
         let empty_q = graph_from(&[9, 9], &[(0, 1)]);
         let first = e.query(&empty_q);
@@ -786,7 +1113,7 @@ mod tests {
 
     #[test]
     fn subgraph_case_prunes_and_restores_answers() {
-        let mut e = engine();
+        let e = engine();
         // Cache the big query first: 0-1-0 path answered by {g0}.
         let big = graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]);
         let big_out = e.query(&big);
@@ -804,7 +1131,7 @@ mod tests {
 
     #[test]
     fn supergraph_case_prunes_non_answers() {
-        let mut e = engine();
+        let e = engine();
         // Cache the small query: 0-1 edge → answers {g0, g1, g3}.
         let small = graph_from(&[0, 1], &[(0, 1)]);
         let small_out = e.query(&small);
@@ -820,7 +1147,7 @@ mod tests {
 
     #[test]
     fn window_and_cache_mechanics() {
-        let mut e = engine();
+        let e = engine();
         assert_eq!(e.cached_queries(), 0);
         let _ = e.query(&graph_from(&[0, 1], &[(0, 1)]));
         assert_eq!(e.cached_queries(), 0); // still in window
@@ -831,12 +1158,41 @@ mod tests {
 
     #[test]
     fn duplicate_window_entries_are_not_double_cached() {
-        let mut e = engine();
+        let e = engine();
         let q = graph_from(&[0, 1], &[(0, 1)]);
         let _ = e.query(&q);
         let _ = e.query(&q); // same query again, still in window
         e.flush_window();
         assert_eq!(e.cached_queries(), 1);
+    }
+
+    #[test]
+    fn skip_admission_option_keeps_query_out_of_cache() {
+        let e = engine();
+        let q = graph_from(&[0, 1], &[(0, 1)]);
+        let resp = e.execute(&QueryRequest::new(q.clone()).skip_admission());
+        assert_eq!(resp.outcome.resolution, Resolution::Verified);
+        e.flush_window();
+        assert_eq!(e.cached_queries(), 0, "skip-admission query never cached");
+        // The same query through the plain path does get cached.
+        let _ = e.query(&q);
+        e.flush_window();
+        assert_eq!(e.cached_queries(), 1);
+    }
+
+    #[test]
+    fn deadline_is_reported_not_enforced() {
+        let e = engine();
+        let q = graph_from(&[0, 1], &[(0, 1)]);
+        let strict = e.execute(&QueryRequest::new(q.clone()).deadline(std::time::Duration::ZERO));
+        assert!(strict.deadline_exceeded, "zero deadline always exceeded");
+        let (truth, _) = NaiveMethod::build(&store()).query(&q);
+        assert_eq!(
+            strict.outcome.answers, truth,
+            "answers stay exact regardless of deadline"
+        );
+        let lax = e.execute(&QueryRequest::new(q).deadline(std::time::Duration::from_secs(3600)));
+        assert!(!lax.deadline_exceeded);
     }
 
     #[test]
@@ -853,9 +1209,10 @@ mod tests {
                     ..Default::default()
                 },
             )
+            .expect("valid engine")
         };
-        let mut seq = mk(false);
-        let mut par = mk(true);
+        let seq = mk(false);
+        let par = mk(true);
         for q in [
             graph_from(&[0, 1], &[(0, 1)]),
             graph_from(&[2, 2], &[(0, 1)]),
@@ -868,7 +1225,7 @@ mod tests {
 
     #[test]
     fn igq_index_size_grows_with_cache() {
-        let mut e = engine();
+        let e = engine();
         let empty = e.igq_index_size_bytes();
         let _ = e.query(&graph_from(&[0, 1], &[(0, 1)]));
         let _ = e.query(&graph_from(&[2, 2], &[(0, 1)]));
@@ -877,13 +1234,13 @@ mod tests {
 
     #[test]
     fn export_import_warm_start() {
-        let mut warm = engine();
+        let warm = engine();
         let q = graph_from(&[0, 1], &[(0, 1)]);
         let first = warm.query(&q);
         let exported = warm.export_cache();
         assert_eq!(exported.len(), 1);
 
-        let mut cold = engine();
+        let cold = engine();
         assert_eq!(cold.import_cache(exported), 1);
         let out = cold.query(&q);
         assert_eq!(out.resolution, Resolution::ExactHit);
@@ -893,7 +1250,7 @@ mod tests {
 
     #[test]
     fn import_rejects_out_of_range_answers() {
-        let mut e = engine();
+        let e = engine();
         let alien = vec![(graph_from(&[0, 1], &[(0, 1)]), vec![GraphId::new(999)])];
         assert_eq!(e.import_cache(alien), 0);
         assert_eq!(e.cached_queries(), 0);
@@ -926,13 +1283,14 @@ mod tests {
                 ..Default::default()
             },
         )
+        .expect("valid engine")
     }
 
     #[test]
     fn incremental_mode_performs_no_full_rebuild() {
         // Tiny capacity + window force heavy churn: every window must
         // evict. Steady-state maintenance still never rebuilds.
-        let mut e = engine_with_mode(MaintenanceMode::Incremental, 2, 1);
+        let e = engine_with_mode(MaintenanceMode::Incremental, 2, 1);
         for q in workload() {
             let _ = e.query(&q);
         }
@@ -952,7 +1310,7 @@ mod tests {
 
     #[test]
     fn shadow_mode_rebuilds_every_maintenance() {
-        let mut e = engine_with_mode(MaintenanceMode::ShadowRebuild, 2, 1);
+        let e = engine_with_mode(MaintenanceMode::ShadowRebuild, 2, 1);
         for q in workload() {
             let _ = e.query(&q);
         }
@@ -965,8 +1323,8 @@ mod tests {
 
     #[test]
     fn maintenance_modes_agree_on_answers_and_hits() {
-        let mut inc = engine_with_mode(MaintenanceMode::Incremental, 3, 2);
-        let mut shadow = engine_with_mode(MaintenanceMode::ShadowRebuild, 3, 2);
+        let inc = engine_with_mode(MaintenanceMode::Incremental, 3, 2);
+        let shadow = engine_with_mode(MaintenanceMode::ShadowRebuild, 3, 2);
         for q in workload() {
             let a = inc.query(&q);
             let b = shadow.query(&q);
@@ -985,7 +1343,7 @@ mod tests {
     fn query_features_are_extracted_exactly_once() {
         // Window larger than the workload so no maintenance (whose
         // admissions legitimately re-enumerate) runs mid-measurement.
-        let mut e = engine_with_mode(MaintenanceMode::Incremental, 8, 8);
+        let e = engine_with_mode(MaintenanceMode::Incremental, 8, 8);
         let warm = graph_from(&[0, 1], &[(0, 1)]);
         let _ = e.query(&warm);
         for q in [
@@ -1008,7 +1366,7 @@ mod tests {
 
     #[test]
     fn exact_fastpath_skips_extraction_entirely() {
-        let mut e = engine_with_mode(MaintenanceMode::Incremental, 8, 1);
+        let e = engine_with_mode(MaintenanceMode::Incremental, 8, 1);
         let q = graph_from(&[0, 1], &[(0, 1)]);
         let _ = e.query(&q);
         let before = igq_features::thread_enumeration_count();
@@ -1023,7 +1381,7 @@ mod tests {
 
     #[test]
     fn self_check_passes_through_lifecycle() {
-        let mut e = engine();
+        let e = engine();
         e.self_check().expect("fresh engine");
         for q in [
             graph_from(&[0, 1], &[(0, 1)]),
@@ -1036,10 +1394,35 @@ mod tests {
     }
 
     #[test]
+    fn query_batch_matches_sequential_answers() {
+        let s = store();
+        let naive = NaiveMethod::build(&s);
+        let method = Ggsx::build(&s, GgsxConfig::default());
+        let e = IgqEngine::new(
+            method,
+            IgqConfig::builder()
+                .cache_capacity(8)
+                .window(2)
+                .batch_threads(4)
+                .build()
+                .expect("valid config"),
+        )
+        .expect("valid engine");
+        let queries = workload();
+        let outs = e.query_batch(&queries);
+        assert_eq!(outs.len(), queries.len());
+        for (q, out) in queries.iter().zip(outs.iter()) {
+            let (truth, _) = naive.query(q);
+            assert_eq!(out.answers, truth, "batch answer diverges for {q:?}");
+        }
+        assert_eq!(e.stats().queries, queries.len() as u64);
+    }
+
+    #[test]
     fn background_mode_answers_match_oracle() {
         let s = store();
         let naive = NaiveMethod::build(&s);
-        let mut e = engine_with_mode(MaintenanceMode::Background, 3, 1);
+        let e = engine_with_mode(MaintenanceMode::Background, 3, 1);
         for q in workload() {
             let out = e.query(&q);
             let (truth, _) = naive.query(&q);
@@ -1064,9 +1447,9 @@ mod tests {
     #[test]
     fn background_exact_repeat_still_hits_via_cache_code_index() {
         // The exact-repeat fast path reads the cache's code index, which
-        // lives on the query thread and is always current — repeats hit
+        // lives under the state lock and is always current — repeats hit
         // even while the index snapshot lags.
-        let mut e = engine_with_mode(MaintenanceMode::Background, 8, 2);
+        let e = engine_with_mode(MaintenanceMode::Background, 8, 2);
         let q = graph_from(&[0, 1], &[(0, 1)]);
         let first = e.query(&q);
         let _ = e.query(&graph_from(&[2, 2], &[(0, 1)]));
@@ -1077,7 +1460,7 @@ mod tests {
 
     #[test]
     fn background_probes_hit_after_sync() {
-        let mut e = engine_with_mode(MaintenanceMode::Background, 8, 2);
+        let e = engine_with_mode(MaintenanceMode::Background, 8, 2);
         let big = graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]);
         let _ = e.query(&big);
         let _ = e.query(&graph_from(&[2, 2], &[(0, 1)])); // flush W=2
@@ -1105,9 +1488,10 @@ mod tests {
                     ..Default::default()
                 },
             )
+            .expect("valid engine")
         };
-        let mut seq = mk(false);
-        let mut par = mk(true);
+        let seq = mk(false);
+        let par = mk(true);
         for q in workload() {
             assert_eq!(seq.query(&q).answers, par.query(&q).answers);
         }
@@ -1115,13 +1499,13 @@ mod tests {
 
     #[test]
     fn background_export_import_warm_start() {
-        let mut warm = engine_with_mode(MaintenanceMode::Background, 8, 2);
+        let warm = engine_with_mode(MaintenanceMode::Background, 8, 2);
         let q = graph_from(&[0, 1], &[(0, 1)]);
         let first = warm.query(&q);
         let exported = warm.export_cache();
         assert_eq!(exported.len(), 1);
 
-        let mut cold = engine_with_mode(MaintenanceMode::Background, 8, 2);
+        let cold = engine_with_mode(MaintenanceMode::Background, 8, 2);
         assert_eq!(cold.import_cache(exported), 1);
         // import_cache syncs, so the warm entries are immediately
         // probe-visible even with the exact fast path disabled.
@@ -1140,8 +1524,8 @@ mod tests {
             graph_from(&[0, 1], &[(0, 1)]),
             graph_from(&[2, 2], &[(0, 1)]),
         ];
-        let mut bg = engine_with_mode(MaintenanceMode::Background, 8, 2);
-        let mut inc = engine_with_mode(MaintenanceMode::Incremental, 8, 2);
+        let bg = engine_with_mode(MaintenanceMode::Background, 8, 2);
+        let inc = engine_with_mode(MaintenanceMode::Incremental, 8, 2);
         let empty = bg.igq_index_size_bytes();
         for q in &queries {
             let _ = bg.query(q);
@@ -1158,7 +1542,7 @@ mod tests {
 
     #[test]
     fn background_engine_drop_joins_cleanly_with_pending_work() {
-        let mut e = engine_with_mode(MaintenanceMode::Background, 4, 1);
+        let e = engine_with_mode(MaintenanceMode::Background, 4, 1);
         for q in workload() {
             let _ = e.query(&q);
         }

@@ -2,7 +2,8 @@
 //!
 //! The paper's primary contribution: **iGQ**, a query-graph indexing and
 //! result-caching layer that accelerates subgraph *and* supergraph query
-//! processing on top of any filter-then-verify method.
+//! processing on top of any filter-then-verify method — packaged as a
+//! shared, concurrently queryable service.
 //!
 //! The system (paper Fig. 6) comprises:
 //!
@@ -16,26 +17,36 @@
 //! * the utility-based replacement policy `U(g) = C(g)/M(g)` with costs in
 //!   log space (Section 5.1, [`metadata`]);
 //! * windowed maintenance (Section 5.2) with **incremental delta updates**
-//!   of both query indexes — evicted cache slots are removed from the
-//!   posting lists and admitted slots inserted, O(window delta) per window;
-//!   the paper's wholesale shadow rebuild survives as
-//!   [`config::MaintenanceMode::ShadowRebuild`] for ablation;
-//! * [`IgqEngine`] — the subgraph-query pipeline implementing formulas
-//!   (3)–(5) and the optimal cases of Section 4.3;
-//! * [`IgqSuperEngine`] — the supergraph-query pipeline with the inverse
-//!   algebra of Section 4.4.
+//!   of both query indexes, the paper's wholesale shadow rebuild
+//!   ([`config::MaintenanceMode::ShadowRebuild`], for ablation), and
+//!   fully off-thread maintenance behind atomically published snapshots
+//!   ([`config::MaintenanceMode::Background`], [`background`]);
+//! * [`Engine`] — **one** pipeline implementing formulas (3)–(5) and the
+//!   optimal cases of Section 4.3, generic over the query
+//!   [`QueryDirection`]; [`IgqEngine`] and [`IgqSuperEngine`] are its two
+//!   instantiations (the Section 4.4 inversion is a [`SupergraphQueries`]
+//!   type parameter, not a second engine);
+//! * the shared-service API ([`api`]): `query(&self)` on a `Send + Sync`
+//!   engine, the [`QueryEngine`] trait for direction-agnostic clients,
+//!   typed [`QueryRequest`]/[`QueryResponse`] wrappers, batch fan-out
+//!   ([`QueryEngine::query_batch`]), and the cloneable [`EngineHandle`]
+//!   for serving queries from many threads at once.
+//!
+//! Configuration goes through the validating [`IgqConfig::builder`];
+//! invalid combinations surface as typed [`ConfigError`]s at build or
+//! engine-construction time.
 //!
 //! Correctness follows the paper's Theorems 1–2; the workspace integration
-//! tests re-establish them empirically against a naive oracle on randomized
-//! workloads.
+//! tests re-establish them empirically against a naive oracle on
+//! randomized workloads — including N threads hammering one shared engine.
 //!
 //! # Example
 //!
-//! Wrap a filter-then-verify method (here GGSX) in the iGQ engine and let
-//! the query cache accelerate repeats and related queries:
+//! Wrap a filter-then-verify method (here GGSX) in the iGQ engine and
+//! serve it from multiple threads through a shared handle:
 //!
 //! ```
-//! use igq_core::{IgqConfig, IgqEngine, MaintenanceMode};
+//! use igq_core::{IgqConfig, IgqEngine, MaintenanceMode, QueryEngine};
 //! use igq_graph::{graph_from, GraphStore};
 //! use igq_methods::{Ggsx, GgsxConfig};
 //! use std::sync::Arc;
@@ -49,29 +60,36 @@
 //!     .collect(),
 //! );
 //! let method = Ggsx::build(&store, GgsxConfig::default());
-//! let mut engine = IgqEngine::new(
-//!     method,
-//!     IgqConfig {
-//!         cache_capacity: 100,
-//!         window: 10,
-//!         // `Background` moves index maintenance off the query thread;
-//!         // `Incremental` (the default) applies it synchronously.
-//!         maintenance: MaintenanceMode::Background,
-//!         ..Default::default()
-//!     },
-//! );
+//! let config = IgqConfig::builder()
+//!     .cache_capacity(100)
+//!     .window(10)
+//!     // `Background` moves index maintenance off the query threads;
+//!     // `Incremental` (the default) applies it synchronously.
+//!     .maintenance(MaintenanceMode::Background)
+//!     .build()
+//!     .expect("valid config");
+//! let handle = IgqEngine::new(method, config)
+//!     .expect("valid engine")
+//!     .into_handle();
+//!
 //! let q = graph_from(&[0, 1], &[(0, 1)]);
-//! let first = engine.query(&q);
-//! let repeat = engine.query(&q); // resolved from the cache
+//! let first = handle.query(&q);
+//! // Clone the handle into as many threads as you like...
+//! let worker = handle.clone();
+//! let repeat = std::thread::spawn(move || worker.query(&q))
+//!     .join()
+//!     .expect("worker"); // resolved from the shared cache
 //! assert_eq!(first.answers, repeat.answers);
-//! assert_eq!(engine.stats().queries, 2);
+//! assert_eq!(handle.stats().queries, 2);
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod background;
 pub mod cache;
 pub mod config;
+pub mod direction;
 pub mod engine;
 pub mod isub;
 pub mod isuper;
@@ -82,10 +100,14 @@ pub mod policy;
 pub mod stats;
 pub mod super_engine;
 
+pub use api::{
+    EngineHandle, IgqHandle, IgqSuperHandle, QueryEngine, QueryOptions, QueryRequest, QueryResponse,
+};
 pub use background::{BackgroundMaintainer, IndexPair, MaintainerStats};
 pub use cache::{CacheEntry, QueryCache, WindowDelta};
-pub use config::{IgqConfig, MaintenanceMode};
-pub use engine::IgqEngine;
+pub use config::{ConfigError, IgqConfig, IgqConfigBuilder, MaintenanceMode};
+pub use direction::{QueryDirection, SubgraphQueries, SupergraphQueries};
+pub use engine::{Engine, IgqEngine};
 pub use isub::{IndexSnapshot, IsubIndex};
 pub use isuper::IsuperIndex;
 pub use metadata::GraphMeta;

@@ -17,12 +17,10 @@
 //!   [`crate::background`]). The job form never rebuilds: it is always the
 //!   incremental O(window delta) application.
 
-use crate::background::BackgroundMaintainer;
 use crate::cache::{QueryCache, WindowDelta};
-use crate::config::{IgqConfig, MaintenanceMode};
+use crate::config::MaintenanceMode;
 use crate::isub::IsubIndex;
 use crate::isuper::IsuperIndex;
-use crate::stats::EngineStats;
 use igq_features::{enumerate_paths, LabelSeq, PathConfig};
 use igq_graph::Graph;
 use std::sync::Arc;
@@ -96,40 +94,6 @@ pub fn apply_job(
             isuper.insert_features(*slot, Arc::clone(graph), &features, keys);
     }
     outcome
-}
-
-/// The engines' shared window-flip dispatch: counts the maintenance and
-/// either queues the delta to the background maintainer (one submit,
-/// lag-gated) or applies it synchronously on this thread via
-/// [`apply_delta`], timing only the index work into
-/// `EngineStats::maintenance_time`.
-pub(crate) fn dispatch_delta(
-    maintainer: Option<&BackgroundMaintainer>,
-    config: &IgqConfig,
-    cache: &QueryCache,
-    delta: &WindowDelta,
-    isub: &mut IsubIndex,
-    isuper: &mut IsuperIndex,
-    stats: &mut EngineStats,
-) {
-    stats.maintenances += 1;
-    match maintainer {
-        Some(m) => m.submit(MaintenanceJob::capture(cache, delta)),
-        None => {
-            let maint_start = std::time::Instant::now();
-            let outcome = apply_delta(
-                config.maintenance,
-                config.path_config,
-                cache,
-                delta,
-                isub,
-                isuper,
-            );
-            stats.maintenance_postings_touched += outcome.postings_touched;
-            stats.full_rebuilds += outcome.rebuilt as u64;
-            stats.maintenance_time += maint_start.elapsed();
-        }
-    }
 }
 
 /// Brings `isub`/`isuper` in line with `cache` after `delta` was applied

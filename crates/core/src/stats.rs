@@ -1,6 +1,12 @@
 //! Engine-lifetime aggregate statistics.
+//!
+//! The engines accumulate their counters in `AtomicEngineStats` (crate
+//! private) — plain atomics, so the `&self` query path and
+//! [`crate::Engine::stats`] need no lock and no `&mut` — and hand callers
+//! owned [`EngineStats`] snapshots.
 
 use crate::outcome::{QueryOutcome, Resolution};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Totals across every query an engine has processed.
@@ -120,6 +126,125 @@ impl EngineStats {
     }
 }
 
+/// Lock-free accumulator behind [`EngineStats`]: every counter is an
+/// `AtomicU64` (durations as nanoseconds) so concurrent `query(&self)`
+/// callers fold their outcomes in without serializing on the engine's
+/// state lock, and [`snapshot`](AtomicEngineStats::snapshot) reads need no
+/// `&mut`. Counters are independent relaxed atomics: a snapshot taken
+/// while queries are in flight is per-field accurate but not a single
+/// instant's cut — the same semantics engine stats always had under
+/// background maintenance.
+#[derive(Debug, Default)]
+pub(crate) struct AtomicEngineStats {
+    queries: AtomicU64,
+    db_iso_tests: AtomicU64,
+    igq_iso_tests: AtomicU64,
+    aborted_tests: AtomicU64,
+    candidates_before: AtomicU64,
+    candidates_after: AtomicU64,
+    pruned_by_isub: AtomicU64,
+    pruned_by_isuper: AtomicU64,
+    exact_hits: AtomicU64,
+    empty_shortcuts: AtomicU64,
+    maintenances: AtomicU64,
+    full_rebuilds: AtomicU64,
+    maintenance_postings_touched: AtomicU64,
+    maintenance_nanos: AtomicU64,
+    feature_extractions: AtomicU64,
+    filter_nanos: AtomicU64,
+    igq_nanos: AtomicU64,
+    verify_nanos: AtomicU64,
+    wall_nanos: AtomicU64,
+}
+
+impl AtomicEngineStats {
+    /// Folds one query outcome into the totals (the atomic counterpart of
+    /// [`EngineStats::absorb`]).
+    pub(crate) fn absorb(&self, o: &QueryOutcome) {
+        const R: Ordering = Ordering::Relaxed;
+        self.queries.fetch_add(1, R);
+        self.db_iso_tests.fetch_add(o.db_iso_tests, R);
+        self.igq_iso_tests.fetch_add(o.igq_iso_tests, R);
+        self.aborted_tests.fetch_add(o.aborted_tests, R);
+        self.candidates_before
+            .fetch_add(o.candidates_before as u64, R);
+        self.candidates_after
+            .fetch_add(o.candidates_after as u64, R);
+        self.pruned_by_isub.fetch_add(o.pruned_by_isub as u64, R);
+        self.pruned_by_isuper
+            .fetch_add(o.pruned_by_isuper as u64, R);
+        match o.resolution {
+            Resolution::ExactHit => {
+                self.exact_hits.fetch_add(1, R);
+            }
+            Resolution::EmptyAnswerShortcut => {
+                self.empty_shortcuts.fetch_add(1, R);
+            }
+            Resolution::Verified => {}
+        }
+        self.filter_nanos
+            .fetch_add(o.filter_time.as_nanos() as u64, R);
+        self.igq_nanos.fetch_add(o.igq_time.as_nanos() as u64, R);
+        self.verify_nanos
+            .fetch_add(o.verify_time.as_nanos() as u64, R);
+        self.wall_nanos
+            .fetch_add(o.total_time().as_nanos() as u64, R);
+    }
+
+    /// Counts one feature extraction.
+    pub(crate) fn count_feature_extraction(&self) {
+        self.feature_extractions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one window maintenance (submitted or applied).
+    pub(crate) fn count_maintenance(&self) {
+        self.maintenances.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds one synchronous maintenance's index work.
+    pub(crate) fn record_maintenance_work(
+        &self,
+        postings_touched: u64,
+        rebuilt: bool,
+        elapsed: Duration,
+    ) {
+        const R: Ordering = Ordering::Relaxed;
+        self.maintenance_postings_touched
+            .fetch_add(postings_touched, R);
+        self.full_rebuilds.fetch_add(rebuilt as u64, R);
+        self.maintenance_nanos
+            .fetch_add(elapsed.as_nanos() as u64, R);
+    }
+
+    /// An owned [`EngineStats`] snapshot of the current totals.
+    pub(crate) fn snapshot(&self) -> EngineStats {
+        const R: Ordering = Ordering::Relaxed;
+        EngineStats {
+            queries: self.queries.load(R),
+            db_iso_tests: self.db_iso_tests.load(R),
+            igq_iso_tests: self.igq_iso_tests.load(R),
+            aborted_tests: self.aborted_tests.load(R),
+            candidates_before: self.candidates_before.load(R),
+            candidates_after: self.candidates_after.load(R),
+            pruned_by_isub: self.pruned_by_isub.load(R),
+            pruned_by_isuper: self.pruned_by_isuper.load(R),
+            exact_hits: self.exact_hits.load(R),
+            empty_shortcuts: self.empty_shortcuts.load(R),
+            maintenances: self.maintenances.load(R),
+            full_rebuilds: self.full_rebuilds.load(R),
+            maintenance_postings_touched: self.maintenance_postings_touched.load(R),
+            maintenance_time: Duration::from_nanos(self.maintenance_nanos.load(R)),
+            maintenance_lag_windows: 0,
+            snapshot_publishes: 0,
+            feature_extractions: self.feature_extractions.load(R),
+            filter_time: Duration::from_nanos(self.filter_nanos.load(R)),
+            igq_time: Duration::from_nanos(self.igq_nanos.load(R)),
+            verify_time: Duration::from_nanos(self.verify_nanos.load(R)),
+            wall_time: Duration::from_nanos(self.wall_nanos.load(R)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,5 +272,63 @@ mod tests {
         let s = EngineStats::default();
         assert_eq!(s.avg_db_iso_tests(), 0.0);
         assert_eq!(s.avg_wall_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn atomic_stats_match_sequential_absorb() {
+        let atomic = AtomicEngineStats::default();
+        let mut plain = EngineStats::default();
+        let o = QueryOutcome {
+            db_iso_tests: 3,
+            igq_iso_tests: 2,
+            candidates_before: 9,
+            candidates_after: 4,
+            pruned_by_isub: 3,
+            pruned_by_isuper: 2,
+            resolution: Resolution::EmptyAnswerShortcut,
+            filter_time: Duration::from_micros(5),
+            igq_time: Duration::from_micros(7),
+            verify_time: Duration::from_micros(11),
+            ..Default::default()
+        };
+        for _ in 0..3 {
+            atomic.absorb(&o);
+            plain.absorb(&o);
+        }
+        atomic.count_feature_extraction();
+        atomic.count_maintenance();
+        atomic.record_maintenance_work(17, true, Duration::from_micros(13));
+        let snap = atomic.snapshot();
+        assert_eq!(snap.queries, plain.queries);
+        assert_eq!(snap.db_iso_tests, plain.db_iso_tests);
+        assert_eq!(snap.empty_shortcuts, plain.empty_shortcuts);
+        assert_eq!(snap.candidates_before, plain.candidates_before);
+        assert_eq!(snap.wall_time, plain.wall_time);
+        assert_eq!(snap.feature_extractions, 1);
+        assert_eq!(snap.maintenances, 1);
+        assert_eq!(snap.full_rebuilds, 1);
+        assert_eq!(snap.maintenance_postings_touched, 17);
+        assert_eq!(snap.maintenance_time, Duration::from_micros(13));
+    }
+
+    #[test]
+    fn atomic_stats_absorb_concurrently() {
+        let atomic = AtomicEngineStats::default();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let o = QueryOutcome {
+                        db_iso_tests: 1,
+                        ..Default::default()
+                    };
+                    for _ in 0..250 {
+                        atomic.absorb(&o);
+                    }
+                });
+            }
+        });
+        let snap = atomic.snapshot();
+        assert_eq!(snap.queries, 1000);
+        assert_eq!(snap.db_iso_tests, 1000);
     }
 }

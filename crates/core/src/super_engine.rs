@@ -13,354 +13,32 @@
 //! * optimal case 1 (exact repeat) is unchanged; optimal case 2 inverts —
 //!   a cached **supergraph** with an empty answer proves the answer empty.
 //!
-//! "The elegance afforded by the double use of iGQ is unique."
+//! "The elegance afforded by the double use of iGQ is unique." — unique
+//! enough that since the shared-handle API redesign the supergraph engine
+//! *is* the subgraph engine: [`IgqSuperEngine`] is
+//! [`crate::Engine`] instantiated in the
+//! [`crate::SupergraphQueries`] direction, which
+//! contributes only the four inversion points (filter, verify, cost-model
+//! argument order, known-path role). The pipeline, locking, caching, and
+//! maintenance machinery live once in [`crate::engine`].
 
-use crate::background::{retain_current_slots, BackgroundMaintainer};
-use crate::cache::{QueryCache, WindowEntry};
-use crate::config::IgqConfig;
-use crate::isub::IsubIndex;
-use crate::isuper::IsuperIndex;
-use crate::outcome::{QueryOutcome, Resolution};
-use crate::stats::EngineStats;
-use igq_features::enumerate_paths;
-use igq_graph::canon::{canonical_code, CanonicalCode, GraphSignature};
-use igq_graph::stats::DatasetStats;
-use igq_graph::{Graph, GraphId};
-use igq_iso::{CostModel, IsoStats, LogValue};
-use igq_methods::{intersect_sorted, subtract_sorted, TrieSupergraphMethod};
-use std::sync::Arc;
-use std::time::Instant;
+use crate::direction::SupergraphQueries;
+use crate::engine::Engine;
 
 /// The iGQ engine for supergraph queries, wrapping the trie-based
-/// supergraph method of Section 6.2.
-pub struct IgqSuperEngine {
-    method: TrieSupergraphMethod,
-    config: IgqConfig,
-    cache: QueryCache,
-    /// Live indexes for the synchronous maintenance modes; stay empty
-    /// under background maintenance (the maintainer owns the masters).
-    isub: IsubIndex,
-    isuper: IsuperIndex,
-    /// `Some` iff `config.maintenance == MaintenanceMode::Background`.
-    maintainer: Option<BackgroundMaintainer>,
-    window: Vec<WindowEntry>,
-    window_signatures: Vec<GraphSignature>,
-    cost_model: CostModel,
-    stats: EngineStats,
-}
-
-impl IgqSuperEngine {
-    /// Wraps `method` with an empty iGQ cache.
-    pub fn new(method: TrieSupergraphMethod, config: IgqConfig) -> IgqSuperEngine {
-        let config = config.normalized();
-        let labels = if config.label_universe > 0 {
-            config.label_universe
-        } else {
-            DatasetStats::of(method.store()).vertex_labels.max(1)
-        };
-        let cache = QueryCache::with_policy(config.cache_capacity, config.policy);
-        let isub = IsubIndex::new(config.path_config);
-        let isuper = IsuperIndex::new(config.path_config);
-        let maintainer = BackgroundMaintainer::for_config(&config);
-        IgqSuperEngine {
-            method,
-            config,
-            cache,
-            isub,
-            isuper,
-            maintainer,
-            window: Vec::new(),
-            window_signatures: Vec::new(),
-            cost_model: CostModel::new(labels),
-            stats: EngineStats::default(),
-        }
-    }
-
-    /// Aggregate statistics so far (an owned snapshot; see
-    /// [`crate::IgqEngine::stats`] for the background-maintenance
-    /// semantics).
-    pub fn stats(&self) -> EngineStats {
-        let mut stats = self.stats.clone();
-        if let Some(m) = &self.maintainer {
-            stats.fold_maintainer(&m.stats());
-        }
-        stats
-    }
-
-    /// Blocks until the background maintainer has caught up with the
-    /// cache. No-op in the synchronous modes.
-    pub fn sync_maintenance(&self) {
-        if let Some(m) = &self.maintainer {
-            m.sync();
-        }
-    }
-
-    /// Number of cached queries.
-    pub fn cached_queries(&self) -> usize {
-        self.cache.len()
-    }
-
-    /// For supergraph verification the *candidate* is the pattern; cost of
-    /// testing candidate `Gi` inside query `g` is `c(Gi, g)`.
-    fn cost_of(&mut self, q: &Graph, ids: &[GraphId]) -> LogValue {
-        let target = q.vertex_count();
-        let mut total = LogValue::ZERO;
-        for &id in ids {
-            let n = self.method.store().get(id).vertex_count();
-            total = total.add(self.cost_model.cost_ln(n, target));
-        }
-        total
-    }
-
-    /// Processes a supergraph query: all dataset graphs contained in `q`.
-    pub fn query(&mut self, q: &Graph) -> QueryOutcome {
-        let wall_start = Instant::now();
-        let mut outcome = QueryOutcome::default();
-
-        // Optimal case 1 fast path (shared with the subgraph engine): a
-        // canonical-code lookup resolves exact repeats with no filtering
-        // and no index probes. The canonicalization outcome is kept and
-        // reused at window admission.
-        let code: Option<Option<CanonicalCode>> = if self.config.exact_fastpath {
-            Some(canonical_code(q))
-        } else {
-            None
-        };
-        {
-            if let Some(Some(code)) = &code {
-                if let Some(slot) = self.cache.slot_with_code(code) {
-                    self.cache.tick_all();
-                    let answers = self.cache.entry(slot).answers.clone();
-                    let credit = self.cost_of(q, &answers);
-                    self.cache
-                        .entry_mut(slot)
-                        .meta
-                        .record_hit(answers.len() as u64, credit);
-                    outcome.answers = answers;
-                    outcome.resolution = Resolution::ExactHit;
-                    outcome.igq_time = wall_start.elapsed();
-                    outcome.wall_time = wall_start.elapsed();
-                    self.stats.absorb(&outcome);
-                    return outcome;
-                }
-            }
-        }
-
-        // Single-pass feature extraction, shared by the supergraph filter
-        // and both index probes.
-        let extract_start = Instant::now();
-        let qf = enumerate_paths(q, &self.config.path_config);
-        let extract_time = extract_start.elapsed();
-        self.stats.feature_extractions += 1;
-
-        let f_start = Instant::now();
-        let cs: Vec<GraphId> = self.method.filter_super_with_features(q, &qf);
-        outcome.filter_time = f_start.elapsed();
-        outcome.candidates_before = cs.len();
-
-        let igq_start = Instant::now();
-        self.cache.tick_all();
-        // Probe the engine-owned indexes, or the latest published snapshot
-        // under background maintenance (stale hits revalidated below).
-        let snap = self.maintainer.as_ref().map(|m| m.snapshot());
-        let (isub, isuper) = match &snap {
-            Some(pair) => (&pair.isub, &pair.isuper),
-            None => (&self.isub, &self.isuper),
-        };
-        let (mut sub_slots, sub_stats) = isub.supergraphs_of(q, &qf); // g ⊆ G
-        let (mut super_slots, super_stats) = isuper.subgraphs_of(q, &qf); // G ⊆ g
-        if let Some(pair) = &snap {
-            retain_current_slots(&self.cache, &mut sub_slots, |s| pair.isub.slot_graph(s));
-            retain_current_slots(&self.cache, &mut super_slots, |s| pair.isuper.slot_graph(s));
-        }
-        drop(snap);
-        let mut igq_stats = IsoStats::new();
-        igq_stats.merge(&sub_stats);
-        igq_stats.merge(&super_stats);
-        outcome.igq_iso_tests = igq_stats.tests;
-        outcome.isub_hits = sub_slots.len();
-        outcome.isuper_hits = super_slots.len();
-
-        // Optimal case 1: exact repeat.
-        let exact_slot = sub_slots
-            .iter()
-            .chain(super_slots.iter())
-            .copied()
-            .find(|&s| {
-                let g = &self.cache.entry(s).graph;
-                g.vertex_count() == q.vertex_count() && g.edge_count() == q.edge_count()
-            });
-        if let Some(slot) = exact_slot {
-            outcome.answers = self.cache.entry(slot).answers.clone();
-            outcome.resolution = Resolution::ExactHit;
-            outcome.pruned_by_isub = cs.len();
-            let credit = self.cost_of(q, &cs);
-            self.cache
-                .entry_mut(slot)
-                .meta
-                .record_hit(cs.len() as u64, credit);
-            outcome.igq_time = extract_time + igq_start.elapsed();
-            outcome.wall_time = wall_start.elapsed();
-            self.stats.absorb(&outcome);
-            return outcome;
-        }
-
-        // Inverted optimal case 2: a cached supergraph of g with an empty
-        // answer set proves Answer(g) = ∅.
-        if let Some(&slot) = sub_slots
-            .iter()
-            .find(|&&s| self.cache.entry(s).answers.is_empty())
-        {
-            outcome.answers = Vec::new();
-            outcome.resolution = Resolution::EmptyAnswerShortcut;
-            outcome.pruned_by_isub = cs.len();
-            let credit = self.cost_of(q, &cs);
-            self.cache
-                .entry_mut(slot)
-                .meta
-                .record_hit(cs.len() as u64, credit);
-            self.enqueue(q, &[], code.clone());
-            self.maybe_maintain();
-            outcome.igq_time = extract_time + igq_start.elapsed();
-            outcome.wall_time = wall_start.elapsed();
-            self.stats.absorb(&outcome);
-            return outcome;
-        }
-
-        // Union path (inverse of formula (3)): answers of cached subgraphs
-        // are known answers of g.
-        let mut known_answers: Vec<GraphId> = Vec::new();
-        for &s in &super_slots {
-            known_answers.extend_from_slice(&self.cache.entry(s).answers);
-        }
-        known_answers.sort_unstable();
-        known_answers.dedup();
-        let known_in_cs = intersect_sorted(&cs, &known_answers);
-        let mut pruned = subtract_sorted(&cs, &known_answers);
-        outcome.pruned_by_isuper = cs.len() - pruned.len();
-
-        // Intersection path (inverse of formula (5)): candidates must lie
-        // inside every cached supergraph's answer set.
-        let before_sub = pruned.len();
-        for &s in &sub_slots {
-            pruned = intersect_sorted(&pruned, &self.cache.entry(s).answers);
-            if pruned.is_empty() {
-                break;
-            }
-        }
-        outcome.pruned_by_isub = before_sub - pruned.len();
-        outcome.candidates_after = pruned.len();
-
-        // Metadata credit, with the roles of the two paths swapped.
-        for &s in &super_slots {
-            let prunes = intersect_sorted(&cs, &self.cache.entry(s).answers);
-            let cost = self.cost_of(q, &prunes);
-            self.cache
-                .entry_mut(s)
-                .meta
-                .record_hit(prunes.len() as u64, cost);
-        }
-        for &s in &sub_slots {
-            let prunes = subtract_sorted(&cs, &self.cache.entry(s).answers);
-            let cost = self.cost_of(q, &prunes);
-            self.cache
-                .entry_mut(s)
-                .meta
-                .record_hit(prunes.len() as u64, cost);
-        }
-        outcome.igq_time = extract_time + igq_start.elapsed();
-
-        // Verification.
-        let verify_start = Instant::now();
-        let mut answers: Vec<GraphId> = Vec::new();
-        for &id in &pruned {
-            outcome.db_iso_tests += 1;
-            let verdict = self.method.verify_super(q, id);
-            if verdict.aborted {
-                outcome.aborted_tests += 1;
-            }
-            if verdict.contains {
-                answers.push(id);
-            }
-        }
-        outcome.verify_time = verify_start.elapsed();
-
-        answers.extend_from_slice(&known_in_cs);
-        answers.sort_unstable();
-        answers.dedup();
-        outcome.answers = answers;
-
-        // As in the subgraph engine, budget-aborted queries are never
-        // cached: their answer sets may be incomplete.
-        let maint_start = Instant::now();
-        if outcome.aborted_tests == 0 {
-            self.enqueue(q, &outcome.answers, code);
-        }
-        self.maybe_maintain();
-        outcome.igq_time += maint_start.elapsed();
-        outcome.wall_time = wall_start.elapsed();
-        self.stats.absorb(&outcome);
-        outcome
-    }
-
-    fn enqueue(&mut self, q: &Graph, answers: &[GraphId], code: Option<Option<CanonicalCode>>) {
-        let sig = GraphSignature::of(q);
-        let dup = self
-            .window_signatures
-            .iter()
-            .zip(self.window.iter())
-            .any(|(s, e)| *s == sig && igq_iso::are_isomorphic(q, &e.graph));
-        if dup {
-            return;
-        }
-        self.window.push(WindowEntry {
-            graph: Arc::new(q.clone()),
-            answers: answers.to_vec(),
-            signature: Some(sig),
-            code,
-        });
-        self.window_signatures.push(sig);
-    }
-
-    fn maybe_maintain(&mut self) {
-        if self.window.len() < self.config.window {
-            return;
-        }
-        self.flush_window();
-    }
-
-    /// Forces maintenance regardless of window fill. Applies the window's
-    /// eviction/admission delta to the query indexes incrementally,
-    /// rebuilds them under `MaintenanceMode::ShadowRebuild`, or queues the
-    /// delta to the maintenance thread under `MaintenanceMode::Background`.
-    pub fn flush_window(&mut self) {
-        if self.window.is_empty() {
-            return;
-        }
-        let incoming = std::mem::take(&mut self.window);
-        self.window_signatures.clear();
-        let delta = self.cache.apply_window(incoming);
-        if delta.is_empty() {
-            return;
-        }
-        crate::maintain::dispatch_delta(
-            self.maintainer.as_ref(),
-            &self.config,
-            &self.cache,
-            &delta,
-            &mut self.isub,
-            &mut self.isuper,
-            &mut self.stats,
-        );
-    }
-}
+/// supergraph method of Section 6.2. A [`crate::QueryEngine`] like its
+/// subgraph sibling: `Send + Sync`, queried through `&self`, shareable
+/// via [`crate::IgqSuperHandle`].
+pub type IgqSuperEngine = Engine<SupergraphQueries>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{IgqConfig, QueryRequest, Resolution};
     use igq_features::PathConfig;
-    use igq_graph::{graph_from, GraphStore};
+    use igq_graph::{graph_from, Graph, GraphId, GraphStore};
     use igq_iso::MatchConfig;
+    use igq_methods::TrieSupergraphMethod;
     use std::sync::Arc;
 
     fn store() -> Arc<GraphStore> {
@@ -381,12 +59,13 @@ mod tests {
         let m = TrieSupergraphMethod::build(&s, PathConfig::default(), MatchConfig::default());
         IgqSuperEngine::new(
             m,
-            IgqConfig {
-                cache_capacity: 8,
-                window: 2,
-                ..Default::default()
-            },
+            IgqConfig::builder()
+                .cache_capacity(8)
+                .window(2)
+                .build()
+                .expect("valid config"),
         )
+        .expect("valid engine")
     }
 
     fn naive_super(q: &Graph) -> Vec<GraphId> {
@@ -403,7 +82,7 @@ mod tests {
 
     #[test]
     fn answers_match_brute_force() {
-        let mut e = engine();
+        let e = engine();
         for q in [
             graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]),
             graph_from(&[2, 2, 2, 0], &[(0, 1), (1, 2), (0, 2)]),
@@ -417,7 +96,7 @@ mod tests {
 
     #[test]
     fn exact_repeat_short_circuits() {
-        let mut e = engine();
+        let e = engine();
         let q = graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]);
         let first = e.query(&q);
         let _ = e.query(&graph_from(&[2, 2, 2], &[(0, 1), (1, 2), (0, 2)]));
@@ -429,7 +108,7 @@ mod tests {
 
     #[test]
     fn known_answers_flow_from_cached_subqueries() {
-        let mut e = engine();
+        let e = engine();
         // Cache a small supergraph query first.
         let small = graph_from(&[0, 1], &[(0, 1)]);
         let small_out = e.query(&small);
@@ -446,7 +125,7 @@ mod tests {
 
     #[test]
     fn inverted_empty_shortcut() {
-        let mut e = engine();
+        let e = engine();
         // Query with labels nothing in D matches... careful: g2 = single 0
         // is contained in anything with a 0 label. Use label 9 only.
         let q9 = graph_from(&[9, 9], &[(0, 1)]);
@@ -463,7 +142,7 @@ mod tests {
 
     #[test]
     fn cache_population() {
-        let mut e = engine();
+        let e = engine();
         let _ = e.query(&graph_from(&[0, 1], &[(0, 1)]));
         let _ = e.query(&graph_from(&[2, 2], &[(0, 1)]));
         assert_eq!(e.cached_queries(), 2);
@@ -471,10 +150,35 @@ mod tests {
     }
 
     #[test]
+    fn unified_engine_surface_works_in_super_direction() {
+        // The API-redesign dividend: export/import, self_check, and typed
+        // requests — previously subgraph-only — now come with the shared
+        // pipeline.
+        let warm = engine();
+        let q = graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]);
+        let first = warm.query(&q);
+        let exported = warm.export_cache();
+        assert_eq!(exported.len(), 1);
+        let cold = engine();
+        assert_eq!(cold.import_cache(exported), 1);
+        let out = cold.query(&q);
+        assert_eq!(out.resolution, Resolution::ExactHit);
+        assert_eq!(out.answers, first.answers);
+        cold.self_check().expect("invariants hold after import");
+
+        let resp =
+            cold.execute(&QueryRequest::new(graph_from(&[2, 2], &[(0, 1)])).skip_admission());
+        assert_eq!(
+            resp.outcome.answers,
+            naive_super(&graph_from(&[2, 2], &[(0, 1)]))
+        );
+    }
+
+    #[test]
     fn background_mode_matches_brute_force_and_publishes() {
         let s = store();
         let m = TrieSupergraphMethod::build(&s, PathConfig::default(), MatchConfig::default());
-        let mut e = IgqSuperEngine::new(
+        let e = IgqSuperEngine::new(
             m,
             IgqConfig {
                 cache_capacity: 4,
@@ -482,7 +186,8 @@ mod tests {
                 maintenance: crate::MaintenanceMode::Background,
                 ..Default::default()
             },
-        );
+        )
+        .expect("valid engine");
         for q in [
             graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]),
             graph_from(&[2, 2, 2, 0], &[(0, 1), (1, 2), (0, 2)]),

@@ -1,13 +1,59 @@
 //! Offline shim for the `parking_lot` API subset this workspace uses.
 //!
-//! Provides `Mutex` with parking_lot's non-poisoning signatures (`lock`
-//! returns the guard directly; `into_inner` returns the value directly),
-//! implemented over `std::sync::Mutex`. A poisoned std mutex — only
-//! possible if a holder panicked — propagates the panic, which matches
-//! parking_lot's effective behavior for this workspace (panics in scoped
-//! worker threads already abort the computation).
+//! Provides `Mutex` and `RwLock` with parking_lot's non-poisoning
+//! signatures (`lock`/`read`/`write` return the guard directly;
+//! `into_inner` returns the value directly), implemented over the std
+//! primitives. A poisoned std lock — only possible if a holder panicked —
+//! propagates the panic, which matches parking_lot's effective behavior
+//! for this workspace (panics in scoped worker threads already abort the
+//! computation).
 
 use std::sync::MutexGuard;
+
+pub use rwlock::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+mod rwlock {
+    /// Guard for shared read access to an [`RwLock`].
+    pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+    /// Guard for exclusive write access to an [`RwLock`].
+    pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+    /// A non-poisoning reader-writer lock: any number of concurrent
+    /// readers, or one writer.
+    #[derive(Debug, Default)]
+    pub struct RwLock<T> {
+        inner: std::sync::RwLock<T>,
+    }
+
+    impl<T> RwLock<T> {
+        /// A new lock holding `value`.
+        pub fn new(value: T) -> RwLock<T> {
+            RwLock {
+                inner: std::sync::RwLock::new(value),
+            }
+        }
+
+        /// Acquires shared read access, returning the guard directly.
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            self.inner.read().expect("rwlock poisoned")
+        }
+
+        /// Acquires exclusive write access, returning the guard directly.
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            self.inner.write().expect("rwlock poisoned")
+        }
+
+        /// Mutable access without locking (the borrow proves uniqueness).
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut().expect("rwlock poisoned")
+        }
+
+        /// Consumes the lock, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.inner.into_inner().expect("rwlock poisoned")
+        }
+    }
+}
 
 /// A non-poisoning mutual-exclusion lock.
 #[derive(Debug, Default)]
@@ -58,5 +104,30 @@ mod tests {
             }
         });
         assert_eq!(m.into_inner(), 4000);
+    }
+
+    #[test]
+    fn rwlock_read_write_and_into_inner() {
+        let mut l = super::RwLock::new(1u32);
+        assert_eq!(*l.read(), 1);
+        *l.write() = 2;
+        assert_eq!(*l.get_mut(), 2);
+        assert_eq!(l.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_writers_exclude_readers() {
+        let l = super::RwLock::new(0u64);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..500 {
+                        *l.write() += 1;
+                        let _ = *l.read();
+                    }
+                });
+            }
+        });
+        assert_eq!(l.into_inner(), 2000);
     }
 }

@@ -53,14 +53,12 @@ fn main() {
 
     // 4. iGQ on top: bond variants are cached as *distinct* queries —
     //    repeating either one is an exact hit with the right answers.
-    let mut engine = IgqEngine::new(
-        method,
-        IgqConfig {
-            cache_capacity: 32,
-            window: 2,
-            ..Default::default()
-        },
-    );
+    let config = IgqConfig::builder()
+        .cache_capacity(32)
+        .window(2)
+        .build()
+        .expect("valid config");
+    let engine = IgqEngine::new(method, config).expect("valid engine");
     for q in [&single_bond, &double_bond, &single_bond, &double_bond] {
         let out = engine.query(q);
         println!(

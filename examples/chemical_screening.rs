@@ -24,14 +24,12 @@ fn main() {
 
     // CT-Index is the strongest filter on AIDS in the paper — use it here.
     let method = CtIndex::build(&store, CtIndexConfig::default());
-    let mut engine = IgqEngine::new(
-        method,
-        IgqConfig {
-            cache_capacity: 128,
-            window: 8,
-            ..Default::default()
-        },
-    );
+    let config = IgqConfig::builder()
+        .cache_capacity(128)
+        .window(8)
+        .build()
+        .expect("valid config");
+    let engine = IgqEngine::new(method, config).expect("valid engine");
 
     // Build a drill-down session: pick scaffold molecules, query a broad
     // fragment, then two refinements (supergraphs of the broad fragment),

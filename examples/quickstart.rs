@@ -24,35 +24,51 @@ fn main() {
         method.index_size_bytes() as f64 / 1024.0
     );
 
-    // 3. Wrap the method with the iGQ engine: a 64-query cache, windows of 8.
-    let mut engine = IgqEngine::new(
-        method,
-        IgqConfig {
-            cache_capacity: 64,
-            window: 8,
-            ..Default::default()
-        },
-    );
+    // 3. Wrap the method with the iGQ engine: a 64-query cache, windows
+    //    of 8, background maintenance off the query threads. The builder
+    //    validates (window ≤ capacity etc.) and `into_handle()` turns the
+    //    engine into a cheap cloneable handle for fan-out.
+    let config = IgqConfig::builder()
+        .cache_capacity(64)
+        .window(8)
+        .maintenance(MaintenanceMode::Background)
+        .build()
+        .expect("valid config");
+    let handle = IgqEngine::new(method, config)
+        .expect("valid engine")
+        .into_handle();
 
-    // 4. Fire a workload with repetition (Zipf picks), as real query logs have.
+    // 4. Fire a workload with repetition (Zipf picks), as real query logs
+    //    have — from four threads sharing the one engine, as a service
+    //    would. Answers are exact regardless of interleaving.
     let mut generator =
         QueryGenerator::new(&store, Distribution::Zipf(1.6), Distribution::Uniform, 7);
     let queries = generator.take(200);
 
-    for (i, q) in queries.iter().enumerate() {
-        let out = engine.query(q);
-        if i % 40 == 0 {
-            println!(
-                "query {:>3}: |answers|={:<3} candidates {:>3} -> {:<3} iso tests {:<3} ({:?})",
-                i,
-                out.answers.len(),
-                out.candidates_before,
-                out.candidates_after,
-                out.db_iso_tests,
-                out.resolution,
-            );
+    std::thread::scope(|scope| {
+        for (worker, chunk) in queries.chunks(queries.len().div_ceil(4)).enumerate() {
+            let h = handle.clone();
+            scope.spawn(move || {
+                for (i, q) in chunk.iter().enumerate() {
+                    let out = h.query(q);
+                    if i % 40 == 0 {
+                        println!(
+                            "worker {worker}, query {:>3}: |answers|={:<3} candidates {:>3} -> \
+                             {:<3} iso tests {:<3} ({:?})",
+                            i,
+                            out.answers.len(),
+                            out.candidates_before,
+                            out.candidates_after,
+                            out.db_iso_tests,
+                            out.resolution,
+                        );
+                    }
+                }
+            });
         }
-    }
+    });
+    let engine = handle.engine();
+    engine.sync_maintenance(); // settle the background counters
 
     // 5. The numbers the paper is about.
     let s = engine.stats();

@@ -61,22 +61,24 @@ fn main() {
             ..Default::default()
         },
     );
-    let mut engine = IgqEngine::new(
-        grapes2,
-        IgqConfig {
-            cache_capacity: 60,
-            window: 10,
-            ..Default::default()
-        },
-    );
+    let config = IgqConfig::builder()
+        .cache_capacity(60)
+        .window(10)
+        .batch_threads(4)
+        .build()
+        .expect("valid config");
+    let engine = IgqEngine::new(grapes2, config).expect("valid engine");
     let t = Instant::now();
+    // Submit the whole stream as one batch: the engine fans it across its
+    // configured worker threads, returning outcomes index-aligned with the
+    // input — so the per-query oracle comparison still works.
+    let outcomes = engine.query_batch(&queries);
+    let igq_time = t.elapsed();
     let mut igq_tests = 0u64;
-    for (i, q) in queries.iter().enumerate() {
-        let out = engine.query(q);
+    for (i, out) in outcomes.iter().enumerate() {
         igq_tests += out.db_iso_tests;
         assert_eq!(out.answers, baseline_answers[i], "Theorem 1 violated!");
     }
-    let igq_time = t.elapsed();
 
     println!(
         "\nsame {} queries, identical answers on both paths:",

@@ -41,14 +41,12 @@ fn main() {
         method.index_size_bytes() as f64 / 1024.0
     );
 
-    let mut engine = IgqSuperEngine::new(
-        method,
-        IgqConfig {
-            cache_capacity: 40,
-            window: 5,
-            ..Default::default()
-        },
-    );
+    let config = IgqConfig::builder()
+        .cache_capacity(40)
+        .window(5)
+        .build()
+        .expect("valid config");
+    let engine = IgqSuperEngine::new(method, config).expect("valid engine");
 
     // Observed structures: whole molecules (supergraph queries). Repeats
     // and near-repeats model streams of related observations.

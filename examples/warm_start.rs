@@ -14,14 +14,12 @@ use std::sync::Arc;
 
 fn engine(store: &Arc<GraphStore>) -> IgqEngine<Ggsx> {
     let method = Ggsx::build(store, GgsxConfig::default());
-    IgqEngine::new(
-        method,
-        IgqConfig {
-            cache_capacity: 64,
-            window: 8,
-            ..Default::default()
-        },
-    )
+    let config = IgqConfig::builder()
+        .cache_capacity(64)
+        .window(8)
+        .build()
+        .expect("valid config");
+    IgqEngine::new(method, config).expect("valid engine")
 }
 
 fn main() {
@@ -31,7 +29,7 @@ fn main() {
     let evening: Vec<Graph> = generator.take(80);
 
     // ---- evening session ----
-    let mut session1 = engine(&store);
+    let session1 = engine(&store);
     for q in &evening {
         let _ = session1.query(q);
     }
@@ -55,12 +53,12 @@ fn main() {
     // ---- morning session: cold vs warm ----
     let morning: Vec<Graph> = evening.iter().take(40).cloned().collect(); // repeats!
 
-    let mut cold = engine(&store);
+    let cold = engine(&store);
     for q in &morning {
         let _ = cold.query(q);
     }
 
-    let mut warm = engine(&store);
+    let warm = engine(&store);
     let admitted = warm.import_cache(restored);
     for q in &morning {
         let _ = warm.query(q);

@@ -28,9 +28,12 @@
 //!     .collect(),
 //! );
 //!
-//! // Wrap any filter-then-verify method with the iGQ engine.
+//! // Wrap any filter-then-verify method with the iGQ engine. The engine
+//! // is a shared service: `query` takes `&self`, and `into_handle()`
+//! // yields a cheap cloneable handle for fan-out across threads.
 //! let method = Ggsx::build(&store, GgsxConfig::default());
-//! let mut engine = IgqEngine::new(method, IgqConfig::default());
+//! let config = IgqConfig::builder().build().expect("valid config");
+//! let engine = IgqEngine::new(method, config).expect("valid engine");
 //!
 //! // Ask a subgraph query: which graphs contain a 0–1 labeled edge?
 //! let q = graph_from(&[0, 1], &[(0, 1)]);
@@ -48,7 +51,8 @@ pub use igq_workload as workload;
 /// One-stop imports for examples and tests.
 pub mod prelude {
     pub use igq_core::{
-        IgqConfig, IgqEngine, IgqSuperEngine, MaintenanceMode, QueryOutcome, ReplacementPolicy,
+        ConfigError, EngineHandle, IgqConfig, IgqEngine, IgqHandle, IgqSuperEngine, IgqSuperHandle,
+        MaintenanceMode, QueryEngine, QueryOutcome, QueryRequest, QueryResponse, ReplacementPolicy,
     };
     pub use igq_features::PathConfig;
     pub use igq_graph::{

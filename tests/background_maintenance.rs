@@ -41,6 +41,7 @@ fn engine_with(
             ..Default::default()
         },
     )
+    .expect("valid engine")
 }
 
 fn churny_workload(store: &Arc<GraphStore>, n: usize, seed: u64) -> Vec<Graph> {
@@ -68,9 +69,9 @@ fn churny_workload(store: &Arc<GraphStore>, n: usize, seed: u64) -> Vec<Graph> {
 fn three_modes_answer_identically_under_interleaved_churn() {
     let store = Arc::new(DatasetKind::Aids.generate(90, 17));
     let queries = churny_workload(&store, 80, 29);
-    let mut inc = engine_with(&store, MaintenanceMode::Incremental, 6, 1, 1);
-    let mut shadow = engine_with(&store, MaintenanceMode::ShadowRebuild, 6, 1, 1);
-    let mut bg = engine_with(&store, MaintenanceMode::Background, 6, 1, 3);
+    let inc = engine_with(&store, MaintenanceMode::Incremental, 6, 1, 1);
+    let shadow = engine_with(&store, MaintenanceMode::ShadowRebuild, 6, 1, 1);
+    let bg = engine_with(&store, MaintenanceMode::Background, 6, 1, 3);
     for q in &queries {
         let a = inc.query(q);
         let b = shadow.query(q);
@@ -98,8 +99,8 @@ fn three_modes_answer_identically_under_interleaved_churn() {
 fn background_in_lockstep_is_observationally_identical_to_incremental() {
     let store = Arc::new(DatasetKind::Aids.generate(70, 41));
     let queries = churny_workload(&store, 60, 43);
-    let mut inc = engine_with(&store, MaintenanceMode::Incremental, 5, 2, 1);
-    let mut bg = engine_with(&store, MaintenanceMode::Background, 5, 2, 1);
+    let inc = engine_with(&store, MaintenanceMode::Incremental, 5, 2, 1);
+    let bg = engine_with(&store, MaintenanceMode::Background, 5, 2, 1);
     for q in &queries {
         bg.sync_maintenance();
         let a = inc.query(q);
@@ -140,7 +141,7 @@ fn drop_with_in_flight_deltas_is_clean() {
     let store = Arc::new(DatasetKind::Aids.generate(50, 7));
     let queries = churny_workload(&store, 40, 9);
     for max_lag in [1usize, 4] {
-        let mut bg = engine_with(&store, MaintenanceMode::Background, 4, 1, max_lag);
+        let bg = engine_with(&store, MaintenanceMode::Background, 4, 1, max_lag);
         for q in &queries {
             let _ = bg.query(q);
         }
@@ -156,7 +157,7 @@ fn drop_with_in_flight_deltas_is_clean() {
 fn flush_then_check_sees_every_delta() {
     let store = Arc::new(DatasetKind::Aids.generate(60, 3));
     let queries = churny_workload(&store, 30, 5);
-    let mut bg = engine_with(&store, MaintenanceMode::Background, 8, 4, 2);
+    let bg = engine_with(&store, MaintenanceMode::Background, 8, 4, 2);
     for q in &queries {
         let _ = bg.query(q);
     }
@@ -184,16 +185,17 @@ proptest! {
         max_lag in 1usize..4,
     ) {
         let method = Ggsx::build(&store, GgsxConfig::default());
-        let mut engine = IgqEngine::new(
+        let engine = IgqEngine::new(
             method,
             IgqConfig {
                 cache_capacity: capacity,
-                window,
+                // W <= C is validated at construction now, not clamped.
+                window: window.min(capacity),
                 maintenance: MaintenanceMode::Background,
                 max_lag_windows: max_lag,
                 ..Default::default()
             },
-        );
+        ).expect("valid engine");
         for q in &queries {
             let out = engine.query(q);
             prop_assert_eq!(out.answers, oracle_answers(&store, q), "query {:?}", q);

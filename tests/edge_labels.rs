@@ -66,14 +66,15 @@ fn igq_engine_matches_oracle_on_bond_workload() {
     let (store, queries) = bond_workload(60, 50, 13);
     for method in methods(&store) {
         let name = method.name();
-        let mut engine = IgqEngine::new(
+        let engine = IgqEngine::new(
             method,
             IgqConfig {
                 cache_capacity: 20,
                 window: 5,
                 ..Default::default()
             },
-        );
+        )
+        .expect("valid engine");
         for q in &queries {
             let out = engine.query(q);
             assert_eq!(
@@ -115,14 +116,15 @@ fn cache_never_conflates_edge_label_variants() {
         .collect(),
     );
     let method = Ggsx::build(&store, GgsxConfig::default());
-    let mut engine = IgqEngine::new(
+    let engine = IgqEngine::new(
         method,
         IgqConfig {
             cache_capacity: 8,
             window: 1,
             ..Default::default()
         },
-    );
+    )
+    .expect("valid engine");
 
     let q_single = graph_from_el(&[0, 1], &[(0, 1, 0)]);
     let q_double = graph_from_el(&[0, 1], &[(0, 1, 1)]);
@@ -146,14 +148,15 @@ fn supergraph_engine_is_exact_on_bond_data() {
         PathConfig::default(),
         igq::iso::MatchConfig::default(),
     );
-    let mut engine = IgqSuperEngine::new(
+    let engine = IgqSuperEngine::new(
         method,
         IgqConfig {
             cache_capacity: 8,
             window: 2,
             ..Default::default()
         },
-    );
+    )
+    .expect("valid engine");
     for q in &queries {
         let out = engine.query(q);
         let truth: Vec<GraphId> = store
@@ -190,10 +193,10 @@ proptest! {
     ) {
         let store: Arc<GraphStore> = Arc::new(graphs.into_iter().collect());
         let method = Ggsx::build(&store, GgsxConfig::default());
-        let mut engine = IgqEngine::new(
+        let engine = IgqEngine::new(
             method,
             IgqConfig { cache_capacity: 6, window: 2, ..Default::default() },
-        );
+        ).expect("valid engine");
         for q in &queries {
             let out = engine.query(q);
             prop_assert_eq!(&out.answers, &oracle_answers(&store, q), "query {:?}", q);

@@ -64,14 +64,15 @@ fn aborted_verifications_are_counted_and_not_cached() {
             ..Default::default()
         },
     );
-    let mut engine = IgqEngine::new(
+    let engine = IgqEngine::new(
         method,
         IgqConfig {
             cache_capacity: 8,
             window: 1,
             ..Default::default()
         },
-    );
+    )
+    .expect("valid engine");
 
     let out = engine.query(&hard_query());
     assert!(out.aborted_tests > 0, "tiny budget must abort: {out:?}");
@@ -94,14 +95,15 @@ fn aborted_verifications_are_counted_and_not_cached() {
 fn unlimited_budget_never_aborts() {
     let store = mixed_store();
     let method = Ggsx::build(&store, GgsxConfig::default());
-    let mut engine = IgqEngine::new(
+    let engine = IgqEngine::new(
         method,
         IgqConfig {
             cache_capacity: 8,
             window: 2,
             ..Default::default()
         },
-    );
+    )
+    .expect("valid engine");
     let out = engine.query(&hard_query());
     assert_eq!(out.aborted_tests, 0);
     assert_eq!(out.answers, oracle_answers(&store, &hard_query()));
@@ -123,14 +125,15 @@ fn non_aborted_queries_stay_exact_in_budget_limited_streams() {
             ..Default::default()
         },
     );
-    let mut engine = IgqEngine::new(
+    let engine = IgqEngine::new(
         method,
         IgqConfig {
             cache_capacity: 16,
             window: 4,
             ..Default::default()
         },
-    );
+    )
+    .expect("valid engine");
 
     let mut aborted = 0u64;
     for q in &queries {
@@ -153,14 +156,15 @@ fn super_engine_aborts_are_not_cached_either() {
     let store = mixed_store();
     let method =
         TrieSupergraphMethod::build(&store, PathConfig::default(), MatchConfig::with_budget(3));
-    let mut engine = IgqSuperEngine::new(
+    let engine = IgqSuperEngine::new(
         method,
         IgqConfig {
             cache_capacity: 8,
             window: 1,
             ..Default::default()
         },
-    );
+    )
+    .expect("valid engine");
     // A big query that contains the circulant graph: verifying the hard
     // member inside it blows the 3-state budget.
     let mut edges = Vec::new();

@@ -30,14 +30,15 @@ fn serde_roundtrip_preserves_store() {
 fn exported_cache_roundtrips_through_serde() {
     let store: Arc<GraphStore> = Arc::new(DatasetKind::Aids.generate(60, 5));
     let method = Ggsx::build(&store, GgsxConfig::default());
-    let mut engine = IgqEngine::new(
+    let engine = IgqEngine::new(
         method,
         IgqConfig {
             cache_capacity: 16,
             window: 4,
             ..Default::default()
         },
-    );
+    )
+    .expect("valid engine");
     let queries =
         QueryGenerator::new(&store, Distribution::Uniform, Distribution::Uniform, 7).take(12);
     for q in &queries {
@@ -52,14 +53,15 @@ fn exported_cache_roundtrips_through_serde() {
     // A fresh engine seeded with the restored cache answers repeats
     // optimally.
     let method = Ggsx::build(&store, GgsxConfig::default());
-    let mut warm = IgqEngine::new(
+    let warm = IgqEngine::new(
         method,
         IgqConfig {
             cache_capacity: 16,
             window: 4,
             ..Default::default()
         },
-    );
+    )
+    .expect("valid engine");
     assert!(warm.import_cache(restored) > 0);
     let out = warm.query(&queries[0]);
     assert_eq!(out.answers, common::oracle_answers(&store, &queries[0]));

@@ -58,14 +58,15 @@ fn igq_engine_matches_oracle_for_every_method_kind() {
     let (store, queries) = workload(DatasetKind::Aids, 100, 60, 23);
     for method in methods(&store) {
         let name = method.name();
-        let mut engine = IgqEngine::new(
+        let engine = IgqEngine::new(
             method,
             IgqConfig {
                 cache_capacity: 24,
                 window: 6,
                 ..Default::default()
             },
-        );
+        )
+        .expect("valid engine");
         for q in &queries {
             let out = engine.query(q);
             let truth = oracle_answers(&store, q);
@@ -86,14 +87,15 @@ fn igq_engine_matches_oracle_on_dense_graphs() {
             ..Default::default()
         },
     );
-    let mut engine = IgqEngine::new(
+    let engine = IgqEngine::new(
         method,
         IgqConfig {
             cache_capacity: 10,
             window: 4,
             ..Default::default()
         },
-    );
+    )
+    .expect("valid engine");
     for q in &queries {
         let out = engine.query(q);
         assert_eq!(out.answers, oracle_answers(&store, q), "on {q:?}");
@@ -106,14 +108,15 @@ fn igq_never_increases_iso_tests() {
     let method = Ggsx::build(&store, GgsxConfig::default());
     let baseline_tests: u64 = queries.iter().map(|q| method.query(q).1).sum();
     let method = Ggsx::build(&store, GgsxConfig::default());
-    let mut engine = IgqEngine::new(
+    let engine = IgqEngine::new(
         method,
         IgqConfig {
             cache_capacity: 40,
             window: 8,
             ..Default::default()
         },
-    );
+    )
+    .expect("valid engine");
     let igq_tests: u64 = queries.iter().map(|q| engine.query(q).db_iso_tests).sum();
     assert!(
         igq_tests <= baseline_tests,
@@ -130,14 +133,15 @@ fn igq_never_increases_iso_tests() {
 fn repeated_identical_queries_cost_nothing_after_caching() {
     let (store, _) = workload(DatasetKind::Aids, 80, 0, 3);
     let method = Ggsx::build(&store, GgsxConfig::default());
-    let mut engine = IgqEngine::new(
+    let engine = IgqEngine::new(
         method,
         IgqConfig {
             cache_capacity: 8,
             window: 1,
             ..Default::default()
         },
-    );
+    )
+    .expect("valid engine");
     let q = QueryGenerator::new(&store, Distribution::Uniform, Distribution::Uniform, 5)
         .next_query_of_size(8);
     let first = engine.query(&q);

@@ -17,7 +17,7 @@ fn setup() -> (Arc<GraphStore>, Vec<Graph>) {
 
 fn run_with(policy: ReplacementPolicy, store: &Arc<GraphStore>, queries: &[Graph]) -> u64 {
     let method = Ggsx::build(store, GgsxConfig::default());
-    let mut engine = IgqEngine::new(
+    let engine = IgqEngine::new(
         method,
         IgqConfig {
             cache_capacity: 10,
@@ -25,7 +25,8 @@ fn run_with(policy: ReplacementPolicy, store: &Arc<GraphStore>, queries: &[Graph
             policy,
             ..Default::default()
         },
-    );
+    )
+    .expect("valid engine");
     let mut tests = 0;
     for q in queries {
         let out = engine.query(q);

@@ -26,10 +26,10 @@ proptest! {
         window in 1usize..4,
     ) {
         let method = Ggsx::build(&store, GgsxConfig::default());
-        let mut engine = IgqEngine::new(
+        let engine = IgqEngine::new(
             method,
-            IgqConfig { cache_capacity: capacity, window, ..Default::default() },
-        );
+            IgqConfig { cache_capacity: capacity, window: window.min(capacity), ..Default::default() },
+        ).expect("valid engine");
         for q in &queries {
             let out = engine.query(q);
             prop_assert_eq!(out.answers, oracle_answers(&store, q), "query {:?}", q);
@@ -49,10 +49,10 @@ proptest! {
             PathConfig::default(),
             MatchConfig::default(),
         );
-        let mut engine = IgqSuperEngine::new(
+        let engine = IgqSuperEngine::new(
             method,
-            IgqConfig { cache_capacity: capacity, window, ..Default::default() },
-        );
+            IgqConfig { cache_capacity: capacity, window: window.min(capacity), ..Default::default() },
+        ).expect("valid engine");
         for q in &queries {
             let out = engine.query(q);
             prop_assert_eq!(out.answers, oracle_super_answers(&store, q), "query {:?}", q);
@@ -66,10 +66,10 @@ proptest! {
         queries in proptest::collection::vec(arb_graph(4, 2), 1..10),
     ) {
         let method = Ggsx::build(&store, GgsxConfig::default());
-        let mut engine = IgqEngine::new(
+        let engine = IgqEngine::new(
             method,
             IgqConfig { cache_capacity: 6, window: 2, ..Default::default() },
-        );
+        ).expect("valid engine");
         for q in &queries {
             let out = engine.query(q);
             prop_assert_eq!(
@@ -101,11 +101,11 @@ proptest! {
             let method = Ggsx::build(&store, GgsxConfig::default());
             IgqEngine::new(
                 method,
-                IgqConfig { cache_capacity: capacity, window, maintenance, ..Default::default() },
-            )
+                IgqConfig { cache_capacity: capacity, window: window.min(capacity), maintenance, ..Default::default() },
+            ).expect("valid engine")
         };
-        let mut inc = mk(MaintenanceMode::Incremental);
-        let mut shadow = mk(MaintenanceMode::ShadowRebuild);
+        let inc = mk(MaintenanceMode::Incremental);
+        let shadow = mk(MaintenanceMode::ShadowRebuild);
         for q in &queries {
             let a = inc.query(q);
             let b = shadow.query(q);
@@ -137,10 +137,10 @@ proptest! {
             IgqSuperEngine::new(
                 method,
                 IgqConfig { cache_capacity: capacity, window: 1, maintenance, ..Default::default() },
-            )
+            ).expect("valid engine")
         };
-        let mut inc = mk(MaintenanceMode::Incremental);
-        let mut shadow = mk(MaintenanceMode::ShadowRebuild);
+        let inc = mk(MaintenanceMode::Incremental);
+        let shadow = mk(MaintenanceMode::ShadowRebuild);
         for q in &queries {
             let a = inc.query(q);
             let b = shadow.query(q);
@@ -162,10 +162,10 @@ proptest! {
     ) {
         let shapes = [qa, qb, qc];
         let method = Ggsx::build(&store, GgsxConfig::default());
-        let mut engine = IgqEngine::new(
+        let engine = IgqEngine::new(
             method,
             IgqConfig { cache_capacity: 3, window: 1, ..Default::default() },
-        );
+        ).expect("valid engine");
         for &i in &pattern {
             let q = &shapes[i];
             let out = engine.query(q);

@@ -16,14 +16,15 @@ fn store() -> Arc<GraphStore> {
 fn cache_never_exceeds_capacity() {
     let s = store();
     let method = Ggsx::build(&s, GgsxConfig::default());
-    let mut engine = IgqEngine::new(
+    let engine = IgqEngine::new(
         method,
         IgqConfig {
             cache_capacity: 12,
             window: 4,
             ..Default::default()
         },
-    );
+    )
+    .expect("valid engine");
     let mut generator = QueryGenerator::new(&s, Distribution::Uniform, Distribution::Uniform, 3);
     for q in generator.take(120) {
         let _ = engine.query(&q);
@@ -37,14 +38,15 @@ fn cache_never_exceeds_capacity() {
 fn popular_queries_survive_replacement() {
     let s = store();
     let method = Ggsx::build(&s, GgsxConfig::default());
-    let mut engine = IgqEngine::new(
+    let engine = IgqEngine::new(
         method,
         IgqConfig {
             cache_capacity: 4,
             window: 2,
             ..Default::default()
         },
-    );
+    )
+    .expect("valid engine");
 
     // The "hot" query: asked again and again (as a subgraph of variants, so
     // it accrues hits + prune credit, not just exact repeats).
@@ -79,14 +81,15 @@ fn popular_queries_survive_replacement() {
 fn window_size_one_maintains_every_query() {
     let s = store();
     let method = Ggsx::build(&s, GgsxConfig::default());
-    let mut engine = IgqEngine::new(
+    let engine = IgqEngine::new(
         method,
         IgqConfig {
             cache_capacity: 6,
             window: 1,
             ..Default::default()
         },
-    );
+    )
+    .expect("valid engine");
     let mut generator = QueryGenerator::new(&s, Distribution::Uniform, Distribution::Uniform, 8);
     let queries = generator.take(10);
     for q in &queries {
@@ -102,14 +105,15 @@ fn engine_runs_are_deterministic() {
     let s = store();
     let run = || {
         let method = Ggsx::build(&s, GgsxConfig::default());
-        let mut engine = IgqEngine::new(
+        let engine = IgqEngine::new(
             method,
             IgqConfig {
                 cache_capacity: 10,
                 window: 3,
                 ..Default::default()
             },
-        );
+        )
+        .expect("valid engine");
         let mut generator =
             QueryGenerator::new(&s, Distribution::Zipf(1.4), Distribution::Zipf(1.4), 21);
         let mut tests = 0u64;
@@ -133,14 +137,15 @@ fn engine_runs_are_deterministic() {
 fn flush_window_makes_cache_visible_immediately() {
     let s = store();
     let method = Ggsx::build(&s, GgsxConfig::default());
-    let mut engine = IgqEngine::new(
+    let engine = IgqEngine::new(
         method,
         IgqConfig {
             cache_capacity: 50,
             window: 40,
             ..Default::default()
         },
-    );
+    )
+    .expect("valid engine");
     let q = bfs_extract(s.get(GraphId::new(3)), VertexId::new(1), 8);
     let _ = engine.query(&q);
     assert_eq!(engine.cached_queries(), 0); // sits in the window
