@@ -1,0 +1,6 @@
+//! Restart-cost experiment: cold cache rebuild vs checkpoint + WAL-replay
+//! recovery (archives `BENCH_persistence.json`).
+fn main() {
+    let opts = igq_bench::ExpOptions::from_env();
+    igq_bench::experiments::persistence::run(&opts).emit();
+}

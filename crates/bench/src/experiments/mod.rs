@@ -8,6 +8,7 @@ pub mod extensions;
 pub mod groups;
 pub mod index_sizes;
 pub mod maintenance;
+pub mod persistence;
 pub mod policy_ablation;
 pub mod speedups;
 pub mod supergraph_demo;

@@ -1,6 +1,6 @@
 //! Subcommand implementations for the `igq` CLI.
 
-use igq_core::{IgqConfig, IgqEngine, IgqSuperEngine, MaintenanceMode};
+use igq_core::{CacheStore, DirStore, IgqConfig, IgqEngine, IgqSuperEngine, MaintenanceMode};
 use igq_features::PathConfig;
 use igq_graph::stats::DatasetStats;
 use igq_graph::{io, GraphStore};
@@ -140,14 +140,59 @@ fn build_method(name: &str, store: &Arc<GraphStore>) -> Result<Box<dyn SubgraphM
     })
 }
 
-/// `igq query`: run a query file against a dataset.
-pub fn query(args: &[String]) -> CmdResult {
+/// `igq save`: run a workload like `igq query` and persist the resulting
+/// engine state (checkpoint + WAL) into `--store-dir`.
+pub fn save(args: &[String]) -> CmdResult {
     let (flags, _) = parse_flags(args);
+    if !flags.contains_key("store-dir") {
+        return Err("save requires --store-dir <dir>".into());
+    }
+    query(args)
+}
+
+/// `igq load`: warm-restart an engine from `--store-dir` and report what
+/// was recovered; with `--queries` it also runs the workload warm
+/// (equivalent to `igq query --store-dir`).
+pub fn load(args: &[String]) -> CmdResult {
+    let (flags, _) = parse_flags(args);
+    if !flags.contains_key("store-dir") {
+        return Err("load requires --store-dir <dir>".into());
+    }
+    if flags.contains_key("queries") {
+        return query(args);
+    }
     let dataset_path = flags.get("dataset").ok_or("--dataset is required")?;
-    let queries_path = flags.get("queries").ok_or("--queries is required")?;
-    let method_name = flags.get("method").map(String::as_str).unwrap_or("ggsx");
-    let use_igq = !flags.contains_key("no-igq");
-    let verbose = flags.contains_key("verbose");
+    let dir = flags.get("store-dir").expect("checked above");
+    let store = Arc::new(load_store(dataset_path)?);
+    let method = build_method(
+        flags.get("method").map(String::as_str).unwrap_or("ggsx"),
+        &store,
+    )?;
+    let config = engine_config(&flags)?;
+    let t = Instant::now();
+    let disk: Arc<dyn CacheStore> =
+        Arc::new(DirStore::open(dir).map_err(|e| format!("cannot open store {dir}: {e}"))?);
+    let engine = IgqEngine::open(method, config, disk)
+        .map_err(|e| format!("cannot recover engine from {dir}: {e}"))?;
+    let s = engine.stats();
+    println!(
+        "recovered {} cached queries from {dir} in {:.2?} ({} WAL windows replayed)",
+        engine.cached_queries(),
+        t.elapsed(),
+        s.recovery_replayed_windows
+    );
+    engine
+        .self_check()
+        .map_err(|e| format!("recovered engine failed self-check: {e}"))?;
+    println!("self-check passed");
+    Ok(())
+}
+
+/// Builds the iGQ engine config from the shared CLI flags (`--cache`,
+/// `--window`, `--maintenance`, `--max-lag`). `save`/`load` must be run
+/// with the same values (the store's config fingerprint covers cache
+/// geometry).
+fn engine_config(flags: &HashMap<String, String>) -> Result<IgqConfig, String> {
     let cache: usize = flags
         .get("cache")
         .map(|s| s.parse())
@@ -177,7 +222,50 @@ pub fn query(args: &[String]) -> CmdResult {
             _ => return Err("--max-lag expects an integer ≥ 1".into()),
         },
     };
+    IgqConfig::builder()
+        .cache_capacity(cache)
+        .window(window)
+        .maintenance(maintenance)
+        .max_lag_windows(max_lag_windows)
+        .build()
+        .map_err(|e| format!("invalid iGQ configuration: {e}"))
+}
+
+/// Prints what a store-attached engine recovered at open.
+fn report_recovery(durable: bool, cached: usize, stats: &igq_core::EngineStats) {
+    if durable {
+        println!(
+            "store: recovered {cached} cached queries ({} WAL windows replayed)",
+            stats.recovery_replayed_windows
+        );
+    }
+}
+
+/// Final checkpoint for `--store-dir` runs (captures the pending window
+/// too, so nothing processed this session is lost).
+fn persist_final<E: igq_core::QueryEngine>(engine: &E, store_dir: Option<&String>) -> CmdResult {
+    let Some(dir) = store_dir else { return Ok(()) };
+    engine
+        .checkpoint()
+        .map_err(|e| format!("final checkpoint failed: {e}"))?;
+    let s = engine.stats();
+    println!(
+        "store: checkpoint written to {dir} ({} WAL appends this run, {:.2?} checkpointing)",
+        s.wal_appends, s.checkpoint_time
+    );
+    Ok(())
+}
+
+/// `igq query`: run a query file against a dataset.
+pub fn query(args: &[String]) -> CmdResult {
+    let (flags, _) = parse_flags(args);
+    let dataset_path = flags.get("dataset").ok_or("--dataset is required")?;
+    let queries_path = flags.get("queries").ok_or("--queries is required")?;
+    let method_name = flags.get("method").map(String::as_str).unwrap_or("ggsx");
+    let use_igq = !flags.contains_key("no-igq");
+    let verbose = flags.contains_key("verbose");
     let supergraph = flags.contains_key("supergraph");
+    let store_dir = flags.get("store-dir");
 
     let store = Arc::new(load_store(dataset_path)?);
     let queries = load_store(queries_path)?;
@@ -189,13 +277,16 @@ pub fn query(args: &[String]) -> CmdResult {
     );
 
     let t_index = Instant::now();
-    let config = IgqConfig::builder()
-        .cache_capacity(cache)
-        .window(window)
-        .maintenance(maintenance)
-        .max_lag_windows(max_lag_windows)
-        .build()
-        .map_err(|e| format!("invalid iGQ configuration: {e}"))?;
+    let config = engine_config(&flags)?;
+    let maintenance = config.maintenance;
+    // Durable mode: the engine is recovered from (and keeps updating) a
+    // checkpoint + WAL store on disk.
+    let disk: Option<Arc<dyn CacheStore>> = match store_dir {
+        Some(dir) => Some(Arc::new(
+            DirStore::open(dir).map_err(|e| format!("cannot open store {dir}: {e}"))?,
+        )),
+        None => None,
+    };
     let mut total_answers = 0usize;
     let mut total_tests = 0u64;
     let t_queries;
@@ -206,8 +297,13 @@ pub fn query(args: &[String]) -> CmdResult {
         println!("index built in {:.2?}", t_index.elapsed());
         t_queries = Instant::now();
         if use_igq {
-            let engine = IgqSuperEngine::new(method, config)
-                .map_err(|e| format!("invalid iGQ configuration: {e}"))?;
+            let engine = match &disk {
+                Some(d) => IgqSuperEngine::open(method, config, Arc::clone(d))
+                    .map_err(|e| format!("cannot recover engine: {e}"))?,
+                None => IgqSuperEngine::new(method, config)
+                    .map_err(|e| format!("invalid iGQ configuration: {e}"))?,
+            };
+            report_recovery(disk.is_some(), engine.cached_queries(), &engine.stats());
             for (qid, q) in queries.iter() {
                 let out = engine.query(q);
                 total_answers += out.answers.len();
@@ -220,6 +316,7 @@ pub fn query(args: &[String]) -> CmdResult {
                     );
                 }
             }
+            persist_final(&engine, store_dir)?;
         } else {
             for (qid, q) in queries.iter() {
                 let (answers, tests) = method.query_super(q);
@@ -239,8 +336,13 @@ pub fn query(args: &[String]) -> CmdResult {
         );
         t_queries = Instant::now();
         if use_igq {
-            let engine = IgqEngine::new(method, config)
-                .map_err(|e| format!("invalid iGQ configuration: {e}"))?;
+            let engine = match &disk {
+                Some(d) => IgqEngine::open(method, config, Arc::clone(d))
+                    .map_err(|e| format!("cannot recover engine: {e}"))?,
+                None => IgqEngine::new(method, config)
+                    .map_err(|e| format!("invalid iGQ configuration: {e}"))?,
+            };
+            report_recovery(disk.is_some(), engine.cached_queries(), &engine.stats());
             for (qid, q) in queries.iter() {
                 let out = engine.query(q);
                 total_answers += out.answers.len();
@@ -275,6 +377,7 @@ pub fn query(args: &[String]) -> CmdResult {
                     s.maintenance_time
                 );
             }
+            persist_final(&engine, store_dir)?;
         } else {
             for (qid, q) in queries.iter() {
                 let (answers, tests) = method.query(q);
@@ -408,6 +511,62 @@ mod tests {
             "--supergraph",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn save_then_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("igq_cli_persist_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let db = dir.join("db.gfu");
+        let qf = dir.join("q.gfu");
+        let sd = dir.join("state");
+        generate(&s(&[
+            "--kind",
+            "aids",
+            "--count",
+            "40",
+            "--seed",
+            "3",
+            "--out",
+            db.to_str().unwrap(),
+        ]))
+        .unwrap();
+        generate(&s(&[
+            "--kind",
+            "aids",
+            "--count",
+            "5",
+            "--seed",
+            "3",
+            "--out",
+            qf.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let base = [
+            "--dataset",
+            db.to_str().unwrap(),
+            "--cache",
+            "16",
+            "--window",
+            "4",
+            "--store-dir",
+            sd.to_str().unwrap(),
+        ];
+        // save → kill (process state gone) → load (summary) → load+query.
+        let mut save_args = base.to_vec();
+        save_args.extend(["--queries", qf.to_str().unwrap()]);
+        save(&s(&save_args)).unwrap();
+        load(&s(&base)).unwrap();
+        load(&s(&save_args)).unwrap();
+        // Both subcommands demand a store directory.
+        assert!(save(&s(&["--dataset", db.to_str().unwrap()])).is_err());
+        assert!(load(&s(&["--dataset", db.to_str().unwrap()])).is_err());
+        // A mismatched geometry is rejected, not silently cold-started.
+        let mut wrong = base.to_vec();
+        wrong[3] = "32"; // different --cache
+        assert!(load(&s(&wrong)).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

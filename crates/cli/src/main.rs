@@ -8,7 +8,17 @@
 //! igq query    --dataset db.gfu --queries q.gfu [--method ggsx|grapes|grapes6|ctindex|gcode]
 //!              [--no-igq] [--cache 500] [--window 100] [--supergraph]
 //!              [--maintenance incremental|shadow|background] [--max-lag 2]
+//!              [--store-dir state/]
+//! igq save     --dataset db.gfu --queries q.gfu --store-dir state/   # query + checkpoint
+//! igq load     --dataset db.gfu --store-dir state/ [--queries q.gfu] # warm restart
 //! ```
+//!
+//! `--store-dir` makes the engine durable: it is recovered from the
+//! directory's checkpoint + WAL on start (empty directory = cold start),
+//! appends one WAL record per window flip while serving, and writes a
+//! final checkpoint on exit. `save`/`load` are the explicit spellings of
+//! the two halves; both must use the same `--cache`/`--window`/`--method`
+//! configuration (the store is fingerprinted).
 //!
 //! Datasets and queries are exchanged in the GFU-like text format of
 //! `igq_graph::io` (the format the GraphGrepSX/Grapes distributions use).
@@ -23,6 +33,8 @@ fn main() -> ExitCode {
         Some("generate") => commands::generate(&args[1..]),
         Some("stats") => commands::stats(&args[1..]),
         Some("query") => commands::query(&args[1..]),
+        Some("save") => commands::save(&args[1..]),
+        Some("load") => commands::load(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -57,6 +69,13 @@ fn print_usage() {
                      [--max-lag <K>]     background mode: max unapplied windows\n\
                                          before a query blocks (default 2)\n\
                      [--supergraph]      supergraph semantics (contained graphs)\n\
-                     [--verbose]         per-query output"
+                     [--store-dir <dir>] durable engine: recover from <dir>'s\n\
+                                         checkpoint + WAL, keep it updated, and\n\
+                                         checkpoint on exit\n\
+                     [--verbose]         per-query output\n\
+           igq save  --dataset <db.gfu> --queries <q.gfu> --store-dir <dir> [...]\n\
+                     run the workload and persist the warm engine state\n\
+           igq load  --dataset <db.gfu> --store-dir <dir> [--queries <q.gfu>] [...]\n\
+                     warm-restart from <dir> (same --cache/--window as save)"
     );
 }

@@ -158,6 +158,12 @@ pub trait QueryEngine: Send + Sync {
     /// (no-op in the synchronous modes).
     fn sync_maintenance(&self);
 
+    /// Writes a checkpoint to the attached
+    /// [`CacheStore`](crate::persist::CacheStore) and compacts the WAL
+    /// (no-op `Ok` for engines constructed without a store). See
+    /// [`Engine::checkpoint`].
+    fn checkpoint(&self) -> Result<(), crate::persist::PersistError>;
+
     /// Verifies internal invariants and index/cache agreement.
     fn self_check(&self) -> Result<(), String>;
 }
@@ -193,6 +199,10 @@ impl<D: crate::direction::QueryDirection> QueryEngine for crate::engine::Engine<
 
     fn sync_maintenance(&self) {
         Engine::sync_maintenance(self)
+    }
+
+    fn checkpoint(&self) -> Result<(), crate::persist::PersistError> {
+        Engine::checkpoint(self)
     }
 
     fn self_check(&self) -> Result<(), String> {

@@ -152,8 +152,22 @@ impl BackgroundMaintainer {
     /// `max_lag_windows` (≥ 1) bounds how many submitted-but-unapplied
     /// window deltas [`submit`](Self::submit) tolerates before blocking.
     pub fn spawn(path_config: PathConfig, max_lag_windows: usize) -> BackgroundMaintainer {
+        Self::spawn_seeded(path_config, max_lag_windows, IndexPair::empty(path_config))
+    }
+
+    /// [`spawn`](Self::spawn) with a pre-built index pair as the starting
+    /// state — the warm-restart path: `Engine::open` reconstitutes the
+    /// indexes from a checkpoint and hands them straight to the
+    /// maintainer, which publishes them immediately (probes see the warm
+    /// state before any job is applied) and seeds its writable buffer
+    /// with a copy, exactly as the double-buffer scheme requires.
+    pub fn spawn_seeded(
+        path_config: PathConfig,
+        max_lag_windows: usize,
+        initial: IndexPair,
+    ) -> BackgroundMaintainer {
         let shared = Arc::new(Shared {
-            published: ArcSwap::from_pointee(IndexPair::empty(path_config)),
+            published: ArcSwap::from_pointee(initial.clone()),
             submitted: AtomicU64::new(0),
             applied: AtomicU64::new(0),
             peak_lag: AtomicU64::new(0),
@@ -169,7 +183,7 @@ impl BackgroundMaintainer {
         let worker_shared = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
             .name("igq-maintainer".into())
-            .spawn(move || worker(rx, worker_shared, path_config))
+            .spawn(move || worker(rx, worker_shared, path_config, initial))
             .expect("spawn igq maintenance thread");
         BackgroundMaintainer {
             tx: Some(tx),
@@ -298,10 +312,12 @@ const SUBMIT_GATE_TICK: Duration = Duration::from_micros(20);
 /// buffer, publish it atomically, and recycle the previously published
 /// buffer one batch later (by which time the short-lived probe readers
 /// have released it).
-fn worker(rx: Receiver<Msg>, shared: Arc<Shared>, path_config: PathConfig) {
-    // The writable buffer for the very first batch; after the first
-    // publish the writable buffer is always reclaimed from `retired`.
-    let mut initial = Some(IndexPair::empty(path_config));
+fn worker(rx: Receiver<Msg>, shared: Arc<Shared>, path_config: PathConfig, seed: IndexPair) {
+    // The writable buffer for the very first batch (a copy of whatever
+    // was published at spawn — empty normally, the recovered indexes on a
+    // warm restart); after the first publish the writable buffer is
+    // always reclaimed from `retired`.
+    let mut initial = Some(seed);
     // The buffer retired by the last publish. Deliberately NOT recycled
     // right away: a probe that loaded it microseconds before the swap is
     // usually still running, and recycling now would hit the clone
@@ -515,6 +531,24 @@ mod tests {
         m.sync();
         assert_eq!(pinned.isub.len(), 2, "old snapshot immutable");
         assert_eq!(m.snapshot().isub.len(), 1, "new snapshot advanced");
+    }
+
+    #[test]
+    fn seeded_spawn_publishes_warm_state_immediately_and_extends_it() {
+        let mut pair = IndexPair::empty(PathConfig::default());
+        let g0 = Arc::new(graph_from(&[1, 2], &[(0, 1)]));
+        pair.isub.insert(0, Arc::clone(&g0));
+        pair.isuper.insert(0, g0);
+        let m = BackgroundMaintainer::spawn_seeded(PathConfig::default(), 2, pair);
+        // Warm state visible before any job was applied.
+        assert_eq!(m.snapshot().isub.len(), 1);
+        assert_eq!(m.snapshot().isuper.len(), 1);
+        // The first applied batch must build on the seed, not an empty
+        // buffer.
+        m.submit(job(vec![], vec![(1, graph_from(&[3, 4], &[(0, 1)]))]));
+        m.sync();
+        assert_eq!(m.snapshot().isub.len(), 2);
+        assert_eq!(m.snapshot().isuper.len(), 2);
     }
 
     #[test]

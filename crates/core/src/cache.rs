@@ -258,6 +258,112 @@ impl QueryCache {
         delta
     }
 
+    /// The free-slot stack, bottom first (persistence support: admissions
+    /// pop from the top, so the order is part of the cache's replayable
+    /// state).
+    pub(crate) fn free_slots(&self) -> &[usize] {
+        &self.free
+    }
+
+    /// The maintenance-round counter (seeds the pseudo-random replacement
+    /// policy, so it is part of the cache's replayable state).
+    pub(crate) fn round(&self) -> u64 {
+        self.maintenance_round
+    }
+
+    /// Reconstructs a cache from persisted state: the full slot geometry
+    /// (occupied entries, free-slot stack, table size) plus the
+    /// maintenance round. Validates that `free` and the occupied slots
+    /// partition `0..slot_count` exactly — corrupted geometry is reported,
+    /// not absorbed.
+    pub(crate) fn restore(
+        capacity: usize,
+        policy: ReplacementPolicy,
+        maintenance_round: u64,
+        slot_count: usize,
+        free: Vec<usize>,
+        entries: Vec<(usize, CacheEntry)>,
+    ) -> Result<QueryCache, String> {
+        if entries.len() > capacity {
+            return Err(format!(
+                "restored cache holds {} entries, over capacity {capacity}",
+                entries.len()
+            ));
+        }
+        if entries.len() + free.len() != slot_count {
+            return Err(format!(
+                "slot accounting broken: {} occupied + {} free != {slot_count} slots",
+                entries.len(),
+                free.len()
+            ));
+        }
+        let mut cache = QueryCache::with_policy(capacity, policy);
+        cache.maintenance_round = maintenance_round;
+        cache.slots = Vec::new();
+        cache.slots.resize_with(slot_count, || None);
+        for (slot, entry) in entries {
+            let dst = cache
+                .slots
+                .get_mut(slot)
+                .ok_or_else(|| format!("entry slot {slot} out of range ({slot_count} slots)"))?;
+            if dst.is_some() {
+                return Err(format!("slot {slot} restored twice"));
+            }
+            if let Some(code) = entry.code.clone() {
+                cache.code_index.insert(code, slot);
+            }
+            *dst = Some(entry);
+            cache.len += 1;
+        }
+        for &slot in &free {
+            if slot >= slot_count {
+                return Err(format!(
+                    "free slot {slot} out of range ({slot_count} slots)"
+                ));
+            }
+            if cache.slots[slot].is_some() {
+                return Err(format!("slot {slot} listed free but occupied"));
+            }
+        }
+        let mut seen: Vec<usize> = free.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        if seen.len() != free.len() {
+            return Err("free list contains duplicates".into());
+        }
+        cache.free = free;
+        Ok(cache)
+    }
+
+    /// Re-applies one *recorded* window flip during WAL replay: evicts
+    /// exactly the recorded slots (the replacement policy is not re-run)
+    /// and admits the recorded entries, verifying that the free-list
+    /// mechanics place each admission in its recorded slot — any
+    /// disagreement means the log does not match the cache state and is
+    /// reported as corruption.
+    pub(crate) fn replay_window(
+        &mut self,
+        evicted: &[usize],
+        admitted: Vec<(usize, CacheEntry)>,
+    ) -> Result<(), String> {
+        self.maintenance_round += 1;
+        for &slot in evicted {
+            if self.get(slot).is_none() {
+                return Err(format!("replayed eviction of free slot {slot}"));
+            }
+            self.evict(slot);
+        }
+        for (slot, entry) in admitted {
+            let got = self.admit(entry);
+            if got != slot {
+                return Err(format!(
+                    "replayed admission landed in slot {got}, log says {slot}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
     fn evict(&mut self, slot: usize) {
         let entry = self.slots[slot].take().expect("evicting a free slot");
         if let Some(code) = entry.code {
@@ -468,6 +574,92 @@ mod tests {
         assert!(one > 0);
         c.apply_window(vec![WindowEntry::bare(g(1), ids(&[1, 2, 3, 4]))]);
         assert!(c.heap_size_bytes() > one);
+    }
+
+    /// Clones a cache through the persistence surface: restore from its
+    /// exported geometry, as `Engine::open` does from a checkpoint.
+    fn restore_copy(c: &QueryCache) -> QueryCache {
+        QueryCache::restore(
+            c.capacity(),
+            c.policy(),
+            c.round(),
+            c.slot_count(),
+            c.free_slots().to_vec(),
+            c.iter().map(|(s, e)| (s, e.clone())).collect(),
+        )
+        .expect("valid geometry restores")
+    }
+
+    #[test]
+    fn restore_then_replay_tracks_the_live_cache() {
+        let mut live = QueryCache::new(2);
+        live.apply_window(vec![
+            WindowEntry::bare(g(0), ids(&[1])),
+            WindowEntry::bare(g(1), ids(&[2])),
+        ]);
+        // Protect slot 1 so the next window evicts slot 0 deterministically.
+        live.entry_mut(1).meta.tick();
+        live.entry_mut(1)
+            .meta
+            .record_hit(5, LogValue::from_linear(1e9));
+        let mut restored = restore_copy(&live);
+        assert_eq!(restored.len(), live.len());
+        assert_eq!(restored.round(), live.round());
+
+        // The live cache flips a window; the restored one replays the
+        // recorded delta — both must land in identical states.
+        let d = live.apply_window(vec![WindowEntry::bare(g(7), ids(&[3]))]);
+        let admitted: Vec<(usize, CacheEntry)> = d
+            .admitted
+            .iter()
+            .map(|&s| (s, live.entry(s).clone()))
+            .collect();
+        restored
+            .replay_window(&d.evicted, admitted)
+            .expect("replay follows the log");
+        assert_eq!(restored.round(), live.round());
+        assert_eq!(restored.free_slots(), live.free_slots());
+        let sig = |c: &QueryCache| -> Vec<(usize, GraphSignature)> {
+            c.iter().map(|(s, e)| (s, e.signature)).collect()
+        };
+        assert_eq!(sig(&restored), sig(&live));
+        let code7 = canonical_code(&g(7)).expect("small graph canonicalizes");
+        assert_eq!(restored.slot_with_code(&code7), live.slot_with_code(&code7));
+    }
+
+    #[test]
+    fn restore_rejects_broken_geometry() {
+        let mut c = QueryCache::new(2);
+        c.apply_window(vec![WindowEntry::bare(g(0), ids(&[1]))]);
+        let entries: Vec<(usize, CacheEntry)> = c.iter().map(|(s, e)| (s, e.clone())).collect();
+        // Free list overlaps an occupied slot.
+        assert!(QueryCache::restore(
+            2,
+            ReplacementPolicy::Utility,
+            1,
+            1,
+            vec![0],
+            entries.clone()
+        )
+        .is_err());
+        // Slot accounting does not cover the table.
+        assert!(
+            QueryCache::restore(2, ReplacementPolicy::Utility, 1, 5, vec![], entries.clone())
+                .is_err()
+        );
+        // Over capacity.
+        assert!(QueryCache::restore(0, ReplacementPolicy::Utility, 1, 1, vec![], entries).is_err());
+    }
+
+    #[test]
+    fn replay_rejects_divergent_slots() {
+        let mut c = QueryCache::new(2);
+        c.apply_window(vec![WindowEntry::bare(g(0), ids(&[1]))]);
+        let entry = c.entry(0).clone();
+        // Log claims the admission went to slot 7; mechanics put it at 1.
+        assert!(c.replay_window(&[], vec![(7, entry)]).is_err());
+        // Evicting a free slot is equally corrupt.
+        assert!(c.replay_window(&[5], vec![]).is_err());
     }
 
     #[test]

@@ -67,6 +67,11 @@ pub enum ConfigError {
     /// hold). The synchronous modes ignore the field but the bound is
     /// validated uniformly so a later mode switch cannot trip on it.
     ZeroLagBound,
+    /// [`PersistenceConfig::checkpoint_every_windows`] `== 0`: the
+    /// auto-checkpoint cadence would never fire, silently degrading the
+    /// store to WAL-only growth. Disable auto-checkpointing explicitly
+    /// with [`PersistenceConfig::manual`] instead.
+    ZeroCheckpointInterval,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -85,11 +90,67 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroLagBound => {
                 write!(f, "max_lag_windows must be >= 1 (0 would gate forever)")
             }
+            ConfigError::ZeroCheckpointInterval => write!(
+                f,
+                "checkpoint_every_windows must be >= 1 (use PersistenceConfig::manual \
+                 to disable auto-checkpointing explicitly)"
+            ),
         }
     }
 }
 
 impl std::error::Error for ConfigError {}
+
+/// Durability cadence for engines attached to a
+/// [`CacheStore`](crate::persist::CacheStore) via
+/// [`Engine::open`](crate::Engine::open). Ignored by engines constructed
+/// with `new` (no store, nothing to persist to).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PersistenceConfig {
+    /// Write a checkpoint automatically after this many window flips (WAL
+    /// records) since the last checkpoint; the WAL is compacted to the
+    /// post-checkpoint tail each time, bounding both recovery replay and
+    /// log size. `None` disables auto-checkpointing — durability then
+    /// rides on WAL appends plus explicit
+    /// [`checkpoint`](crate::Engine::checkpoint) calls. `Some(0)` is
+    /// rejected ([`ConfigError::ZeroCheckpointInterval`]).
+    ///
+    /// Cost model: the auto-checkpoint runs on the thread whose query
+    /// crossed the cadence — off the engine's state lock (other callers
+    /// keep serving), but that one caller pays the O(cache) snapshot and
+    /// the storage writes in its wall-clock. Lower cadences shorten
+    /// recovery replay; higher cadences shrink that periodic latency
+    /// blip. (A dedicated checkpoint thread is a noted follow-on.)
+    pub checkpoint_every_windows: Option<usize>,
+}
+
+impl Default for PersistenceConfig {
+    /// Checkpoint every 8 windows: frequent enough that recovery replays
+    /// at most a handful of flips, rare enough that the O(cache) snapshot
+    /// cost stays a small fraction of window work.
+    fn default() -> Self {
+        PersistenceConfig {
+            checkpoint_every_windows: Some(8),
+        }
+    }
+}
+
+impl PersistenceConfig {
+    /// Auto-checkpoint every `windows` flips (must be ≥ 1).
+    pub fn every(windows: usize) -> PersistenceConfig {
+        PersistenceConfig {
+            checkpoint_every_windows: Some(windows),
+        }
+    }
+
+    /// Explicit-checkpoint-only operation: the engine appends WAL records
+    /// at every flip but never snapshots on its own.
+    pub fn manual() -> PersistenceConfig {
+        PersistenceConfig {
+            checkpoint_every_windows: None,
+        }
+    }
+}
 
 /// Tunables of the iGQ engine (paper Sections 5 and 7.1).
 ///
@@ -160,6 +221,9 @@ pub struct IgqConfig {
     /// "use the machine's available parallelism"; `1` degenerates to a
     /// sequential loop.
     pub batch_threads: usize,
+    /// Durability cadence for store-attached engines (see
+    /// [`PersistenceConfig`]); inert without a store.
+    pub persistence: PersistenceConfig,
 }
 
 impl Default for IgqConfig {
@@ -175,6 +239,7 @@ impl Default for IgqConfig {
             max_lag_windows: 2,
             exact_fastpath: true,
             batch_threads: 0,
+            persistence: PersistenceConfig::default(),
         }
     }
 }
@@ -213,6 +278,9 @@ impl IgqConfig {
         }
         if self.max_lag_windows == 0 {
             return Err(ConfigError::ZeroLagBound);
+        }
+        if self.persistence.checkpoint_every_windows == Some(0) {
+            return Err(ConfigError::ZeroCheckpointInterval);
         }
         Ok(())
     }
@@ -302,6 +370,13 @@ impl IgqConfigBuilder {
         self
     }
 
+    /// Sets the durability cadence for store-attached engines (see
+    /// [`IgqConfig::persistence`] and [`PersistenceConfig`]).
+    pub fn persistence(mut self, persistence: PersistenceConfig) -> Self {
+        self.config.persistence = persistence;
+        self
+    }
+
     /// Validates and returns the config.
     pub fn build(self) -> Result<IgqConfig, ConfigError> {
         self.config.validate()?;
@@ -374,6 +449,30 @@ mod tests {
                 cache_capacity: 10
             }
         );
+    }
+
+    #[test]
+    fn persistence_cadence_validates_and_round_trips() {
+        let c = IgqConfig::builder()
+            .persistence(PersistenceConfig::every(3))
+            .build()
+            .expect("valid");
+        assert_eq!(c.persistence.checkpoint_every_windows, Some(3));
+        let manual = IgqConfig::builder()
+            .persistence(PersistenceConfig::manual())
+            .build()
+            .expect("manual is valid");
+        assert_eq!(manual.persistence.checkpoint_every_windows, None);
+        assert_eq!(
+            IgqConfig::builder()
+                .persistence(PersistenceConfig::every(0))
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroCheckpointInterval
+        );
+        assert!(ConfigError::ZeroCheckpointInterval
+            .to_string()
+            .contains("checkpoint_every_windows"));
     }
 
     #[test]

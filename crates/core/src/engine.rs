@@ -46,6 +46,19 @@
 //! [`crate::IgqSuperEngine`] (supergraph queries); the seed's duplicated
 //! per-direction pipelines are gone.
 //!
+//! # Durability
+//!
+//! An engine constructed with [`Engine::open`] over a
+//! [`CacheStore`](crate::persist::CacheStore) is **durable**: every
+//! window flip is captured as a WAL record (pushed under the state lock,
+//! appended to storage off it, riding the same outbox drain as
+//! background-maintenance jobs), checkpoints are written on a configured
+//! cadence ([`crate::config::PersistenceConfig`]) or explicitly
+//! ([`Engine::checkpoint`]), and a restart recovers the cache, both
+//! query indexes, and the replacement state warm — observationally
+//! identical to never restarting. See the [`crate::persist`] module docs
+//! for formats and the recovery protocol.
+//!
 //! Correctness (Theorems 1 and 2) is exercised end-to-end by the
 //! integration suite: the engine's answers are compared against the naive
 //! oracle on randomized workloads, in all maintenance modes, sequentially
@@ -56,16 +69,17 @@
 //! [`SubgraphMethod`]: igq_methods::SubgraphMethod
 
 use crate::api::{QueryOptions, QueryRequest, QueryResponse};
-use crate::background::{retain_current_slots, BackgroundMaintainer};
-use crate::cache::{QueryCache, WindowEntry};
+use crate::background::{retain_current_slots, BackgroundMaintainer, IndexPair};
+use crate::cache::{CacheEntry, QueryCache, WindowDelta, WindowEntry};
 use crate::config::{ConfigError, IgqConfig};
 use crate::direction::{QueryDirection, SubgraphQueries};
 use crate::isub::IsubIndex;
 use crate::isuper::IsuperIndex;
 use crate::maintain::MaintenanceJob;
 use crate::outcome::{QueryOutcome, Resolution};
+use crate::persist::{self, CacheStore, PersistError};
 use crate::stats::{AtomicEngineStats, EngineStats};
-use igq_features::{enumerate_paths, PathFeatures};
+use igq_features::{enumerate_paths, LabelSeq, PathFeatures};
 use igq_graph::canon::{canonical_code, CanonicalCode, GraphSignature};
 use igq_graph::stats::DatasetStats;
 use igq_graph::{Graph, GraphId};
@@ -74,6 +88,7 @@ use igq_methods::{intersect_sorted, subtract_sorted, Filtered};
 use parking_lot::{Mutex, RwLock};
 use std::collections::VecDeque;
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -94,6 +109,47 @@ struct LiveState {
     window: Vec<WindowEntry>,
     window_signatures: Vec<GraphSignature>,
     cost_model: CostModel,
+    /// Flip ordinal: how many non-empty window flips this engine's cache
+    /// has absorbed (including recovered history). Each persisted WAL
+    /// record carries the flip's `seq`; recovery resumes from the highest
+    /// replayed value.
+    seq: u64,
+}
+
+/// Persistence control for a store-attached engine ([`Engine::open`]).
+struct PersistCtl {
+    store: Arc<dyn CacheStore>,
+    config_fp: u64,
+    dataset_fp: u64,
+    /// Auto-checkpoint cadence in WAL appends; `None` = manual only.
+    checkpoint_every: Option<u64>,
+    /// WAL records appended since the last checkpoint (reset on
+    /// checkpoint to the compacted tail length).
+    appends_since_checkpoint: AtomicU64,
+    /// One checkpointer at a time; the auto path skips (try-lock) rather
+    /// than queue up behind an in-flight checkpoint.
+    checkpoint_lock: Mutex<()>,
+    /// Cleared when a WAL append fails: the on-disk log may end in a
+    /// partial record and is missing at least one flip, so further
+    /// appends would create a mid-log hole recovery must reject.
+    /// Appends stay suspended (dropped loudly) until a checkpoint — which
+    /// rewrites the WAL wholesale and re-covers every flip — succeeds.
+    wal_healthy: std::sync::atomic::AtomicBool,
+}
+
+/// What [`Engine::import_entries`] did with each input entry. Every entry
+/// is accounted for: `admitted + skipped_capacity + skipped_invalid`
+/// equals the input length — nothing is dropped silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImportReport {
+    /// Entries admitted into the cache (in input order).
+    pub admitted: usize,
+    /// Valid entries skipped because the batch exceeded the cache
+    /// capacity; the skipped entries are the **tail** of the valid input.
+    pub skipped_capacity: usize,
+    /// Entries rejected because an answer id lies outside this engine's
+    /// dataset (they cannot be correct here).
+    pub skipped_invalid: usize,
 }
 
 /// The unified, concurrently shareable iGQ engine; see the module docs.
@@ -123,6 +179,16 @@ pub struct Engine<D: QueryDirection> {
     /// [`Engine::self_check`] — because the gate clears without any
     /// engine lock).
     submit_lock: Mutex<()>,
+    /// Captured-but-not-yet-appended WAL records, in flip order — the
+    /// persistence twin of `outbox`: pushed under the state write lock
+    /// (record order = flip order), appended to the store in
+    /// [`Engine::drain_outbox`] after the lock is released, so storage
+    /// I/O never sits on the state lock. Empty for engines without a
+    /// [`CacheStore`].
+    wal_outbox: Mutex<VecDeque<persist::WalRecord>>,
+    /// `Some` iff the engine was attached to a [`CacheStore`] via
+    /// [`Engine::open`].
+    persist: Option<PersistCtl>,
     stats: AtomicEngineStats,
     _direction: PhantomData<fn() -> D>,
 }
@@ -136,11 +202,7 @@ impl<D: QueryDirection> Engine<D> {
     /// the builder would have raised.
     pub fn new(method: D::Method, config: IgqConfig) -> Result<Engine<D>, ConfigError> {
         config.validate()?;
-        let labels = if config.label_universe > 0 {
-            config.label_universe
-        } else {
-            DatasetStats::of(D::store(&method)).vertex_labels.max(1)
-        };
+        let labels = Self::resolve_labels(&method, &config);
         let state = LiveState {
             cache: QueryCache::with_policy(config.cache_capacity, config.policy),
             isub: IsubIndex::new(config.path_config),
@@ -148,18 +210,325 @@ impl<D: QueryDirection> Engine<D> {
             window: Vec::new(),
             window_signatures: Vec::new(),
             cost_model: CostModel::new(labels),
+            seq: 0,
         };
         let maintainer = BackgroundMaintainer::for_config(&config);
-        Ok(Engine {
+        Ok(Self::assemble(method, config, state, maintainer, None))
+    }
+
+    /// Label-universe size for the cost model: configured, or derived
+    /// from the dataset.
+    fn resolve_labels(method: &D::Method, config: &IgqConfig) -> usize {
+        if config.label_universe > 0 {
+            config.label_universe
+        } else {
+            DatasetStats::of(D::store(method)).vertex_labels.max(1)
+        }
+    }
+
+    fn assemble(
+        method: D::Method,
+        config: IgqConfig,
+        state: LiveState,
+        maintainer: Option<BackgroundMaintainer>,
+        persist: Option<PersistCtl>,
+    ) -> Engine<D> {
+        Engine {
             method,
             config,
             state: RwLock::new(state),
             maintainer,
             outbox: Mutex::new(VecDeque::new()),
             submit_lock: Mutex::new(()),
+            wal_outbox: Mutex::new(VecDeque::new()),
+            persist,
             stats: AtomicEngineStats::default(),
             _direction: PhantomData,
-        })
+        }
+    }
+
+    /// Opens a **durable** engine over `store`: recovers the cache, both
+    /// query indexes, the pending admission window, and the replacement
+    /// state from the last checkpoint plus the WAL tail, then keeps the
+    /// store up to date — one WAL record per window flip (appended off
+    /// the state lock, riding the maintenance outbox drain) and a fresh
+    /// checkpoint every [`PersistenceConfig::checkpoint_every_windows`]
+    /// flips (plus any explicit [`checkpoint`](Engine::checkpoint) call).
+    ///
+    /// A store written under a different config fingerprint (cache
+    /// geometry, path features, policy, label universe) or dataset is
+    /// rejected with a typed [`PersistError`] — recovered answers are
+    /// only exact against the state that produced them. A torn final WAL
+    /// record (crash mid-append) is dropped with a warning; any other
+    /// damage is an error, never a silent cold start. An empty store
+    /// yields a cold engine that is persistent from its first flip.
+    ///
+    /// The recovered engine is observationally identical to one that
+    /// never restarted, as of the last persisted flip (see the
+    /// [`persist`] module docs for the exact guarantee);
+    /// [`EngineStats::recovery_replayed_windows`] reports the replayed
+    /// tail length.
+    ///
+    /// [`PersistenceConfig::checkpoint_every_windows`]:
+    ///     crate::config::PersistenceConfig::checkpoint_every_windows
+    pub fn open(
+        method: D::Method,
+        config: IgqConfig,
+        store: Arc<dyn CacheStore>,
+    ) -> Result<Engine<D>, PersistError> {
+        config.validate()?;
+        let labels = Self::resolve_labels(&method, &config);
+        let config_fp = persist::config_fingerprint(&config, D::direction_name());
+        let dataset_fp = persist::dataset_fingerprint(D::store(&method));
+        let check_fps = |found_config: u64, found_dataset: u64| -> Result<(), PersistError> {
+            if found_config != config_fp {
+                return Err(PersistError::ConfigMismatch {
+                    expected: config_fp,
+                    found: found_config,
+                });
+            }
+            if found_dataset != dataset_fp {
+                return Err(PersistError::DatasetMismatch {
+                    expected: dataset_fp,
+                    found: found_dataset,
+                });
+            }
+            Ok(())
+        };
+
+        let checkpoint = match store.load_checkpoint()? {
+            Some(bytes) => {
+                let data = persist::decode_checkpoint(&bytes)?;
+                check_fps(data.config_fp, data.dataset_fp)?;
+                // The persisted label universe is derived from the same
+                // config + dataset the fingerprints cover; a disagreement
+                // means the artifact is internally inconsistent (the
+                // replacement metadata was accumulated under a different
+                // cost model).
+                if data.labels != labels {
+                    return Err(PersistError::Corrupt(format!(
+                        "checkpoint label universe {} does not match the engine's {labels}",
+                        data.labels
+                    )));
+                }
+                Some(data)
+            }
+            None => None,
+        };
+        let wal = persist::parse_wal(&store.load_wal()?)?;
+        if let Some(h) = &wal.header {
+            check_fps(h.config_fp, h.dataset_fp)?;
+        }
+        if wal.torn_tail {
+            eprintln!(
+                "igq: warning: WAL ends in a torn record (crash mid-append); \
+                 truncating to the last intact flip"
+            );
+        }
+
+        // Reconstitute the cache and both indexes from the checkpoint —
+        // no re-enumeration, no re-canonicalization: the persisted
+        // feature sets feed `insert_features` directly.
+        let path_config = config.path_config;
+        let mut isub = IsubIndex::new(path_config);
+        let mut isuper = IsuperIndex::new(path_config);
+        let mut seq = 0u64;
+        let (mut cache, window) = match checkpoint {
+            Some(data) => {
+                seq = data.seq;
+                let entries: Vec<(usize, CacheEntry)> = data
+                    .entries
+                    .iter()
+                    .map(|p| (p.slot, p.entry.clone()))
+                    .collect();
+                let cache = QueryCache::restore(
+                    config.cache_capacity,
+                    config.policy,
+                    data.round,
+                    data.slot_count,
+                    data.free,
+                    entries,
+                )
+                .map_err(PersistError::Corrupt)?;
+                for p in &data.entries {
+                    match &p.features {
+                        Some(f) => {
+                            let mut features = PathFeatures {
+                                complete_len: f.complete_len,
+                                ..PathFeatures::default()
+                            };
+                            for (seq_key, count) in &f.counts {
+                                features.counts.insert(seq_key.clone(), *count);
+                            }
+                            let keys: Arc<[LabelSeq]> = features.counts.keys().cloned().collect();
+                            isub.insert_features(
+                                p.slot,
+                                Arc::clone(&p.entry.graph),
+                                &features,
+                                Arc::clone(&keys),
+                            );
+                            isuper.insert_features(
+                                p.slot,
+                                Arc::clone(&p.entry.graph),
+                                &features,
+                                keys,
+                            );
+                        }
+                        // Older/foreign checkpoints without feature sets:
+                        // fall back to enumeration.
+                        None => {
+                            isub.insert(p.slot, Arc::clone(&p.entry.graph));
+                            isuper.insert(p.slot, Arc::clone(&p.entry.graph));
+                        }
+                    }
+                }
+                (cache, data.window)
+            }
+            None => (
+                QueryCache::with_policy(config.cache_capacity, config.policy),
+                Vec::new(),
+            ),
+        };
+
+        // Replay the WAL tail: recorded evictions/admissions re-applied
+        // verbatim (the policy is not re-run), indexes updated
+        // incrementally, the final record's metadata table restored last.
+        let mut replayed = 0u64;
+        let mut kept: Vec<persist::WalRecord> = Vec::new();
+        let mut last_metas: Option<Vec<(usize, crate::GraphMeta)>> = None;
+        for record in wal.records {
+            if record.seq <= seq {
+                continue; // subsumed by the checkpoint
+            }
+            if record.seq != seq + 1 {
+                return Err(PersistError::Corrupt(format!(
+                    "WAL sequence gap: expected flip {}, found {}",
+                    seq + 1,
+                    record.seq
+                )));
+            }
+            let admitted: Vec<(usize, CacheEntry)> = record
+                .admitted
+                .iter()
+                .map(|p| (p.slot, p.entry.clone()))
+                .collect();
+            cache
+                .replay_window(&record.evicted, admitted)
+                .map_err(PersistError::Corrupt)?;
+            for &slot in &record.evicted {
+                isub.remove(slot);
+                isuper.remove(slot);
+            }
+            for p in &record.admitted {
+                // WAL records carry no feature sets (they are the short
+                // tail); one enumeration feeds both indexes, exactly as a
+                // live flip would.
+                let features = enumerate_paths(&p.entry.graph, &path_config);
+                let keys: Arc<[LabelSeq]> = features.counts.keys().cloned().collect();
+                isub.insert_features(
+                    p.slot,
+                    Arc::clone(&p.entry.graph),
+                    &features,
+                    Arc::clone(&keys),
+                );
+                isuper.insert_features(p.slot, Arc::clone(&p.entry.graph), &features, keys);
+            }
+            seq = record.seq;
+            replayed += 1;
+            last_metas = Some(record.metas.clone());
+            kept.push(record);
+        }
+        if let Some(metas) = last_metas {
+            for (slot, meta) in metas {
+                match cache.get(slot) {
+                    Some(_) => cache.entry_mut(slot).meta = meta,
+                    None => {
+                        return Err(PersistError::Corrupt(format!(
+                            "WAL metadata for slot {slot}, which is not occupied after replay"
+                        )))
+                    }
+                }
+            }
+        }
+
+        // Compact the WAL to exactly the replayed tail (drops records the
+        // checkpoint subsumes and any torn bytes) and re-establish the
+        // header, so the file is clean from here on.
+        let header = persist::WalHeader {
+            config_fp,
+            dataset_fp,
+        };
+        let kept_refs: Vec<&persist::WalRecord> = kept.iter().collect();
+        store.replace_wal(&persist::encode_wal(&header, &kept_refs))?;
+
+        // The checkpoint's pending window is only current while no flip
+        // followed it: the first replayed WAL record's admission batch
+        // *contained* those entries (a flip drains the whole window), so
+        // keeping them would admit them a second time at the next flip —
+        // a duplicate resident the never-restarted engine does not have.
+        // After any replay the true state is "window empty as of the last
+        // flip" (entries enqueued after it are the documented loss
+        // window).
+        let mut window = window;
+        if replayed > 0 {
+            window.clear();
+        }
+        // Window signatures ride alongside the window entries; recompute
+        // any an old artifact did not carry.
+        let window_signatures: Vec<GraphSignature> = window
+            .iter_mut()
+            .map(|w| {
+                let sig = w.signature.unwrap_or_else(|| GraphSignature::of(&w.graph));
+                w.signature = Some(sig);
+                sig
+            })
+            .collect();
+
+        // Under background maintenance the maintainer owns the
+        // authoritative indexes: seed it with the recovered pair (warm
+        // state published immediately) and keep the engine-owned copies
+        // empty, exactly as in steady-state operation.
+        let background = matches!(
+            config.maintenance,
+            crate::config::MaintenanceMode::Background
+        );
+        let (live_isub, live_isuper, maintainer) = if background {
+            let pair = IndexPair { isub, isuper };
+            let maintainer =
+                BackgroundMaintainer::spawn_seeded(path_config, config.max_lag_windows, pair);
+            (
+                IsubIndex::new(path_config),
+                IsuperIndex::new(path_config),
+                Some(maintainer),
+            )
+        } else {
+            (isub, isuper, None)
+        };
+
+        let state = LiveState {
+            cache,
+            isub: live_isub,
+            isuper: live_isuper,
+            window,
+            window_signatures,
+            cost_model: CostModel::new(labels),
+            seq,
+        };
+        let ctl = PersistCtl {
+            store,
+            config_fp,
+            dataset_fp,
+            checkpoint_every: config
+                .persistence
+                .checkpoint_every_windows
+                .map(|n| n as u64),
+            appends_since_checkpoint: AtomicU64::new(kept_refs.len() as u64),
+            checkpoint_lock: Mutex::new(()),
+            wal_healthy: std::sync::atomic::AtomicBool::new(true),
+        };
+        let engine = Self::assemble(method, config, state, maintainer, Some(ctl));
+        engine.stats.set_recovery_replayed_windows(replayed);
+        Ok(engine)
     }
 
     /// Moves the engine behind a cheap cloneable [`crate::EngineHandle`]
@@ -494,6 +863,7 @@ impl<D: QueryDirection> Engine<D> {
             if maintained {
                 self.drain_outbox();
                 outcome.igq_time += maint_start.elapsed();
+                self.maybe_auto_checkpoint();
             }
             outcome.wall_time = wall_start.elapsed();
             self.stats.absorb(&outcome);
@@ -571,6 +941,9 @@ impl<D: QueryDirection> Engine<D> {
             self.drain_outbox();
         }
         outcome.igq_time += maint_start.elapsed();
+        if maintained {
+            self.maybe_auto_checkpoint();
+        }
 
         outcome.wall_time = wall_start.elapsed();
         self.stats.absorb(&outcome);
@@ -640,6 +1013,7 @@ impl<D: QueryDirection> Engine<D> {
             return;
         }
         self.stats.count_maintenance();
+        self.capture_wal(st, &delta);
         match &self.maintainer {
             Some(_) => {
                 // Capture under the state lock (job order = cache order);
@@ -668,6 +1042,36 @@ impl<D: QueryDirection> Engine<D> {
         }
     }
 
+    /// Captures one window flip as a WAL record (store-attached engines
+    /// only). Runs under the state write lock — right after the cache
+    /// changed, so the record reflects exactly this flip — but does **no
+    /// I/O**: the record is self-contained (entry clones, `Arc` graphs)
+    /// and waits in the WAL outbox for [`Engine::drain_outbox`]. Also
+    /// snapshots every resident's replacement metadata: recovery replays
+    /// evictions as recorded, but *future* evictions after a restart need
+    /// the same utility state the live engine had.
+    fn capture_wal(&self, st: &mut LiveState, delta: &WindowDelta) {
+        if self.persist.is_none() {
+            return;
+        }
+        st.seq += 1;
+        let record = persist::WalRecord {
+            seq: st.seq,
+            evicted: delta.evicted.clone(),
+            admitted: delta
+                .admitted
+                .iter()
+                .map(|&slot| persist::PersistedEntry {
+                    slot,
+                    entry: st.cache.entry(slot).clone(),
+                    features: None,
+                })
+                .collect(),
+            metas: st.cache.iter().map(|(slot, e)| (slot, e.meta)).collect(),
+        };
+        self.wal_outbox.lock().push_back(record);
+    }
+
     /// Submits every outbox job to the background maintainer, in capture
     /// order. Runs *without* the state lock: the bounded-lag gate inside
     /// [`BackgroundMaintainer::submit`] may sleep until the maintainer
@@ -680,14 +1084,53 @@ impl<D: QueryDirection> Engine<D> {
     /// holding the state *read* lock (the gate clears independently: the
     /// maintainer takes no engine lock). No-op in the synchronous modes.
     fn drain_outbox(&self) {
-        let Some(m) = &self.maintainer else { return };
+        if self.maintainer.is_none() && self.persist.is_none() {
+            return;
+        }
         // One drainer at a time: pops happen only under this lock, in
-        // FIFO order, so the submission order is the capture order.
+        // FIFO order, so submission/append order is the capture order.
         let _submitting = self.submit_lock.lock();
-        loop {
-            let job = self.outbox.lock().pop_front();
-            let Some(job) = job else { break };
-            m.submit(job);
+        if let Some(m) = &self.maintainer {
+            loop {
+                let job = self.outbox.lock().pop_front();
+                let Some(job) = job else { break };
+                m.submit(job);
+            }
+        }
+        if let Some(p) = &self.persist {
+            loop {
+                let record = self.wal_outbox.lock().pop_front();
+                let Some(record) = record else { break };
+                // After a failed append the log may end in a partial line
+                // and is missing a flip: appending *more* records would
+                // turn a tolerable torn tail into a mid-log hole that
+                // recovery must reject. Drop (loudly) instead; the next
+                // successful checkpoint rewrites the WAL and restores
+                // health. The engine keeps serving exactly either way —
+                // only durability of the dropped flips is lost.
+                if !p.wal_healthy.load(Ordering::Relaxed) {
+                    eprintln!(
+                        "igq: warning: dropping WAL record for flip {} (log unhealthy \
+                         until the next checkpoint)",
+                        record.seq
+                    );
+                    continue;
+                }
+                let bytes = persist::encode_wal_record(&record);
+                match p.store.append_wal(&bytes) {
+                    Ok(()) => {
+                        self.stats.count_wal_append();
+                        p.appends_since_checkpoint.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "igq: warning: WAL append failed ({e}); suspending WAL \
+                             appends until a checkpoint succeeds"
+                        );
+                        p.wal_healthy.store(false, Ordering::Relaxed);
+                    }
+                }
+            }
         }
     }
 
@@ -696,23 +1139,181 @@ impl<D: QueryDirection> Engine<D> {
     pub fn flush_window(&self) {
         self.run_maintenance(&mut self.state.write());
         self.drain_outbox();
+        self.maybe_auto_checkpoint();
     }
 
-    /// Exports the cached queries and their answer sets, e.g. to persist a
-    /// warm cache across sessions. Window contents are flushed first so
-    /// the export is complete.
-    pub fn export_cache(&self) -> Vec<(Graph, Vec<GraphId>)> {
-        let entries = {
-            let mut guard = self.state.write();
-            self.run_maintenance(&mut guard);
-            guard
-                .cache
-                .iter()
-                .map(|(_, e)| (e.graph.as_ref().clone(), e.answers.clone()))
-                .collect()
+    /// Writes a checkpoint to the attached [`CacheStore`] and compacts
+    /// the WAL to the post-checkpoint tail. The snapshot covers the full
+    /// durable state — cache, indexes (as per-slot feature sets), pending
+    /// window, replacement metadata, free-slot geometry — **without**
+    /// flushing the window or otherwise perturbing engine behavior, so a
+    /// checkpointed engine and an untouched one remain observationally
+    /// identical.
+    ///
+    /// State capture runs under the state *read* lock (concurrent queries
+    /// proceed; flips wait); encoding, storage I/O, and WAL compaction
+    /// run with no engine lock held. A no-op `Ok(())` for engines
+    /// constructed without a store ([`Engine::new`]).
+    pub fn checkpoint(&self) -> Result<(), PersistError> {
+        self.checkpoint_inner(true)
+    }
+
+    fn checkpoint_inner(&self, blocking: bool) -> Result<(), PersistError> {
+        let Some(p) = &self.persist else {
+            return Ok(());
         };
-        self.drain_outbox();
-        entries
+        let _one_at_a_time = if blocking {
+            p.checkpoint_lock.lock()
+        } else {
+            match p.checkpoint_lock.try_lock() {
+                Some(guard) => guard,
+                // An auto-checkpoint is already in flight; this flip's
+                // state will be covered by the next cadence hit.
+                None => return Ok(()),
+            }
+        };
+        let start = Instant::now();
+        let data = {
+            // Same discipline as `self_check`: under the read guard no
+            // flip can land, and drain + sync (both lock-free w.r.t. the
+            // state lock) bring the published snapshot to exactly this
+            // cache state so feature sets can be read from it.
+            let st = self.state.read();
+            self.drain_outbox();
+            self.sync_maintenance();
+            self.capture_state(&st, p.config_fp, p.dataset_fp)
+        };
+        let seq = data.seq;
+        let bytes = persist::encode_checkpoint(&data);
+        p.store.save_checkpoint(&bytes)?;
+        // Compact the WAL down to records the checkpoint does not cover.
+        // Under the submit lock no appender is concurrently writing, so
+        // the rewrite cannot drop a record newer than the checkpoint;
+        // captured-but-undrained records are safe either way (their seq
+        // decides replay). The compaction works on raw bytes (each line's
+        // seq read from its payload prefix, no per-record decode) because
+        // this section blocks WAL appends. It is also the recovery path
+        // for an unhealthy log (failed append earlier): every flip up to
+        // `seq` is covered by the checkpoint just written, and the
+        // rewrite drops the torn tail the failed append left behind.
+        let kept_len = {
+            let _submitting = self.submit_lock.lock();
+            let header = persist::WalHeader {
+                config_fp: p.config_fp,
+                dataset_fp: p.dataset_fp,
+            };
+            let (compacted, kept) = persist::compact_wal(&p.store.load_wal()?, seq, &header);
+            p.store.replace_wal(&compacted)?;
+            p.wal_healthy.store(true, Ordering::Relaxed);
+            kept
+        };
+        p.appends_since_checkpoint
+            .store(kept_len, Ordering::Relaxed);
+        self.stats.record_checkpoint(start.elapsed());
+        Ok(())
+    }
+
+    /// Auto-checkpoint when the configured cadence has elapsed. Called
+    /// off the state lock after outbox drains; failures are reported to
+    /// stderr (the engine keeps serving — an explicit
+    /// [`checkpoint`](Engine::checkpoint) call surfaces the error).
+    fn maybe_auto_checkpoint(&self) {
+        let Some(p) = &self.persist else { return };
+        let Some(every) = p.checkpoint_every else {
+            return;
+        };
+        // An unhealthy WAL (failed append) checkpoints immediately — the
+        // rewrite is what restores durability.
+        if p.wal_healthy.load(Ordering::Relaxed)
+            && p.appends_since_checkpoint.load(Ordering::Relaxed) < every
+        {
+            return;
+        }
+        if let Err(e) = self.checkpoint_inner(false) {
+            eprintln!("igq: warning: auto-checkpoint failed: {e}");
+        }
+    }
+
+    /// Snapshots the full durable state (the checkpoint payload and the
+    /// single serialization path behind [`Engine::checkpoint`] and
+    /// [`Engine::export_entries`]). Caller holds the state lock; under
+    /// background maintenance the caller must have synced the maintainer
+    /// first so per-slot feature sets can be read from the published
+    /// snapshot (a slot missing there falls back to re-enumeration).
+    fn capture_state(
+        &self,
+        st: &LiveState,
+        config_fp: u64,
+        dataset_fp: u64,
+    ) -> persist::CheckpointData {
+        let snap = self.maintainer.as_ref().map(|m| m.snapshot());
+        let index = match &snap {
+            Some(pair) => &pair.isub,
+            None => &st.isub,
+        };
+        let entries = st
+            .cache
+            .iter()
+            .map(|(slot, e)| persist::PersistedEntry {
+                slot,
+                entry: e.clone(),
+                features: Some(match index.slot_features(slot) {
+                    Some((counts, complete_len)) => persist::SlotFeatureSet {
+                        counts,
+                        complete_len,
+                    },
+                    None => {
+                        let f = enumerate_paths(&e.graph, &self.config.path_config);
+                        persist::SlotFeatureSet {
+                            counts: f.counts.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+                            complete_len: f.complete_len,
+                        }
+                    }
+                }),
+            })
+            .collect();
+        persist::CheckpointData {
+            seq: st.seq,
+            config_fp,
+            dataset_fp,
+            labels: st.cost_model.label_universe(),
+            round: st.cache.round(),
+            slot_count: st.cache.slot_count(),
+            free: st.cache.free_slots().to_vec(),
+            entries,
+            window: st.window.clone(),
+        }
+    }
+
+    /// Exports every cached `(query, answers)` pair — resident entries in
+    /// slot order, then pending window entries in arrival order — through
+    /// the same state capture the checkpoint uses. Does not mutate the
+    /// engine (in particular, the window is *not* flushed).
+    ///
+    /// Note for full-cache round-trips: [`Engine::import_entries`]
+    /// head-truncates at the target's capacity, so an export of `C`
+    /// residents plus `w` window entries imported into a same-capacity
+    /// engine reports the `w` window pairs as
+    /// [`skipped_capacity`](ImportReport::skipped_capacity). Call
+    /// [`flush_window`](Engine::flush_window) before exporting if the
+    /// replacement policy should arbitrate between residents and the
+    /// pending window instead.
+    pub fn export_entries(&self) -> Vec<(Graph, Vec<GraphId>)> {
+        let data = {
+            let st = self.state.read();
+            self.drain_outbox();
+            self.sync_maintenance();
+            self.capture_state(&st, 0, 0)
+        };
+        data.entries
+            .into_iter()
+            .map(|p| (p.entry.graph.as_ref().clone(), p.entry.answers))
+            .chain(
+                data.window
+                    .into_iter()
+                    .map(|w| (w.graph.as_ref().clone(), w.answers)),
+            )
+            .collect()
     }
 
     /// Seeds the cache with previously exported `(query, answers)` pairs
@@ -720,38 +1321,50 @@ impl<D: QueryDirection> Engine<D> {
     /// caller is responsible for the answers matching this engine's
     /// dataset (a mismatched import would violate the correctness
     /// guarantees, so entries whose answer ids exceed the dataset are
-    /// rejected).
+    /// rejected and reported in
+    /// [`skipped_invalid`](ImportReport::skipped_invalid)).
     ///
-    /// Returns the number of entries admitted.
-    pub fn import_cache(&self, entries: Vec<(Graph, Vec<GraphId>)>) -> usize {
+    /// **Truncation order**: valid entries are admitted in input order;
+    /// once `cache_capacity` of them have been taken, the *tail* of the
+    /// batch is skipped and reported in
+    /// [`skipped_capacity`](ImportReport::skipped_capacity) — nothing is
+    /// dropped silently. (Admitting into a non-empty cache may also evict
+    /// current residents per the replacement policy; that is regular
+    /// cache behavior, not a skip.) On a store-attached engine the import
+    /// is persisted like any window flip.
+    pub fn import_entries(&self, entries: Vec<(Graph, Vec<GraphId>)>) -> ImportReport {
         let n = D::store(&self.method).len() as u32;
+        let total = entries.len();
         let admissible: Vec<WindowEntry> = entries
             .into_iter()
             .filter(|(_, answers)| answers.iter().all(|id| id.raw() < n))
             .map(|(g, answers)| WindowEntry::bare(Arc::new(g), answers))
             .collect();
+        let skipped_invalid = total - admissible.len();
         let admitted = admissible.len().min(self.config.cache_capacity);
+        let skipped_capacity = admissible.len() - admitted;
         {
             let mut guard = self.state.write();
             let st = &mut *guard;
             let delta = st.cache.apply_window(admissible);
-            match &self.maintainer {
-                Some(_) => {
-                    if !delta.is_empty() {
+            if !delta.is_empty() {
+                self.capture_wal(st, &delta);
+                match &self.maintainer {
+                    Some(_) => {
                         self.outbox
                             .lock()
                             .push_back(MaintenanceJob::capture(&st.cache, &delta));
                     }
-                }
-                None => {
-                    crate::maintain::apply_delta(
-                        self.config.maintenance,
-                        self.config.path_config,
-                        &st.cache,
-                        &delta,
-                        &mut st.isub,
-                        &mut st.isuper,
-                    );
+                    None => {
+                        crate::maintain::apply_delta(
+                            self.config.maintenance,
+                            self.config.path_config,
+                            &st.cache,
+                            &delta,
+                            &mut st.isub,
+                            &mut st.isuper,
+                        );
+                    }
                 }
             }
         }
@@ -759,7 +1372,33 @@ impl<D: QueryDirection> Engine<D> {
         // probe-visible.
         self.drain_outbox();
         self.sync_maintenance();
-        admitted
+        self.maybe_auto_checkpoint();
+        ImportReport {
+            admitted,
+            skipped_capacity,
+            skipped_invalid,
+        }
+    }
+
+    /// Deprecated wrapper over [`Engine::export_entries`] that keeps the
+    /// legacy contract exactly: the window is **flushed first** (window
+    /// entries compete for cache slots under the replacement policy), so
+    /// a full round-trip through a same-capacity engine preserves the
+    /// freshest queries instead of head-truncating them away. The
+    /// non-mutating `export_entries` appends the pending window after the
+    /// residents instead; call `flush_window()` first if you want the
+    /// policy to arbitrate.
+    #[deprecated(note = "use `export_entries` (or `checkpoint` on a store-attached engine)")]
+    pub fn export_cache(&self) -> Vec<(Graph, Vec<GraphId>)> {
+        self.flush_window();
+        self.export_entries()
+    }
+
+    /// Deprecated wrapper over [`Engine::import_entries`] that reports
+    /// only the admitted count, silently discarding the skip breakdown.
+    #[deprecated(note = "use `import_entries`, which reports skipped entries")]
+    pub fn import_cache(&self, entries: Vec<(Graph, Vec<GraphId>)>) -> usize {
+        self.import_entries(entries).admitted
     }
 
     /// Debug/production sanity check: verifies the engine's internal
@@ -886,6 +1525,16 @@ impl<D: QueryDirection> Engine<D> {
                 probe_time,
             },
         )
+    }
+}
+
+impl<D: QueryDirection> Drop for Engine<D> {
+    /// Flushes any captured-but-unappended WAL records (and pending
+    /// maintenance jobs) so a clean shutdown loses no persisted flip.
+    /// Queries still in the window are covered only by an explicit
+    /// [`checkpoint`](Engine::checkpoint) before drop.
+    fn drop(&mut self) {
+        self.drain_outbox();
     }
 }
 
@@ -1237,11 +1886,14 @@ mod tests {
         let warm = engine();
         let q = graph_from(&[0, 1], &[(0, 1)]);
         let first = warm.query(&q);
-        let exported = warm.export_cache();
-        assert_eq!(exported.len(), 1);
+        let exported = warm.export_entries();
+        assert_eq!(exported.len(), 1, "window entries are exported too");
 
         let cold = engine();
-        assert_eq!(cold.import_cache(exported), 1);
+        let report = cold.import_entries(exported);
+        assert_eq!(report.admitted, 1);
+        assert_eq!(report.skipped_capacity, 0);
+        assert_eq!(report.skipped_invalid, 0);
         let out = cold.query(&q);
         assert_eq!(out.resolution, Resolution::ExactHit);
         assert_eq!(out.answers, first.answers);
@@ -1249,11 +1901,64 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_export_import_wrappers_still_work() {
+        let warm = engine();
+        let q = graph_from(&[0, 1], &[(0, 1)]);
+        let first = warm.query(&q);
+        let exported = warm.export_cache();
+        assert_eq!(exported.len(), 1);
+        let cold = engine();
+        assert_eq!(cold.import_cache(exported), 1);
+        assert_eq!(cold.query(&q).answers, first.answers);
+    }
+
+    #[test]
     fn import_rejects_out_of_range_answers() {
         let e = engine();
         let alien = vec![(graph_from(&[0, 1], &[(0, 1)]), vec![GraphId::new(999)])];
-        assert_eq!(e.import_cache(alien), 0);
+        let report = e.import_entries(alien);
+        assert_eq!(report.admitted, 0);
+        assert_eq!(report.skipped_invalid, 1);
         assert_eq!(e.cached_queries(), 0);
+    }
+
+    #[test]
+    fn import_reports_capacity_truncation_in_order() {
+        // Capacity 2, four valid entries: the first two are admitted, the
+        // tail is reported skipped — the documented truncation order.
+        let s = store();
+        let method = Ggsx::build(&s, GgsxConfig::default());
+        let e = IgqEngine::new(
+            method,
+            IgqConfig {
+                cache_capacity: 2,
+                window: 1,
+                ..Default::default()
+            },
+        )
+        .expect("valid engine");
+        let mk = |l: u32| (graph_from(&[l, l + 1], &[(0, 1)]), vec![GraphId::new(0)]);
+        let report = e.import_entries(vec![mk(0), mk(10), mk(20), mk(30)]);
+        assert_eq!(
+            report,
+            ImportReport {
+                admitted: 2,
+                skipped_capacity: 2,
+                skipped_invalid: 0
+            }
+        );
+        assert_eq!(e.cached_queries(), 2);
+        // The residents are the *head* of the batch.
+        let sigs: Vec<GraphSignature> = {
+            let exported = e.export_entries();
+            exported
+                .iter()
+                .map(|(g, _)| GraphSignature::of(g))
+                .collect()
+        };
+        assert!(sigs.contains(&GraphSignature::of(&mk(0).0)));
+        assert!(sigs.contains(&GraphSignature::of(&mk(10).0)));
     }
 
     fn workload() -> Vec<Graph> {
@@ -1502,12 +2207,12 @@ mod tests {
         let warm = engine_with_mode(MaintenanceMode::Background, 8, 2);
         let q = graph_from(&[0, 1], &[(0, 1)]);
         let first = warm.query(&q);
-        let exported = warm.export_cache();
+        let exported = warm.export_entries();
         assert_eq!(exported.len(), 1);
 
         let cold = engine_with_mode(MaintenanceMode::Background, 8, 2);
-        assert_eq!(cold.import_cache(exported), 1);
-        // import_cache syncs, so the warm entries are immediately
+        assert_eq!(cold.import_entries(exported).admitted, 1);
+        // import_entries syncs, so the warm entries are immediately
         // probe-visible even with the exact fast path disabled.
         let out = cold.query(&q);
         assert_eq!(out.resolution, Resolution::ExactHit);
@@ -1538,6 +2243,172 @@ mod tests {
             inc.igq_index_size_bytes(),
             "same cache contents must report the same iGQ footprint"
         );
+    }
+
+    fn open_engine(
+        s: &Arc<GraphStore>,
+        store: &Arc<crate::MemStore>,
+        mode: MaintenanceMode,
+    ) -> IgqEngine<Ggsx> {
+        let method = Ggsx::build(s, GgsxConfig::default());
+        IgqEngine::open(
+            method,
+            IgqConfig {
+                cache_capacity: 8,
+                window: 2,
+                maintenance: mode,
+                persistence: crate::PersistenceConfig::manual(),
+                ..Default::default()
+            },
+            Arc::clone(store) as Arc<dyn crate::CacheStore>,
+        )
+        .expect("open")
+    }
+
+    #[test]
+    fn open_checkpoint_reopen_serves_warm_state() {
+        let s = store();
+        let mem = Arc::new(crate::MemStore::new());
+        let q = graph_from(&[0, 1], &[(0, 1)]);
+        let first_answers;
+        {
+            let e1 = open_engine(&s, &mem, MaintenanceMode::Incremental);
+            first_answers = e1.query(&q).answers.clone();
+            let _ = e1.query(&graph_from(&[2, 2], &[(0, 1)])); // flip W=2
+            assert!(e1.stats().wal_appends >= 1, "flip appended a WAL record");
+            e1.checkpoint().expect("checkpoint");
+            assert!(e1.stats().checkpoint_time > std::time::Duration::ZERO);
+        }
+        assert!(mem.checkpoint_bytes() > 0);
+
+        let e2 = open_engine(&s, &mem, MaintenanceMode::Incremental);
+        assert_eq!(
+            e2.stats().recovery_replayed_windows,
+            0,
+            "checkpoint covered every flip; WAL tail empty"
+        );
+        assert_eq!(e2.cached_queries(), 2);
+        let repeat = e2.query(&q);
+        assert_eq!(repeat.resolution, Resolution::ExactHit);
+        assert_eq!(repeat.answers, first_answers);
+        e2.self_check().expect("recovered engine invariants");
+    }
+
+    #[test]
+    fn wal_only_recovery_replays_flips_without_a_checkpoint() {
+        let s = store();
+        let mem = Arc::new(crate::MemStore::new());
+        {
+            let e1 = open_engine(&s, &mem, MaintenanceMode::Incremental);
+            for q in workload() {
+                let _ = e1.query(&q);
+            }
+            // Dropped without ever checkpointing: durability rides on the
+            // WAL alone (the Drop drains pending appends).
+        }
+        assert_eq!(mem.checkpoint_bytes(), 0);
+        assert!(mem.wal_bytes() > 0);
+        let e2 = open_engine(&s, &mem, MaintenanceMode::Incremental);
+        assert!(e2.stats().recovery_replayed_windows >= 1);
+        assert!(e2.cached_queries() >= 1);
+        e2.self_check().expect("replayed engine invariants");
+    }
+
+    #[test]
+    fn open_rejects_foreign_config_and_dataset() {
+        let s = store();
+        let mem = Arc::new(crate::MemStore::new());
+        {
+            let e = open_engine(&s, &mem, MaintenanceMode::Incremental);
+            let _ = e.query(&graph_from(&[0, 1], &[(0, 1)]));
+            let _ = e.query(&graph_from(&[2, 2], &[(0, 1)]));
+            e.checkpoint().expect("checkpoint");
+        }
+        // Different cache geometry → config fingerprint mismatch.
+        let method = Ggsx::build(&s, GgsxConfig::default());
+        let err = IgqEngine::<Ggsx>::open(
+            method,
+            IgqConfig {
+                cache_capacity: 16,
+                window: 2,
+                persistence: crate::PersistenceConfig::manual(),
+                ..Default::default()
+            },
+            Arc::clone(&mem) as Arc<dyn crate::CacheStore>,
+        )
+        .err()
+        .expect("mismatched config rejected");
+        assert!(matches!(err, PersistError::ConfigMismatch { .. }), "{err}");
+        // Different dataset → dataset fingerprint mismatch.
+        let other: Arc<GraphStore> =
+            Arc::new(vec![graph_from(&[5, 6], &[(0, 1)])].into_iter().collect());
+        let err = open_engine_err(&other, &mem);
+        assert!(matches!(err, PersistError::DatasetMismatch { .. }), "{err}");
+    }
+
+    fn open_engine_err(s: &Arc<GraphStore>, mem: &Arc<crate::MemStore>) -> PersistError {
+        let method = Ggsx::build(s, GgsxConfig::default());
+        IgqEngine::<Ggsx>::open(
+            method,
+            IgqConfig {
+                cache_capacity: 8,
+                window: 2,
+                persistence: crate::PersistenceConfig::manual(),
+                ..Default::default()
+            },
+            Arc::clone(mem) as Arc<dyn crate::CacheStore>,
+        )
+        .err()
+        .expect("open must fail")
+    }
+
+    #[test]
+    fn auto_checkpoint_fires_on_cadence() {
+        let s = store();
+        let mem = Arc::new(crate::MemStore::new());
+        let method = Ggsx::build(&s, GgsxConfig::default());
+        let e = IgqEngine::<Ggsx>::open(
+            method,
+            IgqConfig {
+                cache_capacity: 8,
+                window: 1,
+                persistence: crate::PersistenceConfig::every(2),
+                ..Default::default()
+            },
+            Arc::clone(&mem) as Arc<dyn crate::CacheStore>,
+        )
+        .expect("open");
+        let _ = e.query(&graph_from(&[0, 1], &[(0, 1)]));
+        assert_eq!(mem.checkpoint_bytes(), 0, "below cadence: WAL only");
+        let _ = e.query(&graph_from(&[2, 2], &[(0, 1)]));
+        assert!(
+            mem.checkpoint_bytes() > 0,
+            "second flip crossed the cadence and auto-checkpointed"
+        );
+        // Compaction keeps the WAL to the post-checkpoint tail.
+        let parsed_wal = mem.raw_wal();
+        assert!(parsed_wal.len() < 2048, "compacted WAL stays small");
+    }
+
+    #[test]
+    fn background_mode_recovers_with_published_snapshot() {
+        let s = store();
+        let mem = Arc::new(crate::MemStore::new());
+        {
+            let e1 = open_engine(&s, &mem, MaintenanceMode::Background);
+            let big = graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]);
+            let _ = e1.query(&big);
+            let _ = e1.query(&graph_from(&[2, 2], &[(0, 1)])); // flip
+            e1.checkpoint().expect("checkpoint");
+        }
+        let e2 = open_engine(&s, &mem, MaintenanceMode::Background);
+        // The recovered indexes are published before any job: probes hit
+        // without any sync.
+        let small = graph_from(&[0, 1], &[(0, 1)]);
+        let out = e2.query(&small);
+        assert!(out.isub_hits >= 1, "warm snapshot serves probe hits");
+        assert_eq!(out.answers, ids(&[0, 1, 3]));
+        e2.self_check().expect("recovered background engine");
     }
 
     #[test]

@@ -143,6 +143,23 @@ impl IsubIndex {
             .map(|e| &e.graph)
     }
 
+    /// The distinct feature sequences indexed for `slot` with their live
+    /// occurrence counts, plus the slot's exhaustively enumerated depth —
+    /// the normalized per-slot index state the persistence layer
+    /// checkpoints (so recovery can re-insert without re-enumerating the
+    /// graph). `None` when the slot is not indexed. Both indexes hold the
+    /// same feature multiset per slot, so reading one side suffices.
+    pub fn slot_features(&self, slot: usize) -> Option<(Vec<(LabelSeq, u32)>, usize)> {
+        let entry = self.slots.get(slot).and_then(Option::as_ref)?;
+        let id = GraphId::from_index(slot);
+        let counts = entry
+            .features
+            .iter()
+            .map(|seq| (seq.clone(), self.trie.count_in(seq, id)))
+            .collect();
+        Some((counts, entry.complete_len as usize))
+    }
+
     /// Cache slots whose graph is a (verified) supergraph of `q`, plus the
     /// iGQ-internal iso work performed. `qf` is the query's path-feature
     /// set, extracted once by the engine and shared across the base filter

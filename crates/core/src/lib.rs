@@ -30,7 +30,12 @@
 //!   engine, the [`QueryEngine`] trait for direction-agnostic clients,
 //!   typed [`QueryRequest`]/[`QueryResponse`] wrappers, batch fan-out
 //!   ([`QueryEngine::query_batch`]), and the cloneable [`EngineHandle`]
-//!   for serving queries from many threads at once.
+//!   for serving queries from many threads at once;
+//! * durability ([`persist`]): [`Engine::open`] over a [`CacheStore`]
+//!   ([`DirStore`]/[`MemStore`]) recovers a warm engine from a versioned,
+//!   checksummed checkpoint plus a window-delta write-ahead log, with
+//!   config-driven auto-checkpointing ([`PersistenceConfig`]) and typed
+//!   [`PersistError`]s.
 //!
 //! Configuration goes through the validating [`IgqConfig::builder`];
 //! invalid combinations surface as typed [`ConfigError`]s at build or
@@ -96,6 +101,7 @@ pub mod isuper;
 pub mod maintain;
 pub mod metadata;
 pub mod outcome;
+pub mod persist;
 pub mod policy;
 pub mod stats;
 pub mod super_engine;
@@ -105,13 +111,14 @@ pub use api::{
 };
 pub use background::{BackgroundMaintainer, IndexPair, MaintainerStats};
 pub use cache::{CacheEntry, QueryCache, WindowDelta};
-pub use config::{ConfigError, IgqConfig, IgqConfigBuilder, MaintenanceMode};
+pub use config::{ConfigError, IgqConfig, IgqConfigBuilder, MaintenanceMode, PersistenceConfig};
 pub use direction::{QueryDirection, SubgraphQueries, SupergraphQueries};
-pub use engine::{Engine, IgqEngine};
+pub use engine::{Engine, IgqEngine, ImportReport};
 pub use isub::{IndexSnapshot, IsubIndex};
 pub use isuper::IsuperIndex;
 pub use metadata::GraphMeta;
 pub use outcome::{QueryOutcome, Resolution};
+pub use persist::{CacheStore, DirStore, MemStore, PersistError};
 pub use policy::ReplacementPolicy;
 pub use stats::EngineStats;
 pub use super_engine::IgqSuperEngine;

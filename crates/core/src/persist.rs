@@ -1,0 +1,1531 @@
+//! Durable engine state: the [`CacheStore`] storage abstraction, the
+//! versioned checkpoint + window-delta write-ahead log (WAL) encoding, and
+//! the typed [`PersistError`] the whole persistence surface reports.
+//!
+//! # Why
+//!
+//! The paper's central asset is the *accumulated* query cache and its
+//! `Isub`/`Isuper` indexes; losing them on restart forfeits exactly the
+//! work iGQ exists to amortize. This module makes durability part of the
+//! engine API: [`crate::Engine::open`] recovers a warm engine from the
+//! last checkpoint plus the WAL tail instead of rebuilding from scratch,
+//! and [`crate::Engine::checkpoint`] (or the config-driven auto-checkpoint,
+//! [`crate::config::PersistenceConfig`]) writes new recovery points.
+//!
+//! # On-disk layout
+//!
+//! A [`CacheStore`] holds two logical files:
+//!
+//! * **Checkpoint** — one self-contained snapshot of the engine's durable
+//!   state: every cached entry (graph, sorted answers, WL signature,
+//!   canonical code, replacement metadata, and its enumerated path-feature
+//!   multiset so recovery can rebuild both query indexes *without*
+//!   re-enumerating or re-canonicalizing anything), the pending admission
+//!   window, the cache's free-slot list and maintenance round, and the
+//!   flip sequence number the snapshot covers. The byte format is a
+//!   header line `IGQCKPT1 <fnv64-hex> <len>` followed by a JSON payload;
+//!   the checksum covers the payload. [`DirStore`] writes it via
+//!   temp-file + atomic rename, so a crashed checkpoint can never replace
+//!   a good one with a torn file.
+//! * **WAL** — an append-only log of window flips. Each record is one
+//!   line, `R <fnv64-hex> <len> <json>`, carrying the flip's sequence
+//!   number, the evicted slots, the admitted entries (graph + answers +
+//!   signature + code), and the post-flip replacement metadata of every
+//!   resident. The first line is a header record (`H ...`) binding the
+//!   log to a config/dataset fingerprint pair. Records are appended by
+//!   the engine's outbox drain — off the engine's state lock — in flip
+//!   order.
+//!
+//! # Recovery protocol
+//!
+//! [`crate::Engine::open`] loads the checkpoint (if any), verifies its
+//! version, checksum, and config/dataset fingerprints, then replays every
+//! WAL record with `seq` greater than the checkpoint's: evictions and
+//! admissions are re-applied to the cache **as recorded** (the replacement
+//! policy is not re-run), both query indexes are updated incrementally,
+//! and the final record's metadata table restores the replacement state.
+//! A torn *final* WAL record — the signature of a crash mid-append — is
+//! truncated with a warning; any other inconsistency (mid-log corruption,
+//! checksum or fingerprint mismatch, a sequence gap) is a typed
+//! [`PersistError`], never a silent fallback. After recovery the WAL is
+//! compacted to exactly the replayed tail.
+//!
+//! # Equivalence guarantee
+//!
+//! Recovery restores the complete decision-relevant state as of the last
+//! persisted flip: cache contents *and* slot geometry (free-list order,
+//! maintenance round — both feed the replacement policy), replacement
+//! metadata, pending window, and index postings. An engine recovered at a
+//! flip boundary is therefore observationally identical to one that never
+//! restarted — the property `tests/persistence.rs` establishes with a
+//! randomized proptest across all maintenance modes and both query
+//! directions. Queries processed *after* the last flip and the last
+//! explicit checkpoint are the durability loss window.
+
+use crate::cache::{CacheEntry, WindowEntry};
+use crate::config::ConfigError;
+use crate::metadata::GraphMeta;
+use igq_features::LabelSeq;
+use igq_graph::canon::{CanonicalCode, GraphSignature};
+use igq_graph::{Graph, GraphId, GraphStore, LabelId};
+use igq_iso::LogValue;
+use parking_lot::Mutex;
+use serde_json::{json, FromJson, ToJson, Value};
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Checkpoint format version this build writes and reads.
+pub const CHECKPOINT_VERSION: u64 = 1;
+/// WAL format version this build writes and reads.
+pub const WAL_VERSION: u64 = 1;
+
+const CKPT_MAGIC: &str = "IGQCKPT1";
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Why persistence failed: storage I/O, a damaged artifact, or an artifact
+/// that belongs to a different engine configuration or dataset.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The underlying storage failed (filesystem error, permission, ...).
+    Io(std::io::Error),
+    /// The artifact is structurally damaged in a way a torn final WAL
+    /// record cannot explain: unparseable JSON, a mid-log torn record, a
+    /// sequence gap, or internally inconsistent state.
+    Corrupt(String),
+    /// A checksum did not match its payload.
+    Checksum {
+        /// Checksum stored in the artifact header.
+        expected: u64,
+        /// Checksum recomputed over the payload.
+        found: u64,
+    },
+    /// The artifact was written by an unsupported format version.
+    UnsupportedVersion {
+        /// Version found in the artifact.
+        found: u64,
+        /// Version this build supports.
+        supported: u64,
+    },
+    /// The artifact was produced under a different engine configuration
+    /// (cache capacity, window, path features, policy, or label universe).
+    ConfigMismatch {
+        /// Fingerprint of the opening engine's configuration.
+        expected: u64,
+        /// Fingerprint stored in the artifact.
+        found: u64,
+    },
+    /// The artifact's answers belong to a different dataset; importing
+    /// them would violate the engine's exactness guarantees.
+    DatasetMismatch {
+        /// Fingerprint of the opening engine's dataset.
+        expected: u64,
+        /// Fingerprint stored in the artifact.
+        found: u64,
+    },
+    /// The engine configuration itself was invalid (persistence never
+    /// started).
+    Config(ConfigError),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "storage i/o error: {e}"),
+            PersistError::Corrupt(m) => write!(f, "corrupt persisted state: {m}"),
+            PersistError::Checksum { expected, found } => write!(
+                f,
+                "checksum mismatch: header says {expected:016x}, payload hashes to {found:016x}"
+            ),
+            PersistError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported format version {found} (this build supports {supported})"
+            ),
+            PersistError::ConfigMismatch { expected, found } => write!(
+                f,
+                "config fingerprint mismatch: engine {expected:016x} vs stored {found:016x} \
+                 (query direction, cache capacity, window, path features, policy, and label \
+                 universe must match)"
+            ),
+            PersistError::DatasetMismatch { expected, found } => write!(
+                f,
+                "dataset fingerprint mismatch: engine {expected:016x} vs stored {found:016x} \
+                 (persisted answers are only valid against the dataset that produced them)"
+            ),
+            PersistError::Config(e) => write!(f, "invalid engine configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> PersistError {
+        PersistError::Io(e)
+    }
+}
+
+impl From<ConfigError> for PersistError {
+    fn from(e: ConfigError) -> PersistError {
+        PersistError::Config(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> PersistError {
+        PersistError::Corrupt(e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The storage abstraction
+// ---------------------------------------------------------------------------
+
+/// Storage backend for one engine's durable state: a single checkpoint
+/// slot plus an append-only WAL.
+///
+/// Implementations must make [`save_checkpoint`](CacheStore::save_checkpoint)
+/// and [`replace_wal`](CacheStore::replace_wal) *atomic* with respect to
+/// crashes (readers see either the old or the new bytes, never a mix) —
+/// [`DirStore`] uses temp-file + rename. [`append_wal`] only needs ordinary
+/// append semantics; a crash mid-append produces a torn final record,
+/// which recovery tolerates by design.
+///
+/// [`append_wal`]: CacheStore::append_wal
+pub trait CacheStore: Send + Sync + fmt::Debug {
+    /// Reads the current checkpoint, or `None` when none was ever saved.
+    fn load_checkpoint(&self) -> Result<Option<Vec<u8>>, PersistError>;
+
+    /// Atomically replaces the checkpoint with `bytes`.
+    fn save_checkpoint(&self, bytes: &[u8]) -> Result<(), PersistError>;
+
+    /// Reads the whole WAL (empty vector when none exists).
+    fn load_wal(&self) -> Result<Vec<u8>, PersistError>;
+
+    /// Appends one encoded record (including its trailing newline).
+    fn append_wal(&self, record: &[u8]) -> Result<(), PersistError>;
+
+    /// Atomically replaces the whole WAL (compaction after a checkpoint
+    /// or recovery).
+    fn replace_wal(&self, bytes: &[u8]) -> Result<(), PersistError>;
+}
+
+/// Filesystem-backed [`CacheStore`]: a directory holding `checkpoint.igq`
+/// and `wal.igq`. Checkpoint and WAL replacement go through a sibling
+/// temp file + `rename` (with the file and its directory fsynced), so
+/// crashes never leave a half-written artifact in place; WAL appends are
+/// fsynced individually, so a flip is durable against power loss once
+/// its drain returns.
+///
+/// **Single writer**: a store directory belongs to one live engine at a
+/// time. Opening the same directory from a second engine (or process)
+/// while the first is appending interleaves compactions with appends and
+/// will be detected as corruption on the next recovery — coordinate
+/// externally if multiple processes share a directory.
+#[derive(Debug)]
+pub struct DirStore {
+    dir: PathBuf,
+}
+
+impl DirStore {
+    /// Opens (creating if needed) the store directory.
+    pub fn open(dir: impl AsRef<Path>) -> Result<DirStore, PersistError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        Ok(DirStore { dir })
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn checkpoint_path(&self) -> PathBuf {
+        self.dir.join("checkpoint.igq")
+    }
+
+    fn wal_path(&self) -> PathBuf {
+        self.dir.join("wal.igq")
+    }
+
+    fn write_atomic(&self, target: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+        let tmp = target.with_extension("igq.tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, target)?;
+        // Make the rename itself durable: fsync the directory entry (best
+        // effort — not every filesystem supports opening a directory).
+        if let Ok(d) = fs::File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    }
+}
+
+impl CacheStore for DirStore {
+    fn load_checkpoint(&self) -> Result<Option<Vec<u8>>, PersistError> {
+        match fs::read(self.checkpoint_path()) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn save_checkpoint(&self, bytes: &[u8]) -> Result<(), PersistError> {
+        self.write_atomic(&self.checkpoint_path(), bytes)
+    }
+
+    fn load_wal(&self) -> Result<Vec<u8>, PersistError> {
+        match fs::read(self.wal_path()) {
+            Ok(bytes) => Ok(bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn append_wal(&self, record: &[u8]) -> Result<(), PersistError> {
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.wal_path())?;
+        f.write_all(record)?;
+        // One fsync per window flip (appends are per-flip, not per-query):
+        // the flip is durable against power loss once the drain returns.
+        f.sync_all()?;
+        Ok(())
+    }
+
+    fn replace_wal(&self, bytes: &[u8]) -> Result<(), PersistError> {
+        self.write_atomic(&self.wal_path(), bytes)
+    }
+}
+
+/// In-memory [`CacheStore`] for tests and benchmarks: the "filesystem" is
+/// two byte buffers behind a mutex. Share one across "sessions" via
+/// `Arc<MemStore>`, or [`fork`](MemStore::fork) an independent copy to
+/// simulate a restart from a point-in-time snapshot.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    inner: Mutex<MemStoreInner>,
+}
+
+#[derive(Debug, Default)]
+struct MemStoreInner {
+    checkpoint: Option<Vec<u8>>,
+    wal: Vec<u8>,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> MemStore {
+        MemStore::default()
+    }
+
+    /// An independent deep copy of the current contents (a point-in-time
+    /// "disk image" — useful for opening a second engine from the state a
+    /// first engine had at this moment).
+    pub fn fork(&self) -> MemStore {
+        let inner = self.inner.lock();
+        MemStore {
+            inner: Mutex::new(MemStoreInner {
+                checkpoint: inner.checkpoint.clone(),
+                wal: inner.wal.clone(),
+            }),
+        }
+    }
+
+    /// Size of the current checkpoint in bytes (0 when none).
+    pub fn checkpoint_bytes(&self) -> usize {
+        self.inner.lock().checkpoint.as_ref().map_or(0, Vec::len)
+    }
+
+    /// Size of the current WAL in bytes.
+    pub fn wal_bytes(&self) -> usize {
+        self.inner.lock().wal.len()
+    }
+
+    /// Overwrites the checkpoint bytes directly (corruption-injection
+    /// tests).
+    pub fn set_checkpoint(&self, bytes: Option<Vec<u8>>) {
+        self.inner.lock().checkpoint = bytes;
+    }
+
+    /// Returns a copy of the raw WAL bytes (corruption-injection tests).
+    pub fn raw_wal(&self) -> Vec<u8> {
+        self.inner.lock().wal.clone()
+    }
+
+    /// Overwrites the WAL bytes directly (corruption-injection tests).
+    pub fn set_wal(&self, bytes: Vec<u8>) {
+        self.inner.lock().wal = bytes;
+    }
+}
+
+impl CacheStore for MemStore {
+    fn load_checkpoint(&self) -> Result<Option<Vec<u8>>, PersistError> {
+        Ok(self.inner.lock().checkpoint.clone())
+    }
+
+    fn save_checkpoint(&self, bytes: &[u8]) -> Result<(), PersistError> {
+        self.inner.lock().checkpoint = Some(bytes.to_vec());
+        Ok(())
+    }
+
+    fn load_wal(&self) -> Result<Vec<u8>, PersistError> {
+        Ok(self.inner.lock().wal.clone())
+    }
+
+    fn append_wal(&self, record: &[u8]) -> Result<(), PersistError> {
+        self.inner.lock().wal.extend_from_slice(record);
+        Ok(())
+    }
+
+    fn replace_wal(&self, bytes: &[u8]) -> Result<(), PersistError> {
+        self.inner.lock().wal = bytes.to_vec();
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprints and checksums
+// ---------------------------------------------------------------------------
+
+/// FNV-1a over a byte slice — the artifact checksum. Not cryptographic;
+/// it guards against truncation and bit rot, not adversaries.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn fnv_fold(h: u64, v: u64) -> u64 {
+    let mut h = h;
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprint of the config fields that determine whether persisted
+/// state is compatible: the query **direction** (a subgraph engine's
+/// cached answer sets mean the opposite of a supergraph engine's), cache
+/// geometry (`C`, `W`), the path-feature family both query indexes are
+/// built from, the replacement policy (whose counters the artifacts
+/// carry), and the configured label universe (the cost model's scale).
+/// Deliberately *excludes* runtime tunables that do not change the
+/// durable state's meaning — maintenance mode, lag bound, probe
+/// threading, batch width, fast-path toggle, and the checkpoint cadence —
+/// so a deployment can change those across restarts without invalidating
+/// its store.
+pub(crate) fn config_fingerprint(config: &crate::IgqConfig, direction: &str) -> u64 {
+    let mut h = fnv1a64(b"igq-config-v1");
+    h = fnv_fold(h, fnv1a64(direction.as_bytes()));
+    h = fnv_fold(h, config.cache_capacity as u64);
+    h = fnv_fold(h, config.window as u64);
+    h = fnv_fold(h, config.path_config.max_len as u64);
+    h = fnv_fold(h, config.path_config.include_vertices as u64);
+    h = fnv_fold(h, config.path_config.budget);
+    h = fnv_fold(h, fnv1a64(config.policy.name().as_bytes()));
+    h = fnv_fold(h, config.label_universe as u64);
+    h
+}
+
+/// Structural fingerprint of a dataset: graph count plus, per graph, the
+/// vertex labels and every edge (endpoints and edge label). Persisted
+/// answers are graph *ids* whose correctness depends on the exact graph
+/// structure, so any edit — a different file, regenerated data, a
+/// reordered store, a single rewired or relabeled edge — must change the
+/// fingerprint. One O(V + E) pass at engine open.
+pub(crate) fn dataset_fingerprint(store: &GraphStore) -> u64 {
+    let mut h = fnv1a64(b"igq-dataset-v1");
+    h = fnv_fold(h, store.len() as u64);
+    for (_, g) in store.iter() {
+        h = fnv_fold(h, g.vertex_count() as u64);
+        h = fnv_fold(h, g.edge_count() as u64);
+        // Vertex labels folded positionally (a sum would let label
+        // permutations collide, and answers are not permutation-safe).
+        for v in g.vertices() {
+            h = fnv_fold(h, g.label(v).raw() as u64);
+        }
+        if g.has_edge_labels() {
+            for ((u, v), l) in g.labeled_edges() {
+                h = fnv_fold(h, ((u.raw() as u64) << 32) | v.raw() as u64);
+                h = fnv_fold(h, l.raw() as u64);
+            }
+        } else {
+            for &(u, v) in g.edges() {
+                h = fnv_fold(h, ((u.raw() as u64) << 32) | v.raw() as u64);
+            }
+        }
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Durable state model (crate-internal)
+// ---------------------------------------------------------------------------
+
+/// One cached slot's enumerated path features, persisted so recovery can
+/// rebuild the query indexes without re-enumerating any graph.
+#[derive(Debug, Clone)]
+pub(crate) struct SlotFeatureSet {
+    /// Distinct canonical label sequences with occurrence counts.
+    pub counts: Vec<(LabelSeq, u32)>,
+    /// Deepest exhaustively enumerated path length.
+    pub complete_len: usize,
+}
+
+/// One persisted cache entry: the slot it occupies plus everything the
+/// live [`CacheEntry`] holds, with its feature set alongside.
+#[derive(Debug, Clone)]
+pub(crate) struct PersistedEntry {
+    pub slot: usize,
+    pub entry: CacheEntry,
+    /// `None` in WAL records (recovery re-enumerates the short tail);
+    /// always present in checkpoints.
+    pub features: Option<SlotFeatureSet>,
+}
+
+/// The checkpoint's decoded payload.
+#[derive(Debug, Clone)]
+pub(crate) struct CheckpointData {
+    /// Window flips covered by this snapshot; WAL records with `seq`
+    /// beyond it are the replay tail.
+    pub seq: u64,
+    /// Fingerprint of the writing engine's config.
+    pub config_fp: u64,
+    /// Fingerprint of the writing engine's dataset.
+    pub dataset_fp: u64,
+    /// Resolved label-universe size of the writing engine's cost model.
+    pub labels: usize,
+    /// The cache's maintenance-round counter.
+    pub round: u64,
+    /// Size of the cache's slot table.
+    pub slot_count: usize,
+    /// Free-slot stack, bottom first (order feeds future admissions).
+    pub free: Vec<usize>,
+    /// Occupied slots.
+    pub entries: Vec<PersistedEntry>,
+    /// Pending admission window (`Itemp`), in arrival order.
+    pub window: Vec<WindowEntry>,
+}
+
+/// One WAL record: everything a window flip changed.
+#[derive(Debug, Clone)]
+pub(crate) struct WalRecord {
+    /// Flip ordinal (1-based, contiguous).
+    pub seq: u64,
+    /// Slots whose occupant was evicted, in eviction order.
+    pub evicted: Vec<usize>,
+    /// Admitted entries, in admission order (no feature sets — replay
+    /// re-enumerates the tail).
+    pub admitted: Vec<PersistedEntry>,
+    /// Post-flip replacement metadata of every resident slot. Replay
+    /// applies the *last* record's table; earlier tables are superseded.
+    pub metas: Vec<(usize, GraphMeta)>,
+}
+
+/// The WAL's decoded header.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WalHeader {
+    pub config_fp: u64,
+    pub dataset_fp: u64,
+}
+
+/// The outcome of parsing a WAL byte stream.
+#[derive(Debug)]
+pub(crate) struct WalParse {
+    /// `None` for an empty (never-written) WAL.
+    pub header: Option<WalHeader>,
+    /// Every intact record, in file order.
+    pub records: Vec<WalRecord>,
+    /// `true` when a torn final record was dropped (crash mid-append).
+    pub torn_tail: bool,
+}
+
+// ---------------------------------------------------------------------------
+// JSON codec helpers
+// ---------------------------------------------------------------------------
+
+fn field<'v>(v: &'v Value, name: &str) -> Result<&'v Value, PersistError> {
+    match v.get(name) {
+        Some(f) => Ok(f),
+        None => Err(PersistError::Corrupt(format!("missing field {name:?}"))),
+    }
+}
+
+fn u64_field(v: &Value, name: &str) -> Result<u64, PersistError> {
+    field(v, name)?
+        .as_u64()
+        .ok_or_else(|| PersistError::Corrupt(format!("field {name:?} is not an unsigned integer")))
+}
+
+fn usize_field(v: &Value, name: &str) -> Result<usize, PersistError> {
+    Ok(u64_field(v, name)? as usize)
+}
+
+fn array_field<'v>(v: &'v Value, name: &str) -> Result<&'v Vec<Value>, PersistError> {
+    field(v, name)?
+        .as_array()
+        .ok_or_else(|| PersistError::Corrupt(format!("field {name:?} is not an array")))
+}
+
+fn meta_to_json(m: &GraphMeta) -> Value {
+    json!({
+        "hits": m.hits,
+        "seen": m.queries_seen,
+        "removed": m.removed,
+        // LogValue is an `f64` exponent that can legitimately be -inf
+        // (never-hit entries); JSON has no -inf, so the exact bit pattern
+        // is stored instead.
+        "cost_bits": m.cost_alleviated.ln().to_bits(),
+        "last": m.last_hit_at,
+    })
+}
+
+fn meta_from_json(v: &Value) -> Result<GraphMeta, PersistError> {
+    Ok(GraphMeta {
+        hits: u64_field(v, "hits")?,
+        queries_seen: u64_field(v, "seen")?,
+        removed: u64_field(v, "removed")?,
+        cost_alleviated: LogValue::from_ln(f64::from_bits(u64_field(v, "cost_bits")?)),
+        last_hit_at: u64_field(v, "last")?,
+    })
+}
+
+fn sig_to_json(s: &GraphSignature) -> Value {
+    json!({ "v": s.vertices, "e": s.edges, "h": s.wl_hash })
+}
+
+fn sig_from_json(v: &Value) -> Result<GraphSignature, PersistError> {
+    Ok(GraphSignature {
+        vertices: u64_field(v, "v")? as u32,
+        edges: u64_field(v, "e")? as u32,
+        wl_hash: u64_field(v, "h")?,
+    })
+}
+
+fn code_to_json(code: &Option<CanonicalCode>) -> Value {
+    match code {
+        None => Value::Null,
+        Some(c) => c.words().to_vec().to_json(),
+    }
+}
+
+fn code_from_json(v: &Value) -> Result<Option<CanonicalCode>, PersistError> {
+    match v {
+        Value::Null => Ok(None),
+        other => {
+            let words: Vec<u64> = FromJson::from_json(other)?;
+            Ok(Some(CanonicalCode::from_words(words)))
+        }
+    }
+}
+
+/// Compact flat-text form of a graph: `"l,l,l|u-v,u-v"` (vertex labels,
+/// then edges; labeled edges append `:e` per edge). Checkpoints hold one
+/// graph per cached entry, and the `Value`-tree form costs a parse
+/// allocation per vertex and per edge — the flat form is the single
+/// biggest lever on warm-restart time.
+fn graph_to_json(g: &Graph) -> Value {
+    use std::fmt::Write as _;
+    let mut s = String::with_capacity(g.vertex_count() * 3 + g.edge_count() * 7);
+    for (i, v) in g.vertices().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{}", g.label(v).raw());
+    }
+    s.push('|');
+    if g.has_edge_labels() {
+        for (i, ((u, v), l)) in g.labeled_edges().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{}-{}:{}", u.raw(), v.raw(), l.raw());
+        }
+    } else {
+        for (i, &(u, v)) in g.edges().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{}-{}", u.raw(), v.raw());
+        }
+    }
+    Value::String(s)
+}
+
+fn graph_from_json(v: &Value) -> Result<Graph, PersistError> {
+    let Some(s) = v.as_str() else {
+        // Tolerate the verbose `{labels, edges}` object form too.
+        return Ok(FromJson::from_json(v)?);
+    };
+    let bad = |what: &str| PersistError::Corrupt(format!("malformed compact graph: {what}"));
+    let (labels_part, edges_part) = s.split_once('|').ok_or_else(|| bad("no separator"))?;
+    let labels: Vec<u32> = labels_part
+        .split(',')
+        .filter(|t| !t.is_empty())
+        .map(|t| t.parse::<u32>().map_err(|_| bad("vertex label")))
+        .collect::<Result<_, _>>()?;
+    let mut b = igq_graph::GraphBuilder::with_capacity(labels.len(), 0);
+    for l in labels {
+        b.add_vertex(LabelId::new(l));
+    }
+    for tok in edges_part.split(',').filter(|t| !t.is_empty()) {
+        let (endpoints, label) = match tok.split_once(':') {
+            Some((e, l)) => (e, Some(l)),
+            None => (tok, None),
+        };
+        let (u, v) = endpoints.split_once('-').ok_or_else(|| bad("edge"))?;
+        let u: u32 = u.parse().map_err(|_| bad("edge endpoint"))?;
+        let v: u32 = v.parse().map_err(|_| bad("edge endpoint"))?;
+        let result = match label {
+            Some(l) => {
+                let l: u32 = l.parse().map_err(|_| bad("edge label"))?;
+                b.add_edge_labeled(
+                    igq_graph::VertexId::new(u),
+                    igq_graph::VertexId::new(v),
+                    LabelId::new(l),
+                )
+            }
+            None => b.add_edge(igq_graph::VertexId::new(u), igq_graph::VertexId::new(v)),
+        };
+        result.map_err(|e| bad(&e.to_string()))?;
+    }
+    b.try_build().map_err(|e| bad(&e.to_string()))
+}
+
+fn answers_to_json(answers: &[GraphId]) -> Value {
+    answers
+        .iter()
+        .map(|id| id.raw())
+        .collect::<Vec<u32>>()
+        .to_json()
+}
+
+fn answers_from_json(v: &Value) -> Result<Vec<GraphId>, PersistError> {
+    let raw: Vec<u32> = FromJson::from_json(v)?;
+    Ok(raw.into_iter().map(GraphId::new).collect())
+}
+
+/// Compact flat-text form of a feature multiset:
+/// `"<complete_len>|l.l.l:c;l.l:c;..."`. A checkpoint holds hundreds of
+/// features per slot; one string parsed with `split` is close to an
+/// order of magnitude cheaper than a `Value` tree per path — and this
+/// parse cost is exactly what warm restart pays, so it is kept minimal.
+fn features_to_json(f: &SlotFeatureSet) -> Value {
+    use std::fmt::Write as _;
+    let mut s = String::with_capacity(8 + f.counts.len() * 12);
+    let _ = write!(s, "{}|", f.complete_len);
+    for (i, (seq, count)) in f.counts.iter().enumerate() {
+        if i > 0 {
+            s.push(';');
+        }
+        for (j, l) in seq.labels().iter().enumerate() {
+            if j > 0 {
+                s.push('.');
+            }
+            let _ = write!(s, "{}", l.raw());
+        }
+        let _ = write!(s, ":{count}");
+    }
+    Value::String(s)
+}
+
+fn features_from_json(v: &Value) -> Result<SlotFeatureSet, PersistError> {
+    let s = v
+        .as_str()
+        .ok_or_else(|| PersistError::Corrupt("feature set is not a string".into()))?;
+    let (cl, rest) = s
+        .split_once('|')
+        .ok_or_else(|| PersistError::Corrupt("feature set missing depth prefix".into()))?;
+    let complete_len: usize = cl
+        .parse()
+        .map_err(|_| PersistError::Corrupt("bad feature depth".into()))?;
+    let mut counts = Vec::new();
+    let mut labels: Vec<LabelId> = Vec::new();
+    for item in rest.split(';').filter(|i| !i.is_empty()) {
+        let (seq_part, count_part) = item
+            .rsplit_once(':')
+            .ok_or_else(|| PersistError::Corrupt("feature missing count".into()))?;
+        labels.clear();
+        for tok in seq_part.split('.') {
+            let raw: u32 = tok
+                .parse()
+                .map_err(|_| PersistError::Corrupt("bad feature label".into()))?;
+            labels.push(LabelId::new(raw));
+        }
+        let count: u32 = count_part
+            .parse()
+            .map_err(|_| PersistError::Corrupt("bad feature count".into()))?;
+        counts.push((LabelSeq::canonical(&labels), count));
+    }
+    Ok(SlotFeatureSet {
+        counts,
+        complete_len,
+    })
+}
+
+fn entry_to_json(e: &PersistedEntry) -> Value {
+    json!({
+        "slot": e.slot,
+        "graph": graph_to_json(&e.entry.graph),
+        "answers": answers_to_json(&e.entry.answers),
+        "sig": sig_to_json(&e.entry.signature),
+        "code": code_to_json(&e.entry.code),
+        "meta": meta_to_json(&e.entry.meta),
+        "feat": match &e.features {
+            Some(f) => features_to_json(f),
+            None => Value::Null,
+        },
+    })
+}
+
+fn entry_from_json(v: &Value) -> Result<PersistedEntry, PersistError> {
+    let graph: Graph = graph_from_json(field(v, "graph")?)?;
+    let features = match field(v, "feat")? {
+        Value::Null => None,
+        other => Some(features_from_json(other)?),
+    };
+    Ok(PersistedEntry {
+        slot: usize_field(v, "slot")?,
+        entry: CacheEntry {
+            graph: Arc::new(graph),
+            signature: sig_from_json(field(v, "sig")?)?,
+            code: code_from_json(field(v, "code")?)?,
+            answers: answers_from_json(field(v, "answers")?)?,
+            meta: meta_from_json(field(v, "meta")?)?,
+        },
+        features,
+    })
+}
+
+fn window_entry_to_json(w: &WindowEntry) -> Value {
+    json!({
+        "graph": graph_to_json(&w.graph),
+        "answers": answers_to_json(&w.answers),
+        "sig": match &w.signature {
+            Some(s) => sig_to_json(s),
+            None => Value::Null,
+        },
+        // The outer Option ("was canonicalization attempted?") and the
+        // inner one ("did it fit the budget?") are persisted separately.
+        "code_tried": w.code.is_some(),
+        "code": match &w.code {
+            Some(c) => code_to_json(c),
+            None => Value::Null,
+        },
+    })
+}
+
+fn window_entry_from_json(v: &Value) -> Result<WindowEntry, PersistError> {
+    let graph: Graph = graph_from_json(field(v, "graph")?)?;
+    let signature = match field(v, "sig")? {
+        Value::Null => None,
+        other => Some(sig_from_json(other)?),
+    };
+    let code_tried = matches!(field(v, "code_tried")?, Value::Bool(true));
+    let code = if code_tried {
+        Some(code_from_json(field(v, "code")?)?)
+    } else {
+        None
+    };
+    Ok(WindowEntry {
+        graph: Arc::new(graph),
+        answers: answers_from_json(field(v, "answers")?)?,
+        signature,
+        code,
+    })
+}
+
+/// Compact flat-text form of a per-flip metadata table:
+/// `"slot:hits,seen,removed,cost_bits_hex,last;..."`. Every WAL record
+/// carries one entry per resident slot, so the same parse-cost argument
+/// as [`features_to_json`] applies.
+fn metas_to_json(metas: &[(usize, GraphMeta)]) -> Value {
+    use std::fmt::Write as _;
+    let mut s = String::with_capacity(metas.len() * 24);
+    for (i, (slot, m)) in metas.iter().enumerate() {
+        if i > 0 {
+            s.push(';');
+        }
+        let _ = write!(
+            s,
+            "{slot}:{},{},{},{:x},{}",
+            m.hits,
+            m.queries_seen,
+            m.removed,
+            m.cost_alleviated.ln().to_bits(),
+            m.last_hit_at
+        );
+    }
+    Value::String(s)
+}
+
+fn metas_from_json(v: &Value) -> Result<Vec<(usize, GraphMeta)>, PersistError> {
+    let s = v
+        .as_str()
+        .ok_or_else(|| PersistError::Corrupt("meta table is not a string".into()))?;
+    let bad = || PersistError::Corrupt("malformed meta table".into());
+    let mut out = Vec::new();
+    for item in s.split(';').filter(|i| !i.is_empty()) {
+        let (slot, fields) = item.split_once(':').ok_or_else(bad)?;
+        let slot: usize = slot.parse().map_err(|_| bad())?;
+        let mut it = fields.split(',');
+        let mut next = || it.next().ok_or_else(bad);
+        let hits: u64 = next()?.parse().map_err(|_| bad())?;
+        let queries_seen: u64 = next()?.parse().map_err(|_| bad())?;
+        let removed: u64 = next()?.parse().map_err(|_| bad())?;
+        let cost_bits = u64::from_str_radix(next()?, 16).map_err(|_| bad())?;
+        let last_hit_at: u64 = next()?.parse().map_err(|_| bad())?;
+        out.push((
+            slot,
+            GraphMeta {
+                hits,
+                queries_seen,
+                removed,
+                cost_alleviated: LogValue::from_ln(f64::from_bits(cost_bits)),
+                last_hit_at,
+            },
+        ));
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint encode/decode
+// ---------------------------------------------------------------------------
+
+/// Encodes a checkpoint to its on-disk bytes (header line + payload).
+pub(crate) fn encode_checkpoint(data: &CheckpointData) -> Vec<u8> {
+    let payload = json!({
+        "kind": "igq-checkpoint",
+        "version": CHECKPOINT_VERSION,
+        "seq": data.seq,
+        "config_fp": data.config_fp,
+        "dataset_fp": data.dataset_fp,
+        "labels": data.labels,
+        "round": data.round,
+        "slot_count": data.slot_count,
+        "free": data.free.to_json(),
+        "entries": Value::Array(data.entries.iter().map(entry_to_json).collect()),
+        "window": Value::Array(data.window.iter().map(window_entry_to_json).collect()),
+    });
+    let body = serde_json::to_string(&payload).expect("checkpoint serializes");
+    let mut out = format!(
+        "{CKPT_MAGIC} {:016x} {}\n",
+        fnv1a64(body.as_bytes()),
+        body.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+/// Decodes and verifies checkpoint bytes (magic, version, checksum).
+/// Fingerprint validation against the opening engine is the caller's job
+/// (the fingerprints are in the returned data).
+pub(crate) fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointData, PersistError> {
+    let newline = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| PersistError::Corrupt("checkpoint has no header line".into()))?;
+    let header = std::str::from_utf8(&bytes[..newline])
+        .map_err(|_| PersistError::Corrupt("checkpoint header is not UTF-8".into()))?;
+    let mut parts = header.split_whitespace();
+    let (magic, crc_hex, len) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(c), Some(l)) => (m, c, l),
+        _ => return Err(PersistError::Corrupt("malformed checkpoint header".into())),
+    };
+    if magic != CKPT_MAGIC {
+        return Err(PersistError::Corrupt(format!(
+            "bad checkpoint magic {magic:?}"
+        )));
+    }
+    let expected = u64::from_str_radix(crc_hex, 16)
+        .map_err(|_| PersistError::Corrupt("bad checkpoint checksum field".into()))?;
+    let len: usize = len
+        .parse()
+        .map_err(|_| PersistError::Corrupt("bad checkpoint length field".into()))?;
+    let body = &bytes[newline + 1..];
+    if body.len() != len {
+        return Err(PersistError::Corrupt(format!(
+            "checkpoint payload length {} does not match header {len}",
+            body.len()
+        )));
+    }
+    let found = fnv1a64(body);
+    if found != expected {
+        return Err(PersistError::Checksum { expected, found });
+    }
+    let body = std::str::from_utf8(body)
+        .map_err(|_| PersistError::Corrupt("checkpoint payload is not UTF-8".into()))?;
+    let v: Value = serde_json::from_str(body)?;
+    let version = u64_field(&v, "version")?;
+    if version != CHECKPOINT_VERSION {
+        return Err(PersistError::UnsupportedVersion {
+            found: version,
+            supported: CHECKPOINT_VERSION,
+        });
+    }
+    let entries = array_field(&v, "entries")?
+        .iter()
+        .map(entry_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    let window = array_field(&v, "window")?
+        .iter()
+        .map(window_entry_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(CheckpointData {
+        seq: u64_field(&v, "seq")?,
+        config_fp: u64_field(&v, "config_fp")?,
+        dataset_fp: u64_field(&v, "dataset_fp")?,
+        labels: usize_field(&v, "labels")?,
+        round: u64_field(&v, "round")?,
+        slot_count: usize_field(&v, "slot_count")?,
+        free: FromJson::from_json(field(&v, "free")?)?,
+        entries,
+        window,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// WAL encode/decode
+// ---------------------------------------------------------------------------
+
+fn frame_line(tag: char, body: &str) -> Vec<u8> {
+    format!(
+        "{tag} {:016x} {} {body}\n",
+        fnv1a64(body.as_bytes()),
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// Encodes the WAL header line binding the log to an engine identity.
+pub(crate) fn encode_wal_header(h: &WalHeader) -> Vec<u8> {
+    let body = serde_json::to_string(&json!({
+        "kind": "igq-wal",
+        "version": WAL_VERSION,
+        "config_fp": h.config_fp,
+        "dataset_fp": h.dataset_fp,
+    }))
+    .expect("wal header serializes");
+    frame_line('H', &body)
+}
+
+/// Encodes one flip record as a framed WAL line.
+pub(crate) fn encode_wal_record(r: &WalRecord) -> Vec<u8> {
+    let body = serde_json::to_string(&json!({
+        "seq": r.seq,
+        "evicted": r.evicted.to_json(),
+        "admitted": Value::Array(r.admitted.iter().map(entry_to_json).collect()),
+        "metas": metas_to_json(&r.metas),
+    }))
+    .expect("wal record serializes");
+    frame_line('R', &body)
+}
+
+/// Splits one framed line into `(tag, payload)`, verifying length and
+/// checksum. `Err` carries the reason; the caller decides whether the
+/// position (final line or not) makes it a torn tail or corruption.
+fn parse_line(line: &str) -> Result<(char, Value), String> {
+    let mut chars = line.chars();
+    let tag = chars.next().ok_or("empty line")?;
+    let rest = chars
+        .as_str()
+        .strip_prefix(' ')
+        .ok_or("missing separator")?;
+    let (crc_hex, rest) = rest.split_once(' ').ok_or("missing checksum field")?;
+    let (len_str, body) = rest.split_once(' ').ok_or("missing length field")?;
+    let expected = u64::from_str_radix(crc_hex, 16).map_err(|_| "bad checksum field")?;
+    let len: usize = len_str.parse().map_err(|_| "bad length field")?;
+    if body.len() != len {
+        return Err(format!("length {} does not match header {len}", body.len()));
+    }
+    let found = fnv1a64(body.as_bytes());
+    if found != expected {
+        return Err(format!(
+            "checksum mismatch ({expected:016x} vs {found:016x})"
+        ));
+    }
+    let v: Value = serde_json::from_str(body).map_err(|e| e.to_string())?;
+    Ok((tag, v))
+}
+
+fn record_from_json(v: &Value) -> Result<WalRecord, PersistError> {
+    let admitted = array_field(v, "admitted")?
+        .iter()
+        .map(entry_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(WalRecord {
+        seq: u64_field(v, "seq")?,
+        evicted: FromJson::from_json(field(v, "evicted")?)?,
+        admitted,
+        metas: metas_from_json(field(v, "metas")?)?,
+    })
+}
+
+/// Parses a WAL byte stream: header first, then records in order. A
+/// damaged or truncated **final** line is tolerated (dropped, reported
+/// via [`WalParse::torn_tail`]) — that is what a crash mid-append leaves
+/// behind; damage anywhere else is [`PersistError::Corrupt`].
+pub(crate) fn parse_wal(bytes: &[u8]) -> Result<WalParse, PersistError> {
+    if bytes.is_empty() {
+        return Ok(WalParse {
+            header: None,
+            records: Vec::new(),
+            torn_tail: false,
+        });
+    }
+    let text =
+        std::str::from_utf8(bytes).map_err(|_| PersistError::Corrupt("WAL is not UTF-8".into()))?;
+    // A well-formed WAL ends with '\n'; anything after the last newline is
+    // a torn append. Each complete line must parse — except the last one,
+    // which (if bad) is also treated as torn.
+    let (complete, dangling) = match text.rfind('\n') {
+        Some(i) => (&text[..i], &text[i + 1..]),
+        None => ("", text),
+    };
+    let mut torn_tail = !dangling.is_empty();
+    let lines: Vec<&str> = if complete.is_empty() {
+        Vec::new()
+    } else {
+        complete.split('\n').collect()
+    };
+    let mut header = None;
+    let mut records = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let is_last = i + 1 == lines.len() && !torn_tail;
+        match parse_line(line) {
+            Ok(('H', v)) => {
+                if i != 0 {
+                    return Err(PersistError::Corrupt(
+                        "WAL header record not at start".into(),
+                    ));
+                }
+                let version = u64_field(&v, "version")?;
+                if version != WAL_VERSION {
+                    return Err(PersistError::UnsupportedVersion {
+                        found: version,
+                        supported: WAL_VERSION,
+                    });
+                }
+                header = Some(WalHeader {
+                    config_fp: u64_field(&v, "config_fp")?,
+                    dataset_fp: u64_field(&v, "dataset_fp")?,
+                });
+            }
+            Ok(('R', v)) => {
+                if header.is_none() {
+                    return Err(PersistError::Corrupt("WAL record before header".into()));
+                }
+                records.push(record_from_json(&v)?);
+            }
+            Ok((tag, _)) => {
+                return Err(PersistError::Corrupt(format!(
+                    "unknown WAL record tag {tag:?}"
+                )))
+            }
+            Err(reason) => {
+                if is_last {
+                    // Crash mid-append: the final record is incomplete.
+                    torn_tail = true;
+                } else {
+                    return Err(PersistError::Corrupt(format!(
+                        "WAL line {} damaged mid-log: {reason}",
+                        i + 1
+                    )));
+                }
+            }
+        }
+    }
+    if header.is_none() && (!records.is_empty() || !torn_tail) {
+        return Err(PersistError::Corrupt("WAL has no header record".into()));
+    }
+    Ok(WalParse {
+        header,
+        records,
+        torn_tail,
+    })
+}
+
+/// Re-encodes a header plus records as a fresh WAL byte stream
+/// (compaction).
+pub(crate) fn encode_wal(header: &WalHeader, records: &[&WalRecord]) -> Vec<u8> {
+    let mut out = encode_wal_header(header);
+    for r in records {
+        out.extend_from_slice(&encode_wal_record(r));
+    }
+    out
+}
+
+/// The `seq` of one framed record line, read from the payload prefix
+/// without a full JSON decode ([`encode_wal_record`] always serializes
+/// `seq` first; the shim's `Map` preserves insertion order).
+fn record_line_seq(line: &str) -> Option<u64> {
+    let body = line.splitn(4, ' ').nth(3)?;
+    let rest = body.strip_prefix("{\"seq\":")?;
+    let end = rest.find([',', '}'])?;
+    rest[..end].parse().ok()
+}
+
+/// Checkpoint-time WAL compaction over **raw bytes**: keeps record lines
+/// with `seq > keep_after` verbatim under a fresh header, dropping a torn
+/// final line. Only each line's `seq` prefix is read — no per-record
+/// JSON decode/re-encode — because this runs under the engine's submit
+/// lock, where every microsecond blocks WAL appends. Returns the new
+/// stream and the number of kept records. Damaged mid-log lines are kept
+/// as-is (recovery, with time to spare, diagnoses them properly).
+pub(crate) fn compact_wal(bytes: &[u8], keep_after: u64, header: &WalHeader) -> (Vec<u8>, u64) {
+    let mut out = encode_wal_header(header);
+    let mut kept = 0u64;
+    if let Ok(text) = std::str::from_utf8(bytes) {
+        for line in text.split_inclusive('\n') {
+            if !line.ends_with('\n') {
+                break; // torn final append; checkpoint covers its flip
+            }
+            if !line.starts_with("R ") {
+                continue; // old header
+            }
+            match record_line_seq(line) {
+                Some(seq) if seq <= keep_after => {}
+                _ => {
+                    out.extend_from_slice(line.as_bytes());
+                    kept += 1;
+                }
+            }
+        }
+    }
+    (out, kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igq_graph::graph_from;
+
+    fn entry(slot: usize, label: u32) -> PersistedEntry {
+        let g = graph_from(&[label, label + 1], &[(0, 1)]);
+        let sig = GraphSignature::of(&g);
+        let code = igq_graph::canon::canonical_code(&g);
+        PersistedEntry {
+            slot,
+            entry: CacheEntry {
+                graph: Arc::new(g),
+                signature: sig,
+                code,
+                answers: vec![GraphId::new(1), GraphId::new(4)],
+                meta: {
+                    let mut m = GraphMeta::new();
+                    m.tick();
+                    m.record_hit(3, LogValue::from_linear(1e30));
+                    m
+                },
+            },
+            features: Some(SlotFeatureSet {
+                counts: vec![
+                    (LabelSeq::canonical(&[LabelId::new(label)]), 1),
+                    (
+                        LabelSeq::canonical(&[LabelId::new(label), LabelId::new(label + 1)]),
+                        1,
+                    ),
+                ],
+                complete_len: 4,
+            }),
+        }
+    }
+
+    fn checkpoint_data() -> CheckpointData {
+        CheckpointData {
+            seq: 7,
+            config_fp: 11,
+            dataset_fp: 22,
+            labels: 5,
+            round: 9,
+            slot_count: 3,
+            free: vec![2],
+            entries: vec![entry(0, 0), entry(1, 3)],
+            window: vec![WindowEntry {
+                graph: Arc::new(graph_from(&[9], &[])),
+                answers: vec![],
+                signature: None,
+                code: Some(None),
+            }],
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_everything() {
+        let data = checkpoint_data();
+        let bytes = encode_checkpoint(&data);
+        let back = decode_checkpoint(&bytes).expect("decodes");
+        assert_eq!(back.seq, 7);
+        assert_eq!(back.config_fp, 11);
+        assert_eq!(back.dataset_fp, 22);
+        assert_eq!(back.labels, 5);
+        assert_eq!(back.round, 9);
+        assert_eq!(back.slot_count, 3);
+        assert_eq!(back.free, vec![2]);
+        assert_eq!(back.entries.len(), 2);
+        let (a, b) = (&data.entries[0].entry, &back.entries[0].entry);
+        assert_eq!(a.graph.as_ref(), b.graph.as_ref());
+        assert_eq!(a.signature, b.signature);
+        assert_eq!(a.code, b.code);
+        assert_eq!(a.answers, b.answers);
+        assert_eq!(a.meta.hits, b.meta.hits);
+        assert_eq!(a.meta.cost_alleviated, b.meta.cost_alleviated);
+        let (fa, fb) = (
+            data.entries[0].features.as_ref().unwrap(),
+            back.entries[0].features.as_ref().unwrap(),
+        );
+        let (mut ca, mut cb) = (fa.counts.clone(), fb.counts.clone());
+        ca.sort();
+        cb.sort();
+        assert_eq!(ca, cb);
+        assert_eq!(back.window.len(), 1);
+        assert_eq!(back.window[0].code, Some(None), "budget-miss code survives");
+    }
+
+    #[test]
+    fn negative_infinity_cost_roundtrips_exactly() {
+        let m = GraphMeta::new(); // cost = LogValue::ZERO = ln -inf
+        let v = meta_to_json(&m);
+        let back = meta_from_json(&v).expect("decodes");
+        assert_eq!(back.cost_alleviated, LogValue::ZERO);
+    }
+
+    #[test]
+    fn checkpoint_checksum_mismatch_is_detected() {
+        let mut bytes = encode_checkpoint(&checkpoint_data());
+        let last = bytes.len() - 2;
+        bytes[last] ^= 0x01;
+        match decode_checkpoint(&bytes) {
+            Err(PersistError::Checksum { .. }) => {}
+            other => panic!("expected checksum error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_version_gate() {
+        let data = checkpoint_data();
+        let bytes = encode_checkpoint(&data);
+        let text = String::from_utf8(bytes).unwrap();
+        let (header, body) = text.split_once('\n').unwrap();
+        let body = body.replace("\"version\":1", "\"version\":999");
+        let mut forged = format!(
+            "{} {:016x} {}\n",
+            CKPT_MAGIC,
+            fnv1a64(body.as_bytes()),
+            body.len()
+        );
+        forged.push_str(&body);
+        let _ = header;
+        match decode_checkpoint(forged.as_bytes()) {
+            Err(PersistError::UnsupportedVersion { found: 999, .. }) => {}
+            other => panic!("expected version error, got {other:?}"),
+        }
+    }
+
+    fn wal_record(seq: u64) -> WalRecord {
+        WalRecord {
+            seq,
+            evicted: vec![1],
+            admitted: vec![PersistedEntry {
+                features: None,
+                ..entry(1, seq as u32)
+            }],
+            metas: vec![(0, GraphMeta::new()), (1, GraphMeta::new())],
+        }
+    }
+
+    #[test]
+    fn wal_roundtrip_and_torn_tail_tolerance() {
+        let header = WalHeader {
+            config_fp: 1,
+            dataset_fp: 2,
+        };
+        let mut bytes = encode_wal_header(&header);
+        bytes.extend_from_slice(&encode_wal_record(&wal_record(1)));
+        bytes.extend_from_slice(&encode_wal_record(&wal_record(2)));
+        let parsed = parse_wal(&bytes).expect("clean parse");
+        assert_eq!(parsed.records.len(), 2);
+        assert!(!parsed.torn_tail);
+        assert_eq!(parsed.header.unwrap().config_fp, 1);
+
+        // Crash mid-append: chop the final record short.
+        let torn = &bytes[..bytes.len() - 10];
+        let parsed = parse_wal(torn).expect("torn tail tolerated");
+        assert_eq!(parsed.records.len(), 1, "final record dropped");
+        assert!(parsed.torn_tail);
+
+        // Same damage mid-log is corruption, not a torn tail.
+        let mut mid = encode_wal_header(&header);
+        let mut r1 = encode_wal_record(&wal_record(1));
+        r1.truncate(r1.len() - 10);
+        r1.push(b'\n');
+        mid.extend_from_slice(&r1);
+        mid.extend_from_slice(&encode_wal_record(&wal_record(2)));
+        match parse_wal(&mid) {
+            Err(PersistError::Corrupt(_)) => {}
+            other => panic!("expected corruption error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_wal_parses_to_nothing() {
+        let parsed = parse_wal(b"").expect("empty ok");
+        assert!(parsed.header.is_none());
+        assert!(parsed.records.is_empty());
+        assert!(!parsed.torn_tail);
+    }
+
+    #[test]
+    fn wal_compaction_roundtrips() {
+        let header = WalHeader {
+            config_fp: 5,
+            dataset_fp: 6,
+        };
+        let (r1, r2) = (wal_record(1), wal_record(2));
+        let bytes = encode_wal(&header, &[&r1, &r2]);
+        let parsed = parse_wal(&bytes).expect("parses");
+        assert_eq!(parsed.records.len(), 2);
+        assert_eq!(parsed.records[1].seq, 2);
+        assert_eq!(parsed.records[1].evicted, vec![1]);
+        assert_eq!(parsed.records[1].metas.len(), 2);
+    }
+
+    #[test]
+    fn raw_compaction_keeps_only_the_tail_and_drops_torn_bytes() {
+        let header = WalHeader {
+            config_fp: 9,
+            dataset_fp: 10,
+        };
+        let mut bytes = encode_wal_header(&header);
+        for seq in 1..=4 {
+            bytes.extend_from_slice(&encode_wal_record(&wal_record(seq)));
+        }
+        bytes.extend_from_slice(b"R 0000 torn-partial-append");
+        let (compacted, kept) = compact_wal(&bytes, 2, &header);
+        assert_eq!(kept, 2);
+        let parsed = parse_wal(&compacted).expect("compacted WAL parses");
+        assert_eq!(
+            parsed.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        assert!(!parsed.torn_tail, "torn bytes dropped by compaction");
+        assert_eq!(parsed.header.unwrap().config_fp, 9);
+        // Kept records survive byte-identically (checksums still valid).
+        let (again, kept_again) = compact_wal(&compacted, 0, &header);
+        assert_eq!(kept_again, 2);
+        assert_eq!(parse_wal(&again).expect("parses").records.len(), 2);
+    }
+
+    #[test]
+    fn mem_store_fork_is_independent() {
+        let a = MemStore::new();
+        a.save_checkpoint(b"one").unwrap();
+        a.append_wal(b"rec\n").unwrap();
+        let b = a.fork();
+        a.save_checkpoint(b"two").unwrap();
+        a.replace_wal(b"").unwrap();
+        assert_eq!(b.load_checkpoint().unwrap().unwrap(), b"one");
+        assert_eq!(b.load_wal().unwrap(), b"rec\n");
+        assert_eq!(a.load_checkpoint().unwrap().unwrap(), b"two");
+        assert_eq!(a.wal_bytes(), 0);
+    }
+
+    #[test]
+    fn dir_store_roundtrips_and_survives_missing_files() {
+        let dir = std::env::temp_dir().join(format!("igq_dirstore_test_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = DirStore::open(&dir).expect("open");
+        assert!(store.load_checkpoint().unwrap().is_none());
+        assert!(store.load_wal().unwrap().is_empty());
+        store.save_checkpoint(b"ckpt").unwrap();
+        store.append_wal(b"a\n").unwrap();
+        store.append_wal(b"b\n").unwrap();
+        assert_eq!(store.load_checkpoint().unwrap().unwrap(), b"ckpt");
+        assert_eq!(store.load_wal().unwrap(), b"a\nb\n");
+        store.replace_wal(b"c\n").unwrap();
+        assert_eq!(store.load_wal().unwrap(), b"c\n");
+        // Reopening sees the same state (it's the filesystem).
+        let again = DirStore::open(&dir).expect("reopen");
+        assert_eq!(again.load_checkpoint().unwrap().unwrap(), b"ckpt");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprints_react_to_relevant_changes_only() {
+        let base = crate::IgqConfig::default();
+        let fp = config_fingerprint(&base, "subgraph");
+        assert_eq!(fp, config_fingerprint(&base, "subgraph"), "deterministic");
+        let mut bigger = base;
+        bigger.cache_capacity += 1;
+        assert_ne!(fp, config_fingerprint(&bigger, "subgraph"));
+        assert_ne!(
+            fp,
+            config_fingerprint(&base, "supergraph"),
+            "the two query directions must never share a store"
+        );
+        let mut mode = base;
+        mode.maintenance = crate::MaintenanceMode::Background;
+        assert_eq!(
+            fp,
+            config_fingerprint(&mode, "subgraph"),
+            "maintenance mode may change across restarts"
+        );
+
+        let a: GraphStore = vec![graph_from(&[0, 1], &[(0, 1)])].into_iter().collect();
+        let b: GraphStore = vec![graph_from(&[0, 2], &[(0, 1)])].into_iter().collect();
+        assert_ne!(dataset_fingerprint(&a), dataset_fingerprint(&b));
+        assert_eq!(dataset_fingerprint(&a), dataset_fingerprint(&a.clone()));
+        // Same vertex/edge counts and label *multiset* — labels merely
+        // permuted across vertices: must still differ (answers are
+        // position-sensitive).
+        let perm_a: GraphStore = vec![graph_from(&[1, 0, 2], &[(0, 1), (1, 2)])]
+            .into_iter()
+            .collect();
+        let perm_b: GraphStore = vec![graph_from(&[0, 1, 2], &[(0, 1), (1, 2)])]
+            .into_iter()
+            .collect();
+        assert_ne!(dataset_fingerprint(&perm_a), dataset_fingerprint(&perm_b));
+        // Same vertex count, edge count, and label sum — only an edge
+        // rewired: the fingerprint must still differ.
+        let path: GraphStore = vec![graph_from(&[0, 0, 0, 0], &[(0, 1), (1, 2), (2, 3)])]
+            .into_iter()
+            .collect();
+        let star: GraphStore = vec![graph_from(&[0, 0, 0, 0], &[(0, 1), (0, 2), (0, 3)])]
+            .into_iter()
+            .collect();
+        assert_ne!(dataset_fingerprint(&path), dataset_fingerprint(&star));
+        // Edge labels alone must also register.
+        let el_a: GraphStore = vec![igq_graph::graph_from_el(&[0, 1], &[(0, 1, 1)])]
+            .into_iter()
+            .collect();
+        let el_b: GraphStore = vec![igq_graph::graph_from_el(&[0, 1], &[(0, 1, 2)])]
+            .into_iter()
+            .collect();
+        assert_ne!(dataset_fingerprint(&el_a), dataset_fingerprint(&el_b));
+    }
+}

@@ -59,6 +59,18 @@ pub struct EngineStats {
     /// Index snapshots atomically published by the background maintainer.
     /// Zero in the synchronous modes.
     pub snapshot_publishes: u64,
+    /// WAL records appended to the attached
+    /// [`CacheStore`](crate::persist::CacheStore) — one per persisted
+    /// window flip. Zero for engines without a store.
+    pub wal_appends: u64,
+    /// Wall-clock spent encoding and writing checkpoints (explicit and
+    /// auto), including post-checkpoint WAL compaction. Runs off the
+    /// state lock, so it overlaps query processing.
+    pub checkpoint_time: Duration,
+    /// WAL records replayed by [`Engine::open`](crate::Engine::open) to
+    /// recover this engine — the delta tail between the last checkpoint
+    /// and the crash/shutdown point. Zero for cold starts.
+    pub recovery_replayed_windows: u64,
     /// Query path-feature extractions performed by the engine. On the
     /// filter+probe path this is exactly one per query: the same
     /// `PathFeatures` is shared by the base method's filter and both
@@ -150,6 +162,9 @@ pub(crate) struct AtomicEngineStats {
     full_rebuilds: AtomicU64,
     maintenance_postings_touched: AtomicU64,
     maintenance_nanos: AtomicU64,
+    wal_appends: AtomicU64,
+    checkpoint_nanos: AtomicU64,
+    recovery_replayed_windows: AtomicU64,
     feature_extractions: AtomicU64,
     filter_nanos: AtomicU64,
     igq_nanos: AtomicU64,
@@ -216,6 +231,23 @@ impl AtomicEngineStats {
             .fetch_add(elapsed.as_nanos() as u64, R);
     }
 
+    /// Counts one WAL record append.
+    pub(crate) fn count_wal_append(&self) {
+        self.wal_appends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds one checkpoint's wall-clock.
+    pub(crate) fn record_checkpoint(&self, elapsed: Duration) {
+        self.checkpoint_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Records how many WAL windows recovery replayed (set once at open).
+    pub(crate) fn set_recovery_replayed_windows(&self, windows: u64) {
+        self.recovery_replayed_windows
+            .store(windows, Ordering::Relaxed);
+    }
+
     /// An owned [`EngineStats`] snapshot of the current totals.
     pub(crate) fn snapshot(&self) -> EngineStats {
         const R: Ordering = Ordering::Relaxed;
@@ -236,6 +268,9 @@ impl AtomicEngineStats {
             maintenance_time: Duration::from_nanos(self.maintenance_nanos.load(R)),
             maintenance_lag_windows: 0,
             snapshot_publishes: 0,
+            wal_appends: self.wal_appends.load(R),
+            checkpoint_time: Duration::from_nanos(self.checkpoint_nanos.load(R)),
+            recovery_replayed_windows: self.recovery_replayed_windows.load(R),
             feature_extractions: self.feature_extractions.load(R),
             filter_time: Duration::from_nanos(self.filter_nanos.load(R)),
             igq_time: Duration::from_nanos(self.igq_nanos.load(R)),
@@ -298,6 +333,10 @@ mod tests {
         atomic.count_feature_extraction();
         atomic.count_maintenance();
         atomic.record_maintenance_work(17, true, Duration::from_micros(13));
+        atomic.count_wal_append();
+        atomic.count_wal_append();
+        atomic.record_checkpoint(Duration::from_micros(21));
+        atomic.set_recovery_replayed_windows(4);
         let snap = atomic.snapshot();
         assert_eq!(snap.queries, plain.queries);
         assert_eq!(snap.db_iso_tests, plain.db_iso_tests);
@@ -309,6 +348,9 @@ mod tests {
         assert_eq!(snap.full_rebuilds, 1);
         assert_eq!(snap.maintenance_postings_touched, 17);
         assert_eq!(snap.maintenance_time, Duration::from_micros(13));
+        assert_eq!(snap.wal_appends, 2);
+        assert_eq!(snap.checkpoint_time, Duration::from_micros(21));
+        assert_eq!(snap.recovery_replayed_windows, 4);
     }
 
     #[test]

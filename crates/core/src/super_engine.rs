@@ -157,10 +157,10 @@ mod tests {
         let warm = engine();
         let q = graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]);
         let first = warm.query(&q);
-        let exported = warm.export_cache();
+        let exported = warm.export_entries();
         assert_eq!(exported.len(), 1);
         let cold = engine();
-        assert_eq!(cold.import_cache(exported), 1);
+        assert_eq!(cold.import_entries(exported).admitted, 1);
         let out = cold.query(&q);
         assert_eq!(out.resolution, Resolution::ExactHit);
         assert_eq!(out.answers, first.answers);

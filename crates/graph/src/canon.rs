@@ -126,6 +126,14 @@ impl CanonicalCode {
     pub fn words(&self) -> &[u64] {
         &self.0
     }
+
+    /// Reconstructs a code from its [`words`](CanonicalCode::words), e.g.
+    /// when loading a persisted cache. The caller is responsible for the
+    /// words having been produced by [`canonical_code`] — a fabricated
+    /// sequence would break the "equal codes ⇔ isomorphic" contract.
+    pub fn from_words(words: Vec<u64>) -> CanonicalCode {
+        CanonicalCode(words.into_boxed_slice())
+    }
 }
 
 /// Computes the canonical code of `g` by color refinement with

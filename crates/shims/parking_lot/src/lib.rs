@@ -74,6 +74,16 @@ impl<T> Mutex<T> {
         self.inner.lock().expect("mutex poisoned")
     }
 
+    /// Attempts to acquire the lock without blocking; `None` when it is
+    /// already held (parking_lot's `try_lock` signature).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+            Err(std::sync::TryLockError::Poisoned(_)) => panic!("mutex poisoned"),
+        }
+    }
+
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
         self.inner.into_inner().expect("mutex poisoned")

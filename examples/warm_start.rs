@@ -1,9 +1,12 @@
-//! Persisting a warm iGQ cache across sessions.
+//! Durable engines: surviving a restart with the cache *and* its indexes.
 //!
 //! iGQ's value comes from accumulated query knowledge; a process restart
-//! should not throw it away. This example runs an evening session, exports
-//! the cache (serde-serializable), "restarts", imports it, and shows the
-//! morning session resolving repeats instantly from query one.
+//! should not throw it away. This example runs an evening session against
+//! a [`DirStore`], "kills" the process (drops the engine), then reopens
+//! the next morning: `Engine::open` recovers the cache, both query
+//! indexes, and the replacement state from the checkpoint + WAL — no
+//! re-verification, no re-enumeration, no re-canonicalization — and the
+//! morning session resolves repeats instantly from query one.
 //!
 //! ```text
 //! cargo run --release --example warm_start
@@ -11,15 +14,21 @@
 
 use igq::prelude::*;
 use std::sync::Arc;
+use std::time::Instant;
 
-fn engine(store: &Arc<GraphStore>) -> IgqEngine<Ggsx> {
-    let method = Ggsx::build(store, GgsxConfig::default());
-    let config = IgqConfig::builder()
+fn config() -> IgqConfig {
+    IgqConfig::builder()
         .cache_capacity(64)
         .window(8)
+        // Auto-checkpoint every 4 windows; the final explicit checkpoint
+        // below also captures the pending window.
+        .persistence(PersistenceConfig::every(4))
         .build()
-        .expect("valid config");
-    IgqEngine::new(method, config).expect("valid engine")
+        .expect("valid config")
+}
+
+fn method(store: &Arc<GraphStore>) -> Ggsx {
+    Ggsx::build(store, GgsxConfig::default())
 }
 
 fn main() {
@@ -28,38 +37,44 @@ fn main() {
         QueryGenerator::new(&store, Distribution::Zipf(1.6), Distribution::Zipf(1.4), 4);
     let evening: Vec<Graph> = generator.take(80);
 
-    // ---- evening session ----
-    let session1 = engine(&store);
-    for q in &evening {
-        let _ = session1.query(q);
+    let dir = std::env::temp_dir().join("igq_warm_start_example");
+    let _ = std::fs::remove_dir_all(&dir); // fresh run
+
+    // ---- evening session: durable from the first window flip ----
+    {
+        let disk: Arc<dyn CacheStore> = Arc::new(DirStore::open(&dir).expect("store directory"));
+        let session1 =
+            IgqEngine::open(method(&store), config(), disk).expect("open durable engine");
+        for q in &evening {
+            let _ = session1.query(q);
+        }
+        let s = session1.stats();
+        println!(
+            "evening: {} queries, {} db iso tests, {} cached, {} WAL appends",
+            s.queries,
+            s.db_iso_tests,
+            session1.cached_queries(),
+            s.wal_appends
+        );
+        // Final checkpoint captures everything, including the pending
+        // window; then the "process" dies.
+        session1.checkpoint().expect("checkpoint");
     }
-    let exported = session1.export_cache();
-    println!(
-        "evening: {} queries, {} db iso tests, {} cached queries exported",
-        session1.stats().queries,
-        session1.stats().db_iso_tests,
-        exported.len()
-    );
 
-    // The export round-trips through serde (e.g. a JSON file on disk).
-    let serialized = serde_json::to_string(&exported).expect("serialize cache");
-    println!(
-        "serialized cache: {:.1} KiB",
-        serialized.len() as f64 / 1024.0
-    );
-    let restored: Vec<(Graph, Vec<GraphId>)> =
-        serde_json::from_str(&serialized).expect("deserialize cache");
-
-    // ---- morning session: cold vs warm ----
+    // ---- morning session: cold rebuild vs warm restart ----
     let morning: Vec<Graph> = evening.iter().take(40).cloned().collect(); // repeats!
 
-    let cold = engine(&store);
+    let cold_start = Instant::now();
+    let cold = IgqEngine::new(method(&store), config()).expect("valid engine");
+    let cold_open = cold_start.elapsed();
     for q in &morning {
         let _ = cold.query(q);
     }
 
-    let warm = engine(&store);
-    let admitted = warm.import_cache(restored);
+    let warm_start = Instant::now();
+    let disk: Arc<dyn CacheStore> = Arc::new(DirStore::open(&dir).expect("store directory"));
+    let warm = IgqEngine::open(method(&store), config(), disk).expect("warm restart");
+    let warm_open = warm_start.elapsed();
     for q in &morning {
         let _ = warm.query(q);
     }
@@ -67,14 +82,16 @@ fn main() {
 
     println!("\nmorning session (40 repeat queries):");
     println!(
-        "  cold start: {:>5} db iso tests, {} exact hits",
+        "  cold start: {:>5} db iso tests, {:>2} exact hits (engine up in {cold_open:.2?})",
         cold.stats().db_iso_tests,
         cold.stats().exact_hits
     );
     println!(
-        "  warm start: {:>5} db iso tests, {} exact hits ({} entries imported)",
+        "  warm start: {:>5} db iso tests, {:>2} exact hits (engine up in {warm_open:.2?}, \
+         {} cached entries recovered, {} WAL windows replayed)",
         warm.stats().db_iso_tests,
         warm.stats().exact_hits,
-        admitted
+        warm.cached_queries(),
+        warm.stats().recovery_replayed_windows
     );
 }

@@ -51,8 +51,10 @@ pub use igq_workload as workload;
 /// One-stop imports for examples and tests.
 pub mod prelude {
     pub use igq_core::{
-        ConfigError, EngineHandle, IgqConfig, IgqEngine, IgqHandle, IgqSuperEngine, IgqSuperHandle,
-        MaintenanceMode, QueryEngine, QueryOutcome, QueryRequest, QueryResponse, ReplacementPolicy,
+        CacheStore, ConfigError, DirStore, EngineHandle, IgqConfig, IgqEngine, IgqHandle,
+        IgqSuperEngine, IgqSuperHandle, ImportReport, MaintenanceMode, MemStore, PersistError,
+        PersistenceConfig, QueryEngine, QueryOutcome, QueryRequest, QueryResponse,
+        ReplacementPolicy,
     };
     pub use igq_features::PathConfig;
     pub use igq_graph::{

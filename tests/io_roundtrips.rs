@@ -44,7 +44,7 @@ fn exported_cache_roundtrips_through_serde() {
     for q in &queries {
         let _ = engine.query(q);
     }
-    let exported = engine.export_cache();
+    let exported = engine.export_entries();
     assert!(!exported.is_empty());
     let json = serde_json::to_string(&exported).expect("serialize cache");
     let restored: Vec<(Graph, Vec<GraphId>)> = serde_json::from_str(&json).expect("deserialize");
@@ -62,7 +62,7 @@ fn exported_cache_roundtrips_through_serde() {
         },
     )
     .expect("valid engine");
-    assert!(warm.import_cache(restored) > 0);
+    assert!(warm.import_entries(restored).admitted > 0);
     let out = warm.query(&queries[0]);
     assert_eq!(out.answers, common::oracle_answers(&store, &queries[0]));
 }

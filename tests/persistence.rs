@@ -1,0 +1,548 @@
+//! Durability integration tests: crash recovery (torn WAL tails, damaged
+//! artifacts, foreign stores) and the restart-equivalence guarantee — an
+//! engine recovered via `Engine::open` behaves identically to one that
+//! never restarted, in every maintenance mode and both query directions.
+
+mod common;
+
+use common::{arb_graph, arb_store, oracle_answers};
+use igq::core::{IgqSuperEngine, MaintenanceMode};
+use igq::features::PathConfig;
+use igq::iso::MatchConfig;
+use igq::methods::TrieSupergraphMethod;
+use igq::prelude::*;
+use proptest::prelude::*;
+use proptest::TestCaseError;
+use std::sync::Arc;
+
+fn sub_config(capacity: usize, window: usize, mode: MaintenanceMode) -> IgqConfig {
+    IgqConfig {
+        cache_capacity: capacity,
+        window,
+        maintenance: mode,
+        persistence: PersistenceConfig::manual(),
+        ..Default::default()
+    }
+}
+
+fn open_sub(
+    store: &Arc<GraphStore>,
+    mem: &Arc<MemStore>,
+    capacity: usize,
+    window: usize,
+    mode: MaintenanceMode,
+) -> IgqEngine<Ggsx> {
+    let method = Ggsx::build(store, GgsxConfig::default());
+    IgqEngine::open(
+        method,
+        sub_config(capacity, window, mode),
+        Arc::clone(mem) as Arc<dyn CacheStore>,
+    )
+    .expect("open subgraph engine")
+}
+
+fn open_super(
+    store: &Arc<GraphStore>,
+    mem: &Arc<MemStore>,
+    capacity: usize,
+    window: usize,
+    mode: MaintenanceMode,
+) -> IgqSuperEngine {
+    let method = TrieSupergraphMethod::build(store, PathConfig::default(), MatchConfig::default());
+    IgqSuperEngine::open(
+        method,
+        sub_config(capacity, window, mode),
+        Arc::clone(mem) as Arc<dyn CacheStore>,
+    )
+    .expect("open supergraph engine")
+}
+
+fn aids_workload(n_store: usize, n_queries: usize, seed: u64) -> (Arc<GraphStore>, Vec<Graph>) {
+    let store: Arc<GraphStore> = Arc::new(DatasetKind::Aids.generate(n_store, seed));
+    let queries = QueryGenerator::new(
+        &store,
+        Distribution::Zipf(1.4),
+        Distribution::Uniform,
+        seed.wrapping_add(1),
+    )
+    .take(n_queries);
+    (store, queries)
+}
+
+#[test]
+fn torn_wal_tail_is_truncated_and_recovery_stays_exact() {
+    let (store, queries) = aids_workload(50, 24, 11);
+    let mem = Arc::new(MemStore::new());
+    {
+        let e = open_sub(&store, &mem, 8, 2, MaintenanceMode::Incremental);
+        for q in &queries {
+            let _ = e.query(q);
+        }
+    }
+    let wal = mem.raw_wal();
+    let records_before = wal
+        .split(|&b| b == b'\n')
+        .filter(|l| l.first() == Some(&b'R'))
+        .count();
+    assert!(records_before >= 3, "need a few flips to truncate");
+    // Crash mid-append: the final record loses its tail bytes.
+    mem.set_wal(wal[..wal.len() - 9].to_vec());
+
+    let e = open_sub(&store, &mem, 8, 2, MaintenanceMode::Incremental);
+    assert_eq!(
+        e.stats().recovery_replayed_windows,
+        (records_before - 1) as u64,
+        "exactly the torn record is dropped"
+    );
+    e.self_check().expect("recovered engine invariants");
+    for q in queries.iter().take(6) {
+        assert_eq!(e.query(q).answers, oracle_answers(&store, q), "{q:?}");
+    }
+}
+
+#[test]
+fn mid_wal_corruption_is_rejected_not_truncated() {
+    let (store, queries) = aids_workload(40, 20, 13);
+    let mem = Arc::new(MemStore::new());
+    {
+        let e = open_sub(&store, &mem, 8, 2, MaintenanceMode::Incremental);
+        for q in &queries {
+            let _ = e.query(q);
+        }
+    }
+    let wal = String::from_utf8(mem.raw_wal()).expect("utf-8 wal");
+    let mut lines: Vec<String> = wal.lines().map(str::to_owned).collect();
+    assert!(lines.len() >= 3, "header + at least two records");
+    // Damage the first record (not the last): flip a payload character.
+    let target = &mut lines[1];
+    let mid = target.len() - 5;
+    let byte = target.as_bytes()[mid];
+    target.replace_range(mid..mid + 1, if byte == b'0' { "1" } else { "0" });
+    mem.set_wal((lines.join("\n") + "\n").into_bytes());
+
+    let method = Ggsx::build(&store, GgsxConfig::default());
+    let err = IgqEngine::<Ggsx>::open(
+        method,
+        sub_config(8, 2, MaintenanceMode::Incremental),
+        Arc::clone(&mem) as Arc<dyn CacheStore>,
+    )
+    .err()
+    .expect("mid-log damage must fail loudly");
+    assert!(
+        matches!(err, PersistError::Corrupt(_)),
+        "expected Corrupt, got {err}"
+    );
+}
+
+#[test]
+fn checkpoint_checksum_mismatch_is_rejected() {
+    let (store, queries) = aids_workload(40, 12, 17);
+    let mem = Arc::new(MemStore::new());
+    {
+        let e = open_sub(&store, &mem, 8, 2, MaintenanceMode::Incremental);
+        for q in &queries {
+            let _ = e.query(q);
+        }
+        e.checkpoint().expect("checkpoint");
+    }
+    let mut bytes = mem
+        .load_checkpoint()
+        .expect("readable")
+        .expect("checkpoint exists");
+    let last = bytes.len() - 2;
+    bytes[last] ^= 0x01;
+    mem.set_checkpoint(Some(bytes));
+
+    let method = Ggsx::build(&store, GgsxConfig::default());
+    let err = IgqEngine::<Ggsx>::open(
+        method,
+        sub_config(8, 2, MaintenanceMode::Incremental),
+        Arc::clone(&mem) as Arc<dyn CacheStore>,
+    )
+    .err()
+    .expect("bit rot must be detected");
+    assert!(
+        matches!(err, PersistError::Checksum { .. }),
+        "expected Checksum, got {err}"
+    );
+}
+
+#[test]
+fn config_fingerprint_mismatch_is_rejected() {
+    let (store, queries) = aids_workload(40, 12, 19);
+    let mem = Arc::new(MemStore::new());
+    {
+        let e = open_sub(&store, &mem, 8, 2, MaintenanceMode::Incremental);
+        for q in &queries {
+            let _ = e.query(q);
+        }
+        e.checkpoint().expect("checkpoint");
+    }
+    // Same geometry, different path-feature family: the persisted index
+    // feature sets would be silently wrong, so the open must refuse.
+    let mut config = sub_config(8, 2, MaintenanceMode::Incremental);
+    config.path_config = igq::features::PathConfig::with_max_len(3);
+    let method = Ggsx::build(&store, GgsxConfig::default());
+    let err = IgqEngine::<Ggsx>::open(method, config, Arc::clone(&mem) as Arc<dyn CacheStore>)
+        .err()
+        .expect("foreign config must be rejected");
+    assert!(
+        matches!(err, PersistError::ConfigMismatch { .. }),
+        "expected ConfigMismatch, got {err}"
+    );
+}
+
+#[test]
+fn checkpoint_plus_wal_tail_recovers_later_flips() {
+    let (store, queries) = aids_workload(60, 30, 23);
+    let mem = Arc::new(MemStore::new());
+    {
+        let e = open_sub(&store, &mem, 10, 2, MaintenanceMode::Incremental);
+        for q in queries.iter().take(14) {
+            let _ = e.query(q);
+        }
+        e.checkpoint().expect("mid-run checkpoint");
+        for q in queries.iter().skip(14) {
+            let _ = e.query(q); // flips after the checkpoint land in the WAL
+        }
+    }
+    let e = open_sub(&store, &mem, 10, 2, MaintenanceMode::Incremental);
+    assert!(
+        e.stats().recovery_replayed_windows >= 1,
+        "post-checkpoint flips came back via WAL replay"
+    );
+    e.self_check().expect("recovered engine invariants");
+    for q in queries.iter().take(8) {
+        assert_eq!(e.query(q).answers, oracle_answers(&store, q), "{q:?}");
+    }
+}
+
+/// A store whose appends can be made to fail (and even leave partial
+/// bytes, like a half-completed `write_all`), for WAL-health testing.
+#[derive(Debug)]
+struct FlakyStore {
+    inner: MemStore,
+    fail_appends: std::sync::atomic::AtomicBool,
+}
+
+impl FlakyStore {
+    fn new() -> FlakyStore {
+        FlakyStore {
+            inner: MemStore::new(),
+            fail_appends: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+}
+
+impl CacheStore for FlakyStore {
+    fn load_checkpoint(&self) -> Result<Option<Vec<u8>>, PersistError> {
+        self.inner.load_checkpoint()
+    }
+    fn save_checkpoint(&self, bytes: &[u8]) -> Result<(), PersistError> {
+        self.inner.save_checkpoint(bytes)
+    }
+    fn load_wal(&self) -> Result<Vec<u8>, PersistError> {
+        self.inner.load_wal()
+    }
+    fn append_wal(&self, record: &[u8]) -> Result<(), PersistError> {
+        if self.fail_appends.load(std::sync::atomic::Ordering::Relaxed) {
+            // Half the record lands before the "disk" fails — the torn
+            // shape a real partial write_all leaves behind.
+            self.inner.append_wal(&record[..record.len() / 2])?;
+            return Err(PersistError::Io(std::io::Error::other(
+                "injected append failure",
+            )));
+        }
+        self.inner.append_wal(record)
+    }
+    fn replace_wal(&self, bytes: &[u8]) -> Result<(), PersistError> {
+        self.inner.replace_wal(bytes)
+    }
+}
+
+#[test]
+fn failed_wal_append_suspends_the_log_and_a_checkpoint_heals_it() {
+    let (store, queries) = aids_workload(50, 30, 31);
+    let flaky = Arc::new(FlakyStore::new());
+    {
+        let method = Ggsx::build(&store, GgsxConfig::default());
+        let e = IgqEngine::open(
+            method,
+            sub_config(8, 2, MaintenanceMode::Incremental),
+            Arc::clone(&flaky) as Arc<dyn CacheStore>,
+        )
+        .expect("open");
+        for q in queries.iter().take(10) {
+            let _ = e.query(q); // healthy flips append normally
+        }
+        let healthy_appends = e.stats().wal_appends;
+        assert!(healthy_appends >= 1);
+
+        // Disk starts failing: flips keep serving exactly, records are
+        // dropped loudly, and crucially NO further bytes land after the
+        // partial record (no mid-log hole).
+        flaky
+            .fail_appends
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+        for q in queries.iter().skip(10).take(10) {
+            let _ = e.query(q);
+        }
+        assert_eq!(
+            e.stats().wal_appends,
+            healthy_appends,
+            "no flip counts as appended after the failure (the failed one \
+             left partial bytes, the rest were suspended)"
+        );
+
+        // Disk recovers; an explicit checkpoint rewrites the WAL
+        // wholesale and restores health.
+        flaky
+            .fail_appends
+            .store(false, std::sync::atomic::Ordering::Relaxed);
+        e.checkpoint().expect("healing checkpoint");
+        for q in queries.iter().skip(20) {
+            let _ = e.query(q); // appends flow again
+        }
+        assert!(e.stats().wal_appends > healthy_appends);
+    }
+    // The store recovers cleanly despite the mid-life damage.
+    let method = Ggsx::build(&store, GgsxConfig::default());
+    let e = IgqEngine::open(
+        method,
+        sub_config(8, 2, MaintenanceMode::Incremental),
+        Arc::clone(&flaky) as Arc<dyn CacheStore>,
+    )
+    .expect("reopen after healed damage");
+    e.self_check().expect("recovered engine invariants");
+    for q in queries.iter().take(6) {
+        assert_eq!(e.query(q).answers, oracle_answers(&store, q), "{q:?}");
+    }
+}
+
+#[test]
+fn checkpoint_mid_window_then_flip_does_not_duplicate_entries_after_recovery() {
+    // A checkpoint captures the pending window; a *later* flip consumes
+    // it and lands in the WAL. Recovery must not keep both (the stale
+    // window would re-admit its entries at the next flip, creating a
+    // duplicate resident the never-restarted engine does not have).
+    let store: Arc<GraphStore> = Arc::new(
+        vec![
+            graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]),
+            graph_from(&[0, 1], &[(0, 1)]),
+            graph_from(&[2, 2, 2], &[(0, 1), (1, 2), (0, 2)]),
+        ]
+        .into_iter()
+        .collect(),
+    );
+    let q0 = graph_from(&[0, 1], &[(0, 1)]);
+    let q1 = graph_from(&[2, 2], &[(0, 1)]);
+    let mem = Arc::new(MemStore::new());
+    let live_cached;
+    {
+        let e = open_sub(&store, &mem, 8, 2, MaintenanceMode::Incremental);
+        let _ = e.query(&q0); // window = [q0]
+        e.checkpoint().expect("mid-window checkpoint");
+        let _ = e.query(&q1); // flip admits {q0, q1} -> WAL record
+        live_cached = e.cached_queries();
+        assert_eq!(live_cached, 2);
+    } // crash (drop drains the WAL outbox)
+    let e = open_sub(&store, &mem, 8, 2, MaintenanceMode::Incremental);
+    assert_eq!(e.stats().recovery_replayed_windows, 1);
+    assert_eq!(e.cached_queries(), live_cached);
+    // The stale checkpoint window would re-admit q0 here.
+    e.flush_window();
+    assert_eq!(e.cached_queries(), live_cached, "no duplicate resident");
+    e.self_check().expect("recovered engine invariants");
+}
+
+#[test]
+fn subgraph_store_is_rejected_by_a_supergraph_engine() {
+    // The two directions interpret cached answer sets oppositely; a
+    // shared store would serve wrong answers, so the fingerprint must
+    // separate them.
+    let (store, queries) = aids_workload(40, 10, 41);
+    let mem = Arc::new(MemStore::new());
+    {
+        let e = open_sub(&store, &mem, 8, 2, MaintenanceMode::Incremental);
+        for q in &queries {
+            let _ = e.query(q);
+        }
+        e.checkpoint().expect("checkpoint");
+    }
+    let method = TrieSupergraphMethod::build(&store, PathConfig::default(), MatchConfig::default());
+    let err = IgqSuperEngine::open(
+        method,
+        sub_config(8, 2, MaintenanceMode::Incremental),
+        Arc::clone(&mem) as Arc<dyn CacheStore>,
+    )
+    .err()
+    .expect("cross-direction open must be rejected");
+    assert!(
+        matches!(err, PersistError::ConfigMismatch { .. }),
+        "expected ConfigMismatch, got {err}"
+    );
+}
+
+#[test]
+fn dir_store_save_kill_load_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("igq_persist_it_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (store, queries) = aids_workload(60, 20, 29);
+    let repeat = queries[0].clone();
+    let first_answers;
+    {
+        let disk: Arc<dyn CacheStore> = Arc::new(DirStore::open(&dir).expect("dir store"));
+        let e = IgqEngine::open(
+            Ggsx::build(&store, GgsxConfig::default()),
+            sub_config(16, 4, MaintenanceMode::Incremental),
+            disk,
+        )
+        .expect("open");
+        first_answers = e.query(&repeat).answers.clone();
+        for q in &queries[1..] {
+            let _ = e.query(q);
+        }
+        e.checkpoint().expect("checkpoint before kill");
+    } // "kill"
+    let disk: Arc<dyn CacheStore> = Arc::new(DirStore::open(&dir).expect("dir store"));
+    let e = IgqEngine::open(
+        Ggsx::build(&store, GgsxConfig::default()),
+        sub_config(16, 4, MaintenanceMode::Incremental),
+        disk,
+    )
+    .expect("reopen");
+    let out = e.query(&repeat);
+    assert_eq!(out.answers, first_answers);
+    e.self_check().expect("recovered engine invariants");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The observable face of one query, for restart-equivalence comparison.
+#[derive(Debug, PartialEq, Eq)]
+struct Observed {
+    answers: Vec<GraphId>,
+    resolution: igq::core::Resolution,
+    isub_hits: usize,
+    isuper_hits: usize,
+    candidates_before: usize,
+    candidates_after: usize,
+    pruned_by_isub: usize,
+    pruned_by_isuper: usize,
+    db_iso_tests: u64,
+}
+
+fn observe(o: &QueryOutcome) -> Observed {
+    Observed {
+        answers: o.answers.clone(),
+        resolution: o.resolution,
+        isub_hits: o.isub_hits,
+        isuper_hits: o.isuper_hits,
+        candidates_before: o.candidates_before,
+        candidates_after: o.candidates_after,
+        pruned_by_isub: o.pruned_by_isub,
+        pruned_by_isuper: o.pruned_by_isuper,
+        db_iso_tests: o.db_iso_tests,
+    }
+}
+
+const ALL_MODES: [MaintenanceMode; 3] = [
+    MaintenanceMode::Incremental,
+    MaintenanceMode::ShadowRebuild,
+    MaintenanceMode::Background,
+];
+
+/// Runs `prefix` on a live engine, checkpoints, opens a recovered twin
+/// from a point-in-time store fork, then drives both through `suffix`,
+/// asserting byte-identical observable behavior. `sync` must force
+/// maintenance lockstep under background mode (probe determinism).
+fn assert_restart_equivalence<E: QueryEngine>(
+    live: &E,
+    recovered: &E,
+    suffix: &[Graph],
+    mode: MaintenanceMode,
+) -> Result<(), TestCaseError> {
+    for q in suffix {
+        if mode == MaintenanceMode::Background {
+            live.sync_maintenance();
+            recovered.sync_maintenance();
+        }
+        let a = observe(&live.query(q));
+        let b = observe(&recovered.query(q));
+        prop_assert_eq!(a, b, "divergence on {:?} under {:?}", q, mode);
+    }
+    prop_assert_eq!(live.cached_queries(), recovered.cached_queries());
+    live.self_check().expect("live engine invariants");
+    recovered.self_check().expect("recovered engine invariants");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `Engine::open` after N random window flips ≡ the never-restarted
+    /// engine — subgraph direction, all three maintenance modes.
+    #[test]
+    fn subgraph_restart_equivalence(
+        store in arb_store(6, 6, 3),
+        queries in proptest::collection::vec(arb_graph(5, 3), 4..14),
+        capacity in 2usize..6,
+        window in 1usize..3,
+        split_pct in 20usize..80,
+    ) {
+        let window = window.min(capacity);
+        let split = queries.len() * split_pct / 100;
+        let (prefix, rest) = queries.split_at(split.clamp(1, queries.len() - 1));
+        // A middle segment runs *after* the checkpoint, so recovery must
+        // combine the checkpoint with WAL-tail replay (the crash shape).
+        let (mid, suffix) = rest.split_at((rest.len() / 2).min(3));
+        for mode in ALL_MODES {
+            let mem = Arc::new(MemStore::new());
+            let live = open_sub(&store, &mem, capacity, window, mode);
+            for q in prefix {
+                let _ = live.query(q);
+            }
+            // The checkpoint captures everything, including the pending
+            // window, so recovery works from an arbitrary mid-window point.
+            live.checkpoint().expect("checkpoint");
+            for q in mid {
+                let _ = live.query(q); // post-checkpoint flips -> WAL tail
+            }
+            // Flush to a flip boundary: the fork point is then exactly the
+            // recovered engine's state (the loss window is empty).
+            live.flush_window();
+            let fork = Arc::new(mem.fork());
+            let recovered = open_sub(&store, &fork, capacity, window, mode);
+            assert_restart_equivalence(&live, &recovered, suffix, mode)?;
+        }
+    }
+
+    /// Same guarantee in the supergraph direction.
+    #[test]
+    fn supergraph_restart_equivalence(
+        store in arb_store(5, 5, 3),
+        queries in proptest::collection::vec(arb_graph(7, 3), 4..12),
+        capacity in 2usize..6,
+        window in 1usize..3,
+        split_pct in 20usize..80,
+    ) {
+        let window = window.min(capacity);
+        let split = queries.len() * split_pct / 100;
+        let (prefix, rest) = queries.split_at(split.clamp(1, queries.len() - 1));
+        let (mid, suffix) = rest.split_at((rest.len() / 2).min(3));
+        for mode in ALL_MODES {
+            let mem = Arc::new(MemStore::new());
+            let live = open_super(&store, &mem, capacity, window, mode);
+            for q in prefix {
+                let _ = live.query(q);
+            }
+            live.checkpoint().expect("checkpoint");
+            for q in mid {
+                let _ = live.query(q); // post-checkpoint flips -> WAL tail
+            }
+            live.flush_window();
+            let fork = Arc::new(mem.fork());
+            let recovered = open_super(&store, &fork, capacity, window, mode);
+            assert_restart_equivalence(&live, &recovered, suffix, mode)?;
+        }
+    }
+}
