@@ -1,0 +1,6 @@
+//! Verify-stage hot path experiment: legacy per-pair verification vs the
+//! plan-amortized batch path (archives `BENCH_hotpath.json`).
+fn main() {
+    let opts = igq_bench::ExpOptions::from_env();
+    igq_bench::experiments::hotpath::run(&opts).emit();
+}

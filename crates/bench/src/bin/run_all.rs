@@ -42,6 +42,7 @@ fn main() {
     experiments::extensions::edge_label_impact(&opts).emit();
     experiments::concurrency::run(&opts).emit();
     experiments::persistence::run(&opts).emit();
+    experiments::hotpath::run(&opts).emit();
 
     println!(
         "all experiments complete in {:.1}s — reports archived under target/experiments/",

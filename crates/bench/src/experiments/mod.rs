@@ -6,6 +6,7 @@ pub mod cache_sweep;
 pub mod concurrency;
 pub mod extensions;
 pub mod groups;
+pub mod hotpath;
 pub mod index_sizes;
 pub mod maintenance;
 pub mod persistence;

@@ -25,7 +25,9 @@
 use igq_features::PathFeatures;
 use igq_graph::{Graph, GraphId, GraphStore};
 use igq_iso::{CostModel, LogValue};
-use igq_methods::{Filtered, QueryContext, SubgraphMethod, TrieSupergraphMethod, VerifyOutcome};
+use igq_methods::{
+    Filtered, QueryContext, SubgraphMethod, TrieSupergraphMethod, VerifyBatchStats, VerifyOutcome,
+};
 use std::marker::PhantomData;
 
 /// One direction (sub or super) of the unified [`crate::Engine`] pipeline.
@@ -54,13 +56,14 @@ pub trait QueryDirection: Send + Sync {
     /// the query's already-extracted path features.
     fn filter(method: &Self::Method, q: &Graph, features: &PathFeatures) -> Filtered;
 
-    /// Verification stage over the pruned candidates, index-aligned.
+    /// Verification stage over the pruned candidates, index-aligned, plus
+    /// the batch's plan/scratch amortization accounting.
     fn verify(
         method: &Self::Method,
         q: &Graph,
         context: &QueryContext,
         candidates: &[GraphId],
-    ) -> Vec<VerifyOutcome>;
+    ) -> (Vec<VerifyOutcome>, VerifyBatchStats);
 
     /// `ln c(·, ·)` for one candidate test, with the pattern/target roles
     /// ordered for this direction: subgraph queries test the **query**
@@ -95,8 +98,8 @@ impl<M: SubgraphMethod> QueryDirection for SubgraphQueries<M> {
         q: &Graph,
         context: &QueryContext,
         candidates: &[GraphId],
-    ) -> Vec<VerifyOutcome> {
-        method.verify_batch(q, context, candidates)
+    ) -> (Vec<VerifyOutcome>, VerifyBatchStats) {
+        method.verify_batch_with(q, context, candidates)
     }
 
     fn cost_ln(model: &mut CostModel, query_vertices: usize, stored_vertices: usize) -> LogValue {
@@ -132,11 +135,8 @@ impl QueryDirection for SupergraphQueries {
         q: &Graph,
         _context: &QueryContext,
         candidates: &[GraphId],
-    ) -> Vec<VerifyOutcome> {
-        candidates
-            .iter()
-            .map(|&id| method.verify_super(q, id))
-            .collect()
+    ) -> (Vec<VerifyOutcome>, VerifyBatchStats) {
+        method.verify_super_batch(q, candidates)
     }
 
     fn cost_ln(model: &mut CostModel, query_vertices: usize, stored_vertices: usize) -> LogValue {

@@ -49,7 +49,7 @@
 //! # Durability
 //!
 //! An engine constructed with [`Engine::open`] over a
-//! [`CacheStore`](crate::persist::CacheStore) is **durable**: every
+//! [`CacheStore`] is **durable**: every
 //! window flip is captured as a WAL record (pushed under the state lock,
 //! appended to storage off it, riding the same outbox drain as
 //! background-maintenance jobs), checkpoints are written on a configured
@@ -84,7 +84,7 @@ use igq_graph::canon::{canonical_code, CanonicalCode, GraphSignature};
 use igq_graph::stats::DatasetStats;
 use igq_graph::{Graph, GraphId};
 use igq_iso::{CostModel, IsoStats, LogValue};
-use igq_methods::{intersect_sorted, subtract_sorted, Filtered};
+use igq_methods::{intersect_into, intersect_sorted, subtract_into, subtract_sorted, Filtered};
 use parking_lot::{Mutex, RwLock};
 use std::collections::VecDeque;
 use std::marker::PhantomData;
@@ -870,21 +870,29 @@ impl<D: QueryDirection> Engine<D> {
             return outcome;
         }
 
-        // Formula (3) (or its Section 4.4 inverse): known answers.
+        // Formula (3) (or its Section 4.4 inverse): known answers. The
+        // answer-set algebra below runs on two reused buffers (`pruned`
+        // and `spare`, swapped per step) with galloping intersection /
+        // subtraction — a handful of cached-answer probes against a large
+        // candidate set costs O(hits · log |CS|), not O(|CS|) per slot.
         let mut known_answers: Vec<GraphId> = Vec::new();
         for &s in known_slots {
             known_answers.extend_from_slice(&st.cache.entry(s).answers);
         }
         known_answers.sort_unstable();
         known_answers.dedup();
-        let known_in_cs = intersect_sorted(cs, &known_answers);
-        let mut pruned = subtract_sorted(cs, &known_answers);
+        let mut known_in_cs = Vec::new();
+        intersect_into(cs, &known_answers, &mut known_in_cs);
+        let mut pruned = Vec::new();
+        let mut spare = Vec::new();
+        subtract_into(cs, &known_answers, &mut pruned);
         let known_pruned = cs.len() - pruned.len();
 
         // Formula (5): candidates must appear in every bounding answer set.
         let before_bound = pruned.len();
         for &s in bound_slots {
-            pruned = intersect_sorted(&pruned, &st.cache.entry(s).answers);
+            intersect_into(&pruned, &st.cache.entry(s).answers, &mut spare);
+            std::mem::swap(&mut pruned, &mut spare);
             if pruned.is_empty() {
                 break;
             }
@@ -906,7 +914,8 @@ impl<D: QueryDirection> Engine<D> {
 
         // Verification of the surviving candidates.
         let verify_start = Instant::now();
-        let results = D::verify(&self.method, q, &filtered.context, &pruned);
+        let (results, batch_stats) = D::verify(&self.method, q, &filtered.context, &pruned);
+        self.stats.record_verify_batch(&batch_stats);
         outcome.db_iso_tests = pruned.len() as u64;
         outcome.aborted_tests = results.iter().filter(|r| r.aborted).count() as u64;
         let mut answers: Vec<GraphId> = pruned
@@ -2081,6 +2090,34 @@ mod tests {
             igq_features::thread_enumeration_count() - before,
             0,
             "canonical-code repeats resolve with zero enumerations"
+        );
+    }
+
+    #[test]
+    fn verify_stage_amortization_counters() {
+        let e = engine();
+        let q1 = graph_from(&[0, 1], &[(0, 1)]);
+        let q2 = graph_from(&[2, 2], &[(0, 1)]);
+        assert_eq!(e.query(&q1).resolution, Resolution::Verified);
+        assert_eq!(e.query(&q2).resolution, Resolution::Verified);
+        let st = e.stats();
+        assert_eq!(
+            st.plan_builds, 2,
+            "subgraph direction: exactly one plan per verified query"
+        );
+        // Exact repeats never reach the verify stage: no new plan.
+        assert_eq!(e.query(&q1).resolution, Resolution::ExactHit);
+        assert_eq!(e.stats().plan_builds, 2);
+        // Warm the thread scratch to 3-vertex queries, then another
+        // 3-vertex query must verify allocation-free.
+        let _ = e.query(&graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]));
+        let before = e.stats().scratch_allocs;
+        let out = e.query(&graph_from(&[0, 1, 2], &[(0, 1), (1, 2)]));
+        assert!(out.db_iso_tests > 0, "the steady-state probe must verify");
+        assert_eq!(
+            e.stats().scratch_allocs,
+            before,
+            "steady-state verification is allocation-free"
         );
     }
 

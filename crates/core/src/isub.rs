@@ -20,7 +20,8 @@
 
 use igq_features::{enumerate_paths, FeatureTrie, LabelSeq, PathConfig, PathFeatures};
 use igq_graph::{Graph, GraphId};
-use igq_iso::{vf2, IsoStats, MatchConfig};
+use igq_iso::plan::{matches_with_plan, MatchPlan};
+use igq_iso::{with_thread_scratch, IsoStats, MatchConfig};
 use std::sync::Arc;
 
 /// One indexed cache slot.
@@ -164,20 +165,34 @@ impl IsubIndex {
     /// iGQ-internal iso work performed. `qf` is the query's path-feature
     /// set, extracted once by the engine and shared across the base filter
     /// and both index probes.
+    ///
+    /// The probe's pattern is the query and every target is a (small)
+    /// cached query graph, so one [`MatchPlan`] built per probe — ordered
+    /// by the query's own label histogram, a fine seed ranking at cached
+    /// queries' sizes — is shared across all filtered slots, with the
+    /// thread's scratch: the probe performs no per-candidate allocations.
     pub fn supergraphs_of(&self, q: &Graph, qf: &PathFeatures) -> (Vec<usize>, IsoStats) {
         let mut stats = IsoStats::new();
         let mut slots = Vec::new();
-        for slot in self.filter(q, qf) {
-            let cached = &self.slots[slot]
-                .as_ref()
-                .expect("filtered slot occupied")
-                .graph;
-            let r = vf2::find_one(q, cached, &MatchConfig::default());
-            stats.record(&r);
-            if r.outcome.is_found() {
-                slots.push(slot);
-            }
+        let filtered = self.filter(q, qf);
+        if filtered.is_empty() {
+            return (slots, stats);
         }
+        let config = MatchConfig::default();
+        let plan = MatchPlan::build(q, &config, &mut |l| q.vertices_with_label(l).len() as u64);
+        with_thread_scratch(|scratch| {
+            for slot in filtered {
+                let cached = &self.slots[slot]
+                    .as_ref()
+                    .expect("filtered slot occupied")
+                    .graph;
+                let (verdict, states) = matches_with_plan(&plan, cached, scratch);
+                stats.record_verdict(verdict, states);
+                if verdict.is_found() {
+                    slots.push(slot);
+                }
+            }
+        });
         (slots, stats)
     }
 

@@ -18,7 +18,8 @@ use crate::isub::IndexSnapshot;
 use igq_features::{enumerate_paths, FeatureTrie, LabelSeq, PathConfig, PathFeatures};
 use igq_graph::fxhash::FxHashMap;
 use igq_graph::{Graph, GraphId};
-use igq_iso::{vf2, IsoStats, MatchConfig};
+use igq_iso::plan::{matches_with_plan, MatchPlan};
+use igq_iso::{with_thread_scratch, IsoStats, MatchConfig};
 use std::sync::Arc;
 
 /// One indexed cache slot.
@@ -156,20 +157,29 @@ impl IsuperIndex {
     pub fn subgraphs_of(&self, q: &Graph, qf: &PathFeatures) -> (Vec<usize>, IsoStats) {
         let mut stats = IsoStats::new();
         let mut slots = Vec::new();
-        for slot in self.candidates(qf) {
-            let cached = &self.slots[slot]
-                .as_ref()
-                .expect("candidate slot occupied")
-                .graph;
-            if cached.vertex_count() > q.vertex_count() || cached.edge_count() > q.edge_count() {
-                continue;
+        let config = MatchConfig::default();
+        // The inverted probe: each cached graph is the pattern, searched
+        // inside the fixed query — plans are per pair (ordered by the
+        // query's label index, the best statistic since the target is
+        // known), the thread scratch is reused throughout.
+        with_thread_scratch(|scratch| {
+            for slot in self.candidates(qf) {
+                let cached = &self.slots[slot]
+                    .as_ref()
+                    .expect("candidate slot occupied")
+                    .graph;
+                if cached.vertex_count() > q.vertex_count() || cached.edge_count() > q.edge_count()
+                {
+                    continue;
+                }
+                let plan = MatchPlan::for_target(cached, q, &config);
+                let (verdict, states) = matches_with_plan(&plan, q, scratch);
+                stats.record_verdict(verdict, states);
+                if verdict.is_found() {
+                    slots.push(slot);
+                }
             }
-            let r = vf2::find_one(cached, q, &MatchConfig::default());
-            stats.record(&r);
-            if r.outcome.is_found() {
-                slots.push(slot);
-            }
-        }
+        });
         (slots, stats)
     }
 

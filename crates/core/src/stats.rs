@@ -76,6 +76,22 @@ pub struct EngineStats {
     /// `PathFeatures` is shared by the base method's filter and both
     /// query-index probes.
     pub feature_extractions: u64,
+    /// Matching plans built in the verification stage. In the subgraph
+    /// direction: one per verified query with a non-empty candidate batch
+    /// (the plan is shared by the whole batch), plus one per large
+    /// (≥128-vertex) candidate, which gets its own target-ordered plan.
+    /// In the supergraph direction: one per candidate (the pattern
+    /// varies). Zero for fully-pruned queries.
+    pub plan_builds: u64,
+    /// Scratch-buffer allocations/growths in the verification stage.
+    /// Flat (zero per candidate) once the per-thread workspaces have
+    /// warmed to the workload's largest query and target.
+    pub scratch_allocs: u64,
+    /// Candidates rejected by the pre-verify screen (label-count /
+    /// degree-sequence dominance) without starting an iso search. These
+    /// still count as `db_iso_tests` — the screen makes tests cheaper, it
+    /// does not change the paper's headline test counts.
+    pub preverify_rejections: u64,
     /// Wall-clock in the base method's filter stage.
     pub filter_time: Duration,
     /// Wall-clock in iGQ probes and bookkeeping.
@@ -166,6 +182,9 @@ pub(crate) struct AtomicEngineStats {
     checkpoint_nanos: AtomicU64,
     recovery_replayed_windows: AtomicU64,
     feature_extractions: AtomicU64,
+    plan_builds: AtomicU64,
+    scratch_allocs: AtomicU64,
+    preverify_rejections: AtomicU64,
     filter_nanos: AtomicU64,
     igq_nanos: AtomicU64,
     verify_nanos: AtomicU64,
@@ -236,6 +255,15 @@ impl AtomicEngineStats {
         self.wal_appends.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Folds one verification batch's amortization counters.
+    pub(crate) fn record_verify_batch(&self, b: &igq_methods::VerifyBatchStats) {
+        const R: Ordering = Ordering::Relaxed;
+        self.plan_builds.fetch_add(b.plan_builds, R);
+        self.scratch_allocs.fetch_add(b.scratch_allocs, R);
+        self.preverify_rejections
+            .fetch_add(b.preverify_rejections, R);
+    }
+
     /// Folds one checkpoint's wall-clock.
     pub(crate) fn record_checkpoint(&self, elapsed: Duration) {
         self.checkpoint_nanos
@@ -272,6 +300,9 @@ impl AtomicEngineStats {
             checkpoint_time: Duration::from_nanos(self.checkpoint_nanos.load(R)),
             recovery_replayed_windows: self.recovery_replayed_windows.load(R),
             feature_extractions: self.feature_extractions.load(R),
+            plan_builds: self.plan_builds.load(R),
+            scratch_allocs: self.scratch_allocs.load(R),
+            preverify_rejections: self.preverify_rejections.load(R),
             filter_time: Duration::from_nanos(self.filter_nanos.load(R)),
             igq_time: Duration::from_nanos(self.igq_nanos.load(R)),
             verify_time: Duration::from_nanos(self.verify_nanos.load(R)),
@@ -337,6 +368,16 @@ mod tests {
         atomic.count_wal_append();
         atomic.record_checkpoint(Duration::from_micros(21));
         atomic.set_recovery_replayed_windows(4);
+        atomic.record_verify_batch(&igq_methods::VerifyBatchStats {
+            plan_builds: 2,
+            scratch_allocs: 1,
+            preverify_rejections: 5,
+        });
+        atomic.record_verify_batch(&igq_methods::VerifyBatchStats {
+            plan_builds: 1,
+            scratch_allocs: 0,
+            preverify_rejections: 2,
+        });
         let snap = atomic.snapshot();
         assert_eq!(snap.queries, plain.queries);
         assert_eq!(snap.db_iso_tests, plain.db_iso_tests);
@@ -351,6 +392,9 @@ mod tests {
         assert_eq!(snap.wal_appends, 2);
         assert_eq!(snap.checkpoint_time, Duration::from_micros(21));
         assert_eq!(snap.recovery_replayed_windows, 4);
+        assert_eq!(snap.plan_builds, 3);
+        assert_eq!(snap.scratch_allocs, 1);
+        assert_eq!(snap.preverify_rejections, 7);
     }
 
     #[test]

@@ -33,7 +33,16 @@ pub struct Graph {
     edge_labels: Option<Box<[LabelId]>>,
     /// Vertices grouped by label, each group sorted ascending.
     label_index: FxHashMap<LabelId, Box<[VertexId]>>,
+    /// Bitset adjacency rows for graphs with at most 64 vertices
+    /// (`bitset[u] >> v & 1`): the isomorphism engines' `has_edge` inner
+    /// loop becomes a single shift-and-mask instead of a binary search.
+    /// `None` for larger graphs. Derived from `edges`, so the derived
+    /// equality stays canonical.
+    bitset: Option<Box<[u64]>>,
 }
+
+/// Vertex-count ceiling for the bitset adjacency fast path.
+const BITSET_MAX_VERTICES: usize = 64;
 
 impl Graph {
     pub(crate) fn from_parts(labels: Vec<LabelId>, edge_list: Vec<(VertexId, VertexId)>) -> Self {
@@ -112,6 +121,17 @@ impl Graph {
             .map(|(l, vs)| (l, vs.into_boxed_slice()))
             .collect();
 
+        let bitset = if n <= BITSET_MAX_VERTICES {
+            let mut rows = vec![0u64; n];
+            for &(u, v) in &edge_list {
+                rows[u.index()] |= 1u64 << v.raw();
+                rows[v.index()] |= 1u64 << u.raw();
+            }
+            Some(rows.into_boxed_slice())
+        } else {
+            None
+        };
+
         Ok(Graph {
             labels: labels.into_boxed_slice(),
             offsets: offsets.into_boxed_slice(),
@@ -119,6 +139,7 @@ impl Graph {
             edges: edge_list.into_boxed_slice(),
             edge_labels,
             label_index,
+            bitset,
         })
     }
 
@@ -166,9 +187,14 @@ impl Graph {
         (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
     }
 
-    /// Adjacency test via binary search over `u`'s neighbor slice.
+    /// Adjacency test: one shift-and-mask on the bitset rows for graphs of
+    /// at most 64 vertices, a binary search over the smaller neighbor
+    /// slice otherwise.
     #[inline]
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if let Some(rows) = &self.bitset {
+            return (rows[u.index()] >> v.raw()) & 1 == 1;
+        }
         // Search the smaller adjacency list.
         let (a, b) = if self.degree(u) <= self.degree(v) {
             (u, v)
@@ -372,7 +398,11 @@ impl Graph {
             .values()
             .map(|v| v.len() * std::mem::size_of::<VertexId>() + 16)
             .sum();
-        (labels + offsets + neigh + edges + elabels + idx) as u64
+        let bitset = self
+            .bitset
+            .as_ref()
+            .map_or(0, |rows| rows.len() * std::mem::size_of::<u64>());
+        (labels + offsets + neigh + edges + elabels + idx + bitset) as u64
     }
 }
 
@@ -627,6 +657,25 @@ mod tests {
         assert!(serde_json::from_str::<crate::Graph>(json).is_err());
         let json = r#"{"labels":[0,1],"edges":[[1,1]]}"#;
         assert!(serde_json::from_str::<crate::Graph>(json).is_err());
+    }
+
+    #[test]
+    fn bitset_and_binary_search_adjacency_agree() {
+        // 64 vertices (bitset path, bit 63 exercised) and a 70-vertex ring
+        // (binary-search path), each against its neighbor-slice truth.
+        let ring = |n: u32| -> Vec<(u32, u32)> { (0..n).map(|i| (i, (i + 1) % n)).collect() };
+        for g in [
+            graph_from(&vec![0; 64], &ring(64)),
+            graph_from(&vec![0; 70], &ring(70)),
+        ] {
+            let n = g.vertex_count() as u32;
+            for u in 0..n {
+                for w in 0..n {
+                    let expect = g.neighbors(v(u)).binary_search(&v(w)).is_ok();
+                    assert_eq!(g.has_edge(v(u), v(w)), expect, "({u},{w}) n={n}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod error;
 pub mod fxhash;
 pub mod graph;
 pub mod io;
+pub mod profile;
 pub mod stats;
 pub mod store;
 
@@ -37,6 +38,7 @@ pub use builder::GraphBuilder;
 pub use error::{GraphError, Result};
 pub use graph::Graph;
 pub use ids::{GraphId, LabelId, VertexId};
+pub use profile::GraphProfile;
 pub use store::GraphStore;
 
 /// Convenience constructor used pervasively in tests and examples:

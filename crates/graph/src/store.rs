@@ -1,6 +1,8 @@
 //! The dataset: a `GraphStore` holds `D = {G1, ..., Gn}`.
 
-use crate::{Graph, GraphId};
+use crate::fxhash::FxHashMap;
+use crate::profile::GraphProfile;
+use crate::{Graph, GraphId, LabelId};
 
 /// An append-only collection of dataset graphs with stable, dense
 /// [`GraphId`]s.
@@ -9,9 +11,21 @@ use crate::{Graph, GraphId};
 /// which `Gi` in the store satisfy `g ⊆ Gi`; the supergraph problem
 /// (Definition 4) asks for `g ⊇ Gi`. Every index method in `igq-methods`
 /// and iGQ itself are built over a `GraphStore`.
+///
+/// Alongside the graphs, the store precomputes per-graph
+/// [`GraphProfile`]s (label histogram, degree sequence) and a
+/// dataset-wide label-frequency table, so the verification hot path can
+/// seed matching plans and run the pre-verify screen without scanning any
+/// target graph.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct GraphStore {
     graphs: Vec<Graph>,
+    /// One precomputed profile per graph, id-aligned with `graphs`.
+    profiles: Vec<GraphProfile>,
+    /// Total multiplicity of each vertex label across the dataset — the
+    /// store-level rarity statistic behind target-independent matching
+    /// plans.
+    label_totals: FxHashMap<LabelId, u64>,
 }
 
 impl serde_json::ToJson for GraphStore {
@@ -30,9 +44,9 @@ impl serde_json::FromJson for GraphStore {
         let graphs = v
             .get("graphs")
             .ok_or_else(|| serde_json::Error::custom("missing graphs"))?;
-        Ok(GraphStore {
-            graphs: serde_json::FromJson::from_json(graphs)?,
-        })
+        Ok(GraphStore::from_graphs(serde_json::FromJson::from_json(
+            graphs,
+        )?))
     }
 }
 
@@ -44,14 +58,41 @@ impl GraphStore {
 
     /// Builds a store from a vector of graphs (ids follow vector order).
     pub fn from_graphs(graphs: Vec<Graph>) -> Self {
-        GraphStore { graphs }
+        let mut store = GraphStore::default();
+        for g in graphs {
+            store.push(g);
+        }
+        store
     }
 
-    /// Appends a graph, returning its id.
+    /// Appends a graph, returning its id. Profiles and the label-frequency
+    /// table are maintained incrementally.
     pub fn push(&mut self, g: Graph) -> GraphId {
         let id = GraphId::from_index(self.graphs.len());
+        let profile = GraphProfile::of(&g);
+        for &(l, c) in profile.label_counts() {
+            *self.label_totals.entry(l).or_insert(0) += c as u64;
+        }
+        self.profiles.push(profile);
         self.graphs.push(g);
         id
+    }
+
+    /// The precomputed [`GraphProfile`] of the graph with the given id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range (ids are only minted by this store).
+    #[inline]
+    pub fn profile(&self, id: GraphId) -> &GraphProfile {
+        &self.profiles[id.index()]
+    }
+
+    /// Total multiplicity of `label` across all stored graphs (0 when the
+    /// label never occurs). The rarity statistic used to seed
+    /// target-independent matching plans.
+    #[inline]
+    pub fn label_frequency(&self, label: LabelId) -> u64 {
+        self.label_totals.get(&label).copied().unwrap_or(0)
     }
 
     /// The graph with the given id.
@@ -120,9 +161,7 @@ impl std::ops::Index<GraphId> for GraphStore {
 
 impl FromIterator<Graph> for GraphStore {
     fn from_iter<T: IntoIterator<Item = Graph>>(iter: T) -> Self {
-        GraphStore {
-            graphs: iter.into_iter().collect(),
-        }
+        GraphStore::from_graphs(iter.into_iter().collect())
     }
 }
 
@@ -183,5 +222,30 @@ mod tests {
     fn index_operator() {
         let s = store3();
         assert_eq!(s[GraphId::new(2)].vertex_count(), 3);
+    }
+
+    #[test]
+    fn profiles_and_label_frequencies_track_pushes() {
+        let mut s = store3();
+        // store3 labels: g0=[0], g1=[0,1], g2=[0,1,2].
+        assert_eq!(s.label_frequency(crate::LabelId::new(0)), 3);
+        assert_eq!(s.label_frequency(crate::LabelId::new(1)), 2);
+        assert_eq!(s.label_frequency(crate::LabelId::new(9)), 0);
+        assert_eq!(s.profile(GraphId::new(2)).max_degree(), 2);
+        s.push(graph_from(&[9, 9], &[(0, 1)]));
+        assert_eq!(s.label_frequency(crate::LabelId::new(9)), 2);
+        assert_eq!(s.profile(GraphId::new(3)).degree_desc(), &[1, 1]);
+    }
+
+    #[test]
+    fn serde_roundtrip_restores_profiles() {
+        let s = store3();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: GraphStore = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+        assert_eq!(
+            back.label_frequency(crate::LabelId::new(0)),
+            s.label_frequency(crate::LabelId::new(0))
+        );
     }
 }

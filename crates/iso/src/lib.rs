@@ -10,6 +10,11 @@
 //! * [`vf2`] — the VF2 algorithm (Cordella et al., TPAMI 2004), the matcher
 //!   used by GGSX and CT-Index and "arguably the most widely used" per the
 //!   paper;
+//! * [`plan`] — the amortized VF2 hot path: a query-side [`MatchPlan`]
+//!   built once per query plus a reusable [`MatchScratch`] workspace, so
+//!   batch verification explores candidates with zero per-candidate heap
+//!   allocations (the per-pair [`vf2`] stays as the one-off fallback and
+//!   property-test oracle);
 //! * [`ullmann`] — Ullmann's 1976 algorithm, the classic baseline (\[39\] in
 //!   the paper), kept for ablation benchmarks;
 //! * [`budget`] — optional search-state budgets so harness code can bound
@@ -23,6 +28,7 @@
 pub mod budget;
 pub mod cost;
 pub mod logmath;
+pub mod plan;
 pub mod semantics;
 pub mod stats;
 pub mod ullmann;
@@ -31,6 +37,9 @@ pub mod vf2;
 pub use budget::Budget;
 pub use cost::{iso_cost_ln, CostModel};
 pub use logmath::LogValue;
+pub use plan::{
+    find_with_plan, matches_with_plan, with_thread_scratch, MatchPlan, MatchScratch, Verdict,
+};
 pub use semantics::{MatchConfig, MatchSemantics, Outcome};
 pub use stats::IsoStats;
 

@@ -1,0 +1,658 @@
+//! Amortized VF2: a query-side [`MatchPlan`] built **once per query** plus
+//! a reusable [`MatchScratch`] workspace, so the steady-state verification
+//! loop — one query against a whole batch of candidates — performs **zero
+//! heap allocations** per candidate.
+//!
+//! The legacy engine ([`crate::vf2`]) plans per *(pattern, target)* pair:
+//! every candidate pays an `O(|pattern|²)` ordering pass with
+//! `vertices_with_label` rarity scans against the target, a fresh
+//! `mapping`/`used` allocation, and a `Vec` clone of the candidate slice at
+//! every search depth. This module splits that work:
+//!
+//! * [`MatchPlan::build`] orders the pattern once, using any label-rarity
+//!   statistic the caller supplies — typically the *store-level* label
+//!   frequency table ([`igq_graph::GraphStore::label_frequency`]), making
+//!   the plan target-independent and shareable across every candidate of a
+//!   batch. The ordering heuristic is byte-for-byte the legacy one
+//!   (rarest-label seed, connectivity-first growth), so
+//!   [`MatchPlan::for_target`] with the target's own label index
+//!   reproduces the legacy search exactly — state count, abort behavior
+//!   and all — which the property suite pins.
+//! * Per-entry pattern facts (label, degree, backward edges *as plan
+//!   positions* with their pattern edge labels, induced non-neighbors) are
+//!   flattened into the plan, so the inner search loop never touches the
+//!   pattern graph again.
+//! * [`MatchScratch`] holds the mapping array and a stamped `used` array
+//!   with a generation counter: starting the next candidate is one
+//!   generation bump, not an `O(|target|)` clear, and buffers only ever
+//!   grow ([`MatchScratch::alloc_events`] counts those growths — flat in
+//!   steady state).
+//! * Candidate sets are borrowed directly from the target's neighbor /
+//!   label-class slices; nothing is cloned during the search.
+//!
+//! [`matches_with_plan`] returns the verdict without materializing an
+//! embedding (the batch-verification hot path needs only containment);
+//! [`find_with_plan`] additionally reconstructs the mapping.
+//!
+//! The legacy per-pair [`crate::vf2::find_one`] remains the fallback for
+//! one-off tests and is the oracle the property tests compare against.
+
+use crate::budget::Budget;
+use crate::semantics::{MatchConfig, MatchResult, MatchSemantics, Outcome};
+use igq_graph::{Graph, LabelId, VertexId};
+use std::cell::RefCell;
+
+/// The three-way result of a containment-only match (an [`Outcome`]
+/// without the embedding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// An embedding exists.
+    Found,
+    /// The search space was exhausted: no embedding.
+    NotFound,
+    /// The state budget ran out first; the answer is unknown.
+    Aborted,
+}
+
+impl Verdict {
+    /// True only for [`Verdict::Found`].
+    #[inline]
+    pub fn is_found(self) -> bool {
+        matches!(self, Verdict::Found)
+    }
+
+    /// True only for [`Verdict::Aborted`].
+    #[inline]
+    pub fn is_aborted(self) -> bool {
+        matches!(self, Verdict::Aborted)
+    }
+}
+
+/// One matching step: the pattern vertex matched at this depth plus every
+/// pattern-side fact the feasibility rules need, flattened so the search
+/// never consults the pattern graph.
+#[derive(Debug, Clone)]
+struct PlanEntry {
+    /// Pattern vertex id (for label-class seeding and mapping output).
+    vertex: VertexId,
+    /// The vertex's label.
+    label: LabelId,
+    /// The vertex's pattern degree.
+    degree: u32,
+    /// Number of pattern neighbors ordered *after* this depth (lookahead).
+    forward_degree: u32,
+    /// Range into [`MatchPlan::backward`].
+    back_start: u32,
+    back_len: u32,
+    /// Range into [`MatchPlan::nonadj`] (induced semantics only).
+    nonadj_start: u32,
+    nonadj_len: u32,
+}
+
+/// A backward constraint: an already-ordered pattern neighbor, addressed
+/// by its *plan position*, with the connecting pattern edge's label.
+#[derive(Debug, Clone, Copy)]
+struct BackRef {
+    pos: u32,
+    edge_label: LabelId,
+}
+
+/// A query-side matching plan, target-independent and immutable: build it
+/// once per query, share it (`&MatchPlan` is `Send + Sync`) across every
+/// candidate — and across verification worker threads.
+#[derive(Debug, Clone)]
+pub struct MatchPlan {
+    entries: Vec<PlanEntry>,
+    backward: Vec<BackRef>,
+    /// Earlier plan positions non-adjacent to each entry's vertex
+    /// (feasibility material for induced semantics; empty otherwise).
+    nonadj: Vec<u32>,
+    pattern_vertices: u32,
+    pattern_edges: u32,
+    pattern_has_edge_labels: bool,
+    config: MatchConfig,
+}
+
+impl MatchPlan {
+    /// Builds the plan for `pattern` under `config`, ordering vertices by
+    /// the caller-supplied label `rarity` statistic (smaller = rarer =
+    /// earlier). The heuristic is the legacy one: per connected component,
+    /// seed at the (rarest label, max degree) vertex, then grow
+    /// connectivity-first preferring (most ordered neighbors, rarest
+    /// label, max degree).
+    pub fn build(
+        pattern: &Graph,
+        config: &MatchConfig,
+        rarity: &mut dyn FnMut(LabelId) -> u64,
+    ) -> MatchPlan {
+        let n = pattern.vertex_count();
+        // Rarity per pattern vertex, memoized per vertex so the statistic
+        // is consulted exactly |V(pattern)| times.
+        let vertex_rarity: Vec<u64> = pattern
+            .vertices()
+            .map(|v| rarity(pattern.label(v)))
+            .collect();
+        let mut ordered = vec![false; n];
+        let mut order: Vec<VertexId> = Vec::with_capacity(n);
+
+        while order.len() < n {
+            // Seed: unordered vertex with rarest label, tie-break max
+            // degree (`min_by_key` keeps the first minimum, as legacy).
+            let seed = pattern
+                .vertices()
+                .filter(|&v| !ordered[v.index()])
+                .min_by_key(|&v| {
+                    (
+                        vertex_rarity[v.index()],
+                        u64::MAX - pattern.degree(v) as u64,
+                    )
+                })
+                .expect("unordered vertex must exist");
+            ordered[seed.index()] = true;
+            order.push(seed);
+
+            // Grow the component: most already-ordered neighbors first,
+            // then rarest label, then max degree (`max_by_key` keeps the
+            // last maximum, as legacy).
+            loop {
+                let next = pattern
+                    .vertices()
+                    .filter(|&v| !ordered[v.index()])
+                    .filter(|&v| pattern.neighbors(v).iter().any(|&w| ordered[w.index()]))
+                    .max_by_key(|&v| {
+                        let back = pattern
+                            .neighbors(v)
+                            .iter()
+                            .filter(|&&w| ordered[w.index()])
+                            .count();
+                        (
+                            back as u64,
+                            u64::MAX - vertex_rarity[v.index()],
+                            pattern.degree(v) as u64,
+                        )
+                    });
+                match next {
+                    Some(v) => {
+                        ordered[v.index()] = true;
+                        order.push(v);
+                    }
+                    None => break, // component exhausted; outer loop reseeds
+                }
+            }
+        }
+
+        let mut position = vec![0u32; n];
+        for (pos, &v) in order.iter().enumerate() {
+            position[v.index()] = pos as u32;
+        }
+
+        let mut entries = Vec::with_capacity(n);
+        let mut backward: Vec<BackRef> = Vec::new();
+        let mut nonadj: Vec<u32> = Vec::new();
+        for (pos, &v) in order.iter().enumerate() {
+            let back_start = backward.len() as u32;
+            // Backward neighbors in ascending pattern-vertex order (the
+            // sorted neighbor slice), exactly as the legacy plan stores
+            // them — candidate-source selection tie-breaks identically.
+            for &w in pattern.neighbors(v) {
+                if (position[w.index()] as usize) < pos {
+                    backward.push(BackRef {
+                        pos: position[w.index()],
+                        edge_label: pattern.edge_label_unchecked(w, v),
+                    });
+                }
+            }
+            let back_len = backward.len() as u32 - back_start;
+            let nonadj_start = nonadj.len() as u32;
+            if config.semantics == MatchSemantics::Induced {
+                // Earlier positions not adjacent to `v` in the pattern, in
+                // plan order (the legacy loop's `0..depth` scan order).
+                for (d, &q) in order.iter().enumerate().take(pos) {
+                    if !pattern.has_edge(q, v) {
+                        nonadj.push(d as u32);
+                    }
+                }
+            }
+            let nonadj_len = nonadj.len() as u32 - nonadj_start;
+            entries.push(PlanEntry {
+                vertex: v,
+                label: pattern.label(v),
+                degree: pattern.degree(v) as u32,
+                forward_degree: pattern.degree(v) as u32 - back_len,
+                back_start,
+                back_len,
+                nonadj_start,
+                nonadj_len,
+            });
+        }
+
+        MatchPlan {
+            entries,
+            backward,
+            nonadj,
+            pattern_vertices: n as u32,
+            pattern_edges: pattern.edge_count() as u32,
+            pattern_has_edge_labels: pattern.has_edge_labels(),
+            config: *config,
+        }
+    }
+
+    /// Builds a plan with the *target's* label index as the rarity
+    /// statistic — the legacy per-pair ordering. Used where the target is
+    /// fixed and known (supergraph verification, one-off calls) and by the
+    /// parity property tests.
+    pub fn for_target(pattern: &Graph, target: &Graph, config: &MatchConfig) -> MatchPlan {
+        MatchPlan::build(pattern, config, &mut |l| {
+            target.vertices_with_label(l).len() as u64
+        })
+    }
+
+    /// Number of pattern vertices.
+    #[inline]
+    pub fn pattern_vertex_count(&self) -> usize {
+        self.pattern_vertices as usize
+    }
+
+    /// The configuration the plan was built under.
+    #[inline]
+    pub fn config(&self) -> &MatchConfig {
+        &self.config
+    }
+
+    #[inline]
+    fn back_refs(&self, e: &PlanEntry) -> &[BackRef] {
+        &self.backward[e.back_start as usize..(e.back_start + e.back_len) as usize]
+    }
+
+    #[inline]
+    fn nonadj_of(&self, e: &PlanEntry) -> &[u32] {
+        &self.nonadj[e.nonadj_start as usize..(e.nonadj_start + e.nonadj_len) as usize]
+    }
+}
+
+/// The reusable per-thread search workspace: the position-indexed mapping
+/// array and the generation-stamped `used` array. Buffers grow to the
+/// largest pattern/target seen and are then reused allocation-free;
+/// [`MatchScratch::alloc_events`] counts the growths.
+#[derive(Debug, Default)]
+pub struct MatchScratch {
+    /// `mapping[plan position] = raw target vertex id` for mapped depths.
+    mapping: Vec<u32>,
+    /// `used_stamp[target vertex] == generation` iff the vertex is
+    /// currently used by the mapping.
+    used_stamp: Vec<u32>,
+    generation: u32,
+    alloc_events: u64,
+}
+
+impl MatchScratch {
+    /// A fresh, empty workspace (no allocation until first use).
+    pub fn new() -> MatchScratch {
+        MatchScratch::default()
+    }
+
+    /// Number of buffer allocations/growths since construction. Flat in
+    /// steady state: after the workspace has seen the largest query and
+    /// target of a workload, every further match is allocation-free.
+    #[inline]
+    pub fn alloc_events(&self) -> u64 {
+        self.alloc_events
+    }
+
+    /// Prepares for one match: ensures capacity (counting growths) and
+    /// opens a fresh `used` generation (O(1) — no clearing).
+    fn begin(&mut self, pattern_vertices: usize, target_vertices: usize) {
+        if self.mapping.len() < pattern_vertices {
+            self.mapping.resize(pattern_vertices, 0);
+            self.alloc_events += 1;
+        }
+        if self.used_stamp.len() < target_vertices {
+            self.used_stamp.resize(target_vertices, 0);
+            self.alloc_events += 1;
+        }
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Wrapped after ~4B matches: old stamps could collide with the
+            // restarted counter, so pay one full clear.
+            self.used_stamp.fill(0);
+            self.generation = 1;
+        }
+    }
+}
+
+thread_local! {
+    static THREAD_SCRATCH: RefCell<MatchScratch> = RefCell::new(MatchScratch::new());
+}
+
+/// Runs `f` with this thread's shared [`MatchScratch`]. The workspace
+/// persists for the thread's lifetime, so steady-state callers (batch
+/// verification loops, worker threads) reuse warm buffers across queries
+/// without threading a scratch through every call site.
+pub fn with_thread_scratch<R>(f: impl FnOnce(&mut MatchScratch) -> R) -> R {
+    THREAD_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+/// The recursive search, generic over whether an embedding is materialized.
+struct Run<'a> {
+    plan: &'a MatchPlan,
+    target: &'a Graph,
+    budget: Budget,
+    check_edge_labels: bool,
+    states: u64,
+    budget_hit: bool,
+    found: bool,
+}
+
+impl<'a> Run<'a> {
+    /// Number of `t`'s neighbors not yet used by the mapping.
+    #[inline]
+    fn free_degree(&self, scratch: &MatchScratch, t: VertexId) -> u32 {
+        let gen = scratch.generation;
+        self.target
+            .neighbors(t)
+            .iter()
+            .filter(|&&w| scratch.used_stamp[w.index()] != gen)
+            .count() as u32
+    }
+
+    /// VF2 feasibility of extending the mapping with `entry.vertex -> t`.
+    fn feasible(&self, scratch: &MatchScratch, depth: usize, t: VertexId) -> bool {
+        let entry = &self.plan.entries[depth];
+        if scratch.used_stamp[t.index()] == scratch.generation
+            || entry.label != self.target.label(t)
+        {
+            return false;
+        }
+        if (self.target.degree(t) as u32) < entry.degree {
+            return false;
+        }
+        // Consistency over already-mapped neighbors (edge labels must
+        // agree when present; unlabeled sides report the default label 0).
+        for br in self.plan.back_refs(entry) {
+            let bt = VertexId::new(scratch.mapping[br.pos as usize]);
+            if !self.target.has_edge(bt, t) {
+                return false;
+            }
+            if self.check_edge_labels && br.edge_label != self.target.edge_label_unchecked(bt, t) {
+                return false;
+            }
+        }
+        if self.plan.config.semantics == MatchSemantics::Induced {
+            // Mapped pattern *non*-neighbors must land on non-neighbors.
+            for &d in self.plan.nonadj_of(entry) {
+                let qt = VertexId::new(scratch.mapping[d as usize]);
+                if self.target.has_edge(qt, t) {
+                    return false;
+                }
+            }
+        }
+        // 1-lookahead: enough free target neighbors for the pattern's
+        // still-unordered neighbors.
+        if self.free_degree(scratch, t) < entry.forward_degree {
+            return false;
+        }
+        true
+    }
+
+    /// Recursive extension. Returns `true` to stop the search (embedding
+    /// found or budget exhausted).
+    fn extend(&mut self, scratch: &mut MatchScratch, depth: usize) -> bool {
+        if depth == self.plan.entries.len() {
+            self.found = true;
+            return true;
+        }
+        let entry = &self.plan.entries[depth];
+
+        // Candidate generation: prefer the neighbor slice of an
+        // already-mapped pattern neighbor (smallest image neighborhood);
+        // fall back to the label class for component seeds. The slices are
+        // borrowed straight from the target — nothing is cloned.
+        let target = self.target;
+        let candidates: &[VertexId] = if let Some(br) = self
+            .plan
+            .back_refs(entry)
+            .iter()
+            .min_by_key(|br| target.degree(VertexId::new(scratch.mapping[br.pos as usize])))
+        {
+            target.neighbors(VertexId::new(scratch.mapping[br.pos as usize]))
+        } else {
+            target.vertices_with_label(entry.label)
+        };
+
+        for &t in candidates {
+            if self.budget.exhausted(self.states) {
+                self.budget_hit = true;
+                return true;
+            }
+            self.states += 1;
+            if !self.feasible(scratch, depth, t) {
+                continue;
+            }
+            scratch.mapping[depth] = t.raw();
+            scratch.used_stamp[t.index()] = scratch.generation;
+            if self.extend(scratch, depth + 1) {
+                return true;
+            }
+            scratch.used_stamp[t.index()] = 0;
+        }
+        false
+    }
+}
+
+/// Shared driver behind [`matches_with_plan`] and [`find_with_plan`].
+fn run_search(plan: &MatchPlan, target: &Graph, scratch: &mut MatchScratch) -> (Verdict, u64) {
+    if plan.pattern_vertices == 0 {
+        return (Verdict::Found, 0);
+    }
+    if plan.pattern_vertices as usize > target.vertex_count()
+        || plan.pattern_edges as usize > target.edge_count()
+    {
+        return (Verdict::NotFound, 0);
+    }
+    scratch.begin(plan.pattern_vertices as usize, target.vertex_count());
+    let mut run = Run {
+        plan,
+        target,
+        budget: plan.config.budget,
+        check_edge_labels: plan.pattern_has_edge_labels || target.has_edge_labels(),
+        states: 0,
+        budget_hit: false,
+        found: false,
+    };
+    run.extend(scratch, 0);
+    let verdict = if run.budget_hit {
+        Verdict::Aborted
+    } else if run.found {
+        Verdict::Found
+    } else {
+        Verdict::NotFound
+    };
+    (verdict, run.states)
+}
+
+/// Decides containment of the plan's pattern in `target` without
+/// materializing an embedding — the zero-allocation batch-verification
+/// entry point. Returns the verdict and the number of explored states.
+pub fn matches_with_plan(
+    plan: &MatchPlan,
+    target: &Graph,
+    scratch: &mut MatchScratch,
+) -> (Verdict, u64) {
+    run_search(plan, target, scratch)
+}
+
+/// Like [`matches_with_plan`], but reconstructs the embedding on success —
+/// observationally identical to [`crate::vf2::find_one`] when the plan was
+/// built with [`MatchPlan::for_target`].
+pub fn find_with_plan(plan: &MatchPlan, target: &Graph, scratch: &mut MatchScratch) -> MatchResult {
+    let (verdict, states) = run_search(plan, target, scratch);
+    let outcome = match verdict {
+        Verdict::Aborted => Outcome::Aborted,
+        Verdict::NotFound => Outcome::NotFound,
+        Verdict::Found => {
+            // `scratch.mapping` is plan-position-indexed; re-key by
+            // pattern vertex, as the legacy engine reports it.
+            let mut mapping = vec![VertexId::new(u32::MAX); plan.pattern_vertex_count()];
+            for (pos, e) in plan.entries.iter().enumerate() {
+                mapping[e.vertex.index()] = VertexId::new(scratch.mapping[pos]);
+            }
+            Outcome::Found(mapping)
+        }
+    };
+    MatchResult { outcome, states }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::verify_embedding;
+    use crate::vf2;
+    use igq_graph::{graph_from, graph_from_el};
+
+    fn assert_parity(p: &Graph, t: &Graph, config: &MatchConfig) {
+        let legacy = vf2::find_one(p, t, config);
+        let plan = MatchPlan::for_target(p, t, config);
+        let mut scratch = MatchScratch::new();
+        let amortized = find_with_plan(&plan, t, &mut scratch);
+        assert_eq!(legacy, amortized, "pattern {p:?} target {t:?}");
+        let (verdict, states) = matches_with_plan(&plan, t, &mut scratch);
+        assert_eq!(states, legacy.states);
+        assert_eq!(verdict.is_found(), legacy.outcome.is_found());
+    }
+
+    #[test]
+    fn parity_with_legacy_on_fixed_cases() {
+        let tri = graph_from(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
+        let p3 = graph_from(&[0, 0, 0], &[(0, 1), (1, 2)]);
+        let labeled_t = graph_from(
+            &[3, 1, 2, 1, 2, 3],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)],
+        );
+        let labeled_p = graph_from(&[1, 2, 1], &[(0, 1), (1, 2)]);
+        let disconnected = graph_from(&[0, 1, 0, 1], &[(0, 1), (2, 3)]);
+        for config in [MatchConfig::default(), MatchConfig::induced()] {
+            assert_parity(&p3, &tri, &config);
+            assert_parity(&tri, &p3, &config);
+            assert_parity(&labeled_p, &labeled_t, &config);
+            assert_parity(&disconnected, &labeled_t, &config);
+            assert_parity(&graph_from(&[], &[]), &tri, &config);
+            assert_parity(&graph_from(&[9], &[]), &tri, &config);
+        }
+    }
+
+    #[test]
+    fn parity_includes_budget_aborts() {
+        // The clique-in-ring instance from the legacy budget test.
+        let clique = |n: u32| {
+            let mut edges = Vec::new();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    edges.push((i, j));
+                }
+            }
+            graph_from(&vec![0; n as usize], &edges)
+        };
+        let p = clique(6);
+        let mut edges = Vec::new();
+        for i in 0..12u32 {
+            for d in 1..=4u32 {
+                let (a, b) = (i, (i + d) % 12);
+                edges.push(if a < b { (a, b) } else { (b, a) });
+            }
+        }
+        let t = graph_from(&[0; 12], &edges);
+        assert_parity(&p, &t, &MatchConfig::with_budget(10));
+        assert_parity(&p, &t, &MatchConfig::with_budget(1000));
+    }
+
+    #[test]
+    fn parity_with_edge_labels() {
+        let t = graph_from_el(&[0, 0, 0], &[(0, 1, 1), (1, 2, 2)]);
+        for p in [
+            graph_from_el(&[0, 0], &[(0, 1, 1)]),
+            graph_from_el(&[0, 0], &[(0, 1, 2)]),
+            graph_from_el(&[0, 0], &[(0, 1, 3)]),
+            graph_from(&[0, 0], &[(0, 1)]),
+        ] {
+            assert_parity(&p, &t, &MatchConfig::default());
+        }
+    }
+
+    #[test]
+    fn store_level_rarity_still_decides_correctly() {
+        // A deliberately misleading rarity statistic must not change the
+        // verdict — only the exploration order.
+        let p = graph_from(&[1, 2], &[(0, 1)]);
+        let t = graph_from(&[2, 1, 0], &[(0, 1), (1, 2)]);
+        for misleading in [0u64, 7, 1_000_000] {
+            let plan = MatchPlan::build(&p, &MatchConfig::default(), &mut |_| misleading);
+            let mut scratch = MatchScratch::new();
+            let r = find_with_plan(&plan, &t, &mut scratch);
+            let m = r.outcome.mapping().expect("1-2 edge exists").to_vec();
+            assert!(verify_embedding(&p, &t, &m, MatchSemantics::Monomorphism));
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_many_targets_is_clean() {
+        // Alternating targets of different sizes through one scratch must
+        // agree with fresh-scratch runs, and stop allocating once warm.
+        let p = graph_from(&[0, 1], &[(0, 1)]);
+        let targets = [
+            graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]),
+            graph_from(&[1, 0], &[(0, 1)]),
+            graph_from(&[0; 6], &(0..5).map(|i| (i, i + 1)).collect::<Vec<_>>()),
+            graph_from(&[2, 2], &[(0, 1)]),
+        ];
+        let mut shared = MatchScratch::new();
+        for _ in 0..3 {
+            for t in &targets {
+                let plan = MatchPlan::for_target(&p, t, &MatchConfig::default());
+                let mut fresh = MatchScratch::new();
+                assert_eq!(
+                    find_with_plan(&plan, t, &mut shared),
+                    find_with_plan(&plan, t, &mut fresh)
+                );
+            }
+        }
+        let warm = shared.alloc_events();
+        for t in &targets {
+            let plan = MatchPlan::for_target(&p, t, &MatchConfig::default());
+            let _ = matches_with_plan(&plan, t, &mut shared);
+        }
+        assert_eq!(
+            shared.alloc_events(),
+            warm,
+            "warm scratch never reallocates"
+        );
+    }
+
+    #[test]
+    fn thread_scratch_is_shared_within_a_thread() {
+        let p = graph_from(&[0], &[]);
+        let t = graph_from(&[0, 0], &[(0, 1)]);
+        let plan = MatchPlan::for_target(&p, &t, &MatchConfig::default());
+        let first = with_thread_scratch(|s| {
+            let _ = matches_with_plan(&plan, &t, s);
+            s.alloc_events()
+        });
+        let second = with_thread_scratch(|s| {
+            let _ = matches_with_plan(&plan, &t, s);
+            s.alloc_events()
+        });
+        assert_eq!(first, second, "second call reuses the warm buffers");
+    }
+
+    #[test]
+    fn generation_wrap_clears_stamps() {
+        let p = graph_from(&[0, 0], &[(0, 1)]);
+        let t = graph_from(&[0, 0, 0], &[(0, 1), (1, 2)]);
+        let plan = MatchPlan::for_target(&p, &t, &MatchConfig::default());
+        let mut scratch = MatchScratch::new();
+        let baseline = matches_with_plan(&plan, &t, &mut scratch);
+        // Force the wrap: the next begin() sees generation 0 and clears.
+        scratch.generation = u32::MAX;
+        assert_eq!(matches_with_plan(&plan, &t, &mut scratch), baseline);
+        assert_eq!(matches_with_plan(&plan, &t, &mut scratch), baseline);
+    }
+}

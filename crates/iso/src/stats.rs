@@ -34,6 +34,18 @@ impl IsoStats {
         }
     }
 
+    /// Folds one containment-only test (the plan-amortized matcher's
+    /// verdict, which carries no embedding).
+    pub fn record_verdict(&mut self, verdict: crate::plan::Verdict, states: u64) {
+        self.tests += 1;
+        self.states += states;
+        match verdict {
+            crate::plan::Verdict::Found => self.matches += 1,
+            crate::plan::Verdict::Aborted => self.aborted += 1,
+            crate::plan::Verdict::NotFound => {}
+        }
+    }
+
     /// Accumulates another set of counters.
     pub fn merge(&mut self, other: &IsoStats) {
         self.tests += other.tests;

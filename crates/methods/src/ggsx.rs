@@ -220,6 +220,17 @@ impl SubgraphMethod for Ggsx {
         VerifyOutcome::from_match(&r)
     }
 
+    /// Plan-amortized batch verification: one matching plan per query,
+    /// thread-local scratch, pre-verify screening (see [`crate::batch`]).
+    fn verify_batch_with(
+        &self,
+        q: &Graph,
+        _context: &QueryContext,
+        candidates: &[GraphId],
+    ) -> (Vec<VerifyOutcome>, crate::batch::VerifyBatchStats) {
+        crate::batch::verify_batch_plain(&self.store, q, &self.config.match_config, candidates)
+    }
+
     fn index_size_bytes(&self) -> u64 {
         self.trie.heap_size_bytes() + self.complete_len.len() as u64
     }

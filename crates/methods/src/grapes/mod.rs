@@ -23,12 +23,14 @@ mod parallel;
 
 pub use components::components_within;
 
+use crate::batch::VerifyBatchStats;
 use crate::ggsx::Ggsx;
 use crate::method::{Filtered, QueryContext, SubgraphMethod, VerifyOutcome};
 use igq_features::{LabelSeq, PathConfig};
 use igq_graph::fxhash::FxHashMap;
-use igq_graph::{Graph, GraphId, GraphStore, VertexId};
-use igq_iso::{vf2, MatchConfig};
+use igq_graph::{Graph, GraphId, GraphProfile, GraphStore, VertexId};
+use igq_iso::plan::{MatchPlan, MatchScratch};
+use igq_iso::{vf2, with_thread_scratch, MatchConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -84,6 +86,13 @@ pub struct Grapes {
     shallow: Vec<GraphId>,
     /// Per graph: feature → sorted endpoint vertices.
     locations: Vec<FxHashMap<LabelSeq, Vec<VertexId>>>,
+    /// One persistent [`MatchScratch`] per verification worker. Parallel
+    /// batches spawn fresh scoped threads, so a thread-local scratch would
+    /// be cold every batch; this pool keeps worker buffers warm across
+    /// queries (worker `i` locks slot `i` for the batch's duration), so
+    /// `scratch_allocs` goes flat for `Grapes(k)` too. The sequential path
+    /// runs on the caller's thread and uses its thread-local scratch.
+    worker_scratch: Vec<parking_lot::Mutex<MatchScratch>>,
 }
 
 impl Grapes {
@@ -112,6 +121,9 @@ impl Grapes {
             complete_len,
             shallow,
             locations,
+            worker_scratch: (0..config.threads)
+                .map(|_| parking_lot::Mutex::new(MatchScratch::new()))
+                .collect(),
         }
     }
 
@@ -179,6 +191,108 @@ impl Grapes {
                 }
                 igq_iso::Outcome::Aborted => aborted = true,
                 igq_iso::Outcome::NotFound => {}
+            }
+        }
+        VerifyOutcome {
+            contains: false,
+            aborted,
+            states,
+        }
+    }
+
+    /// Plan-amortized component verification: the shared query-side `plan`
+    /// is target-independent, so one plan serves the whole candidate graph
+    /// *and* every induced component, with `scratch` reused throughout.
+    /// Query connectivity is decided once per batch by the caller.
+    #[allow(clippy::too_many_arguments)]
+    fn verify_candidate_planned(
+        &self,
+        q: &Graph,
+        q_connected: bool,
+        features: &[(LabelSeq, u32)],
+        plan: &MatchPlan,
+        query_profile: &GraphProfile,
+        candidate: GraphId,
+        scratch: &mut MatchScratch,
+        stats: &mut VerifyBatchStats,
+    ) -> VerifyOutcome {
+        // Pre-verify screen against the whole stored graph: sound for the
+        // component path too (an embedding into a component is one into
+        // the graph).
+        if !self.store.profile(candidate).may_contain(query_profile) {
+            stats.preverify_rejections += 1;
+            return VerifyOutcome {
+                contains: false,
+                aborted: false,
+                states: 0,
+            };
+        }
+        let g = self.store.get(candidate);
+        let before = scratch.alloc_events();
+        let out = self.planned_component_search(
+            q,
+            q_connected,
+            features,
+            plan,
+            g,
+            candidate,
+            scratch,
+            stats,
+        );
+        stats.scratch_allocs += scratch.alloc_events() - before;
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn planned_component_search(
+        &self,
+        q: &Graph,
+        q_connected: bool,
+        features: &[(LabelSeq, u32)],
+        plan: &MatchPlan,
+        g: &Graph,
+        candidate: GraphId,
+        scratch: &mut MatchScratch,
+        stats: &mut VerifyBatchStats,
+    ) -> VerifyOutcome {
+        if !q_connected || features.is_empty() {
+            let (verdict, states) = crate::batch::matches_adaptive(plan, q, g, scratch, stats);
+            return VerifyOutcome {
+                contains: verdict.is_found(),
+                aborted: verdict.is_aborted(),
+                states,
+            };
+        }
+        let vertices = self.candidate_vertices(features, candidate);
+        if vertices.len() < q.vertex_count() {
+            return VerifyOutcome {
+                contains: false,
+                aborted: false,
+                states: 0,
+            };
+        }
+        let mut states = 0u64;
+        let mut aborted = false;
+        for comp in components_within(g, &vertices) {
+            if comp.len() < q.vertex_count() {
+                continue;
+            }
+            let (sub, _mapping) = g.induced_subgraph(&comp);
+            if sub.edge_count() < q.edge_count() {
+                continue;
+            }
+            let (verdict, s) = crate::batch::matches_adaptive(plan, q, &sub, scratch, stats);
+            states += s;
+            match verdict {
+                igq_iso::Verdict::Found => {
+                    return VerifyOutcome {
+                        contains: true,
+                        aborted: false,
+                        states,
+                    };
+                }
+                igq_iso::Verdict::Aborted => aborted = true,
+                igq_iso::Verdict::NotFound => {}
             }
         }
         VerifyOutcome {
@@ -257,17 +371,64 @@ impl SubgraphMethod for Grapes {
         }
     }
 
-    fn verify_batch(
+    /// Plan-amortized batch verification: one [`MatchPlan`] + query
+    /// profile built per query and shared by every candidate (and every
+    /// worker thread — the plan is target-independent). Multi-threaded
+    /// configurations process candidates from a shared work queue, as the
+    /// original system's parallel verification stage does, each worker on
+    /// its own thread-local scratch.
+    fn verify_batch_with(
         &self,
         q: &Graph,
         context: &QueryContext,
         candidates: &[GraphId],
-    ) -> Vec<VerifyOutcome> {
+    ) -> (Vec<VerifyOutcome>, VerifyBatchStats) {
+        if candidates.is_empty() {
+            return (Vec::new(), VerifyBatchStats::default());
+        }
+        let owned_features;
+        let features: &[(LabelSeq, u32)] = match &context.path_features {
+            Some(f) => f,
+            None => {
+                // Called without a filter context (e.g. by iGQ on a pruned
+                // set): enumerate the query's features once per batch.
+                let qf = igq_features::enumerate_paths(q, &self.config.path_config());
+                owned_features = qf
+                    .counts
+                    .iter()
+                    .map(|(s, &c)| (s.clone(), c))
+                    .collect::<Vec<_>>();
+                &owned_features
+            }
+        };
+        let rarity = crate::batch::batch_label_rarity(&self.store, candidates);
+        let plan = MatchPlan::build(q, &self.config.match_config, &mut |l| rarity(l));
+        let query_profile = GraphProfile::of(q);
+        let q_connected = q.is_connected();
+        let mut stats = VerifyBatchStats {
+            plan_builds: 1,
+            ..Default::default()
+        };
+
         if self.config.threads <= 1 || candidates.len() < 2 {
-            return candidates
-                .iter()
-                .map(|&id| self.verify(q, context, id))
-                .collect();
+            let outcomes = with_thread_scratch(|scratch| {
+                candidates
+                    .iter()
+                    .map(|&id| {
+                        self.verify_candidate_planned(
+                            q,
+                            q_connected,
+                            features,
+                            &plan,
+                            &query_profile,
+                            id,
+                            scratch,
+                            &mut stats,
+                        )
+                    })
+                    .collect()
+            });
+            return (outcomes, stats);
         }
         // Shared work queue over candidate indexes, as in the original's
         // parallel verification stage.
@@ -275,23 +436,51 @@ impl SubgraphMethod for Grapes {
         let results: Vec<parking_lot::Mutex<Option<VerifyOutcome>>> = (0..candidates.len())
             .map(|_| parking_lot::Mutex::new(None))
             .collect();
+        let worker_stats: Vec<parking_lot::Mutex<VerifyBatchStats>> =
+            (0..self.config.threads.min(candidates.len()))
+                .map(|_| parking_lot::Mutex::new(VerifyBatchStats::default()))
+                .collect();
         crossbeam::scope(|scope| {
-            for _ in 0..self.config.threads.min(candidates.len()) {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= candidates.len() {
-                        break;
+            let next = &next;
+            let results = &results;
+            let plan = &plan;
+            let query_profile = &query_profile;
+            for (worker, ws) in worker_stats.iter().enumerate() {
+                scope.spawn(move |_| {
+                    let mut local = VerifyBatchStats::default();
+                    // The worker's persistent scratch slot — warm across
+                    // batches even though the thread itself is fresh.
+                    let scratch = &mut *self.worker_scratch[worker].lock();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= candidates.len() {
+                            break;
+                        }
+                        let out = self.verify_candidate_planned(
+                            q,
+                            q_connected,
+                            features,
+                            plan,
+                            query_profile,
+                            candidates[i],
+                            scratch,
+                            &mut local,
+                        );
+                        *results[i].lock() = Some(out);
                     }
-                    let out = self.verify(q, context, candidates[i]);
-                    *results[i].lock() = Some(out);
+                    *ws.lock() = local;
                 });
             }
         })
         .expect("verification worker panicked");
-        results
+        for ws in &worker_stats {
+            stats.merge(&ws.lock());
+        }
+        let outcomes = results
             .into_iter()
             .map(|m| m.into_inner().expect("every slot filled"))
-            .collect()
+            .collect();
+        (outcomes, stats)
     }
 
     fn index_size_bytes(&self) -> u64 {
@@ -381,6 +570,28 @@ mod tests {
             .map(|o| o.contains)
             .collect();
         assert_eq!(r1, r6);
+    }
+
+    #[test]
+    fn parallel_worker_scratch_warms_across_batches() {
+        let s = store();
+        let g6 = Grapes::build(&s, GrapesConfig::six_threads());
+        let q = graph_from(&[2, 2], &[(0, 1)]);
+        let f = g6.filter(&q);
+        assert!(
+            f.candidates.len() >= 2,
+            "parallel path needs >= 2 candidates"
+        );
+        let (_, _warm) = g6.verify_batch_with(&q, &f.context, &f.candidates);
+        let (_, steady) = g6.verify_batch_with(&q, &f.context, &f.candidates);
+        assert_eq!(
+            steady.scratch_allocs, 0,
+            "worker scratch pool stays warm across batches"
+        );
+        // Empty batches skip setup entirely.
+        let (outcomes, stats) = g6.verify_batch_with(&q, &f.context, &[]);
+        assert!(outcomes.is_empty());
+        assert_eq!(stats, VerifyBatchStats::default());
     }
 
     #[test]

@@ -23,7 +23,14 @@
 //!
 //! All methods uphold the filter-then-verify contract: candidate sets have
 //! **no false negatives**, and verification decides candidates exactly.
+//!
+//! Verification is batch-first: [`SubgraphMethod::verify_batch_with`] is
+//! the primary entry point, and every built-in method routes it through
+//! the plan-amortized hot path in [`batch`] — one matching plan per query,
+//! thread-local zero-allocation scratch, and profile-based pre-verify
+//! screening.
 
+pub mod batch;
 pub mod ctindex;
 pub mod gcode;
 pub mod ggsx;
@@ -32,12 +39,14 @@ pub mod method;
 pub mod naive;
 pub mod supergraph;
 
+pub use batch::{batch_label_rarity, verify_batch_plain, BatchVerifier, VerifyBatchStats};
 pub use ctindex::{CtIndex, CtIndexConfig};
 pub use gcode::{GCode, GCodeConfig};
 pub use ggsx::{Ggsx, GgsxConfig};
 pub use grapes::{Grapes, GrapesConfig};
 pub use method::{
-    intersect_sorted, subtract_sorted, Filtered, QueryContext, SubgraphMethod, VerifyOutcome,
+    intersect_into, intersect_sorted, subtract_into, subtract_sorted, Filtered, QueryContext,
+    SubgraphMethod, VerifyOutcome,
 };
 pub use naive::NaiveMethod;
 pub use supergraph::{ContainmentIndex, TrieSupergraphMethod};

@@ -108,35 +108,55 @@ pub trait SubgraphMethod: Send + Sync {
         MatchConfig::default()
     }
 
-    /// Verifies many candidates. The default walks them sequentially;
-    /// multi-threaded methods (Grapes(k)) override this to exploit
-    /// parallelism, as the original system does for its verification stage.
-    /// The output is index-aligned with `candidates`.
+    /// The primary verification entry point: verifies many candidates,
+    /// returning index-aligned outcomes plus the batch's amortization
+    /// accounting ([`VerifyBatchStats`]). Built-in methods override this
+    /// with the plan-amortized hot path (one [`MatchPlan`] per query,
+    /// thread-local scratch, pre-verify screening); the default walks
+    /// [`Self::verify`] sequentially so external implementations stay
+    /// correct unmodified.
+    ///
+    /// [`MatchPlan`]: igq_iso::MatchPlan
+    /// [`VerifyBatchStats`]: crate::batch::VerifyBatchStats
+    fn verify_batch_with(
+        &self,
+        q: &Graph,
+        context: &QueryContext,
+        candidates: &[GraphId],
+    ) -> (Vec<VerifyOutcome>, crate::batch::VerifyBatchStats) {
+        let outcomes = candidates
+            .iter()
+            .map(|&id| self.verify(q, context, id))
+            .collect();
+        (outcomes, crate::batch::VerifyBatchStats::default())
+    }
+
+    /// Verifies many candidates, discarding the batch accounting. The
+    /// output is index-aligned with `candidates`.
     fn verify_batch(
         &self,
         q: &Graph,
         context: &QueryContext,
         candidates: &[GraphId],
     ) -> Vec<VerifyOutcome> {
-        candidates
-            .iter()
-            .map(|&id| self.verify(q, context, id))
-            .collect()
+        self.verify_batch_with(q, context, candidates).0
     }
 
-    /// Convenience: full query = filter + verify-all. Returns the answer ids
-    /// (sorted) and the number of verification tests performed.
+    /// Convenience: full query = filter + verify-all, routed through
+    /// [`Self::verify_batch`] so method overrides (plan amortization,
+    /// Grapes(k) parallel verification) apply here too. Returns the answer
+    /// ids (sorted) and the number of verification tests performed.
     fn query(&self, q: &Graph) -> (Vec<GraphId>, u64) {
         let filtered = self.filter(q);
-        let mut answers = Vec::new();
-        let mut tests = 0u64;
-        for &id in &filtered.candidates {
-            tests += 1;
-            if self.verify(q, &filtered.context, id).contains {
-                answers.push(id);
-            }
-        }
-        (answers, tests)
+        let outcomes = self.verify_batch(q, &filtered.context, &filtered.candidates);
+        let answers = filtered
+            .candidates
+            .iter()
+            .zip(outcomes.iter())
+            .filter(|(_, o)| o.contains)
+            .map(|(&id, _)| id)
+            .collect();
+        (answers, filtered.candidates.len() as u64)
     }
 }
 
@@ -158,6 +178,14 @@ impl SubgraphMethod for Box<dyn SubgraphMethod> {
     fn verify(&self, q: &Graph, context: &QueryContext, candidate: GraphId) -> VerifyOutcome {
         self.as_ref().verify(q, context, candidate)
     }
+    fn verify_batch_with(
+        &self,
+        q: &Graph,
+        context: &QueryContext,
+        candidates: &[GraphId],
+    ) -> (Vec<VerifyOutcome>, crate::batch::VerifyBatchStats) {
+        self.as_ref().verify_batch_with(q, context, candidates)
+    }
     fn verify_batch(
         &self,
         q: &Graph,
@@ -174,27 +202,88 @@ impl SubgraphMethod for Box<dyn SubgraphMethod> {
     }
 }
 
-/// Computes the sorted intersection of `a` (sorted) and `b` (sorted).
-pub fn intersect_sorted(a: &[GraphId], b: &[GraphId]) -> Vec<GraphId> {
-    let mut out = Vec::with_capacity(a.len().min(b.len()));
+/// Skew ratio beyond which the sorted set operations switch from linear
+/// merge to galloping (exponential search) over the larger side. Below it
+/// the merge's perfect locality wins; above it the `O(s · log(l/s))`
+/// gallop does.
+const GALLOP_SKEW: usize = 8;
+
+/// Exponential ("galloping") lower-bound search: the first index `>= from`
+/// in the sorted slice `s` whose element is `>= x`. `O(log d)` where `d`
+/// is the distance from `from` to the answer — the engine's Formula (5)
+/// loop walks a cursor forward, so successive calls touch only the gap.
+fn gallop_lower_bound<T: Ord>(s: &[T], from: usize, x: &T) -> usize {
+    if from >= s.len() || s[from] >= *x {
+        return from;
+    }
+    let mut step = 1;
+    let mut lo = from;
+    // Invariant: s[lo] < x. Double until the window covers the answer.
+    while lo + step < s.len() && s[lo + step] < *x {
+        lo += step;
+        step *= 2;
+    }
+    let hi = (lo + step + 1).min(s.len());
+    lo + 1 + s[lo + 1..hi].partition_point(|e| e < x)
+}
+
+/// Computes the sorted intersection of `a` and `b` (both sorted) into
+/// `out` (cleared first), with set semantics: each common value appears
+/// once even if an input carries duplicates. Galloping over the larger
+/// side when the sizes are skewed by more than `GALLOP_SKEW` (8); linear
+/// merge otherwise. Reuse `out` across calls to keep the hot path
+/// allocation-free.
+pub fn intersect_into<T: Ord + Copy>(a: &[T], b: &[T], out: &mut Vec<T>) {
+    out.clear();
+    // Intersection is symmetric: gallop with the smaller side driving.
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if large.len() >= GALLOP_SKEW * small.len().max(1) {
+        let mut cursor = 0;
+        for &x in small {
+            if out.last() == Some(&x) {
+                continue; // duplicate in the driving side
+            }
+            cursor = gallop_lower_bound(large, cursor, &x);
+            if cursor >= large.len() {
+                break;
+            }
+            if large[cursor] == x {
+                out.push(x);
+            }
+        }
+        return;
+    }
     let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
+    while i < small.len() && j < large.len() {
+        match small[i].cmp(&large[j]) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
-                out.push(a[i]);
+                if out.last() != Some(&small[i]) {
+                    out.push(small[i]);
+                }
                 i += 1;
                 j += 1;
             }
         }
     }
-    out
 }
 
-/// Computes the sorted difference `a \ b` (both sorted).
-pub fn subtract_sorted(a: &[GraphId], b: &[GraphId]) -> Vec<GraphId> {
-    let mut out = Vec::with_capacity(a.len());
+/// Computes the sorted difference `a \ b` (both sorted) into `out`
+/// (cleared first). Elements of `a` are kept in order; galloping over `b`
+/// when it is much larger than `a`.
+pub fn subtract_into<T: Ord + Copy>(a: &[T], b: &[T], out: &mut Vec<T>) {
+    out.clear();
+    if b.len() >= GALLOP_SKEW * a.len().max(1) {
+        let mut cursor = 0;
+        for &x in a {
+            cursor = gallop_lower_bound(b, cursor, &x);
+            if cursor >= b.len() || b[cursor] != x {
+                out.push(x);
+            }
+        }
+        return;
+    }
     let mut j = 0;
     for &x in a {
         while j < b.len() && b[j] < x {
@@ -204,6 +293,19 @@ pub fn subtract_sorted(a: &[GraphId], b: &[GraphId]) -> Vec<GraphId> {
             out.push(x);
         }
     }
+}
+
+/// Computes the sorted intersection of `a` (sorted) and `b` (sorted).
+pub fn intersect_sorted(a: &[GraphId], b: &[GraphId]) -> Vec<GraphId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    intersect_into(a, b, &mut out);
+    out
+}
+
+/// Computes the sorted difference `a \ b` (both sorted).
+pub fn subtract_sorted(a: &[GraphId], b: &[GraphId]) -> Vec<GraphId> {
+    let mut out = Vec::with_capacity(a.len());
+    subtract_into(a, b, &mut out);
     out
 }
 
@@ -236,6 +338,78 @@ mod tests {
             subtract_sorted(&ids(&[1, 2]), &ids(&[0, 1, 2, 9])),
             ids(&[])
         );
+    }
+
+    #[test]
+    fn gallop_intersect_edge_cases() {
+        let mut out = Vec::new();
+        // Empty sides.
+        intersect_into::<u32>(&[], &[], &mut out);
+        assert!(out.is_empty());
+        intersect_into(&[1u32, 2, 3], &[], &mut out);
+        assert!(out.is_empty());
+        intersect_into(&[], &[1u32, 2, 3], &mut out);
+        assert!(out.is_empty());
+        // Disjoint (skew triggers galloping: 2 vs 40 elements).
+        let big: Vec<u32> = (100..140).collect();
+        intersect_into(&[1u32, 2], &big, &mut out);
+        assert!(out.is_empty());
+        // Subset at the boundaries of the larger side.
+        intersect_into(&[100u32, 139], &big, &mut out);
+        assert_eq!(out, vec![100, 139]);
+        // Full subset.
+        intersect_into(&big, &big, &mut out);
+        assert_eq!(out, big);
+        // Duplicates at boundaries collapse to set semantics.
+        intersect_into(&[5u32, 5, 9, 9], &[5u32, 9], &mut out);
+        assert_eq!(out, vec![5, 9]);
+        intersect_into(&[5u32, 9], &[5u32, 5, 9, 9], &mut out);
+        assert_eq!(out, vec![5, 9]);
+        // Buffer is cleared between calls.
+        intersect_into(&[1u32], &[2u32], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn gallop_subtract_edge_cases() {
+        let mut out = Vec::new();
+        subtract_into::<u32>(&[], &[], &mut out);
+        assert!(out.is_empty());
+        subtract_into(&[1u32, 2], &[], &mut out);
+        assert_eq!(out, vec![1, 2]);
+        // b much larger (galloping path), removals at both boundaries.
+        let big: Vec<u32> = (0..64).collect();
+        subtract_into(&[0u32, 31, 63], &big, &mut out);
+        assert!(out.is_empty());
+        subtract_into(&[0u32, 64, 100], &big, &mut out);
+        assert_eq!(out, vec![64, 100]);
+        // Disjoint.
+        subtract_into(&[200u32, 300], &big, &mut out);
+        assert_eq!(out, vec![200, 300]);
+    }
+
+    #[test]
+    fn gallop_paths_agree_with_linear_merge() {
+        // Cross-check the galloping branch against the merge branch on a
+        // skewed instance with hits and misses interleaved.
+        let large: Vec<u32> = (0..500).filter(|x| x % 3 != 1).collect();
+        let small: Vec<u32> = vec![0, 1, 7, 100, 101, 499];
+        let mut gallop = Vec::new();
+        intersect_into(&small, &large, &mut gallop); // skew >= 8: gallops
+        let merged: Vec<u32> = small
+            .iter()
+            .copied()
+            .filter(|x| large.binary_search(x).is_ok())
+            .collect();
+        assert_eq!(gallop, merged);
+        let mut sub = Vec::new();
+        subtract_into(&small, &large, &mut sub);
+        let subtracted: Vec<u32> = small
+            .iter()
+            .copied()
+            .filter(|x| large.binary_search(x).is_err())
+            .collect();
+        assert_eq!(sub, subtracted);
     }
 
     #[test]

@@ -60,6 +60,16 @@ impl SubgraphMethod for NaiveMethod {
         VerifyOutcome::from_match(&r)
     }
 
+    /// Plan-amortized batch verification (see [`crate::batch`]).
+    fn verify_batch_with(
+        &self,
+        q: &Graph,
+        _context: &QueryContext,
+        candidates: &[GraphId],
+    ) -> (Vec<VerifyOutcome>, crate::batch::VerifyBatchStats) {
+        crate::batch::verify_batch_plain(&self.store, q, &self.match_config, candidates)
+    }
+
     fn index_size_bytes(&self) -> u64 {
         0
     }

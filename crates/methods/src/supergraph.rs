@@ -18,11 +18,13 @@
 //! `g` at least as often (checked by counting, per member, the query
 //! features that cover it: `count(gi) == NF[gi]`).
 
+use crate::batch::VerifyBatchStats;
 use crate::method::VerifyOutcome;
 use igq_features::{enumerate_paths, FeatureTrie, PathConfig, PathFeatures};
 use igq_graph::fxhash::FxHashMap;
-use igq_graph::{Graph, GraphId, GraphStore};
-use igq_iso::{vf2, MatchConfig};
+use igq_graph::{Graph, GraphId, GraphProfile, GraphStore};
+use igq_iso::plan::{matches_with_plan, MatchPlan};
+use igq_iso::{vf2, with_thread_scratch, MatchConfig};
 use std::sync::Arc;
 
 /// Occurrence-counting containment filter over an ordered collection of
@@ -184,27 +186,71 @@ impl TrieSupergraphMethod {
 
     /// Verification stage: does `q` contain `candidate`?
     pub fn verify_super(&self, q: &Graph, candidate: GraphId) -> VerifyOutcome {
-        let r = vf2::find_one(
-            self.store.get(candidate),
-            q,
-            &MatchConfig {
-                ..self.match_config
-            },
-        );
+        let r = vf2::find_one(self.store.get(candidate), q, &self.match_config);
         VerifyOutcome::from_match(&r)
     }
 
-    /// Full supergraph query: answers and test count.
-    pub fn query_super(&self, q: &Graph) -> (Vec<GraphId>, u64) {
-        let mut answers = Vec::new();
-        let mut tests = 0;
-        for id in self.filter_super(q) {
-            tests += 1;
-            if self.verify_super(q, id).contains {
-                answers.push(id);
-            }
+    /// Batched verification of the inverted direction. The *pattern*
+    /// varies per candidate here (each stored graph is searched inside the
+    /// fixed query), so plans are per-pair — built against the query's own
+    /// label index, the best possible rarity statistic since the target is
+    /// known. What amortizes across the batch: the query's
+    /// [`GraphProfile`] (target side of the pre-verify screen, against
+    /// each candidate's precomputed store profile), the match
+    /// configuration (captured once, not per `verify` call), and the
+    /// thread-local scratch (zero per-candidate mapping/visited
+    /// allocations).
+    pub fn verify_super_batch(
+        &self,
+        q: &Graph,
+        candidates: &[GraphId],
+    ) -> (Vec<VerifyOutcome>, VerifyBatchStats) {
+        if candidates.is_empty() {
+            return (Vec::new(), VerifyBatchStats::default());
         }
-        (answers, tests)
+        let query_profile = GraphProfile::of(q);
+        let config = self.match_config;
+        let mut stats = VerifyBatchStats::default();
+        let outcomes = with_thread_scratch(|scratch| {
+            candidates
+                .iter()
+                .map(|&id| {
+                    if !query_profile.may_contain(self.store.profile(id)) {
+                        stats.preverify_rejections += 1;
+                        return VerifyOutcome {
+                            contains: false,
+                            aborted: false,
+                            states: 0,
+                        };
+                    }
+                    let plan = MatchPlan::for_target(self.store.get(id), q, &config);
+                    stats.plan_builds += 1;
+                    let before = scratch.alloc_events();
+                    let (verdict, states) = matches_with_plan(&plan, q, scratch);
+                    stats.scratch_allocs += scratch.alloc_events() - before;
+                    VerifyOutcome {
+                        contains: verdict.is_found(),
+                        aborted: verdict.is_aborted(),
+                        states,
+                    }
+                })
+                .collect()
+        });
+        (outcomes, stats)
+    }
+
+    /// Full supergraph query: answers and test count, routed through
+    /// [`Self::verify_super_batch`].
+    pub fn query_super(&self, q: &Graph) -> (Vec<GraphId>, u64) {
+        let candidates = self.filter_super(q);
+        let (outcomes, _) = self.verify_super_batch(q, &candidates);
+        let answers = candidates
+            .iter()
+            .zip(outcomes.iter())
+            .filter(|(_, o)| o.contains)
+            .map(|(&id, _)| id)
+            .collect();
+        (answers, candidates.len() as u64)
     }
 
     /// Approximate index footprint.

@@ -58,7 +58,8 @@ pub mod prelude {
     };
     pub use igq_features::PathConfig;
     pub use igq_graph::{
-        graph_from, graph_from_el, Graph, GraphBuilder, GraphId, GraphStore, LabelId, VertexId,
+        graph_from, graph_from_el, Graph, GraphBuilder, GraphId, GraphProfile, GraphStore, LabelId,
+        VertexId,
     };
     pub use igq_iso::{vf2, MatchSemantics};
     pub use igq_methods::{

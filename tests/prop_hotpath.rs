@@ -1,0 +1,186 @@
+//! Property tests for the verification hot path: the plan-amortized
+//! matcher (`igq_iso::plan`) against the legacy per-pair VF2 oracle, the
+//! batch verifiers against per-pair verification, and the galloping set
+//! operations against their linear-merge definitions.
+
+mod common;
+
+use common::{arb_graph, arb_graph_el, arb_store};
+use igq::iso::plan::{find_with_plan, matches_with_plan, MatchPlan, MatchScratch};
+use igq::iso::{vf2, MatchConfig};
+use igq::methods::{
+    intersect_into, intersect_sorted, subtract_into, subtract_sorted, NaiveMethod, SubgraphMethod,
+};
+use igq::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// With the target's own label index as the rarity statistic, the
+    /// amortized matcher is *exactly* the legacy engine: same verdict,
+    /// same mapping, same explored-state count — under both semantics.
+    #[test]
+    fn planned_matcher_is_observationally_identical_to_vf2(
+        p in arb_graph(5, 3),
+        t in arb_graph(8, 3),
+        induced in any::<bool>(),
+    ) {
+        let config = if induced { MatchConfig::induced() } else { MatchConfig::default() };
+        let legacy = vf2::find_one(&p, &t, &config);
+        let plan = MatchPlan::for_target(&p, &t, &config);
+        let mut scratch = MatchScratch::new();
+        let amortized = find_with_plan(&plan, &t, &mut scratch);
+        prop_assert_eq!(&legacy, &amortized, "pattern {:?} target {:?}", p, t);
+    }
+
+    /// The exactness extends to edge-labeled graphs.
+    #[test]
+    fn planned_matcher_identical_with_edge_labels(
+        p in arb_graph_el(4, 3, 2),
+        t in arb_graph_el(7, 3, 2),
+        induced in any::<bool>(),
+    ) {
+        let config = if induced { MatchConfig::induced() } else { MatchConfig::default() };
+        let legacy = vf2::find_one(&p, &t, &config);
+        let plan = MatchPlan::for_target(&p, &t, &config);
+        let mut scratch = MatchScratch::new();
+        prop_assert_eq!(legacy, find_with_plan(&plan, &t, &mut scratch));
+    }
+
+    /// ...and to budget-limited searches: identical exploration order
+    /// means identical abort behavior at any budget.
+    #[test]
+    fn planned_matcher_identical_under_budgets(
+        p in arb_graph(5, 2),
+        t in arb_graph(8, 2),
+        budget in 1u64..40,
+    ) {
+        let config = MatchConfig::with_budget(budget);
+        let legacy = vf2::find_one(&p, &t, &config);
+        let plan = MatchPlan::for_target(&p, &t, &config);
+        let mut scratch = MatchScratch::new();
+        let amortized = find_with_plan(&plan, &t, &mut scratch);
+        prop_assert_eq!(legacy, amortized);
+    }
+
+    /// A plan ordered by *store-level* rarity (the batch hot path) may
+    /// explore in a different order but must reach the same verdict, and
+    /// one scratch shared across every pair must behave like a fresh one.
+    #[test]
+    fn store_rarity_plans_and_shared_scratch_agree_on_verdicts(
+        store in arb_store(6, 7, 3),
+        queries in proptest::collection::vec(arb_graph(5, 3), 1..6),
+        induced in any::<bool>(),
+    ) {
+        let config = if induced { MatchConfig::induced() } else { MatchConfig::default() };
+        let mut shared = MatchScratch::new();
+        for q in &queries {
+            let plan = MatchPlan::build(q, &config, &mut |l| store.label_frequency(l));
+            for (_, g) in store.iter() {
+                let (verdict, _) = matches_with_plan(&plan, g, &mut shared);
+                let legacy = vf2::find_one(q, g, &config);
+                prop_assert_eq!(verdict.is_found(), legacy.outcome.is_found(),
+                    "query {:?} target {:?}", q, g);
+            }
+        }
+    }
+
+    /// The full batch path (prescreen + store-rarity plan + thread
+    /// scratch), as the engine drives it through `verify_batch`, is
+    /// observationally identical to legacy per-pair verification:
+    /// containment verdict and abort status per candidate.
+    #[test]
+    fn batch_verification_matches_per_pair_verdicts(
+        store in arb_store(6, 7, 3),
+        queries in proptest::collection::vec(arb_graph(5, 3), 1..6),
+    ) {
+        let method = NaiveMethod::build(&store);
+        for q in &queries {
+            let filtered = method.filter(q);
+            let outcomes = method.verify_batch(q, &filtered.context, &filtered.candidates);
+            for (&id, out) in filtered.candidates.iter().zip(outcomes.iter()) {
+                let legacy = vf2::find_one(q, store.get(id), &MatchConfig::default());
+                prop_assert_eq!(out.contains, legacy.outcome.is_found());
+                prop_assert!(!out.aborted, "unlimited budget never aborts");
+            }
+        }
+    }
+
+    /// The pre-verify screen alone never rejects a true containment.
+    #[test]
+    fn prescreen_is_sound(p in arb_graph(5, 3), t in arb_graph(8, 3)) {
+        if igq::iso::is_subgraph(&p, &t) {
+            prop_assert!(GraphProfile::of(&t).may_contain(&GraphProfile::of(&p)));
+        }
+    }
+
+    /// Galloping set operations agree with the sorted-merge definitions on
+    /// arbitrary sorted unique inputs of arbitrary skew.
+    #[test]
+    fn gallop_set_ops_match_linear(
+        a in proptest::collection::vec(0u32..600, 0..12),
+        b in proptest::collection::vec(0u32..600, 0..200),
+    ) {
+        let (mut a, mut b) = (a, b);
+        a.sort_unstable();
+        a.dedup();
+        b.sort_unstable();
+        b.dedup();
+        let a: Vec<GraphId> = a.into_iter().map(GraphId::new).collect();
+        let b: Vec<GraphId> = b.into_iter().map(GraphId::new).collect();
+        let naive_inter: Vec<GraphId> =
+            a.iter().copied().filter(|x| b.binary_search(x).is_ok()).collect();
+        let naive_sub: Vec<GraphId> =
+            a.iter().copied().filter(|x| b.binary_search(x).is_err()).collect();
+        let mut out = Vec::new();
+        intersect_into(&a, &b, &mut out);
+        prop_assert_eq!(&out, &naive_inter);
+        prop_assert_eq!(intersect_sorted(&a, &b), naive_inter);
+        prop_assert_eq!(intersect_sorted(&b, &a), out);
+        subtract_into(&a, &b, &mut out);
+        prop_assert_eq!(&out, &naive_sub);
+        prop_assert_eq!(subtract_sorted(&a, &b), naive_sub);
+    }
+}
+
+/// The supergraph batch path agrees with per-pair inverted verification.
+#[test]
+fn supergraph_batch_matches_per_pair() {
+    use igq::methods::TrieSupergraphMethod;
+    let store: std::sync::Arc<GraphStore> = std::sync::Arc::new(
+        vec![
+            graph_from(&[0, 1], &[(0, 1)]),
+            graph_from(&[2, 2, 2], &[(0, 1), (1, 2), (0, 2)]),
+            graph_from(&[0], &[]),
+            graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]),
+        ]
+        .into_iter()
+        .collect(),
+    );
+    let m = TrieSupergraphMethod::build(
+        &store,
+        igq::features::PathConfig::default(),
+        MatchConfig::default(),
+    );
+    let all: Vec<GraphId> = store.ids().collect();
+    for q in [
+        graph_from(&[0, 1, 0, 2], &[(0, 1), (1, 2), (2, 3)]),
+        graph_from(&[2, 2, 2, 0], &[(0, 1), (1, 2), (0, 2)]),
+        graph_from(&[9], &[]),
+    ] {
+        let (batch, stats) = m.verify_super_batch(&q, &all);
+        for (&id, out) in all.iter().zip(batch.iter()) {
+            assert_eq!(
+                out.contains,
+                m.verify_super(&q, id).contains,
+                "query {q:?} candidate {id:?}"
+            );
+        }
+        assert_eq!(
+            stats.plan_builds + stats.preverify_rejections,
+            all.len() as u64,
+            "every candidate is either screened out or planned"
+        );
+    }
+}
