@@ -1,6 +1,13 @@
 //! Verify-stage hot path experiment: legacy per-pair verification vs the
 //! plan-amortized batch path (archives `BENCH_hotpath.json`).
+//!
+//! `--smoke` runs the tiny CI assertion pass instead (plan-cache hits on a
+//! repeated stream, path parity) and archives nothing.
 fn main() {
     let opts = igq_bench::ExpOptions::from_env();
-    igq_bench::experiments::hotpath::run(&opts).emit();
+    if opts.smoke {
+        igq_bench::experiments::hotpath::smoke(&opts);
+    } else {
+        igq_bench::experiments::hotpath::run(&opts).emit();
+    }
 }

@@ -19,23 +19,43 @@
 //!   candidates share the per-query plan (`plans` = queries on AIDS).
 //!
 //! Carves: an AIDS-style carve under the fig07 Zipf workload (the paper's
-//! headline setup) and a dense Synthetic carve where searches are deeper.
+//! headline setup), a dense Synthetic carve where searches are deeper, and
+//! a **repeated-query** AIDS carve (`aids_fig07_repeat`) whose stream
+//! Zipf-samples a small pool of distinct *selective* queries (fewest
+//! nonzero pre-filtered candidates) — the cache-hit regime the engine
+//! sees in steady state, in the corner where per-query planning is a
+//! real fraction of verify cost. On that carve the new path keys the
+//! canonical-code [`PlanCache`], so repeats verify with zero plan builds;
+//! the JSON records the hit rate alongside a scalar-vs-columnar timing of
+//! the pre-verify screen itself.
+//!
 //! Single-process, single-thread closed-loop measurement per the
 //! single-core box conventions; `cores` is recorded in the JSON. Each path
 //! runs one warm-up pass (JIT-free but cache/scratch warm-up is real) and
 //! `PASSES` measured passes; the best pass is reported, with verdict
 //! equality asserted between the paths on every candidate.
+//!
+//! With `--smoke` the binary instead runs a tiny repeat-carve assertion
+//! pass for CI: plan-cache hits must be observed and both paths must
+//! agree (the parity asserts run either way).
 
 use crate::cli::ExpOptions;
 use crate::harness::MethodKind;
 use crate::report::{fmt_speedup, Report};
-use igq_graph::Graph;
-use igq_methods::{Filtered, SubgraphMethod, VerifyBatchStats};
-use igq_workload::{DatasetKind, QueryWorkloadSpec, DEFAULT_ALPHA};
+use igq_graph::canon::{canonical_code, CanonicalCode};
+use igq_graph::{Graph, GraphProfile};
+use igq_iso::PlanCache;
+use igq_methods::{Filtered, PlanSource, SubgraphMethod, VerifyBatchStats};
+use igq_workload::{DatasetKind, QueryWorkloadSpec, Zipf, DEFAULT_ALPHA};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::time::{Duration, Instant};
 
 /// Measured passes per path (best-of).
 const PASSES: usize = 3;
+
+/// Distinct queries in the repeated-stream pool (`aids_fig07_repeat`).
+const REPEAT_POOL: usize = 48;
 
 /// One dataset × method carve.
 struct Carve {
@@ -51,12 +71,24 @@ struct Carve {
     /// adversarial searches so a bench pass stays minutes, not hours —
     /// both paths run under the same budget.
     budget: u64,
+    /// `Some(n)`: the stream Zipf-samples an `n`-query pool (the most
+    /// selective queries of the workload) instead of visiting each
+    /// generated query once, and the new path runs through the
+    /// canonical-code plan cache.
+    repeat_pool: Option<usize>,
 }
 
 /// Result of timing one path over the whole stream.
 struct PathTiming {
     best: Duration,
     stats: VerifyBatchStats,
+}
+
+/// One distinct query with its pre-filtered candidates and canonical code.
+struct PoolEntry {
+    query: Graph,
+    filtered: Filtered,
+    code: Option<CanonicalCode>,
 }
 
 fn all_carves() -> Vec<Carve> {
@@ -68,6 +100,16 @@ fn all_carves() -> Vec<Carve> {
             fig07_style: true,
             paper_queries: 3_000,
             budget: 200_000_000,
+            repeat_pool: None,
+        },
+        Carve {
+            name: "aids_fig07_repeat",
+            kind: DatasetKind::Aids,
+            method: MethodKind::Ggsx,
+            fig07_style: true,
+            paper_queries: 3_000,
+            budget: 200_000_000,
+            repeat_pool: Some(REPEAT_POOL),
         },
         Carve {
             name: "aids_fig07_grapes",
@@ -76,6 +118,7 @@ fn all_carves() -> Vec<Carve> {
             fig07_style: true,
             paper_queries: 3_000,
             budget: 200_000_000,
+            repeat_pool: None,
         },
         Carve {
             name: "synthetic_dense_ggsx",
@@ -84,6 +127,7 @@ fn all_carves() -> Vec<Carve> {
             fig07_style: false,
             paper_queries: 400,
             budget: 4_000_000,
+            repeat_pool: None,
         },
     ]
 }
@@ -91,6 +135,39 @@ fn all_carves() -> Vec<Carve> {
 /// Runs the verify-stage comparison and renders the report.
 pub fn run(opts: &ExpOptions) -> Report {
     run_carves(opts, &all_carves())
+}
+
+/// CI smoke: a tiny repeated-stream run that must show plan-cache hits
+/// with few plan builds (verdict parity between the paths is asserted
+/// inside the run itself). Panics on violation; prints one line on
+/// success.
+pub fn smoke(opts: &ExpOptions) {
+    let tiny = ExpOptions {
+        scale: opts.scale.min(0.01),
+        ..*opts
+    };
+    let carves = all_carves();
+    let repeat: Vec<Carve> = carves
+        .into_iter()
+        .filter(|c| c.repeat_pool.is_some())
+        .collect();
+    let report = run_carves(&tiny, &repeat);
+    let data = report.json.as_array().expect("array payload");
+    let carve = &data[0];
+    let hits = carve["plan_cache_hits"].as_u64().expect("hits");
+    let builds = carve["plan_builds"].as_u64().expect("builds");
+    let queries = carve["queries"].as_u64().expect("queries");
+    assert!(
+        hits > 0,
+        "smoke: repeated stream produced no plan-cache hits"
+    );
+    assert!(
+        builds < queries,
+        "smoke: plan builds ({builds}) not amortized over the repeated stream ({queries} queries)"
+    );
+    println!(
+        "smoke OK: {queries} queries, {hits} plan-cache hits, {builds} plan builds, parity held"
+    );
 }
 
 fn run_carves(opts: &ExpOptions, carves: &[Carve]) -> Report {
@@ -112,38 +189,69 @@ fn run_carves(opts: &ExpOptions, carves: &[Carve]) -> Report {
         "new us/cand",
         "speedup",
         "plans",
+        "cache_hit%",
         "scratch_allocs",
         "prescreen_rej",
     ]);
     let mut json = Vec::new();
 
     for carve in carves {
-        let (queries, method, batches) = materialize(carve, opts);
-        let candidates: u64 = batches.iter().map(|(_, f)| f.candidates.len() as u64).sum();
+        let (method, pool, stream) = materialize(carve, opts);
+        let queries = stream.len();
+        let candidates: u64 = stream
+            .iter()
+            .map(|&i| pool[i].filtered.candidates.len() as u64)
+            .sum();
 
         // Old path: per-candidate verify() calls (per-pair planning).
         let old = time_path(|| {
             let mut contained = 0u64;
-            for (q, f) in &batches {
-                for &id in &f.candidates {
-                    if method.verify(q, &f.context, id).contains {
+            for &i in &stream {
+                let e = &pool[i];
+                for &id in &e.filtered.candidates {
+                    if method.verify(&e.query, &e.filtered.context, id).contains {
                         contained += 1;
                     }
                 }
             }
             (contained, VerifyBatchStats::default())
         });
-        // New path: one verify_batch_with() per query.
+        // New path: one batch verification per query. The repeat carve
+        // routes it through the canonical-code plan cache (warm across
+        // passes, like the thread-local scratch); the distinct-query
+        // carves measure the plain amortized path.
+        let plan_cache = carve.repeat_pool.map(|n| PlanCache::new(4 * n));
         let new = time_path(|| {
             let mut contained = 0u64;
             let mut stats = VerifyBatchStats::default();
-            for (q, f) in &batches {
-                let (outcomes, b) = method.verify_batch_with(q, &f.context, &f.candidates);
+            for &i in &stream {
+                let e = &pool[i];
+                let (outcomes, b) = match &plan_cache {
+                    Some(cache) => method.verify_batch_with_plans(
+                        &e.query,
+                        &e.filtered.context,
+                        &e.filtered.candidates,
+                        Some(PlanSource {
+                            cache,
+                            key: e.code.as_ref(),
+                        }),
+                    ),
+                    None => method.verify_batch_with(
+                        &e.query,
+                        &e.filtered.context,
+                        &e.filtered.candidates,
+                    ),
+                };
                 contained += outcomes.iter().filter(|o| o.contains).count() as u64;
                 stats.merge(&b);
             }
             (contained, stats)
         });
+
+        // The pre-verify screen in isolation: the old scalar
+        // profile-dominance loop vs the columnar bitmask screen, over the
+        // same stream. Survivor counts must agree bit-for-bit.
+        let (screen_scalar, screen_columnar) = time_screens(method.as_ref(), &pool, &stream);
 
         // Verdict parity between the two paths, per candidate. A
         // budget-aborted search is *undecided*, and the two paths explore
@@ -151,10 +259,12 @@ fn run_carves(opts: &ExpOptions, carves: &[Carve]) -> Report {
         // parity is only required when neither side aborted — the same
         // conservative semantics the engine itself applies to aborts.
         let mut aborted = 0u64;
-        for (q, f) in &batches {
-            let (batch, _) = method.verify_batch_with(q, &f.context, &f.candidates);
-            for (&id, out) in f.candidates.iter().zip(batch.iter()) {
-                let legacy = method.verify(q, &f.context, id);
+        for &i in &stream {
+            let e = &pool[i];
+            let (batch, _) =
+                method.verify_batch_with(&e.query, &e.filtered.context, &e.filtered.candidates);
+            for (&id, out) in e.filtered.candidates.iter().zip(batch.iter()) {
+                let legacy = method.verify(&e.query, &e.filtered.context, id);
                 if out.aborted || legacy.aborted {
                     aborted += 1;
                     continue;
@@ -169,6 +279,8 @@ fn run_carves(opts: &ExpOptions, carves: &[Carve]) -> Report {
 
         let per_cand = |d: Duration| -> f64 { d.as_secs_f64() * 1e6 / (candidates.max(1) as f64) };
         let speedup = crate::harness::ratio(per_cand(old.best), per_cand(new.best));
+        let lookups = new.stats.plan_cache_hits + new.stats.plan_cache_misses;
+        let hit_rate = new.stats.plan_cache_hits as f64 / lookups.max(1) as f64;
         table.row([
             carve.name.to_owned(),
             queries.to_string(),
@@ -177,6 +289,7 @@ fn run_carves(opts: &ExpOptions, carves: &[Carve]) -> Report {
             format!("{:.2}", per_cand(new.best)),
             fmt_speedup(speedup),
             new.stats.plan_builds.to_string(),
+            format!("{:.0}", hit_rate * 100.0),
             new.stats.scratch_allocs.to_string(),
             new.stats.preverify_rejections.to_string(),
         ]);
@@ -185,12 +298,19 @@ fn run_carves(opts: &ExpOptions, carves: &[Carve]) -> Report {
             "dataset": carve.kind.name(),
             "method": carve.method.name(),
             "fig07_style": carve.fig07_style,
+            "repeated_stream": carve.repeat_pool.is_some(),
             "queries": queries,
             "candidates": candidates,
             "old_us_per_candidate": per_cand(old.best),
             "new_us_per_candidate": per_cand(new.best),
             "verify_speedup": speedup,
             "plan_builds": new.stats.plan_builds,
+            "plan_cache_hits": new.stats.plan_cache_hits,
+            "plan_cache_misses": new.stats.plan_cache_misses,
+            "plan_cache_hit_rate": hit_rate,
+            "screen_scalar_ns": screen_scalar.as_nanos() as u64,
+            "screen_columnar_ns": screen_columnar.as_nanos() as u64,
+            "columnar_screen_ns": new.stats.columnar_screen_ns,
             "scratch_allocs": new.stats.scratch_allocs,
             "preverify_rejections": new.stats.preverify_rejections,
             "aborted_candidates": aborted,
@@ -204,19 +324,67 @@ fn run_carves(opts: &ExpOptions, carves: &[Carve]) -> Report {
     }
     report.line("");
     report.line(
-        "shape check: >=1.3x on the fig07-style carves; scratch_allocs ~0 after the warm-up \
-         pass (zero steady-state allocations per candidate).",
+        "shape check: >=1.3x on the fig07-style carves (>=2x on the repeated stream, where \
+         cached plans remove planning entirely); scratch_allocs ~0 after the warm-up pass \
+         (zero steady-state allocations per candidate).",
     );
     report.json = serde_json::Value::Array(json);
     report
 }
 
+/// Times the scalar (per-candidate `may_contain`) and columnar
+/// (`screen_targets` bitmask) pre-verify screens over the same stream,
+/// best of [`PASSES`], asserting identical survivor counts.
+fn time_screens(
+    method: &dyn SubgraphMethod,
+    pool: &[PoolEntry],
+    stream: &[usize],
+) -> (Duration, Duration) {
+    let store = method.store();
+    let profiles: Vec<GraphProfile> = pool.iter().map(|e| GraphProfile::of(&e.query)).collect();
+    let mut scalar_best = Duration::MAX;
+    let mut scalar_survivors = 0u64;
+    for _ in 0..PASSES {
+        let t = Instant::now();
+        let mut survivors = 0u64;
+        for &i in stream {
+            let qp = &profiles[i];
+            for &id in &pool[i].filtered.candidates {
+                if store.profile(id).may_contain(qp) {
+                    survivors += 1;
+                }
+            }
+        }
+        scalar_best = scalar_best.min(t.elapsed());
+        scalar_survivors = survivors;
+    }
+    let mut columnar_best = Duration::MAX;
+    let mut columnar_survivors = 0u64;
+    let mut mask = Vec::new();
+    for _ in 0..PASSES {
+        let t = Instant::now();
+        let mut survivors = 0u64;
+        for &i in stream {
+            store.screen_targets(&profiles[i], &pool[i].filtered.candidates, &mut mask);
+            survivors += mask.iter().map(|w| w.count_ones() as u64).sum::<u64>();
+        }
+        columnar_best = columnar_best.min(t.elapsed());
+        columnar_survivors = survivors;
+    }
+    assert_eq!(
+        scalar_survivors, columnar_survivors,
+        "columnar screen diverged from the scalar dominance check"
+    );
+    (scalar_best, columnar_best)
+}
+
 /// Dataset + query stream + pre-filtered candidate batches for one carve.
-/// Filtering runs once, outside both timed paths.
+/// Filtering (and canonicalization) runs once per distinct query, outside
+/// both timed paths; repeated carves sample the pool with a Zipf stream.
 fn materialize(
     carve: &Carve,
     opts: &ExpOptions,
-) -> (usize, Box<dyn SubgraphMethod>, Vec<(Graph, Filtered)>) {
+) -> (Box<dyn SubgraphMethod>, Vec<PoolEntry>, Vec<usize>) {
     // The fig07 setup: Zipf-skewed graph and query-node picks at the
     // paper's alpha, C=500/W=100-scaled geometry (unused here — the bench
     // measures the raw verify stage, not the cache).
@@ -240,12 +408,47 @@ fn materialize(
             },
         )),
     };
-    let batches: Vec<(Graph, Filtered)> = s
-        .queries
-        .iter()
-        .map(|q| (q.clone(), method.filter(q)))
-        .collect();
-    (s.queries.len(), method, batches)
+    let stream_len = s.queries.len();
+    let entry = |q: &Graph| PoolEntry {
+        query: q.clone(),
+        filtered: method.filter(q),
+        code: canonical_code(q),
+    };
+    let pool: Vec<PoolEntry> = match carve.repeat_pool {
+        Some(n) => {
+            // The repeated stream samples the *selective tail* of the
+            // workload: the n distinct queries with the fewest (nonzero)
+            // pre-filtered candidates. Selective queries are where the
+            // per-query plan build is a real fraction of verify cost —
+            // the regime the canonical-code cache exists for, and the
+            // steady state the engine's exact-repeat hit path sees. On
+            // broad queries (hundreds of candidates) planning amortizes
+            // to noise with or without the cache; the distinct-query
+            // carves already cover that regime.
+            let mut entries: Vec<PoolEntry> = s
+                .queries
+                .iter()
+                .map(entry)
+                .filter(|e| !e.filtered.candidates.is_empty())
+                .collect();
+            if entries.is_empty() {
+                entries = s.queries.iter().map(entry).collect();
+            }
+            entries.sort_by_key(|e| e.filtered.candidates.len());
+            entries.truncate(n.max(1));
+            entries
+        }
+        None => s.queries.iter().map(entry).collect(),
+    };
+    let stream: Vec<usize> = match carve.repeat_pool {
+        Some(_) => {
+            let zipf = Zipf::new(pool.len(), DEFAULT_ALPHA);
+            let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x5EED_CAFE);
+            (0..stream_len).map(|_| zipf.sample(&mut rng)).collect()
+        }
+        None => (0..pool.len()).collect(),
+    };
+    (method, pool, stream)
 }
 
 /// One warm-up pass plus [`PASSES`] timed passes of `f`; returns the best
@@ -279,19 +482,61 @@ mod tests {
 
     #[test]
     fn tiny_hotpath_run_is_complete() {
-        // AIDS carve only: the dense synthetic carve's ~8,000-edge graphs
+        // AIDS carves only: the dense synthetic carve's ~8,000-edge graphs
         // are minutes of debug-mode search and belong to the release-mode
         // binary run.
         let opts = ExpOptions {
             scale: 0.004,
             ..Default::default()
         };
-        let report = run_carves(&opts, &all_carves()[..1]);
+        let report = run_carves(&opts, &all_carves()[..2]);
         let data = report.json.as_array().expect("array payload");
-        assert_eq!(data.len(), 1);
+        assert_eq!(data.len(), 2);
         for carve in data {
             assert!(carve.get("verify_speedup").is_some());
             assert!(carve.get("scratch_allocs").is_some());
+            assert!(carve.get("plan_cache_hit_rate").is_some());
         }
+        let repeat = data
+            .iter()
+            .find(|c| c["carve"] == "aids_fig07_repeat")
+            .expect("repeat carve present");
+        assert!(
+            repeat["plan_cache_hits"].as_u64().expect("hits") > 0,
+            "repeated stream must hit the plan cache"
+        );
+        assert!(
+            repeat["plan_builds"].as_u64().expect("builds")
+                < repeat["queries"].as_u64().expect("queries"),
+            "plan builds must amortize over the repeated stream"
+        );
+    }
+
+    /// Full-scale repeat carve in isolation (minutes in release mode);
+    /// `cargo test -p igq_bench --release -- --ignored repeat_carve`.
+    #[test]
+    #[ignore = "release-scale measurement, not a CI gate"]
+    fn repeat_carve_full_scale() {
+        let opts = ExpOptions {
+            scale: 0.1,
+            ..Default::default()
+        };
+        let carves: Vec<Carve> = all_carves()
+            .into_iter()
+            .filter(|c| c.repeat_pool.is_some())
+            .collect();
+        let report = run_carves(&opts, &carves);
+        let data = report.json.as_array().expect("array payload");
+        println!("{}", serde_json::to_string_pretty(&data[0]).unwrap());
+        assert!(data[0]["plan_cache_hits"].as_u64().expect("hits") > 0);
+    }
+
+    #[test]
+    fn smoke_mode_passes() {
+        smoke(&ExpOptions {
+            scale: 0.004,
+            smoke: true,
+            ..Default::default()
+        });
     }
 }

@@ -453,7 +453,7 @@ mod tests {
             evicted,
             admitted: admitted
                 .into_iter()
-                .map(|(s, g)| (s, Arc::new(g)))
+                .map(|(s, g)| (s, Arc::new(g), None))
                 .collect(),
         }
     }

@@ -101,6 +101,11 @@ pub struct WindowDelta {
     pub evicted: Vec<usize>,
     /// Slots that received a new entry, in admission order.
     pub admitted: Vec<usize>,
+    /// Canonical codes of the evicted entries that had one, in eviction
+    /// order — the engine evicts these queries' cached matching plans so
+    /// plans die with their windows. A code whose mapping survived (a
+    /// still-resident isomorphic duplicate) is not listed.
+    pub evicted_codes: Vec<CanonicalCode>,
 }
 
 impl WindowDelta {
@@ -246,7 +251,9 @@ impl QueryCache {
                 .victims(&metas, overflow, self.maintenance_round);
             for dense in victims {
                 let slot = occupied[dense];
-                self.evict(slot);
+                if let Some(code) = self.evict(slot) {
+                    delta.evicted_codes.push(code);
+                }
                 delta.evicted.push(slot);
             }
         }
@@ -364,18 +371,23 @@ impl QueryCache {
         Ok(())
     }
 
-    fn evict(&mut self, slot: usize) {
+    /// Returns the evictee's canonical code when its fast-path mapping was
+    /// dropped with it (a still-resident isomorphic duplicate keeps the
+    /// mapping — and its cached plans — alive).
+    fn evict(&mut self, slot: usize) -> Option<CanonicalCode> {
         let entry = self.slots[slot].take().expect("evicting a free slot");
+        self.free.push(slot);
+        self.len -= 1;
         if let Some(code) = entry.code {
             // Two residents can share a canonical code (imports are not
             // deduplicated); only drop the mapping if it points here, or
             // the surviving duplicate would lose its fast-path entry.
             if self.code_index.get(&code) == Some(&slot) {
                 self.code_index.remove(&code);
+                return Some(code);
             }
         }
-        self.free.push(slot);
-        self.len -= 1;
+        None
     }
 
     fn admit(&mut self, entry: CacheEntry) -> usize {
@@ -521,8 +533,13 @@ mod tests {
         c.apply_window(vec![WindowEntry::bare(g(0), ids(&[1]))]);
         let code0 = canonical_code(&g(0)).expect("small graph canonicalizes");
         assert_eq!(c.slot_with_code(&code0), Some(0));
-        c.apply_window(vec![WindowEntry::bare(g(5), ids(&[2]))]);
+        let d = c.apply_window(vec![WindowEntry::bare(g(5), ids(&[2]))]);
         assert_eq!(c.slot_with_code(&code0), None, "evicted code unindexed");
+        assert_eq!(
+            d.evicted_codes,
+            vec![code0],
+            "delta reports the dead code for plan-cache eviction"
+        );
         let code5 = canonical_code(&g(5)).expect("small graph canonicalizes");
         assert_eq!(c.slot_with_code(&code5), Some(0), "reused slot indexed");
     }
@@ -554,6 +571,10 @@ mod tests {
             c.slot_with_code(&code),
             Some(1),
             "survivor keeps its exact-repeat mapping"
+        );
+        assert!(
+            d.evicted_codes.is_empty(),
+            "shared code stays alive with the duplicate, plans survive"
         );
     }
 

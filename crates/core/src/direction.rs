@@ -26,7 +26,8 @@ use igq_features::PathFeatures;
 use igq_graph::{Graph, GraphId, GraphStore};
 use igq_iso::{CostModel, LogValue};
 use igq_methods::{
-    Filtered, QueryContext, SubgraphMethod, TrieSupergraphMethod, VerifyBatchStats, VerifyOutcome,
+    Filtered, PlanSource, QueryContext, SubgraphMethod, TrieSupergraphMethod, VerifyBatchStats,
+    VerifyOutcome,
 };
 use std::marker::PhantomData;
 
@@ -57,12 +58,17 @@ pub trait QueryDirection: Send + Sync {
     fn filter(method: &Self::Method, q: &Graph, features: &PathFeatures) -> Filtered;
 
     /// Verification stage over the pruned candidates, index-aligned, plus
-    /// the batch's plan/scratch amortization accounting.
+    /// the batch's plan/scratch amortization accounting. `plans` carries
+    /// the engine's canonical-code plan cache (and the query's code when
+    /// it canonicalized within budget) so a repeated query verifies with a
+    /// cached matching plan instead of rebuilding one; directions whose
+    /// verification plans per candidate pair ignore it.
     fn verify(
         method: &Self::Method,
         q: &Graph,
         context: &QueryContext,
         candidates: &[GraphId],
+        plans: Option<PlanSource<'_>>,
     ) -> (Vec<VerifyOutcome>, VerifyBatchStats);
 
     /// `ln c(·, ·)` for one candidate test, with the pattern/target roles
@@ -98,8 +104,9 @@ impl<M: SubgraphMethod> QueryDirection for SubgraphQueries<M> {
         q: &Graph,
         context: &QueryContext,
         candidates: &[GraphId],
+        plans: Option<PlanSource<'_>>,
     ) -> (Vec<VerifyOutcome>, VerifyBatchStats) {
-        method.verify_batch_with(q, context, candidates)
+        method.verify_batch_with_plans(q, context, candidates, plans)
     }
 
     fn cost_ln(model: &mut CostModel, query_vertices: usize, stored_vertices: usize) -> LogValue {
@@ -135,7 +142,11 @@ impl QueryDirection for SupergraphQueries {
         q: &Graph,
         _context: &QueryContext,
         candidates: &[GraphId],
+        _plans: Option<PlanSource<'_>>,
     ) -> (Vec<VerifyOutcome>, VerifyBatchStats) {
+        // Supergraph verification builds one plan per *candidate* (each
+        // stored graph is the pattern), so the query-keyed cache does not
+        // apply here.
         method.verify_super_batch(q, candidates)
     }
 

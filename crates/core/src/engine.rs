@@ -83,8 +83,11 @@ use igq_features::{enumerate_paths, LabelSeq, PathFeatures};
 use igq_graph::canon::{canonical_code, CanonicalCode, GraphSignature};
 use igq_graph::stats::DatasetStats;
 use igq_graph::{Graph, GraphId};
+use igq_iso::plan_cache::PlanCache;
 use igq_iso::{CostModel, IsoStats, LogValue};
-use igq_methods::{intersect_into, intersect_sorted, subtract_into, subtract_sorted, Filtered};
+use igq_methods::{
+    intersect_into, intersect_sorted, subtract_into, subtract_sorted, Filtered, PlanSource,
+};
 use parking_lot::{Mutex, RwLock};
 use std::collections::VecDeque;
 use std::marker::PhantomData;
@@ -189,6 +192,11 @@ pub struct Engine<D: QueryDirection> {
     /// `Some` iff the engine was attached to a [`CacheStore`] via
     /// [`Engine::open`].
     persist: Option<PersistCtl>,
+    /// Canonical-code keyed matching-plan cache, shared by the verify
+    /// stage and both index probes. Internally sharded and lock-striped,
+    /// so it lives outside the state lock; entries are evicted alongside
+    /// their queries via [`WindowDelta::evicted_codes`].
+    plan_cache: PlanCache,
     stats: AtomicEngineStats,
     _direction: PhantomData<fn() -> D>,
 }
@@ -233,6 +241,10 @@ impl<D: QueryDirection> Engine<D> {
         maintainer: Option<BackgroundMaintainer>,
         persist: Option<PersistCtl>,
     ) -> Engine<D> {
+        // Plans are cheap relative to cached answer sets: hold a few per
+        // resident (distinct configs, probe-side patterns) with headroom
+        // for small caches so repeated streams never thrash.
+        let plan_capacity = (4 * config.cache_capacity).max(512);
         Engine {
             method,
             config,
@@ -242,6 +254,7 @@ impl<D: QueryDirection> Engine<D> {
             submit_lock: Mutex::new(()),
             wal_outbox: Mutex::new(VecDeque::new()),
             persist,
+            plan_cache: PlanCache::new(plan_capacity),
             stats: AtomicEngineStats::default(),
             _direction: PhantomData,
         }
@@ -372,6 +385,7 @@ impl<D: QueryDirection> Engine<D> {
                                 Arc::clone(&p.entry.graph),
                                 &features,
                                 keys,
+                                p.entry.code.clone(),
                             );
                         }
                         // Older/foreign checkpoints without feature sets:
@@ -431,7 +445,13 @@ impl<D: QueryDirection> Engine<D> {
                     &features,
                     Arc::clone(&keys),
                 );
-                isuper.insert_features(p.slot, Arc::clone(&p.entry.graph), &features, keys);
+                isuper.insert_features(
+                    p.slot,
+                    Arc::clone(&p.entry.graph),
+                    &features,
+                    keys,
+                    p.entry.code.clone(),
+                );
             }
             seq = record.seq;
             replayed += 1;
@@ -552,6 +572,13 @@ impl<D: QueryDirection> Engine<D> {
     /// settled numbers.
     pub fn stats(&self) -> EngineStats {
         let mut stats = self.stats.snapshot();
+        // The plan cache's own counters are authoritative (they also see
+        // index-probe lookups, which never flow through a
+        // `VerifyBatchStats`); overlay them at snapshot time.
+        let plans = self.plan_cache.stats();
+        stats.plan_cache_hits = plans.hits;
+        stats.plan_cache_misses = plans.misses;
+        stats.plan_cache_evictions = plans.evictions;
         if let Some(m) = &self.maintainer {
             stats.fold_maintainer(&m.stats());
         }
@@ -591,7 +618,7 @@ impl<D: QueryDirection> Engine<D> {
             }
             None => st.isub.heap_size_bytes() + st.isuper.heap_size_bytes(),
         };
-        st.cache.heap_size_bytes() + index_bytes
+        st.cache.heap_size_bytes() + index_bytes + self.plan_cache.heap_size_bytes()
     }
 
     /// Estimated cost (log space) of iso-testing `q` against each graph in
@@ -736,10 +763,13 @@ impl<D: QueryDirection> Engine<D> {
         // synchronous modes they run under the state lock so the returned
         // slots stay valid through the answer algebra below.
         let snap = self.maintainer.as_ref().map(|m| m.snapshot());
+        // The query's canonical code (when computed and within budget)
+        // keys the plan cache for the `Isub` probe and the verify stage.
+        let qcode: Option<&CanonicalCode> = code.as_ref().and_then(|c| c.as_ref());
         let (filtered, probes, mut guard) = match &snap {
             Some(pair) => {
                 // Background: filter and probes both run lock-free.
-                let (f, p) = self.filter_and_probe(&pair.isub, &pair.isuper, q, &qf);
+                let (f, p) = self.filter_and_probe(&pair.isub, &pair.isuper, q, &qf, qcode);
                 (f, p, self.state.write())
             }
             None if !self.config.parallel_probes => {
@@ -749,7 +779,15 @@ impl<D: QueryDirection> Engine<D> {
                 let filtered = D::filter(&self.method, q, &qf);
                 let filter_time = f_start.elapsed();
                 let guard = self.state.write();
-                let probes = probe_both(&guard.isub, &guard.isuper, q, &qf, filter_time);
+                let probes = probe_both(
+                    &guard.isub,
+                    &guard.isuper,
+                    q,
+                    &qf,
+                    filter_time,
+                    &self.plan_cache,
+                    qcode,
+                );
                 (filtered, probes, guard)
             }
             None => {
@@ -757,7 +795,7 @@ impl<D: QueryDirection> Engine<D> {
                 // guard lends the index refs to the probe threads, so the
                 // filter thread runs inside the lock window here.
                 let guard = self.state.write();
-                let (f, p) = self.filter_and_probe(&guard.isub, &guard.isuper, q, &qf);
+                let (f, p) = self.filter_and_probe(&guard.isub, &guard.isuper, q, &qf, qcode);
                 (f, p, guard)
             }
         };
@@ -912,9 +950,21 @@ impl<D: QueryDirection> Engine<D> {
         outcome.igq_time = extract_time + probes.probe_time + bookkeeping_start.elapsed();
         drop(guard); // verification runs outside the lock
 
-        // Verification of the surviving candidates.
+        // Verification of the surviving candidates, with the engine's
+        // plan cache keyed by the query's canonical code (a repeat query
+        // reuses its matching plan instead of rebuilding it).
         let verify_start = Instant::now();
-        let (results, batch_stats) = D::verify(&self.method, q, &filtered.context, &pruned);
+        let plan_source = PlanSource {
+            cache: &self.plan_cache,
+            key: qcode,
+        };
+        let (results, batch_stats) = D::verify(
+            &self.method,
+            q,
+            &filtered.context,
+            &pruned,
+            Some(plan_source),
+        );
         self.stats.record_verify_batch(&batch_stats);
         outcome.db_iso_tests = pruned.len() as u64;
         outcome.aborted_tests = results.iter().filter(|r| r.aborted).count() as u64;
@@ -1020,6 +1070,12 @@ impl<D: QueryDirection> Engine<D> {
         let delta = st.cache.apply_window(incoming);
         if delta.is_empty() {
             return;
+        }
+        // Cached plans die with their windows: drop every evicted query's
+        // plans (codes with a surviving isomorphic duplicate are not
+        // listed, so their plans correctly live on).
+        for code in &delta.evicted_codes {
+            self.plan_cache.evict_key(code);
         }
         self.stats.count_maintenance();
         self.capture_wal(st, &delta);
@@ -1357,6 +1413,9 @@ impl<D: QueryDirection> Engine<D> {
             let st = &mut *guard;
             let delta = st.cache.apply_window(admissible);
             if !delta.is_empty() {
+                for code in &delta.evicted_codes {
+                    self.plan_cache.evict_key(code);
+                }
                 self.capture_wal(st, &delta);
                 match &self.maintainer {
                     Some(_) => {
@@ -1487,12 +1546,16 @@ impl<D: QueryDirection> Engine<D> {
         isuper: &IsuperIndex,
         q: &Graph,
         qf: &PathFeatures,
+        qcode: Option<&CanonicalCode>,
     ) -> (Filtered, ProbeResult) {
         if !self.config.parallel_probes {
             let f_start = Instant::now();
             let filtered = D::filter(&self.method, q, qf);
             let filter_time = f_start.elapsed();
-            return (filtered, probe_both(isub, isuper, q, qf, filter_time));
+            return (
+                filtered,
+                probe_both(isub, isuper, q, qf, filter_time, &self.plan_cache, qcode),
+            );
         }
         let mut filtered = None;
         let mut sub = None;
@@ -1507,12 +1570,12 @@ impl<D: QueryDirection> Engine<D> {
             });
             let sub_handle = scope.spawn(|_| {
                 let t = Instant::now();
-                let r = isub.supergraphs_of(q, qf);
+                let r = isub.supergraphs_of_with_plans(q, qf, qcode.map(|c| (&self.plan_cache, c)));
                 (r, t.elapsed())
             });
             let sup_handle = scope.spawn(|_| {
                 let t = Instant::now();
-                let r = isuper.subgraphs_of(q, qf);
+                let r = isuper.subgraphs_of_with_plans(q, qf, Some(&self.plan_cache));
                 (r, t.elapsed())
             });
             let (f, ft) = filter_handle.join().expect("filter thread");
@@ -1603,11 +1666,13 @@ fn probe_both(
     q: &Graph,
     qf: &PathFeatures,
     filter_time: std::time::Duration,
+    plan_cache: &PlanCache,
+    qcode: Option<&CanonicalCode>,
 ) -> ProbeResult {
     let p_start = Instant::now();
     ProbeResult {
-        sub: isub.supergraphs_of(q, qf),
-        sup: isuper.subgraphs_of(q, qf),
+        sub: isub.supergraphs_of_with_plans(q, qf, qcode.map(|c| (plan_cache, c))),
+        sup: isuper.subgraphs_of_with_plans(q, qf, Some(plan_cache)),
         filter_time,
         probe_time: Instant::now().duration_since(p_start),
     }

@@ -172,6 +172,22 @@ impl IsubIndex {
     /// queries' sizes — is shared across all filtered slots, with the
     /// thread's scratch: the probe performs no per-candidate allocations.
     pub fn supergraphs_of(&self, q: &Graph, qf: &PathFeatures) -> (Vec<usize>, IsoStats) {
+        self.supergraphs_of_with_plans(q, qf, None)
+    }
+
+    /// [`IsubIndex::supergraphs_of`] with the engine's plan cache: a
+    /// repeated query reuses its probe plan under its canonical code
+    /// (`plans` is the cache plus the query's code) instead of rebuilding
+    /// it.
+    pub fn supergraphs_of_with_plans(
+        &self,
+        q: &Graph,
+        qf: &PathFeatures,
+        plans: Option<(
+            &igq_iso::plan_cache::PlanCache,
+            &igq_graph::canon::CanonicalCode,
+        )>,
+    ) -> (Vec<usize>, IsoStats) {
         let mut stats = IsoStats::new();
         let mut slots = Vec::new();
         let filtered = self.filter(q, qf);
@@ -179,7 +195,11 @@ impl IsubIndex {
             return (slots, stats);
         }
         let config = MatchConfig::default();
-        let plan = MatchPlan::build(q, &config, &mut |l| q.vertices_with_label(l).len() as u64);
+        let mut rarity = |l| q.vertices_with_label(l).len() as u64;
+        let plan = match plans {
+            Some((cache, code)) => cache.get_or_build(code, q, &config, &mut rarity).0,
+            None => std::sync::Arc::new(MatchPlan::build(q, &config, &mut rarity)),
+        };
         with_thread_scratch(|scratch| {
             for slot in filtered {
                 let cached = &self.slots[slot]

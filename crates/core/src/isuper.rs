@@ -16,9 +16,11 @@
 
 use crate::isub::IndexSnapshot;
 use igq_features::{enumerate_paths, FeatureTrie, LabelSeq, PathConfig, PathFeatures};
+use igq_graph::canon::CanonicalCode;
 use igq_graph::fxhash::FxHashMap;
 use igq_graph::{Graph, GraphId};
 use igq_iso::plan::{matches_with_plan, MatchPlan};
+use igq_iso::plan_cache::PlanCache;
 use igq_iso::{with_thread_scratch, IsoStats, MatchConfig};
 use std::sync::Arc;
 
@@ -34,6 +36,10 @@ struct SlotEntry {
     /// (`nf_by_len[l]` = #distinct features with `edge_len ≤ l`).
     /// `NF[gi]` of Algorithm 1 is the last entry.
     nf_by_len: Vec<u32>,
+    /// The cached query's canonical code, when the cache computed one —
+    /// the probe's plan-cache key (this graph is the *pattern* of every
+    /// probe pair it participates in).
+    code: Option<CanonicalCode>,
 }
 
 /// Supergraph index over the cached queries, maintained incrementally.
@@ -70,23 +76,28 @@ impl IsuperIndex {
     }
 
     /// Indexes `graph` under `slot` (Algorithm 1 for one member),
-    /// returning the number of postings touched.
+    /// returning the number of postings touched. No canonical code is
+    /// attached (probe pairs for this slot plan fresh); maintenance paths
+    /// use [`IsuperIndex::insert_features`] to carry the cache's code.
     pub fn insert(&mut self, slot: usize, graph: Arc<Graph>) -> u64 {
         let features = enumerate_paths(&graph, &self.path_config);
         let keys: Arc<[LabelSeq]> = features.counts.keys().cloned().collect();
-        self.insert_features(slot, graph, &features, keys)
+        self.insert_features(slot, graph, &features, keys, None)
     }
 
     /// [`IsuperIndex::insert`] with the path features already extracted —
     /// window maintenance enumerates each admitted graph once and feeds
     /// the same `features`/`keys` to both indexes. `keys` must be the
-    /// distinct feature sequences of `features`.
+    /// distinct feature sequences of `features`. `code` is the cached
+    /// query's canonical code (the plan-cache key for probe pairs
+    /// involving this slot), when the cache holds one.
     pub fn insert_features(
         &mut self,
         slot: usize,
         graph: Arc<Graph>,
         features: &PathFeatures,
         keys: Arc<[LabelSeq]>,
+        code: Option<CanonicalCode>,
     ) -> u64 {
         if self.slots.len() <= slot {
             self.slots.resize_with(slot + 1, || None);
@@ -110,6 +121,7 @@ impl IsuperIndex {
             graph,
             features: keys,
             nf_by_len: by_len,
+            code,
         });
         touched
     }
@@ -155,6 +167,20 @@ impl IsuperIndex {
     /// set, extracted once by the engine and shared with the other probe
     /// and the base filter.
     pub fn subgraphs_of(&self, q: &Graph, qf: &PathFeatures) -> (Vec<usize>, IsoStats) {
+        self.subgraphs_of_with_plans(q, qf, None)
+    }
+
+    /// [`IsuperIndex::subgraphs_of`] with the engine's plan cache: cached
+    /// patterns recur across probes (every query probes the same resident
+    /// set), so each pattern's per-pair plan is cached under *its own*
+    /// canonical code and rebuilt only when the rarity statistic — the
+    /// probing query's label index — drifts.
+    pub fn subgraphs_of_with_plans(
+        &self,
+        q: &Graph,
+        qf: &PathFeatures,
+        plans: Option<&PlanCache>,
+    ) -> (Vec<usize>, IsoStats) {
         let mut stats = IsoStats::new();
         let mut slots = Vec::new();
         let config = MatchConfig::default();
@@ -164,16 +190,23 @@ impl IsuperIndex {
         // known), the thread scratch is reused throughout.
         with_thread_scratch(|scratch| {
             for slot in self.candidates(qf) {
-                let cached = &self.slots[slot]
-                    .as_ref()
-                    .expect("candidate slot occupied")
-                    .graph;
+                let entry = self.slots[slot].as_ref().expect("candidate slot occupied");
+                let cached = &entry.graph;
                 if cached.vertex_count() > q.vertex_count() || cached.edge_count() > q.edge_count()
                 {
                     continue;
                 }
-                let plan = MatchPlan::for_target(cached, q, &config);
-                let (verdict, states) = matches_with_plan(&plan, q, scratch);
+                let mut rarity = |l| q.vertices_with_label(l).len() as u64;
+                let (verdict, states) = match (plans, entry.code.as_ref()) {
+                    (Some(cache), Some(code)) => {
+                        let (plan, _) = cache.get_or_build(code, cached, &config, &mut rarity);
+                        matches_with_plan(&plan, q, scratch)
+                    }
+                    _ => {
+                        let plan = MatchPlan::build(cached, &config, &mut rarity);
+                        matches_with_plan(&plan, q, scratch)
+                    }
+                };
                 stats.record_verdict(verdict, states);
                 if verdict.is_found() {
                     slots.push(slot);
@@ -222,6 +255,9 @@ impl IsuperIndex {
             // cumulative-count table.
             bytes += std::mem::size_of::<Arc<[LabelSeq]>>() as u64;
             bytes += (entry.nf_by_len.capacity() * std::mem::size_of::<u32>()) as u64;
+            if let Some(code) = &entry.code {
+                bytes += std::mem::size_of_val(code.words()) as u64;
+            }
         }
         bytes
     }
@@ -345,6 +381,42 @@ mod tests {
         let (slots, _) = probe(&idx, &q);
         // ...but the newcomer single-9 graph does.
         assert_eq!(slots, vec![0]);
+    }
+
+    #[test]
+    fn plan_cached_probe_agrees_with_fresh_probe() {
+        use igq_graph::canon::canonical_code;
+        let specs: &[GraphSpec] = &[
+            (&[0, 1], &[(0, 1)]),
+            (&[0, 1, 0], &[(0, 1), (1, 2)]),
+            (&[0, 0], &[(0, 1)]),
+            (&[7, 7], &[(0, 1)]),
+        ];
+        let mut idx = IsuperIndex::new(PathConfig::default());
+        for (slot, (ls, es)) in specs.iter().enumerate() {
+            let g = Arc::new(graph_from(ls, es));
+            let features = enumerate_paths(&g, &PathConfig::default());
+            let keys: Arc<[LabelSeq]> = features.counts.keys().cloned().collect();
+            let code = canonical_code(&g);
+            idx.insert_features(slot, g, &features, keys, code);
+        }
+        let cache = PlanCache::new(64);
+        for q in [
+            graph_from(&[0, 1, 0, 2], &[(0, 1), (1, 2), (2, 3)]),
+            graph_from(&[0, 0, 1], &[(0, 1), (1, 2)]),
+            graph_from(&[7, 7, 7], &[(0, 1), (1, 2)]),
+        ] {
+            let qf = enumerate_paths(&q, &PathConfig::default());
+            let (fresh, fresh_stats) = idx.subgraphs_of(&q, &qf);
+            // Twice with the cache: cold (build) then warm (hit).
+            let (cold, _) = idx.subgraphs_of_with_plans(&q, &qf, Some(&cache));
+            let (warm, warm_stats) = idx.subgraphs_of_with_plans(&q, &qf, Some(&cache));
+            assert_eq!(cold, fresh, "query {q:?}");
+            assert_eq!(warm, fresh, "query {q:?}");
+            assert_eq!(warm_stats.tests, fresh_stats.tests);
+        }
+        let stats = cache.stats();
+        assert!(stats.hits > 0, "repeat probes hit cached pattern plans");
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::config::MaintenanceMode;
 use crate::isub::IsubIndex;
 use crate::isuper::IsuperIndex;
 use igq_features::{enumerate_paths, LabelSeq, PathConfig};
+use igq_graph::canon::CanonicalCode;
 use igq_graph::Graph;
 use std::sync::Arc;
 
@@ -35,15 +36,17 @@ pub struct MaintenanceOutcome {
 }
 
 /// One window's index work, detached from the cache: the evicted slots
-/// plus `(slot, graph)` pairs for the admissions. Self-contained (graphs
-/// are `Arc`-shared, not referenced), so the job can be queued to the
-/// background maintainer after the cache has already moved on.
+/// plus `(slot, graph, code)` triples for the admissions. Self-contained
+/// (graphs are `Arc`-shared, not referenced), so the job can be queued to
+/// the background maintainer after the cache has already moved on.
 #[derive(Debug, Clone)]
 pub struct MaintenanceJob {
     /// Slots whose previous occupant was evicted, in eviction order.
     pub evicted: Vec<usize>,
-    /// Admitted `(slot, graph)` pairs, in admission order.
-    pub admitted: Vec<(usize, Arc<Graph>)>,
+    /// Admitted `(slot, graph, canonical code)` triples, in admission
+    /// order. The code (when the cache computed one) is stored on the
+    /// `Isuper` slot entry so index probes can key the plan cache.
+    pub admitted: Vec<(usize, Arc<Graph>, Option<CanonicalCode>)>,
 }
 
 impl MaintenanceJob {
@@ -57,7 +60,10 @@ impl MaintenanceJob {
             admitted: delta
                 .admitted
                 .iter()
-                .map(|&slot| (slot, Arc::clone(&cache.entry(slot).graph)))
+                .map(|&slot| {
+                    let entry = cache.entry(slot);
+                    (slot, Arc::clone(&entry.graph), entry.code.clone())
+                })
                 .collect(),
         }
     }
@@ -83,7 +89,7 @@ pub fn apply_job(
         outcome.postings_touched += isub.remove(slot);
         outcome.postings_touched += isuper.remove(slot);
     }
-    for (slot, graph) in &job.admitted {
+    for (slot, graph, code) in &job.admitted {
         // One enumeration feeds both indexes; the feature-key list is
         // shared between their slot entries.
         let features = enumerate_paths(graph, &path_config);
@@ -91,7 +97,7 @@ pub fn apply_job(
         outcome.postings_touched +=
             isub.insert_features(*slot, Arc::clone(graph), &features, Arc::clone(&keys));
         outcome.postings_touched +=
-            isuper.insert_features(*slot, Arc::clone(graph), &features, keys);
+            isuper.insert_features(*slot, Arc::clone(graph), &features, keys, code.clone());
     }
     outcome
 }
@@ -129,12 +135,15 @@ pub fn apply_delta(
             for &slot in &delta.admitted {
                 // One enumeration feeds both indexes; the feature-key
                 // list is shared between their slot entries.
-                let graph = Arc::clone(&cache.entry(slot).graph);
+                let entry = cache.entry(slot);
+                let graph = Arc::clone(&entry.graph);
+                let code = entry.code.clone();
                 let features = enumerate_paths(&graph, &path_config);
                 let keys: Arc<[LabelSeq]> = features.counts.keys().cloned().collect();
                 outcome.postings_touched +=
                     isub.insert_features(slot, Arc::clone(&graph), &features, Arc::clone(&keys));
-                outcome.postings_touched += isuper.insert_features(slot, graph, &features, keys);
+                outcome.postings_touched +=
+                    isuper.insert_features(slot, graph, &features, keys, code);
             }
             outcome
         }

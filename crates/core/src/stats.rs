@@ -92,6 +92,19 @@ pub struct EngineStats {
     /// still count as `db_iso_tests` — the screen makes tests cheaper, it
     /// does not change the paper's headline test counts.
     pub preverify_rejections: u64,
+    /// Canonical-code plan-cache lookups answered by a fresh cached plan
+    /// (the query skipped its plan build). Covers the verify stage and
+    /// both query-index probes.
+    pub plan_cache_hits: u64,
+    /// Plan-cache lookups that had to build — cold codes, staleness
+    /// rebuilds after label-frequency drift, and config mismatches.
+    pub plan_cache_misses: u64,
+    /// Plans dropped from the plan cache: capacity replacement plus
+    /// window-eviction of their queries from the query cache.
+    pub plan_cache_evictions: u64,
+    /// Wall-clock spent in the columnar (struct-of-arrays) pre-verify
+    /// screen, across all verification batches.
+    pub columnar_screen_time: Duration,
     /// Wall-clock in the base method's filter stage.
     pub filter_time: Duration,
     /// Wall-clock in iGQ probes and bookkeeping.
@@ -185,6 +198,7 @@ pub(crate) struct AtomicEngineStats {
     plan_builds: AtomicU64,
     scratch_allocs: AtomicU64,
     preverify_rejections: AtomicU64,
+    columnar_screen_nanos: AtomicU64,
     filter_nanos: AtomicU64,
     igq_nanos: AtomicU64,
     verify_nanos: AtomicU64,
@@ -255,13 +269,19 @@ impl AtomicEngineStats {
         self.wal_appends.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Folds one verification batch's amortization counters.
+    /// Folds one verification batch's amortization counters. Plan-cache
+    /// hit/miss/eviction totals are *not* folded here: the cache's own
+    /// atomic counters are authoritative (they also see the index-probe
+    /// lookups) and are overlaid at snapshot time by
+    /// [`crate::Engine::stats`].
     pub(crate) fn record_verify_batch(&self, b: &igq_methods::VerifyBatchStats) {
         const R: Ordering = Ordering::Relaxed;
         self.plan_builds.fetch_add(b.plan_builds, R);
         self.scratch_allocs.fetch_add(b.scratch_allocs, R);
         self.preverify_rejections
             .fetch_add(b.preverify_rejections, R);
+        self.columnar_screen_nanos
+            .fetch_add(b.columnar_screen_ns, R);
     }
 
     /// Folds one checkpoint's wall-clock.
@@ -303,6 +323,10 @@ impl AtomicEngineStats {
             plan_builds: self.plan_builds.load(R),
             scratch_allocs: self.scratch_allocs.load(R),
             preverify_rejections: self.preverify_rejections.load(R),
+            plan_cache_hits: 0,
+            plan_cache_misses: 0,
+            plan_cache_evictions: 0,
+            columnar_screen_time: Duration::from_nanos(self.columnar_screen_nanos.load(R)),
             filter_time: Duration::from_nanos(self.filter_nanos.load(R)),
             igq_time: Duration::from_nanos(self.igq_nanos.load(R)),
             verify_time: Duration::from_nanos(self.verify_nanos.load(R)),
@@ -372,11 +396,15 @@ mod tests {
             plan_builds: 2,
             scratch_allocs: 1,
             preverify_rejections: 5,
+            columnar_screen_ns: 100,
+            ..Default::default()
         });
         atomic.record_verify_batch(&igq_methods::VerifyBatchStats {
             plan_builds: 1,
             scratch_allocs: 0,
             preverify_rejections: 2,
+            columnar_screen_ns: 50,
+            ..Default::default()
         });
         let snap = atomic.snapshot();
         assert_eq!(snap.queries, plain.queries);
@@ -395,6 +423,7 @@ mod tests {
         assert_eq!(snap.plan_builds, 3);
         assert_eq!(snap.scratch_allocs, 1);
         assert_eq!(snap.preverify_rejections, 7);
+        assert_eq!(snap.columnar_screen_time, Duration::from_nanos(150));
     }
 
     #[test]

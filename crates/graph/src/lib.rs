@@ -24,6 +24,7 @@
 
 pub mod builder;
 pub mod canon;
+pub mod columns;
 pub mod error;
 pub mod fxhash;
 pub mod graph;
@@ -35,6 +36,7 @@ pub mod store;
 mod ids;
 
 pub use builder::GraphBuilder;
+pub use columns::ProfileColumns;
 pub use error::{GraphError, Result};
 pub use graph::Graph;
 pub use ids::{GraphId, LabelId, VertexId};

@@ -68,6 +68,12 @@ impl GraphProfile {
         self.degree_desc.first().copied().unwrap_or(0)
     }
 
+    /// Approximate heap footprint of this profile, in bytes.
+    pub fn heap_size_bytes(&self) -> u64 {
+        (std::mem::size_of_val(&*self.label_counts) + std::mem::size_of_val(&*self.degree_desc))
+            as u64
+    }
+
     /// The pre-verify screen: `false` **proves** that no graph with
     /// profile `pattern` embeds in a graph with profile `self`
     /// (label-count or degree-sequence dominance is violated); `true`

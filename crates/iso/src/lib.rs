@@ -15,6 +15,9 @@
 //!   batch verification explores candidates with zero per-candidate heap
 //!   allocations (the per-pair [`vf2`] stays as the one-off fallback and
 //!   property-test oracle);
+//! * [`plan_cache`] — a bounded, sharded [`PlanCache`] keyed by canonical
+//!   code, so repeated (isomorphic) queries reuse one [`MatchPlan`] instead
+//!   of rebuilding it per query, with rarity-drift staleness detection;
 //! * [`ullmann`] — Ullmann's 1976 algorithm, the classic baseline (\[39\] in
 //!   the paper), kept for ablation benchmarks;
 //! * [`budget`] — optional search-state budgets so harness code can bound
@@ -29,6 +32,7 @@ pub mod budget;
 pub mod cost;
 pub mod logmath;
 pub mod plan;
+pub mod plan_cache;
 pub mod semantics;
 pub mod stats;
 pub mod ullmann;
@@ -40,6 +44,7 @@ pub use logmath::LogValue;
 pub use plan::{
     find_with_plan, matches_with_plan, with_thread_scratch, MatchPlan, MatchScratch, Verdict,
 };
+pub use plan_cache::{PlanCache, PlanCacheStats, RARITY_DRIFT_FACTOR};
 pub use semantics::{MatchConfig, MatchSemantics, Outcome};
 pub use stats::IsoStats;
 

@@ -259,6 +259,13 @@ impl MatchPlan {
         &self.config
     }
 
+    /// Approximate heap footprint of the plan's buffers, in bytes.
+    pub fn heap_size_bytes(&self) -> u64 {
+        (self.entries.capacity() * std::mem::size_of::<PlanEntry>()
+            + self.backward.capacity() * std::mem::size_of::<BackRef>()
+            + self.nonadj.capacity() * std::mem::size_of::<u32>()) as u64
+    }
+
     #[inline]
     fn back_refs(&self, e: &PlanEntry) -> &[BackRef] {
         &self.backward[e.back_start as usize..(e.back_start + e.back_len) as usize]

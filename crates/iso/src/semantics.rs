@@ -19,7 +19,7 @@ pub enum MatchSemantics {
 }
 
 /// Engine configuration.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MatchConfig {
     /// Monomorphism (default) or induced.
     pub semantics: MatchSemantics,

@@ -19,6 +19,18 @@
 //! * the method's [`MatchConfig`], captured once per query instead of
 //!   being rebuilt per `verify` call.
 //!
+//! Two batch-level accelerations sit on top. When the caller passes a
+//! [`PlanSource`] (the engine's canonical-code [`PlanCache`] plus the
+//! query's code), a repeated query reuses its cached plan — the build is
+//! skipped entirely and `plan_builds` stays 0 for the batch. And the
+//! pre-verify screen runs *columnar*: one pass over the store's
+//! struct-of-arrays [`ProfileColumns`] produces a survivor bitmask for
+//! the whole candidate slice ([`BatchVerifier::verify_at`] then just
+//! tests a bit), instead of per-candidate pointer-chasing through
+//! individual profiles.
+//!
+//! [`ProfileColumns`]: igq_graph::ProfileColumns
+//!
 //! The caller supplies a [`MatchScratch`] (usually the thread-local one
 //! via [`igq_iso::with_thread_scratch`]), so the steady-state loop is
 //! allocation-free. [`VerifyBatchStats`] reports the amortization
@@ -26,16 +38,21 @@
 //! surfaced through `EngineStats` in `igq-core`.
 
 use crate::method::VerifyOutcome;
+use igq_graph::canon::CanonicalCode;
 use igq_graph::fxhash::FxHashMap;
 use igq_graph::{Graph, GraphId, GraphProfile, GraphStore, LabelId};
 use igq_iso::plan::{matches_with_plan, MatchPlan, MatchScratch};
+use igq_iso::plan_cache::PlanCache;
 use igq_iso::{with_thread_scratch, MatchConfig};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Amortization accounting for one `verify_batch` call.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct VerifyBatchStats {
-    /// Matching plans built (1 per query on the subgraph path; one per
-    /// candidate on the supergraph path, where the pattern varies).
+    /// Matching plans built (0 on a plan-cache hit, 1 per query otherwise
+    /// on the subgraph path; one per candidate on the supergraph path,
+    /// where the pattern varies).
     pub plan_builds: u64,
     /// Scratch buffer allocations/growths during the batch. Zero in
     /// steady state once the thread's workspace has warmed up.
@@ -43,6 +60,13 @@ pub struct VerifyBatchStats {
     /// Candidates rejected by the pre-verify screen (label-count or
     /// degree-sequence dominance) without starting a search.
     pub preverify_rejections: u64,
+    /// Batches whose shared plan came from the canonical-code plan cache.
+    pub plan_cache_hits: u64,
+    /// Batches that consulted the plan cache and had to (re)build.
+    pub plan_cache_misses: u64,
+    /// Nanoseconds spent in the columnar (struct-of-arrays) pre-verify
+    /// screen for this batch.
+    pub columnar_screen_ns: u64,
 }
 
 impl VerifyBatchStats {
@@ -51,7 +75,23 @@ impl VerifyBatchStats {
         self.plan_builds += other.plan_builds;
         self.scratch_allocs += other.scratch_allocs;
         self.preverify_rejections += other.preverify_rejections;
+        self.plan_cache_hits += other.plan_cache_hits;
+        self.plan_cache_misses += other.plan_cache_misses;
+        self.columnar_screen_ns += other.columnar_screen_ns;
     }
+}
+
+/// A borrowed handle to the engine's canonical-code plan cache, handed
+/// down the verification path so [`BatchVerifier::with_plans`] can reuse
+/// the query's plan across repeats. `key` is the query's canonical code
+/// when it has one (large queries exceed the canonicalization budget and
+/// simply plan fresh — a missed optimization, never an error).
+#[derive(Clone, Copy)]
+pub struct PlanSource<'a> {
+    /// The shared, internally synchronized plan cache.
+    pub cache: &'a PlanCache,
+    /// The query's canonical code, if canonicalizable.
+    pub key: Option<&'a CanonicalCode>,
 }
 
 /// Target size (vertices) above which a candidate gets its own
@@ -85,12 +125,16 @@ pub fn matches_adaptive(
 }
 
 /// Per-query verification state for a batch of store candidates: plan,
-/// query profile, and match configuration, all built exactly once.
+/// query profile, columnar screen mask, and match configuration, all
+/// built exactly once (the plan possibly zero times, via the cache).
 pub struct BatchVerifier<'a> {
     store: &'a GraphStore,
     query: &'a Graph,
-    plan: MatchPlan,
+    plan: Arc<MatchPlan>,
     query_profile: GraphProfile,
+    /// Survivor bitmask over the construction-time candidate slice, from
+    /// the columnar screen: bit `i` set iff `candidates[i]` passed.
+    mask: Vec<u64>,
     stats: VerifyBatchStats,
 }
 
@@ -131,22 +175,65 @@ impl<'a> BatchVerifier<'a> {
         config: &MatchConfig,
         candidates: &[GraphId],
     ) -> BatchVerifier<'a> {
-        let rarity = batch_label_rarity(store, candidates);
-        let plan = MatchPlan::build(q, config, &mut |l| rarity(l));
+        Self::with_plans(store, q, config, candidates, None)
+    }
+
+    /// Like [`BatchVerifier::new`], but consults the engine's plan cache
+    /// first: a fresh cached plan for the query's canonical code skips the
+    /// build entirely (`plan_builds` stays 0, `plan_cache_hits` becomes
+    /// 1). The columnar pre-verify screen runs here too, over the whole
+    /// candidate slice at once; use [`BatchVerifier::verify_at`] to
+    /// consume its verdicts.
+    pub fn with_plans(
+        store: &'a GraphStore,
+        q: &'a Graph,
+        config: &MatchConfig,
+        candidates: &[GraphId],
+        plans: Option<PlanSource<'_>>,
+    ) -> BatchVerifier<'a> {
+        let mut stats = VerifyBatchStats::default();
+        let mut rarity = batch_label_rarity(store, candidates);
+        let plan = match plans {
+            Some(PlanSource {
+                cache,
+                key: Some(key),
+            }) => {
+                let (plan, hit) = cache.get_or_build(key, q, config, &mut rarity);
+                if hit {
+                    stats.plan_cache_hits = 1;
+                } else {
+                    stats.plan_cache_misses = 1;
+                    stats.plan_builds = 1;
+                }
+                plan
+            }
+            _ => {
+                stats.plan_builds = 1;
+                Arc::new(MatchPlan::build(q, config, &mut rarity))
+            }
+        };
+        let query_profile = GraphProfile::of(q);
+        let screen_start = Instant::now();
+        let mut mask = Vec::new();
+        store.screen_targets(&query_profile, candidates, &mut mask);
+        stats.columnar_screen_ns = screen_start.elapsed().as_nanos() as u64;
         BatchVerifier {
             store,
             query: q,
             plan,
-            query_profile: GraphProfile::of(q),
-            stats: VerifyBatchStats {
-                plan_builds: 1,
-                ..Default::default()
-            },
+            query_profile,
+            mask,
+            stats,
         }
     }
 
     /// The shared matching plan (e.g. for worker threads).
     pub fn plan(&self) -> &MatchPlan {
+        &self.plan
+    }
+
+    /// The shared plan as a cheap clonable handle.
+    pub fn plan_arc(&self) -> &Arc<MatchPlan> {
         &self.plan
     }
 
@@ -163,6 +250,40 @@ impl<'a> BatchVerifier<'a> {
             .profile(candidate)
             .may_contain(&self.query_profile)
         {
+            self.stats.preverify_rejections += 1;
+            return VerifyOutcome {
+                contains: false,
+                aborted: false,
+                states: 0,
+            };
+        }
+        let before = scratch.alloc_events();
+        let (verdict, states) = matches_adaptive(
+            &self.plan,
+            self.query,
+            self.store.get(candidate),
+            scratch,
+            &mut self.stats,
+        );
+        self.stats.scratch_allocs += scratch.alloc_events() - before;
+        VerifyOutcome {
+            contains: verdict.is_found(),
+            aborted: verdict.is_aborted(),
+            states,
+        }
+    }
+
+    /// Verifies `candidate`, which must be `candidates[idx]` of the slice
+    /// this verifier was constructed with: consumes the columnar screen's
+    /// precomputed verdict for position `idx` (bit clear ⇒ reject without
+    /// a search) instead of re-running the scalar dominance screen.
+    pub fn verify_at(
+        &mut self,
+        idx: usize,
+        candidate: GraphId,
+        scratch: &mut MatchScratch,
+    ) -> VerifyOutcome {
+        if self.mask[idx >> 6] >> (idx & 63) & 1 == 0 {
             self.stats.preverify_rejections += 1;
             return VerifyOutcome {
                 contains: false,
@@ -208,16 +329,31 @@ pub fn verify_batch_plain(
     config: &MatchConfig,
     candidates: &[GraphId],
 ) -> (Vec<VerifyOutcome>, VerifyBatchStats) {
+    verify_batch_plain_with(store, q, config, candidates, None)
+}
+
+/// [`verify_batch_plain`] with a plan-cache handle: the shared plan comes
+/// from the cache on repeats, and candidates are screened through the
+/// columnar mask ([`BatchVerifier::verify_at`]).
+pub fn verify_batch_plain_with(
+    store: &GraphStore,
+    q: &Graph,
+    config: &MatchConfig,
+    candidates: &[GraphId],
+    plans: Option<PlanSource<'_>>,
+) -> (Vec<VerifyOutcome>, VerifyBatchStats) {
     if candidates.is_empty() {
         // Nothing to verify: skip the per-query setup (plan ordering,
-        // profile) entirely — fully pruned queries are iGQ's best case.
+        // profile, screen) entirely — fully pruned queries are iGQ's best
+        // case.
         return (Vec::new(), VerifyBatchStats::default());
     }
-    let mut verifier = BatchVerifier::new(store, q, config, candidates);
+    let mut verifier = BatchVerifier::with_plans(store, q, config, candidates, plans);
     let outcomes = with_thread_scratch(|scratch| {
         candidates
             .iter()
-            .map(|&id| verifier.verify(id, scratch))
+            .enumerate()
+            .map(|(i, &id)| verifier.verify_at(i, id, scratch))
             .collect()
     });
     (outcomes, verifier.finish())
@@ -273,6 +409,48 @@ mod tests {
         let (outcomes, stats) = verify_batch_plain(&s, &star, &MatchConfig::default(), &all);
         assert!(outcomes.iter().all(|o| !o.contains && o.states == 0));
         assert_eq!(stats.preverify_rejections, all.len() as u64);
+    }
+
+    #[test]
+    fn plan_cache_path_is_observationally_identical() {
+        let s = store();
+        let all: Vec<GraphId> = s.ids().collect();
+        let config = MatchConfig::default();
+        let cache = igq_iso::PlanCache::new(64);
+        let q = graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]);
+        let key = igq_graph::canon::canonical_code(&q).unwrap();
+        let plans = PlanSource {
+            cache: &cache,
+            key: Some(&key),
+        };
+        let (baseline, _) = verify_batch_plain(&s, &q, &config, &all);
+
+        let (cold, cold_stats) = verify_batch_plain_with(&s, &q, &config, &all, Some(plans));
+        assert_eq!(cold, baseline);
+        assert_eq!(cold_stats.plan_cache_misses, 1);
+        assert_eq!(cold_stats.plan_builds, 1);
+
+        let (warm, warm_stats) = verify_batch_plain_with(&s, &q, &config, &all, Some(plans));
+        assert_eq!(warm, baseline, "cached plan changes no verdict");
+        assert_eq!(warm_stats.plan_cache_hits, 1);
+        assert_eq!(warm_stats.plan_builds, 0, "hit skips the build");
+    }
+
+    #[test]
+    fn missing_code_plans_fresh() {
+        let s = store();
+        let all: Vec<GraphId> = s.ids().collect();
+        let cache = igq_iso::PlanCache::new(64);
+        let q = graph_from(&[0, 1], &[(0, 1)]);
+        let plans = PlanSource {
+            cache: &cache,
+            key: None,
+        };
+        let (_, stats) =
+            verify_batch_plain_with(&s, &q, &MatchConfig::default(), &all, Some(plans));
+        assert_eq!(stats.plan_builds, 1);
+        assert_eq!(stats.plan_cache_hits + stats.plan_cache_misses, 0);
+        assert!(cache.is_empty());
     }
 
     #[test]

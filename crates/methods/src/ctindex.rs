@@ -193,13 +193,20 @@ impl SubgraphMethod for CtIndex {
     }
 
     /// Plan-amortized batch verification (see [`crate::batch`]).
-    fn verify_batch_with(
+    fn verify_batch_with_plans(
         &self,
         q: &Graph,
         _context: &QueryContext,
         candidates: &[GraphId],
+        plans: Option<crate::batch::PlanSource<'_>>,
     ) -> (Vec<VerifyOutcome>, crate::batch::VerifyBatchStats) {
-        crate::batch::verify_batch_plain(&self.store, q, &self.config.match_config, candidates)
+        crate::batch::verify_batch_plain_with(
+            &self.store,
+            q,
+            &self.config.match_config,
+            candidates,
+            plans,
+        )
     }
 
     fn index_size_bytes(&self) -> u64 {

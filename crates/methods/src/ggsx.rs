@@ -220,15 +220,23 @@ impl SubgraphMethod for Ggsx {
         VerifyOutcome::from_match(&r)
     }
 
-    /// Plan-amortized batch verification: one matching plan per query,
-    /// thread-local scratch, pre-verify screening (see [`crate::batch`]).
-    fn verify_batch_with(
+    /// Plan-amortized batch verification: one matching plan per query
+    /// (zero on a plan-cache hit), thread-local scratch, columnar
+    /// pre-verify screening (see [`crate::batch`]).
+    fn verify_batch_with_plans(
         &self,
         q: &Graph,
         _context: &QueryContext,
         candidates: &[GraphId],
+        plans: Option<crate::batch::PlanSource<'_>>,
     ) -> (Vec<VerifyOutcome>, crate::batch::VerifyBatchStats) {
-        crate::batch::verify_batch_plain(&self.store, q, &self.config.match_config, candidates)
+        crate::batch::verify_batch_plain_with(
+            &self.store,
+            q,
+            &self.config.match_config,
+            candidates,
+            plans,
+        )
     }
 
     fn index_size_bytes(&self) -> u64 {

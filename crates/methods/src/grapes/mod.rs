@@ -372,16 +372,21 @@ impl SubgraphMethod for Grapes {
     }
 
     /// Plan-amortized batch verification: one [`MatchPlan`] + query
-    /// profile built per query and shared by every candidate (and every
-    /// worker thread — the plan is target-independent). Multi-threaded
-    /// configurations process candidates from a shared work queue, as the
-    /// original system's parallel verification stage does, each worker on
-    /// its own thread-local scratch.
-    fn verify_batch_with(
+    /// profile built per query — or zero plan builds, when `plans` holds
+    /// the engine's canonical-code cache and the query is a repeat — and
+    /// shared by every candidate (and every worker thread — the plan is
+    /// target-independent). Multi-threaded configurations process
+    /// candidates from a shared work queue, as the original system's
+    /// parallel verification stage does, each worker on its own
+    /// thread-local scratch. Grapes keeps its own component-restricted
+    /// screen rather than the columnar mask: candidates are verified
+    /// against located *components*, not whole store graphs.
+    fn verify_batch_with_plans(
         &self,
         q: &Graph,
         context: &QueryContext,
         candidates: &[GraphId],
+        plans: Option<crate::batch::PlanSource<'_>>,
     ) -> (Vec<VerifyOutcome>, VerifyBatchStats) {
         if candidates.is_empty() {
             return (Vec::new(), VerifyBatchStats::default());
@@ -401,14 +406,30 @@ impl SubgraphMethod for Grapes {
                 &owned_features
             }
         };
-        let rarity = crate::batch::batch_label_rarity(&self.store, candidates);
-        let plan = MatchPlan::build(q, &self.config.match_config, &mut |l| rarity(l));
+        let mut rarity = crate::batch::batch_label_rarity(&self.store, candidates);
+        let mut stats = VerifyBatchStats::default();
+        let plan = match plans {
+            Some(crate::batch::PlanSource {
+                cache,
+                key: Some(key),
+            }) => {
+                let (plan, hit) =
+                    cache.get_or_build(key, q, &self.config.match_config, &mut rarity);
+                if hit {
+                    stats.plan_cache_hits = 1;
+                } else {
+                    stats.plan_cache_misses = 1;
+                    stats.plan_builds = 1;
+                }
+                plan
+            }
+            _ => {
+                stats.plan_builds = 1;
+                Arc::new(MatchPlan::build(q, &self.config.match_config, &mut rarity))
+            }
+        };
         let query_profile = GraphProfile::of(q);
         let q_connected = q.is_connected();
-        let mut stats = VerifyBatchStats {
-            plan_builds: 1,
-            ..Default::default()
-        };
 
         if self.config.threads <= 1 || candidates.len() < 2 {
             let outcomes = with_thread_scratch(|scratch| {

@@ -24,10 +24,12 @@
 //! All methods uphold the filter-then-verify contract: candidate sets have
 //! **no false negatives**, and verification decides candidates exactly.
 //!
-//! Verification is batch-first: [`SubgraphMethod::verify_batch_with`] is
-//! the primary entry point, and every built-in method routes it through
-//! the plan-amortized hot path in [`batch`] — one matching plan per query,
-//! thread-local zero-allocation scratch, and profile-based pre-verify
+//! Verification is batch-first:
+//! [`SubgraphMethod::verify_batch_with_plans`] is the primary entry
+//! point, and every built-in method routes it through the plan-amortized
+//! hot path in [`batch`] — one matching plan per query (zero on a
+//! canonical-code plan-cache hit, via [`PlanSource`]), thread-local
+//! zero-allocation scratch, and columnar profile-based pre-verify
 //! screening.
 
 pub mod batch;
@@ -39,7 +41,10 @@ pub mod method;
 pub mod naive;
 pub mod supergraph;
 
-pub use batch::{batch_label_rarity, verify_batch_plain, BatchVerifier, VerifyBatchStats};
+pub use batch::{
+    batch_label_rarity, verify_batch_plain, verify_batch_plain_with, BatchVerifier, PlanSource,
+    VerifyBatchStats,
+};
 pub use ctindex::{CtIndex, CtIndexConfig};
 pub use gcode::{GCode, GCodeConfig};
 pub use ggsx::{Ggsx, GgsxConfig};

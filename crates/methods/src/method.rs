@@ -111,24 +111,38 @@ pub trait SubgraphMethod: Send + Sync {
     /// The primary verification entry point: verifies many candidates,
     /// returning index-aligned outcomes plus the batch's amortization
     /// accounting ([`VerifyBatchStats`]). Built-in methods override this
-    /// with the plan-amortized hot path (one [`MatchPlan`] per query,
-    /// thread-local scratch, pre-verify screening); the default walks
+    /// with the plan-amortized hot path (one [`MatchPlan`] per query —
+    /// or zero, when `plans` carries the engine's canonical-code plan
+    /// cache and the query is a repeat — thread-local scratch, columnar
+    /// pre-verify screening); the default ignores `plans` and walks
     /// [`Self::verify`] sequentially so external implementations stay
     /// correct unmodified.
     ///
     /// [`MatchPlan`]: igq_iso::MatchPlan
     /// [`VerifyBatchStats`]: crate::batch::VerifyBatchStats
+    fn verify_batch_with_plans(
+        &self,
+        q: &Graph,
+        context: &QueryContext,
+        candidates: &[GraphId],
+        plans: Option<crate::batch::PlanSource<'_>>,
+    ) -> (Vec<VerifyOutcome>, crate::batch::VerifyBatchStats) {
+        let _ = plans;
+        let outcomes = candidates
+            .iter()
+            .map(|&id| self.verify(q, context, id))
+            .collect();
+        (outcomes, crate::batch::VerifyBatchStats::default())
+    }
+
+    /// [`Self::verify_batch_with_plans`] without a plan-cache handle.
     fn verify_batch_with(
         &self,
         q: &Graph,
         context: &QueryContext,
         candidates: &[GraphId],
     ) -> (Vec<VerifyOutcome>, crate::batch::VerifyBatchStats) {
-        let outcomes = candidates
-            .iter()
-            .map(|&id| self.verify(q, context, id))
-            .collect();
-        (outcomes, crate::batch::VerifyBatchStats::default())
+        self.verify_batch_with_plans(q, context, candidates, None)
     }
 
     /// Verifies many candidates, discarding the batch accounting. The
@@ -177,6 +191,16 @@ impl SubgraphMethod for Box<dyn SubgraphMethod> {
     }
     fn verify(&self, q: &Graph, context: &QueryContext, candidate: GraphId) -> VerifyOutcome {
         self.as_ref().verify(q, context, candidate)
+    }
+    fn verify_batch_with_plans(
+        &self,
+        q: &Graph,
+        context: &QueryContext,
+        candidates: &[GraphId],
+        plans: Option<crate::batch::PlanSource<'_>>,
+    ) -> (Vec<VerifyOutcome>, crate::batch::VerifyBatchStats) {
+        self.as_ref()
+            .verify_batch_with_plans(q, context, candidates, plans)
     }
     fn verify_batch_with(
         &self,

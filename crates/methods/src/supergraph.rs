@@ -194,12 +194,13 @@ impl TrieSupergraphMethod {
     /// varies per candidate here (each stored graph is searched inside the
     /// fixed query), so plans are per-pair — built against the query's own
     /// label index, the best possible rarity statistic since the target is
-    /// known. What amortizes across the batch: the query's
-    /// [`GraphProfile`] (target side of the pre-verify screen, against
-    /// each candidate's precomputed store profile), the match
-    /// configuration (captured once, not per `verify` call), and the
-    /// thread-local scratch (zero per-candidate mapping/visited
-    /// allocations).
+    /// known. What amortizes across the batch: the pre-verify screen runs
+    /// *columnar* over the whole candidate slice at once (the query's
+    /// [`GraphProfile`] as the target side of
+    /// [`GraphStore::screen_patterns`], against the store's
+    /// struct-of-arrays profile columns), the match configuration is
+    /// captured once (not per `verify` call), and the thread-local scratch
+    /// gives zero per-candidate mapping/visited allocations.
     pub fn verify_super_batch(
         &self,
         q: &Graph,
@@ -211,11 +212,17 @@ impl TrieSupergraphMethod {
         let query_profile = GraphProfile::of(q);
         let config = self.match_config;
         let mut stats = VerifyBatchStats::default();
+        let screen_start = std::time::Instant::now();
+        let mut mask = Vec::new();
+        self.store
+            .screen_patterns(&query_profile, candidates, &mut mask);
+        stats.columnar_screen_ns = screen_start.elapsed().as_nanos() as u64;
         let outcomes = with_thread_scratch(|scratch| {
             candidates
                 .iter()
-                .map(|&id| {
-                    if !query_profile.may_contain(self.store.profile(id)) {
+                .enumerate()
+                .map(|(i, &id)| {
+                    if mask[i >> 6] >> (i & 63) & 1 == 0 {
                         stats.preverify_rejections += 1;
                         return VerifyOutcome {
                             contains: false,

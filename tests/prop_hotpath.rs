@@ -115,6 +115,97 @@ proptest! {
         }
     }
 
+    /// A plan served from the canonical-code cache — including a stale
+    /// snapshot kept fresh within the drift bound — is observationally
+    /// identical to a freshly built one: same verdict, same mapping, same
+    /// abort behavior, under both semantics. The second lookup must be a
+    /// hit sharing the first build's allocation.
+    #[test]
+    fn plan_cache_hit_is_observationally_identical(
+        store in arb_store(6, 7, 3),
+        q in arb_graph(5, 3),
+        induced in any::<bool>(),
+    ) {
+        let config = if induced { MatchConfig::induced() } else { MatchConfig::default() };
+        let Some(code) = igq::graph::canon::canonical_code(&q) else {
+            return Ok(());
+        };
+        let cache = igq::iso::PlanCache::new(8);
+        let mut rarity = |l| store.label_frequency(l);
+        let (cold, cold_hit) = cache.get_or_build(&code, &q, &config, &mut rarity);
+        let (warm, warm_hit) = cache.get_or_build(&code, &q, &config, &mut rarity);
+        prop_assert!(!cold_hit);
+        prop_assert!(warm_hit);
+        prop_assert!(std::sync::Arc::ptr_eq(&cold, &warm), "hit must share the built plan");
+        let fresh = MatchPlan::build(&q, &config, &mut |l| store.label_frequency(l));
+        let mut cached_scratch = MatchScratch::new();
+        let mut fresh_scratch = MatchScratch::new();
+        for (_, g) in store.iter() {
+            let a = matches_with_plan(&warm, g, &mut cached_scratch);
+            let b = matches_with_plan(&fresh, g, &mut fresh_scratch);
+            prop_assert_eq!(a, b, "cached plan diverged on {:?}", g);
+        }
+    }
+
+    /// The engine-facing batch entry with a [`PlanSource`] (cold miss,
+    /// then warm hits) returns exactly the outcomes of the plain batch
+    /// path, per candidate.
+    #[test]
+    fn batch_with_plan_cache_matches_plain_batch(
+        store in arb_store(6, 7, 3),
+        queries in proptest::collection::vec(arb_graph(5, 3), 1..5),
+    ) {
+        use igq::methods::PlanSource;
+        let method = NaiveMethod::build(&store);
+        let cache = igq::iso::PlanCache::new(16);
+        for _round in 0..2 {
+            for q in &queries {
+                let filtered = method.filter(q);
+                let code = igq::graph::canon::canonical_code(q);
+                let (plain, _) =
+                    method.verify_batch_with(q, &filtered.context, &filtered.candidates);
+                let (cached, _) = method.verify_batch_with_plans(
+                    q,
+                    &filtered.context,
+                    &filtered.candidates,
+                    Some(PlanSource { cache: &cache, key: code.as_ref() }),
+                );
+                prop_assert_eq!(plain, cached, "query {:?}", q);
+            }
+        }
+    }
+
+    /// The columnar bitmask screens equal the scalar dominance checks
+    /// bit-for-bit, in both orientations (candidates as targets, and
+    /// candidates as patterns).
+    #[test]
+    fn columnar_screens_match_scalar(
+        store in arb_store(8, 7, 3),
+        q in arb_graph(6, 3),
+        subset in proptest::collection::vec(any::<bool>(), 8),
+    ) {
+        let qp = GraphProfile::of(&q);
+        let candidates: Vec<GraphId> = store
+            .ids()
+            .zip(subset.iter().cycle())
+            .filter(|(_, &keep)| keep)
+            .map(|(id, _)| id)
+            .collect();
+        let mut mask = Vec::new();
+        store.screen_targets(&qp, &candidates, &mut mask);
+        for (i, &id) in candidates.iter().enumerate() {
+            let columnar = mask[i >> 6] >> (i & 63) & 1 == 1;
+            let scalar = store.profile(id).may_contain(&qp);
+            prop_assert_eq!(columnar, scalar, "target screen, candidate {:?}", id);
+        }
+        store.screen_patterns(&qp, &candidates, &mut mask);
+        for (i, &id) in candidates.iter().enumerate() {
+            let columnar = mask[i >> 6] >> (i & 63) & 1 == 1;
+            let scalar = qp.may_contain(store.profile(id));
+            prop_assert_eq!(columnar, scalar, "pattern screen, candidate {:?}", id);
+        }
+    }
+
     /// Galloping set operations agree with the sorted-merge definitions on
     /// arbitrary sorted unique inputs of arbitrary skew.
     #[test]
