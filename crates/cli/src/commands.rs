@@ -189,9 +189,10 @@ pub fn load(args: &[String]) -> CmdResult {
 }
 
 /// Builds the iGQ engine config from the shared CLI flags (`--cache`,
-/// `--window`, `--maintenance`, `--max-lag`). `save`/`load` must be run
-/// with the same values (the store's config fingerprint covers cache
-/// geometry).
+/// `--window`, `--maintenance`, `--max-lag`, `--shards`). `save`/`load`
+/// must be run with the same values (the store's config fingerprint
+/// covers cache geometry, and a store written with one shard count only
+/// reopens with the same `--shards`).
 fn engine_config(flags: &HashMap<String, String>) -> Result<IgqConfig, String> {
     let cache: usize = flags
         .get("cache")
@@ -222,11 +223,19 @@ fn engine_config(flags: &HashMap<String, String>) -> Result<IgqConfig, String> {
             _ => return Err("--max-lag expects an integer ≥ 1".into()),
         },
     };
+    let shards: usize = match flags.get("shards") {
+        None => 1,
+        Some(s) => match s.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => return Err("--shards expects an integer ≥ 1".into()),
+        },
+    };
     IgqConfig::builder()
         .cache_capacity(cache)
         .window(window)
         .maintenance(maintenance)
         .max_lag_windows(max_lag_windows)
+        .shards(shards)
         .build()
         .map_err(|e| format!("invalid iGQ configuration: {e}"))
 }
@@ -502,6 +511,31 @@ mod tests {
             ]))
             .is_err(),
             "--max-lag 0 must be rejected, not silently clamped"
+        );
+        query(&s(&[
+            "--dataset",
+            db.to_str().unwrap(),
+            "--queries",
+            qf.to_str().unwrap(),
+            "--shards",
+            "4",
+            "--cache",
+            "10",
+            "--window",
+            "2",
+        ]))
+        .unwrap();
+        assert!(
+            query(&s(&[
+                "--dataset",
+                db.to_str().unwrap(),
+                "--queries",
+                qf.to_str().unwrap(),
+                "--shards",
+                "0",
+            ]))
+            .is_err(),
+            "--shards 0 must be rejected, not silently clamped"
         );
         query(&s(&[
             "--dataset",

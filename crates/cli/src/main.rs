@@ -8,7 +8,7 @@
 //! igq query    --dataset db.gfu --queries q.gfu [--method ggsx|grapes|grapes6|ctindex|gcode]
 //!              [--no-igq] [--cache 500] [--window 100] [--supergraph]
 //!              [--maintenance incremental|shadow|background] [--max-lag 2]
-//!              [--store-dir state/]
+//!              [--shards 1] [--store-dir state/]
 //! igq save     --dataset db.gfu --queries q.gfu --store-dir state/   # query + checkpoint
 //! igq load     --dataset db.gfu --store-dir state/ [--queries q.gfu] # warm restart
 //! ```
@@ -68,6 +68,10 @@ fn print_usage() {
                                          (off-thread, snapshot reads)\n\
                      [--max-lag <K>]     background mode: max unapplied windows\n\
                                          before a query blocks (default 2)\n\
+                     [--shards <N>]      shard the cache + query indexes by\n\
+                                         canonical-code hash: per-shard locks and\n\
+                                         maintainers (default 1; save/load need\n\
+                                         the same value)\n\
                      [--supergraph]      supergraph semantics (contained graphs)\n\
                      [--store-dir <dir>] durable engine: recover from <dir>'s\n\
                                          checkpoint + WAL, keep it updated, and\n\

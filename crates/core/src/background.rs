@@ -123,13 +123,23 @@ enum Msg {
     /// Barrier: acked only after everything submitted earlier has been
     /// applied *and* published.
     Sync(Sender<()>),
+    /// Test-only hard stop: the worker exits immediately, abandoning any
+    /// jobs still queued behind this message.
+    Exit,
 }
 
 /// Handle to the dedicated maintenance thread: submit window deltas, read
 /// the latest published snapshot, and synchronize or shut down (on drop).
+///
+/// A dead worker (panicked, or killed by
+/// [`kill_for_test`](Self::kill_for_test)) degrades rather than poisons:
+/// [`submit`](Self::submit) drops the job and [`sync`](Self::sync)
+/// returns immediately, so the published snapshot simply goes stale.
+/// Probe revalidation keeps answers exact either way — only pruning
+/// quality decays.
 pub struct BackgroundMaintainer {
     tx: Option<Sender<Msg>>,
-    handle: Option<JoinHandle<()>>,
+    handle: parking_lot::Mutex<Option<JoinHandle<()>>>,
     shared: Arc<Shared>,
     max_lag_windows: u64,
 }
@@ -187,33 +197,41 @@ impl BackgroundMaintainer {
             .expect("spawn igq maintenance thread");
         BackgroundMaintainer {
             tx: Some(tx),
-            handle: Some(handle),
+            handle: parking_lot::Mutex::new(Some(handle)),
             shared,
             max_lag_windows: max_lag_windows.max(1) as u64,
         }
     }
 
+    /// Whether the maintenance thread is gone (panicked or killed).
+    fn worker_dead(&self) -> bool {
+        self.handle
+            .lock()
+            .as_ref()
+            .is_none_or(JoinHandle::is_finished)
+    }
+
     /// Queues one window delta. Blocks while `max_lag_windows` deltas are
     /// already unapplied (the bounded-lag backpressure policy), so the
-    /// observed lag never exceeds the bound.
+    /// observed lag never exceeds the bound. A dead worker degrades: the
+    /// job is dropped (the snapshot goes stale, answers stay exact).
     pub fn submit(&self, job: MaintenanceJob) {
         if job.is_empty() {
             return;
         }
         // The gate: wait until fewer than K windows are unapplied. A dead
-        // worker (panicked) can never catch up — bail out to the send
-        // below, whose failure reports it.
+        // worker (panicked or killed) can never catch up — bail out.
         while self.lag_windows() >= self.max_lag_windows {
-            if self.handle.as_ref().is_none_or(JoinHandle::is_finished) {
-                break;
+            if self.worker_dead() {
+                return;
             }
             std::thread::sleep(SUBMIT_GATE_TICK);
         }
-        self.tx
-            .as_ref()
-            .expect("maintainer alive")
-            .send(Msg::Apply(job))
-            .expect("maintenance thread lost");
+        let Some(tx) = self.tx.as_ref() else { return };
+        if tx.send(Msg::Apply(job)).is_err() {
+            // Receiver gone: the worker died between the gate and here.
+            return;
+        }
         let submitted = self.shared.submitted.fetch_add(1, Ordering::Relaxed) + 1;
         let applied = self.shared.applied.load(Ordering::Relaxed);
         self.shared
@@ -229,15 +247,33 @@ impl BackgroundMaintainer {
 
     /// Blocks until every previously submitted job has been applied and
     /// published, so the next [`snapshot`](Self::snapshot) reflects them
-    /// all.
+    /// all. A dead worker degrades: returns immediately (the snapshot
+    /// stays as stale as the worker left it).
     pub fn sync(&self) {
+        let Some(tx) = self.tx.as_ref() else { return };
         let (ack_tx, ack_rx) = channel::bounded(1);
-        self.tx
-            .as_ref()
-            .expect("maintainer alive")
-            .send(Msg::Sync(ack_tx))
-            .expect("maintenance thread lost");
-        ack_rx.recv().expect("maintenance thread lost");
+        if tx.send(Msg::Sync(ack_tx)).is_err() {
+            return;
+        }
+        // The ack sender is dropped unanswered if the worker exits (or
+        // panics) with the barrier still queued; recv then errors instead
+        // of hanging.
+        let _ = ack_rx.recv();
+    }
+
+    /// Test-only hard kill: stops the maintenance thread in place,
+    /// abandoning queued jobs, without consuming the maintainer. The
+    /// published snapshot freezes; later [`submit`](Self::submit)s drop
+    /// their jobs and [`sync`](Self::sync)s return immediately. Models a
+    /// crashed maintainer for failure-injection tests.
+    #[doc(hidden)]
+    pub fn kill_for_test(&self) {
+        if let Some(tx) = self.tx.as_ref() {
+            let _ = tx.send(Msg::Exit);
+        }
+        if let Some(handle) = self.handle.lock().take() {
+            let _ = handle.join();
+        }
     }
 
     /// Windows currently submitted but not yet applied.
@@ -266,7 +302,7 @@ impl Drop for BackgroundMaintainer {
     /// delta is lost; the join makes the drain visible to the dropper.
     fn drop(&mut self) {
         drop(self.tx.take());
-        if let Some(handle) = self.handle.take() {
+        if let Some(handle) = self.handle.lock().take() {
             let _ = handle.join();
         }
     }
@@ -342,9 +378,10 @@ fn worker(rx: Receiver<Msg>, shared: Arc<Shared>, path_config: PathConfig, seed:
         };
         // Coalesce whatever else is already queued into one publish, but
         // stop at a Sync barrier so its ack stays ordered after exactly
-        // the jobs submitted before it.
+        // the jobs submitted before it (and at Exit, which ends the
+        // thread).
         let mut batch = vec![first];
-        while !matches!(batch.last(), Some(Msg::Sync(_))) {
+        while !matches!(batch.last(), Some(Msg::Sync(_) | Msg::Exit)) {
             match rx.try_recv() {
                 Ok(msg) => batch.push(msg),
                 Err(_) => break,
@@ -357,6 +394,10 @@ fn worker(rx: Receiver<Msg>, shared: Arc<Shared>, path_config: PathConfig, seed:
             match msg {
                 Msg::Apply(job) => jobs.push(job),
                 Msg::Sync(ack) => acks.push(ack),
+                // Hard kill: exit without applying this batch or acking
+                // queued barriers (their senders drop, unblocking any
+                // waiting `sync`).
+                Msg::Exit => return,
             }
         }
         let mut reclaim_wait = Duration::ZERO;

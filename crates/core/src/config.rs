@@ -67,6 +67,9 @@ pub enum ConfigError {
     /// hold). The synchronous modes ignore the field but the bound is
     /// validated uniformly so a later mode switch cannot trip on it.
     ZeroLagBound,
+    /// `shards == 0`: there would be no shard to route any query to.
+    /// Sharding is disabled with `shards == 1` (the default), not `0`.
+    ZeroShards,
     /// [`PersistenceConfig::checkpoint_every_windows`] `== 0`: the
     /// auto-checkpoint cadence would never fire, silently degrading the
     /// store to WAL-only growth. Disable auto-checkpointing explicitly
@@ -89,6 +92,9 @@ impl std::fmt::Display for ConfigError {
             ),
             ConfigError::ZeroLagBound => {
                 write!(f, "max_lag_windows must be >= 1 (0 would gate forever)")
+            }
+            ConfigError::ZeroShards => {
+                write!(f, "shards must be >= 1 (use 1 to disable sharding)")
             }
             ConfigError::ZeroCheckpointInterval => write!(
                 f,
@@ -224,6 +230,16 @@ pub struct IgqConfig {
     /// Durability cadence for store-attached engines (see
     /// [`PersistenceConfig`]); inert without a store.
     pub persistence: PersistenceConfig,
+    /// Number of state shards the engine's mutable state (query cache +
+    /// `Isub`/`Isuper` pair) is partitioned into, routed by canonical-code
+    /// hash. `1` (the default) keeps today's single-partition behavior
+    /// bit-for-bit. With `N > 1` each shard has its own lock, its own
+    /// background maintainer (under [`MaintenanceMode::Background`]), and
+    /// its own WAL stream multiplexed into the one attached store; index
+    /// probes scatter across shards and merge their candidates. Must be
+    /// ≥ 1 ([`ConfigError::ZeroShards`]). Store-attached engines persist
+    /// the shard count and refuse to reopen under a different one.
+    pub shards: usize,
 }
 
 impl Default for IgqConfig {
@@ -240,6 +256,7 @@ impl Default for IgqConfig {
             exact_fastpath: true,
             batch_threads: 0,
             persistence: PersistenceConfig::default(),
+            shards: 1,
         }
     }
 }
@@ -278,6 +295,9 @@ impl IgqConfig {
         }
         if self.max_lag_windows == 0 {
             return Err(ConfigError::ZeroLagBound);
+        }
+        if self.shards == 0 {
+            return Err(ConfigError::ZeroShards);
         }
         if self.persistence.checkpoint_every_windows == Some(0) {
             return Err(ConfigError::ZeroCheckpointInterval);
@@ -377,6 +397,12 @@ impl IgqConfigBuilder {
         self
     }
 
+    /// Sets the state shard count (see [`IgqConfig::shards`]).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
     /// Validates and returns the config.
     pub fn build(self) -> Result<IgqConfig, ConfigError> {
         self.config.validate()?;
@@ -415,6 +441,7 @@ mod tests {
             .max_lag_windows(3)
             .exact_fastpath(false)
             .batch_threads(4)
+            .shards(4)
             .build()
             .expect("valid");
         assert_eq!(c.cache_capacity, 64);
@@ -426,6 +453,16 @@ mod tests {
         assert_eq!(c.max_lag_windows, 3);
         assert!(!c.exact_fastpath);
         assert_eq!(c.batch_threads, 4);
+        assert_eq!(c.shards, 4);
+    }
+
+    #[test]
+    fn zero_shards_is_rejected_and_one_is_the_default() {
+        assert_eq!(IgqConfig::default().shards, 1);
+        assert_eq!(
+            IgqConfig::builder().shards(0).build().unwrap_err(),
+            ConfigError::ZeroShards
+        );
     }
 
     #[test]
@@ -497,6 +534,7 @@ mod tests {
         assert!(ConfigError::ZeroLagBound
             .to_string()
             .contains("max_lag_windows"));
+        assert!(ConfigError::ZeroShards.to_string().contains("shards"));
     }
 
     #[test]

@@ -25,21 +25,27 @@
 //!
 //! `query` takes `&self`: the engine is a shared service, `Send + Sync`,
 //! fanned out across threads through a cheap [`crate::EngineHandle`]
-//! clone. Internally the mutable trio — [`QueryCache`], the live
-//! `Isub`/`Isuper` pair, and the admission window — lives behind one
-//! [`parking_lot::RwLock`]; lifetime counters are lock-free atomics
-//! ([`crate::EngineStats`]). The expensive stages (feature extraction,
-//! the base filter, verification) run outside the lock (one exception:
-//! with [`IgqConfig::parallel_probes`] in a synchronous maintenance mode
-//! the Fig. 6 filter thread runs inside the lock window, since the probe
-//! threads borrow the live indexes from the same guard);
-//! under [`MaintenanceMode::Background`] the index probes also run
-//! lock-free against a published snapshot, and every snapshot hit is
-//! revalidated against the live cache (slot occupied, graph
-//! `Arc`-identical) before its stored answers are trusted — staleness, or
-//! a concurrent eviction between probe and bookkeeping, only costs
-//! pruning power, never exactness. See `ARCHITECTURE.md` for the lock
-//! layout.
+//! clone. Internally the mutable state is **sharded by canonical-code
+//! hash** ([`IgqConfig::builder().shards(n)`](crate::IgqConfigBuilder::shards),
+//! default 1): each shard holds its partition of the [`QueryCache`] and
+//! its own live `Isub`/`Isuper` pair behind its own
+//! [`parking_lot::RwLock`], while a small control block (admission
+//! window, cost model, flip ordinal, global slot allocator) has its own
+//! lock; lifetime counters are lock-free atomics
+//! ([`crate::EngineStats`]). Probes scatter across shards and the
+//! candidate sets gather before the shared verify path; at one shard the
+//! behavior is bit-for-bit the pre-sharding engine. The expensive stages
+//! (feature extraction, the base filter, verification) run outside the
+//! locks (one exception: with [`IgqConfig::parallel_probes`] in a
+//! synchronous maintenance mode the Fig. 6 filter thread runs inside the
+//! lock window, since the probe threads borrow the live indexes from the
+//! same guards); under [`MaintenanceMode::Background`] each shard's
+//! probes also run lock-free against that shard's published snapshot, and
+//! every snapshot hit is revalidated against the live cache (slot
+//! occupied, graph `Arc`-identical) before its stored answers are
+//! trusted — staleness, or a concurrent eviction between probe and
+//! bookkeeping, only costs pruning power, never exactness. See
+//! `ARCHITECTURE.md` for the lock layout.
 //!
 //! The concrete engines are type aliases over the two directions:
 //! [`IgqEngine`] (subgraph queries over any [`SubgraphMethod`]) and
@@ -78,6 +84,7 @@ use crate::isuper::IsuperIndex;
 use crate::maintain::MaintenanceJob;
 use crate::outcome::{QueryOutcome, Resolution};
 use crate::persist::{self, CacheStore, PersistError};
+use crate::shard::{self, ShardRouter, SlotAlloc};
 use crate::stats::{AtomicEngineStats, EngineStats};
 use igq_features::{enumerate_paths, LabelSeq, PathFeatures};
 use igq_graph::canon::{canonical_code, CanonicalCode, GraphSignature};
@@ -88,7 +95,7 @@ use igq_iso::{CostModel, IsoStats, LogValue};
 use igq_methods::{
     intersect_into, intersect_sorted, subtract_into, subtract_sorted, Filtered, PlanSource,
 };
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -100,14 +107,12 @@ use std::time::Instant;
 /// [`SubgraphMethod`](igq_methods::SubgraphMethod) `M`.
 pub type IgqEngine<M> = Engine<SubgraphQueries<M>>;
 
-/// The engine's lock-protected mutable state: the query cache, the live
-/// query indexes (empty under background maintenance, where the maintainer
-/// owns the authoritative copies), the admission window (`Itemp`), and the
-/// memoizing cost model.
-struct LiveState {
-    cache: QueryCache,
-    isub: IsubIndex,
-    isuper: IsuperIndex,
+/// The engine-global mutable state behind its own lock: the admission
+/// window, the memoizing cost model, the flip ordinal, and — with more
+/// than one shard — the global slot allocator and the slot → shard
+/// ownership table. Lock order: `ctl` before any shard state, shards in
+/// ascending index order.
+struct Control {
     /// `Itemp`: processed-but-not-yet-indexed queries.
     window: Vec<WindowEntry>,
     window_signatures: Vec<GraphSignature>,
@@ -117,6 +122,92 @@ struct LiveState {
     /// record carries the flip's `seq`; recovery resumes from the highest
     /// replayed value.
     seq: u64,
+    /// The global slot allocator (authoritative only with > 1 shard; the
+    /// single-shard cache manages its own slots, bit-for-bit as before
+    /// sharding existed).
+    alloc: SlotAlloc,
+    /// Slot → owning shard (maintained only with > 1 shard; entries for
+    /// free slots are stale and overwritten on reuse).
+    slot_owner: Vec<usize>,
+}
+
+/// One shard's lock-protected state: its partition of the query cache and
+/// the live query indexes over it (empty under background maintenance,
+/// where the shard's maintainer owns the authoritative copies).
+struct ShardState {
+    cache: QueryCache,
+    isub: IsubIndex,
+    isuper: IsuperIndex,
+}
+
+/// One shard: its state lock plus its own maintenance plumbing, so flips
+/// and lag-gated submits only ever contend within a shard.
+struct ShardCell {
+    state: RwLock<ShardState>,
+    /// The shard's maintenance thread (`Some` iff the mode is
+    /// [`MaintenanceMode::Background`](crate::MaintenanceMode::Background)).
+    /// Its own `Drop` drains the delta queue and joins the thread.
+    maintainer: Option<BackgroundMaintainer>,
+    /// Captured-but-not-yet-submitted window deltas for this shard, in
+    /// cache order. Jobs are pushed under the shard's write lock (so
+    /// their order is the order the shard changed in) but *submitted*
+    /// outside it via [`Engine::drain_outbox`] — the bounded-lag gate can
+    /// sleep without stalling every other caller's bookkeeping. This lock
+    /// is only ever held for a push or a pop, never across a gated submit
+    /// (that is `submit_lock`'s job), so a pusher holding the state write
+    /// lock never waits behind a sleeping gate.
+    outbox: Mutex<VecDeque<MaintenanceJob>>,
+    /// Serializes this shard's outbox drain so jobs are submitted in
+    /// exactly their outbox (= cache) order. Held across the gated
+    /// submits; never acquired while holding any state *write* lock or
+    /// the outbox lock (a state *read* guard is fine — see
+    /// [`Engine::self_check`] — because the gate clears without any
+    /// engine lock).
+    submit_lock: Mutex<()>,
+}
+
+/// The full write view: the control lock plus every shard's write lock,
+/// acquired in the fixed order (`ctl`, then shards ascending).
+struct WriteGuards<'a> {
+    ctl: RwLockWriteGuard<'a, Control>,
+    shards: Vec<RwLockWriteGuard<'a, ShardState>>,
+}
+
+/// The full read view, same acquisition order as [`WriteGuards`].
+struct ReadGuards<'a> {
+    ctl: RwLockReadGuard<'a, Control>,
+    shards: Vec<RwLockReadGuard<'a, ShardState>>,
+}
+
+/// The cache entry at a global `slot`, looked up through its owning shard
+/// (constant shard 0 when unsharded). Free functions rather than
+/// `WriteGuards` methods so callers can hold disjoint borrows of the
+/// control guard (cost model) and the shard guards (entries) at once.
+fn slot_entry<'a>(
+    ctl: &Control,
+    shards: &'a [RwLockWriteGuard<'_, ShardState>],
+    slot: usize,
+) -> &'a CacheEntry {
+    let owner = if shards.len() == 1 {
+        0
+    } else {
+        ctl.slot_owner[slot]
+    };
+    shards[owner].cache.entry(slot)
+}
+
+/// Mutable twin of [`slot_entry`].
+fn slot_entry_mut<'a>(
+    ctl: &Control,
+    shards: &'a mut [RwLockWriteGuard<'_, ShardState>],
+    slot: usize,
+) -> &'a mut CacheEntry {
+    let owner = if shards.len() == 1 {
+        0
+    } else {
+        ctl.slot_owner[slot]
+    };
+    shards[owner].cache.entry_mut(slot)
 }
 
 /// Persistence control for a store-attached engine ([`Engine::open`]).
@@ -160,35 +251,24 @@ pub struct ImportReport {
 pub struct Engine<D: QueryDirection> {
     method: D::Method,
     config: IgqConfig,
-    state: RwLock<LiveState>,
-    /// The maintenance thread handle (`Some` iff the mode is
-    /// [`MaintenanceMode::Background`](crate::MaintenanceMode::Background)).
-    /// Its own `Drop` drains the delta queue and joins the thread.
-    maintainer: Option<BackgroundMaintainer>,
-    /// Captured-but-not-yet-submitted window deltas, in cache order.
-    /// Jobs are pushed under the state write lock (so their order is the
-    /// order the cache changed in) but *submitted* outside it via
-    /// [`Engine::drain_outbox`] — the bounded-lag gate can sleep without
-    /// stalling every other caller's bookkeeping. Empty in the
-    /// synchronous modes and whenever no flip is in flight. This lock is
-    /// only ever held for a push or a pop, never across a gated submit
-    /// (that is [`Engine::submit_lock`]'s job), so a pusher holding the
-    /// state write lock never waits behind a sleeping gate.
-    outbox: Mutex<VecDeque<MaintenanceJob>>,
-    /// Serializes [`Engine::drain_outbox`] callers so jobs are submitted
-    /// in exactly their outbox (= cache) order. Held across the gated
-    /// submits; never acquired while holding the state *write* lock or
-    /// the outbox lock (a state *read* guard is fine — see
-    /// [`Engine::self_check`] — because the gate clears without any
-    /// engine lock).
-    submit_lock: Mutex<()>,
-    /// Captured-but-not-yet-appended WAL records, in flip order — the
-    /// persistence twin of `outbox`: pushed under the state write lock
-    /// (record order = flip order), appended to the store in
-    /// [`Engine::drain_outbox`] after the lock is released, so storage
-    /// I/O never sits on the state lock. Empty for engines without a
+    /// Engine-global mutable state; always acquired before any shard.
+    ctl: RwLock<Control>,
+    /// The sharded mutable trio (`config.shards` cells; one = unsharded).
+    shards: Box<[ShardCell]>,
+    /// Deterministic canonical-code → shard routing.
+    router: ShardRouter,
+    /// Captured-but-not-yet-appended WAL flip groups (one group of
+    /// per-shard records per flip), in flip order — the persistence twin
+    /// of the shard outboxes: pushed under the full write view (group
+    /// order = flip order), appended to the store in
+    /// [`Engine::drain_outbox`] after the locks are released, so storage
+    /// I/O never sits on a state lock. Empty for engines without a
     /// [`CacheStore`].
-    wal_outbox: Mutex<VecDeque<persist::WalRecord>>,
+    wal_outbox: Mutex<VecDeque<Vec<persist::WalRecord>>>,
+    /// Serializes WAL appends (and compaction) so groups land in exactly
+    /// their outbox (= flip) order; never acquired while holding any
+    /// state write lock.
+    wal_lock: Mutex<()>,
     /// `Some` iff the engine was attached to a [`CacheStore`] via
     /// [`Engine::open`].
     persist: Option<PersistCtl>,
@@ -211,17 +291,27 @@ impl<D: QueryDirection> Engine<D> {
     pub fn new(method: D::Method, config: IgqConfig) -> Result<Engine<D>, ConfigError> {
         config.validate()?;
         let labels = Self::resolve_labels(&method, &config);
-        let state = LiveState {
-            cache: QueryCache::with_policy(config.cache_capacity, config.policy),
-            isub: IsubIndex::new(config.path_config),
-            isuper: IsuperIndex::new(config.path_config),
+        let ctl = Control {
             window: Vec::new(),
             window_signatures: Vec::new(),
             cost_model: CostModel::new(labels),
             seq: 0,
+            alloc: SlotAlloc::default(),
+            slot_owner: Vec::new(),
         };
-        let maintainer = BackgroundMaintainer::for_config(&config);
-        Ok(Self::assemble(method, config, state, maintainer, None))
+        let cells: Vec<ShardCell> = (0..config.shards)
+            .map(|_| ShardCell {
+                state: RwLock::new(ShardState {
+                    cache: QueryCache::with_policy(config.cache_capacity, config.policy),
+                    isub: IsubIndex::new(config.path_config),
+                    isuper: IsuperIndex::new(config.path_config),
+                }),
+                maintainer: BackgroundMaintainer::for_config(&config),
+                outbox: Mutex::new(VecDeque::new()),
+                submit_lock: Mutex::new(()),
+            })
+            .collect();
+        Ok(Self::assemble(method, config, ctl, cells, None))
     }
 
     /// Label-universe size for the cost model: configured, or derived
@@ -237,27 +327,43 @@ impl<D: QueryDirection> Engine<D> {
     fn assemble(
         method: D::Method,
         config: IgqConfig,
-        state: LiveState,
-        maintainer: Option<BackgroundMaintainer>,
+        ctl: Control,
+        cells: Vec<ShardCell>,
         persist: Option<PersistCtl>,
     ) -> Engine<D> {
         // Plans are cheap relative to cached answer sets: hold a few per
         // resident (distinct configs, probe-side patterns) with headroom
         // for small caches so repeated streams never thrash.
         let plan_capacity = (4 * config.cache_capacity).max(512);
+        let router = ShardRouter::new(config.shards);
         Engine {
             method,
             config,
-            state: RwLock::new(state),
-            maintainer,
-            outbox: Mutex::new(VecDeque::new()),
-            submit_lock: Mutex::new(()),
+            ctl: RwLock::new(ctl),
+            shards: cells.into_boxed_slice(),
+            router,
             wal_outbox: Mutex::new(VecDeque::new()),
+            wal_lock: Mutex::new(()),
             persist,
             plan_cache: PlanCache::new(plan_capacity),
             stats: AtomicEngineStats::default(),
             _direction: PhantomData,
         }
+    }
+
+    /// Acquires the full write view in the fixed lock order.
+    fn lock_write(&self) -> WriteGuards<'_> {
+        let ctl = self.ctl.write();
+        let shards = self.shards.iter().map(|c| c.state.write()).collect();
+        WriteGuards { ctl, shards }
+    }
+
+    /// Acquires the full read view in the fixed lock order. Flips take
+    /// every write lock, so a read view is always flip-consistent.
+    fn lock_read(&self) -> ReadGuards<'_> {
+        let ctl = self.ctl.read();
+        let shards = self.shards.iter().map(|c| c.state.read()).collect();
+        ReadGuards { ctl, shards }
     }
 
     /// Opens a **durable** engine over `store`: recovers the cache, both
@@ -324,6 +430,15 @@ impl<D: QueryDirection> Engine<D> {
                         data.labels
                     )));
                 }
+                // Routing is deterministic *per shard count*: a store
+                // written under a different partition cannot be replayed
+                // into this one (slots would land on the wrong shards).
+                if data.shards != config.shards {
+                    return Err(PersistError::ShardMismatch {
+                        expected: config.shards,
+                        found: data.shards,
+                    });
+                }
                 Some(data)
             }
             None => None,
@@ -331,22 +446,70 @@ impl<D: QueryDirection> Engine<D> {
         let wal = persist::parse_wal(&store.load_wal()?)?;
         if let Some(h) = &wal.header {
             check_fps(h.config_fp, h.dataset_fp)?;
+            if h.shards != config.shards {
+                return Err(PersistError::ShardMismatch {
+                    expected: config.shards,
+                    found: h.shards,
+                });
+            }
         }
-        if wal.torn_tail {
+        // Group the records into flip groups (a multi-shard flip appends
+        // one record per shard, all carrying the flip's seq). A trailing
+        // incomplete group is a torn tail, exactly like a torn final line.
+        let (flip_groups, torn_group) = persist::split_flip_groups(wal.records)?;
+        if wal.torn_tail || torn_group {
             eprintln!(
                 "igq: warning: WAL ends in a torn record (crash mid-append); \
                  truncating to the last intact flip"
             );
         }
 
-        // Reconstitute the cache and both indexes from the checkpoint —
-        // no re-enumeration, no re-canonicalization: the persisted
-        // feature sets feed `insert_features` directly.
+        // Reconstitute the cache partition and both index families from
+        // the checkpoint — no re-enumeration, no re-canonicalization: the
+        // persisted feature sets feed `insert_features` directly. With
+        // more than one shard, entries land back on their owning shard by
+        // re-running the deterministic router; with one, the original
+        // restore path (and its validation) is untouched.
         let path_config = config.path_config;
-        let mut isub = IsubIndex::new(path_config);
-        let mut isuper = IsuperIndex::new(path_config);
+        let n = config.shards;
+        let router = ShardRouter::new(n);
+        let mut isubs: Vec<IsubIndex> = (0..n).map(|_| IsubIndex::new(path_config)).collect();
+        let mut isupers: Vec<IsuperIndex> = (0..n).map(|_| IsuperIndex::new(path_config)).collect();
         let mut seq = 0u64;
-        let (mut cache, window) = match checkpoint {
+        let feed = |isub: &mut IsubIndex, isuper: &mut IsuperIndex, p: &persist::PersistedEntry| {
+            match &p.features {
+                Some(f) => {
+                    let mut features = PathFeatures {
+                        complete_len: f.complete_len,
+                        ..PathFeatures::default()
+                    };
+                    for (seq_key, count) in &f.counts {
+                        features.counts.insert(seq_key.clone(), *count);
+                    }
+                    let keys: Arc<[LabelSeq]> = features.counts.keys().cloned().collect();
+                    isub.insert_features(
+                        p.slot,
+                        Arc::clone(&p.entry.graph),
+                        &features,
+                        Arc::clone(&keys),
+                    );
+                    isuper.insert_features(
+                        p.slot,
+                        Arc::clone(&p.entry.graph),
+                        &features,
+                        keys,
+                        p.entry.code.clone(),
+                    );
+                }
+                // Older/foreign checkpoints without feature sets:
+                // fall back to enumeration.
+                None => {
+                    isub.insert(p.slot, Arc::clone(&p.entry.graph));
+                    isuper.insert(p.slot, Arc::clone(&p.entry.graph));
+                }
+            }
+        };
+        let (mut caches, mut alloc, mut slot_owner, window) = match checkpoint {
             Some(data) => {
                 seq = data.seq;
                 let entries: Vec<(usize, CacheEntry)> = data
@@ -354,114 +517,126 @@ impl<D: QueryDirection> Engine<D> {
                     .iter()
                     .map(|p| (p.slot, p.entry.clone()))
                     .collect();
-                let cache = QueryCache::restore(
-                    config.cache_capacity,
-                    config.policy,
-                    data.round,
-                    data.slot_count,
-                    data.free,
-                    entries,
-                )
-                .map_err(PersistError::Corrupt)?;
+                let (caches, alloc, slot_owner) = if n == 1 {
+                    let cache = QueryCache::restore(
+                        config.cache_capacity,
+                        config.policy,
+                        data.round,
+                        data.slot_count,
+                        data.free,
+                        entries,
+                    )
+                    .map_err(PersistError::Corrupt)?;
+                    (vec![cache], SlotAlloc::default(), Vec::new())
+                } else {
+                    shard::restore_sharded(
+                        config.cache_capacity,
+                        config.policy,
+                        data.round,
+                        data.slot_count,
+                        data.free,
+                        entries,
+                        &router,
+                    )
+                    .map_err(PersistError::Corrupt)?
+                };
                 for p in &data.entries {
-                    match &p.features {
-                        Some(f) => {
-                            let mut features = PathFeatures {
-                                complete_len: f.complete_len,
-                                ..PathFeatures::default()
-                            };
-                            for (seq_key, count) in &f.counts {
-                                features.counts.insert(seq_key.clone(), *count);
-                            }
-                            let keys: Arc<[LabelSeq]> = features.counts.keys().cloned().collect();
-                            isub.insert_features(
-                                p.slot,
-                                Arc::clone(&p.entry.graph),
-                                &features,
-                                Arc::clone(&keys),
-                            );
-                            isuper.insert_features(
-                                p.slot,
-                                Arc::clone(&p.entry.graph),
-                                &features,
-                                keys,
-                                p.entry.code.clone(),
-                            );
-                        }
-                        // Older/foreign checkpoints without feature sets:
-                        // fall back to enumeration.
-                        None => {
-                            isub.insert(p.slot, Arc::clone(&p.entry.graph));
-                            isuper.insert(p.slot, Arc::clone(&p.entry.graph));
-                        }
-                    }
+                    let owner = if n == 1 { 0 } else { slot_owner[p.slot] };
+                    feed(&mut isubs[owner], &mut isupers[owner], p);
                 }
-                (cache, data.window)
+                (caches, alloc, slot_owner, data.window)
             }
             None => (
-                QueryCache::with_policy(config.cache_capacity, config.policy),
+                (0..n)
+                    .map(|_| QueryCache::with_policy(config.cache_capacity, config.policy))
+                    .collect(),
+                SlotAlloc::default(),
+                Vec::new(),
                 Vec::new(),
             ),
         };
 
-        // Replay the WAL tail: recorded evictions/admissions re-applied
-        // verbatim (the policy is not re-run), indexes updated
-        // incrementally, the final record's metadata table restored last.
+        // Replay the WAL tail flip group by flip group: recorded
+        // evictions/admissions re-applied verbatim (the policy is not
+        // re-run), indexes updated incrementally, the final flip's
+        // metadata tables restored last. An unsharded group is one
+        // record replayed through the cache's own free list; a sharded
+        // group reconstructs the global allocator ([`shard::replay_group`]).
         let mut replayed = 0u64;
         let mut kept: Vec<persist::WalRecord> = Vec::new();
-        let mut last_metas: Option<Vec<(usize, crate::GraphMeta)>> = None;
-        for record in wal.records {
-            if record.seq <= seq {
+        let mut last_metas: Option<Vec<(usize, usize, crate::GraphMeta)>> = None;
+        for mut group in flip_groups {
+            let gseq = group[0].seq;
+            if gseq <= seq {
                 continue; // subsumed by the checkpoint
             }
-            if record.seq != seq + 1 {
+            if gseq != seq + 1 {
                 return Err(PersistError::Corrupt(format!(
-                    "WAL sequence gap: expected flip {}, found {}",
-                    seq + 1,
-                    record.seq
+                    "WAL sequence gap: expected flip {}, found {gseq}",
+                    seq + 1
                 )));
             }
-            let admitted: Vec<(usize, CacheEntry)> = record
-                .admitted
-                .iter()
-                .map(|p| (p.slot, p.entry.clone()))
-                .collect();
-            cache
-                .replay_window(&record.evicted, admitted)
-                .map_err(PersistError::Corrupt)?;
-            for &slot in &record.evicted {
-                isub.remove(slot);
-                isuper.remove(slot);
+            if n == 1 {
+                let record = &group[0];
+                let admitted: Vec<(usize, CacheEntry)> = record
+                    .admitted
+                    .iter()
+                    .map(|p| (p.slot, p.entry.clone()))
+                    .collect();
+                caches[0]
+                    .replay_window(&record.evicted, admitted)
+                    .map_err(PersistError::Corrupt)?;
+            } else {
+                let mut refs: Vec<&mut QueryCache> = caches.iter_mut().collect();
+                shard::replay_group(&mut alloc, &mut slot_owner, &mut refs, &group)
+                    .map_err(PersistError::Corrupt)?;
             }
-            for p in &record.admitted {
-                // WAL records carry no feature sets (they are the short
-                // tail); one enumeration feeds both indexes, exactly as a
-                // live flip would.
-                let features = enumerate_paths(&p.entry.graph, &path_config);
-                let keys: Arc<[LabelSeq]> = features.counts.keys().cloned().collect();
-                isub.insert_features(
-                    p.slot,
-                    Arc::clone(&p.entry.graph),
-                    &features,
-                    Arc::clone(&keys),
-                );
-                isuper.insert_features(
-                    p.slot,
-                    Arc::clone(&p.entry.graph),
-                    &features,
-                    keys,
-                    p.entry.code.clone(),
-                );
+            for record in &group {
+                if record.shard >= n {
+                    return Err(PersistError::Corrupt(format!(
+                        "WAL record for shard {} of {n}",
+                        record.shard
+                    )));
+                }
+                for &slot in &record.evicted {
+                    isubs[record.shard].remove(slot);
+                    isupers[record.shard].remove(slot);
+                }
+                for p in &record.admitted {
+                    // WAL records carry no feature sets (they are the
+                    // short tail); one enumeration feeds both indexes,
+                    // exactly as a live flip would.
+                    let features = enumerate_paths(&p.entry.graph, &path_config);
+                    let keys: Arc<[LabelSeq]> = features.counts.keys().cloned().collect();
+                    isubs[record.shard].insert_features(
+                        p.slot,
+                        Arc::clone(&p.entry.graph),
+                        &features,
+                        Arc::clone(&keys),
+                    );
+                    isupers[record.shard].insert_features(
+                        p.slot,
+                        Arc::clone(&p.entry.graph),
+                        &features,
+                        keys,
+                        p.entry.code.clone(),
+                    );
+                }
             }
-            seq = record.seq;
+            seq = gseq;
             replayed += 1;
-            last_metas = Some(record.metas.clone());
-            kept.push(record);
+            last_metas = Some(
+                group
+                    .iter()
+                    .flat_map(|r| r.metas.iter().map(|&(slot, meta)| (r.shard, slot, meta)))
+                    .collect(),
+            );
+            kept.append(&mut group);
         }
         if let Some(metas) = last_metas {
-            for (slot, meta) in metas {
-                match cache.get(slot) {
-                    Some(_) => cache.entry_mut(slot).meta = meta,
+            for (owner, slot, meta) in metas {
+                match caches[owner].get(slot) {
+                    Some(_) => caches[owner].entry_mut(slot).meta = meta,
                     None => {
                         return Err(PersistError::Corrupt(format!(
                             "WAL metadata for slot {slot}, which is not occupied after replay"
@@ -477,6 +652,7 @@ impl<D: QueryDirection> Engine<D> {
         let header = persist::WalHeader {
             config_fp,
             dataset_fp,
+            shards: n,
         };
         let kept_refs: Vec<&persist::WalRecord> = kept.iter().collect();
         store.replace_wal(&persist::encode_wal(&header, &kept_refs))?;
@@ -504,49 +680,61 @@ impl<D: QueryDirection> Engine<D> {
             })
             .collect();
 
-        // Under background maintenance the maintainer owns the
-        // authoritative indexes: seed it with the recovered pair (warm
-        // state published immediately) and keep the engine-owned copies
-        // empty, exactly as in steady-state operation.
+        // Under background maintenance each shard's maintainer owns that
+        // shard's authoritative indexes: seed it with the recovered pair
+        // (warm state published immediately) and keep the engine-owned
+        // copies empty, exactly as in steady-state operation.
         let background = matches!(
             config.maintenance,
             crate::config::MaintenanceMode::Background
         );
-        let (live_isub, live_isuper, maintainer) = if background {
-            let pair = IndexPair { isub, isuper };
-            let maintainer =
-                BackgroundMaintainer::spawn_seeded(path_config, config.max_lag_windows, pair);
-            (
-                IsubIndex::new(path_config),
-                IsuperIndex::new(path_config),
-                Some(maintainer),
-            )
-        } else {
-            (isub, isuper, None)
-        };
+        let mut cells: Vec<ShardCell> = Vec::with_capacity(n);
+        for (cache, (isub, isuper)) in caches.into_iter().zip(isubs.into_iter().zip(isupers)) {
+            let (live_isub, live_isuper, maintainer) = if background {
+                let pair = IndexPair { isub, isuper };
+                let maintainer =
+                    BackgroundMaintainer::spawn_seeded(path_config, config.max_lag_windows, pair);
+                (
+                    IsubIndex::new(path_config),
+                    IsuperIndex::new(path_config),
+                    Some(maintainer),
+                )
+            } else {
+                (isub, isuper, None)
+            };
+            cells.push(ShardCell {
+                state: RwLock::new(ShardState {
+                    cache,
+                    isub: live_isub,
+                    isuper: live_isuper,
+                }),
+                maintainer,
+                outbox: Mutex::new(VecDeque::new()),
+                submit_lock: Mutex::new(()),
+            });
+        }
 
-        let state = LiveState {
-            cache,
-            isub: live_isub,
-            isuper: live_isuper,
+        let ctl = Control {
             window,
             window_signatures,
             cost_model: CostModel::new(labels),
             seq,
+            alloc,
+            slot_owner,
         };
-        let ctl = PersistCtl {
+        let pctl = PersistCtl {
             store,
             config_fp,
             dataset_fp,
             checkpoint_every: config
                 .persistence
                 .checkpoint_every_windows
-                .map(|n| n as u64),
+                .map(|w| w as u64),
             appends_since_checkpoint: AtomicU64::new(kept_refs.len() as u64),
             checkpoint_lock: Mutex::new(()),
             wal_healthy: std::sync::atomic::AtomicBool::new(true),
         };
-        let engine = Self::assemble(method, config, state, maintainer, Some(ctl));
+        let engine = Self::assemble(method, config, ctl, cells, Some(pctl));
         engine.stats.set_recovery_replayed_windows(replayed);
         Ok(engine)
     }
@@ -579,8 +767,10 @@ impl<D: QueryDirection> Engine<D> {
         stats.plan_cache_hits = plans.hits;
         stats.plan_cache_misses = plans.misses;
         stats.plan_cache_evictions = plans.evictions;
-        if let Some(m) = &self.maintainer {
-            stats.fold_maintainer(&m.stats());
+        for cell in self.shards.iter() {
+            if let Some(m) = &cell.maintainer {
+                stats.fold_maintainer(&m.stats());
+            }
         }
         stats
     }
@@ -589,8 +779,21 @@ impl<D: QueryDirection> Engine<D> {
     /// every submitted window delta, so the next probe sees a snapshot in
     /// lockstep with the cache. No-op in the synchronous modes.
     pub fn sync_maintenance(&self) {
-        if let Some(m) = &self.maintainer {
-            m.sync();
+        for cell in self.shards.iter() {
+            if let Some(m) = &cell.maintainer {
+                m.sync();
+            }
+        }
+    }
+
+    /// Terminates one shard's background maintainer without joining the
+    /// engine — a failure-injection hook for the concurrency test suite
+    /// (a dead maintainer degrades only that shard's snapshot freshness,
+    /// never exactness). No-op in the synchronous modes.
+    #[doc(hidden)]
+    pub fn kill_maintainer_for_test(&self, shard: usize) {
+        if let Some(m) = &self.shards[shard].maintainer {
+            m.kill_for_test();
         }
     }
 
@@ -599,9 +802,12 @@ impl<D: QueryDirection> Engine<D> {
         &self.config
     }
 
-    /// Number of currently cached queries.
+    /// Number of currently cached queries (across all shards).
     pub fn cached_queries(&self) -> usize {
-        self.state.read().cache.len()
+        // The control read lock serializes against flips (which hold
+        // every write lock), so the per-shard sum is flip-consistent.
+        let _ctl = self.ctl.read();
+        self.shards.iter().map(|c| c.state.read().cache.len()).sum()
     }
 
     /// Approximate footprint of iGQ's own structures (query graphs, answer
@@ -610,15 +816,19 @@ impl<D: QueryDirection> Engine<D> {
     /// index share is read from the latest published snapshot (which may
     /// trail the cache by the lag bound).
     pub fn igq_index_size_bytes(&self) -> u64 {
-        let st = self.state.read();
-        let index_bytes = match &self.maintainer {
-            Some(m) => {
-                let pair = m.snapshot();
-                pair.isub.heap_size_bytes() + pair.isuper.heap_size_bytes()
-            }
-            None => st.isub.heap_size_bytes() + st.isuper.heap_size_bytes(),
-        };
-        st.cache.heap_size_bytes() + index_bytes + self.plan_cache.heap_size_bytes()
+        let g = self.lock_read();
+        let mut total = self.plan_cache.heap_size_bytes();
+        for (cell, st) in self.shards.iter().zip(g.shards.iter()) {
+            total += st.cache.heap_size_bytes();
+            total += match &cell.maintainer {
+                Some(m) => {
+                    let pair = m.snapshot();
+                    pair.isub.heap_size_bytes() + pair.isuper.heap_size_bytes()
+                }
+                None => st.isub.heap_size_bytes() + st.isuper.heap_size_bytes(),
+            };
+        }
+        total
     }
 
     /// Estimated cost (log space) of iso-testing `q` against each graph in
@@ -725,18 +935,29 @@ impl<D: QueryDirection> Engine<D> {
             None
         };
         if let Some(Some(c)) = &code {
-            let probable_hit = self.state.read().cache.slot_with_code(c).is_some();
+            // Routing is deterministic, so only the owning shard can hold
+            // this code — the common miss pays one shard's read lock, not
+            // a full sweep.
+            let home = self.router.route_code(c);
+            let probable_hit = self.shards[home]
+                .state
+                .read()
+                .cache
+                .slot_with_code(c)
+                .is_some();
             if probable_hit {
-                let mut guard = self.state.write();
-                let st = &mut *guard;
-                if let Some(slot) = st.cache.slot_with_code(c) {
-                    st.cache.tick_all();
-                    let answers = st.cache.entry(slot).answers.clone();
+                let mut guards = self.lock_write();
+                if let Some(slot) = guards.shards[home].cache.slot_with_code(c) {
+                    for sh in guards.shards.iter_mut() {
+                        sh.cache.tick_all();
+                    }
+                    let answers = guards.shards[home].cache.entry(slot).answers.clone();
                     // Credit: without running the filter the alleviated
                     // candidate set is unknown; the stored answers are a
                     // conservative lower bound on it.
-                    let credit = self.cost_of(&mut st.cost_model, q, &answers);
-                    st.cache
+                    let credit = self.cost_of(&mut guards.ctl.cost_model, q, &answers);
+                    guards.shards[home]
+                        .cache
                         .entry_mut(slot)
                         .meta
                         .record_hit(answers.len() as u64, credit);
@@ -758,60 +979,82 @@ impl<D: QueryDirection> Engine<D> {
         self.stats.count_feature_extraction();
 
         // Stage 1+2: filtering and query-index probes — parallel threads
-        // as in Fig. 6 when configured. Under background maintenance the
-        // probes read the latest published snapshot lock-free; in the
-        // synchronous modes they run under the state lock so the returned
-        // slots stay valid through the answer algebra below.
-        let snap = self.maintainer.as_ref().map(|m| m.snapshot());
+        // as in Fig. 6 when configured, scattered across every shard's
+        // indexes. Under background maintenance the probes read each
+        // shard's latest published snapshot lock-free; in the synchronous
+        // modes they run under the state locks so the returned slots stay
+        // valid through the answer algebra below. Shards hold disjoint
+        // slot sets, so the per-shard hit lists merge exactly.
+        let background = self.shards[0].maintainer.is_some();
         // The query's canonical code (when computed and within budget)
         // keys the plan cache for the `Isub` probe and the verify stage.
         let qcode: Option<&CanonicalCode> = code.as_ref().and_then(|c| c.as_ref());
-        let (filtered, probes, mut guard) = match &snap {
-            Some(pair) => {
-                // Background: filter and probes both run lock-free.
-                let (f, p) = self.filter_and_probe(&pair.isub, &pair.isuper, q, &qf, qcode);
-                (f, p, self.state.write())
-            }
-            None if !self.config.parallel_probes => {
-                // Synchronous modes: the expensive filter still runs
-                // outside the lock; only the probes need the live indexes.
-                let f_start = Instant::now();
-                let filtered = D::filter(&self.method, q, &qf);
-                let filter_time = f_start.elapsed();
-                let guard = self.state.write();
-                let probes = probe_both(
-                    &guard.isub,
-                    &guard.isuper,
-                    q,
-                    &qf,
-                    filter_time,
-                    &self.plan_cache,
-                    qcode,
-                );
-                (filtered, probes, guard)
-            }
-            None => {
-                // Fig. 6 three-thread pipeline over the live indexes: the
-                // guard lends the index refs to the probe threads, so the
-                // filter thread runs inside the lock window here.
-                let guard = self.state.write();
-                let (f, p) = self.filter_and_probe(&guard.isub, &guard.isuper, q, &qf, qcode);
-                (f, p, guard)
-            }
+        let mut snaps: Vec<Arc<IndexPair>> = Vec::new();
+        let (filtered, mut per_shard, filter_time, probe_time, mut guards) = if background {
+            // Background: filter and probes both run lock-free over the
+            // per-shard snapshots.
+            snaps = self
+                .shards
+                .iter()
+                .map(|c| {
+                    c.maintainer
+                        .as_ref()
+                        .expect("every shard has a maintainer in background mode")
+                        .snapshot()
+                })
+                .collect();
+            let pairs: Vec<(&IsubIndex, &IsuperIndex)> =
+                snaps.iter().map(|p| (&p.isub, &p.isuper)).collect();
+            let (f, ps, ft, pt) = self.filter_and_probe(&pairs, q, &qf, qcode);
+            (f, ps, ft, pt, self.lock_write())
+        } else if !self.config.parallel_probes {
+            // Synchronous modes: the expensive filter still runs outside
+            // the locks; only the probes need the live indexes.
+            let f_start = Instant::now();
+            let filtered = D::filter(&self.method, q, &qf);
+            let filter_time = f_start.elapsed();
+            let guards = self.lock_write();
+            let p_start = Instant::now();
+            let ps: Vec<ShardProbe> = guards
+                .shards
+                .iter()
+                .map(|sh| probe_pair(&sh.isub, &sh.isuper, q, &qf, &self.plan_cache, qcode))
+                .collect();
+            let probe_time = p_start.elapsed();
+            (filtered, ps, filter_time, probe_time, guards)
+        } else {
+            // Fig. 6 three-thread pipeline over the live indexes: the
+            // guards lend the index refs to the probe threads, so the
+            // filter thread runs inside the lock window here.
+            let guards = self.lock_write();
+            let pairs: Vec<(&IsubIndex, &IsuperIndex)> = guards
+                .shards
+                .iter()
+                .map(|sh| (&sh.isub, &sh.isuper))
+                .collect();
+            let (f, ps, ft, pt) = self.filter_and_probe(&pairs, q, &qf, qcode);
+            (f, ps, ft, pt, guards)
         };
-        let st = &mut *guard;
-        let (mut sub_slots, sub_stats) = probes.sub;
-        let (mut super_slots, super_stats) = probes.sup;
-        if let Some(pair) = &snap {
-            // The snapshot may trail the cache — and under concurrency the
-            // cache may even have moved between the lock-free probe and
-            // this lock acquisition. Discard hits whose slot the cache no
-            // longer backs with the probed graph, so every surviving
-            // slot's stored answers really belong to the verified graph.
-            retain_current_slots(&st.cache, &mut sub_slots, |s| pair.isub.slot_graph(s));
-            retain_current_slots(&st.cache, &mut super_slots, |s| pair.isuper.slot_graph(s));
+        if !snaps.is_empty() {
+            // A snapshot may trail its shard's cache — and under
+            // concurrency the cache may even have moved between the
+            // lock-free probe and this lock acquisition. Discard hits
+            // whose slot the owning shard no longer backs with the probed
+            // graph, so every surviving slot's stored answers really
+            // belong to the verified graph. (A slot reassigned to another
+            // shard in between fails the check on its probing shard —
+            // the safe direction.)
+            for (i, ((sub, _), (sup, _))) in per_shard.iter_mut().enumerate() {
+                retain_current_slots(&guards.shards[i].cache, sub, |s| {
+                    snaps[i].isub.slot_graph(s)
+                });
+                retain_current_slots(&guards.shards[i].cache, sup, |s| {
+                    snaps[i].isuper.slot_graph(s)
+                });
+            }
         }
-        outcome.filter_time = probes.filter_time;
+        let ((sub_slots, sub_stats), (super_slots, super_stats)) = merge_probes(per_shard);
+        outcome.filter_time = filter_time;
         let mut igq_stats = IsoStats::new();
         igq_stats.merge(&sub_stats);
         igq_stats.merge(&super_stats);
@@ -822,7 +1065,9 @@ impl<D: QueryDirection> Engine<D> {
 
         let bookkeeping_start = Instant::now();
         // Every cached entry has now seen one more query.
-        st.cache.tick_all();
+        for sh in guards.shards.iter_mut() {
+            sh.cache.tick_all();
+        }
 
         let cs = &filtered.candidates;
 
@@ -841,25 +1086,27 @@ impl<D: QueryDirection> Engine<D> {
             .chain(super_slots.iter())
             .copied()
             .find(|&s| {
-                let g = &st.cache.entry(s).graph;
+                let g = &slot_entry(&guards.ctl, &guards.shards, s).graph;
                 g.vertex_count() == q.vertex_count() && g.edge_count() == q.edge_count()
             });
         if let Some(slot) = exact_slot {
-            outcome.answers = st.cache.entry(slot).answers.clone();
+            outcome.answers = slot_entry(&guards.ctl, &guards.shards, slot)
+                .answers
+                .clone();
             outcome.resolution = Resolution::ExactHit;
             outcome.candidates_after = 0;
             outcome.pruned_by_isub = cs.len();
-            let credit = self.cost_of(&mut st.cost_model, q, cs);
+            let credit = self.cost_of(&mut guards.ctl.cost_model, q, cs);
             credit_hits::<D>(
                 self,
-                st,
+                &mut guards,
                 q,
                 cs,
                 known_slots,
                 bound_slots,
                 Some((slot, credit)),
             );
-            outcome.igq_time = extract_time + probes.probe_time + bookkeeping_start.elapsed();
+            outcome.igq_time = extract_time + probe_time + bookkeeping_start.elapsed();
             outcome.wall_time = wall_start.elapsed();
             self.stats.absorb(&outcome);
             return outcome;
@@ -868,10 +1115,11 @@ impl<D: QueryDirection> Engine<D> {
         // Optimal case 2: a cached bounding query with an empty answer set
         // proves Answer(g) = ∅ (Section 4.3; roles inverted in the
         // supergraph direction, Section 4.4).
-        if let Some(&slot) = bound_slots
-            .iter()
-            .find(|&&s| st.cache.entry(s).answers.is_empty())
-        {
+        if let Some(&slot) = bound_slots.iter().find(|&&s| {
+            slot_entry(&guards.ctl, &guards.shards, s)
+                .answers
+                .is_empty()
+        }) {
             outcome.answers = Vec::new();
             outcome.resolution = Resolution::EmptyAnswerShortcut;
             outcome.candidates_after = 0;
@@ -880,10 +1128,10 @@ impl<D: QueryDirection> Engine<D> {
             } else {
                 outcome.pruned_by_isub = cs.len();
             }
-            let credit = self.cost_of(&mut st.cost_model, q, cs);
+            let credit = self.cost_of(&mut guards.ctl.cost_model, q, cs);
             credit_hits::<D>(
                 self,
-                st,
+                &mut guards,
                 q,
                 cs,
                 known_slots,
@@ -892,12 +1140,12 @@ impl<D: QueryDirection> Engine<D> {
             );
             // An empty-answer query is prime cache material.
             if !opts.skip_admission {
-                self.enqueue(st, q, &[], code.clone());
+                self.enqueue(&mut guards.ctl, q, &[], code.clone());
             }
-            outcome.igq_time = extract_time + probes.probe_time + bookkeeping_start.elapsed();
+            outcome.igq_time = extract_time + probe_time + bookkeeping_start.elapsed();
             let maint_start = Instant::now();
-            let maintained = self.maybe_maintain(st);
-            drop(guard);
+            let maintained = self.maybe_maintain(&mut guards);
+            drop(guards);
             if maintained {
                 self.drain_outbox();
                 outcome.igq_time += maint_start.elapsed();
@@ -915,7 +1163,7 @@ impl<D: QueryDirection> Engine<D> {
         // candidate set costs O(hits · log |CS|), not O(|CS|) per slot.
         let mut known_answers: Vec<GraphId> = Vec::new();
         for &s in known_slots {
-            known_answers.extend_from_slice(&st.cache.entry(s).answers);
+            known_answers.extend_from_slice(&slot_entry(&guards.ctl, &guards.shards, s).answers);
         }
         known_answers.sort_unstable();
         known_answers.dedup();
@@ -929,7 +1177,11 @@ impl<D: QueryDirection> Engine<D> {
         // Formula (5): candidates must appear in every bounding answer set.
         let before_bound = pruned.len();
         for &s in bound_slots {
-            intersect_into(&pruned, &st.cache.entry(s).answers, &mut spare);
+            intersect_into(
+                &pruned,
+                &slot_entry(&guards.ctl, &guards.shards, s).answers,
+                &mut spare,
+            );
             std::mem::swap(&mut pruned, &mut spare);
             if pruned.is_empty() {
                 break;
@@ -946,9 +1198,9 @@ impl<D: QueryDirection> Engine<D> {
         outcome.candidates_after = pruned.len();
 
         // Metadata credit for every hit.
-        credit_hits::<D>(self, st, q, cs, known_slots, bound_slots, None);
-        outcome.igq_time = extract_time + probes.probe_time + bookkeeping_start.elapsed();
-        drop(guard); // verification runs outside the lock
+        credit_hits::<D>(self, &mut guards, q, cs, known_slots, bound_slots, None);
+        outcome.igq_time = extract_time + probe_time + bookkeeping_start.elapsed();
+        drop(guards); // verification runs outside the locks
 
         // Verification of the surviving candidates, with the engine's
         // plan cache keyed by the query's canonical code (a repeat query
@@ -989,12 +1241,11 @@ impl<D: QueryDirection> Engine<D> {
         // *future* queries, so it is never admitted.
         let maint_start = Instant::now();
         let maintained = {
-            let mut guard = self.state.write();
-            let st = &mut *guard;
+            let mut guards = self.lock_write();
             if outcome.aborted_tests == 0 && !opts.skip_admission {
-                self.enqueue(st, q, &outcome.answers, code);
+                self.enqueue(&mut guards.ctl, q, &outcome.answers, code);
             }
-            self.maybe_maintain(st)
+            self.maybe_maintain(&mut guards)
         };
         if maintained {
             self.drain_outbox();
@@ -1017,36 +1268,36 @@ impl<D: QueryDirection> Engine<D> {
     /// is the query-path canonicalization outcome, reused at admission.
     fn enqueue(
         &self,
-        st: &mut LiveState,
+        ctl: &mut Control,
         q: &Graph,
         answers: &[GraphId],
         code: Option<Option<CanonicalCode>>,
     ) {
         let sig = GraphSignature::of(q);
-        let dup = st
+        let dup = ctl
             .window_signatures
             .iter()
-            .zip(st.window.iter())
+            .zip(ctl.window.iter())
             .any(|(s, e)| *s == sig && igq_iso::are_isomorphic(q, &e.graph));
         if dup {
             return;
         }
-        st.window.push(WindowEntry {
+        ctl.window.push(WindowEntry {
             graph: Arc::new(q.clone()),
             answers: answers.to_vec(),
             signature: Some(sig),
             code,
         });
-        st.window_signatures.push(sig);
+        ctl.window_signatures.push(sig);
     }
 
     /// Runs window maintenance when `W` queries have accumulated: evict,
     /// admit, and bring both query indexes up to date.
-    fn maybe_maintain(&self, st: &mut LiveState) -> bool {
-        if st.window.len() < self.config.window {
+    fn maybe_maintain(&self, g: &mut WriteGuards) -> bool {
+        if g.ctl.window.len() < self.config.window {
             return false;
         }
-        self.run_maintenance(st);
+        self.run_maintenance(g);
         true
     }
 
@@ -1061,80 +1312,141 @@ impl<D: QueryDirection> Engine<D> {
     ///
     /// [`MaintenanceMode::ShadowRebuild`]: crate::MaintenanceMode::ShadowRebuild
     /// [`MaintenanceMode::Background`]: crate::MaintenanceMode::Background
-    fn run_maintenance(&self, st: &mut LiveState) {
-        if st.window.is_empty() {
+    fn run_maintenance(&self, g: &mut WriteGuards) {
+        if g.ctl.window.is_empty() {
             return;
         }
-        let incoming = std::mem::take(&mut st.window);
-        st.window_signatures.clear();
-        let delta = st.cache.apply_window(incoming);
-        if delta.is_empty() {
-            return;
+        let incoming = std::mem::take(&mut g.ctl.window);
+        g.ctl.window_signatures.clear();
+        self.apply_incoming(g, incoming, true);
+    }
+
+    /// Applies one admission batch as a window flip: a single-shard
+    /// engine calls [`QueryCache::apply_window`] directly (bit-for-bit
+    /// the pre-sharding behavior); a sharded engine runs the unified flip
+    /// over the global allocator ([`shard::apply_window_sharded`]), which
+    /// makes the identical slot decisions and scatters them to the owning
+    /// shards. Evicted plans are dropped, the flip is captured as one WAL
+    /// group, and each touched shard's index delta is applied inline or
+    /// queued for its maintainer. Returns whether anything changed.
+    /// `record_stats` distinguishes regular maintenance from
+    /// [`Engine::import_entries`], which never counted as maintenance.
+    fn apply_incoming(
+        &self,
+        g: &mut WriteGuards,
+        incoming: Vec<WindowEntry>,
+        record_stats: bool,
+    ) -> bool {
+        let deltas: Vec<WindowDelta> = if self.shards.len() == 1 {
+            vec![g.shards[0].cache.apply_window(incoming)]
+        } else {
+            let ctl = &mut *g.ctl;
+            let mut caches: Vec<&mut QueryCache> =
+                g.shards.iter_mut().map(|sh| &mut sh.cache).collect();
+            shard::apply_window_sharded(
+                &mut ctl.alloc,
+                &mut ctl.slot_owner,
+                &self.router,
+                self.config.cache_capacity,
+                self.config.policy,
+                &mut caches,
+                incoming,
+            )
+        };
+        if deltas.iter().all(WindowDelta::is_empty) {
+            return false;
         }
         // Cached plans die with their windows: drop every evicted query's
         // plans (codes with a surviving isomorphic duplicate are not
         // listed, so their plans correctly live on).
-        for code in &delta.evicted_codes {
+        for code in deltas.iter().flat_map(|d| d.evicted_codes.iter()) {
             self.plan_cache.evict_key(code);
         }
-        self.stats.count_maintenance();
-        self.capture_wal(st, &delta);
-        match &self.maintainer {
-            Some(_) => {
-                // Capture under the state lock (job order = cache order);
-                // the possibly lag-gated submit happens in drain_outbox,
-                // after the caller releases the lock.
-                self.outbox
-                    .lock()
-                    .push_back(MaintenanceJob::capture(&st.cache, &delta));
+        if record_stats {
+            self.stats.count_maintenance();
+        }
+        self.capture_wal(g, &deltas);
+        for (shard, delta) in deltas.iter().enumerate() {
+            if delta.is_empty() {
+                continue;
             }
-            None => {
-                let maint_start = Instant::now();
-                let outcome = crate::maintain::apply_delta(
-                    self.config.maintenance,
-                    self.config.path_config,
-                    &st.cache,
-                    &delta,
-                    &mut st.isub,
-                    &mut st.isuper,
-                );
-                self.stats.record_maintenance_work(
-                    outcome.postings_touched,
-                    outcome.rebuilt,
-                    maint_start.elapsed(),
-                );
+            let cell = &self.shards[shard];
+            let sh = &mut *g.shards[shard];
+            match &cell.maintainer {
+                Some(_) => {
+                    // Capture under the shard's lock (job order = cache
+                    // order); the possibly lag-gated submit happens in
+                    // drain_outbox, after the caller releases the locks.
+                    cell.outbox
+                        .lock()
+                        .push_back(MaintenanceJob::capture(&sh.cache, delta));
+                }
+                None => {
+                    let maint_start = Instant::now();
+                    let outcome = crate::maintain::apply_delta(
+                        self.config.maintenance,
+                        self.config.path_config,
+                        &sh.cache,
+                        delta,
+                        &mut sh.isub,
+                        &mut sh.isuper,
+                    );
+                    if record_stats {
+                        self.stats.record_maintenance_work(
+                            outcome.postings_touched,
+                            outcome.rebuilt,
+                            maint_start.elapsed(),
+                        );
+                    }
+                }
             }
         }
+        true
     }
 
-    /// Captures one window flip as a WAL record (store-attached engines
-    /// only). Runs under the state write lock — right after the cache
-    /// changed, so the record reflects exactly this flip — but does **no
-    /// I/O**: the record is self-contained (entry clones, `Arc` graphs)
-    /// and waits in the WAL outbox for [`Engine::drain_outbox`]. Also
-    /// snapshots every resident's replacement metadata: recovery replays
-    /// evictions as recorded, but *future* evictions after a restart need
-    /// the same utility state the live engine had.
-    fn capture_wal(&self, st: &mut LiveState, delta: &WindowDelta) {
+    /// Captures one window flip as a WAL flip group — one record per
+    /// shard, all tagged with the flip's `seq` (a single record for the
+    /// unsharded engine, encoded exactly as before sharding existed).
+    /// Runs under the full write view — right after the caches changed,
+    /// so the group reflects exactly this flip — but does **no I/O**: the
+    /// records are self-contained (entry clones, `Arc` graphs) and wait
+    /// in the WAL outbox for [`Engine::drain_outbox`]. Every shard
+    /// appears in the group even when its delta is empty: each record
+    /// also snapshots that shard's full replacement-metadata table
+    /// (metadata advances globally on every query, so recovery needs
+    /// every shard's table as of the last flip — exactly what the
+    /// unsharded record always carried).
+    fn capture_wal(&self, g: &mut WriteGuards, deltas: &[WindowDelta]) {
         if self.persist.is_none() {
             return;
         }
-        st.seq += 1;
-        let record = persist::WalRecord {
-            seq: st.seq,
-            evicted: delta.evicted.clone(),
-            admitted: delta
-                .admitted
-                .iter()
-                .map(|&slot| persist::PersistedEntry {
-                    slot,
-                    entry: st.cache.entry(slot).clone(),
-                    features: None,
-                })
-                .collect(),
-            metas: st.cache.iter().map(|(slot, e)| (slot, e.meta)).collect(),
-        };
-        self.wal_outbox.lock().push_back(record);
+        g.ctl.seq += 1;
+        let seq = g.ctl.seq;
+        let n = self.shards.len();
+        let group: Vec<persist::WalRecord> = deltas
+            .iter()
+            .enumerate()
+            .map(|(shard, delta)| {
+                let cache = &g.shards[shard].cache;
+                persist::WalRecord {
+                    seq,
+                    shard,
+                    group: n,
+                    evicted: delta.evicted.clone(),
+                    admitted: delta
+                        .admitted
+                        .iter()
+                        .map(|&slot| persist::PersistedEntry {
+                            slot,
+                            entry: cache.entry(slot).clone(),
+                            features: None,
+                        })
+                        .collect(),
+                    metas: cache.iter().map(|(slot, e)| (slot, e.meta)).collect(),
+                }
+            })
+            .collect();
+        self.wal_outbox.lock().push_back(group);
     }
 
     /// Submits every outbox job to the background maintainer, in capture
@@ -1149,23 +1461,26 @@ impl<D: QueryDirection> Engine<D> {
     /// holding the state *read* lock (the gate clears independently: the
     /// maintainer takes no engine lock). No-op in the synchronous modes.
     fn drain_outbox(&self) {
-        if self.maintainer.is_none() && self.persist.is_none() {
-            return;
-        }
-        // One drainer at a time: pops happen only under this lock, in
-        // FIFO order, so submission/append order is the capture order.
-        let _submitting = self.submit_lock.lock();
-        if let Some(m) = &self.maintainer {
+        for cell in self.shards.iter() {
+            let Some(m) = &cell.maintainer else { continue };
+            // One drainer per shard at a time: pops happen only under the
+            // shard's submit lock, in FIFO order, so submission order is
+            // the capture order. A lag-gated sleep here stalls only
+            // flippers of this shard.
+            let _submitting = cell.submit_lock.lock();
             loop {
-                let job = self.outbox.lock().pop_front();
+                let job = cell.outbox.lock().pop_front();
                 let Some(job) = job else { break };
                 m.submit(job);
             }
         }
         if let Some(p) = &self.persist {
+            // One appender at a time: group pops happen only under the
+            // WAL lock, in FIFO order, so append order is flip order.
+            let _appending = self.wal_lock.lock();
             loop {
-                let record = self.wal_outbox.lock().pop_front();
-                let Some(record) = record else { break };
+                let group = self.wal_outbox.lock().pop_front();
+                let Some(group) = group else { break };
                 // After a failed append the log may end in a partial line
                 // and is missing a flip: appending *more* records would
                 // turn a tolerable torn tail into a mid-log hole that
@@ -1177,11 +1492,18 @@ impl<D: QueryDirection> Engine<D> {
                     eprintln!(
                         "igq: warning: dropping WAL record for flip {} (log unhealthy \
                          until the next checkpoint)",
-                        record.seq
+                        group.first().map_or(0, |r| r.seq)
                     );
                     continue;
                 }
-                let bytes = persist::encode_wal_record(&record);
+                // The whole flip group is one append (and one fsync on
+                // disk-backed stores): a crash can tear at most the final
+                // group, which recovery truncates exactly like a torn
+                // single record.
+                let mut bytes = Vec::new();
+                for record in &group {
+                    bytes.extend_from_slice(&persist::encode_wal_record(record));
+                }
                 match p.store.append_wal(&bytes) {
                     Ok(()) => {
                         self.stats.count_wal_append();
@@ -1202,7 +1524,10 @@ impl<D: QueryDirection> Engine<D> {
     /// Forces maintenance regardless of window fill (used by harnesses at
     /// warm-up boundaries).
     pub fn flush_window(&self) {
-        self.run_maintenance(&mut self.state.write());
+        {
+            let mut g = self.lock_write();
+            self.run_maintenance(&mut g);
+        }
         self.drain_outbox();
         self.maybe_auto_checkpoint();
     }
@@ -1239,20 +1564,20 @@ impl<D: QueryDirection> Engine<D> {
         };
         let start = Instant::now();
         let data = {
-            // Same discipline as `self_check`: under the read guard no
+            // Same discipline as `self_check`: under the read guards no
             // flip can land, and drain + sync (both lock-free w.r.t. the
-            // state lock) bring the published snapshot to exactly this
-            // cache state so feature sets can be read from it.
-            let st = self.state.read();
+            // state locks) bring the published snapshots to exactly this
+            // cache state so feature sets can be read from them.
+            let g = self.lock_read();
             self.drain_outbox();
             self.sync_maintenance();
-            self.capture_state(&st, p.config_fp, p.dataset_fp)
+            self.capture_state(&g, p.config_fp, p.dataset_fp)
         };
         let seq = data.seq;
         let bytes = persist::encode_checkpoint(&data);
         p.store.save_checkpoint(&bytes)?;
         // Compact the WAL down to records the checkpoint does not cover.
-        // Under the submit lock no appender is concurrently writing, so
+        // Under the WAL lock no appender is concurrently writing, so
         // the rewrite cannot drop a record newer than the checkpoint;
         // captured-but-undrained records are safe either way (their seq
         // decides replay). The compaction works on raw bytes (each line's
@@ -1262,10 +1587,11 @@ impl<D: QueryDirection> Engine<D> {
         // `seq` is covered by the checkpoint just written, and the
         // rewrite drops the torn tail the failed append left behind.
         let kept_len = {
-            let _submitting = self.submit_lock.lock();
+            let _appending = self.wal_lock.lock();
             let header = persist::WalHeader {
                 config_fp: p.config_fp,
                 dataset_fp: p.dataset_fp,
+                shards: self.config.shards,
             };
             let (compacted, kept) = persist::compact_wal(&p.store.load_wal()?, seq, &header);
             p.store.replace_wal(&compacted)?;
@@ -1301,25 +1627,32 @@ impl<D: QueryDirection> Engine<D> {
 
     /// Snapshots the full durable state (the checkpoint payload and the
     /// single serialization path behind [`Engine::checkpoint`] and
-    /// [`Engine::export_entries`]). Caller holds the state lock; under
-    /// background maintenance the caller must have synced the maintainer
+    /// [`Engine::export_entries`]). Caller holds the state locks; under
+    /// background maintenance the caller must have synced the maintainers
     /// first so per-slot feature sets can be read from the published
-    /// snapshot (a slot missing there falls back to re-enumeration).
+    /// snapshots (a slot missing there falls back to re-enumeration).
+    ///
+    /// The checkpoint stores one *global* slot namespace regardless of
+    /// shard count: per-shard entries are merged and sorted by slot, and
+    /// the slot/free geometry comes from the global allocator (from the
+    /// single cache at `shards == 1`). Recovery re-partitions entries by
+    /// the deterministic shard routing, so the payload itself carries no
+    /// ownership map — only the shard *count*, to reject mismatched
+    /// reopens.
     fn capture_state(
         &self,
-        st: &LiveState,
+        g: &ReadGuards<'_>,
         config_fp: u64,
         dataset_fp: u64,
     ) -> persist::CheckpointData {
-        let snap = self.maintainer.as_ref().map(|m| m.snapshot());
-        let index = match &snap {
-            Some(pair) => &pair.isub,
-            None => &st.isub,
-        };
-        let entries = st
-            .cache
-            .iter()
-            .map(|(slot, e)| persist::PersistedEntry {
+        let mut entries: Vec<persist::PersistedEntry> = Vec::new();
+        for (cell, sh) in self.shards.iter().zip(g.shards.iter()) {
+            let snap = cell.maintainer.as_ref().map(|m| m.snapshot());
+            let index = match &snap {
+                Some(pair) => &pair.isub,
+                None => &sh.isub,
+            };
+            entries.extend(sh.cache.iter().map(|(slot, e)| persist::PersistedEntry {
                 slot,
                 entry: e.clone(),
                 features: Some(match index.slot_features(slot) {
@@ -1335,18 +1668,31 @@ impl<D: QueryDirection> Engine<D> {
                         }
                     }
                 }),
-            })
-            .collect();
+            }));
+        }
+        entries.sort_unstable_by_key(|p| p.slot);
+        let (round, slot_count, free) = if self.shards.len() == 1 {
+            let cache = &g.shards[0].cache;
+            (
+                cache.round(),
+                cache.slot_count(),
+                cache.free_slots().to_vec(),
+            )
+        } else {
+            let alloc = &g.ctl.alloc;
+            (alloc.round, alloc.slot_count, alloc.free.clone())
+        };
         persist::CheckpointData {
-            seq: st.seq,
+            seq: g.ctl.seq,
             config_fp,
             dataset_fp,
-            labels: st.cost_model.label_universe(),
-            round: st.cache.round(),
-            slot_count: st.cache.slot_count(),
-            free: st.cache.free_slots().to_vec(),
+            shards: self.config.shards,
+            labels: g.ctl.cost_model.label_universe(),
+            round,
+            slot_count,
+            free,
             entries,
-            window: st.window.clone(),
+            window: g.ctl.window.clone(),
         }
     }
 
@@ -1365,10 +1711,10 @@ impl<D: QueryDirection> Engine<D> {
     /// pending window instead.
     pub fn export_entries(&self) -> Vec<(Graph, Vec<GraphId>)> {
         let data = {
-            let st = self.state.read();
+            let g = self.lock_read();
             self.drain_outbox();
             self.sync_maintenance();
-            self.capture_state(&st, 0, 0)
+            self.capture_state(&g, 0, 0)
         };
         data.entries
             .into_iter()
@@ -1409,32 +1755,11 @@ impl<D: QueryDirection> Engine<D> {
         let admitted = admissible.len().min(self.config.cache_capacity);
         let skipped_capacity = admissible.len() - admitted;
         {
-            let mut guard = self.state.write();
-            let st = &mut *guard;
-            let delta = st.cache.apply_window(admissible);
-            if !delta.is_empty() {
-                for code in &delta.evicted_codes {
-                    self.plan_cache.evict_key(code);
-                }
-                self.capture_wal(st, &delta);
-                match &self.maintainer {
-                    Some(_) => {
-                        self.outbox
-                            .lock()
-                            .push_back(MaintenanceJob::capture(&st.cache, &delta));
-                    }
-                    None => {
-                        crate::maintain::apply_delta(
-                            self.config.maintenance,
-                            self.config.path_config,
-                            &st.cache,
-                            &delta,
-                            &mut st.isub,
-                            &mut st.isuper,
-                        );
-                    }
-                }
-            }
+            let mut g = self.lock_write();
+            // `record_stats: false` — imports are seeding, not paid
+            // maintenance; they neither count a window flip nor record
+            // maintenance work, matching the pre-sharding behavior.
+            self.apply_incoming(&mut g, admissible, false);
         }
         // Submit and synchronize so a warm start is immediately
         // probe-visible.
@@ -1479,87 +1804,136 @@ impl<D: QueryDirection> Engine<D> {
     /// every cached graph, so call this at checkpoints rather than per
     /// query in large deployments.
     pub fn self_check(&self) -> Result<(), String> {
-        // Take the read guard FIRST: every cache change visible under it
-        // already has its maintenance job in the outbox (pushes happen
-        // under the same write lock as the cache change), and no new
-        // change can land while we hold it. Draining and syncing now —
-        // both safe under the read guard, since the maintainer takes no
-        // engine lock — brings the published snapshot to *exactly* this
-        // cache state; a concurrent flipper's captured-but-undrained job
-        // can no longer make a healthy engine look diverged.
-        let st = self.state.read();
+        // Take the read guards FIRST: every cache change visible under
+        // them already has its maintenance job in its shard's outbox
+        // (pushes happen under the same write locks as the cache change),
+        // and no new change can land while we hold them. Draining and
+        // syncing now — both safe under the read guards, since the
+        // maintainers take no engine lock — brings each published
+        // snapshot to *exactly* this cache state; a concurrent flipper's
+        // captured-but-undrained job can no longer make a healthy engine
+        // look diverged.
+        let g = self.lock_read();
         self.drain_outbox();
         self.sync_maintenance();
-        if st.cache.len() > self.config.cache_capacity {
+        let total_len: usize = g.shards.iter().map(|sh| sh.cache.len()).sum();
+        if total_len > self.config.cache_capacity {
             return Err(format!(
                 "cache over capacity: {} > {}",
-                st.cache.len(),
-                self.config.cache_capacity
+                total_len, self.config.cache_capacity
             ));
         }
-        for (slot, e) in st.cache.iter() {
-            if !e.answers.windows(2).all(|w| w[0] < w[1]) {
-                return Err(format!("slot {slot}: answers not sorted/unique"));
-            }
-            let n = D::store(&self.method).len() as u32;
-            if e.answers.iter().any(|id| id.raw() >= n) {
-                return Err(format!("slot {slot}: answer id out of dataset range"));
+        for sh in g.shards.iter() {
+            for (slot, e) in sh.cache.iter() {
+                if !e.answers.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(format!("slot {slot}: answers not sorted/unique"));
+                }
+                let n = D::store(&self.method).len() as u32;
+                if e.answers.iter().any(|id| id.raw() >= n) {
+                    return Err(format!("slot {slot}: answer id out of dataset range"));
+                }
             }
         }
-        if st.window.len() != st.window_signatures.len() {
+        if g.ctl.window.len() != g.ctl.window_signatures.len() {
             return Err("window/signature length mismatch".into());
         }
-        // Index ≡ cache: both indexes must hold exactly the cached slots,
-        // with postings identical to a from-scratch rebuild.
-        let (isub_snapshot, isuper_snapshot) = match &self.maintainer {
-            Some(m) => {
-                let pair = m.snapshot();
-                (pair.isub.snapshot(), pair.isuper.snapshot())
+        // Sharded geometry: the global allocator and ownership map must
+        // agree with the per-shard caches (at one shard the cache keeps
+        // its own free list and the allocator is unused).
+        if self.shards.len() > 1 {
+            let alloc = &g.ctl.alloc;
+            if alloc.len != total_len {
+                return Err(format!(
+                    "allocator len {} != sum of shard lens {}",
+                    alloc.len, total_len
+                ));
             }
-            None => (st.isub.snapshot(), st.isuper.snapshot()),
-        };
-        let graphs = || {
-            st.cache
-                .iter()
-                .map(|(slot, e)| (slot, Arc::clone(&e.graph)))
-        };
-        let fresh_isub = IsubIndex::build(graphs(), self.config.path_config);
-        isub_snapshot
-            .diff(&fresh_isub.snapshot())
-            .map_err(|e| format!("Isub drifted from shadow rebuild: {e}"))?;
-        let fresh_isuper = IsuperIndex::build(graphs(), self.config.path_config);
-        isuper_snapshot
-            .diff(&fresh_isuper.snapshot())
-            .map_err(|e| format!("Isuper drifted from shadow rebuild: {e}"))?;
+            let mut seen = vec![false; alloc.slot_count];
+            for (shard, sh) in g.shards.iter().enumerate() {
+                for (slot, _) in sh.cache.iter() {
+                    if slot >= alloc.slot_count {
+                        return Err(format!("slot {slot} beyond allocator slot_count"));
+                    }
+                    if g.ctl.slot_owner.get(slot) != Some(&shard) {
+                        return Err(format!(
+                            "slot {slot} held by shard {shard} but owner map says {:?}",
+                            g.ctl.slot_owner.get(slot)
+                        ));
+                    }
+                    seen[slot] = true;
+                }
+            }
+            for &slot in &alloc.free {
+                if slot >= alloc.slot_count {
+                    return Err(format!("free slot {slot} beyond allocator slot_count"));
+                }
+                if seen[slot] {
+                    return Err(format!("free slot {slot} is occupied by a shard"));
+                }
+            }
+        }
+        // Index ≡ cache, per shard: each shard's indexes must hold
+        // exactly that shard's cached slots, with postings identical to a
+        // from-scratch rebuild over that shard alone.
+        for (shard, (cell, sh)) in self.shards.iter().zip(g.shards.iter()).enumerate() {
+            let (isub_snapshot, isuper_snapshot) = match &cell.maintainer {
+                Some(m) => {
+                    let pair = m.snapshot();
+                    (pair.isub.snapshot(), pair.isuper.snapshot())
+                }
+                None => (sh.isub.snapshot(), sh.isuper.snapshot()),
+            };
+            let graphs = || {
+                sh.cache
+                    .iter()
+                    .map(|(slot, e)| (slot, Arc::clone(&e.graph)))
+            };
+            let fresh_isub = IsubIndex::build(graphs(), self.config.path_config);
+            isub_snapshot
+                .diff(&fresh_isub.snapshot())
+                .map_err(|e| format!("shard {shard}: Isub drifted from shadow rebuild: {e}"))?;
+            let fresh_isuper = IsuperIndex::build(graphs(), self.config.path_config);
+            isuper_snapshot
+                .diff(&fresh_isuper.snapshot())
+                .map_err(|e| format!("shard {shard}: Isuper drifted from shadow rebuild: {e}"))?;
+        }
         Ok(())
     }
 
     /// The filter + probe stage: the three-thread pipeline of Fig. 6 when
-    /// [`IgqConfig::parallel_probes`] is set, inline otherwise. The index
-    /// refs are either a published snapshot's (background maintenance —
-    /// caller holds no lock) or the engine's own (synchronous modes —
-    /// caller holds the state lock, whose guard lends the refs to the
-    /// probe threads).
+    /// [`IgqConfig::parallel_probes`] is set, inline otherwise. Each
+    /// `(isub, isuper)` pair is one shard's indexes — either a published
+    /// snapshot's (background maintenance — caller holds no lock) or the
+    /// engine's own (synchronous modes — caller holds the state locks,
+    /// whose guards lend the refs to the probe threads). Returns the
+    /// per-shard probe results (merged later by [`merge_probes`]) plus
+    /// the filter and probe wall times.
     fn filter_and_probe(
         &self,
-        isub: &IsubIndex,
-        isuper: &IsuperIndex,
+        pairs: &[(&IsubIndex, &IsuperIndex)],
         q: &Graph,
         qf: &PathFeatures,
         qcode: Option<&CanonicalCode>,
-    ) -> (Filtered, ProbeResult) {
+    ) -> (
+        Filtered,
+        Vec<ShardProbe>,
+        std::time::Duration,
+        std::time::Duration,
+    ) {
         if !self.config.parallel_probes {
             let f_start = Instant::now();
             let filtered = D::filter(&self.method, q, qf);
             let filter_time = f_start.elapsed();
-            return (
-                filtered,
-                probe_both(isub, isuper, q, qf, filter_time, &self.plan_cache, qcode),
-            );
+            let p_start = Instant::now();
+            let per_shard = pairs
+                .iter()
+                .map(|&(isub, isuper)| probe_pair(isub, isuper, q, qf, &self.plan_cache, qcode))
+                .collect();
+            return (filtered, per_shard, filter_time, p_start.elapsed());
         }
         let mut filtered = None;
-        let mut sub = None;
-        let mut sup = None;
+        let mut subs = None;
+        let mut sups = None;
         let mut filter_time = std::time::Duration::ZERO;
         let mut probe_time = std::time::Duration::ZERO;
         crossbeam::scope(|scope| {
@@ -1570,12 +1944,22 @@ impl<D: QueryDirection> Engine<D> {
             });
             let sub_handle = scope.spawn(|_| {
                 let t = Instant::now();
-                let r = isub.supergraphs_of_with_plans(q, qf, qcode.map(|c| (&self.plan_cache, c)));
+                let r: Vec<_> = pairs
+                    .iter()
+                    .map(|&(isub, _)| {
+                        isub.supergraphs_of_with_plans(q, qf, qcode.map(|c| (&self.plan_cache, c)))
+                    })
+                    .collect();
                 (r, t.elapsed())
             });
             let sup_handle = scope.spawn(|_| {
                 let t = Instant::now();
-                let r = isuper.subgraphs_of_with_plans(q, qf, Some(&self.plan_cache));
+                let r: Vec<_> = pairs
+                    .iter()
+                    .map(|&(_, isuper)| {
+                        isuper.subgraphs_of_with_plans(q, qf, Some(&self.plan_cache))
+                    })
+                    .collect();
                 (r, t.elapsed())
             });
             let (f, ft) = filter_handle.join().expect("filter thread");
@@ -1584,18 +1968,20 @@ impl<D: QueryDirection> Engine<D> {
             filter_time = ft;
             probe_time = st.max(pt);
             filtered = Some(f);
-            sub = Some(s);
-            sup = Some(p);
+            subs = Some(s);
+            sups = Some(p);
         })
         .expect("probe scope");
+        let per_shard = subs
+            .expect("isub results")
+            .into_iter()
+            .zip(sups.expect("isuper results"))
+            .collect();
         (
             filtered.expect("filter result"),
-            ProbeResult {
-                sub: sub.expect("isub result"),
-                sup: sup.expect("isuper result"),
-                filter_time,
-                probe_time,
-            },
+            per_shard,
+            filter_time,
+            probe_time,
         )
     }
 }
@@ -1615,10 +2001,11 @@ impl<D: QueryDirection> Drop for Engine<D> {
 /// candidates their answers *exclude* (`CS \ Answer`). `bonus` optionally
 /// awards one slot the full candidate-set prune credit (optimal-case
 /// resolutions). A free function (not a method) so the disjoint borrows of
-/// `LiveState` fields stay obvious.
+/// the guard fields stay obvious; slots are resolved to their owning
+/// shard through the control block's ownership map.
 fn credit_hits<D: QueryDirection>(
     engine: &Engine<D>,
-    st: &mut LiveState,
+    g: &mut WriteGuards<'_>,
     q: &Graph,
     cs: &[GraphId],
     known_slots: &[usize],
@@ -1626,56 +2013,70 @@ fn credit_hits<D: QueryDirection>(
     bonus: Option<(usize, LogValue)>,
 ) {
     for &s in known_slots {
-        let prunes = intersect_sorted(cs, &st.cache.entry(s).answers);
-        let cost = engine.cost_of(&mut st.cost_model, q, &prunes);
-        st.cache
-            .entry_mut(s)
+        let prunes = intersect_sorted(cs, &slot_entry(&g.ctl, &g.shards, s).answers);
+        let cost = engine.cost_of(&mut g.ctl.cost_model, q, &prunes);
+        slot_entry_mut(&g.ctl, &mut g.shards, s)
             .meta
             .record_hit(prunes.len() as u64, cost);
     }
     for &s in bound_slots {
-        let prunes = subtract_sorted(cs, &st.cache.entry(s).answers);
-        let cost = engine.cost_of(&mut st.cost_model, q, &prunes);
-        st.cache
-            .entry_mut(s)
+        let prunes = subtract_sorted(cs, &slot_entry(&g.ctl, &g.shards, s).answers);
+        let cost = engine.cost_of(&mut g.ctl.cost_model, q, &prunes);
+        slot_entry_mut(&g.ctl, &mut g.shards, s)
             .meta
             .record_hit(prunes.len() as u64, cost);
     }
     if let Some((slot, credit)) = bonus {
-        st.cache
-            .entry_mut(slot)
+        slot_entry_mut(&g.ctl, &mut g.shards, slot)
             .meta
             .record_hit(cs.len() as u64, credit);
     }
 }
 
-struct ProbeResult {
-    sub: (Vec<usize>, IsoStats),
-    sup: (Vec<usize>, IsoStats),
-    filter_time: std::time::Duration,
-    probe_time: std::time::Duration,
-}
+/// One shard's probe results: `(Isub hits, Isuper hits)`, each a sorted
+/// slot list plus the iso-test counters the probe spent producing it.
+type ShardProbe = ((Vec<usize>, IsoStats), (Vec<usize>, IsoStats));
 
-/// Sequentially probes both query indexes — the shared body of the
+/// Sequentially probes one shard's query indexes — the shared body of the
 /// non-parallel stage-2, whether the indexes come from a published
 /// snapshot (background mode, lock-free) or the live state (synchronous
-/// modes, caller holds the state lock).
-fn probe_both(
+/// modes, caller holds the shard's state lock).
+fn probe_pair(
     isub: &IsubIndex,
     isuper: &IsuperIndex,
     q: &Graph,
     qf: &PathFeatures,
-    filter_time: std::time::Duration,
     plan_cache: &PlanCache,
     qcode: Option<&CanonicalCode>,
-) -> ProbeResult {
-    let p_start = Instant::now();
-    ProbeResult {
-        sub: isub.supergraphs_of_with_plans(q, qf, qcode.map(|c| (plan_cache, c))),
-        sup: isuper.subgraphs_of_with_plans(q, qf, Some(plan_cache)),
-        filter_time,
-        probe_time: Instant::now().duration_since(p_start),
+) -> ShardProbe {
+    (
+        isub.supergraphs_of_with_plans(q, qf, qcode.map(|c| (plan_cache, c))),
+        isuper.subgraphs_of_with_plans(q, qf, Some(plan_cache)),
+    )
+}
+
+/// Gathers per-shard probe results into one global candidate view. The
+/// single-shard case passes through untouched — bit-for-bit the
+/// unsharded behavior. With several shards the slot lists concatenate and
+/// sort (exact: shards hold disjoint slot sets, and each probe returns
+/// its slots ascending) and the iso counters sum.
+fn merge_probes(mut per_shard: Vec<ShardProbe>) -> ShardProbe {
+    if per_shard.len() == 1 {
+        return per_shard.pop().expect("one probe");
     }
+    let mut sub_slots = Vec::new();
+    let mut super_slots = Vec::new();
+    let mut sub_stats = IsoStats::default();
+    let mut super_stats = IsoStats::default();
+    for ((sub, ss), (sup, ps)) in per_shard {
+        sub_slots.extend(sub);
+        super_slots.extend(sup);
+        sub_stats.merge(&ss);
+        super_stats.merge(&ps);
+    }
+    sub_slots.sort_unstable();
+    super_slots.sort_unstable();
+    ((sub_slots, sub_stats), (super_slots, super_stats))
 }
 
 #[cfg(test)]

@@ -103,6 +103,7 @@ pub mod metadata;
 pub mod outcome;
 pub mod persist;
 pub mod policy;
+mod shard;
 pub mod stats;
 pub mod super_engine;
 

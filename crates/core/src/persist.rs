@@ -128,6 +128,15 @@ pub enum PersistError {
         /// Fingerprint stored in the artifact.
         found: u64,
     },
+    /// The artifact was produced under a different state shard count.
+    /// Slot routing is shard-count-dependent, so a store written with one
+    /// `shards` setting cannot be reopened under another.
+    ShardMismatch {
+        /// Shard count of the opening engine's configuration.
+        expected: usize,
+        /// Shard count stored in the artifact.
+        found: usize,
+    },
     /// The engine configuration itself was invalid (persistence never
     /// started).
     Config(ConfigError),
@@ -156,6 +165,11 @@ impl fmt::Display for PersistError {
                 f,
                 "dataset fingerprint mismatch: engine {expected:016x} vs stored {found:016x} \
                  (persisted answers are only valid against the dataset that produced them)"
+            ),
+            PersistError::ShardMismatch { expected, found } => write!(
+                f,
+                "shard count mismatch: engine configured with {expected} shard(s) but the store \
+                 was written with {found} (reopen with the original shard count, or rebuild)"
             ),
             PersistError::Config(e) => write!(f, "invalid engine configuration: {e}"),
         }
@@ -528,20 +542,36 @@ pub(crate) struct CheckpointData {
     pub entries: Vec<PersistedEntry>,
     /// Pending admission window (`Itemp`), in arrival order.
     pub window: Vec<WindowEntry>,
+    /// State shard count of the writing engine. `1` (the pre-sharding
+    /// default, omitted from the encoding) means a single partition.
+    pub shards: usize,
 }
 
-/// One WAL record: everything a window flip changed.
+/// One WAL record: everything a window flip changed *within one shard*.
+/// With a single shard (the default) a flip is exactly one record; a
+/// sharded engine multiplexes one record per touched shard into the same
+/// log, all sharing the flip's `seq` and each declaring the flip's total
+/// record count (`group`) so recovery can detect a partially appended
+/// flip group at the tail.
 #[derive(Debug, Clone)]
 pub(crate) struct WalRecord {
-    /// Flip ordinal (1-based, contiguous).
+    /// Flip ordinal (1-based, contiguous; shared by every record of one
+    /// flip group).
     pub seq: u64,
+    /// Shard this record's deltas belong to (`0`, omitted from the
+    /// encoding, for unsharded engines).
+    pub shard: usize,
+    /// Number of records in this flip's group (`1`, omitted from the
+    /// encoding, for unsharded engines).
+    pub group: usize,
     /// Slots whose occupant was evicted, in eviction order.
     pub evicted: Vec<usize>,
     /// Admitted entries, in admission order (no feature sets — replay
     /// re-enumerates the tail).
     pub admitted: Vec<PersistedEntry>,
-    /// Post-flip replacement metadata of every resident slot. Replay
-    /// applies the *last* record's table; earlier tables are superseded.
+    /// Post-flip replacement metadata of every resident slot of this
+    /// record's shard. Replay applies the *last* table per shard; earlier
+    /// tables are superseded.
     pub metas: Vec<(usize, GraphMeta)>,
 }
 
@@ -550,6 +580,9 @@ pub(crate) struct WalRecord {
 pub(crate) struct WalHeader {
     pub config_fp: u64,
     pub dataset_fp: u64,
+    /// State shard count of the writing engine (`1`, omitted from the
+    /// encoding, for unsharded engines).
+    pub shards: usize,
 }
 
 /// The outcome of parsing a WAL byte stream.
@@ -582,6 +615,17 @@ fn u64_field(v: &Value, name: &str) -> Result<u64, PersistError> {
 
 fn usize_field(v: &Value, name: &str) -> Result<usize, PersistError> {
     Ok(u64_field(v, name)? as usize)
+}
+
+/// A presence-optional unsigned field: `default` when absent (the
+/// pre-sharding encodings omit shard-related fields entirely).
+fn opt_usize_field(v: &Value, name: &str, default: usize) -> Result<usize, PersistError> {
+    match v.get(name) {
+        None => Ok(default),
+        Some(f) => f.as_u64().map(|u| u as usize).ok_or_else(|| {
+            PersistError::Corrupt(format!("field {name:?} is not an unsigned integer"))
+        }),
+    }
 }
 
 fn array_field<'v>(v: &'v Value, name: &str) -> Result<&'v Vec<Value>, PersistError> {
@@ -918,7 +962,7 @@ fn metas_from_json(v: &Value) -> Result<Vec<(usize, GraphMeta)>, PersistError> {
 
 /// Encodes a checkpoint to its on-disk bytes (header line + payload).
 pub(crate) fn encode_checkpoint(data: &CheckpointData) -> Vec<u8> {
-    let payload = json!({
+    let mut payload = json!({
         "kind": "igq-checkpoint",
         "version": CHECKPOINT_VERSION,
         "seq": data.seq,
@@ -931,6 +975,13 @@ pub(crate) fn encode_checkpoint(data: &CheckpointData) -> Vec<u8> {
         "entries": Value::Array(data.entries.iter().map(entry_to_json).collect()),
         "window": Value::Array(data.window.iter().map(window_entry_to_json).collect()),
     });
+    // Presence-optional: unsharded checkpoints stay byte-identical to the
+    // pre-sharding format (and older checkpoints decode as `shards == 1`).
+    if data.shards > 1 {
+        if let Value::Object(map) = &mut payload {
+            map.insert("shards".into(), (data.shards as u64).to_json());
+        }
+    }
     let body = serde_json::to_string(&payload).expect("checkpoint serializes");
     let mut out = format!(
         "{CKPT_MAGIC} {:016x} {}\n",
@@ -1006,6 +1057,7 @@ pub(crate) fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointData, PersistE
         free: FromJson::from_json(field(&v, "free")?)?,
         entries,
         window,
+        shards: opt_usize_field(&v, "shards", 1)?,
     })
 }
 
@@ -1024,25 +1076,44 @@ fn frame_line(tag: char, body: &str) -> Vec<u8> {
 
 /// Encodes the WAL header line binding the log to an engine identity.
 pub(crate) fn encode_wal_header(h: &WalHeader) -> Vec<u8> {
-    let body = serde_json::to_string(&json!({
+    let mut payload = json!({
         "kind": "igq-wal",
         "version": WAL_VERSION,
         "config_fp": h.config_fp,
         "dataset_fp": h.dataset_fp,
-    }))
-    .expect("wal header serializes");
+    });
+    if h.shards > 1 {
+        if let Value::Object(map) = &mut payload {
+            map.insert("shards".into(), (h.shards as u64).to_json());
+        }
+    }
+    let body = serde_json::to_string(&payload).expect("wal header serializes");
     frame_line('H', &body)
 }
 
-/// Encodes one flip record as a framed WAL line.
+/// Encodes one flip record as a framed WAL line. `seq` is always
+/// serialized first ([`record_line_seq`] reads it raw); the shard tags
+/// follow it and are omitted at their unsharded defaults, keeping
+/// single-shard logs byte-identical to the pre-sharding format.
 pub(crate) fn encode_wal_record(r: &WalRecord) -> Vec<u8> {
-    let body = serde_json::to_string(&json!({
+    let mut payload = json!({
         "seq": r.seq,
-        "evicted": r.evicted.to_json(),
-        "admitted": Value::Array(r.admitted.iter().map(entry_to_json).collect()),
-        "metas": metas_to_json(&r.metas),
-    }))
-    .expect("wal record serializes");
+    });
+    if let Value::Object(map) = &mut payload {
+        if r.shard != 0 {
+            map.insert("shard".into(), (r.shard as u64).to_json());
+        }
+        if r.group != 1 {
+            map.insert("group".into(), (r.group as u64).to_json());
+        }
+        map.insert("evicted".into(), r.evicted.to_json());
+        map.insert(
+            "admitted".into(),
+            Value::Array(r.admitted.iter().map(entry_to_json).collect()),
+        );
+        map.insert("metas".into(), metas_to_json(&r.metas));
+    }
+    let body = serde_json::to_string(&payload).expect("wal record serializes");
     frame_line('R', &body)
 }
 
@@ -1078,8 +1149,14 @@ fn record_from_json(v: &Value) -> Result<WalRecord, PersistError> {
         .iter()
         .map(entry_from_json)
         .collect::<Result<Vec<_>, _>>()?;
+    let group = opt_usize_field(v, "group", 1)?;
+    if group == 0 {
+        return Err(PersistError::Corrupt("WAL record with group == 0".into()));
+    }
     Ok(WalRecord {
         seq: u64_field(v, "seq")?,
+        shard: opt_usize_field(v, "shard", 0)?,
+        group,
         evicted: FromJson::from_json(field(v, "evicted")?)?,
         admitted,
         metas: metas_from_json(field(v, "metas")?)?,
@@ -1134,6 +1211,7 @@ pub(crate) fn parse_wal(bytes: &[u8]) -> Result<WalParse, PersistError> {
                 header = Some(WalHeader {
                     config_fp: u64_field(&v, "config_fp")?,
                     dataset_fp: u64_field(&v, "dataset_fp")?,
+                    shards: opt_usize_field(&v, "shards", 1)?,
                 });
             }
             Ok(('R', v)) => {
@@ -1168,6 +1246,61 @@ pub(crate) fn parse_wal(bytes: &[u8]) -> Result<WalParse, PersistError> {
         records,
         torn_tail,
     })
+}
+
+/// Splits parsed WAL records into per-flip groups (consecutive records
+/// sharing one `seq`) and validates each group against its declared
+/// record count. An *incomplete trailing* group — a crash partway through
+/// a multi-record sharded append — is dropped and reported like a torn
+/// tail (`true` in the returned pair); an incomplete or over-full group
+/// anywhere else, or records of one group disagreeing on `seq`/`group`,
+/// is [`PersistError::Corrupt`].
+pub(crate) fn split_flip_groups(
+    records: Vec<WalRecord>,
+) -> Result<(Vec<Vec<WalRecord>>, bool), PersistError> {
+    let mut groups: Vec<Vec<WalRecord>> = Vec::new();
+    for record in records {
+        match groups.last_mut() {
+            Some(group) if group[0].seq == record.seq => {
+                if record.group != group[0].group {
+                    return Err(PersistError::Corrupt(format!(
+                        "WAL flip {} records disagree on group size ({} vs {})",
+                        record.seq, group[0].group, record.group
+                    )));
+                }
+                if group.len() == group[0].group {
+                    return Err(PersistError::Corrupt(format!(
+                        "WAL flip {} has more records than its declared group size {}",
+                        record.seq, group[0].group
+                    )));
+                }
+                group.push(record);
+            }
+            previous => {
+                if let Some(group) = previous {
+                    if group.len() != group[0].group {
+                        return Err(PersistError::Corrupt(format!(
+                            "WAL flip {} group incomplete mid-log ({} of {} records)",
+                            group[0].seq,
+                            group.len(),
+                            group[0].group
+                        )));
+                    }
+                }
+                groups.push(vec![record]);
+            }
+        }
+    }
+    let mut torn_group = false;
+    if let Some(group) = groups.last() {
+        if group.len() != group[0].group {
+            // The signature of a crash partway through appending a
+            // sharded flip group: drop the whole flip, like a torn tail.
+            torn_group = true;
+            groups.pop();
+        }
+    }
+    Ok((groups, torn_group))
 }
 
 /// Re-encodes a header plus records as a fresh WAL byte stream
@@ -1272,6 +1405,7 @@ mod tests {
                 signature: None,
                 code: Some(None),
             }],
+            shards: 1,
         }
     }
 
@@ -1350,6 +1484,8 @@ mod tests {
     fn wal_record(seq: u64) -> WalRecord {
         WalRecord {
             seq,
+            shard: 0,
+            group: 1,
             evicted: vec![1],
             admitted: vec![PersistedEntry {
                 features: None,
@@ -1364,6 +1500,7 @@ mod tests {
         let header = WalHeader {
             config_fp: 1,
             dataset_fp: 2,
+            shards: 1,
         };
         let mut bytes = encode_wal_header(&header);
         bytes.extend_from_slice(&encode_wal_record(&wal_record(1)));
@@ -1393,6 +1530,96 @@ mod tests {
     }
 
     #[test]
+    fn unsharded_encodings_omit_shard_fields_and_decode_to_defaults() {
+        // Byte-level: a shards=1 engine's artifacts must not mention
+        // sharding at all (forward-written logs stay readable by the
+        // pre-sharding decoder, and vice versa).
+        let ckpt = encode_checkpoint(&checkpoint_data());
+        assert!(!String::from_utf8(ckpt.clone()).unwrap().contains("shards"));
+        assert_eq!(decode_checkpoint(&ckpt).unwrap().shards, 1);
+        let header = WalHeader {
+            config_fp: 1,
+            dataset_fp: 2,
+            shards: 1,
+        };
+        let line = encode_wal_record(&wal_record(3));
+        let text = String::from_utf8(line.clone()).unwrap();
+        assert!(!text.contains("shard") && !text.contains("group"));
+        let bytes = [encode_wal_header(&header), line].concat();
+        assert!(!String::from_utf8(encode_wal_header(&header))
+            .unwrap()
+            .contains("shards"));
+        let parsed = parse_wal(&bytes).expect("parses");
+        assert_eq!(parsed.header.unwrap().shards, 1);
+        assert_eq!(parsed.records[0].shard, 0);
+        assert_eq!(parsed.records[0].group, 1);
+    }
+
+    #[test]
+    fn sharded_records_roundtrip_with_tags() {
+        let header = WalHeader {
+            config_fp: 1,
+            dataset_fp: 2,
+            shards: 4,
+        };
+        let mut a = wal_record(5);
+        a.shard = 2;
+        a.group = 2;
+        let mut b = wal_record(5);
+        b.shard = 0;
+        b.group = 2;
+        let bytes = encode_wal(&header, &[&a, &b]);
+        let parsed = parse_wal(&bytes).expect("parses");
+        assert_eq!(parsed.header.unwrap().shards, 4);
+        assert_eq!(parsed.records[0].shard, 2);
+        assert_eq!(parsed.records[0].group, 2);
+        assert_eq!(parsed.records[1].shard, 0);
+        // `seq` still leads the payload so raw compaction keeps working
+        // on tagged records.
+        let line = String::from_utf8(encode_wal_record(&a)).unwrap();
+        assert!(line
+            .splitn(4, ' ')
+            .nth(3)
+            .unwrap()
+            .starts_with("{\"seq\":5"));
+        let (compacted, kept) = compact_wal(&bytes, 4, &header);
+        assert_eq!(kept, 2);
+        assert_eq!(parse_wal(&compacted).unwrap().records.len(), 2);
+    }
+
+    #[test]
+    fn flip_groups_split_and_detect_incomplete_tails() {
+        let rec = |seq: u64, shard: usize, group: usize| {
+            let mut r = wal_record(seq);
+            r.shard = shard;
+            r.group = group;
+            r
+        };
+        // Two complete groups.
+        let (groups, torn) =
+            split_flip_groups(vec![rec(1, 0, 2), rec(1, 1, 2), rec(2, 1, 1)]).expect("splits");
+        assert!(!torn);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].len(), 2);
+        // Incomplete trailing group: dropped, reported torn.
+        let (groups, torn) =
+            split_flip_groups(vec![rec(1, 0, 1), rec(2, 0, 3), rec(2, 1, 3)]).expect("splits");
+        assert!(torn, "partial trailing flip group dropped");
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0][0].seq, 1);
+        // Incomplete group mid-log is corruption.
+        match split_flip_groups(vec![rec(1, 0, 2), rec(2, 0, 1)]) {
+            Err(PersistError::Corrupt(_)) => {}
+            other => panic!("expected corruption, got {other:?}"),
+        }
+        // Disagreeing group sizes are corruption.
+        match split_flip_groups(vec![rec(1, 0, 2), rec(1, 1, 3)]) {
+            Err(PersistError::Corrupt(_)) => {}
+            other => panic!("expected corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn empty_wal_parses_to_nothing() {
         let parsed = parse_wal(b"").expect("empty ok");
         assert!(parsed.header.is_none());
@@ -1405,6 +1632,7 @@ mod tests {
         let header = WalHeader {
             config_fp: 5,
             dataset_fp: 6,
+            shards: 1,
         };
         let (r1, r2) = (wal_record(1), wal_record(2));
         let bytes = encode_wal(&header, &[&r1, &r2]);
@@ -1420,6 +1648,7 @@ mod tests {
         let header = WalHeader {
             config_fp: 9,
             dataset_fp: 10,
+            shards: 1,
         };
         let mut bytes = encode_wal_header(&header);
         for seq in 1..=4 {

@@ -116,15 +116,21 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
-    /// Overlays the background maintainer's off-thread counters. In
+    /// Merges one background maintainer's off-thread counters. In
     /// `MaintenanceMode::Background` these four fields are owned entirely
-    /// by the maintenance thread (the query thread never touches them),
-    /// so a straight assignment is the merge.
+    /// by the maintenance threads (the query thread never touches them,
+    /// and the atomic snapshot zeroes them), so folding each shard's
+    /// maintainer in turn reconstructs the engine totals: work counters
+    /// (`postings_touched`, `maintenance_time`, `snapshot_publishes`)
+    /// **sum** across shards, while `maintenance_lag_windows` is a peak —
+    /// the worst lag any single shard has exhibited — and takes the
+    /// **max** (per-shard lags are concurrent, not additive; each shard's
+    /// bound is `max_lag_windows` independently).
     pub fn fold_maintainer(&mut self, ms: &crate::background::MaintainerStats) {
-        self.maintenance_postings_touched = ms.postings_touched;
-        self.maintenance_time = ms.maintenance_time;
-        self.maintenance_lag_windows = ms.peak_lag_windows;
-        self.snapshot_publishes = ms.snapshot_publishes;
+        self.maintenance_postings_touched += ms.postings_touched;
+        self.maintenance_time += ms.maintenance_time;
+        self.maintenance_lag_windows = self.maintenance_lag_windows.max(ms.peak_lag_windows);
+        self.snapshot_publishes += ms.snapshot_publishes;
     }
 
     /// Folds one query outcome into the totals.
@@ -355,6 +361,55 @@ mod tests {
         assert_eq!(s.db_iso_tests, 10);
         assert_eq!(s.exact_hits, 2);
         assert_eq!(s.avg_db_iso_tests(), 5.0);
+    }
+
+    #[test]
+    fn fold_maintainer_sums_work_and_maxes_lag() {
+        // Pin the per-shard merge semantics: work counters sum across
+        // maintainers, peak lag is a max (concurrent per-shard bounds,
+        // not additive), and folding is order-independent.
+        let shard_a = crate::background::MaintainerStats {
+            applied: 10,
+            peak_lag_windows: 3,
+            snapshot_publishes: 7,
+            postings_touched: 100,
+            maintenance_time: Duration::from_micros(40),
+        };
+        let shard_b = crate::background::MaintainerStats {
+            applied: 4,
+            peak_lag_windows: 5,
+            snapshot_publishes: 2,
+            postings_touched: 30,
+            maintenance_time: Duration::from_micros(10),
+        };
+        let mut forward = EngineStats::default();
+        forward.fold_maintainer(&shard_a);
+        forward.fold_maintainer(&shard_b);
+        assert_eq!(forward.maintenance_postings_touched, 130);
+        assert_eq!(forward.maintenance_time, Duration::from_micros(50));
+        assert_eq!(forward.maintenance_lag_windows, 5);
+        assert_eq!(forward.snapshot_publishes, 9);
+        let mut reverse = EngineStats::default();
+        reverse.fold_maintainer(&shard_b);
+        reverse.fold_maintainer(&shard_a);
+        assert_eq!(
+            reverse.maintenance_postings_touched,
+            forward.maintenance_postings_touched
+        );
+        assert_eq!(reverse.maintenance_time, forward.maintenance_time);
+        assert_eq!(
+            reverse.maintenance_lag_windows,
+            forward.maintenance_lag_windows
+        );
+        assert_eq!(reverse.snapshot_publishes, forward.snapshot_publishes);
+        // A single maintainer folded into fresh stats reproduces its own
+        // counters exactly — the shards == 1 behavior is unchanged.
+        let mut single = EngineStats::default();
+        single.fold_maintainer(&shard_a);
+        assert_eq!(single.maintenance_postings_touched, 100);
+        assert_eq!(single.maintenance_time, Duration::from_micros(40));
+        assert_eq!(single.maintenance_lag_windows, 3);
+        assert_eq!(single.snapshot_publishes, 7);
     }
 
     #[test]

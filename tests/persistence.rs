@@ -41,6 +41,35 @@ fn open_sub(
     .expect("open subgraph engine")
 }
 
+fn sharded_config(
+    capacity: usize,
+    window: usize,
+    mode: MaintenanceMode,
+    shards: usize,
+) -> IgqConfig {
+    IgqConfig {
+        shards,
+        ..sub_config(capacity, window, mode)
+    }
+}
+
+fn open_sub_sharded(
+    store: &Arc<GraphStore>,
+    mem: &Arc<MemStore>,
+    capacity: usize,
+    window: usize,
+    mode: MaintenanceMode,
+    shards: usize,
+) -> IgqEngine<Ggsx> {
+    let method = Ggsx::build(store, GgsxConfig::default());
+    IgqEngine::open(
+        method,
+        sharded_config(capacity, window, mode, shards),
+        Arc::clone(mem) as Arc<dyn CacheStore>,
+    )
+    .expect("open sharded subgraph engine")
+}
+
 fn open_super(
     store: &Arc<GraphStore>,
     mem: &Arc<MemStore>,
@@ -545,4 +574,138 @@ proptest! {
             assert_restart_equivalence(&live, &recovered, suffix, mode)?;
         }
     }
+}
+
+#[test]
+fn sharded_wal_roundtrip_matches_never_restarted_engine() {
+    // The multiplexed WAL (every flip = one group of N shard-tagged
+    // records) must round-trip: a shards=4 engine killed after a stream
+    // and reopened from its store behaves identically to the engine that
+    // never restarted — all three maintenance modes.
+    let (store, queries) = aids_workload(60, 36, 43);
+    let (prefix, rest) = queries.split_at(18);
+    let (mid, suffix) = rest.split_at(8);
+    for mode in [
+        MaintenanceMode::Incremental,
+        MaintenanceMode::ShadowRebuild,
+        MaintenanceMode::Background,
+    ] {
+        let mem = Arc::new(MemStore::new());
+        let live = open_sub_sharded(&store, &mem, 10, 2, mode, 4);
+        for q in prefix {
+            let _ = live.query(q);
+        }
+        // Checkpoint mid-stream so recovery must demultiplex the WAL
+        // tail (post-checkpoint groups) on top of a re-partitioned
+        // checkpoint image.
+        live.checkpoint().expect("mid-run checkpoint");
+        for q in mid {
+            let _ = live.query(q);
+        }
+        live.flush_window();
+        let fork = Arc::new(mem.fork());
+        let recovered = open_sub_sharded(&store, &fork, 10, 2, mode, 4);
+        assert_restart_equivalence(&live, &recovered, suffix, mode)
+            .unwrap_or_else(|e| panic!("{mode:?}: {e:?}"));
+    }
+}
+
+#[test]
+fn torn_tail_on_interleaved_multi_shard_wal_drops_the_whole_last_flip() {
+    // At shards=4 every flip appends a group of 4 records in one write.
+    // A crash can tear the group's final record; recovery must then drop
+    // the *entire* trailing group (a flip is atomic across shards — half
+    // a flip would desynchronize the global allocator) and stay exact.
+    let (store, queries) = aids_workload(50, 28, 47);
+    let mem = Arc::new(MemStore::new());
+    {
+        let e = open_sub_sharded(&store, &mem, 8, 2, MaintenanceMode::Incremental, 4);
+        for q in &queries {
+            let _ = e.query(q);
+        }
+    }
+    let wal = mem.raw_wal();
+    let records_before = wal
+        .split(|&b| b == b'\n')
+        .filter(|l| l.first() == Some(&b'R'))
+        .count();
+    assert!(
+        records_before >= 8 && records_before % 4 == 0,
+        "expected whole 4-record groups, got {records_before}"
+    );
+    // Crash mid-append: the group's last record loses its tail bytes.
+    mem.set_wal(wal[..wal.len() - 9].to_vec());
+
+    let e = open_sub_sharded(&store, &mem, 8, 2, MaintenanceMode::Incremental, 4);
+    assert_eq!(
+        e.stats().recovery_replayed_windows,
+        (records_before / 4 - 1) as u64,
+        "exactly the torn flip group is dropped, not just its torn record"
+    );
+    e.self_check().expect("recovered engine invariants");
+    for q in queries.iter().take(6) {
+        assert_eq!(e.query(q).answers, oracle_answers(&store, q), "{q:?}");
+    }
+}
+
+#[test]
+fn reopening_with_a_different_shard_count_is_a_typed_error() {
+    let (store, queries) = aids_workload(40, 16, 53);
+    // Checkpoint path: the checkpoint records shards=4; an open with 2
+    // must refuse with the typed mismatch, not misroute slots.
+    let mem = Arc::new(MemStore::new());
+    {
+        let e = open_sub_sharded(&store, &mem, 8, 2, MaintenanceMode::Incremental, 4);
+        for q in &queries {
+            let _ = e.query(q);
+        }
+        e.checkpoint().expect("checkpoint");
+    }
+    let method = Ggsx::build(&store, GgsxConfig::default());
+    let err = IgqEngine::<Ggsx>::open(
+        method,
+        sharded_config(8, 2, MaintenanceMode::Incremental, 2),
+        Arc::clone(&mem) as Arc<dyn CacheStore>,
+    )
+    .err()
+    .expect("shard-count mismatch must be rejected");
+    assert!(
+        matches!(
+            err,
+            PersistError::ShardMismatch {
+                expected: 2,
+                found: 4
+            }
+        ),
+        "expected ShardMismatch, got {err}"
+    );
+
+    // WAL-only path (no checkpoint yet): the WAL header carries the
+    // shard count and must be checked the same way — including by an
+    // unsharded open.
+    let mem = Arc::new(MemStore::new());
+    {
+        let e = open_sub_sharded(&store, &mem, 8, 2, MaintenanceMode::Incremental, 4);
+        for q in &queries {
+            let _ = e.query(q);
+        }
+    }
+    let method = Ggsx::build(&store, GgsxConfig::default());
+    let err = IgqEngine::<Ggsx>::open(
+        method,
+        sub_config(8, 2, MaintenanceMode::Incremental),
+        Arc::clone(&mem) as Arc<dyn CacheStore>,
+    )
+    .err()
+    .expect("WAL-header shard mismatch must be rejected");
+    assert!(
+        matches!(
+            err,
+            PersistError::ShardMismatch {
+                expected: 1,
+                found: 4
+            }
+        ),
+        "expected ShardMismatch, got {err}"
+    );
 }
