@@ -1,0 +1,12 @@
+//! Serving-edge bench: closed-loop clients driving one engine in-process,
+//! over TCP, and over TCP with the micro-batching window (archives
+//! `BENCH_serving.json`). `--smoke` runs the CI gate instead: TCP ≡
+//! in-process answers, real coalescing under concurrency, clean shutdown.
+fn main() {
+    let opts = igq_bench::ExpOptions::from_env();
+    if opts.smoke {
+        igq_bench::experiments::serving::smoke(&opts);
+        return;
+    }
+    igq_bench::experiments::serving::run(&opts).emit();
+}

@@ -1,0 +1,435 @@
+//! Serving-edge overhead and micro-batching: closed-loop clients driving
+//! one engine three ways — in-process handle, TCP with batching off, TCP
+//! with a micro-batching window — plus the admission-control counters.
+//!
+//! The serving front end (`igq_server`) adds a line-framed JSON protocol,
+//! a socket hop, and (optionally) a coalescing window between the client
+//! and [`igq_core::QueryEngine::execute`]. This experiment prices that
+//! edge with the same closed-loop client model as `BENCH_concurrency`:
+//! each client loops `query → think(Z)`, so delivered throughput is
+//! bounded by `N / (R + Z)` where `R` now includes serialization and
+//! loopback turnaround for the TCP paths. Per-query latency is taken from
+//! [`QueryResponse::elapsed`](igq_core::QueryResponse::elapsed) carried
+//! over the wire — the engine-observed end-to-end time, no client-side
+//! re-measuring.
+//!
+//! Read the numbers against the measuring host's core count (archived in
+//! `machine.cores`): on a 1-core box the server's accept loop, connection
+//! handlers, batcher collector, and the engine all share one CPU, so the
+//! TCP paths pay their overhead with no concurrency to win back and the
+//! honest expectation is `tcp ≤ in-process`. The interesting signals are
+//! (a) how small the edge tax is at low client counts, and (b) whether
+//! the batching window converts concurrent arrivals into coalesced
+//! engine calls (`batches_coalesced > 0` at N ≥ 2 clients) — the
+//! mechanism that wins on multi-core serving hosts.
+//!
+//! # `BENCH_serving.json` schema
+//!
+//! * `machine` — `{ "cores": N }`: the measuring host;
+//! * `think_time_ms` (ms): closed-loop think time `Z`;
+//! * `batch_window_us` (µs): the coalescing window of the `tcp-batched`
+//!   path (0 in the other paths);
+//! * `sweep` — one entry per (path, client count):
+//!   - `path`: `"in-process"` / `"tcp"` / `"tcp-batched"`;
+//!   - `clients` (count): closed-loop client threads (= TCP connections
+//!     for the tcp paths);
+//!   - `queries` (count): measured queries (identical stream per entry);
+//!   - `wall_ms` (ms): end-to-end wall-clock;
+//!   - `qps` (queries/sec): `queries / wall_ms`;
+//!   - `mean_latency_us` (µs): mean engine-observed per-query latency
+//!     (includes batching-window residence for coalesced requests);
+//!   - `speedup_vs_in_process` (ratio): this entry's `qps` over the
+//!     in-process `qps` at the same client count (edge tax when < 1);
+//!   - `batches_coalesced` (count): multi-request engine calls the
+//!     micro-batcher formed during the run;
+//!   - `requests_rejected_overload` (count): admission-control sheds
+//!     (0 here — the sweep runs unthrottled; the shed path is covered by
+//!     `crates/server` tests).
+//!
+//! The engine runs in `Background` maintenance (the serving mode) with a
+//! paper-shaped cache/window, warmed before measurement.
+
+use crate::cli::ExpOptions;
+use crate::report::{Report, Table};
+use igq_core::{IgqConfig, IgqEngine, MaintenanceMode, QueryEngine, QueryRequest};
+use igq_graph::{Graph, GraphStore};
+use igq_methods::{Ggsx, GgsxConfig};
+use igq_server::{Server, ServerConfig};
+use igq_workload::{DatasetKind, Distribution, QueryGenerator};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Client counts swept per serving path.
+pub const CLIENTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Closed-loop clients' think time `Z`.
+pub const THINK_TIME: Duration = Duration::from_millis(1);
+
+/// Coalescing window of the `tcp-batched` path.
+pub const BATCH_WINDOW: Duration = Duration::from_micros(500);
+
+/// How one measured cell reached the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Path {
+    /// Shared engine handle, no network.
+    InProcess,
+    /// TCP, one connection per client, batching window 0.
+    Tcp,
+    /// TCP with the [`BATCH_WINDOW`] coalescing window.
+    TcpBatched,
+}
+
+impl Path {
+    /// Stable label used in tables and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Path::InProcess => "in-process",
+            Path::Tcp => "tcp",
+            Path::TcpBatched => "tcp-batched",
+        }
+    }
+}
+
+/// One measured cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Serving path under test.
+    pub path: Path,
+    /// Closed-loop clients.
+    pub clients: usize,
+    /// Queries measured.
+    pub queries: usize,
+    /// End-to-end wall-clock.
+    pub wall: Duration,
+    /// Sum of engine-observed per-query latencies (µs).
+    pub total_latency_us: u64,
+    /// Multi-request engine calls the micro-batcher formed.
+    pub batches_coalesced: u64,
+    /// Admission-control sheds during the run.
+    pub requests_rejected_overload: u64,
+}
+
+impl Cell {
+    /// Queries per second.
+    pub fn qps(&self) -> f64 {
+        self.queries as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Mean engine-observed per-query latency in microseconds.
+    pub fn mean_latency_us(&self) -> f64 {
+        self.total_latency_us as f64 / (self.queries as f64).max(1.0)
+    }
+}
+
+fn build_engine(
+    store: &Arc<GraphStore>,
+    warmup: &[Graph],
+    cache_capacity: usize,
+    window: usize,
+) -> Arc<dyn QueryEngine> {
+    let method = Ggsx::build(store, GgsxConfig::default());
+    let config = IgqConfig::builder()
+        .cache_capacity(cache_capacity)
+        .window(window)
+        .maintenance(MaintenanceMode::Background)
+        .build()
+        .expect("valid serving-bench config");
+    let engine = IgqEngine::new(method, config).expect("valid engine");
+    for q in warmup {
+        let _ = engine.query(q);
+    }
+    engine.sync_maintenance();
+    Arc::new(engine)
+}
+
+/// One closed-loop cell over the chosen serving path. A fresh engine per
+/// cell keeps the cells independent; the identical query stream keeps
+/// them comparable.
+#[allow(clippy::too_many_arguments)]
+pub fn measure(
+    store: &Arc<GraphStore>,
+    warmup: &[Graph],
+    measured: &[Graph],
+    path: Path,
+    clients: usize,
+    cache_capacity: usize,
+    window: usize,
+    think: Duration,
+) -> Cell {
+    let engine = build_engine(store, warmup, cache_capacity, window);
+    let server = match path {
+        Path::InProcess => None,
+        Path::Tcp | Path::TcpBatched => {
+            let config = ServerConfig {
+                batch_window: if path == Path::TcpBatched {
+                    BATCH_WINDOW
+                } else {
+                    Duration::ZERO
+                },
+                ..ServerConfig::default()
+            };
+            Some(Server::spawn(Arc::clone(&engine), config).expect("bind loopback"))
+        }
+    };
+    let addr = server.as_ref().map(Server::local_addr);
+
+    let t = Instant::now();
+    let total_latency_us: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                let engine = Arc::clone(&engine);
+                let measured = &measured;
+                scope.spawn(move || {
+                    let mut latency_us = 0u64;
+                    let mut tcp = addr
+                        .map(|a| igq_server::Client::connect(a, "bench-serving").expect("connect"));
+                    for q in measured.iter().skip(client).step_by(clients) {
+                        match &mut tcp {
+                            Some(c) => {
+                                let verdict = c.query(q).expect("serve");
+                                let r = verdict.result().expect("no admission control");
+                                latency_us += r.elapsed_us;
+                            }
+                            None => {
+                                let resp = engine.execute(&QueryRequest::new(q.clone()));
+                                latency_us += resp.elapsed.as_micros() as u64;
+                            }
+                        }
+                        if !think.is_zero() {
+                            std::thread::sleep(think);
+                        }
+                    }
+                    latency_us
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client")).sum()
+    });
+    let wall = t.elapsed();
+    if let Some(s) = server {
+        s.shutdown();
+    }
+    engine.sync_maintenance();
+    let stats = engine.stats();
+    Cell {
+        path,
+        clients,
+        queries: measured.len(),
+        wall,
+        total_latency_us,
+        batches_coalesced: stats.batches_coalesced,
+        requests_rejected_overload: stats.requests_rejected_overload,
+    }
+}
+
+/// The full sweep: three serving paths × [`CLIENTS`], one shared query
+/// stream, archived as `BENCH_serving.json`.
+pub fn run(opts: &ExpOptions) -> Report {
+    let mut report = Report::new(
+        "BENCH_serving",
+        "Serving-edge throughput: in-process vs TCP vs TCP+micro-batching",
+    );
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let store = Arc::new(DatasetKind::Aids.generate_scaled(opts.scale.max(0.05), opts.seed));
+    let n_measured = super::scaled(1600, opts.scale, 160);
+    let warmup_n = super::scaled(200, opts.scale, 40);
+    let cache = super::scaled(300, opts.scale, 32);
+    let window = super::scaled(100, opts.scale, 5).min(cache);
+    let mut generator = QueryGenerator::new(
+        &store,
+        Distribution::Zipf(1.4),
+        Distribution::Zipf(1.4),
+        opts.seed ^ 0x5E54,
+    );
+    let warmup = generator.take(warmup_n);
+    let measured = generator.take(n_measured);
+    report.line(format!(
+        "{} graphs, {} warmup + {} measured zipf queries, C={cache} W={window}, \
+         Z={:.0}ms think, batching window {}us, background maintenance, {cores} core(s)",
+        store.len(),
+        warmup_n,
+        n_measured,
+        THINK_TIME.as_secs_f64() * 1e3,
+        BATCH_WINDOW.as_micros(),
+    ));
+
+    let mut table = Table::new([
+        "path",
+        "clients",
+        "wall",
+        "qps",
+        "lat(us)",
+        "coalesced",
+        "vs in-proc",
+    ]);
+    let mut sweep = Vec::new();
+    let mut in_process_qps = vec![0.0f64; CLIENTS.len()];
+    for path in [Path::InProcess, Path::Tcp, Path::TcpBatched] {
+        for (i, &clients) in CLIENTS.iter().enumerate() {
+            let cell = measure(
+                &store, &warmup, &measured, path, clients, cache, window, THINK_TIME,
+            );
+            if path == Path::InProcess {
+                in_process_qps[i] = cell.qps();
+            }
+            let speedup = cell.qps() / in_process_qps[i].max(1e-9);
+            table.row([
+                path.name().to_owned(),
+                clients.to_string(),
+                crate::report::fmt_duration(cell.wall),
+                format!("{:.0}", cell.qps()),
+                format!("{:.0}", cell.mean_latency_us()),
+                cell.batches_coalesced.to_string(),
+                crate::report::fmt_speedup(speedup),
+            ]);
+            sweep.push(serde_json::json!({
+                "path": path.name(),
+                "clients": clients,
+                "queries": cell.queries,
+                "wall_ms": cell.wall.as_secs_f64() * 1e3,
+                "qps": cell.qps(),
+                "mean_latency_us": cell.mean_latency_us(),
+                "speedup_vs_in_process": speedup,
+                "batches_coalesced": cell.batches_coalesced,
+                "requests_rejected_overload": cell.requests_rejected_overload,
+            }));
+        }
+    }
+    for l in table.render() {
+        report.line(l);
+    }
+    let machine = serde_json::json!({ "cores": cores });
+    report.json = serde_json::json!({
+        "machine": machine,
+        "think_time_ms": THINK_TIME.as_secs_f64() * 1e3,
+        "batch_window_us": BATCH_WINDOW.as_micros() as u64,
+        "sweep": sweep,
+    });
+    report
+}
+
+/// The `--smoke` CI gate: a tiny TCP-vs-in-process run asserting (a) the
+/// wire path returns the in-process answers, (b) the batching window
+/// coalesces concurrent clients, and (c) the server winds down cleanly
+/// with a consistent engine. Archives nothing.
+pub fn smoke(opts: &ExpOptions) {
+    let store = Arc::new(DatasetKind::Aids.generate(160, opts.seed));
+    let mut generator = QueryGenerator::new(
+        &store,
+        Distribution::Zipf(1.4),
+        Distribution::Zipf(1.4),
+        opts.seed ^ 0x5E54,
+    );
+    let warmup = generator.take(20);
+    let measured = generator.take(120);
+
+    // (a) Wire answers ≡ in-process answers, same stream.
+    let local = build_engine(&store, &warmup, 64, 8);
+    let served = build_engine(&store, &warmup, 64, 8);
+    let server = Server::spawn(Arc::clone(&served), ServerConfig::default()).expect("bind");
+    let mut client = igq_server::Client::connect(server.local_addr(), "smoke").expect("connect");
+    for (i, q) in measured.iter().enumerate() {
+        let want = local.query(q).answers;
+        let got = client.query(q).expect("serve");
+        assert_eq!(
+            got.result().expect("admitted").answers,
+            want,
+            "query {i}: TCP answers diverged from in-process"
+        );
+    }
+    client.shutdown().expect("clean shutdown");
+    server.wait();
+    served.self_check().expect("served engine consistent");
+
+    // (b) The coalescing window forms real batches under concurrency.
+    let cell = measure(
+        &store,
+        &warmup,
+        &measured,
+        Path::TcpBatched,
+        4,
+        64,
+        8,
+        Duration::from_micros(200),
+    );
+    println!(
+        "smoke serving: tcp-batched 4 clients: {:.0} qps, {} coalesced batches, {} sheds",
+        cell.qps(),
+        cell.batches_coalesced,
+        cell.requests_rejected_overload
+    );
+    assert!(
+        cell.batches_coalesced > 0,
+        "4 concurrent clients inside a 500us window must coalesce at least once"
+    );
+    assert_eq!(cell.requests_rejected_overload, 0);
+    println!("smoke serving: PASS");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_workload() -> (Arc<GraphStore>, Vec<Graph>, Vec<Graph>) {
+        let store = Arc::new(DatasetKind::Aids.generate(80, 3));
+        let mut generator =
+            QueryGenerator::new(&store, Distribution::Zipf(1.4), Distribution::Zipf(1.4), 9);
+        let warmup = generator.take(10);
+        let measured = generator.take(24);
+        (store, warmup, measured)
+    }
+
+    #[test]
+    fn every_path_measures_the_whole_stream() {
+        let (store, warmup, measured) = tiny_workload();
+        for path in [Path::InProcess, Path::Tcp, Path::TcpBatched] {
+            let c = measure(
+                &store,
+                &warmup,
+                &measured,
+                path,
+                2,
+                16,
+                4,
+                Duration::from_micros(100),
+            );
+            assert_eq!(c.queries, 24, "{path:?}");
+            assert!(c.qps() > 0.0, "{path:?}");
+            assert!(
+                c.total_latency_us > 0,
+                "{path:?}: elapsed must flow through"
+            );
+            assert_eq!(c.requests_rejected_overload, 0, "{path:?}");
+        }
+    }
+
+    #[test]
+    fn full_report_has_schema() {
+        let opts = ExpOptions {
+            scale: 0.01,
+            ..Default::default()
+        };
+        let r = run(&opts);
+        let sweep = r.json.get("sweep").expect("sweep").as_array().unwrap();
+        assert_eq!(sweep.len(), 3 * CLIENTS.len());
+        for entry in sweep {
+            for key in [
+                "path",
+                "clients",
+                "queries",
+                "wall_ms",
+                "qps",
+                "mean_latency_us",
+                "speedup_vs_in_process",
+                "batches_coalesced",
+                "requests_rejected_overload",
+            ] {
+                assert!(entry.get(key).is_some(), "missing {key}");
+            }
+        }
+        assert!(r.json.get("machine").and_then(|m| m.get("cores")).is_some());
+        assert!(r.json.get("batch_window_us").is_some());
+    }
+}

@@ -409,6 +409,109 @@ pub fn query(args: &[String]) -> CmdResult {
     Ok(())
 }
 
+/// `igq client`: drive a running `igq-server` over TCP. Runs a GFU query
+/// file (one `query` frame each, or one `batch` frame with `--batch`),
+/// optionally fetches the serving stats, and optionally asks the server
+/// to shut down.
+pub fn client(args: &[String]) -> CmdResult {
+    let (flags, _) = parse_flags(args);
+    let addr = flags.get("addr").ok_or("--addr is required")?;
+    let verbose = flags.contains_key("verbose");
+    let deadline_ms: Option<u64> = flags
+        .get("deadline-ms")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--deadline-ms expects a u64")?;
+
+    let mut c = igq_server::Client::connect(addr.as_str(), "igq-cli")
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+
+    if let Some(queries_path) = flags.get("queries") {
+        let queries = load_store(queries_path)?;
+        let graphs: Vec<_> = queries.iter().map(|(_, q)| q.clone()).collect();
+        let t = Instant::now();
+        let mut total_answers = 0usize;
+        let mut total_tests = 0u64;
+        let mut overloaded = 0usize;
+        let mut report = |qid: usize, r: &igq_server::WireResult| {
+            total_answers += r.answers.len();
+            total_tests += r.db_iso_tests;
+            if verbose {
+                println!(
+                    "q{qid}: {} answers, {} tests, {}us{}{}",
+                    r.answers.len(),
+                    r.db_iso_tests,
+                    r.elapsed_us,
+                    if r.batched_with > 1 {
+                        format!(", batched with {}", r.batched_with - 1)
+                    } else {
+                        String::new()
+                    },
+                    if r.deadline_exceeded {
+                        ", DEADLINE EXCEEDED"
+                    } else {
+                        ""
+                    },
+                );
+            }
+        };
+        if flags.contains_key("batch") {
+            match c
+                .query_batch(&graphs, deadline_ms)
+                .map_err(|e| format!("batch failed: {e}"))?
+            {
+                igq_server::BatchVerdict::Answered(results) => {
+                    for (qid, r) in results.iter().enumerate() {
+                        report(qid, r);
+                    }
+                }
+                igq_server::BatchVerdict::Overloaded { .. } => overloaded = graphs.len(),
+            }
+        } else {
+            for (qid, q) in graphs.iter().enumerate() {
+                match c
+                    .query_with(q, deadline_ms, false)
+                    .map_err(|e| format!("query {qid} failed: {e}"))?
+                {
+                    igq_server::QueryVerdict::Answered(r) => report(qid, &r),
+                    igq_server::QueryVerdict::Overloaded { retry_after_ms, .. } => {
+                        overloaded += 1;
+                        if verbose {
+                            println!("q{qid}: overloaded (retry after {retry_after_ms}ms)");
+                        }
+                    }
+                }
+            }
+        }
+        println!(
+            "{} queries in {:.2?}: {} total answers, {} iso tests, {} shed by admission control",
+            graphs.len(),
+            t.elapsed(),
+            total_answers,
+            total_tests,
+            overloaded
+        );
+    }
+
+    if flags.contains_key("stats") {
+        let s = c.stats().map_err(|e| format!("stats failed: {e}"))?;
+        println!(
+            "server stats: {} queries, {} served, {} rejected overloaded, {} batches coalesced",
+            s.queries, s.requests_served, s.requests_rejected_overload, s.batches_coalesced
+        );
+        println!(
+            "              {} exact hits, {} empty shortcuts, {} iso tests, {} cached, lag {}",
+            s.exact_hits, s.empty_shortcuts, s.db_iso_tests, s.cached_queries, s.maintenance_lag
+        );
+    }
+
+    if flags.contains_key("shutdown") {
+        c.shutdown().map_err(|e| format!("shutdown failed: {e}"))?;
+        println!("server acknowledged shutdown");
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

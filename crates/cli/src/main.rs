@@ -11,6 +11,8 @@
 //!              [--shards 1] [--store-dir state/]
 //! igq save     --dataset db.gfu --queries q.gfu --store-dir state/   # query + checkpoint
 //! igq load     --dataset db.gfu --store-dir state/ [--queries q.gfu] # warm restart
+//! igq client   --addr 127.0.0.1:7461 --queries q.gfu [--batch] [--deadline-ms 250]
+//!              [--stats] [--shutdown] [--verbose]    # drive a running igq-server
 //! ```
 //!
 //! `--store-dir` makes the engine durable: it is recovered from the
@@ -35,6 +37,7 @@ fn main() -> ExitCode {
         Some("query") => commands::query(&args[1..]),
         Some("save") => commands::save(&args[1..]),
         Some("load") => commands::load(&args[1..]),
+        Some("client") => commands::client(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -80,6 +83,13 @@ fn print_usage() {
            igq save  --dataset <db.gfu> --queries <q.gfu> --store-dir <dir> [...]\n\
                      run the workload and persist the warm engine state\n\
            igq load  --dataset <db.gfu> --store-dir <dir> [--queries <q.gfu>] [...]\n\
-                     warm-restart from <dir> (same --cache/--window as save)"
+                     warm-restart from <dir> (same --cache/--window as save)\n\
+           igq client --addr <host:port> [--queries <q.gfu>]\n\
+                     [--batch]           send the whole file as one batch frame\n\
+                     [--deadline-ms <D>] per-query wire deadline\n\
+                     [--stats]           print the server's serving stats\n\
+                     [--shutdown]        ask the server to shut down\n\
+                     [--verbose]         per-query output\n\
+                     drive a running igq-server over TCP (see igq-server --help)"
     );
 }

@@ -109,8 +109,15 @@ impl QueryRequest {
 pub struct QueryResponse {
     /// The exact answers and per-stage accounting.
     pub outcome: QueryOutcome,
-    /// True when the request carried a [`QueryOptions::deadline`] and the
-    /// query's wall-clock exceeded it. The answers are exact either way.
+    /// End-to-end wall-clock of the request as the engine observed it,
+    /// measured around the whole pipeline *including* lock waits — the
+    /// per-request latency a serving edge should report without
+    /// re-measuring around the call. Always ≥ the outcome's stage times.
+    pub elapsed: Duration,
+    /// True when the request carried a [`QueryOptions::deadline`] and
+    /// [`elapsed`](Self::elapsed) exceeded it. The answers are exact
+    /// either way (iGQ never truncates work; see
+    /// [`QueryOptions::deadline`]).
     pub deadline_exceeded: bool,
 }
 
@@ -141,6 +148,26 @@ pub trait QueryEngine: Send + Sync {
     /// Fans a batch of queries across worker threads sharing this engine;
     /// output index-aligned with the input.
     fn query_batch(&self, queries: &[Graph]) -> Vec<QueryOutcome>;
+
+    /// Fans a batch of typed requests (per-request options preserved)
+    /// across worker threads; output index-aligned with the input. A
+    /// multi-request batch counts once toward
+    /// [`EngineStats::batches_coalesced`] — the serving front end's
+    /// micro-batcher funnels coalesced windows through this.
+    fn execute_batch(&self, requests: &[QueryRequest]) -> Vec<QueryResponse>;
+
+    /// Windows currently submitted to background maintenance but not yet
+    /// applied, maximized over shards — the *instantaneous* staleness an
+    /// admission controller should gate on (unlike
+    /// [`EngineStats::maintenance_lag_windows`], which is the lifetime
+    /// peak). Zero in the synchronous maintenance modes.
+    fn maintenance_lag(&self) -> u64;
+
+    /// Records one request shed by lag-gated admission control into
+    /// [`EngineStats::requests_rejected_overload`]. The serving edge makes
+    /// the shed decision (the engine itself never refuses work) but the
+    /// count belongs with the engine's other totals.
+    fn note_overload_rejection(&self);
 
     /// Aggregate statistics so far (owned snapshot; lock-free).
     fn stats(&self) -> EngineStats;
@@ -179,6 +206,18 @@ impl<D: crate::direction::QueryDirection> QueryEngine for crate::engine::Engine<
 
     fn query_batch(&self, queries: &[Graph]) -> Vec<QueryOutcome> {
         Engine::query_batch(self, queries)
+    }
+
+    fn execute_batch(&self, requests: &[QueryRequest]) -> Vec<QueryResponse> {
+        Engine::execute_batch(self, requests)
+    }
+
+    fn maintenance_lag(&self) -> u64 {
+        Engine::maintenance_lag(self)
+    }
+
+    fn note_overload_rejection(&self) {
+        Engine::note_overload_rejection(self)
     }
 
     fn stats(&self) -> EngineStats {

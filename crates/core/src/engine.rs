@@ -856,36 +856,41 @@ impl<D: QueryDirection> Engine<D> {
     }
 
     /// Processes a typed [`QueryRequest`] (per-query options: admission
-    /// control, deadline observability).
+    /// control, deadline observability). The response carries the
+    /// engine-observed end-to-end latency ([`QueryResponse::elapsed`]) and
+    /// counts toward [`EngineStats::requests_served`].
     pub fn execute(&self, request: &QueryRequest) -> QueryResponse {
+        let start = Instant::now();
         let outcome = self.run(&request.graph, &request.options);
-        let deadline_exceeded = request
-            .options
-            .deadline
-            .is_some_and(|d| outcome.total_time() > d);
+        let elapsed = start.elapsed();
+        self.stats.count_request_served();
+        let deadline_exceeded = request.options.deadline.is_some_and(|d| elapsed > d);
         QueryResponse {
             outcome,
+            elapsed,
             deadline_exceeded,
         }
     }
 
-    /// Fans `queries` across worker threads sharing this engine
-    /// ([`IgqConfig::batch_threads`]; `0` = available parallelism). The
-    /// output is index-aligned with the input. Equivalent to calling
-    /// [`query`](Engine::query) for each element — just concurrent.
-    pub fn query_batch(&self, queries: &[Graph]) -> Vec<QueryOutcome> {
+    /// Fans `items` across worker threads sharing this engine
+    /// ([`IgqConfig::batch_threads`]; `0` = available parallelism),
+    /// returning per-item results index-aligned with the input — the
+    /// engine shared by [`query_batch`](Engine::query_batch) and
+    /// [`execute_batch`](Engine::execute_batch).
+    fn fan_out<T: Sync, R: Send>(&self, items: &[T], run: impl Fn(&T) -> R + Sync) -> Vec<R> {
         let threads = match self.config.batch_threads {
             0 => std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
             n => n,
         }
-        .min(queries.len().max(1));
+        .min(items.len().max(1));
         if threads <= 1 {
-            return queries.iter().map(|q| self.query(q)).collect();
+            return items.iter().map(run).collect();
         }
         let cursor = std::sync::atomic::AtomicUsize::new(0);
-        let mut results: Vec<Option<QueryOutcome>> = queries.iter().map(|_| None).collect();
+        let mut results: Vec<Option<R>> = items.iter().map(|_| None).collect();
+        let run = &run;
         let chunks = crossbeam::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
@@ -893,8 +898,8 @@ impl<D: QueryDirection> Engine<D> {
                         let mut local = Vec::new();
                         loop {
                             let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            let Some(q) = queries.get(i) else { break };
-                            local.push((i, self.query(q)));
+                            let Some(item) = items.get(i) else { break };
+                            local.push((i, run(item)));
                         }
                         local
                     })
@@ -913,6 +918,50 @@ impl<D: QueryDirection> Engine<D> {
             .into_iter()
             .map(|o| o.expect("every index claimed exactly once"))
             .collect()
+    }
+
+    /// Fans `queries` across worker threads sharing this engine
+    /// ([`IgqConfig::batch_threads`]; `0` = available parallelism). The
+    /// output is index-aligned with the input. Equivalent to calling
+    /// [`query`](Engine::query) for each element — just concurrent.
+    pub fn query_batch(&self, queries: &[Graph]) -> Vec<QueryOutcome> {
+        self.fan_out(queries, |q| self.query(q))
+    }
+
+    /// Fans a batch of typed requests across worker threads, preserving
+    /// each request's options and per-request accounting
+    /// ([`execute`](Engine::execute) semantics, index-aligned output). A
+    /// multi-request batch counts once toward
+    /// [`EngineStats::batches_coalesced`]: this is the scatter/gather
+    /// entry point a serving front end's micro-batcher amortizes its
+    /// coalescing window through.
+    pub fn execute_batch(&self, requests: &[QueryRequest]) -> Vec<QueryResponse> {
+        if requests.len() >= 2 {
+            self.stats.count_batch_coalesced();
+        }
+        self.fan_out(requests, |r| self.execute(r))
+    }
+
+    /// Windows currently submitted to background maintenance but not yet
+    /// applied, maximized over shards — the instantaneous staleness signal
+    /// for lag-gated admission control (the lifetime *peak* lives in
+    /// [`EngineStats::maintenance_lag_windows`]). Zero in the synchronous
+    /// maintenance modes, where maintenance never lags the cache.
+    pub fn maintenance_lag(&self) -> u64 {
+        self.shards
+            .iter()
+            .filter_map(|c| c.maintainer.as_ref())
+            .map(BackgroundMaintainer::lag_windows)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Records one request shed by lag-gated admission control into
+    /// [`EngineStats::requests_rejected_overload`]. Called by the serving
+    /// edge, which owns the shed decision; the engine only keeps the
+    /// ledger.
+    pub fn note_overload_rejection(&self) {
+        self.stats.count_overload_rejection();
     }
 
     /// The shared pipeline behind [`query`](Engine::query) and

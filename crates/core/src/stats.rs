@@ -105,6 +105,25 @@ pub struct EngineStats {
     /// Wall-clock spent in the columnar (struct-of-arrays) pre-verify
     /// screen, across all verification batches.
     pub columnar_screen_time: Duration,
+    /// Typed requests answered through [`crate::Engine::execute`] /
+    /// [`crate::Engine::execute_batch`] — the serving-edge request count.
+    /// Plain [`crate::Engine::query`] calls are *not* requests; they show
+    /// up only in `queries`.
+    pub requests_served: u64,
+    /// Requests shed by admission control before reaching the query
+    /// pipeline (the serving edge observed maintenance lag above its
+    /// configured threshold and returned a typed `overloaded` reply
+    /// instead of queueing the work). Recorded via
+    /// [`crate::Engine::note_overload_rejection`]; such requests appear
+    /// neither in `queries` nor in `requests_served`.
+    pub requests_rejected_overload: u64,
+    /// Multi-request batches executed by
+    /// [`crate::Engine::execute_batch`] — each counts one batch whose ≥ 2
+    /// requests were coalesced (by a serving front end's micro-batching
+    /// window, or by an explicit client batch) into a single scatter/gather
+    /// fan-out. Single-request batches are not coalescement and are not
+    /// counted.
+    pub batches_coalesced: u64,
     /// Wall-clock in the base method's filter stage.
     pub filter_time: Duration,
     /// Wall-clock in iGQ probes and bookkeeping.
@@ -204,6 +223,9 @@ pub(crate) struct AtomicEngineStats {
     plan_builds: AtomicU64,
     scratch_allocs: AtomicU64,
     preverify_rejections: AtomicU64,
+    requests_served: AtomicU64,
+    requests_rejected_overload: AtomicU64,
+    batches_coalesced: AtomicU64,
     columnar_screen_nanos: AtomicU64,
     filter_nanos: AtomicU64,
     igq_nanos: AtomicU64,
@@ -290,6 +312,22 @@ impl AtomicEngineStats {
             .fetch_add(b.columnar_screen_ns, R);
     }
 
+    /// Counts one typed request served (`execute` / `execute_batch`).
+    pub(crate) fn count_request_served(&self) {
+        self.requests_served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request shed by lag-gated admission control.
+    pub(crate) fn count_overload_rejection(&self) {
+        self.requests_rejected_overload
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one multi-request batch coalesced into a single fan-out.
+    pub(crate) fn count_batch_coalesced(&self) {
+        self.batches_coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Folds one checkpoint's wall-clock.
     pub(crate) fn record_checkpoint(&self, elapsed: Duration) {
         self.checkpoint_nanos
@@ -329,6 +367,9 @@ impl AtomicEngineStats {
             plan_builds: self.plan_builds.load(R),
             scratch_allocs: self.scratch_allocs.load(R),
             preverify_rejections: self.preverify_rejections.load(R),
+            requests_served: self.requests_served.load(R),
+            requests_rejected_overload: self.requests_rejected_overload.load(R),
+            batches_coalesced: self.batches_coalesced.load(R),
             plan_cache_hits: 0,
             plan_cache_misses: 0,
             plan_cache_evictions: 0,
@@ -479,6 +520,22 @@ mod tests {
         assert_eq!(snap.scratch_allocs, 1);
         assert_eq!(snap.preverify_rejections, 7);
         assert_eq!(snap.columnar_screen_time, Duration::from_nanos(150));
+    }
+
+    #[test]
+    fn serving_counters_flow_through_snapshot() {
+        let atomic = AtomicEngineStats::default();
+        atomic.count_request_served();
+        atomic.count_request_served();
+        atomic.count_request_served();
+        atomic.count_overload_rejection();
+        atomic.count_batch_coalesced();
+        let snap = atomic.snapshot();
+        assert_eq!(snap.requests_served, 3);
+        assert_eq!(snap.requests_rejected_overload, 1);
+        assert_eq!(snap.batches_coalesced, 1);
+        // Rejected requests never enter the query pipeline.
+        assert_eq!(snap.queries, 0);
     }
 
     #[test]

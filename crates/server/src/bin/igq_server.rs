@@ -1,0 +1,212 @@
+//! The `igq-server` binary: load a GFU dataset, build a filtering method
+//! and an iGQ engine, and serve it over TCP until a client sends a
+//! `shutdown` frame.
+//!
+//! ```text
+//! igq-server --dataset data.gfu [--listen 127.0.0.1:7461] [--method ggsx]
+//!            [--cache 500] [--window 100]
+//!            [--maintenance incremental|shadow|background] [--max-lag 2]
+//!            [--shards 1] [--batch-window-us 0] [--batch-max 64]
+//!            [--overload-lag N] [--max-connections 64]
+//! ```
+//!
+//! Drive it with `igq client …` (see the CLI) or any line-framed JSON
+//! speaker; the protocol is documented in `igq_server::protocol`.
+
+use igq_core::{IgqConfig, IgqEngine, MaintenanceMode, QueryEngine};
+use igq_graph::{io, GraphStore};
+use igq_iso::MatchConfig;
+use igq_methods::{
+    CtIndex, CtIndexConfig, GCode, GCodeConfig, Ggsx, GgsxConfig, Grapes, GrapesConfig,
+    SubgraphMethod,
+};
+use igq_server::{Server, ServerConfig};
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::BufReader;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return;
+    }
+    if let Err(e) = run(&args) {
+        eprintln!("igq-server: {e}");
+        std::process::exit(1);
+    }
+}
+
+const USAGE: &str = "\
+igq-server: TCP serving front end for the iGQ engine
+
+usage:
+  igq-server --dataset <data.gfu> [options]
+
+options:
+  --listen <addr>          bind address (default 127.0.0.1:7461)
+  --method <name>          ggsx|grapes|grapes6|ctindex|gcode (default ggsx)
+  --cache <N>              query-cache capacity (default 500)
+  --window <W>             maintenance window size (default 100)
+  --maintenance <mode>     incremental|shadow|background (default incremental)
+  --max-lag <K>            background mode: max unapplied windows (default 2)
+  --shards <N>             shard cache + indexes N ways (default 1)
+  --batch-window-us <U>    micro-batching window in microseconds; 0 = off
+                           (default 0)
+  --batch-max <N>          cap on one coalesced batch (default 64)
+  --overload-lag <L>       shed queries while maintenance lag > L windows
+                           (default: shedding off)
+  --max-connections <N>    bounded connection pool (default 64)
+  --io-timeout-ms <T>      per-socket read/write timeout (default 30000)
+";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let dataset = flags.get("dataset").ok_or("--dataset is required")?;
+
+    let t = Instant::now();
+    let file = File::open(dataset).map_err(|e| format!("cannot open {dataset}: {e}"))?;
+    let store: Arc<GraphStore> = Arc::new(
+        io::read_store(BufReader::new(file)).map_err(|e| format!("cannot parse {dataset}: {e}"))?,
+    );
+    eprintln!(
+        "loaded {} graphs ({} vertices) from {dataset} in {:.2?}",
+        store.len(),
+        store.total_vertices(),
+        t.elapsed()
+    );
+
+    let method_name = flags.get("method").map(String::as_str).unwrap_or("ggsx");
+    let t = Instant::now();
+    let method = build_method(method_name, &store)?;
+    eprintln!("built {method_name} index in {:.2?}", t.elapsed());
+
+    let engine = IgqEngine::new(method, engine_config(&flags)?)
+        .map_err(|e| format!("invalid engine configuration: {e}"))?;
+    let engine: Arc<dyn QueryEngine> = Arc::new(engine);
+
+    let config = server_config(&flags)?;
+    let server = Server::spawn(engine, config).map_err(|e| format!("cannot bind: {e}"))?;
+    // Parseable by harnesses (the CI smoke greps this line for the port).
+    println!("listening on {}", server.local_addr());
+    server.wait();
+    eprintln!("shutdown complete");
+    Ok(())
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        let Some(name) = a.strip_prefix("--") else {
+            return Err(format!("unexpected positional argument {a:?} (see --help)"));
+        };
+        let takes_value = it.peek().map(|v| !v.starts_with("--")).unwrap_or(false);
+        if takes_value {
+            flags.insert(name.to_owned(), it.next().expect("peeked").clone());
+        } else {
+            flags.insert(name.to_owned(), String::from("true"));
+        }
+    }
+    Ok(flags)
+}
+
+fn parse_num<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(s) => s.parse().map_err(|_| format!("--{key} expects a number")),
+    }
+}
+
+fn build_method(name: &str, store: &Arc<GraphStore>) -> Result<Box<dyn SubgraphMethod>, String> {
+    let match_config = MatchConfig::with_budget(200_000_000);
+    Ok(match name {
+        "ggsx" => Box::new(Ggsx::build(
+            store,
+            GgsxConfig {
+                match_config,
+                ..Default::default()
+            },
+        )),
+        "grapes" => Box::new(Grapes::build(
+            store,
+            GrapesConfig {
+                threads: 1,
+                match_config,
+                ..Default::default()
+            },
+        )),
+        "grapes6" => Box::new(Grapes::build(
+            store,
+            GrapesConfig {
+                threads: 6,
+                match_config,
+                ..Default::default()
+            },
+        )),
+        "ctindex" => Box::new(CtIndex::build(
+            store,
+            CtIndexConfig {
+                match_config,
+                ..Default::default()
+            },
+        )),
+        "gcode" => Box::new(GCode::build(
+            store,
+            GCodeConfig {
+                match_config,
+                ..Default::default()
+            },
+        )),
+        other => return Err(format!("unknown method {other:?}")),
+    })
+}
+
+fn engine_config(flags: &HashMap<String, String>) -> Result<IgqConfig, String> {
+    let maintenance = match flags.get("maintenance").map(String::as_str) {
+        None | Some("incremental") => MaintenanceMode::Incremental,
+        Some("shadow") | Some("shadow-rebuild") => MaintenanceMode::ShadowRebuild,
+        Some("background") => MaintenanceMode::Background,
+        Some(other) => {
+            return Err(format!(
+                "--maintenance must be incremental|shadow|background, got {other:?}"
+            ))
+        }
+    };
+    IgqConfig::builder()
+        .cache_capacity(parse_num(flags, "cache", 500)?)
+        .window(parse_num(flags, "window", 100)?)
+        .maintenance(maintenance)
+        .max_lag_windows(parse_num(flags, "max-lag", 2)?)
+        .shards(parse_num(flags, "shards", 1)?)
+        .build()
+        .map_err(|e| format!("invalid iGQ configuration: {e}"))
+}
+
+fn server_config(flags: &HashMap<String, String>) -> Result<ServerConfig, String> {
+    let mut config = ServerConfig {
+        addr: flags
+            .get("listen")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:7461".to_owned()),
+        ..ServerConfig::default()
+    };
+    config.max_connections = parse_num(flags, "max-connections", config.max_connections)?;
+    config.batch_window = Duration::from_micros(parse_num(flags, "batch-window-us", 0u64)?);
+    config.batch_max = parse_num(flags, "batch-max", config.batch_max)?;
+    config.overload_lag_threshold = match flags.get("overload-lag") {
+        None => None,
+        Some(s) => Some(
+            s.parse()
+                .map_err(|_| "--overload-lag expects a number".to_owned())?,
+        ),
+    };
+    config.io_timeout = Duration::from_millis(parse_num(flags, "io-timeout-ms", 30_000u64)?);
+    Ok(config)
+}

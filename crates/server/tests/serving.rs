@@ -1,0 +1,404 @@
+//! End-to-end serving tests: TCP ≡ in-process equivalence across
+//! maintenance modes, typed rejection of garbage and torn connections,
+//! admission-control shedding, micro-batch coalescing, the bounded
+//! connection pool, and graceful shutdown.
+
+use igq_core::{
+    EngineStats, IgqConfig, IgqEngine, MaintenanceMode, QueryEngine, QueryRequest, QueryResponse,
+};
+use igq_graph::{Graph, GraphStore};
+use igq_methods::{Ggsx, GgsxConfig};
+use igq_server::{Client, ClientError, QueryVerdict, Server, ServerConfig};
+use igq_workload::{DatasetKind, QueryWorkloadSpec};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn dataset() -> (Arc<GraphStore>, Vec<Graph>) {
+    // AIDS-like molecules: small graphs, cheap iso tests — these are
+    // protocol/serving tests, not engine benchmarks.
+    let store: Arc<GraphStore> = Arc::new(DatasetKind::Aids.generate(40, 11));
+    let queries = QueryWorkloadSpec::named(true, false, 1.0, 24, 7).generate(&store);
+    (store, queries)
+}
+
+fn build_engine(store: &Arc<GraphStore>, mode: MaintenanceMode) -> Arc<dyn QueryEngine> {
+    let method = Ggsx::build(store, GgsxConfig::default());
+    let config = IgqConfig::builder()
+        .cache_capacity(100)
+        .window(5)
+        .maintenance(mode)
+        .build()
+        .expect("valid config");
+    Arc::new(IgqEngine::new(method, config).expect("valid engine"))
+}
+
+fn loopback() -> ServerConfig {
+    ServerConfig {
+        io_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    }
+}
+
+/// The tentpole guarantee: answers served over TCP are the answers the
+/// in-process engine gives, for every maintenance mode, and the served
+/// engine passes `self_check` afterwards.
+#[test]
+fn tcp_equals_in_process_across_maintenance_modes() {
+    let (store, queries) = dataset();
+    for mode in [
+        MaintenanceMode::Incremental,
+        MaintenanceMode::ShadowRebuild,
+        MaintenanceMode::Background,
+    ] {
+        let local = build_engine(&store, mode);
+        let served = build_engine(&store, mode);
+        let server = Server::spawn(Arc::clone(&served), loopback()).expect("bind");
+        let mut client = Client::connect(server.local_addr(), "equiv-test").expect("connect");
+
+        for q in &queries {
+            let expected = local.query(q);
+            let got = client.query(q).expect("query");
+            let result = got.result().expect("no admission control configured");
+            assert_eq!(
+                result.answers, expected.answers,
+                "answers must match in-process ({mode:?})"
+            );
+            if mode != MaintenanceMode::Background {
+                // Synchronous modes are fully deterministic; background
+                // resolution depends on maintenance timing (answers are
+                // exact either way).
+                assert_eq!(result.resolution, expected.resolution, "{mode:?}");
+                assert_eq!(result.db_iso_tests, expected.db_iso_tests, "{mode:?}");
+            }
+        }
+
+        // The batch path must agree too.
+        let expected: Vec<_> = queries.iter().map(|q| local.query(q)).collect();
+        let batched = client
+            .query_batch(&queries, None)
+            .expect("batch")
+            .results()
+            .expect("admitted")
+            .to_vec();
+        assert_eq!(batched.len(), expected.len());
+        for (got, want) in batched.iter().zip(&expected) {
+            assert_eq!(got.answers, want.answers, "batch answers ({mode:?})");
+        }
+
+        server.shutdown();
+        served.self_check().expect("served engine consistent");
+    }
+}
+
+/// Wire deadlines propagate: a zero-millisecond deadline is always
+/// exceeded (answers stay exact), and elapsed time is reported.
+#[test]
+fn deadlines_propagate_and_report() {
+    let (store, queries) = dataset();
+    let engine = build_engine(&store, MaintenanceMode::Incremental);
+    let server = Server::spawn(Arc::clone(&engine), loopback()).expect("bind");
+    let mut client = Client::connect(server.local_addr(), "deadline-test").expect("connect");
+
+    let q = &queries[0];
+    let expected = engine.query(q);
+    let verdict = client.query_with(q, Some(0), false).expect("query");
+    let result = verdict.result().expect("admitted");
+    assert!(result.deadline_exceeded, "0ms deadline is always exceeded");
+    assert_eq!(result.answers, expected.answers, "answers stay exact");
+
+    let relaxed = client
+        .query_with(&queries[1], Some(60_000), false)
+        .expect("query");
+    assert!(!relaxed.result().expect("admitted").deadline_exceeded);
+    server.shutdown();
+}
+
+/// Garbage bytes get a typed `error` frame back — never a panic, never a
+/// half-dead server: a fresh connection still serves queries afterwards.
+#[test]
+fn garbage_frames_get_typed_errors_and_server_survives() {
+    let (store, queries) = dataset();
+    let engine = build_engine(&store, MaintenanceMode::Incremental);
+    let server = Server::spawn(Arc::clone(&engine), loopback()).expect("bind");
+
+    let expect_error_code = |payload: &[u8], want: &str| {
+        let mut s = TcpStream::connect(server.local_addr()).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(payload).expect("write");
+        let mut line = String::new();
+        BufReader::new(&s).read_line(&mut line).expect("reply");
+        assert!(
+            line.contains(&format!("\"code\":\"{want}\"")),
+            "payload {payload:?} must earn code {want:?}, got {line:?}"
+        );
+    };
+
+    expect_error_code(b"utter garbage\n", "malformed");
+    expect_error_code(b"{\"type\":\"warp\"}\n", "unknown_type");
+    expect_error_code(b"{\"type\":\"stats\"}\n", "protocol"); // before hello
+    expect_error_code(
+        b"{\"type\":\"hello\",\"v\":99,\"client\":\"x\"}\n",
+        "unsupported_version",
+    );
+
+    // The server still answers real clients.
+    let mut client = Client::connect(server.local_addr(), "after-garbage").expect("connect");
+    let verdict = client.query(&queries[0]).expect("query");
+    assert!(verdict.result().is_some());
+    server.shutdown();
+    engine
+        .self_check()
+        .expect("engine consistent after garbage");
+}
+
+/// A connection torn mid-request leaves the engine consistent and the
+/// server serving.
+#[test]
+fn torn_connection_leaves_engine_consistent() {
+    let (store, queries) = dataset();
+    let engine = build_engine(&store, MaintenanceMode::Background);
+    let server = Server::spawn(Arc::clone(&engine), loopback()).expect("bind");
+
+    // Warm the engine through a real client first.
+    let mut client = Client::connect(server.local_addr(), "pre-tear").expect("connect");
+    for q in &queries[..10] {
+        client.query(q).expect("query");
+    }
+
+    // Handshake, then die mid-frame: half a query with no terminator.
+    {
+        let mut s = TcpStream::connect(server.local_addr()).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(b"{\"type\":\"hello\",\"v\":1,\"client\":\"tearer\"}\n")
+            .expect("hello");
+        let mut line = String::new();
+        BufReader::new(s.try_clone().unwrap())
+            .read_line(&mut line)
+            .expect("hello_ok");
+        assert!(line.contains("hello_ok"), "got {line:?}");
+        s.write_all(b"{\"type\":\"query\",\"id\":1,\"graph\":{\"lab")
+            .expect("partial frame");
+        // Drop: RST/FIN mid-frame.
+    }
+
+    // The engine keeps serving and stays internally consistent.
+    for q in &queries[10..20] {
+        let verdict = client.query(q).expect("query after tear");
+        assert!(verdict.result().is_some());
+    }
+    client.shutdown().expect("graceful shutdown");
+    server.wait();
+    engine.sync_maintenance();
+    engine
+        .self_check()
+        .expect("engine consistent after torn connection");
+}
+
+/// A stub engine with a controllable instantaneous lag, for deterministic
+/// admission-control tests (real background lag is timing-dependent).
+struct LaggyEngine {
+    inner: Arc<dyn QueryEngine>,
+    lag: AtomicU64,
+}
+
+impl QueryEngine for LaggyEngine {
+    fn query(&self, q: &Graph) -> igq_core::QueryOutcome {
+        self.inner.query(q)
+    }
+    fn execute(&self, request: &QueryRequest) -> QueryResponse {
+        self.inner.execute(request)
+    }
+    fn query_batch(&self, queries: &[Graph]) -> Vec<igq_core::QueryOutcome> {
+        self.inner.query_batch(queries)
+    }
+    fn execute_batch(&self, requests: &[QueryRequest]) -> Vec<QueryResponse> {
+        self.inner.execute_batch(requests)
+    }
+    fn maintenance_lag(&self) -> u64 {
+        self.lag.load(Ordering::Relaxed)
+    }
+    fn note_overload_rejection(&self) {
+        self.inner.note_overload_rejection()
+    }
+    fn stats(&self) -> EngineStats {
+        self.inner.stats()
+    }
+    fn config(&self) -> &IgqConfig {
+        self.inner.config()
+    }
+    fn cached_queries(&self) -> usize {
+        self.inner.cached_queries()
+    }
+    fn flush_window(&self) {
+        self.inner.flush_window()
+    }
+    fn sync_maintenance(&self) {
+        self.inner.sync_maintenance()
+    }
+    fn checkpoint(&self) -> Result<(), igq_core::PersistError> {
+        self.inner.checkpoint()
+    }
+    fn self_check(&self) -> Result<(), String> {
+        self.inner.self_check()
+    }
+}
+
+/// Admission control sheds with a typed `overloaded` frame while lag is
+/// above threshold, executes nothing, counts the rejection, and admits
+/// again once lag clears.
+#[test]
+fn overload_sheds_with_typed_frame_and_recovers() {
+    let (store, queries) = dataset();
+    let laggy = Arc::new(LaggyEngine {
+        inner: build_engine(&store, MaintenanceMode::Incremental),
+        lag: AtomicU64::new(0),
+    });
+    let engine: Arc<dyn QueryEngine> = Arc::<LaggyEngine>::clone(&laggy);
+    let config = ServerConfig {
+        overload_lag_threshold: Some(2),
+        retry_after: Duration::from_millis(7),
+        ..loopback()
+    };
+    let server = Server::spawn(engine, config).expect("bind");
+    let mut client = Client::connect(server.local_addr(), "overload-test").expect("connect");
+
+    // Healthy: admitted.
+    assert!(client.query(&queries[0]).expect("query").result().is_some());
+
+    // Lag spikes above the threshold: shed, not executed.
+    laggy.lag.store(5, Ordering::Relaxed);
+    let served_before = laggy.stats().requests_served;
+    match client.query(&queries[1]).expect("query") {
+        QueryVerdict::Overloaded {
+            lag_windows,
+            threshold,
+            retry_after_ms,
+        } => {
+            assert_eq!(lag_windows, 5);
+            assert_eq!(threshold, 2);
+            assert_eq!(retry_after_ms, 7);
+        }
+        other => panic!("expected overloaded, got {other:?}"),
+    }
+    assert!(client
+        .query_batch(&queries[..3], None)
+        .expect("batch")
+        .results()
+        .is_none());
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.requests_served, served_before, "shed = not executed");
+    assert_eq!(
+        stats.requests_rejected_overload, 4,
+        "1 query + 3-query batch rejected"
+    );
+    assert_eq!(stats.maintenance_lag, 5);
+
+    // Lag clears: admitted again (the connection survived the sheds).
+    laggy.lag.store(0, Ordering::Relaxed);
+    assert!(client.query(&queries[1]).expect("query").result().is_some());
+    server.shutdown();
+}
+
+/// Two concurrent clients inside one batching window share a single
+/// engine fan-out.
+#[test]
+fn micro_batching_coalesces_concurrent_clients() {
+    let (store, queries) = dataset();
+    let engine = build_engine(&store, MaintenanceMode::Incremental);
+    let config = ServerConfig {
+        batch_window: Duration::from_millis(300),
+        ..loopback()
+    };
+    let server = Server::spawn(Arc::clone(&engine), config).expect("bind");
+    let addr = server.local_addr();
+
+    let barrier = std::sync::Barrier::new(2);
+    let sizes: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..2)
+            .map(|i| {
+                let q = queries[i].clone();
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let mut c = Client::connect(addr, "coalesce-test").expect("connect");
+                    barrier.wait();
+                    let verdict = c.query(&q).expect("query");
+                    verdict.result().expect("admitted").batched_with
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(sizes, vec![2, 2], "both requests share one fan-out");
+    assert_eq!(engine.stats().batches_coalesced, 1);
+    server.shutdown();
+}
+
+/// Connections over the bounded pool get a typed `busy` error without
+/// touching the engine.
+#[test]
+fn connection_pool_is_bounded() {
+    let (store, queries) = dataset();
+    let engine = build_engine(&store, MaintenanceMode::Incremental);
+    let config = ServerConfig {
+        max_connections: 1,
+        ..loopback()
+    };
+    let server = Server::spawn(Arc::clone(&engine), config).expect("bind");
+
+    let mut first = Client::connect(server.local_addr(), "holder").expect("connect");
+    assert!(first.query(&queries[0]).expect("query").result().is_some());
+
+    match Client::connect(server.local_addr(), "refused") {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "busy"),
+        Err(other) => panic!("expected busy rejection, got {other:?}"),
+        Ok(_) => panic!("expected busy rejection, got a connection"),
+    }
+
+    // Freeing the slot admits new connections (poll briefly: the server
+    // notices the close asynchronously).
+    drop(first);
+    let mut admitted = None;
+    for _ in 0..50 {
+        match Client::connect(server.local_addr(), "second") {
+            Ok(c) => {
+                admitted = Some(c);
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    let mut second = admitted.expect("slot frees after disconnect");
+    assert!(second.query(&queries[1]).expect("query").result().is_some());
+    server.shutdown();
+}
+
+/// The stats frame reflects serving activity, and a client `shutdown`
+/// frame stops the whole server (CI drives this same sequence).
+#[test]
+fn stats_frame_and_client_driven_shutdown() {
+    let (store, queries) = dataset();
+    let engine = build_engine(&store, MaintenanceMode::Incremental);
+    let server = Server::spawn(Arc::clone(&engine), loopback()).expect("bind");
+    let addr = server.local_addr();
+
+    let mut client = Client::connect(addr, "stats-test").expect("connect");
+    for q in &queries[..8] {
+        client.query(q).expect("query");
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.requests_served, 8);
+    assert_eq!(stats.queries, 8);
+    assert!(stats.cached_queries > 0, "warm cache visible over the wire");
+    assert_eq!(stats.requests_rejected_overload, 0);
+
+    // Client-driven shutdown: wait() returns once the bye is acknowledged.
+    let waiter = std::thread::spawn(move || server.wait());
+    client.shutdown().expect("bye");
+    waiter.join().expect("server wound down cleanly");
+    engine
+        .self_check()
+        .expect("engine consistent after shutdown");
+}

@@ -41,6 +41,16 @@ pub enum TryRecvError {
     Disconnected,
 }
 
+/// Error returned by [`Receiver::recv_timeout`]: nothing arrived within
+/// the deadline (`Timeout`), or nothing can ever arrive (`Disconnected`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The deadline elapsed with the channel still empty.
+    Timeout,
+    /// The channel is empty and every sender has been dropped.
+    Disconnected,
+}
+
 /// The sending half of a channel. Clone freely; the channel disconnects
 /// when the last clone is dropped.
 pub struct Sender<T> {
@@ -106,6 +116,17 @@ impl<T> Receiver<T> {
             mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
         })
     }
+
+    /// Blocks for at most `timeout` waiting for a message. Distinguishes
+    /// a lapsed deadline from a disconnected channel, so a coalescing
+    /// consumer (e.g. a micro-batching window) can tell "nothing more
+    /// right now" from "nothing more ever".
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+        self.inner.recv_timeout(timeout).map_err(|e| match e {
+            mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+            mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+        })
+    }
 }
 
 /// A channel buffering at most `cap` messages; `send` blocks while full
@@ -169,6 +190,22 @@ mod tests {
         assert_eq!(rx.try_recv(), Ok(7));
         drop(tx);
         assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_distinguishes_timeout_from_disconnect() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(11).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(11));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]

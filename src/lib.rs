@@ -9,6 +9,8 @@
 //! * [`features`] — path/tree/cycle features, tries, fingerprints;
 //! * [`methods`] — GGSX, Grapes, CT-Index, and the naive oracle;
 //! * [`core`] — the iGQ engine itself (query indexes, cache, replacement);
+//! * [`server`] — the TCP serving front end (line-framed JSON protocol,
+//!   micro-batching, admission control) and its typed client;
 //! * [`workload`] — dataset synthesizers and query generators.
 //!
 //! ## Quickstart
@@ -46,6 +48,7 @@ pub use igq_features as features;
 pub use igq_graph as graph;
 pub use igq_iso as iso;
 pub use igq_methods as methods;
+pub use igq_server as server;
 pub use igq_workload as workload;
 
 /// One-stop imports for examples and tests.
