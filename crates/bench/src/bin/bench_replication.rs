@@ -1,0 +1,9 @@
+//! Replication bench: snapshot bootstrap, delta catch-up throughput,
+//! steady-state lag, and the binary-vs-JSON codec ratio (archives
+//! `BENCH_replication.json`). `--smoke` shrinks the sweep and asserts
+//! convergence, the codec win, and the follower's read-only rejection —
+//! while still archiving the report.
+fn main() {
+    let opts = igq_bench::ExpOptions::from_env();
+    igq_bench::experiments::replication::run(&opts).emit();
+}

@@ -11,6 +11,7 @@ pub mod index_sizes;
 pub mod maintenance;
 pub mod persistence;
 pub mod policy_ablation;
+pub mod replication;
 pub mod serving;
 pub mod speedups;
 pub mod supergraph_demo;

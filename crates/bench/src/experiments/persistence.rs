@@ -28,19 +28,30 @@
 //! * `entries` (count): cached queries in the persisted state;
 //! * `replayed_windows` (count): WAL records the warm path replayed on
 //!   top of the checkpoint (flips after the mid-run checkpoint);
-//! * `checkpoint_kib` / `wal_kib` (KiB): on-disk artifact sizes;
+//! * `checkpoint_kib` / `wal_kib` (KiB): on-disk artifact sizes under the
+//!   default binary codec ([`StoreCodec::Binary`]);
+//! * `text_checkpoint_kib` / `text_wal_kib` (KiB): the same artifacts
+//!   written by the JSON-text codec over identical warm state;
+//! * `codec_size_ratio` (ratio): text bytes over binary bytes
+//!   (checkpoint + WAL) — what the compact encoding buys on disk;
 //! * `export_kib` (KiB): size of the cold path's exported-pairs JSON;
 //! * `cold_rebuild_ms` (ms): parse + import + full index rebuild;
-//! * `warm_restart_ms` (ms): `Engine::open` (checkpoint load + replay);
+//! * `warm_restart_ms` (ms): `Engine::open` (checkpoint load + replay)
+//!   under the binary codec; `text_warm_restart_ms` (ms) under the text
+//!   codec, with `codec_recovery_ratio` their quotient;
 //! * `speedup` (ratio): `cold_rebuild_ms / warm_restart_ms`.
 //!
-//! The acceptance signal: `speedup ≥ 5` at `cache ≥ 256` — persisted
+//! The acceptance signals: `speedup ≥ 5` at `cache ≥ 256` — persisted
 //! feature sets turn restart from O(cache · enumerate+canonicalize) work
-//! into O(cache) parsing.
+//! into O(cache) parsing — and `codec_size_ratio > 1` — the
+//! length-prefixed binary framing strictly beats the text codec it
+//! replaced as the default.
 
 use crate::cli::ExpOptions;
 use crate::report::{Report, Table};
-use igq_core::{CacheStore, DirStore, IgqConfig, IgqEngine, MaintenanceMode, PersistenceConfig};
+use igq_core::{
+    CacheStore, DirStore, IgqConfig, IgqEngine, MaintenanceMode, PersistenceConfig, StoreCodec,
+};
 use igq_graph::{Graph, GraphId, GraphStore};
 use igq_methods::{Ggsx, GgsxConfig};
 use igq_workload::{DatasetKind, Distribution, QueryGenerator};
@@ -48,7 +59,7 @@ use serde_json::json;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// One cache size's restart measurements.
+/// One (cache size, codec) cell's restart measurements.
 struct Row {
     cache: usize,
     window: usize,
@@ -61,12 +72,12 @@ struct Row {
     warm_ms: f64,
 }
 
-fn config(cache: usize, window: usize) -> IgqConfig {
+fn config(cache: usize, window: usize, codec: StoreCodec) -> IgqConfig {
     IgqConfig {
         cache_capacity: cache,
         window,
         maintenance: MaintenanceMode::Incremental,
-        persistence: PersistenceConfig::manual(),
+        persistence: PersistenceConfig::manual().with_codec(codec),
         ..Default::default()
     }
 }
@@ -80,11 +91,12 @@ fn file_kib(path: &std::path::Path) -> f64 {
 /// Warms an engine over a `DirStore`, checkpoints mid-run (so a WAL tail
 /// remains to replay — the crash-recovery shape), and measures both
 /// restart paths over the resulting state.
-fn measure(store: &Arc<GraphStore>, cache: usize, opts: &ExpOptions) -> Row {
+fn measure(store: &Arc<GraphStore>, cache: usize, codec: StoreCodec, opts: &ExpOptions) -> Row {
     let window = (cache / 16).max(4);
     let dir = std::env::temp_dir().join(format!(
-        "igq_bench_persistence_{}_{cache}",
-        std::process::id()
+        "igq_bench_persistence_{}_{cache}_{}",
+        std::process::id(),
+        codec.name()
     ));
     let _ = std::fs::remove_dir_all(&dir);
 
@@ -102,7 +114,7 @@ fn measure(store: &Arc<GraphStore>, cache: usize, opts: &ExpOptions) -> Row {
         let disk: Arc<dyn CacheStore> = Arc::new(DirStore::open(&dir).expect("store dir"));
         let engine = IgqEngine::open(
             Ggsx::build(store, GgsxConfig::default()),
-            config(cache, window),
+            config(cache, window, codec),
             disk,
         )
         .expect("open durable engine");
@@ -133,15 +145,16 @@ fn measure(store: &Arc<GraphStore>, cache: usize, opts: &ExpOptions) -> Row {
     let cold_start = Instant::now();
     let restored: Vec<(Graph, Vec<GraphId>)> =
         serde_json::from_str(&export_json).expect("parse pairs");
-    let cold = IgqEngine::new(cold_method, config(cache, window)).expect("cold engine");
-    let report = cold.import_entries(restored);
+    let cold = IgqEngine::new(cold_method, config(cache, window, codec)).expect("cold engine");
+    let report = cold.import_entries(restored).expect("primary import");
     let cold_ms = cold_start.elapsed().as_secs_f64() * 1e3;
     assert_eq!(report.admitted + report.skipped_capacity, entries);
 
     // ---- warm restart: checkpoint + WAL tail via Engine::open ----
     let warm_start = Instant::now();
     let disk: Arc<dyn CacheStore> = Arc::new(DirStore::open(&dir).expect("store dir"));
-    let warm = IgqEngine::open(warm_method, config(cache, window), disk).expect("warm restart");
+    let warm =
+        IgqEngine::open(warm_method, config(cache, window, codec), disk).expect("warm restart");
     let warm_ms = warm_start.elapsed().as_secs_f64() * 1e3;
     let replayed_windows = warm.stats().recovery_replayed_windows;
     assert_eq!(
@@ -191,23 +204,46 @@ pub fn run(opts: &ExpOptions) -> Report {
     // Discarded warm-up measurement: the first pass through either
     // restart path pays one-time costs (page cache, lazy code paths,
     // allocator growth) that would otherwise pollute the smallest row.
-    let _ = measure(&store, 32, opts);
+    let _ = measure(&store, 32, StoreCodec::Binary, opts);
 
     let mut table = Table::new([
-        "C", "W", "entries", "replayed", "ckpt KiB", "wal KiB", "cold ms", "warm ms", "speedup",
+        "C",
+        "W",
+        "entries",
+        "replayed",
+        "txt ckpt KiB",
+        "bin ckpt KiB",
+        "txt wal KiB",
+        "bin wal KiB",
+        "size ratio",
+        "cold ms",
+        "txt warm ms",
+        "bin warm ms",
+        "speedup",
     ]);
     let mut rows_json = Vec::new();
     for &cache in sizes {
-        let row = measure(&store, cache, opts);
+        // Identical warm state under both codecs: only the on-disk
+        // encoding (and thus artifact size + parse cost) differs.
+        let text = measure(&store, cache, StoreCodec::Json, opts);
+        let row = measure(&store, cache, StoreCodec::Binary, opts);
+        assert_eq!(text.entries, row.entries, "codec must not change state");
         let speedup = row.cold_ms / row.warm_ms.max(1e-9);
+        let size_ratio =
+            (text.checkpoint_kib + text.wal_kib) / (row.checkpoint_kib + row.wal_kib).max(1e-9);
+        let recovery_ratio = text.warm_ms / row.warm_ms.max(1e-9);
         table.row(&[
             row.cache.to_string(),
             row.window.to_string(),
             row.entries.to_string(),
             row.replayed_windows.to_string(),
+            format!("{:.0}", text.checkpoint_kib),
             format!("{:.0}", row.checkpoint_kib),
+            format!("{:.0}", text.wal_kib),
             format!("{:.0}", row.wal_kib),
+            format!("{size_ratio:.2}x"),
             format!("{:.1}", row.cold_ms),
+            format!("{:.1}", text.warm_ms),
             format!("{:.1}", row.warm_ms),
             format!("{speedup:.1}x"),
         ]);
@@ -218,9 +254,14 @@ pub fn run(opts: &ExpOptions) -> Report {
             "replayed_windows": row.replayed_windows,
             "checkpoint_kib": row.checkpoint_kib,
             "wal_kib": row.wal_kib,
+            "text_checkpoint_kib": text.checkpoint_kib,
+            "text_wal_kib": text.wal_kib,
+            "codec_size_ratio": size_ratio,
             "export_kib": row.export_kib,
             "cold_rebuild_ms": row.cold_ms,
             "warm_restart_ms": row.warm_ms,
+            "text_warm_restart_ms": text.warm_ms,
+            "codec_recovery_ratio": recovery_ratio,
             "speedup": speedup,
         }));
     }

@@ -1,0 +1,402 @@
+//! Replication cost: snapshot bootstrap, delta catch-up throughput,
+//! steady-state lag, and the binary-vs-JSON codec ratio
+//! (`BENCH_replication.json`).
+//!
+//! The replication subsystem streams the primary's committed window-flip
+//! groups (the same records the WAL persists) to follower engines, which
+//! bootstrap from a checkpoint snapshot and replay the groups through the
+//! recovery path. This experiment prices the three legs of that design:
+//!
+//! * **bootstrap** — encoding a snapshot on the primary plus
+//!   `Engine::open_follower` on the replica (parse + index reconstitution);
+//! * **catch-up** — a follower draining a backlog of delta groups as fast
+//!   as `apply_replica_delta` can replay them (the reconnect/lagging
+//!   replica path; steady state is the same work spread over time);
+//! * **the wire** — the same convergence over loopback TCP through
+//!   `igq-server`'s `subscribe`/`snapshot`/`delta` frames and the
+//!   `Follower` runtime, including framing + base64 + socket turnaround.
+//!
+//! # `BENCH_replication.json` schema
+//!
+//! `sweep` — one entry per cache size:
+//!
+//! * `cache` / `window` (graphs / queries): engine shape;
+//! * `queries` (count): primary queries driven before catch-up;
+//! * `groups` (count): delta groups the backlog contained;
+//! * `snapshot_kib` (KiB): encoded bootstrap checkpoint;
+//! * `bootstrap_ms` (ms): `Engine::open_follower` over that snapshot;
+//! * `delta_kib` (KiB): total delta-group bytes replayed;
+//! * `catchup_ms` (ms): in-process drain wall-clock;
+//! * `groups_per_s` / `delta_mib_per_s`: catch-up throughput;
+//! * `steady_lag_windows` (count): follower staleness after the drain
+//!   (the acceptance signal: exactly 0);
+//! * `tcp_catchup_ms` (ms): wall-clock from the first primary query to a
+//!   converged follower over loopback TCP (includes the server edge).
+//!
+//! `codec` — the binary-vs-JSON encoding ratio over identical durable
+//! state at the largest swept size: `{text,binary}_checkpoint_kib`,
+//! `{text,binary}_wal_kib`, and `size_ratio` (text / binary; the WAL is
+//! byte-identical to the replicated delta stream, so this is what the
+//! compact codec saves every follower).
+//!
+//! `--smoke` runs a tiny sweep and additionally asserts convergence
+//! (follower ≡ primary answers, lag 0), a positive codec ratio, and the
+//! follower's typed read-only rejection — then archives the report like a
+//! full run, so CI always refreshes `BENCH_replication.json`.
+
+use crate::cli::ExpOptions;
+use crate::report::{Report, Table};
+use igq_core::{
+    CacheStore, DirStore, IgqConfig, IgqEngine, MaintenanceMode, PersistenceConfig, QueryEngine,
+    ReplicaError, StoreCodec, Subscription,
+};
+use igq_graph::{Graph, GraphStore};
+use igq_methods::{Ggsx, GgsxConfig};
+use igq_server::{BuildFollower, Follower, Server, ServerConfig};
+use igq_workload::{DatasetKind, Distribution, QueryGenerator};
+use serde_json::json;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn config(cache: usize, codec: StoreCodec) -> IgqConfig {
+    IgqConfig {
+        cache_capacity: cache,
+        window: (cache / 16).max(4),
+        maintenance: MaintenanceMode::Incremental,
+        persistence: PersistenceConfig::manual().with_codec(codec),
+        ..Default::default()
+    }
+}
+
+fn query_stream(store: &Arc<GraphStore>, cache: usize, opts: &ExpOptions) -> Vec<Graph> {
+    QueryGenerator::new(
+        store,
+        Distribution::Zipf(1.2),
+        Distribution::Uniform,
+        opts.seed ^ cache as u64,
+    )
+    .take(2 * cache)
+}
+
+struct Row {
+    cache: usize,
+    window: usize,
+    queries: usize,
+    groups: u64,
+    snapshot_kib: f64,
+    bootstrap_ms: f64,
+    delta_kib: f64,
+    catchup_ms: f64,
+    steady_lag: u64,
+    tcp_catchup_ms: f64,
+}
+
+/// In-process legs: snapshot bootstrap + backlog drain over a channel.
+fn measure(store: &Arc<GraphStore>, cache: usize, opts: &ExpOptions) -> Row {
+    let cfg = config(cache, StoreCodec::Binary);
+    let primary =
+        IgqEngine::new(Ggsx::build(store, GgsxConfig::default()), cfg).expect("valid primary");
+
+    // Warm the primary first: the snapshot a late subscriber bootstraps
+    // from carries a full cache, the realistic shape.
+    let queries = query_stream(store, cache, opts);
+    let (warm, backlog) = queries.split_at(queries.len() / 2);
+    for q in warm {
+        let _ = primary.query(q);
+    }
+    primary.flush_window();
+
+    let (checkpoint, feed) = match primary.subscribe_replication(None) {
+        Subscription::Snapshot {
+            checkpoint, feed, ..
+        } => (checkpoint, feed),
+        Subscription::Live { .. } => unreachable!("fresh subscriber gets a snapshot"),
+    };
+    let snapshot_kib = checkpoint.len() as f64 / 1024.0;
+
+    // The base method is rebuilt (or mapped) locally either way; what the
+    // bootstrap timer prices is reconstituting iGQ state from the snapshot.
+    let follower_method = Ggsx::build(store, GgsxConfig::default());
+    let bootstrap_start = Instant::now();
+    let follower =
+        IgqEngine::open_follower(follower_method, cfg, &checkpoint).expect("valid follower");
+    let bootstrap_ms = bootstrap_start.elapsed().as_secs_f64() * 1e3;
+
+    // Build the backlog: the primary runs ahead while the follower idles.
+    for q in backlog {
+        let _ = primary.query(q);
+    }
+    primary.flush_window();
+
+    // Catch-up: drain the whole backlog through apply_replica_delta.
+    let mut groups = 0u64;
+    let mut delta_bytes = 0u64;
+    let catchup_start = Instant::now();
+    while let Some(d) = feed.try_recv() {
+        follower.apply_replica_delta(&d.bytes).expect("apply delta");
+        groups += 1;
+        delta_bytes += d.bytes.len() as u64;
+    }
+    let catchup_ms = catchup_start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        follower.cached_queries(),
+        primary.cached_queries(),
+        "drained follower mirrors the primary"
+    );
+    let steady_lag = follower.replication_lag().expect("follower reports lag");
+
+    Row {
+        cache,
+        window: cfg.window,
+        queries: queries.len(),
+        groups,
+        snapshot_kib,
+        bootstrap_ms,
+        delta_kib: delta_bytes as f64 / 1024.0,
+        catchup_ms,
+        steady_lag,
+        tcp_catchup_ms: measure_tcp(store, cache, warm, backlog),
+    }
+}
+
+/// Wire leg: the same convergence through `igq-server` frames and the
+/// `Follower` runtime over loopback TCP. The follower bootstraps from
+/// the warm snapshot, then the timer runs from the first backlog query
+/// until the replica has fully converged.
+fn measure_tcp(store: &Arc<GraphStore>, cache: usize, warm: &[Graph], backlog: &[Graph]) -> f64 {
+    let cfg = config(cache, StoreCodec::Binary);
+    let primary: Arc<dyn QueryEngine> = Arc::new(
+        IgqEngine::new(Ggsx::build(store, GgsxConfig::default()), cfg).expect("valid primary"),
+    );
+    for q in warm {
+        let _ = primary.query(q);
+    }
+    primary.flush_window();
+    let server = Server::spawn(
+        Arc::clone(&primary),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind primary");
+    let build_store = Arc::clone(store);
+    let build: BuildFollower = Arc::new(move |snapshot: &[u8]| {
+        let method = Ggsx::build(&build_store, GgsxConfig::default());
+        IgqEngine::open_follower(method, cfg, snapshot)
+            .map(|e| Arc::new(e) as Arc<dyn QueryEngine>)
+            .map_err(|e| format!("snapshot rejected: {e}"))
+    });
+    let follower = Follower::connect(
+        &server.local_addr().to_string(),
+        "bench-replica",
+        build,
+        Duration::from_secs(10),
+    )
+    .expect("bootstrap replica");
+
+    let start = Instant::now();
+    for q in backlog {
+        let _ = primary.query(q);
+    }
+    primary.flush_window();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while follower.engine().cached_queries() < primary.cached_queries()
+        || follower.engine().replication_lag() != Some(0)
+    {
+        assert!(Instant::now() < deadline, "TCP follower did not converge");
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let tcp_ms = start.elapsed().as_secs_f64() * 1e3;
+    follower.shutdown();
+    server.shutdown();
+    tcp_ms
+}
+
+fn file_kib(path: &std::path::Path) -> f64 {
+    std::fs::metadata(path)
+        .map(|m| m.len() as f64 / 1024.0)
+        .unwrap_or(0.0)
+}
+
+/// Writes the swept workload's durable state under one codec and returns
+/// `(checkpoint_kib, wal_kib)`. The WAL stream is byte-identical to the
+/// replicated delta groups, so its size is the per-follower wire cost.
+fn codec_artifacts(
+    store: &Arc<GraphStore>,
+    cache: usize,
+    codec: StoreCodec,
+    opts: &ExpOptions,
+) -> (f64, f64) {
+    let dir = std::env::temp_dir().join(format!(
+        "igq_bench_replication_{}_{cache}_{}",
+        std::process::id(),
+        codec.name()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let disk: Arc<dyn CacheStore> = Arc::new(DirStore::open(&dir).expect("store dir"));
+    let engine = IgqEngine::open(
+        Ggsx::build(store, GgsxConfig::default()),
+        config(cache, codec),
+        disk,
+    )
+    .expect("open durable engine");
+    for q in query_stream(store, cache, opts) {
+        let _ = engine.query(&q);
+    }
+    engine.flush_window();
+    // WAL measured pre-checkpoint (the full flip stream), checkpoint after.
+    let wal_kib = file_kib(&dir.join("wal.igq"));
+    engine.checkpoint().expect("checkpoint");
+    let checkpoint_kib = file_kib(&dir.join("checkpoint.igq"));
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&dir);
+    (checkpoint_kib, wal_kib)
+}
+
+/// Runs the replication experiment (smoke adds assertions, shrinks the
+/// sweep, and still archives) and renders the report.
+pub fn run(opts: &ExpOptions) -> Report {
+    let mut report = Report::new(
+        "BENCH_replication",
+        "Replication: snapshot bootstrap, delta catch-up, steady-state lag, codec ratio",
+    );
+    report.line(format!(
+        "scale={} seed={:#x} smoke={}",
+        opts.scale, opts.seed, opts.smoke
+    ));
+
+    let store: Arc<GraphStore> = Arc::new(
+        DatasetKind::Synthetic.generate(((8.0 * opts.scale.max(0.25)) as usize).max(2), opts.seed),
+    );
+    let sizes: &[usize] = if opts.smoke {
+        &[32]
+    } else if opts.scale >= 1.0 {
+        &[64, 256, 512]
+    } else {
+        &[64, 256]
+    };
+
+    let mut table = Table::new([
+        "C",
+        "W",
+        "queries",
+        "groups",
+        "snap KiB",
+        "boot ms",
+        "delta KiB",
+        "catchup ms",
+        "groups/s",
+        "lag",
+        "tcp ms",
+    ]);
+    let mut sweep = Vec::new();
+    for &cache in sizes {
+        let row = measure(&store, cache, opts);
+        let groups_per_s = row.groups as f64 / (row.catchup_ms / 1e3).max(1e-9);
+        let mib_per_s = (row.delta_kib / 1024.0) / (row.catchup_ms / 1e3).max(1e-9);
+        if opts.smoke {
+            assert_eq!(row.steady_lag, 0, "drained follower must report lag 0");
+            assert!(row.groups > 0, "backlog must contain flip groups");
+            assert!(row.snapshot_kib > 0.0, "warm snapshot must carry state");
+        }
+        table.row(&[
+            row.cache.to_string(),
+            row.window.to_string(),
+            row.queries.to_string(),
+            row.groups.to_string(),
+            format!("{:.0}", row.snapshot_kib),
+            format!("{:.2}", row.bootstrap_ms),
+            format!("{:.0}", row.delta_kib),
+            format!("{:.2}", row.catchup_ms),
+            format!("{groups_per_s:.0}"),
+            row.steady_lag.to_string(),
+            format!("{:.1}", row.tcp_catchup_ms),
+        ]);
+        sweep.push(json!({
+            "cache": row.cache,
+            "window": row.window,
+            "queries": row.queries,
+            "groups": row.groups,
+            "snapshot_kib": row.snapshot_kib,
+            "bootstrap_ms": row.bootstrap_ms,
+            "delta_kib": row.delta_kib,
+            "catchup_ms": row.catchup_ms,
+            "groups_per_s": groups_per_s,
+            "delta_mib_per_s": mib_per_s,
+            "steady_lag_windows": row.steady_lag,
+            "tcp_catchup_ms": row.tcp_catchup_ms,
+        }));
+    }
+    for l in table.render() {
+        report.line(l);
+    }
+
+    // Codec ratio over the largest swept size's durable state.
+    let probe = *sizes.last().expect("non-empty sweep");
+    let (text_ckpt, text_wal) = codec_artifacts(&store, probe, StoreCodec::Json, opts);
+    let (bin_ckpt, bin_wal) = codec_artifacts(&store, probe, StoreCodec::Binary, opts);
+    let size_ratio = (text_ckpt + text_wal) / (bin_ckpt + bin_wal).max(1e-9);
+    report.line(format!(
+        "codec @C={probe}: checkpoint {text_ckpt:.0} KiB (json) vs {bin_ckpt:.0} KiB (binary), \
+         wal {text_wal:.0} vs {bin_wal:.0} KiB — {size_ratio:.2}x smaller binary"
+    ));
+    if opts.smoke {
+        assert!(
+            size_ratio > 1.0,
+            "binary codec must beat the JSON text codec ({size_ratio:.2}x)"
+        );
+        smoke_equivalence(&store, opts);
+        println!("smoke replication: PASS");
+    }
+
+    let codec = json!({
+        "cache": probe,
+        "text_checkpoint_kib": text_ckpt,
+        "binary_checkpoint_kib": bin_ckpt,
+        "text_wal_kib": text_wal,
+        "binary_wal_kib": bin_wal,
+        "size_ratio": size_ratio,
+    });
+    report.json = json!({
+        "sweep": sweep,
+        "codec": codec,
+    });
+    report
+}
+
+/// Smoke-only correctness gate: a drained follower answers like its
+/// primary, and rejects local writes with the typed error.
+fn smoke_equivalence(store: &Arc<GraphStore>, opts: &ExpOptions) {
+    let cfg = config(32, StoreCodec::Binary);
+    let primary =
+        IgqEngine::new(Ggsx::build(store, GgsxConfig::default()), cfg).expect("valid primary");
+    let (checkpoint, feed) = match primary.subscribe_replication(None) {
+        Subscription::Snapshot {
+            checkpoint, feed, ..
+        } => (checkpoint, feed),
+        Subscription::Live { .. } => unreachable!("fresh subscriber gets a snapshot"),
+    };
+    let follower =
+        IgqEngine::open_follower(Ggsx::build(store, GgsxConfig::default()), cfg, &checkpoint)
+            .expect("valid follower");
+    let queries = query_stream(store, 16, opts);
+    let truths: Vec<_> = queries.iter().map(|q| primary.query(q).answers).collect();
+    primary.flush_window();
+    while let Some(d) = feed.try_recv() {
+        follower.apply_replica_delta(&d.bytes).expect("apply delta");
+    }
+    for (q, truth) in queries.iter().zip(&truths) {
+        assert_eq!(
+            &follower.query(q).answers,
+            truth,
+            "follower answers must match the primary"
+        );
+    }
+    assert_eq!(
+        follower.import_entries(vec![(queries[0].clone(), Vec::new())]),
+        Err(ReplicaError::ReadOnly("import_entries")),
+        "followers reject local writes"
+    );
+    follower.self_check().expect("follower invariants");
+}

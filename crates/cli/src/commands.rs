@@ -422,9 +422,70 @@ pub fn client(args: &[String]) -> CmdResult {
         .map(|s| s.parse())
         .transpose()
         .map_err(|_| "--deadline-ms expects a u64")?;
+    let max_lag: Option<u64> = flags
+        .get("max-lag")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--max-lag expects a u64")?;
 
     let mut c = igq_server::Client::connect(addr.as_str(), "igq-cli")
         .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+
+    if flags.contains_key("replica") {
+        // The connection becomes a one-way push stream, so --replica runs
+        // alone: subscribe, print the bootstrap, then tail deltas until
+        // the stream goes idle (first heartbeat) or --follow-count is hit.
+        let follow_count: Option<u64> = flags
+            .get("follow-count")
+            .map(|s| s.parse())
+            .transpose()
+            .map_err(|_| "--follow-count expects a u64")?;
+        let from_seq: Option<u64> = flags
+            .get("from-seq")
+            .map(|s| s.parse())
+            .transpose()
+            .map_err(|_| "--from-seq expects a u64")?;
+        let (start, mut sub) = c
+            .subscribe(from_seq)
+            .map_err(|e| format!("subscribe failed: {e}"))?;
+        match &start {
+            igq_server::SubscribeStart::Live { resume_from } => {
+                println!("subscribed live, resuming after flip {resume_from}");
+            }
+            igq_server::SubscribeStart::Snapshot { seq, checkpoint } => {
+                println!(
+                    "subscribed with snapshot: flip {seq}, {} checkpoint bytes",
+                    checkpoint.len()
+                );
+            }
+        }
+        let mut deltas = 0u64;
+        loop {
+            match sub
+                .next_event()
+                .map_err(|e| format!("replication stream failed: {e}"))?
+            {
+                igq_server::ReplicaEvent::Delta { seq, bytes } => {
+                    deltas += 1;
+                    println!("delta: flip {seq}, {} bytes", bytes.len());
+                    if follow_count.is_some_and(|n| deltas >= n) {
+                        break;
+                    }
+                }
+                igq_server::ReplicaEvent::Heartbeat { seq } => {
+                    if follow_count.is_none() {
+                        println!("caught up at flip {seq} ({deltas} deltas)");
+                        break;
+                    }
+                }
+                igq_server::ReplicaEvent::Closed => {
+                    println!("stream closed by server ({deltas} deltas)");
+                    break;
+                }
+            }
+        }
+        return Ok(());
+    }
 
     if let Some(queries_path) = flags.get("queries") {
         let queries = load_store(queries_path)?;
@@ -457,7 +518,7 @@ pub fn client(args: &[String]) -> CmdResult {
         };
         if flags.contains_key("batch") {
             match c
-                .query_batch(&graphs, deadline_ms)
+                .query_batch_opts(&graphs, deadline_ms, max_lag)
                 .map_err(|e| format!("batch failed: {e}"))?
             {
                 igq_server::BatchVerdict::Answered(results) => {
@@ -470,7 +531,7 @@ pub fn client(args: &[String]) -> CmdResult {
         } else {
             for (qid, q) in graphs.iter().enumerate() {
                 match c
-                    .query_with(q, deadline_ms, false)
+                    .query_opts(q, deadline_ms, false, max_lag)
                     .map_err(|e| format!("query {qid} failed: {e}"))?
                 {
                     igq_server::QueryVerdict::Answered(r) => report(qid, &r),
@@ -503,6 +564,23 @@ pub fn client(args: &[String]) -> CmdResult {
             "              {} exact hits, {} empty shortcuts, {} iso tests, {} cached, lag {}",
             s.exact_hits, s.empty_shortcuts, s.db_iso_tests, s.cached_queries, s.maintenance_lag
         );
+        println!(
+            "  replication: {}, flip {}, replication lag {}, {} groups published, {} applied",
+            if s.follower { "follower" } else { "primary" },
+            s.last_applied_seq,
+            s.replication_lag,
+            s.replica_groups_published,
+            s.replica_groups_applied
+        );
+        println!(
+            "        codec: {} WAL bytes appended, {} checkpoint bytes written",
+            s.wal_bytes_appended, s.checkpoint_bytes_written
+        );
+        // Counters from a newer server reach the operator instead of
+        // being silently dropped.
+        for (name, value) in &s.extra {
+            println!("        extra: {name} = {value}");
+        }
     }
 
     if flags.contains_key("shutdown") {

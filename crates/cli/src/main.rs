@@ -12,7 +12,9 @@
 //! igq save     --dataset db.gfu --queries q.gfu --store-dir state/   # query + checkpoint
 //! igq load     --dataset db.gfu --store-dir state/ [--queries q.gfu] # warm restart
 //! igq client   --addr 127.0.0.1:7461 --queries q.gfu [--batch] [--deadline-ms 250]
-//!              [--stats] [--shutdown] [--verbose]    # drive a running igq-server
+//!              [--max-lag 3] [--stats] [--shutdown] [--verbose]
+//!              [--replica [--from-seq N] [--follow-count N]]
+//!              # drive (or tail the replication stream of) a running igq-server
 //! ```
 //!
 //! `--store-dir` makes the engine durable: it is recovered from the
@@ -87,7 +89,15 @@ fn print_usage() {
            igq client --addr <host:port> [--queries <q.gfu>]\n\
                      [--batch]           send the whole file as one batch frame\n\
                      [--deadline-ms <D>] per-query wire deadline\n\
-                     [--stats]           print the server's serving stats\n\
+                     [--max-lag <L>]     bounded-staleness read: a follower replica\n\
+                                         sheds the query while its replication lag\n\
+                                         exceeds L window flips\n\
+                     [--stats]           print the server's serving stats (incl.\n\
+                                         replication + codec counters)\n\
+                     [--replica]         subscribe to the server's replication\n\
+                                         stream and tail it until caught up\n\
+                     [--from-seq <N>]    with --replica: resume after flip N\n\
+                     [--follow-count <N>] with --replica: stop after N deltas\n\
                      [--shutdown]        ask the server to shut down\n\
                      [--verbose]         per-query output\n\
                      drive a running igq-server over TCP (see igq-server --help)"

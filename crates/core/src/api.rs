@@ -193,6 +193,46 @@ pub trait QueryEngine: Send + Sync {
 
     /// Verifies internal invariants and index/cache agreement.
     fn self_check(&self) -> Result<(), String>;
+
+    /// `true` if this engine is a read-only follower replica. Defaults to
+    /// `false` — only [`Engine::open_follower`] engines report otherwise.
+    fn is_follower(&self) -> bool {
+        false
+    }
+
+    /// Follower staleness in window flips (highest flip heard from the
+    /// primary minus last flip applied locally); `None` on a primary.
+    /// A serving edge gates bounded-staleness reads on this, exactly as
+    /// it gates writes on [`maintenance_lag`](QueryEngine::maintenance_lag).
+    fn replication_lag(&self) -> Option<u64> {
+        None
+    }
+
+    /// Subscribes a replica to this engine's committed window flips (see
+    /// [`Engine::subscribe_replication`]); `None` when the engine does
+    /// not support replication.
+    fn subscribe_replication(
+        &self,
+        from_seq: Option<u64>,
+    ) -> Option<crate::replicate::Subscription> {
+        let _ = from_seq;
+        None
+    }
+
+    /// Applies one replicated delta group to a follower (see
+    /// [`Engine::apply_replica_delta`]). Defaults to
+    /// [`ReplicaError::NotFollower`](crate::replicate::ReplicaError::NotFollower).
+    fn apply_replica_delta(&self, bytes: &[u8]) -> Result<u64, crate::replicate::ReplicaError> {
+        let _ = bytes;
+        Err(crate::replicate::ReplicaError::NotFollower)
+    }
+
+    /// Records that the primary's stream has reached `seq` without
+    /// applying it (heartbeats keep the staleness gauge honest while no
+    /// flips happen). No-op by default.
+    fn note_replica_heard(&self, seq: u64) {
+        let _ = seq;
+    }
 }
 
 impl<D: crate::direction::QueryDirection> QueryEngine for crate::engine::Engine<D> {
@@ -246,6 +286,29 @@ impl<D: crate::direction::QueryDirection> QueryEngine for crate::engine::Engine<
 
     fn self_check(&self) -> Result<(), String> {
         Engine::self_check(self)
+    }
+
+    fn is_follower(&self) -> bool {
+        Engine::is_follower(self)
+    }
+
+    fn replication_lag(&self) -> Option<u64> {
+        Engine::replication_lag(self)
+    }
+
+    fn subscribe_replication(
+        &self,
+        from_seq: Option<u64>,
+    ) -> Option<crate::replicate::Subscription> {
+        Some(Engine::subscribe_replication(self, from_seq))
+    }
+
+    fn apply_replica_delta(&self, bytes: &[u8]) -> Result<u64, crate::replicate::ReplicaError> {
+        Engine::apply_replica_delta(self, bytes)
+    }
+
+    fn note_replica_heard(&self, seq: u64) {
+        Engine::note_replica_heard(self, seq)
     }
 }
 

@@ -107,6 +107,36 @@ impl std::fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+/// On-disk encoding for checkpoints and WAL records. Reads always
+/// auto-detect by stream magic, so the codec only governs what the engine
+/// *writes* — an engine configured for [`StoreCodec::Binary`] still opens
+/// a JSON-text store and (because [`Engine::open`](crate::Engine::open)
+/// rewrites the WAL and checkpoints overwrite wholesale) migrates it to
+/// binary as it runs. The codec is deliberately **excluded** from the
+/// config fingerprint: switching it across restarts is always safe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreCodec {
+    /// The PR-4 line-framed JSON text format: human-inspectable,
+    /// `grep`-able, 3–6x larger and slower to parse. Kept for debugging
+    /// and for byte-stable artifacts in the corruption test suite.
+    Json,
+    /// Length-prefixed binary frames (varint integers, delta-coded answer
+    /// sets, fixed-width checksums). Smaller artifacts, faster recovery,
+    /// and the encoding replication streams use on the wire.
+    #[default]
+    Binary,
+}
+
+impl StoreCodec {
+    /// Human-readable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StoreCodec::Json => "json",
+            StoreCodec::Binary => "binary",
+        }
+    }
+}
+
 /// Durability cadence for engines attached to a
 /// [`CacheStore`](crate::persist::CacheStore) via
 /// [`Engine::open`](crate::Engine::open). Ignored by engines constructed
@@ -128,15 +158,20 @@ pub struct PersistenceConfig {
     /// recovery replay; higher cadences shrink that periodic latency
     /// blip. (A dedicated checkpoint thread is a noted follow-on.)
     pub checkpoint_every_windows: Option<usize>,
+    /// Encoding for new checkpoint/WAL writes (see [`StoreCodec`]).
+    /// Reads auto-detect, so this never gates what the engine can *open*.
+    pub codec: StoreCodec,
 }
 
 impl Default for PersistenceConfig {
     /// Checkpoint every 8 windows: frequent enough that recovery replays
     /// at most a handful of flips, rare enough that the O(cache) snapshot
-    /// cost stays a small fraction of window work.
+    /// cost stays a small fraction of window work. New artifacts are
+    /// written in the binary codec.
     fn default() -> Self {
         PersistenceConfig {
             checkpoint_every_windows: Some(8),
+            codec: StoreCodec::default(),
         }
     }
 }
@@ -146,6 +181,7 @@ impl PersistenceConfig {
     pub fn every(windows: usize) -> PersistenceConfig {
         PersistenceConfig {
             checkpoint_every_windows: Some(windows),
+            ..PersistenceConfig::default()
         }
     }
 
@@ -154,7 +190,14 @@ impl PersistenceConfig {
     pub fn manual() -> PersistenceConfig {
         PersistenceConfig {
             checkpoint_every_windows: None,
+            ..PersistenceConfig::default()
         }
+    }
+
+    /// The same cadence with an explicit write codec.
+    pub fn with_codec(mut self, codec: StoreCodec) -> PersistenceConfig {
+        self.codec = codec;
+        self
     }
 }
 
@@ -495,11 +538,15 @@ mod tests {
             .build()
             .expect("valid");
         assert_eq!(c.persistence.checkpoint_every_windows, Some(3));
+        assert_eq!(c.persistence.codec, StoreCodec::Binary, "binary default");
         let manual = IgqConfig::builder()
-            .persistence(PersistenceConfig::manual())
+            .persistence(PersistenceConfig::manual().with_codec(StoreCodec::Json))
             .build()
             .expect("manual is valid");
         assert_eq!(manual.persistence.checkpoint_every_windows, None);
+        assert_eq!(manual.persistence.codec, StoreCodec::Json);
+        assert_eq!(StoreCodec::Json.name(), "json");
+        assert_eq!(StoreCodec::Binary.name(), "binary");
         assert_eq!(
             IgqConfig::builder()
                 .persistence(PersistenceConfig::every(0))

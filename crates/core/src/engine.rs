@@ -84,6 +84,7 @@ use crate::isuper::IsuperIndex;
 use crate::maintain::MaintenanceJob;
 use crate::outcome::{QueryOutcome, Resolution};
 use crate::persist::{self, CacheStore, PersistError};
+use crate::replicate::{DeltaGroup, ReplicaError, ReplicationHub, Subscription};
 use crate::shard::{self, ShardRouter, SlotAlloc};
 use crate::stats::{AtomicEngineStats, EngineStats};
 use igq_features::{enumerate_paths, LabelSeq, PathFeatures};
@@ -215,6 +216,9 @@ struct PersistCtl {
     store: Arc<dyn CacheStore>,
     config_fp: u64,
     dataset_fp: u64,
+    /// Codec every artifact is *written* in (reads auto-detect), from
+    /// [`crate::config::PersistenceConfig::codec`].
+    codec: crate::config::StoreCodec,
     /// Auto-checkpoint cadence in WAL appends; `None` = manual only.
     checkpoint_every: Option<u64>,
     /// WAL records appended since the last checkpoint (reset on
@@ -272,6 +276,16 @@ pub struct Engine<D: QueryDirection> {
     /// `Some` iff the engine was attached to a [`CacheStore`] via
     /// [`Engine::open`].
     persist: Option<PersistCtl>,
+    /// Primary-side replication fan-out. Inert (and cost-free on the
+    /// flip path) until the first [`Engine::subscribe_replication`]
+    /// activates it; from then on every committed flip group is
+    /// published through it, post-append, in flip order.
+    hub: ReplicationHub,
+    /// `true` for a follower ([`Engine::open_follower`]): the engine
+    /// replays delta groups from a primary, serves read-only queries
+    /// (no window admission), and rejects write-path operations with a
+    /// typed [`ReplicaError`].
+    follower: bool,
     /// Canonical-code keyed matching-plan cache, shared by the verify
     /// stage and both index probes. Internally sharded and lock-striped,
     /// so it lives outside the state lock; entries are evicted alongside
@@ -279,6 +293,19 @@ pub struct Engine<D: QueryDirection> {
     plan_cache: PlanCache,
     stats: AtomicEngineStats,
     _direction: PhantomData<fn() -> D>,
+}
+
+/// Engine state reconstituted from a checkpoint (or a cold start when
+/// the store held none): the shared first half of [`Engine::open`] and
+/// [`Engine::open_follower`].
+struct Restored {
+    caches: Vec<QueryCache>,
+    alloc: SlotAlloc,
+    slot_owner: Vec<usize>,
+    isubs: Vec<IsubIndex>,
+    isupers: Vec<IsuperIndex>,
+    window: Vec<WindowEntry>,
+    seq: u64,
 }
 
 impl<D: QueryDirection> Engine<D> {
@@ -311,7 +338,7 @@ impl<D: QueryDirection> Engine<D> {
                 submit_lock: Mutex::new(()),
             })
             .collect();
-        Ok(Self::assemble(method, config, ctl, cells, None))
+        Ok(Self::assemble(method, config, ctl, cells, None, false))
     }
 
     /// Label-universe size for the cost model: configured, or derived
@@ -330,6 +357,7 @@ impl<D: QueryDirection> Engine<D> {
         ctl: Control,
         cells: Vec<ShardCell>,
         persist: Option<PersistCtl>,
+        follower: bool,
     ) -> Engine<D> {
         // Plans are cheap relative to cached answer sets: hold a few per
         // resident (distinct configs, probe-side patterns) with headroom
@@ -345,6 +373,8 @@ impl<D: QueryDirection> Engine<D> {
             wal_outbox: Mutex::new(VecDeque::new()),
             wal_lock: Mutex::new(()),
             persist,
+            hub: ReplicationHub::new(),
+            follower,
             plan_cache: PlanCache::new(plan_capacity),
             stats: AtomicEngineStats::default(),
             _direction: PhantomData,
@@ -473,88 +503,15 @@ impl<D: QueryDirection> Engine<D> {
         let path_config = config.path_config;
         let n = config.shards;
         let router = ShardRouter::new(n);
-        let mut isubs: Vec<IsubIndex> = (0..n).map(|_| IsubIndex::new(path_config)).collect();
-        let mut isupers: Vec<IsuperIndex> = (0..n).map(|_| IsuperIndex::new(path_config)).collect();
-        let mut seq = 0u64;
-        let feed = |isub: &mut IsubIndex, isuper: &mut IsuperIndex, p: &persist::PersistedEntry| {
-            match &p.features {
-                Some(f) => {
-                    let mut features = PathFeatures {
-                        complete_len: f.complete_len,
-                        ..PathFeatures::default()
-                    };
-                    for (seq_key, count) in &f.counts {
-                        features.counts.insert(seq_key.clone(), *count);
-                    }
-                    let keys: Arc<[LabelSeq]> = features.counts.keys().cloned().collect();
-                    isub.insert_features(
-                        p.slot,
-                        Arc::clone(&p.entry.graph),
-                        &features,
-                        Arc::clone(&keys),
-                    );
-                    isuper.insert_features(
-                        p.slot,
-                        Arc::clone(&p.entry.graph),
-                        &features,
-                        keys,
-                        p.entry.code.clone(),
-                    );
-                }
-                // Older/foreign checkpoints without feature sets:
-                // fall back to enumeration.
-                None => {
-                    isub.insert(p.slot, Arc::clone(&p.entry.graph));
-                    isuper.insert(p.slot, Arc::clone(&p.entry.graph));
-                }
-            }
-        };
-        let (mut caches, mut alloc, mut slot_owner, window) = match checkpoint {
-            Some(data) => {
-                seq = data.seq;
-                let entries: Vec<(usize, CacheEntry)> = data
-                    .entries
-                    .iter()
-                    .map(|p| (p.slot, p.entry.clone()))
-                    .collect();
-                let (caches, alloc, slot_owner) = if n == 1 {
-                    let cache = QueryCache::restore(
-                        config.cache_capacity,
-                        config.policy,
-                        data.round,
-                        data.slot_count,
-                        data.free,
-                        entries,
-                    )
-                    .map_err(PersistError::Corrupt)?;
-                    (vec![cache], SlotAlloc::default(), Vec::new())
-                } else {
-                    shard::restore_sharded(
-                        config.cache_capacity,
-                        config.policy,
-                        data.round,
-                        data.slot_count,
-                        data.free,
-                        entries,
-                        &router,
-                    )
-                    .map_err(PersistError::Corrupt)?
-                };
-                for p in &data.entries {
-                    let owner = if n == 1 { 0 } else { slot_owner[p.slot] };
-                    feed(&mut isubs[owner], &mut isupers[owner], p);
-                }
-                (caches, alloc, slot_owner, data.window)
-            }
-            None => (
-                (0..n)
-                    .map(|_| QueryCache::with_policy(config.cache_capacity, config.policy))
-                    .collect(),
-                SlotAlloc::default(),
-                Vec::new(),
-                Vec::new(),
-            ),
-        };
+        let Restored {
+            mut caches,
+            mut alloc,
+            mut slot_owner,
+            mut isubs,
+            mut isupers,
+            window,
+            mut seq,
+        } = Self::restore_from_checkpoint(&config, &router, checkpoint)?;
 
         // Replay the WAL tail flip group by flip group: recorded
         // evictions/admissions re-applied verbatim (the policy is not
@@ -655,7 +612,11 @@ impl<D: QueryDirection> Engine<D> {
             shards: n,
         };
         let kept_refs: Vec<&persist::WalRecord> = kept.iter().collect();
-        store.replace_wal(&persist::encode_wal(&header, &kept_refs))?;
+        store.replace_wal(&persist::encode_wal_with(
+            &header,
+            &kept_refs,
+            config.persistence.codec,
+        ))?;
 
         // The checkpoint's pending window is only current while no flip
         // followed it: the first replayed WAL record's admission batch
@@ -680,15 +641,159 @@ impl<D: QueryDirection> Engine<D> {
             })
             .collect();
 
-        // Under background maintenance each shard's maintainer owns that
-        // shard's authoritative indexes: seed it with the recovered pair
-        // (warm state published immediately) and keep the engine-owned
-        // copies empty, exactly as in steady-state operation.
+        let cells = Self::build_cells(&config, caches, isubs, isupers);
+
+        let ctl = Control {
+            window,
+            window_signatures,
+            cost_model: CostModel::new(labels),
+            seq,
+            alloc,
+            slot_owner,
+        };
+        let pctl = PersistCtl {
+            store,
+            config_fp,
+            dataset_fp,
+            codec: config.persistence.codec,
+            checkpoint_every: config
+                .persistence
+                .checkpoint_every_windows
+                .map(|w| w as u64),
+            appends_since_checkpoint: AtomicU64::new(kept_refs.len() as u64),
+            checkpoint_lock: Mutex::new(()),
+            wal_healthy: std::sync::atomic::AtomicBool::new(true),
+        };
+        let engine = Self::assemble(method, config, ctl, cells, Some(pctl), false);
+        engine.stats.set_recovery_replayed_windows(replayed);
+        Ok(engine)
+    }
+
+    /// The shared restore half of [`Engine::open`] and
+    /// [`Engine::open_follower`]: reconstitutes the cache partition and
+    /// both index families from a decoded checkpoint — no re-enumeration,
+    /// no re-canonicalization (the persisted feature sets feed
+    /// `insert_features` directly). With more than one shard, entries
+    /// land back on their owning shard by re-running the deterministic
+    /// router; with one, the original restore path (and its validation)
+    /// is untouched. `None` yields a cold start.
+    fn restore_from_checkpoint(
+        config: &IgqConfig,
+        router: &ShardRouter,
+        checkpoint: Option<persist::CheckpointData>,
+    ) -> Result<Restored, PersistError> {
+        let path_config = config.path_config;
+        let n = config.shards;
+        let mut isubs: Vec<IsubIndex> = (0..n).map(|_| IsubIndex::new(path_config)).collect();
+        let mut isupers: Vec<IsuperIndex> = (0..n).map(|_| IsuperIndex::new(path_config)).collect();
+        let mut seq = 0u64;
+        let feed = |isub: &mut IsubIndex, isuper: &mut IsuperIndex, p: &persist::PersistedEntry| {
+            match &p.features {
+                Some(f) => {
+                    let mut features = PathFeatures {
+                        complete_len: f.complete_len,
+                        ..PathFeatures::default()
+                    };
+                    for (seq_key, count) in &f.counts {
+                        features.counts.insert(seq_key.clone(), *count);
+                    }
+                    let keys: Arc<[LabelSeq]> = features.counts.keys().cloned().collect();
+                    isub.insert_features(
+                        p.slot,
+                        Arc::clone(&p.entry.graph),
+                        &features,
+                        Arc::clone(&keys),
+                    );
+                    isuper.insert_features(
+                        p.slot,
+                        Arc::clone(&p.entry.graph),
+                        &features,
+                        keys,
+                        p.entry.code.clone(),
+                    );
+                }
+                // Older/foreign checkpoints without feature sets:
+                // fall back to enumeration.
+                None => {
+                    isub.insert(p.slot, Arc::clone(&p.entry.graph));
+                    isuper.insert(p.slot, Arc::clone(&p.entry.graph));
+                }
+            }
+        };
+        let (caches, alloc, slot_owner, window) = match checkpoint {
+            Some(data) => {
+                seq = data.seq;
+                let entries: Vec<(usize, CacheEntry)> = data
+                    .entries
+                    .iter()
+                    .map(|p| (p.slot, p.entry.clone()))
+                    .collect();
+                let (caches, alloc, slot_owner) = if n == 1 {
+                    let cache = QueryCache::restore(
+                        config.cache_capacity,
+                        config.policy,
+                        data.round,
+                        data.slot_count,
+                        data.free,
+                        entries,
+                    )
+                    .map_err(PersistError::Corrupt)?;
+                    (vec![cache], SlotAlloc::default(), Vec::new())
+                } else {
+                    shard::restore_sharded(
+                        config.cache_capacity,
+                        config.policy,
+                        data.round,
+                        data.slot_count,
+                        data.free,
+                        entries,
+                        router,
+                    )
+                    .map_err(PersistError::Corrupt)?
+                };
+                for p in &data.entries {
+                    let owner = if n == 1 { 0 } else { slot_owner[p.slot] };
+                    feed(&mut isubs[owner], &mut isupers[owner], p);
+                }
+                (caches, alloc, slot_owner, data.window)
+            }
+            None => (
+                (0..n)
+                    .map(|_| QueryCache::with_policy(config.cache_capacity, config.policy))
+                    .collect(),
+                SlotAlloc::default(),
+                Vec::new(),
+                Vec::new(),
+            ),
+        };
+        Ok(Restored {
+            caches,
+            alloc,
+            slot_owner,
+            isubs,
+            isupers,
+            window,
+            seq,
+        })
+    }
+
+    /// Wraps restored per-shard state into live [`ShardCell`]s. Under
+    /// background maintenance each shard's maintainer owns that shard's
+    /// authoritative indexes: it is seeded with the recovered pair (warm
+    /// state published immediately) and the engine-owned copies stay
+    /// empty, exactly as in steady-state operation.
+    fn build_cells(
+        config: &IgqConfig,
+        caches: Vec<QueryCache>,
+        isubs: Vec<IsubIndex>,
+        isupers: Vec<IsuperIndex>,
+    ) -> Vec<ShardCell> {
+        let path_config = config.path_config;
         let background = matches!(
             config.maintenance,
             crate::config::MaintenanceMode::Background
         );
-        let mut cells: Vec<ShardCell> = Vec::with_capacity(n);
+        let mut cells: Vec<ShardCell> = Vec::with_capacity(caches.len());
         for (cache, (isub, isuper)) in caches.into_iter().zip(isubs.into_iter().zip(isupers)) {
             let (live_isub, live_isuper, maintainer) = if background {
                 let pair = IndexPair { isub, isuper };
@@ -713,30 +818,311 @@ impl<D: QueryDirection> Engine<D> {
                 submit_lock: Mutex::new(()),
             });
         }
+        cells
+    }
 
+    /// Opens a **follower** read replica from a primary's snapshot — the
+    /// `checkpoint` payload of [`Subscription::Snapshot`] (any durable
+    /// checkpoint of the same engine works too). The follower serves
+    /// read-only queries over the replicated cache: its state advances
+    /// only through [`Engine::apply_replica_delta`], local queries are
+    /// never admitted to a window, and write-path operations are rejected
+    /// with a typed [`ReplicaError`].
+    ///
+    /// `method` and `config` must match the primary's: the snapshot's
+    /// config/dataset fingerprints, label universe, and shard count are
+    /// validated exactly as [`Engine::open`] validates a store. The
+    /// follower keeps no store of its own — crash recovery is a
+    /// re-bootstrap from the primary — and its pending window is always
+    /// empty (admissions arrive pre-flipped inside delta groups; the
+    /// snapshot's window tail materializes in a later group if the
+    /// primary ever admits it).
+    pub fn open_follower(
+        method: D::Method,
+        config: IgqConfig,
+        snapshot: &[u8],
+    ) -> Result<Engine<D>, PersistError> {
+        config.validate()?;
+        let labels = Self::resolve_labels(&method, &config);
+        let config_fp = persist::config_fingerprint(&config, D::direction_name());
+        let dataset_fp = persist::dataset_fingerprint(D::store(&method));
+        let data = persist::decode_checkpoint(snapshot)?;
+        if data.config_fp != config_fp {
+            return Err(PersistError::ConfigMismatch {
+                expected: config_fp,
+                found: data.config_fp,
+            });
+        }
+        if data.dataset_fp != dataset_fp {
+            return Err(PersistError::DatasetMismatch {
+                expected: dataset_fp,
+                found: data.dataset_fp,
+            });
+        }
+        if data.labels != labels {
+            return Err(PersistError::Corrupt(format!(
+                "snapshot label universe {} does not match the engine's {labels}",
+                data.labels
+            )));
+        }
+        if data.shards != config.shards {
+            return Err(PersistError::ShardMismatch {
+                expected: config.shards,
+                found: data.shards,
+            });
+        }
+        let router = ShardRouter::new(config.shards);
+        let Restored {
+            caches,
+            alloc,
+            slot_owner,
+            isubs,
+            isupers,
+            seq,
+            ..
+        } = Self::restore_from_checkpoint(&config, &router, Some(data))?;
+        let cells = Self::build_cells(&config, caches, isubs, isupers);
         let ctl = Control {
-            window,
-            window_signatures,
+            window: Vec::new(),
+            window_signatures: Vec::new(),
             cost_model: CostModel::new(labels),
             seq,
             alloc,
             slot_owner,
         };
-        let pctl = PersistCtl {
-            store,
-            config_fp,
-            dataset_fp,
-            checkpoint_every: config
-                .persistence
-                .checkpoint_every_windows
-                .map(|w| w as u64),
-            appends_since_checkpoint: AtomicU64::new(kept_refs.len() as u64),
-            checkpoint_lock: Mutex::new(()),
-            wal_healthy: std::sync::atomic::AtomicBool::new(true),
-        };
-        let engine = Self::assemble(method, config, ctl, cells, Some(pctl));
-        engine.stats.set_recovery_replayed_windows(replayed);
+        let engine = Self::assemble(method, config, ctl, cells, None, true);
+        engine.stats.set_last_applied_seq(seq);
+        engine.stats.note_replica_heard(seq);
         Ok(engine)
+    }
+
+    /// Subscribes a replica to this engine's committed window flips,
+    /// activating the replication hub on first use (from then on every
+    /// flip group is published through it, post-WAL-append, in flip
+    /// order — the hub stays active for the engine's lifetime).
+    ///
+    /// `from_seq` is the subscriber's last applied flip: when the hub can
+    /// prove the stream from there onward is gap-free (`from_seq` is
+    /// current, or every later group is still in the replay ring) the
+    /// result is [`Subscription::Live`] — the feed resumes mid-stream
+    /// with no snapshot transfer. Otherwise (fresh follower, or one that
+    /// fell further behind than
+    /// [`REPLICATION_RING_GROUPS`](crate::replicate::REPLICATION_RING_GROUPS))
+    /// the result is [`Subscription::Snapshot`]: a checkpoint captured
+    /// under the same lock the feed is registered under, so the feed
+    /// carries exactly the flips after it (a duplicate at the boundary is
+    /// possible and skipped by [`Engine::apply_replica_delta`]).
+    ///
+    /// Works on any engine — durable or purely in-memory (an in-memory
+    /// primary starts sequencing flips at activation) — and on a
+    /// follower, which republishes every group it applies (chaining).
+    pub fn subscribe_replication(&self, from_seq: Option<u64>) -> Subscription {
+        // Under the ctl read lock no flip can land (flips hold the write
+        // lock), so activation, the resume check, and snapshot/feed
+        // registration all see one consistent seq — and every later flip
+        // observes the active hub. The drain (safe under read guards: it
+        // takes only the outbox/WAL locks) clears any committed-but-
+        // unpublished groups first, so nothing committed before
+        // activation is re-published after it.
+        let g = self.lock_read();
+        self.drain_outbox();
+        self.hub.activate(g.ctl.seq);
+        if let Some(after) = from_seq {
+            if let Some(feed) = self.hub.try_resume(after) {
+                return Subscription::Live { feed };
+            }
+        }
+        // Same discipline as `checkpoint`: sync the maintainers so the
+        // snapshot can read feature sets from their published state.
+        self.sync_maintenance();
+        let config_fp = persist::config_fingerprint(&self.config, D::direction_name());
+        let dataset_fp = persist::dataset_fingerprint(D::store(&self.method));
+        let data = self.capture_state(&g, config_fp, dataset_fp);
+        let seq = data.seq;
+        let feed = self.hub.attach_after(seq);
+        let codec = self.persist.as_ref().map(|p| p.codec).unwrap_or_default();
+        Subscription::Snapshot {
+            seq,
+            checkpoint: persist::encode_checkpoint_with(&data, codec),
+            feed,
+        }
+    }
+
+    /// Applies one replicated flip group (the `bytes` of a
+    /// [`DeltaGroup`]) to this follower. Groups apply whole-or-not-at-all
+    /// in strict seq order: a group at or below the last applied flip is
+    /// a duplicate redelivery (resume overlap) and is skipped with `Ok`;
+    /// a gap means lost groups and returns [`ReplicaError::SeqGap`] — the
+    /// caller should re-subscribe with `from_seq` or re-bootstrap. A
+    /// decode or replay failure is [`ReplicaError::Corrupt`]; after a
+    /// replay failure the follower must be re-bootstrapped.
+    ///
+    /// Returns the follower's last applied seq.
+    pub fn apply_replica_delta(&self, bytes: &[u8]) -> Result<u64, ReplicaError> {
+        if !self.follower {
+            return Err(ReplicaError::NotFollower);
+        }
+        let records = persist::decode_group_binary(bytes)?;
+        let n = self.shards.len();
+        let seq = records[0].seq;
+        if records.len() != n
+            || records
+                .iter()
+                .any(|r| r.seq != seq || r.group != n || r.shard >= n)
+        {
+            return Err(ReplicaError::Corrupt(format!(
+                "delta group at flip {seq} does not match this replica's {n}-shard layout"
+            )));
+        }
+        self.stats.note_replica_heard(seq);
+        {
+            let mut g = self.lock_write();
+            if seq <= g.ctl.seq {
+                return Ok(g.ctl.seq);
+            }
+            if seq != g.ctl.seq + 1 {
+                return Err(ReplicaError::SeqGap {
+                    expected: g.ctl.seq + 1,
+                    found: seq,
+                });
+            }
+            // Snapshot the evicted entries' canonical codes *before*
+            // replay frees their slots: plans die with their windows,
+            // exactly as on the primary. (The primary's own delta omits
+            // codes with a surviving isomorphic duplicate; evicting those
+            // plans here too costs only a re-plan, never correctness.)
+            let deltas: Vec<(usize, WindowDelta)> = records
+                .iter()
+                .map(|r| {
+                    let cache = &g.shards[r.shard].cache;
+                    let evicted_codes: Vec<CanonicalCode> = r
+                        .evicted
+                        .iter()
+                        .filter_map(|&slot| cache.get(slot).and_then(|e| e.code.clone()))
+                        .collect();
+                    (
+                        r.shard,
+                        WindowDelta {
+                            evicted: r.evicted.clone(),
+                            admitted: r.admitted.iter().map(|p| p.slot).collect(),
+                            evicted_codes,
+                        },
+                    )
+                })
+                .collect();
+            // Replay through the same machinery recovery uses: recorded
+            // evictions/admissions re-applied verbatim (the policy is not
+            // re-run), so the follower makes bit-for-bit the primary's
+            // slot decisions.
+            if n == 1 {
+                let record = &records[0];
+                let admitted: Vec<(usize, CacheEntry)> = record
+                    .admitted
+                    .iter()
+                    .map(|p| (p.slot, p.entry.clone()))
+                    .collect();
+                g.shards[0]
+                    .cache
+                    .replay_window(&record.evicted, admitted)
+                    .map_err(ReplicaError::Corrupt)?;
+            } else {
+                let ctl = &mut *g.ctl;
+                let mut caches: Vec<&mut QueryCache> =
+                    g.shards.iter_mut().map(|sh| &mut sh.cache).collect();
+                shard::replay_group(&mut ctl.alloc, &mut ctl.slot_owner, &mut caches, &records)
+                    .map_err(ReplicaError::Corrupt)?;
+            }
+            // The group carries each shard's full replacement-metadata
+            // table as of the flip; applying it keeps follower evictions
+            // (in later groups) trivially consistent, since the primary
+            // replays its own decisions into the stream anyway.
+            for record in &records {
+                for &(slot, meta) in &record.metas {
+                    match g.shards[record.shard].cache.get(slot) {
+                        Some(_) => g.shards[record.shard].cache.entry_mut(slot).meta = meta,
+                        None => {
+                            return Err(ReplicaError::Corrupt(format!(
+                                "delta metadata for slot {slot}, which is not occupied \
+                                 after replay"
+                            )))
+                        }
+                    }
+                }
+            }
+            for code in deltas.iter().flat_map(|(_, d)| d.evicted_codes.iter()) {
+                self.plan_cache.evict_key(code);
+            }
+            // Index maintenance dispatches exactly like a live flip:
+            // captured for the background maintainer, or applied inline
+            // per the configured mode.
+            for (shard, delta) in &deltas {
+                if delta.is_empty() {
+                    continue;
+                }
+                let cell = &self.shards[*shard];
+                let sh = &mut *g.shards[*shard];
+                match &cell.maintainer {
+                    Some(_) => {
+                        cell.outbox
+                            .lock()
+                            .push_back(MaintenanceJob::capture(&sh.cache, delta));
+                    }
+                    None => {
+                        let maint_start = Instant::now();
+                        let outcome = crate::maintain::apply_delta(
+                            self.config.maintenance,
+                            self.config.path_config,
+                            &sh.cache,
+                            delta,
+                            &mut sh.isub,
+                            &mut sh.isuper,
+                        );
+                        self.stats.record_maintenance_work(
+                            outcome.postings_touched,
+                            outcome.rebuilt,
+                            maint_start.elapsed(),
+                        );
+                    }
+                }
+            }
+            g.ctl.seq = seq;
+            self.stats.set_last_applied_seq(seq);
+        }
+        // Off the state locks: submit captured maintenance jobs, then
+        // republish the same bytes for any chained subscribers (a
+        // follower can itself feed further replicas).
+        self.drain_outbox();
+        if self.hub.is_active() {
+            self.hub.publish(DeltaGroup {
+                seq,
+                bytes: Arc::from(bytes),
+            });
+            self.stats.count_replica_group_published();
+        }
+        self.stats.record_replica_group_applied(bytes.len() as u64);
+        Ok(seq)
+    }
+
+    /// `true` if this engine is a read-only follower replica
+    /// ([`Engine::open_follower`]).
+    pub fn is_follower(&self) -> bool {
+        self.follower
+    }
+
+    /// Follower staleness in window flips — the highest flip heard from
+    /// the primary's stream minus the last flip applied locally. `None`
+    /// on a primary. Cheap (two atomic loads): intended for per-request
+    /// bounded-staleness admission checks.
+    pub fn replication_lag(&self) -> Option<u64> {
+        self.follower.then(|| self.stats.replication_lag_windows())
+    }
+
+    /// Records that the primary's stream has reached `seq` without
+    /// applying anything (e.g. a heartbeat, or a delta observed but still
+    /// queued): the staleness gauge measures heard-vs-applied, so feeds
+    /// should report both sides.
+    pub fn note_replica_heard(&self, seq: u64) {
+        self.stats.note_replica_heard(seq);
     }
 
     /// Moves the engine behind a cheap cloneable [`crate::EngineHandle`]
@@ -1322,6 +1708,12 @@ impl<D: QueryDirection> Engine<D> {
         answers: &[GraphId],
         code: Option<Option<CanonicalCode>>,
     ) {
+        // A follower's cache changes only by replaying the primary's
+        // delta groups: local queries are answered (read-only) but never
+        // admitted, or the replica would diverge from the primary.
+        if self.follower {
+            return;
+        }
         let sig = GraphSignature::of(q);
         let dup = ctl
             .window_signatures
@@ -1466,11 +1858,12 @@ impl<D: QueryDirection> Engine<D> {
     /// every shard's table as of the last flip — exactly what the
     /// unsharded record always carried).
     fn capture_wal(&self, g: &mut WriteGuards, deltas: &[WindowDelta]) {
-        if self.persist.is_none() {
+        if self.persist.is_none() && !self.hub.is_active() {
             return;
         }
         g.ctl.seq += 1;
         let seq = g.ctl.seq;
+        self.stats.set_last_applied_seq(seq);
         let n = self.shards.len();
         let group: Vec<persist::WalRecord> = deltas
             .iter()
@@ -1523,48 +1916,67 @@ impl<D: QueryDirection> Engine<D> {
                 m.submit(job);
             }
         }
-        if let Some(p) = &self.persist {
+        if self.persist.is_some() || self.hub.is_active() {
             // One appender at a time: group pops happen only under the
-            // WAL lock, in FIFO order, so append order is flip order.
+            // WAL lock, in FIFO order, so append order is flip order —
+            // and so is publication order on the replication hub.
             let _appending = self.wal_lock.lock();
             loop {
                 let group = self.wal_outbox.lock().pop_front();
                 let Some(group) = group else { break };
-                // After a failed append the log may end in a partial line
-                // and is missing a flip: appending *more* records would
-                // turn a tolerable torn tail into a mid-log hole that
-                // recovery must reject. Drop (loudly) instead; the next
-                // successful checkpoint rewrites the WAL and restores
-                // health. The engine keeps serving exactly either way —
-                // only durability of the dropped flips is lost.
-                if !p.wal_healthy.load(Ordering::Relaxed) {
-                    eprintln!(
-                        "igq: warning: dropping WAL record for flip {} (log unhealthy \
-                         until the next checkpoint)",
-                        group.first().map_or(0, |r| r.seq)
-                    );
-                    continue;
-                }
-                // The whole flip group is one append (and one fsync on
-                // disk-backed stores): a crash can tear at most the final
-                // group, which recovery truncates exactly like a torn
-                // single record.
-                let mut bytes = Vec::new();
-                for record in &group {
-                    bytes.extend_from_slice(&persist::encode_wal_record(record));
-                }
-                match p.store.append_wal(&bytes) {
-                    Ok(()) => {
-                        self.stats.count_wal_append();
-                        p.appends_since_checkpoint.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Err(e) => {
+                if let Some(p) = &self.persist {
+                    // After a failed append the log may end in a partial
+                    // line and is missing a flip: appending *more* records
+                    // would turn a tolerable torn tail into a mid-log hole
+                    // that recovery must reject. Drop (loudly) instead; the
+                    // next successful checkpoint rewrites the WAL and
+                    // restores health. The engine keeps serving exactly
+                    // either way — only durability of the dropped flips is
+                    // lost.
+                    if !p.wal_healthy.load(Ordering::Relaxed) {
                         eprintln!(
-                            "igq: warning: WAL append failed ({e}); suspending WAL \
-                             appends until a checkpoint succeeds"
+                            "igq: warning: dropping WAL record for flip {} (log unhealthy \
+                             until the next checkpoint)",
+                            group.first().map_or(0, |r| r.seq)
                         );
-                        p.wal_healthy.store(false, Ordering::Relaxed);
+                    } else {
+                        // The whole flip group is one append (and one fsync
+                        // on disk-backed stores): a crash can tear at most
+                        // the final group, which recovery truncates exactly
+                        // like a torn single record.
+                        let mut bytes = Vec::new();
+                        for record in &group {
+                            bytes.extend_from_slice(&persist::encode_wal_record_with(
+                                record, p.codec,
+                            ));
+                        }
+                        match p.store.append_wal(&bytes) {
+                            Ok(()) => {
+                                self.stats.count_wal_append(bytes.len() as u64);
+                                p.appends_since_checkpoint.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => {
+                                eprintln!(
+                                    "igq: warning: WAL append failed ({e}); suspending WAL \
+                                     appends until a checkpoint succeeds"
+                                );
+                                p.wal_healthy.store(false, Ordering::Relaxed);
+                            }
+                        }
                     }
+                }
+                // Replication tracks the *live* engine, not the disk: the
+                // group is published even when the local WAL is unhealthy
+                // (followers mirror memory; durability is the primary's
+                // own problem). Publication after the append attempt keeps
+                // "what followers saw" always ≤ "what the primary wrote"
+                // on a healthy log.
+                if self.hub.is_active() {
+                    self.hub.publish(DeltaGroup {
+                        seq: group.first().map_or(0, |r| r.seq),
+                        bytes: persist::encode_group_binary(&group).into(),
+                    });
+                    self.stats.count_replica_group_published();
                 }
             }
         }
@@ -1623,7 +2035,7 @@ impl<D: QueryDirection> Engine<D> {
             self.capture_state(&g, p.config_fp, p.dataset_fp)
         };
         let seq = data.seq;
-        let bytes = persist::encode_checkpoint(&data);
+        let bytes = persist::encode_checkpoint_with(&data, p.codec);
         p.store.save_checkpoint(&bytes)?;
         // Compact the WAL down to records the checkpoint does not cover.
         // Under the WAL lock no appender is concurrently writing, so
@@ -1642,14 +2054,16 @@ impl<D: QueryDirection> Engine<D> {
                 dataset_fp: p.dataset_fp,
                 shards: self.config.shards,
             };
-            let (compacted, kept) = persist::compact_wal(&p.store.load_wal()?, seq, &header);
+            let (compacted, kept) =
+                persist::compact_wal_with(&p.store.load_wal()?, seq, &header, p.codec);
             p.store.replace_wal(&compacted)?;
             p.wal_healthy.store(true, Ordering::Relaxed);
             kept
         };
         p.appends_since_checkpoint
             .store(kept_len, Ordering::Relaxed);
-        self.stats.record_checkpoint(start.elapsed());
+        self.stats
+            .record_checkpoint(start.elapsed(), bytes.len() as u64);
         Ok(())
     }
 
@@ -1792,7 +2206,17 @@ impl<D: QueryDirection> Engine<D> {
     /// current residents per the replacement policy; that is regular
     /// cache behavior, not a skip.) On a store-attached engine the import
     /// is persisted like any window flip.
-    pub fn import_entries(&self, entries: Vec<(Graph, Vec<GraphId>)>) -> ImportReport {
+    ///
+    /// On a follower ([`Engine::open_follower`]) the call is rejected
+    /// with [`ReplicaError::ReadOnly`]: a replica's cache changes only by
+    /// replaying the primary's delta groups.
+    pub fn import_entries(
+        &self,
+        entries: Vec<(Graph, Vec<GraphId>)>,
+    ) -> Result<ImportReport, ReplicaError> {
+        if self.follower {
+            return Err(ReplicaError::ReadOnly("import_entries"));
+        }
         let n = D::store(&self.method).len() as u32;
         let total = entries.len();
         let admissible: Vec<WindowEntry> = entries
@@ -1815,11 +2239,11 @@ impl<D: QueryDirection> Engine<D> {
         self.drain_outbox();
         self.sync_maintenance();
         self.maybe_auto_checkpoint();
-        ImportReport {
+        Ok(ImportReport {
             admitted,
             skipped_capacity,
             skipped_invalid,
-        }
+        })
     }
 
     /// Deprecated wrapper over [`Engine::export_entries`] that keeps the
@@ -1837,10 +2261,11 @@ impl<D: QueryDirection> Engine<D> {
     }
 
     /// Deprecated wrapper over [`Engine::import_entries`] that reports
-    /// only the admitted count, silently discarding the skip breakdown.
+    /// only the admitted count, silently discarding the skip breakdown
+    /// (and, on a follower, the read-only rejection).
     #[deprecated(note = "use `import_entries`, which reports skipped entries")]
     pub fn import_cache(&self, entries: Vec<(Graph, Vec<GraphId>)>) -> usize {
-        self.import_entries(entries).admitted
+        self.import_entries(entries).map_or(0, |r| r.admitted)
     }
 
     /// Debug/production sanity check: verifies the engine's internal
@@ -2414,7 +2839,7 @@ mod tests {
         assert_eq!(exported.len(), 1, "window entries are exported too");
 
         let cold = engine();
-        let report = cold.import_entries(exported);
+        let report = cold.import_entries(exported).expect("primary import");
         assert_eq!(report.admitted, 1);
         assert_eq!(report.skipped_capacity, 0);
         assert_eq!(report.skipped_invalid, 0);
@@ -2441,7 +2866,7 @@ mod tests {
     fn import_rejects_out_of_range_answers() {
         let e = engine();
         let alien = vec![(graph_from(&[0, 1], &[(0, 1)]), vec![GraphId::new(999)])];
-        let report = e.import_entries(alien);
+        let report = e.import_entries(alien).expect("primary import");
         assert_eq!(report.admitted, 0);
         assert_eq!(report.skipped_invalid, 1);
         assert_eq!(e.cached_queries(), 0);
@@ -2463,7 +2888,9 @@ mod tests {
         )
         .expect("valid engine");
         let mk = |l: u32| (graph_from(&[l, l + 1], &[(0, 1)]), vec![GraphId::new(0)]);
-        let report = e.import_entries(vec![mk(0), mk(10), mk(20), mk(30)]);
+        let report = e
+            .import_entries(vec![mk(0), mk(10), mk(20), mk(30)])
+            .expect("primary import");
         assert_eq!(
             report,
             ImportReport {
@@ -2763,7 +3190,12 @@ mod tests {
         assert_eq!(exported.len(), 1);
 
         let cold = engine_with_mode(MaintenanceMode::Background, 8, 2);
-        assert_eq!(cold.import_entries(exported).admitted, 1);
+        assert_eq!(
+            cold.import_entries(exported)
+                .expect("primary import")
+                .admitted,
+            1
+        );
         // import_entries syncs, so the warm entries are immediately
         // probe-visible even with the exact fast path disabled.
         let out = cold.query(&q);
@@ -2970,5 +3402,201 @@ mod tests {
             let _ = e.query(&q);
         }
         drop(e); // must drain the delta queue and join without panicking
+    }
+
+    fn replication_queries() -> Vec<Graph> {
+        vec![
+            graph_from(&[0, 1], &[(0, 1)]),
+            graph_from(&[2, 2], &[(0, 1)]),
+            graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]),
+            graph_from(&[2, 2, 2], &[(0, 1), (1, 2)]),
+            graph_from(&[0, 1, 2], &[(0, 1), (1, 2)]),
+        ]
+    }
+
+    fn replication_pair(
+        config: &IgqConfig,
+    ) -> (IgqEngine<Ggsx>, IgqEngine<Ggsx>, crate::ReplicaFeed) {
+        let s = store();
+        let primary =
+            IgqEngine::new(Ggsx::build(&s, GgsxConfig::default()), *config).expect("valid primary");
+        let (checkpoint, feed) = match primary.subscribe_replication(None) {
+            Subscription::Snapshot {
+                checkpoint, feed, ..
+            } => (checkpoint, feed),
+            Subscription::Live { .. } => panic!("fresh subscriber must get a snapshot"),
+        };
+        let follower =
+            IgqEngine::open_follower(Ggsx::build(&s, GgsxConfig::default()), *config, &checkpoint)
+                .expect("valid follower");
+        (primary, follower, feed)
+    }
+
+    fn drain_feed(feed: &crate::ReplicaFeed, follower: &IgqEngine<Ggsx>) -> u64 {
+        let mut applied = 0;
+        while let Some(d) = feed.try_recv() {
+            follower.apply_replica_delta(&d.bytes).expect("apply delta");
+            applied += 1;
+        }
+        applied
+    }
+
+    #[test]
+    fn follower_converges_with_in_memory_primary() {
+        for shards in [1usize, 2] {
+            let config = IgqConfig::builder()
+                .cache_capacity(8)
+                .window(1)
+                .shards(shards)
+                .build()
+                .expect("valid config");
+            let (primary, follower, feed) = replication_pair(&config);
+            let queries = replication_queries();
+            let truths: Vec<Vec<GraphId>> =
+                queries.iter().map(|q| primary.query(q).answers).collect();
+            assert!(drain_feed(&feed, &follower) > 0, "shards={shards}");
+            assert_eq!(
+                follower.cached_queries(),
+                primary.cached_queries(),
+                "shards={shards}"
+            );
+            assert_eq!(follower.replication_lag(), Some(0));
+            follower.self_check().expect("follower invariants");
+            for (q, truth) in queries.iter().zip(&truths) {
+                let out = follower.query(q);
+                assert_eq!(&out.answers, truth, "shards={shards}");
+                assert_eq!(
+                    out.resolution,
+                    Resolution::ExactHit,
+                    "replicated resident must exact-hit (shards={shards})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_replica_delta_skips_duplicates_and_detects_gaps() {
+        let config = IgqConfig::builder()
+            .cache_capacity(8)
+            .window(1)
+            .build()
+            .expect("valid config");
+        let (primary, follower, feed) = replication_pair(&config);
+        for q in replication_queries().iter().take(3) {
+            let _ = primary.query(q);
+        }
+        let d1 = feed.try_recv().expect("first group");
+        let d2 = feed.try_recv().expect("second group");
+        let d3 = feed.try_recv().expect("third group");
+        assert_eq!(follower.apply_replica_delta(&d1.bytes), Ok(d1.seq));
+        // Duplicate redelivery (resume overlap) is an idempotent skip.
+        assert_eq!(follower.apply_replica_delta(&d1.bytes), Ok(d1.seq));
+        // A gap is typed — the caller must resume or re-bootstrap.
+        assert_eq!(
+            follower.apply_replica_delta(&d3.bytes),
+            Err(ReplicaError::SeqGap {
+                expected: d1.seq + 1,
+                found: d3.seq,
+            })
+        );
+        assert_eq!(follower.apply_replica_delta(&d2.bytes), Ok(d2.seq));
+        assert_eq!(follower.apply_replica_delta(&d3.bytes), Ok(d3.seq));
+        // Truncated group bytes never partially apply.
+        let cached_before = follower.cached_queries();
+        let seq_before = follower.stats().last_applied_seq;
+        assert!(matches!(
+            follower.apply_replica_delta(&d3.bytes[..d3.bytes.len() - 1]),
+            Err(ReplicaError::Corrupt(_))
+        ));
+        assert_eq!(follower.cached_queries(), cached_before);
+        assert_eq!(follower.stats().last_applied_seq, seq_before);
+    }
+
+    #[test]
+    fn follower_rejects_writes_and_tracks_staleness() {
+        let config = IgqConfig::builder()
+            .cache_capacity(8)
+            .window(1)
+            .build()
+            .expect("valid config");
+        let (primary, follower, feed) = replication_pair(&config);
+        assert!(!primary.is_follower());
+        assert!(follower.is_follower());
+        assert_eq!(primary.replication_lag(), None);
+        assert_eq!(
+            follower.import_entries(vec![(graph_from(&[0], &[]), vec![])]),
+            Err(ReplicaError::ReadOnly("import_entries"))
+        );
+        assert_eq!(
+            primary.apply_replica_delta(b"whatever"),
+            Err(ReplicaError::NotFollower)
+        );
+        // Local queries on a follower are answered but never admitted.
+        let q = graph_from(&[0, 1], &[(0, 1)]);
+        let out = follower.query(&q);
+        assert!(!out.answers.is_empty());
+        let _ = follower.query(&graph_from(&[2, 2], &[(0, 1)]));
+        assert_eq!(follower.cached_queries(), 0);
+        // Staleness = heard − applied; a heartbeat alone raises it.
+        let _ = primary.query(&q);
+        let d = feed.try_recv().expect("group");
+        follower.note_replica_heard(d.seq);
+        assert_eq!(follower.replication_lag(), Some(1));
+        follower.apply_replica_delta(&d.bytes).expect("apply");
+        assert_eq!(follower.replication_lag(), Some(0));
+        let s = follower.stats();
+        assert_eq!(s.replica_groups_applied, 1);
+        assert!(s.replica_bytes_applied > 0);
+        assert_eq!(primary.stats().replica_groups_published, 1);
+    }
+
+    #[test]
+    fn resume_within_ring_is_live_and_beyond_requires_snapshot() {
+        let config = IgqConfig::builder()
+            .cache_capacity(8)
+            .window(1)
+            .build()
+            .expect("valid config");
+        let (primary, follower, feed) = replication_pair(&config);
+        for q in replication_queries().iter().take(2) {
+            let _ = primary.query(q);
+        }
+        drain_feed(&feed, &follower);
+        let at = follower.stats().last_applied_seq;
+        let _ = primary.query(&replication_queries()[2]);
+        // Everything after `at` is still in the replay ring: live resume.
+        match primary.subscribe_replication(Some(at)) {
+            Subscription::Live { feed } => {
+                let d = feed.try_recv().expect("ring replay");
+                assert_eq!(d.seq, at + 1);
+                follower.apply_replica_delta(&d.bytes).expect("apply");
+            }
+            Subscription::Snapshot { .. } => panic!("in-ring resume must be live"),
+        }
+        // A seq before the hub ever existed is not provably gap-free.
+        assert!(matches!(
+            primary.subscribe_replication(Some(9999)),
+            Subscription::Snapshot { .. }
+        ));
+    }
+
+    #[test]
+    fn follower_chains_groups_to_downstream_subscribers() {
+        let config = IgqConfig::builder()
+            .cache_capacity(8)
+            .window(1)
+            .build()
+            .expect("valid config");
+        let (primary, follower, feed) = replication_pair(&config);
+        let downstream_feed = match follower.subscribe_replication(None) {
+            Subscription::Snapshot { feed, .. } => feed,
+            Subscription::Live { .. } => panic!("fresh subscriber must get a snapshot"),
+        };
+        let _ = primary.query(&graph_from(&[0, 1], &[(0, 1)]));
+        let d = feed.try_recv().expect("group");
+        follower.apply_replica_delta(&d.bytes).expect("apply");
+        let chained = downstream_feed.try_recv().expect("chained group");
+        assert_eq!(chained.seq, d.seq);
+        assert_eq!(chained.bytes, d.bytes);
     }
 }

@@ -35,7 +35,14 @@
 //!   ([`DirStore`]/[`MemStore`]) recovers a warm engine from a versioned,
 //!   checksummed checkpoint plus a window-delta write-ahead log, with
 //!   config-driven auto-checkpointing ([`PersistenceConfig`]) and typed
-//!   [`PersistError`]s.
+//!   [`PersistError`]s;
+//! * replication ([`replicate`]): a primary publishes every committed
+//!   window flip as a binary delta group
+//!   ([`Engine::subscribe_replication`]); a follower
+//!   ([`Engine::open_follower`]) bootstraps from its snapshot, replays
+//!   the stream ([`Engine::apply_replica_delta`]), and serves read-only
+//!   queries with a measurable staleness bound
+//!   ([`EngineStats::replication_lag_windows`]).
 //!
 //! Configuration goes through the validating [`IgqConfig::builder`];
 //! invalid combinations surface as typed [`ConfigError`]s at build or
@@ -103,6 +110,7 @@ pub mod metadata;
 pub mod outcome;
 pub mod persist;
 pub mod policy;
+pub mod replicate;
 mod shard;
 pub mod stats;
 pub mod super_engine;
@@ -112,7 +120,9 @@ pub use api::{
 };
 pub use background::{BackgroundMaintainer, IndexPair, MaintainerStats};
 pub use cache::{CacheEntry, QueryCache, WindowDelta};
-pub use config::{ConfigError, IgqConfig, IgqConfigBuilder, MaintenanceMode, PersistenceConfig};
+pub use config::{
+    ConfigError, IgqConfig, IgqConfigBuilder, MaintenanceMode, PersistenceConfig, StoreCodec,
+};
 pub use direction::{QueryDirection, SubgraphQueries, SupergraphQueries};
 pub use engine::{Engine, IgqEngine, ImportReport};
 pub use isub::{IndexSnapshot, IsubIndex};
@@ -121,5 +131,6 @@ pub use metadata::GraphMeta;
 pub use outcome::{QueryOutcome, Resolution};
 pub use persist::{CacheStore, DirStore, MemStore, PersistError};
 pub use policy::ReplacementPolicy;
+pub use replicate::{DeltaGroup, RecvTimeoutError, ReplicaError, ReplicaFeed, Subscription};
 pub use stats::EngineStats;
 pub use super_engine::IgqSuperEngine;

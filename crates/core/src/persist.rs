@@ -63,7 +63,7 @@
 //! explicit checkpoint are the durability loss window.
 
 use crate::cache::{CacheEntry, WindowEntry};
-use crate::config::ConfigError;
+use crate::config::{ConfigError, StoreCodec};
 use crate::metadata::GraphMeta;
 use igq_features::LabelSeq;
 use igq_graph::canon::{CanonicalCode, GraphSignature};
@@ -83,6 +83,10 @@ pub const CHECKPOINT_VERSION: u64 = 1;
 pub const WAL_VERSION: u64 = 1;
 
 const CKPT_MAGIC: &str = "IGQCKPT1";
+/// Magic prefix of a binary-codec checkpoint ([`StoreCodec::Binary`]).
+const BCKPT_MAGIC: &[u8; 8] = b"IGQBCKP1";
+/// Magic prefix of a binary-codec WAL stream ([`StoreCodec::Binary`]).
+const BWAL_MAGIC: &[u8; 8] = b"IGQBWAL1";
 
 // ---------------------------------------------------------------------------
 // Errors
@@ -995,8 +999,13 @@ pub(crate) fn encode_checkpoint(data: &CheckpointData) -> Vec<u8> {
 
 /// Decodes and verifies checkpoint bytes (magic, version, checksum).
 /// Fingerprint validation against the opening engine is the caller's job
-/// (the fingerprints are in the returned data).
+/// (the fingerprints are in the returned data). The codec is auto-detected
+/// from the magic prefix, so an engine configured for one codec still
+/// opens a store written under the other.
 pub(crate) fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointData, PersistError> {
+    if bytes.starts_with(BCKPT_MAGIC) {
+        return decode_checkpoint_binary(bytes);
+    }
     let newline = bytes
         .iter()
         .position(|&b| b == b'\n')
@@ -1166,8 +1175,12 @@ fn record_from_json(v: &Value) -> Result<WalRecord, PersistError> {
 /// Parses a WAL byte stream: header first, then records in order. A
 /// damaged or truncated **final** line is tolerated (dropped, reported
 /// via [`WalParse::torn_tail`]) — that is what a crash mid-append leaves
-/// behind; damage anywhere else is [`PersistError::Corrupt`].
+/// behind; damage anywhere else is [`PersistError::Corrupt`]. The codec
+/// is auto-detected from the stream's magic prefix.
 pub(crate) fn parse_wal(bytes: &[u8]) -> Result<WalParse, PersistError> {
+    if bytes.starts_with(BWAL_MAGIC) {
+        return parse_wal_binary(&bytes[BWAL_MAGIC.len()..]);
+    }
     if bytes.is_empty() {
         return Ok(WalParse {
             header: None,
@@ -1351,6 +1364,840 @@ pub(crate) fn compact_wal(bytes: &[u8], keep_after: u64, header: &WalHeader) -> 
         }
     }
     (out, kept)
+}
+
+// ---------------------------------------------------------------------------
+// Binary codec
+// ---------------------------------------------------------------------------
+//
+// The [`StoreCodec::Binary`] encoding of the same durable state model:
+// LEB128 varints for counts and small ordinals, fixed 8-byte
+// little-endian words for dense bit patterns (canonical-code words, WL
+// hashes, fingerprints, cost exponent bits), and delta-coded sorted
+// answer sets. Layout:
+//
+// * **Checkpoint** — `IGQBCKP1` magic, then a `u64` LE FNV-1a checksum
+//   over the payload, a `u64` LE payload length, and the payload
+//   (version varint first).
+// * **WAL** — `IGQBWAL1` magic, then self-delimiting frames: a tag byte
+//   (`H`/`R`), a `u32` LE payload length, a `u64` LE payload checksum,
+//   and the payload. A record payload serializes `seq` first so
+//   checkpoint-time compaction can read it without decoding the frame.
+//
+// Both decoders are reached through the same [`decode_checkpoint`] /
+// [`parse_wal`] entry points, which sniff the magic — the codec choice
+// governs what gets *written*; reads accept either format, so a store
+// written under one codec reopens under the other (and is rewritten in
+// the configured codec by the open-time WAL compaction / next
+// checkpoint). Torn-tail semantics mirror the text codec exactly: an
+// incomplete or checksum-damaged **final** frame is dropped and
+// reported, the same damage mid-stream is [`PersistError::Corrupt`].
+
+/// Appends a LEB128 varint.
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn put_u32_le(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64_le(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Cursor over a binary payload. Every read is bounds-checked; errors
+/// are plain strings the caller wraps into [`PersistError`] with frame
+/// context (torn tail vs mid-stream corruption is positional, so the
+/// reader itself cannot decide).
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.remaining() < n {
+            return Err(format!(
+                "truncated payload (wanted {n} bytes, {} left)",
+                self.remaining()
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64_le(&mut self) -> Result<u64, String> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn varint(&mut self) -> Result<u64, String> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            if shift == 63 && b > 1 {
+                return Err("varint overflows u64".into());
+            }
+            v |= ((b & 0x7f) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// A claimed element count, sanity-bounded by the bytes actually
+    /// present (each element costs at least `min_bytes`), so a damaged
+    /// count cannot drive a pathological allocation.
+    fn count(&mut self, what: &str, min_bytes: usize) -> Result<usize, String> {
+        let n = self.varint()? as usize;
+        if n.saturating_mul(min_bytes.max(1)) > self.remaining() {
+            return Err(format!("{what} count {n} exceeds payload"));
+        }
+        Ok(n)
+    }
+}
+
+fn graph_to_bin(out: &mut Vec<u8>, g: &Graph) {
+    put_varint(out, g.vertex_count() as u64);
+    put_varint(out, g.edge_count() as u64);
+    out.push(g.has_edge_labels() as u8);
+    for v in g.vertices() {
+        put_varint(out, g.label(v).raw() as u64);
+    }
+    if g.has_edge_labels() {
+        for ((u, v), l) in g.labeled_edges() {
+            put_varint(out, u.raw() as u64);
+            put_varint(out, v.raw() as u64);
+            put_varint(out, l.raw() as u64);
+        }
+    } else {
+        for &(u, v) in g.edges() {
+            put_varint(out, u.raw() as u64);
+            put_varint(out, v.raw() as u64);
+        }
+    }
+}
+
+fn graph_from_bin(r: &mut Reader) -> Result<Graph, String> {
+    let vcount = r.count("vertex", 1)?;
+    let ecount = r.varint()? as usize;
+    let labeled = match r.u8()? {
+        0 => false,
+        1 => true,
+        other => return Err(format!("bad edge-label flag {other}")),
+    };
+    let mut b = igq_graph::GraphBuilder::with_capacity(vcount, ecount);
+    for _ in 0..vcount {
+        b.add_vertex(LabelId::new(r.varint()? as u32));
+    }
+    if ecount.saturating_mul(2) > r.remaining() {
+        return Err(format!("edge count {ecount} exceeds payload"));
+    }
+    for _ in 0..ecount {
+        let u = igq_graph::VertexId::new(r.varint()? as u32);
+        let v = igq_graph::VertexId::new(r.varint()? as u32);
+        let result = if labeled {
+            b.add_edge_labeled(u, v, LabelId::new(r.varint()? as u32))
+        } else {
+            b.add_edge(u, v)
+        };
+        result.map_err(|e| e.to_string())?;
+    }
+    b.try_build().map_err(|e| e.to_string())
+}
+
+/// Answer ids are kept sorted by the engine, so consecutive deltas are
+/// small; wrapping arithmetic keeps the round trip exact even for an
+/// unsorted sequence (the delta simply goes wide).
+fn answers_to_bin(out: &mut Vec<u8>, answers: &[GraphId]) {
+    put_varint(out, answers.len() as u64);
+    let mut prev = 0u32;
+    for id in answers {
+        put_varint(out, id.raw().wrapping_sub(prev) as u64);
+        prev = id.raw();
+    }
+}
+
+fn answers_from_bin(r: &mut Reader) -> Result<Vec<GraphId>, String> {
+    let n = r.count("answer", 1)?;
+    let mut out = Vec::with_capacity(n);
+    let mut prev = 0u32;
+    for _ in 0..n {
+        prev = prev.wrapping_add(r.varint()? as u32);
+        out.push(GraphId::new(prev));
+    }
+    Ok(out)
+}
+
+fn sig_to_bin(out: &mut Vec<u8>, s: &GraphSignature) {
+    put_varint(out, s.vertices as u64);
+    put_varint(out, s.edges as u64);
+    put_u64_le(out, s.wl_hash);
+}
+
+fn sig_from_bin(r: &mut Reader) -> Result<GraphSignature, String> {
+    Ok(GraphSignature {
+        vertices: r.varint()? as u32,
+        edges: r.varint()? as u32,
+        wl_hash: r.u64_le()?,
+    })
+}
+
+fn code_words_to_bin(out: &mut Vec<u8>, c: &CanonicalCode) {
+    put_varint(out, c.words().len() as u64);
+    for &w in c.words() {
+        put_u64_le(out, w);
+    }
+}
+
+fn code_words_from_bin(r: &mut Reader) -> Result<CanonicalCode, String> {
+    let n = r.count("code word", 8)?;
+    let mut words = Vec::with_capacity(n);
+    for _ in 0..n {
+        words.push(r.u64_le()?);
+    }
+    Ok(CanonicalCode::from_words(words))
+}
+
+fn code_to_bin(out: &mut Vec<u8>, code: &Option<CanonicalCode>) {
+    match code {
+        None => out.push(0),
+        Some(c) => {
+            out.push(1);
+            code_words_to_bin(out, c);
+        }
+    }
+}
+
+fn code_from_bin(r: &mut Reader) -> Result<Option<CanonicalCode>, String> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(code_words_from_bin(r)?)),
+        other => Err(format!("bad code flag {other}")),
+    }
+}
+
+fn meta_to_bin(out: &mut Vec<u8>, m: &GraphMeta) {
+    put_varint(out, m.hits);
+    put_varint(out, m.queries_seen);
+    put_varint(out, m.removed);
+    // Same -inf-safety argument as [`meta_to_json`]: the exact `f64` bit
+    // pattern of the log-domain cost, not a decimal rendering.
+    put_u64_le(out, m.cost_alleviated.ln().to_bits());
+    put_varint(out, m.last_hit_at);
+}
+
+fn meta_from_bin(r: &mut Reader) -> Result<GraphMeta, String> {
+    Ok(GraphMeta {
+        hits: r.varint()?,
+        queries_seen: r.varint()?,
+        removed: r.varint()?,
+        cost_alleviated: LogValue::from_ln(f64::from_bits(r.u64_le()?)),
+        last_hit_at: r.varint()?,
+    })
+}
+
+fn features_to_bin(out: &mut Vec<u8>, f: &SlotFeatureSet) {
+    put_varint(out, f.complete_len as u64);
+    put_varint(out, f.counts.len() as u64);
+    for (seq, count) in &f.counts {
+        put_varint(out, seq.labels().len() as u64);
+        for l in seq.labels() {
+            put_varint(out, l.raw() as u64);
+        }
+        put_varint(out, *count as u64);
+    }
+}
+
+fn features_from_bin(r: &mut Reader) -> Result<SlotFeatureSet, String> {
+    let complete_len = r.varint()? as usize;
+    let n = r.count("feature", 2)?;
+    let mut counts = Vec::with_capacity(n);
+    let mut labels: Vec<LabelId> = Vec::new();
+    for _ in 0..n {
+        let len = r.count("feature label", 1)?;
+        labels.clear();
+        for _ in 0..len {
+            labels.push(LabelId::new(r.varint()? as u32));
+        }
+        counts.push((LabelSeq::canonical(&labels), r.varint()? as u32));
+    }
+    Ok(SlotFeatureSet {
+        counts,
+        complete_len,
+    })
+}
+
+fn entry_to_bin(out: &mut Vec<u8>, e: &PersistedEntry) {
+    put_varint(out, e.slot as u64);
+    graph_to_bin(out, &e.entry.graph);
+    answers_to_bin(out, &e.entry.answers);
+    sig_to_bin(out, &e.entry.signature);
+    code_to_bin(out, &e.entry.code);
+    meta_to_bin(out, &e.entry.meta);
+    match &e.features {
+        None => out.push(0),
+        Some(f) => {
+            out.push(1);
+            features_to_bin(out, f);
+        }
+    }
+}
+
+fn entry_from_bin(r: &mut Reader) -> Result<PersistedEntry, String> {
+    let slot = r.varint()? as usize;
+    let graph = graph_from_bin(r)?;
+    let answers = answers_from_bin(r)?;
+    let signature = sig_from_bin(r)?;
+    let code = code_from_bin(r)?;
+    let meta = meta_from_bin(r)?;
+    let features = match r.u8()? {
+        0 => None,
+        1 => Some(features_from_bin(r)?),
+        other => return Err(format!("bad feature flag {other}")),
+    };
+    Ok(PersistedEntry {
+        slot,
+        entry: CacheEntry {
+            graph: Arc::new(graph),
+            signature,
+            code,
+            answers,
+            meta,
+        },
+        features,
+    })
+}
+
+fn window_entry_to_bin(out: &mut Vec<u8>, w: &WindowEntry) {
+    graph_to_bin(out, &w.graph);
+    answers_to_bin(out, &w.answers);
+    match &w.signature {
+        None => out.push(0),
+        Some(s) => {
+            out.push(1);
+            sig_to_bin(out, s);
+        }
+    }
+    // Three-way flag folding both Option layers: canonicalization not
+    // attempted / attempted but over budget / attempted with a code.
+    match &w.code {
+        None => out.push(0),
+        Some(None) => out.push(1),
+        Some(Some(c)) => {
+            out.push(2);
+            code_words_to_bin(out, c);
+        }
+    }
+}
+
+fn window_entry_from_bin(r: &mut Reader) -> Result<WindowEntry, String> {
+    let graph = graph_from_bin(r)?;
+    let answers = answers_from_bin(r)?;
+    let signature = match r.u8()? {
+        0 => None,
+        1 => Some(sig_from_bin(r)?),
+        other => return Err(format!("bad signature flag {other}")),
+    };
+    let code = match r.u8()? {
+        0 => None,
+        1 => Some(None),
+        2 => Some(Some(code_words_from_bin(r)?)),
+        other => return Err(format!("bad window code flag {other}")),
+    };
+    Ok(WindowEntry {
+        graph: Arc::new(graph),
+        answers,
+        signature,
+        code,
+    })
+}
+
+fn metas_to_bin(out: &mut Vec<u8>, metas: &[(usize, GraphMeta)]) {
+    put_varint(out, metas.len() as u64);
+    for (slot, m) in metas {
+        put_varint(out, *slot as u64);
+        meta_to_bin(out, m);
+    }
+}
+
+fn metas_from_bin(r: &mut Reader) -> Result<Vec<(usize, GraphMeta)>, String> {
+    let n = r.count("meta", 13)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let slot = r.varint()? as usize;
+        out.push((slot, meta_from_bin(r)?));
+    }
+    Ok(out)
+}
+
+fn encode_checkpoint_binary(data: &CheckpointData) -> Vec<u8> {
+    let mut p = Vec::with_capacity(64 + data.entries.len() * 128);
+    put_varint(&mut p, CHECKPOINT_VERSION);
+    put_varint(&mut p, data.seq);
+    put_u64_le(&mut p, data.config_fp);
+    put_u64_le(&mut p, data.dataset_fp);
+    put_varint(&mut p, data.labels as u64);
+    put_varint(&mut p, data.round);
+    put_varint(&mut p, data.slot_count as u64);
+    put_varint(&mut p, data.shards as u64);
+    put_varint(&mut p, data.free.len() as u64);
+    for &s in &data.free {
+        put_varint(&mut p, s as u64);
+    }
+    put_varint(&mut p, data.entries.len() as u64);
+    for e in &data.entries {
+        entry_to_bin(&mut p, e);
+    }
+    put_varint(&mut p, data.window.len() as u64);
+    for w in &data.window {
+        window_entry_to_bin(&mut p, w);
+    }
+    let mut out = Vec::with_capacity(24 + p.len());
+    out.extend_from_slice(BCKPT_MAGIC);
+    put_u64_le(&mut out, fnv1a64(&p));
+    put_u64_le(&mut out, p.len() as u64);
+    out.extend_from_slice(&p);
+    out
+}
+
+fn decode_checkpoint_binary(bytes: &[u8]) -> Result<CheckpointData, PersistError> {
+    let corrupt = |m: String| PersistError::Corrupt(format!("binary checkpoint: {m}"));
+    if bytes.len() < 24 {
+        return Err(corrupt("truncated header".into()));
+    }
+    let expected = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let len = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")) as usize;
+    let payload = &bytes[24..];
+    if payload.len() != len {
+        return Err(corrupt(format!(
+            "payload length {} does not match header {len}",
+            payload.len()
+        )));
+    }
+    let found = fnv1a64(payload);
+    if found != expected {
+        return Err(PersistError::Checksum { expected, found });
+    }
+    let mut r = Reader::new(payload);
+    let mut go = || -> Result<CheckpointData, String> {
+        let version = r.varint()?;
+        if version != CHECKPOINT_VERSION {
+            return Err(format!("@version:{version}"));
+        }
+        let seq = r.varint()?;
+        let config_fp = r.u64_le()?;
+        let dataset_fp = r.u64_le()?;
+        let labels = r.varint()? as usize;
+        let round = r.varint()?;
+        let slot_count = r.varint()? as usize;
+        let shards = r.varint()? as usize;
+        let nfree = r.count("free slot", 1)?;
+        let mut free = Vec::with_capacity(nfree);
+        for _ in 0..nfree {
+            free.push(r.varint()? as usize);
+        }
+        let nentries = r.count("entry", 16)?;
+        let mut entries = Vec::with_capacity(nentries);
+        for _ in 0..nentries {
+            entries.push(entry_from_bin(&mut r)?);
+        }
+        let nwindow = r.count("window entry", 4)?;
+        let mut window = Vec::with_capacity(nwindow);
+        for _ in 0..nwindow {
+            window.push(window_entry_from_bin(&mut r)?);
+        }
+        if r.remaining() != 0 {
+            return Err(format!("{} trailing bytes", r.remaining()));
+        }
+        Ok(CheckpointData {
+            seq,
+            config_fp,
+            dataset_fp,
+            labels,
+            round,
+            slot_count,
+            free,
+            entries,
+            window,
+            shards,
+        })
+    };
+    go().map_err(|m| match m.strip_prefix("@version:") {
+        Some(v) => PersistError::UnsupportedVersion {
+            found: v.parse().unwrap_or(0),
+            supported: CHECKPOINT_VERSION,
+        },
+        None => corrupt(m),
+    })
+}
+
+/// One binary WAL frame: tag byte, `u32` LE payload length, `u64` LE
+/// payload checksum, payload.
+fn frame_bin(tag: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(13 + payload.len());
+    out.push(tag);
+    put_u32_le(&mut out, payload.len() as u32);
+    put_u64_le(&mut out, fnv1a64(payload));
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Bytes of the frame header preceding each binary WAL payload.
+const BFRAME_HEADER: usize = 13;
+
+fn encode_wal_header_binary(h: &WalHeader) -> Vec<u8> {
+    let mut p = Vec::with_capacity(24);
+    put_varint(&mut p, WAL_VERSION);
+    put_u64_le(&mut p, h.config_fp);
+    put_u64_le(&mut p, h.dataset_fp);
+    put_varint(&mut p, h.shards as u64);
+    let mut out = BWAL_MAGIC.to_vec();
+    out.extend_from_slice(&frame_bin(b'H', &p));
+    out
+}
+
+fn encode_wal_record_binary(r: &WalRecord) -> Vec<u8> {
+    let mut p = Vec::with_capacity(64 + r.admitted.len() * 64 + r.metas.len() * 16);
+    // `seq` leads the payload: binary compaction reads it without
+    // decoding the rest of the frame (the analogue of
+    // [`record_line_seq`]).
+    put_varint(&mut p, r.seq);
+    put_varint(&mut p, r.shard as u64);
+    put_varint(&mut p, r.group as u64);
+    put_varint(&mut p, r.evicted.len() as u64);
+    for &s in &r.evicted {
+        put_varint(&mut p, s as u64);
+    }
+    put_varint(&mut p, r.admitted.len() as u64);
+    for e in &r.admitted {
+        entry_to_bin(&mut p, e);
+    }
+    metas_to_bin(&mut p, &r.metas);
+    frame_bin(b'R', &p)
+}
+
+fn wal_header_from_bin(payload: &[u8]) -> Result<WalHeader, PersistError> {
+    let mut r = Reader::new(payload);
+    let mut go = || -> Result<(u64, WalHeader), String> {
+        let version = r.varint()?;
+        let h = WalHeader {
+            config_fp: r.u64_le()?,
+            dataset_fp: r.u64_le()?,
+            shards: r.varint()? as usize,
+        };
+        if r.remaining() != 0 {
+            return Err(format!("{} trailing header bytes", r.remaining()));
+        }
+        Ok((version, h))
+    };
+    let (version, h) =
+        go().map_err(|m| PersistError::Corrupt(format!("binary WAL header: {m}")))?;
+    if version != WAL_VERSION {
+        return Err(PersistError::UnsupportedVersion {
+            found: version,
+            supported: WAL_VERSION,
+        });
+    }
+    Ok(h)
+}
+
+fn record_from_bin(payload: &[u8]) -> Result<WalRecord, String> {
+    let mut r = Reader::new(payload);
+    let seq = r.varint()?;
+    let shard = r.varint()? as usize;
+    let group = r.varint()? as usize;
+    if group == 0 {
+        return Err("WAL record with group == 0".into());
+    }
+    let nevicted = r.count("evicted slot", 1)?;
+    let mut evicted = Vec::with_capacity(nevicted);
+    for _ in 0..nevicted {
+        evicted.push(r.varint()? as usize);
+    }
+    let nadmitted = r.count("admitted entry", 16)?;
+    let mut admitted = Vec::with_capacity(nadmitted);
+    for _ in 0..nadmitted {
+        admitted.push(entry_from_bin(&mut r)?);
+    }
+    let metas = metas_from_bin(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(format!("{} trailing record bytes", r.remaining()));
+    }
+    Ok(WalRecord {
+        seq,
+        shard,
+        group,
+        evicted,
+        admitted,
+        metas,
+    })
+}
+
+/// Walks binary WAL frames (magic already stripped). Same positional
+/// damage rules as the text parser: an incomplete or checksum-damaged
+/// final frame is a torn tail, anything earlier is corruption.
+fn parse_wal_binary(bytes: &[u8]) -> Result<WalParse, PersistError> {
+    let mut header = None;
+    let mut records = Vec::new();
+    let mut torn_tail = false;
+    let mut pos = 0usize;
+    let mut index = 0usize;
+    while pos < bytes.len() {
+        let rem = bytes.len() - pos;
+        if rem < BFRAME_HEADER {
+            torn_tail = true;
+            break;
+        }
+        let tag = bytes[pos];
+        let len = u32::from_le_bytes(bytes[pos + 1..pos + 5].try_into().expect("4 bytes")) as usize;
+        let expected = u64::from_le_bytes(bytes[pos + 5..pos + 13].try_into().expect("8 bytes"));
+        let start = pos + BFRAME_HEADER;
+        if rem - BFRAME_HEADER < len {
+            torn_tail = true;
+            break;
+        }
+        let payload = &bytes[start..start + len];
+        let is_last = start + len == bytes.len();
+        let found = fnv1a64(payload);
+        if found != expected {
+            if is_last {
+                torn_tail = true;
+                break;
+            }
+            return Err(PersistError::Corrupt(format!(
+                "binary WAL frame {} damaged mid-log: checksum mismatch \
+                 ({expected:016x} vs {found:016x})",
+                index + 1
+            )));
+        }
+        match tag {
+            b'H' => {
+                if index != 0 {
+                    return Err(PersistError::Corrupt(
+                        "WAL header record not at start".into(),
+                    ));
+                }
+                header = Some(wal_header_from_bin(payload)?);
+            }
+            b'R' => {
+                if header.is_none() {
+                    return Err(PersistError::Corrupt("WAL record before header".into()));
+                }
+                match record_from_bin(payload) {
+                    Ok(r) => records.push(r),
+                    Err(_) if is_last => torn_tail = true,
+                    Err(reason) => {
+                        return Err(PersistError::Corrupt(format!(
+                            "binary WAL frame {} damaged mid-log: {reason}",
+                            index + 1
+                        )));
+                    }
+                }
+            }
+            other => {
+                return Err(PersistError::Corrupt(format!(
+                    "unknown binary WAL frame tag {other:#04x}"
+                )));
+            }
+        }
+        pos = start + len;
+        index += 1;
+    }
+    if header.is_none() && (!records.is_empty() || !torn_tail) {
+        return Err(PersistError::Corrupt("WAL has no header record".into()));
+    }
+    Ok(WalParse {
+        header,
+        records,
+        torn_tail,
+    })
+}
+
+/// Binary twin of [`compact_wal`]: keeps `R` frames with
+/// `seq > keep_after` verbatim under a fresh header, reading only each
+/// payload's leading `seq` varint; a torn final frame is dropped.
+fn compact_wal_binary(bytes: &[u8], keep_after: u64, header: &WalHeader) -> (Vec<u8>, u64) {
+    let mut out = encode_wal_header_binary(header);
+    let mut kept = 0u64;
+    let frames = &bytes[BWAL_MAGIC.len().min(bytes.len())..];
+    let mut pos = 0usize;
+    while pos < frames.len() {
+        let rem = frames.len() - pos;
+        if rem < BFRAME_HEADER {
+            break; // torn final append; checkpoint covers its flip
+        }
+        let len =
+            u32::from_le_bytes(frames[pos + 1..pos + 5].try_into().expect("4 bytes")) as usize;
+        if rem - BFRAME_HEADER < len {
+            break; // torn final append
+        }
+        let frame = &frames[pos..pos + BFRAME_HEADER + len];
+        pos += BFRAME_HEADER + len;
+        if frame[0] != b'R' {
+            continue; // old header
+        }
+        match Reader::new(&frame[BFRAME_HEADER..]).varint() {
+            Ok(seq) if seq <= keep_after => {}
+            _ => {
+                out.extend_from_slice(frame);
+                kept += 1;
+            }
+        }
+    }
+    (out, kept)
+}
+
+// ---------------------------------------------------------------------------
+// Codec dispatch
+// ---------------------------------------------------------------------------
+
+/// Encodes a checkpoint in the configured codec.
+pub(crate) fn encode_checkpoint_with(data: &CheckpointData, codec: StoreCodec) -> Vec<u8> {
+    match codec {
+        StoreCodec::Json => encode_checkpoint(data),
+        StoreCodec::Binary => encode_checkpoint_binary(data),
+    }
+}
+
+/// Encodes one flip record in the configured codec (an appendable unit;
+/// the stream's header/magic prefix comes from [`encode_wal_with`]).
+pub(crate) fn encode_wal_record_with(r: &WalRecord, codec: StoreCodec) -> Vec<u8> {
+    match codec {
+        StoreCodec::Json => encode_wal_record(r),
+        StoreCodec::Binary => encode_wal_record_binary(r),
+    }
+}
+
+/// Re-encodes a header plus records as a fresh WAL stream in the
+/// configured codec.
+pub(crate) fn encode_wal_with(
+    header: &WalHeader,
+    records: &[&WalRecord],
+    codec: StoreCodec,
+) -> Vec<u8> {
+    match codec {
+        StoreCodec::Json => encode_wal(header, records),
+        StoreCodec::Binary => {
+            let mut out = encode_wal_header_binary(header);
+            for r in records {
+                out.extend_from_slice(&encode_wal_record_binary(r));
+            }
+            out
+        }
+    }
+}
+
+/// Checkpoint-time raw-byte WAL compaction in the configured codec.
+/// When the stream on disk already matches `codec` (the steady state —
+/// `Engine::open` rewrites the WAL in the configured codec), frames are
+/// kept verbatim with only their `seq` prefix read. A codec switch
+/// between open and checkpoint cannot happen within one engine, but a
+/// mismatched stream still compacts correctly through a full
+/// parse + re-encode.
+pub(crate) fn compact_wal_with(
+    bytes: &[u8],
+    keep_after: u64,
+    header: &WalHeader,
+    codec: StoreCodec,
+) -> (Vec<u8>, u64) {
+    let input_binary = bytes.starts_with(BWAL_MAGIC);
+    match (codec, input_binary) {
+        (StoreCodec::Json, false) => compact_wal(bytes, keep_after, header),
+        (StoreCodec::Binary, true) => compact_wal_binary(bytes, keep_after, header),
+        _ => {
+            let records = parse_wal(bytes).map(|p| p.records).unwrap_or_default();
+            let kept: Vec<&WalRecord> = records.iter().filter(|r| r.seq > keep_after).collect();
+            let n = kept.len() as u64;
+            (encode_wal_with(header, &kept, codec), n)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replication delta-group codec
+//
+// The replication stream's wire unit is one committed flip group, encoded
+// as the binary WAL codec's `R` frames back to back — no magic, no header
+// (the subscription supplies both fingerprint checks and ordering). Decode
+// is strict: a replicated group travels over a reliable stream, so any
+// truncation or damage is an error and the whole group is rejected before
+// a single record applies — the remote analogue of "a torn tail drops the
+// whole flip group".
+
+/// Encodes one flip group for the replication stream.
+pub(crate) fn encode_group_binary(records: &[WalRecord]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for r in records {
+        out.extend_from_slice(&encode_wal_record_binary(r));
+    }
+    out
+}
+
+/// Decodes a replication delta group (binary `R` frames, strict).
+pub(crate) fn decode_group_binary(bytes: &[u8]) -> Result<Vec<WalRecord>, PersistError> {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let rem = bytes.len() - pos;
+        if rem < BFRAME_HEADER {
+            return Err(PersistError::Corrupt(
+                "delta group ends in a truncated frame header".into(),
+            ));
+        }
+        let tag = bytes[pos];
+        if tag != b'R' {
+            return Err(PersistError::Corrupt(format!(
+                "unexpected delta-group frame tag {tag:#04x}"
+            )));
+        }
+        let len = u32::from_le_bytes(bytes[pos + 1..pos + 5].try_into().expect("4 bytes")) as usize;
+        let expected = u64::from_le_bytes(bytes[pos + 5..pos + 13].try_into().expect("8 bytes"));
+        let start = pos + BFRAME_HEADER;
+        if rem - BFRAME_HEADER < len {
+            return Err(PersistError::Corrupt(
+                "delta group ends in a truncated frame payload".into(),
+            ));
+        }
+        let payload = &bytes[start..start + len];
+        let found = fnv1a64(payload);
+        if found != expected {
+            return Err(PersistError::Checksum { expected, found });
+        }
+        records.push(
+            record_from_bin(payload)
+                .map_err(|m| PersistError::Corrupt(format!("delta-group record: {m}")))?,
+        );
+        pos = start + len;
+    }
+    if records.is_empty() {
+        return Err(PersistError::Corrupt("empty delta group".into()));
+    }
+    Ok(records)
 }
 
 #[cfg(test)]
@@ -1756,5 +2603,281 @@ mod tests {
             .into_iter()
             .collect();
         assert_ne!(dataset_fingerprint(&el_a), dataset_fingerprint(&el_b));
+    }
+
+    // -- binary codec ------------------------------------------------------
+
+    #[test]
+    fn varint_roundtrips_across_the_range() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.varint().unwrap(), v);
+            assert_eq!(r.remaining(), 0);
+        }
+        // A malformed continuation that would overflow u64 must error,
+        // not silently truncate.
+        let mut r = Reader::new(&[0xff; 10]);
+        assert!(r.varint().is_err());
+    }
+
+    #[test]
+    fn binary_checkpoint_roundtrip_preserves_everything() {
+        let data = checkpoint_data();
+        let bytes = encode_checkpoint_with(&data, StoreCodec::Binary);
+        assert!(bytes.starts_with(BCKPT_MAGIC));
+        let back = decode_checkpoint(&bytes).expect("auto-detected binary decode");
+        assert_eq!(back.seq, 7);
+        assert_eq!(back.config_fp, 11);
+        assert_eq!(back.dataset_fp, 22);
+        assert_eq!(back.labels, 5);
+        assert_eq!(back.round, 9);
+        assert_eq!(back.slot_count, 3);
+        assert_eq!(back.free, vec![2]);
+        assert_eq!(back.shards, 1);
+        assert_eq!(back.entries.len(), 2);
+        let (a, b) = (&data.entries[0].entry, &back.entries[0].entry);
+        assert_eq!(a.graph.as_ref(), b.graph.as_ref());
+        assert_eq!(a.signature, b.signature);
+        assert_eq!(a.code, b.code);
+        assert_eq!(a.answers, b.answers);
+        assert_eq!(a.meta.hits, b.meta.hits);
+        assert_eq!(a.meta.cost_alleviated, b.meta.cost_alleviated);
+        let (fa, fb) = (
+            data.entries[0].features.as_ref().unwrap(),
+            back.entries[0].features.as_ref().unwrap(),
+        );
+        let (mut ca, mut cb) = (fa.counts.clone(), fb.counts.clone());
+        ca.sort();
+        cb.sort();
+        assert_eq!(ca, cb);
+        assert_eq!(fa.complete_len, fb.complete_len);
+        assert_eq!(back.window.len(), 1);
+        assert_eq!(back.window[0].code, Some(None), "budget-miss code survives");
+        // -inf cost exponents (never-hit entries) cross the codec intact.
+        let fresh = GraphMeta::new();
+        let mut buf = Vec::new();
+        meta_to_bin(&mut buf, &fresh);
+        let back = meta_from_bin(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(back.cost_alleviated, LogValue::ZERO);
+    }
+
+    #[test]
+    fn binary_checkpoint_is_smaller_than_json() {
+        let data = checkpoint_data();
+        let json = encode_checkpoint_with(&data, StoreCodec::Json);
+        let bin = encode_checkpoint_with(&data, StoreCodec::Binary);
+        assert!(
+            bin.len() < json.len(),
+            "binary {} should undercut JSON {}",
+            bin.len(),
+            json.len()
+        );
+    }
+
+    #[test]
+    fn binary_checkpoint_checksum_and_version_gates() {
+        let bytes = encode_checkpoint_with(&checkpoint_data(), StoreCodec::Binary);
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 2;
+        flipped[last] ^= 0x01;
+        match decode_checkpoint(&flipped) {
+            Err(PersistError::Checksum { .. }) => {}
+            other => panic!("expected checksum error, got {other:?}"),
+        }
+        // Forge an unsupported payload version (leading varint) with a
+        // recomputed checksum: the gate must fire, not a decode error.
+        let mut forged_payload = bytes[24..].to_vec();
+        forged_payload[0] = 99; // version varint 1 -> 99
+        let mut forged = BCKPT_MAGIC.to_vec();
+        put_u64_le(&mut forged, fnv1a64(&forged_payload));
+        put_u64_le(&mut forged, forged_payload.len() as u64);
+        forged.extend_from_slice(&forged_payload);
+        match decode_checkpoint(&forged) {
+            Err(PersistError::UnsupportedVersion { found: 99, .. }) => {}
+            other => panic!("expected version error, got {other:?}"),
+        }
+        // Truncation that cuts into the payload is structural corruption.
+        match decode_checkpoint(&bytes[..bytes.len() - 3]) {
+            Err(PersistError::Corrupt(_)) => {}
+            other => panic!("expected corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_wal_roundtrip_and_torn_frame_tolerance() {
+        let header = WalHeader {
+            config_fp: 1,
+            dataset_fp: 2,
+            shards: 1,
+        };
+        let mut a = wal_record(1);
+        a.shard = 0;
+        let bytes = encode_wal_with(&header, &[&a, &wal_record(2)], StoreCodec::Binary);
+        assert!(bytes.starts_with(BWAL_MAGIC));
+        let parsed = parse_wal(&bytes).expect("clean binary parse");
+        assert_eq!(parsed.records.len(), 2);
+        assert!(!parsed.torn_tail);
+        assert_eq!(parsed.header.unwrap().config_fp, 1);
+        assert_eq!(parsed.records[1].seq, 2);
+        assert_eq!(parsed.records[1].evicted, vec![1]);
+        assert_eq!(parsed.records[1].metas.len(), 2);
+        assert_eq!(
+            parsed.records[1].admitted[0].entry.answers,
+            wal_record(2).admitted[0].entry.answers
+        );
+
+        // Crash mid-append: chop the final frame short.
+        let torn = &bytes[..bytes.len() - 10];
+        let parsed = parse_wal(torn).expect("torn tail tolerated");
+        assert_eq!(parsed.records.len(), 1, "final frame dropped");
+        assert!(parsed.torn_tail);
+
+        // A bit flip in the *final* frame's payload is also a torn tail...
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 2;
+        flipped[last] ^= 0x01;
+        let parsed = parse_wal(&flipped).expect("damaged final frame tolerated");
+        assert_eq!(parsed.records.len(), 1);
+        assert!(parsed.torn_tail);
+
+        // ...but the same damage mid-log is corruption.
+        let r1 = encode_wal_record_with(&wal_record(1), StoreCodec::Binary);
+        let mut mid = encode_wal_with(&header, &[], StoreCodec::Binary);
+        let mut broken = r1.clone();
+        let at = broken.len() - 2;
+        broken[at] ^= 0x01;
+        mid.extend_from_slice(&broken);
+        mid.extend_from_slice(&encode_wal_record_with(&wal_record(2), StoreCodec::Binary));
+        match parse_wal(&mid) {
+            Err(PersistError::Corrupt(_)) => {}
+            other => panic!("expected corruption error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_wal_sharded_groups_roundtrip() {
+        let header = WalHeader {
+            config_fp: 1,
+            dataset_fp: 2,
+            shards: 4,
+        };
+        let mut a = wal_record(5);
+        a.shard = 2;
+        a.group = 2;
+        let mut b = wal_record(5);
+        b.shard = 0;
+        b.group = 2;
+        let bytes = encode_wal_with(&header, &[&a, &b], StoreCodec::Binary);
+        let parsed = parse_wal(&bytes).expect("parses");
+        assert_eq!(parsed.header.unwrap().shards, 4);
+        assert_eq!(parsed.records[0].shard, 2);
+        assert_eq!(parsed.records[0].group, 2);
+        assert_eq!(parsed.records[1].shard, 0);
+        let (groups, torn) = split_flip_groups(parsed.records).expect("splits");
+        assert!(!torn);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 2);
+    }
+
+    #[test]
+    fn binary_raw_compaction_keeps_only_the_tail_and_drops_torn_bytes() {
+        let header = WalHeader {
+            config_fp: 9,
+            dataset_fp: 10,
+            shards: 1,
+        };
+        let mut bytes = encode_wal_with(&header, &[], StoreCodec::Binary);
+        for seq in 1..=4 {
+            bytes.extend_from_slice(&encode_wal_record_with(
+                &wal_record(seq),
+                StoreCodec::Binary,
+            ));
+        }
+        bytes.extend_from_slice(b"R torn-partial");
+        let (compacted, kept) = compact_wal_with(&bytes, 2, &header, StoreCodec::Binary);
+        assert_eq!(kept, 2);
+        let parsed = parse_wal(&compacted).expect("compacted WAL parses");
+        assert_eq!(
+            parsed.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        assert!(!parsed.torn_tail, "torn bytes dropped by compaction");
+        assert_eq!(parsed.header.unwrap().config_fp, 9);
+        // Kept frames survive byte-identically (checksums still valid).
+        let (again, kept_again) = compact_wal_with(&compacted, 0, &header, StoreCodec::Binary);
+        assert_eq!(kept_again, 2);
+        assert_eq!(parse_wal(&again).expect("parses").records.len(), 2);
+    }
+
+    #[test]
+    fn cross_codec_compaction_reencodes_in_the_target_codec() {
+        let header = WalHeader {
+            config_fp: 3,
+            dataset_fp: 4,
+            shards: 1,
+        };
+        // A JSON-text WAL compacted under the binary codec (the
+        // migration path the first post-upgrade checkpoint takes when a
+        // store skipped the open-time rewrite) comes out binary.
+        let json = encode_wal(&header, &[&wal_record(1), &wal_record(2)]);
+        let (bin, kept) = compact_wal_with(&json, 1, &header, StoreCodec::Binary);
+        assert_eq!(kept, 1);
+        assert!(bin.starts_with(BWAL_MAGIC));
+        let parsed = parse_wal(&bin).expect("parses as binary");
+        assert_eq!(parsed.records.len(), 1);
+        assert_eq!(parsed.records[0].seq, 2);
+        // And the reverse direction lands back in text.
+        let (text, kept) = compact_wal_with(&bin, 0, &header, StoreCodec::Json);
+        assert_eq!(kept, 1);
+        assert!(text.starts_with(b"H "));
+        assert_eq!(parse_wal(&text).expect("parses as text").records.len(), 1);
+    }
+
+    #[test]
+    fn delta_group_roundtrips_and_rejects_any_damage() {
+        let mut a = wal_record(9);
+        a.shard = 0;
+        a.group = 2;
+        let mut b = wal_record(9);
+        b.shard = 1;
+        b.group = 2;
+        b.evicted = vec![0];
+        let bytes = encode_group_binary(&[a.clone(), b.clone()]);
+        let back = decode_group_binary(&bytes).expect("round-trips");
+        assert_eq!(back.len(), 2);
+        assert_eq!((back[0].seq, back[0].shard, back[0].group), (9, 0, 2));
+        assert_eq!((back[1].seq, back[1].shard, back[1].group), (9, 1, 2));
+        assert_eq!(back[1].evicted, vec![0]);
+
+        // Replication is strict: truncation anywhere is an error, not a
+        // tolerated torn tail...
+        assert!(matches!(
+            decode_group_binary(&bytes[..bytes.len() - 3]),
+            Err(PersistError::Corrupt(_))
+        ));
+        // ...as is a flipped payload bit (checksum)...
+        let mut flipped = bytes.clone();
+        let at = flipped.len() - 2;
+        flipped[at] ^= 0x40;
+        assert!(matches!(
+            decode_group_binary(&flipped),
+            Err(PersistError::Checksum { .. })
+        ));
+        // ...and an empty group.
+        assert!(matches!(
+            decode_group_binary(&[]),
+            Err(PersistError::Corrupt(_))
+        ));
     }
 }

@@ -63,10 +63,33 @@ pub struct EngineStats {
     /// [`CacheStore`](crate::persist::CacheStore) — one per persisted
     /// window flip. Zero for engines without a store.
     pub wal_appends: u64,
+    /// Bytes of encoded WAL flip groups appended to the store — the
+    /// codec-visible WAL footprint ([`StoreCodec`](crate::StoreCodec)
+    /// decides how small a flip encodes).
+    pub wal_bytes_appended: u64,
+    /// Bytes of encoded checkpoints written (explicit and auto),
+    /// cumulative.
+    pub checkpoint_bytes_written: u64,
     /// Wall-clock spent encoding and writing checkpoints (explicit and
     /// auto), including post-checkpoint WAL compaction. Runs off the
     /// state lock, so it overlaps query processing.
     pub checkpoint_time: Duration,
+    /// The engine's flip ordinal: flips committed on a primary, flips
+    /// applied from the replication stream on a follower. A gauge, not a
+    /// counter.
+    pub last_applied_seq: u64,
+    /// On a follower: how many flips the primary is known to be ahead
+    /// (highest seq heard from the replication stream minus
+    /// [`last_applied_seq`](Self::last_applied_seq)) — the staleness a
+    /// lag-gated serving edge sheds on. Zero on a primary. A gauge.
+    pub replication_lag_windows: u64,
+    /// Flip groups published to the replication hub (primary side; zero
+    /// until the first follower subscribes).
+    pub replica_groups_published: u64,
+    /// Delta groups applied from the replication stream (follower side).
+    pub replica_groups_applied: u64,
+    /// Encoded bytes of the applied delta groups (follower side).
+    pub replica_bytes_applied: u64,
     /// WAL records replayed by [`Engine::open`](crate::Engine::open) to
     /// recover this engine — the delta tail between the last checkpoint
     /// and the crash/shutdown point. Zero for cold starts.
@@ -152,6 +175,67 @@ impl EngineStats {
         self.snapshot_publishes += ms.snapshot_publishes;
     }
 
+    /// Merges another engine's snapshot into this one — for aggregating
+    /// a replication fleet (a primary plus its followers, or several
+    /// followers) into one view. Work counters **sum**; the staleness
+    /// gauges follow the [`fold_maintainer`](Self::fold_maintainer)
+    /// convention: `maintenance_lag_windows` and
+    /// `replication_lag_windows` take the **max** (the fleet is as stale
+    /// as its worst member), and `last_applied_seq` takes the **min** of
+    /// the engines that have a flip history at all (the fleet has served
+    /// every flip only up to its slowest member; an engine still at zero
+    /// has no history and does not drag the floor down).
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.queries += other.queries;
+        self.db_iso_tests += other.db_iso_tests;
+        self.igq_iso_tests += other.igq_iso_tests;
+        self.aborted_tests += other.aborted_tests;
+        self.candidates_before += other.candidates_before;
+        self.candidates_after += other.candidates_after;
+        self.pruned_by_isub += other.pruned_by_isub;
+        self.pruned_by_isuper += other.pruned_by_isuper;
+        self.exact_hits += other.exact_hits;
+        self.empty_shortcuts += other.empty_shortcuts;
+        self.maintenances += other.maintenances;
+        self.full_rebuilds += other.full_rebuilds;
+        self.maintenance_postings_touched += other.maintenance_postings_touched;
+        self.maintenance_time += other.maintenance_time;
+        self.maintenance_lag_windows = self
+            .maintenance_lag_windows
+            .max(other.maintenance_lag_windows);
+        self.snapshot_publishes += other.snapshot_publishes;
+        self.wal_appends += other.wal_appends;
+        self.wal_bytes_appended += other.wal_bytes_appended;
+        self.checkpoint_bytes_written += other.checkpoint_bytes_written;
+        self.checkpoint_time += other.checkpoint_time;
+        self.last_applied_seq = match (self.last_applied_seq, other.last_applied_seq) {
+            (0, s) | (s, 0) => s,
+            (a, b) => a.min(b),
+        };
+        self.replication_lag_windows = self
+            .replication_lag_windows
+            .max(other.replication_lag_windows);
+        self.replica_groups_published += other.replica_groups_published;
+        self.replica_groups_applied += other.replica_groups_applied;
+        self.replica_bytes_applied += other.replica_bytes_applied;
+        self.recovery_replayed_windows += other.recovery_replayed_windows;
+        self.feature_extractions += other.feature_extractions;
+        self.plan_builds += other.plan_builds;
+        self.scratch_allocs += other.scratch_allocs;
+        self.preverify_rejections += other.preverify_rejections;
+        self.plan_cache_hits += other.plan_cache_hits;
+        self.plan_cache_misses += other.plan_cache_misses;
+        self.plan_cache_evictions += other.plan_cache_evictions;
+        self.columnar_screen_time += other.columnar_screen_time;
+        self.requests_served += other.requests_served;
+        self.requests_rejected_overload += other.requests_rejected_overload;
+        self.batches_coalesced += other.batches_coalesced;
+        self.filter_time += other.filter_time;
+        self.igq_time += other.igq_time;
+        self.verify_time += other.verify_time;
+        self.wall_time += other.wall_time;
+    }
+
     /// Folds one query outcome into the totals.
     pub fn absorb(&mut self, o: &QueryOutcome) {
         self.queries += 1;
@@ -217,7 +301,14 @@ pub(crate) struct AtomicEngineStats {
     maintenance_postings_touched: AtomicU64,
     maintenance_nanos: AtomicU64,
     wal_appends: AtomicU64,
+    wal_bytes_appended: AtomicU64,
+    checkpoint_bytes_written: AtomicU64,
     checkpoint_nanos: AtomicU64,
+    last_applied_seq: AtomicU64,
+    replica_last_heard: AtomicU64,
+    replica_groups_published: AtomicU64,
+    replica_groups_applied: AtomicU64,
+    replica_bytes_applied: AtomicU64,
     recovery_replayed_windows: AtomicU64,
     feature_extractions: AtomicU64,
     plan_builds: AtomicU64,
@@ -292,9 +383,47 @@ impl AtomicEngineStats {
             .fetch_add(elapsed.as_nanos() as u64, R);
     }
 
-    /// Counts one WAL record append.
-    pub(crate) fn count_wal_append(&self) {
+    /// Counts one WAL flip-group append of `bytes` encoded bytes.
+    pub(crate) fn count_wal_append(&self, bytes: u64) {
         self.wal_appends.fetch_add(1, Ordering::Relaxed);
+        self.wal_bytes_appended.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records the engine's flip ordinal after a committed (or applied)
+    /// flip — a monotone gauge behind
+    /// [`EngineStats::last_applied_seq`].
+    pub(crate) fn set_last_applied_seq(&self, seq: u64) {
+        self.last_applied_seq.fetch_max(seq, Ordering::Relaxed);
+    }
+
+    /// Records the highest primary flip a follower has heard of (via its
+    /// delta stream or an explicit heartbeat); the snapshot derives
+    /// [`EngineStats::replication_lag_windows`] from it.
+    pub(crate) fn note_replica_heard(&self, seq: u64) {
+        self.replica_last_heard.fetch_max(seq, Ordering::Relaxed);
+    }
+
+    /// Current replication staleness (heard − applied, saturating) from
+    /// two atomic loads — no full snapshot, cheap enough for per-request
+    /// bounded-staleness checks.
+    pub(crate) fn replication_lag_windows(&self) -> u64 {
+        self.replica_last_heard
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.last_applied_seq.load(Ordering::Relaxed))
+    }
+
+    /// Counts one flip group published to the replication hub.
+    pub(crate) fn count_replica_group_published(&self) {
+        self.replica_groups_published
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one delta group of `bytes` encoded bytes applied from the
+    /// replication stream.
+    pub(crate) fn record_replica_group_applied(&self, bytes: u64) {
+        self.replica_groups_applied.fetch_add(1, Ordering::Relaxed);
+        self.replica_bytes_applied
+            .fetch_add(bytes, Ordering::Relaxed);
     }
 
     /// Folds one verification batch's amortization counters. Plan-cache
@@ -328,10 +457,12 @@ impl AtomicEngineStats {
         self.batches_coalesced.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Folds one checkpoint's wall-clock.
-    pub(crate) fn record_checkpoint(&self, elapsed: Duration) {
+    /// Folds one checkpoint's wall-clock and encoded size.
+    pub(crate) fn record_checkpoint(&self, elapsed: Duration, bytes: u64) {
         self.checkpoint_nanos
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.checkpoint_bytes_written
+            .fetch_add(bytes, Ordering::Relaxed);
     }
 
     /// Records how many WAL windows recovery replayed (set once at open).
@@ -361,7 +492,17 @@ impl AtomicEngineStats {
             maintenance_lag_windows: 0,
             snapshot_publishes: 0,
             wal_appends: self.wal_appends.load(R),
+            wal_bytes_appended: self.wal_bytes_appended.load(R),
+            checkpoint_bytes_written: self.checkpoint_bytes_written.load(R),
             checkpoint_time: Duration::from_nanos(self.checkpoint_nanos.load(R)),
+            last_applied_seq: self.last_applied_seq.load(R),
+            replication_lag_windows: self
+                .replica_last_heard
+                .load(R)
+                .saturating_sub(self.last_applied_seq.load(R)),
+            replica_groups_published: self.replica_groups_published.load(R),
+            replica_groups_applied: self.replica_groups_applied.load(R),
+            replica_bytes_applied: self.replica_bytes_applied.load(R),
             recovery_replayed_windows: self.recovery_replayed_windows.load(R),
             feature_extractions: self.feature_extractions.load(R),
             plan_builds: self.plan_builds.load(R),
@@ -484,9 +625,9 @@ mod tests {
         atomic.count_feature_extraction();
         atomic.count_maintenance();
         atomic.record_maintenance_work(17, true, Duration::from_micros(13));
-        atomic.count_wal_append();
-        atomic.count_wal_append();
-        atomic.record_checkpoint(Duration::from_micros(21));
+        atomic.count_wal_append(120);
+        atomic.count_wal_append(80);
+        atomic.record_checkpoint(Duration::from_micros(21), 900);
         atomic.set_recovery_replayed_windows(4);
         atomic.record_verify_batch(&igq_methods::VerifyBatchStats {
             plan_builds: 2,
@@ -514,6 +655,8 @@ mod tests {
         assert_eq!(snap.maintenance_postings_touched, 17);
         assert_eq!(snap.maintenance_time, Duration::from_micros(13));
         assert_eq!(snap.wal_appends, 2);
+        assert_eq!(snap.wal_bytes_appended, 200);
+        assert_eq!(snap.checkpoint_bytes_written, 900);
         assert_eq!(snap.checkpoint_time, Duration::from_micros(21));
         assert_eq!(snap.recovery_replayed_windows, 4);
         assert_eq!(snap.plan_builds, 3);
@@ -536,6 +679,79 @@ mod tests {
         assert_eq!(snap.batches_coalesced, 1);
         // Rejected requests never enter the query pipeline.
         assert_eq!(snap.queries, 0);
+    }
+
+    #[test]
+    fn replication_gauges_and_counters_flow_through_snapshot() {
+        let atomic = AtomicEngineStats::default();
+        // A follower that has applied 5 flips and heard of 8.
+        atomic.set_last_applied_seq(5);
+        atomic.note_replica_heard(8);
+        atomic.record_replica_group_applied(64);
+        atomic.record_replica_group_applied(36);
+        atomic.count_replica_group_published();
+        let snap = atomic.snapshot();
+        assert_eq!(snap.last_applied_seq, 5);
+        assert_eq!(snap.replication_lag_windows, 3);
+        assert_eq!(snap.replica_groups_applied, 2);
+        assert_eq!(snap.replica_bytes_applied, 100);
+        assert_eq!(snap.replica_groups_published, 1);
+        // Gauges are monotone: a stale heartbeat or duplicate seq never
+        // regresses them.
+        atomic.note_replica_heard(2);
+        atomic.set_last_applied_seq(4);
+        let snap = atomic.snapshot();
+        assert_eq!(snap.last_applied_seq, 5);
+        assert_eq!(snap.replication_lag_windows, 3);
+        // A caught-up follower reports zero lag, not underflow.
+        atomic.set_last_applied_seq(9);
+        assert_eq!(atomic.snapshot().replication_lag_windows, 0);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_takes_worst_case_gauges() {
+        let primary = EngineStats {
+            queries: 10,
+            wal_appends: 4,
+            wal_bytes_appended: 400,
+            last_applied_seq: 9,
+            replica_groups_published: 9,
+            maintenance_lag_windows: 2,
+            ..Default::default()
+        };
+        let follower = EngineStats {
+            queries: 6,
+            last_applied_seq: 7,
+            replication_lag_windows: 2,
+            replica_groups_applied: 7,
+            replica_bytes_applied: 700,
+            maintenance_lag_windows: 5,
+            ..Default::default()
+        };
+        let mut fleet = EngineStats::default();
+        fleet.merge(&primary);
+        fleet.merge(&follower);
+        assert_eq!(fleet.queries, 16);
+        assert_eq!(fleet.wal_appends, 4);
+        assert_eq!(fleet.wal_bytes_appended, 400);
+        assert_eq!(fleet.replica_groups_published, 9);
+        assert_eq!(fleet.replica_groups_applied, 7);
+        assert_eq!(fleet.replica_bytes_applied, 700);
+        // Worst-case gauges: lag maxes, applied-seq floors over engines
+        // with history (the fresh `fleet` zero does not drag it down).
+        assert_eq!(fleet.maintenance_lag_windows, 5);
+        assert_eq!(fleet.replication_lag_windows, 2);
+        assert_eq!(fleet.last_applied_seq, 7);
+        // Merge order does not matter.
+        let mut reversed = EngineStats::default();
+        reversed.merge(&follower);
+        reversed.merge(&primary);
+        assert_eq!(reversed.last_applied_seq, fleet.last_applied_seq);
+        assert_eq!(reversed.queries, fleet.queries);
+        assert_eq!(
+            reversed.replication_lag_windows,
+            fleet.replication_lag_windows
+        );
     }
 
     #[test]

@@ -160,7 +160,12 @@ mod tests {
         let exported = warm.export_entries();
         assert_eq!(exported.len(), 1);
         let cold = engine();
-        assert_eq!(cold.import_entries(exported).admitted, 1);
+        assert_eq!(
+            cold.import_entries(exported)
+                .expect("primary import")
+                .admitted,
+            1
+        );
         let out = cold.query(&q);
         assert_eq!(out.resolution, Resolution::ExactHit);
         assert_eq!(out.answers, first.answers);

@@ -8,7 +8,15 @@
 //!            [--maintenance incremental|shadow|background] [--max-lag 2]
 //!            [--shards 1] [--batch-window-us 0] [--batch-max 64]
 //!            [--overload-lag N] [--max-connections 64]
+//!            [--follower-of <addr>]
 //! ```
+//!
+//! With `--follower-of`, the server comes up as a **read replica**: it
+//! subscribes to the primary at `<addr>`, bootstraps from its snapshot,
+//! applies the pushed delta stream, and serves read-only queries (writes
+//! never happen — a follower engine admits nothing into its cache). Both
+//! servers must load the same dataset file and engine configuration; the
+//! snapshot's embedded fingerprints enforce this at bootstrap.
 //!
 //! Drive it with `igq client …` (see the CLI) or any line-framed JSON
 //! speaker; the protocol is documented in `igq_server::protocol`.
@@ -20,7 +28,7 @@ use igq_methods::{
     CtIndex, CtIndexConfig, GCode, GCodeConfig, Ggsx, GgsxConfig, Grapes, GrapesConfig,
     SubgraphMethod,
 };
-use igq_server::{Server, ServerConfig};
+use igq_server::{BuildFollower, Follower, Server, ServerConfig};
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::BufReader;
@@ -60,6 +68,8 @@ options:
                            (default: shedding off)
   --max-connections <N>    bounded connection pool (default 64)
   --io-timeout-ms <T>      per-socket read/write timeout (default 30000)
+  --follower-of <addr>     serve as a read replica of the primary igq-server
+                           at <addr> (same --dataset and engine flags)
 ";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -83,15 +93,48 @@ fn run(args: &[String]) -> Result<(), String> {
     let method = build_method(method_name, &store)?;
     eprintln!("built {method_name} index in {:.2?}", t.elapsed());
 
-    let engine = IgqEngine::new(method, engine_config(&flags)?)
-        .map_err(|e| format!("invalid engine configuration: {e}"))?;
-    let engine: Arc<dyn QueryEngine> = Arc::new(engine);
+    let engine_config = engine_config(&flags)?;
+    let server_config = server_config(&flags)?;
 
-    let config = server_config(&flags)?;
-    let server = Server::spawn(engine, config).map_err(|e| format!("cannot bind: {e}"))?;
+    let (engine, follower): (Arc<dyn QueryEngine>, Option<Follower>) =
+        match flags.get("follower-of") {
+            None => {
+                let engine = IgqEngine::new(method, engine_config)
+                    .map_err(|e| format!("invalid engine configuration: {e}"))?;
+                (Arc::new(engine), None)
+            }
+            Some(primary) => {
+                // The snapshot carries only iGQ state; the dataset and
+                // base method are rebuilt locally, once per (re)bootstrap.
+                let method_name = method_name.to_owned();
+                let store = Arc::clone(&store);
+                let build: BuildFollower = Arc::new(move |snapshot: &[u8]| {
+                    let method = build_method(&method_name, &store)?;
+                    let engine = IgqEngine::open_follower(method, engine_config, snapshot)
+                        .map_err(|e| format!("snapshot rejected: {e}"))?;
+                    Ok(Arc::new(engine) as Arc<dyn QueryEngine>)
+                });
+                drop(method); // the builder closure makes its own
+                let t = Instant::now();
+                let follower = Follower::connect(
+                    primary,
+                    "igq-server-replica",
+                    build,
+                    server_config.io_timeout,
+                )
+                .map_err(|e| format!("cannot follow {primary}: {e}"))?;
+                eprintln!("bootstrapped replica of {primary} in {:.2?}", t.elapsed());
+                (follower.engine(), Some(follower))
+            }
+        };
+
+    let server = Server::spawn(engine, server_config).map_err(|e| format!("cannot bind: {e}"))?;
     // Parseable by harnesses (the CI smoke greps this line for the port).
     println!("listening on {}", server.local_addr());
     server.wait();
+    if let Some(f) = follower {
+        f.shutdown();
+    }
     eprintln!("shutdown complete");
     Ok(())
 }

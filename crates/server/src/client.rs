@@ -168,7 +168,7 @@ impl Client {
 
     /// Runs one query with default options.
     pub fn query(&mut self, graph: &Graph) -> Result<QueryVerdict, ClientError> {
-        self.query_with(graph, None, false)
+        self.query_opts(graph, None, false, None)
     }
 
     /// Runs one query with a wire deadline and/or admission skip.
@@ -178,12 +178,27 @@ impl Client {
         deadline_ms: Option<u64>,
         skip_admission: bool,
     ) -> Result<QueryVerdict, ClientError> {
+        self.query_opts(graph, deadline_ms, skip_admission, None)
+    }
+
+    /// Runs one query with every wire option, including a bounded-
+    /// staleness `max_lag` (in window flips): on a follower replica whose
+    /// replication lag exceeds the bound, the server sheds the query with
+    /// [`QueryVerdict::Overloaded`] instead of serving stale data.
+    pub fn query_opts(
+        &mut self,
+        graph: &Graph,
+        deadline_ms: Option<u64>,
+        skip_admission: bool,
+        max_lag: Option<u64>,
+    ) -> Result<QueryVerdict, ClientError> {
         let id = self.take_id();
         self.send(&Request::Query {
             id,
             graph: graph.clone(),
             deadline_ms,
             skip_admission,
+            max_lag,
         })?;
         match self.recv()? {
             Reply::Result { id: rid, result } if rid == id => Ok(QueryVerdict::Answered(result)),
@@ -208,11 +223,24 @@ impl Client {
         graphs: &[Graph],
         deadline_ms: Option<u64>,
     ) -> Result<BatchVerdict, ClientError> {
+        self.query_batch_opts(graphs, deadline_ms, None)
+    }
+
+    /// [`query_batch`](Client::query_batch) with a bounded-staleness
+    /// `max_lag` applying to the whole batch (see
+    /// [`query_opts`](Client::query_opts)).
+    pub fn query_batch_opts(
+        &mut self,
+        graphs: &[Graph],
+        deadline_ms: Option<u64>,
+        max_lag: Option<u64>,
+    ) -> Result<BatchVerdict, ClientError> {
         let id = self.take_id();
         self.send(&Request::Batch {
             id,
             graphs: graphs.to_vec(),
             deadline_ms,
+            max_lag,
         })?;
         match self.recv()? {
             Reply::BatchResult { id: rid, results } if rid == id => {
@@ -239,6 +267,33 @@ impl Client {
             Reply::StatsResult(stats) => Ok(stats),
             other => Err(unexpected("stats_result", &other)),
         }
+    }
+
+    /// Converts this connection into a replication subscription: sends
+    /// `subscribe` and consumes the client, since the connection becomes
+    /// a one-way push stream — no further requests can ride it. With
+    /// `from_seq`, asks to resume after that applied flip (the server
+    /// falls back to a snapshot when its ring no longer covers the gap).
+    pub fn subscribe(
+        mut self,
+        from_seq: Option<u64>,
+    ) -> Result<(SubscribeStart, ReplicaSubscriber), ClientError> {
+        self.send(&Request::Subscribe { from_seq })?;
+        let start = match self.recv()? {
+            Reply::SubscribeOk { resume_from } => SubscribeStart::Live { resume_from },
+            Reply::Snapshot { seq, data } => SubscribeStart::Snapshot {
+                seq,
+                checkpoint: data,
+            },
+            other => return Err(unexpected("subscribe_ok or snapshot", &other)),
+        };
+        Ok((
+            start,
+            ReplicaSubscriber {
+                reader: self.reader,
+                max_frame_bytes: self.max_frame_bytes,
+            },
+        ))
     }
 
     /// Asks the server to shut down gracefully; consumes the client (the
@@ -274,4 +329,67 @@ impl Client {
 
 fn unexpected(wanted: &str, got: &Reply) -> ClientError {
     ClientError::UnexpectedReply(format!("wanted {wanted}, got {got:?}"))
+}
+
+/// How a replication subscription started (the server's answer to
+/// `subscribe`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubscribeStart {
+    /// The server resumed the stream live: local replica state is still
+    /// current, deltas continue after `resume_from`.
+    Live {
+        /// The confirmed resume point (the subscriber's `from_seq`).
+        resume_from: u64,
+    },
+    /// The server sent a bootstrap checkpoint to install first (via
+    /// [`igq_core::Engine::open_follower`]).
+    Snapshot {
+        /// Flip ordinal the snapshot covers.
+        seq: u64,
+        /// The encoded engine checkpoint (binary codec).
+        checkpoint: Vec<u8>,
+    },
+}
+
+/// One pushed frame on a replication stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplicaEvent {
+    /// A committed flip group to apply (feed `bytes` to
+    /// [`igq_core::Engine::apply_replica_delta`]).
+    Delta {
+        /// The group's flip ordinal.
+        seq: u64,
+        /// The encoded delta group.
+        bytes: Vec<u8>,
+    },
+    /// Idle keep-alive carrying the primary's latest committed flip.
+    Heartbeat {
+        /// The primary's latest flip ordinal.
+        seq: u64,
+    },
+    /// The server closed the stream cleanly (e.g. server shutdown).
+    Closed,
+}
+
+/// The receiving end of a connection converted by
+/// [`Client::subscribe`]: a blocking iterator over pushed replication
+/// frames.
+pub struct ReplicaSubscriber {
+    reader: BufReader<TcpStream>,
+    max_frame_bytes: u64,
+}
+
+impl ReplicaSubscriber {
+    /// Blocks for the next pushed frame. The server heartbeats idle
+    /// streams well inside the socket timeout, so a timeout here means
+    /// the connection is dead, not merely quiet.
+    pub fn next_event(&mut self) -> Result<ReplicaEvent, ClientError> {
+        match read_frame(&mut self.reader, self.max_frame_bytes, Reply::from_value)? {
+            None => Ok(ReplicaEvent::Closed),
+            Some(Reply::Delta { seq, data }) => Ok(ReplicaEvent::Delta { seq, bytes: data }),
+            Some(Reply::Heartbeat { seq }) => Ok(ReplicaEvent::Heartbeat { seq }),
+            Some(Reply::Error { code, message }) => Err(ClientError::Server { code, message }),
+            Some(other) => Err(unexpected("delta or heartbeat", &other)),
+        }
+    }
 }

@@ -19,6 +19,13 @@
 //!   latency add for per-query verification throughput.
 //! * [`client`] — a typed blocking client used by the CLI's `client`
 //!   command, the equivalence tests, and the serving bench.
+//! * [`replicate`] — follower serving: [`Follower`] bootstraps a
+//!   read-only replica engine from a primary's `snapshot` frame, applies
+//!   its pushed `delta` stream, survives torn streams by resuming (or
+//!   re-bootstrapping) with backoff, and hands the server a
+//!   [`SharedEngine`] that swaps atomically on re-bootstrap. Queries can
+//!   carry a `max_lag` staleness bound; replicas shed reads lagging past
+//!   it with the same typed `overloaded` frame admission control uses.
 //!
 //! Everything is `std` + workspace shims; there is no async runtime and no
 //! external networking dependency.
@@ -51,11 +58,16 @@
 pub mod batcher;
 pub mod client;
 pub mod protocol;
+pub mod replicate;
 pub mod server;
 
 pub use batcher::Batcher;
-pub use client::{BatchVerdict, Client, ClientError, QueryVerdict};
+pub use client::{
+    BatchVerdict, Client, ClientError, QueryVerdict, ReplicaEvent, ReplicaSubscriber,
+    SubscribeStart,
+};
 pub use protocol::{
     Reply, Request, ServingStats, WireError, WireResult, DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
+pub use replicate::{BuildFollower, Follower, FollowerError, SharedEngine};
 pub use server::{Server, ServerConfig};

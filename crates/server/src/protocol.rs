@@ -24,9 +24,20 @@
 //!
 //! # Frame inventory
 //!
-//! Client → server: `hello`, `query`, `batch`, `stats`, `shutdown`.
+//! Client → server: `hello`, `query`, `batch`, `stats`, `subscribe`,
+//! `shutdown`.
 //! Server → client: `hello_ok`, `result`, `batch_result`, `stats_result`,
-//! `overloaded`, `error`, `bye`.
+//! `overloaded`, `subscribe_ok`, `snapshot`, `delta`, `heartbeat`,
+//! `error`, `bye`.
+//!
+//! A `subscribe` frame converts the connection into a one-way replication
+//! push stream: the server answers with `subscribe_ok` (live resume) or a
+//! `snapshot` bootstrap, then pushes `delta` frames as the engine commits
+//! window flips, interleaving `heartbeat`s on idle gaps. Binary payloads
+//! (checkpoints and delta groups, already encoded by the engine's binary
+//! codec) ride inside the JSON framing as base64 strings — framing stays
+//! line-oriented and debuggable while the payload bytes stay exactly the
+//! bytes [`igq_core::Engine::apply_replica_delta`] expects.
 //!
 //! Graphs ride the existing [`igq_graph::Graph`] JSON representation
 //! (`{labels, edges[, edge_labels]}`), and answers are dataset
@@ -41,7 +52,11 @@ use std::io::{BufRead, Read, Write};
 
 /// The protocol version this build speaks (offered in `hello`, echoed in
 /// `hello_ok`). Bump on any incompatible frame change.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// v2 added the replication stream (`subscribe`/`subscribe_ok`/
+/// `snapshot`/`delta`/`heartbeat`), the `max_lag` staleness bound on
+/// `query`/`batch`, and the replication counters in `stats_result`.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Default cap on one frame's encoded size. Generous: the largest frame in
 /// practice is a `batch` of query graphs, each a few KB of JSON.
@@ -139,6 +154,11 @@ pub enum Request {
         deadline_ms: Option<u64>,
         /// Propagated into [`igq_core::QueryOptions::skip_admission`].
         skip_admission: bool,
+        /// Bounded-staleness read: on a follower replica, shed this query
+        /// with `overloaded` when replication lag exceeds this many
+        /// window flips. Ignored on a primary (its lag is zero by
+        /// definition).
+        max_lag: Option<u64>,
     },
     /// An explicit client-side batch, answered with one `batch_result`.
     Batch {
@@ -148,9 +168,21 @@ pub enum Request {
         graphs: Vec<Graph>,
         /// Per-request deadline applied to every query in the batch.
         deadline_ms: Option<u64>,
+        /// Bounded-staleness read, as on `query` (applies to the whole
+        /// batch).
+        max_lag: Option<u64>,
     },
     /// Ask for a serving-stats snapshot.
     Stats,
+    /// Convert this connection into a replication push stream. With
+    /// `from_seq`, ask to resume after that applied flip; the server
+    /// answers `subscribe_ok` when its ring still covers the gap,
+    /// `snapshot` otherwise.
+    Subscribe {
+        /// Highest flip the subscriber has already applied (`None` for a
+        /// fresh bootstrap).
+        from_seq: Option<u64>,
+    },
     /// Graceful server shutdown: the server answers `bye`, stops
     /// accepting, drains in-flight connections, and exits.
     Shutdown,
@@ -214,6 +246,27 @@ pub struct ServingStats {
     pub cached_queries: u64,
     /// Instantaneous maintenance lag in windows (max over shards).
     pub maintenance_lag: u64,
+    /// True when the served engine is a read-only follower replica.
+    pub follower: bool,
+    /// Follower staleness in window flips (highest flip heard from the
+    /// primary minus last flip applied). Zero on a primary.
+    pub replication_lag: u64,
+    /// The engine's flip ordinal: flips committed (primary) or applied
+    /// from the stream (follower).
+    pub last_applied_seq: u64,
+    /// Flip groups published to replication subscribers (primary side).
+    pub replica_groups_published: u64,
+    /// Delta groups applied from the replication stream (follower side).
+    pub replica_groups_applied: u64,
+    /// Encoded WAL bytes appended to the attached store (codec-visible
+    /// WAL footprint).
+    pub wal_bytes_appended: u64,
+    /// Encoded checkpoint bytes written, cumulative.
+    pub checkpoint_bytes_written: u64,
+    /// Numeric fields this build does not know, preserved verbatim in
+    /// decode order — a newer server's counters reach the operator
+    /// instead of being silently dropped.
+    pub extra: Vec<(String, u64)>,
 }
 
 /// Server → client frames.
@@ -256,6 +309,38 @@ pub enum Reply {
         /// Server's backoff hint.
         retry_after_ms: u64,
     },
+    /// Acknowledges a `subscribe` that resumed live: the subscriber's
+    /// state is still current and `delta` frames follow directly.
+    SubscribeOk {
+        /// The resume point the server confirmed (the subscriber's
+        /// `from_seq`); the next `delta` carries `resume_from + 1`.
+        resume_from: u64,
+    },
+    /// Bootstrap for a `subscribe` the ring could not resume: a full
+    /// engine checkpoint to install via
+    /// [`igq_core::Engine::open_follower`], followed by `delta` frames.
+    Snapshot {
+        /// Flip ordinal the snapshot covers.
+        seq: u64,
+        /// Encoded engine checkpoint (binary codec; base64 on the wire).
+        data: Vec<u8>,
+    },
+    /// One committed window-flip group pushed on a replication stream.
+    Delta {
+        /// The flip ordinal every record of the group carries.
+        seq: u64,
+        /// The encoded delta group (binary WAL frames; base64 on the
+        /// wire), fed verbatim to
+        /// [`igq_core::Engine::apply_replica_delta`].
+        data: Vec<u8>,
+    },
+    /// Keep-alive on an idle replication stream, carrying the primary's
+    /// latest committed flip so the follower's staleness gauge stays
+    /// honest while no flips happen.
+    Heartbeat {
+        /// The primary's latest committed flip ordinal.
+        seq: u64,
+    },
     /// A typed protocol/codec error. The server closes the connection
     /// after sending one (except where documented otherwise).
     Error {
@@ -296,6 +381,73 @@ fn parse_resolution(s: &str) -> Result<Resolution, serde_json::Error> {
             "unknown resolution {other:?}"
         ))),
     }
+}
+
+const B64_ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Standard base64 (RFC 4648, `=`-padded): how binary payloads
+/// (checkpoints, delta groups) ride inside the line-framed JSON protocol.
+pub fn b64_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    for chunk in bytes.chunks(3) {
+        let n = (u32::from(chunk[0]) << 16)
+            | (u32::from(*chunk.get(1).unwrap_or(&0)) << 8)
+            | u32::from(*chunk.get(2).unwrap_or(&0));
+        out.push(B64_ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(B64_ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            B64_ALPHABET[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            B64_ALPHABET[n as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Inverse of [`b64_encode`]; rejects non-alphabet bytes, bad lengths,
+/// and misplaced padding instead of guessing.
+pub fn b64_decode(s: &str) -> Result<Vec<u8>, serde_json::Error> {
+    let bytes = s.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err(serde_json::Error::custom(
+            "base64 length is not a multiple of 4",
+        ));
+    }
+    let sextet = |c: u8| -> Result<u32, serde_json::Error> {
+        match c {
+            b'A'..=b'Z' => Ok(u32::from(c - b'A')),
+            b'a'..=b'z' => Ok(u32::from(c - b'a') + 26),
+            b'0'..=b'9' => Ok(u32::from(c - b'0') + 52),
+            b'+' => Ok(62),
+            b'/' => Ok(63),
+            other => Err(serde_json::Error::custom(format!(
+                "invalid base64 byte 0x{other:02x}"
+            ))),
+        }
+    };
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    let quads = bytes.len() / 4;
+    for (i, quad) in bytes.chunks(4).enumerate() {
+        // Padding is only legal in the final quad, and at most `==`.
+        let pad = if i + 1 == quads {
+            quad.iter().rev().take_while(|&&c| c == b'=').count().min(2)
+        } else {
+            0
+        };
+        let mut n = 0u32;
+        for &c in &quad[..4 - pad] {
+            n = (n << 6) | sextet(c)?;
+        }
+        n <<= 6 * pad as u32;
+        let trio = [(n >> 16) as u8, (n >> 8) as u8, n as u8];
+        out.extend_from_slice(&trio[..3 - pad]);
+    }
+    Ok(out)
 }
 
 fn obj(entries: Vec<(&str, Value)>) -> Value {
@@ -343,24 +495,32 @@ impl ToJson for Request {
                 graph,
                 deadline_ms,
                 skip_admission,
+                max_lag,
             } => obj(vec![
                 ("type", "query".to_json()),
                 ("id", id.to_json()),
                 ("graph", graph.to_json()),
                 ("deadline_ms", deadline_ms.to_json()),
                 ("skip_admission", skip_admission.to_json()),
+                ("max_lag", max_lag.to_json()),
             ]),
             Request::Batch {
                 id,
                 graphs,
                 deadline_ms,
+                max_lag,
             } => obj(vec![
                 ("type", "batch".to_json()),
                 ("id", id.to_json()),
                 ("graphs", graphs.to_json()),
                 ("deadline_ms", deadline_ms.to_json()),
+                ("max_lag", max_lag.to_json()),
             ]),
             Request::Stats => obj(vec![("type", "stats".to_json())]),
+            Request::Subscribe { from_seq } => obj(vec![
+                ("type", "subscribe".to_json()),
+                ("from_seq", from_seq.to_json()),
+            ]),
             Request::Shutdown => obj(vec![("type", "shutdown".to_json())]),
         }
     }
@@ -384,13 +544,18 @@ impl Request {
                 skip_admission: opt_field(v, "skip_admission")
                     .map_err(shape)?
                     .unwrap_or(false),
+                max_lag: opt_field(v, "max_lag").map_err(shape)?,
             }),
             "batch" => Ok(Request::Batch {
                 id: field(v, "id").map_err(shape)?,
                 graphs: field(v, "graphs").map_err(shape)?,
                 deadline_ms: opt_field(v, "deadline_ms").map_err(shape)?,
+                max_lag: opt_field(v, "max_lag").map_err(shape)?,
             }),
             "stats" => Ok(Request::Stats),
+            "subscribe" => Ok(Request::Subscribe {
+                from_seq: opt_field(v, "from_seq").map_err(shape)?,
+            }),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(WireError::UnknownType(other.to_owned())),
         }
@@ -429,9 +594,32 @@ impl FromJson for WireResult {
     }
 }
 
+/// Every field name `ServingStats` itself serializes (plus the frame's
+/// `type` tag): anything else in a `stats_result` object is a newer
+/// server's counter and lands in [`ServingStats::extra`].
+const SERVING_STATS_FIELDS: &[&str] = &[
+    "type",
+    "queries",
+    "requests_served",
+    "requests_rejected_overload",
+    "batches_coalesced",
+    "exact_hits",
+    "empty_shortcuts",
+    "db_iso_tests",
+    "cached_queries",
+    "maintenance_lag",
+    "follower",
+    "replication_lag",
+    "last_applied_seq",
+    "replica_groups_published",
+    "replica_groups_applied",
+    "wal_bytes_appended",
+    "checkpoint_bytes_written",
+];
+
 impl ToJson for ServingStats {
     fn to_json(&self) -> Value {
-        obj(vec![
+        let mut entries = vec![
             ("queries", self.queries.to_json()),
             ("requests_served", self.requests_served.to_json()),
             (
@@ -444,12 +632,46 @@ impl ToJson for ServingStats {
             ("db_iso_tests", self.db_iso_tests.to_json()),
             ("cached_queries", self.cached_queries.to_json()),
             ("maintenance_lag", self.maintenance_lag.to_json()),
-        ])
+            ("follower", self.follower.to_json()),
+            ("replication_lag", self.replication_lag.to_json()),
+            ("last_applied_seq", self.last_applied_seq.to_json()),
+            (
+                "replica_groups_published",
+                self.replica_groups_published.to_json(),
+            ),
+            (
+                "replica_groups_applied",
+                self.replica_groups_applied.to_json(),
+            ),
+            ("wal_bytes_appended", self.wal_bytes_appended.to_json()),
+            (
+                "checkpoint_bytes_written",
+                self.checkpoint_bytes_written.to_json(),
+            ),
+        ];
+        for (k, v) in &self.extra {
+            entries.push((k.as_str(), v.to_json()));
+        }
+        obj(entries)
     }
 }
 
 impl FromJson for ServingStats {
     fn from_json(v: &Value) -> Result<ServingStats, serde_json::Error> {
+        // The replication-era fields decode leniently (defaulting) so a
+        // stats object captured before the v2 bump still parses.
+        let mut extra = Vec::new();
+        if let Value::Object(m) = v {
+            for (k, val) in m.iter() {
+                if SERVING_STATS_FIELDS.contains(&k.as_str()) {
+                    continue;
+                }
+                if let Ok(n) = u64::from_json(val) {
+                    extra.push((k.clone(), n));
+                }
+            }
+            extra.sort();
+        }
         Ok(ServingStats {
             queries: field(v, "queries")?,
             requests_served: field(v, "requests_served")?,
@@ -460,6 +682,14 @@ impl FromJson for ServingStats {
             db_iso_tests: field(v, "db_iso_tests")?,
             cached_queries: field(v, "cached_queries")?,
             maintenance_lag: field(v, "maintenance_lag")?,
+            follower: opt_field(v, "follower")?.unwrap_or(false),
+            replication_lag: opt_field(v, "replication_lag")?.unwrap_or(0),
+            last_applied_seq: opt_field(v, "last_applied_seq")?.unwrap_or(0),
+            replica_groups_published: opt_field(v, "replica_groups_published")?.unwrap_or(0),
+            replica_groups_applied: opt_field(v, "replica_groups_applied")?.unwrap_or(0),
+            wal_bytes_appended: opt_field(v, "wal_bytes_appended")?.unwrap_or(0),
+            checkpoint_bytes_written: opt_field(v, "checkpoint_bytes_written")?.unwrap_or(0),
+            extra,
         })
     }
 }
@@ -502,6 +732,24 @@ impl ToJson for Reply {
                 ("threshold", threshold.to_json()),
                 ("retry_after_ms", retry_after_ms.to_json()),
             ]),
+            Reply::SubscribeOk { resume_from } => obj(vec![
+                ("type", "subscribe_ok".to_json()),
+                ("resume_from", resume_from.to_json()),
+            ]),
+            Reply::Snapshot { seq, data } => obj(vec![
+                ("type", "snapshot".to_json()),
+                ("seq", seq.to_json()),
+                ("data", b64_encode(data).to_json()),
+            ]),
+            Reply::Delta { seq, data } => obj(vec![
+                ("type", "delta".to_json()),
+                ("seq", seq.to_json()),
+                ("data", b64_encode(data).to_json()),
+            ]),
+            Reply::Heartbeat { seq } => obj(vec![
+                ("type", "heartbeat".to_json()),
+                ("seq", seq.to_json()),
+            ]),
             Reply::Error { code, message } => obj(vec![
                 ("type", "error".to_json()),
                 ("code", code.to_json()),
@@ -539,6 +787,20 @@ impl Reply {
                 lag_windows: field(v, "lag_windows").map_err(shape)?,
                 threshold: field(v, "threshold").map_err(shape)?,
                 retry_after_ms: field(v, "retry_after_ms").map_err(shape)?,
+            }),
+            "subscribe_ok" => Ok(Reply::SubscribeOk {
+                resume_from: field(v, "resume_from").map_err(shape)?,
+            }),
+            "snapshot" => Ok(Reply::Snapshot {
+                seq: field(v, "seq").map_err(shape)?,
+                data: b64_decode(&field::<String>(v, "data").map_err(shape)?).map_err(shape)?,
+            }),
+            "delta" => Ok(Reply::Delta {
+                seq: field(v, "seq").map_err(shape)?,
+                data: b64_decode(&field::<String>(v, "data").map_err(shape)?).map_err(shape)?,
+            }),
+            "heartbeat" => Ok(Reply::Heartbeat {
+                seq: field(v, "seq").map_err(shape)?,
             }),
             "error" => Ok(Reply::Error {
                 code: field(v, "code").map_err(shape)?,
@@ -646,19 +908,24 @@ mod tests {
             graph: graph_from(&[0, 1, 2], &[(0, 1), (1, 2)]),
             deadline_ms: Some(250),
             skip_admission: true,
+            max_lag: Some(3),
         });
         roundtrip_request(Request::Query {
             id: 8,
             graph: graph_from(&[3], &[]),
             deadline_ms: None,
             skip_admission: false,
+            max_lag: None,
         });
         roundtrip_request(Request::Batch {
             id: 9,
             graphs: vec![graph_from(&[0, 1], &[(0, 1)]), graph_from(&[2], &[])],
             deadline_ms: Some(1000),
+            max_lag: Some(0),
         });
         roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Subscribe { from_seq: None });
+        roundtrip_request(Request::Subscribe { from_seq: Some(42) });
         roundtrip_request(Request::Shutdown);
     }
 
@@ -700,7 +967,29 @@ mod tests {
             db_iso_tests: 55,
             cached_queries: 8,
             maintenance_lag: 1,
+            follower: true,
+            replication_lag: 2,
+            last_applied_seq: 17,
+            replica_groups_published: 5,
+            replica_groups_applied: 17,
+            wal_bytes_appended: 4096,
+            checkpoint_bytes_written: 8192,
+            extra: vec![("future_counter".to_owned(), 99)],
         }));
+        roundtrip_reply(Reply::SubscribeOk { resume_from: 12 });
+        roundtrip_reply(Reply::Snapshot {
+            seq: 3,
+            data: vec![0x42, 0x00, 0xff, 0x07],
+        });
+        roundtrip_reply(Reply::Delta {
+            seq: 4,
+            data: (0u8..=255).collect(),
+        });
+        roundtrip_reply(Reply::Delta {
+            seq: 5,
+            data: Vec::new(),
+        });
+        roundtrip_reply(Reply::Heartbeat { seq: 6 });
         roundtrip_reply(Reply::Overloaded {
             id: 7,
             lag_windows: 5,
@@ -779,6 +1068,59 @@ mod tests {
             Reply::Error { code, .. } => assert_eq!(code, "truncated"),
             other => panic!("expected error reply, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn base64_round_trips_and_rejects_garbage() {
+        // Every length mod 3, including empty.
+        for len in 0..=9usize {
+            let bytes: Vec<u8> = (0..len as u8).map(|b| b.wrapping_mul(37) ^ 0xa5).collect();
+            let enc = b64_encode(&bytes);
+            assert_eq!(enc.len() % 4, 0, "padded to a quad boundary");
+            assert_eq!(b64_decode(&enc).unwrap(), bytes, "len {len}");
+        }
+        // Known vector (RFC 4648).
+        assert_eq!(b64_encode(b"foobar"), "Zm9vYmFy");
+        assert_eq!(b64_encode(b"foob"), "Zm9vYg==");
+        assert_eq!(b64_decode("Zm9vYg==").unwrap(), b"foob");
+        // Garbage is rejected, not guessed at.
+        for bad in ["abc", "ab=c", "====", "Zm9v!A==", "Zm9=vYg="] {
+            assert!(b64_decode(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn unknown_stats_fields_are_preserved_not_dropped() {
+        // A stats_result from a hypothetical newer server that grew two
+        // extra counters: they must survive decoding into `extra`.
+        let line = "{\"type\":\"stats_result\",\"queries\":1,\"requests_served\":1,\
+                    \"requests_rejected_overload\":0,\"batches_coalesced\":0,\
+                    \"exact_hits\":0,\"empty_shortcuts\":0,\"db_iso_tests\":0,\
+                    \"cached_queries\":0,\"maintenance_lag\":0,\
+                    \"novel_counter\":7,\"another_novel\":8,\"non_numeric\":\"x\"}\n";
+        let mut r = std::io::Cursor::new(line.as_bytes().to_vec());
+        let reply = read_frame(&mut r, DEFAULT_MAX_FRAME_BYTES, Reply::from_value)
+            .unwrap()
+            .expect("one frame");
+        let Reply::StatsResult(stats) = reply else {
+            panic!("expected stats_result, got {reply:?}");
+        };
+        assert_eq!(
+            stats.extra,
+            vec![
+                ("another_novel".to_owned(), 8),
+                ("novel_counter".to_owned(), 7)
+            ],
+            "unknown numeric fields preserved (sorted); non-numeric skipped"
+        );
+        // And they survive a re-encode round trip.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Reply::StatsResult(stats.clone())).unwrap();
+        let mut r = std::io::Cursor::new(buf);
+        let back = read_frame(&mut r, DEFAULT_MAX_FRAME_BYTES, Reply::from_value)
+            .unwrap()
+            .expect("one frame");
+        assert_eq!(back, Reply::StatsResult(stats));
     }
 
     #[test]

@@ -1,0 +1,362 @@
+//! The follower side of replication serving: bootstrap a read replica
+//! over the wire, keep it applying the primary's delta stream, and serve
+//! it behind the same [`Server`](crate::Server) front end a primary uses.
+//!
+//! # Topology
+//!
+//! ```text
+//!   primary igq-server ──deltas──▶ Follower feed thread
+//!                                      │ apply_replica_delta
+//!                                      ▼
+//!                                 SharedEngine  ◀── igq-server (read-only)
+//!                                      ▲               │
+//!                                      └── swap on ────┘
+//!                                          re-bootstrap
+//! ```
+//!
+//! [`Follower::connect`] dials the primary, subscribes, installs the
+//! bootstrap snapshot via a caller-supplied engine builder (the builder
+//! owns the dataset and base method — the wire only carries iGQ state),
+//! and spawns a feed thread that applies every pushed delta group. The
+//! served engine lives behind a [`SharedEngine`] — a [`QueryEngine`]
+//! whose inner engine is atomically swappable — because a torn stream
+//! that has fallen out of the primary's resume ring forces a fresh
+//! snapshot bootstrap *while the server keeps serving*: readers finish on
+//! the old engine, new requests land on the new one.
+//!
+//! # Reconnect semantics
+//!
+//! A torn stream reconnects with exponential backoff and resumes from
+//! the follower's `last_applied_seq`; the primary answers live when its
+//! ring still covers the gap and with a snapshot otherwise. A delta the
+//! engine rejects (seq gap, corrupt payload) forces an explicit fresh
+//! bootstrap — the follower never serves state it cannot prove contiguous
+//! with the primary's flip stream.
+
+use crate::client::{Client, ClientError, ReplicaEvent, ReplicaSubscriber, SubscribeStart};
+use igq_core::{
+    EngineStats, IgqConfig, QueryEngine, QueryOutcome, QueryRequest, QueryResponse, ReplicaError,
+    Subscription,
+};
+use igq_graph::Graph;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Builds a follower engine from an encoded primary checkpoint. The
+/// closure owns everything the wire does not carry — the dataset, the
+/// base filter-then-verify method, and the engine config — and is
+/// invoked once at bootstrap plus once per forced re-bootstrap.
+pub type BuildFollower = Arc<dyn Fn(&[u8]) -> Result<Arc<dyn QueryEngine>, String> + Send + Sync>;
+
+/// A [`QueryEngine`] whose inner engine can be atomically replaced —
+/// the indirection that lets a follower re-bootstrap from a fresh
+/// snapshot without restarting its serving front end. Cheap on the read
+/// path: one `RwLock` read and an `Arc` clone per call.
+pub struct SharedEngine {
+    inner: RwLock<Arc<dyn QueryEngine>>,
+    /// Config is identical across re-bootstraps (the snapshot embeds a
+    /// config fingerprint the engine validates), so a by-value copy
+    /// satisfies the trait's `&IgqConfig` accessor without borrowing
+    /// through the lock.
+    config: IgqConfig,
+}
+
+impl SharedEngine {
+    /// Wraps an engine for swappable serving.
+    pub fn new(engine: Arc<dyn QueryEngine>) -> SharedEngine {
+        let config = *engine.config();
+        SharedEngine {
+            inner: RwLock::new(engine),
+            config,
+        }
+    }
+
+    /// The currently installed engine.
+    pub fn current(&self) -> Arc<dyn QueryEngine> {
+        Arc::clone(&self.inner.read().expect("engine lock"))
+    }
+
+    /// Atomically installs a replacement engine (re-bootstrap). In-flight
+    /// calls finish on the engine they started with.
+    pub fn swap(&self, engine: Arc<dyn QueryEngine>) {
+        *self.inner.write().expect("engine lock") = engine;
+    }
+}
+
+impl QueryEngine for SharedEngine {
+    fn query(&self, q: &Graph) -> QueryOutcome {
+        self.current().query(q)
+    }
+
+    fn execute(&self, request: &QueryRequest) -> QueryResponse {
+        self.current().execute(request)
+    }
+
+    fn query_batch(&self, queries: &[Graph]) -> Vec<QueryOutcome> {
+        self.current().query_batch(queries)
+    }
+
+    fn execute_batch(&self, requests: &[QueryRequest]) -> Vec<QueryResponse> {
+        self.current().execute_batch(requests)
+    }
+
+    fn maintenance_lag(&self) -> u64 {
+        self.current().maintenance_lag()
+    }
+
+    fn note_overload_rejection(&self) {
+        self.current().note_overload_rejection()
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.current().stats()
+    }
+
+    fn config(&self) -> &IgqConfig {
+        &self.config
+    }
+
+    fn cached_queries(&self) -> usize {
+        self.current().cached_queries()
+    }
+
+    fn flush_window(&self) {
+        self.current().flush_window()
+    }
+
+    fn sync_maintenance(&self) {
+        self.current().sync_maintenance()
+    }
+
+    fn checkpoint(&self) -> Result<(), igq_core::PersistError> {
+        self.current().checkpoint()
+    }
+
+    fn self_check(&self) -> Result<(), String> {
+        self.current().self_check()
+    }
+
+    fn is_follower(&self) -> bool {
+        self.current().is_follower()
+    }
+
+    fn replication_lag(&self) -> Option<u64> {
+        self.current().replication_lag()
+    }
+
+    fn subscribe_replication(&self, from_seq: Option<u64>) -> Option<Subscription> {
+        // Chaining: a downstream replica can subscribe to this follower.
+        self.current().subscribe_replication(from_seq)
+    }
+
+    fn apply_replica_delta(&self, bytes: &[u8]) -> Result<u64, ReplicaError> {
+        self.current().apply_replica_delta(bytes)
+    }
+
+    fn note_replica_heard(&self, seq: u64) {
+        self.current().note_replica_heard(seq)
+    }
+}
+
+/// A follower bootstrap/feed failure.
+#[derive(Debug)]
+pub enum FollowerError {
+    /// Dialing or subscribing to the primary failed.
+    Connect(ClientError),
+    /// The primary's bootstrap was not a snapshot, or the engine builder
+    /// rejected it.
+    Bootstrap(String),
+}
+
+impl std::fmt::Display for FollowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FollowerError::Connect(e) => write!(f, "connecting to primary: {e}"),
+            FollowerError::Bootstrap(m) => write!(f, "bootstrapping follower: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FollowerError {}
+
+impl From<ClientError> for FollowerError {
+    fn from(e: ClientError) -> FollowerError {
+        FollowerError::Connect(e)
+    }
+}
+
+/// Reconnect backoff bounds for a torn replication stream.
+const BACKOFF_FLOOR: Duration = Duration::from_millis(50);
+const BACKOFF_CEIL: Duration = Duration::from_secs(2);
+
+/// A running follower: the swappable served engine plus the feed thread
+/// applying the primary's delta stream.
+pub struct Follower {
+    engine: Arc<SharedEngine>,
+    stop: Arc<AtomicBool>,
+    feed: Option<JoinHandle<()>>,
+}
+
+impl Follower {
+    /// Dials `addr`, subscribes from scratch, installs the bootstrap
+    /// snapshot through `build`, and spawns the feed thread. Fails fast
+    /// when the primary is unreachable or the snapshot will not build —
+    /// a follower that cannot bootstrap should not come up at all.
+    pub fn connect(
+        addr: &str,
+        name: &str,
+        build: BuildFollower,
+        io_timeout: Duration,
+    ) -> Result<Follower, FollowerError> {
+        let client = Client::connect_with_timeout(addr, name, io_timeout)?;
+        let (start, subscriber) = client.subscribe(None)?;
+        let SubscribeStart::Snapshot { seq: _, checkpoint } = start else {
+            return Err(FollowerError::Bootstrap(
+                "fresh subscription did not begin with a snapshot".into(),
+            ));
+        };
+        let engine = build(&checkpoint).map_err(FollowerError::Bootstrap)?;
+        let engine = Arc::new(SharedEngine::new(engine));
+        let stop = Arc::new(AtomicBool::new(false));
+        let feed = {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            let addr = addr.to_owned();
+            let name = name.to_owned();
+            std::thread::Builder::new()
+                .name("igq-replica-feed".into())
+                .spawn(move || {
+                    feed_loop(&engine, subscriber, &addr, &name, &build, io_timeout, &stop)
+                })
+                .map_err(|e| FollowerError::Bootstrap(format!("spawning feed thread: {e}")))?
+        };
+        Ok(Follower {
+            engine,
+            stop,
+            feed: Some(feed),
+        })
+    }
+
+    /// The served (swappable, read-only) engine — hand this to
+    /// [`Server::spawn`](crate::Server::spawn).
+    pub fn engine(&self) -> Arc<SharedEngine> {
+        Arc::clone(&self.engine)
+    }
+
+    /// Stops the feed thread and joins it. Idempotent; also runs on drop.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.feed.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Follower {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// The feed loop: applies pushed deltas, folds heartbeats into the
+/// staleness gauge, and survives torn streams by resuming (or
+/// re-bootstrapping) with backoff. Runs until `stop`.
+fn feed_loop(
+    shared: &Arc<SharedEngine>,
+    mut sub: ReplicaSubscriber,
+    addr: &str,
+    name: &str,
+    build: &BuildFollower,
+    io_timeout: Duration,
+    stop: &AtomicBool,
+) {
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        match sub.next_event() {
+            Ok(ReplicaEvent::Delta { seq, bytes }) => {
+                let engine = shared.current();
+                engine.note_replica_heard(seq);
+                match engine.apply_replica_delta(&bytes) {
+                    Ok(_) => {}
+                    Err(e) => {
+                        // A gap or corrupt group means local state can no
+                        // longer be proven contiguous with the stream:
+                        // force a fresh snapshot bootstrap.
+                        eprintln!("igq-replica: delta {seq} rejected ({e}); re-bootstrapping");
+                        match reconnect(shared, addr, name, build, None, io_timeout, stop) {
+                            Some(next) => sub = next,
+                            None => return, // stopped
+                        }
+                    }
+                }
+            }
+            Ok(ReplicaEvent::Heartbeat { seq }) => {
+                shared.current().note_replica_heard(seq);
+            }
+            Ok(ReplicaEvent::Closed) | Err(_) => {
+                // Torn or closed stream: resume after the last applied
+                // flip. The primary answers live when its ring still
+                // covers the gap, with a fresh snapshot otherwise.
+                let from = Some(shared.current().stats().last_applied_seq);
+                match reconnect(shared, addr, name, build, from, io_timeout, stop) {
+                    Some(next) => sub = next,
+                    None => return, // stopped
+                }
+            }
+        }
+    }
+}
+
+/// Redials with exponential backoff until subscribed (installing a fresh
+/// snapshot into `shared` when the primary sends one) or `stop` is set.
+fn reconnect(
+    shared: &Arc<SharedEngine>,
+    addr: &str,
+    name: &str,
+    build: &BuildFollower,
+    from_seq: Option<u64>,
+    io_timeout: Duration,
+    stop: &AtomicBool,
+) -> Option<ReplicaSubscriber> {
+    let mut backoff = BACKOFF_FLOOR;
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return None;
+        }
+        match try_subscribe(shared, addr, name, build, from_seq, io_timeout) {
+            Ok(sub) => return Some(sub),
+            Err(e) => {
+                eprintln!("igq-replica: reconnect to {addr} failed ({e}); retrying");
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(BACKOFF_CEIL);
+            }
+        }
+    }
+}
+
+fn try_subscribe(
+    shared: &Arc<SharedEngine>,
+    addr: &str,
+    name: &str,
+    build: &BuildFollower,
+    from_seq: Option<u64>,
+    io_timeout: Duration,
+) -> Result<ReplicaSubscriber, FollowerError> {
+    let client = Client::connect_with_timeout(addr, name, io_timeout)?;
+    match client.subscribe(from_seq)? {
+        (SubscribeStart::Live { .. }, sub) => Ok(sub),
+        (SubscribeStart::Snapshot { seq: _, checkpoint }, sub) => {
+            let engine = build(&checkpoint).map_err(FollowerError::Bootstrap)?;
+            shared.swap(engine);
+            Ok(sub)
+        }
+    }
+}

@@ -47,12 +47,25 @@
 //! Shedding at the edge keeps the paper's contract intact: queries that
 //! *are* admitted still receive exact answers from a bounded-staleness
 //! snapshot, and maintenance gets the slack it needs to catch up.
+//!
+//! # Replication streaming
+//!
+//! A `subscribe` frame converts its connection into a one-way replication
+//! push stream (see [`crate::replicate`] for the follower side): the
+//! server answers with `subscribe_ok` (the engine's ring still covered
+//! the requested resume point) or a `snapshot` bootstrap, then pushes
+//! each committed window flip as a `delta` frame the moment the engine
+//! publishes it, with `heartbeat` frames on idle gaps so the follower's
+//! staleness gauge keeps moving and a dead peer is detected. Follower
+//! reads get their own admission gate: a `query`/`batch` frame carrying
+//! `max_lag` is shed with `overloaded` when the served engine is a
+//! replica whose replication lag exceeds that bound.
 
 use crate::batcher::Batcher;
 use crate::protocol::{
     read_frame, write_frame, Reply, Request, ServingStats, WireError, WireResult, PROTOCOL_VERSION,
 };
-use igq_core::{QueryEngine, QueryOptions, QueryRequest};
+use igq_core::{QueryEngine, QueryOptions, QueryRequest, RecvTimeoutError, Subscription};
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -365,8 +378,11 @@ fn handle_request(request: Request, writer: &mut TcpStream, shared: &Shared) -> 
             graph,
             deadline_ms,
             skip_admission,
+            max_lag,
         } => {
-            if let Some(reply) = shed_if_overloaded(id, 1, shared) {
+            if let Some(reply) =
+                shed_if_overloaded(id, 1, shared).or_else(|| shed_if_stale(id, 1, max_lag, shared))
+            {
                 return write_frame(writer, &reply).is_ok();
             }
             let deadline = deadline_ms.map(Duration::from_millis);
@@ -397,8 +413,12 @@ fn handle_request(request: Request, writer: &mut TcpStream, shared: &Shared) -> 
             id,
             graphs,
             deadline_ms,
+            max_lag,
         } => {
-            if let Some(reply) = shed_if_overloaded(id, graphs.len() as u64, shared) {
+            let count = graphs.len() as u64;
+            if let Some(reply) = shed_if_overloaded(id, count, shared)
+                .or_else(|| shed_if_stale(id, count, max_lag, shared))
+            {
                 return write_frame(writer, &reply).is_ok();
             }
             let deadline = deadline_ms.map(Duration::from_millis);
@@ -435,8 +455,20 @@ fn handle_request(request: Request, writer: &mut TcpStream, shared: &Shared) -> 
                 db_iso_tests: stats.db_iso_tests,
                 cached_queries: shared.engine.cached_queries() as u64,
                 maintenance_lag: shared.engine.maintenance_lag(),
+                follower: shared.engine.is_follower(),
+                replication_lag: stats.replication_lag_windows,
+                last_applied_seq: stats.last_applied_seq,
+                replica_groups_published: stats.replica_groups_published,
+                replica_groups_applied: stats.replica_groups_applied,
+                wal_bytes_appended: stats.wal_bytes_appended,
+                checkpoint_bytes_written: stats.checkpoint_bytes_written,
+                extra: Vec::new(),
             });
             write_frame(writer, &reply).is_ok()
+        }
+        Request::Subscribe { from_seq } => {
+            serve_subscription(from_seq, writer, shared);
+            false // the connection was dedicated to the stream
         }
         Request::Shutdown => {
             let _ = write_frame(writer, &Reply::Bye);
@@ -465,6 +497,92 @@ fn shed_if_overloaded(id: u64, rejected: u64, shared: &Shared) -> Option<Reply> 
         threshold,
         retry_after_ms: shared.config.retry_after.as_millis() as u64,
     })
+}
+
+/// The follower-staleness gate: a read carrying `max_lag` is shed with a
+/// typed `overloaded` reply when the served engine is a replica whose
+/// replication lag exceeds that bound. Primaries never shed here — their
+/// [`QueryEngine::replication_lag`] is `None`.
+fn shed_if_stale(id: u64, rejected: u64, max_lag: Option<u64>, shared: &Shared) -> Option<Reply> {
+    let max = max_lag?;
+    let lag = shared.engine.replication_lag()?;
+    if lag <= max {
+        return None;
+    }
+    for _ in 0..rejected.max(1) {
+        shared.engine.note_overload_rejection();
+    }
+    Some(Reply::Overloaded {
+        id,
+        lag_windows: lag,
+        threshold: max,
+        retry_after_ms: shared.config.retry_after.as_millis() as u64,
+    })
+}
+
+/// Heartbeat cadence on an idle replication stream: often enough that a
+/// follower's staleness gauge and dead-peer detection stay fresh, rare
+/// enough to be free.
+const HEARTBEAT_EVERY: Duration = Duration::from_millis(500);
+
+/// Converts the connection into a replication push stream: answers the
+/// `subscribe` with `subscribe_ok` (live resume) or a `snapshot`
+/// bootstrap, then pushes `delta` frames as the engine commits flips and
+/// `heartbeat`s on idle gaps. Returns when the peer stops taking writes,
+/// the engine drops the feed, or the server stops.
+fn serve_subscription(from_seq: Option<u64>, writer: &mut TcpStream, shared: &Shared) {
+    let Some(sub) = shared.engine.subscribe_replication(from_seq) else {
+        let e = WireError::Protocol("engine does not publish a replication stream".into());
+        let _ = write_frame(writer, &Reply::error(&e));
+        return;
+    };
+    let (mut last_seq, feed) = match sub {
+        Subscription::Live { feed } => {
+            let resume_from = from_seq.unwrap_or(0);
+            if write_frame(writer, &Reply::SubscribeOk { resume_from }).is_err() {
+                return;
+            }
+            (resume_from, feed)
+        }
+        Subscription::Snapshot {
+            seq,
+            checkpoint,
+            feed,
+        } => {
+            if write_frame(
+                writer,
+                &Reply::Snapshot {
+                    seq,
+                    data: checkpoint,
+                },
+            )
+            .is_err()
+            {
+                return;
+            }
+            (seq, feed)
+        }
+    };
+    while !shared.stopping() {
+        match feed.recv_timeout(HEARTBEAT_EVERY) {
+            Ok(group) => {
+                last_seq = group.seq;
+                let frame = Reply::Delta {
+                    seq: group.seq,
+                    data: group.bytes.to_vec(),
+                };
+                if write_frame(writer, &frame).is_err() {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if write_frame(writer, &Reply::Heartbeat { seq: last_seq }).is_err() {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
 }
 
 /// Socket-side deadline enforcement: bound the reply write by the

@@ -172,7 +172,7 @@ fn torn_connection_leaves_engine_consistent() {
     {
         let mut s = TcpStream::connect(server.local_addr()).expect("connect");
         s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
-        s.write_all(b"{\"type\":\"hello\",\"v\":1,\"client\":\"tearer\"}\n")
+        s.write_all(b"{\"type\":\"hello\",\"v\":2,\"client\":\"tearer\"}\n")
             .expect("hello");
         let mut line = String::new();
         BufReader::new(s.try_clone().unwrap())

@@ -62,7 +62,12 @@ fn exported_cache_roundtrips_through_serde() {
         },
     )
     .expect("valid engine");
-    assert!(warm.import_entries(restored).admitted > 0);
+    assert!(
+        warm.import_entries(restored)
+            .expect("primary import")
+            .admitted
+            > 0
+    );
     let out = warm.query(&queries[0]);
     assert_eq!(out.answers, common::oracle_answers(&store, &queries[0]));
 }

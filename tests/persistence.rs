@@ -15,6 +15,8 @@ use proptest::prelude::*;
 use proptest::TestCaseError;
 use std::sync::Arc;
 
+const BOTH_CODECS: [StoreCodec; 2] = [StoreCodec::Json, StoreCodec::Binary];
+
 fn sub_config(capacity: usize, window: usize, mode: MaintenanceMode) -> IgqConfig {
     IgqConfig {
         cache_capacity: capacity,
@@ -22,6 +24,18 @@ fn sub_config(capacity: usize, window: usize, mode: MaintenanceMode) -> IgqConfi
         maintenance: mode,
         persistence: PersistenceConfig::manual(),
         ..Default::default()
+    }
+}
+
+fn sub_config_codec(
+    capacity: usize,
+    window: usize,
+    mode: MaintenanceMode,
+    codec: StoreCodec,
+) -> IgqConfig {
+    IgqConfig {
+        persistence: PersistenceConfig::manual().with_codec(codec),
+        ..sub_config(capacity, window, mode)
     }
 }
 
@@ -39,6 +53,74 @@ fn open_sub(
         Arc::clone(mem) as Arc<dyn CacheStore>,
     )
     .expect("open subgraph engine")
+}
+
+fn open_sub_codec(
+    store: &Arc<GraphStore>,
+    mem: &Arc<MemStore>,
+    capacity: usize,
+    window: usize,
+    mode: MaintenanceMode,
+    codec: StoreCodec,
+) -> IgqEngine<Ggsx> {
+    let method = Ggsx::build(store, GgsxConfig::default());
+    IgqEngine::open(
+        method,
+        sub_config_codec(capacity, window, mode, codec),
+        Arc::clone(mem) as Arc<dyn CacheStore>,
+    )
+    .expect("open subgraph engine")
+}
+
+const BWAL_MAGIC: &[u8; 8] = b"IGQBWAL1";
+
+/// Counts intact WAL records in either codec: text `R `-tagged lines or
+/// binary `R` frames (tag byte, u32 LE length, u64 LE checksum).
+fn wal_record_count(wal: &[u8]) -> usize {
+    if let Some(frames) = wal.strip_prefix(BWAL_MAGIC.as_slice()) {
+        let mut n = 0;
+        let mut pos = 0usize;
+        while frames.len() - pos >= 13 {
+            let len = u32::from_le_bytes(frames[pos + 1..pos + 5].try_into().unwrap()) as usize;
+            if frames.len() - pos - 13 < len {
+                break; // torn final frame
+            }
+            if frames[pos] == b'R' {
+                n += 1;
+            }
+            pos += 13 + len;
+        }
+        n
+    } else {
+        wal.split(|&b| b == b'\n')
+            .filter(|l| l.first() == Some(&b'R'))
+            .count()
+    }
+}
+
+/// Flips one byte inside the payload of the **first** record (never the
+/// last), in either codec — the mid-log damage shape recovery must
+/// reject rather than truncate.
+fn corrupt_first_record(wal: &[u8]) -> Vec<u8> {
+    if let Some(frames) = wal.strip_prefix(BWAL_MAGIC.as_slice()) {
+        // Skip the header frame, then flip a byte in the middle of the
+        // first `R` frame's payload.
+        let hlen = u32::from_le_bytes(frames[1..5].try_into().unwrap()) as usize;
+        let rstart = 13 + hlen;
+        let rlen = u32::from_le_bytes(frames[rstart + 1..rstart + 5].try_into().unwrap()) as usize;
+        let mut out = wal.to_vec();
+        out[BWAL_MAGIC.len() + rstart + 13 + rlen / 2] ^= 0x01;
+        out
+    } else {
+        let text = std::str::from_utf8(wal).expect("utf-8 wal");
+        let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        assert!(lines.len() >= 3, "header + at least two records");
+        let target = &mut lines[1];
+        let mid = target.len() - 5;
+        let byte = target.as_bytes()[mid];
+        target.replace_range(mid..mid + 1, if byte == b'0' { "1" } else { "0" });
+        (lines.join("\n") + "\n").into_bytes()
+    }
 }
 
 fn sharded_config(
@@ -65,6 +147,27 @@ fn open_sub_sharded(
     IgqEngine::open(
         method,
         sharded_config(capacity, window, mode, shards),
+        Arc::clone(mem) as Arc<dyn CacheStore>,
+    )
+    .expect("open sharded subgraph engine")
+}
+
+fn open_sub_sharded_codec(
+    store: &Arc<GraphStore>,
+    mem: &Arc<MemStore>,
+    capacity: usize,
+    window: usize,
+    mode: MaintenanceMode,
+    shards: usize,
+    codec: StoreCodec,
+) -> IgqEngine<Ggsx> {
+    let method = Ggsx::build(store, GgsxConfig::default());
+    IgqEngine::open(
+        method,
+        IgqConfig {
+            shards,
+            ..sub_config_codec(capacity, window, mode, codec)
+        },
         Arc::clone(mem) as Arc<dyn CacheStore>,
     )
     .expect("open sharded subgraph engine")
@@ -100,67 +203,124 @@ fn aids_workload(n_store: usize, n_queries: usize, seed: u64) -> (Arc<GraphStore
 
 #[test]
 fn torn_wal_tail_is_truncated_and_recovery_stays_exact() {
-    let (store, queries) = aids_workload(50, 24, 11);
-    let mem = Arc::new(MemStore::new());
-    {
-        let e = open_sub(&store, &mem, 8, 2, MaintenanceMode::Incremental);
-        for q in &queries {
-            let _ = e.query(q);
+    for codec in BOTH_CODECS {
+        let (store, queries) = aids_workload(50, 24, 11);
+        let mem = Arc::new(MemStore::new());
+        {
+            let e = open_sub_codec(&store, &mem, 8, 2, MaintenanceMode::Incremental, codec);
+            for q in &queries {
+                let _ = e.query(q);
+            }
         }
-    }
-    let wal = mem.raw_wal();
-    let records_before = wal
-        .split(|&b| b == b'\n')
-        .filter(|l| l.first() == Some(&b'R'))
-        .count();
-    assert!(records_before >= 3, "need a few flips to truncate");
-    // Crash mid-append: the final record loses its tail bytes.
-    mem.set_wal(wal[..wal.len() - 9].to_vec());
+        let wal = mem.raw_wal();
+        let records_before = wal_record_count(&wal);
+        assert!(records_before >= 3, "need a few flips to truncate");
+        // Crash mid-append: the final record loses its tail bytes.
+        mem.set_wal(wal[..wal.len() - 9].to_vec());
 
-    let e = open_sub(&store, &mem, 8, 2, MaintenanceMode::Incremental);
-    assert_eq!(
-        e.stats().recovery_replayed_windows,
-        (records_before - 1) as u64,
-        "exactly the torn record is dropped"
-    );
-    e.self_check().expect("recovered engine invariants");
-    for q in queries.iter().take(6) {
-        assert_eq!(e.query(q).answers, oracle_answers(&store, q), "{q:?}");
+        let e = open_sub_codec(&store, &mem, 8, 2, MaintenanceMode::Incremental, codec);
+        assert_eq!(
+            e.stats().recovery_replayed_windows,
+            (records_before - 1) as u64,
+            "exactly the torn record is dropped ({codec:?})"
+        );
+        e.self_check().expect("recovered engine invariants");
+        for q in queries.iter().take(6) {
+            assert_eq!(e.query(q).answers, oracle_answers(&store, q), "{q:?}");
+        }
     }
 }
 
 #[test]
 fn mid_wal_corruption_is_rejected_not_truncated() {
-    let (store, queries) = aids_workload(40, 20, 13);
+    for codec in BOTH_CODECS {
+        let (store, queries) = aids_workload(40, 20, 13);
+        let mem = Arc::new(MemStore::new());
+        {
+            let e = open_sub_codec(&store, &mem, 8, 2, MaintenanceMode::Incremental, codec);
+            for q in &queries {
+                let _ = e.query(q);
+            }
+        }
+        // Damage the first record (not the last): flip a payload byte.
+        mem.set_wal(corrupt_first_record(&mem.raw_wal()));
+
+        let method = Ggsx::build(&store, GgsxConfig::default());
+        let err = IgqEngine::<Ggsx>::open(
+            method,
+            sub_config_codec(8, 2, MaintenanceMode::Incremental, codec),
+            Arc::clone(&mem) as Arc<dyn CacheStore>,
+        )
+        .err()
+        .expect("mid-log damage must fail loudly");
+        assert!(
+            matches!(err, PersistError::Corrupt(_)),
+            "expected Corrupt under {codec:?}, got {err}"
+        );
+    }
+}
+
+#[test]
+fn json_text_store_reopens_under_binary_codec_and_migrates() {
+    // A store written entirely under the PR-4 JSON-text codec must open
+    // under the binary default (reads auto-detect), behave identically,
+    // and migrate: the open-time WAL rewrite and the next checkpoint come
+    // out binary.
+    let (store, queries) = aids_workload(50, 24, 59);
     let mem = Arc::new(MemStore::new());
     {
-        let e = open_sub(&store, &mem, 8, 2, MaintenanceMode::Incremental);
-        for q in &queries {
+        let e = open_sub_codec(
+            &store,
+            &mem,
+            8,
+            2,
+            MaintenanceMode::Incremental,
+            StoreCodec::Json,
+        );
+        for q in queries.iter().take(12) {
             let _ = e.query(q);
         }
+        e.checkpoint().expect("json checkpoint");
+        for q in queries.iter().skip(12) {
+            let _ = e.query(q); // post-checkpoint flips -> JSON WAL tail
+        }
     }
-    let wal = String::from_utf8(mem.raw_wal()).expect("utf-8 wal");
-    let mut lines: Vec<String> = wal.lines().map(str::to_owned).collect();
-    assert!(lines.len() >= 3, "header + at least two records");
-    // Damage the first record (not the last): flip a payload character.
-    let target = &mut lines[1];
-    let mid = target.len() - 5;
-    let byte = target.as_bytes()[mid];
-    target.replace_range(mid..mid + 1, if byte == b'0' { "1" } else { "0" });
-    mem.set_wal((lines.join("\n") + "\n").into_bytes());
-
-    let method = Ggsx::build(&store, GgsxConfig::default());
-    let err = IgqEngine::<Ggsx>::open(
-        method,
-        sub_config(8, 2, MaintenanceMode::Incremental),
-        Arc::clone(&mem) as Arc<dyn CacheStore>,
-    )
-    .err()
-    .expect("mid-log damage must fail loudly");
     assert!(
-        matches!(err, PersistError::Corrupt(_)),
-        "expected Corrupt, got {err}"
+        mem.raw_wal().starts_with(b"H "),
+        "precondition: the legacy store is JSON text"
     );
+    let e = open_sub_codec(
+        &store,
+        &mem,
+        8,
+        2,
+        MaintenanceMode::Incremental,
+        StoreCodec::Binary,
+    );
+    assert!(
+        mem.raw_wal().starts_with(BWAL_MAGIC),
+        "open rewrites the WAL tail in the configured codec"
+    );
+    e.self_check().expect("recovered engine invariants");
+    for q in queries.iter().take(6) {
+        assert_eq!(e.query(q).answers, oracle_answers(&store, q), "{q:?}");
+    }
+    e.checkpoint().expect("binary checkpoint");
+    let ckpt = mem.load_checkpoint().unwrap().expect("checkpoint exists");
+    assert!(
+        ckpt.starts_with(b"IGQBCKP1"),
+        "checkpoint migrated to the binary codec"
+    );
+    // And the reverse: the binary store still opens under a JSON config.
+    let e = open_sub_codec(
+        &store,
+        &mem,
+        8,
+        2,
+        MaintenanceMode::Incremental,
+        StoreCodec::Json,
+    );
+    e.self_check().expect("invariants after downgrade open");
 }
 
 #[test]
@@ -616,35 +776,35 @@ fn torn_tail_on_interleaved_multi_shard_wal_drops_the_whole_last_flip() {
     // A crash can tear the group's final record; recovery must then drop
     // the *entire* trailing group (a flip is atomic across shards — half
     // a flip would desynchronize the global allocator) and stay exact.
-    let (store, queries) = aids_workload(50, 28, 47);
-    let mem = Arc::new(MemStore::new());
-    {
-        let e = open_sub_sharded(&store, &mem, 8, 2, MaintenanceMode::Incremental, 4);
-        for q in &queries {
-            let _ = e.query(q);
+    for codec in BOTH_CODECS {
+        let (store, queries) = aids_workload(50, 28, 47);
+        let mem = Arc::new(MemStore::new());
+        {
+            let e =
+                open_sub_sharded_codec(&store, &mem, 8, 2, MaintenanceMode::Incremental, 4, codec);
+            for q in &queries {
+                let _ = e.query(q);
+            }
         }
-    }
-    let wal = mem.raw_wal();
-    let records_before = wal
-        .split(|&b| b == b'\n')
-        .filter(|l| l.first() == Some(&b'R'))
-        .count();
-    assert!(
-        records_before >= 8 && records_before % 4 == 0,
-        "expected whole 4-record groups, got {records_before}"
-    );
-    // Crash mid-append: the group's last record loses its tail bytes.
-    mem.set_wal(wal[..wal.len() - 9].to_vec());
+        let wal = mem.raw_wal();
+        let records_before = wal_record_count(&wal);
+        assert!(
+            records_before >= 8 && records_before.is_multiple_of(4),
+            "expected whole 4-record groups, got {records_before}"
+        );
+        // Crash mid-append: the group's last record loses its tail bytes.
+        mem.set_wal(wal[..wal.len() - 9].to_vec());
 
-    let e = open_sub_sharded(&store, &mem, 8, 2, MaintenanceMode::Incremental, 4);
-    assert_eq!(
-        e.stats().recovery_replayed_windows,
-        (records_before / 4 - 1) as u64,
-        "exactly the torn flip group is dropped, not just its torn record"
-    );
-    e.self_check().expect("recovered engine invariants");
-    for q in queries.iter().take(6) {
-        assert_eq!(e.query(q).answers, oracle_answers(&store, q), "{q:?}");
+        let e = open_sub_sharded_codec(&store, &mem, 8, 2, MaintenanceMode::Incremental, 4, codec);
+        assert_eq!(
+            e.stats().recovery_replayed_windows,
+            (records_before / 4 - 1) as u64,
+            "exactly the torn flip group is dropped, not just its torn record ({codec:?})"
+        );
+        e.self_check().expect("recovered engine invariants");
+        for q in queries.iter().take(6) {
+            assert_eq!(e.query(q).answers, oracle_answers(&store, q), "{q:?}");
+        }
     }
 }
 
