@@ -1,0 +1,10 @@
+//! Robustness bench: silent-hang promotion time behind the chaos proxy,
+//! out-of-ring WAL catch-up throughput, and MTTR under a seeded storage
+//! fault storm (archives `BENCH_robustness.json`). `--smoke` shrinks the
+//! legs and asserts the claims — promotion fires, the resume is live,
+//! degraded mode clears, answers never diverge — while still archiving
+//! the report.
+fn main() {
+    let opts = igq_bench::ExpOptions::from_env();
+    igq_bench::experiments::robustness::run(&opts).emit();
+}

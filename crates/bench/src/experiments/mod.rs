@@ -12,6 +12,7 @@ pub mod maintenance;
 pub mod persistence;
 pub mod policy_ablation;
 pub mod replication;
+pub mod robustness;
 pub mod serving;
 pub mod speedups;
 pub mod supergraph_demo;

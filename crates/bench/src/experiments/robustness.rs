@@ -1,0 +1,445 @@
+//! Robustness under failure: promotion time, WAL catch-up throughput for
+//! an out-of-ring follower, and MTTR under a scripted storage fault storm
+//! (`BENCH_robustness.json`).
+//!
+//! The failure-domain hardening work has three operational claims this
+//! experiment prices with the repo's own fault-injection harness
+//! ([`igq_core::FaultyStore`], [`igq_server::ChaosProxy`]):
+//!
+//! * **failover** — a primary wedges *silently* behind the chaos proxy
+//!   (connections stay open, frames stop; no RST ever). The follower's
+//!   heartbeat detector notices and the configured [`FailoverPolicy`]
+//!   promotes it. We time freeze → `Follower::promoted()`, i.e. detection
+//!   plus promotion — the unavailability window a deployment eats.
+//! * **catch-up** — a follower resuming from *before* the primary's
+//!   256-group resume ring is caught up by replaying the primary WAL
+//!   (never a snapshot re-ship). We time the full gap drain and report
+//!   groups/s, asserting the resume really was `Subscription::Live`.
+//! * **MTTR** — a seeded storm ([`FaultyStore::seed_faults`] + torn
+//!   writes) fails ~25% of store operations under a live query stream.
+//!   Serving stays exact throughout (answers are compared against a
+//!   fault-free twin engine); once the storm passes we time heal →
+//!   degraded-mode clear, the mean-time-to-recovery of the quarantined
+//!   WAL backlog.
+//!
+//! # `BENCH_robustness.json` schema
+//!
+//! * `failover`: `heartbeat_timeout_ms`, `trials`, `promotion_ms` (per
+//!   trial), `promotion_ms_median`;
+//! * `catchup`: `gap_groups` (all past the resume ring), `catchup_ms`,
+//!   `groups_per_s`, `delta_kib`, `live_resume` (the acceptance signal:
+//!   always `true`);
+//! * `mttr`: `storm_queries`, `fault_ppm`, `io_errors`, `torn_writes`,
+//!   `peak_quarantined_groups`, `wal_retry_failures`, `mttr_ms`,
+//!   `exact_under_storm` (always `true`).
+//!
+//! `--smoke` shrinks every leg and asserts the claims themselves —
+//! promotion fires and the promoted engine serves writes, the out-of-ring
+//! resume is live and replays the whole gap, degraded mode is entered and
+//! fully clears, and no answer under the storm ever diverges — then
+//! archives the report like a full run, so CI always refreshes
+//! `BENCH_robustness.json`.
+
+use crate::cli::ExpOptions;
+use crate::report::{Report, Table};
+use igq_core::{
+    CacheStore, FaultyStore, IgqConfig, IgqEngine, MemStore, PersistenceConfig, QueryEngine,
+    Subscription,
+};
+use igq_graph::{graph_from, Graph, GraphStore};
+use igq_methods::{Ggsx, GgsxConfig};
+use igq_server::{BuildFollower, ChaosProxy, FailoverPolicy, Follower, Server, ServerConfig};
+use igq_workload::{DatasetKind, Distribution, QueryGenerator};
+use serde_json::json;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Window 1: every query is a flip, so every query exercises the WAL /
+/// replication paths the experiment is pricing.
+fn flip_config() -> IgqConfig {
+    IgqConfig {
+        cache_capacity: 64,
+        window: 1,
+        ..Default::default()
+    }
+}
+
+fn durable_config() -> IgqConfig {
+    IgqConfig {
+        persistence: PersistenceConfig::manual(),
+        ..flip_config()
+    }
+}
+
+fn workload(opts: &ExpOptions, n_store: usize, n_queries: usize) -> (Arc<GraphStore>, Vec<Graph>) {
+    let store = Arc::new(DatasetKind::Aids.generate(n_store, opts.seed));
+    let queries = QueryGenerator::new(
+        &store,
+        Distribution::Zipf(1.3),
+        Distribution::Zipf(1.3),
+        opts.seed ^ 0x0B57,
+    )
+    .take(n_queries);
+    (store, queries)
+}
+
+// ---------------------------------------------------------------- failover
+
+struct FailoverRun {
+    heartbeat_timeout: Duration,
+    promotion_ms: Vec<f64>,
+}
+
+impl FailoverRun {
+    fn median_ms(&self) -> f64 {
+        let mut v = self.promotion_ms.clone();
+        v.sort_by(|a, b| a.total_cmp(b));
+        v[v.len() / 2]
+    }
+}
+
+/// One silent-hang failover: primary behind a chaos proxy, follower with
+/// a promote-on-timeout policy, freeze, time until promoted.
+fn measure_failover_once(
+    store: &Arc<GraphStore>,
+    warm: &[Graph],
+    heartbeat_timeout: Duration,
+) -> f64 {
+    let cfg = flip_config();
+    let primary: Arc<dyn QueryEngine> = Arc::new(
+        IgqEngine::new(Ggsx::build(store, GgsxConfig::default()), cfg).expect("valid primary"),
+    );
+    for q in warm {
+        let _ = primary.query(q);
+    }
+    let server = Server::spawn(
+        primary,
+        ServerConfig {
+            io_timeout: Duration::from_millis(500),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind primary");
+    let proxy = ChaosProxy::spawn(&server.local_addr().to_string()).expect("spawn proxy");
+
+    let build_store = Arc::clone(store);
+    let build: BuildFollower = Arc::new(move |snapshot: &[u8]| {
+        let method = Ggsx::build(&build_store, GgsxConfig::default());
+        IgqEngine::open_follower(method, cfg, snapshot)
+            .map(|e| Arc::new(e) as Arc<dyn QueryEngine>)
+            .map_err(|e| format!("snapshot rejected: {e}"))
+    });
+    let policy = FailoverPolicy {
+        heartbeat_timeout,
+        promote_on_timeout: true,
+        rounds_before_promote: 1,
+    };
+    let follower = Follower::connect_with_policy(
+        &[proxy.addr()],
+        "bench-robustness",
+        build,
+        Duration::from_millis(500),
+        policy,
+    )
+    .expect("bootstrap through healthy proxy");
+    assert!(follower.engine().is_follower());
+
+    // Wedge the primary's outbound path and start the unavailability clock.
+    proxy.freeze(true);
+    let frozen = Instant::now();
+    let deadline = frozen + Duration::from_secs(30);
+    while !follower.promoted() {
+        assert!(
+            Instant::now() < deadline,
+            "heartbeat detector never promoted the follower"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let promotion_ms = frozen.elapsed().as_secs_f64() * 1e3;
+
+    let served = follower.engine();
+    assert!(!served.is_follower(), "promoted engine must be writable");
+    assert!(served.stats().epoch >= 1, "promotion bumped the epoch");
+    proxy.heal();
+    follower.shutdown();
+    server.shutdown();
+    promotion_ms
+}
+
+fn measure_failover(store: &Arc<GraphStore>, warm: &[Graph], trials: usize) -> FailoverRun {
+    // Heartbeats arrive every ~500ms on an idle subscription; 900ms of
+    // silence means hung (same margin the failover tests use).
+    let heartbeat_timeout = Duration::from_millis(900);
+    let promotion_ms = (0..trials)
+        .map(|_| measure_failover_once(store, warm, heartbeat_timeout))
+        .collect();
+    FailoverRun {
+        heartbeat_timeout,
+        promotion_ms,
+    }
+}
+
+// ----------------------------------------------------------------- catch-up
+
+struct CatchupRun {
+    gap_groups: u64,
+    delta_kib: f64,
+    catchup_ms: f64,
+    live_resume: bool,
+}
+
+impl CatchupRun {
+    fn groups_per_s(&self) -> f64 {
+        self.gap_groups as f64 / (self.catchup_ms / 1e3).max(1e-9)
+    }
+}
+
+/// A follower goes dark, the primary runs `gap` flips past the 256-group
+/// resume ring, and the reconnect drains the whole gap from the primary's
+/// WAL (a `Live` resume — never a snapshot re-ship).
+fn measure_catchup(store: &Arc<GraphStore>, warm: &[Graph], gap: u32) -> CatchupRun {
+    let cfg = durable_config();
+    let mem: Arc<dyn CacheStore> = Arc::new(MemStore::new());
+    let primary = IgqEngine::open(Ggsx::build(store, GgsxConfig::default()), cfg, mem)
+        .expect("durable primary");
+
+    let (checkpoint, feed) = match primary.subscribe_replication(None) {
+        Subscription::Snapshot {
+            checkpoint, feed, ..
+        } => (checkpoint, feed),
+        Subscription::Live { .. } => unreachable!("fresh subscriber gets a snapshot"),
+    };
+    let follower =
+        IgqEngine::open_follower(Ggsx::build(store, GgsxConfig::default()), cfg, &checkpoint)
+            .expect("valid follower");
+    for q in warm {
+        let _ = primary.query(q);
+    }
+    while let Some(d) = feed.try_recv() {
+        follower.apply_replica_delta(&d.bytes).expect("warm apply");
+    }
+    let resume_at = follower.stats().last_applied_seq;
+    drop(feed); // the follower goes dark
+
+    // Distinct singleton labels: every query misses, flips, and appends a
+    // WAL group, pushing the primary far past the in-memory resume ring.
+    for i in 0..gap {
+        let _ = primary.query(&graph_from(&[1_000_000 + i], &[]));
+    }
+
+    let start = Instant::now();
+    let (resumed, live_resume) = match primary.subscribe_replication(Some(resume_at)) {
+        Subscription::Live { feed } => (feed, true),
+        Subscription::Snapshot { feed, .. } => (feed, false),
+    };
+    let mut groups = 0u64;
+    let mut delta_bytes = 0u64;
+    while let Some(d) = resumed.try_recv() {
+        follower
+            .apply_replica_delta(&d.bytes)
+            .expect("catch-up apply");
+        groups += 1;
+        delta_bytes += d.bytes.len() as u64;
+    }
+    let catchup_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        follower.stats().last_applied_seq,
+        primary.stats().last_applied_seq,
+        "caught-up follower mirrors the primary"
+    );
+    CatchupRun {
+        gap_groups: groups,
+        delta_kib: delta_bytes as f64 / 1024.0,
+        catchup_ms,
+        live_resume,
+    }
+}
+
+// --------------------------------------------------------------------- MTTR
+
+struct MttrRun {
+    storm_queries: usize,
+    fault_ppm: u64,
+    io_errors: u64,
+    torn_writes: u64,
+    peak_quarantined: u64,
+    wal_retry_failures: u64,
+    mttr_ms: f64,
+    exact_under_storm: bool,
+}
+
+/// A seeded storage fault storm under a live stream: serving stays exact
+/// (twin-checked), durability degrades typed; heal → time until the
+/// quarantined WAL backlog drains and degraded mode clears.
+fn measure_mttr(store: &Arc<GraphStore>, queries: &[Graph], seed: u64) -> MttrRun {
+    let cfg = durable_config();
+    let mem: Arc<dyn CacheStore> = Arc::new(MemStore::new());
+    let faulty = FaultyStore::new(mem);
+    let engine = IgqEngine::open(
+        Ggsx::build(store, GgsxConfig::default()),
+        cfg,
+        Arc::clone(&faulty) as Arc<dyn CacheStore>,
+    )
+    .expect("open over faulty store");
+    // The fault-free twin is the exactness oracle under the storm.
+    let twin = IgqEngine::new(Ggsx::build(store, GgsxConfig::default()), cfg).expect("twin");
+
+    let fault_p = 0.25;
+    faulty.tear_writes(50);
+    faulty.seed_faults(seed, fault_p);
+    let mut exact = true;
+    let mut peak_quarantined = 0u64;
+    for q in queries {
+        exact &= engine.query(q).answers == twin.query(q).answers;
+        peak_quarantined = peak_quarantined.max(engine.stats().wal_quarantined_groups);
+    }
+    let injected = faulty.injected();
+
+    // Storm passes. Each forced flip gives the quarantine one
+    // backoff-gated retry; the clock runs until degraded clears.
+    faulty.heal();
+    let healed = Instant::now();
+    let deadline = healed + Duration::from_secs(60);
+    let mut probe = 2_000_000u32;
+    loop {
+        let stats = engine.stats();
+        if !stats.degraded {
+            assert_eq!(stats.wal_quarantined_groups, 0, "cleared means drained");
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "degraded mode failed to clear: {:?}",
+            stats.degraded_reason
+        );
+        std::thread::sleep(Duration::from_millis(10));
+        let _ = engine.query(&graph_from(&[probe], &[]));
+        probe += 1;
+    }
+    let mttr_ms = healed.elapsed().as_secs_f64() * 1e3;
+    let stats = engine.stats();
+    engine.checkpoint().expect("checkpoint after storm");
+
+    MttrRun {
+        storm_queries: queries.len(),
+        fault_ppm: (fault_p * 1e6) as u64,
+        io_errors: injected.io_errors,
+        torn_writes: injected.torn_writes,
+        peak_quarantined,
+        wal_retry_failures: stats.wal_retry_failures,
+        mttr_ms,
+        exact_under_storm: exact,
+    }
+}
+
+// ---------------------------------------------------------------------- run
+
+/// Runs the robustness bench and renders `BENCH_robustness.json`.
+pub fn run(opts: &ExpOptions) -> Report {
+    let mut report = Report::new(
+        "BENCH_robustness",
+        "Failure-domain robustness: promotion time, WAL catch-up throughput, MTTR",
+    );
+
+    let (trials, gap, storm_queries) = if opts.smoke {
+        (1, 300u32, 30)
+    } else {
+        (3, 1_000u32, 80)
+    };
+    let (store, queries) = workload(opts, 60, storm_queries.max(24));
+    let warm = &queries[..12.min(queries.len())];
+
+    let failover = measure_failover(&store, warm, trials);
+    let catchup = measure_catchup(&store, warm, gap);
+    let mttr = measure_mttr(&store, &queries[..storm_queries], opts.seed ^ 0xC4A05);
+
+    let mut t = Table::new(["leg", "metric", "value"]);
+    t.row([
+        "failover".to_owned(),
+        format!(
+            "silent hang -> promoted (heartbeat timeout {} ms, {} trial{})",
+            failover.heartbeat_timeout.as_millis(),
+            trials,
+            if trials == 1 { "" } else { "s" }
+        ),
+        format!("{:.0} ms", failover.median_ms()),
+    ]);
+    t.row([
+        "catchup".to_owned(),
+        format!(
+            "out-of-ring WAL replay ({} groups, {:.1} KiB)",
+            catchup.gap_groups, catchup.delta_kib
+        ),
+        format!(
+            "{:.1} ms ({:.0} groups/s)",
+            catchup.catchup_ms,
+            catchup.groups_per_s()
+        ),
+    ]);
+    t.row([
+        "mttr".to_owned(),
+        format!(
+            "heal -> degraded clear ({} I/O errors, {} torn, peak {} quarantined)",
+            mttr.io_errors, mttr.torn_writes, mttr.peak_quarantined
+        ),
+        format!("{:.0} ms", mttr.mttr_ms),
+    ]);
+    for line in t.render() {
+        report.line(line);
+    }
+    report.line(format!(
+        "exact under storm: {} ({} queries at {} ppm fault rate)",
+        mttr.exact_under_storm, mttr.storm_queries, mttr.fault_ppm
+    ));
+
+    report.json = json!({
+        "failover": json!({
+            "heartbeat_timeout_ms": failover.heartbeat_timeout.as_millis() as u64,
+            "trials": trials,
+            "promotion_ms": failover.promotion_ms,
+            "promotion_ms_median": failover.median_ms(),
+        }),
+        "catchup": json!({
+            "gap_groups": catchup.gap_groups,
+            "delta_kib": catchup.delta_kib,
+            "catchup_ms": catchup.catchup_ms,
+            "groups_per_s": catchup.groups_per_s(),
+            "live_resume": catchup.live_resume,
+        }),
+        "mttr": json!({
+            "storm_queries": mttr.storm_queries,
+            "fault_ppm": mttr.fault_ppm,
+            "io_errors": mttr.io_errors,
+            "torn_writes": mttr.torn_writes,
+            "peak_quarantined_groups": mttr.peak_quarantined,
+            "wal_retry_failures": mttr.wal_retry_failures,
+            "mttr_ms": mttr.mttr_ms,
+            "exact_under_storm": mttr.exact_under_storm,
+        }),
+    });
+
+    if opts.smoke {
+        // The measured legs are the assertions: promotion fired (the
+        // per-trial loop already checked writability + epoch), the resume
+        // was live and replayed the whole gap, and the storm degraded then
+        // fully recovered without a single divergent answer.
+        assert!(failover.median_ms() > 0.0);
+        assert!(
+            catchup.live_resume,
+            "out-of-ring resume must replay the WAL"
+        );
+        assert!(
+            catchup.gap_groups >= u64::from(gap),
+            "the whole gap replays ({} < {gap})",
+            catchup.gap_groups
+        );
+        assert!(mttr.io_errors > 0, "the storm must actually fire");
+        assert!(
+            mttr.exact_under_storm,
+            "answers under faults must stay exact"
+        );
+        assert!(mttr.mttr_ms >= 0.0);
+        println!("smoke robustness: PASS");
+    }
+    report
+}

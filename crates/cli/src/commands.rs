@@ -516,6 +516,7 @@ pub fn client(args: &[String]) -> CmdResult {
                 );
             }
         };
+        let mut retries = 0u64;
         if flags.contains_key("batch") {
             match c
                 .query_batch_opts(&graphs, deadline_ms, max_lag)
@@ -528,6 +529,32 @@ pub fn client(args: &[String]) -> CmdResult {
                 }
                 igq_server::BatchVerdict::Overloaded { .. } => overloaded = graphs.len(),
             }
+        } else if flags.contains_key("retry") {
+            // Jittered exponential backoff around sheds and torn
+            // connections; the server's retry_after_ms hint is a floor.
+            let mut rc = igq_server::ReconnectingClient::new(
+                addr.as_str(),
+                "igq-cli-retry",
+                std::time::Duration::from_secs(30),
+                igq_server::RetryPolicy::default(),
+            );
+            for (qid, q) in graphs.iter().enumerate() {
+                match rc
+                    .query_opts(q, deadline_ms, false, max_lag)
+                    .map_err(|e| format!("query {qid} failed: {e}"))?
+                {
+                    igq_server::QueryVerdict::Answered(r) => report(qid, &r),
+                    igq_server::QueryVerdict::Overloaded { retry_after_ms, .. } => {
+                        overloaded += 1;
+                        if verbose {
+                            println!(
+                                "q{qid}: still overloaded after retries ({retry_after_ms}ms hint)"
+                            );
+                        }
+                    }
+                }
+            }
+            retries = rc.retries();
         } else {
             for (qid, q) in graphs.iter().enumerate() {
                 match c
@@ -552,6 +579,9 @@ pub fn client(args: &[String]) -> CmdResult {
             total_tests,
             overloaded
         );
+        if retries > 0 {
+            println!("({retries} retries slept through under backoff)");
+        }
     }
 
     if flags.contains_key("stats") {
@@ -575,6 +605,20 @@ pub fn client(args: &[String]) -> CmdResult {
         println!(
             "        codec: {} WAL bytes appended, {} checkpoint bytes written",
             s.wal_bytes_appended, s.checkpoint_bytes_written
+        );
+        println!(
+            "       health: epoch {}, {}{}",
+            s.epoch,
+            if s.degraded {
+                format!("DEGRADED ({})", s.degraded_reason)
+            } else {
+                "healthy".to_owned()
+            },
+            if s.wal_quarantined_groups > 0 {
+                format!(", {} WAL groups quarantined", s.wal_quarantined_groups)
+            } else {
+                String::new()
+            }
         );
         // Counters from a newer server reach the operator instead of
         // being silently dropped.

@@ -233,6 +233,15 @@ pub trait QueryEngine: Send + Sync {
     fn note_replica_heard(&self, seq: u64) {
         let _ = seq;
     }
+
+    /// Promotes a read-only follower into a writable primary, bumping
+    /// the failover epoch so any delta group the deposed primary still
+    /// emits is fenced (see [`Engine::promote`]). Returns the new
+    /// epoch. Defaults to
+    /// [`ReplicaError::NotFollower`](crate::replicate::ReplicaError::NotFollower).
+    fn promote(&self) -> Result<u64, crate::replicate::ReplicaError> {
+        Err(crate::replicate::ReplicaError::NotFollower)
+    }
 }
 
 impl<D: crate::direction::QueryDirection> QueryEngine for crate::engine::Engine<D> {
@@ -309,6 +318,10 @@ impl<D: crate::direction::QueryDirection> QueryEngine for crate::engine::Engine<
 
     fn note_replica_heard(&self, seq: u64) {
         Engine::note_replica_heard(self, seq)
+    }
+
+    fn promote(&self) -> Result<u64, crate::replicate::ReplicaError> {
+        Engine::promote(self)
     }
 }
 

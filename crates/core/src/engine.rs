@@ -99,9 +99,9 @@ use igq_methods::{
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::VecDeque;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The iGQ engine for subgraph queries: [`Engine`] in the
 /// [`SubgraphQueries`] direction, wrapping any
@@ -227,13 +227,40 @@ struct PersistCtl {
     /// One checkpointer at a time; the auto path skips (try-lock) rather
     /// than queue up behind an in-flight checkpoint.
     checkpoint_lock: Mutex<()>,
-    /// Cleared when a WAL append fails: the on-disk log may end in a
-    /// partial record and is missing at least one flip, so further
-    /// appends would create a mid-log hole recovery must reject.
-    /// Appends stay suspended (dropped loudly) until a checkpoint — which
-    /// rewrites the WAL wholesale and re-covers every flip — succeeds.
-    wal_healthy: std::sync::atomic::AtomicBool,
+    /// Typed degraded mode: set when a WAL append fails. The engine keeps
+    /// serving exactly; the failed flip group (and every later one) is
+    /// **quarantined** in [`PersistCtl::quarantine`] rather than dropped,
+    /// and retried with exponential backoff on subsequent drains. Cleared
+    /// when the quarantine fully replays or a checkpoint — which rewrites
+    /// the WAL wholesale and re-covers every flip — succeeds.
+    degraded: AtomicBool,
+    /// Human-readable cause of the current degraded mode (the first
+    /// failure's error text); empty when healthy. Surfaced through
+    /// [`EngineStats::degraded_reason`].
+    degraded_reason: Mutex<String>,
+    /// Encoded-but-unappended flip groups in flip order: `(seq, bytes)`
+    /// pairs held after an append failure so durability is restored —
+    /// not merely resumed — once the store recovers. All I/O on these
+    /// happens under `wal_lock`, preserving append order.
+    quarantine: Mutex<VecDeque<(u64, Vec<u8>)>>,
+    /// Earliest instant the next quarantine retry may run (exponential
+    /// backoff between failed retries, so a dead disk is not hammered on
+    /// every flip).
+    retry_not_before: Mutex<Option<Instant>>,
+    /// Consecutive failed retry rounds; drives the backoff exponent.
+    retry_strikes: AtomicU64,
+    /// Set when a failed append may have left a partial record at the end
+    /// of the on-disk log: appending more before repairing would turn a
+    /// tolerable torn tail into a mid-log hole recovery must reject. The
+    /// retry path first rewrites the log minus the torn bytes
+    /// ([`persist::compact_wal_with`] at seq 0), then replays the
+    /// quarantine.
+    tail_suspect: AtomicBool,
 }
+
+/// Backoff floor/ceiling between quarantine retry rounds.
+const WAL_RETRY_FLOOR: Duration = Duration::from_millis(50);
+const WAL_RETRY_CEIL: Duration = Duration::from_secs(5);
 
 /// What [`Engine::import_entries`] did with each input entry. Every entry
 /// is accounted for: `admitted + skipped_capacity + skipped_invalid`
@@ -284,8 +311,14 @@ pub struct Engine<D: QueryDirection> {
     /// `true` for a follower ([`Engine::open_follower`]): the engine
     /// replays delta groups from a primary, serves read-only queries
     /// (no window admission), and rejects write-path operations with a
-    /// typed [`ReplicaError`].
-    follower: bool,
+    /// typed [`ReplicaError`]. Atomic because [`Engine::promote`] flips
+    /// it to `false` at failover.
+    follower: AtomicBool,
+    /// Failover epoch: bumped by every [`Engine::promote`], persisted in
+    /// checkpoints and the WAL header, and stamped on every published
+    /// delta group so a deposed primary's stream is fenced
+    /// ([`ReplicaError::EpochFenced`]) instead of silently applied.
+    epoch: AtomicU64,
     /// Canonical-code keyed matching-plan cache, shared by the verify
     /// stage and both index probes. Internally sharded and lock-striped,
     /// so it lives outside the state lock; entries are evicted alongside
@@ -374,7 +407,8 @@ impl<D: QueryDirection> Engine<D> {
             wal_lock: Mutex::new(()),
             persist,
             hub: ReplicationHub::new(),
-            follower,
+            follower: AtomicBool::new(follower),
+            epoch: AtomicU64::new(0),
             plan_cache: PlanCache::new(plan_capacity),
             stats: AtomicEngineStats::default(),
             _direction: PhantomData,
@@ -483,6 +517,14 @@ impl<D: QueryDirection> Engine<D> {
                 });
             }
         }
+        // The failover epoch survives restarts: a promoted-then-restarted
+        // primary must keep fencing its predecessor's stream. Either
+        // artifact may be the newer one (checkpoint cadence vs. WAL
+        // header rewrite), so take the max.
+        let epoch = checkpoint
+            .as_ref()
+            .map_or(0, |d| d.epoch)
+            .max(wal.header.as_ref().map_or(0, |h| h.epoch));
         // Group the records into flip groups (a multi-shard flip appends
         // one record per shard, all carrying the flip's seq). A trailing
         // incomplete group is a torn tail, exactly like a torn final line.
@@ -610,6 +652,7 @@ impl<D: QueryDirection> Engine<D> {
             config_fp,
             dataset_fp,
             shards: n,
+            epoch,
         };
         let kept_refs: Vec<&persist::WalRecord> = kept.iter().collect();
         store.replace_wal(&persist::encode_wal_with(
@@ -662,9 +705,15 @@ impl<D: QueryDirection> Engine<D> {
                 .map(|w| w as u64),
             appends_since_checkpoint: AtomicU64::new(kept_refs.len() as u64),
             checkpoint_lock: Mutex::new(()),
-            wal_healthy: std::sync::atomic::AtomicBool::new(true),
+            degraded: AtomicBool::new(false),
+            degraded_reason: Mutex::new(String::new()),
+            quarantine: Mutex::new(VecDeque::new()),
+            retry_not_before: Mutex::new(None),
+            retry_strikes: AtomicU64::new(0),
+            tail_suspect: AtomicBool::new(false),
         };
         let engine = Self::assemble(method, config, ctl, cells, Some(pctl), false);
+        engine.epoch.store(epoch, Ordering::Relaxed);
         engine.stats.set_recovery_replayed_windows(replayed);
         Ok(engine)
     }
@@ -872,6 +921,9 @@ impl<D: QueryDirection> Engine<D> {
             });
         }
         let router = ShardRouter::new(config.shards);
+        // The follower starts at the primary's failover epoch: older
+        // streams (a deposed primary) are fenced from the first group.
+        let epoch = data.epoch;
         let Restored {
             caches,
             alloc,
@@ -891,6 +943,7 @@ impl<D: QueryDirection> Engine<D> {
             slot_owner,
         };
         let engine = Self::assemble(method, config, ctl, cells, None, true);
+        engine.epoch.store(epoch, Ordering::Relaxed);
         engine.stats.set_last_applied_seq(seq);
         engine.stats.note_replica_heard(seq);
         Ok(engine)
@@ -931,6 +984,15 @@ impl<D: QueryDirection> Engine<D> {
             if let Some(feed) = self.hub.try_resume(after) {
                 return Subscription::Live { feed };
             }
+            // The subscriber is older than the in-memory resume ring. On
+            // a durable primary the missing groups are usually still in
+            // the WAL: replay them from disk and splice them in front of
+            // the live ring, so the follower catches up over the stream
+            // instead of re-transferring a full snapshot.
+            if let Some(feed) = self.wal_backlog_feed(after) {
+                self.stats.count_replica_wal_catchup();
+                return Subscription::Live { feed };
+            }
         }
         // Same discipline as `checkpoint`: sync the maintainers so the
         // snapshot can read feature sets from their published state.
@@ -948,6 +1010,52 @@ impl<D: QueryDirection> Engine<D> {
         }
     }
 
+    /// WAL-backed catch-up (the resume path beyond the in-memory ring):
+    /// reads the attached store's WAL, re-derives the flip groups after
+    /// `after`, and asks the hub to splice them in front of the live
+    /// ring. `None` — meaning the caller must fall back to a snapshot —
+    /// when the engine has no store, the log is degraded (quarantined
+    /// flips are missing from disk), the checkpoint already subsumed a
+    /// needed flip, or the hub cannot prove the splice gap-free.
+    fn wal_backlog_feed(&self, after: u64) -> Option<crate::replicate::ReplicaFeed> {
+        let p = self.persist.as_ref()?;
+        if p.degraded.load(Ordering::Relaxed) {
+            return None;
+        }
+        // Under the WAL lock no appender is concurrently writing, so the
+        // log read here is a clean prefix of the stream; the caller holds
+        // the ctl *read* lock (never a write lock), matching the
+        // `wal_lock` ordering rule.
+        let _appending = self.wal_lock.lock();
+        let wal = persist::parse_wal(&p.store.load_wal().ok()?).ok()?;
+        // A torn tail only drops the final (never-committed) group;
+        // the intact prefix is still a valid backlog source.
+        let (groups, _torn) = persist::split_flip_groups(wal.records).ok()?;
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        let mut backlog = Vec::new();
+        let mut next = after + 1;
+        for group in groups {
+            let seq = group[0].seq;
+            if seq <= after {
+                continue;
+            }
+            if seq != next {
+                // The checkpoint subsumed a flip the subscriber still
+                // needs; only a snapshot can cover it.
+                return None;
+            }
+            next += 1;
+            backlog.push(DeltaGroup {
+                seq,
+                bytes: persist::encode_group_binary(&group, epoch).into(),
+            });
+        }
+        if backlog.is_empty() {
+            return None;
+        }
+        self.hub.attach_with_backlog(after, backlog)
+    }
+
     /// Applies one replicated flip group (the `bytes` of a
     /// [`DeltaGroup`]) to this follower. Groups apply whole-or-not-at-all
     /// in strict seq order: a group at or below the last applied flip is
@@ -959,10 +1067,25 @@ impl<D: QueryDirection> Engine<D> {
     ///
     /// Returns the follower's last applied seq.
     pub fn apply_replica_delta(&self, bytes: &[u8]) -> Result<u64, ReplicaError> {
-        if !self.follower {
+        if !self.follower.load(Ordering::Relaxed) {
             return Err(ReplicaError::NotFollower);
         }
-        let records = persist::decode_group_binary(bytes)?;
+        let (stream_epoch, records) = persist::decode_group_binary(bytes)?;
+        // Seq fencing: a group stamped with an older failover epoch comes
+        // from a deposed primary (this replica promoted, or follows a
+        // promoted one) and must never apply — its flips were not
+        // sequenced by the current primary. A *newer* epoch is the new
+        // primary announcing itself: adopt it.
+        let local = self.epoch.load(Ordering::Relaxed);
+        if stream_epoch < local {
+            return Err(ReplicaError::EpochFenced {
+                stream: stream_epoch,
+                local,
+            });
+        }
+        if stream_epoch > local {
+            self.epoch.store(stream_epoch, Ordering::Relaxed);
+        }
         let n = self.shards.len();
         let seq = records[0].seq;
         if records.len() != n
@@ -977,6 +1100,12 @@ impl<D: QueryDirection> Engine<D> {
         self.stats.note_replica_heard(seq);
         {
             let mut g = self.lock_write();
+            // Re-check under the write view: `promote` flips the flag
+            // while holding it, so a group racing a promotion is rejected
+            // rather than applied to a now-writable primary.
+            if !self.follower.load(Ordering::Relaxed) {
+                return Err(ReplicaError::NotFollower);
+            }
             if seq <= g.ctl.seq {
                 return Ok(g.ctl.seq);
             }
@@ -1104,9 +1233,39 @@ impl<D: QueryDirection> Engine<D> {
     }
 
     /// `true` if this engine is a read-only follower replica
-    /// ([`Engine::open_follower`]).
+    /// ([`Engine::open_follower`]) that has not been
+    /// [`promote`](Engine::promote)d.
     pub fn is_follower(&self) -> bool {
-        self.follower
+        self.follower.load(Ordering::Relaxed)
+    }
+
+    /// Promotes this follower into a writable primary (automatic
+    /// failover). Under the full write view — so no delta group is
+    /// mid-apply and no query mid-enqueue — the read-only flag drops and
+    /// the failover epoch is bumped; from here the engine admits queries,
+    /// flips windows, and publishes delta groups stamped with the new
+    /// epoch, while any straggler group from the deposed primary is
+    /// fenced by [`apply_replica_delta`](Engine::apply_replica_delta) on
+    /// every replica that adopted the new epoch.
+    ///
+    /// Returns the new epoch. [`ReplicaError::NotFollower`] if the engine
+    /// is already a primary (including a second `promote` call).
+    pub fn promote(&self) -> Result<u64, ReplicaError> {
+        let _g = self.lock_write();
+        if !self.follower.load(Ordering::Relaxed) {
+            return Err(ReplicaError::NotFollower);
+        }
+        let epoch = self.epoch.load(Ordering::Relaxed) + 1;
+        self.epoch.store(epoch, Ordering::Relaxed);
+        self.follower.store(false, Ordering::Relaxed);
+        Ok(epoch)
+    }
+
+    /// The current failover epoch: 0 until a promotion happens anywhere
+    /// in the replication tree; bumped by [`promote`](Engine::promote),
+    /// adopted from the stream by followers.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
     }
 
     /// Follower staleness in window flips — the highest flip heard from
@@ -1114,7 +1273,8 @@ impl<D: QueryDirection> Engine<D> {
     /// on a primary. Cheap (two atomic loads): intended for per-request
     /// bounded-staleness admission checks.
     pub fn replication_lag(&self) -> Option<u64> {
-        self.follower.then(|| self.stats.replication_lag_windows())
+        self.is_follower()
+            .then(|| self.stats.replication_lag_windows())
     }
 
     /// Records that the primary's stream has reached `seq` without
@@ -1153,6 +1313,14 @@ impl<D: QueryDirection> Engine<D> {
         stats.plan_cache_hits = plans.hits;
         stats.plan_cache_misses = plans.misses;
         stats.plan_cache_evictions = plans.evictions;
+        stats.epoch = self.epoch.load(Ordering::Relaxed);
+        if let Some(p) = &self.persist {
+            stats.wal_quarantined_groups = p.quarantine.lock().len() as u64;
+            if p.degraded.load(Ordering::Relaxed) {
+                stats.degraded = true;
+                stats.degraded_reason = p.degraded_reason.lock().clone();
+            }
+        }
         for cell in self.shards.iter() {
             if let Some(m) = &cell.maintainer {
                 stats.fold_maintainer(&m.stats());
@@ -1711,7 +1879,8 @@ impl<D: QueryDirection> Engine<D> {
         // A follower's cache changes only by replaying the primary's
         // delta groups: local queries are answered (read-only) but never
         // admitted, or the replica would diverge from the primary.
-        if self.follower {
+        // (Callers hold the write view, so this is promotion-atomic.)
+        if self.follower.load(Ordering::Relaxed) {
             return;
         }
         let sig = GraphSignature::of(q);
@@ -1925,48 +2094,36 @@ impl<D: QueryDirection> Engine<D> {
                 let group = self.wal_outbox.lock().pop_front();
                 let Some(group) = group else { break };
                 if let Some(p) = &self.persist {
-                    // After a failed append the log may end in a partial
-                    // line and is missing a flip: appending *more* records
-                    // would turn a tolerable torn tail into a mid-log hole
-                    // that recovery must reject. Drop (loudly) instead; the
-                    // next successful checkpoint rewrites the WAL and
-                    // restores health. The engine keeps serving exactly
-                    // either way — only durability of the dropped flips is
-                    // lost.
-                    if !p.wal_healthy.load(Ordering::Relaxed) {
-                        eprintln!(
-                            "igq: warning: dropping WAL record for flip {} (log unhealthy \
-                             until the next checkpoint)",
-                            group.first().map_or(0, |r| r.seq)
-                        );
+                    // The whole flip group is one append (and one fsync
+                    // on disk-backed stores): a crash can tear at most
+                    // the final group, which recovery truncates exactly
+                    // like a torn single record.
+                    let mut bytes = Vec::new();
+                    for record in &group {
+                        bytes.extend_from_slice(&persist::encode_wal_record_with(record, p.codec));
+                    }
+                    let seq = group.first().map_or(0, |r| r.seq);
+                    if p.degraded.load(Ordering::Relaxed) {
+                        // Degraded mode: appending past a possibly-torn
+                        // tail would turn it into a mid-log hole recovery
+                        // must reject, and groups must land in flip order
+                        // behind the ones already quarantined. Quarantine
+                        // this group too, then attempt a backoff-gated
+                        // retry of the whole queue.
+                        p.quarantine.lock().push_back((seq, bytes));
+                        self.try_drain_quarantine(p);
                     } else {
-                        // The whole flip group is one append (and one fsync
-                        // on disk-backed stores): a crash can tear at most
-                        // the final group, which recovery truncates exactly
-                        // like a torn single record.
-                        let mut bytes = Vec::new();
-                        for record in &group {
-                            bytes.extend_from_slice(&persist::encode_wal_record_with(
-                                record, p.codec,
-                            ));
-                        }
                         match p.store.append_wal(&bytes) {
                             Ok(()) => {
                                 self.stats.count_wal_append(bytes.len() as u64);
                                 p.appends_since_checkpoint.fetch_add(1, Ordering::Relaxed);
                             }
-                            Err(e) => {
-                                eprintln!(
-                                    "igq: warning: WAL append failed ({e}); suspending WAL \
-                                     appends until a checkpoint succeeds"
-                                );
-                                p.wal_healthy.store(false, Ordering::Relaxed);
-                            }
+                            Err(e) => self.enter_degraded(p, seq, bytes, &e),
                         }
                     }
                 }
                 // Replication tracks the *live* engine, not the disk: the
-                // group is published even when the local WAL is unhealthy
+                // group is published even when the local WAL is degraded
                 // (followers mirror memory; durability is the primary's
                 // own problem). Publication after the append attempt keeps
                 // "what followers saw" always ≤ "what the primary wrote"
@@ -1974,12 +2131,118 @@ impl<D: QueryDirection> Engine<D> {
                 if self.hub.is_active() {
                     self.hub.publish(DeltaGroup {
                         seq: group.first().map_or(0, |r| r.seq),
-                        bytes: persist::encode_group_binary(&group).into(),
+                        bytes: persist::encode_group_binary(
+                            &group,
+                            self.epoch.load(Ordering::Relaxed),
+                        )
+                        .into(),
                     });
                     self.stats.count_replica_group_published();
                 }
             }
         }
+    }
+
+    /// Enters degraded mode after a failed WAL append: the flip group is
+    /// quarantined (not dropped), the reason recorded for
+    /// [`EngineStats::degraded_reason`], and the on-disk tail marked
+    /// suspect. Serving continues exactly; only durability of the
+    /// quarantined flips is deferred until the store recovers or a
+    /// checkpoint re-covers them. Caller holds `wal_lock`.
+    fn enter_degraded(&self, p: &PersistCtl, seq: u64, bytes: Vec<u8>, cause: &PersistError) {
+        eprintln!(
+            "igq: warning: WAL append failed ({cause}); entering degraded mode — \
+             quarantining flip {seq} and retrying with backoff"
+        );
+        *p.degraded_reason.lock() = format!("WAL append failed: {cause}");
+        p.quarantine.lock().push_back((seq, bytes));
+        p.tail_suspect.store(true, Ordering::Relaxed);
+        p.retry_strikes.store(1, Ordering::Relaxed);
+        *p.retry_not_before.lock() = Some(Instant::now() + WAL_RETRY_FLOOR);
+        p.degraded.store(true, Ordering::Relaxed);
+        self.stats.count_wal_retry_failure();
+    }
+
+    /// One backoff-gated retry round over the quarantine: repair the
+    /// (possibly torn) on-disk tail first, then replay quarantined groups
+    /// in flip order. Clears degraded mode when the queue fully drains; a
+    /// failure anywhere re-arms the backoff and leaves the rest queued.
+    /// Caller holds `wal_lock`.
+    fn try_drain_quarantine(&self, p: &PersistCtl) {
+        if !p.degraded.load(Ordering::Relaxed) {
+            return;
+        }
+        {
+            let not_before = p.retry_not_before.lock();
+            if let Some(t) = *not_before {
+                if Instant::now() < t {
+                    return;
+                }
+            }
+        }
+        let fail = |e: &PersistError| {
+            let strikes = p.retry_strikes.fetch_add(1, Ordering::Relaxed);
+            let backoff = WAL_RETRY_FLOOR
+                .saturating_mul(1u32 << strikes.min(10) as u32)
+                .min(WAL_RETRY_CEIL);
+            *p.retry_not_before.lock() = Some(Instant::now() + backoff);
+            *p.degraded_reason.lock() = format!("WAL retry failed: {e}");
+            self.stats.count_wal_retry_failure();
+        };
+        // Tail repair: a failed append may have left a partial record at
+        // the end of the log. Rewriting the log minus the torn bytes
+        // (compaction at seq 0 keeps every intact record) restores a
+        // clean append point before any quarantined group lands.
+        if p.tail_suspect.load(Ordering::Relaxed) {
+            let repaired = (|| -> Result<(), PersistError> {
+                let header = persist::WalHeader {
+                    config_fp: p.config_fp,
+                    dataset_fp: p.dataset_fp,
+                    shards: self.config.shards,
+                    epoch: self.epoch.load(Ordering::Relaxed),
+                };
+                let (compacted, _) =
+                    persist::compact_wal_with(&p.store.load_wal()?, 0, &header, p.codec);
+                p.store.replace_wal(&compacted)?;
+                Ok(())
+            })();
+            match repaired {
+                Ok(()) => p.tail_suspect.store(false, Ordering::Relaxed),
+                Err(e) => {
+                    fail(&e);
+                    return;
+                }
+            }
+        }
+        loop {
+            let front = p.quarantine.lock().front().cloned();
+            let Some((_seq, bytes)) = front else { break };
+            match p.store.append_wal(&bytes) {
+                Ok(()) => {
+                    self.stats.count_wal_append(bytes.len() as u64);
+                    p.appends_since_checkpoint.fetch_add(1, Ordering::Relaxed);
+                    p.quarantine.lock().pop_front();
+                }
+                Err(e) => {
+                    // This retry itself may have torn the tail.
+                    p.tail_suspect.store(true, Ordering::Relaxed);
+                    fail(&e);
+                    return;
+                }
+            }
+        }
+        self.clear_degraded(p);
+        eprintln!("igq: info: degraded mode cleared — quarantined WAL flips replayed");
+    }
+
+    /// Leaves degraded mode: quarantine empty (drained or subsumed by a
+    /// checkpoint), log healthy.
+    fn clear_degraded(&self, p: &PersistCtl) {
+        p.degraded.store(false, Ordering::Relaxed);
+        *p.degraded_reason.lock() = String::new();
+        *p.retry_not_before.lock() = None;
+        p.retry_strikes.store(0, Ordering::Relaxed);
+        p.tail_suspect.store(false, Ordering::Relaxed);
     }
 
     /// Forces maintenance regardless of window fill (used by harnesses at
@@ -2053,11 +2316,53 @@ impl<D: QueryDirection> Engine<D> {
                 config_fp: p.config_fp,
                 dataset_fp: p.dataset_fp,
                 shards: self.config.shards,
+                epoch: self.epoch.load(Ordering::Relaxed),
             };
             let (compacted, kept) =
                 persist::compact_wal_with(&p.store.load_wal()?, seq, &header, p.codec);
             p.store.replace_wal(&compacted)?;
-            p.wal_healthy.store(true, Ordering::Relaxed);
+            // The rewrite healed any torn tail, and every quarantined
+            // flip at or below the checkpoint seq is covered by the
+            // snapshot just written; later ones re-append onto the
+            // freshly compacted log (still under the WAL lock, so order
+            // holds). Degraded mode clears unless a re-append fails.
+            {
+                let mut q = p.quarantine.lock();
+                while q.front().is_some_and(|(gseq, _)| *gseq <= seq) {
+                    q.pop_front();
+                }
+            }
+            p.tail_suspect.store(false, Ordering::Relaxed);
+            let mut kept = kept;
+            loop {
+                let front = p.quarantine.lock().front().cloned();
+                let Some((_gseq, bytes)) = front else {
+                    if p.degraded.load(Ordering::Relaxed) {
+                        self.clear_degraded(p);
+                        eprintln!(
+                            "igq: info: degraded mode cleared — checkpoint re-covered the \
+                             quarantined WAL flips"
+                        );
+                    }
+                    break;
+                };
+                match p.store.append_wal(&bytes) {
+                    Ok(()) => {
+                        self.stats.count_wal_append(bytes.len() as u64);
+                        p.quarantine.lock().pop_front();
+                        kept += 1;
+                    }
+                    Err(e) => {
+                        // Store still faulty: the checkpoint itself
+                        // succeeded, so durability is current up to `seq`;
+                        // the rest stays quarantined for the next retry.
+                        p.tail_suspect.store(true, Ordering::Relaxed);
+                        *p.degraded_reason.lock() = format!("WAL retry failed: {e}");
+                        self.stats.count_wal_retry_failure();
+                        break;
+                    }
+                }
+            }
             kept
         };
         p.appends_since_checkpoint
@@ -2076,9 +2381,9 @@ impl<D: QueryDirection> Engine<D> {
         let Some(every) = p.checkpoint_every else {
             return;
         };
-        // An unhealthy WAL (failed append) checkpoints immediately — the
-        // rewrite is what restores durability.
-        if p.wal_healthy.load(Ordering::Relaxed)
+        // A degraded WAL (quarantined flips) checkpoints immediately —
+        // the wholesale rewrite is the fastest path back to durability.
+        if !p.degraded.load(Ordering::Relaxed)
             && p.appends_since_checkpoint.load(Ordering::Relaxed) < every
         {
             return;
@@ -2149,6 +2454,7 @@ impl<D: QueryDirection> Engine<D> {
             seq: g.ctl.seq,
             config_fp,
             dataset_fp,
+            epoch: self.epoch.load(Ordering::Relaxed),
             shards: self.config.shards,
             labels: g.ctl.cost_model.label_universe(),
             round,
@@ -2214,7 +2520,7 @@ impl<D: QueryDirection> Engine<D> {
         &self,
         entries: Vec<(Graph, Vec<GraphId>)>,
     ) -> Result<ImportReport, ReplicaError> {
-        if self.follower {
+        if self.is_follower() {
             return Err(ReplicaError::ReadOnly("import_entries"));
         }
         let n = D::store(&self.method).len() as u32;

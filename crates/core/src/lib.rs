@@ -103,6 +103,7 @@ pub mod cache;
 pub mod config;
 pub mod direction;
 pub mod engine;
+pub mod fault;
 pub mod isub;
 pub mod isuper;
 pub mod maintain;
@@ -125,6 +126,7 @@ pub use config::{
 };
 pub use direction::{QueryDirection, SubgraphQueries, SupergraphQueries};
 pub use engine::{Engine, IgqEngine, ImportReport};
+pub use fault::{FaultOp, FaultStats, FaultyStore};
 pub use isub::{IndexSnapshot, IsubIndex};
 pub use isuper::IsuperIndex;
 pub use metadata::GraphMeta;

@@ -549,6 +549,11 @@ pub(crate) struct CheckpointData {
     /// State shard count of the writing engine. `1` (the pre-sharding
     /// default, omitted from the encoding) means a single partition.
     pub shards: usize,
+    /// Failover epoch of the writing engine: bumped on every follower
+    /// promotion so a stale primary's stream is fenced. `0` (the
+    /// pre-failover default, omitted from the encoding) means the engine
+    /// was never promoted.
+    pub epoch: u64,
 }
 
 /// One WAL record: everything a window flip changed *within one shard*.
@@ -587,6 +592,9 @@ pub(crate) struct WalHeader {
     /// State shard count of the writing engine (`1`, omitted from the
     /// encoding, for unsharded engines).
     pub shards: usize,
+    /// Failover epoch of the writing engine (`0`, omitted from the
+    /// encoding, for never-promoted engines).
+    pub epoch: u64,
 }
 
 /// The outcome of parsing a WAL byte stream.
@@ -627,6 +635,17 @@ fn opt_usize_field(v: &Value, name: &str, default: usize) -> Result<usize, Persi
     match v.get(name) {
         None => Ok(default),
         Some(f) => f.as_u64().map(|u| u as usize).ok_or_else(|| {
+            PersistError::Corrupt(format!("field {name:?} is not an unsigned integer"))
+        }),
+    }
+}
+
+/// A presence-optional `u64` field: `default` when absent (pre-failover
+/// encodings omit the epoch entirely).
+fn opt_u64_field(v: &Value, name: &str, default: u64) -> Result<u64, PersistError> {
+    match v.get(name) {
+        None => Ok(default),
+        Some(f) => f.as_u64().ok_or_else(|| {
             PersistError::Corrupt(format!("field {name:?} is not an unsigned integer"))
         }),
     }
@@ -979,11 +998,15 @@ pub(crate) fn encode_checkpoint(data: &CheckpointData) -> Vec<u8> {
         "entries": Value::Array(data.entries.iter().map(entry_to_json).collect()),
         "window": Value::Array(data.window.iter().map(window_entry_to_json).collect()),
     });
-    // Presence-optional: unsharded checkpoints stay byte-identical to the
-    // pre-sharding format (and older checkpoints decode as `shards == 1`).
-    if data.shards > 1 {
-        if let Value::Object(map) = &mut payload {
+    // Presence-optional: unsharded, never-promoted checkpoints stay
+    // byte-identical to the pre-sharding/pre-failover formats (and older
+    // checkpoints decode as `shards == 1`, `epoch == 0`).
+    if let Value::Object(map) = &mut payload {
+        if data.shards > 1 {
             map.insert("shards".into(), (data.shards as u64).to_json());
+        }
+        if data.epoch > 0 {
+            map.insert("epoch".into(), data.epoch.to_json());
         }
     }
     let body = serde_json::to_string(&payload).expect("checkpoint serializes");
@@ -1067,6 +1090,7 @@ pub(crate) fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointData, PersistE
         entries,
         window,
         shards: opt_usize_field(&v, "shards", 1)?,
+        epoch: opt_u64_field(&v, "epoch", 0)?,
     })
 }
 
@@ -1091,9 +1115,12 @@ pub(crate) fn encode_wal_header(h: &WalHeader) -> Vec<u8> {
         "config_fp": h.config_fp,
         "dataset_fp": h.dataset_fp,
     });
-    if h.shards > 1 {
-        if let Value::Object(map) = &mut payload {
+    if let Value::Object(map) = &mut payload {
+        if h.shards > 1 {
             map.insert("shards".into(), (h.shards as u64).to_json());
+        }
+        if h.epoch > 0 {
+            map.insert("epoch".into(), h.epoch.to_json());
         }
     }
     let body = serde_json::to_string(&payload).expect("wal header serializes");
@@ -1225,6 +1252,7 @@ pub(crate) fn parse_wal(bytes: &[u8]) -> Result<WalParse, PersistError> {
                     config_fp: u64_field(&v, "config_fp")?,
                     dataset_fp: u64_field(&v, "dataset_fp")?,
                     shards: opt_usize_field(&v, "shards", 1)?,
+                    epoch: opt_u64_field(&v, "epoch", 0)?,
                 });
             }
             Ok(('R', v)) => {
@@ -1777,6 +1805,12 @@ fn encode_checkpoint_binary(data: &CheckpointData) -> Vec<u8> {
     for w in &data.window {
         window_entry_to_bin(&mut p, w);
     }
+    // Trailing, presence-optional: never-promoted checkpoints stay
+    // byte-identical to the pre-failover format, and pre-failover
+    // artifacts (no trailing bytes) decode as epoch 0.
+    if data.epoch > 0 {
+        put_varint(&mut p, data.epoch);
+    }
     let mut out = Vec::with_capacity(24 + p.len());
     out.extend_from_slice(BCKPT_MAGIC);
     put_u64_le(&mut out, fnv1a64(&p));
@@ -1831,6 +1865,8 @@ fn decode_checkpoint_binary(bytes: &[u8]) -> Result<CheckpointData, PersistError
         for _ in 0..nwindow {
             window.push(window_entry_from_bin(&mut r)?);
         }
+        // Optional trailing epoch (absent in pre-failover artifacts).
+        let epoch = if r.remaining() > 0 { r.varint()? } else { 0 };
         if r.remaining() != 0 {
             return Err(format!("{} trailing bytes", r.remaining()));
         }
@@ -1845,6 +1881,7 @@ fn decode_checkpoint_binary(bytes: &[u8]) -> Result<CheckpointData, PersistError
             entries,
             window,
             shards,
+            epoch,
         })
     };
     go().map_err(|m| match m.strip_prefix("@version:") {
@@ -1876,6 +1913,10 @@ fn encode_wal_header_binary(h: &WalHeader) -> Vec<u8> {
     put_u64_le(&mut p, h.config_fp);
     put_u64_le(&mut p, h.dataset_fp);
     put_varint(&mut p, h.shards as u64);
+    // Trailing, presence-optional (see the checkpoint's epoch note).
+    if h.epoch > 0 {
+        put_varint(&mut p, h.epoch);
+    }
     let mut out = BWAL_MAGIC.to_vec();
     out.extend_from_slice(&frame_bin(b'H', &p));
     out
@@ -1909,6 +1950,12 @@ fn wal_header_from_bin(payload: &[u8]) -> Result<WalHeader, PersistError> {
             config_fp: r.u64_le()?,
             dataset_fp: r.u64_le()?,
             shards: r.varint()? as usize,
+            epoch: 0,
+        };
+        // Optional trailing epoch (absent in pre-failover artifacts).
+        let h = WalHeader {
+            epoch: if r.remaining() > 0 { r.varint()? } else { 0 },
+            ..h
         };
         if r.remaining() != 0 {
             return Err(format!("{} trailing header bytes", r.remaining()));
@@ -2149,19 +2196,33 @@ pub(crate) fn compact_wal_with(
 // a single record applies — the remote analogue of "a torn tail drops the
 // whole flip group".
 
-/// Encodes one flip group for the replication stream.
-pub(crate) fn encode_group_binary(records: &[WalRecord]) -> Vec<u8> {
+/// Encodes one flip group for the replication stream. A non-zero
+/// `epoch` (the primary has been promoted at least once) leads the group
+/// as an `E` frame — the group header followers fence stale primaries
+/// by; epoch-0 groups stay byte-identical to the pre-failover stream
+/// (and to the WAL's `R` frames).
+pub(crate) fn encode_group_binary(records: &[WalRecord], epoch: u64) -> Vec<u8> {
     let mut out = Vec::new();
+    if epoch > 0 {
+        let mut p = Vec::with_capacity(4);
+        put_varint(&mut p, epoch);
+        out.extend_from_slice(&frame_bin(b'E', &p));
+    }
     for r in records {
         out.extend_from_slice(&encode_wal_record_binary(r));
     }
     out
 }
 
-/// Decodes a replication delta group (binary `R` frames, strict).
-pub(crate) fn decode_group_binary(bytes: &[u8]) -> Result<Vec<WalRecord>, PersistError> {
+/// Decodes a replication delta group: an optional leading `E` (epoch)
+/// frame, then binary `R` frames, strict. Returns the stream epoch (`0`
+/// when the `E` frame is absent — a never-promoted primary) alongside
+/// the records.
+pub(crate) fn decode_group_binary(bytes: &[u8]) -> Result<(u64, Vec<WalRecord>), PersistError> {
+    let mut epoch = 0u64;
     let mut records = Vec::new();
     let mut pos = 0usize;
+    let mut index = 0usize;
     while pos < bytes.len() {
         let rem = bytes.len() - pos;
         if rem < BFRAME_HEADER {
@@ -2170,7 +2231,7 @@ pub(crate) fn decode_group_binary(bytes: &[u8]) -> Result<Vec<WalRecord>, Persis
             ));
         }
         let tag = bytes[pos];
-        if tag != b'R' {
+        if tag != b'R' && !(tag == b'E' && index == 0) {
             return Err(PersistError::Corrupt(format!(
                 "unexpected delta-group frame tag {tag:#04x}"
             )));
@@ -2188,16 +2249,29 @@ pub(crate) fn decode_group_binary(bytes: &[u8]) -> Result<Vec<WalRecord>, Persis
         if found != expected {
             return Err(PersistError::Checksum { expected, found });
         }
-        records.push(
-            record_from_bin(payload)
-                .map_err(|m| PersistError::Corrupt(format!("delta-group record: {m}")))?,
-        );
+        if tag == b'E' {
+            let mut r = Reader::new(payload);
+            epoch = r
+                .varint()
+                .map_err(|m| PersistError::Corrupt(format!("delta-group epoch: {m}")))?;
+            if r.remaining() != 0 {
+                return Err(PersistError::Corrupt(
+                    "delta-group epoch frame has trailing bytes".into(),
+                ));
+            }
+        } else {
+            records.push(
+                record_from_bin(payload)
+                    .map_err(|m| PersistError::Corrupt(format!("delta-group record: {m}")))?,
+            );
+        }
         pos = start + len;
+        index += 1;
     }
     if records.is_empty() {
         return Err(PersistError::Corrupt("empty delta group".into()));
     }
-    Ok(records)
+    Ok((epoch, records))
 }
 
 #[cfg(test)]
@@ -2253,6 +2327,7 @@ mod tests {
                 code: Some(None),
             }],
             shards: 1,
+            epoch: 0,
         }
     }
 
@@ -2348,6 +2423,7 @@ mod tests {
             config_fp: 1,
             dataset_fp: 2,
             shards: 1,
+            epoch: 0,
         };
         let mut bytes = encode_wal_header(&header);
         bytes.extend_from_slice(&encode_wal_record(&wal_record(1)));
@@ -2388,6 +2464,7 @@ mod tests {
             config_fp: 1,
             dataset_fp: 2,
             shards: 1,
+            epoch: 0,
         };
         let line = encode_wal_record(&wal_record(3));
         let text = String::from_utf8(line.clone()).unwrap();
@@ -2408,6 +2485,7 @@ mod tests {
             config_fp: 1,
             dataset_fp: 2,
             shards: 4,
+            epoch: 0,
         };
         let mut a = wal_record(5);
         a.shard = 2;
@@ -2480,6 +2558,7 @@ mod tests {
             config_fp: 5,
             dataset_fp: 6,
             shards: 1,
+            epoch: 0,
         };
         let (r1, r2) = (wal_record(1), wal_record(2));
         let bytes = encode_wal(&header, &[&r1, &r2]);
@@ -2496,6 +2575,7 @@ mod tests {
             config_fp: 9,
             dataset_fp: 10,
             shards: 1,
+            epoch: 0,
         };
         let mut bytes = encode_wal_header(&header);
         for seq in 1..=4 {
@@ -2720,6 +2800,7 @@ mod tests {
             config_fp: 1,
             dataset_fp: 2,
             shards: 1,
+            epoch: 0,
         };
         let mut a = wal_record(1);
         a.shard = 0;
@@ -2771,6 +2852,7 @@ mod tests {
             config_fp: 1,
             dataset_fp: 2,
             shards: 4,
+            epoch: 0,
         };
         let mut a = wal_record(5);
         a.shard = 2;
@@ -2796,6 +2878,7 @@ mod tests {
             config_fp: 9,
             dataset_fp: 10,
             shards: 1,
+            epoch: 0,
         };
         let mut bytes = encode_wal_with(&header, &[], StoreCodec::Binary);
         for seq in 1..=4 {
@@ -2826,6 +2909,7 @@ mod tests {
             config_fp: 3,
             dataset_fp: 4,
             shards: 1,
+            epoch: 0,
         };
         // A JSON-text WAL compacted under the binary codec (the
         // migration path the first post-upgrade checkpoint takes when a
@@ -2853,8 +2937,9 @@ mod tests {
         b.shard = 1;
         b.group = 2;
         b.evicted = vec![0];
-        let bytes = encode_group_binary(&[a.clone(), b.clone()]);
-        let back = decode_group_binary(&bytes).expect("round-trips");
+        let bytes = encode_group_binary(&[a.clone(), b.clone()], 0);
+        let (epoch, back) = decode_group_binary(&bytes).expect("round-trips");
+        assert_eq!(epoch, 0, "no E frame decodes as epoch 0");
         assert_eq!(back.len(), 2);
         assert_eq!((back[0].seq, back[0].shard, back[0].group), (9, 0, 2));
         assert_eq!((back[1].seq, back[1].shard, back[1].group), (9, 1, 2));
@@ -2879,5 +2964,73 @@ mod tests {
             decode_group_binary(&[]),
             Err(PersistError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn delta_group_epoch_frame_roundtrips() {
+        let r = wal_record(3);
+        // A promoted primary's group leads with the E frame...
+        let bytes = encode_group_binary(std::slice::from_ref(&r), 7);
+        let (epoch, back) = decode_group_binary(&bytes).expect("round-trips");
+        assert_eq!(epoch, 7);
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].seq, 3);
+        // ...an epoch-0 group carries no E frame (pre-failover bytes)...
+        let plain = encode_group_binary(std::slice::from_ref(&r), 0);
+        assert!(bytes.len() > plain.len());
+        assert_eq!(plain[0], b'R');
+        // ...an E frame anywhere but first is rejected...
+        let e_frame = &bytes[..bytes.len() - plain.len()];
+        let mut swapped = plain.clone();
+        swapped.extend_from_slice(e_frame);
+        assert!(matches!(
+            decode_group_binary(&swapped),
+            Err(PersistError::Corrupt(_))
+        ));
+        // ...and a lone E frame is an empty group.
+        assert!(matches!(
+            decode_group_binary(e_frame),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn epoch_is_presence_optional_in_both_codecs() {
+        let mut data = checkpoint_data();
+        // Epoch 0 stays byte-identical to the pre-failover encodings.
+        data.epoch = 0;
+        for codec in [StoreCodec::Json, StoreCodec::Binary] {
+            let bytes = encode_checkpoint_with(&data, codec);
+            assert_eq!(decode_checkpoint(&bytes).expect("decodes").epoch, 0);
+        }
+        assert!(!String::from_utf8_lossy(&encode_checkpoint(&data)).contains("epoch"));
+        // A promoted engine's epoch survives both codecs.
+        data.epoch = 5;
+        for codec in [StoreCodec::Json, StoreCodec::Binary] {
+            let bytes = encode_checkpoint_with(&data, codec);
+            assert_eq!(decode_checkpoint(&bytes).expect("decodes").epoch, 5);
+        }
+        // Same for the WAL header.
+        let header = WalHeader {
+            config_fp: 1,
+            dataset_fp: 2,
+            shards: 1,
+            epoch: 9,
+        };
+        for codec in [StoreCodec::Json, StoreCodec::Binary] {
+            let bytes = encode_wal_with(&header, &[&wal_record(1)], codec);
+            let parsed = parse_wal(&bytes).expect("parses");
+            assert_eq!(parsed.header.expect("header").epoch, 9);
+            // Compaction preserves the epoch through the fresh header.
+            let (compacted, _) = compact_wal_with(&bytes, 0, &header, codec);
+            assert_eq!(
+                parse_wal(&compacted)
+                    .expect("parses")
+                    .header
+                    .expect("header")
+                    .epoch,
+                9
+            );
+        }
     }
 }

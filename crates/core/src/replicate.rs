@@ -88,6 +88,16 @@ pub enum ReplicaError {
     /// The delta group or snapshot failed to decode or validate; the
     /// follower state is unchanged (groups apply whole or not at all).
     Corrupt(String),
+    /// The delta group carries an older failover epoch than the engine:
+    /// its sender is a deposed primary (a follower was promoted past it)
+    /// and its flips must not be applied. The stream should be dropped —
+    /// resubscribing to the stale sender cannot help.
+    EpochFenced {
+        /// Epoch the rejected group was stamped with.
+        stream: u64,
+        /// The engine's current epoch.
+        local: u64,
+    },
 }
 
 impl std::fmt::Display for ReplicaError {
@@ -104,6 +114,11 @@ impl std::fmt::Display for ReplicaError {
                 "replication stream gap: expected flip {expected}, found {found}"
             ),
             ReplicaError::Corrupt(why) => write!(f, "replication payload corrupt: {why}"),
+            ReplicaError::EpochFenced { stream, local } => write!(
+                f,
+                "replication stream fenced: group epoch {stream} is older than local epoch \
+                 {local} (sender is a deposed primary)"
+            ),
         }
     }
 }
@@ -279,6 +294,43 @@ impl ReplicationHub {
         attach(&mut self.inner.lock(), after)
     }
 
+    /// Attaches a resuming follower whose gap the ring no longer covers,
+    /// splicing a caller-supplied backlog (flip groups `after + 1 ..`,
+    /// re-encoded from the primary's WAL) in front of the ring. Succeeds
+    /// only when the backlog's end connects to the ring — its last seq is
+    /// the newest published flip, or the ring still holds the next one —
+    /// so the spliced stream is provably gap-free; `None` sends the
+    /// caller to the snapshot path. Splice and registration are atomic
+    /// under the hub lock, so no group is missed or duplicated around the
+    /// seam.
+    pub(crate) fn attach_with_backlog(
+        &self,
+        after: u64,
+        backlog: Vec<DeltaGroup>,
+    ) -> Option<ReplicaFeed> {
+        let mut inner = self.inner.lock();
+        let backlog_last = backlog.last().map(|g| g.seq).unwrap_or(after);
+        let covered = backlog_last == inner.last
+            || (backlog_last < inner.last
+                && inner
+                    .ring
+                    .front()
+                    .is_some_and(|g| g.seq <= backlog_last + 1));
+        if !covered {
+            return None;
+        }
+        let (tx, rx) = channel::unbounded();
+        for g in backlog.into_iter().filter(|g| g.seq > after) {
+            // Sending to our own fresh channel cannot fail.
+            let _ = tx.send(g);
+        }
+        for g in inner.ring.iter().filter(|g| g.seq > backlog_last) {
+            let _ = tx.send(g.clone());
+        }
+        inner.subs.push(tx);
+        Some(ReplicaFeed { rx })
+    }
+
     /// Live subscriber count (post-prune accuracy is best-effort: dead
     /// feeds are only pruned on publish).
     #[cfg(test)]
@@ -382,6 +434,33 @@ mod tests {
     }
 
     #[test]
+    fn backlog_splice_is_gap_free_or_refused() {
+        let hub = ReplicationHub::new();
+        hub.activate(0);
+        for s in 1..=(REPLICATION_RING_GROUPS as u64 + 10) {
+            hub.publish(group(s));
+        }
+        // Ring holds 11..=266; a follower at 4 splices a WAL backlog
+        // 5..=12 that overlaps the ring seam.
+        let backlog: Vec<DeltaGroup> = (5..=12).map(group).collect();
+        let feed = hub.attach_with_backlog(4, backlog).expect("splices");
+        let got: Vec<u64> = std::iter::from_fn(|| feed.try_recv().map(|g| g.seq)).collect();
+        let want: Vec<u64> = (5..=(REPLICATION_RING_GROUPS as u64 + 10)).collect();
+        assert_eq!(got, want, "backlog + ring, exactly once each");
+        hub.publish(group(REPLICATION_RING_GROUPS as u64 + 11));
+        assert_eq!(
+            feed.try_recv().map(|g| g.seq),
+            Some(REPLICATION_RING_GROUPS as u64 + 11)
+        );
+
+        // A backlog that stops short of the ring leaves a gap: refused.
+        let short: Vec<DeltaGroup> = (5..=8).map(group).collect();
+        assert!(hub.attach_with_backlog(4, short).is_none());
+        // An empty backlog degenerates to try_resume semantics.
+        assert!(hub.attach_with_backlog(4, Vec::new()).is_none());
+    }
+
+    #[test]
     fn errors_display_their_shape() {
         let gap = ReplicaError::SeqGap {
             expected: 4,
@@ -395,5 +474,11 @@ mod tests {
         assert!(ReplicaError::ReadOnly("import_entries")
             .to_string()
             .contains("import_entries"));
+        let fenced = ReplicaError::EpochFenced {
+            stream: 1,
+            local: 2,
+        };
+        assert!(fenced.to_string().contains("epoch 1"));
+        assert!(fenced.to_string().contains("local epoch 2"));
     }
 }

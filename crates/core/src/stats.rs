@@ -94,6 +94,30 @@ pub struct EngineStats {
     /// recover this engine — the delta tail between the last checkpoint
     /// and the crash/shutdown point. Zero for cold starts.
     pub recovery_replayed_windows: u64,
+    /// Resuming followers served from the primary's on-disk WAL because
+    /// their gap had fallen out of the in-memory resume ring — each one
+    /// is a full snapshot bootstrap avoided.
+    pub replica_wal_catchups: u64,
+    /// The engine's failover epoch: bumped by every
+    /// [`promote`](crate::api::QueryEngine::promote), carried in the
+    /// replication group header so a deposed primary's stream is fenced.
+    /// A gauge.
+    pub epoch: u64,
+    /// `true` while the engine serves in degraded mode: the attached
+    /// store is failing writes, so WAL flip groups are quarantined in
+    /// memory (and retried with backoff) instead of persisted. Serving
+    /// and answer exactness are unaffected; durability of the
+    /// quarantined flips is deferred until the store heals.
+    pub degraded: bool,
+    /// Why the engine degraded (the store's last write error), empty
+    /// when healthy.
+    pub degraded_reason: String,
+    /// Encoded flip groups currently quarantined in memory awaiting a
+    /// store retry. A gauge; zero when healthy.
+    pub wal_quarantined_groups: u64,
+    /// Quarantine flush attempts that re-failed (the store was still
+    /// unhealthy at retry time).
+    pub wal_retry_failures: u64,
     /// Query path-feature extractions performed by the engine. On the
     /// filter+probe path this is exactly one per query: the same
     /// `PathFeatures` is shared by the base method's filter and both
@@ -219,6 +243,20 @@ impl EngineStats {
         self.replica_groups_applied += other.replica_groups_applied;
         self.replica_bytes_applied += other.replica_bytes_applied;
         self.recovery_replayed_windows += other.recovery_replayed_windows;
+        self.replica_wal_catchups += other.replica_wal_catchups;
+        // Failover/degradation gauges: the fleet view reports the newest
+        // epoch anyone has adopted, and is degraded if any member is
+        // (first non-empty reason wins — one member's story is better
+        // than none).
+        self.epoch = self.epoch.max(other.epoch);
+        if other.degraded && !self.degraded {
+            self.degraded = true;
+        }
+        if self.degraded_reason.is_empty() && !other.degraded_reason.is_empty() {
+            self.degraded_reason = other.degraded_reason.clone();
+        }
+        self.wal_quarantined_groups += other.wal_quarantined_groups;
+        self.wal_retry_failures += other.wal_retry_failures;
         self.feature_extractions += other.feature_extractions;
         self.plan_builds += other.plan_builds;
         self.scratch_allocs += other.scratch_allocs;
@@ -310,6 +348,8 @@ pub(crate) struct AtomicEngineStats {
     replica_groups_applied: AtomicU64,
     replica_bytes_applied: AtomicU64,
     recovery_replayed_windows: AtomicU64,
+    replica_wal_catchups: AtomicU64,
+    wal_retry_failures: AtomicU64,
     feature_extractions: AtomicU64,
     plan_builds: AtomicU64,
     scratch_allocs: AtomicU64,
@@ -471,6 +511,18 @@ impl AtomicEngineStats {
             .store(windows, Ordering::Relaxed);
     }
 
+    /// Counts one resuming follower served from the on-disk WAL instead
+    /// of a snapshot re-bootstrap.
+    pub(crate) fn count_replica_wal_catchup(&self) {
+        self.replica_wal_catchups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one quarantine flush attempt that re-failed (the store was
+    /// still unhealthy).
+    pub(crate) fn count_wal_retry_failure(&self) {
+        self.wal_retry_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// An owned [`EngineStats`] snapshot of the current totals.
     pub(crate) fn snapshot(&self) -> EngineStats {
         const R: Ordering = Ordering::Relaxed;
@@ -504,6 +556,15 @@ impl AtomicEngineStats {
             replica_groups_applied: self.replica_groups_applied.load(R),
             replica_bytes_applied: self.replica_bytes_applied.load(R),
             recovery_replayed_windows: self.recovery_replayed_windows.load(R),
+            replica_wal_catchups: self.replica_wal_catchups.load(R),
+            // Failover/degradation gauges live outside the atomic ledger
+            // (engine epoch atomic, persist-layer quarantine) and are
+            // overlaid by `Engine::stats`.
+            epoch: 0,
+            degraded: false,
+            degraded_reason: String::new(),
+            wal_quarantined_groups: 0,
+            wal_retry_failures: self.wal_retry_failures.load(R),
             feature_extractions: self.feature_extractions.load(R),
             plan_builds: self.plan_builds.load(R),
             scratch_allocs: self.scratch_allocs.load(R),

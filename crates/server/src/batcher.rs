@@ -42,22 +42,41 @@ struct Job {
 pub struct Batcher {
     submit: Option<Sender<Job>>,
     collector: Option<JoinHandle<()>>,
+    /// Fallback when the collector thread could not spawn (resource
+    /// exhaustion): serve each request directly, unbatched, rather than
+    /// refuse connections or panic the accept path.
+    direct: Option<Arc<dyn QueryEngine>>,
 }
 
 impl Batcher {
     /// Starts the collector thread. `window` is the maximum time the first
     /// request of a batch waits for company; `max_batch` caps how many
-    /// requests one engine call may carry.
+    /// requests one engine call may carry. If the collector thread cannot
+    /// spawn, the batcher degrades to direct (unbatched) serving instead
+    /// of failing.
     pub fn new(engine: Arc<dyn QueryEngine>, window: Duration, max_batch: usize) -> Batcher {
         let (tx, rx) = channel::unbounded::<Job>();
         let max_batch = max_batch.max(1);
-        let collector = std::thread::Builder::new()
-            .name("igq-batcher".into())
-            .spawn(move || run_collector(&*engine, &rx, window, max_batch))
-            .expect("spawn batcher thread");
-        Batcher {
-            submit: Some(tx),
-            collector: Some(collector),
+        let spawned = {
+            let engine = Arc::clone(&engine);
+            std::thread::Builder::new()
+                .name("igq-batcher".into())
+                .spawn(move || run_collector(&*engine, &rx, window, max_batch))
+        };
+        match spawned {
+            Ok(collector) => Batcher {
+                submit: Some(tx),
+                collector: Some(collector),
+                direct: None,
+            },
+            Err(e) => {
+                eprintln!("igq-server: batcher thread failed to spawn ({e}); serving unbatched");
+                Batcher {
+                    submit: None,
+                    collector: None,
+                    direct: Some(engine),
+                }
+            }
         }
     }
 
@@ -66,6 +85,9 @@ impl Batcher {
     /// shared the fan-out (1 = served alone). `None` only if the collector
     /// is gone (server shutting down).
     pub fn execute(&self, request: QueryRequest) -> Option<(QueryResponse, u64)> {
+        if let Some(engine) = &self.direct {
+            return Some((engine.execute(&request), 1));
+        }
         let (reply_tx, reply_rx) = channel::bounded(1);
         self.submit
             .as_ref()?

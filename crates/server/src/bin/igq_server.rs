@@ -8,7 +8,9 @@
 //!            [--maintenance incremental|shadow|background] [--max-lag 2]
 //!            [--shards 1] [--batch-window-us 0] [--batch-max 64]
 //!            [--overload-lag N] [--max-connections 64]
-//!            [--follower-of <addr>]
+//!            [--follower-of <addr>[,<addr>...]]
+//!            [--heartbeat-timeout-ms 2000] [--promote-on-timeout]
+//!            [--promote-rounds 2]
 //! ```
 //!
 //! With `--follower-of`, the server comes up as a **read replica**: it
@@ -17,6 +19,14 @@
 //! never happen — a follower engine admits nothing into its cache). Both
 //! servers must load the same dataset file and engine configuration; the
 //! snapshot's embedded fingerprints enforce this at bootstrap.
+//!
+//! `--follower-of` accepts a comma-separated upstream list. A silent
+//! primary hang (no delta, no heartbeat for `--heartbeat-timeout-ms`) is
+//! treated like a disconnect, and the follower walks the list
+//! round-robin. With `--promote-on-timeout`, once every upstream has
+//! stayed unreachable for `--promote-rounds` full passes the follower
+//! promotes itself to a writable primary under a new failover epoch —
+//! stragglers from the deposed primary are fenced by that epoch.
 //!
 //! Drive it with `igq client …` (see the CLI) or any line-framed JSON
 //! speaker; the protocol is documented in `igq_server::protocol`.
@@ -28,7 +38,7 @@ use igq_methods::{
     CtIndex, CtIndexConfig, GCode, GCodeConfig, Ggsx, GgsxConfig, Grapes, GrapesConfig,
     SubgraphMethod,
 };
-use igq_server::{BuildFollower, Follower, Server, ServerConfig};
+use igq_server::{BuildFollower, FailoverPolicy, Follower, Server, ServerConfig};
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::BufReader;
@@ -68,8 +78,16 @@ options:
                            (default: shedding off)
   --max-connections <N>    bounded connection pool (default 64)
   --io-timeout-ms <T>      per-socket read/write timeout (default 30000)
-  --follower-of <addr>     serve as a read replica of the primary igq-server
-                           at <addr> (same --dataset and engine flags)
+  --follower-of <addrs>    serve as a read replica; <addrs> is a
+                           comma-separated upstream list walked round-robin
+                           on failure (same --dataset and engine flags)
+  --heartbeat-timeout-ms <T>
+                           declare the stream hung after T ms of silence
+                           (default 2000)
+  --promote-on-timeout     promote to a writable primary when every
+                           upstream stays dark (default: keep retrying)
+  --promote-rounds <N>     full passes over the upstream list before
+                           promotion triggers (default 2)
 ";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -115,12 +133,23 @@ fn run(args: &[String]) -> Result<(), String> {
                     Ok(Arc::new(engine) as Arc<dyn QueryEngine>)
                 });
                 drop(method); // the builder closure makes its own
+                let upstreams: Vec<String> = primary
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+                if upstreams.is_empty() {
+                    return Err("--follower-of expects at least one address".into());
+                }
+                let policy = failover_policy(&flags)?;
                 let t = Instant::now();
-                let follower = Follower::connect(
-                    primary,
+                let follower = Follower::connect_with_policy(
+                    &upstreams,
                     "igq-server-replica",
                     build,
                     server_config.io_timeout,
+                    policy,
                 )
                 .map_err(|e| format!("cannot follow {primary}: {e}"))?;
                 eprintln!("bootstrapped replica of {primary} in {:.2?}", t.elapsed());
@@ -146,11 +175,16 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = a.strip_prefix("--") else {
             return Err(format!("unexpected positional argument {a:?} (see --help)"));
         };
-        let takes_value = it.peek().map(|v| !v.starts_with("--")).unwrap_or(false);
-        if takes_value {
-            flags.insert(name.to_owned(), it.next().expect("peeked").clone());
-        } else {
-            flags.insert(name.to_owned(), String::from("true"));
+        // Peek-then-next without an `expect`: a racing iterator state can
+        // only mean "no value", never a panic on the parse path.
+        match it.peek() {
+            Some(v) if !v.starts_with("--") => {
+                let value = it.next().cloned().unwrap_or_default();
+                flags.insert(name.to_owned(), value);
+            }
+            _ => {
+                flags.insert(name.to_owned(), String::from("true"));
+            }
         }
     }
     Ok(flags)
@@ -230,6 +264,19 @@ fn engine_config(flags: &HashMap<String, String>) -> Result<IgqConfig, String> {
         .shards(parse_num(flags, "shards", 1)?)
         .build()
         .map_err(|e| format!("invalid iGQ configuration: {e}"))
+}
+
+fn failover_policy(flags: &HashMap<String, String>) -> Result<FailoverPolicy, String> {
+    let mut policy = FailoverPolicy::default();
+    policy.heartbeat_timeout = Duration::from_millis(parse_num(
+        flags,
+        "heartbeat-timeout-ms",
+        policy.heartbeat_timeout.as_millis() as u64,
+    )?);
+    policy.promote_on_timeout = flags.contains_key("promote-on-timeout");
+    policy.rounds_before_promote =
+        parse_num(flags, "promote-rounds", policy.rounds_before_promote)?;
+    Ok(policy)
 }
 
 fn server_config(flags: &HashMap<String, String>) -> Result<ServerConfig, String> {

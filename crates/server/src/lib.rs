@@ -26,6 +26,14 @@
 //!   [`SharedEngine`] that swaps atomically on re-bootstrap. Queries can
 //!   carry a `max_lag` staleness bound; replicas shed reads lagging past
 //!   it with the same typed `overloaded` frame admission control uses.
+//!   A [`FailoverPolicy`] turns a follower into a failure detector:
+//!   heartbeat-timeout hang detection, round-robin upstream rotation, and
+//!   (opt-in) automatic promotion to a writable primary under a fenced
+//!   epoch.
+//! * [`chaos`] — a fault-injecting TCP proxy ([`ChaosProxy`]) for tests
+//!   and `bench_robustness`: freeze (silent hang), delay, garble,
+//!   truncate-mid-reply, and kill-connection, all seeded and scriptable
+//!   at runtime.
 //!
 //! Everything is `std` + workspace shims; there is no async runtime and no
 //! external networking dependency.
@@ -56,18 +64,20 @@
 #![warn(missing_docs)]
 
 pub mod batcher;
+pub mod chaos;
 pub mod client;
 pub mod protocol;
 pub mod replicate;
 pub mod server;
 
 pub use batcher::Batcher;
+pub use chaos::{ChaosProxy, ChaosStats};
 pub use client::{
-    BatchVerdict, Client, ClientError, QueryVerdict, ReplicaEvent, ReplicaSubscriber,
-    SubscribeStart,
+    BatchVerdict, Client, ClientError, QueryVerdict, ReconnectingClient, ReplicaEvent,
+    ReplicaSubscriber, RetryPolicy, SubscribeStart,
 };
 pub use protocol::{
     Reply, Request, ServingStats, WireError, WireResult, DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
-pub use replicate::{BuildFollower, Follower, FollowerError, SharedEngine};
+pub use replicate::{BuildFollower, FailoverPolicy, Follower, FollowerError, SharedEngine};
 pub use server::{Server, ServerConfig};

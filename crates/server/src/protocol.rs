@@ -263,6 +263,16 @@ pub struct ServingStats {
     pub wal_bytes_appended: u64,
     /// Encoded checkpoint bytes written, cumulative.
     pub checkpoint_bytes_written: u64,
+    /// The engine's failover epoch (0 until a promotion happens anywhere
+    /// in the replication tree).
+    pub epoch: u64,
+    /// True when the engine is serving in degraded mode (store write
+    /// failures quarantined; answers stay exact, durability is deferred).
+    pub degraded: bool,
+    /// Why the engine is degraded (empty when healthy).
+    pub degraded_reason: String,
+    /// Flip groups currently quarantined awaiting a WAL retry.
+    pub wal_quarantined_groups: u64,
     /// Numeric fields this build does not know, preserved verbatim in
     /// decode order — a newer server's counters reach the operator
     /// instead of being silently dropped.
@@ -615,6 +625,10 @@ const SERVING_STATS_FIELDS: &[&str] = &[
     "replica_groups_applied",
     "wal_bytes_appended",
     "checkpoint_bytes_written",
+    "epoch",
+    "degraded",
+    "degraded_reason",
+    "wal_quarantined_groups",
 ];
 
 impl ToJson for ServingStats {
@@ -647,6 +661,13 @@ impl ToJson for ServingStats {
             (
                 "checkpoint_bytes_written",
                 self.checkpoint_bytes_written.to_json(),
+            ),
+            ("epoch", self.epoch.to_json()),
+            ("degraded", self.degraded.to_json()),
+            ("degraded_reason", self.degraded_reason.to_json()),
+            (
+                "wal_quarantined_groups",
+                self.wal_quarantined_groups.to_json(),
             ),
         ];
         for (k, v) in &self.extra {
@@ -689,6 +710,11 @@ impl FromJson for ServingStats {
             replica_groups_applied: opt_field(v, "replica_groups_applied")?.unwrap_or(0),
             wal_bytes_appended: opt_field(v, "wal_bytes_appended")?.unwrap_or(0),
             checkpoint_bytes_written: opt_field(v, "checkpoint_bytes_written")?.unwrap_or(0),
+            // v3 (failure-domain) fields: lenient like the v2 ones above.
+            epoch: opt_field(v, "epoch")?.unwrap_or(0),
+            degraded: opt_field(v, "degraded")?.unwrap_or(false),
+            degraded_reason: opt_field(v, "degraded_reason")?.unwrap_or_default(),
+            wal_quarantined_groups: opt_field(v, "wal_quarantined_groups")?.unwrap_or(0),
             extra,
         })
     }
@@ -713,9 +739,11 @@ impl ToJson for Reply {
                 ("results", results.to_json()),
             ]),
             Reply::StatsResult(stats) => {
+                // ServingStats always serializes to an object; tolerate
+                // anything else rather than panic on a connection thread.
                 let mut m = match stats.to_json() {
                     Value::Object(m) => m,
-                    _ => unreachable!("ServingStats serializes to an object"),
+                    _ => Map::new(),
                 };
                 m.insert("type".to_owned(), "stats_result".to_json());
                 Value::Object(m)
@@ -974,6 +1002,10 @@ mod tests {
             replica_groups_applied: 17,
             wal_bytes_appended: 4096,
             checkpoint_bytes_written: 8192,
+            epoch: 3,
+            degraded: true,
+            degraded_reason: "WAL append failed: injected fault".to_owned(),
+            wal_quarantined_groups: 2,
             extra: vec![("future_counter".to_owned(), 99)],
         }));
         roundtrip_reply(Reply::SubscribeOk { resume_from: 12 });

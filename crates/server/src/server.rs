@@ -242,7 +242,16 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 match std::thread::Builder::new()
                     .name(format!("igq-conn-{conn_id}"))
                     .spawn(move || {
-                        serve_connection(stream, &shared);
+                        // A panic on one connection (a protocol bug, a
+                        // poisoned downstream lock) must not take out the
+                        // process or the other connections: contain it to
+                        // a clean disconnect of this socket.
+                        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            serve_connection(stream, &shared)
+                        }));
+                        if caught.is_err() {
+                            eprintln!("igq-server: connection {conn_id} handler panicked; closed");
+                        }
                         unregister(&shared, conn_id);
                         shared.active.fetch_sub(1, Ordering::AcqRel);
                     }) {
@@ -256,10 +265,18 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             Err(_) => std::thread::sleep(Duration::from_millis(2)),
         }
     }
-    // Stop requested: tear down live sockets so handlers blocked in a
-    // read observe EOF instead of waiting out their io_timeout.
-    for (_, conn) in shared.conns.lock().expect("conns lock").drain() {
-        let _ = conn.shutdown(Shutdown::Both);
+    // Stop requested: close the *read* side first so handlers blocked in
+    // a read observe EOF, then let them finish writing whatever reply is
+    // already in flight — a stop mid-batch must not tear a half-written
+    // frame out from under a client. The write side closes when each
+    // handler drops its socket after the join.
+    for (_, conn) in shared
+        .conns
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .drain()
+    {
+        let _ = conn.shutdown(Shutdown::Read);
     }
     for h in handlers {
         let _ = h.join();
@@ -271,13 +288,17 @@ fn register(shared: &Shared, conn_id: u64, stream: &TcpStream) {
         shared
             .conns
             .lock()
-            .expect("conns lock")
+            .unwrap_or_else(|e| e.into_inner())
             .insert(conn_id, clone);
     }
 }
 
 fn unregister(shared: &Shared, conn_id: u64) {
-    shared.conns.lock().expect("conns lock").remove(&conn_id);
+    shared
+        .conns
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .remove(&conn_id);
 }
 
 fn refuse_busy(mut stream: TcpStream, shared: &Shared) {
@@ -462,6 +483,10 @@ fn handle_request(request: Request, writer: &mut TcpStream, shared: &Shared) -> 
                 replica_groups_applied: stats.replica_groups_applied,
                 wal_bytes_appended: stats.wal_bytes_appended,
                 checkpoint_bytes_written: stats.checkpoint_bytes_written,
+                epoch: stats.epoch,
+                degraded: stats.degraded,
+                degraded_reason: stats.degraded_reason.clone(),
+                wal_quarantined_groups: stats.wal_quarantined_groups,
                 extra: Vec::new(),
             });
             write_frame(writer, &reply).is_ok()

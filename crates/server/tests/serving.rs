@@ -375,6 +375,68 @@ fn connection_pool_is_bounded() {
     server.shutdown();
 }
 
+/// Shutdown ordering mid-batch: a server stopped while requests sit in
+/// the coalescing window must answer — or cleanly disconnect — every
+/// queued job. No hang, no half-written frame, no panic.
+#[test]
+fn shutdown_mid_batch_answers_or_disconnects_every_job() {
+    let (store, queries) = dataset();
+    let engine = build_engine(&store, MaintenanceMode::Incremental);
+    let config = ServerConfig {
+        // A wide window guarantees the shutdown lands while jobs are
+        // still queued in the batcher.
+        batch_window: Duration::from_millis(400),
+        batch_max: 64,
+        ..loopback()
+    };
+    let server = Server::spawn(Arc::clone(&engine), config).expect("bind");
+    let addr = server.local_addr();
+
+    let clients = 4;
+    let barrier = std::sync::Barrier::new(clients + 1);
+    let outcomes: Vec<Result<QueryVerdict, ClientError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|i| {
+                let q = queries[i % queries.len()].clone();
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let mut c = Client::connect(addr, "mid-batch-shutdown").expect("connect");
+                    barrier.wait();
+                    c.query(&q)
+                })
+            })
+            .collect();
+        barrier.wait();
+        // All four queries are now in flight inside the 400ms window.
+        std::thread::sleep(Duration::from_millis(100));
+        server.shutdown();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
+    });
+
+    for (i, outcome) in outcomes.iter().enumerate() {
+        match outcome {
+            // A reply that made it out must be a complete, admitted result.
+            Ok(verdict) => assert!(
+                verdict.result().is_some(),
+                "client {i}: reply delivered but not a result: {verdict:?}"
+            ),
+            // A clean disconnect (EOF / reset / typed error) is the only
+            // other acceptable fate — the join above already rules out
+            // hangs and panics.
+            Err(e) => assert!(
+                !matches!(e, ClientError::Server { code, .. } if code == "busy"),
+                "client {i}: unexpected busy shed during shutdown: {e:?}"
+            ),
+        }
+    }
+    engine
+        .self_check()
+        .expect("engine consistent after mid-batch shutdown");
+}
+
 /// The stats frame reflects serving activity, and a client `shutdown`
 /// frame stops the whole server (CI drives this same sequence).
 #[test]

@@ -1,0 +1,214 @@
+//! Storage-fault chaos: the engine under an injected-fault
+//! [`igq::core::CacheStore`] keeps serving *exact* answers, degrades
+//! durability typed and observably (never by aborting), quarantines the
+//! affected WAL flips, and recovers fully — replayed log, repaired torn
+//! tail, recoverable checkpoint — once the store heals.
+//!
+//! The failure model under test (ARCHITECTURE "Failure model"):
+//! store write failures defer durability, never correctness; a healed
+//! store drains the quarantine in flip order; a torn append prefix is
+//! repaired before any quarantined group lands; and a recovered engine
+//! is observationally equal to the pre-fault one.
+
+mod common;
+
+use common::oracle_answers;
+use igq::core::{CacheStore, EngineStats, FaultOp, FaultyStore, MemStore, PersistenceConfig};
+use igq::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn manual_config() -> IgqConfig {
+    IgqConfig {
+        cache_capacity: 32,
+        window: 1, // every query flips → every query exercises the WAL
+        persistence: PersistenceConfig::manual(),
+        ..Default::default()
+    }
+}
+
+fn open_engine(store: &Arc<GraphStore>, cache: Arc<dyn CacheStore>) -> IgqEngine<Ggsx> {
+    IgqEngine::open(
+        Ggsx::build(store, GgsxConfig::default()),
+        manual_config(),
+        cache,
+    )
+    .expect("open engine over faulty store")
+}
+
+fn workload(n_store: usize, n_queries: usize, seed: u64) -> (Arc<GraphStore>, Vec<Graph>) {
+    let store = Arc::new(DatasetKind::Aids.generate(n_store, seed));
+    let queries = QueryGenerator::new(
+        &store,
+        Distribution::Zipf(1.3),
+        Distribution::Zipf(1.3),
+        seed,
+    )
+    .take(n_queries);
+    (store, queries)
+}
+
+/// Flips the engine a few more times until degraded mode clears (each
+/// flip gives the quarantine one backoff-gated retry), asserting it does
+/// so within `deadline`.
+fn drive_until_healthy(engine: &IgqEngine<Ggsx>, deadline: Duration) -> EngineStats {
+    let start = Instant::now();
+    let mut probe = 1000u32;
+    loop {
+        let stats = engine.stats();
+        if !stats.degraded {
+            assert_eq!(stats.wal_quarantined_groups, 0, "cleared means drained");
+            return stats;
+        }
+        assert!(
+            start.elapsed() < deadline,
+            "degraded mode failed to clear: {:?}",
+            stats.degraded_reason
+        );
+        std::thread::sleep(Duration::from_millis(60));
+        // A fresh singleton query forces a flip, which retries the
+        // quarantine once its backoff window has passed.
+        let _ = engine.query(&graph_from(&[probe], &[]));
+        probe += 1;
+    }
+}
+
+#[test]
+fn injected_append_failures_degrade_without_losing_answers_or_flips() {
+    let (store, queries) = workload(40, 24, 11);
+    let mem: Arc<dyn CacheStore> = Arc::new(MemStore::new());
+    let faulty = FaultyStore::new(mem);
+    let engine = open_engine(&store, Arc::clone(&faulty) as Arc<dyn CacheStore>);
+
+    // Healthy warm-up, with a slow-fsync tax to prove appends still land.
+    faulty.slow_fsync(Some(Duration::from_millis(1)));
+    for q in &queries[..6] {
+        assert_eq!(engine.query(q).answers, oracle_answers(&store, q));
+    }
+    assert!(
+        !engine.stats().degraded,
+        "slow fsync is latency, not failure"
+    );
+
+    // Script a burst of append failures: serving must continue exactly,
+    // durability degrades typed.
+    faulty.slow_fsync(None);
+    faulty.fail_next(FaultOp::Append, 3);
+    for q in &queries[6..18] {
+        assert_eq!(engine.query(q).answers, oracle_answers(&store, q), "{q:?}");
+    }
+    let during = engine.stats();
+    assert!(during.degraded, "append failures must surface as degraded");
+    assert!(
+        during.degraded_reason.contains("WAL"),
+        "typed reason, got {:?}",
+        during.degraded_reason
+    );
+    assert!(
+        during.wal_quarantined_groups > 0,
+        "flips quarantined, not dropped"
+    );
+    assert!(during.wal_retry_failures > 0);
+    assert!(faulty.injected().io_errors >= 1);
+    assert!(faulty.injected().slow_fsyncs >= 6);
+
+    // Heal: the quarantine drains in flip order and degraded mode clears.
+    faulty.heal();
+    drive_until_healthy(&engine, Duration::from_secs(10));
+
+    // Nothing was lost: a checkpoint succeeds and a cold recovery over
+    // the same store is a valid, oracle-exact engine.
+    engine.checkpoint().expect("checkpoint after recovery");
+    let cached = engine.cached_queries();
+    let recovered = open_engine(&store, Arc::clone(&faulty) as Arc<dyn CacheStore>);
+    assert_eq!(
+        recovered.cached_queries(),
+        cached,
+        "recovery sees every flip"
+    );
+    recovered.self_check().expect("recovered invariants");
+    for q in &queries[..6] {
+        assert_eq!(recovered.query(q).answers, oracle_answers(&store, q));
+    }
+}
+
+#[test]
+fn torn_append_prefix_is_repaired_before_quarantine_replay() {
+    let (store, queries) = workload(30, 16, 23);
+    let mem: Arc<dyn CacheStore> = Arc::new(MemStore::new());
+    let faulty = FaultyStore::new(mem);
+    let engine = open_engine(&store, Arc::clone(&faulty) as Arc<dyn CacheStore>);
+
+    for q in &queries[..5] {
+        let _ = engine.query(q);
+    }
+
+    // One append fails AND tears: 60% of the record lands on the store —
+    // exactly the partial tail a crash mid-write leaves behind.
+    faulty.tear_writes(60);
+    faulty.fail_next(FaultOp::Append, 1);
+    for q in &queries[5..10] {
+        assert_eq!(engine.query(q).answers, oracle_answers(&store, q), "{q:?}");
+    }
+    assert!(engine.stats().degraded);
+    assert_eq!(faulty.injected().torn_writes, 1, "the tear really happened");
+
+    // Heal. The retry path must repair the torn tail (compact to the last
+    // intact record) *before* replaying the quarantine, or the log would
+    // hold a mid-log hole recovery rejects.
+    faulty.heal();
+    drive_until_healthy(&engine, Duration::from_secs(10));
+
+    // The log is directly recoverable — no checkpoint needed to paper
+    // over it — and the recovered engine is exact.
+    let recovered = open_engine(&store, Arc::clone(&faulty) as Arc<dyn CacheStore>);
+    recovered.self_check().expect("recovered invariants");
+    for q in &queries[..10] {
+        assert_eq!(recovered.query(q).answers, oracle_answers(&store, q));
+    }
+
+    // Short reads on top: recovery under a truncated WAL read still opens
+    // (the torn tail is dropped, never misread as corruption mid-log).
+    faulty.shorten_reads(5);
+    let short = open_engine(&store, Arc::clone(&faulty) as Arc<dyn CacheStore>);
+    short.self_check().expect("short-read recovery invariants");
+    assert!(faulty.injected().short_reads > 0);
+    for q in &queries[..5] {
+        assert_eq!(short.query(q).answers, oracle_answers(&store, q));
+    }
+}
+
+#[test]
+fn seeded_fault_storm_stays_oracle_exact_and_recovers_when_it_passes() {
+    let (store, queries) = workload(50, 40, 37);
+    let mem: Arc<dyn CacheStore> = Arc::new(MemStore::new());
+    let faulty = FaultyStore::new(mem);
+    let engine = open_engine(&store, Arc::clone(&faulty) as Arc<dyn CacheStore>);
+
+    // A deterministic storm: ~25% of store operations fail, with torn
+    // writes armed. Same seed → same schedule → reproducible CI.
+    faulty.tear_writes(50);
+    faulty.seed_faults(0xC4A05, 0.25);
+    for q in &queries {
+        assert_eq!(engine.query(q).answers, oracle_answers(&store, q), "{q:?}");
+    }
+    assert!(
+        faulty.injected().io_errors > 0,
+        "a 25% storm over 40 flips must fire"
+    );
+
+    // Storm passes; the engine self-heals and a checkpoint + cold open
+    // round-trips the full state.
+    faulty.heal();
+    let healthy = drive_until_healthy(&engine, Duration::from_secs(15));
+    assert!(healthy.wal_retry_failures > 0, "retries were exercised");
+    engine.checkpoint().expect("checkpoint after storm");
+    let cached = engine.cached_queries();
+
+    let recovered = open_engine(&store, Arc::clone(&faulty) as Arc<dyn CacheStore>);
+    assert_eq!(recovered.cached_queries(), cached);
+    recovered.self_check().expect("post-storm invariants");
+    for q in queries.iter().take(8) {
+        assert_eq!(recovered.query(q).answers, oracle_answers(&store, q));
+    }
+}
